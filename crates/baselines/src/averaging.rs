@@ -1,0 +1,172 @@
+//! Averaging dynamics in the style of Becchetti et al. \[3\] ("Find your
+//! place", SODA'17).
+//!
+//! Each node starts with a Rademacher value `±1`; every round, every node
+//! replaces its value with the lazy average over *all* its neighbours,
+//! `x_{t+1} = ((I + P) / 2) x_t`. The stationary component is common to
+//! all nodes, so consecutive differences `x_t − x_{t+1}` align with the
+//! second eigenvector, whose sign splits two communities; for `k > 2` we
+//! run `h` independent copies and k-means the resulting `h`-dimensional
+//! difference embedding (their community-sensitive generalisation).
+//!
+//! The communication-relevant property (and the reason the paper
+//! contrasts with it, §1.3): every node talks to **all** neighbours each
+//! round, i.e. `2m` messages per round versus the matching model's
+//! `≤ n/2` pairs — on dense graphs this is the dominating cost, which
+//! experiment E4 measures.
+
+use lbc_graph::{Graph, Partition};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::kmeans::kmeans;
+
+/// Output of the averaging-dynamics baseline.
+#[derive(Debug, Clone)]
+pub struct AveragingOutput {
+    /// Discovered partition (labels `0..k`).
+    pub partition: Partition,
+    /// Total words exchanged: `rounds · 2m · dims` (each node ships its
+    /// `dims` current values to every neighbour every round).
+    pub words: u64,
+    /// Rounds executed.
+    pub rounds: usize,
+}
+
+/// One lazy-averaging step `x ← (x + P·x)/2` (walk matrix with §4.5-style
+/// degree regularisation so irregular graphs stay symmetric).
+fn step(g: &Graph, cap: usize, x: &[f64]) -> Vec<f64> {
+    let n = g.n();
+    let mut out = vec![0.0; n];
+    for v in 0..n {
+        let d = g.degree(v as u32);
+        let mut acc = (cap - d) as f64 * x[v];
+        for &w in g.neighbours(v as u32) {
+            acc += x[w as usize];
+        }
+        let px = acc / cap as f64;
+        out[v] = 0.5 * (x[v] + px);
+    }
+    out
+}
+
+/// Run the averaging dynamics.
+///
+/// * `k` — number of clusters to output.
+/// * `rounds` — averaging rounds (≈ `O(log n / gap)` in their analysis).
+/// * `dims` — number of independent copies (`≥ k` recommended; for
+///   `k = 2`, `dims = 1` reproduces the classic sign rule).
+///
+/// # Panics
+/// If `k == 0`, `k > n`, `dims == 0`, or `rounds == 0`.
+pub fn becchetti_averaging(
+    g: &Graph,
+    k: usize,
+    rounds: usize,
+    dims: usize,
+    seed: u64,
+) -> AveragingOutput {
+    let n = g.n();
+    assert!(k >= 1 && k <= n, "k = {k} out of range");
+    assert!(dims >= 1, "need at least one dimension");
+    assert!(rounds >= 1, "need at least one round");
+    let cap = g.max_degree().max(1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    // dims independent Rademacher initialisations.
+    let mut xs: Vec<Vec<f64>> = (0..dims)
+        .map(|_| {
+            (0..n)
+                .map(|_| if rng.random::<bool>() { 1.0 } else { -1.0 })
+                .collect()
+        })
+        .collect();
+    for x in &mut xs {
+        for _ in 0..rounds {
+            *x = step(g, cap, x);
+        }
+    }
+    // One extra step per dimension; embed by the consecutive difference
+    // (cancels the stationary component).
+    let diffs: Vec<Vec<f64>> = xs.iter().map(|x| {
+        let next = step(g, cap, x);
+        x.iter().zip(&next).map(|(a, b)| a - b).collect()
+    }).collect();
+    // Normalise each difference vector so k-means sees comparable scales.
+    let points: Vec<Vec<f64>> = (0..n)
+        .map(|v| {
+            diffs
+                .iter()
+                .map(|d| {
+                    let norm: f64 = d.iter().map(|y| y * y).sum::<f64>().sqrt();
+                    if norm > 0.0 {
+                        d[v] / norm
+                    } else {
+                        0.0
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    let result = kmeans(&points, k, 100, seed ^ 0xBECC);
+    let words = (rounds as u64 + 1) * 2 * g.m() as u64 * dims as u64;
+    AveragingOutput {
+        partition: Partition::with_k(result.assignments, k).expect("labels in range"),
+        words,
+        rounds,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbc_eval::accuracy;
+    use lbc_graph::generators;
+
+    #[test]
+    fn two_communities_recovered() {
+        let (g, truth) = generators::dumbbell(40, 8, 2, 3).unwrap();
+        let out = becchetti_averaging(&g, 2, 60, 3, 5);
+        let acc = accuracy(truth.labels(), out.partition.labels());
+        assert!(acc > 0.9, "accuracy {acc}");
+    }
+
+    #[test]
+    fn multi_community_with_embedding() {
+        let (g, truth) = generators::ring_of_cliques(4, 16, 0).unwrap();
+        let out = becchetti_averaging(&g, 4, 60, 8, 7);
+        let acc = accuracy(truth.labels(), out.partition.labels());
+        assert!(acc > 0.85, "accuracy {acc}");
+    }
+
+    #[test]
+    fn word_count_formula() {
+        let (g, _) = generators::ring_of_cliques(2, 8, 0).unwrap();
+        let out = becchetti_averaging(&g, 2, 10, 2, 1);
+        assert_eq!(out.words, 11 * 2 * g.m() as u64 * 2);
+        assert_eq!(out.rounds, 10);
+    }
+
+    #[test]
+    fn dense_graph_costs_more_words_than_sparse() {
+        let dense = generators::complete(40).unwrap();
+        let sparse = generators::cycle(40).unwrap();
+        let wd = becchetti_averaging(&dense, 2, 10, 1, 1).words;
+        let ws = becchetti_averaging(&sparse, 2, 10, 1, 1).words;
+        assert!(wd > 10 * ws);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let (g, _) = generators::dumbbell(20, 6, 2, 9).unwrap();
+        let a = becchetti_averaging(&g, 2, 30, 2, 4);
+        let b = becchetti_averaging(&g, 2, 30, 2, 4);
+        assert_eq!(a.partition, b.partition);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_rounds_rejected() {
+        let (g, _) = generators::ring_of_cliques(2, 4, 0).unwrap();
+        let _ = becchetti_averaging(&g, 2, 0, 1, 1);
+    }
+}

@@ -1,0 +1,260 @@
+//! Decentralised orthogonal iteration in the style of Kempe & McSherry
+//! \[21\] ("A decentralized algorithm for spectral analysis", STOC'04).
+//!
+//! Their algorithm computes the top-`k` eigenvectors of a graph matrix
+//! in a network: each node holds one row of an `n × k` matrix `V`;
+//! repeatedly (i) apply the matrix (`V ← P·V`, one neighbour-exchange
+//! round), then (ii) orthonormalise the columns. Step (ii) needs the
+//! `k × k` Gram matrix `K = VᵀV` — a *global* sum, which they aggregate
+//! with push-sum gossip costing `Θ(τ_mix)` rounds per iteration, where
+//! `τ_mix` is the mixing time of the whole graph.
+//!
+//! That is precisely the paper's §1.3 objection: for a graph made of
+//! expanders joined by a few edges, `τ_mix = poly(n)` (the random walk
+//! must cross the sparse cut repeatedly) while the load-balancing
+//! algorithm needs only `T = O(polylog n)` — it never waits for global
+//! mixing. This module implements the numerical core faithfully
+//! (orthogonal iteration with Gram/Cholesky orthonormalisation, exact
+//! aggregates) and *charges* the round/word cost its gossip
+//! implementation would pay, so experiment E11 can reproduce the
+//! separation.
+
+use lbc_graph::{Graph, Partition};
+use lbc_linalg::ops::{SymOp, WalkOperator};
+use lbc_linalg::spectral::SpectralOracle;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::kmeans::kmeans;
+
+/// Output of the decentralised orthogonal iteration baseline.
+#[derive(Debug, Clone)]
+pub struct OrthogonalIterationOutput {
+    /// Discovered partition (k-means over the rows of `V`).
+    pub partition: Partition,
+    /// Power/orthonormalisation iterations executed.
+    pub iterations: usize,
+    /// Estimated global mixing time `τ_mix = ⌈ln n / (1 − λ_2)⌉` used
+    /// for cost charging.
+    pub tau_mix: u64,
+    /// Network rounds the gossip implementation would need:
+    /// `iterations · (1 + τ_mix)`.
+    pub charged_rounds: u64,
+    /// Words: `2m·k` per power step plus `n·k²` per push-sum round.
+    pub charged_words: u64,
+}
+
+/// Cholesky factorisation `K = L·Lᵀ` of a small SPD matrix (row-major).
+/// Returns `None` when `K` is not (numerically) positive definite.
+fn cholesky(k: &[Vec<f64>]) -> Option<Vec<Vec<f64>>> {
+    let n = k.len();
+    let mut l = vec![vec![0.0; n]; n];
+    for i in 0..n {
+        for j in 0..=i {
+            let mut sum = k[i][j];
+            for p in 0..j {
+                sum -= l[i][p] * l[j][p];
+            }
+            if i == j {
+                if sum <= 0.0 {
+                    return None;
+                }
+                l[i][i] = sum.sqrt();
+            } else {
+                l[i][j] = sum / l[j][j];
+            }
+        }
+    }
+    Some(l)
+}
+
+/// Replace each row `v` of `vmat` with `v · L^{-T}` (so the columns of
+/// the matrix become orthonormal when `K = VᵀV = LLᵀ`).
+fn apply_inverse_transpose(vmat: &mut [Vec<f64>], l: &[Vec<f64>]) {
+    let k = l.len();
+    for row in vmat.iter_mut() {
+        // Solve x · Lᵀ = row  ⇔  L · xᵀ = rowᵀ (forward substitution).
+        let mut x = vec![0.0; k];
+        for i in 0..k {
+            let mut sum = row[i];
+            for p in 0..i {
+                sum -= l[i][p] * x[p];
+            }
+            x[i] = sum / l[i][i];
+        }
+        row.copy_from_slice(&x);
+    }
+}
+
+/// Run decentralised orthogonal iteration and cluster by k-means on the
+/// resulting spectral embedding.
+///
+/// # Panics
+/// If `k == 0`, `k > n`, or `iterations == 0`.
+pub fn kempe_mcsherry(
+    g: &Graph,
+    k: usize,
+    iterations: usize,
+    seed: u64,
+) -> OrthogonalIterationOutput {
+    let n = g.n();
+    assert!(k >= 1 && k <= n, "k = {k} out of range");
+    assert!(iterations >= 1, "need at least one iteration");
+    let op = WalkOperator::new(g);
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Rows of V, one per node.
+    let mut v: Vec<Vec<f64>> = (0..n)
+        .map(|_| (0..k).map(|_| rng.random_range(-1.0..1.0)).collect())
+        .collect();
+
+    let mut col = vec![0.0; n];
+    let mut out_col = vec![0.0; n];
+    for _ in 0..iterations {
+        // V ← P·V, column by column through the walk operator.
+        for c in 0..k {
+            for (i, row) in v.iter().enumerate() {
+                col[i] = row[c];
+            }
+            op.apply(&col, &mut out_col);
+            for (i, row) in v.iter_mut().enumerate() {
+                row[c] = out_col[i];
+            }
+        }
+        // Gram matrix K = VᵀV (the quantity push-sum would aggregate).
+        let mut gram = vec![vec![0.0; k]; k];
+        for row in &v {
+            for i in 0..k {
+                for j in 0..k {
+                    gram[i][j] += row[i] * row[j];
+                }
+            }
+        }
+        // Regularise minutely so early near-rank-deficient iterates
+        // don't abort the factorisation.
+        for (i, row) in gram.iter_mut().enumerate() {
+            row[i] += 1e-12;
+        }
+        if let Some(l) = cholesky(&gram) {
+            apply_inverse_transpose(&mut v, &l);
+        } else {
+            // Re-randomise the degenerate basis and continue.
+            for row in v.iter_mut() {
+                for x in row.iter_mut() {
+                    *x = rng.random_range(-1.0..1.0);
+                }
+            }
+        }
+    }
+
+    // Cost charging (see module docs).
+    let oracle = SpectralOracle::compute(g, 2.min(n), seed ^ 0x4B4D);
+    let gap2 = if n >= 2 { (1.0 - oracle.lambda(2)).max(1e-9) } else { 1.0 };
+    let tau_mix = ((n.max(2) as f64).ln() / gap2).ceil() as u64;
+    let charged_rounds = iterations as u64 * (1 + tau_mix);
+    let words_per_power = 2 * g.m() as u64 * k as u64;
+    let words_per_pushsum_round = n as u64 * (k * k) as u64;
+    let charged_words =
+        iterations as u64 * (words_per_power + tau_mix * words_per_pushsum_round);
+
+    let result = kmeans(&v, k, 100, seed ^ 0x4B4D_0001);
+    OrthogonalIterationOutput {
+        partition: Partition::with_k(result.assignments, k).expect("labels in range"),
+        iterations,
+        tau_mix,
+        charged_rounds,
+        charged_words,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbc_eval::accuracy;
+    use lbc_graph::generators;
+
+    #[test]
+    fn cholesky_known_factorisation() {
+        // K = [[4, 2], [2, 3]] = L·Lᵀ with L = [[2, 0], [1, √2]].
+        let k = vec![vec![4.0, 2.0], vec![2.0, 3.0]];
+        let l = cholesky(&k).unwrap();
+        assert!((l[0][0] - 2.0).abs() < 1e-12);
+        assert!((l[1][0] - 1.0).abs() < 1e-12);
+        assert!((l[1][1] - 2.0f64.sqrt()).abs() < 1e-12);
+        // Not PD → None.
+        let bad = vec![vec![1.0, 2.0], vec![2.0, 1.0]];
+        assert!(cholesky(&bad).is_none());
+    }
+
+    #[test]
+    fn orthonormalisation_step_works() {
+        // Two deliberately correlated columns become orthonormal.
+        let mut v = vec![
+            vec![1.0, 1.0],
+            vec![1.0, 2.0],
+            vec![0.0, 1.0],
+            vec![2.0, 1.0],
+        ];
+        let mut gram = vec![vec![0.0; 2]; 2];
+        for row in &v {
+            for i in 0..2 {
+                for j in 0..2 {
+                    gram[i][j] += row[i] * row[j];
+                }
+            }
+        }
+        let l = cholesky(&gram).unwrap();
+        apply_inverse_transpose(&mut v, &l);
+        let mut new_gram = [[0.0f64; 2]; 2];
+        for row in &v {
+            for i in 0..2 {
+                for j in 0..2 {
+                    new_gram[i][j] += row[i] * row[j];
+                }
+            }
+        }
+        assert!((new_gram[0][0] - 1.0).abs() < 1e-9);
+        assert!((new_gram[1][1] - 1.0).abs() < 1e-9);
+        assert!(new_gram[0][1].abs() < 1e-9);
+    }
+
+    #[test]
+    fn recovers_ring_of_cliques() {
+        let (g, truth) = generators::ring_of_cliques(3, 20, 0).unwrap();
+        let out = kempe_mcsherry(&g, 3, 60, 5);
+        let acc = accuracy(truth.labels(), out.partition.labels());
+        assert!(acc > 0.9, "accuracy {acc}");
+    }
+
+    #[test]
+    fn charged_rounds_blow_up_on_thin_cuts() {
+        // Same cluster structure, thinner bridge ⇒ smaller global gap ⇒
+        // larger mixing time ⇒ more charged rounds.
+        let (thick, _) = generators::dumbbell(50, 8, 10, 3).unwrap();
+        let (thin, _) = generators::dumbbell(50, 8, 1, 3).unwrap();
+        let o_thick = kempe_mcsherry(&thick, 2, 10, 1);
+        let o_thin = kempe_mcsherry(&thin, 2, 10, 1);
+        assert!(
+            o_thin.tau_mix > 3 * o_thick.tau_mix,
+            "thin {} vs thick {}",
+            o_thin.tau_mix,
+            o_thick.tau_mix
+        );
+        assert!(o_thin.charged_rounds > o_thick.charged_rounds);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let (g, _) = generators::ring_of_cliques(2, 12, 0).unwrap();
+        let a = kempe_mcsherry(&g, 2, 30, 9);
+        let b = kempe_mcsherry(&g, 2, 30, 9);
+        assert_eq!(a.partition, b.partition);
+        assert_eq!(a.charged_rounds, b.charged_rounds);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_iterations_rejected() {
+        let (g, _) = generators::ring_of_cliques(2, 6, 0).unwrap();
+        let _ = kempe_mcsherry(&g, 2, 0, 1);
+    }
+}

@@ -1,0 +1,211 @@
+//! k-means with k-means++ initialisation and Lloyd iterations.
+//!
+//! Operates on row-major point sets (`points[i]` is one point). Used by
+//! the spectral baseline and by the multi-dimensional averaging dynamics.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Result of a k-means run.
+#[derive(Debug, Clone)]
+pub struct KMeansResult {
+    /// Cluster index per point (`0..k`).
+    pub assignments: Vec<u32>,
+    /// Final centroids.
+    pub centroids: Vec<Vec<f64>>,
+    /// Sum of squared distances to assigned centroids.
+    pub inertia: f64,
+    /// Lloyd iterations executed.
+    pub iterations: usize,
+}
+
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// k-means++ seeding followed by Lloyd until convergence or `max_iters`.
+///
+/// # Panics
+/// If `points` is empty, dimensions are ragged, `k == 0`, or
+/// `k > points.len()`.
+pub fn kmeans(points: &[Vec<f64>], k: usize, max_iters: usize, seed: u64) -> KMeansResult {
+    let n = points.len();
+    assert!(n > 0, "no points");
+    let dim = points[0].len();
+    assert!(points.iter().all(|p| p.len() == dim), "ragged points");
+    assert!(k >= 1 && k <= n, "k = {k} out of range for {n} points");
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    // k-means++ initialisation.
+    let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+    centroids.push(points[rng.random_range(0..n)].clone());
+    let mut d2: Vec<f64> = points.iter().map(|p| sq_dist(p, &centroids[0])).collect();
+    while centroids.len() < k {
+        let total: f64 = d2.iter().sum();
+        let next = if total <= 0.0 {
+            // All mass at existing centroids: pick uniformly.
+            rng.random_range(0..n)
+        } else {
+            let mut target = rng.random::<f64>() * total;
+            let mut pick = n - 1;
+            for (i, &w) in d2.iter().enumerate() {
+                if target < w {
+                    pick = i;
+                    break;
+                }
+                target -= w;
+            }
+            pick
+        };
+        centroids.push(points[next].clone());
+        for (i, p) in points.iter().enumerate() {
+            let d = sq_dist(p, centroids.last().unwrap());
+            if d < d2[i] {
+                d2[i] = d;
+            }
+        }
+    }
+
+    // Lloyd iterations.
+    let mut assignments = vec![0u32; n];
+    let mut iterations = 0usize;
+    for it in 0..max_iters.max(1) {
+        iterations = it + 1;
+        let mut changed = false;
+        for (i, p) in points.iter().enumerate() {
+            let mut best = 0u32;
+            let mut best_d = f64::INFINITY;
+            for (c, cent) in centroids.iter().enumerate() {
+                let d = sq_dist(p, cent);
+                if d < best_d {
+                    best_d = d;
+                    best = c as u32;
+                }
+            }
+            if assignments[i] != best {
+                assignments[i] = best;
+                changed = true;
+            }
+        }
+        // Recompute centroids; empty clusters re-seed to the farthest
+        // point from its centroid assignment (standard fix-up).
+        let mut sums = vec![vec![0.0; dim]; k];
+        let mut counts = vec![0usize; k];
+        for (i, p) in points.iter().enumerate() {
+            let c = assignments[i] as usize;
+            counts[c] += 1;
+            for (s, &x) in sums[c].iter_mut().zip(p) {
+                *s += x;
+            }
+        }
+        for c in 0..k {
+            if counts[c] == 0 {
+                let far = (0..n)
+                    .max_by(|&a, &b| {
+                        let da = sq_dist(&points[a], &centroids[assignments[a] as usize]);
+                        let db = sq_dist(&points[b], &centroids[assignments[b] as usize]);
+                        da.partial_cmp(&db).unwrap()
+                    })
+                    .unwrap();
+                centroids[c] = points[far].clone();
+                changed = true;
+            } else {
+                for (j, s) in sums[c].iter().enumerate() {
+                    centroids[c][j] = s / counts[c] as f64;
+                }
+            }
+        }
+        if !changed && it > 0 {
+            break;
+        }
+    }
+    let inertia = points
+        .iter()
+        .enumerate()
+        .map(|(i, p)| sq_dist(p, &centroids[assignments[i] as usize]))
+        .sum();
+    KMeansResult {
+        assignments,
+        centroids,
+        inertia,
+        iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blob(center: f64, count: usize, spread: f64, rng: &mut StdRng) -> Vec<Vec<f64>> {
+        (0..count)
+            .map(|_| {
+                vec![
+                    center + rng.random_range(-spread..spread),
+                    center + rng.random_range(-spread..spread),
+                ]
+            })
+            .collect()
+    }
+
+    #[test]
+    fn separates_two_blobs() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut points = blob(0.0, 30, 0.5, &mut rng);
+        points.extend(blob(10.0, 30, 0.5, &mut rng));
+        let r = kmeans(&points, 2, 50, 7);
+        // First 30 together, last 30 together.
+        let first = r.assignments[0];
+        assert!(r.assignments[..30].iter().all(|&a| a == first));
+        assert!(r.assignments[30..].iter().all(|&a| a != first));
+        assert!(r.inertia < 30.0);
+    }
+
+    #[test]
+    fn k_equals_one() {
+        let points = vec![vec![0.0], vec![2.0], vec![4.0]];
+        let r = kmeans(&points, 1, 10, 3);
+        assert!(r.assignments.iter().all(|&a| a == 0));
+        assert!((r.centroids[0][0] - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn k_equals_n_perfect_fit() {
+        let points = vec![vec![0.0], vec![5.0], vec![9.0]];
+        let r = kmeans(&points, 3, 20, 5);
+        let mut sorted = r.assignments.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 3);
+        assert!(r.inertia < 1e-12);
+    }
+
+    #[test]
+    fn duplicate_points_handled() {
+        let points = vec![vec![1.0, 1.0]; 10];
+        let r = kmeans(&points, 3, 10, 2);
+        assert_eq!(r.assignments.len(), 10);
+        assert!(r.inertia < 1e-12);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut points = blob(0.0, 20, 1.0, &mut rng);
+        points.extend(blob(5.0, 20, 1.0, &mut rng));
+        let a = kmeans(&points, 2, 30, 9);
+        let b = kmeans(&points, 2, 30, 9);
+        assert_eq!(a.assignments, b.assignments);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_k_zero() {
+        let _ = kmeans(&[vec![0.0]], 0, 5, 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_k_above_n() {
+        let _ = kmeans(&[vec![0.0]], 2, 5, 1);
+    }
+}

@@ -1,0 +1,117 @@
+//! Synchronous label propagation — the folk practical baseline.
+//!
+//! Every node starts with its own id as label; each round it adopts the
+//! majority label among its neighbours (ties broken towards the smallest
+//! label; a node keeps its label if it ties the majority). Terminates at
+//! stability or after `max_rounds`.
+
+use std::collections::HashMap;
+
+use lbc_graph::{Graph, Partition};
+
+/// Run synchronous label propagation. Returns the discovered partition
+/// (labels compacted to `0..k'`) and the number of rounds executed.
+pub fn label_propagation(g: &Graph, max_rounds: usize) -> (Partition, usize) {
+    let n = g.n();
+    if n == 0 {
+        return (Partition::with_k(vec![], 1).unwrap(), 0);
+    }
+    let mut labels: Vec<u32> = (0..n as u32).collect();
+    let mut rounds = 0usize;
+    let mut counts: HashMap<u32, usize> = HashMap::new();
+    for _ in 0..max_rounds {
+        rounds += 1;
+        let mut next = labels.clone();
+        let mut changed = false;
+        for v in 0..n {
+            let neigh = g.neighbours(v as u32);
+            if neigh.is_empty() {
+                continue;
+            }
+            counts.clear();
+            for &w in neigh {
+                *counts.entry(labels[w as usize]).or_insert(0) += 1;
+            }
+            // Majority; ties → smallest label.
+            let mut best_label = labels[v];
+            let mut best_count = 0usize;
+            let mut entries: Vec<(u32, usize)> =
+                counts.iter().map(|(&l, &c)| (l, c)).collect();
+            entries.sort_unstable();
+            for (l, c) in entries {
+                if c > best_count {
+                    best_count = c;
+                    best_label = l;
+                }
+            }
+            if next[v] != best_label {
+                next[v] = best_label;
+                changed = true;
+            }
+        }
+        labels = next;
+        if !changed {
+            break;
+        }
+    }
+    // Compact labels.
+    let mut distinct: Vec<u32> = labels.clone();
+    distinct.sort_unstable();
+    distinct.dedup();
+    let compact: Vec<u32> = labels
+        .iter()
+        .map(|l| distinct.binary_search(l).unwrap() as u32)
+        .collect();
+    (
+        Partition::with_k(compact, distinct.len()).expect("compacted labels in range"),
+        rounds,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbc_eval::accuracy;
+    use lbc_graph::generators;
+
+    #[test]
+    fn cliques_converge_to_their_own_labels() {
+        let (g, truth) = generators::ring_of_cliques(3, 12, 0).unwrap();
+        let (found, rounds) = label_propagation(&g, 50);
+        assert!(rounds < 50, "should stabilise early");
+        let acc = accuracy(truth.labels(), found.labels());
+        assert!(acc > 0.9, "accuracy {acc}");
+    }
+
+    #[test]
+    fn planted_partition_recovered() {
+        let (g, truth) = generators::planted_partition(2, 40, 0.5, 0.01, 5).unwrap();
+        let (found, _) = label_propagation(&g, 50);
+        let acc = accuracy(truth.labels(), found.labels());
+        assert!(acc > 0.85, "accuracy {acc}");
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::from_edges(0, &[]).unwrap();
+        let (p, rounds) = label_propagation(&g, 10);
+        assert_eq!(p.n(), 0);
+        assert_eq!(rounds, 0);
+    }
+
+    use lbc_graph::Graph;
+
+    #[test]
+    fn isolated_nodes_keep_their_labels() {
+        let g = Graph::from_edges(3, &[(0, 1)]).unwrap();
+        let (p, _) = label_propagation(&g, 10);
+        // Node 2 is isolated and stays alone.
+        assert_ne!(p.labels()[2], p.labels()[0]);
+    }
+
+    #[test]
+    fn deterministic() {
+        let (g, _) = generators::ring_of_cliques(2, 8, 0).unwrap();
+        assert_eq!(label_propagation(&g, 30).0, label_propagation(&g, 30).0);
+    }
+}

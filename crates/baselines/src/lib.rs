@@ -1,0 +1,33 @@
+//! Comparator algorithms for the experiment suite.
+//!
+//! §1.3 of the paper positions the load-balancing algorithm against three
+//! families; all are implemented here so experiment E4 can reproduce the
+//! "who wins" shape:
+//!
+//! * [`spectral_clustering`] — the centralised gold standard (Peng, Sun &
+//!   Zanetti \[25\]): embed nodes by the top-`k` eigenvectors of the walk
+//!   matrix, then k-means. Accurate, but needs global spectral
+//!   computation.
+//! * [`becchetti_averaging`] — the averaging dynamics of Becchetti et
+//!   al. \[3\]: every node averages with *all* neighbours each round and
+//!   labels by the sign pattern of consecutive differences. Simple, but
+//!   `Θ(m)` messages per round (the communication objection the paper
+//!   raises against it on dense graphs).
+//! * [`label_propagation`] — the folk practical baseline: adopt the
+//!   majority label among neighbours.
+//!
+//! Shared machinery: [`kmeans`] (k-means++ initialisation + Lloyd).
+
+pub mod averaging;
+pub mod kempe_mcsherry;
+pub mod kmeans;
+pub mod labelprop;
+pub mod random_walks;
+pub mod spectral;
+
+pub use averaging::{becchetti_averaging, AveragingOutput};
+pub use kempe_mcsherry::{kempe_mcsherry, OrthogonalIterationOutput};
+pub use kmeans::{kmeans, KMeansResult};
+pub use labelprop::label_propagation;
+pub use random_walks::{walk_clustering, WalkClusteringOutput};
+pub use spectral::spectral_clustering;

@@ -1,0 +1,171 @@
+//! Clustering by multiple random walks — the sampling counterpart of
+//! load balancing.
+//!
+//! The connection the paper exploits is that one matching round behaves
+//! in expectation like a lazy random-walk step
+//! (`E[M] = (1 − d̄/4)I + (d̄/4)P`, Lemma 2.1). The *sampling* version
+//! of the same idea (cf. the multiple-random-walks literature the paper
+//! cites \[2, 9, 12\]) estimates the walk distribution `P̃^T χ_{v_i}`
+//! empirically: launch `R` independent lazy walks from each seed and
+//! count where they end. Each node then labels itself by the seed whose
+//! empirical end-frequency at it clears the threshold — the direct
+//! analogue of the paper's query procedure, with Monte-Carlo noise
+//! `Θ(1/√R)` in place of the averaging process's deterministic
+//! contraction.
+//!
+//! Communication: each walk step is one message, so the total cost is
+//! `s · R · T` messages — matching the load-balancing algorithm's
+//! budget requires `R ≈ n/2` walks per seed; the interesting regime
+//! (and the point of the `walks` ablation) is how quickly accuracy
+//! decays for smaller `R`.
+
+use lbc_distsim::NodeRng;
+use lbc_graph::{Graph, Partition};
+
+/// Output of the multiple-random-walks clustering.
+#[derive(Debug, Clone)]
+pub struct WalkClusteringOutput {
+    pub partition: Partition,
+    /// Seed nodes (one label per seed, in input order).
+    pub seeds: Vec<u32>,
+    /// Total walk steps taken (= messages in the walk cost model).
+    pub steps: u64,
+}
+
+/// Cluster by launching `walks_per_seed` lazy random walks of length
+/// `length` from each of `seeds`, then thresholding end-frequencies.
+///
+/// The walk is the §4.5-regularised lazy walk: at each step stay put
+/// with probability `1 − d_v/(2D)` where `D = Δ`, otherwise move to a
+/// uniform neighbour — mirroring `E[M]`'s laziness so `length` is
+/// comparable to the averaging round count.
+///
+/// Nodes whose best frequency is below `threshold` (fraction of walks)
+/// fall back to their argmax seed; nodes never visited at walk ends get
+/// the extra "unlabelled" cluster.
+pub fn walk_clustering(
+    g: &Graph,
+    seeds: &[u32],
+    walks_per_seed: usize,
+    length: usize,
+    threshold: f64,
+    seed: u64,
+) -> WalkClusteringOutput {
+    let n = g.n();
+    assert!(!seeds.is_empty(), "need at least one seed");
+    assert!(seeds.iter().all(|&s| (s as usize) < n), "seed out of range");
+    assert!(walks_per_seed >= 1, "need at least one walk per seed");
+    let cap = g.max_degree().max(1);
+    let mut rng = NodeRng::from_seed(seed ^ 0x3a1c_0000_0000_0007);
+    // end_counts[i][v] = number of walks from seed i ending at v.
+    let mut end_counts = vec![vec![0u32; n]; seeds.len()];
+    let mut steps = 0u64;
+    for (i, &src) in seeds.iter().enumerate() {
+        for _ in 0..walks_per_seed {
+            let mut at = src as usize;
+            for _ in 0..length {
+                let d = g.degree(at as u32);
+                // Lazy step matching E[M]: move w.p. d/(2D).
+                if d > 0 && rng.next_f64() < d as f64 / (2.0 * cap as f64) {
+                    at = g.neighbour_at(at as u32, rng.below(d)) as usize;
+                }
+                steps += 1;
+            }
+            end_counts[i][at] += 1;
+        }
+    }
+    // Label: smallest seed index whose frequency clears the threshold;
+    // fall back to argmax; never-visited nodes become the extra label.
+    let unlabelled = seeds.len() as u32;
+    let mut labels = vec![unlabelled; n];
+    let mut any_unlabelled = false;
+    for v in 0..n {
+        let mut chosen: Option<u32> = None;
+        let mut best = (0u32, 0u32); // (count, seed idx)
+        for (i, counts) in end_counts.iter().enumerate() {
+            let c = counts[v];
+            if chosen.is_none() && c as f64 >= threshold * walks_per_seed as f64 {
+                chosen = Some(i as u32);
+            }
+            if c > best.0 {
+                best = (c, i as u32);
+            }
+        }
+        labels[v] = match (chosen, best.0) {
+            (Some(i), _) => i,
+            (None, c) if c > 0 => best.1,
+            _ => {
+                any_unlabelled = true;
+                unlabelled
+            }
+        };
+    }
+    let k = seeds.len() + usize::from(any_unlabelled);
+    WalkClusteringOutput {
+        partition: Partition::with_k(labels, k).expect("labels in range"),
+        seeds: seeds.to_vec(),
+        steps,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbc_eval::accuracy;
+    use lbc_graph::generators;
+
+    #[test]
+    fn many_walks_recover_ring_of_cliques() {
+        let (g, truth) = generators::ring_of_cliques(3, 16, 0).unwrap();
+        // One seed per clique, generous sampling.
+        let out = walk_clustering(&g, &[0, 16, 32], 800, 60, 0.03, 5);
+        let acc = accuracy(truth.labels(), out.partition.labels());
+        assert!(acc > 0.95, "accuracy {acc}");
+        assert_eq!(out.steps, 3 * 800 * 60);
+    }
+
+    #[test]
+    fn few_walks_are_noisy() {
+        let (g, truth) = generators::ring_of_cliques(3, 16, 0).unwrap();
+        let many = walk_clustering(&g, &[0, 16, 32], 800, 60, 0.03, 5);
+        let few = walk_clustering(&g, &[0, 16, 32], 4, 60, 0.03, 5);
+        let acc_many = accuracy(truth.labels(), many.partition.labels());
+        let acc_few = accuracy(truth.labels(), few.partition.labels());
+        assert!(
+            acc_few < acc_many,
+            "sampling noise should hurt: many {acc_many} vs few {acc_few}"
+        );
+    }
+
+    #[test]
+    fn unvisited_nodes_get_extra_label() {
+        // Length-0 walks never leave the seeds.
+        let (g, _) = generators::ring_of_cliques(2, 8, 0).unwrap();
+        let out = walk_clustering(&g, &[0], 10, 0, 0.5, 1);
+        assert_eq!(out.partition.label(0), 0);
+        assert_eq!(out.partition.label(5), 1); // unlabelled cluster
+        assert_eq!(out.partition.k(), 2);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let (g, _) = generators::ring_of_cliques(2, 10, 0).unwrap();
+        let a = walk_clustering(&g, &[0, 10], 50, 30, 0.02, 9);
+        let b = walk_clustering(&g, &[0, 10], 50, 30, 0.02, 9);
+        assert_eq!(a.partition, b.partition);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_seed_list_rejected() {
+        let (g, _) = generators::ring_of_cliques(2, 6, 0).unwrap();
+        let _ = walk_clustering(&g, &[], 10, 10, 0.1, 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn out_of_range_seed_rejected() {
+        let (g, _) = generators::ring_of_cliques(2, 6, 0).unwrap();
+        let _ = walk_clustering(&g, &[99], 10, 10, 0.1, 1);
+    }
+}

@@ -1,0 +1,40 @@
+//! Ablation timings: proposal rule (uniform vs G*-capped), query rule,
+//! and seeding-trial multiplier. Complements the accuracy ablations in
+//! `expt_ablation_query` and E6.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lbc_core::{cluster, DegreeMode, LbConfig, QueryRule};
+use lbc_graph::generators::regular_cluster_graph;
+
+fn bench_ablations(c: &mut Criterion) {
+    let (g, _) = regular_cluster_graph(4, 500, 12, 4, 13).unwrap();
+    let cap = g.max_degree();
+    let mut group = c.benchmark_group("ablations_2k_nodes");
+    group.sample_size(10);
+
+    let base = LbConfig::new(0.25, 150).with_seed(3);
+    group.bench_function("proposal_uniform", |b| {
+        let cfg = base.clone().with_degree_mode(DegreeMode::Regular);
+        b.iter(|| cluster(&g, &cfg).unwrap())
+    });
+    group.bench_function("proposal_capped", |b| {
+        let cfg = base.clone().with_degree_mode(DegreeMode::Capped(cap));
+        b.iter(|| cluster(&g, &cfg).unwrap())
+    });
+    group.bench_function("query_paper_threshold", |b| {
+        let cfg = base.clone().with_query(QueryRule::PaperThreshold);
+        b.iter(|| cluster(&g, &cfg).unwrap())
+    });
+    group.bench_function("query_argmax", |b| {
+        let cfg = base.clone().with_query(QueryRule::ArgMax);
+        b.iter(|| cluster(&g, &cfg).unwrap())
+    });
+    group.bench_function("seeding_trials_2x", |b| {
+        let cfg = base.clone().with_seeding_trials(2 * base.trials());
+        b.iter(|| cluster(&g, &cfg).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablations);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! One averaging round: sparse per-node states versus the dense matrix
+//! view, at realistic seed counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lbc_core::matching::{apply_matching_dense, sample_matching, ProposalRule};
+use lbc_core::LoadState;
+use lbc_distsim::NodeRng;
+use lbc_graph::generators::random_regular;
+
+fn bench_averaging(c: &mut Criterion) {
+    let n = 10_000usize;
+    let g = random_regular(n, 8, 1).unwrap();
+    let mut group = c.benchmark_group("averaging_round");
+    for &s in &[4usize, 16, 64] {
+        // Sparse: states with s entries each (worst case: fully spread).
+        let state = LoadState::from_entries(
+            (0..s as u64).map(|i| (i + 1, 1.0 / s as f64)).collect(),
+        );
+        let states: Vec<LoadState> = vec![state; n];
+        let mut rngs: Vec<NodeRng> =
+            (0..n as u32).map(|v| NodeRng::for_node(3, v)).collect();
+        group.bench_with_input(BenchmarkId::new("sparse_10k", s), &s, |b, _| {
+            b.iter(|| {
+                let m = sample_matching(&g, ProposalRule::Uniform, &mut rngs);
+                let mut st = states.clone();
+                for (u, v) in m.pairs() {
+                    let merged = LoadState::average(&st[u as usize], &st[v as usize]);
+                    st[u as usize] = merged.clone();
+                    st[v as usize] = merged;
+                }
+                st
+            })
+        });
+        // Dense: s whole vectors.
+        let vectors: Vec<Vec<f64>> = (0..s).map(|_| vec![1.0 / n as f64; n]).collect();
+        let mut rngs2: Vec<NodeRng> =
+            (0..n as u32).map(|v| NodeRng::for_node(5, v)).collect();
+        group.bench_with_input(BenchmarkId::new("dense_10k", s), &s, |b, _| {
+            b.iter(|| {
+                let m = sample_matching(&g, ProposalRule::Uniform, &mut rngs2);
+                let mut vs = vectors.clone();
+                for x in &mut vs {
+                    apply_matching_dense(&m, x);
+                }
+                vs
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_averaging);
+criterion_main!(benches);

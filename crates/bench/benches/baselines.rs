@@ -1,0 +1,30 @@
+//! Wall-clock comparison of all clustering methods on one mid-size
+//! well-clustered instance (the timing companion to experiment E4).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lbc_baselines::{becchetti_averaging, label_propagation, spectral_clustering};
+use lbc_core::{cluster, LbConfig};
+use lbc_graph::generators::regular_cluster_graph;
+
+fn bench_baselines(c: &mut Criterion) {
+    let (g, _) = regular_cluster_graph(4, 1_000, 12, 4, 11).unwrap();
+    let mut group = c.benchmark_group("methods_4k_nodes");
+    group.sample_size(10);
+    let cfg = LbConfig::new(0.25, 200).with_seed(3);
+    group.bench_function("load_balancing_T200", |b| {
+        b.iter(|| cluster(&g, &cfg).unwrap())
+    });
+    group.bench_function("spectral_k4", |b| {
+        b.iter(|| spectral_clustering(&g, 4, 5))
+    });
+    group.bench_function("averaging_dynamics_T200_h6", |b| {
+        b.iter(|| becchetti_averaging(&g, 4, 200, 6, 9))
+    });
+    group.bench_function("label_propagation", |b| {
+        b.iter(|| label_propagation(&g, 100))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

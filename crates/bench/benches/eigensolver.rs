@@ -1,0 +1,38 @@
+//! Spectral substrate cost: Lanczos top-(k+1) eigensolve on clustered
+//! graphs (the parameter-setting oracle) and the dense Jacobi reference.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lbc_linalg::dense::DenseSym;
+use lbc_linalg::jacobi::jacobi_eigen;
+use lbc_linalg::lanczos::lanczos_top;
+use lbc_linalg::ops::WalkOperator;
+use lbc_graph::generators::regular_cluster_graph;
+
+fn bench_eigensolver(c: &mut Criterion) {
+    let mut group = c.benchmark_group("eigensolver");
+    group.sample_size(10);
+    for &n in &[1_000usize, 4_000, 16_000] {
+        let (g, _) = regular_cluster_graph(4, n / 4, 12, 4, 7).unwrap();
+        group.bench_with_input(BenchmarkId::new("lanczos_top5", n), &n, |b, _| {
+            b.iter(|| {
+                let op = WalkOperator::new(&g);
+                lanczos_top(&op, 5, 60, 3)
+            })
+        });
+    }
+    for &q in &[20usize, 60] {
+        let mut a = DenseSym::zeros(q);
+        for i in 0..q {
+            for j in i..q {
+                a.set(i, j, ((i * 31 + j * 17) % 13) as f64 / 13.0);
+            }
+        }
+        group.bench_with_input(BenchmarkId::new("jacobi_dense", q), &q, |b, _| {
+            b.iter(|| jacobi_eigen(&a, 100, 1e-12))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_eigensolver);
+criterion_main!(benches);

@@ -1,0 +1,27 @@
+//! End-to-end clustering across graph sizes (the headline cost of the
+//! centralised variant), plus the distributed deployment at one size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lbc_core::{cluster, cluster_distributed, LbConfig};
+use lbc_graph::generators::regular_cluster_graph;
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cluster_end_to_end");
+    group.sample_size(10);
+    for &n in &[1_000usize, 4_000, 16_000] {
+        let (g, _) = regular_cluster_graph(4, n / 4, 12, 4, 5).unwrap();
+        let cfg = LbConfig::new(0.25, 200).with_seed(3);
+        group.bench_with_input(BenchmarkId::new("centralised_T200", n), &n, |b, _| {
+            b.iter(|| cluster(&g, &cfg).unwrap())
+        });
+    }
+    let (g, _) = regular_cluster_graph(4, 500, 12, 4, 5).unwrap();
+    let cfg = LbConfig::new(0.25, 100).with_seed(3);
+    group.bench_function("distributed_2k_T100", |b| {
+        b.iter(|| cluster_distributed(&g, &cfg, None).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Matching generation throughput: one round of the distributed matching
+//! protocol (activation + proposal + acceptance) sampled centrally.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lbc_core::matching::{sample_matching, ProposalRule};
+use lbc_distsim::NodeRng;
+use lbc_graph::generators::{random_regular, regular_cluster_graph};
+
+fn bench_matching(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sample_matching");
+    for &n in &[1_000usize, 10_000, 100_000] {
+        let g = random_regular(n, 8, 42).unwrap();
+        let mut rngs: Vec<NodeRng> =
+            (0..n as u32).map(|v| NodeRng::for_node(7, v)).collect();
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("regular_d8", n), &n, |b, _| {
+            b.iter(|| sample_matching(&g, ProposalRule::Uniform, &mut rngs))
+        });
+    }
+    // Capped (G*) rule on an irregular clustered graph.
+    let (g, _) = regular_cluster_graph(4, 2_500, 12, 4, 3).unwrap();
+    let n = g.n();
+    let cap = g.max_degree();
+    let mut rngs: Vec<NodeRng> = (0..n as u32).map(|v| NodeRng::for_node(9, v)).collect();
+    group.throughput(Throughput::Elements(n as u64));
+    group.bench_function("capped_cluster_graph_10k", |b| {
+        b.iter(|| sample_matching(&g, ProposalRule::Capped(cap), &mut rngs))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_matching);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Timing of the algorithm variants and auxiliary gossip processes:
+//! discrete tokens vs continuous, async vs sync, rumour spreading, and
+//! distributed size estimation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lbc_core::gossip::rumour_spread;
+use lbc_core::matching::ProposalRule;
+use lbc_core::{cluster, cluster_async, cluster_discrete, estimate_size, LbConfig};
+use lbc_graph::generators::regular_cluster_graph;
+
+fn bench_variants(c: &mut Criterion) {
+    let (g, _) = regular_cluster_graph(4, 500, 12, 4, 23).unwrap();
+    let t = 150usize;
+    let cfg = LbConfig::new(0.25, t).with_seed(3);
+    let mut group = c.benchmark_group("variants_2k_nodes");
+    group.sample_size(10);
+    group.bench_function("continuous_sync", |b| {
+        b.iter(|| cluster(&g, &cfg).unwrap())
+    });
+    group.bench_function("async_equal_budget", |b| {
+        b.iter(|| cluster_async(&g, &cfg, g.n() * t / 4).unwrap())
+    });
+    for &res in &[64u64, 1 << 20] {
+        group.bench_with_input(BenchmarkId::new("discrete_tokens", res), &res, |b, &r| {
+            b.iter(|| cluster_discrete(&g, &cfg, r).unwrap())
+        });
+    }
+    group.bench_function("rumour_spread_full", |b| {
+        b.iter(|| rumour_spread(&g, ProposalRule::Uniform, 0, 100_000, 7))
+    });
+    group.bench_function("size_estimation_k64", |b| {
+        b.iter(|| estimate_size(&g, ProposalRule::Uniform, 64, 120, 9))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_variants);
+criterion_main!(benches);

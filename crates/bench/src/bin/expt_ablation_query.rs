@@ -1,0 +1,61 @@
+//! Ablation — query rules (§3.1 vs practical alternatives).
+//!
+//! The paper's rule (min seed ID above `1/(√(2β)n)`) merges multiple
+//! seeds landing in the same cluster (they all clear the threshold, the
+//! min ID wins everywhere). ArgMax instead splits such clusters between
+//! their seeds (higher k_found, lower permutation accuracy, but pure
+//! clusters). Scaled thresholds interpolate.
+
+use lbc_bench::{banner, mean_std};
+use lbc_core::{cluster, LbConfig, QueryRule};
+use lbc_eval::{accuracy, normalized_mutual_information, PartitionReport};
+use lbc_graph::generators::planted_partition;
+
+fn main() {
+    banner(
+        "Ablation: query rules",
+        "paper threshold merges multi-seeded clusters; argmax splits them",
+    );
+    let (g, truth) = planted_partition(4, 250, 0.06, 0.002, 19).expect("generator");
+    let base = LbConfig::from_graph(&g, truth.beta());
+    println!(
+        "{:<26} {:>10} {:>10} {:>10}",
+        "rule", "accuracy", "NMI", "k_found"
+    );
+    let rules: [(&str, QueryRule); 5] = [
+        ("paper 1/(sqrt(2β)n)", QueryRule::PaperThreshold),
+        ("scaled c=0.5", QueryRule::ScaledThreshold(0.5)),
+        ("scaled c=1.0", QueryRule::ScaledThreshold(1.0)),
+        ("scaled c=2.0", QueryRule::ScaledThreshold(2.0)),
+        ("argmax", QueryRule::ArgMax),
+    ];
+    for (name, rule) in rules {
+        let mut accs = Vec::new();
+        let mut nmis = Vec::new();
+        let mut kf = Vec::new();
+        for rep in 0..3u64 {
+            let cfg = base.clone().with_seed(900 + rep).with_query(rule);
+            if let Ok(out) = cluster(&g, &cfg) {
+                accs.push(accuracy(truth.labels(), out.partition.labels()));
+                nmis.push(normalized_mutual_information(
+                    truth.labels(),
+                    out.partition.labels(),
+                ));
+                kf.push(PartitionReport::evaluate(&g, &truth, &out.partition).k_found as f64);
+            }
+        }
+        println!(
+            "{:<26} {:>10.4} {:>10.4} {:>10.1}",
+            name,
+            mean_std(&accs).0,
+            mean_std(&nmis).0,
+            mean_std(&kf).0
+        );
+    }
+    println!();
+    println!("expected shape: the paper threshold and argmax agree on well-separated");
+    println!("clusters. A threshold set too LOW is catastrophic: the min-ID rule then");
+    println!("fires on leaked cross-cluster load and collapses everything onto the");
+    println!("globally smallest seed ID (k_found → 1). k_found can exceed k by a few");
+    println!("small satellite labels from threshold abstainers (argmax fallback).");
+}

@@ -1,0 +1,57 @@
+//! E10 — §1.2: the centralised variant runs in `O(n log n)` given a
+//! random-neighbour oracle — *sub-linear in the number of edges* for
+//! dense graphs.
+//!
+//! Fix `n`, densify the clusters (`d_in` doubling). The load-balancing
+//! algorithm's wall-clock should stay nearly flat (its per-round work is
+//! `O(n + |M|·s)`, degree-independent thanks to O(1) neighbour
+//! sampling), while spectral clustering grows with `m` (its matvec is
+//! `Θ(m)` per Lanczos step).
+
+use lbc_baselines::spectral_clustering;
+use lbc_bench::banner;
+use lbc_core::{cluster, LbConfig};
+use lbc_eval::accuracy;
+use lbc_graph::generators::regular_cluster_graph;
+use std::time::Instant;
+
+fn main() {
+    banner(
+        "E10: sub-linear centralised variant",
+        "§1.2 — runtime O(n log n) independent of m; spectral pays Θ(m) per matvec",
+    );
+    println!(
+        "{:>6} {:>10} {:>10} {:>12} {:>12} {:>10} {:>10}",
+        "d_in", "m", "m/n", "ours(ms)", "spectral(ms)", "acc ours", "acc spec"
+    );
+    let n = 4096usize;
+    let k = 4usize;
+    let rounds = 240usize;
+    for &d_in in &[8usize, 16, 32, 64, 128, 256, 512] {
+        let (g, truth) =
+            regular_cluster_graph(k, n / k, d_in, 4, 17 + d_in as u64).expect("generator");
+        let cfg = LbConfig::new(0.25, rounds).with_seed(3);
+        let t0 = Instant::now();
+        let out = cluster(&g, &cfg).expect("clustering");
+        let ours_ms = t0.elapsed().as_secs_f64() * 1e3;
+        let t0 = Instant::now();
+        let sp = spectral_clustering(&g, k, 5);
+        let spec_ms = t0.elapsed().as_secs_f64() * 1e3;
+        println!(
+            "{:>6} {:>10} {:>10.1} {:>12.1} {:>12.1} {:>10.4} {:>10.4}",
+            d_in,
+            g.m(),
+            g.m() as f64 / n as f64,
+            ours_ms,
+            spec_ms,
+            accuracy(truth.labels(), out.partition.labels()),
+            accuracy(truth.labels(), sp.labels())
+        );
+    }
+    println!();
+    println!("expected shape: the 'ours' column is flat as m grows 64x — the centralised");
+    println!("variant's cost is O(n·(s + log n)) with O(1) neighbour sampling, independent");
+    println!("of the edge count (the §1.2 sub-linear claim). Spectral is flat at first");
+    println!("(its Lanczos reorthogonalisation is m-independent and dominates at small m)");
+    println!("but its Θ(m)-per-matvec term takes over as the graph densifies.");
+}

@@ -1,0 +1,53 @@
+//! E11 — §1.3 vs Kempe–McSherry \[21\]: decentralised spectral analysis
+//! needs rounds proportional to the *global* mixing time, which is
+//! polynomial on multi-expander graphs with thin cuts; the
+//! load-balancing algorithm needs only `T = Θ(log n / (1 − λ_{k+1}))`,
+//! which never degrades as the cut thins (it *improves*: the clusters
+//! separate more cleanly).
+//!
+//! Sweep the bridge width of a two-expander dumbbell and compare our
+//! round count `T` against KM's charged rounds `iterations · (1 + τ_mix)`.
+
+use lbc_baselines::kempe_mcsherry;
+use lbc_bench::banner;
+use lbc_core::{cluster, LbConfig};
+use lbc_eval::accuracy;
+use lbc_graph::generators::dumbbell;
+use lbc_linalg::spectral::SpectralOracle;
+
+fn main() {
+    banner(
+        "E11: rounds vs decentralised spectral (Kempe–McSherry)",
+        "§1.3 — KM pays Θ(τ_mix) per iteration (poly(n) on thin cuts); ours stays polylog",
+    );
+    println!(
+        "{:>8} {:>10} {:>10} {:>8} {:>10} {:>12} {:>10} {:>10}",
+        "bridges", "gap(k+1)", "gap(2)", "T ours", "τ_mix", "KM rounds", "acc ours", "acc KM"
+    );
+    let half = 256usize;
+    for &bridges in &[64usize, 16, 4, 1] {
+        let (g, truth) = dumbbell(half, 10, bridges, 7).expect("generator");
+        let oracle = SpectralOracle::compute(&g, 3, 3);
+        let cfg = LbConfig::from_graph(&g, 0.5).with_seed(13);
+        let ours = cluster(&g, &cfg).expect("clustering");
+        let acc_ours = accuracy(truth.labels(), ours.partition.labels());
+        let km = kempe_mcsherry(&g, 2, 40, 5);
+        let acc_km = accuracy(truth.labels(), km.partition.labels());
+        println!(
+            "{:>8} {:>10.5} {:>10.6} {:>8} {:>10} {:>12} {:>10.4} {:>10.4}",
+            bridges,
+            oracle.gap(2),
+            1.0 - oracle.lambda(2),
+            cfg.rounds.count(),
+            km.tau_mix,
+            km.charged_rounds,
+            acc_ours,
+            acc_km
+        );
+    }
+    println!();
+    println!("expected shape: as the bridge thins, τ_mix (and hence KM's charged rounds)");
+    println!("blows up by orders of magnitude while our T stays flat or shrinks — both");
+    println!("methods remain accurate, but the communication-round separation is the");
+    println!("paper's §1.3 point.");
+}

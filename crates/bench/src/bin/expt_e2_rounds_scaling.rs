@@ -1,0 +1,94 @@
+//! E2 — round complexity: `T = Θ(log n / (1 − λ_{k+1}))`.
+//!
+//! Workload: near-regular cluster graphs with fixed per-cluster degree
+//! and cut (so the spectral gap is n-independent), doubling `n`. We
+//! measure the number of averaging rounds until the labelling first
+//! reaches 95% accuracy; the claim predicts growth ∝ log n, i.e. a
+//! constant `rounds / ln n` column.
+
+use lbc_bench::banner;
+use lbc_core::matching::sample_matching;
+use lbc_core::query::assign_labels;
+use lbc_core::seeding::run_seeding;
+use lbc_core::{LbConfig, LoadState, QueryRule};
+use lbc_distsim::NodeRng;
+use lbc_eval::accuracy;
+use lbc_graph::generators::regular_cluster_graph;
+
+fn rounds_to_accuracy(
+    g: &lbc_graph::Graph,
+    truth: &lbc_graph::Partition,
+    beta: f64,
+    seed: u64,
+    target: f64,
+    max_rounds: usize,
+) -> Option<usize> {
+    let n = g.n();
+    let cfg = LbConfig::new(beta, 1).with_seed(seed);
+    let mut rngs: Vec<NodeRng> = (0..n as u32).map(|v| NodeRng::for_node(seed, v)).collect();
+    let seeds = run_seeding(n, cfg.trials(), &mut rngs);
+    if seeds.is_empty() {
+        return None;
+    }
+    let mut states: Vec<LoadState> = vec![LoadState::empty(); n];
+    for s in &seeds {
+        states[s.node as usize] = LoadState::seed(s.id);
+    }
+    let rule = cfg.proposal_rule(g);
+    for t in 1..=max_rounds {
+        let m = sample_matching(g, rule, &mut rngs);
+        for (u, v) in m.pairs() {
+            let merged = LoadState::average(&states[u as usize], &states[v as usize]);
+            states[u as usize] = merged.clone();
+            states[v as usize] = merged;
+        }
+        if t % 5 == 0 {
+            let (_, part) = assign_labels(&states, QueryRule::PaperThreshold, beta);
+            if accuracy(truth.labels(), part.labels()) >= target {
+                return Some(t);
+            }
+        }
+    }
+    None
+}
+
+fn main() {
+    banner(
+        "E2: rounds to 95% accuracy vs n",
+        "T = Θ(log n / (1 − λ_{k+1})): with an n-independent gap, rounds grow ∝ log n",
+    );
+    println!(
+        "{:>8} {:>8} {:>12} {:>12} {:>14}",
+        "n", "ln n", "rounds(med)", "runs", "rounds/ln n"
+    );
+    let k = 4usize;
+    for &n in &[256usize, 512, 1024, 2048, 4096, 8192] {
+        let size = n / k;
+        let (g, truth) =
+            regular_cluster_graph(k, size, 12, 3, 7 + n as u64).expect("generator");
+        let mut results: Vec<usize> = Vec::new();
+        for rep in 0..5u64 {
+            if let Some(r) =
+                rounds_to_accuracy(&g, &truth, 0.25, 1000 + rep, 0.95, 4000)
+            {
+                results.push(r);
+            }
+        }
+        results.sort_unstable();
+        if results.is_empty() {
+            println!("{:>8} {:>8.2} {:>12} {:>12} {:>14}", n, (n as f64).ln(), "-", 0, "-");
+            continue;
+        }
+        let median = results[results.len() / 2];
+        println!(
+            "{:>8} {:>8.2} {:>12} {:>12} {:>14.2}",
+            n,
+            (n as f64).ln(),
+            median,
+            results.len(),
+            median as f64 / (n as f64).ln()
+        );
+    }
+    println!();
+    println!("expected shape: the final column is roughly constant (logarithmic scaling).");
+}

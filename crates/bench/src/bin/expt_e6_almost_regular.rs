@@ -1,0 +1,60 @@
+//! E6 — §4.5: almost-regular graphs. As long as `Δ/δ = O(1)`, the
+//! algorithm (with the `G*` self-loop emulation) keeps its guarantees.
+//!
+//! Sweep degree noise on a clustered base graph; compare the §4.5 capped
+//! rule (correct) against naively running the plain uniform rule on the
+//! irregular graph (ablation — biased towards low-degree nodes).
+
+use lbc_bench::{banner, mean_std};
+use lbc_core::{cluster, DegreeMode, LbConfig};
+use lbc_eval::accuracy;
+use lbc_graph::generators::{perturb_degrees, regular_cluster_graph};
+
+fn main() {
+    banner(
+        "E6: almost-regular graphs",
+        "§4.5 — with Δ/δ = O(1), G*-emulation (capped rule) preserves recovery",
+    );
+    println!(
+        "{:>8} {:>8} {:>8} {:>8} {:>14} {:>14}",
+        "add_p", "max_deg", "min_deg", "ratio", "capped(acc)", "uniform(acc)"
+    );
+    // Near-regular base (unions of perfect matchings): ratio starts at
+    // ≈ 1 so the sweep isolates the effect of growing Δ/δ.
+    let (base, truth) = regular_cluster_graph(3, 160, 12, 3, 55).expect("generator");
+    let rounds = 260usize;
+    for &add_p in &[0.0, 0.03, 0.06, 0.12, 0.24] {
+        let g = if add_p == 0.0 {
+            base.clone()
+        } else {
+            perturb_degrees(&base, &truth, add_p, 0.0, 91).expect("perturb")
+        };
+        let acc_for = |mode: DegreeMode| {
+            let mut accs = Vec::new();
+            for rep in 0..3u64 {
+                let cfg = LbConfig::new(1.0 / 3.0, rounds)
+                    .with_seed(300 + rep)
+                    .with_degree_mode(mode);
+                if let Ok(out) = cluster(&g, &cfg) {
+                    accs.push(accuracy(truth.labels(), out.partition.labels()));
+                }
+            }
+            mean_std(&accs).0
+        };
+        let capped = acc_for(DegreeMode::Capped(g.max_degree()));
+        let uniform = acc_for(DegreeMode::Regular);
+        println!(
+            "{:>8.2} {:>8} {:>8} {:>8.3} {:>14.4} {:>14.4}",
+            add_p,
+            g.max_degree(),
+            g.min_degree(),
+            g.degree_ratio(),
+            capped,
+            uniform
+        );
+    }
+    println!();
+    println!("expected shape: both rules track while Δ/δ ≈ 1; as irregularity grows the");
+    println!("capped (G*) rule is the principled §4.5 choice — the plain rule is shown as");
+    println!("an ablation and may stay competitive at moderate ratios.");
+}

@@ -1,0 +1,60 @@
+//! E7 — the seeding lemma (proof of Theorem 1.1): with
+//! `s̄ = (3/β) ln(1/β)` trials of per-node activation probability `1/n`,
+//! (i) `E[s] ≈ s̄` and (ii) every cluster of size ≥ βn receives at least
+//! one seed except with probability ≤ `k·β³` (union bound over
+//! `e^{−s̄β} ≤ β³` per cluster).
+
+use lbc_bench::{banner, mean_std};
+use lbc_core::seeding::{expected_trials, run_seeding};
+use lbc_distsim::NodeRng;
+
+fn main() {
+    banner(
+        "E7: seeding procedure",
+        "proof of Thm 1.1 — E[s] = s̄; every cluster seeded w.p. ≥ 1 − k·β³",
+    );
+    println!(
+        "{:>8} {:>4} {:>6} {:>10} {:>10} {:>12} {:>12}",
+        "beta", "k", "s̄", "E[s] meas", "std", "cover meas", "cover bound"
+    );
+    let n = 2000usize;
+    let reps = 600u64;
+    for &(beta, k) in &[(0.5f64, 2usize), (0.25, 4), (0.125, 8), (0.1, 10)] {
+        let trials = expected_trials(beta);
+        let cluster_size = (beta * n as f64) as usize;
+        let mut counts = Vec::new();
+        let mut covered = 0usize;
+        for rep in 0..reps {
+            let mut rngs: Vec<NodeRng> = (0..n as u32)
+                .map(|v| NodeRng::for_node(0xE7_0000 + rep, v))
+                .collect();
+            let seeds = run_seeding(n, trials, &mut rngs);
+            counts.push(seeds.len() as f64);
+            // Clusters = consecutive blocks of βn nodes (k·βn ≤ n).
+            let all = (0..k).all(|c| {
+                seeds.iter().any(|s| {
+                    let v = s.node as usize;
+                    v >= c * cluster_size && v < (c + 1) * cluster_size
+                })
+            });
+            if all {
+                covered += 1;
+            }
+        }
+        let (mean, std) = mean_std(&counts);
+        let bound = 1.0 - k as f64 * beta.powi(3);
+        println!(
+            "{:>8.3} {:>4} {:>6} {:>10.2} {:>10.2} {:>12.3} {:>12.3}",
+            beta,
+            k,
+            trials,
+            mean,
+            std,
+            covered as f64 / reps as f64,
+            bound
+        );
+    }
+    println!();
+    println!("expected shape: E[s] within a seed-overlap hair of s̄; measured coverage at");
+    println!("or above the analytic bound (the bound is loose for small β).");
+}

@@ -1,0 +1,87 @@
+//! E8 — Lemma 4.1 and Remark 1: the early behaviour of the load
+//! balancing process.
+//!
+//! Starting the 1-dimensional process at a good node, we track
+//! `E‖Q y^{(0)} − y^{(t)}‖` (mean over runs). Lemma 4.1 bounds it by
+//! `2√(t(1 − λ_k))·‖Q y^{(0)}‖ + o(n^{-c})` — small for `t ≈ T`, and the
+//! bound grows with `t` (Remark 1: the process eventually leaves the
+//! cluster structure for the global uniform vector). We print the
+//! measured mean against the lemma's envelope, plus the Lemma 4.3
+//! distance to the cluster indicator.
+
+use lbc_bench::{banner, mean_std};
+use lbc_core::analysis::{chi_indicator, ClusterAnalysis};
+use lbc_core::matching::{apply_matching_dense, sample_matching, ProposalRule};
+use lbc_distsim::NodeRng;
+use lbc_graph::generators::ring_of_cliques;
+use lbc_linalg::spectral::SpectralOracle;
+use lbc_linalg::{dist, norm};
+
+fn main() {
+    banner(
+        "E8: early behaviour of load balancing (Lemma 4.1, Lemma 4.3, Remark 1)",
+        "E‖Qy0 − y(t)‖ ≤ 2√(t(1−λ_k))·‖Qy0‖ + o(1); dips by t ≈ T, grows after",
+    );
+    let k = 4usize;
+    let (g, truth) = ring_of_cliques(k, 64, 0).expect("generator");
+    let n = g.n();
+    let analysis = ClusterAnalysis::compute(&g, &truth, 3);
+    let oracle = SpectralOracle::compute(&g, k + 1, 3);
+    let lambda_k = oracle.lambda(k);
+    let start = analysis.nodes_by_alpha()[0];
+    let cluster = truth.label(start);
+    let chi = chi_indicator(&truth, cluster, n);
+    let q_y0 = {
+        let mut y = vec![0.0; n];
+        y[start as usize] = 1.0;
+        analysis.project_top_k(&y)
+    };
+    let q_norm = norm(&q_y0);
+    println!(
+        "n = {n}, start node {start} (α = {:.2e}), λ_k = {lambda_k:.6}, ‖Qy0‖ = {q_norm:.4}",
+        analysis.alphas[start as usize]
+    );
+    println!();
+    println!(
+        "{:>6} {:>14} {:>12} {:>14} {:>14}",
+        "t", "E‖Qy0−y(t)‖", "std", "lemma bound", "E‖y(t)−χ_S‖"
+    );
+
+    let rounds = 400usize;
+    let reps = 12u64;
+    let checkpoints: Vec<usize> = (0..=rounds).step_by(25).collect();
+    let mut proj_err: Vec<Vec<f64>> = vec![Vec::new(); checkpoints.len()];
+    let mut chi_err: Vec<Vec<f64>> = vec![Vec::new(); checkpoints.len()];
+    for rep in 0..reps {
+        let mut rngs: Vec<NodeRng> = (0..n as u32)
+            .map(|v| NodeRng::for_node(0xE8_0000 + rep, v))
+            .collect();
+        let mut y = vec![0.0; n];
+        y[start as usize] = 1.0;
+        let mut ci = 0usize;
+        for t in 0..=rounds {
+            if ci < checkpoints.len() && t == checkpoints[ci] {
+                proj_err[ci].push(dist(&q_y0, &y));
+                chi_err[ci].push(dist(&y, &chi));
+                ci += 1;
+            }
+            if t < rounds {
+                let m = sample_matching(&g, ProposalRule::Uniform, &mut rngs);
+                apply_matching_dense(&m, &mut y);
+            }
+        }
+    }
+    for (ci, &t) in checkpoints.iter().enumerate() {
+        let (pm, ps) = mean_std(&proj_err[ci]);
+        let (cm, _) = mean_std(&chi_err[ci]);
+        let envelope = 2.0 * ((t as f64) * (1.0 - lambda_k)).sqrt() * q_norm;
+        println!(
+            "{:>6} {:>14.6} {:>12.6} {:>14.6} {:>14.6}",
+            t, pm, ps, envelope, cm
+        );
+    }
+    println!();
+    println!("expected shape: the measured error collapses from ‖y0 − Qy0‖ ≈ 1 to a small");
+    println!("plateau within ~T rounds, stays far below the (loose, increasing) lemma");
+    println!("envelope, and creeps back up as the process mixes globally (Remark 1).");
+}

@@ -1,0 +1,71 @@
+//! E9 — Lemma 2.1: the matching model's expectation.
+//!
+//! `E[M^{(t)}] = (1 − d̄/4) I + (d̄/4) P` with `d̄ = (1 − 1/2d)^{d−1}`.
+//! Monte-Carlo estimates on `d`-regular graphs: per-edge inclusion
+//! frequency vs `d̄/(2d)`, per-node matched frequency vs `d̄/2`, and
+//! matching size vs `n·d̄/4` pairs.
+
+use lbc_bench::banner;
+use lbc_core::matching::{d_bar, edge_match_probability, sample_matching, ProposalRule};
+use lbc_distsim::NodeRng;
+use lbc_graph::generators::{complete, cycle, random_regular};
+use lbc_graph::Graph;
+
+fn measure(name: &str, g: &Graph, d: usize, trials: usize) {
+    let n = g.n();
+    let mut rngs: Vec<NodeRng> = (0..n as u32)
+        .map(|v| NodeRng::for_node(0xE9, v))
+        .collect();
+    // Probe a specific edge and node.
+    let probe_u = 0u32;
+    let probe_v = g.neighbours(0)[0];
+    let mut edge_hits = 0usize;
+    let mut node_hits = 0usize;
+    let mut total_pairs = 0usize;
+    for _ in 0..trials {
+        let m = sample_matching(g, ProposalRule::Uniform, &mut rngs);
+        if m.partner(probe_u) == Some(probe_v) {
+            edge_hits += 1;
+        }
+        if m.partner(probe_u).is_some() {
+            node_hits += 1;
+        }
+        total_pairs += m.size();
+    }
+    let t = trials as f64;
+    println!(
+        "{:<16} {:>4} {:>10.5} {:>10.5} {:>10.5} {:>10.5} {:>10.1} {:>10.1}",
+        name,
+        d,
+        edge_hits as f64 / t,
+        edge_match_probability(d),
+        node_hits as f64 / t,
+        d_bar(d) / 2.0,
+        total_pairs as f64 / t,
+        n as f64 * d_bar(d) / 4.0
+    );
+}
+
+fn main() {
+    banner(
+        "E9: the matching model (Lemma 2.1)",
+        "E[M] = (1 − d̄/4)I + (d̄/4)P: per-edge rate d̄/2d, per-node rate d̄/2, |M| = n·d̄/4",
+    );
+    println!(
+        "{:<16} {:>4} {:>10} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "graph", "d", "edge meas", "edge pred", "node meas", "node pred", "|M| meas", "|M| pred"
+    );
+    let trials = 40_000;
+    measure("cycle(200)", &cycle(200).unwrap(), 2, trials);
+    measure(
+        "random-reg(200,6)",
+        &random_regular(200, 6, 9).unwrap(),
+        6,
+        trials,
+    );
+    measure("complete(24)", &complete(24).unwrap(), 23, trials);
+    println!();
+    println!("expected shape: measured ≈ predicted in all three columns (the random-");
+    println!("regular instance has a handful of sub-d nodes from matching collisions,");
+    println!("so its row can sit a hair off the exact d-regular prediction).");
+}

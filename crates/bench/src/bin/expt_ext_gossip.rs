@@ -1,0 +1,66 @@
+//! Extension — other gossip processes on the matching substrate
+//! (paper abstract: the early-behaviour analysis "can be further applied
+//! to analyse other gossip processes, such as rumour spreading and
+//! averaging processes").
+//!
+//! Two tables:
+//! 1. Rumour spreading on a ring of cliques: rounds to inform one
+//!    cluster vs the whole graph, sweeping the cut width. The two-phase
+//!    separation mirrors the `T`-vs-mixing-time gap the clustering
+//!    algorithm exploits.
+//! 2. Gossip averaging: rounds to deviation ≤ 0.05 on graphs of
+//!    increasing spectral gap.
+
+use lbc_bench::banner;
+use lbc_core::gossip::{gossip_average, rumour_spread};
+use lbc_core::matching::ProposalRule;
+use lbc_graph::generators::{complete, cycle, regular_cluster_graph};
+use lbc_linalg::spectral::SpectralOracle;
+
+fn main() {
+    banner(
+        "EXT: gossip processes on the matching model",
+        "abstract — the early-behaviour separation shows up in rumour spreading and averaging",
+    );
+    println!("-- rumour spreading: ring of 4 near-regular clusters (n = 512) --");
+    println!(
+        "{:>8} {:>14} {:>14} {:>10}",
+        "bridges", "half (128)", "full (512)", "full/half"
+    );
+    for &bridges in &[16usize, 4, 1] {
+        let (g, _) = regular_cluster_graph(4, 128, 12, bridges, 3).expect("generator");
+        let mut halves = Vec::new();
+        let mut fulls = Vec::new();
+        for rep in 0..5u64 {
+            let t = rumour_spread(&g, ProposalRule::Uniform, 0, 400_000, 100 + rep);
+            if let (Some(h), Some(f)) = (t.rounds_to(128), t.completed_at) {
+                halves.push(h as f64);
+                fulls.push(f as f64);
+            }
+        }
+        let h = halves.iter().sum::<f64>() / halves.len().max(1) as f64;
+        let f = fulls.iter().sum::<f64>() / fulls.len().max(1) as f64;
+        println!("{:>8} {:>14.0} {:>14.0} {:>10.1}", bridges, h, f, f / h);
+    }
+    println!();
+    println!("-- gossip averaging: rounds to max deviation ≤ 5% --");
+    println!("{:>18} {:>12} {:>12}", "graph", "gap 1-λ2", "rounds");
+    let k64 = complete(64).unwrap();
+    let (rc, _) = regular_cluster_graph(2, 32, 8, 2, 5).unwrap();
+    let c64 = cycle(64).unwrap();
+    for (name, g) in [("complete(64)", k64), ("2 clusters (64)", rc), ("cycle(64)", c64)] {
+        let oracle = SpectralOracle::compute(&g, 2, 1);
+        let half = g.n() / 2;
+        let initial: Vec<f64> = (0..g.n()).map(|i| if i < half { 1.0 } else { 0.0 }).collect();
+        let t = gossip_average(&g, ProposalRule::Uniform, &initial, 60_000, 9);
+        let rounds = t
+            .rounds_to_eps(0.05 * t.deviation[0])
+            .map(|r| r.to_string())
+            .unwrap_or_else(|| ">60000".into());
+        println!("{:>18} {:>12.6} {:>12}", name, 1.0 - oracle.lambda(2), rounds);
+    }
+    println!();
+    println!("expected shape: rumour saturates the source cluster well before it finishes");
+    println!("crossing the cut, and the full/half ratio grows as the bridges thin;");
+    println!("averaging rounds scale inversely with the spectral gap.");
+}

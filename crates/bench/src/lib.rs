@@ -1,0 +1,71 @@
+//! Shared helpers for the experiment regenerators (`src/bin/expt_*.rs`)
+//! and Criterion benches.
+//!
+//! Every experiment binary prints a self-contained table; EXPERIMENTS.md
+//! records one captured run of each next to the paper's corresponding
+//! claim.
+
+use lbc_core::{cluster, LbConfig};
+use lbc_eval::accuracy;
+use lbc_graph::{Graph, Partition};
+
+/// Mean and (population) standard deviation.
+pub fn mean_std(xs: &[f64]) -> (f64, f64) {
+    if xs.is_empty() {
+        return (0.0, 0.0);
+    }
+    let n = xs.len() as f64;
+    let mean = xs.iter().sum::<f64>() / n;
+    let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / n;
+    (mean, var.sqrt())
+}
+
+/// Run the centralised algorithm `reps` times with seeds `base_seed..`
+/// and return the accuracies against `truth`.
+pub fn accuracy_over_seeds(
+    graph: &Graph,
+    truth: &Partition,
+    cfg: &LbConfig,
+    reps: u64,
+    base_seed: u64,
+) -> Vec<f64> {
+    (0..reps)
+        .map(|r| {
+            let c = cfg.clone().with_seed(base_seed + r);
+            match cluster(graph, &c) {
+                Ok(out) => accuracy(truth.labels(), out.partition.labels()),
+                Err(_) => 0.0, // seedless run counts as total failure
+            }
+        })
+        .collect()
+}
+
+/// Standard experiment banner.
+pub fn banner(id: &str, claim: &str) {
+    println!("=== {id} ===");
+    println!("claim: {claim}");
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbc_graph::generators;
+
+    #[test]
+    fn mean_std_basics() {
+        let (m, s) = mean_std(&[1.0, 2.0, 3.0]);
+        assert!((m - 2.0).abs() < 1e-12);
+        assert!((s - (2.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        assert_eq!(mean_std(&[]), (0.0, 0.0));
+    }
+
+    #[test]
+    fn accuracy_over_seeds_runs() {
+        let (g, truth) = generators::ring_of_cliques(2, 10, 0).unwrap();
+        let cfg = LbConfig::new(0.5, 30);
+        let accs = accuracy_over_seeds(&g, &truth, &cfg, 3, 100);
+        assert_eq!(accs.len(), 3);
+        assert!(accs.iter().all(|&a| (0.0..=1.0).contains(&a)));
+    }
+}

@@ -1,0 +1,156 @@
+//! Minimal flag parser for the `lbc` binary.
+//!
+//! Deliberately dependency-free (the workspace's external crates are
+//! pinned to the algorithmic allowlist): flags are `--name value` pairs
+//! plus boolean switches, with typed accessors and an
+//! unknown-flag check.
+
+use std::collections::BTreeMap;
+
+/// Parsed `--flag value` / `--switch` arguments.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    values: BTreeMap<String, String>,
+    switches: Vec<String>,
+    consumed: std::cell::RefCell<Vec<String>>,
+}
+
+impl Args {
+    /// Parse raw arguments. `switch_names` lists the boolean flags (no
+    /// value follows them); everything else starting with `--` expects a
+    /// value.
+    pub fn parse(raw: &[String], switch_names: &[&str]) -> Result<Self, String> {
+        let mut values = BTreeMap::new();
+        let mut switches = Vec::new();
+        let mut i = 0usize;
+        while i < raw.len() {
+            let a = &raw[i];
+            let Some(name) = a.strip_prefix("--") else {
+                return Err(format!("unexpected positional argument '{a}'"));
+            };
+            if switch_names.contains(&name) {
+                switches.push(name.to_string());
+                i += 1;
+            } else {
+                let Some(v) = raw.get(i + 1) else {
+                    return Err(format!("flag --{name} expects a value"));
+                };
+                values.insert(name.to_string(), v.clone());
+                i += 2;
+            }
+        }
+        Ok(Args {
+            values,
+            switches,
+            consumed: std::cell::RefCell::new(Vec::new()),
+        })
+    }
+
+    /// Required string flag.
+    pub fn require(&self, name: &str) -> Result<String, String> {
+        self.consumed.borrow_mut().push(name.to_string());
+        self.values
+            .get(name)
+            .cloned()
+            .ok_or_else(|| format!("missing required flag --{name}"))
+    }
+
+    /// Optional string flag.
+    pub fn get(&self, name: &str) -> Option<String> {
+        self.consumed.borrow_mut().push(name.to_string());
+        self.values.get(name).cloned()
+    }
+
+    /// Optional typed flag with default.
+    pub fn get_or<T: std::str::FromStr>(&self, name: &str, default: T) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        match self.get(name) {
+            None => Ok(default),
+            Some(v) => v
+                .parse()
+                .map_err(|e| format!("flag --{name}: invalid value '{v}' ({e})")),
+        }
+    }
+
+    /// Required typed flag.
+    pub fn require_as<T: std::str::FromStr>(&self, name: &str) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        let v = self.require(name)?;
+        v.parse()
+            .map_err(|e| format!("flag --{name}: invalid value '{v}' ({e})"))
+    }
+
+    /// Whether a boolean switch was given.
+    pub fn has(&self, name: &str) -> bool {
+        self.consumed.borrow_mut().push(name.to_string());
+        self.switches.iter().any(|s| s == name)
+    }
+
+    /// Error on flags nobody asked about (typo protection). Call after
+    /// all accessors.
+    pub fn reject_unknown(&self) -> Result<(), String> {
+        let consumed = self.consumed.borrow();
+        for k in self.values.keys() {
+            if !consumed.contains(k) {
+                return Err(format!("unknown flag --{k}"));
+            }
+        }
+        for s in &self.switches {
+            if !consumed.contains(s) {
+                return Err(format!("unknown switch --{s}"));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn raw(xs: &[&str]) -> Vec<String> {
+        xs.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_values_and_switches() {
+        let a = Args::parse(&raw(&["--n", "100", "--verbose", "--seed", "7"]), &["verbose"])
+            .unwrap();
+        assert_eq!(a.require("n").unwrap(), "100");
+        assert_eq!(a.require_as::<u64>("seed").unwrap(), 7);
+        assert!(a.has("verbose"));
+        assert!(!a.has("quiet"));
+        assert!(a.reject_unknown().is_ok());
+    }
+
+    #[test]
+    fn missing_value_is_error() {
+        assert!(Args::parse(&raw(&["--n"]), &[]).is_err());
+        assert!(Args::parse(&raw(&["oops"]), &[]).is_err());
+    }
+
+    #[test]
+    fn missing_required_flag() {
+        let a = Args::parse(&raw(&[]), &[]).unwrap();
+        assert!(a.require("graph").is_err());
+        assert_eq!(a.get_or("rounds", 5usize).unwrap(), 5);
+    }
+
+    #[test]
+    fn bad_typed_value() {
+        let a = Args::parse(&raw(&["--n", "banana"]), &[]).unwrap();
+        assert!(a.require_as::<usize>("n").is_err());
+        assert!(a.get_or("n", 0usize).is_err());
+    }
+
+    #[test]
+    fn unknown_flags_rejected() {
+        let a = Args::parse(&raw(&["--tpyo", "1"]), &[]).unwrap();
+        let _ = a.get("n");
+        assert!(a.reject_unknown().is_err());
+    }
+}

@@ -1,0 +1,400 @@
+//! Subcommand implementations.
+
+use std::fs::File;
+use std::io::{BufReader, BufWriter};
+
+use lbc_core::{cluster, cluster_distributed, LbConfig, QueryRule};
+use lbc_eval::PartitionReport;
+use lbc_graph::stats::GraphStats;
+use lbc_graph::{generators, io, Graph, Partition};
+use lbc_linalg::spectral::SpectralOracle;
+
+use crate::args::Args;
+use crate::USAGE;
+
+/// Dispatch a full command line (without the program name). Returns the
+/// report to print.
+pub fn run(argv: &[String]) -> Result<String, String> {
+    let Some((cmd, rest)) = argv.split_first() else {
+        return Err(USAGE.to_string());
+    };
+    match cmd.as_str() {
+        "gen" => cmd_gen(rest),
+        "cluster" => cmd_cluster(rest),
+        "eval" => cmd_eval(rest),
+        "spectrum" => cmd_spectrum(rest),
+        "stats" => cmd_stats(rest),
+        "help" | "--help" | "-h" => Ok(USAGE.to_string()),
+        other => Err(format!("unknown subcommand '{other}'\n\n{USAGE}")),
+    }
+}
+
+fn load_graph(path: &str) -> Result<Graph, String> {
+    let f = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    io::read_edge_list(BufReader::new(f)).map_err(|e| format!("{path}: {e}"))
+}
+
+fn load_partition(path: &str) -> Result<Partition, String> {
+    let f = File::open(path).map_err(|e| format!("cannot open {path}: {e}"))?;
+    io::read_partition(BufReader::new(f)).map_err(|e| format!("{path}: {e}"))
+}
+
+fn save_graph(g: &Graph, path: &str) -> Result<(), String> {
+    let f = File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+    io::write_edge_list(g, BufWriter::new(f)).map_err(|e| format!("{path}: {e}"))
+}
+
+fn save_partition(p: &Partition, path: &str) -> Result<(), String> {
+    let f = File::create(path).map_err(|e| format!("cannot create {path}: {e}"))?;
+    io::write_partition(p, BufWriter::new(f)).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_gen(rest: &[String]) -> Result<String, String> {
+    let a = Args::parse(rest, &[])?;
+    let family = a.require("family")?;
+    let seed: u64 = a.get_or("seed", 42)?;
+    let out = a.require("out")?;
+    let labels_out = a.get("labels-out");
+    let (g, truth): (Graph, Option<Partition>) = match family.as_str() {
+        "planted" => {
+            let k: usize = a.require_as("k")?;
+            let block: usize = a.require_as("block")?;
+            let p_in: f64 = a.require_as("p-in")?;
+            let p_out: f64 = a.require_as("p-out")?;
+            let (g, t) = generators::planted_partition(k, block, p_in, p_out, seed)
+                .map_err(|e| e.to_string())?;
+            (g, Some(t))
+        }
+        "ring" => {
+            let k: usize = a.require_as("k")?;
+            let size: usize = a.require_as("size")?;
+            let (g, t) = generators::ring_of_cliques(k, size, seed).map_err(|e| e.to_string())?;
+            (g, Some(t))
+        }
+        "regular" => {
+            let k: usize = a.require_as("k")?;
+            let size: usize = a.require_as("size")?;
+            let d_in: usize = a.require_as("d-in")?;
+            let bridges: usize = a.require_as("bridges")?;
+            let (g, t) = generators::regular_cluster_graph(k, size, d_in, bridges, seed)
+                .map_err(|e| e.to_string())?;
+            (g, Some(t))
+        }
+        "dumbbell" => {
+            let half: usize = a.require_as("half")?;
+            let d: usize = a.require_as("d")?;
+            let bridges: usize = a.require_as("bridges")?;
+            let (g, t) =
+                generators::dumbbell(half, d, bridges, seed).map_err(|e| e.to_string())?;
+            (g, Some(t))
+        }
+        "ba" => {
+            let n: usize = a.require_as("n")?;
+            let m: usize = a.require_as("m")?;
+            let g = generators::barabasi_albert(n, m, seed).map_err(|e| e.to_string())?;
+            (g, None)
+        }
+        "ws" => {
+            let n: usize = a.require_as("n")?;
+            let k_half: usize = a.require_as("k-half")?;
+            let p: f64 = a.require_as("p")?;
+            let g = generators::watts_strogatz(n, k_half, p, seed).map_err(|e| e.to_string())?;
+            (g, None)
+        }
+        "lfr" => {
+            let n: usize = a.require_as("n")?;
+            let k: usize = a.require_as("k")?;
+            let tau: f64 = a.require_as("tau")?;
+            let min_size: usize = a.require_as("min-size")?;
+            let p_in: f64 = a.require_as("p-in")?;
+            let p_out: f64 = a.require_as("p-out")?;
+            let (g, t) = generators::lfr_like(n, k, tau, min_size, p_in, p_out, seed)
+                .map_err(|e| e.to_string())?;
+            (g, Some(t))
+        }
+        other => return Err(format!("unknown family '{other}'")),
+    };
+    a.reject_unknown()?;
+    save_graph(&g, &out)?;
+    let mut report = format!(
+        "generated {family}: n = {}, m = {}, degrees [{}, {}] -> {out}\n",
+        g.n(),
+        g.m(),
+        g.min_degree(),
+        g.max_degree()
+    );
+    match (truth, labels_out) {
+        (Some(t), Some(path)) => {
+            save_partition(&t, &path)?;
+            report.push_str(&format!(
+                "ground truth: k = {}, beta = {:.4} -> {path}\n",
+                t.k(),
+                t.beta()
+            ));
+        }
+        (None, Some(_)) => {
+            return Err(format!("family '{family}' has no ground-truth labels"));
+        }
+        _ => {}
+    }
+    Ok(report)
+}
+
+fn parse_query(spec: &str) -> Result<QueryRule, String> {
+    match spec {
+        "paper" => Ok(QueryRule::PaperThreshold),
+        "argmax" => Ok(QueryRule::ArgMax),
+        other => match other.strip_prefix("scaled:") {
+            Some(c) => c
+                .parse()
+                .map(QueryRule::ScaledThreshold)
+                .map_err(|e| format!("bad scaled threshold '{c}': {e}")),
+            None => Err(format!("unknown query rule '{other}'")),
+        },
+    }
+}
+
+fn cmd_cluster(rest: &[String]) -> Result<String, String> {
+    let a = Args::parse(rest, &["distributed"])?;
+    let graph_path = a.require("graph")?;
+    let beta: f64 = a.require_as("beta")?;
+    let seed: u64 = a.get_or("seed", 0)?;
+    let query = parse_query(&a.get_or("query", "paper".to_string())?)?;
+    let rounds: Option<usize> = match a.get("rounds") {
+        Some(v) => Some(v.parse().map_err(|e| format!("bad --rounds: {e}"))?),
+        None => None,
+    };
+    let distributed = a.has("distributed");
+    let out = a.get("out");
+    let truth_path = a.get("truth");
+    a.reject_unknown()?;
+
+    let g = load_graph(&graph_path)?;
+    let cfg = match rounds {
+        Some(t) => LbConfig::new(beta, t),
+        None => LbConfig::from_graph(&g, beta),
+    }
+    .with_seed(seed)
+    .with_query(query);
+
+    let mut report = format!(
+        "graph: n = {}, m = {}; beta = {beta}, T = {}, s̄ = {} trials\n",
+        g.n(),
+        g.m(),
+        cfg.rounds.count(),
+        cfg.trials()
+    );
+    let output = if distributed {
+        let (o, stats) = cluster_distributed(&g, &cfg, None).map_err(|e| e.to_string())?;
+        report.push_str(&format!(
+            "distributed run: {} messages, {} words across {} network rounds\n",
+            stats.sent_messages, stats.sent_words, stats.rounds
+        ));
+        o
+    } else {
+        cluster(&g, &cfg).map_err(|e| e.to_string())?
+    };
+    report.push_str(&format!(
+        "seeds = {}, clusters found = {}\n",
+        output.seeds.len(),
+        output.partition.k()
+    ));
+    if let Some(tp) = truth_path {
+        let truth = load_partition(&tp)?;
+        let r = PartitionReport::evaluate(&g, &truth, &output.partition);
+        report.push_str(&format!("{}\n{}\n", PartitionReport::header(), r.row()));
+    }
+    if let Some(path) = out {
+        save_partition(&output.partition, &path)?;
+        report.push_str(&format!("labels -> {path}\n"));
+    }
+    Ok(report)
+}
+
+fn cmd_eval(rest: &[String]) -> Result<String, String> {
+    let a = Args::parse(rest, &[])?;
+    let truth = load_partition(&a.require("truth")?)?;
+    let found = load_partition(&a.require("found")?)?;
+    let graph = a.get("graph");
+    a.reject_unknown()?;
+    if truth.n() != found.n() {
+        return Err(format!(
+            "partition sizes differ: truth {} vs found {}",
+            truth.n(),
+            found.n()
+        ));
+    }
+    let mut report = String::new();
+    match graph {
+        Some(gp) => {
+            let g = load_graph(&gp)?;
+            let r = PartitionReport::evaluate(&g, &truth, &found);
+            report.push_str(&format!("{}\n{}\n", PartitionReport::header(), r.row()));
+        }
+        None => {
+            use lbc_eval::{accuracy, adjusted_rand_index, misclassified, normalized_mutual_information};
+            report.push_str(&format!(
+                "n = {}, misclassified = {}, accuracy = {:.4}, ARI = {:.4}, NMI = {:.4}\n",
+                truth.n(),
+                misclassified(truth.labels(), found.labels()),
+                accuracy(truth.labels(), found.labels()),
+                adjusted_rand_index(truth.labels(), found.labels()),
+                normalized_mutual_information(truth.labels(), found.labels()),
+            ));
+        }
+    }
+    Ok(report)
+}
+
+fn cmd_spectrum(rest: &[String]) -> Result<String, String> {
+    let a = Args::parse(rest, &[])?;
+    let g = load_graph(&a.require("graph")?)?;
+    let top: usize = a.get_or("top", 5)?;
+    let seed: u64 = a.get_or("seed", 1)?;
+    a.reject_unknown()?;
+    let q = top.clamp(1, g.n().max(1));
+    let oracle = SpectralOracle::compute(&g, q, seed);
+    let mut report = format!("top {q} eigenvalues of the walk matrix (n = {}):\n", g.n());
+    for i in 1..=q {
+        report.push_str(&format!("  λ_{i} = {:+.6}\n", oracle.lambda(i)));
+    }
+    for k in 1..q {
+        report.push_str(&format!(
+            "  k = {k}: gap 1 − λ_{} = {:.6}, suggested T(c=2) = {}\n",
+            k + 1,
+            oracle.gap(k),
+            oracle.rounds(k, 2.0)
+        ));
+    }
+    Ok(report)
+}
+
+fn cmd_stats(rest: &[String]) -> Result<String, String> {
+    let a = Args::parse(rest, &[])?;
+    let g = load_graph(&a.require("graph")?)?;
+    a.reject_unknown()?;
+    let s = GraphStats::compute(&g);
+    Ok(format!(
+        "n = {}\nm = {}\ndegrees: min {}, max {}, mean {:.3}\ntriangles = {}\nglobal clustering = {:.4}\nconnected = {}\n",
+        s.n, s.m, s.min_degree, s.max_degree, s.mean_degree, s.triangles, s.global_clustering, s.connected
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn raw(xs: &[&str]) -> Vec<String> {
+        xs.iter().map(|s| s.to_string()).collect()
+    }
+
+    fn tmp(name: &str) -> String {
+        let dir = std::env::temp_dir().join("lbc-cli-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name).to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn gen_cluster_eval_roundtrip() {
+        let g = tmp("g1.txt");
+        let t = tmp("t1.txt");
+        let l = tmp("l1.txt");
+        let r = run(&raw(&[
+            "gen", "--family", "ring", "--k", "3", "--size", "20", "--out", &g,
+            "--labels-out", &t,
+        ]))
+        .unwrap();
+        assert!(r.contains("n = 60"));
+        let r = run(&raw(&[
+            "cluster", "--graph", &g, "--beta", "0.33", "--rounds", "80", "--seed", "3",
+            "--out", &l, "--truth", &t,
+        ]))
+        .unwrap();
+        assert!(r.contains("seeds ="), "{r}");
+        let r = run(&raw(&["eval", "--truth", &t, "--found", &l, "--graph", &g])).unwrap();
+        assert!(r.contains("acc"), "{r}");
+    }
+
+    #[test]
+    fn distributed_flag_reports_traffic() {
+        let g = tmp("g2.txt");
+        run(&raw(&[
+            "gen", "--family", "ring", "--k", "2", "--size", "12", "--out", &g,
+        ]))
+        .unwrap();
+        let r = run(&raw(&[
+            "cluster", "--graph", &g, "--beta", "0.5", "--rounds", "30", "--distributed",
+        ]))
+        .unwrap();
+        assert!(r.contains("words"), "{r}");
+    }
+
+    #[test]
+    fn spectrum_and_stats() {
+        let g = tmp("g3.txt");
+        run(&raw(&[
+            "gen", "--family", "regular", "--k", "2", "--size", "20", "--d-in", "6",
+            "--bridges", "2", "--out", &g,
+        ]))
+        .unwrap();
+        let r = run(&raw(&["spectrum", "--graph", &g, "--top", "3"])).unwrap();
+        assert!(r.contains("λ_1"), "{r}");
+        assert!(r.contains("suggested T"), "{r}");
+        let r = run(&raw(&["stats", "--graph", &g])).unwrap();
+        assert!(r.contains("connected = true"), "{r}");
+    }
+
+    #[test]
+    fn all_families_generate() {
+        for (family, extra) in [
+            ("planted", vec!["--k", "2", "--block", "10", "--p-in", "0.5", "--p-out", "0.05"]),
+            ("dumbbell", vec!["--half", "10", "--d", "4", "--bridges", "2"]),
+            ("ba", vec!["--n", "30", "--m", "2"]),
+            ("ws", vec!["--n", "30", "--k-half", "2", "--p", "0.1"]),
+            (
+                "lfr",
+                vec!["--n", "60", "--k", "3", "--tau", "1.5", "--min-size", "10",
+                     "--p-in", "0.4", "--p-out", "0.02"],
+            ),
+        ] {
+            let g = tmp(&format!("g_{family}.txt"));
+            let mut args = raw(&["gen", "--family", family, "--out", &g]);
+            args.extend(raw(&extra));
+            let r = run(&args).unwrap_or_else(|e| panic!("{family}: {e}"));
+            assert!(r.contains("generated"), "{family}: {r}");
+        }
+    }
+
+    #[test]
+    fn errors_are_reported() {
+        assert!(run(&raw(&["bogus"])).is_err());
+        assert!(run(&raw(&["gen", "--family", "nope", "--out", "/tmp/x"])).is_err());
+        assert!(run(&raw(&["cluster", "--graph", "/nonexistent", "--beta", "0.5"])).is_err());
+        // ba has no ground truth.
+        let g = tmp("g4.txt");
+        assert!(run(&raw(&[
+            "gen", "--family", "ba", "--n", "30", "--m", "2", "--out", &g,
+            "--labels-out", &tmp("t4.txt"),
+        ]))
+        .is_err());
+        // Unknown flag.
+        assert!(run(&raw(&["stats", "--graph", &g, "--wat", "1"])).is_err());
+    }
+
+    #[test]
+    fn query_rule_parsing() {
+        assert!(matches!(parse_query("paper"), Ok(QueryRule::PaperThreshold)));
+        assert!(matches!(parse_query("argmax"), Ok(QueryRule::ArgMax)));
+        assert!(matches!(
+            parse_query("scaled:1.5"),
+            Ok(QueryRule::ScaledThreshold(c)) if (c - 1.5).abs() < 1e-12
+        ));
+        assert!(parse_query("other").is_err());
+        assert!(parse_query("scaled:x").is_err());
+    }
+
+    #[test]
+    fn help_is_available() {
+        assert!(run(&raw(&["help"])).unwrap().contains("USAGE"));
+    }
+}

@@ -1,0 +1,48 @@
+//! Library backing the `lbc` command-line tool.
+//!
+//! Subcommands:
+//!
+//! * `lbc gen --family <planted|ring|regular|dumbbell|ba|ws|lfr> …` —
+//!   generate a benchmark graph (and ground-truth labels where the
+//!   family has them).
+//! * `lbc cluster --graph g.txt --beta 0.25 [--rounds N] [--distributed]`
+//!   — run the load-balancing algorithm; optionally on the simulated
+//!   network with message accounting.
+//! * `lbc eval --truth t.txt --found f.txt [--graph g.txt]` — score a
+//!   labelling (misclassified/accuracy/ARI/NMI, plus conductance when
+//!   the graph is given).
+//! * `lbc spectrum --graph g.txt --top 5` — top eigenvalues, gaps, and
+//!   the paper's suggested round counts.
+//! * `lbc stats --graph g.txt` — structural summary.
+//!
+//! Everything returns its report as a `String` (so tests drive the CLI
+//! end-to-end without spawning processes); `main` just prints it.
+
+pub mod args;
+pub mod commands;
+
+pub use commands::run;
+
+/// Usage text shown on errors and `lbc help`.
+pub const USAGE: &str = "\
+lbc — distributed graph clustering by load balancing (Sun & Zanetti, SPAA'17)
+
+USAGE:
+  lbc gen --family planted --k 4 --block 250 --p-in 0.1 --p-out 0.002 \\
+          --out graph.txt [--labels-out truth.txt] [--seed 42]
+  lbc gen --family ring --k 4 --size 32 --out graph.txt [--labels-out t.txt]
+  lbc gen --family regular --k 4 --size 250 --d-in 12 --bridges 3 --out g.txt
+  lbc gen --family dumbbell --half 200 --d 8 --bridges 2 --out g.txt
+  lbc gen --family ba --n 1000 --m 4 --out g.txt
+  lbc gen --family ws --n 1000 --k-half 3 --p 0.05 --out g.txt
+  lbc gen --family lfr --n 1000 --k 4 --tau 1.5 --min-size 80 \\
+          --p-in 0.1 --p-out 0.002 --out g.txt [--labels-out t.txt]
+
+  lbc cluster --graph g.txt --beta 0.25 [--rounds N] [--seed S]
+              [--query paper|argmax|scaled:C] [--distributed]
+              [--out labels.txt] [--truth truth.txt]
+
+  lbc eval --truth truth.txt --found labels.txt [--graph g.txt]
+  lbc spectrum --graph g.txt [--top 5] [--seed S]
+  lbc stats --graph g.txt
+";

@@ -1,0 +1,12 @@
+//! `lbc` — command-line front end. See [`lbc_cli::USAGE`].
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match lbc_cli::run(&argv) {
+        Ok(report) => print!("{report}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

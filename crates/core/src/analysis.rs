@@ -1,0 +1,286 @@
+//! Quantities from the paper's analysis (§4): the projector `Q`, the
+//! orthonormal set `{χ̂_i}` of Lemma 4.2, the per-node error `α_v`
+//! (eq. 4), and the Lemma 4.1 projection-error trajectory.
+//!
+//! These are *not* used by the algorithm — they exist so the experiment
+//! suite can reproduce the paper's structural claims empirically
+//! (experiment E8) and so tests can check Lemmas 4.1–4.3 on concrete
+//! graphs.
+
+use lbc_distsim::NodeRng;
+use lbc_graph::{Graph, NodeId, Partition};
+use lbc_linalg::gram_schmidt::orthonormalize;
+use lbc_linalg::spectral::SpectralOracle;
+use lbc_linalg::{axpy, dist, dot};
+
+use crate::matching::{apply_matching_dense, sample_matching, ProposalRule};
+
+/// Spectral/cluster structure bundle for one `(graph, partition)` pair.
+pub struct ClusterAnalysis {
+    /// Top-`k` eigenvectors `f_1 … f_k` of the walk matrix.
+    pub eigvecs: Vec<Vec<f64>>,
+    /// Lemma 4.2's orthonormal set `χ̂_1 … χ̂_k` in
+    /// `span{χ_{S_1}, …, χ_{S_k}}`.
+    pub chi_hat: Vec<Vec<f64>>,
+    /// `α_v = √(Σ_i (f_i(v) − χ̂_i(v))²)` (eq. 4).
+    pub alphas: Vec<f64>,
+}
+
+impl ClusterAnalysis {
+    /// Compute the bundle; `k` is taken from the partition.
+    pub fn compute(graph: &Graph, partition: &Partition, seed: u64) -> Self {
+        let n = graph.n();
+        let k = partition.k();
+        assert!(k >= 1 && k <= n);
+        let oracle = SpectralOracle::compute(graph, k, seed);
+        let eigvecs: Vec<Vec<f64>> = oracle.spectrum().vectors.clone();
+
+        // Unit indicator basis u_j = χ_{S_j} / ‖χ_{S_j}‖ (value
+        // 1/√|S_j| on the cluster).
+        let sizes = partition.cluster_sizes();
+        let units: Vec<Vec<f64>> = (0..k)
+            .map(|c| {
+                let s = sizes[c].max(1) as f64;
+                let val = 1.0 / s.sqrt();
+                (0..n)
+                    .map(|v| {
+                        if partition.label(v as NodeId) == c as u32 {
+                            val
+                        } else {
+                            0.0
+                        }
+                    })
+                    .collect()
+            })
+            .collect();
+
+        // χ̃_i: projection of f_i onto span{u_1..u_k}; then
+        // Gram–Schmidt → χ̂_i (Lemma 4.2's construction).
+        let mut chi_tilde: Vec<Vec<f64>> = eigvecs
+            .iter()
+            .map(|f| {
+                let mut p = vec![0.0; n];
+                for u in &units {
+                    let c = dot(u, f);
+                    axpy(c, u, &mut p);
+                }
+                p
+            })
+            .collect();
+        orthonormalize(&mut chi_tilde, 1e-10);
+        let chi_hat = chi_tilde;
+
+        // α_v over however many χ̂ survived (degenerate partitions may
+        // collapse some; pad conceptually with zero vectors).
+        let alphas: Vec<f64> = (0..n)
+            .map(|v| {
+                let mut s = 0.0;
+                for i in 0..k {
+                    let f = eigvecs[i][v];
+                    let c = chi_hat.get(i).map_or(0.0, |x| x[v]);
+                    s += (f - c) * (f - c);
+                }
+                s.sqrt()
+            })
+            .collect();
+        ClusterAnalysis {
+            eigvecs,
+            chi_hat,
+            alphas,
+        }
+    }
+
+    /// `Q y`: projection of `y` onto `span{f_1, …, f_k}`.
+    pub fn project_top_k(&self, y: &[f64]) -> Vec<f64> {
+        let mut out = vec![0.0; y.len()];
+        for f in &self.eigvecs {
+            let c = dot(f, y);
+            axpy(c, f, &mut out);
+        }
+        out
+    }
+
+    /// Total squared error `Σ_i ‖χ̂_i − f_i‖² (= Σ_v α_v²)`, the quantity
+    /// Lemma 4.2 bounds by `k · E²`.
+    pub fn total_error(&self) -> f64 {
+        self.alphas.iter().map(|a| a * a).sum()
+    }
+
+    /// Nodes sorted by `α_v` ascending — prefix elements are the paper's
+    /// "good" nodes.
+    pub fn nodes_by_alpha(&self) -> Vec<NodeId> {
+        let mut idx: Vec<NodeId> = (0..self.alphas.len() as u32).collect();
+        idx.sort_by(|&a, &b| {
+            self.alphas[a as usize]
+                .partial_cmp(&self.alphas[b as usize])
+                .unwrap()
+        });
+        idx
+    }
+}
+
+/// The normalised indicator `χ_S` of the paper (§2.1): value `1/|S|` on
+/// `S`, 0 elsewhere.
+pub fn chi_indicator(partition: &Partition, cluster: u32, n: usize) -> Vec<f64> {
+    let size = partition.cluster_sizes()[cluster as usize].max(1) as f64;
+    (0..n)
+        .map(|v| {
+            if partition.label(v as NodeId) == cluster {
+                1.0 / size
+            } else {
+                0.0
+            }
+        })
+        .collect()
+}
+
+/// Lemma 4.1 trajectory: run the 1-dimensional process `y^{(t)} =
+/// M^{(t)} y^{(t−1)}` from `y^{(0)} = χ_{start}` (unit mass) and record
+/// `‖Q y^{(0)} − y^{(t)}‖` for `t = 0..rounds`.
+pub fn projection_error_trajectory(
+    graph: &Graph,
+    analysis: &ClusterAnalysis,
+    rule: ProposalRule,
+    start: NodeId,
+    rounds: usize,
+    seed: u64,
+) -> Vec<f64> {
+    let n = graph.n();
+    let mut rngs: Vec<NodeRng> = (0..n as u32).map(|v| NodeRng::for_node(seed, v)).collect();
+    let mut y = vec![0.0; n];
+    y[start as usize] = 1.0;
+    let q_y0 = analysis.project_top_k(&y);
+    let mut traj = Vec::with_capacity(rounds + 1);
+    traj.push(dist(&q_y0, &y));
+    for _ in 0..rounds {
+        let m = sample_matching(graph, rule, &mut rngs);
+        apply_matching_dense(&m, &mut y);
+        traj.push(dist(&q_y0, &y));
+    }
+    traj
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbc_graph::generators;
+    use lbc_linalg::norm;
+
+    #[test]
+    fn lemma_4_2_chi_hat_close_to_eigenvectors_when_well_clustered() {
+        let (g, p) = generators::ring_of_cliques(3, 16, 0).unwrap();
+        let a = ClusterAnalysis::compute(&g, &p, 1);
+        assert_eq!(a.chi_hat.len(), 3);
+        for i in 0..3 {
+            let d = dist(&a.eigvecs[i], &a.chi_hat[i]);
+            assert!(d < 0.35, "‖χ̂_{i} − f_{i}‖ = {d}");
+        }
+        // Orthonormality of χ̂.
+        for i in 0..3 {
+            assert!((norm(&a.chi_hat[i]) - 1.0).abs() < 1e-9);
+            for j in (i + 1)..3 {
+                assert!(dot(&a.chi_hat[i], &a.chi_hat[j]).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn total_error_identity_with_alphas() {
+        let (g, p) = generators::ring_of_cliques(2, 10, 0).unwrap();
+        let a = ClusterAnalysis::compute(&g, &p, 2);
+        let direct: f64 = (0..2)
+            .map(|i| {
+                let mut d = a.eigvecs[i].clone();
+                for (x, y) in d.iter_mut().zip(&a.chi_hat[i]) {
+                    *x -= y;
+                }
+                norm(&d).powi(2)
+            })
+            .sum();
+        assert!((a.total_error() - direct).abs() < 1e-9);
+    }
+
+    #[test]
+    fn poorly_clustered_graph_has_larger_error() {
+        let (g_good, p_good) = generators::ring_of_cliques(2, 16, 0).unwrap();
+        let a_good = ClusterAnalysis::compute(&g_good, &p_good, 3);
+        // Cycle split in halves: the indicator space poorly matches the
+        // top eigenvectors.
+        let g_bad = generators::cycle(32).unwrap();
+        let p_bad = Partition::from_sizes(&[16, 16]);
+        let a_bad = ClusterAnalysis::compute(&g_bad, &p_bad, 3);
+        assert!(
+            a_bad.total_error() > 2.0 * a_good.total_error(),
+            "bad {} vs good {}",
+            a_bad.total_error(),
+            a_good.total_error()
+        );
+    }
+
+    use lbc_graph::Partition;
+
+    #[test]
+    fn projection_is_idempotent() {
+        let (g, p) = generators::ring_of_cliques(2, 8, 0).unwrap();
+        let a = ClusterAnalysis::compute(&g, &p, 4);
+        let y: Vec<f64> = (0..16).map(|i| (i as f64 * 0.37).sin()).collect();
+        let qy = a.project_top_k(&y);
+        let qqy = a.project_top_k(&qy);
+        assert!(dist(&qy, &qqy) < 1e-9);
+    }
+
+    #[test]
+    fn chi_indicator_values() {
+        let p = Partition::from_sizes(&[2, 3]);
+        let chi0 = chi_indicator(&p, 0, 5);
+        assert_eq!(chi0, vec![0.5, 0.5, 0.0, 0.0, 0.0]);
+        let chi1 = chi_indicator(&p, 1, 5);
+        assert!((chi1[2] - 1.0 / 3.0).abs() < 1e-15);
+    }
+
+    #[test]
+    fn lemma_4_1_error_drops_then_plateaus() {
+        // Start from a clique node: the projection error should fall
+        // sharply within the first ~T rounds and stay small (Remark 1:
+        // it eventually re-grows, but slowly).
+        let (g, p) = generators::ring_of_cliques(4, 16, 0).unwrap();
+        let a = ClusterAnalysis::compute(&g, &p, 5);
+        let good = a.nodes_by_alpha()[0];
+        let traj =
+            projection_error_trajectory(&g, &a, ProposalRule::Uniform, good, 80, 7);
+        let start = traj[0];
+        let mid = traj[40];
+        assert!(
+            mid < 0.35 * start,
+            "error should shrink: t=0 {start}, t=40 {mid}"
+        );
+    }
+
+    #[test]
+    fn lemma_4_3_load_approaches_cluster_indicator() {
+        let (g, p) = generators::ring_of_cliques(3, 16, 0).unwrap();
+        let a = ClusterAnalysis::compute(&g, &p, 6);
+        let good = a.nodes_by_alpha()[0];
+        let cluster = p.label(good);
+        let n = g.n();
+        let chi = chi_indicator(&p, cluster, n);
+        // Average the final distance over several runs (the lemma bounds
+        // an expectation).
+        let mut total = 0.0;
+        let runs = 8;
+        for r in 0..runs {
+            let mut rngs: Vec<NodeRng> =
+                (0..n as u32).map(|v| NodeRng::for_node(100 + r, v)).collect();
+            let mut y = vec![0.0; n];
+            y[good as usize] = 1.0;
+            for _ in 0..50 {
+                let m = sample_matching(&g, ProposalRule::Uniform, &mut rngs);
+                apply_matching_dense(&m, &mut y);
+            }
+            total += dist(&y, &chi);
+        }
+        let mean = total / runs as f64;
+        // ‖χ_{S_j}‖ = 1/√16 = 0.25; the residual should be well below.
+        assert!(mean < 0.15, "E‖y(T) − χ_S‖ ≈ {mean}");
+    }
+}

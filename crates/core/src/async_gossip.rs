@@ -1,0 +1,152 @@
+//! Asynchronous (pairwise) gossip variant — the Boyd et al. \[5\] time
+//! model.
+//!
+//! The paper works in the synchronous random matching model; the
+//! original gossip framework it builds on is *asynchronous*: each node
+//! carries a rate-1 Poisson clock, and when a clock fires the node
+//! contacts one uniform neighbour and the pair averages immediately. In
+//! expectation `n` ticks correspond to one unit of global time, during
+//! which roughly as much averaging happens as in `Θ(1)` synchronous
+//! matching rounds.
+//!
+//! This module runs the full clustering pipeline in that model: same
+//! seeding, same per-pair state averaging, same query — only the
+//! communication schedule differs. A tick costs one message exchange
+//! (two state payloads), so the experiment suite can compare the two
+//! models at equal communication budgets.
+
+use lbc_distsim::NodeRng;
+use lbc_graph::{Graph, Partition};
+
+use crate::config::LbConfig;
+use crate::driver::ClusterError;
+use crate::query::assign_labels;
+use crate::seeding::{run_seeding, Seed};
+use crate::state::LoadState;
+
+/// Output of an asynchronous clustering run.
+#[derive(Debug, Clone)]
+pub struct AsyncOutput {
+    pub partition: Partition,
+    pub seeds: Vec<Seed>,
+    /// Pairwise exchanges performed.
+    pub ticks: usize,
+    /// Exchanges skipped because the woken node was isolated.
+    pub idle_ticks: usize,
+    pub states: Vec<LoadState>,
+}
+
+/// Run the algorithm in the asynchronous pairwise model for `ticks`
+/// clock firings. `ticks ≈ n · T` corresponds to `T` synchronous rounds
+/// of global time.
+///
+/// The Poisson clock race is simulated by drawing a uniformly random
+/// node per tick (the jump chain of `n` independent rate-1 clocks);
+/// randomness comes from a dedicated scheduler stream so the seeding
+/// stays aligned with the synchronous implementations.
+pub fn cluster_async(
+    graph: &Graph,
+    cfg: &LbConfig,
+    ticks: usize,
+) -> Result<AsyncOutput, ClusterError> {
+    let n = graph.n();
+    if n == 0 {
+        return Err(ClusterError::EmptyGraph);
+    }
+    let mut rngs: Vec<NodeRng> = (0..n as u32)
+        .map(|v| NodeRng::for_node(cfg.seed, v))
+        .collect();
+    let seeds = run_seeding(n, cfg.trials(), &mut rngs);
+    if seeds.is_empty() {
+        return Err(ClusterError::NoSeeds);
+    }
+    let mut states: Vec<LoadState> = vec![LoadState::empty(); n];
+    for s in &seeds {
+        states[s.node as usize] = LoadState::seed(s.id);
+    }
+    let mut scheduler = NodeRng::from_seed(cfg.seed ^ 0xA5_A5_A5_A5_A5_A5_A5A5);
+    let mut idle_ticks = 0usize;
+    for _ in 0..ticks {
+        let u = scheduler.below(n);
+        let deg = graph.degree(u as u32);
+        if deg == 0 {
+            idle_ticks += 1;
+            continue;
+        }
+        let v = graph.neighbour_at(u as u32, scheduler.below(deg)) as usize;
+        let merged = LoadState::average(&states[u], &states[v]);
+        states[u] = merged.clone();
+        states[v] = merged;
+    }
+    let (_, partition) = assign_labels(&states, cfg.query, cfg.beta);
+    Ok(AsyncOutput {
+        partition,
+        seeds,
+        ticks,
+        idle_ticks,
+        states,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbc_eval::accuracy;
+    use lbc_graph::generators;
+
+    #[test]
+    fn recovers_clusters_at_n_t_ticks() {
+        let (g, truth) = generators::ring_of_cliques(3, 20, 0).unwrap();
+        let cfg = LbConfig::new(1.0 / 3.0, 1).with_seed(4);
+        // ~60 synchronous rounds' worth of global time.
+        let out = cluster_async(&g, &cfg, g.n() * 60).unwrap();
+        let acc = accuracy(truth.labels(), out.partition.labels());
+        assert!(acc > 0.95, "accuracy {acc}");
+        assert_eq!(out.idle_ticks, 0);
+    }
+
+    #[test]
+    fn conserves_per_seed_load() {
+        let (g, _) = generators::ring_of_cliques(2, 12, 0).unwrap();
+        let cfg = LbConfig::new(0.5, 1).with_seed(7);
+        let out = cluster_async(&g, &cfg, 2_000).unwrap();
+        for s in &out.seeds {
+            let total: f64 = out.states.iter().map(|st| st.load(s.id)).sum();
+            assert!((total - 1.0).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn matches_synchronous_quality_at_equal_exchange_budget() {
+        // Synchronous T rounds perform ≈ T·n·d̄/4 pair exchanges; the
+        // async model at that many ticks should land in the same quality
+        // band.
+        let (g, truth) = generators::ring_of_cliques(4, 16, 0).unwrap();
+        let t = 160usize;
+        let cfg = LbConfig::new(0.25, t).with_seed(12);
+        let sync_out = crate::driver::cluster(&g, &cfg).unwrap();
+        let exchanges = (t * g.n()) / 4; // conservative d̄/4 estimate
+        let async_out = cluster_async(&g, &cfg, exchanges).unwrap();
+        let sync_acc = accuracy(truth.labels(), sync_out.partition.labels());
+        let async_acc = accuracy(truth.labels(), async_out.partition.labels());
+        assert!(sync_acc > 0.9 && async_acc > 0.9, "sync {sync_acc} async {async_acc}");
+    }
+
+    #[test]
+    fn isolated_nodes_cause_idle_ticks() {
+        let g = lbc_graph::Graph::from_edges(3, &[(0, 1)]).unwrap();
+        let cfg = LbConfig::new(0.5, 1).with_seed(1).with_seeding_trials(20);
+        let out = cluster_async(&g, &cfg, 300).unwrap();
+        assert!(out.idle_ticks > 0);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let (g, _) = generators::ring_of_cliques(2, 8, 0).unwrap();
+        let cfg = LbConfig::new(0.5, 1).with_seed(3);
+        let a = cluster_async(&g, &cfg, 500).unwrap();
+        let b = cluster_async(&g, &cfg, 500).unwrap();
+        assert_eq!(a.states, b.states);
+        assert_eq!(a.partition, b.partition);
+    }
+}

@@ -1,0 +1,244 @@
+//! Algorithm configuration.
+//!
+//! The algorithm needs only two problem inputs: the balance lower bound
+//! `β` (the paper stresses that `k` itself is *not* needed, §3.2) and a
+//! round count `T`. `T = Θ(log n / (1 − λ_{k+1}))` in theory; callers
+//! either supply it explicitly or let [`LbConfig::from_graph`] estimate
+//! it through the spectral oracle (the parameter-setting step the paper
+//! treats as given).
+
+use lbc_graph::Graph;
+use lbc_linalg::spectral::{rounds_for_gap, SpectralOracle};
+
+use crate::query::QueryRule;
+
+/// How many averaging rounds to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rounds {
+    /// Run exactly this many rounds.
+    Explicit(usize),
+    /// `T = ⌈c·ln n / (1 − λ̂)⌉` where `λ̂` is estimated from the
+    /// spectrum at configuration time (stored here once resolved).
+    Resolved(usize),
+}
+
+impl Rounds {
+    /// The concrete round count.
+    pub fn count(self) -> usize {
+        match self {
+            Rounds::Explicit(t) | Rounds::Resolved(t) => t,
+        }
+    }
+}
+
+/// Degree regime (§2 vs §4.5).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DegreeMode {
+    /// Plain rule: active nodes propose uniformly over neighbours.
+    /// Matches the paper's analysis for regular graphs.
+    Regular,
+    /// Almost-regular mode: emulate the `D`-regular graph `G*` with
+    /// self-loop slots (§4.5). `D` must be ≥ the maximum degree.
+    Capped(usize),
+    /// Pick `Capped(Δ)` when the graph is irregular, `Regular` otherwise.
+    Auto,
+}
+
+/// Full configuration for one clustering run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LbConfig {
+    /// Balance lower bound: every cluster has ≥ `βn` nodes.
+    pub beta: f64,
+    /// Averaging rounds.
+    pub rounds: Rounds,
+    /// Global seed for all per-node streams.
+    pub seed: u64,
+    /// Query rule (default: the paper's threshold).
+    pub query: QueryRule,
+    /// Degree regime (default: auto).
+    pub degree_mode: DegreeMode,
+    /// Override for the number of seeding trials (default:
+    /// `s̄ = ⌈(3/β) ln(1/β)⌉`).
+    pub seeding_trials: Option<usize>,
+}
+
+impl LbConfig {
+    /// Minimal configuration with an explicit round count.
+    ///
+    /// # Panics
+    /// If `beta ∉ (0, 1]` or `rounds == 0`.
+    pub fn new(beta: f64, rounds: usize) -> Self {
+        assert!(beta > 0.0 && beta <= 1.0, "beta {beta} out of (0, 1]");
+        assert!(rounds > 0, "need at least one round");
+        LbConfig {
+            beta,
+            rounds: Rounds::Explicit(rounds),
+            seed: 0,
+            query: QueryRule::PaperThreshold,
+            degree_mode: DegreeMode::Auto,
+            seeding_trials: None,
+        }
+    }
+
+    /// Configuration with `T` estimated from the graph's spectrum.
+    ///
+    /// Computes `q = min(⌊1/β⌋ + 1, n)` top eigenvalues, finds the widest
+    /// consecutive gap `λ_i − λ_{i+1}` (the spectral signature of the
+    /// cluster count), and sets
+    /// `T = ⌈c · ln n / ((d̄/4)(1 − λ_{i+1}))⌉` with `c = 2`.
+    ///
+    /// The `d̄/4` factor is the matching model's laziness: one round
+    /// performs in expectation the lazy step
+    /// `E[M] = (1 − d̄/4) I + (d̄/4) P` (Lemma 2.1), so the effective
+    /// per-round spectral gap is `d̄/4 · (1 − λ_{k+1})`. The paper's
+    /// `T = Θ(log n / (1 − λ_{k+1}))` absorbs this constant into the Θ;
+    /// an implementation cannot.
+    pub fn from_graph(graph: &Graph, beta: f64) -> Self {
+        assert!(beta > 0.0 && beta <= 1.0, "beta {beta} out of (0, 1]");
+        let n = graph.n().max(2);
+        let q = (((1.0 / beta).floor() as usize) + 1).clamp(2, n);
+        let oracle = SpectralOracle::compute(graph, q, 0x5eed);
+        // Widest gap over candidate cluster counts 1..q−1.
+        let mut best_i = 1usize;
+        let mut best_gap = f64::NEG_INFINITY;
+        for i in 1..q {
+            let gap = oracle.lambda(i) - oracle.lambda(i + 1);
+            if gap > best_gap {
+                best_gap = gap;
+                best_i = i;
+            }
+        }
+        let avg_degree = (graph.total_volume() as f64 / n as f64).max(1.0);
+        let laziness = crate::matching::d_bar(avg_degree.round() as usize) / 4.0;
+        let t = rounds_for_gap(n, laziness * (1.0 - oracle.lambda(best_i + 1)), 2.0);
+        LbConfig {
+            beta,
+            rounds: Rounds::Resolved(t),
+            seed: 0,
+            query: QueryRule::PaperThreshold,
+            degree_mode: DegreeMode::Auto,
+            seeding_trials: None,
+        }
+    }
+
+    /// Builder: set the RNG seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Builder: set the query rule.
+    pub fn with_query(mut self, query: QueryRule) -> Self {
+        self.query = query;
+        self
+    }
+
+    /// Builder: set the degree mode.
+    pub fn with_degree_mode(mut self, mode: DegreeMode) -> Self {
+        self.degree_mode = mode;
+        self
+    }
+
+    /// Builder: override the seeding trial count.
+    pub fn with_seeding_trials(mut self, trials: usize) -> Self {
+        self.seeding_trials = Some(trials);
+        self
+    }
+
+    /// Resolve the seeding trial count (`s̄` unless overridden).
+    pub fn trials(&self) -> usize {
+        self.seeding_trials
+            .unwrap_or_else(|| crate::seeding::expected_trials(self.beta))
+    }
+
+    /// Resolve the proposal rule for `graph` under the degree mode.
+    ///
+    /// # Panics
+    /// If `Capped(D)` is configured with `D < Δ`.
+    pub fn proposal_rule(&self, graph: &Graph) -> crate::matching::ProposalRule {
+        use crate::matching::ProposalRule;
+        match self.degree_mode {
+            DegreeMode::Regular => ProposalRule::Uniform,
+            DegreeMode::Capped(cap) => {
+                assert!(
+                    cap >= graph.max_degree(),
+                    "cap {cap} below max degree {}",
+                    graph.max_degree()
+                );
+                ProposalRule::Capped(cap)
+            }
+            DegreeMode::Auto => {
+                if graph.is_regular() {
+                    ProposalRule::Uniform
+                } else {
+                    ProposalRule::Capped(graph.max_degree().max(1))
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::matching::ProposalRule;
+    use lbc_graph::generators;
+
+    #[test]
+    fn explicit_config_basics() {
+        let cfg = LbConfig::new(0.25, 40).with_seed(9);
+        assert_eq!(cfg.rounds.count(), 40);
+        assert_eq!(cfg.seed, 9);
+        assert_eq!(cfg.trials(), crate::seeding::expected_trials(0.25));
+        let cfg2 = cfg.clone().with_seeding_trials(5);
+        assert_eq!(cfg2.trials(), 5);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_rounds_rejected() {
+        let _ = LbConfig::new(0.5, 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn bad_beta_rejected() {
+        let _ = LbConfig::new(0.0, 10);
+    }
+
+    #[test]
+    fn from_graph_resolves_reasonable_rounds() {
+        let (g, _) = generators::ring_of_cliques(3, 20, 0).unwrap();
+        let cfg = LbConfig::from_graph(&g, 1.0 / 3.0);
+        let t = cfg.rounds.count();
+        // Well-clustered: gap below the cluster eigenvalues is large, so
+        // T should be modest (tens, not thousands).
+        assert!(t >= 2 && t < 500, "T = {t}");
+    }
+
+    #[test]
+    fn from_graph_slow_mixing_needs_more_rounds() {
+        let fast = generators::complete(64).unwrap();
+        let slow = generators::cycle(64).unwrap();
+        let t_fast = LbConfig::from_graph(&fast, 0.5).rounds.count();
+        let t_slow = LbConfig::from_graph(&slow, 0.5).rounds.count();
+        assert!(t_slow > 4 * t_fast, "slow {t_slow} vs fast {t_fast}");
+    }
+
+    #[test]
+    fn auto_degree_mode_resolution() {
+        let reg = generators::cycle(10).unwrap();
+        let cfg = LbConfig::new(0.5, 5);
+        assert_eq!(cfg.proposal_rule(&reg), ProposalRule::Uniform);
+        let irr = lbc_graph::Graph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        assert_eq!(cfg.proposal_rule(&irr), ProposalRule::Capped(2));
+    }
+
+    #[test]
+    #[should_panic]
+    fn capped_below_max_degree_panics() {
+        let g = generators::complete(6).unwrap();
+        let cfg = LbConfig::new(0.5, 5).with_degree_mode(DegreeMode::Capped(2));
+        let _ = cfg.proposal_rule(&g);
+    }
+}

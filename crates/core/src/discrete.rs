@@ -1,0 +1,279 @@
+//! Discrete (indivisible-token) load balancing — an extension in the
+//! spirit of the paper's related work \[4, 11, 15\].
+//!
+//! The paper's process averages *divisible* loads; real token-based
+//! systems ship indivisible units. Here each seed injects `resolution`
+//! tokens at its node; when a matched pair averages, each side takes
+//! `⌊total/2⌋` tokens per seed and the odd token (if any) goes to a
+//! random side — Friedrich & Sauerwald's randomised-rounding scheme
+//! ("near-perfect load balancing by randomized rounding", STOC'09),
+//! which keeps the discrete process within `O(√log n)`-ish of the
+//! continuous one. The query procedure thresholds token counts exactly
+//! as the continuous algorithm thresholds loads.
+//!
+//! At large `resolution` the output converges to [`crate::cluster`]'s;
+//! at tiny resolution quantisation noise dominates — the
+//! `expt_ext_discrete` experiment sweeps this trade-off (tokens are
+//! *messages*, so resolution is a genuine communication knob).
+
+use lbc_distsim::NodeRng;
+use lbc_graph::{Graph, Partition};
+
+use crate::config::LbConfig;
+use crate::driver::ClusterError;
+use crate::matching::sample_matching;
+use crate::query::assign_labels;
+use crate::seeding::{run_seeding, Seed};
+use crate::state::{LoadState, SeedId};
+
+/// Sparse integer token state: sorted, duplicate-free, zero-free.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct TokenState {
+    entries: Vec<(SeedId, u64)>,
+}
+
+impl TokenState {
+    /// Empty state.
+    pub fn empty() -> Self {
+        TokenState::default()
+    }
+
+    /// Seed state holding all `resolution` tokens of `id`.
+    pub fn seed(id: SeedId, resolution: u64) -> Self {
+        TokenState {
+            entries: vec![(id, resolution)],
+        }
+    }
+
+    /// Tokens held for `id`.
+    pub fn tokens(&self, id: SeedId) -> u64 {
+        match self.entries.binary_search_by_key(&id, |&(i, _)| i) {
+            Ok(pos) => self.entries[pos].1,
+            Err(_) => 0,
+        }
+    }
+
+    /// All entries.
+    pub fn entries(&self) -> &[(SeedId, u64)] {
+        &self.entries
+    }
+
+    /// Total tokens across seeds.
+    pub fn total(&self) -> u64 {
+        self.entries.iter().map(|&(_, t)| t).sum()
+    }
+
+    /// Split `a + b` between two nodes: each side gets `⌊total/2⌋` per
+    /// seed; odd tokens go to the first side when `coin` is true.
+    /// Returns the two successor states.
+    pub fn split(a: &TokenState, b: &TokenState, mut coin: impl FnMut() -> bool) -> (TokenState, TokenState) {
+        let mut left = Vec::new();
+        let mut right = Vec::new();
+        let (mut i, mut j) = (0usize, 0usize);
+        let push = |id: SeedId, total: u64, c: bool, left: &mut Vec<(SeedId, u64)>, right: &mut Vec<(SeedId, u64)>| {
+            let half = total / 2;
+            let odd = total % 2;
+            let (l, r) = if c { (half + odd, half) } else { (half, half + odd) };
+            if l > 0 {
+                left.push((id, l));
+            }
+            if r > 0 {
+                right.push((id, r));
+            }
+        };
+        while i < a.entries.len() && j < b.entries.len() {
+            let (ia, xa) = a.entries[i];
+            let (ib, xb) = b.entries[j];
+            if ia == ib {
+                push(ia, xa + xb, coin(), &mut left, &mut right);
+                i += 1;
+                j += 1;
+            } else if ia < ib {
+                push(ia, xa, coin(), &mut left, &mut right);
+                i += 1;
+            } else {
+                push(ib, xb, coin(), &mut left, &mut right);
+                j += 1;
+            }
+        }
+        while i < a.entries.len() {
+            let (id, x) = a.entries[i];
+            push(id, x, coin(), &mut left, &mut right);
+            i += 1;
+        }
+        while j < b.entries.len() {
+            let (id, x) = b.entries[j];
+            push(id, x, coin(), &mut left, &mut right);
+            j += 1;
+        }
+        (TokenState { entries: left }, TokenState { entries: right })
+    }
+
+    /// View as a continuous [`LoadState`] with loads `tokens/resolution`
+    /// (for the shared query machinery).
+    pub fn to_load_state(&self, resolution: u64) -> LoadState {
+        LoadState::from_entries(
+            self.entries
+                .iter()
+                .map(|&(id, t)| (id, t as f64 / resolution as f64))
+                .collect(),
+        )
+    }
+}
+
+/// Output of a discrete clustering run.
+#[derive(Debug, Clone)]
+pub struct DiscreteOutput {
+    pub partition: Partition,
+    pub seeds: Vec<Seed>,
+    pub rounds: usize,
+    /// Final token states.
+    pub states: Vec<TokenState>,
+}
+
+/// Run the token-based algorithm. `resolution` = tokens injected per
+/// seed (≥ 1). Uses the same seeding/matching random streams as
+/// [`crate::cluster`]; rounding coins come from a dedicated stream.
+pub fn cluster_discrete(
+    graph: &Graph,
+    cfg: &LbConfig,
+    resolution: u64,
+) -> Result<DiscreteOutput, ClusterError> {
+    assert!(resolution >= 1, "resolution must be at least 1");
+    let n = graph.n();
+    if n == 0 {
+        return Err(ClusterError::EmptyGraph);
+    }
+    let mut rngs: Vec<NodeRng> = (0..n as u32)
+        .map(|v| NodeRng::for_node(cfg.seed, v))
+        .collect();
+    let seeds = run_seeding(n, cfg.trials(), &mut rngs);
+    if seeds.is_empty() {
+        return Err(ClusterError::NoSeeds);
+    }
+    let mut states: Vec<TokenState> = vec![TokenState::empty(); n];
+    for s in &seeds {
+        states[s.node as usize] = TokenState::seed(s.id, resolution);
+    }
+    let rule = cfg.proposal_rule(graph);
+    let mut coin_rng = NodeRng::from_seed(cfg.seed ^ 0xD15C_0000_0000_0001);
+    let rounds = cfg.rounds.count();
+    for _ in 0..rounds {
+        let m = sample_matching(graph, rule, &mut rngs);
+        for (u, v) in m.pairs() {
+            let (a, b) = TokenState::split(&states[u as usize], &states[v as usize], || {
+                coin_rng.bernoulli(0.5)
+            });
+            states[u as usize] = a;
+            states[v as usize] = b;
+        }
+    }
+    let load_states: Vec<LoadState> = states
+        .iter()
+        .map(|t| t.to_load_state(resolution))
+        .collect();
+    let (_, partition) = assign_labels(&load_states, cfg.query, cfg.beta);
+    Ok(DiscreteOutput {
+        partition,
+        seeds,
+        rounds,
+        states,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbc_eval::accuracy;
+    use lbc_graph::generators;
+
+    #[test]
+    fn split_conserves_tokens_exactly() {
+        let a = TokenState::seed(1, 101);
+        let b = TokenState::seed(2, 7);
+        let mut flip = true;
+        let (l, r) = TokenState::split(&a, &b, || {
+            flip = !flip;
+            flip
+        });
+        assert_eq!(l.tokens(1) + r.tokens(1), 101);
+        assert_eq!(l.tokens(2) + r.tokens(2), 7);
+        assert_eq!(l.total() + r.total(), 108);
+        // Each side holds ⌊total/2⌋ or ⌈total/2⌉ per seed.
+        assert!(l.tokens(1) == 50 || l.tokens(1) == 51);
+    }
+
+    #[test]
+    fn split_drops_zero_entries() {
+        let a = TokenState::seed(1, 1);
+        let (l, r) = TokenState::split(&a, &TokenState::empty(), || true);
+        assert_eq!(l.tokens(1), 1);
+        assert!(r.entries().is_empty());
+    }
+
+    #[test]
+    fn even_totals_each_side_gets_half() {
+        let a = TokenState::seed(9, 10);
+        let b = TokenState::seed(9, 6);
+        let (l, r) = TokenState::split(&a, &b, || true);
+        assert_eq!(l.tokens(9), 8);
+        assert_eq!(r.tokens(9), 8);
+    }
+
+    #[test]
+    fn high_resolution_recovers_clusters() {
+        let (g, truth) = generators::ring_of_cliques(3, 20, 0).unwrap();
+        let cfg = LbConfig::new(1.0 / 3.0, 80).with_seed(5);
+        let out = cluster_discrete(&g, &cfg, 1 << 20).unwrap();
+        let acc = accuracy(truth.labels(), out.partition.labels());
+        assert!(acc > 0.95, "accuracy {acc}");
+        // Exact conservation per seed.
+        for s in &out.seeds {
+            let total: u64 = out.states.iter().map(|st| st.tokens(s.id)).sum();
+            assert_eq!(total, 1 << 20, "seed {}", s.id);
+        }
+    }
+
+    #[test]
+    fn tiny_resolution_degrades() {
+        let (g, truth) = generators::ring_of_cliques(3, 20, 0).unwrap();
+        let cfg = LbConfig::new(1.0 / 3.0, 80).with_seed(5);
+        let hi = cluster_discrete(&g, &cfg, 1 << 20).unwrap();
+        let lo = cluster_discrete(&g, &cfg, 4).unwrap();
+        let acc_hi = accuracy(truth.labels(), hi.partition.labels());
+        let acc_lo = accuracy(truth.labels(), lo.partition.labels());
+        assert!(
+            acc_lo < acc_hi,
+            "expected quantisation damage: hi {acc_hi} vs lo {acc_lo}"
+        );
+    }
+
+    #[test]
+    fn converges_to_continuous_as_resolution_grows() {
+        let (g, _) = generators::ring_of_cliques(2, 12, 0).unwrap();
+        let cfg = LbConfig::new(0.5, 40).with_seed(9);
+        let cont = crate::driver::cluster(&g, &cfg).unwrap();
+        let disc = cluster_discrete(&g, &cfg, 1 << 30).unwrap();
+        assert_eq!(cont.seeds, disc.seeds);
+        // Token fractions approximate continuous loads coordinate-wise.
+        for v in 0..g.n() {
+            for s in &cont.seeds {
+                let c = cont.states[v].load(s.id);
+                let d = disc.states[v].tokens(s.id) as f64 / (1u64 << 30) as f64;
+                assert!(
+                    (c - d).abs() < 1e-3,
+                    "node {v} seed {}: cont {c} vs disc {d}",
+                    s.id
+                );
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_resolution_rejected() {
+        let (g, _) = generators::ring_of_cliques(2, 6, 0).unwrap();
+        let cfg = LbConfig::new(0.5, 5);
+        let _ = cluster_discrete(&g, &cfg, 0);
+    }
+}

@@ -1,0 +1,229 @@
+//! Other gossip processes on the random matching substrate.
+//!
+//! The paper's abstract: *"we present a purely algebraic result
+//! characterising the early behaviours of load balancing processes …
+//! we believe that this result can be further applied to analyse other
+//! gossip processes, such as rumour spreading and averaging processes."*
+//! This module implements those two processes on the same matching model
+//! so the experiment suite can exhibit the connection:
+//!
+//! * [`rumour_spread`] — a rumour starting at one node is forwarded
+//!   whenever a matched pair straddles the informed/uninformed boundary.
+//!   On a well-clustered graph the informed count shows a two-phase
+//!   curve: fast saturation of the source's cluster, then a long wait to
+//!   cross the sparse cut — the same `T`-vs-mixing-time separation the
+//!   clustering algorithm exploits.
+//! * [`gossip_average`] — plain 1-dimensional averaging from arbitrary
+//!   initial values; its deviation from the mean contracts per round at
+//!   a rate governed by `d̄/4 · (1 − λ_2)` (Lemma 2.1's expectation).
+
+use lbc_distsim::NodeRng;
+use lbc_graph::{Graph, NodeId};
+
+use crate::matching::{apply_matching_dense, sample_matching, ProposalRule};
+
+/// Trajectory of a rumour-spreading run.
+#[derive(Debug, Clone)]
+pub struct RumourTrajectory {
+    /// `informed[t]` = number of informed nodes after `t` rounds
+    /// (`informed\[0\] == 1`).
+    pub informed: Vec<usize>,
+    /// Round at which everyone was informed (`None` if the budget ran
+    /// out first — e.g. a disconnected graph).
+    pub completed_at: Option<usize>,
+}
+
+impl RumourTrajectory {
+    /// First round with at least `target` informed nodes.
+    pub fn rounds_to(&self, target: usize) -> Option<usize> {
+        self.informed.iter().position(|&c| c >= target)
+    }
+}
+
+/// Spread a rumour from `source` through matching rounds: when a matched
+/// pair contains exactly one informed node, both end the round informed.
+pub fn rumour_spread(
+    g: &Graph,
+    rule: ProposalRule,
+    source: NodeId,
+    max_rounds: usize,
+    seed: u64,
+) -> RumourTrajectory {
+    let n = g.n();
+    assert!((source as usize) < n, "source out of range");
+    let mut rngs: Vec<NodeRng> = (0..n as u32).map(|v| NodeRng::for_node(seed, v)).collect();
+    let mut informed = vec![false; n];
+    informed[source as usize] = true;
+    let mut count = 1usize;
+    let mut trajectory = vec![count];
+    let mut completed_at = if n == 1 { Some(0) } else { None };
+    for t in 1..=max_rounds {
+        if completed_at.is_some() {
+            break;
+        }
+        let m = sample_matching(g, rule, &mut rngs);
+        for (u, v) in m.pairs() {
+            let (iu, iv) = (informed[u as usize], informed[v as usize]);
+            if iu != iv {
+                informed[u as usize] = true;
+                informed[v as usize] = true;
+                count += 1;
+            }
+        }
+        trajectory.push(count);
+        if count == n {
+            completed_at = Some(t);
+        }
+    }
+    RumourTrajectory {
+        informed: trajectory,
+        completed_at,
+    }
+}
+
+/// Trajectory of a gossip-averaging run.
+#[derive(Debug, Clone)]
+pub struct AveragingTrajectory {
+    /// Max absolute deviation from the mean after each round
+    /// (`deviation\[0\]` is the initial deviation).
+    pub deviation: Vec<f64>,
+    /// The exact mean (conserved by the process).
+    pub mean: f64,
+    /// Final values.
+    pub values: Vec<f64>,
+}
+
+impl AveragingTrajectory {
+    /// First round with deviation ≤ `eps` (None if never reached).
+    pub fn rounds_to_eps(&self, eps: f64) -> Option<usize> {
+        self.deviation.iter().position(|&d| d <= eps)
+    }
+}
+
+/// Run 1-dimensional gossip averaging from `initial` values for
+/// `rounds` rounds, recording the max deviation from the (conserved)
+/// mean each round.
+pub fn gossip_average(
+    g: &Graph,
+    rule: ProposalRule,
+    initial: &[f64],
+    rounds: usize,
+    seed: u64,
+) -> AveragingTrajectory {
+    let n = g.n();
+    assert_eq!(initial.len(), n, "initial values length mismatch");
+    let mut rngs: Vec<NodeRng> = (0..n as u32).map(|v| NodeRng::for_node(seed, v)).collect();
+    let mut x = initial.to_vec();
+    let mean = x.iter().sum::<f64>() / n.max(1) as f64;
+    let dev = |x: &[f64]| {
+        x.iter()
+            .map(|v| (v - mean).abs())
+            .fold(0.0f64, f64::max)
+    };
+    let mut deviation = Vec::with_capacity(rounds + 1);
+    deviation.push(dev(&x));
+    for _ in 0..rounds {
+        let m = sample_matching(g, rule, &mut rngs);
+        apply_matching_dense(&m, &mut x);
+        deviation.push(dev(&x));
+    }
+    AveragingTrajectory {
+        deviation,
+        mean,
+        values: x,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbc_graph::generators;
+
+    #[test]
+    fn rumour_reaches_everyone_on_connected_graph() {
+        let g = generators::complete(64).unwrap();
+        let t = rumour_spread(&g, ProposalRule::Uniform, 0, 1000, 3);
+        assert!(t.completed_at.is_some());
+        assert_eq!(*t.informed.last().unwrap(), 64);
+        // Monotone non-decreasing.
+        for w in t.informed.windows(2) {
+            assert!(w[1] >= w[0]);
+        }
+    }
+
+    #[test]
+    fn rumour_is_logarithmic_on_expanders() {
+        // On K_n the informed set roughly doubles per O(1) rounds.
+        let g = generators::complete(256).unwrap();
+        let t = rumour_spread(&g, ProposalRule::Uniform, 0, 2000, 5);
+        let done = t.completed_at.unwrap();
+        assert!(done < 120, "rumour took {done} rounds on K_256");
+    }
+
+    #[test]
+    fn rumour_is_slow_on_cycle() {
+        // Cycle: informed set grows by O(1) per round ⇒ Ω(n) rounds.
+        let g = generators::cycle(256).unwrap();
+        let t = rumour_spread(&g, ProposalRule::Uniform, 0, 4000, 5);
+        let done = t.completed_at.unwrap();
+        assert!(done > 256, "rumour took only {done} rounds on C_256");
+    }
+
+    #[test]
+    fn cluster_structure_shows_as_two_phase_spreading() {
+        // Ring of 2 cliques with one bridge: the source clique saturates
+        // fast; crossing the bridge dominates the completion time.
+        let (g, _) = generators::ring_of_cliques(2, 64, 0).unwrap();
+        let t = rumour_spread(&g, ProposalRule::Uniform, 0, 50_000, 9);
+        let half = t.rounds_to(64).unwrap();
+        let full = t.completed_at.unwrap();
+        assert!(
+            full > 3 * half,
+            "expected long cut-crossing phase: half at {half}, full at {full}"
+        );
+    }
+
+    #[test]
+    fn rumour_never_completes_on_disconnected_graph() {
+        let g = lbc_graph::Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        let t = rumour_spread(&g, ProposalRule::Uniform, 0, 500, 2);
+        assert_eq!(t.completed_at, None);
+        assert_eq!(*t.informed.last().unwrap(), 2);
+    }
+
+    #[test]
+    fn averaging_conserves_mean_and_contracts() {
+        let g = generators::complete(32).unwrap();
+        let initial: Vec<f64> = (0..32).map(|i| i as f64).collect();
+        let t = gossip_average(&g, ProposalRule::Uniform, &initial, 300, 7);
+        assert!((t.mean - 15.5).abs() < 1e-12);
+        let sum: f64 = t.values.iter().sum();
+        assert!((sum - 32.0 * 15.5).abs() < 1e-9, "mean not conserved");
+        assert!(t.deviation[0] == 15.5);
+        assert!(*t.deviation.last().unwrap() < 0.01 * t.deviation[0]);
+    }
+
+    #[test]
+    fn averaging_rate_tracks_spectral_gap() {
+        // Expander averages geometrically; cycle of the same size is far
+        // slower.
+        let fast = generators::complete(64).unwrap();
+        let slow = generators::cycle(64).unwrap();
+        let initial: Vec<f64> = (0..64).map(|i| if i < 32 { 1.0 } else { 0.0 }).collect();
+        let tf = gossip_average(&fast, ProposalRule::Uniform, &initial, 2000, 3);
+        let ts = gossip_average(&slow, ProposalRule::Uniform, &initial, 2000, 3);
+        let rf = tf.rounds_to_eps(0.05).expect("expander should converge");
+        match ts.rounds_to_eps(0.05) {
+            Some(rs) => assert!(rs > 5 * rf, "cycle {rs} vs expander {rf}"),
+            None => {} // even slower: never reached in budget
+        }
+    }
+
+    #[test]
+    fn uniform_initial_values_are_a_fixed_point() {
+        let g = generators::cycle(10).unwrap();
+        let t = gossip_average(&g, ProposalRule::Uniform, &vec![3.0; 10], 50, 1);
+        assert!(t.deviation.iter().all(|&d| d < 1e-15));
+        assert!(t.values.iter().all(|&v| v == 3.0));
+    }
+}

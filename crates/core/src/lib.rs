@@ -1,0 +1,60 @@
+//! The paper's algorithm: distributed graph clustering by load balancing.
+//!
+//! Three mutually-consistent implementations of the Seeding → Averaging →
+//! Query pipeline of §3 (Sun & Zanetti, SPAA'17):
+//!
+//! 1. **Sparse centralised** ([`cluster`]) — per-node sparse load states,
+//!    matchings sampled by replaying each node's private random stream.
+//!    This is the `O(n log n)`-flavour variant of §1.2 and the fast path
+//!    for experiments.
+//! 2. **Dense matrix view** ([`matrix::MultiLoadProcess`]) — the §3.2
+//!    formulation `x^{(t,i)} = M^{(t)} x^{(t−1,i)}`; used by the
+//!    Lemma 4.1/4.3 analysis experiments which need whole load vectors.
+//! 3. **Fully distributed** ([`cluster_distributed`]) — every paper round
+//!    is a three-message handshake (propose → accept → update) on the
+//!    [`lbc_distsim`] synchronous network, with exact word accounting
+//!    against Theorem 1.1(2).
+//!
+//! All three consume per-node [`lbc_distsim::NodeRng`] streams in the
+//! same order, so for a given `(graph, config)` they produce *bit-for-bit
+//! identical* load states — a property the test suite enforces.
+//!
+//! Module map:
+//! * [`state`] — sparse load states and the paper's averaging rule.
+//! * [`matching`] — the random matching model (§2.2): activation,
+//!   proposal, acceptance; regular and §4.5 almost-regular modes.
+//! * [`seeding`] — the seeding procedure (`s̄ = (3/β) ln(1/β)` trials).
+//! * [`query`] — the query procedure and its threshold variants.
+//! * [`config`] — [`LbConfig`]: `β`, rounds, query rule, degree mode.
+//! * [`driver`] — [`cluster`] (centralised) end-to-end pipeline.
+//! * [`matrix`] — dense multi-dimensional load-balancing process.
+//! * [`protocol`] — the distributed node program and
+//!   [`cluster_distributed`].
+//! * [`analysis`] — Lemma 4.1/4.2/4.3 quantities (`Q`, `χ̂_i`, `α_v`)
+//!   for the early-behaviour experiments.
+
+pub mod analysis;
+pub mod async_gossip;
+pub mod config;
+pub mod discrete;
+pub mod driver;
+pub mod estimation;
+pub mod gossip;
+pub mod matching;
+pub mod matrix;
+pub mod protocol;
+pub mod query;
+pub mod seeding;
+pub mod state;
+
+pub use async_gossip::{cluster_async, AsyncOutput};
+pub use config::{DegreeMode, LbConfig, Rounds};
+pub use discrete::{cluster_discrete, DiscreteOutput, TokenState};
+pub use estimation::{estimate_size, SizeEstimate};
+pub use driver::{cluster, cluster_adaptive, ClusterOutput};
+pub use gossip::{gossip_average, rumour_spread, AveragingTrajectory, RumourTrajectory};
+pub use matching::{d_bar, sample_matching, MatchingOutcome};
+pub use protocol::cluster_distributed;
+pub use query::QueryRule;
+pub use seeding::{expected_trials, run_seeding, Seed};
+pub use state::LoadState;

@@ -1,0 +1,312 @@
+//! The random matching model (§2.2) and its §4.5 almost-regular variant.
+//!
+//! Protocol (Boyd et al. \[5\], as used by the paper):
+//! 1. every node flips a fair coin: *active* or *non-active*;
+//! 2. every active node proposes to a uniformly random neighbour;
+//! 3. every non-active node that received **exactly one** proposal is
+//!    matched with its proposer.
+//!
+//! For almost-regular graphs the paper passes to the `D`-regular graph
+//! `G*` with `D − d_v` self-loops at `v`; an active node then proposes
+//! into one of its `D` slots, and a self-loop slot voids the proposal.
+//! [`ProposalRule`] implements both the plain rule and this emulation.
+//!
+//! The centralised sampler ([`sample_matching`]) replays exactly the per-
+//! node random draws the distributed protocol makes (activation coin,
+//! then slot draw if active), in node-id order, from the same
+//! [`NodeRng`] streams — this is what makes the centralised and
+//! distributed implementations bit-identical.
+
+use lbc_distsim::NodeRng;
+use lbc_graph::{Graph, NodeId};
+
+/// `d̄ = (1 − 1/(2d))^{d−1}` from Lemma 2.1.
+pub fn d_bar(d: usize) -> f64 {
+    assert!(d >= 1, "d_bar needs d >= 1");
+    (1.0 - 1.0 / (2.0 * d as f64)).powi(d as i32 - 1)
+}
+
+/// Per-edge inclusion probability `d̄ / (2d)` for a `d`-regular graph
+/// (Lemma 2.1's proof: `2 · ¼ · (1/d)(1 − 1/(2d))^{d−1}`).
+pub fn edge_match_probability(d: usize) -> f64 {
+    d_bar(d) / (2.0 * d as f64)
+}
+
+/// How an active node chooses its proposal target.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ProposalRule {
+    /// Uniform over real neighbours (the paper's rule for regular
+    /// graphs).
+    Uniform,
+    /// `G*` emulation with degree cap `D`: draw a slot in `0..D`; slots
+    /// `≥ d_v` are self-loops and void the proposal (§4.5).
+    Capped(usize),
+}
+
+impl ProposalRule {
+    /// One node's phase-0 randomness: `(active, proposal_target)`.
+    ///
+    /// Consumes exactly one coin, plus one slot draw if active — in this
+    /// order — from `rng`. Both the centralised sampler and the
+    /// distributed node program call this single function.
+    pub fn draw(self, neighbours: &[NodeId], rng: &mut NodeRng) -> (bool, Option<NodeId>) {
+        let active = rng.bernoulli(0.5);
+        if !active {
+            return (false, None);
+        }
+        if neighbours.is_empty() {
+            return (true, None);
+        }
+        let target = match self {
+            ProposalRule::Uniform => Some(neighbours[rng.below(neighbours.len())]),
+            ProposalRule::Capped(cap) => {
+                debug_assert!(cap >= neighbours.len());
+                let slot = rng.below(cap);
+                if slot < neighbours.len() {
+                    Some(neighbours[slot])
+                } else {
+                    None // self-loop slot: proposal voided
+                }
+            }
+        };
+        (active, target)
+    }
+}
+
+/// One sampled matching: `partner[v]` is `v`'s matched neighbour, or
+/// `None` if `v` is unmatched this round.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MatchingOutcome {
+    partner: Vec<Option<NodeId>>,
+}
+
+impl MatchingOutcome {
+    /// Partner of `v` this round.
+    #[inline]
+    pub fn partner(&self, v: NodeId) -> Option<NodeId> {
+        self.partner[v as usize]
+    }
+
+    /// All partners (indexed by node).
+    pub fn partners(&self) -> &[Option<NodeId>] {
+        &self.partner
+    }
+
+    /// Matched pairs `(u, v)` with `u < v`.
+    pub fn pairs(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        self.partner
+            .iter()
+            .enumerate()
+            .filter_map(|(u, &p)| p.map(|v| (u as NodeId, v)))
+            .filter(|&(u, v)| u < v)
+    }
+
+    /// Number of matched pairs.
+    pub fn size(&self) -> usize {
+        self.pairs().count()
+    }
+
+    /// Validate the matching invariants: symmetry, adjacency, and that
+    /// nobody is matched to themselves. Used by tests and debug builds.
+    pub fn validate(&self, g: &Graph) -> Result<(), String> {
+        for (u, p) in self.partner.iter().enumerate() {
+            if let Some(v) = *p {
+                if v as usize == u {
+                    return Err(format!("node {u} matched to itself"));
+                }
+                if self.partner[v as usize] != Some(u as NodeId) {
+                    return Err(format!("matching not symmetric at ({u}, {v})"));
+                }
+                if !g.has_edge(u as NodeId, v) {
+                    return Err(format!("matched pair ({u}, {v}) is not an edge"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Sample one round's matching by replaying every node's private stream
+/// in node-id order (phase 0 of the distributed handshake).
+pub fn sample_matching(g: &Graph, rule: ProposalRule, rngs: &mut [NodeRng]) -> MatchingOutcome {
+    let n = g.n();
+    debug_assert_eq!(rngs.len(), n);
+    let mut active = vec![false; n];
+    let mut proposal: Vec<Option<NodeId>> = vec![None; n];
+    for v in 0..n {
+        let (a, target) = rule.draw(g.neighbours(v as NodeId), &mut rngs[v]);
+        active[v] = a;
+        proposal[v] = target;
+    }
+    // Count proposals arriving at each non-active node.
+    let mut proposals_received = vec![0u32; n];
+    let mut proposer_of: Vec<NodeId> = vec![0; n];
+    for (u, &t) in proposal.iter().enumerate() {
+        if let Some(t) = t {
+            proposals_received[t as usize] += 1;
+            proposer_of[t as usize] = u as NodeId;
+        }
+    }
+    let mut partner: Vec<Option<NodeId>> = vec![None; n];
+    for v in 0..n {
+        if !active[v] && proposals_received[v] == 1 {
+            let u = proposer_of[v];
+            partner[v] = Some(u);
+            partner[u as usize] = Some(v as NodeId);
+        }
+    }
+    MatchingOutcome { partner }
+}
+
+/// Average a dense load vector along the matching (the 1-dimensional
+/// process `y^{(t)} = M^{(t)} y^{(t−1)}` of §4).
+pub fn apply_matching_dense(m: &MatchingOutcome, x: &mut [f64]) {
+    for (u, v) in m.pairs() {
+        let avg = (x[u as usize] + x[v as usize]) / 2.0;
+        x[u as usize] = avg;
+        x[v as usize] = avg;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbc_graph::generators;
+
+    fn rngs_for(n: usize, seed: u64) -> Vec<NodeRng> {
+        (0..n as u32).map(|v| NodeRng::for_node(seed, v)).collect()
+    }
+
+    #[test]
+    fn d_bar_values() {
+        assert_eq!(d_bar(1), 1.0);
+        assert!((d_bar(2) - 0.75).abs() < 1e-12);
+        // d̄ → e^{-1/2} as d → ∞.
+        assert!((d_bar(10_000) - (-0.5f64).exp()).abs() < 1e-4);
+    }
+
+    #[test]
+    fn matchings_are_valid_on_various_graphs() {
+        for (name, g) in [
+            ("cycle", generators::cycle(31).unwrap()),
+            ("complete", generators::complete(20).unwrap()),
+            ("regular", generators::random_regular(100, 6, 4).unwrap()),
+        ] {
+            let mut rngs = rngs_for(g.n(), 7);
+            for _ in 0..20 {
+                let m = sample_matching(&g, ProposalRule::Uniform, &mut rngs);
+                m.validate(&g).unwrap_or_else(|e| panic!("{name}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn capped_rule_also_valid() {
+        let (g, _) = generators::planted_partition(2, 30, 0.3, 0.05, 3).unwrap();
+        let cap = g.max_degree();
+        let mut rngs = rngs_for(g.n(), 9);
+        for _ in 0..20 {
+            let m = sample_matching(&g, ProposalRule::Capped(cap), &mut rngs);
+            m.validate(&g).unwrap();
+        }
+    }
+
+    #[test]
+    fn edge_probability_matches_lemma_2_1() {
+        // Monte Carlo on a d-regular graph: every edge should be matched
+        // with probability d̄/(2d).
+        let g = generators::cycle(40).unwrap(); // 2-regular
+        let expect = edge_match_probability(2);
+        let trials = 20_000;
+        let mut rngs = rngs_for(g.n(), 123);
+        let mut hit = 0usize;
+        for _ in 0..trials {
+            let m = sample_matching(&g, ProposalRule::Uniform, &mut rngs);
+            if m.partner(0) == Some(1) {
+                hit += 1;
+            }
+        }
+        let freq = hit as f64 / trials as f64;
+        assert!(
+            (freq - expect).abs() < 0.01,
+            "freq {freq} vs expected {expect}"
+        );
+    }
+
+    #[test]
+    fn expected_matrix_diagonal_matches_lemma_2_1() {
+        // P[v matched] = d̄/2 ⇒ E[M_vv] = 1 − d̄/4 on regular graphs.
+        let g = generators::complete(8).unwrap(); // 7-regular
+        let db = d_bar(7);
+        let trials = 30_000;
+        let mut rngs = rngs_for(g.n(), 5);
+        let mut matched = 0usize;
+        for _ in 0..trials {
+            let m = sample_matching(&g, ProposalRule::Uniform, &mut rngs);
+            if m.partner(3).is_some() {
+                matched += 1;
+            }
+        }
+        let freq = matched as f64 / trials as f64;
+        assert!(
+            (freq - db / 2.0).abs() < 0.01,
+            "match freq {freq} vs d̄/2 = {}",
+            db / 2.0
+        );
+    }
+
+    #[test]
+    fn isolated_node_never_matched() {
+        let g = lbc_graph::Graph::from_edges(3, &[(0, 1)]).unwrap();
+        let mut rngs = rngs_for(3, 2);
+        for _ in 0..50 {
+            let m = sample_matching(&g, ProposalRule::Uniform, &mut rngs);
+            assert_eq!(m.partner(2), None);
+            m.validate(&g).unwrap();
+        }
+    }
+
+    #[test]
+    fn dense_application_conserves_sum_and_contracts() {
+        let g = generators::random_regular(60, 4, 8).unwrap();
+        let mut rngs = rngs_for(60, 3);
+        let mut x: Vec<f64> = (0..60).map(|i| (i % 7) as f64).collect();
+        let sum0: f64 = x.iter().sum();
+        let norm0: f64 = x.iter().map(|v| v * v).sum::<f64>();
+        for _ in 0..30 {
+            let m = sample_matching(&g, ProposalRule::Uniform, &mut rngs);
+            apply_matching_dense(&m, &mut x);
+        }
+        let sum1: f64 = x.iter().sum();
+        let norm1: f64 = x.iter().map(|v| v * v).sum::<f64>();
+        assert!((sum0 - sum1).abs() < 1e-9, "sum not conserved");
+        assert!(norm1 <= norm0 + 1e-12, "projection must contract norm");
+    }
+
+    #[test]
+    fn capped_rule_reduces_match_rate() {
+        // With a huge cap, most proposals hit self-loop slots.
+        let g = generators::complete(10).unwrap();
+        let mut rngs_a = rngs_for(10, 4);
+        let mut rngs_b = rngs_for(10, 4);
+        let mut uniform = 0usize;
+        let mut capped = 0usize;
+        for _ in 0..2_000 {
+            uniform += sample_matching(&g, ProposalRule::Uniform, &mut rngs_a).size();
+            capped += sample_matching(&g, ProposalRule::Capped(90), &mut rngs_b).size();
+        }
+        assert!(capped * 3 < uniform, "capped {capped} vs uniform {uniform}");
+    }
+
+    #[test]
+    fn deterministic_given_streams() {
+        let g = generators::cycle(16).unwrap();
+        let mut r1 = rngs_for(16, 11);
+        let mut r2 = rngs_for(16, 11);
+        for _ in 0..10 {
+            let a = sample_matching(&g, ProposalRule::Uniform, &mut r1);
+            let b = sample_matching(&g, ProposalRule::Uniform, &mut r2);
+            assert_eq!(a, b);
+        }
+    }
+}

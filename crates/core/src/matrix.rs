@@ -1,0 +1,192 @@
+//! Dense matrix view of the multi-dimensional load-balancing process
+//! (§3.2): `s` load vectors `x^{(t,i)} ∈ R^n`, all updated by the same
+//! matching matrix `M^{(t)}` each round.
+//!
+//! This representation is what the analysis experiments need (whole load
+//! vectors, their projections `Q y`, distances to `χ_{S_j}`), and it
+//! doubles as an independent implementation for cross-checking the
+//! sparse centralised path.
+
+use lbc_distsim::NodeRng;
+use lbc_graph::{Graph, NodeId};
+
+use crate::matching::{apply_matching_dense, sample_matching, MatchingOutcome, ProposalRule};
+
+/// The multi-dimensional process: `vectors[i]` is `x^{(t,i)}`.
+pub struct MultiLoadProcess<'g> {
+    graph: &'g Graph,
+    rule: ProposalRule,
+    rngs: Vec<NodeRng>,
+    vectors: Vec<Vec<f64>>,
+    round: usize,
+}
+
+impl<'g> MultiLoadProcess<'g> {
+    /// Start a process with unit loads at `sources` (vector `i` is
+    /// `χ_{sources[i]}`, i.e. 1 at that node).
+    ///
+    /// `rngs` should be the per-node streams *after* seeding so the
+    /// matchings replay identically to [`crate::cluster`]; for standalone
+    /// analysis just pass fresh streams.
+    pub fn new(
+        graph: &'g Graph,
+        rule: ProposalRule,
+        rngs: Vec<NodeRng>,
+        sources: &[NodeId],
+    ) -> Self {
+        assert_eq!(rngs.len(), graph.n(), "one rng stream per node");
+        let n = graph.n();
+        let vectors = sources
+            .iter()
+            .map(|&v| {
+                let mut x = vec![0.0; n];
+                x[v as usize] = 1.0;
+                x
+            })
+            .collect();
+        MultiLoadProcess {
+            graph,
+            rule,
+            rngs,
+            vectors,
+            round: 0,
+        }
+    }
+
+    /// Execute one round: sample a matching, average every vector along
+    /// it. Returns the matching for callers that track trajectories.
+    pub fn step(&mut self) -> MatchingOutcome {
+        let m = sample_matching(self.graph, self.rule, &mut self.rngs);
+        for x in &mut self.vectors {
+            apply_matching_dense(&m, x);
+        }
+        self.round += 1;
+        m
+    }
+
+    /// Run `rounds` rounds.
+    pub fn run(&mut self, rounds: usize) {
+        for _ in 0..rounds {
+            self.step();
+        }
+    }
+
+    /// Current round.
+    pub fn round(&self) -> usize {
+        self.round
+    }
+
+    /// Load vector `i`.
+    pub fn vector(&self, i: usize) -> &[f64] {
+        &self.vectors[i]
+    }
+
+    /// All load vectors.
+    pub fn vectors(&self) -> &[Vec<f64>] {
+        &self.vectors
+    }
+
+    /// Node `v`'s coordinates across all vectors
+    /// (`x^{(t,1)}(v), …, x^{(t,s)}(v)`).
+    pub fn node_profile(&self, v: NodeId) -> Vec<f64> {
+        self.vectors.iter().map(|x| x[v as usize]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbc_graph::generators;
+
+    fn rngs_for(n: usize, seed: u64) -> Vec<NodeRng> {
+        (0..n as u32).map(|v| NodeRng::for_node(seed, v)).collect()
+    }
+
+    #[test]
+    fn conserves_each_vector_sum() {
+        let (g, _) = generators::ring_of_cliques(2, 12, 0).unwrap();
+        let mut p = MultiLoadProcess::new(
+            &g,
+            ProposalRule::Uniform,
+            rngs_for(g.n(), 3),
+            &[0, 15],
+        );
+        p.run(40);
+        for x in p.vectors() {
+            let s: f64 = x.iter().sum();
+            assert!((s - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn loads_stay_nonnegative() {
+        let (g, _) = generators::ring_of_cliques(3, 8, 0).unwrap();
+        let mut p =
+            MultiLoadProcess::new(&g, ProposalRule::Uniform, rngs_for(g.n(), 5), &[0, 8, 16]);
+        p.run(60);
+        for x in p.vectors() {
+            assert!(x.iter().all(|&v| v >= 0.0));
+        }
+    }
+
+    #[test]
+    fn converges_towards_uniform_on_expander() {
+        let g = generators::complete(32).unwrap();
+        let mut p = MultiLoadProcess::new(&g, ProposalRule::Uniform, rngs_for(32, 7), &[0]);
+        p.run(200);
+        let x = p.vector(0);
+        let target = 1.0 / 32.0;
+        for &v in x {
+            assert!((v - target).abs() < 0.02, "value {v} vs {target}");
+        }
+    }
+
+    #[test]
+    fn localises_on_cluster_before_global_mixing() {
+        // At T ≈ log n / gap rounds, the load from a cluster node should
+        // be mostly inside its own clique.
+        let (g, truth) = generators::ring_of_cliques(4, 16, 0).unwrap();
+        let mut p = MultiLoadProcess::new(&g, ProposalRule::Uniform, rngs_for(g.n(), 9), &[0]);
+        p.run(40);
+        let x = p.vector(0);
+        let inside: f64 = (0..g.n())
+            .filter(|&v| truth.label(v as u32) == 0)
+            .map(|v| x[v])
+            .sum();
+        assert!(inside > 0.8, "mass inside own cluster = {inside}");
+    }
+
+    #[test]
+    fn node_profile_reads_columns() {
+        let (g, _) = generators::ring_of_cliques(2, 6, 0).unwrap();
+        let p = MultiLoadProcess::new(&g, ProposalRule::Uniform, rngs_for(12, 1), &[2, 9]);
+        assert_eq!(p.node_profile(2), vec![1.0, 0.0]);
+        assert_eq!(p.node_profile(9), vec![0.0, 1.0]);
+        assert_eq!(p.node_profile(0), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn matches_sparse_driver_states() {
+        // The matrix process and the sparse driver must agree exactly
+        // when fed the same post-seeding rng streams.
+        use crate::config::LbConfig;
+        use crate::driver::cluster;
+        let (g, _) = generators::ring_of_cliques(2, 10, 0).unwrap();
+        let cfg = LbConfig::new(0.5, 25).with_seed(21);
+        let out = cluster(&g, &cfg).unwrap();
+        // Replay seeding to advance fresh streams to the same point.
+        let mut rngs = rngs_for(g.n(), 21);
+        let seeds = crate::seeding::run_seeding(g.n(), cfg.trials(), &mut rngs);
+        assert_eq!(seeds, out.seeds);
+        let sources: Vec<u32> = seeds.iter().map(|s| s.node).collect();
+        let mut p = MultiLoadProcess::new(&g, cfg.proposal_rule(&g), rngs, &sources);
+        p.run(25);
+        for (i, s) in seeds.iter().enumerate() {
+            for v in 0..g.n() {
+                let dense = p.vector(i)[v];
+                let sparse = out.states[v].load(s.id);
+                assert_eq!(dense, sparse, "mismatch at node {v}, seed {i}");
+            }
+        }
+    }
+}

@@ -1,0 +1,340 @@
+//! The fully distributed implementation on the synchronous network.
+//!
+//! Each paper round is realised as a three-message handshake, so one
+//! averaging round costs three network rounds:
+//!
+//! * **phase 0** — (first: adopt any `Update` delivered from the previous
+//!   paper round); flip the activation coin; active nodes send `Propose`
+//!   to a random neighbour (or a `G*` self-loop slot in §4.5 mode).
+//! * **phase 1** — non-active nodes that received exactly one `Propose`
+//!   reply `Accept` carrying their full state.
+//! * **phase 2** — the proposer merges the two states with the paper's
+//!   averaging rule and ships the merged state back as `Update`.
+//!
+//! Network round 0 runs the seeding procedure locally at every node.
+//! Message sizes follow Theorem 1.1(2)'s word model: `Propose` is one
+//! word, `Accept`/`Update` carry two words per state entry.
+//!
+//! The per-node random draws (seeding, activation coin, slot draw) happen
+//! in exactly the order the centralised implementation replays them, so
+//! in a fault-free network [`cluster_distributed`] produces bit-for-bit
+//! the same states as [`crate::cluster`] — enforced by tests.
+
+use lbc_distsim::{Ctx, FaultPlan, MessageStats, Node, Payload, SyncNetwork};
+use lbc_graph::{Graph, NodeId};
+
+use crate::config::LbConfig;
+use crate::driver::{ClusterError, ClusterOutput};
+use crate::matching::ProposalRule;
+use crate::query::assign_labels;
+use crate::seeding::{node_seeding, Seed};
+use crate::state::{LoadState, SeedId};
+
+/// Protocol messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LbMsg {
+    /// "I am active and chose you" (phase 0 → 1).
+    Propose,
+    /// "I accept; here is my state" (phase 1 → 2).
+    Accept(Vec<(SeedId, f64)>),
+    /// "Here is our merged state" (phase 2 → 0).
+    Update(Vec<(SeedId, f64)>),
+}
+
+impl Payload for LbMsg {
+    fn words(&self) -> usize {
+        match self {
+            LbMsg::Propose => 1,
+            LbMsg::Accept(e) | LbMsg::Update(e) => 1 + 2 * e.len(),
+        }
+    }
+}
+
+/// One node's program.
+pub struct LbNode {
+    n: usize,
+    trials: usize,
+    rule: ProposalRule,
+    paper_rounds: usize,
+    state: LoadState,
+    seed_id: Option<SeedId>,
+    active: bool,
+}
+
+impl LbNode {
+    fn new(n: usize, trials: usize, rule: ProposalRule, paper_rounds: usize) -> Self {
+        LbNode {
+            n,
+            trials,
+            rule,
+            paper_rounds,
+            state: LoadState::empty(),
+            seed_id: None,
+            active: false,
+        }
+    }
+
+    /// Final state (after the run).
+    pub fn state(&self) -> &LoadState {
+        &self.state
+    }
+
+    /// This node's seed id, if it became a seed.
+    pub fn seed_id(&self) -> Option<SeedId> {
+        self.seed_id
+    }
+}
+
+impl Node for LbNode {
+    type Msg = LbMsg;
+
+    fn on_round(&mut self, ctx: &mut Ctx<'_, LbMsg>) {
+        if ctx.round == 0 {
+            // Seeding procedure, entirely local.
+            self.seed_id = node_seeding(ctx.id, self.n, self.trials, ctx.rng);
+            if let Some(id) = self.seed_id {
+                self.state = LoadState::seed(id);
+            }
+            return;
+        }
+        let phase = (ctx.round - 1) % 3;
+        let paper_round = ((ctx.round - 1) / 3) as usize;
+        match phase {
+            0 => {
+                // Adopt the merged state from the previous paper round.
+                for (_, msg) in ctx.inbox().iter() {
+                    if let LbMsg::Update(entries) = msg {
+                        self.state = LoadState::from_entries(entries.clone());
+                    }
+                }
+                if paper_round >= self.paper_rounds {
+                    return; // all averaging rounds done; no new proposal
+                }
+                let (neighbours, rng) = ctx.neighbours_and_rng();
+                let (active, target) = self.rule.draw(neighbours, rng);
+                self.active = active;
+                if let Some(t) = target {
+                    ctx.send(t, LbMsg::Propose);
+                }
+            }
+            1 => {
+                if self.active {
+                    return; // active nodes ignore proposals
+                }
+                let proposers: Vec<NodeId> = ctx
+                    .inbox()
+                    .iter()
+                    .filter(|(_, m)| matches!(m, LbMsg::Propose))
+                    .map(|&(from, _)| from)
+                    .collect();
+                if let [u] = proposers[..] {
+                    ctx.send(u, LbMsg::Accept(self.state.entries().to_vec()));
+                }
+            }
+            2 => {
+                // At most one Accept can arrive (only our proposal target
+                // could have accepted, and it accepts one proposer).
+                let accept = ctx.inbox().iter().find_map(|(from, m)| match m {
+                    LbMsg::Accept(entries) => Some((*from, entries.clone())),
+                    _ => None,
+                });
+                if let Some((from, entries)) = accept {
+                    let theirs = LoadState::from_entries(entries);
+                    let merged = LoadState::average(&self.state, &theirs);
+                    self.state = merged.clone();
+                    ctx.send(from, LbMsg::Update(merged.entries().to_vec()));
+                }
+            }
+            _ => unreachable!(),
+        }
+    }
+}
+
+/// Run the full algorithm on the synchronous message-passing network.
+///
+/// Returns the clustering output plus the measured traffic statistics
+/// (`stats.sent_words` is the Theorem 1.1(2) quantity). An optional
+/// fault plan injects message drops / crashed nodes; with faults the
+/// distributed execution may legitimately diverge from the centralised
+/// one.
+///
+/// ```
+/// use lbc_core::{cluster, cluster_distributed, LbConfig};
+/// use lbc_graph::generators::ring_of_cliques;
+///
+/// let (g, _) = ring_of_cliques(2, 10, 0).unwrap();
+/// let cfg = LbConfig::new(0.5, 20).with_seed(7);
+/// let (dist, stats) = cluster_distributed(&g, &cfg, None).unwrap();
+/// // Fault-free distributed ≡ centralised, bit for bit.
+/// let central = cluster(&g, &cfg).unwrap();
+/// assert_eq!(dist.states, central.states);
+/// assert!(stats.sent_words > 0);
+/// ```
+pub fn cluster_distributed(
+    graph: &Graph,
+    cfg: &LbConfig,
+    faults: Option<FaultPlan>,
+) -> Result<(ClusterOutput, MessageStats), ClusterError> {
+    let n = graph.n();
+    if n == 0 {
+        return Err(ClusterError::EmptyGraph);
+    }
+    let rule = cfg.proposal_rule(graph);
+    let paper_rounds = cfg.rounds.count();
+    let trials = cfg.trials();
+    let mut net = SyncNetwork::new(graph, cfg.seed, |_| {
+        LbNode::new(n, trials, rule, paper_rounds)
+    });
+    if let Some(f) = faults {
+        net.set_faults(f);
+    }
+    // Round 0 (seeding) + 3 per paper round + 1 to deliver final Update.
+    net.run(1 + 3 * paper_rounds + 1);
+
+    let seeds: Vec<Seed> = net
+        .nodes()
+        .iter()
+        .enumerate()
+        .filter_map(|(v, node)| {
+            node.seed_id().map(|id| Seed {
+                node: v as NodeId,
+                id,
+            })
+        })
+        .collect();
+    if seeds.is_empty() {
+        return Err(ClusterError::NoSeeds);
+    }
+    let states: Vec<LoadState> = net.nodes().iter().map(|nd| nd.state().clone()).collect();
+    let (raw_labels, partition) = assign_labels(&states, cfg.query, cfg.beta);
+    let stats = *net.stats();
+    Ok((
+        ClusterOutput {
+            partition,
+            raw_labels,
+            seeds,
+            rounds: paper_rounds,
+            states,
+        },
+        stats,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::driver::cluster;
+    use lbc_eval::accuracy;
+    use lbc_graph::generators;
+
+    #[test]
+    fn message_word_counts() {
+        assert_eq!(LbMsg::Propose.words(), 1);
+        assert_eq!(LbMsg::Accept(vec![(1, 0.5)]).words(), 3);
+        assert_eq!(LbMsg::Update(vec![(1, 0.5), (2, 0.25)]).words(), 5);
+    }
+
+    #[test]
+    fn distributed_matches_centralised_bit_for_bit() {
+        let (g, _) = generators::ring_of_cliques(3, 12, 0).unwrap();
+        let cfg = LbConfig::new(1.0 / 3.0, 30).with_seed(17);
+        let central = cluster(&g, &cfg).unwrap();
+        let (dist, stats) = cluster_distributed(&g, &cfg, None).unwrap();
+        assert_eq!(central.seeds, dist.seeds);
+        assert_eq!(central.states, dist.states, "states diverged");
+        assert_eq!(central.partition, dist.partition);
+        assert!(stats.sent_messages > 0);
+        assert_eq!(stats.dropped_messages, 0);
+    }
+
+    #[test]
+    fn distributed_matches_centralised_on_irregular_graph() {
+        let (g, truth) = generators::planted_partition(2, 30, 0.4, 0.02, 5).unwrap();
+        // Capped (G*) mode voids many proposals, so matchings are
+        // sparser; give the process enough rounds to mix.
+        let cfg = LbConfig::new(0.5, 150).with_seed(23);
+        let central = cluster(&g, &cfg).unwrap();
+        let (dist, _) = cluster_distributed(&g, &cfg, None).unwrap();
+        assert_eq!(central.states, dist.states);
+        let acc = accuracy(truth.labels(), dist.partition.labels());
+        assert!(acc > 0.9, "accuracy {acc}");
+    }
+
+    #[test]
+    fn traffic_scales_with_rounds() {
+        let (g, _) = generators::ring_of_cliques(2, 16, 0).unwrap();
+        let run = |t: usize| {
+            let cfg = LbConfig::new(0.5, t).with_seed(3);
+            cluster_distributed(&g, &cfg, None).unwrap().1
+        };
+        let short = run(10);
+        let long = run(40);
+        assert!(long.sent_words > 2 * short.sent_words);
+        // 1 seeding + 3T + 1 final delivery rounds.
+        assert_eq!(short.rounds, 1 + 3 * 10 + 1);
+    }
+
+    #[test]
+    fn message_complexity_within_theorem_bound_shape() {
+        // Theorem 1.1(2): O(T · n · k log k) words. Conservative sanity
+        // check: per paper round, words ≤ n · (3 + 4·s) where s = #seeds.
+        let (g, _) = generators::ring_of_cliques(2, 40, 0).unwrap();
+        let cfg = LbConfig::new(0.5, 25).with_seed(9);
+        let (out, stats) = cluster_distributed(&g, &cfg, None).unwrap();
+        let s = out.seeds.len() as u64;
+        let bound = 25u64 * g.n() as u64 * (3 + 4 * s);
+        assert!(
+            stats.sent_words < bound,
+            "sent {} vs bound {bound}",
+            stats.sent_words
+        );
+    }
+
+    #[test]
+    fn survives_message_drops_with_degraded_accuracy() {
+        // Dropped `Update`s make averaging one-sided, so load is no
+        // longer conserved; the claim tested is *graceful* degradation —
+        // mean accuracy across runs stays well above chance.
+        let (g, truth) = generators::ring_of_cliques(3, 20, 0).unwrap();
+        let mut total_acc = 0.0;
+        let mut dropped = 0u64;
+        let runs = 5u64;
+        for s in 0..runs {
+            let cfg = LbConfig::new(1.0 / 3.0, 60).with_seed(7 + s);
+            let (out, stats) =
+                cluster_distributed(&g, &cfg, Some(FaultPlan::with_drops(0.05, 11 + s)))
+                    .unwrap();
+            dropped += stats.dropped_messages;
+            total_acc += accuracy(truth.labels(), out.partition.labels());
+        }
+        assert!(dropped > 0);
+        let mean = total_acc / runs as f64;
+        assert!(mean > 0.75, "mean accuracy under drops {mean}");
+    }
+
+    #[test]
+    fn crashed_nodes_do_not_stop_the_rest() {
+        let (g, truth) = generators::ring_of_cliques(2, 20, 0).unwrap();
+        let cfg = LbConfig::new(0.5, 120).with_seed(13);
+        let faults = FaultPlan::none().crash_nodes(g.n(), &[5, 25]);
+        let (out, _) = cluster_distributed(&g, &cfg, Some(faults)).unwrap();
+        // Evaluate only live nodes.
+        let live: Vec<usize> = (0..g.n()).filter(|&v| v != 5 && v != 25).collect();
+        let t: Vec<u32> = live.iter().map(|&v| truth.labels()[v]).collect();
+        let p: Vec<u32> = live.iter().map(|&v| out.partition.labels()[v]).collect();
+        let acc = accuracy(&t, &p);
+        assert!(acc > 0.8, "accuracy among live nodes {acc}");
+    }
+
+    #[test]
+    fn empty_graph_rejected() {
+        let g = Graph::from_edges(0, &[]).unwrap();
+        let cfg = LbConfig::new(0.5, 5);
+        assert!(matches!(
+            cluster_distributed(&g, &cfg, None),
+            Err(ClusterError::EmptyGraph)
+        ));
+    }
+
+    use lbc_graph::Graph;
+}

@@ -1,0 +1,165 @@
+//! The query procedure (§3.1) and its threshold variants.
+//!
+//! The paper labels node `v` with the *minimum* seed ID whose load at `v`
+//! is at least `1/(√(2β)·n)`; if no entry clears the threshold the label
+//! is arbitrary. The threshold comes from the misclassification analysis
+//! (a node is misclassified only if some coordinate deviates from its
+//! target `χ_{S(v_i)}(v)` by at least `1/(√(2β)·n)`), with untuned
+//! constants — so we also expose the natural practical rule (argmax) and
+//! a scaled-threshold variant for the ablation benches.
+
+use lbc_graph::Partition;
+
+use crate::state::{LoadState, SeedId};
+
+/// Label assignment rule applied to each node's final state.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum QueryRule {
+    /// Paper rule: min seed ID with load ≥ `1/(√(2β)·n)`.
+    PaperThreshold,
+    /// Min seed ID with load ≥ `c/n` (ablation knob).
+    ScaledThreshold(f64),
+    /// Seed ID with the maximum load (practical rule; never abstains).
+    ArgMax,
+}
+
+impl QueryRule {
+    /// The load threshold this rule uses (`None` for ArgMax).
+    pub fn threshold(self, beta: f64, n: usize) -> Option<f64> {
+        match self {
+            QueryRule::PaperThreshold => Some(1.0 / ((2.0 * beta).sqrt() * n as f64)),
+            QueryRule::ScaledThreshold(c) => Some(c / n as f64),
+            QueryRule::ArgMax => None,
+        }
+    }
+
+    /// Label one node. Returns `None` when the rule abstains (threshold
+    /// rules with no qualifying entry, or an empty state).
+    pub fn label(self, state: &LoadState, beta: f64, n: usize) -> Option<SeedId> {
+        match self.threshold(beta, n) {
+            Some(tau) => state
+                .entries()
+                .iter()
+                .find(|&&(_, x)| x >= tau)
+                .map(|&(id, _)| id),
+            None => state
+                .entries()
+                .iter()
+                .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+                .map(|&(id, _)| id),
+        }
+    }
+}
+
+/// Apply the query rule to every node and compact the raw seed-ID labels
+/// into a [`Partition`] with labels `0..k'`.
+///
+/// Abstaining nodes fall back to the argmax entry (the paper allows an
+/// arbitrary label there; argmax is the deterministic choice). Nodes
+/// whose state is completely empty are grouped into one extra cluster.
+pub fn assign_labels(
+    states: &[LoadState],
+    rule: QueryRule,
+    beta: f64,
+) -> (Vec<Option<SeedId>>, Partition) {
+    let n = states.len();
+    let raw: Vec<Option<SeedId>> = states
+        .iter()
+        .map(|st| {
+            rule.label(st, beta, n)
+                .or_else(|| QueryRule::ArgMax.label(st, beta, n))
+        })
+        .collect();
+    // Compact seed ids → 0..k'−1 (sorted for determinism); empties last.
+    let mut ids: Vec<SeedId> = raw.iter().flatten().copied().collect();
+    ids.sort_unstable();
+    ids.dedup();
+    let index_of = |id: SeedId| ids.binary_search(&id).unwrap() as u32;
+    let empty_label = ids.len() as u32;
+    let labels: Vec<u32> = raw
+        .iter()
+        .map(|r| r.map_or(empty_label, index_of))
+        .collect();
+    let any_empty = raw.iter().any(Option::is_none);
+    let k = ids.len() + usize::from(any_empty);
+    let partition = Partition::with_k(labels, k.max(1)).expect("labels constructed in range");
+    (raw, partition)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn st(entries: &[(SeedId, f64)]) -> LoadState {
+        LoadState::from_entries(entries.to_vec())
+    }
+
+    #[test]
+    fn paper_threshold_value() {
+        // β = 1/2, n = 100: τ = 1/(√1 · 100) = 0.01.
+        let tau = QueryRule::PaperThreshold.threshold(0.5, 100).unwrap();
+        assert!((tau - 0.01).abs() < 1e-15);
+    }
+
+    #[test]
+    fn min_id_above_threshold_wins() {
+        // Both ids clear τ; the smaller id is chosen even with less load.
+        let s = st(&[(3, 0.5), (9, 0.9)]);
+        let l = QueryRule::ScaledThreshold(1.0).label(&s, 0.5, 10);
+        assert_eq!(l, Some(3));
+    }
+
+    #[test]
+    fn below_threshold_abstains() {
+        let s = st(&[(3, 0.001)]);
+        assert_eq!(QueryRule::ScaledThreshold(1.0).label(&s, 0.5, 10), None);
+    }
+
+    #[test]
+    fn argmax_never_abstains_on_nonempty() {
+        let s = st(&[(3, 0.001), (9, 0.002)]);
+        assert_eq!(QueryRule::ArgMax.label(&s, 0.5, 10), Some(9));
+        assert_eq!(QueryRule::ArgMax.label(&LoadState::empty(), 0.5, 10), None);
+    }
+
+    #[test]
+    fn assign_labels_compacts_ids() {
+        let states = vec![
+            st(&[(100, 0.9)]),
+            st(&[(100, 0.8)]),
+            st(&[(7, 0.7)]),
+            st(&[(7, 0.9), (100, 0.1)]),
+        ];
+        let (raw, part) = assign_labels(&states, QueryRule::ArgMax, 0.5);
+        assert_eq!(raw, vec![Some(100), Some(100), Some(7), Some(7)]);
+        // id 7 < 100 so it compacts to label 0.
+        assert_eq!(part.labels(), &[1, 1, 0, 0]);
+        assert_eq!(part.k(), 2);
+    }
+
+    #[test]
+    fn abstainers_fall_back_to_argmax() {
+        let states = vec![st(&[(5, 1.0)]), st(&[(5, 1e-9)])];
+        let (raw, part) = assign_labels(&states, QueryRule::PaperThreshold, 0.5);
+        // Node 1 is under τ but falls back to its argmax entry (id 5).
+        assert_eq!(raw, vec![Some(5), Some(5)]);
+        assert_eq!(part.labels(), &[0, 0]);
+    }
+
+    #[test]
+    fn empty_states_get_their_own_cluster() {
+        let states = vec![st(&[(5, 1.0)]), LoadState::empty()];
+        let (raw, part) = assign_labels(&states, QueryRule::ArgMax, 0.5);
+        assert_eq!(raw[1], None);
+        assert_eq!(part.labels(), &[0, 1]);
+        assert_eq!(part.k(), 2);
+    }
+
+    #[test]
+    fn all_empty_states_single_cluster() {
+        let states = vec![LoadState::empty(), LoadState::empty()];
+        let (_, part) = assign_labels(&states, QueryRule::ArgMax, 0.5);
+        assert_eq!(part.labels(), &[0, 0]);
+        assert_eq!(part.k(), 1);
+    }
+}

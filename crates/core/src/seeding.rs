@@ -1,0 +1,187 @@
+//! The seeding procedure (§3.1).
+//!
+//! `s̄ = ⌈(3/β) ln(1/β)⌉` trials; in each trial, every node independently
+//! activates with probability `1/n`. A node active in *at least one*
+//! trial becomes a seed and draws a random ID uniform in `[1, n³]` which
+//! identifies its unit of load. The analysis (proof of Theorem 1.1)
+//! shows each cluster receives a seed with probability ≥ 1 − e^{-3} and
+//! the number of seeds is `O(s̄)` with constant probability.
+//!
+//! Randomness discipline: node `v` first draws its ID, then performs its
+//! `s̄` activation coins, all from its own stream — the distributed
+//! implementation does exactly the same, keeping executions identical.
+
+use lbc_distsim::NodeRng;
+use lbc_graph::NodeId;
+
+use crate::state::SeedId;
+
+/// One seed: the node that activated and the random ID it drew.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Seed {
+    pub node: NodeId,
+    pub id: SeedId,
+}
+
+/// `s̄ = ⌈(3/β) ln(1/β)⌉` (minimum 1).
+///
+/// # Panics
+/// If `beta ∉ (0, 1]`.
+pub fn expected_trials(beta: f64) -> usize {
+    assert!(beta > 0.0 && beta <= 1.0, "beta {beta} out of (0, 1]");
+    let s = (3.0 / beta) * (1.0 / beta).ln();
+    (s.ceil() as usize).max(1)
+}
+
+/// Draw node `v`'s seed ID: uniform in `[1, n³]`.
+pub fn draw_seed_id(n: usize, rng: &mut NodeRng) -> SeedId {
+    let cube = (n as u128).pow(3).min(u64::MAX as u128) as u64;
+    (rng.next_u64() % cube.max(1)) + 1
+}
+
+/// Perform node `v`'s entire local seeding procedure (ID draw + `trials`
+/// coins at probability `1/n`); returns `Some(id)` if `v` became a seed.
+///
+/// Always consumes the same amount of randomness regardless of outcome,
+/// so downstream draws stay aligned across implementations.
+pub fn node_seeding(v: NodeId, n: usize, trials: usize, rng: &mut NodeRng) -> Option<SeedId> {
+    let _ = v;
+    let id = draw_seed_id(n, rng);
+    let p = 1.0 / n as f64;
+    let mut active = false;
+    for _ in 0..trials {
+        if rng.bernoulli(p) {
+            active = true;
+        }
+    }
+    active.then_some(id)
+}
+
+/// Run the seeding procedure for all nodes (centralised replay).
+/// Returns seeds ordered by node id.
+pub fn run_seeding(n: usize, trials: usize, rngs: &mut [NodeRng]) -> Vec<Seed> {
+    debug_assert_eq!(rngs.len(), n);
+    let mut seeds = Vec::new();
+    for v in 0..n {
+        if let Some(id) = node_seeding(v as NodeId, n, trials, &mut rngs[v]) {
+            seeds.push(Seed {
+                node: v as NodeId,
+                id,
+            });
+        }
+    }
+    seeds
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rngs_for(n: usize, seed: u64) -> Vec<NodeRng> {
+        (0..n as u32).map(|v| NodeRng::for_node(seed, v)).collect()
+    }
+
+    #[test]
+    fn trial_count_formula() {
+        // β = 1/2: (3/0.5)·ln 2 ≈ 4.16 → 5.
+        assert_eq!(expected_trials(0.5), 5);
+        // β = 1/4: 12·ln 4 ≈ 16.64 → 17.
+        assert_eq!(expected_trials(0.25), 17);
+        // β = 1 gives ln 1 = 0 → floor at 1 trial.
+        assert_eq!(expected_trials(1.0), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_beta_panics() {
+        let _ = expected_trials(0.0);
+    }
+
+    #[test]
+    fn seed_count_concentrates_near_expected() {
+        // E[#seeds] ≈ s̄ (slightly less due to multi-activation overlap).
+        let n = 2_000;
+        let trials = 20;
+        let mut total = 0usize;
+        for rep in 0..30 {
+            let mut rngs = rngs_for(n, rep);
+            total += run_seeding(n, trials, &mut rngs).len();
+        }
+        let mean = total as f64 / 30.0;
+        assert!(
+            (mean - trials as f64).abs() < 3.0,
+            "mean seeds {mean} vs expected ≈ {trials}"
+        );
+    }
+
+    #[test]
+    fn seed_ids_in_range_and_distinct_whp() {
+        let n = 500;
+        let mut rngs = rngs_for(n, 77);
+        let seeds = run_seeding(n, 30, &mut rngs);
+        assert!(!seeds.is_empty());
+        let cube = (n as u64).pow(3);
+        let mut ids: Vec<u64> = seeds.iter().map(|s| s.id).collect();
+        for &id in &ids {
+            assert!(id >= 1 && id <= cube);
+        }
+        ids.sort_unstable();
+        ids.dedup();
+        assert_eq!(ids.len(), seeds.len(), "seed id collision");
+    }
+
+    #[test]
+    fn deterministic_given_streams() {
+        let n = 300;
+        let mut a = rngs_for(n, 5);
+        let mut b = rngs_for(n, 5);
+        assert_eq!(run_seeding(n, 10, &mut a), run_seeding(n, 10, &mut b));
+    }
+
+    #[test]
+    fn randomness_consumption_is_outcome_independent() {
+        // After seeding, every node's stream must be at the same position
+        // whether or not it activated: next draws must match a manual
+        // replay that skips the outcome.
+        let n = 100;
+        let trials = 12;
+        let mut rngs = rngs_for(n, 9);
+        let _ = run_seeding(n, trials, &mut rngs);
+        let mut manual = rngs_for(n, 9);
+        for v in 0..n {
+            let _ = manual[v].next_u64(); // id draw
+            for _ in 0..trials {
+                let _ = manual[v].bernoulli(1.0 / n as f64);
+            }
+        }
+        for v in 0..n {
+            assert_eq!(rngs[v].next_u64(), manual[v].next_u64(), "node {v} desynced");
+        }
+    }
+
+    #[test]
+    fn every_cluster_seeded_with_good_probability() {
+        // Theorem 1.1's seeding lemma: with s̄ = (3/β)ln(1/β) trials and
+        // clusters of size βn, each cluster misses with prob ≤ e^{-3}.
+        let n = 1_000;
+        let beta = 0.25; // 4 clusters of 250
+        let trials = expected_trials(beta);
+        let mut all_covered = 0usize;
+        let reps = 200;
+        for rep in 0..reps {
+            let mut rngs = rngs_for(n, 1000 + rep);
+            let seeds = run_seeding(n, trials, &mut rngs);
+            let covered = (0..4).all(|c| {
+                seeds
+                    .iter()
+                    .any(|s| (s.node as usize) / 250 == c)
+            });
+            if covered {
+                all_covered += 1;
+            }
+        }
+        let rate = all_covered as f64 / reps as f64;
+        // Union bound gives ≥ 1 − 4e^{-3} ≈ 0.80; in practice higher.
+        assert!(rate > 0.8, "coverage rate {rate}");
+    }
+}

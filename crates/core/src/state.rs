@@ -1,0 +1,200 @@
+//! Sparse load states and the paper's averaging rule (§3.1).
+//!
+//! A node's state is a set of `(seed id, load)` pairs, kept sorted by id.
+//! When two matched nodes `u, v` average:
+//!
+//! * ids present in both states: both get `(x + y) / 2`;
+//! * ids present in only one: both get `x / 2` (the other side's load is
+//!   implicitly 0).
+//!
+//! The result is the same for both endpoints, which is what makes the
+//! process a projection (Lemma 2.1(2)). Entries are never removed — once
+//! a node has heard of a seed, its load stays (possibly tiny) — matching
+//! the paper, where the state size is bounded by the number of seeds `s`.
+
+/// Identifier of a seed: the random ID drawn by the seed node (paper:
+/// uniform in `[1, n³]`).
+pub type SeedId = u64;
+
+/// Sparse per-node load state: sorted by seed id, duplicate-free.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LoadState {
+    entries: Vec<(SeedId, f64)>,
+}
+
+impl LoadState {
+    /// Empty state (non-seed nodes at round 0).
+    pub fn empty() -> Self {
+        LoadState::default()
+    }
+
+    /// Seed initial state: unit load on the node's own seed id
+    /// (`x^{(0,i)} = χ_{v_i}`, §3.2).
+    pub fn seed(id: SeedId) -> Self {
+        LoadState {
+            entries: vec![(id, 1.0)],
+        }
+    }
+
+    /// Build from entries; sorts and asserts duplicate-free ids.
+    pub fn from_entries(mut entries: Vec<(SeedId, f64)>) -> Self {
+        entries.sort_unstable_by_key(|&(id, _)| id);
+        for w in entries.windows(2) {
+            assert!(w[0].0 != w[1].0, "duplicate seed id {}", w[0].0);
+        }
+        LoadState { entries }
+    }
+
+    /// Sorted `(seed id, load)` view.
+    pub fn entries(&self) -> &[(SeedId, f64)] {
+        &self.entries
+    }
+
+    /// Number of tracked seeds.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no seeds are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Load for `id` (0 if absent).
+    pub fn load(&self, id: SeedId) -> f64 {
+        match self.entries.binary_search_by_key(&id, |&(i, _)| i) {
+            Ok(pos) => self.entries[pos].1,
+            Err(_) => 0.0,
+        }
+    }
+
+    /// Total load across seeds.
+    pub fn total(&self) -> f64 {
+        self.entries.iter().map(|&(_, x)| x).sum()
+    }
+
+    /// The paper's averaging rule; returns the state both endpoints adopt.
+    ///
+    /// Implemented as a sorted two-pointer merge so the arithmetic order
+    /// is deterministic — the centralised, matrix, and distributed
+    /// implementations all produce bit-identical results.
+    pub fn average(a: &LoadState, b: &LoadState) -> LoadState {
+        let mut merged = Vec::with_capacity(a.len().max(b.len()));
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < a.entries.len() && j < b.entries.len() {
+            let (ia, xa) = a.entries[i];
+            let (ib, xb) = b.entries[j];
+            if ia == ib {
+                merged.push((ia, (xa + xb) / 2.0));
+                i += 1;
+                j += 1;
+            } else if ia < ib {
+                merged.push((ia, xa / 2.0));
+                i += 1;
+            } else {
+                merged.push((ib, xb / 2.0));
+                j += 1;
+            }
+        }
+        while i < a.entries.len() {
+            let (id, x) = a.entries[i];
+            merged.push((id, x / 2.0));
+            i += 1;
+        }
+        while j < b.entries.len() {
+            let (id, x) = b.entries[j];
+            merged.push((id, x / 2.0));
+            j += 1;
+        }
+        LoadState { entries: merged }
+    }
+
+    /// Message size in machine words when this state is shipped: one word
+    /// per id plus one per load.
+    pub fn words(&self) -> usize {
+        2 * self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seed_state_has_unit_load() {
+        let s = LoadState::seed(42);
+        assert_eq!(s.load(42), 1.0);
+        assert_eq!(s.load(7), 0.0);
+        assert_eq!(s.total(), 1.0);
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn average_shared_key() {
+        let a = LoadState::from_entries(vec![(1, 0.5)]);
+        let b = LoadState::from_entries(vec![(1, 0.25)]);
+        let m = LoadState::average(&a, &b);
+        assert_eq!(m.load(1), 0.375);
+    }
+
+    #[test]
+    fn average_disjoint_keys_halves_each() {
+        let a = LoadState::from_entries(vec![(1, 1.0)]);
+        let b = LoadState::from_entries(vec![(2, 0.5)]);
+        let m = LoadState::average(&a, &b);
+        assert_eq!(m.load(1), 0.5);
+        assert_eq!(m.load(2), 0.25);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn average_with_empty_halves_everything() {
+        let a = LoadState::from_entries(vec![(1, 1.0), (5, 0.25)]);
+        let m = LoadState::average(&a, &LoadState::empty());
+        assert_eq!(m.load(1), 0.5);
+        assert_eq!(m.load(5), 0.125);
+    }
+
+    #[test]
+    fn average_is_symmetric() {
+        let a = LoadState::from_entries(vec![(1, 0.7), (3, 0.1)]);
+        let b = LoadState::from_entries(vec![(2, 0.4), (3, 0.5)]);
+        assert_eq!(LoadState::average(&a, &b), LoadState::average(&b, &a));
+    }
+
+    #[test]
+    fn average_conserves_total_pairwise() {
+        let a = LoadState::from_entries(vec![(1, 0.7), (3, 0.1)]);
+        let b = LoadState::from_entries(vec![(2, 0.4), (3, 0.5)]);
+        let m = LoadState::average(&a, &b);
+        // Both endpoints adopt m, so pair total = 2·total(m).
+        assert!((2.0 * m.total() - (a.total() + b.total())).abs() < 1e-15);
+    }
+
+    #[test]
+    fn average_is_idempotent_on_equal_states() {
+        let a = LoadState::from_entries(vec![(1, 0.3), (2, 0.6)]);
+        let m = LoadState::average(&a, &a);
+        assert_eq!(m, a);
+    }
+
+    #[test]
+    fn from_entries_sorts() {
+        let s = LoadState::from_entries(vec![(5, 0.1), (1, 0.2)]);
+        assert_eq!(s.entries(), &[(1, 0.2), (5, 0.1)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate seed id")]
+    fn duplicate_ids_panic() {
+        let _ = LoadState::from_entries(vec![(1, 0.1), (1, 0.2)]);
+    }
+
+    #[test]
+    fn word_count() {
+        assert_eq!(LoadState::empty().words(), 0);
+        assert_eq!(LoadState::seed(1).words(), 2);
+        let s = LoadState::from_entries(vec![(1, 0.1), (2, 0.2), (3, 0.3)]);
+        assert_eq!(s.words(), 6);
+    }
+}

@@ -1,0 +1,89 @@
+//! Property-based tests for the algorithm core: protocol equivalences
+//! and variant invariants that must hold for *any* seed.
+
+use lbc_core::matching::ProposalRule;
+use lbc_core::{
+    cluster, cluster_async, cluster_discrete, cluster_distributed, estimate_size, LbConfig,
+};
+use lbc_graph::generators;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The distributed and centralised implementations agree bit-for-bit
+    /// for every seed (not just the hand-picked ones in unit tests).
+    #[test]
+    fn distributed_equals_centralised_for_all_seeds(seed in 0u64..10_000) {
+        let (g, _) = generators::ring_of_cliques(2, 8, 0).unwrap();
+        let cfg = LbConfig::new(0.5, 12).with_seed(seed);
+        match (cluster(&g, &cfg), cluster_distributed(&g, &cfg, None)) {
+            (Ok(c), Ok((d, _))) => {
+                prop_assert_eq!(c.seeds, d.seeds);
+                prop_assert_eq!(c.states, d.states);
+                prop_assert_eq!(c.partition, d.partition);
+            }
+            (Err(a), Err(b)) => prop_assert_eq!(format!("{a:?}"), format!("{b:?}")),
+            (a, b) => prop_assert!(false, "outcome mismatch: {:?} vs {:?}", a.is_ok(), b.is_ok()),
+        }
+    }
+
+    /// Discrete tokens are conserved exactly per seed, for any seed and
+    /// resolution.
+    #[test]
+    fn discrete_token_conservation(seed in 0u64..5_000, res_pow in 0u32..16) {
+        let (g, _) = generators::ring_of_cliques(2, 8, 0).unwrap();
+        let resolution = 1u64 << res_pow;
+        let cfg = LbConfig::new(0.5, 10).with_seed(seed);
+        if let Ok(out) = cluster_discrete(&g, &cfg, resolution) {
+            for s in &out.seeds {
+                let total: u64 = out.states.iter().map(|st| st.tokens(s.id)).sum();
+                prop_assert_eq!(total, resolution);
+            }
+        }
+    }
+
+    /// Async gossip conserves per-seed load for any tick budget.
+    #[test]
+    fn async_load_conservation(seed in 0u64..5_000, ticks in 0usize..600) {
+        let (g, _) = generators::ring_of_cliques(2, 6, 0).unwrap();
+        let cfg = LbConfig::new(0.5, 1).with_seed(seed);
+        if let Ok(out) = cluster_async(&g, &cfg, ticks) {
+            for s in &out.seeds {
+                let total: f64 = out.states.iter().map(|st| st.load(s.id)).sum();
+                prop_assert!((total - 1.0).abs() < 1e-9);
+            }
+        }
+    }
+
+    /// Size estimates are positive, finite, and identical at all nodes
+    /// once converged.
+    #[test]
+    fn size_estimates_well_formed(seed in 0u64..2_000) {
+        let g = generators::complete(24).unwrap();
+        let est = estimate_size(&g, ProposalRule::Uniform, 8, 300, seed);
+        for &e in &est.estimates {
+            prop_assert!(e.is_finite() && e > 0.0);
+        }
+        if est.converged {
+            let first = est.estimates[0];
+            prop_assert!(est.estimates.iter().all(|&e| e == first));
+        }
+    }
+
+    /// Changing only the query rule never changes seeds, states, or the
+    /// number of labelled nodes.
+    #[test]
+    fn query_rule_does_not_affect_process(seed in 0u64..3_000) {
+        use lbc_core::QueryRule;
+        let (g, _) = generators::ring_of_cliques(2, 8, 0).unwrap();
+        let base = LbConfig::new(0.5, 15).with_seed(seed);
+        let a = cluster(&g, &base.clone().with_query(QueryRule::PaperThreshold));
+        let b = cluster(&g, &base.with_query(QueryRule::ArgMax));
+        if let (Ok(a), Ok(b)) = (a, b) {
+            prop_assert_eq!(a.seeds, b.seeds);
+            prop_assert_eq!(a.states, b.states);
+            prop_assert_eq!(a.partition.n(), b.partition.n());
+        }
+    }
+}

@@ -1,0 +1,79 @@
+//! Message and word accounting.
+//!
+//! Theorem 1.1(2) bounds the total information exchanged in *words*;
+//! the simulator counts both messages and their word sizes so experiments
+//! can compare the measured totals against `O(T · n · k log k)`.
+
+/// Cumulative traffic statistics for a network execution.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MessageStats {
+    /// Messages handed to the network by senders.
+    pub sent_messages: u64,
+    /// Messages actually delivered (sent − dropped − to/from crashed).
+    pub delivered_messages: u64,
+    /// Messages lost to fault injection.
+    pub dropped_messages: u64,
+    /// Machine words across *sent* messages (the paper's cost model
+    /// charges the sender).
+    pub sent_words: u64,
+    /// Machine words across delivered messages.
+    pub delivered_words: u64,
+    /// Rounds executed.
+    pub rounds: u64,
+}
+
+impl MessageStats {
+    /// Record a send of `words` words, delivered or not.
+    pub fn record_sent(&mut self, words: u64) {
+        self.sent_messages += 1;
+        self.sent_words += words;
+    }
+
+    /// Record a successful delivery of `words` words.
+    pub fn record_delivered(&mut self, words: u64) {
+        self.delivered_messages += 1;
+        self.delivered_words += words;
+    }
+
+    /// Record a dropped message.
+    pub fn record_dropped(&mut self) {
+        self.dropped_messages += 1;
+    }
+
+    /// Average delivered words per round (0 if no rounds ran).
+    pub fn words_per_round(&self) -> f64 {
+        if self.rounds == 0 {
+            0.0
+        } else {
+            self.delivered_words as f64 / self.rounds as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut s = MessageStats::default();
+        s.record_sent(3);
+        s.record_sent(5);
+        s.record_delivered(3);
+        s.record_dropped();
+        assert_eq!(s.sent_messages, 2);
+        assert_eq!(s.sent_words, 8);
+        assert_eq!(s.delivered_messages, 1);
+        assert_eq!(s.delivered_words, 3);
+        assert_eq!(s.dropped_messages, 1);
+    }
+
+    #[test]
+    fn words_per_round() {
+        let mut s = MessageStats::default();
+        assert_eq!(s.words_per_round(), 0.0);
+        s.record_delivered(10);
+        s.rounds = 4;
+        assert_eq!(s.words_per_round(), 2.5);
+    }
+}

@@ -1,0 +1,151 @@
+//! Fault injection: i.i.d. message drops and crashed nodes.
+//!
+//! The paper assumes a reliable synchronous network; the fault plan lets
+//! experiments probe how gracefully the load-balancing process degrades
+//! when that assumption is violated (messages lost ⇒ the matched pair's
+//! averaging becomes one-sided and load conservation breaks).
+
+use crate::rng::NodeRng;
+
+/// Fault configuration for a [`crate::SyncNetwork`] execution.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// Each message is independently dropped with this probability.
+    drop_probability: f64,
+    /// Round from which node `v` is crashed (`u64::MAX` = never).
+    crash_round: Vec<u64>,
+    rng: NodeRng,
+}
+
+impl FaultPlan {
+    /// No faults at all (allocates no crash table).
+    pub fn none() -> Self {
+        FaultPlan {
+            drop_probability: 0.0,
+            crash_round: Vec::new(),
+            rng: NodeRng::from_seed(0),
+        }
+    }
+
+    /// Drop each message with probability `p`, deterministic in `seed`.
+    ///
+    /// # Panics
+    /// If `p ∉ \[0, 1\]`.
+    pub fn with_drops(p: f64, seed: u64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "drop probability {p} out of range");
+        FaultPlan {
+            drop_probability: p,
+            crash_round: Vec::new(),
+            rng: NodeRng::from_seed(seed ^ 0xFA11_FA11_FA11_FA11),
+        }
+    }
+
+    /// Mark `nodes` (indices into a graph of `n` nodes) as crashed from
+    /// round 0: they never step, never send, never receive.
+    pub fn crash_nodes(self, n: usize, nodes: &[u32]) -> Self {
+        self.crash_nodes_at(n, nodes, 0)
+    }
+
+    /// Mark `nodes` as crashed from `round` onwards (they participate
+    /// normally before that — the mid-execution failure scenario).
+    pub fn crash_nodes_at(mut self, n: usize, nodes: &[u32], round: u64) -> Self {
+        if self.crash_round.len() < n {
+            self.crash_round.resize(n, u64::MAX);
+        }
+        for &v in nodes {
+            let slot = &mut self.crash_round[v as usize];
+            *slot = (*slot).min(round);
+        }
+        self
+    }
+
+    /// Whether node `v` is crashed at `round`.
+    #[inline]
+    pub fn is_crashed_at(&self, v: u32, round: u64) -> bool {
+        self.crash_round
+            .get(v as usize)
+            .is_some_and(|&r| round >= r)
+    }
+
+    /// Whether node `v` is crashed from the start.
+    #[inline]
+    pub fn is_crashed(&self, v: u32) -> bool {
+        self.is_crashed_at(v, 0)
+    }
+
+    /// Decide (consuming randomness) whether the next message is dropped.
+    #[inline]
+    pub fn drops_message(&mut self) -> bool {
+        self.drop_probability > 0.0 && self.rng.bernoulli(self.drop_probability)
+    }
+
+    /// Configured drop probability.
+    pub fn drop_probability(&self) -> f64 {
+        self.drop_probability
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_never_drops_or_crashes() {
+        let mut f = FaultPlan::none();
+        for _ in 0..100 {
+            assert!(!f.drops_message());
+        }
+        assert!(!f.is_crashed(0));
+        assert!(!f.is_crashed(1000));
+    }
+
+    #[test]
+    fn drop_rate_approximates_p() {
+        let mut f = FaultPlan::with_drops(0.3, 7);
+        let drops = (0..100_000).filter(|_| f.drops_message()).count();
+        assert!((drops as f64 - 30_000.0).abs() < 1_500.0, "drops = {drops}");
+    }
+
+    #[test]
+    fn crash_marks_only_selected() {
+        let f = FaultPlan::none().crash_nodes(5, &[1, 3]);
+        assert!(f.is_crashed(1));
+        assert!(f.is_crashed(3));
+        assert!(!f.is_crashed(0));
+        assert!(!f.is_crashed(4));
+    }
+
+    #[test]
+    fn delayed_crash_respects_schedule() {
+        let f = FaultPlan::none().crash_nodes_at(4, &[2], 10);
+        assert!(!f.is_crashed(2));
+        assert!(!f.is_crashed_at(2, 9));
+        assert!(f.is_crashed_at(2, 10));
+        assert!(f.is_crashed_at(2, 99));
+        assert!(!f.is_crashed_at(1, 99));
+    }
+
+    #[test]
+    fn earliest_crash_round_wins() {
+        let f = FaultPlan::none()
+            .crash_nodes_at(4, &[2], 10)
+            .crash_nodes_at(4, &[2], 5);
+        assert!(f.is_crashed_at(2, 5));
+        assert!(!f.is_crashed_at(2, 4));
+    }
+
+    #[test]
+    #[should_panic]
+    fn invalid_probability_panics() {
+        let _ = FaultPlan::with_drops(1.5, 0);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let mut a = FaultPlan::with_drops(0.5, 3);
+        let mut b = FaultPlan::with_drops(0.5, 3);
+        for _ in 0..50 {
+            assert_eq!(a.drops_message(), b.drops_message());
+        }
+    }
+}

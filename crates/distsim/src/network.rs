@@ -1,0 +1,398 @@
+//! The synchronous round engine.
+//!
+//! A [`SyncNetwork`] runs one [`Node`] implementation per graph node.
+//! Each round, every (live) node is stepped with the messages delivered
+//! to it in the previous round and may send messages to neighbours only —
+//! sending to a non-neighbour is a protocol bug and panics loudly.
+
+use lbc_graph::{Graph, NodeId};
+
+use crate::accounting::MessageStats;
+use crate::fault::FaultPlan;
+use crate::rng::NodeRng;
+use crate::trace::{RoundSample, RoundTrace};
+
+/// Message payloads report their size in machine words so the network
+/// can account Theorem 1.1(2)'s cost model.
+pub trait Payload: Clone {
+    /// Size of this message in machine words.
+    fn words(&self) -> usize;
+}
+
+impl Payload for u64 {
+    fn words(&self) -> usize {
+        1
+    }
+}
+
+impl<T: Payload> Payload for Vec<T> {
+    fn words(&self) -> usize {
+        1 + self.iter().map(Payload::words).sum::<usize>()
+    }
+}
+
+/// Per-round execution context handed to a node.
+pub struct Ctx<'a, M: Payload> {
+    /// This node's id.
+    pub id: NodeId,
+    /// Current round (0-based).
+    pub round: u64,
+    /// This node's private random stream.
+    pub rng: &'a mut NodeRng,
+    neighbours: &'a [NodeId],
+    inbox: &'a [(NodeId, M)],
+    outbox: &'a mut Vec<(NodeId, M)>,
+}
+
+impl<M: Payload> Ctx<'_, M> {
+    /// Messages delivered to this node this round, as `(sender, payload)`.
+    pub fn inbox(&self) -> &[(NodeId, M)] {
+        self.inbox
+    }
+
+    /// This node's neighbour list.
+    pub fn neighbours(&self) -> &[NodeId] {
+        self.neighbours
+    }
+
+    /// Degree of this node.
+    pub fn degree(&self) -> usize {
+        self.neighbours.len()
+    }
+
+    /// Simultaneous access to the neighbour list and the mutable RNG
+    /// (split borrow for protocols that draw against the list).
+    pub fn neighbours_and_rng(&mut self) -> (&[NodeId], &mut NodeRng) {
+        (self.neighbours, self.rng)
+    }
+
+    /// Uniformly random neighbour (None for isolated nodes).
+    pub fn random_neighbour(&mut self) -> Option<NodeId> {
+        if self.neighbours.is_empty() {
+            None
+        } else {
+            Some(self.neighbours[self.rng.below(self.neighbours.len())])
+        }
+    }
+
+    /// Queue a message to neighbour `to` for delivery next round.
+    ///
+    /// # Panics
+    /// If `to` is not a neighbour of this node (protocol bug).
+    pub fn send(&mut self, to: NodeId, msg: M) {
+        assert!(
+            self.neighbours.binary_search(&to).is_ok(),
+            "node {} attempted to message non-neighbour {}",
+            self.id,
+            to
+        );
+        self.outbox.push((to, msg));
+    }
+}
+
+/// A node program: stepped once per round with its delivered messages.
+pub trait Node {
+    /// Message type exchanged by this protocol.
+    type Msg: Payload;
+
+    /// Execute one synchronous round.
+    fn on_round(&mut self, ctx: &mut Ctx<'_, Self::Msg>);
+}
+
+/// Synchronous network executing one `N` per node of `graph`.
+pub struct SyncNetwork<'g, N: Node> {
+    graph: &'g Graph,
+    nodes: Vec<N>,
+    rngs: Vec<NodeRng>,
+    inboxes: Vec<Vec<(NodeId, N::Msg)>>,
+    pending: Vec<Vec<(NodeId, N::Msg)>>,
+    round: u64,
+    stats: MessageStats,
+    faults: FaultPlan,
+    trace: Option<RoundTrace>,
+}
+
+impl<'g, N: Node> SyncNetwork<'g, N> {
+    /// Build a network: `factory(v)` constructs the program for node `v`;
+    /// per-node RNG streams derive from `seed`.
+    pub fn new(graph: &'g Graph, seed: u64, mut factory: impl FnMut(NodeId) -> N) -> Self {
+        let n = graph.n();
+        SyncNetwork {
+            graph,
+            nodes: (0..n as NodeId).map(&mut factory).collect(),
+            rngs: (0..n as NodeId).map(|v| NodeRng::for_node(seed, v)).collect(),
+            inboxes: (0..n).map(|_| Vec::new()).collect(),
+            pending: (0..n).map(|_| Vec::new()).collect(),
+            round: 0,
+            stats: MessageStats::default(),
+            faults: FaultPlan::none(),
+            trace: None,
+        }
+    }
+
+    /// Install a fault plan (replaces any previous one).
+    pub fn set_faults(&mut self, faults: FaultPlan) {
+        self.faults = faults;
+    }
+
+    /// Record a per-round [`RoundTrace`] from now on.
+    pub fn enable_trace(&mut self) {
+        if self.trace.is_none() {
+            self.trace = Some(RoundTrace::new());
+        }
+    }
+
+    /// The recorded trace, if tracing was enabled.
+    pub fn trace(&self) -> Option<&RoundTrace> {
+        self.trace.as_ref()
+    }
+
+    /// Execute one synchronous round: deliver previous round's messages,
+    /// step every live node, collect its sends.
+    pub fn step(&mut self) {
+        let n = self.graph.n();
+        // Deliver pending → inboxes.
+        for v in 0..n {
+            self.inboxes[v].clear();
+            std::mem::swap(&mut self.inboxes[v], &mut self.pending[v]);
+        }
+        let mut outbox: Vec<(NodeId, N::Msg)> = Vec::new();
+        let before = self.stats;
+        for v in 0..n {
+            if self.faults.is_crashed_at(v as NodeId, self.round) {
+                continue;
+            }
+            outbox.clear();
+            let mut ctx = Ctx {
+                id: v as NodeId,
+                round: self.round,
+                rng: &mut self.rngs[v],
+                neighbours: self.graph.neighbours(v as NodeId),
+                inbox: &self.inboxes[v],
+                outbox: &mut outbox,
+            };
+            self.nodes[v].on_round(&mut ctx);
+            for (to, msg) in outbox.drain(..) {
+                let words = msg.words() as u64;
+                self.stats.record_sent(words);
+                if self.faults.is_crashed_at(to, self.round) || self.faults.drops_message() {
+                    self.stats.record_dropped();
+                    continue;
+                }
+                self.stats.record_delivered(words);
+                self.pending[to as usize].push((v as NodeId, msg));
+            }
+        }
+        if let Some(trace) = &mut self.trace {
+            trace.push(RoundSample {
+                round: self.round,
+                sent_messages: self.stats.sent_messages - before.sent_messages,
+                delivered_messages: self.stats.delivered_messages - before.delivered_messages,
+                dropped_messages: self.stats.dropped_messages - before.dropped_messages,
+                sent_words: self.stats.sent_words - before.sent_words,
+            });
+        }
+        self.round += 1;
+        self.stats.rounds = self.round;
+    }
+
+    /// Run `rounds` additional rounds.
+    pub fn run(&mut self, rounds: usize) {
+        for _ in 0..rounds {
+            self.step();
+        }
+    }
+
+    /// Rounds executed so far.
+    pub fn round(&self) -> u64 {
+        self.round
+    }
+
+    /// Traffic statistics so far.
+    pub fn stats(&self) -> &MessageStats {
+        &self.stats
+    }
+
+    /// Immutable access to node `v`'s program.
+    pub fn node(&self, v: NodeId) -> &N {
+        &self.nodes[v as usize]
+    }
+
+    /// Immutable access to all node programs.
+    pub fn nodes(&self) -> &[N] {
+        &self.nodes
+    }
+
+    /// The underlying graph.
+    pub fn graph(&self) -> &Graph {
+        self.graph
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbc_graph::generators;
+
+    /// Flooding protocol: node 0 starts "wet"; wet nodes tell neighbours
+    /// once. Tests delivery timing, neighbour enforcement, accounting.
+    struct Flood {
+        wet: bool,
+        announced: bool,
+    }
+
+    impl Node for Flood {
+        type Msg = u64;
+
+        fn on_round(&mut self, ctx: &mut Ctx<'_, u64>) {
+            if !self.wet && !ctx.inbox().is_empty() {
+                self.wet = true;
+            }
+            if self.wet && !self.announced {
+                self.announced = true;
+                let neighbours: Vec<_> = ctx.neighbours().to_vec();
+                for w in neighbours {
+                    ctx.send(w, ctx.round);
+                }
+            }
+        }
+    }
+
+    fn flood_network(g: &Graph) -> SyncNetwork<'_, Flood> {
+        SyncNetwork::new(g, 1, |v| Flood {
+            wet: v == 0,
+            announced: false,
+        })
+    }
+
+    use lbc_graph::Graph;
+
+    #[test]
+    fn flood_reaches_everyone_in_diameter_rounds() {
+        let g = generators::cycle(8).unwrap();
+        let mut net = flood_network(&g);
+        net.run(5); // diameter 4 + 1 slack
+        assert!(net.nodes().iter().all(|f| f.wet));
+    }
+
+    #[test]
+    fn messages_delivered_next_round_not_same_round() {
+        let g = generators::cycle(4).unwrap();
+        let mut net = flood_network(&g);
+        net.step();
+        // After one round only node 0 has sent; nobody is wet yet.
+        assert!(net.node(1).wet == false && net.node(3).wet == false);
+        net.step();
+        assert!(net.node(1).wet && net.node(3).wet);
+        assert!(!net.node(2).wet);
+    }
+
+    #[test]
+    fn accounting_counts_messages_and_words() {
+        let g = generators::cycle(4).unwrap();
+        let mut net = flood_network(&g);
+        net.run(4);
+        let s = net.stats();
+        // Every node announces exactly once to 2 neighbours.
+        assert_eq!(s.sent_messages, 8);
+        assert_eq!(s.delivered_messages, 8);
+        assert_eq!(s.sent_words, 8); // u64 payload = 1 word each
+        assert_eq!(s.dropped_messages, 0);
+        assert_eq!(s.rounds, 4);
+    }
+
+    #[test]
+    fn crashed_node_blocks_flood() {
+        // Path 0-1-2: crash node 1, flood can't cross.
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        let mut net = flood_network(&g);
+        net.set_faults(FaultPlan::none().crash_nodes(3, &[1]));
+        net.run(5);
+        assert!(!net.node(2).wet);
+        assert!(net.stats().dropped_messages > 0);
+    }
+
+    #[test]
+    fn full_drop_probability_blocks_everything() {
+        let g = generators::cycle(6).unwrap();
+        let mut net = flood_network(&g);
+        net.set_faults(FaultPlan::with_drops(1.0, 3));
+        net.run(10);
+        let wet = net.nodes().iter().filter(|f| f.wet).count();
+        assert_eq!(wet, 1); // only the source
+        assert_eq!(net.stats().delivered_messages, 0);
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        struct Gossip {
+            sum: u64,
+        }
+        impl Node for Gossip {
+            type Msg = u64;
+            fn on_round(&mut self, ctx: &mut Ctx<'_, u64>) {
+                self.sum += ctx.inbox().iter().map(|(_, m)| *m).sum::<u64>();
+                if let Some(w) = ctx.random_neighbour() {
+                    let token = ctx.rng.next_u64() % 100;
+                    ctx.send(w, token);
+                }
+            }
+        }
+        let g = generators::complete(6).unwrap();
+        let run = |seed| {
+            let mut net = SyncNetwork::new(&g, seed, |_| Gossip { sum: 0 });
+            net.run(20);
+            net.nodes().iter().map(|x| x.sum).collect::<Vec<_>>()
+        };
+        assert_eq!(run(5), run(5));
+        assert_ne!(run(5), run(6));
+    }
+
+    #[test]
+    #[should_panic(expected = "non-neighbour")]
+    fn sending_to_non_neighbour_panics() {
+        struct Bad;
+        impl Node for Bad {
+            type Msg = u64;
+            fn on_round(&mut self, ctx: &mut Ctx<'_, u64>) {
+                if ctx.id == 0 {
+                    ctx.send(2, 0); // 0 and 2 are not adjacent in a path
+                }
+            }
+        }
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        let mut net = SyncNetwork::new(&g, 1, |_| Bad);
+        net.step();
+    }
+
+    #[test]
+    fn trace_records_per_round_traffic() {
+        let g = generators::cycle(4).unwrap();
+        let mut net = flood_network(&g);
+        net.enable_trace();
+        net.run(4);
+        let trace = net.trace().unwrap();
+        assert_eq!(trace.len(), 4);
+        assert_eq!(trace.total_sent_words(), net.stats().sent_words);
+        // Round 0: only the source announces (2 messages).
+        assert_eq!(trace.samples()[0].sent_messages, 2);
+    }
+
+    #[test]
+    fn delayed_crash_lets_early_rounds_through() {
+        // Path 0-1-2: node 1 crashes at round 2 — after relaying.
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        let mut net = flood_network(&g);
+        net.set_faults(FaultPlan::none().crash_nodes_at(3, &[1], 2));
+        net.run(5);
+        // Node 1 got wet in round 1 and announced in round 1 (< 2), so
+        // node 2 is reached despite the later crash.
+        assert!(net.node(2).wet);
+    }
+
+    #[test]
+    fn vec_payload_word_count() {
+        let v: Vec<u64> = vec![1, 2, 3];
+        assert_eq!(v.words(), 4); // length word + 3 entries
+    }
+}

@@ -1,0 +1,98 @@
+//! Per-round execution traces.
+//!
+//! Experiments that study *dynamics* (how traffic or matching activity
+//! evolves over the execution) need more than the cumulative
+//! [`crate::MessageStats`]: they need one sample per round. A
+//! [`RoundTrace`] records those samples when tracing is enabled on the
+//! network.
+
+/// One round's traffic sample.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RoundSample {
+    /// Round index (0-based).
+    pub round: u64,
+    /// Messages handed to the network this round.
+    pub sent_messages: u64,
+    /// Messages delivered (will be consumed next round).
+    pub delivered_messages: u64,
+    /// Messages dropped by fault injection this round.
+    pub dropped_messages: u64,
+    /// Words across sent messages this round.
+    pub sent_words: u64,
+}
+
+/// Recorded per-round history of a network execution.
+#[derive(Debug, Clone, Default)]
+pub struct RoundTrace {
+    samples: Vec<RoundSample>,
+}
+
+impl RoundTrace {
+    /// Empty trace.
+    pub fn new() -> Self {
+        RoundTrace::default()
+    }
+
+    /// Append one round's sample.
+    pub fn push(&mut self, sample: RoundSample) {
+        self.samples.push(sample);
+    }
+
+    /// All samples, in round order.
+    pub fn samples(&self) -> &[RoundSample] {
+        &self.samples
+    }
+
+    /// Number of recorded rounds.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// The busiest round by sent words (None when empty).
+    pub fn peak_words_round(&self) -> Option<RoundSample> {
+        self.samples.iter().copied().max_by_key(|s| s.sent_words)
+    }
+
+    /// Total sent words across the trace (cross-check against the
+    /// cumulative stats).
+    pub fn total_sent_words(&self) -> u64 {
+        self.samples.iter().map(|s| s.sent_words).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(round: u64, words: u64) -> RoundSample {
+        RoundSample {
+            round,
+            sent_messages: 1,
+            delivered_messages: 1,
+            dropped_messages: 0,
+            sent_words: words,
+        }
+    }
+
+    #[test]
+    fn accumulates_in_order() {
+        let mut t = RoundTrace::new();
+        assert!(t.is_empty());
+        t.push(sample(0, 5));
+        t.push(sample(1, 9));
+        t.push(sample(2, 2));
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.total_sent_words(), 16);
+        assert_eq!(t.peak_words_round().unwrap().round, 1);
+    }
+
+    #[test]
+    fn empty_trace_has_no_peak() {
+        assert!(RoundTrace::new().peak_words_round().is_none());
+    }
+}

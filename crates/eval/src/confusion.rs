@@ -1,0 +1,106 @@
+//! Confusion matrices and optimal label alignment.
+
+use crate::hungarian::hungarian_max;
+
+/// Confusion matrix `c[t][p]` = number of nodes with true label `t` and
+/// predicted label `p`. Dimensions are `(max truth label + 1) ×
+/// (max predicted label + 1)`.
+///
+/// # Panics
+/// If the slices have different lengths or are empty.
+pub fn confusion_matrix(truth: &[u32], predicted: &[u32]) -> Vec<Vec<usize>> {
+    assert_eq!(truth.len(), predicted.len(), "label slices differ in length");
+    assert!(!truth.is_empty(), "empty labelling");
+    let kt = *truth.iter().max().unwrap() as usize + 1;
+    let kp = *predicted.iter().max().unwrap() as usize + 1;
+    let mut c = vec![vec![0usize; kp]; kt];
+    for (&t, &p) in truth.iter().zip(predicted) {
+        c[t as usize][p as usize] += 1;
+    }
+    c
+}
+
+/// Optimal alignment of predicted labels to truth labels (the permutation
+/// `σ` of Theorem 1.1). Returns `(mapping, agreements)` where
+/// `mapping[p]` is the truth label assigned to predicted label `p`
+/// (`u32::MAX` for surplus predicted labels that matched nothing) and
+/// `agreements` is the number of nodes correctly labelled under the
+/// mapping.
+pub fn align_labels(truth: &[u32], predicted: &[u32]) -> (Vec<u32>, usize) {
+    let c = confusion_matrix(truth, predicted);
+    let kt = c.len();
+    let kp = c[0].len();
+    // Hungarian wants rows ≤ cols; square the matrix by padding with
+    // zero-weight dummy rows/cols on whichever side is short.
+    let dim = kt.max(kp);
+    let w: Vec<Vec<f64>> = (0..dim)
+        .map(|t| {
+            (0..dim)
+                .map(|p| if t < kt && p < kp { c[t][p] as f64 } else { 0.0 })
+                .collect()
+        })
+        .collect();
+    let (assign, total) = hungarian_max(&w);
+    // assign[t] = p; invert to mapping[p] = t for real labels only.
+    let mut mapping = vec![u32::MAX; kp];
+    for (t, &p) in assign.iter().enumerate() {
+        if t < kt && p < kp && c[t][p] > 0 {
+            mapping[p] = t as u32;
+        }
+    }
+    (mapping, total as usize)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confusion_counts() {
+        let truth = [0, 0, 1, 1];
+        let pred = [1, 1, 0, 1];
+        let c = confusion_matrix(&truth, &pred);
+        assert_eq!(c, vec![vec![0, 2], vec![1, 1]]);
+    }
+
+    #[test]
+    fn perfect_alignment_under_permutation() {
+        let truth = [0, 0, 1, 1, 2, 2];
+        let pred = [2, 2, 0, 0, 1, 1];
+        let (mapping, agree) = align_labels(&truth, &pred);
+        assert_eq!(agree, 6);
+        assert_eq!(mapping, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn extra_predicted_labels_map_to_sentinel() {
+        let truth = [0, 0, 0, 1];
+        let pred = [0, 0, 2, 1];
+        let (mapping, agree) = align_labels(&truth, &pred);
+        assert_eq!(agree, 3);
+        assert_eq!(mapping[0], 0);
+        assert_eq!(mapping[1], 1);
+        // Label 2 matched a dummy row (zero weight) or nothing real.
+        assert_eq!(mapping[2], u32::MAX);
+    }
+
+    #[test]
+    fn fewer_predicted_labels_than_truth() {
+        let truth = [0, 1, 2];
+        let pred = [0, 0, 0];
+        let (_, agree) = align_labels(&truth, &pred);
+        assert_eq!(agree, 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_lengths_panic() {
+        let _ = confusion_matrix(&[0, 1], &[0]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn empty_labelling_panics() {
+        let _ = confusion_matrix(&[], &[]);
+    }
+}

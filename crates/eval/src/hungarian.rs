@@ -1,0 +1,225 @@
+//! Hungarian (Kuhn–Munkres) algorithm for the assignment problem.
+//!
+//! Potential-based `O(n²m)` formulation. Inputs are rectangular weight
+//! matrices `w[r][c]`; [`hungarian_max`] finds an assignment of each row
+//! to a distinct column maximising total weight (rows ≤ columns; callers
+//! pad otherwise).
+
+/// Maximum-weight assignment.
+///
+/// `w` must be rectangular with `rows ≤ cols`. Returns
+/// `(assignment, total)` where `assignment[r]` is the column matched to
+/// row `r`.
+///
+/// ```
+/// use lbc_eval::hungarian_max;
+/// // Greedy would take 9 + 1 = 10; the optimum is 8 + 7 = 15.
+/// let (assign, total) = hungarian_max(&[vec![9.0, 8.0], vec![7.0, 1.0]]);
+/// assert_eq!(assign, vec![1, 0]);
+/// assert_eq!(total, 15.0);
+/// ```
+///
+/// # Panics
+/// If `w` is empty, ragged, or has more rows than columns.
+pub fn hungarian_max(w: &[Vec<f64>]) -> (Vec<usize>, f64) {
+    let n = w.len();
+    assert!(n > 0, "empty weight matrix");
+    let m = w[0].len();
+    assert!(w.iter().all(|r| r.len() == m), "ragged weight matrix");
+    assert!(n <= m, "more rows than columns ({n} > {m})");
+    // Minimise negated weights.
+    let cost: Vec<Vec<f64>> = w
+        .iter()
+        .map(|row| row.iter().map(|&x| -x).collect())
+        .collect();
+    let assignment = hungarian_min_core(&cost);
+    let total = assignment
+        .iter()
+        .enumerate()
+        .map(|(r, &c)| w[r][c])
+        .sum();
+    (assignment, total)
+}
+
+/// Minimum-cost assignment core (e-maxx potentials formulation, 1-based
+/// internally).
+fn hungarian_min_core(cost: &[Vec<f64>]) -> Vec<usize> {
+    let n = cost.len();
+    let m = cost[0].len();
+    const INF: f64 = f64::INFINITY;
+    let mut u = vec![0.0f64; n + 1];
+    let mut v = vec![0.0f64; m + 1];
+    let mut p = vec![0usize; m + 1]; // p[j] = row matched to column j (1-based; 0 = free)
+    let mut way = vec![0usize; m + 1];
+    for i in 1..=n {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![INF; m + 1];
+        let mut used = vec![false; m + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = INF;
+            let mut j1 = 0usize;
+            for j in 1..=m {
+                if used[j] {
+                    continue;
+                }
+                let cur = cost[i0 - 1][j - 1] - u[i0] - v[j];
+                if cur < minv[j] {
+                    minv[j] = cur;
+                    way[j] = j0;
+                }
+                if minv[j] < delta {
+                    delta = minv[j];
+                    j1 = j;
+                }
+            }
+            for j in 0..=m {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        // Augment along the alternating path.
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+    let mut assignment = vec![usize::MAX; n];
+    for j in 1..=m {
+        if p[j] != 0 {
+            assignment[p[j] - 1] = j - 1;
+        }
+    }
+    assignment
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_matrix_assigns_diagonal() {
+        let w = vec![
+            vec![1.0, 0.0, 0.0],
+            vec![0.0, 1.0, 0.0],
+            vec![0.0, 0.0, 1.0],
+        ];
+        let (a, total) = hungarian_max(&w);
+        assert_eq!(a, vec![0, 1, 2]);
+        assert_eq!(total, 3.0);
+    }
+
+    #[test]
+    fn antidiagonal_preferred() {
+        let w = vec![vec![0.0, 5.0], vec![5.0, 0.0]];
+        let (a, total) = hungarian_max(&w);
+        assert_eq!(a, vec![1, 0]);
+        assert_eq!(total, 10.0);
+    }
+
+    #[test]
+    fn greedy_trap_is_avoided() {
+        // Greedy on rows would pick (0,0)=9 then (1,1)=1 → 10;
+        // optimum is (0,1)=8 + (1,0)=7 → 15.
+        let w = vec![vec![9.0, 8.0], vec![7.0, 1.0]];
+        let (a, total) = hungarian_max(&w);
+        assert_eq!(a, vec![1, 0]);
+        assert_eq!(total, 15.0);
+    }
+
+    #[test]
+    fn rectangular_rows_less_than_cols() {
+        let w = vec![vec![1.0, 3.0, 2.0], vec![4.0, 1.0, 0.0]];
+        let (a, total) = hungarian_max(&w);
+        assert_eq!(a, vec![1, 0]);
+        assert_eq!(total, 7.0);
+        // All assigned columns distinct.
+        assert_ne!(a[0], a[1]);
+    }
+
+    #[test]
+    fn single_cell() {
+        let (a, total) = hungarian_max(&[vec![42.0]]);
+        assert_eq!(a, vec![0]);
+        assert_eq!(total, 42.0);
+    }
+
+    #[test]
+    fn negative_weights_handled() {
+        let w = vec![vec![-1.0, -5.0], vec![-5.0, -1.0]];
+        let (a, total) = hungarian_max(&w);
+        assert_eq!(a, vec![0, 1]);
+        assert_eq!(total, -2.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_more_rows_than_cols() {
+        let _ = hungarian_max(&[vec![1.0], vec![2.0]]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_ragged() {
+        let _ = hungarian_max(&[vec![1.0, 2.0], vec![3.0]]);
+    }
+
+    #[test]
+    fn brute_force_agreement_on_random_matrices() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(31);
+        for n in [2usize, 3, 4, 5, 6] {
+            for _ in 0..10 {
+                let w: Vec<Vec<f64>> = (0..n)
+                    .map(|_| (0..n).map(|_| rng.random_range(0.0..10.0)).collect())
+                    .collect();
+                let (_, total) = hungarian_max(&w);
+                let best = brute_force_max(&w);
+                assert!(
+                    (total - best).abs() < 1e-9,
+                    "n={n}: hungarian {total} vs brute {best}"
+                );
+            }
+        }
+    }
+
+    fn brute_force_max(w: &[Vec<f64>]) -> f64 {
+        let n = w.len();
+        let mut cols: Vec<usize> = (0..n).collect();
+        let mut best = f64::NEG_INFINITY;
+        permute(&mut cols, 0, &mut |perm| {
+            let s: f64 = perm.iter().enumerate().map(|(r, &c)| w[r][c]).sum();
+            if s > best {
+                best = s;
+            }
+        });
+        best
+    }
+
+    fn permute(arr: &mut Vec<usize>, k: usize, f: &mut impl FnMut(&[usize])) {
+        if k == arr.len() {
+            f(arr);
+            return;
+        }
+        for i in k..arr.len() {
+            arr.swap(k, i);
+            permute(arr, k + 1, f);
+            arr.swap(k, i);
+        }
+    }
+}

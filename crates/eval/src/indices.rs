@@ -1,0 +1,167 @@
+//! External clustering indices: misclassification (Theorem 1.1's
+//! metric), accuracy, adjusted Rand index, normalised mutual information.
+
+use crate::confusion::{align_labels, confusion_matrix};
+
+/// Number of misclassified nodes under the best label permutation —
+/// exactly the quantity Theorem 1.1(1) bounds by `o(n)`.
+pub fn misclassified(truth: &[u32], predicted: &[u32]) -> usize {
+    let (_, agree) = align_labels(truth, predicted);
+    truth.len() - agree
+}
+
+/// Fraction of correctly labelled nodes under the best permutation.
+pub fn accuracy(truth: &[u32], predicted: &[u32]) -> f64 {
+    if truth.is_empty() {
+        return 1.0;
+    }
+    1.0 - misclassified(truth, predicted) as f64 / truth.len() as f64
+}
+
+fn comb2(x: usize) -> f64 {
+    let x = x as f64;
+    x * (x - 1.0) / 2.0
+}
+
+/// Adjusted Rand index in `[-1, 1]`; 1 for identical partitions, ~0 for
+/// independent ones.
+pub fn adjusted_rand_index(truth: &[u32], predicted: &[u32]) -> f64 {
+    let c = confusion_matrix(truth, predicted);
+    let n = truth.len();
+    let row_sums: Vec<usize> = c.iter().map(|r| r.iter().sum()).collect();
+    let col_sums: Vec<usize> = (0..c[0].len()).map(|j| c.iter().map(|r| r[j]).sum()).collect();
+    let sum_cells: f64 = c.iter().flatten().map(|&x| comb2(x)).sum();
+    let sum_rows: f64 = row_sums.iter().map(|&x| comb2(x)).sum();
+    let sum_cols: f64 = col_sums.iter().map(|&x| comb2(x)).sum();
+    let total = comb2(n);
+    if total == 0.0 {
+        return 1.0;
+    }
+    let expected = sum_rows * sum_cols / total;
+    let max_index = 0.5 * (sum_rows + sum_cols);
+    if (max_index - expected).abs() < 1e-15 {
+        // Degenerate (e.g. both partitions trivial): identical ⇒ 1.
+        return if sum_cells == max_index { 1.0 } else { 0.0 };
+    }
+    (sum_cells - expected) / (max_index - expected)
+}
+
+fn entropy(counts: &[usize], n: usize) -> f64 {
+    let n = n as f64;
+    counts
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let p = c as f64 / n;
+            -p * p.ln()
+        })
+        .sum()
+}
+
+/// Normalised mutual information in `\[0, 1\]` (arithmetic-mean
+/// normalisation). 1 for identical partitions (up to relabelling).
+pub fn normalized_mutual_information(truth: &[u32], predicted: &[u32]) -> f64 {
+    let c = confusion_matrix(truth, predicted);
+    let n = truth.len();
+    let row_sums: Vec<usize> = c.iter().map(|r| r.iter().sum()).collect();
+    let col_sums: Vec<usize> = (0..c[0].len()).map(|j| c.iter().map(|r| r[j]).sum()).collect();
+    let h_t = entropy(&row_sums, n);
+    let h_p = entropy(&col_sums, n);
+    if h_t == 0.0 && h_p == 0.0 {
+        // Both partitions trivial ⇒ identical.
+        return 1.0;
+    }
+    let nf = n as f64;
+    let mut mi = 0.0;
+    for (i, row) in c.iter().enumerate() {
+        for (j, &cell) in row.iter().enumerate() {
+            if cell == 0 {
+                continue;
+            }
+            let p_ij = cell as f64 / nf;
+            let p_i = row_sums[i] as f64 / nf;
+            let p_j = col_sums[j] as f64 / nf;
+            mi += p_ij * (p_ij / (p_i * p_j)).ln();
+        }
+    }
+    let denom = 0.5 * (h_t + h_p);
+    if denom == 0.0 {
+        0.0
+    } else {
+        (mi / denom).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_partitions_are_perfect() {
+        let l = [0u32, 0, 1, 1, 2, 2];
+        assert_eq!(misclassified(&l, &l), 0);
+        assert_eq!(accuracy(&l, &l), 1.0);
+        assert!((adjusted_rand_index(&l, &l) - 1.0).abs() < 1e-12);
+        assert!((normalized_mutual_information(&l, &l) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn permuted_labels_are_still_perfect() {
+        let truth = [0u32, 0, 1, 1, 2, 2];
+        let pred = [2u32, 2, 0, 0, 1, 1];
+        assert_eq!(misclassified(&truth, &pred), 0);
+        assert!((adjusted_rand_index(&truth, &pred) - 1.0).abs() < 1e-12);
+        assert!((normalized_mutual_information(&truth, &pred) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_error_counted_once() {
+        let truth = [0u32, 0, 0, 1, 1, 1];
+        let pred = [0u32, 0, 1, 1, 1, 1];
+        assert_eq!(misclassified(&truth, &pred), 1);
+        assert!((accuracy(&truth, &pred) - 5.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ari_near_zero_for_unrelated() {
+        // Truth alternates in pairs; prediction alternates singly —
+        // perfectly balanced independent-ish structure.
+        let truth: Vec<u32> = (0..40).map(|i| (i / 20) as u32).collect();
+        let pred: Vec<u32> = (0..40).map(|i| (i % 2) as u32).collect();
+        let ari = adjusted_rand_index(&truth, &pred);
+        assert!(ari.abs() < 0.15, "ari = {ari}");
+    }
+
+    #[test]
+    fn all_one_cluster_prediction() {
+        let truth = [0u32, 0, 1, 1];
+        let pred = [0u32, 0, 0, 0];
+        assert_eq!(misclassified(&truth, &pred), 2);
+        let nmi = normalized_mutual_information(&truth, &pred);
+        assert!(nmi.abs() < 1e-12, "nmi = {nmi}");
+    }
+
+    #[test]
+    fn trivial_partitions_agree() {
+        let l = [0u32, 0, 0];
+        assert!((adjusted_rand_index(&l, &l) - 1.0).abs() < 1e-12);
+        assert!((normalized_mutual_information(&l, &l) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accuracy_of_empty_is_one() {
+        assert_eq!(accuracy(&[], &[]), 1.0);
+    }
+
+    #[test]
+    fn indices_are_symmetric_in_arguments() {
+        let a = [0u32, 0, 1, 1, 2, 2, 0, 1];
+        let b = [1u32, 1, 0, 0, 2, 2, 2, 0];
+        let ari_ab = adjusted_rand_index(&a, &b);
+        let ari_ba = adjusted_rand_index(&b, &a);
+        assert!((ari_ab - ari_ba).abs() < 1e-12);
+        let nmi_ab = normalized_mutual_information(&a, &b);
+        let nmi_ba = normalized_mutual_information(&b, &a);
+        assert!((nmi_ab - nmi_ba).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,20 @@
+//! Clustering quality metrics.
+//!
+//! Theorem 1.1(1) counts *misclassified nodes up to a permutation of the
+//! labels*: `|⋃_i {v ∈ S_i : ℓ_v ≠ σ(i)}| = o(n)` for the best label
+//! permutation `σ`. Finding the best `σ` is a maximum-weight bipartite
+//! assignment on the confusion matrix, solved exactly here with the
+//! Hungarian algorithm ([`hungarian`]). On top of that this crate
+//! provides the standard external clustering indices (accuracy, adjusted
+//! Rand index, normalised mutual information) and a conductance report
+//! for discovered partitions.
+
+pub mod confusion;
+pub mod hungarian;
+pub mod indices;
+pub mod report;
+
+pub use confusion::{align_labels, confusion_matrix};
+pub use hungarian::hungarian_max;
+pub use indices::{accuracy, adjusted_rand_index, misclassified, normalized_mutual_information};
+pub use report::PartitionReport;

@@ -1,0 +1,111 @@
+//! Human-readable quality report for a discovered partition.
+
+use lbc_graph::{Graph, Partition};
+
+use crate::indices::{accuracy, adjusted_rand_index, misclassified, normalized_mutual_information};
+
+/// Aggregated quality numbers for one clustering run, ready for table
+/// output in experiments.
+#[derive(Debug, Clone)]
+pub struct PartitionReport {
+    pub n: usize,
+    pub k_truth: usize,
+    pub k_found: usize,
+    pub misclassified: usize,
+    pub accuracy: f64,
+    pub ari: f64,
+    pub nmi: f64,
+    /// `max_i ϕ_G(S_i)` over found clusters (∞ if some cluster empty).
+    pub max_conductance: f64,
+}
+
+impl PartitionReport {
+    /// Evaluate `found` against ground truth on `g`.
+    pub fn evaluate(g: &Graph, truth: &Partition, found: &Partition) -> Self {
+        assert_eq!(truth.n(), found.n(), "partition sizes differ");
+        assert_eq!(g.n(), truth.n(), "graph/partition size mismatch");
+        let nonempty_found = found.cluster_sizes().iter().filter(|&&s| s > 0).count();
+        PartitionReport {
+            n: truth.n(),
+            k_truth: truth.k(),
+            k_found: nonempty_found,
+            misclassified: misclassified(truth.labels(), found.labels()),
+            accuracy: accuracy(truth.labels(), found.labels()),
+            ari: adjusted_rand_index(truth.labels(), found.labels()),
+            nmi: normalized_mutual_information(truth.labels(), found.labels()),
+            max_conductance: found
+                .cluster_conductances(g)
+                .into_iter()
+                .filter(|phi| phi.is_finite())
+                .fold(0.0, f64::max),
+        }
+    }
+
+    /// One-line table row: `n k_truth k_found miscl acc ari nmi phi_max`.
+    pub fn row(&self) -> String {
+        format!(
+            "{:>8} {:>4} {:>4} {:>8} {:>8.4} {:>8.4} {:>8.4} {:>10.5}",
+            self.n,
+            self.k_truth,
+            self.k_found,
+            self.misclassified,
+            self.accuracy,
+            self.ari,
+            self.nmi,
+            self.max_conductance
+        )
+    }
+
+    /// Header matching [`PartitionReport::row`].
+    pub fn header() -> String {
+        format!(
+            "{:>8} {:>4} {:>4} {:>8} {:>8} {:>8} {:>8} {:>10}",
+            "n", "k", "k'", "miscl", "acc", "ari", "nmi", "phi_max"
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbc_graph::generators;
+
+    #[test]
+    fn perfect_recovery_report() {
+        let (g, p) = generators::ring_of_cliques(3, 6, 0).unwrap();
+        let r = PartitionReport::evaluate(&g, &p, &p);
+        assert_eq!(r.misclassified, 0);
+        assert_eq!(r.accuracy, 1.0);
+        assert_eq!(r.k_found, 3);
+        assert!(r.max_conductance < 0.2);
+        assert!(r.row().contains("1.0000"));
+        assert_eq!(
+            PartitionReport::header().split_whitespace().count(),
+            r.row().split_whitespace().count()
+        );
+    }
+
+    #[test]
+    fn degraded_recovery_report() {
+        let (g, p) = generators::ring_of_cliques(2, 5, 0).unwrap();
+        // Flip two nodes into the wrong cluster.
+        let mut labels = p.labels().to_vec();
+        labels[0] = 1;
+        labels[9] = 0;
+        let found = Partition::with_k(labels, 2).unwrap();
+        let r = PartitionReport::evaluate(&g, &p, &found);
+        assert_eq!(r.misclassified, 2);
+        assert!(r.accuracy < 1.0);
+        assert!(r.ari < 1.0);
+        // Mixed clusters have higher conductance than pure cliques.
+        assert!(r.max_conductance > 0.2);
+    }
+
+    #[test]
+    fn empty_found_cluster_not_counted() {
+        let (g, p) = generators::ring_of_cliques(2, 4, 0).unwrap();
+        let found = Partition::with_k(vec![0; 8], 3).unwrap();
+        let r = PartitionReport::evaluate(&g, &p, &found);
+        assert_eq!(r.k_found, 1);
+    }
+}

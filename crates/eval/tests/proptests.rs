@@ -1,0 +1,97 @@
+//! Property-based tests for the clustering indices.
+
+use lbc_eval::{
+    accuracy, adjusted_rand_index, align_labels, hungarian_max, misclassified,
+    normalized_mutual_information,
+};
+use proptest::prelude::*;
+
+fn labelling(max_k: u32, len: std::ops::Range<usize>) -> impl Strategy<Value = Vec<u32>> {
+    proptest::collection::vec(0..max_k, len)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// All indices live in their documented ranges.
+    #[test]
+    fn index_ranges(t in labelling(5, 4..60), p in labelling(5, 4..60)) {
+        let n = t.len().min(p.len());
+        let (t, p) = (&t[..n], &p[..n]);
+        let m = misclassified(t, p);
+        prop_assert!(m <= n);
+        let acc = accuracy(t, p);
+        prop_assert!((0.0..=1.0).contains(&acc));
+        prop_assert!((acc - (1.0 - m as f64 / n as f64)).abs() < 1e-12);
+        let ari = adjusted_rand_index(t, p);
+        prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&ari));
+        let nmi = normalized_mutual_information(t, p);
+        prop_assert!((0.0..=1.0).contains(&nmi));
+    }
+
+    /// Self-comparison is perfect for every index.
+    #[test]
+    fn self_comparison_is_perfect(t in labelling(6, 2..50)) {
+        prop_assert_eq!(misclassified(&t, &t), 0);
+        prop_assert!((adjusted_rand_index(&t, &t) - 1.0).abs() < 1e-9);
+        prop_assert!((normalized_mutual_information(&t, &t) - 1.0).abs() < 1e-9);
+    }
+
+    /// ARI and NMI are symmetric in their arguments.
+    #[test]
+    fn symmetry(t in labelling(4, 4..40), p in labelling(4, 4..40)) {
+        let n = t.len().min(p.len());
+        let (t, p) = (&t[..n], &p[..n]);
+        prop_assert!((adjusted_rand_index(t, p) - adjusted_rand_index(p, t)).abs() < 1e-9);
+        prop_assert!(
+            (normalized_mutual_information(t, p) - normalized_mutual_information(p, t)).abs()
+                < 1e-9
+        );
+    }
+
+    /// Alignment agreements equal n − misclassified, and the mapping is
+    /// injective on real labels.
+    #[test]
+    fn alignment_consistency(t in labelling(4, 4..40), p in labelling(4, 4..40)) {
+        let n = t.len().min(p.len());
+        let (t, p) = (&t[..n], &p[..n]);
+        let (mapping, agree) = align_labels(t, p);
+        prop_assert_eq!(agree + misclassified(t, p), n);
+        let mut seen = std::collections::HashSet::new();
+        for &m in mapping.iter().filter(|&&m| m != u32::MAX) {
+            prop_assert!(seen.insert(m), "mapping not injective");
+        }
+    }
+
+    /// Hungarian beats any single random permutation.
+    #[test]
+    fn hungarian_is_optimal_vs_sample(
+        k in 2usize..6,
+        vals in proptest::collection::vec(0.0f64..10.0, 36),
+        perm_seed in 0usize..24,
+    ) {
+        let w: Vec<Vec<f64>> = (0..k)
+            .map(|r| (0..k).map(|c| vals[(r * k + c) % vals.len()]).collect())
+            .collect();
+        let (_, best) = hungarian_max(&w);
+        // A deterministic "random" permutation from the seed.
+        let mut perm: Vec<usize> = (0..k).collect();
+        let mut s = perm_seed;
+        for i in (1..k).rev() {
+            perm.swap(i, s % (i + 1));
+            s = s.wrapping_mul(31).wrapping_add(7);
+        }
+        let sample: f64 = perm.iter().enumerate().map(|(r, &c)| w[r][c]).sum();
+        prop_assert!(best >= sample - 1e-9);
+    }
+
+    /// Relabelling both sides by the same permutation never changes the
+    /// indices.
+    #[test]
+    fn joint_relabelling_invariance(t in labelling(4, 8..40), shift in 1u32..4) {
+        let p: Vec<u32> = t.iter().map(|&l| (l + shift) % 4).collect();
+        // p is t under a cyclic permutation ⇒ perfect scores.
+        prop_assert_eq!(misclassified(&t, &p), 0);
+        prop_assert!((adjusted_rand_index(&t, &p) - 1.0).abs() < 1e-9);
+    }
+}

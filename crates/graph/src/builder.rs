@@ -1,0 +1,126 @@
+//! Incremental graph construction with deduplication.
+
+use std::collections::BTreeSet;
+
+use crate::csr::Graph;
+use crate::error::GraphError;
+use crate::NodeId;
+
+/// Deduplicating builder for undirected simple graphs.
+///
+/// Generators accumulate edges here (unordered, possibly repeated) and
+/// [`GraphBuilder::build`] produces the canonical CSR [`Graph`].
+#[derive(Debug, Clone, Default)]
+pub struct GraphBuilder {
+    n: usize,
+    edges: BTreeSet<(NodeId, NodeId)>,
+}
+
+impl GraphBuilder {
+    /// New builder for a graph on `n` nodes.
+    pub fn new(n: usize) -> Self {
+        GraphBuilder {
+            n,
+            edges: BTreeSet::new(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Number of distinct edges inserted so far.
+    pub fn m(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Insert edge `{u, v}`; returns `true` if it was new.
+    ///
+    /// Self-loops and out-of-range endpoints are errors.
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> Result<bool, GraphError> {
+        if u as usize >= self.n {
+            return Err(GraphError::NodeOutOfRange { node: u, n: self.n });
+        }
+        if v as usize >= self.n {
+            return Err(GraphError::NodeOutOfRange { node: v, n: self.n });
+        }
+        if u == v {
+            return Err(GraphError::SelfLoop { node: u });
+        }
+        let key = if u < v { (u, v) } else { (v, u) };
+        Ok(self.edges.insert(key))
+    }
+
+    /// Whether `{u, v}` is already present.
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        let key = if u < v { (u, v) } else { (v, u) };
+        self.edges.contains(&key)
+    }
+
+    /// Remove edge `{u, v}`; returns `true` if it was present.
+    pub fn remove_edge(&mut self, u: NodeId, v: NodeId) -> bool {
+        let key = if u < v { (u, v) } else { (v, u) };
+        self.edges.remove(&key)
+    }
+
+    /// Current degree of `v` (O(m) scan; intended for generator-internal
+    /// bookkeeping on small builders, not hot paths).
+    pub fn degree(&self, v: NodeId) -> usize {
+        self.edges
+            .iter()
+            .filter(|&&(a, b)| a == v || b == v)
+            .count()
+    }
+
+    /// Finalise into a CSR [`Graph`].
+    pub fn build(self) -> Graph {
+        let edges: Vec<_> = self.edges.into_iter().collect();
+        // Endpoints were validated on insertion.
+        Graph::from_edges(self.n, &edges).expect("builder invariants guarantee valid edges")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedup_and_orientation() {
+        let mut b = GraphBuilder::new(3);
+        assert!(b.add_edge(0, 1).unwrap());
+        assert!(!b.add_edge(1, 0).unwrap());
+        assert!(b.add_edge(1, 2).unwrap());
+        assert_eq!(b.m(), 2);
+        let g = b.build();
+        assert_eq!(g.m(), 2);
+        assert!(g.has_edge(0, 1));
+    }
+
+    #[test]
+    fn rejects_bad_edges() {
+        let mut b = GraphBuilder::new(2);
+        assert!(b.add_edge(0, 0).is_err());
+        assert!(b.add_edge(0, 2).is_err());
+    }
+
+    #[test]
+    fn remove_edge_roundtrip() {
+        let mut b = GraphBuilder::new(3);
+        b.add_edge(0, 1).unwrap();
+        assert!(b.has_edge(1, 0));
+        assert!(b.remove_edge(1, 0));
+        assert!(!b.has_edge(0, 1));
+        assert!(!b.remove_edge(0, 1));
+    }
+
+    #[test]
+    fn degree_counts_both_endpoints() {
+        let mut b = GraphBuilder::new(4);
+        b.add_edge(0, 1).unwrap();
+        b.add_edge(0, 2).unwrap();
+        b.add_edge(0, 3).unwrap();
+        assert_eq!(b.degree(0), 3);
+        assert_eq!(b.degree(1), 1);
+    }
+}

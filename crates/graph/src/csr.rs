@@ -1,0 +1,379 @@
+//! Immutable undirected graph in compressed sparse row (CSR) form.
+//!
+//! The algorithm layer only ever needs: node count, degree, neighbour
+//! iteration, and the conductance quantities of the paper. CSR gives all
+//! of these with two flat arrays and no per-node allocation, which keeps
+//! the simulator's inner loop (random neighbour sampling during matching
+//! generation) branch-light and cache-friendly.
+
+use crate::error::GraphError;
+use crate::NodeId;
+
+/// An immutable, undirected, simple graph in CSR form.
+///
+/// Invariants (enforced at construction):
+/// * adjacency is symmetric — `u ∈ N(v)` iff `v ∈ N(u)`;
+/// * neighbour lists are sorted and duplicate-free;
+/// * no self-loops.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Graph {
+    /// `offsets[v]..offsets[v+1]` indexes `neighbours` for node `v`.
+    offsets: Vec<usize>,
+    /// Concatenated sorted neighbour lists.
+    neighbours: Vec<NodeId>,
+}
+
+impl Graph {
+    /// Build a graph with `n` nodes from an undirected edge list.
+    ///
+    /// Duplicate edges are deduplicated; self-loops are an error.
+    ///
+    /// ```
+    /// use lbc_graph::Graph;
+    /// let g = Graph::from_edges(3, &[(0, 1), (1, 2), (1, 0)]).unwrap();
+    /// assert_eq!(g.m(), 2);
+    /// assert_eq!(g.neighbours(1), &[0, 2]);
+    /// assert!(Graph::from_edges(2, &[(0, 0)]).is_err());
+    /// ```
+    pub fn from_edges(n: usize, edges: &[(NodeId, NodeId)]) -> Result<Self, GraphError> {
+        for &(u, v) in edges {
+            if u as usize >= n {
+                return Err(GraphError::NodeOutOfRange { node: u, n });
+            }
+            if v as usize >= n {
+                return Err(GraphError::NodeOutOfRange { node: v, n });
+            }
+            if u == v {
+                return Err(GraphError::SelfLoop { node: u });
+            }
+        }
+        // Count directed degrees, then fill.
+        let mut deg = vec![0usize; n];
+        for &(u, v) in edges {
+            deg[u as usize] += 1;
+            deg[v as usize] += 1;
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut acc = 0usize;
+        offsets.push(0);
+        for d in &deg {
+            acc += d;
+            offsets.push(acc);
+        }
+        let mut cursor = offsets.clone();
+        let mut neighbours = vec![0 as NodeId; acc];
+        for &(u, v) in edges {
+            neighbours[cursor[u as usize]] = v;
+            cursor[u as usize] += 1;
+            neighbours[cursor[v as usize]] = u;
+            cursor[v as usize] += 1;
+        }
+        // Sort and dedup each list in place.
+        let mut dedup_neighbours = Vec::with_capacity(acc);
+        let mut new_offsets = Vec::with_capacity(n + 1);
+        new_offsets.push(0);
+        for v in 0..n {
+            let lo = offsets[v];
+            let hi = offsets[v + 1];
+            let list = &mut neighbours[lo..hi];
+            list.sort_unstable();
+            let mut prev: Option<NodeId> = None;
+            for &w in list.iter() {
+                if prev != Some(w) {
+                    dedup_neighbours.push(w);
+                    prev = Some(w);
+                }
+            }
+            new_offsets.push(dedup_neighbours.len());
+        }
+        Ok(Graph {
+            offsets: new_offsets,
+            neighbours: dedup_neighbours,
+        })
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn n(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges.
+    #[inline]
+    pub fn m(&self) -> usize {
+        self.neighbours.len() / 2
+    }
+
+    /// Degree of node `v`.
+    #[inline]
+    pub fn degree(&self, v: NodeId) -> usize {
+        let v = v as usize;
+        self.offsets[v + 1] - self.offsets[v]
+    }
+
+    /// Sorted neighbour slice of node `v`.
+    #[inline]
+    pub fn neighbours(&self, v: NodeId) -> &[NodeId] {
+        let v = v as usize;
+        &self.neighbours[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// `i`-th neighbour of `v` (0-based); used for O(1) uniform neighbour
+    /// sampling during matching generation.
+    #[inline]
+    pub fn neighbour_at(&self, v: NodeId, i: usize) -> NodeId {
+        self.neighbours[self.offsets[v as usize] + i]
+    }
+
+    /// Whether `{u, v}` is an edge (binary search on the shorter list).
+    pub fn has_edge(&self, u: NodeId, v: NodeId) -> bool {
+        if u == v {
+            return false;
+        }
+        let (a, b) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        self.neighbours(a).binary_search(&b).is_ok()
+    }
+
+    /// Maximum degree `Δ`.
+    pub fn max_degree(&self) -> usize {
+        (0..self.n() as NodeId).map(|v| self.degree(v)).max().unwrap_or(0)
+    }
+
+    /// Minimum degree `δ`.
+    pub fn min_degree(&self) -> usize {
+        (0..self.n() as NodeId).map(|v| self.degree(v)).min().unwrap_or(0)
+    }
+
+    /// Whether every node has the same degree.
+    pub fn is_regular(&self) -> bool {
+        self.max_degree() == self.min_degree()
+    }
+
+    /// Degree ratio `Δ/δ`; `∞` when some node is isolated.
+    pub fn degree_ratio(&self) -> f64 {
+        let dmin = self.min_degree();
+        if dmin == 0 {
+            f64::INFINITY
+        } else {
+            self.max_degree() as f64 / dmin as f64
+        }
+    }
+
+    /// Volume of a node set: number of edge endpoints in `S`
+    /// (`vol(S) = Σ_{v∈S} d_v`), matching the paper's convention for
+    /// regular graphs where `vol(S) = d·|S|`.
+    pub fn volume(&self, set: &[bool]) -> usize {
+        debug_assert_eq!(set.len(), self.n());
+        (0..self.n())
+            .filter(|&v| set[v])
+            .map(|v| self.degree(v as NodeId))
+            .sum()
+    }
+
+    /// Number of edges crossing from `S` to its complement.
+    pub fn cut_size(&self, set: &[bool]) -> usize {
+        debug_assert_eq!(set.len(), self.n());
+        let mut cut = 0usize;
+        for v in 0..self.n() {
+            if !set[v] {
+                continue;
+            }
+            for &w in self.neighbours(v as NodeId) {
+                if !set[w as usize] {
+                    cut += 1;
+                }
+            }
+        }
+        cut
+    }
+
+    /// Conductance `ϕ_G(S) = |E(S, V\S)| / min(vol(S), vol(V\S))`.
+    ///
+    /// The paper defines `ϕ_G(S) = |E(S, V\S)| / vol(S)` and always
+    /// evaluates it on cluster-sized sets; we use the symmetric
+    /// `min`-normalised version, which coincides on sets with at most half
+    /// the volume and is the standard definition elsewhere. The raw
+    /// one-sided value is available as [`Graph::conductance_one_sided`].
+    pub fn conductance(&self, set: &[bool]) -> f64 {
+        let vol_s = self.volume(set);
+        let vol_total = 2 * self.m();
+        let vol_c = vol_total - vol_s;
+        let denom = vol_s.min(vol_c);
+        if denom == 0 {
+            return f64::INFINITY;
+        }
+        self.cut_size(set) as f64 / denom as f64
+    }
+
+    /// The paper's one-sided conductance `|E(S, V\S)| / vol(S)`.
+    pub fn conductance_one_sided(&self, set: &[bool]) -> f64 {
+        let vol_s = self.volume(set);
+        if vol_s == 0 {
+            return f64::INFINITY;
+        }
+        self.cut_size(set) as f64 / vol_s as f64
+    }
+
+    /// Whether the graph is connected (BFS from node 0; empty graphs are
+    /// connected by convention).
+    pub fn is_connected(&self) -> bool {
+        let n = self.n();
+        if n == 0 {
+            return true;
+        }
+        let mut seen = vec![false; n];
+        let mut queue = std::collections::VecDeque::new();
+        seen[0] = true;
+        queue.push_back(0 as NodeId);
+        let mut count = 1usize;
+        while let Some(v) = queue.pop_front() {
+            for &w in self.neighbours(v) {
+                if !seen[w as usize] {
+                    seen[w as usize] = true;
+                    count += 1;
+                    queue.push_back(w);
+                }
+            }
+        }
+        count == n
+    }
+
+    /// Iterate all undirected edges `(u, v)` with `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        (0..self.n() as NodeId).flat_map(move |u| {
+            self.neighbours(u)
+                .iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
+        })
+    }
+
+    /// Sum of degrees (`2m`).
+    #[inline]
+    pub fn total_volume(&self) -> usize {
+        self.neighbours.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle_plus_pendant() -> Graph {
+        // 0-1, 1-2, 2-0 triangle; 3 pendant on 0.
+        Graph::from_edges(4, &[(0, 1), (1, 2), (2, 0), (0, 3)]).unwrap()
+    }
+
+    #[test]
+    fn basic_counts() {
+        let g = triangle_plus_pendant();
+        assert_eq!(g.n(), 4);
+        assert_eq!(g.m(), 4);
+        assert_eq!(g.degree(0), 3);
+        assert_eq!(g.degree(3), 1);
+        assert_eq!(g.total_volume(), 8);
+    }
+
+    #[test]
+    fn neighbours_sorted_and_symmetric() {
+        let g = triangle_plus_pendant();
+        assert_eq!(g.neighbours(0), &[1, 2, 3]);
+        assert_eq!(g.neighbours(3), &[0]);
+        for u in 0..g.n() as NodeId {
+            for &v in g.neighbours(u) {
+                assert!(g.neighbours(v).contains(&u));
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_edges_are_removed() {
+        let g = Graph::from_edges(3, &[(0, 1), (1, 0), (0, 1), (1, 2)]).unwrap();
+        assert_eq!(g.m(), 2);
+        assert_eq!(g.degree(0), 1);
+    }
+
+    #[test]
+    fn self_loop_rejected() {
+        assert_eq!(
+            Graph::from_edges(2, &[(1, 1)]),
+            Err(GraphError::SelfLoop { node: 1 })
+        );
+    }
+
+    #[test]
+    fn out_of_range_rejected() {
+        assert!(matches!(
+            Graph::from_edges(2, &[(0, 5)]),
+            Err(GraphError::NodeOutOfRange { node: 5, n: 2 })
+        ));
+    }
+
+    #[test]
+    fn has_edge_works() {
+        let g = triangle_plus_pendant();
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert!(!g.has_edge(1, 3));
+        assert!(!g.has_edge(2, 2));
+    }
+
+    #[test]
+    fn cut_and_conductance() {
+        let g = triangle_plus_pendant();
+        let set = vec![true, true, true, false]; // triangle
+        assert_eq!(g.cut_size(&set), 1);
+        assert_eq!(g.volume(&set), 7);
+        // min(vol) side is the pendant with volume 1.
+        assert!((g.conductance(&set) - 1.0).abs() < 1e-12);
+        assert!((g.conductance_one_sided(&set) - 1.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn conductance_of_empty_set_is_infinite() {
+        let g = triangle_plus_pendant();
+        let set = vec![false; 4];
+        assert!(g.conductance(&set).is_infinite());
+        assert!(g.conductance_one_sided(&set).is_infinite());
+    }
+
+    #[test]
+    fn connectivity() {
+        let g = triangle_plus_pendant();
+        assert!(g.is_connected());
+        let g2 = Graph::from_edges(4, &[(0, 1), (2, 3)]).unwrap();
+        assert!(!g2.is_connected());
+        let empty = Graph::from_edges(0, &[]).unwrap();
+        assert!(empty.is_connected());
+    }
+
+    #[test]
+    fn regularity_queries() {
+        let cycle = Graph::from_edges(4, &[(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        assert!(cycle.is_regular());
+        assert_eq!(cycle.degree_ratio(), 1.0);
+        let g = triangle_plus_pendant();
+        assert!(!g.is_regular());
+        assert_eq!(g.max_degree(), 3);
+        assert_eq!(g.min_degree(), 1);
+    }
+
+    #[test]
+    fn edges_iterator_yields_each_edge_once() {
+        let g = triangle_plus_pendant();
+        let mut e: Vec<_> = g.edges().collect();
+        e.sort_unstable();
+        assert_eq!(e, vec![(0, 1), (0, 2), (0, 3), (1, 2)]);
+    }
+
+    #[test]
+    fn isolated_node_degree_ratio_infinite() {
+        let g = Graph::from_edges(3, &[(0, 1)]).unwrap();
+        assert!(g.degree_ratio().is_infinite());
+    }
+}

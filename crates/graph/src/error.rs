@@ -1,0 +1,60 @@
+//! Error type for graph construction and I/O.
+
+use std::fmt;
+
+/// Errors produced while building, generating, or (de)serialising graphs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum GraphError {
+    /// An edge endpoint was `>= n`.
+    NodeOutOfRange { node: u32, n: usize },
+    /// A self-loop `{v, v}` was inserted where none are allowed.
+    SelfLoop { node: u32 },
+    /// Generator parameters are inconsistent (message explains why).
+    InvalidParameter(String),
+    /// Parse or I/O failure while reading a graph file.
+    Io(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, n } => {
+                write!(f, "node {node} out of range for graph with {n} nodes")
+            }
+            GraphError::SelfLoop { node } => write!(f, "self-loop at node {node} not allowed"),
+            GraphError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            GraphError::Io(msg) => write!(f, "graph i/o error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+impl From<std::io::Error> for GraphError {
+    fn from(e: std::io::Error) -> Self {
+        GraphError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_mention_offender() {
+        let e = GraphError::NodeOutOfRange { node: 7, n: 5 };
+        assert!(e.to_string().contains('7'));
+        assert!(e.to_string().contains('5'));
+        let e = GraphError::SelfLoop { node: 3 };
+        assert!(e.to_string().contains('3'));
+        let e = GraphError::InvalidParameter("k must divide n".into());
+        assert!(e.to_string().contains("k must divide n"));
+    }
+
+    #[test]
+    fn io_error_converts() {
+        let ioe = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        let e: GraphError = ioe.into();
+        assert!(matches!(e, GraphError::Io(_)));
+    }
+}

@@ -1,0 +1,752 @@
+//! Synthetic graph families for the experiment suite.
+//!
+//! The paper's guarantees apply to *well-clustered* graphs: `k` clusters
+//! of size ≥ `βn`, each internally expanding, joined by sparse cuts
+//! (§1.1–1.2). These generators realise that family in controlled ways:
+//!
+//! * [`planted_partition`] — the classic stochastic block model
+//!   `G(n; p, q)` with equal-size blocks; tuning `q` sweeps the gap
+//!   parameter `Υ`.
+//! * [`regular_cluster_graph`] — near-regular clusters built as unions of
+//!   random perfect matchings, joined by sparse inter-cluster matchings;
+//!   the closest realisation of the paper's `d`-regular assumption.
+//! * [`ring_of_cliques`] — the extreme well-clustered instance
+//!   (`ϕ` inside = max, cut minimal); used for Lemma 4.1 trajectories.
+//! * [`dumbbell`] — two expanders and a thin bridge (`k = 2`).
+//! * [`random_regular`], [`cycle`], [`complete`], [`grid_2d`] — controls
+//!   and building blocks.
+//! * [`perturb_degrees`] — degree-noise wrapper for the §4.5
+//!   almost-regular experiments.
+//!
+//! Every generator is deterministic in its `seed` and returns the ground
+//! truth [`Partition`] where one exists.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::builder::GraphBuilder;
+use crate::csr::Graph;
+use crate::error::GraphError;
+use crate::partition::Partition;
+use crate::NodeId;
+
+/// Planted partition (equal-block stochastic block model).
+///
+/// `k` blocks of `block_size` nodes; each intra-block pair is an edge with
+/// probability `p_in`, each inter-block pair with probability `p_out`.
+pub fn planted_partition(
+    k: usize,
+    block_size: usize,
+    p_in: f64,
+    p_out: f64,
+    seed: u64,
+) -> Result<(Graph, Partition), GraphError> {
+    if k == 0 || block_size == 0 {
+        return Err(GraphError::InvalidParameter(
+            "k and block_size must be positive".into(),
+        ));
+    }
+    if !(0.0..=1.0).contains(&p_in) || !(0.0..=1.0).contains(&p_out) {
+        return Err(GraphError::InvalidParameter(
+            "probabilities must lie in [0, 1]".into(),
+        ));
+    }
+    let n = k * block_size;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let same = u / block_size == v / block_size;
+            let p = if same { p_in } else { p_out };
+            if rng.random::<f64>() < p {
+                edges.push((u as NodeId, v as NodeId));
+            }
+        }
+    }
+    let g = Graph::from_edges(n, &edges)?;
+    let p = Partition::from_sizes(&vec![block_size; k]);
+    Ok((g, p))
+}
+
+/// Planted partition with unequal block sizes (same edge law as
+/// [`planted_partition`]).
+pub fn planted_partition_sizes(
+    sizes: &[usize],
+    p_in: f64,
+    p_out: f64,
+    seed: u64,
+) -> Result<(Graph, Partition), GraphError> {
+    if sizes.is_empty() || sizes.iter().any(|&s| s == 0) {
+        return Err(GraphError::InvalidParameter(
+            "all block sizes must be positive".into(),
+        ));
+    }
+    let n: usize = sizes.iter().sum();
+    let part = Partition::from_sizes(sizes);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges = Vec::new();
+    for u in 0..n {
+        for v in (u + 1)..n {
+            let same = part.label(u as NodeId) == part.label(v as NodeId);
+            let p = if same { p_in } else { p_out };
+            if rng.random::<f64>() < p {
+                edges.push((u as NodeId, v as NodeId));
+            }
+        }
+    }
+    Ok((Graph::from_edges(n, &edges)?, part))
+}
+
+/// Union of `d` random perfect matchings on an even number of nodes.
+///
+/// Produces a (multi-edge-deduplicated) graph with maximum degree `d`;
+/// for `nodes.len() ≫ d` the result is an expander with high probability
+/// and degree very close to `d` everywhere.
+fn matching_union(
+    builder: &mut GraphBuilder,
+    nodes: &[NodeId],
+    d: usize,
+    rng: &mut StdRng,
+) -> Result<(), GraphError> {
+    if nodes.len() % 2 != 0 {
+        return Err(GraphError::InvalidParameter(
+            "matching_union requires an even number of nodes".into(),
+        ));
+    }
+    let mut perm: Vec<NodeId> = nodes.to_vec();
+    for _ in 0..d {
+        perm.shuffle(rng);
+        for pair in perm.chunks_exact(2) {
+            if pair[0] != pair[1] {
+                // Duplicate edges across matchings are deduplicated by the
+                // builder; this slightly lowers the degree below d, which
+                // is acceptable for the almost-regular regime.
+                builder.add_edge(pair[0], pair[1])?;
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Near-`d`-regular well-clustered graph: each of `k` clusters (even
+/// `cluster_size`) is a union of `d_in` random perfect matchings; each
+/// adjacent cluster pair on a ring is joined by `bridge_edges` random
+/// disjoint inter-cluster edges.
+///
+/// This is the closest constructive realisation of the paper's standing
+/// assumption (d-regular, every `G[S_i]` an expander, `ϕ_G(S_i)` small).
+pub fn regular_cluster_graph(
+    k: usize,
+    cluster_size: usize,
+    d_in: usize,
+    bridge_edges: usize,
+    seed: u64,
+) -> Result<(Graph, Partition), GraphError> {
+    if k == 0 {
+        return Err(GraphError::InvalidParameter("k must be positive".into()));
+    }
+    if cluster_size % 2 != 0 || cluster_size == 0 {
+        return Err(GraphError::InvalidParameter(
+            "cluster_size must be positive and even".into(),
+        ));
+    }
+    if d_in == 0 || d_in >= cluster_size {
+        return Err(GraphError::InvalidParameter(
+            "need 0 < d_in < cluster_size".into(),
+        ));
+    }
+    if bridge_edges > cluster_size {
+        return Err(GraphError::InvalidParameter(
+            "bridge_edges must be at most cluster_size".into(),
+        ));
+    }
+    let n = k * cluster_size;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    for c in 0..k {
+        let nodes: Vec<NodeId> =
+            ((c * cluster_size) as NodeId..((c + 1) * cluster_size) as NodeId).collect();
+        matching_union(&mut b, &nodes, d_in, &mut rng)?;
+    }
+    // Ring of sparse bridges (for k == 1 there is nothing to join; for
+    // k == 2 a single bridge bundle suffices).
+    let pairs: Vec<(usize, usize)> = match k {
+        0 | 1 => vec![],
+        2 => vec![(0, 1)],
+        _ => (0..k).map(|c| (c, (c + 1) % k)).collect(),
+    };
+    for (a, c) in pairs {
+        let mut left: Vec<NodeId> =
+            ((a * cluster_size) as NodeId..((a + 1) * cluster_size) as NodeId).collect();
+        let mut right: Vec<NodeId> =
+            ((c * cluster_size) as NodeId..((c + 1) * cluster_size) as NodeId).collect();
+        left.shuffle(&mut rng);
+        right.shuffle(&mut rng);
+        for i in 0..bridge_edges {
+            b.add_edge(left[i], right[i])?;
+        }
+    }
+    let p = Partition::from_sizes(&vec![cluster_size; k]);
+    Ok((b.build(), p))
+}
+
+/// Ring of `k` cliques of `clique_size` nodes, consecutive cliques joined
+/// by a single edge. The canonical "extremely well-clustered" instance.
+pub fn ring_of_cliques(
+    k: usize,
+    clique_size: usize,
+    seed_offset: u64,
+) -> Result<(Graph, Partition), GraphError> {
+    let _ = seed_offset; // deterministic construction; parameter kept for API symmetry
+    if k < 2 || clique_size < 2 {
+        return Err(GraphError::InvalidParameter(
+            "need k >= 2 cliques of size >= 2".into(),
+        ));
+    }
+    let n = k * clique_size;
+    let mut b = GraphBuilder::new(n);
+    for c in 0..k {
+        let base = (c * clique_size) as NodeId;
+        for i in 0..clique_size as NodeId {
+            for j in (i + 1)..clique_size as NodeId {
+                b.add_edge(base + i, base + j)?;
+            }
+        }
+    }
+    for c in 0..k {
+        let next = (c + 1) % k;
+        // Join the "last" node of clique c to the "first" node of clique
+        // c+1; for k == 2 avoid inserting the same edge twice (harmless —
+        // builder dedups — but keep the cut at exactly k edges for k > 2
+        // and 1 edge for k == 2).
+        if k == 2 && c == 1 {
+            break;
+        }
+        let from = (c * clique_size + clique_size - 1) as NodeId;
+        let to = (next * clique_size) as NodeId;
+        b.add_edge(from, to)?;
+    }
+    let p = Partition::from_sizes(&vec![clique_size; k]);
+    Ok((b.build(), p))
+}
+
+/// Two random-regular expanders of `half_size` nodes joined by
+/// `bridge_edges` disjoint edges (`k = 2` dumbbell).
+pub fn dumbbell(
+    half_size: usize,
+    d: usize,
+    bridge_edges: usize,
+    seed: u64,
+) -> Result<(Graph, Partition), GraphError> {
+    if half_size % 2 != 0 || half_size == 0 {
+        return Err(GraphError::InvalidParameter(
+            "half_size must be positive and even".into(),
+        ));
+    }
+    if bridge_edges > half_size {
+        return Err(GraphError::InvalidParameter(
+            "bridge_edges must be at most half_size".into(),
+        ));
+    }
+    let n = 2 * half_size;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    let left: Vec<NodeId> = (0..half_size as NodeId).collect();
+    let right: Vec<NodeId> = (half_size as NodeId..n as NodeId).collect();
+    matching_union(&mut b, &left, d, &mut rng)?;
+    matching_union(&mut b, &right, d, &mut rng)?;
+    let mut l = left.clone();
+    let mut r = right.clone();
+    l.shuffle(&mut rng);
+    r.shuffle(&mut rng);
+    for i in 0..bridge_edges {
+        b.add_edge(l[i], r[i])?;
+    }
+    Ok((b.build(), Partition::from_sizes(&[half_size, half_size])))
+}
+
+/// Random `d`-regular-ish graph on `n` (even) nodes: union of `d` random
+/// perfect matchings (degrees ≤ d; = d except for rare collisions).
+pub fn random_regular(n: usize, d: usize, seed: u64) -> Result<Graph, GraphError> {
+    if n % 2 != 0 || n == 0 {
+        return Err(GraphError::InvalidParameter(
+            "n must be positive and even".into(),
+        ));
+    }
+    if d >= n {
+        return Err(GraphError::InvalidParameter("need d < n".into()));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    let nodes: Vec<NodeId> = (0..n as NodeId).collect();
+    matching_union(&mut b, &nodes, d, &mut rng)?;
+    Ok(b.build())
+}
+
+/// Cycle on `n ≥ 3` nodes — a connected, 2-regular, *poorly* clustered
+/// control (slow mixing).
+pub fn cycle(n: usize) -> Result<Graph, GraphError> {
+    if n < 3 {
+        return Err(GraphError::InvalidParameter("cycle needs n >= 3".into()));
+    }
+    let edges: Vec<(NodeId, NodeId)> = (0..n)
+        .map(|i| (i as NodeId, ((i + 1) % n) as NodeId))
+        .collect();
+    Graph::from_edges(n, &edges)
+}
+
+/// Complete graph on `n ≥ 2` nodes — a single perfect cluster.
+pub fn complete(n: usize) -> Result<Graph, GraphError> {
+    if n < 2 {
+        return Err(GraphError::InvalidParameter("complete needs n >= 2".into()));
+    }
+    let mut edges = Vec::with_capacity(n * (n - 1) / 2);
+    for u in 0..n as NodeId {
+        for v in (u + 1)..n as NodeId {
+            edges.push((u, v));
+        }
+    }
+    Graph::from_edges(n, &edges)
+}
+
+/// `rows × cols` grid — a connected almost-regular control without
+/// cluster structure.
+pub fn grid_2d(rows: usize, cols: usize) -> Result<Graph, GraphError> {
+    if rows == 0 || cols == 0 {
+        return Err(GraphError::InvalidParameter(
+            "grid dimensions must be positive".into(),
+        ));
+    }
+    let id = |r: usize, c: usize| (r * cols + c) as NodeId;
+    let mut edges = Vec::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            if c + 1 < cols {
+                edges.push((id(r, c), id(r, c + 1)));
+            }
+            if r + 1 < rows {
+                edges.push((id(r, c), id(r + 1, c)));
+            }
+        }
+    }
+    Graph::from_edges(rows * cols, &edges)
+}
+
+/// Degree-noise wrapper for §4.5 experiments: independently add each
+/// non-edge with probability `add_p` *within the same cluster only*, and
+/// (optionally) delete each existing intra-cluster edge with probability
+/// `del_p`, then restore connectivity of each cluster is NOT enforced —
+/// callers should keep `del_p` small.
+///
+/// Inter-cluster edges are left untouched so the planted cut (and thus
+/// `Υ`) changes only through volumes, letting experiments isolate the
+/// effect of degree irregularity `Δ/δ`.
+pub fn perturb_degrees(
+    g: &Graph,
+    part: &Partition,
+    add_p: f64,
+    del_p: f64,
+    seed: u64,
+) -> Result<Graph, GraphError> {
+    if !(0.0..=1.0).contains(&add_p) || !(0.0..=1.0).contains(&del_p) {
+        return Err(GraphError::InvalidParameter(
+            "probabilities must lie in [0, 1]".into(),
+        ));
+    }
+    let n = g.n();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    for (u, v) in g.edges() {
+        let same = part.label(u) == part.label(v);
+        if same && rng.random::<f64>() < del_p {
+            continue;
+        }
+        b.add_edge(u, v)?;
+    }
+    if add_p > 0.0 {
+        for u in 0..n as NodeId {
+            for v in (u + 1)..n as NodeId {
+                if part.label(u) == part.label(v)
+                    && !g.has_edge(u, v)
+                    && rng.random::<f64>() < add_p
+                {
+                    b.add_edge(u, v)?;
+                }
+            }
+        }
+    }
+    Ok(b.build())
+}
+
+/// Preferential-attachment (Barabási–Albert-style) graph: start from a
+/// clique on `m0 = m_edges + 1` nodes; each new node attaches to
+/// `m_edges` distinct existing nodes chosen proportionally to degree.
+///
+/// A *heavy-tailed, strongly irregular* control: `Δ/δ` is unbounded, so
+/// this family sits **outside** the §4.5 almost-regular regime —
+/// experiments use it to probe where the assumptions genuinely matter.
+pub fn barabasi_albert(n: usize, m_edges: usize, seed: u64) -> Result<Graph, GraphError> {
+    if m_edges == 0 {
+        return Err(GraphError::InvalidParameter("m_edges must be positive".into()));
+    }
+    let m0 = m_edges + 1;
+    if n < m0 + 1 {
+        return Err(GraphError::InvalidParameter(format!(
+            "need n > m_edges + 1 (= {m0})"
+        )));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    // Seed clique.
+    for u in 0..m0 as NodeId {
+        for v in (u + 1)..m0 as NodeId {
+            b.add_edge(u, v)?;
+        }
+    }
+    // Endpoint multiset for degree-proportional sampling.
+    let mut endpoints: Vec<NodeId> = Vec::with_capacity(2 * n * m_edges);
+    for u in 0..m0 as NodeId {
+        for _ in 0..(m0 - 1) {
+            endpoints.push(u);
+        }
+    }
+    for v in m0..n {
+        let v = v as NodeId;
+        let mut chosen: Vec<NodeId> = Vec::with_capacity(m_edges);
+        let mut guard = 0usize;
+        while chosen.len() < m_edges {
+            let t = endpoints[rng.random_range(0..endpoints.len())];
+            if t != v && !chosen.contains(&t) {
+                chosen.push(t);
+            }
+            guard += 1;
+            if guard > 100 * m_edges {
+                // Extremely unlikely; fall back to lowest-id fill.
+                for u in 0..v {
+                    if chosen.len() == m_edges {
+                        break;
+                    }
+                    if !chosen.contains(&u) {
+                        chosen.push(u);
+                    }
+                }
+            }
+        }
+        for &t in &chosen {
+            b.add_edge(v, t)?;
+            endpoints.push(v);
+            endpoints.push(t);
+        }
+    }
+    Ok(b.build())
+}
+
+/// Watts–Strogatz small world: ring lattice where each node connects to
+/// its `k_half` nearest neighbours on each side, then each edge is
+/// rewired with probability `rewire_p` to a uniform non-neighbour.
+///
+/// Near-regular but (for small `rewire_p`) *not* well-clustered into a
+/// bounded number of parts — a useful negative control.
+pub fn watts_strogatz(
+    n: usize,
+    k_half: usize,
+    rewire_p: f64,
+    seed: u64,
+) -> Result<Graph, GraphError> {
+    if k_half == 0 || 2 * k_half >= n {
+        return Err(GraphError::InvalidParameter(
+            "need 0 < 2·k_half < n".into(),
+        ));
+    }
+    if !(0.0..=1.0).contains(&rewire_p) {
+        return Err(GraphError::InvalidParameter(
+            "rewire_p must lie in [0, 1]".into(),
+        ));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::new(n);
+    for u in 0..n {
+        for off in 1..=k_half {
+            let v = (u + off) % n;
+            let (mut a, mut c) = (u as NodeId, v as NodeId);
+            if rng.random::<f64>() < rewire_p {
+                // Rewire: keep u, pick a fresh target.
+                let mut guard = 0;
+                loop {
+                    let t = rng.random_range(0..n) as NodeId;
+                    if t != a && !b.has_edge(a, t) {
+                        c = t;
+                        break;
+                    }
+                    guard += 1;
+                    if guard > 10 * n {
+                        break; // saturated neighbourhood; keep original
+                    }
+                }
+            }
+            if a == c {
+                continue;
+            }
+            if a > c {
+                std::mem::swap(&mut a, &mut c);
+            }
+            let _ = b.add_edge(a, c)?;
+        }
+    }
+    Ok(b.build())
+}
+
+/// LFR-flavoured benchmark: cluster sizes follow a truncated power law
+/// (exponent `tau`), then edges are planted with `p_in`/`p_out` as in
+/// [`planted_partition_sizes`]. Returns the graph and ground truth.
+///
+/// This realises the "unbalanced communities" stress case: `β` is set by
+/// the smallest community and can be far below `1/k`.
+pub fn lfr_like(
+    n: usize,
+    k: usize,
+    tau: f64,
+    min_size: usize,
+    p_in: f64,
+    p_out: f64,
+    seed: u64,
+) -> Result<(Graph, Partition), GraphError> {
+    if k == 0 || min_size == 0 || n < k * min_size {
+        return Err(GraphError::InvalidParameter(
+            "need k ≥ 1 communities of at least min_size".into(),
+        ));
+    }
+    if tau <= 0.0 {
+        return Err(GraphError::InvalidParameter("tau must be positive".into()));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Power-law weights w_i = (i+1)^{-tau}, scaled onto the surplus.
+    let weights: Vec<f64> = (0..k).map(|i| ((i + 1) as f64).powf(-tau)).collect();
+    let wsum: f64 = weights.iter().sum();
+    let surplus = n - k * min_size;
+    let mut sizes: Vec<usize> = weights
+        .iter()
+        .map(|w| min_size + (surplus as f64 * w / wsum).floor() as usize)
+        .collect();
+    // Distribute rounding leftovers.
+    let mut assigned: usize = sizes.iter().sum();
+    let mut i = 0usize;
+    while assigned < n {
+        sizes[i % k] += 1;
+        assigned += 1;
+        i += 1;
+    }
+    // Shuffle sizes so cluster index doesn't encode size rank.
+    sizes.shuffle(&mut rng);
+    planted_partition_sizes(&sizes, p_in, p_out, rng.random())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn planted_partition_shape() {
+        let (g, p) = planted_partition(3, 40, 0.5, 0.01, 42).unwrap();
+        assert_eq!(g.n(), 120);
+        assert_eq!(p.k(), 3);
+        assert_eq!(p.cluster_sizes(), vec![40, 40, 40]);
+        // Dense inside, sparse outside.
+        let phis = p.cluster_conductances(&g);
+        assert!(phis.iter().all(|&phi| phi < 0.2), "phis = {phis:?}");
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn planted_partition_deterministic_in_seed() {
+        let (g1, _) = planted_partition(2, 30, 0.4, 0.02, 7).unwrap();
+        let (g2, _) = planted_partition(2, 30, 0.4, 0.02, 7).unwrap();
+        let (g3, _) = planted_partition(2, 30, 0.4, 0.02, 8).unwrap();
+        assert_eq!(g1, g2);
+        assert_ne!(g1, g3);
+    }
+
+    #[test]
+    fn planted_partition_extreme_probabilities() {
+        let (g, _) = planted_partition(2, 5, 1.0, 0.0, 1).unwrap();
+        // Two disjoint 5-cliques.
+        assert_eq!(g.m(), 2 * 10);
+        assert!(!g.is_connected());
+        let (g0, _) = planted_partition(2, 5, 0.0, 0.0, 1).unwrap();
+        assert_eq!(g0.m(), 0);
+    }
+
+    #[test]
+    fn planted_partition_rejects_bad_params() {
+        assert!(planted_partition(0, 10, 0.5, 0.1, 1).is_err());
+        assert!(planted_partition(2, 0, 0.5, 0.1, 1).is_err());
+        assert!(planted_partition(2, 10, 1.5, 0.1, 1).is_err());
+        assert!(planted_partition(2, 10, 0.5, -0.1, 1).is_err());
+    }
+
+    #[test]
+    fn unequal_sizes_variant() {
+        let (g, p) = planted_partition_sizes(&[20, 60], 0.5, 0.01, 3).unwrap();
+        assert_eq!(g.n(), 80);
+        assert_eq!(p.cluster_sizes(), vec![20, 60]);
+        assert!((p.beta() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn regular_cluster_graph_is_near_regular() {
+        let (g, p) = regular_cluster_graph(4, 50, 8, 2, 11).unwrap();
+        assert_eq!(g.n(), 200);
+        assert_eq!(p.k(), 4);
+        assert!(g.is_connected());
+        // Degrees concentrate near d_in (+ up to 2 bridge endpoints).
+        assert!(g.min_degree() >= 5, "min degree {}", g.min_degree());
+        assert!(g.max_degree() <= 8 + 4, "max degree {}", g.max_degree());
+        // Cut per cluster is at most 2 bridge bundles of 2 edges.
+        for phi in p.cluster_conductances(&g) {
+            assert!(phi < 0.05, "phi = {phi}");
+        }
+    }
+
+    #[test]
+    fn regular_cluster_graph_k1_and_k2() {
+        let (g1, _) = regular_cluster_graph(1, 20, 4, 0, 5).unwrap();
+        assert_eq!(g1.n(), 20);
+        let (g2, p2) = regular_cluster_graph(2, 20, 4, 3, 5).unwrap();
+        assert_eq!(p2.cut_edges(&g2), 3);
+    }
+
+    #[test]
+    fn regular_cluster_graph_rejects_bad_params() {
+        assert!(regular_cluster_graph(0, 10, 3, 1, 1).is_err());
+        assert!(regular_cluster_graph(2, 11, 3, 1, 1).is_err()); // odd size
+        assert!(regular_cluster_graph(2, 10, 0, 1, 1).is_err());
+        assert!(regular_cluster_graph(2, 10, 10, 1, 1).is_err());
+        assert!(regular_cluster_graph(2, 10, 3, 11, 1).is_err());
+    }
+
+    #[test]
+    fn ring_of_cliques_structure() {
+        let (g, p) = ring_of_cliques(4, 10, 0).unwrap();
+        assert_eq!(g.n(), 40);
+        assert!(g.is_connected());
+        assert_eq!(p.cut_edges(&g), 4);
+        for c in 0..4 {
+            assert_eq!(p.internal_edges(&g, c), 45);
+        }
+    }
+
+    #[test]
+    fn ring_of_two_cliques_has_single_bridge() {
+        let (g, p) = ring_of_cliques(2, 5, 0).unwrap();
+        assert_eq!(p.cut_edges(&g), 1);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn dumbbell_structure() {
+        let (g, p) = dumbbell(50, 6, 3, 9).unwrap();
+        assert_eq!(g.n(), 100);
+        assert_eq!(p.k(), 2);
+        assert_eq!(p.cut_edges(&g), 3);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn random_regular_degree_bounds() {
+        let g = random_regular(100, 6, 13).unwrap();
+        assert!(g.max_degree() <= 6);
+        // Collisions between matchings are rare: average degree close to 6.
+        assert!(g.total_volume() as f64 >= 0.9 * 600.0);
+    }
+
+    #[test]
+    fn controls() {
+        let c = cycle(5).unwrap();
+        assert_eq!(c.m(), 5);
+        assert!(c.is_regular());
+        let k5 = complete(5).unwrap();
+        assert_eq!(k5.m(), 10);
+        let grid = grid_2d(3, 4).unwrap();
+        assert_eq!(grid.n(), 12);
+        assert_eq!(grid.m(), 3 * 3 + 2 * 4);
+        assert!(grid.is_connected());
+        assert!(cycle(2).is_err());
+        assert!(complete(1).is_err());
+        assert!(grid_2d(0, 3).is_err());
+    }
+
+    #[test]
+    fn perturb_preserves_cut() {
+        let (g, p) = ring_of_cliques(3, 8, 0).unwrap();
+        let g2 = perturb_degrees(&g, &p, 0.0, 0.3, 21).unwrap();
+        assert_eq!(p.cut_edges(&g2), p.cut_edges(&g));
+        assert!(g2.m() < g.m());
+        let g3 = perturb_degrees(&g, &p, 0.5, 0.0, 21).unwrap();
+        // Cliques cannot gain intra edges; nothing to add.
+        assert_eq!(g3.m(), g.m());
+    }
+
+    #[test]
+    fn perturb_adds_only_intra_cluster() {
+        let (g, p) = planted_partition(2, 20, 0.3, 0.0, 2).unwrap();
+        let g2 = perturb_degrees(&g, &p, 0.5, 0.0, 3).unwrap();
+        assert_eq!(p.cut_edges(&g2), 0);
+        assert!(g2.m() > g.m());
+    }
+
+    #[test]
+    fn barabasi_albert_structure() {
+        let g = barabasi_albert(300, 3, 7).unwrap();
+        assert_eq!(g.n(), 300);
+        assert!(g.is_connected());
+        // Every non-seed node attaches with exactly 3 edges; m ≈ 3n.
+        assert!(g.m() >= 3 * (300 - 4));
+        // Heavy tail: the max degree should dwarf the minimum.
+        assert!(g.degree_ratio() > 5.0, "ratio {}", g.degree_ratio());
+        assert!(g.min_degree() >= 3);
+    }
+
+    #[test]
+    fn barabasi_albert_deterministic_and_validated() {
+        assert_eq!(barabasi_albert(100, 2, 5).unwrap(), barabasi_albert(100, 2, 5).unwrap());
+        assert!(barabasi_albert(3, 3, 1).is_err());
+        assert!(barabasi_albert(10, 0, 1).is_err());
+    }
+
+    #[test]
+    fn watts_strogatz_zero_rewire_is_lattice() {
+        let g = watts_strogatz(20, 2, 0.0, 1).unwrap();
+        assert!(g.is_regular());
+        assert_eq!(g.min_degree(), 4);
+        assert_eq!(g.m(), 40);
+        assert!(g.is_connected());
+    }
+
+    #[test]
+    fn watts_strogatz_rewiring_perturbs_lattice() {
+        let lattice = watts_strogatz(100, 3, 0.0, 2).unwrap();
+        let rewired = watts_strogatz(100, 3, 0.3, 2).unwrap();
+        assert_ne!(lattice, rewired);
+        // Edge count is preserved up to rare rewire failures.
+        assert!(rewired.m() >= lattice.m() - 5);
+        assert!(watts_strogatz(10, 5, 0.1, 1).is_err());
+        assert!(watts_strogatz(10, 2, 1.5, 1).is_err());
+    }
+
+    #[test]
+    fn lfr_like_power_law_sizes() {
+        let (g, p) = lfr_like(600, 4, 1.5, 50, 0.2, 0.004, 9).unwrap();
+        assert_eq!(g.n(), 600);
+        assert_eq!(p.k(), 4);
+        let sizes = p.cluster_sizes();
+        assert_eq!(sizes.iter().sum::<usize>(), 600);
+        assert!(sizes.iter().all(|&s| s >= 50));
+        // Unbalanced: the largest is much bigger than the smallest.
+        let max = *sizes.iter().max().unwrap();
+        let min = *sizes.iter().min().unwrap();
+        assert!(max > min + 50, "sizes {sizes:?}");
+        assert!(lfr_like(100, 4, 1.5, 50, 0.2, 0.01, 1).is_err());
+        assert!(lfr_like(600, 4, -1.0, 10, 0.2, 0.01, 1).is_err());
+    }
+}

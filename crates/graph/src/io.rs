@@ -1,0 +1,183 @@
+//! Plain-text graph and partition (de)serialisation.
+//!
+//! Format: first line `n m`, then one `u v` pair per line (0-based,
+//! undirected, each edge once). Partitions: first line `n k`, then one
+//! label per line. Lines starting with `#` are comments.
+
+use std::io::{BufRead, BufReader, Read, Write};
+
+use crate::csr::Graph;
+use crate::error::GraphError;
+use crate::partition::Partition;
+use crate::NodeId;
+
+/// Serialise `g` as an edge list.
+pub fn write_edge_list<W: Write>(g: &Graph, mut w: W) -> Result<(), GraphError> {
+    writeln!(w, "{} {}", g.n(), g.m())?;
+    for (u, v) in g.edges() {
+        writeln!(w, "{u} {v}")?;
+    }
+    Ok(())
+}
+
+/// Parse an edge list produced by [`write_edge_list`].
+pub fn read_edge_list<R: Read>(r: R) -> Result<Graph, GraphError> {
+    let reader = BufReader::new(r);
+    let mut lines = reader.lines();
+    let header = loop {
+        match lines.next() {
+            Some(line) => {
+                let line = line?;
+                let t = line.trim();
+                if t.is_empty() || t.starts_with('#') {
+                    continue;
+                }
+                break t.to_string();
+            }
+            None => return Err(GraphError::Io("missing header line".into())),
+        }
+    };
+    let mut it = header.split_whitespace();
+    let n: usize = it
+        .next()
+        .ok_or_else(|| GraphError::Io("header missing n".into()))?
+        .parse()
+        .map_err(|e| GraphError::Io(format!("bad n: {e}")))?;
+    let m: usize = it
+        .next()
+        .ok_or_else(|| GraphError::Io("header missing m".into()))?
+        .parse()
+        .map_err(|e| GraphError::Io(format!("bad m: {e}")))?;
+    let mut edges = Vec::with_capacity(m);
+    for line in lines {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let u: NodeId = it
+            .next()
+            .ok_or_else(|| GraphError::Io("edge line missing u".into()))?
+            .parse()
+            .map_err(|e| GraphError::Io(format!("bad u: {e}")))?;
+        let v: NodeId = it
+            .next()
+            .ok_or_else(|| GraphError::Io("edge line missing v".into()))?
+            .parse()
+            .map_err(|e| GraphError::Io(format!("bad v: {e}")))?;
+        edges.push((u, v));
+    }
+    if edges.len() != m {
+        return Err(GraphError::Io(format!(
+            "header declared {m} edges, found {}",
+            edges.len()
+        )));
+    }
+    Graph::from_edges(n, &edges)
+}
+
+/// Serialise a partition: header `n k`, then one label per line.
+pub fn write_partition<W: Write>(p: &Partition, mut w: W) -> Result<(), GraphError> {
+    writeln!(w, "{} {}", p.n(), p.k())?;
+    for &l in p.labels() {
+        writeln!(w, "{l}")?;
+    }
+    Ok(())
+}
+
+/// Parse a partition produced by [`write_partition`].
+pub fn read_partition<R: Read>(r: R) -> Result<Partition, GraphError> {
+    let reader = BufReader::new(r);
+    let mut labels = Vec::new();
+    let mut header: Option<(usize, usize)> = None;
+    for line in reader.lines() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        match header {
+            None => {
+                let mut it = t.split_whitespace();
+                let n: usize = it
+                    .next()
+                    .ok_or_else(|| GraphError::Io("header missing n".into()))?
+                    .parse()
+                    .map_err(|e| GraphError::Io(format!("bad n: {e}")))?;
+                let k: usize = it
+                    .next()
+                    .ok_or_else(|| GraphError::Io("header missing k".into()))?
+                    .parse()
+                    .map_err(|e| GraphError::Io(format!("bad k: {e}")))?;
+                header = Some((n, k));
+                labels.reserve(n);
+            }
+            Some(_) => {
+                let l: u32 = t
+                    .parse()
+                    .map_err(|e| GraphError::Io(format!("bad label: {e}")))?;
+                labels.push(l);
+            }
+        }
+    }
+    let (n, k) = header.ok_or_else(|| GraphError::Io("missing header line".into()))?;
+    if labels.len() != n {
+        return Err(GraphError::Io(format!(
+            "header declared {n} labels, found {}",
+            labels.len()
+        )));
+    }
+    Partition::with_k(labels, k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn graph_roundtrip() {
+        let (g, _) = generators::planted_partition(2, 15, 0.4, 0.05, 99).unwrap();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(&buf[..]).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn partition_roundtrip() {
+        let p = Partition::from_sizes(&[3, 4, 5]);
+        let mut buf = Vec::new();
+        write_partition(&p, &mut buf).unwrap();
+        let p2 = read_partition(&buf[..]).unwrap();
+        assert_eq!(p, p2);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "# a graph\n\n3 2\n0 1\n# middle comment\n1 2\n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.n(), 3);
+        assert_eq!(g.m(), 2);
+    }
+
+    #[test]
+    fn header_mismatch_detected() {
+        let text = "3 5\n0 1\n";
+        assert!(matches!(read_edge_list(text.as_bytes()), Err(GraphError::Io(_))));
+    }
+
+    #[test]
+    fn empty_input_is_error() {
+        assert!(read_edge_list("".as_bytes()).is_err());
+        assert!(read_partition("".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn malformed_lines_are_errors() {
+        assert!(read_edge_list("2 1\n0\n".as_bytes()).is_err());
+        assert!(read_edge_list("x y\n".as_bytes()).is_err());
+        assert!(read_partition("2 1\n0\nbanana\n".as_bytes()).is_err());
+    }
+}

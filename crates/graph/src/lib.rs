@@ -1,0 +1,35 @@
+//! Graph substrate for the load-balancing clustering reproduction.
+//!
+//! This crate provides everything the algorithm layer needs from a graph:
+//!
+//! * [`Graph`] — an immutable, undirected graph in CSR (compressed sparse
+//!   row) form with `O(1)` degree queries and cache-friendly neighbour
+//!   iteration.
+//! * [`GraphBuilder`] — incremental, deduplicating construction.
+//! * [`Partition`] — ground-truth and output `k`-way partitions, plus the
+//!   conductance machinery of the paper (`ϕ_G(S)`, `ρ(k)`; §1.1 of
+//!   Sun & Zanetti, SPAA'17).
+//! * [`generators`] — the synthetic well-clustered families used by every
+//!   experiment: planted partitions, rings of cliques, regular cluster
+//!   graphs built from perfect matchings, dumbbells, and controls.
+//! * [`io`] — plain-text edge-list serialisation so experiments can be
+//!   re-run on external graphs.
+//!
+//! All randomised generators take explicit seeds and are fully
+//! deterministic for a given seed.
+
+pub mod builder;
+pub mod csr;
+pub mod error;
+pub mod generators;
+pub mod io;
+pub mod partition;
+pub mod stats;
+
+pub use builder::GraphBuilder;
+pub use csr::Graph;
+pub use error::GraphError;
+pub use partition::{exact_rho_k, Partition};
+
+/// Node identifier. Graphs in this workspace are indexed `0..n`.
+pub type NodeId = u32;

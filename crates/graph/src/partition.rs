@@ -1,0 +1,329 @@
+//! `k`-way partitions and the paper's cluster-structure quantities.
+//!
+//! A [`Partition`] stores one cluster label per node. It serves both as
+//! ground truth attached to generated graphs and as algorithm output. The
+//! conductance machinery here computes `ϕ_G(S_i)` for each cluster and
+//! `max_i ϕ_G(S_i)` — the quantity whose minimum over partitions is the
+//! paper's `k`-way expansion constant `ρ(k)` (§1.1).
+
+use serde::{Deserialize, Serialize};
+
+use crate::csr::Graph;
+use crate::error::GraphError;
+use crate::NodeId;
+
+/// A `k`-way partition of `{0, …, n−1}`: `labels[v] ∈ {0, …, k−1}`.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Partition {
+    labels: Vec<u32>,
+    k: usize,
+}
+
+impl Partition {
+    /// Construct from labels; `k` is inferred as `max(label) + 1`.
+    ///
+    /// Every label must be `< k` and every cluster `0..k` must be
+    /// non-empty, so that `k` is meaningful.
+    pub fn new(labels: Vec<u32>) -> Result<Self, GraphError> {
+        if labels.is_empty() {
+            return Ok(Partition { labels, k: 0 });
+        }
+        let k = *labels.iter().max().unwrap() as usize + 1;
+        let mut seen = vec![false; k];
+        for &l in &labels {
+            seen[l as usize] = true;
+        }
+        if !seen.iter().all(|&s| s) {
+            return Err(GraphError::InvalidParameter(
+                "partition has empty cluster indices below max label".into(),
+            ));
+        }
+        Ok(Partition { labels, k })
+    }
+
+    /// Construct from labels that may leave some of `0..k` empty (e.g. an
+    /// algorithm output that used fewer labels than allowed).
+    pub fn with_k(labels: Vec<u32>, k: usize) -> Result<Self, GraphError> {
+        if let Some(&l) = labels.iter().find(|&&l| l as usize >= k) {
+            return Err(GraphError::InvalidParameter(format!(
+                "label {l} out of range for k = {k}"
+            )));
+        }
+        Ok(Partition { labels, k })
+    }
+
+    /// Partition with consecutive blocks of the given sizes:
+    /// cluster 0 gets nodes `0..sizes\[0\]`, cluster 1 the next block, etc.
+    pub fn from_sizes(sizes: &[usize]) -> Self {
+        let mut labels = Vec::with_capacity(sizes.iter().sum());
+        for (c, &s) in sizes.iter().enumerate() {
+            labels.extend(std::iter::repeat(c as u32).take(s));
+        }
+        Partition {
+            labels,
+            k: sizes.len(),
+        }
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Number of clusters.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Label of node `v`.
+    #[inline]
+    pub fn label(&self, v: NodeId) -> u32 {
+        self.labels[v as usize]
+    }
+
+    /// All labels.
+    pub fn labels(&self) -> &[u32] {
+        &self.labels
+    }
+
+    /// Size of each cluster.
+    pub fn cluster_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.k];
+        for &l in &self.labels {
+            sizes[l as usize] += 1;
+        }
+        sizes
+    }
+
+    /// Members of cluster `c`.
+    pub fn cluster_members(&self, c: u32) -> Vec<NodeId> {
+        self.labels
+            .iter()
+            .enumerate()
+            .filter(|&(_, &l)| l == c)
+            .map(|(v, _)| v as NodeId)
+            .collect()
+    }
+
+    /// Indicator mask of cluster `c`.
+    pub fn indicator(&self, c: u32) -> Vec<bool> {
+        self.labels.iter().map(|&l| l == c).collect()
+    }
+
+    /// The balance parameter `β = min_i |S_i| / n` (paper §1.1 assumes
+    /// `|S_i| ≥ βn`). Returns 0 for empty partitions.
+    pub fn beta(&self) -> f64 {
+        if self.labels.is_empty() || self.k == 0 {
+            return 0.0;
+        }
+        let min = *self.cluster_sizes().iter().min().unwrap();
+        min as f64 / self.labels.len() as f64
+    }
+
+    /// One-sided conductance `ϕ_G(S_c)` of each cluster (paper's
+    /// definition: `|E(S, V\S)| / vol(S)`).
+    pub fn cluster_conductances(&self, g: &Graph) -> Vec<f64> {
+        assert_eq!(g.n(), self.n(), "graph/partition size mismatch");
+        (0..self.k as u32)
+            .map(|c| g.conductance_one_sided(&self.indicator(c)))
+            .collect()
+    }
+
+    /// `max_i ϕ_G(S_i)` — the value this partition achieves towards the
+    /// `k`-way expansion constant `ρ(k)`.
+    pub fn max_conductance(&self, g: &Graph) -> f64 {
+        self.cluster_conductances(g)
+            .into_iter()
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Number of edges inside cluster `c`.
+    pub fn internal_edges(&self, g: &Graph, c: u32) -> usize {
+        g.edges()
+            .filter(|&(u, v)| self.label(u) == c && self.label(v) == c)
+            .count()
+    }
+
+    /// Number of edges crossing between different clusters.
+    pub fn cut_edges(&self, g: &Graph) -> usize {
+        g.edges().filter(|&(u, v)| self.label(u) != self.label(v)).count()
+    }
+}
+
+/// Exact `k`-way expansion constant
+/// `ρ(k) = min over k-way partitions of max_i ϕ_G(S_i)` (paper §1.1,
+/// one-sided conductance), by exhaustive enumeration.
+///
+/// Computing `ρ(k)` is coNP-hard, so this is exponential (`k^n`
+/// labellings, canonicalised) and intended for *validating* the
+/// partition-based upper bound on graphs with `n ≲ 12`. Returns the
+/// optimum value and one optimal partition.
+///
+/// # Panics
+/// If `k == 0`, `k > n`, or `n > 16` (guard against accidental blow-up).
+pub fn exact_rho_k(g: &Graph, k: usize) -> (f64, Partition) {
+    let n = g.n();
+    assert!(k >= 1 && k <= n, "k = {k} out of range");
+    assert!(n <= 16, "exact_rho_k is exponential; n = {n} > 16");
+    let mut best = f64::INFINITY;
+    let mut best_labels: Option<Vec<u32>> = None;
+    let mut labels = vec![0u32; n];
+    // Canonical form: node 0 is always in cluster 0, and a node may open
+    // cluster c only if clusters 0..c are already open (restricted
+    // growth strings), so each set partition is enumerated once.
+    fn rec(
+        g: &Graph,
+        k: usize,
+        labels: &mut Vec<u32>,
+        v: usize,
+        used: u32,
+        best: &mut f64,
+        best_labels: &mut Option<Vec<u32>>,
+    ) {
+        let n = g.n();
+        if v == n {
+            if used as usize != k {
+                return;
+            }
+            let p = Partition::with_k(labels.clone(), k).expect("labels in range");
+            let value = p.max_conductance(g);
+            if value < *best {
+                *best = value;
+                *best_labels = Some(labels.clone());
+            }
+            return;
+        }
+        // Prune: not enough nodes left to open the remaining clusters.
+        if (k - used as usize) > n - v {
+            return;
+        }
+        let open_limit = (used + 1).min(k as u32);
+        for c in 0..open_limit {
+            labels[v] = c;
+            let new_used = used.max(c + 1);
+            rec(g, k, labels, v + 1, new_used, best, best_labels);
+        }
+    }
+    rec(g, k, &mut labels, 0, 0, &mut best, &mut best_labels);
+    let labels = best_labels.expect("at least one k-way partition exists");
+    (best, Partition::with_k(labels, k).expect("labels in range"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_triangles_bridge() -> (Graph, Partition) {
+        // Triangle {0,1,2}, triangle {3,4,5}, bridge 2-3.
+        let g = Graph::from_edges(
+            6,
+            &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)],
+        )
+        .unwrap();
+        let p = Partition::from_sizes(&[3, 3]);
+        (g, p)
+    }
+
+    #[test]
+    fn from_sizes_layout() {
+        let p = Partition::from_sizes(&[2, 3]);
+        assert_eq!(p.labels(), &[0, 0, 1, 1, 1]);
+        assert_eq!(p.k(), 2);
+        assert_eq!(p.cluster_sizes(), vec![2, 3]);
+        assert_eq!(p.cluster_members(1), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn new_rejects_empty_intermediate_cluster() {
+        assert!(Partition::new(vec![0, 2]).is_err());
+        assert!(Partition::new(vec![0, 1, 2]).is_ok());
+    }
+
+    #[test]
+    fn with_k_allows_unused_labels() {
+        let p = Partition::with_k(vec![0, 0, 2], 3).unwrap();
+        assert_eq!(p.k(), 3);
+        assert_eq!(p.cluster_sizes(), vec![2, 0, 1]);
+        assert!(Partition::with_k(vec![0, 3], 3).is_err());
+    }
+
+    #[test]
+    fn beta_is_min_fraction() {
+        let p = Partition::from_sizes(&[1, 3]);
+        assert!((p.beta() - 0.25).abs() < 1e-12);
+        let empty = Partition::new(vec![]).unwrap();
+        assert_eq!(empty.beta(), 0.0);
+    }
+
+    #[test]
+    fn conductances_on_bridge_graph() {
+        let (g, p) = two_triangles_bridge();
+        let phis = p.cluster_conductances(&g);
+        // Each triangle: cut 1, volume 7.
+        assert!((phis[0] - 1.0 / 7.0).abs() < 1e-12);
+        assert!((phis[1] - 1.0 / 7.0).abs() < 1e-12);
+        assert!((p.max_conductance(&g) - 1.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn edge_counting() {
+        let (g, p) = two_triangles_bridge();
+        assert_eq!(p.internal_edges(&g, 0), 3);
+        assert_eq!(p.internal_edges(&g, 1), 3);
+        assert_eq!(p.cut_edges(&g), 1);
+    }
+
+    #[test]
+    fn reconstruction_from_parts_is_identity() {
+        let p = Partition::from_sizes(&[2, 2]);
+        let q = Partition::with_k(p.labels().to_vec(), p.k()).unwrap();
+        assert_eq!(p, q);
+    }
+
+    #[test]
+    fn exact_rho_finds_planted_cut() {
+        // Two triangles + bridge: the optimal 2-way split is the obvious
+        // one with ϕ = 1/7 on both sides.
+        let (g, planted) = two_triangles_bridge();
+        let (rho, best) = exact_rho_k(&g, 2);
+        assert!((rho - 1.0 / 7.0).abs() < 1e-12, "rho = {rho}");
+        // Optimal partition separates the triangles (up to label swap).
+        assert_eq!(best.cut_edges(&g), 1);
+        assert_eq!(planted.max_conductance(&g), rho);
+    }
+
+    #[test]
+    fn exact_rho_k1_is_zero_cut() {
+        let (g, _) = two_triangles_bridge();
+        let (rho, p) = exact_rho_k(&g, 1);
+        assert_eq!(rho, 0.0);
+        assert_eq!(p.k(), 1);
+    }
+
+    #[test]
+    fn planted_partition_upper_bounds_exact_rho() {
+        // The experiment suite approximates ρ(k) by the planted
+        // partition's conductance; on a small noisy instance the exact
+        // optimum must be ≤ that proxy.
+        use crate::generators;
+        let (g, planted) = generators::planted_partition(2, 6, 0.9, 0.15, 4).unwrap();
+        let (rho, _) = exact_rho_k(&g, 2);
+        assert!(rho <= planted.max_conductance(&g) + 1e-12);
+    }
+
+    #[test]
+    fn exact_rho_complete_graph_two_way() {
+        // K4 split 2|2: cut 4, vol 6 → 2/3; split 1|3: cut 3, vol 3 → 1.
+        let g = crate::generators::complete(4).unwrap();
+        let (rho, best) = exact_rho_k(&g, 2);
+        assert!((rho - 2.0 / 3.0).abs() < 1e-12, "rho = {rho}");
+        assert_eq!(best.cluster_sizes(), vec![2, 2]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn exact_rho_guards_large_n() {
+        let g = crate::generators::cycle(17).unwrap();
+        let _ = exact_rho_k(&g, 2);
+    }
+}

@@ -1,0 +1,146 @@
+//! Descriptive graph statistics for experiment reporting.
+//!
+//! Experiments report the structural context of each instance (degree
+//! spread for §4.5, triangle density as an expander sanity check); this
+//! module computes those summaries.
+
+use crate::csr::Graph;
+use crate::NodeId;
+
+/// Summary statistics of a graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    pub n: usize,
+    pub m: usize,
+    pub min_degree: usize,
+    pub max_degree: usize,
+    pub mean_degree: f64,
+    /// Number of triangles (each counted once).
+    pub triangles: usize,
+    /// Global clustering coefficient: `3·triangles / #wedges`
+    /// (0 when there are no wedges).
+    pub global_clustering: f64,
+    pub connected: bool,
+}
+
+impl GraphStats {
+    /// Compute all statistics (triangle counting is `O(Σ d_v²)` via
+    /// neighbour-list merging — fine for experiment-sized graphs).
+    pub fn compute(g: &Graph) -> Self {
+        let n = g.n();
+        let m = g.m();
+        let triangles = count_triangles(g);
+        let wedges: usize = (0..n as NodeId)
+            .map(|v| {
+                let d = g.degree(v);
+                d * d.saturating_sub(1) / 2
+            })
+            .sum();
+        GraphStats {
+            n,
+            m,
+            min_degree: g.min_degree(),
+            max_degree: g.max_degree(),
+            mean_degree: if n == 0 { 0.0 } else { 2.0 * m as f64 / n as f64 },
+            triangles,
+            global_clustering: if wedges == 0 {
+                0.0
+            } else {
+                3.0 * triangles as f64 / wedges as f64
+            },
+            connected: g.is_connected(),
+        }
+    }
+
+    /// Degree histogram: `hist[d]` = number of nodes with degree `d`.
+    pub fn degree_histogram(g: &Graph) -> Vec<usize> {
+        let max = g.max_degree();
+        let mut hist = vec![0usize; max + 1];
+        for v in 0..g.n() as NodeId {
+            hist[g.degree(v)] += 1;
+        }
+        hist
+    }
+}
+
+/// Count triangles by intersecting sorted neighbour lists along each
+/// edge `(u, v)` with `u < v`, counting common neighbours `w > v`.
+fn count_triangles(g: &Graph) -> usize {
+    let mut count = 0usize;
+    for (u, v) in g.edges() {
+        let (mut i, mut j) = (0usize, 0usize);
+        let nu = g.neighbours(u);
+        let nv = g.neighbours(v);
+        while i < nu.len() && j < nv.len() {
+            let (a, b) = (nu[i], nv[j]);
+            if a == b {
+                if a > v {
+                    count += 1;
+                }
+                i += 1;
+                j += 1;
+            } else if a < b {
+                i += 1;
+            } else {
+                j += 1;
+            }
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn triangle_count_on_known_graphs() {
+        let k4 = generators::complete(4).unwrap();
+        let s = GraphStats::compute(&k4);
+        assert_eq!(s.triangles, 4);
+        assert!((s.global_clustering - 1.0).abs() < 1e-12);
+
+        let c5 = generators::cycle(5).unwrap();
+        let s = GraphStats::compute(&c5);
+        assert_eq!(s.triangles, 0);
+        assert_eq!(s.global_clustering, 0.0);
+    }
+
+    #[test]
+    fn clique_ring_stats() {
+        let (g, _) = generators::ring_of_cliques(3, 5, 0).unwrap();
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.n, 15);
+        assert!(s.connected);
+        // Each K5 has C(5,3) = 10 triangles; bridges add none.
+        assert_eq!(s.triangles, 30);
+        assert!(s.global_clustering > 0.7);
+    }
+
+    #[test]
+    fn degree_histogram_sums_to_n() {
+        let (g, _) = generators::planted_partition(2, 30, 0.3, 0.05, 3).unwrap();
+        let hist = GraphStats::degree_histogram(&g);
+        assert_eq!(hist.iter().sum::<usize>(), g.n());
+        assert_eq!(hist.len(), g.max_degree() + 1);
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let g = Graph::from_edges(0, &[]).unwrap();
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.n, 0);
+        assert_eq!(s.mean_degree, 0.0);
+        assert!(s.connected);
+    }
+
+    use crate::Graph;
+
+    #[test]
+    fn mean_degree() {
+        let g = generators::cycle(6).unwrap();
+        let s = GraphStats::compute(&g);
+        assert!((s.mean_degree - 2.0).abs() < 1e-12);
+    }
+}

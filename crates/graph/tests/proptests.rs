@@ -1,0 +1,106 @@
+//! Property-based tests for graph construction, generators, and I/O.
+
+use lbc_graph::{generators, io, Graph};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// CSR invariants hold for any deduplicated edge list.
+    #[test]
+    fn csr_invariants(
+        n in 2usize..30,
+        pairs in proptest::collection::vec((0u32..30, 0u32..30), 0..120),
+    ) {
+        let edges: Vec<(u32, u32)> = pairs
+            .into_iter()
+            .map(|(a, b)| (a % n as u32, b % n as u32))
+            .filter(|(a, b)| a != b)
+            .collect();
+        let g = Graph::from_edges(n, &edges).unwrap();
+        // Symmetry + sortedness + no self loops.
+        let mut volume = 0usize;
+        for v in 0..n as u32 {
+            let neigh = g.neighbours(v);
+            volume += neigh.len();
+            for w in neigh.windows(2) {
+                prop_assert!(w[0] < w[1], "unsorted or duplicate neighbour");
+            }
+            for &w in neigh {
+                prop_assert!(w != v);
+                prop_assert!(g.neighbours(w).contains(&v));
+            }
+        }
+        prop_assert_eq!(volume, 2 * g.m());
+        prop_assert_eq!(volume, g.total_volume());
+    }
+
+    /// Conductance is within [0, 1] for proper cuts and complementary
+    /// sets give the same (min-normalised) value.
+    #[test]
+    fn conductance_bounds_and_symmetry(
+        seed in 0u64..500,
+        mask_bits in 1u32..((1u32 << 12) - 1),
+    ) {
+        let (g, _) = generators::planted_partition(2, 6, 0.6, 0.2, seed).unwrap();
+        let set: Vec<bool> = (0..12).map(|i| mask_bits & (1 << i) != 0).collect();
+        let comp: Vec<bool> = set.iter().map(|b| !b).collect();
+        let phi = g.conductance(&set);
+        if phi.is_finite() {
+            prop_assert!((0.0..=1.0).contains(&phi), "phi = {phi}");
+            prop_assert!((phi - g.conductance(&comp)).abs() < 1e-12);
+        }
+    }
+
+    /// Edge-list round-trips are lossless for arbitrary graphs.
+    #[test]
+    fn io_roundtrip(seed in 0u64..300) {
+        let (g, p) = generators::planted_partition_sizes(&[7, 9, 5], 0.5, 0.1, seed).unwrap();
+        let mut gbuf = Vec::new();
+        io::write_edge_list(&g, &mut gbuf).unwrap();
+        prop_assert_eq!(&io::read_edge_list(&gbuf[..]).unwrap(), &g);
+        let mut pbuf = Vec::new();
+        io::write_partition(&p, &mut pbuf).unwrap();
+        prop_assert_eq!(&io::read_partition(&pbuf[..]).unwrap(), &p);
+    }
+
+    /// ring_of_cliques has exactly the prescribed cut for any (k, size).
+    #[test]
+    fn ring_of_cliques_cut_is_exact(k in 2usize..7, size in 3usize..9) {
+        let (g, p) = generators::ring_of_cliques(k, size, 0).unwrap();
+        let expected_cut = if k == 2 { 1 } else { k };
+        prop_assert_eq!(p.cut_edges(&g), expected_cut);
+        prop_assert_eq!(
+            g.m(),
+            k * size * (size - 1) / 2 + expected_cut
+        );
+        prop_assert!(g.is_connected());
+    }
+
+    /// regular_cluster_graph respects its degree envelope.
+    #[test]
+    fn regular_cluster_degree_envelope(
+        k in 1usize..5,
+        half_size in 4usize..12,
+        d_in in 2usize..6,
+        seed in 0u64..100,
+    ) {
+        let size = 2 * half_size;
+        prop_assume!(d_in < size);
+        let bridges = 2usize.min(size);
+        let (g, p) = generators::regular_cluster_graph(k, size, d_in, bridges, seed).unwrap();
+        prop_assert_eq!(g.n(), k * size);
+        prop_assert_eq!(p.k(), k);
+        // Max degree ≤ d_in + one endpoint per incident bridge bundle
+        // (≤ 2 bundles around the ring, each contributing ≤ bridges).
+        prop_assert!(g.max_degree() <= d_in + 2 * bridges);
+    }
+
+    /// Degree perturbation never touches the planted cut.
+    #[test]
+    fn perturbation_preserves_cut(seed in 0u64..200, add_p in 0.0f64..0.4) {
+        let (g, p) = generators::planted_partition(2, 10, 0.5, 0.1, seed).unwrap();
+        let g2 = generators::perturb_degrees(&g, &p, add_p, 0.1, seed + 1).unwrap();
+        prop_assert_eq!(p.cut_edges(&g2), p.cut_edges(&g));
+    }
+}

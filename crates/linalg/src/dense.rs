@@ -1,0 +1,171 @@
+//! Small dense symmetric matrices (row-major, flat storage).
+//!
+//! Used for the Lanczos tridiagonal problem, the Jacobi reference solver,
+//! and test fixtures. These are `O(q²)` objects with `q ≪ n`, so clarity
+//! beats blocking/SIMD here.
+
+use crate::ops::SymOp;
+
+/// Dense symmetric matrix. Stores the full square for simplicity; the
+/// constructor enforces symmetry.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseSym {
+    n: usize,
+    data: Vec<f64>,
+}
+
+impl DenseSym {
+    /// Zero matrix of size `n × n`.
+    pub fn zeros(n: usize) -> Self {
+        DenseSym {
+            n,
+            data: vec![0.0; n * n],
+        }
+    }
+
+    /// Identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n);
+        for i in 0..n {
+            m.set(i, i, 1.0);
+        }
+        m
+    }
+
+    /// Build from a row-major slice, checking symmetry to `tol`.
+    pub fn from_rows(n: usize, data: Vec<f64>, tol: f64) -> Result<Self, String> {
+        if data.len() != n * n {
+            return Err(format!("expected {} entries, got {}", n * n, data.len()));
+        }
+        for i in 0..n {
+            for j in (i + 1)..n {
+                if (data[i * n + j] - data[j * n + i]).abs() > tol {
+                    return Err(format!("asymmetric at ({i}, {j})"));
+                }
+            }
+        }
+        Ok(DenseSym { n, data })
+    }
+
+    /// Symmetric tridiagonal matrix from diagonal `d` and subdiagonal `e`
+    /// (`e[i]` couples `i` and `i+1`).
+    pub fn tridiagonal(d: &[f64], e: &[f64]) -> Self {
+        assert!(e.len() + 1 == d.len() || (d.is_empty() && e.is_empty()));
+        let n = d.len();
+        let mut m = Self::zeros(n);
+        for i in 0..n {
+            m.set(i, i, d[i]);
+        }
+        for i in 0..e.len() {
+            m.set(i, i + 1, e[i]);
+            m.set(i + 1, i, e[i]);
+        }
+        m
+    }
+
+    /// Dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Entry `(i, j)`.
+    #[inline]
+    pub fn get(&self, i: usize, j: usize) -> f64 {
+        self.data[i * self.n + j]
+    }
+
+    /// Set entry `(i, j)` *and* `(j, i)`.
+    #[inline]
+    pub fn set(&mut self, i: usize, j: usize, v: f64) {
+        self.data[i * self.n + j] = v;
+        self.data[j * self.n + i] = v;
+    }
+
+    /// Row `i` as a slice.
+    pub fn row(&self, i: usize) -> &[f64] {
+        &self.data[i * self.n..(i + 1) * self.n]
+    }
+
+    /// `y = A x` into a fresh vector.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.n];
+        self.apply(x, &mut y);
+        y
+    }
+
+    /// Frobenius norm of the off-diagonal part (Jacobi convergence
+    /// criterion).
+    pub fn offdiag_norm(&self) -> f64 {
+        let mut s = 0.0;
+        for i in 0..self.n {
+            for j in 0..self.n {
+                if i != j {
+                    let v = self.get(i, j);
+                    s += v * v;
+                }
+            }
+        }
+        s.sqrt()
+    }
+}
+
+impl SymOp for DenseSym {
+    fn dim(&self) -> usize {
+        self.n
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        debug_assert_eq!(x.len(), self.n);
+        debug_assert_eq!(y.len(), self.n);
+        for i in 0..self.n {
+            let row = self.row(i);
+            y[i] = crate::dot(row, x);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_access() {
+        let mut m = DenseSym::zeros(3);
+        m.set(0, 1, 2.0);
+        assert_eq!(m.get(1, 0), 2.0);
+        let id = DenseSym::identity(2);
+        assert_eq!(id.get(0, 0), 1.0);
+        assert_eq!(id.get(0, 1), 0.0);
+    }
+
+    #[test]
+    fn from_rows_checks_symmetry() {
+        assert!(DenseSym::from_rows(2, vec![1.0, 2.0, 2.0, 3.0], 1e-12).is_ok());
+        assert!(DenseSym::from_rows(2, vec![1.0, 2.0, 2.5, 3.0], 1e-12).is_err());
+        assert!(DenseSym::from_rows(2, vec![1.0], 1e-12).is_err());
+    }
+
+    #[test]
+    fn tridiagonal_layout() {
+        let t = DenseSym::tridiagonal(&[1.0, 2.0, 3.0], &[0.5, 0.25]);
+        assert_eq!(t.get(0, 0), 1.0);
+        assert_eq!(t.get(0, 1), 0.5);
+        assert_eq!(t.get(1, 2), 0.25);
+        assert_eq!(t.get(0, 2), 0.0);
+    }
+
+    #[test]
+    fn matvec_matches_manual() {
+        let m = DenseSym::from_rows(2, vec![2.0, 1.0, 1.0, 3.0], 0.0).unwrap();
+        let y = m.matvec(&[1.0, 2.0]);
+        assert_eq!(y, vec![4.0, 7.0]);
+    }
+
+    #[test]
+    fn offdiag_norm_zero_for_diagonal() {
+        let id = DenseSym::identity(4);
+        assert_eq!(id.offdiag_norm(), 0.0);
+        let t = DenseSym::tridiagonal(&[0.0, 0.0], &[3.0]);
+        assert!((t.offdiag_norm() - (18.0f64).sqrt()).abs() < 1e-12);
+    }
+}

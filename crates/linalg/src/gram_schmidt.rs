@@ -1,0 +1,110 @@
+//! Modified Gram–Schmidt orthonormalisation.
+//!
+//! Used twice in this workspace: to keep the Lanczos basis orthogonal
+//! (full reorthogonalisation), and to reproduce Lemma 4.2's construction
+//! of the orthonormal set `{χ̂_i}` from the near-orthonormal projections
+//! `{χ̃_i}`.
+
+use crate::{axpy, dot, normalize};
+
+/// Orthonormalise `vectors` in place with modified Gram–Schmidt.
+///
+/// Vectors that become (numerically) zero — i.e. were linearly dependent
+/// on their predecessors — are dropped. Returns the number of vectors
+/// kept.
+pub fn orthonormalize(vectors: &mut Vec<Vec<f64>>, tol: f64) -> usize {
+    let mut kept: Vec<Vec<f64>> = Vec::with_capacity(vectors.len());
+    for mut v in vectors.drain(..) {
+        for u in &kept {
+            let c = dot(u, &v);
+            axpy(-c, u, &mut v);
+        }
+        // Second pass for numerical robustness (classic "twice is enough").
+        for u in &kept {
+            let c = dot(u, &v);
+            axpy(-c, u, &mut v);
+        }
+        if normalize(&mut v) > tol {
+            kept.push(v);
+        }
+    }
+    let n = kept.len();
+    *vectors = kept;
+    n
+}
+
+/// Project `v` onto the orthonormal set `basis` (in-place subtraction of
+/// the projection is NOT performed; the projection itself is returned).
+pub fn project(basis: &[Vec<f64>], v: &[f64]) -> Vec<f64> {
+    let mut out = vec![0.0; v.len()];
+    for u in basis {
+        let c = dot(u, v);
+        axpy(c, u, &mut out);
+    }
+    out
+}
+
+/// Subtract from `v` its components along the orthonormal set `basis`
+/// (two passes).
+pub fn deflate(basis: &[Vec<f64>], v: &mut [f64]) {
+    for _ in 0..2 {
+        for u in basis {
+            let c = dot(u, v);
+            axpy(-c, u, v);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::norm;
+
+    #[test]
+    fn orthonormalizes_independent_set() {
+        let mut vs = vec![vec![1.0, 1.0, 0.0], vec![1.0, 0.0, 1.0], vec![0.0, 1.0, 1.0]];
+        let kept = orthonormalize(&mut vs, 1e-10);
+        assert_eq!(kept, 3);
+        for i in 0..3 {
+            assert!((norm(&vs[i]) - 1.0).abs() < 1e-12);
+            for j in (i + 1)..3 {
+                assert!(dot(&vs[i], &vs[j]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn drops_dependent_vectors() {
+        let mut vs = vec![
+            vec![1.0, 0.0],
+            vec![2.0, 0.0], // dependent
+            vec![0.0, 3.0],
+        ];
+        let kept = orthonormalize(&mut vs, 1e-10);
+        assert_eq!(kept, 2);
+    }
+
+    #[test]
+    fn empty_input() {
+        let mut vs: Vec<Vec<f64>> = vec![];
+        assert_eq!(orthonormalize(&mut vs, 1e-10), 0);
+    }
+
+    #[test]
+    fn projection_recovers_in_span_component() {
+        let mut basis = vec![vec![1.0, 0.0, 0.0], vec![0.0, 1.0, 0.0]];
+        orthonormalize(&mut basis, 1e-10);
+        let v = vec![3.0, 4.0, 5.0];
+        let p = project(&basis, &v);
+        assert_eq!(p, vec![3.0, 4.0, 0.0]);
+    }
+
+    #[test]
+    fn deflate_leaves_orthogonal_component() {
+        let basis = vec![vec![1.0, 0.0, 0.0]];
+        let mut v = vec![3.0, 4.0, 0.0];
+        deflate(&basis, &mut v);
+        assert!((v[0]).abs() < 1e-12);
+        assert_eq!(v[1], 4.0);
+    }
+}

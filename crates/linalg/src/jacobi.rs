@@ -1,0 +1,172 @@
+//! Cyclic Jacobi eigensolver for dense symmetric matrices.
+//!
+//! Robust reference solver: every rotation is orthogonal, so the computed
+//! basis is orthonormal to machine precision and convergence is
+//! unconditional for symmetric input. Used directly for small systems and
+//! as the cross-check for the tridiagonal QL solver.
+
+use crate::dense::DenseSym;
+
+/// Full eigendecomposition `A = V diag(λ) Vᵀ` of a dense symmetric matrix.
+///
+/// Returns `(eigenvalues, eigenvectors)` sorted by *descending*
+/// eigenvalue; `eigenvectors[i]` is the unit eigenvector for
+/// `eigenvalues[i]`.
+pub fn jacobi_eigen(a: &DenseSym, max_sweeps: usize, tol: f64) -> (Vec<f64>, Vec<Vec<f64>>) {
+    let n = a.n();
+    let mut m = a.clone();
+    // v[i][j]: j-th component of the i-th column eigenvector accumulator.
+    let mut v = vec![vec![0.0; n]; n];
+    for (i, row) in v.iter_mut().enumerate() {
+        row[i] = 1.0;
+    }
+    for _sweep in 0..max_sweeps {
+        if m.offdiag_norm() <= tol {
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m.get(p, q);
+                if apq.abs() <= tol / (n as f64).max(1.0) {
+                    continue;
+                }
+                let app = m.get(p, p);
+                let aqq = m.get(q, q);
+                // Standard stable rotation formulas (Golub & Van Loan §8.5).
+                let tau = (aqq - app) / (2.0 * apq);
+                let t = if tau >= 0.0 {
+                    1.0 / (tau + (1.0 + tau * tau).sqrt())
+                } else {
+                    -1.0 / (-tau + (1.0 + tau * tau).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+                // Apply rotation G(p, q, θ)ᵀ · M · G(p, q, θ).
+                for i in 0..n {
+                    let mip = m.get(i, p);
+                    let miq = m.get(i, q);
+                    if i != p && i != q {
+                        m.set(i, p, c * mip - s * miq);
+                        m.set(i, q, s * mip + c * miq);
+                    }
+                }
+                let new_pp = c * c * app - 2.0 * s * c * apq + s * s * aqq;
+                let new_qq = s * s * app + 2.0 * s * c * apq + c * c * aqq;
+                m.set(p, p, new_pp);
+                m.set(q, q, new_qq);
+                m.set(p, q, 0.0);
+                // Accumulate eigenvectors (columns p, q of V).
+                for vi in v.iter_mut() {
+                    let vip = vi[p];
+                    let viq = vi[q];
+                    vi[p] = c * vip - s * viq;
+                    vi[q] = s * vip + c * viq;
+                }
+            }
+        }
+    }
+    // Extract and sort.
+    let mut idx: Vec<usize> = (0..n).collect();
+    let eigenvalues: Vec<f64> = (0..n).map(|i| m.get(i, i)).collect();
+    idx.sort_by(|&a, &b| eigenvalues[b].partial_cmp(&eigenvalues[a]).unwrap());
+    let sorted_vals: Vec<f64> = idx.iter().map(|&i| eigenvalues[i]).collect();
+    let sorted_vecs: Vec<Vec<f64>> = idx
+        .iter()
+        .map(|&col| (0..n).map(|row| v[row][col]).collect())
+        .collect();
+    (sorted_vals, sorted_vecs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{dot, norm};
+
+    fn check_decomposition(a: &DenseSym, vals: &[f64], vecs: &[Vec<f64>], tol: f64) {
+        let n = a.n();
+        assert_eq!(vals.len(), n);
+        assert_eq!(vecs.len(), n);
+        for i in 0..n {
+            assert!((norm(&vecs[i]) - 1.0).abs() < tol, "vec {i} not unit");
+            // A v = λ v
+            let av = a.matvec(&vecs[i]);
+            for j in 0..n {
+                assert!(
+                    (av[j] - vals[i] * vecs[i][j]).abs() < tol,
+                    "eigen residual for pair {i}"
+                );
+            }
+            for j in (i + 1)..n {
+                assert!(dot(&vecs[i], &vecs[j]).abs() < tol, "vectors {i},{j} not orthogonal");
+            }
+        }
+        // Descending order.
+        for w in vals.windows(2) {
+            assert!(w[0] >= w[1] - tol);
+        }
+    }
+
+    #[test]
+    fn two_by_two_known() {
+        let a = DenseSym::from_rows(2, vec![2.0, 1.0, 1.0, 2.0], 0.0).unwrap();
+        let (vals, vecs) = jacobi_eigen(&a, 50, 1e-14);
+        assert!((vals[0] - 3.0).abs() < 1e-12);
+        assert!((vals[1] - 1.0).abs() < 1e-12);
+        check_decomposition(&a, &vals, &vecs, 1e-10);
+    }
+
+    #[test]
+    fn diagonal_matrix_is_fixed_point() {
+        let mut a = DenseSym::zeros(3);
+        a.set(0, 0, 5.0);
+        a.set(1, 1, -1.0);
+        a.set(2, 2, 2.0);
+        let (vals, vecs) = jacobi_eigen(&a, 50, 1e-14);
+        assert_eq!(vals, vec![5.0, 2.0, -1.0]);
+        check_decomposition(&a, &vals, &vecs, 1e-12);
+    }
+
+    #[test]
+    fn random_symmetric_decomposition() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(17);
+        for n in [3usize, 5, 8, 12] {
+            let mut a = DenseSym::zeros(n);
+            for i in 0..n {
+                for j in i..n {
+                    a.set(i, j, rng.random_range(-1.0..1.0));
+                }
+            }
+            let (vals, vecs) = jacobi_eigen(&a, 100, 1e-13);
+            check_decomposition(&a, &vals, &vecs, 1e-8);
+        }
+    }
+
+    #[test]
+    fn trace_is_preserved() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 6;
+        let mut a = DenseSym::zeros(n);
+        for i in 0..n {
+            for j in i..n {
+                a.set(i, j, rng.random_range(-2.0..2.0));
+            }
+        }
+        let trace: f64 = (0..n).map(|i| a.get(i, i)).sum();
+        let (vals, _) = jacobi_eigen(&a, 100, 1e-13);
+        let sum: f64 = vals.iter().sum();
+        assert!((trace - sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn one_by_one() {
+        let mut a = DenseSym::zeros(1);
+        a.set(0, 0, 7.0);
+        let (vals, vecs) = jacobi_eigen(&a, 10, 1e-14);
+        assert_eq!(vals, vec![7.0]);
+        assert_eq!(vecs, vec![vec![1.0]]);
+    }
+}

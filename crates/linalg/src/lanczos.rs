@@ -1,0 +1,245 @@
+//! Lanczos iteration with full reorthogonalisation.
+//!
+//! Computes the algebraically largest eigenpairs of a symmetric operator
+//! — exactly what the paper needs: the top `k+1` eigenpairs of the random
+//! walk matrix `P` determine `λ_k`, `λ_{k+1}`, the gap `1 − λ_{k+1}`, the
+//! projector `Q` of Lemma 4.1, and the spectral-clustering baseline.
+//!
+//! Full reorthogonalisation (every new Krylov vector is re-orthogonalised
+//! against the whole basis, twice) costs `O(steps² · n)` but eliminates
+//! the ghost-eigenvalue pathology, which matters here because
+//! well-clustered graphs have `k` eigenvalues crowded together near 1.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::gram_schmidt::deflate;
+use crate::ops::SymOp;
+use crate::tridiag::tridiag_eigen;
+use crate::{axpy, dot, normalize};
+
+/// Result of an eigensolve: `values[i]` ↔ unit vector `vectors[i]`,
+/// sorted by descending eigenvalue.
+#[derive(Debug, Clone)]
+pub struct EigenPairs {
+    pub values: Vec<f64>,
+    pub vectors: Vec<Vec<f64>>,
+}
+
+impl EigenPairs {
+    /// Number of computed pairs.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether no pairs were computed.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+}
+
+/// Compute the top `want` eigenpairs of `op` using `steps` Lanczos steps
+/// (clamped to `[want, n]`; pass e.g. `4·want + 40` for crowded spectra).
+///
+/// Deterministic in `seed` (start vector and breakdown restarts).
+///
+/// ```
+/// use lbc_linalg::lanczos::lanczos_top;
+/// use lbc_linalg::ops::WalkOperator;
+/// use lbc_graph::generators::complete;
+///
+/// // K_8's walk matrix has eigenvalues 1 and −1/7.
+/// let g = complete(8).unwrap();
+/// let op = WalkOperator::new(&g);
+/// let pairs = lanczos_top(&op, 2, 8, 42);
+/// assert!((pairs.values[0] - 1.0).abs() < 1e-9);
+/// assert!((pairs.values[1] + 1.0 / 7.0).abs() < 1e-9);
+/// ```
+///
+/// # Panics
+/// If `want > op.dim()` or `want == 0`.
+pub fn lanczos_top(op: &dyn SymOp, want: usize, steps: usize, seed: u64) -> EigenPairs {
+    let n = op.dim();
+    assert!(want >= 1, "must request at least one eigenpair");
+    assert!(want <= n, "requested {want} pairs from dimension {n}");
+    let steps = steps.clamp(want, n);
+    let mut rng = StdRng::seed_from_u64(seed);
+
+    let mut basis: Vec<Vec<f64>> = Vec::with_capacity(steps);
+    let mut alphas: Vec<f64> = Vec::with_capacity(steps);
+    let mut betas: Vec<f64> = Vec::with_capacity(steps.saturating_sub(1));
+
+    // Random unit start vector.
+    let mut v = random_unit(n, &mut rng);
+    let mut w = vec![0.0; n];
+
+    for j in 0..steps {
+        op.apply(&v, &mut w);
+        let alpha = dot(&w, &v);
+        alphas.push(alpha);
+        axpy(-alpha, &v, &mut w);
+        if j > 0 {
+            let beta_prev = betas[j - 1];
+            let prev = &basis[j - 1];
+            axpy(-beta_prev, prev, &mut w);
+        }
+        basis.push(std::mem::replace(&mut v, vec![0.0; n]));
+        // Full reorthogonalisation against the entire basis.
+        deflate(&basis, &mut w);
+        let beta = normalize(&mut w);
+        if j + 1 == steps {
+            break;
+        }
+        if beta <= 1e-13 {
+            // Invariant subspace found: restart with a fresh random
+            // direction orthogonal to everything so far.
+            let mut fresh = random_unit(n, &mut rng);
+            deflate(&basis, &mut fresh);
+            if normalize(&mut fresh) <= 1e-13 {
+                // Space exhausted (steps ≥ rank); stop early.
+                break;
+            }
+            betas.push(0.0);
+            v = fresh;
+        } else {
+            betas.push(beta);
+            v = std::mem::replace(&mut w, vec![0.0; n]);
+            w = vec![0.0; n];
+        }
+    }
+
+    let q = alphas.len();
+    let (tvals, tvecs) =
+        tridiag_eigen(&alphas, &betas[..q.saturating_sub(1)], 64).expect("tridiagonal solve failed");
+
+    let take = want.min(q);
+    let mut values = Vec::with_capacity(take);
+    let mut vectors = Vec::with_capacity(take);
+    for i in 0..take {
+        values.push(tvals[i]);
+        // Ritz vector: Σ_j y_j · basis_j.
+        let mut ritz = vec![0.0; n];
+        for (j, b) in basis.iter().enumerate() {
+            axpy(tvecs[i][j], b, &mut ritz);
+        }
+        normalize(&mut ritz);
+        vectors.push(ritz);
+    }
+    EigenPairs { values, vectors }
+}
+
+fn random_unit(n: usize, rng: &mut StdRng) -> Vec<f64> {
+    loop {
+        let mut v: Vec<f64> = (0..n).map(|_| rng.random_range(-1.0..1.0)).collect();
+        if normalize(&mut v) > 1e-6 {
+            return v;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::DenseSym;
+    use crate::jacobi::jacobi_eigen;
+    use crate::norm;
+
+    #[test]
+    fn recovers_diagonal_spectrum() {
+        let mut a = DenseSym::zeros(5);
+        for (i, &v) in [5.0, 4.0, 3.0, 2.0, 1.0].iter().enumerate() {
+            a.set(i, i, v);
+        }
+        let pairs = lanczos_top(&a, 3, 5, 42);
+        assert_eq!(pairs.len(), 3);
+        for (i, expect) in [5.0, 4.0, 3.0].iter().enumerate() {
+            assert!((pairs.values[i] - expect).abs() < 1e-9, "{:?}", pairs.values);
+        }
+    }
+
+    #[test]
+    fn residuals_small_on_random_matrix() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(5);
+        let n = 30;
+        let mut a = DenseSym::zeros(n);
+        for i in 0..n {
+            for j in i..n {
+                a.set(i, j, rng.random_range(-1.0..1.0));
+            }
+        }
+        let pairs = lanczos_top(&a, 4, n, 1);
+        let (jvals, _) = jacobi_eigen(&a, 200, 1e-14);
+        for i in 0..4 {
+            assert!(
+                (pairs.values[i] - jvals[i]).abs() < 1e-7,
+                "value {i}: {} vs {}",
+                pairs.values[i],
+                jvals[i]
+            );
+            let av = a.matvec(&pairs.vectors[i]);
+            let mut res = av.clone();
+            axpy(-pairs.values[i], &pairs.vectors[i], &mut res);
+            assert!(norm(&res) < 1e-7, "residual {i} = {}", norm(&res));
+        }
+    }
+
+    #[test]
+    fn handles_degenerate_spectrum_via_restart() {
+        // Identity: every vector is an eigenvector; Lanczos breaks down
+        // immediately and must restart.
+        let a = DenseSym::identity(8);
+        let pairs = lanczos_top(&a, 3, 8, 7);
+        assert_eq!(pairs.len(), 3);
+        for v in &pairs.values {
+            assert!((v - 1.0).abs() < 1e-10);
+        }
+        // Vectors remain orthonormal.
+        for i in 0..3 {
+            assert!((norm(&pairs.vectors[i]) - 1.0).abs() < 1e-10);
+            for j in (i + 1)..3 {
+                assert!(dot(&pairs.vectors[i], &pairs.vectors[j]).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    fn clustered_eigenvalues_are_separated() {
+        // Two eigenvalues very close to 1, rest at 0.2: the regime of
+        // well-clustered graphs.
+        let mut a = DenseSym::zeros(40);
+        a.set(0, 0, 1.0);
+        a.set(1, 1, 0.999);
+        for i in 2..40 {
+            a.set(i, i, 0.2);
+        }
+        let pairs = lanczos_top(&a, 3, 40, 3);
+        assert!((pairs.values[0] - 1.0).abs() < 1e-9);
+        assert!((pairs.values[1] - 0.999).abs() < 1e-9);
+        assert!((pairs.values[2] - 0.2).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_zero_request() {
+        let a = DenseSym::identity(3);
+        let _ = lanczos_top(&a, 0, 3, 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn rejects_oversized_request() {
+        let a = DenseSym::identity(3);
+        let _ = lanczos_top(&a, 4, 4, 1);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let a = DenseSym::identity(6);
+        let p1 = lanczos_top(&a, 2, 6, 9);
+        let p2 = lanczos_top(&a, 2, 6, 9);
+        assert_eq!(p1.values, p2.values);
+        assert_eq!(p1.vectors, p2.vectors);
+    }
+}

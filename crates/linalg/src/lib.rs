@@ -1,0 +1,121 @@
+//! Numeric substrate for the load-balancing clustering reproduction.
+//!
+//! The paper sets its round count from spectral quantities of the random
+//! walk matrix `P` (`T = Θ(log n / (1 − λ_{k+1}))`, §1.2) and its analysis
+//! lives entirely in the top-`k` eigenspace of `P` (Lemmas 4.1–4.4).
+//! Reproducing the experiments therefore needs a real eigensolver; this
+//! crate implements one from scratch:
+//!
+//! * [`dense`] — flat row-major symmetric matrices and vector kernels.
+//! * [`ops`] — the [`ops::SymOp`] abstraction (anything that can apply a
+//!   symmetric operator) and the graph random-walk operator, including
+//!   the §4.5 `G*` self-loop regularisation for non-regular graphs.
+//! * [`jacobi`] — cyclic Jacobi eigensolver for small dense matrices.
+//! * [`tridiag`] — implicit-shift QL for symmetric tridiagonal matrices.
+//! * [`lanczos`] — Lanczos with full reorthogonalisation for the top
+//!   eigenpairs of large sparse operators.
+//! * [`spectral`] — [`spectral::SpectralOracle`]: `λ_i`, gap, `Υ`, and
+//!   the paper's theoretical round count `T`.
+//! * [`gram_schmidt`] — orthonormalisation (used by Lemma 4.2's
+//!   construction and by the Lanczos basis).
+
+pub mod dense;
+pub mod gram_schmidt;
+pub mod jacobi;
+pub mod lanczos;
+pub mod ops;
+pub mod power;
+pub mod spectral;
+pub mod tridiag;
+
+pub use dense::DenseSym;
+pub use lanczos::{lanczos_top, EigenPairs};
+pub use ops::{SymOp, WalkOperator};
+pub use spectral::SpectralOracle;
+
+/// Machine tolerance used across the crate for convergence checks.
+pub const EPS: f64 = 1e-12;
+
+/// Dot product.
+#[inline]
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean norm.
+#[inline]
+pub fn norm(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// `y += alpha * x`.
+#[inline]
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    debug_assert_eq!(x.len(), y.len());
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// Scale a vector in place.
+#[inline]
+pub fn scale(a: &mut [f64], s: f64) {
+    for x in a {
+        *x *= s;
+    }
+}
+
+/// Normalise `a` to unit Euclidean norm; returns the original norm.
+/// Leaves zero vectors untouched.
+pub fn normalize(a: &mut [f64]) -> f64 {
+    let n = norm(a);
+    if n > 0.0 {
+        scale(a, 1.0 / n);
+    }
+    n
+}
+
+/// `‖a − b‖`.
+pub fn dist(a: &[f64], b: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vector_kernels() {
+        let a = [1.0, 2.0, 2.0];
+        let b = [3.0, 0.0, 4.0];
+        assert_eq!(dot(&a, &b), 11.0);
+        assert_eq!(norm(&a), 3.0);
+        let mut y = [1.0, 1.0, 1.0];
+        axpy(2.0, &a, &mut y);
+        assert_eq!(y, [3.0, 5.0, 5.0]);
+        let mut v = [3.0, 4.0];
+        let n = normalize(&mut v);
+        assert_eq!(n, 5.0);
+        assert!((norm(&v) - 1.0).abs() < EPS);
+    }
+
+    #[test]
+    fn normalize_zero_vector_is_noop() {
+        let mut v = [0.0, 0.0];
+        assert_eq!(normalize(&mut v), 0.0);
+        assert_eq!(v, [0.0, 0.0]);
+    }
+
+    #[test]
+    fn dist_matches_norm_of_difference() {
+        let a = [1.0, 2.0];
+        let b = [4.0, 6.0];
+        assert!((dist(&a, &b) - 5.0).abs() < EPS);
+    }
+}

@@ -1,0 +1,196 @@
+//! Symmetric operator abstraction and the graph random-walk operator.
+//!
+//! The paper's analysis is phrased in terms of the random walk matrix
+//! `P = A/d` of a `d`-regular graph (§2.1). For almost-regular graphs,
+//! §4.5 passes to the `D`-regular graph `G*` obtained by adding `D − d_v`
+//! self-loops at each node, whose walk matrix is
+//! `P*_{uv} = 1/D` for edges and `P*_{vv} = 1 − d_v/D`. [`WalkOperator`]
+//! implements exactly this (with `D = Δ` by default), which is symmetric
+//! for any unweighted graph and coincides with `P` when the graph is
+//! regular.
+
+use lbc_graph::Graph;
+use rayon::prelude::*;
+
+/// Anything that can apply a symmetric linear operator on `R^n`.
+pub trait SymOp: Sync {
+    /// Dimension `n`.
+    fn dim(&self) -> usize;
+
+    /// `y = A x`. `y` is fully overwritten.
+    fn apply(&self, x: &[f64], y: &mut [f64]);
+
+    /// Convenience allocation form.
+    fn apply_vec(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.dim()];
+        self.apply(x, &mut y);
+        y
+    }
+}
+
+/// Random-walk operator `P*` of a graph, with the §4.5 self-loop
+/// regularisation: `(P* x)(v) = (Σ_{w∈N(v)} x(w) + (D − d_v)·x(v)) / D`.
+pub struct WalkOperator<'g> {
+    graph: &'g Graph,
+    /// Regularisation degree `D ≥ Δ`.
+    cap: usize,
+    /// Switch row-parallelism (rayon) on for large graphs.
+    parallel: bool,
+}
+
+impl<'g> WalkOperator<'g> {
+    /// Operator with `D = max(Δ, 1)` (the canonical choice).
+    pub fn new(graph: &'g Graph) -> Self {
+        let cap = graph.max_degree().max(1);
+        WalkOperator {
+            graph,
+            cap,
+            parallel: graph.n() >= 4096,
+        }
+    }
+
+    /// Operator with an explicit degree cap `D ≥ Δ`.
+    ///
+    /// # Panics
+    /// If `cap < Δ` (the operator would not be stochastic).
+    pub fn with_cap(graph: &'g Graph, cap: usize) -> Self {
+        assert!(
+            cap >= graph.max_degree().max(1),
+            "cap {cap} below max degree {}",
+            graph.max_degree()
+        );
+        WalkOperator {
+            graph,
+            cap,
+            parallel: graph.n() >= 4096,
+        }
+    }
+
+    /// Degree cap `D`.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Force row-parallelism on or off (defaults to on for `n ≥ 4096`).
+    pub fn set_parallel(&mut self, parallel: bool) {
+        self.parallel = parallel;
+    }
+
+    #[inline]
+    fn row(&self, v: usize, x: &[f64]) -> f64 {
+        let g = self.graph;
+        let d_v = g.degree(v as u32);
+        let mut acc = (self.cap - d_v) as f64 * x[v];
+        for &w in g.neighbours(v as u32) {
+            acc += x[w as usize];
+        }
+        acc / self.cap as f64
+    }
+}
+
+impl SymOp for WalkOperator<'_> {
+    fn dim(&self) -> usize {
+        self.graph.n()
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        debug_assert_eq!(x.len(), self.dim());
+        debug_assert_eq!(y.len(), self.dim());
+        if self.parallel {
+            y.par_iter_mut()
+                .enumerate()
+                .for_each(|(v, yv)| *yv = self.row(v, x));
+        } else {
+            for (v, yv) in y.iter_mut().enumerate() {
+                *yv = self.row(v, x);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbc_graph::generators;
+
+    #[test]
+    fn walk_operator_is_stochastic() {
+        let g = generators::cycle(7).unwrap();
+        let op = WalkOperator::new(&g);
+        let ones = vec![1.0; 7];
+        let y = op.apply_vec(&ones);
+        for v in y {
+            assert!((v - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn regular_graph_matches_adjacency_over_d() {
+        let g = generators::cycle(5).unwrap();
+        let op = WalkOperator::new(&g);
+        let mut x = vec![0.0; 5];
+        x[0] = 1.0;
+        let y = op.apply_vec(&x);
+        // Mass 1 at node 0 spreads half to each neighbour.
+        assert_eq!(y[1], 0.5);
+        assert_eq!(y[4], 0.5);
+        assert_eq!(y[0], 0.0);
+        assert_eq!(y[2], 0.0);
+    }
+
+    #[test]
+    fn irregular_graph_keeps_lazy_mass() {
+        // Path 0-1-2: Δ = 2, so P* at endpoint 0 keeps mass 1/2.
+        let g = lbc_graph::Graph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+        let op = WalkOperator::new(&g);
+        let y = op.apply_vec(&[1.0, 0.0, 0.0]);
+        assert_eq!(y, vec![0.5, 0.5, 0.0]);
+    }
+
+    #[test]
+    fn symmetry_of_operator() {
+        let (g, _) = generators::planted_partition(2, 15, 0.4, 0.1, 5).unwrap();
+        let op = WalkOperator::new(&g);
+        let n = g.n();
+        // <P e_i, e_j> == <e_i, P e_j> for a few random pairs.
+        for (i, j) in [(0usize, 5usize), (3, 17), (10, 29)] {
+            let mut ei = vec![0.0; n];
+            ei[i] = 1.0;
+            let mut ej = vec![0.0; n];
+            ej[j] = 1.0;
+            let pij = op.apply_vec(&ei)[j];
+            let pji = op.apply_vec(&ej)[i];
+            assert!((pij - pji).abs() < 1e-15);
+        }
+    }
+
+    #[test]
+    fn explicit_cap_increases_laziness() {
+        let g = generators::cycle(4).unwrap();
+        let op = WalkOperator::with_cap(&g, 4);
+        let y = op.apply_vec(&[1.0, 0.0, 0.0, 0.0]);
+        assert_eq!(y[0], 0.5); // (4-2)/4
+        assert_eq!(y[1], 0.25);
+    }
+
+    #[test]
+    #[should_panic]
+    fn cap_below_max_degree_panics() {
+        let g = generators::complete(5).unwrap();
+        let _ = WalkOperator::with_cap(&g, 2);
+    }
+
+    #[test]
+    fn parallel_and_serial_agree() {
+        let (g, _) = generators::planted_partition(2, 50, 0.3, 0.05, 8).unwrap();
+        let mut op = WalkOperator::new(&g);
+        let x: Vec<f64> = (0..g.n()).map(|i| (i as f64).sin()).collect();
+        op.set_parallel(false);
+        let y1 = op.apply_vec(&x);
+        op.set_parallel(true);
+        let y2 = op.apply_vec(&x);
+        for (a, b) in y1.iter().zip(&y2) {
+            assert!((a - b).abs() < 1e-15);
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! Power iteration with deflation — an independent second path to the
+//! top eigenpairs.
+//!
+//! Lanczos ([`crate::lanczos`]) is the production solver; power
+//! iteration is algorithmically unrelated (no Krylov recurrence, no
+//! tridiagonal solve), which makes agreement between the two a strong
+//! correctness signal. The spectral oracle's tests cross-check them on
+//! clustered graphs, where the near-degenerate top eigenvalues are
+//! exactly the hard case.
+//!
+//! Deflation note: plain power iteration converges to the *dominant in
+//! magnitude* eigenvalue. Walk matrices can have `λ_n` close to `−1`;
+//! callers who need the *algebraically* largest values should apply the
+//! standard shift `(A + I)/2` (see [`ShiftedOp`]).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::gram_schmidt::deflate;
+use crate::lanczos::EigenPairs;
+use crate::ops::SymOp;
+use crate::{dot, normalize};
+
+/// `B = (A + I)/2`: maps eigenvalue `λ` to `(λ+1)/2 ∈ \[0, 1\]` for walk
+/// matrices, making the algebraically-largest eigenvalue dominant in
+/// magnitude.
+pub struct ShiftedOp<'a> {
+    inner: &'a dyn SymOp,
+}
+
+impl<'a> ShiftedOp<'a> {
+    /// Wrap `inner` as `(inner + I)/2`.
+    pub fn new(inner: &'a dyn SymOp) -> Self {
+        ShiftedOp { inner }
+    }
+
+    /// Map a shifted eigenvalue back: `λ = 2μ − 1`.
+    pub fn unshift(mu: f64) -> f64 {
+        2.0 * mu - 1.0
+    }
+}
+
+impl SymOp for ShiftedOp<'_> {
+    fn dim(&self) -> usize {
+        self.inner.dim()
+    }
+
+    fn apply(&self, x: &[f64], y: &mut [f64]) {
+        self.inner.apply(x, y);
+        for (yi, xi) in y.iter_mut().zip(x) {
+            *yi = 0.5 * (*yi + xi);
+        }
+    }
+}
+
+/// Top `want` eigenpairs (by magnitude) via deflated power iteration.
+///
+/// Each pair runs up to `max_iters` iterations, stopping early when the
+/// Rayleigh quotient stabilises to `tol`. Deterministic in `seed`.
+///
+/// # Panics
+/// If `want == 0` or `want > op.dim()`.
+pub fn power_top(
+    op: &dyn SymOp,
+    want: usize,
+    max_iters: usize,
+    tol: f64,
+    seed: u64,
+) -> EigenPairs {
+    let n = op.dim();
+    assert!(want >= 1 && want <= n, "want = {want} out of range");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut values = Vec::with_capacity(want);
+    let mut vectors: Vec<Vec<f64>> = Vec::with_capacity(want);
+    let mut w = vec![0.0; n];
+    for _ in 0..want {
+        let mut v: Vec<f64> = (0..n).map(|_| rng.random_range(-1.0..1.0)).collect();
+        deflate(&vectors, &mut v);
+        if normalize(&mut v) <= 1e-12 {
+            break; // space exhausted
+        }
+        let mut lambda = 0.0f64;
+        for _ in 0..max_iters {
+            op.apply(&v, &mut w);
+            deflate(&vectors, &mut w);
+            let norm = normalize(&mut w);
+            if norm <= 1e-300 {
+                break;
+            }
+            std::mem::swap(&mut v, &mut w);
+            let new_lambda = {
+                op.apply(&v, &mut w);
+                dot(&v, &w)
+            };
+            let done = (new_lambda - lambda).abs() <= tol * new_lambda.abs().max(1.0);
+            lambda = new_lambda;
+            if done {
+                break;
+            }
+        }
+        values.push(lambda);
+        vectors.push(v);
+    }
+    EigenPairs { values, vectors }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::DenseSym;
+    use crate::lanczos::lanczos_top;
+    use crate::ops::WalkOperator;
+    use lbc_graph::generators;
+
+    #[test]
+    fn diagonal_matrix_exact() {
+        let mut a = DenseSym::zeros(4);
+        for (i, &v) in [9.0, 5.0, 2.0, 1.0].iter().enumerate() {
+            a.set(i, i, v);
+        }
+        let p = power_top(&a, 2, 500, 1e-13, 3);
+        assert!((p.values[0] - 9.0).abs() < 1e-8, "{:?}", p.values);
+        assert!((p.values[1] - 5.0).abs() < 1e-6, "{:?}", p.values);
+    }
+
+    #[test]
+    fn agrees_with_lanczos_on_clustered_graph() {
+        let (g, _) = generators::ring_of_cliques(3, 12, 0).unwrap();
+        let op = WalkOperator::new(&g);
+        let shifted = ShiftedOp::new(&op);
+        let p = power_top(&shifted, 4, 4000, 1e-12, 7);
+        let l = lanczos_top(&op, 4, g.n(), 7);
+        for i in 0..4 {
+            let unshifted = ShiftedOp::unshift(p.values[i]);
+            assert!(
+                (unshifted - l.values[i]).abs() < 1e-5,
+                "pair {i}: power {unshifted} vs lanczos {}",
+                l.values[i]
+            );
+        }
+    }
+
+    #[test]
+    fn shifted_operator_maps_spectrum() {
+        let g = generators::cycle(8).unwrap();
+        let op = WalkOperator::new(&g);
+        let shifted = ShiftedOp::new(&op);
+        // Top of the shifted spectrum is (1+1)/2 = 1.
+        let p = power_top(&shifted, 1, 2000, 1e-13, 1);
+        assert!((ShiftedOp::unshift(p.values[0]) - 1.0).abs() < 1e-6);
+        // Eigenvector is the uniform vector.
+        let v = &p.vectors[0];
+        let first = v[0];
+        assert!(v.iter().all(|x| (x - first).abs() < 1e-5));
+    }
+
+    #[test]
+    fn deflated_vectors_are_orthonormal() {
+        let mut a = DenseSym::zeros(6);
+        for i in 0..6 {
+            a.set(i, i, (6 - i) as f64);
+        }
+        let p = power_top(&a, 3, 300, 1e-13, 9);
+        for i in 0..3 {
+            assert!((crate::norm(&p.vectors[i]) - 1.0).abs() < 1e-9);
+            for j in (i + 1)..3 {
+                assert!(dot(&p.vectors[i], &p.vectors[j]).abs() < 1e-8);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_request_panics() {
+        let a = DenseSym::identity(3);
+        let _ = power_top(&a, 0, 10, 1e-10, 1);
+    }
+}

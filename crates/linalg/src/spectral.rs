@@ -1,0 +1,187 @@
+//! The spectral oracle: `λ_i`, the gap `1 − λ_{k+1}`, the cluster
+//! parameter `Υ`, and the paper's round count `T`.
+//!
+//! The algorithm itself never inspects the spectrum — that is the whole
+//! point of the paper — but *setting its parameters* does:
+//! `T = Θ(log n / (1 − λ_{k+1}))` (§1.2). Experiments also report `Υ`
+//! (Peng et al.'s gap parameter, §1.1) to position each instance against
+//! assumption (2). This module packages those quantities.
+
+use lbc_graph::{Graph, Partition};
+
+use crate::lanczos::lanczos_top;
+use crate::ops::WalkOperator;
+
+/// Top eigenpairs of the (regularised) random-walk matrix plus derived
+/// cluster-structure quantities.
+#[derive(Debug, Clone)]
+pub struct ClusterSpectrum {
+    /// `λ_1 ≥ λ_2 ≥ …` (as many as requested).
+    pub lambdas: Vec<f64>,
+    /// Unit eigenvectors `f_1, f_2, …` matching `lambdas`.
+    pub vectors: Vec<Vec<f64>>,
+}
+
+impl ClusterSpectrum {
+    /// `λ_i`, 1-indexed as in the paper.
+    pub fn lambda(&self, i: usize) -> f64 {
+        assert!(i >= 1 && i <= self.lambdas.len(), "λ_{i} not computed");
+        self.lambdas[i - 1]
+    }
+
+    /// Spectral gap `1 − λ_{k+1}` (needs `k+1` computed pairs).
+    pub fn gap(&self, k: usize) -> f64 {
+        1.0 - self.lambda(k + 1)
+    }
+}
+
+/// Computes and caches spectral quantities for one graph.
+pub struct SpectralOracle {
+    n: usize,
+    spectrum: ClusterSpectrum,
+}
+
+impl SpectralOracle {
+    /// Compute the top `q` eigenpairs of the graph's walk operator
+    /// (regularised to `D = Δ` self-loops per §4.5 when irregular).
+    ///
+    /// `q` must satisfy `1 ≤ q ≤ n`. For clustering use `q = k + 1`.
+    pub fn compute(graph: &Graph, q: usize, seed: u64) -> Self {
+        let op = WalkOperator::new(graph);
+        // Crowded spectra near 1 need generous Krylov space.
+        let steps = (4 * q + 40).min(graph.n());
+        let pairs = lanczos_top(&op, q, steps, seed);
+        SpectralOracle {
+            n: graph.n(),
+            spectrum: ClusterSpectrum {
+                lambdas: pairs.values,
+                vectors: pairs.vectors,
+            },
+        }
+    }
+
+    /// The underlying spectrum.
+    pub fn spectrum(&self) -> &ClusterSpectrum {
+        &self.spectrum
+    }
+
+    /// `λ_i`, 1-indexed.
+    pub fn lambda(&self, i: usize) -> f64 {
+        self.spectrum.lambda(i)
+    }
+
+    /// Gap `1 − λ_{k+1}`.
+    pub fn gap(&self, k: usize) -> f64 {
+        self.spectrum.gap(k)
+    }
+
+    /// The paper's round count `T = ⌈c · ln n / (1 − λ_{k+1})⌉` (§1.2).
+    ///
+    /// `c` is the hidden constant; experiments use small values (1–4).
+    /// The gap is floored at `1e-9` so pathological inputs produce a
+    /// large-but-finite round count instead of a panic.
+    pub fn rounds(&self, k: usize, c: f64) -> usize {
+        rounds_for_gap(self.n, self.gap(k), c)
+    }
+
+    /// `Υ = (1 − λ_{k+1}) / ρ(k)`, with `ρ(k)` *approximated from above*
+    /// by the conductance the reference partition achieves
+    /// (`max_i ϕ_G(S_i)`). Computing the exact `ρ(k)` is coNP-hard
+    /// (§1.1), so this is the standard proxy: the reported `Υ` is a
+    /// lower bound on the true value.
+    pub fn upsilon(&self, graph: &Graph, reference: &Partition) -> f64 {
+        let rho = reference.max_conductance(graph);
+        if rho <= 0.0 {
+            return f64::INFINITY;
+        }
+        self.gap(reference.k()) / rho
+    }
+}
+
+/// `T = ⌈c · ln n / gap⌉`, floored gap, minimum 1 round.
+pub fn rounds_for_gap(n: usize, gap: f64, c: f64) -> usize {
+    let gap = gap.max(1e-9);
+    let t = c * (n.max(2) as f64).ln() / gap;
+    t.ceil().max(1.0) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbc_graph::generators;
+
+    #[test]
+    fn cycle_spectrum_matches_closed_form() {
+        // Cycle C_n: walk matrix eigenvalues cos(2πj/n).
+        let n = 12;
+        let g = generators::cycle(n).unwrap();
+        let oracle = SpectralOracle::compute(&g, 4, 1);
+        let tau = 2.0 * std::f64::consts::PI / n as f64;
+        // λ_1 = 1, λ_2 = λ_3 = cos(2π/n), λ_4 = cos(4π/n).
+        assert!((oracle.lambda(1) - 1.0).abs() < 1e-8);
+        assert!((oracle.lambda(2) - tau.cos()).abs() < 1e-8);
+        assert!((oracle.lambda(3) - tau.cos()).abs() < 1e-8);
+        assert!((oracle.lambda(4) - (2.0 * tau).cos()).abs() < 1e-8);
+    }
+
+    #[test]
+    fn complete_graph_spectrum() {
+        // K_n: eigenvalues 1 and −1/(n−1) (multiplicity n−1).
+        let g = generators::complete(8).unwrap();
+        let oracle = SpectralOracle::compute(&g, 3, 2);
+        assert!((oracle.lambda(1) - 1.0).abs() < 1e-9);
+        assert!((oracle.lambda(2) + 1.0 / 7.0).abs() < 1e-9);
+        assert!((oracle.lambda(3) + 1.0 / 7.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn well_clustered_graph_has_k_eigenvalues_near_one() {
+        let (g, p) = generators::ring_of_cliques(4, 12, 0).unwrap();
+        let oracle = SpectralOracle::compute(&g, 5, 3);
+        // λ_1..λ_4 near 1, λ_5 bounded away.
+        for i in 1..=4 {
+            assert!(oracle.lambda(i) > 0.9, "λ_{i} = {}", oracle.lambda(i));
+        }
+        assert!(oracle.lambda(5) < 0.5, "λ_5 = {}", oracle.lambda(5));
+        let upsilon = oracle.upsilon(&g, &p);
+        assert!(upsilon > 10.0, "Υ = {upsilon}");
+    }
+
+    #[test]
+    fn poorly_clustered_graph_has_small_upsilon() {
+        let g = generators::cycle(64).unwrap();
+        let p = Partition::from_sizes(&[32, 32]);
+        let oracle = SpectralOracle::compute(&g, 3, 4);
+        let upsilon = oracle.upsilon(&g, &p);
+        // Cycle halves: gap tiny, conductance moderate.
+        assert!(upsilon < 5.0, "Υ = {upsilon}");
+    }
+
+    #[test]
+    fn rounds_scale_inversely_with_gap() {
+        assert_eq!(rounds_for_gap(100, 1.0, 1.0), 5);
+        let slow = rounds_for_gap(100, 0.01, 1.0);
+        let fast = rounds_for_gap(100, 0.5, 1.0);
+        assert!(slow > 50 * fast / 2, "slow={slow} fast={fast}");
+        // Zero gap is floored, not a panic.
+        assert!(rounds_for_gap(100, 0.0, 1.0) > 1_000_000);
+        // Minimum one round.
+        assert_eq!(rounds_for_gap(2, 1e9, 1.0), 1);
+    }
+
+    #[test]
+    fn upsilon_with_zero_conductance_is_infinite() {
+        // Two disjoint cliques: perfect clusters, ρ = 0.
+        let (g, p) = generators::planted_partition(2, 6, 1.0, 0.0, 1).unwrap();
+        let oracle = SpectralOracle::compute(&g, 3, 5);
+        assert!(oracle.upsilon(&g, &p).is_infinite());
+    }
+
+    #[test]
+    #[should_panic]
+    fn lambda_out_of_range_panics() {
+        let g = generators::complete(4).unwrap();
+        let oracle = SpectralOracle::compute(&g, 2, 1);
+        let _ = oracle.lambda(3);
+    }
+}

@@ -1,0 +1,204 @@
+//! Implicit-shift QL eigensolver for symmetric tridiagonal matrices.
+//!
+//! This is the classic `tql2`/`tqli` algorithm (EISPACK; Numerical
+//! Recipes §11.3): Wilkinson-shifted QL iterations with plane rotations,
+//! accumulating the rotations into an eigenvector matrix. It is the
+//! production path for the Lanczos post-solve; [`crate::jacobi`] is the
+//! independent cross-check.
+
+/// Eigendecomposition of the symmetric tridiagonal matrix with diagonal
+/// `d` (length `n`) and subdiagonal `e` (length `n − 1`; `e[i]` couples
+/// rows `i` and `i+1`).
+///
+/// Returns `(eigenvalues, eigenvectors)` sorted by *descending*
+/// eigenvalue; `eigenvectors[i]` is the unit eigenvector for
+/// `eigenvalues[i]` expressed in the original coordinates.
+///
+/// Errors if some eigenvalue fails to converge within `max_iter`
+/// iterations (30 is the customary bound; we default callers to 64).
+pub fn tridiag_eigen(
+    d: &[f64],
+    e: &[f64],
+    max_iter: usize,
+) -> Result<(Vec<f64>, Vec<Vec<f64>>), String> {
+    let n = d.len();
+    if n == 0 {
+        return Ok((vec![], vec![]));
+    }
+    assert_eq!(e.len(), n.saturating_sub(1), "subdiagonal length mismatch");
+    let mut d = d.to_vec();
+    // ee[i] couples rows i and i+1; ee[n−1] is a zero sentinel.
+    let mut ee = vec![0.0; n];
+    if n > 1 {
+        ee[..(n - 1)].copy_from_slice(e);
+    }
+    // z[r][c]: rotation accumulator, columns are eigenvectors.
+    let mut z = vec![vec![0.0; n]; n];
+    for (i, row) in z.iter_mut().enumerate() {
+        row[i] = 1.0;
+    }
+
+    for l in 0..n {
+        let mut iter = 0usize;
+        loop {
+            // Find the first decoupled block boundary m ≥ l.
+            let mut m = l;
+            while m + 1 < n {
+                let dd = d[m].abs() + d[m + 1].abs();
+                if ee[m].abs() <= f64::EPSILON * dd {
+                    break;
+                }
+                m += 1;
+            }
+            if m == l {
+                break;
+            }
+            iter += 1;
+            if iter > max_iter {
+                return Err(format!("tridiag_eigen: no convergence at index {l}"));
+            }
+            // Wilkinson-style shift.
+            let mut g = (d[l + 1] - d[l]) / (2.0 * ee[l]);
+            let mut r = g.hypot(1.0);
+            g = d[m] - d[l] + ee[l] / (g + if g >= 0.0 { r.abs() } else { -r.abs() });
+            let (mut s, mut c) = (1.0f64, 1.0f64);
+            let mut p = 0.0f64;
+            let mut i = m;
+            while i > l {
+                let i1 = i - 1;
+                let mut f = s * ee[i1];
+                let b = c * ee[i1];
+                r = f.hypot(g);
+                ee[i] = r;
+                if r == 0.0 {
+                    d[i] -= p;
+                    ee[m] = 0.0;
+                    break;
+                }
+                s = f / r;
+                c = g / r;
+                g = d[i] - p;
+                r = (d[i1] - g) * s + 2.0 * c * b;
+                p = s * r;
+                d[i] = g + p;
+                g = c * r - b;
+                // Accumulate rotation into columns i-1, i of z.
+                for zr in z.iter_mut() {
+                    f = zr[i];
+                    zr[i] = s * zr[i1] + c * f;
+                    zr[i1] = c * zr[i1] - s * f;
+                }
+                i -= 1;
+            }
+            if r == 0.0 && i > l {
+                continue;
+            }
+            d[l] -= p;
+            ee[l] = g;
+            ee[m] = 0.0;
+        }
+    }
+
+    // Sort descending, extract columns.
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| d[b].partial_cmp(&d[a]).unwrap());
+    let vals: Vec<f64> = idx.iter().map(|&i| d[i]).collect();
+    let vecs: Vec<Vec<f64>> = idx
+        .iter()
+        .map(|&col| (0..n).map(|row| z[row][col]).collect())
+        .collect();
+    Ok((vals, vecs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::DenseSym;
+    use crate::jacobi::jacobi_eigen;
+    use crate::{dot, norm};
+
+    fn residual_check(d: &[f64], e: &[f64], vals: &[f64], vecs: &[Vec<f64>], tol: f64) {
+        let a = DenseSym::tridiagonal(d, e);
+        for (i, v) in vecs.iter().enumerate() {
+            assert!((norm(v) - 1.0).abs() < tol);
+            let av = a.matvec(v);
+            for j in 0..d.len() {
+                assert!(
+                    (av[j] - vals[i] * v[j]).abs() < tol,
+                    "residual pair {i}: {} vs {}",
+                    av[j],
+                    vals[i] * v[j]
+                );
+            }
+        }
+        for i in 0..vecs.len() {
+            for j in (i + 1)..vecs.len() {
+                assert!(dot(&vecs[i], &vecs[j]).abs() < tol);
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_single() {
+        let (v, w) = tridiag_eigen(&[], &[], 64).unwrap();
+        assert!(v.is_empty() && w.is_empty());
+        let (v, w) = tridiag_eigen(&[4.0], &[], 64).unwrap();
+        assert_eq!(v, vec![4.0]);
+        assert_eq!(w, vec![vec![1.0]]);
+    }
+
+    #[test]
+    fn two_by_two_exact() {
+        // [[1, 2], [2, 1]] → eigenvalues 3, -1.
+        let (vals, vecs) = tridiag_eigen(&[1.0, 1.0], &[2.0], 64).unwrap();
+        assert!((vals[0] - 3.0).abs() < 1e-12);
+        assert!((vals[1] + 1.0).abs() < 1e-12);
+        residual_check(&[1.0, 1.0], &[2.0], &vals, &vecs, 1e-10);
+    }
+
+    #[test]
+    fn path_graph_laplacian_eigenvalues() {
+        // Laplacian of path P4: known eigenvalues 2 - 2cos(jπ/4)·... use
+        // the standard formula λ_j = 2 − 2 cos(jπ/n), j = 0..n−1? For a
+        // path with n nodes the Laplacian eigenvalues are
+        // 4 sin²(jπ/(2n)), j = 0..n−1.
+        let n = 6usize;
+        let d: Vec<f64> = (0..n)
+            .map(|i| if i == 0 || i == n - 1 { 1.0 } else { 2.0 })
+            .collect();
+        let e = vec![-1.0; n - 1];
+        let (mut vals, vecs) = tridiag_eigen(&d, &e, 64).unwrap();
+        residual_check(&d, &e, &vals, &vecs, 1e-9);
+        vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        for (j, &v) in vals.iter().enumerate() {
+            let expect = 4.0 * (j as f64 * std::f64::consts::PI / (2.0 * n as f64)).sin().powi(2);
+            assert!((v - expect).abs() < 1e-9, "j={j}: {v} vs {expect}");
+        }
+    }
+
+    #[test]
+    fn agrees_with_jacobi_on_random_tridiagonals() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(23);
+        for n in [2usize, 3, 7, 20, 45] {
+            let d: Vec<f64> = (0..n).map(|_| rng.random_range(-2.0..2.0)).collect();
+            let e: Vec<f64> = (0..n - 1).map(|_| rng.random_range(-1.0..1.0)).collect();
+            let (vals_ql, vecs_ql) = tridiag_eigen(&d, &e, 64).unwrap();
+            let a = DenseSym::tridiagonal(&d, &e);
+            let (vals_j, _) = jacobi_eigen(&a, 200, 1e-14);
+            for (x, y) in vals_ql.iter().zip(&vals_j) {
+                assert!((x - y).abs() < 1e-8, "n={n}: {x} vs {y}");
+            }
+            residual_check(&d, &e, &vals_ql, &vecs_ql, 1e-8);
+        }
+    }
+
+    #[test]
+    fn zero_coupling_decouples_blocks() {
+        // diag(1, 5) with no coupling.
+        let (vals, vecs) = tridiag_eigen(&[1.0, 5.0], &[0.0], 64).unwrap();
+        assert_eq!(vals, vec![5.0, 1.0]);
+        residual_check(&[1.0, 5.0], &[0.0], &vals, &vecs, 1e-12);
+    }
+}

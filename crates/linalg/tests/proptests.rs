@@ -1,0 +1,130 @@
+//! Property-based tests for the numeric substrate.
+
+use lbc_linalg::dense::DenseSym;
+use lbc_linalg::gram_schmidt::orthonormalize;
+use lbc_linalg::jacobi::jacobi_eigen;
+use lbc_linalg::lanczos::lanczos_top;
+use lbc_linalg::ops::{SymOp, WalkOperator};
+use lbc_linalg::tridiag::tridiag_eigen;
+use lbc_linalg::{dot, norm};
+use proptest::prelude::*;
+
+fn dense_from(vals: &[f64], n: usize) -> DenseSym {
+    let mut a = DenseSym::zeros(n);
+    let mut it = vals.iter().cycle();
+    for i in 0..n {
+        for j in i..n {
+            a.set(i, j, *it.next().unwrap());
+        }
+    }
+    a
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Jacobi reconstructs A = V diag(λ) Vᵀ for random symmetric input.
+    #[test]
+    fn jacobi_reconstructs(
+        n in 2usize..8,
+        vals in proptest::collection::vec(-2.0f64..2.0, 36),
+    ) {
+        let a = dense_from(&vals, n);
+        let (lam, vecs) = jacobi_eigen(&a, 200, 1e-13);
+        for i in 0..n {
+            for j in 0..n {
+                let mut rec = 0.0;
+                for (l, v) in lam.iter().zip(&vecs) {
+                    rec += l * v[i] * v[j];
+                }
+                prop_assert!((rec - a.get(i, j)).abs() < 1e-7,
+                    "entry ({i},{j}): {} vs {}", rec, a.get(i, j));
+            }
+        }
+    }
+
+    /// Eigenvalue sum equals the trace; spectral radius bounds entries.
+    #[test]
+    fn jacobi_trace_identity(
+        n in 2usize..9,
+        vals in proptest::collection::vec(-3.0f64..3.0, 45),
+    ) {
+        let a = dense_from(&vals, n);
+        let (lam, _) = jacobi_eigen(&a, 200, 1e-13);
+        let trace: f64 = (0..n).map(|i| a.get(i, i)).sum();
+        prop_assert!((lam.iter().sum::<f64>() - trace).abs() < 1e-8);
+    }
+
+    /// QL on random tridiagonals agrees with Jacobi on the embedded
+    /// dense matrix.
+    #[test]
+    fn ql_matches_jacobi(
+        n in 2usize..12,
+        d in proptest::collection::vec(-2.0f64..2.0, 12),
+        e in proptest::collection::vec(-1.0f64..1.0, 11),
+    ) {
+        let d = &d[..n];
+        let e = &e[..n - 1];
+        let (ql_vals, _) = tridiag_eigen(d, e, 64).unwrap();
+        let dense = DenseSym::tridiagonal(d, e);
+        let (j_vals, _) = jacobi_eigen(&dense, 200, 1e-13);
+        for (a, b) in ql_vals.iter().zip(&j_vals) {
+            prop_assert!((a - b).abs() < 1e-7, "{a} vs {b}");
+        }
+    }
+
+    /// Lanczos' top Ritz value upper-bounds every Rayleigh quotient of
+    /// probe vectors (within tolerance) and is attained by its vector.
+    #[test]
+    fn lanczos_dominates_rayleigh(
+        n in 4usize..12,
+        vals in proptest::collection::vec(-1.0f64..1.0, 78),
+        probe in proptest::collection::vec(-1.0f64..1.0, 12),
+    ) {
+        let a = dense_from(&vals, n);
+        let pairs = lanczos_top(&a, 1, n, 7);
+        let top = pairs.values[0];
+        let mut x = probe[..n].to_vec();
+        let nrm = norm(&x);
+        prop_assume!(nrm > 1e-6);
+        for xi in &mut x {
+            *xi /= nrm;
+        }
+        let rayleigh = dot(&x, &a.apply_vec(&x));
+        prop_assert!(top >= rayleigh - 1e-6, "top {top} < rayleigh {rayleigh}");
+    }
+
+    /// Gram–Schmidt output is always orthonormal.
+    #[test]
+    fn gram_schmidt_orthonormal(
+        n in 3usize..10,
+        raw in proptest::collection::vec(-1.0f64..1.0, 50),
+    ) {
+        let count = 4.min(n);
+        let mut vs: Vec<Vec<f64>> = (0..count)
+            .map(|i| (0..n).map(|j| raw[(i * n + j) % raw.len()]).collect())
+            .collect();
+        orthonormalize(&mut vs, 1e-8);
+        for i in 0..vs.len() {
+            prop_assert!((norm(&vs[i]) - 1.0).abs() < 1e-9);
+            for j in (i + 1)..vs.len() {
+                prop_assert!(dot(&vs[i], &vs[j]).abs() < 1e-8);
+            }
+        }
+    }
+
+    /// The walk operator is always row-stochastic and symmetric, so
+    /// `λ_1 = 1` on any connected graph and all Ritz values lie in
+    /// [−1, 1].
+    #[test]
+    fn walk_operator_spectrum_in_range(seed in 0u64..300) {
+        let (g, _) = lbc_graph::generators::planted_partition(2, 8, 0.6, 0.2, seed).unwrap();
+        prop_assume!(g.is_connected());
+        let op = WalkOperator::new(&g);
+        let pairs = lanczos_top(&op, 3, g.n(), seed);
+        prop_assert!((pairs.values[0] - 1.0).abs() < 1e-8, "λ1 = {}", pairs.values[0]);
+        for &v in &pairs.values {
+            prop_assert!((-1.0 - 1e-9..=1.0 + 1e-9).contains(&v));
+        }
+    }
+}

@@ -1,0 +1,42 @@
+//! Almost-regular graphs (§4.5): the `G*` self-loop emulation in action.
+//!
+//! Starts from a near-regular clustered graph, perturbs degrees with
+//! increasing noise, and shows the algorithm holding up as long as the
+//! degree ratio `Δ/δ` stays bounded — the paper's §4.5 condition.
+//!
+//! Run with: `cargo run --release --example almost_regular`
+
+use graph_cluster_lb::core::{DegreeMode, LbConfig};
+use graph_cluster_lb::graph::generators::perturb_degrees;
+use graph_cluster_lb::prelude::*;
+
+fn main() {
+    let (base, truth) = planted_partition(3, 200, 0.08, 0.002, 55).expect("generator");
+    println!(
+        "{:>10} {:>8} {:>8} {:>10} {:>10}",
+        "add_p", "Δ", "δ", "Δ/δ", "accuracy"
+    );
+    for &add_p in &[0.0, 0.02, 0.05, 0.10, 0.20] {
+        let g = if add_p == 0.0 {
+            base.clone()
+        } else {
+            perturb_degrees(&base, &truth, add_p, 0.0, 91).expect("perturb")
+        };
+        let cfg = LbConfig::new(1.0 / 3.0, 220)
+            .with_seed(13)
+            // Auto resolves to the §4.5 capped rule on irregular graphs.
+            .with_degree_mode(DegreeMode::Auto);
+        let out = cluster(&g, &cfg).expect("clustering");
+        let acc = accuracy(truth.labels(), out.partition.labels());
+        println!(
+            "{:>10.2} {:>8} {:>8} {:>10.3} {:>10.4}",
+            add_p,
+            g.max_degree(),
+            g.min_degree(),
+            g.degree_ratio(),
+            acc
+        );
+    }
+    println!("\nDegree noise thickens clusters only (the planted cut is untouched),");
+    println!("so accuracy should stay high while Δ/δ grows moderately — the §4.5 regime.");
+}

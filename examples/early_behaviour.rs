@@ -1,0 +1,68 @@
+//! Lemma 4.1 live: the early behaviour of a load-balancing process on a
+//! well-clustered graph.
+//!
+//! Starts one unit of load at a "good" node (small `α_v`, eq. 4), runs
+//! the 1-dimensional matching process, and prints the projection error
+//! `‖Q y^{(0)} − y^{(t)}‖` together with the distance to the cluster
+//! indicator `‖y^{(t)} − χ_S‖` (Lemma 4.3). The error collapses within
+//! `T ≈ log n / gap` rounds and only then slowly re-grows as the process
+//! converges to the global uniform distribution (Remark 1).
+//!
+//! Run with: `cargo run --release --example early_behaviour`
+
+use graph_cluster_lb::core::analysis::{
+    chi_indicator, projection_error_trajectory, ClusterAnalysis,
+};
+use graph_cluster_lb::core::matching::{apply_matching_dense, sample_matching, ProposalRule};
+use graph_cluster_lb::distsim::NodeRng;
+use graph_cluster_lb::prelude::*;
+
+fn main() {
+    let (graph, truth) = ring_of_cliques(4, 32, 0).expect("generator");
+    let n = graph.n();
+    let analysis = ClusterAnalysis::compute(&graph, &truth, 7);
+    let good = analysis.nodes_by_alpha()[0];
+    let bad = *analysis.nodes_by_alpha().last().unwrap();
+    println!(
+        "n = {n}; good node {good} (α = {:.2e}), worst node {bad} (α = {:.2e})",
+        analysis.alphas[good as usize], analysis.alphas[bad as usize]
+    );
+
+    let rounds = 240;
+    let traj = projection_error_trajectory(
+        &graph,
+        &analysis,
+        ProposalRule::Uniform,
+        good,
+        rounds,
+        123,
+    );
+
+    // Also track ‖y(t) − χ_S‖ for the same run.
+    let chi = chi_indicator(&truth, truth.label(good), n);
+    let mut rngs: Vec<NodeRng> = (0..n as u32).map(|v| NodeRng::for_node(123, v)).collect();
+    let mut y = vec![0.0; n];
+    y[good as usize] = 1.0;
+    let mut dist_chi = vec![dist(&y, &chi)];
+    for _ in 0..rounds {
+        let m = sample_matching(&graph, ProposalRule::Uniform, &mut rngs);
+        apply_matching_dense(&m, &mut y);
+        dist_chi.push(dist(&y, &chi));
+    }
+
+    println!("\n{:>6} {:>16} {:>16}", "t", "‖Qy0 − y(t)‖", "‖y(t) − χ_S‖");
+    for t in (0..=rounds).step_by(20) {
+        println!("{:>6} {:>16.6} {:>16.6}", t, traj[t], dist_chi[t]);
+    }
+    println!("\nThe projection error collapses fast (Lemma 4.1), the distance to the");
+    println!("cluster indicator bottoms out around T (Lemma 4.3), then both drift up");
+    println!("as the load continues towards the global uniform vector (Remark 1).");
+}
+
+fn dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter()
+        .zip(b)
+        .map(|(x, y)| (x - y) * (x - y))
+        .sum::<f64>()
+        .sqrt()
+}

@@ -1,0 +1,46 @@
+//! The abstract's closing remark, live: the same early-behaviour
+//! separation that powers the clustering algorithm shows up in other
+//! gossip processes on the matching substrate — rumour spreading and
+//! averaging.
+//!
+//! Run with: `cargo run --release --example gossip_processes`
+
+use graph_cluster_lb::core::gossip::{gossip_average, rumour_spread};
+use graph_cluster_lb::core::matching::ProposalRule;
+use graph_cluster_lb::prelude::*;
+
+fn main() {
+    let (graph, truth) = ring_of_cliques(4, 64, 0).expect("generator");
+    let n = graph.n();
+    println!("instance: ring of 4 cliques of 64 (n = {n})\n");
+
+    // Rumour: watch the informed count cross cluster boundaries.
+    let t = rumour_spread(&graph, ProposalRule::Uniform, 0, 100_000, 11);
+    println!("== rumour from node 0 ==");
+    for &target in &[64usize, 128, 192, 256] {
+        match t.rounds_to(target) {
+            Some(r) => println!("  ≥ {target:>3} informed after {r:>6} rounds"),
+            None => println!("  ≥ {target:>3} informed: never"),
+        }
+    }
+    println!(
+        "  → the source clique saturates ~immediately; each cut crossing stalls the front.\n"
+    );
+
+    // Averaging: start with each clique at its own level; the within-
+    // cluster disagreement dies at rate ≈ d̄/4·(1−λ_k) while the
+    // between-cluster disagreement persists for ≈ the global mixing time.
+    let initial: Vec<f64> = (0..n)
+        .map(|v| truth.label(v as u32) as f64)
+        .collect();
+    let rounds = 3000;
+    let avg = gossip_average(&graph, ProposalRule::Uniform, &initial, rounds, 7);
+    println!("== averaging from per-clique levels (0, 1, 2, 3) ==");
+    println!("{:>8} {:>16}", "round", "max |x − mean|");
+    for &r in &[0usize, 50, 200, 800, 1600, 3000] {
+        println!("{:>8} {:>16.6}", r, avg.deviation[r]);
+    }
+    println!("\nWithin-cluster values merge quickly, but the cluster *levels* survive for");
+    println!("thousands of rounds — the persistence the clustering algorithm reads out at");
+    println!("its round budget T.");
+}

@@ -1,0 +1,54 @@
+//! # graph-cluster-lb
+//!
+//! Meta-crate for the reproduction of **Sun & Zanetti, "Distributed Graph
+//! Clustering by Load Balancing" (SPAA 2017)**. It re-exports the public
+//! API of every workspace crate so examples and downstream users need a
+//! single dependency:
+//!
+//! * [`graph`] — CSR graphs, generators, partitions, conductance.
+//! * [`linalg`] — eigensolvers and spectral quantities (`λ_k`, `Υ`, `T`).
+//! * [`eval`] — label alignment (Hungarian), accuracy, ARI, NMI.
+//! * [`distsim`] — synchronous message-passing simulator with accounting.
+//! * [`core`] — the paper's algorithm: matching model, seeding /
+//!   averaging / query, centralised variant, almost-regular extension.
+//! * [`baselines`] — spectral clustering, averaging dynamics, label
+//!   propagation.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use graph_cluster_lb::prelude::*;
+//!
+//! // A well-clustered graph: 3 blocks of 60 nodes.
+//! let (g, truth) = planted_partition(3, 60, 0.5, 0.01, 42).unwrap();
+//! let cfg = LbConfig::from_graph(&g, truth.beta()).with_seed(7);
+//! let out = cluster(&g, &cfg).unwrap();
+//! let acc = accuracy(truth.labels(), out.partition.labels());
+//! assert!(acc > 0.9, "accuracy {acc}");
+//! ```
+
+pub use lbc_baselines as baselines;
+pub use lbc_core as core;
+pub use lbc_distsim as distsim;
+pub use lbc_eval as eval;
+pub use lbc_graph as graph;
+pub use lbc_linalg as linalg;
+
+/// Convenience re-exports for examples and quick experiments.
+pub mod prelude {
+    pub use lbc_baselines::{
+        becchetti_averaging, kempe_mcsherry, label_propagation, spectral_clustering,
+        walk_clustering, AveragingOutput,
+    };
+    pub use lbc_core::{
+        cluster, cluster_adaptive, cluster_async, cluster_discrete, cluster_distributed,
+        estimate_size, ClusterOutput, LbConfig, QueryRule,
+    };
+    pub use lbc_eval::{accuracy, adjusted_rand_index, misclassified, normalized_mutual_information};
+    pub use lbc_graph::generators::{
+        dumbbell, planted_partition, planted_partition_sizes, regular_cluster_graph,
+        ring_of_cliques,
+    };
+    pub use lbc_graph::{Graph, GraphBuilder, Partition};
+    pub use lbc_linalg::spectral::{ClusterSpectrum, SpectralOracle};
+}

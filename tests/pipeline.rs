@@ -1,0 +1,138 @@
+//! Cross-crate integration tests: the full pipeline from generator to
+//! evaluated partition, agreement between the three implementations, and
+//! file round-trips.
+
+use graph_cluster_lb::core::{cluster, cluster_distributed, LbConfig, QueryRule};
+use graph_cluster_lb::distsim::FaultPlan;
+use graph_cluster_lb::eval::PartitionReport;
+use graph_cluster_lb::graph::{generators, io};
+use graph_cluster_lb::prelude::*;
+
+#[test]
+fn end_to_end_planted_partition() {
+    let (g, truth) = planted_partition(3, 100, 0.1, 0.004, 77).unwrap();
+    let cfg = LbConfig::from_graph(&g, truth.beta()).with_seed(5);
+    let out = cluster(&g, &cfg).unwrap();
+    let report = PartitionReport::evaluate(&g, &truth, &out.partition);
+    assert!(report.accuracy > 0.9, "accuracy {}", report.accuracy);
+    assert!(report.ari > 0.75, "ari {}", report.ari);
+    // Conductance check on *major* clusters only: threshold abstainers
+    // can form tiny satellite labels whose conductance is meaningless.
+    let sizes = out.partition.cluster_sizes();
+    let phis = out.partition.cluster_conductances(&g);
+    let major_max = sizes
+        .iter()
+        .zip(&phis)
+        .filter(|&(&s, _)| s >= g.n() / 20)
+        .map(|(_, &phi)| phi)
+        .fold(0.0f64, f64::max);
+    assert!(major_max < 0.35, "major-cluster conductance {major_max}");
+}
+
+#[test]
+fn three_implementations_agree_exactly() {
+    use graph_cluster_lb::core::matrix::MultiLoadProcess;
+    use graph_cluster_lb::core::seeding::run_seeding;
+    use graph_cluster_lb::distsim::NodeRng;
+
+    let (g, _) = regular_cluster_graph(3, 40, 8, 2, 9).unwrap();
+    let cfg = LbConfig::new(1.0 / 3.0, 35).with_seed(42);
+
+    // 1. sparse centralised
+    let central = cluster(&g, &cfg).unwrap();
+    // 2. distributed
+    let (dist, stats) = cluster_distributed(&g, &cfg, None).unwrap();
+    assert_eq!(central.states, dist.states);
+    assert_eq!(central.partition, dist.partition);
+    assert!(stats.sent_words > 0);
+    // 3. dense matrix view
+    let n = g.n();
+    let mut rngs: Vec<NodeRng> = (0..n as u32).map(|v| NodeRng::for_node(42, v)).collect();
+    let seeds = run_seeding(n, cfg.trials(), &mut rngs);
+    assert_eq!(seeds, central.seeds);
+    let sources: Vec<u32> = seeds.iter().map(|s| s.node).collect();
+    let mut mp = MultiLoadProcess::new(&g, cfg.proposal_rule(&g), rngs, &sources);
+    mp.run(35);
+    for (i, s) in seeds.iter().enumerate() {
+        for v in 0..n {
+            assert_eq!(
+                mp.vector(i)[v],
+                central.states[v].load(s.id),
+                "node {v} seed {i}"
+            );
+        }
+    }
+}
+
+#[test]
+fn graph_file_roundtrip_preserves_clustering() {
+    let (g, truth) = ring_of_cliques(3, 20, 0).unwrap();
+    let mut gbuf = Vec::new();
+    io::write_edge_list(&g, &mut gbuf).unwrap();
+    let mut pbuf = Vec::new();
+    io::write_partition(&truth, &mut pbuf).unwrap();
+    let g2 = io::read_edge_list(&gbuf[..]).unwrap();
+    let truth2 = io::read_partition(&pbuf[..]).unwrap();
+    assert_eq!(g, g2);
+    assert_eq!(truth, truth2);
+    // Same seed ⇒ identical clustering on the round-tripped graph.
+    let cfg = LbConfig::new(1.0 / 3.0, 50).with_seed(3);
+    let a = cluster(&g, &cfg).unwrap();
+    let b = cluster(&g2, &cfg).unwrap();
+    assert_eq!(a.partition, b.partition);
+}
+
+#[test]
+fn all_query_rules_produce_valid_partitions() {
+    let (g, _) = planted_partition(2, 60, 0.2, 0.01, 3).unwrap();
+    for rule in [
+        QueryRule::PaperThreshold,
+        QueryRule::ScaledThreshold(1.0),
+        QueryRule::ArgMax,
+    ] {
+        let cfg = LbConfig::new(0.5, 80).with_seed(9).with_query(rule);
+        let out = cluster(&g, &cfg).unwrap();
+        assert_eq!(out.partition.n(), g.n());
+        assert!(out.partition.k() >= 1);
+        // Every label below k.
+        assert!(out
+            .partition
+            .labels()
+            .iter()
+            .all(|&l| (l as usize) < out.partition.k()));
+    }
+}
+
+#[test]
+fn faulty_network_still_terminates_and_labels_everyone() {
+    let (g, _) = ring_of_cliques(2, 15, 0).unwrap();
+    let cfg = LbConfig::new(0.5, 40).with_seed(8);
+    let (out, stats) =
+        cluster_distributed(&g, &cfg, Some(FaultPlan::with_drops(0.5, 2))).unwrap();
+    assert_eq!(out.partition.n(), g.n());
+    assert!(stats.dropped_messages > 0);
+}
+
+#[test]
+fn crashed_majority_is_survivable() {
+    let (g, _) = generators::ring_of_cliques(2, 10, 0).unwrap();
+    let crashed: Vec<u32> = (0..10).map(|i| i * 2).collect();
+    let faults = FaultPlan::none().crash_nodes(g.n(), &crashed);
+    let cfg = LbConfig::new(0.5, 30).with_seed(6);
+    // May fail with NoSeeds if all seeds crashed — both outcomes are
+    // acceptable; what must not happen is a hang or panic.
+    let _ = cluster_distributed(&g, &cfg, Some(faults));
+}
+
+#[test]
+fn spectral_oracle_matches_clustering_difficulty() {
+    // Sanity: oracle says ring-of-cliques is easier (larger Υ) than a
+    // noisy planted partition, and the algorithm's accuracy agrees.
+    let (easy, easy_truth) = ring_of_cliques(3, 30, 0).unwrap();
+    let (hard, hard_truth) = planted_partition(3, 30, 0.2, 0.08, 4).unwrap();
+    let o_easy = SpectralOracle::compute(&easy, 4, 1);
+    let o_hard = SpectralOracle::compute(&hard, 4, 1);
+    let u_easy = o_easy.upsilon(&easy, &easy_truth);
+    let u_hard = o_hard.upsilon(&hard, &hard_truth);
+    assert!(u_easy > u_hard, "Υ_easy {u_easy} vs Υ_hard {u_hard}");
+}

@@ -1,0 +1,193 @@
+//! Property-based tests (proptest) for the core invariants listed in
+//! DESIGN.md §3.
+
+use graph_cluster_lb::core::matching::{
+    apply_matching_dense, sample_matching, ProposalRule,
+};
+use graph_cluster_lb::core::{cluster, LbConfig, LoadState, QueryRule};
+use graph_cluster_lb::distsim::NodeRng;
+use graph_cluster_lb::eval::{accuracy, adjusted_rand_index, hungarian_max, misclassified};
+use graph_cluster_lb::graph::Graph;
+use proptest::prelude::*;
+
+/// Strategy: a connected-ish random graph as an edge list over `n` nodes.
+fn arb_graph() -> impl Strategy<Value = Graph> {
+    (4usize..40).prop_flat_map(|n| {
+        // A spanning path guarantees no isolated nodes dominate; random
+        // extra edges on top.
+        let extra = proptest::collection::vec((0..n as u32, 0..n as u32), 0..3 * n);
+        extra.prop_map(move |pairs| {
+            let mut edges: Vec<(u32, u32)> =
+                (1..n as u32).map(|v| (v - 1, v)).collect();
+            for (a, b) in pairs {
+                if a != b {
+                    edges.push((a, b));
+                }
+            }
+            Graph::from_edges(n, &edges).unwrap()
+        })
+    })
+}
+
+fn rngs_for(n: usize, seed: u64) -> Vec<NodeRng> {
+    (0..n as u32).map(|v| NodeRng::for_node(seed, v)).collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn matchings_always_valid(g in arb_graph(), seed in 0u64..1000) {
+        let mut rngs = rngs_for(g.n(), seed);
+        for _ in 0..5 {
+            let m = sample_matching(&g, ProposalRule::Uniform, &mut rngs);
+            prop_assert!(m.validate(&g).is_ok());
+        }
+    }
+
+    #[test]
+    fn capped_matchings_always_valid(g in arb_graph(), seed in 0u64..1000) {
+        let cap = g.max_degree().max(1);
+        let mut rngs = rngs_for(g.n(), seed);
+        for _ in 0..5 {
+            let m = sample_matching(&g, ProposalRule::Capped(cap), &mut rngs);
+            prop_assert!(m.validate(&g).is_ok());
+        }
+    }
+
+    #[test]
+    fn dense_averaging_conserves_sum_and_range(
+        g in arb_graph(),
+        seed in 0u64..1000,
+        values in proptest::collection::vec(0.0f64..10.0, 40),
+    ) {
+        let n = g.n();
+        let mut x: Vec<f64> = values.into_iter().take(n).collect();
+        x.resize(n, 1.0);
+        let sum0: f64 = x.iter().sum();
+        let max0 = x.iter().cloned().fold(f64::MIN, f64::max);
+        let min0 = x.iter().cloned().fold(f64::MAX, f64::min);
+        let mut rngs = rngs_for(n, seed);
+        for _ in 0..10 {
+            let m = sample_matching(&g, ProposalRule::Uniform, &mut rngs);
+            apply_matching_dense(&m, &mut x);
+        }
+        let sum1: f64 = x.iter().sum();
+        prop_assert!((sum0 - sum1).abs() < 1e-9 * sum0.abs().max(1.0));
+        // Averaging can never escape the initial range.
+        prop_assert!(x.iter().all(|&v| v >= min0 - 1e-12 && v <= max0 + 1e-12));
+    }
+
+    #[test]
+    fn state_average_conserves_and_commutes(
+        a_entries in proptest::collection::vec((1u64..50, 0.0f64..1.0), 0..8),
+        b_entries in proptest::collection::vec((51u64..100, 0.0f64..1.0), 0..8),
+        shared in proptest::collection::vec((100u64..120, 0.0f64..1.0, 0.0f64..1.0), 0..5),
+    ) {
+        let mut av: Vec<(u64, f64)> = a_entries;
+        let mut bv: Vec<(u64, f64)> = b_entries;
+        let mut seen = std::collections::HashSet::new();
+        av.retain(|&(id, _)| seen.insert(id));
+        seen.clear();
+        bv.retain(|&(id, _)| seen.insert(id));
+        seen.clear();
+        for &(id, x, y) in &shared {
+            if seen.insert(id) {
+                av.push((id, x));
+                bv.push((id, y));
+            }
+        }
+        let a = LoadState::from_entries(av);
+        let b = LoadState::from_entries(bv);
+        let m1 = LoadState::average(&a, &b);
+        let m2 = LoadState::average(&b, &a);
+        prop_assert_eq!(&m1, &m2);
+        prop_assert!((2.0 * m1.total() - (a.total() + b.total())).abs() < 1e-12);
+        // Idempotent: averaging equal states changes nothing.
+        let mm = LoadState::average(&m1, &m1);
+        prop_assert_eq!(&mm, &m1);
+    }
+
+    #[test]
+    fn cluster_conserves_per_seed_load(seed in 0u64..200) {
+        let (g, _) = graph_cluster_lb::graph::generators::ring_of_cliques(2, 8, 0).unwrap();
+        let cfg = LbConfig::new(0.5, 15).with_seed(seed);
+        if let Ok(out) = cluster(&g, &cfg) {
+            for s in &out.seeds {
+                let total: f64 = out.states.iter().map(|st| st.load(s.id)).sum();
+                prop_assert!((total - 1.0).abs() < 1e-9);
+            }
+            // State sizes never exceed the number of seeds.
+            for st in &out.states {
+                prop_assert!(st.len() <= out.seeds.len());
+            }
+            // Loads are non-negative.
+            for st in &out.states {
+                prop_assert!(st.entries().iter().all(|&(_, x)| x >= 0.0));
+            }
+        }
+    }
+
+    #[test]
+    fn accuracy_invariant_under_label_permutation(
+        labels in proptest::collection::vec(0u32..4, 8..40),
+        perm_seed in 0u64..100,
+    ) {
+        // Ensure all 4 labels present so permutation is well-defined.
+        let mut truth = labels;
+        for l in 0..4u32 {
+            truth.push(l);
+        }
+        // Apply a permutation to produce "predictions".
+        let perms: [[u32; 4]; 4] = [
+            [0, 1, 2, 3],
+            [1, 2, 3, 0],
+            [3, 2, 1, 0],
+            [2, 0, 3, 1],
+        ];
+        let p = perms[(perm_seed % 4) as usize];
+        let pred: Vec<u32> = truth.iter().map(|&l| p[l as usize]).collect();
+        prop_assert_eq!(misclassified(&truth, &pred), 0);
+        prop_assert!((accuracy(&truth, &pred) - 1.0).abs() < 1e-12);
+        prop_assert!((adjusted_rand_index(&truth, &pred) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn hungarian_beats_greedy(
+        rows in 2usize..6,
+        vals in proptest::collection::vec(0.0f64..10.0, 36),
+    ) {
+        let w: Vec<Vec<f64>> = (0..rows)
+            .map(|r| (0..rows).map(|c| vals[(r * rows + c) % vals.len()]).collect())
+            .collect();
+        let (_, best) = hungarian_max(&w);
+        // Greedy row-by-row assignment.
+        let mut used = vec![false; rows];
+        let mut greedy = 0.0;
+        for r in 0..rows {
+            let mut pick = None;
+            let mut pv = f64::MIN;
+            for c in 0..rows {
+                if !used[c] && w[r][c] > pv {
+                    pv = w[r][c];
+                    pick = Some(c);
+                }
+            }
+            let c = pick.unwrap();
+            used[c] = true;
+            greedy += w[r][c];
+        }
+        prop_assert!(best >= greedy - 1e-9);
+    }
+
+    #[test]
+    fn query_rules_label_every_node(seed in 0u64..100) {
+        let (g, _) = graph_cluster_lb::graph::generators::ring_of_cliques(2, 6, 0).unwrap();
+        for rule in [QueryRule::PaperThreshold, QueryRule::ArgMax, QueryRule::ScaledThreshold(1.5)] {
+            let cfg = LbConfig::new(0.5, 10).with_seed(seed).with_query(rule);
+            if let Ok(out) = cluster(&g, &cfg) {
+                prop_assert_eq!(out.partition.labels().len(), g.n());
+            }
+        }
+    }
+}

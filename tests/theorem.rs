@@ -1,0 +1,135 @@
+//! Theorem-level integration tests: each test pins one quantitative claim
+//! of the paper on a concrete well-clustered instance (the experiment
+//! suite sweeps these; here we assert a single point each so regressions
+//! surface in `cargo test`).
+
+use graph_cluster_lb::core::matching::{d_bar, sample_matching, ProposalRule};
+use graph_cluster_lb::core::{cluster, cluster_distributed, LbConfig};
+use graph_cluster_lb::distsim::NodeRng;
+use graph_cluster_lb::eval::misclassified;
+use graph_cluster_lb::prelude::*;
+
+/// Theorem 1.1(1): on a well-clustered graph, misclassified = o(n).
+/// Point check: < 5% at n = 1200 with T = Θ(log n / gap).
+#[test]
+fn theorem_1_1_misclassification() {
+    let (g, truth) = regular_cluster_graph(4, 300, 12, 3, 5).unwrap();
+    let cfg = LbConfig::from_graph(&g, 0.25).with_seed(11);
+    let out = cluster(&g, &cfg).unwrap();
+    let miscl = misclassified(truth.labels(), out.partition.labels());
+    assert!(
+        (miscl as f64) < 0.05 * g.n() as f64,
+        "misclassified {miscl} of {}",
+        g.n()
+    );
+}
+
+/// Theorem 1.1(2): message complexity O(T·n·k log k). Point check: the
+/// measured words are below 2·T·n·s̄ (the per-round payload is ≤ ~4s
+/// words across a ≤ n/2-pair matching, so the constant is small).
+#[test]
+fn theorem_1_1_message_complexity() {
+    let (g, _) = regular_cluster_graph(4, 150, 10, 3, 7).unwrap();
+    let rounds = 120;
+    let cfg = LbConfig::new(0.25, rounds).with_seed(3);
+    let (out, stats) = cluster_distributed(&g, &cfg, None).unwrap();
+    let s_bar = cfg.trials() as u64;
+    let bound = 2 * rounds as u64 * g.n() as u64 * s_bar;
+    assert!(
+        stats.sent_words < bound,
+        "words {} vs bound {bound} (s = {})",
+        stats.sent_words,
+        out.seeds.len()
+    );
+}
+
+/// Lemma 2.1(1): E[M] = (1 − d̄/4)I + (d̄/4)P — checked through the
+/// per-node matched frequency d̄/2 on a regular graph.
+#[test]
+fn lemma_2_1_expectation() {
+    let g = graph_cluster_lb::graph::generators::random_regular(120, 6, 3).unwrap();
+    // Use a node of full degree 6 (matching-union may shave a few).
+    let probe = (0..120u32).find(|&v| g.degree(v) == 6).unwrap();
+    let mut rngs: Vec<NodeRng> = (0..120u32).map(|v| NodeRng::for_node(9, v)).collect();
+    let trials = 30_000;
+    let mut matched = 0usize;
+    for _ in 0..trials {
+        let m = sample_matching(&g, ProposalRule::Uniform, &mut rngs);
+        if m.partner(probe).is_some() {
+            matched += 1;
+        }
+    }
+    let freq = matched as f64 / trials as f64;
+    let predicted = d_bar(6) / 2.0;
+    assert!(
+        (freq - predicted).abs() < 0.02,
+        "matched frequency {freq} vs predicted {predicted}"
+    );
+}
+
+/// Lemma 2.1(2): M is a projection ⇒ ‖M x‖ ≤ ‖x‖ and M(Mx) = Mx.
+#[test]
+fn lemma_2_1_projection() {
+    use graph_cluster_lb::core::matching::apply_matching_dense;
+    let g = graph_cluster_lb::graph::generators::complete(20).unwrap();
+    let mut rngs: Vec<NodeRng> = (0..20u32).map(|v| NodeRng::for_node(4, v)).collect();
+    let m = sample_matching(&g, ProposalRule::Uniform, &mut rngs);
+    let x: Vec<f64> = (0..20).map(|i| (i as f64 * 0.7).cos()).collect();
+    let mut mx = x.clone();
+    apply_matching_dense(&m, &mut mx);
+    let mut mmx = mx.clone();
+    apply_matching_dense(&m, &mut mmx);
+    assert_eq!(mx, mmx, "M must be idempotent");
+    let norm = |v: &[f64]| v.iter().map(|a| a * a).sum::<f64>().sqrt();
+    assert!(norm(&mx) <= norm(&x) + 1e-12, "projection must contract");
+}
+
+/// §1.2 example: k = Θ(1) expander clusters with ϕ = O(1/polylog n):
+/// the algorithm finishes in O(log n) rounds. Point check at n = 2048:
+/// 12·ln n rounds suffice for 95% accuracy.
+#[test]
+fn section_1_2_logarithmic_rounds() {
+    let n = 2048usize;
+    let (g, truth) = regular_cluster_graph(4, n / 4, 12, 3, 13).unwrap();
+    let t = (12.0 * (n as f64).ln()).ceil() as usize;
+    let cfg = LbConfig::new(0.25, t).with_seed(21);
+    let out = cluster(&g, &cfg).unwrap();
+    let acc = accuracy(truth.labels(), out.partition.labels());
+    assert!(acc > 0.95, "accuracy {acc} after {t} rounds");
+}
+
+/// §3.2: the expected number of seeds is s̄ = (3/β)ln(1/β) and the
+/// algorithm works with multiple seeds per cluster (min-ID merging).
+#[test]
+fn section_3_2_seed_merging() {
+    let (g, truth) = ring_of_cliques(2, 40, 0).unwrap();
+    // Force many seeds with 4x the trials.
+    let base = LbConfig::new(0.5, 150).with_seed(2);
+    let cfg = base.clone().with_seeding_trials(4 * base.trials());
+    let out = cluster(&g, &cfg).unwrap();
+    assert!(
+        out.seeds.len() >= 10,
+        "expected many seeds, got {}",
+        out.seeds.len()
+    );
+    // Despite >> 2 seeds, the min-ID rule merges each cluster's labels.
+    let acc = accuracy(truth.labels(), out.partition.labels());
+    assert!(acc > 0.95, "accuracy {acc} with {} seeds", out.seeds.len());
+}
+
+/// §4.5: almost-regular graphs — the capped (G*) rule recovers clusters
+/// on a degree-perturbed instance.
+#[test]
+fn section_4_5_almost_regular() {
+    use graph_cluster_lb::core::DegreeMode;
+    use graph_cluster_lb::graph::generators::perturb_degrees;
+    let (base, truth) = regular_cluster_graph(3, 100, 10, 3, 17).unwrap();
+    let g = perturb_degrees(&base, &truth, 0.08, 0.0, 19).unwrap();
+    assert!(g.degree_ratio() > 1.5, "perturbation too weak");
+    let cfg = LbConfig::new(1.0 / 3.0, 450)
+        .with_seed(5)
+        .with_degree_mode(DegreeMode::Capped(g.max_degree()));
+    let out = cluster(&g, &cfg).unwrap();
+    let acc = accuracy(truth.labels(), out.partition.labels());
+    assert!(acc > 0.9, "accuracy {acc}");
+}
