@@ -87,10 +87,13 @@ pub fn becchetti_averaging(
     }
     // One extra step per dimension; embed by the consecutive difference
     // (cancels the stationary component).
-    let diffs: Vec<Vec<f64>> = xs.iter().map(|x| {
-        let next = step(g, cap, x);
-        x.iter().zip(&next).map(|(a, b)| a - b).collect()
-    }).collect();
+    let diffs: Vec<Vec<f64>> = xs
+        .iter()
+        .map(|x| {
+            let next = step(g, cap, x);
+            x.iter().zip(&next).map(|(a, b)| a - b).collect()
+        })
+        .collect();
     // Normalise each difference vector so k-means sees comparable scales.
     let points: Vec<Vec<f64>> = (0..n)
         .map(|v| {

@@ -52,9 +52,11 @@ fn cholesky(k: &[Vec<f64>]) -> Option<Vec<Vec<f64>>> {
     for i in 0..n {
         for j in 0..=i {
             let mut sum = k[i][j];
-            for p in 0..j {
-                sum -= l[i][p] * l[j][p];
-            }
+            sum -= l[i][..j]
+                .iter()
+                .zip(&l[j][..j])
+                .map(|(a, b)| a * b)
+                .sum::<f64>();
             if i == j {
                 if sum <= 0.0 {
                     return None;
@@ -148,13 +150,16 @@ pub fn kempe_mcsherry(
 
     // Cost charging (see module docs).
     let oracle = SpectralOracle::compute(g, 2.min(n), seed ^ 0x4B4D);
-    let gap2 = if n >= 2 { (1.0 - oracle.lambda(2)).max(1e-9) } else { 1.0 };
+    let gap2 = if n >= 2 {
+        (1.0 - oracle.lambda(2)).max(1e-9)
+    } else {
+        1.0
+    };
     let tau_mix = ((n.max(2) as f64).ln() / gap2).ceil() as u64;
     let charged_rounds = iterations as u64 * (1 + tau_mix);
     let words_per_power = 2 * g.m() as u64 * k as u64;
     let words_per_pushsum_round = n as u64 * (k * k) as u64;
-    let charged_words =
-        iterations as u64 * (words_per_power + tau_mix * words_per_pushsum_round);
+    let charged_words = iterations as u64 * (words_per_power + tau_mix * words_per_pushsum_round);
 
     let result = kmeans(&v, k, 100, seed ^ 0x4B4D_0001);
     OrthogonalIterationOutput {

@@ -35,8 +35,7 @@ pub fn label_propagation(g: &Graph, max_rounds: usize) -> (Partition, usize) {
             // Majority; ties → smallest label.
             let mut best_label = labels[v];
             let mut best_count = 0usize;
-            let mut entries: Vec<(u32, usize)> =
-                counts.iter().map(|(&l, &c)| (l, c)).collect();
+            let mut entries: Vec<(u32, usize)> = counts.iter().map(|(&l, &c)| (l, c)).collect();
             entries.sort_unstable();
             for (l, c) in entries {
                 if c > best_count {

@@ -13,12 +13,10 @@ fn bench_averaging(c: &mut Criterion) {
     let mut group = c.benchmark_group("averaging_round");
     for &s in &[4usize, 16, 64] {
         // Sparse: states with s entries each (worst case: fully spread).
-        let state = LoadState::from_entries(
-            (0..s as u64).map(|i| (i + 1, 1.0 / s as f64)).collect(),
-        );
+        let state =
+            LoadState::from_entries((0..s as u64).map(|i| (i + 1, 1.0 / s as f64)).collect());
         let states: Vec<LoadState> = vec![state; n];
-        let mut rngs: Vec<NodeRng> =
-            (0..n as u32).map(|v| NodeRng::for_node(3, v)).collect();
+        let mut rngs: Vec<NodeRng> = (0..n as u32).map(|v| NodeRng::for_node(3, v)).collect();
         group.bench_with_input(BenchmarkId::new("sparse_10k", s), &s, |b, _| {
             b.iter(|| {
                 let m = sample_matching(&g, ProposalRule::Uniform, &mut rngs);
@@ -33,8 +31,7 @@ fn bench_averaging(c: &mut Criterion) {
         });
         // Dense: s whole vectors.
         let vectors: Vec<Vec<f64>> = (0..s).map(|_| vec![1.0 / n as f64; n]).collect();
-        let mut rngs2: Vec<NodeRng> =
-            (0..n as u32).map(|v| NodeRng::for_node(5, v)).collect();
+        let mut rngs2: Vec<NodeRng> = (0..n as u32).map(|v| NodeRng::for_node(5, v)).collect();
         group.bench_with_input(BenchmarkId::new("dense_10k", s), &s, |b, _| {
             b.iter(|| {
                 let m = sample_matching(&g, ProposalRule::Uniform, &mut rngs2);

@@ -14,9 +14,7 @@ fn bench_baselines(c: &mut Criterion) {
     group.bench_function("load_balancing_T200", |b| {
         b.iter(|| cluster(&g, &cfg).unwrap())
     });
-    group.bench_function("spectral_k4", |b| {
-        b.iter(|| spectral_clustering(&g, 4, 5))
-    });
+    group.bench_function("spectral_k4", |b| b.iter(|| spectral_clustering(&g, 4, 5)));
     group.bench_function("averaging_dynamics_T200_h6", |b| {
         b.iter(|| becchetti_averaging(&g, 4, 200, 6, 9))
     });

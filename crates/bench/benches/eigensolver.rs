@@ -2,11 +2,11 @@
 //! graphs (the parameter-setting oracle) and the dense Jacobi reference.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lbc_graph::generators::regular_cluster_graph;
 use lbc_linalg::dense::DenseSym;
 use lbc_linalg::jacobi::jacobi_eigen;
 use lbc_linalg::lanczos::lanczos_top;
 use lbc_linalg::ops::WalkOperator;
-use lbc_graph::generators::regular_cluster_graph;
 
 fn bench_eigensolver(c: &mut Criterion) {
     let mut group = c.benchmark_group("eigensolver");

@@ -10,8 +10,7 @@ fn bench_matching(c: &mut Criterion) {
     let mut group = c.benchmark_group("sample_matching");
     for &n in &[1_000usize, 10_000, 100_000] {
         let g = random_regular(n, 8, 42).unwrap();
-        let mut rngs: Vec<NodeRng> =
-            (0..n as u32).map(|v| NodeRng::for_node(7, v)).collect();
+        let mut rngs: Vec<NodeRng> = (0..n as u32).map(|v| NodeRng::for_node(7, v)).collect();
         group.throughput(Throughput::Elements(n as u64));
         group.bench_with_input(BenchmarkId::new("regular_d8", n), &n, |b, _| {
             b.iter(|| sample_matching(&g, ProposalRule::Uniform, &mut rngs))

@@ -1,0 +1,73 @@
+//! Query-serving throughput of the resident engine (`lbc-runtime`).
+//!
+//! Measures (a) raw batched query execution against a cached clustering
+//! at several batch sizes, and (b) the full multi-client closed loop the
+//! `lbc serve-bench` subcommand runs, on pools of 1 / 2 / 4 threads.
+
+use std::sync::Arc;
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lbc_core::LbConfig;
+use lbc_graph::generators::regular_cluster_graph;
+use lbc_runtime::{ClusterHandle, LoadgenConfig, Query, Registry};
+
+fn cached_handle() -> ClusterHandle {
+    let registry = Registry::with_capacity(2);
+    let (g, _) = regular_cluster_graph(4, 250, 12, 4, 5).unwrap();
+    registry.insert_graph("bench", g);
+    let out = registry
+        .get_or_cluster("bench", &LbConfig::new(0.25, 200).with_seed(3))
+        .unwrap();
+    ClusterHandle::new(out)
+}
+
+fn query_mix(n: usize, count: usize) -> Vec<Query> {
+    (0..count)
+        .map(|i| {
+            let u = ((i * 7919) % n) as u32;
+            let v = ((i * 104_729 + 13) % n) as u32;
+            match i % 4 {
+                0 | 1 => Query::SameCluster(u, v),
+                2 => Query::ClusterOf(u),
+                _ => Query::ClusterSize(v),
+            }
+        })
+        .collect()
+}
+
+fn bench_batches(c: &mut Criterion) {
+    let handle = cached_handle();
+    let mut group = c.benchmark_group("serving_batch");
+    for &batch in &[16usize, 256, 4096] {
+        let queries = query_mix(handle.n(), batch);
+        group.throughput(Throughput::Elements(batch as u64));
+        group.bench_with_input(
+            BenchmarkId::new("execute_batch", batch),
+            &queries,
+            |b, qs| b.iter(|| handle.execute_batch(qs).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+fn bench_closed_loop(c: &mut Criterion) {
+    let handle = Arc::new(cached_handle());
+    let mut group = c.benchmark_group("serving_closed_loop");
+    group.sample_size(10);
+    for &clients in &[1usize, 2, 4] {
+        let cfg = LoadgenConfig {
+            clients,
+            total_ops: 100_000,
+            batch: 64,
+            seed: 7,
+        };
+        group.throughput(Throughput::Elements(cfg.total_ops));
+        group.bench_with_input(BenchmarkId::new("loadgen_100k", clients), &cfg, |b, cfg| {
+            b.iter(|| lbc_runtime::run_loadgen(&handle, cfg).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_batches, bench_closed_loop);
+criterion_main!(benches);

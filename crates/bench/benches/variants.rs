@@ -14,9 +14,7 @@ fn bench_variants(c: &mut Criterion) {
     let cfg = LbConfig::new(0.25, t).with_seed(3);
     let mut group = c.benchmark_group("variants_2k_nodes");
     group.sample_size(10);
-    group.bench_function("continuous_sync", |b| {
-        b.iter(|| cluster(&g, &cfg).unwrap())
-    });
+    group.bench_function("continuous_sync", |b| b.iter(|| cluster(&g, &cfg).unwrap()));
     group.bench_function("async_equal_budget", |b| {
         b.iter(|| cluster_async(&g, &cfg, g.n() * t / 4).unwrap())
     });

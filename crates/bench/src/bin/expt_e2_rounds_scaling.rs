@@ -64,19 +64,23 @@ fn main() {
     let k = 4usize;
     for &n in &[256usize, 512, 1024, 2048, 4096, 8192] {
         let size = n / k;
-        let (g, truth) =
-            regular_cluster_graph(k, size, 12, 3, 7 + n as u64).expect("generator");
+        let (g, truth) = regular_cluster_graph(k, size, 12, 3, 7 + n as u64).expect("generator");
         let mut results: Vec<usize> = Vec::new();
         for rep in 0..5u64 {
-            if let Some(r) =
-                rounds_to_accuracy(&g, &truth, 0.25, 1000 + rep, 0.95, 4000)
-            {
+            if let Some(r) = rounds_to_accuracy(&g, &truth, 0.25, 1000 + rep, 0.95, 4000) {
                 results.push(r);
             }
         }
         results.sort_unstable();
         if results.is_empty() {
-            println!("{:>8} {:>8.2} {:>12} {:>12} {:>14}", n, (n as f64).ln(), "-", 0, "-");
+            println!(
+                "{:>8} {:>8.2} {:>12} {:>12} {:>14}",
+                n,
+                (n as f64).ln(),
+                "-",
+                0,
+                "-"
+            );
             continue;
         }
         let median = results[results.len() / 2];

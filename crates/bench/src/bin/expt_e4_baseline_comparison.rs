@@ -29,10 +29,7 @@ fn main() {
             g.n(),
             g.m()
         );
-        println!(
-            "{:<24} {:>10} {:>16}",
-            "method", "accuracy", "words"
-        );
+        println!("{:<24} {:>10} {:>16}", "method", "accuracy", "words");
         let cfg = LbConfig::from_graph(&g, truth.beta()).with_seed(5);
         match cluster_distributed(&g, &cfg, None) {
             Ok((out, stats)) => println!(

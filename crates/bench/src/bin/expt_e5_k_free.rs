@@ -24,10 +24,9 @@ fn main() {
     let beta_bound = 0.1; // deliberately below every true cluster fraction
     for &k in &[2usize, 3, 4, 6, 8] {
         let block = n / k; // even for all k in the sweep
-        // Near-regular clusters with a k-independent per-cluster cut, so
-        // the sweep isolates the k-free property from gap degradation.
-        let (g, truth) =
-            regular_cluster_graph(k, block, 12, 3, 71 + k as u64).expect("generator");
+                           // Near-regular clusters with a k-independent per-cluster cut, so
+                           // the sweep isolates the k-free property from gap degradation.
+        let (g, truth) = regular_cluster_graph(k, block, 12, 3, 71 + k as u64).expect("generator");
         let cfg = LbConfig::from_graph(&g, beta_bound);
         let mut accs = Vec::new();
         let mut k_founds = Vec::new();

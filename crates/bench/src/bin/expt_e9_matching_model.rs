@@ -13,9 +13,7 @@ use lbc_graph::Graph;
 
 fn measure(name: &str, g: &Graph, d: usize, trials: usize) {
     let n = g.n();
-    let mut rngs: Vec<NodeRng> = (0..n as u32)
-        .map(|v| NodeRng::for_node(0xE9, v))
-        .collect();
+    let mut rngs: Vec<NodeRng> = (0..n as u32).map(|v| NodeRng::for_node(0xE9, v)).collect();
     // Probe a specific edge and node.
     let probe_u = 0u32;
     let probe_v = g.neighbours(0)[0];

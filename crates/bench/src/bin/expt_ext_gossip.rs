@@ -48,16 +48,27 @@ fn main() {
     let k64 = complete(64).unwrap();
     let (rc, _) = regular_cluster_graph(2, 32, 8, 2, 5).unwrap();
     let c64 = cycle(64).unwrap();
-    for (name, g) in [("complete(64)", k64), ("2 clusters (64)", rc), ("cycle(64)", c64)] {
+    for (name, g) in [
+        ("complete(64)", k64),
+        ("2 clusters (64)", rc),
+        ("cycle(64)", c64),
+    ] {
         let oracle = SpectralOracle::compute(&g, 2, 1);
         let half = g.n() / 2;
-        let initial: Vec<f64> = (0..g.n()).map(|i| if i < half { 1.0 } else { 0.0 }).collect();
+        let initial: Vec<f64> = (0..g.n())
+            .map(|i| if i < half { 1.0 } else { 0.0 })
+            .collect();
         let t = gossip_average(&g, ProposalRule::Uniform, &initial, 60_000, 9);
         let rounds = t
             .rounds_to_eps(0.05 * t.deviation[0])
             .map(|r| r.to_string())
             .unwrap_or_else(|| ">60000".into());
-        println!("{:>18} {:>12.6} {:>12}", name, 1.0 - oracle.lambda(2), rounds);
+        println!(
+            "{:>18} {:>12.6} {:>12}",
+            name,
+            1.0 - oracle.lambda(2),
+            rounds
+        );
     }
     println!();
     println!("expected shape: rumour saturates the source cluster well before it finishes");

@@ -118,8 +118,11 @@ mod tests {
 
     #[test]
     fn parses_values_and_switches() {
-        let a = Args::parse(&raw(&["--n", "100", "--verbose", "--seed", "7"]), &["verbose"])
-            .unwrap();
+        let a = Args::parse(
+            &raw(&["--n", "100", "--verbose", "--seed", "7"]),
+            &["verbose"],
+        )
+        .unwrap();
         assert_eq!(a.require("n").unwrap(), "100");
         assert_eq!(a.require_as::<u64>("seed").unwrap(), 7);
         assert!(a.has("verbose"));

@@ -3,11 +3,14 @@
 use std::fs::File;
 use std::io::{BufReader, BufWriter};
 
+use std::sync::Arc;
+
 use lbc_core::{cluster, cluster_distributed, LbConfig, QueryRule};
 use lbc_eval::PartitionReport;
 use lbc_graph::stats::GraphStats;
 use lbc_graph::{generators, io, Graph, Partition};
 use lbc_linalg::spectral::SpectralOracle;
+use lbc_runtime::{LoadgenConfig, QueryEngine, Registry, WorkerPool};
 
 use crate::args::Args;
 use crate::USAGE;
@@ -24,6 +27,8 @@ pub fn run(argv: &[String]) -> Result<String, String> {
         "eval" => cmd_eval(rest),
         "spectrum" => cmd_spectrum(rest),
         "stats" => cmd_stats(rest),
+        "serve-bench" => cmd_serve_bench(rest),
+        "jobs" => cmd_jobs(rest),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(format!("unknown subcommand '{other}'\n\n{USAGE}")),
     }
@@ -84,8 +89,7 @@ fn cmd_gen(rest: &[String]) -> Result<String, String> {
             let half: usize = a.require_as("half")?;
             let d: usize = a.require_as("d")?;
             let bridges: usize = a.require_as("bridges")?;
-            let (g, t) =
-                generators::dumbbell(half, d, bridges, seed).map_err(|e| e.to_string())?;
+            let (g, t) = generators::dumbbell(half, d, bridges, seed).map_err(|e| e.to_string())?;
             (g, Some(t))
         }
         "ba" => {
@@ -232,7 +236,9 @@ fn cmd_eval(rest: &[String]) -> Result<String, String> {
             report.push_str(&format!("{}\n{}\n", PartitionReport::header(), r.row()));
         }
         None => {
-            use lbc_eval::{accuracy, adjusted_rand_index, misclassified, normalized_mutual_information};
+            use lbc_eval::{
+                accuracy, adjusted_rand_index, misclassified, normalized_mutual_information,
+            };
             report.push_str(&format!(
                 "n = {}, misclassified = {}, accuracy = {:.4}, ARI = {:.4}, NMI = {:.4}\n",
                 truth.n(),
@@ -280,6 +286,176 @@ fn cmd_stats(rest: &[String]) -> Result<String, String> {
     ))
 }
 
+/// Resolve the serving dataset: an edge-list file (`--graph`) or an
+/// inline generator family (`--family ring|planted`, with the same
+/// shape flags as `lbc gen`). Returns `(name, graph)`.
+fn serving_dataset(a: &Args) -> Result<(String, Graph), String> {
+    match (a.get("graph"), a.get("family")) {
+        (Some(path), None) => Ok((path.clone(), load_graph(&path)?)),
+        (None, family) => {
+            let family = family.unwrap_or_else(|| "ring".to_string());
+            let seed: u64 = a.get_or("gen-seed", 42)?;
+            match family.as_str() {
+                "ring" => {
+                    let k: usize = a.get_or("k", 4)?;
+                    let size: usize = a.get_or("size", 64)?;
+                    let (g, _) =
+                        generators::ring_of_cliques(k, size, seed).map_err(|e| e.to_string())?;
+                    Ok((format!("ring-{k}x{size}"), g))
+                }
+                "planted" => {
+                    let k: usize = a.get_or("k", 4)?;
+                    let block: usize = a.get_or("block", 64)?;
+                    let p_in: f64 = a.get_or("p-in", 0.3)?;
+                    let p_out: f64 = a.get_or("p-out", 0.005)?;
+                    let (g, _) = generators::planted_partition(k, block, p_in, p_out, seed)
+                        .map_err(|e| e.to_string())?;
+                    Ok((format!("planted-{k}x{block}"), g))
+                }
+                other => Err(format!(
+                    "unknown serving family '{other}' (use ring or planted, or --graph)"
+                )),
+            }
+        }
+        (Some(_), Some(_)) => Err("--graph and --family are mutually exclusive".into()),
+    }
+}
+
+fn serving_config(a: &Args, g: &Graph, k_hint: usize) -> Result<LbConfig, String> {
+    let beta: f64 = a.get_or("beta", 1.0 / k_hint.max(2) as f64)?;
+    let seed: u64 = a.get_or("seed", 0)?;
+    let query = parse_query(&a.get_or("query", "paper".to_string())?)?;
+    Ok(match a.get("rounds") {
+        Some(v) => {
+            let t: usize = v.parse().map_err(|e| format!("bad --rounds: {e}"))?;
+            LbConfig::new(beta, t)
+        }
+        None => LbConfig::from_graph(g, beta),
+    }
+    .with_seed(seed)
+    .with_query(query))
+}
+
+fn cmd_serve_bench(rest: &[String]) -> Result<String, String> {
+    let a = Args::parse(rest, &[])?;
+    let (name, g) = serving_dataset(&a)?;
+    let k_hint: usize = a.get_or("k", 4)?;
+    let cfg = serving_config(&a, &g, k_hint)?;
+    let threads: usize = a.get_or("threads", 4)?;
+    let clients: usize = a.get_or("clients", threads)?;
+    let ops: u64 = a.get_or("ops", 200_000)?;
+    let batch: usize = a.get_or("batch", 64)?;
+    let cache: usize = a.get_or("cache", 8)?;
+    a.reject_unknown()?;
+    for (name, v) in [
+        ("threads", threads),
+        ("clients", clients),
+        ("ops", ops as usize),
+        ("batch", batch),
+        ("cache", cache),
+    ] {
+        if v == 0 {
+            return Err(format!("--{name} must be positive"));
+        }
+    }
+
+    let registry = Arc::new(Registry::with_capacity(cache));
+    registry.insert_graph(&name, g);
+    let graph = registry.graph(&name).map_err(|e| e.to_string())?;
+    let mut report = format!(
+        "dataset '{name}': n = {}, m = {}; beta = {}, T = {}, seed = {}\n",
+        graph.n(),
+        graph.m(),
+        cfg.beta,
+        cfg.rounds.count(),
+        cfg.seed
+    );
+
+    let pool = WorkerPool::new(threads);
+    let engine = QueryEngine::new(Arc::clone(&registry));
+    let t0 = std::time::Instant::now();
+    let handle = engine
+        .handle_via_pool(&pool, &name, &cfg)
+        .map_err(|e| e.to_string())?;
+    report.push_str(&format!(
+        "clustered on {}-thread pool in {:.1} ms: {} seeds, {} clusters (cached for serving)\n",
+        pool.threads(),
+        t0.elapsed().as_secs_f64() * 1e3,
+        handle.output().seeds.len(),
+        handle.k()
+    ));
+
+    let lg = LoadgenConfig {
+        clients,
+        total_ops: ops,
+        batch,
+        seed: cfg.seed,
+    };
+    let load = lbc_runtime::run_loadgen(&handle, &lg).map_err(|e| e.to_string())?;
+    report.push_str(&load.render());
+    let s = registry.stats();
+    report.push_str(&format!(
+        "cache: {} hits, {} misses, {} evictions ({} resident)\n",
+        s.hits,
+        s.misses,
+        s.evictions,
+        registry.cached_len()
+    ));
+    Ok(report)
+}
+
+fn cmd_jobs(rest: &[String]) -> Result<String, String> {
+    let a = Args::parse(rest, &[])?;
+    let (name, g) = serving_dataset(&a)?;
+    let k_hint: usize = a.get_or("k", 4)?;
+    let cfg = serving_config(&a, &g, k_hint)?;
+    let threads: usize = a.get_or("threads", 4)?;
+    let jobs: u64 = a.get_or("jobs", 8)?;
+    if jobs == 0 || threads == 0 {
+        return Err("--jobs and --threads must be positive".into());
+    }
+    a.reject_unknown()?;
+
+    let registry = Arc::new(Registry::with_capacity((jobs as usize).max(1)));
+    registry.insert_graph(&name, g);
+    let pool = WorkerPool::new(threads);
+    let t0 = std::time::Instant::now();
+    // Seed sweep: the canonical batch of independent (graph, config)
+    // jobs. Each job is deterministic in its seed, so this is also a
+    // reproducibility sweep.
+    let handles: Result<Vec<_>, _> = (0..jobs)
+        .map(|s| {
+            pool.submit_cached(
+                &registry,
+                &name,
+                &cfg.clone().with_seed(cfg.seed.wrapping_add(s)),
+            )
+        })
+        .collect();
+    let handles = handles.map_err(|e| e.to_string())?;
+    let mut failures = 0usize;
+    for h in handles {
+        if h.wait().is_err() {
+            failures += 1;
+        }
+    }
+    let wall = t0.elapsed();
+    let table = pool.job_table();
+    let busy: std::time::Duration = table.iter().filter_map(|r| r.duration).sum();
+    let mut report = format!(
+        "{jobs} clustering jobs over dataset '{name}' on {} workers\n\n",
+        pool.threads()
+    );
+    report.push_str(&pool.render_job_table());
+    report.push_str(&format!(
+        "\nwall = {:.1} ms, worker-busy = {:.1} ms, parallel speedup = {:.2}x, failures = {failures}\n",
+        wall.as_secs_f64() * 1e3,
+        busy.as_secs_f64() * 1e3,
+        busy.as_secs_f64() / wall.as_secs_f64().max(1e-12),
+    ));
+    Ok(report)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -300,14 +476,23 @@ mod tests {
         let t = tmp("t1.txt");
         let l = tmp("l1.txt");
         let r = run(&raw(&[
-            "gen", "--family", "ring", "--k", "3", "--size", "20", "--out", &g,
-            "--labels-out", &t,
+            "gen",
+            "--family",
+            "ring",
+            "--k",
+            "3",
+            "--size",
+            "20",
+            "--out",
+            &g,
+            "--labels-out",
+            &t,
         ]))
         .unwrap();
         assert!(r.contains("n = 60"));
         let r = run(&raw(&[
-            "cluster", "--graph", &g, "--beta", "0.33", "--rounds", "80", "--seed", "3",
-            "--out", &l, "--truth", &t,
+            "cluster", "--graph", &g, "--beta", "0.33", "--rounds", "80", "--seed", "3", "--out",
+            &l, "--truth", &t,
         ]))
         .unwrap();
         assert!(r.contains("seeds ="), "{r}");
@@ -323,7 +508,14 @@ mod tests {
         ]))
         .unwrap();
         let r = run(&raw(&[
-            "cluster", "--graph", &g, "--beta", "0.5", "--rounds", "30", "--distributed",
+            "cluster",
+            "--graph",
+            &g,
+            "--beta",
+            "0.5",
+            "--rounds",
+            "30",
+            "--distributed",
         ]))
         .unwrap();
         assert!(r.contains("words"), "{r}");
@@ -333,8 +525,19 @@ mod tests {
     fn spectrum_and_stats() {
         let g = tmp("g3.txt");
         run(&raw(&[
-            "gen", "--family", "regular", "--k", "2", "--size", "20", "--d-in", "6",
-            "--bridges", "2", "--out", &g,
+            "gen",
+            "--family",
+            "regular",
+            "--k",
+            "2",
+            "--size",
+            "20",
+            "--d-in",
+            "6",
+            "--bridges",
+            "2",
+            "--out",
+            &g,
         ]))
         .unwrap();
         let r = run(&raw(&["spectrum", "--graph", &g, "--top", "3"])).unwrap();
@@ -347,14 +550,34 @@ mod tests {
     #[test]
     fn all_families_generate() {
         for (family, extra) in [
-            ("planted", vec!["--k", "2", "--block", "10", "--p-in", "0.5", "--p-out", "0.05"]),
-            ("dumbbell", vec!["--half", "10", "--d", "4", "--bridges", "2"]),
+            (
+                "planted",
+                vec![
+                    "--k", "2", "--block", "10", "--p-in", "0.5", "--p-out", "0.05",
+                ],
+            ),
+            (
+                "dumbbell",
+                vec!["--half", "10", "--d", "4", "--bridges", "2"],
+            ),
             ("ba", vec!["--n", "30", "--m", "2"]),
             ("ws", vec!["--n", "30", "--k-half", "2", "--p", "0.1"]),
             (
                 "lfr",
-                vec!["--n", "60", "--k", "3", "--tau", "1.5", "--min-size", "10",
-                     "--p-in", "0.4", "--p-out", "0.02"],
+                vec![
+                    "--n",
+                    "60",
+                    "--k",
+                    "3",
+                    "--tau",
+                    "1.5",
+                    "--min-size",
+                    "10",
+                    "--p-in",
+                    "0.4",
+                    "--p-out",
+                    "0.02",
+                ],
             ),
         ] {
             let g = tmp(&format!("g_{family}.txt"));
@@ -369,12 +592,28 @@ mod tests {
     fn errors_are_reported() {
         assert!(run(&raw(&["bogus"])).is_err());
         assert!(run(&raw(&["gen", "--family", "nope", "--out", "/tmp/x"])).is_err());
-        assert!(run(&raw(&["cluster", "--graph", "/nonexistent", "--beta", "0.5"])).is_err());
+        assert!(run(&raw(&[
+            "cluster",
+            "--graph",
+            "/nonexistent",
+            "--beta",
+            "0.5"
+        ]))
+        .is_err());
         // ba has no ground truth.
         let g = tmp("g4.txt");
         assert!(run(&raw(&[
-            "gen", "--family", "ba", "--n", "30", "--m", "2", "--out", &g,
-            "--labels-out", &tmp("t4.txt"),
+            "gen",
+            "--family",
+            "ba",
+            "--n",
+            "30",
+            "--m",
+            "2",
+            "--out",
+            &g,
+            "--labels-out",
+            &tmp("t4.txt"),
         ]))
         .is_err());
         // Unknown flag.
@@ -383,7 +622,10 @@ mod tests {
 
     #[test]
     fn query_rule_parsing() {
-        assert!(matches!(parse_query("paper"), Ok(QueryRule::PaperThreshold)));
+        assert!(matches!(
+            parse_query("paper"),
+            Ok(QueryRule::PaperThreshold)
+        ));
         assert!(matches!(parse_query("argmax"), Ok(QueryRule::ArgMax)));
         assert!(matches!(
             parse_query("scaled:1.5"),
@@ -396,5 +638,115 @@ mod tests {
     #[test]
     fn help_is_available() {
         assert!(run(&raw(&["help"])).unwrap().contains("USAGE"));
+    }
+
+    #[test]
+    fn serve_bench_reports_throughput_and_percentiles() {
+        // Acceptance: ≥ 100k queries against a cached clustering on a
+        // ≥ 4-thread pool, with throughput and p50/p95/p99 printed.
+        let r = run(&raw(&[
+            "serve-bench",
+            "--family",
+            "ring",
+            "--k",
+            "3",
+            "--size",
+            "24",
+            "--rounds",
+            "60",
+            "--threads",
+            "4",
+            "--ops",
+            "100000",
+            "--batch",
+            "64",
+        ]))
+        .unwrap();
+        assert!(r.contains("4-thread pool"), "{r}");
+        assert!(r.contains("throughput ="), "{r}");
+        for pct in ["p50", "p95", "p99"] {
+            assert!(r.contains(pct), "missing {pct}: {r}");
+        }
+        let ops: u64 = r
+            .lines()
+            .find(|l| l.starts_with("ops = "))
+            .and_then(|l| l.split_whitespace().nth(2))
+            .and_then(|w| w.parse().ok())
+            .unwrap_or_else(|| panic!("no ops line in: {r}"));
+        assert!(ops >= 100_000, "served only {ops} queries");
+    }
+
+    #[test]
+    fn serve_bench_on_a_graph_file() {
+        let g = tmp("g_serve.txt");
+        run(&raw(&[
+            "gen", "--family", "ring", "--k", "2", "--size", "16", "--out", &g,
+        ]))
+        .unwrap();
+        let r = run(&raw(&[
+            "serve-bench",
+            "--graph",
+            &g,
+            "--beta",
+            "0.5",
+            "--rounds",
+            "40",
+            "--threads",
+            "2",
+            "--ops",
+            "5000",
+        ]))
+        .unwrap();
+        assert!(r.contains("throughput ="), "{r}");
+        assert!(r.contains("cache: "), "{r}");
+    }
+
+    #[test]
+    fn jobs_renders_a_sharded_table() {
+        let r = run(&raw(&[
+            "jobs",
+            "--family",
+            "ring",
+            "--k",
+            "2",
+            "--size",
+            "16",
+            "--rounds",
+            "30",
+            "--jobs",
+            "6",
+            "--threads",
+            "3",
+        ]))
+        .unwrap();
+        assert!(r.contains("6 clustering jobs"), "{r}");
+        assert!(r.contains("on 3 workers"), "{r}");
+        // All six rows present and done.
+        assert_eq!(r.matches(" done ").count(), 6, "{r}");
+        assert!(r.contains("failures = 0"), "{r}");
+        assert!(r.contains("parallel speedup"), "{r}");
+    }
+
+    #[test]
+    fn serving_flag_errors() {
+        // Mutually exclusive dataset sources.
+        assert!(run(&raw(&[
+            "serve-bench",
+            "--graph",
+            "/nonexistent",
+            "--family",
+            "ring",
+        ]))
+        .is_err());
+        // Unknown family.
+        assert!(run(&raw(&["serve-bench", "--family", "nope"])).is_err());
+        // Zero jobs rejected.
+        assert!(run(&raw(&["jobs", "--jobs", "0"])).is_err());
+        // Zero thread/client/op/batch counts rejected, not panicking.
+        for flag in ["threads", "clients", "ops", "batch", "cache"] {
+            let e = run(&raw(&["serve-bench", &format!("--{flag}"), "0"])).unwrap_err();
+            assert!(e.contains("must be positive"), "{flag}: {e}");
+        }
+        assert!(run(&raw(&["jobs", "--threads", "0"])).is_err());
     }
 }

@@ -45,4 +45,16 @@ USAGE:
   lbc eval --truth truth.txt --found labels.txt [--graph g.txt]
   lbc spectrum --graph g.txt [--top 5] [--seed S]
   lbc stats --graph g.txt
+
+  lbc serve-bench [--graph g.txt | --family ring|planted --k 4 --size 64]
+                  [--beta B] [--rounds T] [--seed S] [--threads 4]
+                  [--clients N] [--ops 200000] [--batch 64] [--cache 8]
+      Cluster on a worker pool, keep the output resident, then drive a
+      closed-loop query load (same-cluster / cluster-of / cluster-size)
+      and print throughput + p50/p95/p99 batch latency.
+
+  lbc jobs [--graph g.txt | --family ring|planted --k 4 --size 64]
+           [--beta B] [--rounds T] [--seed S0] [--jobs 8] [--threads 4]
+      Shard a seed sweep of independent clustering jobs across the pool
+      and print the job table (worker, state, per-job wall time).
 ";

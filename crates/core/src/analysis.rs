@@ -75,8 +75,8 @@ impl ClusterAnalysis {
         let alphas: Vec<f64> = (0..n)
             .map(|v| {
                 let mut s = 0.0;
-                for i in 0..k {
-                    let f = eigvecs[i][v];
+                for (i, ev) in eigvecs.iter().enumerate().take(k) {
+                    let f = ev[v];
                     let c = chi_hat.get(i).map_or(0.0, |x| x[v]);
                     s += (f - c) * (f - c);
                 }
@@ -246,8 +246,7 @@ mod tests {
         let (g, p) = generators::ring_of_cliques(4, 16, 0).unwrap();
         let a = ClusterAnalysis::compute(&g, &p, 5);
         let good = a.nodes_by_alpha()[0];
-        let traj =
-            projection_error_trajectory(&g, &a, ProposalRule::Uniform, good, 80, 7);
+        let traj = projection_error_trajectory(&g, &a, ProposalRule::Uniform, good, 80, 7);
         let start = traj[0];
         let mid = traj[40];
         assert!(
@@ -269,8 +268,9 @@ mod tests {
         let mut total = 0.0;
         let runs = 8;
         for r in 0..runs {
-            let mut rngs: Vec<NodeRng> =
-                (0..n as u32).map(|v| NodeRng::for_node(100 + r, v)).collect();
+            let mut rngs: Vec<NodeRng> = (0..n as u32)
+                .map(|v| NodeRng::for_node(100 + r, v))
+                .collect();
             let mut y = vec![0.0; n];
             y[good as usize] = 1.0;
             for _ in 0..50 {

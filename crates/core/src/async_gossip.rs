@@ -64,7 +64,7 @@ pub fn cluster_async(
     for s in &seeds {
         states[s.node as usize] = LoadState::seed(s.id);
     }
-    let mut scheduler = NodeRng::from_seed(cfg.seed ^ 0xA5_A5_A5_A5_A5_A5_A5A5);
+    let mut scheduler = NodeRng::from_seed(cfg.seed ^ 0xA5A5_A5A5_A5A5_A5A5);
     let mut idle_ticks = 0usize;
     for _ in 0..ticks {
         let u = scheduler.below(n);
@@ -129,7 +129,10 @@ mod tests {
         let async_out = cluster_async(&g, &cfg, exchanges).unwrap();
         let sync_acc = accuracy(truth.labels(), sync_out.partition.labels());
         let async_acc = accuracy(truth.labels(), async_out.partition.labels());
-        assert!(sync_acc > 0.9 && async_acc > 0.9, "sync {sync_acc} async {async_acc}");
+        assert!(
+            sync_acc > 0.9 && async_acc > 0.9,
+            "sync {sync_acc} async {async_acc}"
+        );
     }
 
     #[test]

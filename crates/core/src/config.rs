@@ -213,7 +213,7 @@ mod tests {
         let t = cfg.rounds.count();
         // Well-clustered: gap below the cluster eigenvalues is large, so
         // T should be modest (tens, not thousands).
-        assert!(t >= 2 && t < 500, "T = {t}");
+        assert!((2..500).contains(&t), "T = {t}");
     }
 
     #[test]

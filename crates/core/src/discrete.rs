@@ -66,14 +66,26 @@ impl TokenState {
     /// Split `a + b` between two nodes: each side gets `⌊total/2⌋` per
     /// seed; odd tokens go to the first side when `coin` is true.
     /// Returns the two successor states.
-    pub fn split(a: &TokenState, b: &TokenState, mut coin: impl FnMut() -> bool) -> (TokenState, TokenState) {
+    pub fn split(
+        a: &TokenState,
+        b: &TokenState,
+        mut coin: impl FnMut() -> bool,
+    ) -> (TokenState, TokenState) {
         let mut left = Vec::new();
         let mut right = Vec::new();
         let (mut i, mut j) = (0usize, 0usize);
-        let push = |id: SeedId, total: u64, c: bool, left: &mut Vec<(SeedId, u64)>, right: &mut Vec<(SeedId, u64)>| {
+        let push = |id: SeedId,
+                    total: u64,
+                    c: bool,
+                    left: &mut Vec<(SeedId, u64)>,
+                    right: &mut Vec<(SeedId, u64)>| {
             let half = total / 2;
             let odd = total % 2;
-            let (l, r) = if c { (half + odd, half) } else { (half, half + odd) };
+            let (l, r) = if c {
+                (half + odd, half)
+            } else {
+                (half, half + odd)
+            };
             if l > 0 {
                 left.push((id, l));
             }
@@ -168,10 +180,7 @@ pub fn cluster_discrete(
             states[v as usize] = b;
         }
     }
-    let load_states: Vec<LoadState> = states
-        .iter()
-        .map(|t| t.to_load_state(resolution))
-        .collect();
+    let load_states: Vec<LoadState> = states.iter().map(|t| t.to_load_state(resolution)).collect();
     let (_, partition) = assign_labels(&load_states, cfg.query, cfg.beta);
     Ok(DiscreteOutput {
         partition,

@@ -220,8 +220,7 @@ mod tests {
         let kf = out.partition.k();
         let mut pure = 0usize;
         for c in 0..kf as u32 {
-            let members: Vec<usize> =
-                (0..g.n()).filter(|&v| labels[v] == c).collect();
+            let members: Vec<usize> = (0..g.n()).filter(|&v| labels[v] == c).collect();
             if members.is_empty() {
                 continue;
             }
@@ -250,7 +249,11 @@ mod tests {
         // Per-seed conservation.
         for s in &out.seeds {
             let seed_total: f64 = out.states.iter().map(|st| st.load(s.id)).sum();
-            assert!((seed_total - 1.0).abs() < 1e-9, "seed {} total {seed_total}", s.id);
+            assert!(
+                (seed_total - 1.0).abs() < 1e-9,
+                "seed {} total {seed_total}",
+                s.id
+            );
         }
     }
 
@@ -287,7 +290,10 @@ mod tests {
                 break;
             }
         }
-        assert!(found_error, "expected at least one seedless run in 50 tries");
+        assert!(
+            found_error,
+            "expected at least one seedless run in 50 tries"
+        );
     }
 
     #[test]

@@ -73,11 +73,12 @@ pub fn estimate_size(
     for _ in 0..rounds {
         let m = sample_matching(g, rule, &mut rngs);
         for (u, v) in m.pairs() {
-            let (u, v) = (u as usize, v as usize);
-            for i in 0..k {
-                let min = sketch[u][i].min(sketch[v][i]);
-                sketch[u][i] = min;
-                sketch[v][i] = min;
+            let (lo, hi) = (u.min(v) as usize, u.max(v) as usize);
+            let (head, tail) = sketch.split_at_mut(hi);
+            for (x, y) in head[lo].iter_mut().zip(tail[0].iter_mut()) {
+                let min = x.min(*y);
+                *x = min;
+                *y = min;
             }
         }
     }
@@ -137,7 +138,10 @@ mod tests {
         let large = generators::complete(400).unwrap();
         let e_small = estimate_size(&small, ProposalRule::Uniform, 128, 200, 9).at(0);
         let e_large = estimate_size(&large, ProposalRule::Uniform, 128, 400, 9).at(0);
-        assert!(e_large > 3.0 * e_small, "small {e_small} vs large {e_large}");
+        assert!(
+            e_large > 3.0 * e_small,
+            "small {e_small} vs large {e_large}"
+        );
     }
 
     #[test]

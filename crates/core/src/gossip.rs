@@ -115,11 +115,7 @@ pub fn gossip_average(
     let mut rngs: Vec<NodeRng> = (0..n as u32).map(|v| NodeRng::for_node(seed, v)).collect();
     let mut x = initial.to_vec();
     let mean = x.iter().sum::<f64>() / n.max(1) as f64;
-    let dev = |x: &[f64]| {
-        x.iter()
-            .map(|v| (v - mean).abs())
-            .fold(0.0f64, f64::max)
-    };
+    let dev = |x: &[f64]| x.iter().map(|v| (v - mean).abs()).fold(0.0f64, f64::max);
     let mut deviation = Vec::with_capacity(rounds + 1);
     deviation.push(dev(&x));
     for _ in 0..rounds {
@@ -213,16 +209,16 @@ mod tests {
         let tf = gossip_average(&fast, ProposalRule::Uniform, &initial, 2000, 3);
         let ts = gossip_average(&slow, ProposalRule::Uniform, &initial, 2000, 3);
         let rf = tf.rounds_to_eps(0.05).expect("expander should converge");
-        match ts.rounds_to_eps(0.05) {
-            Some(rs) => assert!(rs > 5 * rf, "cycle {rs} vs expander {rf}"),
-            None => {} // even slower: never reached in budget
+        // None would mean even slower: never reached in budget.
+        if let Some(rs) = ts.rounds_to_eps(0.05) {
+            assert!(rs > 5 * rf, "cycle {rs} vs expander {rf}");
         }
     }
 
     #[test]
     fn uniform_initial_values_are_a_fixed_point() {
         let g = generators::cycle(10).unwrap();
-        let t = gossip_average(&g, ProposalRule::Uniform, &vec![3.0; 10], 50, 1);
+        let t = gossip_average(&g, ProposalRule::Uniform, &[3.0; 10], 50, 1);
         assert!(t.deviation.iter().all(|&d| d < 1e-15));
         assert!(t.values.iter().all(|&v| v == 3.0));
     }

@@ -50,11 +50,11 @@ pub mod state;
 pub use async_gossip::{cluster_async, AsyncOutput};
 pub use config::{DegreeMode, LbConfig, Rounds};
 pub use discrete::{cluster_discrete, DiscreteOutput, TokenState};
-pub use estimation::{estimate_size, SizeEstimate};
 pub use driver::{cluster, cluster_adaptive, ClusterOutput};
+pub use estimation::{estimate_size, SizeEstimate};
 pub use gossip::{gossip_average, rumour_spread, AveragingTrajectory, RumourTrajectory};
 pub use matching::{d_bar, sample_matching, MatchingOutcome};
 pub use protocol::cluster_distributed;
-pub use query::QueryRule;
+pub use query::{assign_labels, QueryRule};
 pub use seeding::{expected_trials, run_seeding, Seed};
 pub use state::LoadState;

@@ -105,12 +105,7 @@ mod tests {
     #[test]
     fn conserves_each_vector_sum() {
         let (g, _) = generators::ring_of_cliques(2, 12, 0).unwrap();
-        let mut p = MultiLoadProcess::new(
-            &g,
-            ProposalRule::Uniform,
-            rngs_for(g.n(), 3),
-            &[0, 15],
-        );
+        let mut p = MultiLoadProcess::new(&g, ProposalRule::Uniform, rngs_for(g.n(), 3), &[0, 15]);
         p.run(40);
         for x in p.vectors() {
             let s: f64 = x.iter().sum();

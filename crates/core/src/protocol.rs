@@ -302,8 +302,7 @@ mod tests {
         for s in 0..runs {
             let cfg = LbConfig::new(1.0 / 3.0, 60).with_seed(7 + s);
             let (out, stats) =
-                cluster_distributed(&g, &cfg, Some(FaultPlan::with_drops(0.05, 11 + s)))
-                    .unwrap();
+                cluster_distributed(&g, &cfg, Some(FaultPlan::with_drops(0.05, 11 + s))).unwrap();
             dropped += stats.dropped_messages;
             total_acc += accuracy(truth.labels(), out.partition.labels());
         }

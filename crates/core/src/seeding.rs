@@ -62,8 +62,8 @@ pub fn node_seeding(v: NodeId, n: usize, trials: usize, rng: &mut NodeRng) -> Op
 pub fn run_seeding(n: usize, trials: usize, rngs: &mut [NodeRng]) -> Vec<Seed> {
     debug_assert_eq!(rngs.len(), n);
     let mut seeds = Vec::new();
-    for v in 0..n {
-        if let Some(id) = node_seeding(v as NodeId, n, trials, &mut rngs[v]) {
+    for (v, rng) in rngs.iter_mut().enumerate() {
+        if let Some(id) = node_seeding(v as NodeId, n, trials, rng) {
             seeds.push(Seed {
                 node: v as NodeId,
                 id,
@@ -148,14 +148,18 @@ mod tests {
         let mut rngs = rngs_for(n, 9);
         let _ = run_seeding(n, trials, &mut rngs);
         let mut manual = rngs_for(n, 9);
-        for v in 0..n {
-            let _ = manual[v].next_u64(); // id draw
+        for rng in manual.iter_mut() {
+            let _ = rng.next_u64(); // id draw
             for _ in 0..trials {
-                let _ = manual[v].bernoulli(1.0 / n as f64);
+                let _ = rng.bernoulli(1.0 / n as f64);
             }
         }
         for v in 0..n {
-            assert_eq!(rngs[v].next_u64(), manual[v].next_u64(), "node {v} desynced");
+            assert_eq!(
+                rngs[v].next_u64(),
+                manual[v].next_u64(),
+                "node {v} desynced"
+            );
         }
     }
 
@@ -171,11 +175,7 @@ mod tests {
         for rep in 0..reps {
             let mut rngs = rngs_for(n, 1000 + rep);
             let seeds = run_seeding(n, trials, &mut rngs);
-            let covered = (0..4).all(|c| {
-                seeds
-                    .iter()
-                    .any(|s| (s.node as usize) / 250 == c)
-            });
+            let covered = (0..4).all(|c| seeds.iter().any(|s| (s.node as usize) / 250 == c));
             if covered {
                 all_covered += 1;
             }

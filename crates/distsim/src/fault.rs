@@ -32,7 +32,10 @@ impl FaultPlan {
     /// # Panics
     /// If `p ∉ \[0, 1\]`.
     pub fn with_drops(p: f64, seed: u64) -> Self {
-        assert!((0.0..=1.0).contains(&p), "drop probability {p} out of range");
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "drop probability {p} out of range"
+        );
         FaultPlan {
             drop_probability: p,
             crash_round: Vec::new(),

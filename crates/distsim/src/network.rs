@@ -120,7 +120,9 @@ impl<'g, N: Node> SyncNetwork<'g, N> {
         SyncNetwork {
             graph,
             nodes: (0..n as NodeId).map(&mut factory).collect(),
-            rngs: (0..n as NodeId).map(|v| NodeRng::for_node(seed, v)).collect(),
+            rngs: (0..n as NodeId)
+                .map(|v| NodeRng::for_node(seed, v))
+                .collect(),
             inboxes: (0..n).map(|_| Vec::new()).collect(),
             pending: (0..n).map(|_| Vec::new()).collect(),
             round: 0,
@@ -281,7 +283,7 @@ mod tests {
         let mut net = flood_network(&g);
         net.step();
         // After one round only node 0 has sent; nobody is wet yet.
-        assert!(net.node(1).wet == false && net.node(3).wet == false);
+        assert!(!net.node(1).wet && !net.node(3).wet);
         net.step();
         assert!(net.node(1).wet && net.node(3).wet);
         assert!(!net.node(2).wet);

@@ -9,7 +9,11 @@ use crate::hungarian::hungarian_max;
 /// # Panics
 /// If the slices have different lengths or are empty.
 pub fn confusion_matrix(truth: &[u32], predicted: &[u32]) -> Vec<Vec<usize>> {
-    assert_eq!(truth.len(), predicted.len(), "label slices differ in length");
+    assert_eq!(
+        truth.len(),
+        predicted.len(),
+        "label slices differ in length"
+    );
     assert!(!truth.is_empty(), "empty labelling");
     let kt = *truth.iter().max().unwrap() as usize + 1;
     let kp = *predicted.iter().max().unwrap() as usize + 1;
@@ -36,7 +40,13 @@ pub fn align_labels(truth: &[u32], predicted: &[u32]) -> (Vec<u32>, usize) {
     let w: Vec<Vec<f64>> = (0..dim)
         .map(|t| {
             (0..dim)
-                .map(|p| if t < kt && p < kp { c[t][p] as f64 } else { 0.0 })
+                .map(|p| {
+                    if t < kt && p < kp {
+                        c[t][p] as f64
+                    } else {
+                        0.0
+                    }
+                })
                 .collect()
         })
         .collect();

@@ -33,11 +33,7 @@ pub fn hungarian_max(w: &[Vec<f64>]) -> (Vec<usize>, f64) {
         .map(|row| row.iter().map(|&x| -x).collect())
         .collect();
     let assignment = hungarian_min_core(&cost);
-    let total = assignment
-        .iter()
-        .enumerate()
-        .map(|(r, &c)| w[r][c])
-        .sum();
+    let total = assignment.iter().enumerate().map(|(r, &c)| w[r][c]).sum();
     (assignment, total)
 }
 

@@ -29,7 +29,9 @@ pub fn adjusted_rand_index(truth: &[u32], predicted: &[u32]) -> f64 {
     let c = confusion_matrix(truth, predicted);
     let n = truth.len();
     let row_sums: Vec<usize> = c.iter().map(|r| r.iter().sum()).collect();
-    let col_sums: Vec<usize> = (0..c[0].len()).map(|j| c.iter().map(|r| r[j]).sum()).collect();
+    let col_sums: Vec<usize> = (0..c[0].len())
+        .map(|j| c.iter().map(|r| r[j]).sum())
+        .collect();
     let sum_cells: f64 = c.iter().flatten().map(|&x| comb2(x)).sum();
     let sum_rows: f64 = row_sums.iter().map(|&x| comb2(x)).sum();
     let sum_cols: f64 = col_sums.iter().map(|&x| comb2(x)).sum();
@@ -64,7 +66,9 @@ pub fn normalized_mutual_information(truth: &[u32], predicted: &[u32]) -> f64 {
     let c = confusion_matrix(truth, predicted);
     let n = truth.len();
     let row_sums: Vec<usize> = c.iter().map(|r| r.iter().sum()).collect();
-    let col_sums: Vec<usize> = (0..c[0].len()).map(|j| c.iter().map(|r| r[j]).sum()).collect();
+    let col_sums: Vec<usize> = (0..c[0].len())
+        .map(|j| c.iter().map(|r| r[j]).sum())
+        .collect();
     let h_t = entropy(&row_sums, n);
     let h_p = entropy(&col_sums, n);
     if h_t == 0.0 && h_p == 0.0 {

@@ -140,12 +140,18 @@ impl Graph {
 
     /// Maximum degree `Δ`.
     pub fn max_degree(&self) -> usize {
-        (0..self.n() as NodeId).map(|v| self.degree(v)).max().unwrap_or(0)
+        (0..self.n() as NodeId)
+            .map(|v| self.degree(v))
+            .max()
+            .unwrap_or(0)
     }
 
     /// Minimum degree `δ`.
     pub fn min_degree(&self) -> usize {
-        (0..self.n() as NodeId).map(|v| self.degree(v)).min().unwrap_or(0)
+        (0..self.n() as NodeId)
+            .map(|v| self.degree(v))
+            .min()
+            .unwrap_or(0)
     }
 
     /// Whether every node has the same degree.

@@ -77,7 +77,7 @@ pub fn planted_partition_sizes(
     p_out: f64,
     seed: u64,
 ) -> Result<(Graph, Partition), GraphError> {
-    if sizes.is_empty() || sizes.iter().any(|&s| s == 0) {
+    if sizes.is_empty() || sizes.contains(&0) {
         return Err(GraphError::InvalidParameter(
             "all block sizes must be positive".into(),
         ));
@@ -109,21 +109,54 @@ fn matching_union(
     d: usize,
     rng: &mut StdRng,
 ) -> Result<(), GraphError> {
-    if nodes.len() % 2 != 0 {
+    if !nodes.len().is_multiple_of(2) {
         return Err(GraphError::InvalidParameter(
             "matching_union requires an even number of nodes".into(),
         ));
     }
-    let mut perm: Vec<NodeId> = nodes.to_vec();
+    let m = nodes.len();
+    let mut degree = vec![0usize; m];
+    let mut present = std::collections::HashSet::new();
+    fn add_once(
+        a: usize,
+        b: usize,
+        nodes: &[NodeId],
+        degree: &mut [usize],
+        present: &mut std::collections::HashSet<(usize, usize)>,
+        builder: &mut GraphBuilder,
+    ) -> Result<bool, GraphError> {
+        let key = (a.min(b), a.max(b));
+        if a == b || !present.insert(key) {
+            return Ok(false);
+        }
+        degree[a] += 1;
+        degree[b] += 1;
+        builder.add_edge(nodes[a], nodes[b])?;
+        Ok(true)
+    }
+    let mut perm: Vec<usize> = (0..m).collect();
     for _ in 0..d {
         perm.shuffle(rng);
         for pair in perm.chunks_exact(2) {
-            if pair[0] != pair[1] {
-                // Duplicate edges across matchings are deduplicated by the
-                // builder; this slightly lowers the degree below d, which
-                // is acceptable for the almost-regular regime.
-                builder.add_edge(pair[0], pair[1])?;
-            }
+            add_once(pair[0], pair[1], nodes, &mut degree, &mut present, builder)?;
+        }
+    }
+    // Duplicate edges across matchings are dropped, which would leave
+    // some degrees below `d`. Top up by re-matching the deficient nodes
+    // among themselves until no further progress is possible, so the
+    // result concentrates tightly at degree `d`.
+    for _ in 0..d {
+        let mut deficient: Vec<usize> = (0..m).filter(|&v| degree[v] < d).collect();
+        if deficient.len() < 2 {
+            break;
+        }
+        deficient.shuffle(rng);
+        let mut progressed = false;
+        for pair in deficient.chunks_exact(2) {
+            progressed |= add_once(pair[0], pair[1], nodes, &mut degree, &mut present, builder)?;
+        }
+        if !progressed {
+            break;
         }
     }
     Ok(())
@@ -146,7 +179,7 @@ pub fn regular_cluster_graph(
     if k == 0 {
         return Err(GraphError::InvalidParameter("k must be positive".into()));
     }
-    if cluster_size % 2 != 0 || cluster_size == 0 {
+    if !cluster_size.is_multiple_of(2) || cluster_size == 0 {
         return Err(GraphError::InvalidParameter(
             "cluster_size must be positive and even".into(),
         ));
@@ -239,7 +272,7 @@ pub fn dumbbell(
     bridge_edges: usize,
     seed: u64,
 ) -> Result<(Graph, Partition), GraphError> {
-    if half_size % 2 != 0 || half_size == 0 {
+    if !half_size.is_multiple_of(2) || half_size == 0 {
         return Err(GraphError::InvalidParameter(
             "half_size must be positive and even".into(),
         ));
@@ -269,7 +302,7 @@ pub fn dumbbell(
 /// Random `d`-regular-ish graph on `n` (even) nodes: union of `d` random
 /// perfect matchings (degrees ≤ d; = d except for rare collisions).
 pub fn random_regular(n: usize, d: usize, seed: u64) -> Result<Graph, GraphError> {
-    if n % 2 != 0 || n == 0 {
+    if !n.is_multiple_of(2) || n == 0 {
         return Err(GraphError::InvalidParameter(
             "n must be positive and even".into(),
         ));
@@ -388,7 +421,9 @@ pub fn perturb_degrees(
 /// experiments use it to probe where the assumptions genuinely matter.
 pub fn barabasi_albert(n: usize, m_edges: usize, seed: u64) -> Result<Graph, GraphError> {
     if m_edges == 0 {
-        return Err(GraphError::InvalidParameter("m_edges must be positive".into()));
+        return Err(GraphError::InvalidParameter(
+            "m_edges must be positive".into(),
+        ));
     }
     let m0 = m_edges + 1;
     if n < m0 + 1 {
@@ -455,9 +490,7 @@ pub fn watts_strogatz(
     seed: u64,
 ) -> Result<Graph, GraphError> {
     if k_half == 0 || 2 * k_half >= n {
-        return Err(GraphError::InvalidParameter(
-            "need 0 < 2·k_half < n".into(),
-        ));
+        return Err(GraphError::InvalidParameter("need 0 < 2·k_half < n".into()));
     }
     if !(0.0..=1.0).contains(&rewire_p) {
         return Err(GraphError::InvalidParameter(
@@ -709,7 +742,10 @@ mod tests {
 
     #[test]
     fn barabasi_albert_deterministic_and_validated() {
-        assert_eq!(barabasi_albert(100, 2, 5).unwrap(), barabasi_albert(100, 2, 5).unwrap());
+        assert_eq!(
+            barabasi_albert(100, 2, 5).unwrap(),
+            barabasi_albert(100, 2, 5).unwrap()
+        );
         assert!(barabasi_albert(3, 3, 1).is_err());
         assert!(barabasi_albert(10, 0, 1).is_err());
     }

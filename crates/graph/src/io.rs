@@ -165,7 +165,10 @@ mod tests {
     #[test]
     fn header_mismatch_detected() {
         let text = "3 5\n0 1\n";
-        assert!(matches!(read_edge_list(text.as_bytes()), Err(GraphError::Io(_))));
+        assert!(matches!(
+            read_edge_list(text.as_bytes()),
+            Err(GraphError::Io(_))
+        ));
     }
 
     #[test]

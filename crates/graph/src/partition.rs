@@ -6,14 +6,16 @@
 //! `max_i ϕ_G(S_i)` — the quantity whose minimum over partitions is the
 //! paper's `k`-way expansion constant `ρ(k)` (§1.1).
 
-use serde::{Deserialize, Serialize};
-
 use crate::csr::Graph;
 use crate::error::GraphError;
 use crate::NodeId;
 
 /// A `k`-way partition of `{0, …, n−1}`: `labels[v] ∈ {0, …, k−1}`.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+///
+/// Serialisation goes through the plain-text format in [`crate::io`]
+/// (`write_partition` / `read_partition`) rather than a serde derive, so
+/// the workspace stays free of external (de)serialisation dependencies.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Partition {
     labels: Vec<u32>,
     k: usize,
@@ -57,7 +59,7 @@ impl Partition {
     pub fn from_sizes(sizes: &[usize]) -> Self {
         let mut labels = Vec::with_capacity(sizes.iter().sum());
         for (c, &s) in sizes.iter().enumerate() {
-            labels.extend(std::iter::repeat(c as u32).take(s));
+            labels.extend(std::iter::repeat_n(c as u32, s));
         }
         Partition {
             labels,
@@ -146,7 +148,9 @@ impl Partition {
 
     /// Number of edges crossing between different clusters.
     pub fn cut_edges(&self, g: &Graph) -> usize {
-        g.edges().filter(|&(u, v)| self.label(u) != self.label(v)).count()
+        g.edges()
+            .filter(|&(u, v)| self.label(u) != self.label(v))
+            .count()
     }
 }
 
@@ -215,11 +219,8 @@ mod tests {
 
     fn two_triangles_bridge() -> (Graph, Partition) {
         // Triangle {0,1,2}, triangle {3,4,5}, bridge 2-3.
-        let g = Graph::from_edges(
-            6,
-            &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)],
-        )
-        .unwrap();
+        let g = Graph::from_edges(6, &[(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)])
+            .unwrap();
         let p = Partition::from_sizes(&[3, 3]);
         (g, p)
     }

@@ -41,7 +41,11 @@ impl GraphStats {
             m,
             min_degree: g.min_degree(),
             max_degree: g.max_degree(),
-            mean_degree: if n == 0 { 0.0 } else { 2.0 * m as f64 / n as f64 },
+            mean_degree: if n == 0 {
+                0.0
+            } else {
+                2.0 * m as f64 / n as f64
+            },
             triangles,
             global_clustering: if wedges == 0 {
                 0.0

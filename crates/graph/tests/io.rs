@@ -1,0 +1,137 @@
+//! Coverage for `lbc_graph::io`: round-trips, comment and blank-line
+//! handling, and the malformed-header / malformed-line error paths of
+//! both the edge-list and partition formats.
+
+use lbc_graph::io::{read_edge_list, read_partition, write_edge_list, write_partition};
+use lbc_graph::{generators, Graph, GraphError, Partition};
+
+fn roundtrip_graph(g: &Graph) -> Graph {
+    let mut buf = Vec::new();
+    write_edge_list(g, &mut buf).unwrap();
+    read_edge_list(&buf[..]).unwrap()
+}
+
+#[test]
+fn edge_list_roundtrip_across_families() {
+    let cases: Vec<Graph> = vec![
+        generators::ring_of_cliques(3, 8, 0).unwrap().0,
+        generators::planted_partition(2, 20, 0.4, 0.05, 7)
+            .unwrap()
+            .0,
+        generators::cycle(17).unwrap(),
+        generators::complete(6).unwrap(),
+    ];
+    for g in cases {
+        assert_eq!(roundtrip_graph(&g), g);
+    }
+}
+
+#[test]
+fn edgeless_and_singleton_graphs_roundtrip() {
+    // n > 0, m = 0: header only.
+    let lonely = Graph::from_edges(3, &[]).unwrap();
+    assert_eq!(roundtrip_graph(&lonely), lonely);
+    let single = Graph::from_edges(1, &[]).unwrap();
+    assert_eq!(roundtrip_graph(&single), single);
+}
+
+#[test]
+fn partition_roundtrip_through_text() {
+    let p = Partition::from_sizes(&[5, 2, 9]);
+    let mut buf = Vec::new();
+    write_partition(&p, &mut buf).unwrap();
+    let text = String::from_utf8(buf).unwrap();
+    assert!(text.starts_with("16 3\n"), "{text}");
+    assert_eq!(read_partition(text.as_bytes()).unwrap(), p);
+}
+
+#[test]
+fn comments_and_blank_lines_everywhere() {
+    let graph_text = "\n# leading comment\n\n  \n3 2\n# after header\n0 1\n\n1 2\n# trailing\n";
+    let g = read_edge_list(graph_text.as_bytes()).unwrap();
+    assert_eq!((g.n(), g.m()), (3, 2));
+
+    let part_text = "# truth labels\n\n4 2\n0\n# middle\n0\n1\n\n1\n";
+    let p = read_partition(part_text.as_bytes()).unwrap();
+    assert_eq!(p.labels(), &[0, 0, 1, 1]);
+    assert_eq!(p.k(), 2);
+}
+
+#[test]
+fn whitespace_variants_are_tolerated() {
+    // Indented lines and tab separators both parse.
+    let g = read_edge_list("  3 2  \n0\t1\n\t1 2\n".as_bytes()).unwrap();
+    assert_eq!((g.n(), g.m()), (3, 2));
+}
+
+fn expect_io_err(r: Result<impl std::fmt::Debug, GraphError>, what: &str) {
+    match r {
+        Err(GraphError::Io(msg)) => {
+            assert!(!msg.is_empty(), "{what}: empty error message")
+        }
+        other => panic!("{what}: expected Io error, got {other:?}"),
+    }
+}
+
+#[test]
+fn malformed_edge_list_headers() {
+    // Entirely missing (empty / comment-only input).
+    expect_io_err(read_edge_list("".as_bytes()), "empty input");
+    expect_io_err(
+        read_edge_list("# only a comment\n\n".as_bytes()),
+        "comments only",
+    );
+    // Missing m.
+    expect_io_err(read_edge_list("5\n".as_bytes()), "header missing m");
+    // Non-numeric fields.
+    expect_io_err(read_edge_list("x 2\n0 1\n".as_bytes()), "bad n");
+    expect_io_err(read_edge_list("3 y\n0 1\n".as_bytes()), "bad m");
+    // Negative counts don't parse as usize.
+    expect_io_err(read_edge_list("-3 1\n0 1\n".as_bytes()), "negative n");
+    // Declared edge count disagreeing with the body, both directions.
+    expect_io_err(read_edge_list("3 5\n0 1\n".as_bytes()), "too few edges");
+    expect_io_err(
+        read_edge_list("3 1\n0 1\n1 2\n".as_bytes()),
+        "too many edges",
+    );
+}
+
+#[test]
+fn malformed_edge_lines() {
+    expect_io_err(read_edge_list("2 1\n0\n".as_bytes()), "lone endpoint");
+    expect_io_err(read_edge_list("2 1\n0 banana\n".as_bytes()), "bad endpoint");
+    // Endpoint out of the declared node range is a construction error.
+    assert!(read_edge_list("2 1\n0 7\n".as_bytes()).is_err());
+}
+
+#[test]
+fn malformed_partition_headers_and_labels() {
+    expect_io_err(read_partition("".as_bytes()), "empty input");
+    expect_io_err(read_partition("# nothing\n".as_bytes()), "comments only");
+    expect_io_err(read_partition("4\n0\n0\n1\n1\n".as_bytes()), "missing k");
+    expect_io_err(read_partition("x 2\n".as_bytes()), "bad n");
+    expect_io_err(read_partition("2 z\n".as_bytes()), "bad k");
+    // Label count disagreeing with the header.
+    expect_io_err(read_partition("3 2\n0\n1\n".as_bytes()), "too few labels");
+    expect_io_err(read_partition("1 1\n0\n0\n".as_bytes()), "too many labels");
+    // Non-numeric label.
+    expect_io_err(read_partition("2 1\n0\nbanana\n".as_bytes()), "bad label");
+    // Label ≥ k violates the partition invariant (not an Io error).
+    assert!(read_partition("2 2\n0\n5\n".as_bytes()).is_err());
+}
+
+#[test]
+fn file_roundtrip_matches_in_memory() {
+    // The CLI path: write to an actual file, read it back.
+    let dir = std::env::temp_dir().join("lbc-graph-io-tests");
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("roundtrip.txt");
+    let (g, truth) = generators::ring_of_cliques(2, 6, 0).unwrap();
+    write_edge_list(&g, std::fs::File::create(&path).unwrap()).unwrap();
+    let g2 = read_edge_list(std::fs::File::open(&path).unwrap()).unwrap();
+    assert_eq!(g, g2);
+    let ppath = dir.join("labels.txt");
+    write_partition(&truth, std::fs::File::create(&ppath).unwrap()).unwrap();
+    let t2 = read_partition(std::fs::File::open(&ppath).unwrap()).unwrap();
+    assert_eq!(truth, t2);
+}

@@ -53,12 +53,12 @@ impl DenseSym {
         assert!(e.len() + 1 == d.len() || (d.is_empty() && e.is_empty()));
         let n = d.len();
         let mut m = Self::zeros(n);
-        for i in 0..n {
-            m.set(i, i, d[i]);
+        for (i, &di) in d.iter().enumerate() {
+            m.set(i, i, di);
         }
-        for i in 0..e.len() {
-            m.set(i, i + 1, e[i]);
-            m.set(i + 1, i, e[i]);
+        for (i, &ei) in e.iter().enumerate() {
+            m.set(i, i + 1, ei);
+            m.set(i + 1, i, ei);
         }
         m
     }
@@ -117,9 +117,8 @@ impl SymOp for DenseSym {
     fn apply(&self, x: &[f64], y: &mut [f64]) {
         debug_assert_eq!(x.len(), self.n);
         debug_assert_eq!(y.len(), self.n);
-        for i in 0..self.n {
-            let row = self.row(i);
-            y[i] = crate::dot(row, x);
+        for (i, yi) in y.iter_mut().enumerate() {
+            *yi = crate::dot(self.row(i), x);
         }
     }
 }

@@ -62,7 +62,11 @@ mod tests {
 
     #[test]
     fn orthonormalizes_independent_set() {
-        let mut vs = vec![vec![1.0, 1.0, 0.0], vec![1.0, 0.0, 1.0], vec![0.0, 1.0, 1.0]];
+        let mut vs = vec![
+            vec![1.0, 1.0, 0.0],
+            vec![1.0, 0.0, 1.0],
+            vec![0.0, 1.0, 1.0],
+        ];
         let kept = orthonormalize(&mut vs, 1e-10);
         assert_eq!(kept, 3);
         for i in 0..3 {

@@ -97,7 +97,10 @@ mod tests {
                 );
             }
             for j in (i + 1)..n {
-                assert!(dot(&vecs[i], &vecs[j]).abs() < tol, "vectors {i},{j} not orthogonal");
+                assert!(
+                    dot(&vecs[i], &vecs[j]).abs() < tol,
+                    "vectors {i},{j} not orthogonal"
+                );
             }
         }
         // Descending order.

@@ -109,8 +109,8 @@ pub fn lanczos_top(op: &dyn SymOp, want: usize, steps: usize, seed: u64) -> Eige
     }
 
     let q = alphas.len();
-    let (tvals, tvecs) =
-        tridiag_eigen(&alphas, &betas[..q.saturating_sub(1)], 64).expect("tridiagonal solve failed");
+    let (tvals, tvecs) = tridiag_eigen(&alphas, &betas[..q.saturating_sub(1)], 64)
+        .expect("tridiagonal solve failed");
 
     let take = want.min(q);
     let mut values = Vec::with_capacity(take);
@@ -153,7 +153,11 @@ mod tests {
         let pairs = lanczos_top(&a, 3, 5, 42);
         assert_eq!(pairs.len(), 3);
         for (i, expect) in [5.0, 4.0, 3.0].iter().enumerate() {
-            assert!((pairs.values[i] - expect).abs() < 1e-9, "{:?}", pairs.values);
+            assert!(
+                (pairs.values[i] - expect).abs() < 1e-9,
+                "{:?}",
+                pairs.values
+            );
         }
     }
 
@@ -171,13 +175,8 @@ mod tests {
         }
         let pairs = lanczos_top(&a, 4, n, 1);
         let (jvals, _) = jacobi_eigen(&a, 200, 1e-14);
-        for i in 0..4 {
-            assert!(
-                (pairs.values[i] - jvals[i]).abs() < 1e-7,
-                "value {i}: {} vs {}",
-                pairs.values[i],
-                jvals[i]
-            );
+        for (i, (pv, jv)) in pairs.values.iter().zip(&jvals).enumerate().take(4) {
+            assert!((pv - jv).abs() < 1e-7, "value {i}: {} vs {}", pv, jv);
             let av = a.matvec(&pairs.vectors[i]);
             let mut res = av.clone();
             axpy(-pairs.values[i], &pairs.vectors[i], &mut res);

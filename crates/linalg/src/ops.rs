@@ -10,7 +10,6 @@
 //! regular.
 
 use lbc_graph::Graph;
-use rayon::prelude::*;
 
 /// Anything that can apply a symmetric linear operator on `R^n`.
 pub trait SymOp: Sync {
@@ -34,9 +33,16 @@ pub struct WalkOperator<'g> {
     graph: &'g Graph,
     /// Regularisation degree `D ≥ Δ`.
     cap: usize,
-    /// Switch row-parallelism (rayon) on for large graphs.
+    /// Allow row-parallelism (scoped threads) for large graphs.
     parallel: bool,
 }
+
+/// Minimum rows per worker thread before `apply` spawns it: a spawn+join
+/// costs tens of microseconds, so each thread must carry at least a
+/// comparable amount of row work or the "parallel" path loses to the
+/// serial one. Below `2 × MIN_ROWS_PER_WORKER` rows, `apply` stays
+/// single-threaded no matter what.
+const MIN_ROWS_PER_WORKER: usize = 16_384;
 
 impl<'g> WalkOperator<'g> {
     /// Operator with `D = max(Δ, 1)` (the canonical choice).
@@ -45,7 +51,7 @@ impl<'g> WalkOperator<'g> {
         WalkOperator {
             graph,
             cap,
-            parallel: graph.n() >= 4096,
+            parallel: true,
         }
     }
 
@@ -62,7 +68,7 @@ impl<'g> WalkOperator<'g> {
         WalkOperator {
             graph,
             cap,
-            parallel: graph.n() >= 4096,
+            parallel: true,
         }
     }
 
@@ -71,9 +77,22 @@ impl<'g> WalkOperator<'g> {
         self.cap
     }
 
-    /// Force row-parallelism on or off (defaults to on for `n ≥ 4096`).
+    /// Allow or forbid row-parallelism (allowed by default; the worker
+    /// count is sized from the dimension, so small operators run
+    /// serially either way).
     pub fn set_parallel(&mut self, parallel: bool) {
         self.parallel = parallel;
+    }
+
+    /// Worker threads `apply` will use: one per `MIN_ROWS_PER_WORKER`
+    /// rows, capped by the core count.
+    fn workers(&self) -> usize {
+        if !self.parallel {
+            return 1;
+        }
+        let by_size = self.graph.n() / MIN_ROWS_PER_WORKER;
+        let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+        by_size.clamp(1, cores)
     }
 
     #[inline]
@@ -96,10 +115,21 @@ impl SymOp for WalkOperator<'_> {
     fn apply(&self, x: &[f64], y: &mut [f64]) {
         debug_assert_eq!(x.len(), self.dim());
         debug_assert_eq!(y.len(), self.dim());
-        if self.parallel {
-            y.par_iter_mut()
-                .enumerate()
-                .for_each(|(v, yv)| *yv = self.row(v, x));
+        let workers = self.workers();
+        if workers > 1 {
+            // Rows are independent: split `y` into one contiguous chunk
+            // per worker and compute each chunk on its own scoped thread.
+            let chunk = self.dim().div_ceil(workers);
+            std::thread::scope(|scope| {
+                for (c, ys) in y.chunks_mut(chunk).enumerate() {
+                    let base = c * chunk;
+                    scope.spawn(move || {
+                        for (i, yv) in ys.iter_mut().enumerate() {
+                            *yv = self.row(base + i, x);
+                        }
+                    });
+                }
+            });
         } else {
             for (v, yv) in y.iter_mut().enumerate() {
                 *yv = self.row(v, x);
@@ -182,7 +212,9 @@ mod tests {
 
     #[test]
     fn parallel_and_serial_agree() {
-        let (g, _) = generators::planted_partition(2, 50, 0.3, 0.05, 8).unwrap();
+        // Large enough that workers() actually requests several threads
+        // (on multi-core machines); the outputs must match exactly.
+        let g = generators::cycle(50_000).unwrap();
         let mut op = WalkOperator::new(&g);
         let x: Vec<f64> = (0..g.n()).map(|i| (i as f64).sin()).collect();
         op.set_parallel(false);
@@ -192,5 +224,12 @@ mod tests {
         for (a, b) in y1.iter().zip(&y2) {
             assert!((a - b).abs() < 1e-15);
         }
+    }
+
+    #[test]
+    fn small_operators_never_spawn() {
+        let g = generators::cycle(64).unwrap();
+        let op = WalkOperator::new(&g);
+        assert_eq!(op.workers(), 1, "sub-chunk operator must stay serial");
     }
 }

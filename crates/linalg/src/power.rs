@@ -60,13 +60,7 @@ impl SymOp for ShiftedOp<'_> {
 ///
 /// # Panics
 /// If `want == 0` or `want > op.dim()`.
-pub fn power_top(
-    op: &dyn SymOp,
-    want: usize,
-    max_iters: usize,
-    tol: f64,
-    seed: u64,
-) -> EigenPairs {
+pub fn power_top(op: &dyn SymOp, want: usize, max_iters: usize, tol: f64, seed: u64) -> EigenPairs {
     let n = op.dim();
     assert!(want >= 1 && want <= n, "want = {want} out of range");
     let mut rng = StdRng::seed_from_u64(seed);

@@ -171,7 +171,10 @@ mod tests {
         residual_check(&d, &e, &vals, &vecs, 1e-9);
         vals.sort_by(|a, b| a.partial_cmp(b).unwrap());
         for (j, &v) in vals.iter().enumerate() {
-            let expect = 4.0 * (j as f64 * std::f64::consts::PI / (2.0 * n as f64)).sin().powi(2);
+            let expect = 4.0
+                * (j as f64 * std::f64::consts::PI / (2.0 * n as f64))
+                    .sin()
+                    .powi(2);
             assert!((v - expect).abs() < 1e-9, "j={j}: {v} vs {expect}");
         }
     }

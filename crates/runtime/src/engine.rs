@@ -1,0 +1,310 @@
+//! Batched membership queries over cached clustering outputs.
+//!
+//! Once a `(graph, config)` pair is clustered and resident, the useful
+//! online operations are tiny: *which cluster is `v` in*, *are `u` and
+//! `v` in the same cluster*, *how big is `v`'s cluster*. A
+//! [`ClusterHandle`] answers all three from an `Arc`-shared
+//! [`ClusterOutput`] with a precomputed size table — reads are lock-free
+//! and safely shared across any number of serving threads.
+//!
+//! The handle deliberately re-uses `lbc_core`'s query machinery instead
+//! of duplicating it: labels come from the [`Partition`] that
+//! [`lbc_core::assign_labels`] produced, and
+//! [`ClusterHandle::with_query_rule`] re-labels the resident load states
+//! through that same function, so an operator can compare the paper's
+//! threshold rule against argmax on a live dataset without re-running a
+//! single averaging round.
+
+use std::sync::Arc;
+
+use lbc_core::state::SeedId;
+use lbc_core::{assign_labels, ClusterOutput, LbConfig, QueryRule};
+use lbc_graph::NodeId;
+
+use crate::error::RuntimeError;
+use crate::registry::Registry;
+use crate::scheduler::WorkerPool;
+
+/// One membership query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Query {
+    /// Are the two nodes in the same cluster?
+    SameCluster(NodeId, NodeId),
+    /// Compacted cluster label of the node.
+    ClusterOf(NodeId),
+    /// Size of the node's cluster.
+    ClusterSize(NodeId),
+}
+
+/// Answer to one [`Query`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Answer {
+    Bool(bool),
+    Label(u32),
+    Size(u32),
+}
+
+impl Answer {
+    /// Fold the answer into a checksum word (used by the load generator
+    /// to keep the optimiser honest and to cross-check determinism).
+    pub fn checksum_word(self) -> u64 {
+        match self {
+            Answer::Bool(b) => 0x9e37 ^ u64::from(b),
+            Answer::Label(l) => 0x1000_0000 ^ u64::from(l),
+            Answer::Size(s) => 0x2000_0000 ^ u64::from(s),
+        }
+    }
+}
+
+/// A relabelling of a clustering under a different query rule; produced
+/// by [`ClusterHandle::with_query_rule`] and shared behind `Arc` so the
+/// expensive parts of the output (states, seeds) are never copied.
+struct Relabelling {
+    raw_labels: Vec<Option<SeedId>>,
+    partition: lbc_graph::Partition,
+}
+
+/// Lock-free, shareable view of one cached clustering.
+#[derive(Clone)]
+pub struct ClusterHandle {
+    output: Arc<ClusterOutput>,
+    /// Override labelling from [`ClusterHandle::with_query_rule`]
+    /// (`None` = the output's own labelling).
+    relabel: Option<Arc<Relabelling>>,
+    /// `sizes[label]` = number of nodes with that compacted label.
+    sizes: Arc<Vec<u32>>,
+}
+
+fn sizes_of(partition: &lbc_graph::Partition) -> Arc<Vec<u32>> {
+    let mut sizes = vec![0u32; partition.k().max(1)];
+    for &l in partition.labels() {
+        sizes[l as usize] += 1;
+    }
+    Arc::new(sizes)
+}
+
+impl ClusterHandle {
+    /// Wrap a finished clustering output.
+    pub fn new(output: Arc<ClusterOutput>) -> Self {
+        let sizes = sizes_of(&output.partition);
+        ClusterHandle {
+            output,
+            relabel: None,
+            sizes,
+        }
+    }
+
+    /// The labelling queries are answered from (the output's own, or
+    /// the [`ClusterHandle::with_query_rule`] override).
+    pub fn partition(&self) -> &lbc_graph::Partition {
+        self.relabel
+            .as_ref()
+            .map_or(&self.output.partition, |r| &r.partition)
+    }
+
+    /// Per-node winning seed ids for the active labelling.
+    pub fn raw_labels(&self) -> &[Option<SeedId>] {
+        self.relabel
+            .as_ref()
+            .map_or(&self.output.raw_labels, |r| &r.raw_labels)
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.partition().n()
+    }
+
+    /// Number of clusters found.
+    pub fn k(&self) -> usize {
+        self.partition().k()
+    }
+
+    /// The underlying clustering output (states, seeds, and the
+    /// labelling the clustering run itself produced).
+    pub fn output(&self) -> &ClusterOutput {
+        &self.output
+    }
+
+    fn check(&self, v: NodeId) -> Result<usize, RuntimeError> {
+        let idx = v as usize;
+        if idx >= self.n() {
+            return Err(RuntimeError::NodeOutOfRange {
+                node: v,
+                n: self.n(),
+            });
+        }
+        Ok(idx)
+    }
+
+    /// Compacted cluster label of `v`.
+    pub fn cluster_of(&self, v: NodeId) -> Result<u32, RuntimeError> {
+        Ok(self.partition().labels()[self.check(v)?])
+    }
+
+    /// Whether `u` and `v` share a cluster.
+    pub fn same_cluster(&self, u: NodeId, v: NodeId) -> Result<bool, RuntimeError> {
+        let labels = self.partition().labels();
+        Ok(labels[self.check(u)?] == labels[self.check(v)?])
+    }
+
+    /// Size of `v`'s cluster.
+    pub fn cluster_size(&self, v: NodeId) -> Result<u32, RuntimeError> {
+        let l = self.cluster_of(v)?;
+        Ok(self.sizes[l as usize])
+    }
+
+    /// Winning seed id at `v` (`None` when the node's state was empty).
+    pub fn raw_seed_of(&self, v: NodeId) -> Result<Option<SeedId>, RuntimeError> {
+        Ok(self.raw_labels()[self.check(v)?])
+    }
+
+    /// Execute one query.
+    pub fn execute(&self, q: Query) -> Result<Answer, RuntimeError> {
+        match q {
+            Query::SameCluster(u, v) => self.same_cluster(u, v).map(Answer::Bool),
+            Query::ClusterOf(v) => self.cluster_of(v).map(Answer::Label),
+            Query::ClusterSize(v) => self.cluster_size(v).map(Answer::Size),
+        }
+    }
+
+    /// Execute a batch, failing fast on the first invalid query.
+    pub fn execute_batch(&self, qs: &[Query]) -> Result<Vec<Answer>, RuntimeError> {
+        qs.iter().map(|&q| self.execute(q)).collect()
+    }
+
+    /// Re-label the resident load states under a different query rule —
+    /// the Seeding/Averaging work *and* the resident states/seeds are
+    /// shared with this handle (nothing is copied); only `lbc_core`'s
+    /// query step ([`assign_labels`]) runs again.
+    pub fn with_query_rule(&self, rule: QueryRule, beta: f64) -> ClusterHandle {
+        let (raw_labels, partition) = assign_labels(&self.output.states, rule, beta);
+        let sizes = sizes_of(&partition);
+        ClusterHandle {
+            output: Arc::clone(&self.output),
+            relabel: Some(Arc::new(Relabelling {
+                raw_labels,
+                partition,
+            })),
+            sizes,
+        }
+    }
+}
+
+/// Front door tying the registry and worker pool together.
+pub struct QueryEngine {
+    registry: Arc<Registry>,
+}
+
+impl QueryEngine {
+    /// Engine over a shared registry.
+    pub fn new(registry: Arc<Registry>) -> Self {
+        QueryEngine { registry }
+    }
+
+    /// The underlying registry.
+    pub fn registry(&self) -> &Arc<Registry> {
+        &self.registry
+    }
+
+    /// Handle for `(dataset, cfg)`, clustering inline on a cache miss.
+    pub fn handle(&self, dataset: &str, cfg: &LbConfig) -> Result<ClusterHandle, RuntimeError> {
+        Ok(ClusterHandle::new(
+            self.registry.get_or_cluster(dataset, cfg)?,
+        ))
+    }
+
+    /// Handle for `(dataset, cfg)`, running the clustering on `pool` on
+    /// a cache miss (the sharded path).
+    pub fn handle_via_pool(
+        &self,
+        pool: &WorkerPool,
+        dataset: &str,
+        cfg: &LbConfig,
+    ) -> Result<ClusterHandle, RuntimeError> {
+        let out = pool.submit_cached(&self.registry, dataset, cfg)?.wait()?;
+        Ok(ClusterHandle::new(out))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbc_graph::generators;
+
+    fn engine_with_ring() -> (QueryEngine, LbConfig) {
+        let registry = Arc::new(Registry::with_capacity(4));
+        let (g, _) = generators::ring_of_cliques(3, 8, 0).unwrap();
+        registry.insert_graph("ring", g);
+        (
+            QueryEngine::new(registry),
+            LbConfig::new(1.0 / 3.0, 60).with_seed(2),
+        )
+    }
+
+    #[test]
+    fn answers_match_partition_directly() {
+        let (engine, cfg) = engine_with_ring();
+        let h = engine.handle("ring", &cfg).unwrap();
+        let labels = h.output().partition.labels().to_vec();
+        for v in 0..h.n() as NodeId {
+            assert_eq!(h.cluster_of(v).unwrap(), labels[v as usize]);
+            let size = labels.iter().filter(|&&l| l == labels[v as usize]).count();
+            assert_eq!(h.cluster_size(v).unwrap() as usize, size);
+        }
+        assert_eq!(h.same_cluster(0, 1).unwrap(), labels[0] == labels[1]);
+    }
+
+    #[test]
+    fn batch_and_single_agree() {
+        let (engine, cfg) = engine_with_ring();
+        let h = engine.handle("ring", &cfg).unwrap();
+        let qs = vec![
+            Query::SameCluster(0, 1),
+            Query::SameCluster(0, 23),
+            Query::ClusterOf(5),
+            Query::ClusterSize(17),
+        ];
+        let batch = h.execute_batch(&qs).unwrap();
+        for (q, a) in qs.iter().zip(&batch) {
+            assert_eq!(h.execute(*q).unwrap(), *a);
+        }
+    }
+
+    #[test]
+    fn out_of_range_nodes_are_rejected() {
+        let (engine, cfg) = engine_with_ring();
+        let h = engine.handle("ring", &cfg).unwrap();
+        let n = h.n() as NodeId;
+        assert!(matches!(
+            h.cluster_of(n),
+            Err(RuntimeError::NodeOutOfRange { .. })
+        ));
+        assert!(h.same_cluster(0, n).is_err());
+        assert!(h.execute_batch(&[Query::ClusterSize(n)]).is_err());
+    }
+
+    #[test]
+    fn relabelling_reuses_states() {
+        let (engine, cfg) = engine_with_ring();
+        let h = engine.handle("ring", &cfg).unwrap();
+        let argmax = h.with_query_rule(QueryRule::ArgMax, cfg.beta);
+        // The resident output is *shared*, not copied: same allocation.
+        assert!(std::ptr::eq(argmax.output(), h.output()));
+        assert_eq!(argmax.n(), h.n());
+        // Argmax never abstains, so no node may sit in an "empty" extra
+        // cluster beyond the seeds that exist.
+        assert!(argmax.raw_labels().iter().all(|r| r.is_some()));
+        // The original handle's labelling is untouched.
+        assert_eq!(h.raw_labels(), &h.output().raw_labels[..]);
+    }
+
+    #[test]
+    fn pool_path_equals_inline_path() {
+        let (engine, cfg) = engine_with_ring();
+        let pool = WorkerPool::new(2);
+        let via_pool = engine.handle_via_pool(&pool, "ring", &cfg).unwrap();
+        let inline = engine.handle("ring", &cfg).unwrap();
+        assert_eq!(via_pool.output().partition, inline.output().partition);
+        assert_eq!(via_pool.output().states, inline.output().states);
+    }
+}

@@ -1,0 +1,50 @@
+//! Error type shared by the runtime modules.
+
+use lbc_core::driver::ClusterError;
+use lbc_graph::GraphError;
+
+/// Everything the serving engine can report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// No dataset registered under this name.
+    UnknownDataset(String),
+    /// Loading or parsing a graph failed.
+    Graph(String),
+    /// A clustering job failed.
+    Cluster(ClusterError),
+    /// The worker pool shut down before the job completed.
+    PoolShutdown,
+    /// A query referenced a node outside `0..n`.
+    NodeOutOfRange { node: u32, n: usize },
+    /// A configuration value is out of its admissible range.
+    InvalidConfig(String),
+}
+
+impl std::fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RuntimeError::UnknownDataset(name) => write!(f, "unknown dataset '{name}'"),
+            RuntimeError::Graph(e) => write!(f, "graph error: {e}"),
+            RuntimeError::Cluster(e) => write!(f, "clustering failed: {e}"),
+            RuntimeError::PoolShutdown => write!(f, "worker pool shut down"),
+            RuntimeError::NodeOutOfRange { node, n } => {
+                write!(f, "node {node} out of range for graph with {n} nodes")
+            }
+            RuntimeError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+impl From<GraphError> for RuntimeError {
+    fn from(e: GraphError) -> Self {
+        RuntimeError::Graph(e.to_string())
+    }
+}
+
+impl From<ClusterError> for RuntimeError {
+    fn from(e: ClusterError) -> Self {
+        RuntimeError::Cluster(e)
+    }
+}

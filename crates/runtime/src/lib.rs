@@ -1,0 +1,62 @@
+//! `lbc-runtime` — a sharded, multi-threaded cluster-query serving
+//! engine on top of the one-shot pipeline in `lbc-core`.
+//!
+//! The paper's algorithm answers *offline* questions: run Seeding →
+//! Averaging → Query once, read off a partition. A serving system keeps
+//! clustered graphs **resident** and answers a stream of membership
+//! queries against them. This crate adds exactly that layer, with no
+//! dependencies beyond the workspace:
+//!
+//! * [`registry`] — named dataset store (graphs loaded via
+//!   [`lbc_graph::io`] or inserted from generators) plus an LRU cache of
+//!   [`lbc_core::ClusterOutput`]s keyed by `(dataset, config)`.
+//! * [`scheduler`] — a `std::thread` worker pool sharding independent
+//!   `(graph, config)` clustering jobs across cores. Jobs replay the
+//!   same per-node RNG streams as the single-threaded path, so pool
+//!   output is **bit-for-bit identical** to [`lbc_core::cluster`] — the
+//!   determinism tests assert this.
+//! * [`engine`] — batched same-cluster / cluster-of / cluster-size
+//!   queries served lock-free from `Arc`-shared cached outputs, reusing
+//!   (not duplicating) `lbc_core`'s query machinery, including live
+//!   re-labelling under a different [`lbc_core::QueryRule`].
+//! * [`loadgen`] — a closed-loop load generator reporting throughput and
+//!   p50/p95/p99 batch latency; the engine behind `lbc serve-bench`.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use std::sync::Arc;
+//! use lbc_core::LbConfig;
+//! use lbc_graph::generators::ring_of_cliques;
+//! use lbc_runtime::{LoadgenConfig, QueryEngine, Registry, WorkerPool};
+//!
+//! let registry = Arc::new(Registry::with_capacity(8));
+//! let (g, _) = ring_of_cliques(3, 12, 0).unwrap();
+//! registry.insert_graph("ring", g);
+//!
+//! // Cluster on the pool (sharded), then serve queries from cache.
+//! let pool = WorkerPool::new(4);
+//! let engine = QueryEngine::new(Arc::clone(&registry));
+//! let cfg = LbConfig::new(1.0 / 3.0, 60).with_seed(1);
+//! let handle = engine.handle_via_pool(&pool, "ring", &cfg).unwrap();
+//! assert!(handle.same_cluster(0, 1).unwrap());
+//!
+//! let report = lbc_runtime::run_loadgen(
+//!     &handle,
+//!     &LoadgenConfig { clients: 2, total_ops: 1000, batch: 16, seed: 0 },
+//! )
+//! .unwrap();
+//! assert!(report.ops >= 1000);
+//! ```
+
+pub mod engine;
+pub mod error;
+pub mod loadgen;
+pub mod registry;
+pub mod scheduler;
+
+pub use engine::{Answer, ClusterHandle, Query, QueryEngine};
+pub use error::RuntimeError;
+pub use loadgen::{loadgen_on_output, run_loadgen, LoadReport, LoadgenConfig};
+pub use registry::{config_fingerprint, CacheStats, Registry};
+pub use scheduler::{JobHandle, JobRecord, JobState, WorkerPool};

@@ -1,0 +1,319 @@
+//! Closed-loop load generator for the query engine.
+//!
+//! `clients` threads issue batches of randomly mixed queries against one
+//! shared [`ClusterHandle`] as fast as answers come back (closed loop: a
+//! client never has more than one batch in flight). Per-batch latencies
+//! are recorded and merged into a [`LoadReport`] with throughput and
+//! p50/p95/p99 tail latency — the serving numbers `lbc serve-bench`
+//! prints.
+//!
+//! Query streams are deterministic: client `i` draws from a SplitMix64
+//! stream seeded by `(cfg.seed, i)`, and every answer is folded into a
+//! checksum, so two runs with the same configuration against the same
+//! clustering produce the same checksum (asserted by the integration
+//! tests) while still touching a representative spread of nodes.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use lbc_graph::NodeId;
+
+use crate::engine::{ClusterHandle, Query};
+use crate::error::RuntimeError;
+
+/// Load-generator configuration.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Client threads issuing queries.
+    pub clients: usize,
+    /// Total queries across all clients.
+    pub total_ops: u64,
+    /// Queries per batch (the latency unit is one batch).
+    pub batch: usize,
+    /// Seed for the per-client query streams.
+    pub seed: u64,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> Self {
+        LoadgenConfig {
+            clients: 4,
+            total_ops: 100_000,
+            batch: 64,
+            seed: 0,
+        }
+    }
+}
+
+/// Aggregated result of one load-generation run.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Queries actually executed (≥ the configured total).
+    pub ops: u64,
+    /// Batches executed.
+    pub batches: u64,
+    /// Client threads used.
+    pub clients: usize,
+    /// End-to-end wall time.
+    pub wall: Duration,
+    /// Queries per second over the whole run.
+    pub throughput: f64,
+    /// Per-batch latency percentiles.
+    pub p50: Duration,
+    pub p95: Duration,
+    pub p99: Duration,
+    pub max: Duration,
+    /// Fold of every answer; equal across runs of the same config.
+    pub checksum: u64,
+}
+
+impl LoadReport {
+    /// Human-readable rendering (used by `lbc serve-bench`).
+    pub fn render(&self) -> String {
+        format!(
+            "ops = {} in {:.3} s on {} clients ({} batches)\n\
+             throughput = {:.0} queries/s\n\
+             batch latency: p50 = {:.1} µs, p95 = {:.1} µs, p99 = {:.1} µs, max = {:.1} µs\n\
+             checksum = {:016x}\n",
+            self.ops,
+            self.wall.as_secs_f64(),
+            self.clients,
+            self.batches,
+            self.throughput,
+            self.p50.as_secs_f64() * 1e6,
+            self.p95.as_secs_f64() * 1e6,
+            self.p99.as_secs_f64() * 1e6,
+            self.max.as_secs_f64() * 1e6,
+            self.checksum,
+        )
+    }
+}
+
+/// Minimal deterministic stream for query generation (SplitMix64 — the
+/// same generator family `lbc_distsim::NodeRng` uses for node streams).
+struct QueryRng(u64);
+
+impl QueryRng {
+    fn new(seed: u64, client: u64) -> Self {
+        // Distinct odd offset per client keeps streams disjoint.
+        QueryRng(seed ^ client.wrapping_mul(0xa076_1d64_78bd_642f) ^ 0x632b_e59b_d9b4_e019)
+    }
+
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn node(&mut self, n: usize) -> NodeId {
+        (((self.next() as u128 * n as u128) >> 64) as u64) as NodeId
+    }
+}
+
+fn random_query(rng: &mut QueryRng, n: usize) -> Query {
+    match rng.next() % 4 {
+        // Same-cluster is the headline operation; weight it double.
+        0 | 1 => Query::SameCluster(rng.node(n), rng.node(n)),
+        2 => Query::ClusterOf(rng.node(n)),
+        _ => Query::ClusterSize(rng.node(n)),
+    }
+}
+
+/// Run the closed loop and aggregate the report.
+///
+/// Returns [`RuntimeError::InvalidConfig`] when any of `clients`,
+/// `batch`, `total_ops` is zero or the clustering has no nodes;
+/// otherwise fails only if the handle rejects a query, which cannot
+/// happen for generated queries (nodes are drawn in-range).
+pub fn run_loadgen(
+    handle: &ClusterHandle,
+    cfg: &LoadgenConfig,
+) -> Result<LoadReport, RuntimeError> {
+    if cfg.clients == 0 || cfg.batch == 0 || cfg.total_ops == 0 {
+        return Err(RuntimeError::InvalidConfig(
+            "loadgen clients, batch, and total_ops must all be positive".into(),
+        ));
+    }
+    let n = handle.n();
+    if n == 0 {
+        return Err(RuntimeError::InvalidConfig(
+            "cannot generate load against an empty clustering".into(),
+        ));
+    }
+    let per_client_batches = (cfg.total_ops as usize)
+        .div_ceil(cfg.batch)
+        .div_ceil(cfg.clients) as u64;
+
+    struct ClientResult {
+        latencies: Vec<Duration>,
+        checksum: u64,
+        ops: u64,
+    }
+
+    let t0 = Instant::now();
+    let results: Vec<Result<ClientResult, RuntimeError>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..cfg.clients)
+            .map(|client| {
+                let handle: ClusterHandle = handle.clone();
+                scope.spawn(move || {
+                    let mut rng = QueryRng::new(cfg.seed, client as u64);
+                    let mut latencies = Vec::with_capacity(per_client_batches as usize);
+                    let mut checksum = 0u64;
+                    let mut ops = 0u64;
+                    let mut queries = Vec::with_capacity(cfg.batch);
+                    for _ in 0..per_client_batches {
+                        queries.clear();
+                        queries.extend((0..cfg.batch).map(|_| random_query(&mut rng, n)));
+                        let b0 = Instant::now();
+                        let answers = handle.execute_batch(&queries)?;
+                        latencies.push(b0.elapsed());
+                        for a in answers {
+                            checksum = checksum.rotate_left(7).wrapping_add(a.checksum_word());
+                        }
+                        ops += cfg.batch as u64;
+                    }
+                    Ok(ClientResult {
+                        latencies,
+                        checksum,
+                        ops,
+                    })
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("load client panicked"))
+            .collect()
+    });
+    let wall = t0.elapsed();
+
+    let mut latencies: Vec<Duration> = Vec::new();
+    let mut checksum = 0u64;
+    let mut ops = 0u64;
+    // Merge in client order so the combined checksum is deterministic.
+    for r in results {
+        let r = r?;
+        latencies.extend(r.latencies);
+        checksum = checksum.rotate_left(13) ^ r.checksum;
+        ops += r.ops;
+    }
+    latencies.sort_unstable();
+    let pct = |q: f64| -> Duration {
+        let idx = ((latencies.len() - 1) as f64 * q).round() as usize;
+        latencies[idx]
+    };
+    Ok(LoadReport {
+        ops,
+        batches: latencies.len() as u64,
+        clients: cfg.clients,
+        wall,
+        throughput: ops as f64 / wall.as_secs_f64().max(1e-12),
+        p50: pct(0.50),
+        p95: pct(0.95),
+        p99: pct(0.99),
+        max: *latencies.last().expect("at least one batch"),
+        checksum,
+    })
+}
+
+/// Convenience: share `output` across clients and run the loop.
+pub fn loadgen_on_output(
+    output: Arc<lbc_core::ClusterOutput>,
+    cfg: &LoadgenConfig,
+) -> Result<LoadReport, RuntimeError> {
+    run_loadgen(&ClusterHandle::new(output), cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+    use lbc_core::LbConfig;
+    use lbc_graph::generators;
+
+    fn ring_handle() -> ClusterHandle {
+        let registry = Registry::with_capacity(2);
+        let (g, _) = generators::ring_of_cliques(3, 10, 0).unwrap();
+        registry.insert_graph("ring", g);
+        let out = registry
+            .get_or_cluster("ring", &LbConfig::new(1.0 / 3.0, 60).with_seed(1))
+            .unwrap();
+        ClusterHandle::new(out)
+    }
+
+    #[test]
+    fn report_is_well_formed() {
+        let h = ring_handle();
+        let cfg = LoadgenConfig {
+            clients: 4,
+            total_ops: 20_000,
+            batch: 32,
+            seed: 5,
+        };
+        let r = run_loadgen(&h, &cfg).unwrap();
+        assert!(r.ops >= 20_000);
+        assert!(r.throughput > 0.0);
+        assert!(r.p50 <= r.p95 && r.p95 <= r.p99 && r.p99 <= r.max);
+        let text = r.render();
+        assert!(text.contains("queries/s"), "{text}");
+        assert!(text.contains("p99"), "{text}");
+    }
+
+    #[test]
+    fn checksum_is_deterministic() {
+        let h = ring_handle();
+        let cfg = LoadgenConfig {
+            clients: 3,
+            total_ops: 9_000,
+            batch: 16,
+            seed: 42,
+        };
+        let a = run_loadgen(&h, &cfg).unwrap();
+        let b = run_loadgen(&h, &cfg).unwrap();
+        assert_eq!(a.checksum, b.checksum);
+        assert_eq!(a.ops, b.ops);
+        // A different seed exercises different nodes.
+        let c = run_loadgen(&h, &LoadgenConfig { seed: 43, ..cfg }).unwrap();
+        assert_ne!(a.checksum, c.checksum);
+    }
+
+    #[test]
+    fn zero_config_values_are_errors_not_panics() {
+        let h = ring_handle();
+        for cfg in [
+            LoadgenConfig {
+                clients: 0,
+                ..Default::default()
+            },
+            LoadgenConfig {
+                batch: 0,
+                ..Default::default()
+            },
+            LoadgenConfig {
+                total_ops: 0,
+                ..Default::default()
+            },
+        ] {
+            assert!(matches!(
+                run_loadgen(&h, &cfg),
+                Err(RuntimeError::InvalidConfig(_))
+            ));
+        }
+    }
+
+    #[test]
+    fn single_client_single_batch() {
+        let h = ring_handle();
+        let cfg = LoadgenConfig {
+            clients: 1,
+            total_ops: 1,
+            batch: 1,
+            seed: 0,
+        };
+        let r = run_loadgen(&h, &cfg).unwrap();
+        assert_eq!(r.batches, 1);
+        assert_eq!(r.ops, 1);
+    }
+}

@@ -1,0 +1,450 @@
+//! Dataset store and clustering cache.
+//!
+//! The [`Registry`] owns the resident state of the serving engine:
+//!
+//! * **Datasets** — named, immutable graphs behind `Arc`, loaded once
+//!   (from an edge-list file via [`lbc_graph::io`] or inserted directly,
+//!   e.g. from a generator) and shared by every worker and client.
+//! * **Clustering cache** — finished [`ClusterOutput`]s keyed by
+//!   `(dataset, config fingerprint)` with LRU eviction, so a stream of
+//!   queries against the same `(graph, LbConfig)` pays for clustering
+//!   once. `cluster` is deterministic in `(graph, config)`, which is what
+//!   makes the cache sound: a cached output is bit-for-bit the output a
+//!   fresh run would produce.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+use lbc_core::driver::ClusterError;
+use lbc_core::{cluster, ClusterOutput, LbConfig, Rounds};
+use lbc_graph::{io, Graph};
+
+use crate::error::RuntimeError;
+
+/// Stable fingerprint of an [`LbConfig`] for cache keying.
+///
+/// Float fields are keyed by bit pattern, so two configs collide exactly
+/// when every field (and therefore the clustering output) is identical.
+pub fn config_fingerprint(cfg: &LbConfig) -> String {
+    use lbc_core::QueryRule;
+    let rounds = match cfg.rounds {
+        Rounds::Explicit(t) => format!("e{t}"),
+        Rounds::Resolved(t) => format!("r{t}"),
+    };
+    let query = match cfg.query {
+        QueryRule::PaperThreshold => "paper".to_string(),
+        QueryRule::ScaledThreshold(c) => format!("scaled:{:016x}", c.to_bits()),
+        QueryRule::ArgMax => "argmax".to_string(),
+    };
+    let degree = match cfg.degree_mode {
+        lbc_core::DegreeMode::Regular => "reg".to_string(),
+        lbc_core::DegreeMode::Capped(d) => format!("cap{d}"),
+        lbc_core::DegreeMode::Auto => "auto".to_string(),
+    };
+    format!(
+        "b{:016x}-{rounds}-s{}-q{query}-d{degree}-t{}",
+        cfg.beta.to_bits(),
+        cfg.seed,
+        cfg.seeding_trials.map_or(-1i64, |t| t as i64),
+    )
+}
+
+/// Cache counters (monotonic since registry creation).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    pub hits: u64,
+    pub misses: u64,
+    pub inserts: u64,
+    pub evictions: u64,
+}
+
+type CacheKey = (String, String);
+
+struct CacheEntry {
+    output: Arc<ClusterOutput>,
+    /// Last-touch tick for LRU eviction.
+    tick: u64,
+}
+
+struct Inner {
+    datasets: BTreeMap<String, Arc<Graph>>,
+    cache: BTreeMap<CacheKey, CacheEntry>,
+    /// Keys currently being clustered by some thread; concurrent misses
+    /// on the same key wait instead of duplicating the work.
+    in_flight: BTreeSet<CacheKey>,
+    tick: u64,
+}
+
+/// Thread-safe dataset store + clustering LRU cache.
+pub struct Registry {
+    inner: Mutex<Inner>,
+    /// Signalled whenever an in-flight clustering finishes (either way).
+    in_flight_done: Condvar,
+    capacity: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    inserts: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl Registry {
+    /// Registry whose clustering cache holds at most `capacity` outputs.
+    ///
+    /// # Panics
+    /// If `capacity == 0`.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache capacity must be positive");
+        Registry {
+            inner: Mutex::new(Inner {
+                datasets: BTreeMap::new(),
+                cache: BTreeMap::new(),
+                in_flight: BTreeSet::new(),
+                tick: 0,
+            }),
+            in_flight_done: Condvar::new(),
+            capacity,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            inserts: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Maximum number of cached clustering outputs.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Register a graph under `name`, returning the shared handle.
+    /// Re-registering a name replaces the graph and drops every cached
+    /// clustering of that name, so stale outputs are never served.
+    pub fn insert_graph(&self, name: &str, graph: Graph) -> Arc<Graph> {
+        let shared = Arc::new(graph);
+        let mut inner = self.inner.lock().unwrap();
+        if inner.datasets.contains_key(name) {
+            inner.cache.retain(|(ds, _), _| ds != name);
+        }
+        inner.datasets.insert(name.to_string(), Arc::clone(&shared));
+        shared
+    }
+
+    /// Load an edge-list file (see [`lbc_graph::io`]) and register it.
+    pub fn load_graph_file(&self, name: &str, path: &str) -> Result<Arc<Graph>, RuntimeError> {
+        let f = std::fs::File::open(path)
+            .map_err(|e| RuntimeError::Graph(format!("cannot open {path}: {e}")))?;
+        let g = io::read_edge_list(std::io::BufReader::new(f))?;
+        Ok(self.insert_graph(name, g))
+    }
+
+    /// Shared handle to a registered graph.
+    pub fn graph(&self, name: &str) -> Result<Arc<Graph>, RuntimeError> {
+        self.inner
+            .lock()
+            .unwrap()
+            .datasets
+            .get(name)
+            .cloned()
+            .ok_or_else(|| RuntimeError::UnknownDataset(name.to_string()))
+    }
+
+    /// Names of all registered datasets.
+    pub fn dataset_names(&self) -> Vec<String> {
+        self.inner
+            .lock()
+            .unwrap()
+            .datasets
+            .keys()
+            .cloned()
+            .collect()
+    }
+
+    /// Cached output for `(name, cfg)`, touching its LRU slot.
+    pub fn cached(&self, name: &str, cfg: &LbConfig) -> Option<Arc<ClusterOutput>> {
+        let key = (name.to_string(), config_fingerprint(cfg));
+        let mut inner = self.inner.lock().unwrap();
+        inner.tick += 1;
+        let tick = inner.tick;
+        match inner.cache.get_mut(&key) {
+            Some(entry) => {
+                entry.tick = tick;
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(&entry.output))
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Insert a finished clustering output, evicting the least-recently
+    /// used entry if the cache is full.
+    pub fn insert_output(&self, name: &str, cfg: &LbConfig, output: Arc<ClusterOutput>) {
+        let key = (name.to_string(), config_fingerprint(cfg));
+        let mut inner = self.inner.lock().unwrap();
+        inner.tick += 1;
+        let tick = inner.tick;
+        inner.cache.insert(key, CacheEntry { output, tick });
+        self.inserts.fetch_add(1, Ordering::Relaxed);
+        while inner.cache.len() > self.capacity {
+            let lru = inner
+                .cache
+                .iter()
+                .min_by_key(|(_, e)| e.tick)
+                .map(|(k, _)| k.clone())
+                .expect("cache over capacity implies non-empty");
+            inner.cache.remove(&lru);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Cached output for `(name, cfg)`, clustering inline on a miss.
+    ///
+    /// Concurrent misses on the same key are deduplicated: the first
+    /// caller clusters, later callers block until the result lands in
+    /// the cache (if the first run fails, one waiter takes over). The
+    /// worker pool ([`crate::scheduler::WorkerPool`]) runs its jobs
+    /// through the same dedup and produces bit-for-bit identical
+    /// outputs.
+    pub fn get_or_cluster(
+        &self,
+        name: &str,
+        cfg: &LbConfig,
+    ) -> Result<Arc<ClusterOutput>, RuntimeError> {
+        let graph = self.graph(name)?;
+        self.get_or_cluster_on(name, &graph, cfg)
+            .map_err(RuntimeError::Cluster)
+    }
+
+    /// Test hook: whether `graph` is currently registered under `name`.
+    #[cfg(test)]
+    fn is_current(&self, name: &str, graph: &Arc<Graph>) -> bool {
+        self.inner
+            .lock()
+            .unwrap()
+            .datasets
+            .get(name)
+            .is_some_and(|g| Arc::ptr_eq(g, graph))
+    }
+
+    /// [`Registry::get_or_cluster`] with the graph already resolved
+    /// (the worker pool holds its own `Arc<Graph>` per job).
+    ///
+    /// The result is published to the cache only if `graph` is still
+    /// the graph registered under `name` when the clustering finishes —
+    /// a dataset replaced mid-flight gets its result returned to the
+    /// caller but never cached, so the cache cannot serve outputs of a
+    /// graph that is no longer registered.
+    pub fn get_or_cluster_on(
+        &self,
+        name: &str,
+        graph: &Arc<Graph>,
+        cfg: &LbConfig,
+    ) -> Result<Arc<ClusterOutput>, ClusterError> {
+        let key = (name.to_string(), config_fingerprint(cfg));
+        {
+            let mut inner = self.inner.lock().unwrap();
+            loop {
+                inner.tick += 1;
+                let tick = inner.tick;
+                if let Some(entry) = inner.cache.get_mut(&key) {
+                    entry.tick = tick;
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(Arc::clone(&entry.output));
+                }
+                if inner.in_flight.contains(&key) {
+                    inner = self.in_flight_done.wait(inner).unwrap();
+                    continue; // recheck: result cached, or the run failed
+                }
+                inner.in_flight.insert(key.clone());
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                break;
+            }
+        }
+        // Clear the in-flight marker however the clustering ends (even
+        // on panic), so waiters never hang.
+        struct InFlightGuard<'r> {
+            registry: &'r Registry,
+            key: CacheKey,
+        }
+        impl Drop for InFlightGuard<'_> {
+            fn drop(&mut self) {
+                self.registry
+                    .inner
+                    .lock()
+                    .unwrap()
+                    .in_flight
+                    .remove(&self.key);
+                self.registry.in_flight_done.notify_all();
+            }
+        }
+        let guard = InFlightGuard {
+            registry: self,
+            key,
+        };
+        let out = Arc::new(cluster(graph.as_ref(), cfg)?);
+        let still_current = self
+            .inner
+            .lock()
+            .unwrap()
+            .datasets
+            .get(name)
+            .is_some_and(|g| Arc::ptr_eq(g, graph));
+        if still_current {
+            self.insert_output(name, cfg, Arc::clone(&out));
+        }
+        drop(guard);
+        Ok(out)
+    }
+
+    /// Number of cached clustering outputs.
+    pub fn cached_len(&self) -> usize {
+        self.inner.lock().unwrap().cache.len()
+    }
+
+    /// Cache counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            inserts: self.inserts.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbc_graph::generators;
+
+    use crate::error::RuntimeError;
+
+    fn registry_with_ring(name: &str) -> Registry {
+        let r = Registry::with_capacity(2);
+        let (g, _) = generators::ring_of_cliques(2, 10, 0).unwrap();
+        r.insert_graph(name, g);
+        r
+    }
+
+    #[test]
+    fn fingerprint_separates_configs() {
+        let a = LbConfig::new(0.5, 10).with_seed(1);
+        let b = LbConfig::new(0.5, 10).with_seed(2);
+        let c = LbConfig::new(0.25, 10).with_seed(1);
+        assert_ne!(config_fingerprint(&a), config_fingerprint(&b));
+        assert_ne!(config_fingerprint(&a), config_fingerprint(&c));
+        assert_eq!(config_fingerprint(&a), config_fingerprint(&a.clone()));
+    }
+
+    #[test]
+    fn unknown_dataset_is_an_error() {
+        let r = Registry::with_capacity(1);
+        assert!(matches!(
+            r.graph("nope"),
+            Err(RuntimeError::UnknownDataset(_))
+        ));
+        let cfg = LbConfig::new(0.5, 5);
+        assert!(r.get_or_cluster("nope", &cfg).is_err());
+    }
+
+    #[test]
+    fn cache_hit_after_miss() {
+        let r = registry_with_ring("ring");
+        let cfg = LbConfig::new(0.5, 20).with_seed(3);
+        assert!(r.cached("ring", &cfg).is_none());
+        let a = r.get_or_cluster("ring", &cfg).unwrap();
+        let b = r.get_or_cluster("ring", &cfg).unwrap();
+        assert!(Arc::ptr_eq(&a, &b), "second fetch must be the cached Arc");
+        let s = r.stats();
+        assert_eq!(s.hits, 1);
+        assert_eq!(s.misses, 2); // explicit probe + the first get_or_cluster
+        assert_eq!(s.inserts, 1);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let r = registry_with_ring("ring");
+        let cfgs: Vec<LbConfig> = (0..3)
+            .map(|s| LbConfig::new(0.5, 20).with_seed(s))
+            .collect();
+        let _ = r.get_or_cluster("ring", &cfgs[0]).unwrap();
+        let _ = r.get_or_cluster("ring", &cfgs[1]).unwrap();
+        // Touch cfg 0 so cfg 1 becomes the LRU victim.
+        assert!(r.cached("ring", &cfgs[0]).is_some());
+        let _ = r.get_or_cluster("ring", &cfgs[2]).unwrap();
+        assert_eq!(r.cached_len(), 2);
+        assert!(r.cached("ring", &cfgs[0]).is_some());
+        assert!(r.cached("ring", &cfgs[1]).is_none(), "cfg 1 was evicted");
+        assert_eq!(r.stats().evictions, 1);
+    }
+
+    #[test]
+    fn replacing_a_dataset_invalidates_its_cache() {
+        let r = registry_with_ring("ring");
+        let cfg = LbConfig::new(0.5, 20).with_seed(3);
+        let stale = r.get_or_cluster("ring", &cfg).unwrap();
+        // Replace with a different graph under the same name.
+        let (g2, _) = generators::ring_of_cliques(3, 10, 0).unwrap();
+        r.insert_graph("ring", g2);
+        assert!(
+            r.cached("ring", &cfg).is_none(),
+            "stale clustering survived dataset replacement"
+        );
+        let fresh = r.get_or_cluster("ring", &cfg).unwrap();
+        assert_ne!(stale.partition.n(), fresh.partition.n());
+    }
+
+    #[test]
+    fn mid_flight_dataset_replacement_is_not_published() {
+        let r = registry_with_ring("ring");
+        let cfg = LbConfig::new(0.5, 20).with_seed(6);
+        // Simulate a clustering that was resolved before the dataset
+        // was replaced: hold the old Arc, swap the dataset, then finish.
+        let old = r.graph("ring").unwrap();
+        let (g2, _) = generators::ring_of_cliques(3, 10, 0).unwrap();
+        r.insert_graph("ring", g2);
+        assert!(!r.is_current("ring", &old));
+        let out = r.get_or_cluster_on("ring", &old, &cfg).unwrap();
+        // The caller gets its (old-graph) result, but the cache must
+        // not serve it under the replaced dataset's name.
+        assert_eq!(out.partition.n(), old.n());
+        assert!(r.cached("ring", &cfg).is_none());
+        // A fresh request clusters the new graph.
+        let fresh = r.get_or_cluster("ring", &cfg).unwrap();
+        assert_eq!(fresh.partition.n(), 30);
+    }
+
+    #[test]
+    fn concurrent_misses_cluster_once() {
+        let r = Arc::new(registry_with_ring("ring"));
+        let cfg = LbConfig::new(0.5, 200).with_seed(4);
+        let outputs: Vec<Arc<ClusterOutput>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| {
+                    let r = Arc::clone(&r);
+                    let cfg = cfg.clone();
+                    scope.spawn(move || r.get_or_cluster("ring", &cfg).unwrap())
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        // Exactly one clustering ran; everyone shares its Arc.
+        assert_eq!(r.stats().inserts, 1);
+        for out in &outputs[1..] {
+            assert!(Arc::ptr_eq(&outputs[0], out));
+        }
+    }
+
+    #[test]
+    fn cached_output_matches_direct_run() {
+        let r = registry_with_ring("ring");
+        let cfg = LbConfig::new(0.5, 25).with_seed(7);
+        let cached = r.get_or_cluster("ring", &cfg).unwrap();
+        let direct = cluster(&r.graph("ring").unwrap(), &cfg).unwrap();
+        assert_eq!(cached.partition, direct.partition);
+        assert_eq!(cached.states, direct.states);
+        assert_eq!(cached.seeds, direct.seeds);
+    }
+}

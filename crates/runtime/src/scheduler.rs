@@ -1,0 +1,374 @@
+//! Sharded clustering scheduler: a dependency-free `std::thread` worker
+//! pool executing independent `(graph, config)` clustering jobs.
+//!
+//! Workers pull jobs from one shared FIFO channel, so independent jobs
+//! shard across cores with no static assignment and no idle worker while
+//! work remains. Because [`lbc_core::cluster`] derives every random
+//! decision from per-node RNG streams seeded only by `(cfg.seed, node)`,
+//! a job's output does not depend on which worker ran it, whether other
+//! jobs ran concurrently, or in what order jobs were popped — pool
+//! output is bit-for-bit identical to the single-threaded path, a
+//! property the determinism tests assert.
+//!
+//! Every job is tracked in a job table ([`WorkerPool::job_table`]) with
+//! its state, the worker that ran it, and its wall-clock duration, which
+//! is what `lbc jobs` renders.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use lbc_core::driver::ClusterError;
+use lbc_core::{cluster, ClusterOutput, LbConfig};
+use lbc_graph::Graph;
+
+use crate::error::RuntimeError;
+use crate::registry::Registry;
+
+/// Lifecycle of one clustering job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum JobState {
+    Queued,
+    Running,
+    Done,
+    Failed(ClusterError),
+}
+
+impl std::fmt::Display for JobState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JobState::Queued => write!(f, "queued"),
+            JobState::Running => write!(f, "running"),
+            JobState::Done => write!(f, "done"),
+            JobState::Failed(e) => write!(f, "failed: {e}"),
+        }
+    }
+}
+
+/// Job-table row.
+#[derive(Debug, Clone)]
+pub struct JobRecord {
+    pub id: u64,
+    /// Dataset label the submitter attached (informational).
+    pub dataset: String,
+    /// The job's clustering seed (the most common sweep axis).
+    pub seed: u64,
+    pub state: JobState,
+    /// Worker index that executed the job (`None` while queued).
+    pub worker: Option<usize>,
+    /// Wall-clock execution time (`None` until finished).
+    pub duration: Option<Duration>,
+}
+
+struct Job {
+    id: u64,
+    graph: Arc<Graph>,
+    cfg: LbConfig,
+    /// Cache destination for the finished output, if any.
+    publish: Option<(Arc<Registry>, String)>,
+    result_tx: mpsc::Sender<Result<Arc<ClusterOutput>, ClusterError>>,
+}
+
+type JobTable = Arc<Mutex<BTreeMap<u64, JobRecord>>>;
+
+/// Waitable handle to a submitted job.
+pub struct JobHandle {
+    id: u64,
+    rx: mpsc::Receiver<Result<Arc<ClusterOutput>, ClusterError>>,
+}
+
+impl JobHandle {
+    /// Job id (key into [`WorkerPool::job_table`]).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Block until the job finishes.
+    pub fn wait(self) -> Result<Arc<ClusterOutput>, RuntimeError> {
+        match self.rx.recv() {
+            Ok(Ok(out)) => Ok(out),
+            Ok(Err(e)) => Err(RuntimeError::Cluster(e)),
+            Err(_) => Err(RuntimeError::PoolShutdown),
+        }
+    }
+}
+
+/// Fixed-size `std::thread` worker pool for clustering jobs.
+pub struct WorkerPool {
+    tx: Option<mpsc::Sender<Job>>,
+    workers: Vec<std::thread::JoinHandle<()>>,
+    table: JobTable,
+    next_id: AtomicU64,
+}
+
+impl WorkerPool {
+    /// Spawn `threads` workers (clamped to ≥ 1).
+    pub fn new(threads: usize) -> Self {
+        let threads = threads.max(1);
+        let (tx, rx) = mpsc::channel::<Job>();
+        let rx = Arc::new(Mutex::new(rx));
+        let table: JobTable = Arc::new(Mutex::new(BTreeMap::new()));
+        let workers = (0..threads)
+            .map(|worker_idx| {
+                let rx = Arc::clone(&rx);
+                let table = Arc::clone(&table);
+                std::thread::Builder::new()
+                    .name(format!("lbc-worker-{worker_idx}"))
+                    .spawn(move || loop {
+                        // Hold the receiver lock only for the pop; the
+                        // clustering itself runs lock-free.
+                        let job = match rx.lock().unwrap().recv() {
+                            Ok(job) => job,
+                            Err(_) => return, // pool dropped, drain done
+                        };
+                        {
+                            let mut t = table.lock().unwrap();
+                            if let Some(rec) = t.get_mut(&job.id) {
+                                rec.state = JobState::Running;
+                                rec.worker = Some(worker_idx);
+                            }
+                        }
+                        let t0 = Instant::now();
+                        // Publishing jobs go through the registry's
+                        // in-flight dedup (racing jobs for the same key
+                        // wait for one run instead of repeating it);
+                        // unpublished jobs cluster directly.
+                        let result = match &job.publish {
+                            Some((registry, name)) => {
+                                registry.get_or_cluster_on(name, &job.graph, &job.cfg)
+                            }
+                            None => cluster(&job.graph, &job.cfg).map(Arc::new),
+                        };
+                        let took = t0.elapsed();
+                        {
+                            let mut t = table.lock().unwrap();
+                            if let Some(rec) = t.get_mut(&job.id) {
+                                rec.state = match &result {
+                                    Ok(_) => JobState::Done,
+                                    Err(e) => JobState::Failed(e.clone()),
+                                };
+                                rec.duration = Some(took);
+                            }
+                        }
+                        // A dropped handle is fine; the job table keeps
+                        // the outcome.
+                        let _ = job.result_tx.send(result);
+                    })
+                    .expect("spawn worker thread")
+            })
+            .collect();
+        WorkerPool {
+            tx: Some(tx),
+            workers,
+            table,
+            next_id: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn threads(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Submit a clustering job on an explicit graph.
+    pub fn submit(&self, dataset: &str, graph: Arc<Graph>, cfg: LbConfig) -> JobHandle {
+        self.submit_inner(dataset, graph, cfg, None)
+    }
+
+    /// Submit a job for a registered dataset; the finished output is
+    /// published into `registry`'s cache. Returns an already-completed
+    /// handle on a cache hit, so batch submitters get dedup for free.
+    pub fn submit_cached(
+        &self,
+        registry: &Arc<Registry>,
+        name: &str,
+        cfg: &LbConfig,
+    ) -> Result<JobHandle, RuntimeError> {
+        if let Some(out) = registry.cached(name, cfg) {
+            let (tx, rx) = mpsc::channel();
+            tx.send(Ok(out)).expect("receiver held locally");
+            let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+            self.table.lock().unwrap().insert(
+                id,
+                JobRecord {
+                    id,
+                    dataset: name.to_string(),
+                    seed: cfg.seed,
+                    state: JobState::Done,
+                    worker: None,
+                    duration: Some(Duration::ZERO),
+                },
+            );
+            return Ok(JobHandle { id, rx });
+        }
+        let graph = registry.graph(name)?;
+        Ok(self.submit_inner(
+            name,
+            graph,
+            cfg.clone(),
+            Some((Arc::clone(registry), name.to_string())),
+        ))
+    }
+
+    fn submit_inner(
+        &self,
+        dataset: &str,
+        graph: Arc<Graph>,
+        cfg: LbConfig,
+        publish: Option<(Arc<Registry>, String)>,
+    ) -> JobHandle {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        let (result_tx, rx) = mpsc::channel();
+        self.table.lock().unwrap().insert(
+            id,
+            JobRecord {
+                id,
+                dataset: dataset.to_string(),
+                seed: cfg.seed,
+                state: JobState::Queued,
+                worker: None,
+                duration: None,
+            },
+        );
+        let job = Job {
+            id,
+            graph,
+            cfg,
+            publish,
+            result_tx,
+        };
+        self.tx
+            .as_ref()
+            .expect("sender alive until drop")
+            .send(job)
+            .expect("workers alive until drop");
+        JobHandle { id, rx }
+    }
+
+    /// Snapshot of all job records, ordered by id.
+    pub fn job_table(&self) -> Vec<JobRecord> {
+        self.table.lock().unwrap().values().cloned().collect()
+    }
+
+    /// Render the job table as an aligned text report.
+    pub fn render_job_table(&self) -> String {
+        let mut s = String::from("job   dataset            seed    worker  state     ms\n");
+        for rec in self.job_table() {
+            let worker = rec.worker.map_or("-".to_string(), |w| w.to_string());
+            let ms = rec
+                .duration
+                .map_or("-".to_string(), |d| format!("{:.2}", d.as_secs_f64() * 1e3));
+            s.push_str(&format!(
+                "{:<5} {:<18} {:<7} {:<7} {:<9} {}\n",
+                rec.id,
+                rec.dataset,
+                rec.seed,
+                worker,
+                rec.state.to_string(),
+                ms
+            ));
+        }
+        s
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Close the channel; workers drain outstanding jobs and exit.
+        drop(self.tx.take());
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbc_graph::generators;
+
+    #[test]
+    fn pool_runs_jobs_and_tracks_them() {
+        // Jobs must be a few ms each, or one worker can legitimately
+        // drain the whole queue before its siblings wake up.
+        let (g, _) = generators::ring_of_cliques(4, 40, 0).unwrap();
+        let g = Arc::new(g);
+        let pool = WorkerPool::new(4);
+        let handles: Vec<JobHandle> = (0..8)
+            .map(|s| {
+                pool.submit(
+                    "ring",
+                    Arc::clone(&g),
+                    LbConfig::new(0.25, 400).with_seed(s),
+                )
+            })
+            .collect();
+        for h in handles {
+            h.wait().unwrap();
+        }
+        let table = pool.job_table();
+        assert_eq!(table.len(), 8);
+        assert!(table.iter().all(|r| r.state == JobState::Done));
+        assert!(table.iter().all(|r| r.duration.is_some()));
+        // With 8 jobs on 4 workers, at least 2 distinct workers ran.
+        let mut workers: Vec<usize> = table.iter().filter_map(|r| r.worker).collect();
+        workers.sort_unstable();
+        workers.dedup();
+        assert!(workers.len() >= 2, "jobs did not shard: {workers:?}");
+    }
+
+    #[test]
+    fn failed_jobs_are_reported() {
+        let g = Arc::new(Graph::from_edges(0, &[]).unwrap());
+        let pool = WorkerPool::new(1);
+        let h = pool.submit("empty", g, LbConfig::new(0.5, 5));
+        assert!(matches!(
+            h.wait(),
+            Err(RuntimeError::Cluster(ClusterError::EmptyGraph))
+        ));
+        let table = pool.job_table();
+        assert!(matches!(table[0].state, JobState::Failed(_)));
+    }
+
+    #[test]
+    fn submit_cached_publishes_and_dedups() {
+        let registry = Arc::new(Registry::with_capacity(4));
+        let (g, _) = generators::ring_of_cliques(2, 10, 0).unwrap();
+        registry.insert_graph("ring", g);
+        let pool = WorkerPool::new(2);
+        let cfg = LbConfig::new(0.5, 20).with_seed(1);
+        let out1 = pool
+            .submit_cached(&registry, "ring", &cfg)
+            .unwrap()
+            .wait()
+            .unwrap();
+        // Second submission must be served from cache (same Arc, no work).
+        let h2 = pool.submit_cached(&registry, "ring", &cfg).unwrap();
+        let rec = pool
+            .job_table()
+            .into_iter()
+            .find(|r| r.id == h2.id())
+            .unwrap();
+        assert_eq!(rec.state, JobState::Done);
+        assert_eq!(rec.duration, Some(Duration::ZERO));
+        let out2 = h2.wait().unwrap();
+        assert!(Arc::ptr_eq(&out1, &out2));
+        assert_eq!(registry.stats().inserts, 1);
+    }
+
+    #[test]
+    fn drop_drains_queued_jobs() {
+        let (g, _) = generators::ring_of_cliques(2, 8, 0).unwrap();
+        let g = Arc::new(g);
+        let pool = WorkerPool::new(2);
+        let handles: Vec<JobHandle> = (0..6)
+            .map(|s| pool.submit("ring", Arc::clone(&g), LbConfig::new(0.5, 10).with_seed(s)))
+            .collect();
+        drop(pool);
+        for h in handles {
+            // Every job completed (drained) rather than lost.
+            h.wait().unwrap();
+        }
+    }
+}

@@ -1,0 +1,99 @@
+//! Pool-sharded clustering must be bit-for-bit identical to the
+//! single-threaded path.
+//!
+//! This extends `lbc-core`'s `deterministic_in_seed` unit test (same
+//! config twice → same output) to the serving engine: the *same jobs*
+//! pushed through a multi-threaded worker pool — interleaved with other
+//! jobs, on arbitrary workers, in arbitrary order — must reproduce the
+//! single-threaded [`lbc_core::cluster`] outputs exactly: seeds, final
+//! load states (every f64 bit), raw labels, and partition.
+
+use std::sync::Arc;
+
+use lbc_core::{cluster, ClusterOutput, LbConfig};
+use lbc_graph::{generators, Graph};
+use lbc_runtime::{Registry, WorkerPool};
+
+fn assert_identical(a: &ClusterOutput, b: &ClusterOutput) {
+    assert_eq!(a.seeds, b.seeds, "seed sets differ");
+    assert_eq!(a.rounds, b.rounds, "round counts differ");
+    assert_eq!(a.raw_labels, b.raw_labels, "raw labels differ");
+    assert_eq!(a.partition, b.partition, "partitions differ");
+    // LoadState: PartialEq compares the sorted (id, f64) entry vectors;
+    // equality here is exact bit-for-bit float equality, not tolerance.
+    assert_eq!(a.states, b.states, "load states differ");
+}
+
+fn job_matrix() -> Vec<(String, Graph, LbConfig)> {
+    let mut jobs = Vec::new();
+    let (ring, _) = generators::ring_of_cliques(3, 12, 0).unwrap();
+    let (planted, _) = generators::planted_partition(2, 30, 0.5, 0.02, 7).unwrap();
+    let (regular, _) = generators::regular_cluster_graph(2, 20, 6, 2, 9).unwrap();
+    for seed in 0..6u64 {
+        jobs.push((
+            "ring".to_string(),
+            ring.clone(),
+            LbConfig::new(1.0 / 3.0, 50).with_seed(seed),
+        ));
+        jobs.push((
+            "planted".to_string(),
+            planted.clone(),
+            LbConfig::new(0.5, 40).with_seed(seed),
+        ));
+        jobs.push((
+            "regular".to_string(),
+            regular.clone(),
+            LbConfig::new(0.5, 60).with_seed(seed),
+        ));
+    }
+    jobs
+}
+
+#[test]
+fn pool_sharded_clustering_is_bit_identical_to_single_threaded() {
+    let jobs = job_matrix();
+    // Reference: strictly sequential, single-threaded.
+    let reference: Vec<ClusterOutput> = jobs
+        .iter()
+        .map(|(_, g, cfg)| cluster(g, cfg).unwrap())
+        .collect();
+    // Sharded: all jobs in flight at once on a 4-thread pool.
+    let pool = WorkerPool::new(4);
+    let handles: Vec<_> = jobs
+        .iter()
+        .map(|(name, g, cfg)| pool.submit(name, Arc::new(g.clone()), cfg.clone()))
+        .collect();
+    for (h, want) in handles.into_iter().zip(&reference) {
+        let got = h.wait().unwrap();
+        assert_identical(&got, want);
+    }
+}
+
+#[test]
+fn registry_pool_path_is_bit_identical_too() {
+    let registry = Arc::new(Registry::with_capacity(64));
+    let jobs = job_matrix();
+    for (name, g, _) in &jobs {
+        // Re-inserting the same graph under the same name is idempotent
+        // for this matrix (same generator output every time).
+        registry.insert_graph(name, g.clone());
+    }
+    let pool = WorkerPool::new(4);
+    let handles: Vec<_> = jobs
+        .iter()
+        .map(|(name, _, cfg)| pool.submit_cached(&registry, name, cfg).unwrap())
+        .collect();
+    for (h, (_, g, cfg)) in handles.into_iter().zip(&jobs) {
+        let got = h.wait().unwrap();
+        let want = cluster(g, cfg).unwrap();
+        assert_identical(&got, &want);
+    }
+    // Every output is now cached; a second sweep is pure cache hits.
+    let before = registry.stats();
+    for (name, _, cfg) in &jobs {
+        assert!(registry.cached(name, cfg).is_some());
+    }
+    let after = registry.stats();
+    assert_eq!(after.hits - before.hits, jobs.len() as u64);
+    assert_eq!(after.inserts, before.inserts);
+}

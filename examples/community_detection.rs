@@ -12,8 +12,7 @@ fn main() {
     // Three communities of different sizes (a big one and two smaller),
     // as in real social graphs; β is set by the smallest community.
     let sizes = [400usize, 250, 150];
-    let (graph, truth) =
-        planted_partition_sizes(&sizes, 0.08, 0.002, 2026).expect("generator");
+    let (graph, truth) = planted_partition_sizes(&sizes, 0.08, 0.002, 2026).expect("generator");
     let n: usize = sizes.iter().sum();
     let beta = truth.beta();
     println!(
@@ -65,7 +64,11 @@ fn main() {
     // Label propagation.
     let t0 = Instant::now();
     let (lp, lp_rounds) = label_propagation(&graph, 100);
-    report("label propagation", lp.labels(), t0.elapsed().as_secs_f64() * 1e3);
+    report(
+        "label propagation",
+        lp.labels(),
+        t0.elapsed().as_secs_f64() * 1e3,
+    );
     println!();
     println!(
         "label propagation stabilised in {lp_rounds} rounds; averaging dynamics shipped {} words",

@@ -29,14 +29,8 @@ fn main() {
     );
 
     let rounds = 240;
-    let traj = projection_error_trajectory(
-        &graph,
-        &analysis,
-        ProposalRule::Uniform,
-        good,
-        rounds,
-        123,
-    );
+    let traj =
+        projection_error_trajectory(&graph, &analysis, ProposalRule::Uniform, good, rounds, 123);
 
     // Also track ‖y(t) − χ_S‖ for the same run.
     let chi = chi_indicator(&truth, truth.label(good), n);

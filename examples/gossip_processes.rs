@@ -23,16 +23,12 @@ fn main() {
             None => println!("  ≥ {target:>3} informed: never"),
         }
     }
-    println!(
-        "  → the source clique saturates ~immediately; each cut crossing stalls the front.\n"
-    );
+    println!("  → the source clique saturates ~immediately; each cut crossing stalls the front.\n");
 
     // Averaging: start with each clique at its own level; the within-
     // cluster disagreement dies at rate ≈ d̄/4·(1−λ_k) while the
     // between-cluster disagreement persists for ≈ the global mixing time.
-    let initial: Vec<f64> = (0..n)
-        .map(|v| truth.label(v as u32) as f64)
-        .collect();
+    let initial: Vec<f64> = (0..n).map(|v| truth.label(v as u32) as f64).collect();
     let rounds = 3000;
     let avg = gossip_average(&graph, ProposalRule::Uniform, &initial, rounds, 7);
     println!("== averaging from per-clique levels (0, 1, 2, 3) ==");

@@ -32,13 +32,18 @@ fn main() {
     println!("messages sent       = {}", stats.sent_messages);
     println!("words sent          = {}", stats.sent_words);
     let bound = rounds as u64 * graph.n() as u64 * (out.seeds.len().max(2) as u64);
-    println!("T·n·s reference     = {bound}   (measured/reference = {:.3})",
-        stats.sent_words as f64 / bound as f64);
+    println!(
+        "T·n·s reference     = {bound}   (measured/reference = {:.3})",
+        stats.sent_words as f64 / bound as f64
+    );
 
     // Compare with the all-neighbours cost of averaging dynamics.
     let av = becchetti_averaging(&graph, 4, rounds, 6, 9);
     println!("\n== averaging dynamics (all-neighbour gossip) ==");
-    println!("accuracy            = {:.4}", accuracy(truth.labels(), av.partition.labels()));
+    println!(
+        "accuracy            = {:.4}",
+        accuracy(truth.labels(), av.partition.labels())
+    );
     println!("words sent          = {}", av.words);
     println!(
         "matching model saves a factor of {:.1}x in words on this graph",

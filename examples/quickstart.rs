@@ -41,6 +41,9 @@ fn main() {
     let ari = adjusted_rand_index(truth.labels(), out.partition.labels());
     let nmi = normalized_mutual_information(truth.labels(), out.partition.labels());
     println!("accuracy = {acc:.4}  misclassified = {miscl}  ARI = {ari:.4}  NMI = {nmi:.4}");
-    assert!(acc > 0.9, "expected high accuracy on a well-clustered graph");
+    assert!(
+        acc > 0.9,
+        "expected high accuracy on a well-clustered graph"
+    );
     println!("ok: recovered the planted clusters");
 }

@@ -44,7 +44,9 @@ pub mod prelude {
         cluster, cluster_adaptive, cluster_async, cluster_discrete, cluster_distributed,
         estimate_size, ClusterOutput, LbConfig, QueryRule,
     };
-    pub use lbc_eval::{accuracy, adjusted_rand_index, misclassified, normalized_mutual_information};
+    pub use lbc_eval::{
+        accuracy, adjusted_rand_index, misclassified, normalized_mutual_information,
+    };
     pub use lbc_graph::generators::{
         dumbbell, planted_partition, planted_partition_sizes, regular_cluster_graph,
         ring_of_cliques,

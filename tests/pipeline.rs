@@ -107,8 +107,7 @@ fn all_query_rules_produce_valid_partitions() {
 fn faulty_network_still_terminates_and_labels_everyone() {
     let (g, _) = ring_of_cliques(2, 15, 0).unwrap();
     let cfg = LbConfig::new(0.5, 40).with_seed(8);
-    let (out, stats) =
-        cluster_distributed(&g, &cfg, Some(FaultPlan::with_drops(0.5, 2))).unwrap();
+    let (out, stats) = cluster_distributed(&g, &cfg, Some(FaultPlan::with_drops(0.5, 2))).unwrap();
     assert_eq!(out.partition.n(), g.n());
     assert!(stats.dropped_messages > 0);
 }

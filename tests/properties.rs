@@ -1,9 +1,7 @@
 //! Property-based tests (proptest) for the core invariants listed in
 //! DESIGN.md §3.
 
-use graph_cluster_lb::core::matching::{
-    apply_matching_dense, sample_matching, ProposalRule,
-};
+use graph_cluster_lb::core::matching::{apply_matching_dense, sample_matching, ProposalRule};
 use graph_cluster_lb::core::{cluster, LbConfig, LoadState, QueryRule};
 use graph_cluster_lb::distsim::NodeRng;
 use graph_cluster_lb::eval::{accuracy, adjusted_rand_index, hungarian_max, misclassified};
@@ -17,8 +15,7 @@ fn arb_graph() -> impl Strategy<Value = Graph> {
         // extra edges on top.
         let extra = proptest::collection::vec((0..n as u32, 0..n as u32), 0..3 * n);
         extra.prop_map(move |pairs| {
-            let mut edges: Vec<(u32, u32)> =
-                (1..n as u32).map(|v| (v - 1, v)).collect();
+            let mut edges: Vec<(u32, u32)> = (1..n as u32).map(|v| (v - 1, v)).collect();
             for (a, b) in pairs {
                 if a != b {
                     edges.push((a, b));
@@ -164,18 +161,18 @@ proptest! {
         // Greedy row-by-row assignment.
         let mut used = vec![false; rows];
         let mut greedy = 0.0;
-        for r in 0..rows {
+        for row in &w {
             let mut pick = None;
             let mut pv = f64::MIN;
             for c in 0..rows {
-                if !used[c] && w[r][c] > pv {
-                    pv = w[r][c];
+                if !used[c] && row[c] > pv {
+                    pv = row[c];
                     pick = Some(c);
                 }
             }
             let c = pick.unwrap();
             used[c] = true;
-            greedy += w[r][c];
+            greedy += row[c];
         }
         prop_assert!(best >= greedy - 1e-9);
     }
