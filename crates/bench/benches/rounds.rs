@@ -1,0 +1,165 @@
+//! Averaging-round throughput: the pre-refactor `Vec<LoadState>` path
+//! (fresh matching buffers + allocating merges) against the flat
+//! [`StateArena`] + [`MatchingScratch`] path, per round, across the
+//! three main graph families at n ∈ {10k, 100k}.
+//!
+//! One benchmark iteration = one full averaging round (sample a matching,
+//! merge every matched pair). Both paths replay identical per-node
+//! random streams, so they do identical logical work — the measured gap
+//! is pure representation and allocator traffic. Throughput is reported
+//! as matched-pairs/s (`elem/s`, using the measured mean pairs per
+//! round); rounds/s is the reciprocal of the mean iteration time.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use lbc_core::matching::{sample_matching_into, MatchingScratch, ProposalRule};
+use lbc_core::{run_seeding, LoadState, StateArena};
+use lbc_distsim::NodeRng;
+use lbc_graph::{generators, Graph, NodeId};
+
+/// The seed implementation's matching sampler, reproduced verbatim
+/// (five fresh `n`-sized buffers per call) so the pre-refactor round
+/// loop stays measurable after the refactor. Consumes the same random
+/// draws as `sample_matching_into` and returns the same partner array.
+fn sample_matching_reference(
+    g: &Graph,
+    rule: ProposalRule,
+    rngs: &mut [NodeRng],
+) -> Vec<Option<NodeId>> {
+    let n = g.n();
+    let mut active = vec![false; n];
+    let mut proposal: Vec<Option<NodeId>> = vec![None; n];
+    for v in 0..n {
+        let (a, target) = rule.draw(g.neighbours(v as NodeId), &mut rngs[v]);
+        active[v] = a;
+        proposal[v] = target;
+    }
+    let mut proposals_received = vec![0u32; n];
+    let mut proposer_of: Vec<NodeId> = vec![0; n];
+    for (u, &t) in proposal.iter().enumerate() {
+        if let Some(t) = t {
+            proposals_received[t as usize] += 1;
+            proposer_of[t as usize] = u as NodeId;
+        }
+    }
+    let mut partner: Vec<Option<NodeId>> = vec![None; n];
+    for v in 0..n {
+        if !active[v] && proposals_received[v] == 1 {
+            let u = proposer_of[v];
+            partner[v] = Some(u);
+            partner[u as usize] = Some(v as NodeId);
+        }
+    }
+    partner
+}
+
+const SEEDING_TRIALS: usize = 17; // s̄ for β = 1/4
+const WARMUP_ROUNDS: usize = 150; // saturate state sizes before timing
+
+fn families(n: usize) -> Vec<(&'static str, Graph)> {
+    let quarter = n / 4;
+    vec![
+        (
+            "ring_of_cliques",
+            generators::ring_of_cliques(n / 100, 100, 0).unwrap().0,
+        ),
+        (
+            "planted_partition",
+            generators::planted_partition_sparse(
+                4,
+                quarter,
+                48.0 / quarter as f64,
+                2.0 / n as f64,
+                1,
+            )
+            .unwrap()
+            .0,
+        ),
+        (
+            "random_regular",
+            generators::random_regular(n, 8, 1).unwrap(),
+        ),
+    ]
+}
+
+fn rngs_for(n: usize, seed: u64) -> Vec<NodeRng> {
+    (0..n as u32).map(|v| NodeRng::for_node(seed, v)).collect()
+}
+
+fn rule_for(g: &Graph) -> ProposalRule {
+    // Mirror `LbConfig`'s auto degree mode.
+    if g.is_regular() {
+        ProposalRule::Uniform
+    } else {
+        ProposalRule::Capped(g.max_degree().max(1))
+    }
+}
+
+fn bench_rounds(c: &mut Criterion) {
+    for &n in &[10_000usize, 100_000] {
+        for (family, g) in families(n) {
+            let rule = rule_for(&g);
+            let mut group = c.benchmark_group(&format!("rounds/{family}/n{n}"));
+
+            // Mean matched pairs per round (for the pairs/s readout),
+            // measured over a few untimed rounds.
+            let mut probe_rngs = rngs_for(n, 3);
+            let mut probe = MatchingScratch::new(n);
+            let mut pairs = 0usize;
+            for _ in 0..10 {
+                sample_matching_into(&g, rule, &mut probe_rngs, &mut probe);
+                pairs += probe.matched_pairs();
+            }
+            group.throughput(Throughput::Elements((pairs / 10).max(1) as u64));
+
+            // Pre-refactor path: allocating sampler + allocating merges.
+            {
+                let mut rngs = rngs_for(n, 3);
+                let seeds = run_seeding(n, SEEDING_TRIALS, &mut rngs);
+                assert!(!seeds.is_empty());
+                let mut states: Vec<LoadState> = vec![LoadState::empty(); n];
+                for s in &seeds {
+                    states[s.node as usize] = LoadState::seed(s.id);
+                }
+                let mut old_round = || {
+                    let partner = sample_matching_reference(&g, rule, &mut rngs);
+                    let pairs = partner
+                        .iter()
+                        .enumerate()
+                        .filter_map(|(u, &p)| p.map(|v| (u as NodeId, v)))
+                        .filter(|&(u, v)| u < v);
+                    for (u, v) in pairs {
+                        let merged = LoadState::average(&states[u as usize], &states[v as usize]);
+                        states[u as usize] = merged.clone();
+                        states[v as usize] = merged;
+                    }
+                };
+                for _ in 0..WARMUP_ROUNDS {
+                    old_round();
+                }
+                group.bench_function("load_state", |b| b.iter(&mut old_round));
+            }
+
+            // Arena path: reusable matching scratch + in-place merges,
+            // replaying the identical random streams.
+            {
+                let mut rngs = rngs_for(n, 3);
+                let seeds = run_seeding(n, SEEDING_TRIALS, &mut rngs);
+                let mut arena = StateArena::new(n, &seeds);
+                let mut scratch = MatchingScratch::new(n);
+                let mut arena_round = || {
+                    sample_matching_into(&g, rule, &mut rngs, &mut scratch);
+                    arena.average_matched(&scratch);
+                };
+                for _ in 0..WARMUP_ROUNDS {
+                    arena_round();
+                }
+                group.bench_function("arena", |b| b.iter(&mut arena_round));
+            }
+
+            group.finish();
+        }
+    }
+}
+
+criterion_group!(benches, bench_rounds);
+criterion_main!(benches);

@@ -395,11 +395,12 @@ fn cmd_serve_bench(rest: &[String]) -> Result<String, String> {
     report.push_str(&load.render());
     let s = registry.stats();
     report.push_str(&format!(
-        "cache: {} hits, {} misses, {} evictions ({} resident)\n",
+        "cache: {} hits, {} misses, {} evictions ({} resident, {} words pinned)\n",
         s.hits,
         s.misses,
         s.evictions,
-        registry.cached_len()
+        registry.cached_len(),
+        registry.resident_words()
     ));
     Ok(report)
 }

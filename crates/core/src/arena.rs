@@ -1,0 +1,449 @@
+//! Flat, allocation-free state storage for the averaging round loop.
+//!
+//! [`crate::state::LoadState`] is the right *interface* for a per-node
+//! state — sorted `(seed id, load)` pairs — but a `Vec<LoadState>` is the
+//! wrong *layout* for the hot loop: every merge allocates a fresh vector
+//! (plus a clone for the second endpoint), and the states themselves are
+//! scattered across the heap. [`StateArena`] keeps the same logical
+//! content in one contiguous buffer:
+//!
+//! * the sparse `u64` seed ids are compacted once, after seeding, into
+//!   dense `u32` indices `0..s` — **in ascending id order**, so a merge
+//!   by dense index visits entries in exactly the order a merge by raw
+//!   id would, and produces bit-identical floats;
+//! * every node owns a fixed-stride region of `s` entry slots (an entry's
+//!   key is one of the `s` seeds, so no state can ever exceed `s`
+//!   entries — the CSR offset degenerates to `v · s` and every merge fits
+//!   in its own region);
+//! * [`StateArena::average_into`] is the same deterministic two-pointer
+//!   merge as [`LoadState::average`], performed **in place** inside `u`'s
+//!   region (writing toward whichever end of the region the live entries
+//!   don't occupy — the classic merge-into-the-gap trick) and then copied
+//!   once into `v`'s region. No scratch buffer, no allocation, one copy
+//!   instead of the `LoadState` path's two.
+//!
+//! After seeding, a full averaging round therefore performs **zero heap
+//! allocation** (enforced by `tests/zero_alloc.rs`), and the resident
+//! footprint is a flat `n · s` table instead of `n` little vectors —
+//! the substrate the ROADMAP's incremental re-clustering item needs.
+
+use crate::matching::MatchingScratch;
+use crate::seeding::Seed;
+use crate::state::{LoadState, SeedId};
+
+/// Flat per-node load states over a dense seed-index universe.
+///
+/// Node `v` owns entry slots `[v·s, (v+1)·s)`; its live entries sit at
+/// `[v·s + start[v], v·s + start[v] + len[v])`, sorted by dense index.
+/// `start[v]` is 0 (left-aligned) or `s − len[v]` (right-aligned) — the
+/// alignment alternates as merges bounce the state between the two ends
+/// of its region, which is what lets every merge run in place.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StateArena {
+    /// Sorted, duplicate-free seed ids; dense index = position.
+    ids: Vec<SeedId>,
+    /// Per-entry dense seed index, `n · s` slots.
+    idx: Vec<u32>,
+    /// Per-entry load, parallel to `idx`.
+    load: Vec<f64>,
+    /// First live slot of each node's region (see type docs).
+    start: Vec<u32>,
+    /// Live entries per node (`len[v] ≤ s`).
+    len: Vec<u32>,
+}
+
+impl StateArena {
+    fn with_universe(ids: Vec<SeedId>, n: usize) -> Self {
+        let s = ids.len();
+        StateArena {
+            ids,
+            idx: vec![0; n * s],
+            load: vec![0.0; n * s],
+            start: vec![0; n],
+            len: vec![0; n],
+        }
+    }
+
+    /// Arena for `n` nodes seeded by `seeds`: each seed node starts with
+    /// unit load on its own id, every other node starts empty — the same
+    /// initial condition as [`crate::cluster`]'s `Vec<LoadState>` setup.
+    ///
+    /// Seeds with colliding ids (possible in principle, the id space is
+    /// `[1, n³]`) share a dense index, exactly as two `LoadState`s with
+    /// the same id merge into one entry.
+    ///
+    /// Memory trade-off: the full `n · s` table (~12 bytes per slot) is
+    /// allocated up front, where the `Vec<LoadState>` layout grew with
+    /// each node's actual support. That is what buys allocation-free
+    /// in-place merges; at the usual `s = Θ((1/β)·ln(1/β))` (tens of
+    /// seeds) it is a few hundred MB even at n = 10⁷. Extreme
+    /// small-β/large-n combinations (s in the thousands, n in the tens
+    /// of millions) should bound `seeding_trials` accordingly — the
+    /// states converge to full support after `T` rounds anyway, so the
+    /// steady-state footprint is the same; only the *up-front* cost
+    /// differs.
+    pub fn new(n: usize, seeds: &[Seed]) -> Self {
+        let mut ids: Vec<SeedId> = seeds.iter().map(|s| s.id).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        let mut arena = StateArena::with_universe(ids, n);
+        let s = arena.ids.len();
+        for seed in seeds {
+            let v = seed.node as usize;
+            let d = arena.dense_index(seed.id).expect("seed id was interned");
+            arena.idx[v * s] = d;
+            arena.load[v * s] = 1.0;
+            arena.len[v] = 1;
+        }
+        arena
+    }
+
+    /// Arena holding copies of arbitrary existing states (the id universe
+    /// is the union of all entry ids). This is the seam for warm-starting
+    /// from resident states — e.g. re-labelling a cached clustering, or
+    /// the ROADMAP's incremental re-clustering.
+    pub fn from_states(states: &[LoadState]) -> Self {
+        let mut ids: Vec<SeedId> = states
+            .iter()
+            .flat_map(|st| st.entries().iter().map(|&(id, _)| id))
+            .collect();
+        ids.sort_unstable();
+        ids.dedup();
+        let mut arena = StateArena::with_universe(ids, states.len());
+        let s = arena.ids.len();
+        for (v, st) in states.iter().enumerate() {
+            let off = v * s;
+            for (k, &(id, x)) in st.entries().iter().enumerate() {
+                arena.idx[off + k] = arena.ids.binary_search(&id).expect("interned") as u32;
+                arena.load[off + k] = x;
+            }
+            arena.len[v] = st.len() as u32;
+        }
+        arena
+    }
+
+    /// Number of nodes.
+    pub fn n(&self) -> usize {
+        self.len.len()
+    }
+
+    /// Number of distinct seed ids (= per-node entry capacity).
+    pub fn seed_count(&self) -> usize {
+        self.ids.len()
+    }
+
+    /// Sorted seed ids; `ids()[d]` is the raw id of dense index `d`.
+    pub fn ids(&self) -> &[SeedId] {
+        &self.ids
+    }
+
+    /// Dense index of a raw seed id, if interned.
+    pub fn dense_index(&self, id: SeedId) -> Option<u32> {
+        self.ids.binary_search(&id).ok().map(|p| p as u32)
+    }
+
+    /// Node `v`'s entries as parallel `(dense idx, load)` slices, sorted
+    /// by dense index (equivalently: by raw seed id).
+    pub fn entries(&self, v: usize) -> (&[u32], &[f64]) {
+        let lo = v * self.ids.len() + self.start[v] as usize;
+        let hi = lo + self.len[v] as usize;
+        (&self.idx[lo..hi], &self.load[lo..hi])
+    }
+
+    /// Load of seed `id` at node `v` (0 if absent).
+    pub fn load_of(&self, v: usize, id: SeedId) -> f64 {
+        let Some(d) = self.dense_index(id) else {
+            return 0.0;
+        };
+        let (idx, load) = self.entries(v);
+        match idx.binary_search(&d) {
+            Ok(p) => load[p],
+            Err(_) => 0.0,
+        }
+    }
+
+    /// The paper's averaging rule applied in place to the matched pair
+    /// `(u, v)`: both nodes adopt the merged state.
+    ///
+    /// Same two-pointer merge, same per-entry arithmetic, as
+    /// [`LoadState::average`] — dense indices are assigned in ascending
+    /// id order and each output is computed from its operands alone, so
+    /// the floats are bit-for-bit equal (see the parity property test in
+    /// `tests/proptests.rs`). The merge writes into the unoccupied end
+    /// of `u`'s region (backward when the live entries are left-aligned,
+    /// forward when right-aligned; the result can never outgrow the
+    /// region, so the write cursor cannot overrun the unread entries)
+    /// and the result is then copied once into `v`'s region.
+    pub fn average_into(&mut self, u: usize, v: usize) {
+        debug_assert_ne!(u, v, "cannot average a node with itself");
+        let s = self.ids.len();
+        let (ou, ov) = (u * s, v * s);
+        let (su, sv) = (self.start[u] as usize, self.start[v] as usize);
+        let (lu, lv) = (self.len[u] as usize, self.len[v] as usize);
+        let k = if su == 0 {
+            self.merge_backward(ou, lu, ov + sv, lv)
+        } else {
+            self.merge_forward(ou + su, lu, ov + sv, lv)
+        };
+        let ns = if su == 0 { s - k } else { 0 };
+        self.idx.copy_within(ou + ns..ou + ns + k, ov + ns);
+        self.load.copy_within(ou + ns..ou + ns + k, ov + ns);
+        self.start[u] = ns as u32;
+        self.start[v] = ns as u32;
+        self.len[u] = k as u32;
+        self.len[v] = k as u32;
+    }
+
+    /// Merge `u`'s left-aligned entries (`au..au+lu`) with `v`'s entries
+    /// (`av..av+lv`) into the right end of `u`'s region, scanning from
+    /// the largest dense index down. Returns the merged length.
+    ///
+    /// Writes stay clear of unread input: with `t` outputs written and
+    /// `i` of `u`'s entries still unread, the outputs still to come
+    /// number at least `i` (`u`'s unread entries all produce one), so
+    /// `k − t > i − 1` and the write slot `au + s − 1 − t ≥ au + k − 1 − t
+    /// > au + i − 1`, the slot of `u`'s next unread entry.
+    fn merge_backward(&mut self, au: usize, lu: usize, av: usize, lv: usize) -> usize {
+        let s = self.ids.len();
+        let (mut i, mut j, mut w) = (lu, lv, s);
+        while i > 0 && j > 0 {
+            let ia = self.idx[au + i - 1];
+            let ib = self.idx[av + j - 1];
+            let (id, x) = if ia == ib {
+                let x = (self.load[au + i - 1] + self.load[av + j - 1]) / 2.0;
+                i -= 1;
+                j -= 1;
+                (ia, x)
+            } else if ia > ib {
+                let x = self.load[au + i - 1] / 2.0;
+                i -= 1;
+                (ia, x)
+            } else {
+                let x = self.load[av + j - 1] / 2.0;
+                j -= 1;
+                (ib, x)
+            };
+            w -= 1;
+            self.idx[au + w] = id;
+            self.load[au + w] = x;
+        }
+        while i > 0 {
+            w -= 1;
+            self.idx[au + w] = self.idx[au + i - 1];
+            self.load[au + w] = self.load[au + i - 1] / 2.0;
+            i -= 1;
+        }
+        while j > 0 {
+            w -= 1;
+            self.idx[au + w] = self.idx[av + j - 1];
+            self.load[au + w] = self.load[av + j - 1] / 2.0;
+            j -= 1;
+        }
+        s - w
+    }
+
+    /// Mirror of [`StateArena::merge_backward`]: `u`'s entries are
+    /// right-aligned (`au..au+lu` with `au + lu` = region end), merge
+    /// into the left end of `u`'s region scanning from the smallest
+    /// dense index up. Returns the merged length.
+    fn merge_forward(&mut self, au: usize, lu: usize, av: usize, lv: usize) -> usize {
+        let base = au + lu - self.ids.len(); // region start (= au − start)
+        let (mut i, mut j, mut w) = (0, 0, 0);
+        while i < lu && j < lv {
+            let ia = self.idx[au + i];
+            let ib = self.idx[av + j];
+            let (id, x) = if ia == ib {
+                let x = (self.load[au + i] + self.load[av + j]) / 2.0;
+                i += 1;
+                j += 1;
+                (ia, x)
+            } else if ia < ib {
+                let x = self.load[au + i] / 2.0;
+                i += 1;
+                (ia, x)
+            } else {
+                let x = self.load[av + j] / 2.0;
+                j += 1;
+                (ib, x)
+            };
+            self.idx[base + w] = id;
+            self.load[base + w] = x;
+            w += 1;
+        }
+        while i < lu {
+            self.idx[base + w] = self.idx[au + i];
+            self.load[base + w] = self.load[au + i] / 2.0;
+            i += 1;
+            w += 1;
+        }
+        while j < lv {
+            self.idx[base + w] = self.idx[av + j];
+            self.load[base + w] = self.load[av + j] / 2.0;
+            j += 1;
+            w += 1;
+        }
+        w
+    }
+
+    /// Hint the cache that node `v`'s region is about to be merged: its
+    /// start/len metadata plus the first and last line of each entry row
+    /// (the in-place merge starts from one of the two ends; the hardware
+    /// next-line prefetcher follows the stream from there).
+    #[inline]
+    fn prefetch_node(&self, v: usize) {
+        use crate::matching::prefetch_read;
+        let s = self.ids.len();
+        if s == 0 {
+            return;
+        }
+        let off = v * s;
+        // In bounds: v < n and off + s - 1 < n·s.
+        unsafe {
+            prefetch_read(self.start.as_ptr().add(v));
+            prefetch_read(self.len.as_ptr().add(v));
+            prefetch_read(self.idx.as_ptr().add(off));
+            prefetch_read(self.load.as_ptr().add(off));
+            prefetch_read(self.load.as_ptr().add(off + s - 1));
+        }
+    }
+
+    /// Merge every matched pair of the sampled matching — the batched
+    /// form of [`StateArena::average_into`] used by the round loops.
+    /// Walks the scratch's compact pair list (pairs are disjoint, so
+    /// processing order cannot affect the result) with a small prefetch
+    /// window running ahead of the merge cursor, so the randomly
+    /// scattered pair regions are already in cache when their merge
+    /// starts.
+    pub fn average_matched(&mut self, m: &MatchingScratch) {
+        const LOOKAHEAD: usize = 8;
+        let pairs = m.matched();
+        for (i, &(u, v)) in pairs.iter().enumerate() {
+            if let Some(&(pu, pv)) = pairs.get(i + LOOKAHEAD) {
+                self.prefetch_node(pu as usize);
+                self.prefetch_node(pv as usize);
+            }
+            self.average_into(u as usize, v as usize);
+        }
+    }
+
+    /// Materialise node `v` as a [`LoadState`] (raw ids restored).
+    pub fn to_load_state(&self, v: usize) -> LoadState {
+        let (idx, load) = self.entries(v);
+        LoadState::from_sorted_entries(
+            idx.iter()
+                .zip(load)
+                .map(|(&d, &x)| (self.ids[d as usize], x))
+                .collect(),
+        )
+    }
+
+    /// Materialise every node — the [`crate::ClusterOutput`] boundary
+    /// conversion, done once per clustering run.
+    pub fn to_load_states(&self) -> Vec<LoadState> {
+        (0..self.n()).map(|v| self.to_load_state(v)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seed(node: u32, id: SeedId) -> Seed {
+        Seed { node, id }
+    }
+
+    #[test]
+    fn new_places_unit_loads_at_seed_nodes() {
+        let a = StateArena::new(4, &[seed(1, 500), seed(3, 20)]);
+        assert_eq!(a.n(), 4);
+        assert_eq!(a.seed_count(), 2);
+        assert_eq!(a.ids(), &[20, 500]);
+        assert_eq!(a.load_of(1, 500), 1.0);
+        assert_eq!(a.load_of(3, 20), 1.0);
+        assert_eq!(a.load_of(0, 500), 0.0);
+        assert!(a.to_load_state(0).is_empty());
+        assert_eq!(a.to_load_state(3).entries(), &[(20, 1.0)]);
+    }
+
+    #[test]
+    fn dense_indices_follow_id_order() {
+        let a = StateArena::new(3, &[seed(0, 99), seed(1, 7), seed(2, 42)]);
+        assert_eq!(a.dense_index(7), Some(0));
+        assert_eq!(a.dense_index(42), Some(1));
+        assert_eq!(a.dense_index(99), Some(2));
+        assert_eq!(a.dense_index(8), None);
+    }
+
+    #[test]
+    fn average_matches_load_state_average_bitwise() {
+        let sa = LoadState::from_entries(vec![(7, 0.3), (42, 0.5)]);
+        let sb = LoadState::from_entries(vec![(42, 0.1), (99, 0.25)]);
+        let mut a = StateArena::from_states(&[sa.clone(), sb.clone()]);
+        a.average_into(0, 1);
+        let want = LoadState::average(&sa, &sb);
+        assert_eq!(a.to_load_state(0), want);
+        assert_eq!(a.to_load_state(1), want);
+        // The second merge exercises the opposite (right-aligned →
+        // forward) in-place direction.
+        a.average_into(0, 1);
+        let want2 = LoadState::average(&want, &want);
+        assert_eq!(a.to_load_state(0), want2);
+        assert_eq!(a.to_load_state(1), want2);
+    }
+
+    #[test]
+    fn repeated_merges_stay_within_capacity() {
+        // Worst case: every node ends up tracking every seed.
+        let seeds: Vec<Seed> = (0..4).map(|v| seed(v, 1000 - v as u64)).collect();
+        let mut a = StateArena::new(4, &seeds);
+        for _ in 0..8 {
+            a.average_into(0, 1);
+            a.average_into(2, 3);
+            a.average_into(1, 2);
+            a.average_into(3, 0);
+        }
+        for v in 0..4 {
+            let st = a.to_load_state(v);
+            assert_eq!(st.len(), 4);
+            // Entries stay sorted by raw id through in-place merges.
+            assert!(st.entries().windows(2).all(|w| w[0].0 < w[1].0));
+        }
+        // Total load per seed is conserved.
+        for s in &seeds {
+            let total: f64 = (0..4).map(|v| a.load_of(v, s.id)).sum();
+            assert!((total - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn merges_against_empty_states_halve() {
+        let mut a = StateArena::new(3, &[seed(0, 9), seed(1, 4)]);
+        a.average_into(0, 2); // seeded vs empty
+        assert_eq!(a.load_of(0, 9), 0.5);
+        assert_eq!(a.load_of(2, 9), 0.5);
+        a.average_into(2, 0); // right-aligned vs right-aligned
+        assert_eq!(a.load_of(0, 9), 0.5);
+        let mut b = StateArena::new(2, &[]);
+        b.average_into(0, 1); // zero-seed universe: still well-defined
+        assert_eq!(b.to_load_state(0).len(), 0);
+    }
+
+    #[test]
+    fn duplicate_seed_ids_share_a_dense_slot() {
+        let a = StateArena::new(3, &[seed(0, 5), seed(1, 5)]);
+        assert_eq!(a.seed_count(), 1);
+        assert_eq!(a.load_of(0, 5), 1.0);
+        assert_eq!(a.load_of(1, 5), 1.0);
+    }
+
+    #[test]
+    fn from_states_round_trips() {
+        let states = vec![
+            LoadState::from_entries(vec![(3, 0.25), (9, 0.5)]),
+            LoadState::empty(),
+            LoadState::from_entries(vec![(9, 0.125)]),
+        ];
+        let a = StateArena::from_states(&states);
+        assert_eq!(a.to_load_states(), states);
+    }
+}

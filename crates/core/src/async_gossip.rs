@@ -18,9 +18,10 @@
 use lbc_distsim::NodeRng;
 use lbc_graph::{Graph, Partition};
 
+use crate::arena::StateArena;
 use crate::config::LbConfig;
 use crate::driver::ClusterError;
-use crate::query::assign_labels;
+use crate::query::assign_labels_arena;
 use crate::seeding::{run_seeding, Seed};
 use crate::state::LoadState;
 
@@ -60,10 +61,9 @@ pub fn cluster_async(
     if seeds.is_empty() {
         return Err(ClusterError::NoSeeds);
     }
-    let mut states: Vec<LoadState> = vec![LoadState::empty(); n];
-    for s in &seeds {
-        states[s.node as usize] = LoadState::seed(s.id);
-    }
+    // Tick loop on the flat arena: each pairwise exchange is an in-place
+    // merge, so the steady state allocates nothing per tick.
+    let mut arena = StateArena::new(n, &seeds);
     let mut scheduler = NodeRng::from_seed(cfg.seed ^ 0xA5A5_A5A5_A5A5_A5A5);
     let mut idle_ticks = 0usize;
     for _ in 0..ticks {
@@ -74,17 +74,15 @@ pub fn cluster_async(
             continue;
         }
         let v = graph.neighbour_at(u as u32, scheduler.below(deg)) as usize;
-        let merged = LoadState::average(&states[u], &states[v]);
-        states[u] = merged.clone();
-        states[v] = merged;
+        arena.average_into(u, v);
     }
-    let (_, partition) = assign_labels(&states, cfg.query, cfg.beta);
+    let (_, partition) = assign_labels_arena(&arena, cfg.query, cfg.beta);
     Ok(AsyncOutput {
         partition,
         seeds,
         ticks,
         idle_ticks,
-        states,
+        states: arena.to_load_states(),
     })
 }
 

@@ -21,7 +21,7 @@ use lbc_graph::{Graph, Partition};
 
 use crate::config::LbConfig;
 use crate::driver::ClusterError;
-use crate::matching::sample_matching;
+use crate::matching::{sample_matching_into, MatchingScratch};
 use crate::query::assign_labels;
 use crate::seeding::{run_seeding, Seed};
 use crate::state::{LoadState, SeedId};
@@ -170,9 +170,10 @@ pub fn cluster_discrete(
     let rule = cfg.proposal_rule(graph);
     let mut coin_rng = NodeRng::from_seed(cfg.seed ^ 0xD15C_0000_0000_0001);
     let rounds = cfg.rounds.count();
+    let mut scratch = MatchingScratch::new(n);
     for _ in 0..rounds {
-        let m = sample_matching(graph, rule, &mut rngs);
-        for (u, v) in m.pairs() {
+        sample_matching_into(graph, rule, &mut rngs, &mut scratch);
+        for (u, v) in scratch.pairs() {
             let (a, b) = TokenState::split(&states[u as usize], &states[v as usize], || {
                 coin_rng.bernoulli(0.5)
             });

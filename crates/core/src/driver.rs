@@ -10,9 +10,10 @@
 use lbc_distsim::NodeRng;
 use lbc_graph::{Graph, Partition};
 
+use crate::arena::StateArena;
 use crate::config::LbConfig;
-use crate::matching::sample_matching;
-use crate::query::assign_labels;
+use crate::matching::{sample_matching_into, MatchingScratch};
+use crate::query::assign_labels_arena;
 use crate::seeding::{run_seeding, Seed};
 use crate::state::{LoadState, SeedId};
 
@@ -29,6 +30,20 @@ pub struct ClusterOutput {
     pub rounds: usize,
     /// Final per-node load states (useful for inspection/analysis).
     pub states: Vec<LoadState>,
+}
+
+impl ClusterOutput {
+    /// Resident footprint of this output in machine words, dominated by
+    /// the load states (two words per entry, as in [`LoadState::words`]),
+    /// plus the labelling: two words per node for `raw_labels`
+    /// (`Option<SeedId>` is 16 bytes) and half a word per node for the
+    /// partition's `u32` labels. Used by the serving registry to report
+    /// how much state its cache pins.
+    pub fn resident_words(&self) -> usize {
+        let states: usize = self.states.iter().map(LoadState::words).sum();
+        let n = self.partition.n();
+        states + 2 * n + n.div_ceil(2)
+    }
 }
 
 /// Errors a clustering run can report.
@@ -79,30 +94,28 @@ pub fn cluster(graph: &Graph, cfg: &LbConfig) -> Result<ClusterOutput, ClusterEr
         return Err(ClusterError::NoSeeds);
     }
 
-    // Averaging.
-    let mut states: Vec<LoadState> = vec![LoadState::empty(); n];
-    for s in &seeds {
-        states[s.node as usize] = LoadState::seed(s.id);
-    }
+    // Averaging, on the flat arena: after this point the round loop is
+    // allocation-free — matchings refill `scratch`, merges go through
+    // the arena's in-place two-pointer merge (bit-identical to
+    // `LoadState::average`; see `tests/proptests.rs`).
+    let mut arena = StateArena::new(n, &seeds);
+    let mut scratch = MatchingScratch::new(n);
     let rule = cfg.proposal_rule(graph);
     let rounds = cfg.rounds.count();
     for _ in 0..rounds {
-        let m = sample_matching(graph, rule, &mut rngs);
-        for (u, v) in m.pairs() {
-            let merged = LoadState::average(&states[u as usize], &states[v as usize]);
-            states[u as usize] = merged.clone();
-            states[v as usize] = merged;
-        }
+        sample_matching_into(graph, rule, &mut rngs, &mut scratch);
+        arena.average_matched(&scratch);
     }
 
-    // Query.
-    let (raw_labels, partition) = assign_labels(&states, cfg.query, cfg.beta);
+    // Query (dense-index compaction) + boundary conversion to the
+    // `Vec<LoadState>` representation `ClusterOutput` exposes.
+    let (raw_labels, partition) = assign_labels_arena(&arena, cfg.query, cfg.beta);
     Ok(ClusterOutput {
         partition,
         raw_labels,
         seeds,
         rounds,
-        states,
+        states: arena.to_load_states(),
     })
 }
 
@@ -135,24 +148,18 @@ pub fn cluster_adaptive(
     if seeds.is_empty() {
         return Err(ClusterError::NoSeeds);
     }
-    let mut states: Vec<LoadState> = vec![LoadState::empty(); n];
-    for s in &seeds {
-        states[s.node as usize] = LoadState::seed(s.id);
-    }
+    let mut arena = StateArena::new(n, &seeds);
+    let mut scratch = MatchingScratch::new(n);
     let rule = cfg.proposal_rule(graph);
     let mut last: Option<Partition> = None;
     let mut stable = 0usize;
     let mut executed = 0usize;
     for t in 1..=max_rounds {
-        let m = sample_matching(graph, rule, &mut rngs);
-        for (u, v) in m.pairs() {
-            let merged = LoadState::average(&states[u as usize], &states[v as usize]);
-            states[u as usize] = merged.clone();
-            states[v as usize] = merged;
-        }
+        sample_matching_into(graph, rule, &mut rngs, &mut scratch);
+        arena.average_matched(&scratch);
         executed = t;
         if t % check_every == 0 {
-            let (_, part) = assign_labels(&states, cfg.query, cfg.beta);
+            let (_, part) = assign_labels_arena(&arena, cfg.query, cfg.beta);
             if last.as_ref() == Some(&part) {
                 stable += 1;
                 if stable >= patience {
@@ -164,14 +171,14 @@ pub fn cluster_adaptive(
             }
         }
     }
-    let (raw_labels, partition) = assign_labels(&states, cfg.query, cfg.beta);
+    let (raw_labels, partition) = assign_labels_arena(&arena, cfg.query, cfg.beta);
     Ok((
         ClusterOutput {
             partition,
             raw_labels,
             seeds,
             rounds: executed,
-            states,
+            states: arena.to_load_states(),
         },
         executed,
     ))

@@ -19,7 +19,7 @@
 use lbc_distsim::NodeRng;
 use lbc_graph::Graph;
 
-use crate::matching::{sample_matching, ProposalRule};
+use crate::matching::{sample_matching_into, MatchingScratch, ProposalRule};
 
 /// Result of a distributed size-estimation run.
 #[derive(Debug, Clone)]
@@ -70,9 +70,12 @@ pub fn estimate_size(
                 .collect()
         })
         .collect();
+    let mut scratch = MatchingScratch::new(n);
     for _ in 0..rounds {
-        let m = sample_matching(g, rule, &mut rngs);
-        for (u, v) in m.pairs() {
+        sample_matching_into(g, rule, &mut rngs, &mut scratch);
+        // Compact O(|M|) pair list: min-merges on disjoint pairs are
+        // order-independent.
+        for &(u, v) in scratch.matched() {
             let (lo, hi) = (u.min(v) as usize, u.max(v) as usize);
             let (head, tail) = sketch.split_at_mut(hi);
             for (x, y) in head[lo].iter_mut().zip(tail[0].iter_mut()) {

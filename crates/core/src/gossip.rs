@@ -20,7 +20,7 @@
 use lbc_distsim::NodeRng;
 use lbc_graph::{Graph, NodeId};
 
-use crate::matching::{apply_matching_dense, sample_matching, ProposalRule};
+use crate::matching::{sample_matching_into, MatchingScratch, ProposalRule};
 
 /// Trajectory of a rumour-spreading run.
 #[derive(Debug, Clone)]
@@ -57,12 +57,15 @@ pub fn rumour_spread(
     let mut count = 1usize;
     let mut trajectory = vec![count];
     let mut completed_at = if n == 1 { Some(0) } else { None };
+    let mut scratch = MatchingScratch::new(n);
     for t in 1..=max_rounds {
         if completed_at.is_some() {
             break;
         }
-        let m = sample_matching(g, rule, &mut rngs);
-        for (u, v) in m.pairs() {
+        sample_matching_into(g, rule, &mut rngs, &mut scratch);
+        // Compact O(|M|) pair list: forwarding is per-pair independent
+        // (pairs are disjoint), so iteration order is free.
+        for &(u, v) in scratch.matched() {
             let (iu, iv) = (informed[u as usize], informed[v as usize]);
             if iu != iv {
                 informed[u as usize] = true;
@@ -118,9 +121,10 @@ pub fn gossip_average(
     let dev = |x: &[f64]| x.iter().map(|v| (v - mean).abs()).fold(0.0f64, f64::max);
     let mut deviation = Vec::with_capacity(rounds + 1);
     deviation.push(dev(&x));
+    let mut scratch = MatchingScratch::new(n);
     for _ in 0..rounds {
-        let m = sample_matching(g, rule, &mut rngs);
-        apply_matching_dense(&m, &mut x);
+        sample_matching_into(g, rule, &mut rngs, &mut scratch);
+        scratch.apply_dense(&mut x);
         deviation.push(dev(&x));
     }
     AveragingTrajectory {

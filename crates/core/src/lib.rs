@@ -21,8 +21,13 @@
 //!
 //! Module map:
 //! * [`state`] — sparse load states and the paper's averaging rule.
+//! * [`arena`] — [`StateArena`]: flat, allocation-free storage for the
+//!   round loop (dense seed indices, in-place merges); the hot path of
+//!   [`cluster`] runs on it and converts back to [`LoadState`]s at the
+//!   [`ClusterOutput`] boundary.
 //! * [`matching`] — the random matching model (§2.2): activation,
-//!   proposal, acceptance; regular and §4.5 almost-regular modes.
+//!   proposal, acceptance; regular and §4.5 almost-regular modes;
+//!   [`MatchingScratch`] holds the per-round buffers for reuse.
 //! * [`seeding`] — the seeding procedure (`s̄ = (3/β) ln(1/β)` trials).
 //! * [`query`] — the query procedure and its threshold variants.
 //! * [`config`] — [`LbConfig`]: `β`, rounds, query rule, degree mode.
@@ -34,6 +39,7 @@
 //!   for the early-behaviour experiments.
 
 pub mod analysis;
+pub mod arena;
 pub mod async_gossip;
 pub mod config;
 pub mod discrete;
@@ -47,14 +53,17 @@ pub mod query;
 pub mod seeding;
 pub mod state;
 
+pub use arena::StateArena;
 pub use async_gossip::{cluster_async, AsyncOutput};
 pub use config::{DegreeMode, LbConfig, Rounds};
 pub use discrete::{cluster_discrete, DiscreteOutput, TokenState};
 pub use driver::{cluster, cluster_adaptive, ClusterOutput};
 pub use estimation::{estimate_size, SizeEstimate};
 pub use gossip::{gossip_average, rumour_spread, AveragingTrajectory, RumourTrajectory};
-pub use matching::{d_bar, sample_matching, MatchingOutcome};
+pub use matching::{
+    d_bar, sample_matching, sample_matching_into, MatchingOutcome, MatchingScratch,
+};
 pub use protocol::cluster_distributed;
-pub use query::{assign_labels, QueryRule};
+pub use query::{assign_labels, assign_labels_arena, QueryRule};
 pub use seeding::{expected_trials, run_seeding, Seed};
 pub use state::LoadState;

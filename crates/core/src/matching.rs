@@ -44,33 +44,83 @@ pub enum ProposalRule {
 }
 
 impl ProposalRule {
-    /// One node's phase-0 randomness: `(active, proposal_target)`.
+    /// One node's phase-0 randomness with the neighbour lookup deferred:
+    /// `(active, Some(slot))` where `slot` indexes the neighbour list
+    /// (already validated against `degree`; a voided `G*` self-loop slot
+    /// comes back as `None`).
     ///
     /// Consumes exactly one coin, plus one slot draw if active — in this
-    /// order — from `rng`. Both the centralised sampler and the
-    /// distributed node program call this single function.
-    pub fn draw(self, neighbours: &[NodeId], rng: &mut NodeRng) -> (bool, Option<NodeId>) {
-        let active = rng.bernoulli(0.5);
+    /// order — from `rng`. Every sampler (centralised, scratch-based,
+    /// distributed node program) draws through here, which is what keeps
+    /// their random streams aligned.
+    #[inline]
+    pub fn draw_slot(self, degree: usize, rng: &mut NodeRng) -> (bool, Option<usize>) {
+        let active = ProposalRule::draw_coin(rng);
         if !active {
             return (false, None);
         }
-        if neighbours.is_empty() {
-            return (true, None);
-        }
-        let target = match self {
-            ProposalRule::Uniform => Some(neighbours[rng.below(neighbours.len())]),
-            ProposalRule::Capped(cap) => {
-                debug_assert!(cap >= neighbours.len());
-                let slot = rng.below(cap);
-                if slot < neighbours.len() {
-                    Some(neighbours[slot])
-                } else {
-                    None // self-loop slot: proposal voided
-                }
-            }
-        };
-        (active, target)
+        (true, self.draw_target_slot(degree, rng))
     }
+
+    /// The activation coin alone — the first draw of a node's phase-0
+    /// randomness.
+    #[inline]
+    pub fn draw_coin(rng: &mut NodeRng) -> bool {
+        rng.bernoulli(0.5)
+    }
+
+    /// The slot draw alone — the second draw, made only by active nodes.
+    /// Splitting the two lets the centralised sampler run the coins as
+    /// one branch-free sweep and the slot draws as a second sweep over
+    /// the active nodes; each node's stream still sees coin-then-slot,
+    /// so the executions stay aligned with the distributed protocol.
+    #[inline]
+    pub fn draw_target_slot(self, degree: usize, rng: &mut NodeRng) -> Option<usize> {
+        if degree == 0 {
+            return None;
+        }
+        match self {
+            ProposalRule::Uniform => Some(rng.below(degree)),
+            ProposalRule::Capped(cap) => {
+                debug_assert!(cap >= degree);
+                let slot = rng.below(cap);
+                // Slots ≥ degree are self-loops: proposal voided.
+                (slot < degree).then_some(slot)
+            }
+        }
+    }
+
+    /// One node's phase-0 randomness: `(active, proposal_target)`.
+    /// [`ProposalRule::draw_slot`] with the neighbour lookup applied.
+    pub fn draw(self, neighbours: &[NodeId], rng: &mut NodeRng) -> (bool, Option<NodeId>) {
+        let (active, slot) = self.draw_slot(neighbours.len(), rng);
+        (active, slot.map(|s| neighbours[s]))
+    }
+}
+
+/// Prefetch hint for a read that is a known number of iterations away
+/// (no-op on non-x86-64 targets). Shared by the matching sampler and
+/// the state arena's merge loop.
+#[inline]
+pub(crate) fn prefetch_read<T>(p: *const T) {
+    #[cfg(target_arch = "x86_64")]
+    unsafe {
+        use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+        _mm_prefetch(p as *const i8, _MM_HINT_T0);
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = p;
+}
+
+/// Matched pairs `(u, v)` with `u < v`, in canonical ascending order,
+/// from a partner array — the one definition both [`MatchingOutcome`]
+/// and [`MatchingScratch`] expose.
+fn pairs_of(partner: &[Option<NodeId>]) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+    partner
+        .iter()
+        .enumerate()
+        .filter_map(|(u, &p)| p.map(|v| (u as NodeId, v)))
+        .filter(|&(u, v)| u < v)
 }
 
 /// One sampled matching: `partner[v]` is `v`'s matched neighbour, or
@@ -94,16 +144,13 @@ impl MatchingOutcome {
 
     /// Matched pairs `(u, v)` with `u < v`.
     pub fn pairs(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
-        self.partner
-            .iter()
-            .enumerate()
-            .filter_map(|(u, &p)| p.map(|v| (u as NodeId, v)))
-            .filter(|&(u, v)| u < v)
+        pairs_of(&self.partner)
     }
 
-    /// Number of matched pairs.
+    /// Number of matched pairs: one pass over the partner slots (each
+    /// pair occupies exactly two), no pair materialisation.
     pub fn size(&self) -> usize {
-        self.pairs().count()
+        self.partner.iter().filter(|p| p.is_some()).count() / 2
     }
 
     /// Validate the matching invariants: symmetry, adjacency, and that
@@ -126,36 +173,203 @@ impl MatchingOutcome {
     }
 }
 
-/// Sample one round's matching by replaying every node's private stream
-/// in node-id order (phase 0 of the distributed handshake).
-pub fn sample_matching(g: &Graph, rule: ProposalRule, rngs: &mut [NodeRng]) -> MatchingOutcome {
+/// Reusable per-round buffers for matching sampling.
+///
+/// [`sample_matching`] allocates five fresh `n`-sized vectors per call;
+/// in a `T`-round loop that is `5T` large allocations for buffers whose
+/// shape never changes. A `MatchingScratch` owns them once and
+/// [`sample_matching_into`] refills them in place — after construction
+/// the steady-state round loop performs no heap allocation (see
+/// `tests/zero_alloc.rs`). The sampled matching is exposed through the
+/// same accessors as [`MatchingOutcome`] (`partner`, `partners`,
+/// `pairs`) plus an O(1) [`MatchingScratch::matched_pairs`] counter
+/// maintained during sampling.
+#[derive(Debug, Clone)]
+pub struct MatchingScratch {
+    active: Vec<bool>,
+    /// Drawn (but unresolved) proposals, `(proposer, neighbour slot)`:
+    /// the draw pass records slots only, so the dependent random reads
+    /// into the adjacency array can run as a separate pass with a
+    /// prefetch window.
+    slots: Vec<(NodeId, u32)>,
+    /// Proposals of this round, `(proposer, target)`, in proposer order —
+    /// a compact list (≈ n/2 entries) instead of an `n`-slot array, so
+    /// the scatter/match phases only touch nodes that actually received
+    /// a proposal.
+    pending: Vec<(NodeId, NodeId)>,
+    /// Per target node: proposals received this round (the match pass
+    /// takes the proposer from `pending`, so only the count is stored).
+    /// Reset via `pending` (cheaper than an `n`-word memset once the
+    /// lines are hot).
+    received: Vec<u32>,
+    partner: Vec<Option<NodeId>>,
+    /// Matched pairs `(min, max)`, in discovery (proposer) order — the
+    /// compact form the merge loop iterates (pairs are disjoint, so
+    /// merge order is free), and the undo list that resets `partner`
+    /// without an `n`-slot memset.
+    matched: Vec<(NodeId, NodeId)>,
+}
+
+impl MatchingScratch {
+    /// Scratch for `n`-node graphs (any graph of that size can reuse it).
+    pub fn new(n: usize) -> Self {
+        MatchingScratch {
+            active: vec![false; n],
+            slots: vec![(0, 0); n],
+            pending: Vec::with_capacity(n),
+            received: vec![0; n],
+            partner: vec![None; n],
+            matched: Vec::with_capacity(n / 2 + 1),
+        }
+    }
+
+    /// Number of nodes the buffers are sized for.
+    pub fn n(&self) -> usize {
+        self.partner.len()
+    }
+
+    /// Partner of `v` in the most recently sampled matching.
+    #[inline]
+    pub fn partner(&self, v: NodeId) -> Option<NodeId> {
+        self.partner[v as usize]
+    }
+
+    /// All partners (indexed by node).
+    pub fn partners(&self) -> &[Option<NodeId>] {
+        &self.partner
+    }
+
+    /// Matched pairs `(u, v)` with `u < v`, in canonical ascending order
+    /// (same definition as [`MatchingOutcome::pairs`]).
+    pub fn pairs(&self) -> impl Iterator<Item = (NodeId, NodeId)> + '_ {
+        pairs_of(&self.partner)
+    }
+
+    /// Number of matched pairs in the last sample (O(1): the compact
+    /// pair list is built while the matching forms).
+    pub fn matched_pairs(&self) -> usize {
+        self.matched.len()
+    }
+
+    /// The matched pairs as a compact `(min, max)` list, in discovery
+    /// order (pairs are disjoint, so any processing order yields the
+    /// same result). [`MatchingScratch::pairs`] gives the same set in
+    /// canonical ascending order.
+    pub fn matched(&self) -> &[(NodeId, NodeId)] {
+        &self.matched
+    }
+
+    /// Average a dense load vector along the sampled matching (same
+    /// operation as [`apply_matching_dense`], via the O(|M|) compact
+    /// pair list rather than an O(n) partner sweep — pairs are disjoint,
+    /// so processing order cannot affect the result).
+    pub fn apply_dense(&self, x: &mut [f64]) {
+        for &(u, v) in &self.matched {
+            let avg = (x[u as usize] + x[v as usize]) / 2.0;
+            x[u as usize] = avg;
+            x[v as usize] = avg;
+        }
+    }
+
+    /// Copy the sampled matching into an owned [`MatchingOutcome`].
+    pub fn to_outcome(&self) -> MatchingOutcome {
+        MatchingOutcome {
+            partner: self.partner.clone(),
+        }
+    }
+}
+
+/// Sample one round's matching into reusable buffers, replaying every
+/// node's private stream in node-id order (phase 0 of the distributed
+/// handshake). Consumes exactly the randomness [`sample_matching`]
+/// consumes and produces the identical matching; it just doesn't
+/// allocate.
+pub fn sample_matching_into(
+    g: &Graph,
+    rule: ProposalRule,
+    rngs: &mut [NodeRng],
+    scratch: &mut MatchingScratch,
+) {
     let n = g.n();
-    debug_assert_eq!(rngs.len(), n);
-    let mut active = vec![false; n];
-    let mut proposal: Vec<Option<NodeId>> = vec![None; n];
-    for v in 0..n {
-        let (a, target) = rule.draw(g.neighbours(v as NodeId), &mut rngs[v]);
-        active[v] = a;
-        proposal[v] = target;
+    // Hard contract (as in the original array-indexed sampler): a short
+    // rng slice or a mis-sized scratch would otherwise leave stale
+    // per-node state behind and return a plausible-but-wrong matching.
+    assert_eq!(rngs.len(), n, "one rng stream per node");
+    assert_eq!(scratch.n(), n, "scratch sized for a different graph");
+    // Reset `received` and `partner` through last round's compact lists:
+    // only the slots that were touched (and are therefore hot in cache)
+    // are dirty — no `n`-sized memsets.
+    for &(_, t) in &scratch.pending {
+        scratch.received[t as usize] = 0;
     }
-    // Count proposals arriving at each non-active node.
-    let mut proposals_received = vec![0u32; n];
-    let mut proposer_of: Vec<NodeId> = vec![0; n];
-    for (u, &t) in proposal.iter().enumerate() {
-        if let Some(t) = t {
-            proposals_received[t as usize] += 1;
-            proposer_of[t as usize] = u as NodeId;
+    scratch.pending.clear();
+    for &(u, v) in &scratch.matched {
+        scratch.partner[u as usize] = None;
+        scratch.partner[v as usize] = None;
+    }
+    scratch.matched.clear();
+    // Draw pass: consume every node's randomness in node-id order,
+    // recording only the chosen neighbour *slot* — the adjacency lookups
+    // are data-dependent random reads, so they run in the next pass
+    // behind a prefetch window instead of stalling this one.
+    // Coin pass: every node's activation coin, as one branch-free sweep
+    // (the coin is 50/50, so a conditional here would mispredict half
+    // the time). The active nodes land in a compact prefix of the
+    // fixed-size `slots` buffer via an unconditionally-written cursor.
+    let mut active_count = 0usize;
+    for (v, rng) in rngs.iter_mut().enumerate() {
+        let a = ProposalRule::draw_coin(rng);
+        scratch.active[v] = a;
+        scratch.slots[active_count] = (v as NodeId, 0);
+        active_count += usize::from(a);
+    }
+    // Slot pass: the second draw of each *active* node's stream — the
+    // per-node coin-then-slot order (what the distributed protocol
+    // replays) is unaffected by running it as a separate sweep.
+    let mut proposal_count = 0usize;
+    for i in 0..active_count {
+        let v = scratch.slots[i].0;
+        let slot = rule.draw_target_slot(g.degree(v), &mut rngs[v as usize]);
+        scratch.slots[proposal_count] = (v, slot.unwrap_or(0) as u32);
+        proposal_count += usize::from(slot.is_some());
+    }
+    // Resolve + scatter pass: look the targets up and count proposals
+    // arriving at each node.
+    const LOOKAHEAD: usize = 16;
+    let slots = &scratch.slots[..proposal_count];
+    for (i, &(v, s)) in slots.iter().enumerate() {
+        if let Some(&(pv, ps)) = slots.get(i + LOOKAHEAD) {
+            // In bounds: the slot was validated against pv's degree.
+            prefetch_read(unsafe { g.neighbours(pv).as_ptr().add(ps as usize) });
+        }
+        let t = g.neighbours(v)[s as usize];
+        scratch.pending.push((v, t));
+        scratch.received[t as usize] += 1;
+    }
+    // A target with exactly one proposal appears exactly once in
+    // `pending`, so sweeping the list visits each match once; matches
+    // are disjoint (a proposer proposes once), so assignment order does
+    // not matter and the resulting partner array is identical to the
+    // full 0..n sweep of the original sampler.
+    for &(u, t) in &scratch.pending {
+        if !scratch.active[t as usize] && scratch.received[t as usize] == 1 {
+            scratch.partner[t as usize] = Some(u);
+            scratch.partner[u as usize] = Some(t);
+            scratch.matched.push((u.min(t), u.max(t)));
         }
     }
-    let mut partner: Vec<Option<NodeId>> = vec![None; n];
-    for v in 0..n {
-        if !active[v] && proposals_received[v] == 1 {
-            let u = proposer_of[v];
-            partner[v] = Some(u);
-            partner[u as usize] = Some(v as NodeId);
-        }
+}
+
+/// Sample one round's matching by replaying every node's private stream
+/// in node-id order. Thin compatibility wrapper over
+/// [`sample_matching_into`] for callers that want an owned outcome and
+/// don't care about per-round allocations.
+pub fn sample_matching(g: &Graph, rule: ProposalRule, rngs: &mut [NodeRng]) -> MatchingOutcome {
+    let mut scratch = MatchingScratch::new(g.n());
+    sample_matching_into(g, rule, rngs, &mut scratch);
+    MatchingOutcome {
+        partner: scratch.partner,
     }
-    MatchingOutcome { partner }
 }
 
 /// Average a dense load vector along the matching (the 1-dimensional
@@ -307,6 +521,55 @@ mod tests {
             let a = sample_matching(&g, ProposalRule::Uniform, &mut r1);
             let b = sample_matching(&g, ProposalRule::Uniform, &mut r2);
             assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn reused_scratch_equals_fresh_sampling() {
+        let g = generators::random_regular(80, 4, 6).unwrap();
+        let mut r1 = rngs_for(80, 13);
+        let mut r2 = rngs_for(80, 13);
+        let mut scratch = MatchingScratch::new(80);
+        for _ in 0..25 {
+            sample_matching_into(&g, ProposalRule::Uniform, &mut r1, &mut scratch);
+            let fresh = sample_matching(&g, ProposalRule::Uniform, &mut r2);
+            assert_eq!(scratch.partners(), fresh.partners());
+            assert_eq!(scratch.to_outcome(), fresh);
+            assert_eq!(scratch.matched_pairs(), fresh.size());
+            assert!(scratch.pairs().zip(fresh.pairs()).all(|(a, b)| a == b));
+            // The compact list is the same set of pairs as the canonical
+            // iterator, in some order.
+            let mut compact: Vec<_> = scratch.matched().to_vec();
+            compact.sort_unstable();
+            let canonical: Vec<_> = scratch.pairs().collect();
+            assert_eq!(compact, canonical);
+        }
+    }
+
+    #[test]
+    fn size_counts_pairs() {
+        let g = generators::complete(20).unwrap();
+        let mut rngs = rngs_for(20, 1);
+        for _ in 0..20 {
+            let m = sample_matching(&g, ProposalRule::Uniform, &mut rngs);
+            assert_eq!(m.size(), m.pairs().count());
+        }
+    }
+
+    #[test]
+    fn scratch_apply_dense_matches_outcome_apply() {
+        let g = generators::random_regular(40, 4, 2).unwrap();
+        let mut r1 = rngs_for(40, 8);
+        let mut r2 = rngs_for(40, 8);
+        let mut scratch = MatchingScratch::new(40);
+        let mut x1: Vec<f64> = (0..40).map(|i| i as f64).collect();
+        let mut x2 = x1.clone();
+        for _ in 0..10 {
+            sample_matching_into(&g, ProposalRule::Uniform, &mut r1, &mut scratch);
+            scratch.apply_dense(&mut x1);
+            let m = sample_matching(&g, ProposalRule::Uniform, &mut r2);
+            apply_matching_dense(&m, &mut x2);
+            assert_eq!(x1, x2);
         }
     }
 }

@@ -10,7 +10,7 @@
 use lbc_distsim::NodeRng;
 use lbc_graph::{Graph, NodeId};
 
-use crate::matching::{apply_matching_dense, sample_matching, MatchingOutcome, ProposalRule};
+use crate::matching::{sample_matching_into, MatchingOutcome, MatchingScratch, ProposalRule};
 
 /// The multi-dimensional process: `vectors[i]` is `x^{(t,i)}`.
 pub struct MultiLoadProcess<'g> {
@@ -19,6 +19,7 @@ pub struct MultiLoadProcess<'g> {
     rngs: Vec<NodeRng>,
     vectors: Vec<Vec<f64>>,
     round: usize,
+    scratch: MatchingScratch,
 }
 
 impl<'g> MultiLoadProcess<'g> {
@@ -50,24 +51,29 @@ impl<'g> MultiLoadProcess<'g> {
             rngs,
             vectors,
             round: 0,
+            scratch: MatchingScratch::new(n),
         }
+    }
+
+    fn step_inner(&mut self) {
+        sample_matching_into(self.graph, self.rule, &mut self.rngs, &mut self.scratch);
+        for x in &mut self.vectors {
+            self.scratch.apply_dense(x);
+        }
+        self.round += 1;
     }
 
     /// Execute one round: sample a matching, average every vector along
     /// it. Returns the matching for callers that track trajectories.
     pub fn step(&mut self) -> MatchingOutcome {
-        let m = sample_matching(self.graph, self.rule, &mut self.rngs);
-        for x in &mut self.vectors {
-            apply_matching_dense(&m, x);
-        }
-        self.round += 1;
-        m
+        self.step_inner();
+        self.scratch.to_outcome()
     }
 
-    /// Run `rounds` rounds.
+    /// Run `rounds` rounds (without materialising the matchings).
     pub fn run(&mut self, rounds: usize) {
         for _ in 0..rounds {
-            self.step();
+            self.step_inner();
         }
     }
 

@@ -59,6 +59,12 @@ pub struct LbNode {
     state: LoadState,
     seed_id: Option<SeedId>,
     active: bool,
+    /// Reusable merge scratch: the averaging step writes here instead of
+    /// allocating a fresh vector every paper round (the *message* payloads
+    /// still allocate — they are owned by the network).
+    merge_buf: Vec<(SeedId, f64)>,
+    /// Reusable parking spot for the accepted peer state.
+    peer_state: LoadState,
 }
 
 impl LbNode {
@@ -71,6 +77,8 @@ impl LbNode {
             state: LoadState::empty(),
             seed_id: None,
             active: false,
+            merge_buf: Vec::new(),
+            peer_state: LoadState::empty(),
         }
     }
 
@@ -102,9 +110,11 @@ impl Node for LbNode {
         match phase {
             0 => {
                 // Adopt the merged state from the previous paper round.
+                // Merged states arrive sorted (the merge preserves order),
+                // so adopt in place without re-sorting or reallocating.
                 for (_, msg) in ctx.inbox().iter() {
                     if let LbMsg::Update(entries) = msg {
-                        self.state = LoadState::from_entries(entries.clone());
+                        self.state.assign_from_sorted(entries);
                     }
                 }
                 if paper_round >= self.paper_rounds {
@@ -139,10 +149,10 @@ impl Node for LbNode {
                     _ => None,
                 });
                 if let Some((from, entries)) = accept {
-                    let theirs = LoadState::from_entries(entries);
-                    let merged = LoadState::average(&self.state, &theirs);
-                    self.state = merged.clone();
-                    ctx.send(from, LbMsg::Update(merged.entries().to_vec()));
+                    self.peer_state.assign_from_sorted(&entries);
+                    LoadState::average_into(&self.state, &self.peer_state, &mut self.merge_buf);
+                    self.state.assign_from_sorted(&self.merge_buf);
+                    ctx.send(from, LbMsg::Update(self.merge_buf.clone()));
                 }
             }
             _ => unreachable!(),

@@ -10,6 +10,7 @@
 
 use lbc_graph::Partition;
 
+use crate::arena::StateArena;
 use crate::state::{LoadState, SeedId};
 
 /// Label assignment rule applied to each node's final state.
@@ -82,6 +83,71 @@ pub fn assign_labels(
         .collect();
     let any_empty = raw.iter().any(Option::is_none);
     let k = ids.len() + usize::from(any_empty);
+    let partition = Partition::with_k(labels, k.max(1)).expect("labels constructed in range");
+    (raw, partition)
+}
+
+/// [`assign_labels`] over a [`StateArena`] — same rule, same output,
+/// bit-for-bit (the arena's dense indices are in ascending seed-id
+/// order, so "min id above threshold" is "first qualifying entry" and
+/// the argmax tie-break visits entries in the identical order).
+///
+/// Where the `LoadState` path binary-searches the winning id of *every
+/// node* into the compacted label space, here the winners are already
+/// dense `u32` indices `< s`, so compaction is one `O(s)` remap table
+/// plus an `O(n)` sweep.
+pub fn assign_labels_arena(
+    arena: &StateArena,
+    rule: QueryRule,
+    beta: f64,
+) -> (Vec<Option<SeedId>>, Partition) {
+    let n = arena.n();
+    let s = arena.seed_count();
+    let tau = rule.threshold(beta, n);
+    // Winner per node, as a dense seed index (None = empty state).
+    let mut winners: Vec<Option<u32>> = Vec::with_capacity(n);
+    for v in 0..n {
+        let (idx, load) = arena.entries(v);
+        let thresholded = tau.and_then(|t| load.iter().position(|&x| x >= t).map(|p| idx[p]));
+        // `Iterator::max_by` keeps the *last* of equal maxima; replicate
+        // that with a `>=` update so ties resolve identically.
+        let argmax = || {
+            let mut best: Option<(u32, f64)> = None;
+            for (&d, &x) in idx.iter().zip(load) {
+                match best {
+                    Some((_, bx)) if x < bx => {}
+                    _ => best = Some((d, x)),
+                }
+            }
+            best.map(|(d, _)| d)
+        };
+        winners.push(thresholded.or_else(argmax));
+    }
+    // Compact the used dense indices to 0..k'−1; dense order == id order,
+    // so this is exactly the sorted-id compaction of `assign_labels`.
+    let mut used = vec![false; s];
+    for w in winners.iter().flatten() {
+        used[*w as usize] = true;
+    }
+    let mut remap = vec![0u32; s];
+    let mut next = 0u32;
+    for (d, &u) in used.iter().enumerate() {
+        if u {
+            remap[d] = next;
+            next += 1;
+        }
+    }
+    let empty_label = next;
+    let labels: Vec<u32> = winners
+        .iter()
+        .map(|w| w.map_or(empty_label, |d| remap[d as usize]))
+        .collect();
+    let raw: Vec<Option<SeedId>> = winners
+        .iter()
+        .map(|w| w.map(|d| arena.ids()[d as usize]))
+        .collect();
+    let any_empty = winners.iter().any(Option::is_none);
+    let k = next as usize + usize::from(any_empty);
     let partition = Partition::with_k(labels, k.max(1)).expect("labels constructed in range");
     (raw, partition)
 }

@@ -45,6 +45,23 @@ impl LoadState {
         LoadState { entries }
     }
 
+    /// Build from entries that are already sorted and duplicate-free
+    /// (checked only in debug builds). Used on hot paths where the
+    /// entries come from a prior merge and are sorted by construction.
+    pub fn from_sorted_entries(entries: Vec<(SeedId, f64)>) -> Self {
+        debug_assert!(entries.windows(2).all(|w| w[0].0 < w[1].0));
+        LoadState { entries }
+    }
+
+    /// Replace this state's entries from a sorted, duplicate-free slice,
+    /// reusing the existing allocation (no heap traffic once the backing
+    /// vector has grown to its steady-state capacity).
+    pub fn assign_from_sorted(&mut self, entries: &[(SeedId, f64)]) {
+        debug_assert!(entries.windows(2).all(|w| w[0].0 < w[1].0));
+        self.entries.clear();
+        self.entries.extend_from_slice(entries);
+    }
+
     /// Sorted `(seed id, load)` view.
     pub fn entries(&self) -> &[(SeedId, f64)] {
         &self.entries
@@ -80,6 +97,18 @@ impl LoadState {
     /// implementations all produce bit-identical results.
     pub fn average(a: &LoadState, b: &LoadState) -> LoadState {
         let mut merged = Vec::with_capacity(a.len().max(b.len()));
+        LoadState::average_into(a, b, &mut merged);
+        LoadState { entries: merged }
+    }
+
+    /// [`LoadState::average`] writing into a caller-owned buffer, so a
+    /// round loop can reuse one scratch vector across thousands of
+    /// merges. `out` is cleared first; on return it holds the merged
+    /// entries, sorted and duplicate-free, bit-identical to what
+    /// [`LoadState::average`] would produce.
+    pub fn average_into(a: &LoadState, b: &LoadState, out: &mut Vec<(SeedId, f64)>) {
+        out.clear();
+        let merged = out;
         let (mut i, mut j) = (0usize, 0usize);
         while i < a.entries.len() && j < b.entries.len() {
             let (ia, xa) = a.entries[i];
@@ -106,7 +135,6 @@ impl LoadState {
             merged.push((id, x / 2.0));
             j += 1;
         }
-        LoadState { entries: merged }
     }
 
     /// Message size in machine words when this state is shipped: one word
@@ -188,6 +216,26 @@ mod tests {
     #[should_panic(expected = "duplicate seed id")]
     fn duplicate_ids_panic() {
         let _ = LoadState::from_entries(vec![(1, 0.1), (1, 0.2)]);
+    }
+
+    #[test]
+    fn average_into_reuses_buffer_and_matches_average() {
+        let a = LoadState::from_entries(vec![(1, 0.7), (3, 0.1)]);
+        let b = LoadState::from_entries(vec![(2, 0.4), (3, 0.5)]);
+        let mut buf = Vec::new();
+        LoadState::average_into(&a, &b, &mut buf);
+        assert_eq!(&buf[..], LoadState::average(&a, &b).entries());
+        // A second merge into the same buffer replaces its contents.
+        LoadState::average_into(&b, &a, &mut buf);
+        assert_eq!(&buf[..], LoadState::average(&b, &a).entries());
+    }
+
+    #[test]
+    fn assign_from_sorted_replaces_contents() {
+        let mut s = LoadState::from_entries(vec![(9, 1.0)]);
+        s.assign_from_sorted(&[(1, 0.5), (4, 0.25)]);
+        assert_eq!(s.entries(), &[(1, 0.5), (4, 0.25)]);
+        assert_eq!(LoadState::from_sorted_entries(vec![(1, 0.5), (4, 0.25)]), s);
     }
 
     #[test]

@@ -2,11 +2,28 @@
 //! and variant invariants that must hold for *any* seed.
 
 use lbc_core::matching::ProposalRule;
+use lbc_core::state::SeedId;
 use lbc_core::{
     cluster, cluster_async, cluster_discrete, cluster_distributed, estimate_size, LbConfig,
+    LoadState, StateArena,
 };
 use lbc_graph::generators;
 use proptest::prelude::*;
+
+/// Strategy: one sparse load state over a small id universe, with loads
+/// spanning many binades (so `(x + y) / 2` vs `x / 2` rounding paths are
+/// genuinely exercised).
+fn state_strategy() -> impl Strategy<Value = LoadState> {
+    collection::vec((1u64..40, 0u32..64, -30i32..4), 0..12).prop_map(|raw| {
+        let mut entries: Vec<(SeedId, f64)> = Vec::new();
+        for (id, mantissa, exp) in raw {
+            if entries.iter().all(|&(i, _)| i != id) {
+                entries.push((id, (1.0 + mantissa as f64 / 64.0) * (exp as f64).exp2()));
+            }
+        }
+        LoadState::from_entries(entries)
+    })
+}
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(24))]
@@ -69,6 +86,63 @@ proptest! {
             let first = est.estimates[0];
             prop_assert!(est.estimates.iter().all(|&e| e == first));
         }
+    }
+
+    /// Arena merges are bit-identical (`==` on every f64) to
+    /// `LoadState::average` for arbitrary state pairs — the property
+    /// that makes the flat-arena round loop a drop-in replacement.
+    #[test]
+    fn arena_average_bit_identical_to_load_state(pair in (state_strategy(), state_strategy())) {
+        let (a, b) = pair;
+        let want = LoadState::average(&a, &b);
+        let mut arena = StateArena::from_states(&[a.clone(), b.clone()]);
+        arena.average_into(0, 1);
+        prop_assert_eq!(&arena.to_load_state(0), &want, "endpoint u diverged");
+        prop_assert_eq!(&arena.to_load_state(1), &want, "endpoint v diverged");
+        // And again with a warm scratch (second merge reuses buffers).
+        arena.average_into(1, 0);
+        let want2 = LoadState::average(&want, &want);
+        prop_assert_eq!(&arena.to_load_state(0), &want2, "warm-scratch merge diverged");
+    }
+
+    /// The arena-backed `cluster` is bit-identical to a reference round
+    /// loop written against the original `Vec<LoadState>` +
+    /// `sample_matching` + `LoadState::average` path, for any seed.
+    #[test]
+    fn cluster_bit_identical_to_load_state_reference(seed in 0u64..10_000) {
+        use lbc_core::{assign_labels, sample_matching};
+        use lbc_distsim::NodeRng;
+
+        let (g, _) = generators::ring_of_cliques(2, 8, 0).unwrap();
+        let cfg = LbConfig::new(0.5, 12).with_seed(seed);
+
+        // Reference: the pre-arena implementation, verbatim.
+        let n = g.n();
+        let mut rngs: Vec<NodeRng> = (0..n as u32)
+            .map(|v| NodeRng::for_node(cfg.seed, v))
+            .collect();
+        let seeds = lbc_core::run_seeding(n, cfg.trials(), &mut rngs);
+        prop_assume!(!seeds.is_empty());
+        let mut states: Vec<LoadState> = vec![LoadState::empty(); n];
+        for s in &seeds {
+            states[s.node as usize] = LoadState::seed(s.id);
+        }
+        let rule = cfg.proposal_rule(&g);
+        for _ in 0..cfg.rounds.count() {
+            let m = sample_matching(&g, rule, &mut rngs);
+            for (u, v) in m.pairs() {
+                let merged = LoadState::average(&states[u as usize], &states[v as usize]);
+                states[u as usize] = merged.clone();
+                states[v as usize] = merged;
+            }
+        }
+        let (raw, part) = assign_labels(&states, cfg.query, cfg.beta);
+
+        let out = cluster(&g, &cfg).unwrap();
+        prop_assert_eq!(out.seeds, seeds);
+        prop_assert_eq!(out.states, states, "states diverged from reference");
+        prop_assert_eq!(out.raw_labels, raw);
+        prop_assert_eq!(out.partition, part);
     }
 
     /// Changing only the query rule never changes seeds, states, or the

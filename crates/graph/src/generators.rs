@@ -98,6 +98,107 @@ pub fn planted_partition_sizes(
     Ok((Graph::from_edges(n, &edges)?, part))
 }
 
+/// Visit each of `total` Bernoulli(`p`) slots that comes up heads,
+/// without touching the misses: geometric skip-sampling (O(hits) draws
+/// instead of O(total)). Slot indices are emitted in increasing order.
+fn skip_sample(total: u64, p: f64, rng: &mut StdRng, mut emit: impl FnMut(u64)) {
+    if p <= 0.0 || total == 0 {
+        return;
+    }
+    if p >= 1.0 {
+        for t in 0..total {
+            emit(t);
+        }
+        return;
+    }
+    // ln(1 − p) via ln_1p: for p below ~1e-16, `(1.0 - p).ln()` rounds
+    // to 0 and the skip becomes -inf → 0, which would emit *every* slot.
+    let ln_q = (-p).ln_1p();
+    let mut t: u64 = 0;
+    loop {
+        // Geometric(p) number of misses before the next hit. `1 − u` is
+        // in (0, 1], so the log is finite unless u == 1.0-ulp, where the
+        // saturating cast below ends the walk — the correct tail event.
+        let u: f64 = rng.random();
+        let skip = ((1.0 - u).ln() / ln_q).floor();
+        t = t.saturating_add(if skip >= u64::MAX as f64 {
+            u64::MAX
+        } else {
+            skip as u64
+        });
+        if t >= total {
+            return;
+        }
+        emit(t);
+        t += 1;
+        if t >= total {
+            return;
+        }
+    }
+}
+
+/// Sparse planted partition: same edge law as [`planted_partition`]
+/// (`k` equal blocks, intra-block probability `p_in`, inter-block
+/// `p_out`) but sampled in `O(n + m)` expected time by geometric
+/// skip-sampling over the pair space, instead of the dense generator's
+/// `O(n²)` coin flips. Use this for large instances (the `rounds`
+/// benchmark builds n = 100 000 graphs with it); the draws differ from
+/// [`planted_partition`]'s, so the two generators produce different
+/// (equally distributed) graphs for the same seed.
+pub fn planted_partition_sparse(
+    k: usize,
+    block_size: usize,
+    p_in: f64,
+    p_out: f64,
+    seed: u64,
+) -> Result<(Graph, Partition), GraphError> {
+    if k == 0 || block_size == 0 {
+        return Err(GraphError::InvalidParameter(
+            "k and block_size must be positive".into(),
+        ));
+    }
+    if !(0.0..=1.0).contains(&p_in) || !(0.0..=1.0).contains(&p_out) {
+        return Err(GraphError::InvalidParameter(
+            "probabilities must lie in [0, 1]".into(),
+        ));
+    }
+    let b = block_size as u64;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges: Vec<(NodeId, NodeId)> = Vec::new();
+    // Intra-block pairs: the triangle {(u, v) : u < v} of each block,
+    // linearised row by row (row u holds pairs (u, u+1..b)).
+    for blk in 0..k as u64 {
+        let base = blk * b;
+        let total = b * (b - 1) / 2;
+        // Invert the row-major triangle index with a running cursor:
+        // hits arrive in increasing order, so each inversion only walks
+        // forward — O(b + hits) per block overall.
+        let mut row = 0u64;
+        let mut row_start = 0u64; // triangle index where `row` begins
+        skip_sample(total, p_in, &mut rng, |t| {
+            while t >= row_start + (b - 1 - row) {
+                row_start += b - 1 - row;
+                row += 1;
+            }
+            let u = base + row;
+            let v = base + row + 1 + (t - row_start);
+            edges.push((u as NodeId, v as NodeId));
+        });
+    }
+    // Inter-block pairs: the full b × b grid for each block pair i < j.
+    for i in 0..k as u64 {
+        for j in (i + 1)..k as u64 {
+            let (bi, bj) = (i * b, j * b);
+            skip_sample(b * b, p_out, &mut rng, |t| {
+                edges.push(((bi + t / b) as NodeId, (bj + t % b) as NodeId));
+            });
+        }
+    }
+    let n = k * block_size;
+    let g = Graph::from_edges(n, &edges)?;
+    Ok((g, Partition::from_sizes(&vec![block_size; k])))
+}
+
 /// Union of `d` random perfect matchings on an even number of nodes.
 ///
 /// Produces a (multi-edge-deduplicated) graph with maximum degree `d`;
@@ -616,6 +717,64 @@ mod tests {
         assert!(planted_partition(2, 0, 0.5, 0.1, 1).is_err());
         assert!(planted_partition(2, 10, 1.5, 0.1, 1).is_err());
         assert!(planted_partition(2, 10, 0.5, -0.1, 1).is_err());
+    }
+
+    #[test]
+    fn sparse_planted_partition_matches_dense_statistics() {
+        // Same law as the dense generator: edge counts inside/outside
+        // blocks should land near their expectations.
+        let (k, b, p_in, p_out) = (3usize, 200usize, 0.1f64, 0.005f64);
+        let (g, p) = planted_partition_sparse(k, b, p_in, p_out, 9).unwrap();
+        assert_eq!(g.n(), k * b);
+        assert_eq!(p.cluster_sizes(), vec![b; k]);
+        let mut intra = 0usize;
+        let mut inter = 0usize;
+        for (u, v) in g.edges() {
+            if p.label(u) == p.label(v) {
+                intra += 1;
+            } else {
+                inter += 1;
+            }
+        }
+        let e_intra = k as f64 * (b * (b - 1) / 2) as f64 * p_in;
+        let e_inter = (k * (k - 1) / 2) as f64 * (b * b) as f64 * p_out;
+        assert!(
+            (intra as f64 - e_intra).abs() < 4.0 * e_intra.sqrt() + 10.0,
+            "intra {intra} vs expected {e_intra}"
+        );
+        assert!(
+            (inter as f64 - e_inter).abs() < 4.0 * e_inter.sqrt() + 10.0,
+            "inter {inter} vs expected {e_inter}"
+        );
+    }
+
+    #[test]
+    fn sparse_planted_partition_deterministic_and_validated() {
+        let (g1, _) = planted_partition_sparse(2, 50, 0.2, 0.01, 5).unwrap();
+        let (g2, _) = planted_partition_sparse(2, 50, 0.2, 0.01, 5).unwrap();
+        let (g3, _) = planted_partition_sparse(2, 50, 0.2, 0.01, 6).unwrap();
+        assert_eq!(g1, g2);
+        assert_ne!(g1, g3);
+        assert!(planted_partition_sparse(0, 10, 0.5, 0.1, 1).is_err());
+        assert!(planted_partition_sparse(2, 10, 1.5, 0.1, 1).is_err());
+    }
+
+    #[test]
+    fn sparse_planted_partition_extreme_probabilities() {
+        // p = 1 inside, 0 outside: two disjoint cliques, every pair hit
+        // exactly once (the skip-sampler's p >= 1 fast path).
+        let (g, _) = planted_partition_sparse(2, 6, 1.0, 0.0, 1).unwrap();
+        assert_eq!(g.m(), 2 * 15);
+        assert!(!g.is_connected());
+        let (g0, _) = planted_partition_sparse(2, 6, 0.0, 0.0, 1).unwrap();
+        assert_eq!(g0.m(), 0);
+        // Sub-epsilon probabilities behave like ~0, not like 1 (the
+        // ln(1−p) precision trap).
+        let (g_tiny, _) = planted_partition_sparse(2, 100, 1e-17, 1e-17, 3).unwrap();
+        assert_eq!(g_tiny.m(), 0);
+        // Degenerate single-node blocks: no intra pairs at all.
+        let (g1, _) = planted_partition_sparse(3, 1, 0.9, 1.0, 1).unwrap();
+        assert_eq!(g1.m(), 3);
     }
 
     #[test]

@@ -175,7 +175,11 @@ impl ClusterHandle {
     /// Re-label the resident load states under a different query rule —
     /// the Seeding/Averaging work *and* the resident states/seeds are
     /// shared with this handle (nothing is copied); only `lbc_core`'s
-    /// query step ([`assign_labels`]) runs again.
+    /// query step ([`assign_labels`]) runs again. (This is a one-shot
+    /// relabel, so it stays on the `Vec<LoadState>` view; rebuilding a
+    /// [`lbc_core::StateArena`] here would cost more than it saves —
+    /// the arena path pays off where an arena already exists, i.e.
+    /// inside the clustering run itself.)
     pub fn with_query_rule(&self, rule: QueryRule, beta: f64) -> ClusterHandle {
         let (raw_labels, partition) = assign_labels(&self.output.states, rule, beta);
         let sizes = sizes_of(&partition);
@@ -296,6 +300,26 @@ mod tests {
         assert!(argmax.raw_labels().iter().all(|r| r.is_some()));
         // The original handle's labelling is untouched.
         assert_eq!(h.raw_labels(), &h.output().raw_labels[..]);
+    }
+
+    #[test]
+    fn arena_relabelling_matches_loadstate_relabelling() {
+        // Cross-representation parity at the serving boundary: labelling
+        // the resident states through a rebuilt arena must equal the
+        // `Vec<LoadState>` relabel path bit-for-bit, for every rule.
+        let (engine, cfg) = engine_with_ring();
+        let h = engine.handle("ring", &cfg).unwrap();
+        let arena = lbc_core::StateArena::from_states(&h.output().states);
+        for rule in [
+            QueryRule::ArgMax,
+            QueryRule::PaperThreshold,
+            QueryRule::ScaledThreshold(0.5),
+        ] {
+            let relabelled = h.with_query_rule(rule, cfg.beta);
+            let (raw, part) = lbc_core::assign_labels_arena(&arena, rule, cfg.beta);
+            assert_eq!(relabelled.raw_labels(), &raw[..]);
+            assert_eq!(relabelled.partition(), &part);
+        }
     }
 
     #[test]

@@ -303,6 +303,19 @@ impl Registry {
         self.inner.lock().unwrap().cache.len()
     }
 
+    /// Total resident footprint of the cached outputs, in machine words
+    /// (see [`ClusterOutput::resident_words`]) — what the LRU cache is
+    /// actually pinning in memory.
+    pub fn resident_words(&self) -> usize {
+        self.inner
+            .lock()
+            .unwrap()
+            .cache
+            .values()
+            .map(|e| e.output.resident_words())
+            .sum()
+    }
+
     /// Cache counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
@@ -435,6 +448,16 @@ mod tests {
         for out in &outputs[1..] {
             assert!(Arc::ptr_eq(&outputs[0], out));
         }
+    }
+
+    #[test]
+    fn resident_words_tracks_cache_contents() {
+        let r = registry_with_ring("ring");
+        assert_eq!(r.resident_words(), 0);
+        let cfg = LbConfig::new(0.5, 20).with_seed(3);
+        let out = r.get_or_cluster("ring", &cfg).unwrap();
+        assert_eq!(r.resident_words(), out.resident_words());
+        assert!(r.resident_words() > 0);
     }
 
     #[test]
