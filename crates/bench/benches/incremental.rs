@@ -1,0 +1,84 @@
+//! Dynamic-graph workload: warm-start re-clustering vs. a cold run on
+//! `k`-edge-flip perturbations of a planted partition, sweeping `k`.
+//!
+//! Setup per `k`: cluster the pristine graph once (that output plays the
+//! resident cache entry), build a `k`-flip [`lbc_graph::GraphDelta`]
+//! (remove `k` intra-cluster edges, add `k` inter-cluster edges), patch
+//! the graph. Then two arms:
+//!
+//! * `warm/k=K` — [`lbc_core::warm_start`] from the resident states on
+//!   the patched graph (convergence-driven round count);
+//! * `cold/k=K` — [`lbc_core::cluster`] from scratch on the patched
+//!   graph (fixed `T` rounds).
+//!
+//! The interesting number besides wall-clock is **rounds to recovery**;
+//! it is printed per `k` before the timed runs (criterion measures time,
+//! not rounds). A third group, `csr_patch`, isolates the graph-layer
+//! cost: `Graph::apply_delta` (touched-region rebuild) vs. a full
+//! `Graph::from_edges` reconstruction of the same mutated edge set.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lbc_core::{cluster, warm_start, LbConfig, WarmStartConfig};
+use lbc_graph::generators::{k_edge_flip_delta, planted_partition_sparse};
+use lbc_graph::Graph;
+
+/// n = 10 000 in 4 blocks; ~24 intra / ~3 inter expected degree.
+fn workload() -> (Graph, lbc_graph::Partition) {
+    let block = 2500usize;
+    let n = 4 * block;
+    planted_partition_sparse(4, block, 24.0 / block as f64, 3.0 / n as f64, 7).unwrap()
+}
+
+const FLIP_SWEEP: &[usize] = &[1, 8, 64, 512];
+
+fn bench_incremental(c: &mut Criterion) {
+    let (g, truth) = workload();
+    let cfg = LbConfig::new(0.25, 120).with_seed(3);
+    let resident = cluster(&g, &cfg).unwrap();
+    let wcfg = WarmStartConfig::default();
+
+    let mut group = c.benchmark_group("incremental/n10000");
+    for &k in FLIP_SWEEP {
+        let delta = k_edge_flip_delta(&g, &truth, k, 11).unwrap();
+        let patched = g.apply_delta(&delta).unwrap();
+
+        // Rounds-to-recovery readout (untimed; the acceptance number).
+        let probe = warm_start(&patched, &cfg, &resident, &delta, &wcfg).unwrap();
+        eprintln!(
+            "incremental: k = {k}: warm rounds-to-recovery = {} vs cold T = {} \
+             (converged = {}, last movement = {:.2e})",
+            probe.rounds_run,
+            cfg.rounds.count(),
+            probe.converged,
+            probe.last_movement,
+        );
+
+        group.bench_function(format!("warm/k={k}"), |b| {
+            b.iter(|| warm_start(&patched, &cfg, &resident, &delta, &wcfg).unwrap())
+        });
+        group.bench_function(format!("cold/k={k}"), |b| {
+            b.iter(|| cluster(&patched, &cfg).unwrap())
+        });
+    }
+    group.finish();
+}
+
+fn bench_csr_patch(c: &mut Criterion) {
+    let (g, truth) = workload();
+    let mut group = c.benchmark_group("csr_patch/n10000");
+    for &k in FLIP_SWEEP {
+        let delta = k_edge_flip_delta(&g, &truth, k, 13).unwrap();
+        let patched_edges: Vec<_> = g.apply_delta(&delta).unwrap().edges().collect();
+
+        group.bench_function(format!("apply_delta/k={k}"), |b| {
+            b.iter(|| g.apply_delta(&delta).unwrap())
+        });
+        group.bench_function(format!("from_edges/k={k}"), |b| {
+            b.iter(|| Graph::from_edges(g.n(), &patched_edges).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_incremental, bench_csr_patch);
+criterion_main!(benches);

@@ -60,6 +60,7 @@ fn bench_closed_loop(c: &mut Criterion) {
             total_ops: 100_000,
             batch: 64,
             seed: 7,
+            ..Default::default()
         };
         group.throughput(Throughput::Elements(cfg.total_ops));
         group.bench_with_input(BenchmarkId::new("loadgen_100k", clients), &cfg, |b, cfg| {

@@ -5,12 +5,14 @@ use std::io::{BufReader, BufWriter};
 
 use std::sync::Arc;
 
-use lbc_core::{cluster, cluster_distributed, LbConfig, QueryRule};
+use lbc_core::{cluster, cluster_distributed, LbConfig, QueryRule, WarmStartConfig};
 use lbc_eval::PartitionReport;
 use lbc_graph::stats::GraphStats;
 use lbc_graph::{generators, io, Graph, Partition};
 use lbc_linalg::spectral::SpectralOracle;
-use lbc_runtime::{LoadgenConfig, QueryEngine, Registry, WorkerPool};
+use lbc_runtime::{
+    CacheStats, DeltaPolicy, LoadgenConfig, Popularity, QueryEngine, Registry, WorkerPool,
+};
 
 use crate::args::Args;
 use crate::USAGE;
@@ -29,6 +31,7 @@ pub fn run(argv: &[String]) -> Result<String, String> {
         "stats" => cmd_stats(rest),
         "serve-bench" => cmd_serve_bench(rest),
         "jobs" => cmd_jobs(rest),
+        "update" => cmd_update(rest),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(format!("unknown subcommand '{other}'\n\n{USAGE}")),
     }
@@ -346,7 +349,16 @@ fn cmd_serve_bench(rest: &[String]) -> Result<String, String> {
     let ops: u64 = a.get_or("ops", 200_000)?;
     let batch: usize = a.get_or("batch", 64)?;
     let cache: usize = a.get_or("cache", 8)?;
+    let zipf: f64 = a.get_or("zipf", 0.0)?;
     a.reject_unknown()?;
+    if !(zipf.is_finite() && zipf >= 0.0) {
+        return Err(format!("--zipf must be finite and >= 0, got {zipf}"));
+    }
+    let popularity = if zipf > 0.0 {
+        Popularity::Zipf(zipf)
+    } else {
+        Popularity::Uniform
+    };
     for (name, v) in [
         ("threads", threads),
         ("clients", clients),
@@ -390,19 +402,31 @@ fn cmd_serve_bench(rest: &[String]) -> Result<String, String> {
         total_ops: ops,
         batch,
         seed: cfg.seed,
+        popularity,
     };
+    if let Popularity::Zipf(s) = popularity {
+        report.push_str(&format!("query popularity: zipf(s = {s})\n"));
+    }
     let load = lbc_runtime::run_loadgen(&handle, &lg).map_err(|e| e.to_string())?;
     report.push_str(&load.render());
-    let s = registry.stats();
-    report.push_str(&format!(
-        "cache: {} hits, {} misses, {} evictions ({} resident, {} words pinned)\n",
+    report.push_str(&render_cache_line(&registry));
+    Ok(report)
+}
+
+/// The registry's cache counters + resident footprint, one line —
+/// shared by `serve-bench`, `jobs`, and `update` so warm-refresh
+/// effectiveness is visible wherever the cache is in play.
+fn render_cache_line(registry: &Registry) -> String {
+    let s: CacheStats = registry.stats();
+    format!(
+        "cache: {} hits, {} misses, {} evictions, {} warm refreshes ({} resident, {} words pinned)\n",
         s.hits,
         s.misses,
         s.evictions,
+        s.refreshes,
         registry.cached_len(),
         registry.resident_words()
-    ));
-    Ok(report)
+    )
 }
 
 fn cmd_jobs(rest: &[String]) -> Result<String, String> {
@@ -454,6 +478,144 @@ fn cmd_jobs(rest: &[String]) -> Result<String, String> {
         busy.as_secs_f64() * 1e3,
         busy.as_secs_f64() / wall.as_secs_f64().max(1e-12),
     ));
+    report.push_str(&render_cache_line(&registry));
+    Ok(report)
+}
+
+fn cmd_update(rest: &[String]) -> Result<String, String> {
+    let a = Args::parse(rest, &["no-cold"])?;
+    let (name, g) = serving_dataset(&a)?;
+    let k_hint: usize = a.get_or("k", 4)?;
+    let cfg = serving_config(&a, &g, k_hint)?;
+    let delta_path = a.get("delta");
+    let flips: usize = a.get_or("flips", 0)?;
+    let flip_seed: u64 = a.get_or("flip-seed", 1)?;
+    let policy_name = a.get_or("policy", "warm".to_string())?;
+    let wdefault = WarmStartConfig::default();
+    let wcfg = WarmStartConfig {
+        tolerance: a.get_or("tolerance", wdefault.tolerance)?,
+        min_decay: a.get_or("min-decay", wdefault.min_decay)?,
+        patience: a.get_or("patience", wdefault.patience)?,
+        max_rounds: a.get_or("max-warm-rounds", wdefault.max_rounds)?,
+    };
+    let no_cold = a.has("no-cold");
+    a.reject_unknown()?;
+    // Validate here so bad flags come back as a usage error, not the
+    // warm-start assertion's panic.
+    if !(wcfg.tolerance.is_finite() && wcfg.tolerance >= 0.0) {
+        return Err(format!(
+            "--tolerance must be finite and >= 0, got {}",
+            wcfg.tolerance
+        ));
+    }
+    if !(0.0..1.0).contains(&wcfg.min_decay) {
+        return Err(format!(
+            "--min-decay must lie in [0, 1), got {}",
+            wcfg.min_decay
+        ));
+    }
+    if wcfg.patience == 0 || wcfg.max_rounds == 0 {
+        return Err("--patience and --max-warm-rounds must be positive".into());
+    }
+
+    let registry = Registry::with_capacity(4);
+    registry.insert_graph(&name, g.clone());
+    let mut report = format!(
+        "dataset '{name}': n = {}, m = {}; beta = {}, T = {}, seed = {}\n",
+        g.n(),
+        g.m(),
+        cfg.beta,
+        cfg.rounds.count(),
+        cfg.seed
+    );
+    let t0 = std::time::Instant::now();
+    let resident = registry
+        .get_or_cluster(&name, &cfg)
+        .map_err(|e| e.to_string())?;
+    let cold_ms = t0.elapsed().as_secs_f64() * 1e3;
+    report.push_str(&format!(
+        "resident clustering: {} seeds, {} clusters in {cold_ms:.1} ms (T = {} rounds, cold)\n",
+        resident.seeds.len(),
+        resident.partition.k(),
+        resident.rounds,
+    ));
+
+    let delta = match (delta_path, flips) {
+        (Some(_), f) if f > 0 => {
+            return Err("--delta and --flips are mutually exclusive".into());
+        }
+        (Some(path), _) => {
+            let f = File::open(&path).map_err(|e| format!("cannot open {path}: {e}"))?;
+            io::read_delta(BufReader::new(f)).map_err(|e| format!("{path}: {e}"))?
+        }
+        (None, f) if f > 0 => {
+            // No ground truth needed: flip against the resident
+            // labelling, which is what a live server would do.
+            generators::k_edge_flip_delta(&g, &resident.partition, f, flip_seed)
+                .map_err(|e| e.to_string())?
+        }
+        (None, _) => {
+            return Err("provide a mutation: --delta file or --flips K".into());
+        }
+    };
+    report.push_str(&format!(
+        "delta: +{} nodes, +{} edges, -{} edges ({} nodes touched)\n",
+        delta.added_nodes(),
+        delta.added_edges().len(),
+        delta.removed_edges().len(),
+        delta.touched_nodes(),
+    ));
+
+    let policy = match policy_name.as_str() {
+        "warm" => DeltaPolicy::WarmRefresh(wcfg),
+        "invalidate" => DeltaPolicy::Invalidate,
+        other => return Err(format!("unknown policy '{other}' (use warm or invalidate)")),
+    };
+    let t1 = std::time::Instant::now();
+    let rep = registry
+        .apply_delta(&name, &delta, &policy)
+        .map_err(|e| e.to_string())?;
+    let update_ms = t1.elapsed().as_secs_f64() * 1e3;
+    report.push_str(&format!(
+        "update applied in {update_ms:.1} ms: n = {}, m = {}; {} refreshed, {} invalidated\n",
+        rep.n, rep.m, rep.refreshed, rep.invalidated,
+    ));
+    if rep.refreshed > 0 {
+        report.push_str(&format!(
+            "warm rounds to recovery = {} vs cold T = {} ({:.1}x fewer rounds{})\n",
+            rep.warm_rounds,
+            cfg.rounds.count(),
+            cfg.rounds.count() as f64 / (rep.warm_rounds.max(1)) as f64,
+            if rep.unconverged > 0 {
+                ", hit round cap"
+            } else {
+                ""
+            },
+        ));
+    }
+
+    if !no_cold && rep.refreshed > 0 {
+        // Reference: what a cold run on the mutated graph would cost,
+        // and how closely the warm labelling agrees with it.
+        let patched = registry.graph(&name).map_err(|e| e.to_string())?;
+        let t2 = std::time::Instant::now();
+        let cold2 = cluster(&patched, &cfg).map_err(|e| e.to_string())?;
+        let cold2_ms = t2.elapsed().as_secs_f64() * 1e3;
+        let warm_out = registry
+            .cached(&name, &cfg)
+            .ok_or("warm-refreshed output missing from cache")?;
+        let ari =
+            lbc_eval::adjusted_rand_index(cold2.partition.labels(), warm_out.partition.labels());
+        report.push_str(&format!(
+            "cold re-cluster reference: {cold2_ms:.1} ms for {} rounds; \
+             warm vs cold agreement ARI = {ari:.4}\n",
+            cold2.rounds,
+        ));
+        report.push_str(&format!(
+            "wall-clock: warm update {update_ms:.1} ms vs cold re-cluster {cold2_ms:.1} ms\n"
+        ));
+    }
+    report.push_str(&render_cache_line(&registry));
     Ok(report)
 }
 
@@ -726,6 +888,150 @@ mod tests {
         assert_eq!(r.matches(" done ").count(), 6, "{r}");
         assert!(r.contains("failures = 0"), "{r}");
         assert!(r.contains("parallel speedup"), "{r}");
+    }
+
+    #[test]
+    fn serve_bench_zipf_popularity() {
+        let r = run(&raw(&[
+            "serve-bench",
+            "--family",
+            "ring",
+            "--k",
+            "2",
+            "--size",
+            "16",
+            "--rounds",
+            "30",
+            "--threads",
+            "2",
+            "--ops",
+            "4000",
+            "--zipf",
+            "1.1",
+        ]))
+        .unwrap();
+        assert!(r.contains("zipf(s = 1.1)"), "{r}");
+        assert!(r.contains("throughput ="), "{r}");
+        assert!(run(&raw(&["serve-bench", "--zipf", "-1"])).is_err());
+    }
+
+    #[test]
+    fn jobs_prints_cache_stats() {
+        let r = run(&raw(&[
+            "jobs",
+            "--family",
+            "ring",
+            "--k",
+            "2",
+            "--size",
+            "16",
+            "--rounds",
+            "20",
+            "--jobs",
+            "3",
+            "--threads",
+            "2",
+        ]))
+        .unwrap();
+        assert!(r.contains("cache: "), "{r}");
+        assert!(r.contains("words pinned"), "{r}");
+        assert!(r.contains("warm refreshes"), "{r}");
+    }
+
+    #[test]
+    fn update_with_flips_recovers_warm() {
+        let r = run(&raw(&[
+            "update", "--family", "planted", "--k", "3", "--block", "40", "--p-in", "0.4",
+            "--p-out", "0.01", "--beta", "0.33", "--rounds", "80", "--seed", "2", "--flips", "4",
+        ]))
+        .unwrap();
+        assert!(r.contains("+4 edges, -4 edges"), "{r}");
+        assert!(r.contains("1 refreshed, 0 invalidated"), "{r}");
+        assert!(r.contains("warm rounds to recovery ="), "{r}");
+        assert!(r.contains("ARI ="), "{r}");
+        assert!(r.contains("warm refreshes"), "{r}");
+        // Acceptance: the printed recovery beats the cold T.
+        let warm_rounds: usize = r
+            .lines()
+            .find(|l| l.starts_with("warm rounds to recovery"))
+            .and_then(|l| l.split_whitespace().nth(5))
+            .and_then(|w| w.parse().ok())
+            .unwrap_or_else(|| panic!("no warm rounds line in: {r}"));
+        assert!(warm_rounds < 80, "warm took {warm_rounds} rounds");
+    }
+
+    #[test]
+    fn update_from_a_delta_file_with_invalidate_policy() {
+        let g = tmp("g_upd.txt");
+        run(&raw(&[
+            "gen", "--family", "ring", "--k", "2", "--size", "12", "--out", &g,
+        ]))
+        .unwrap();
+        // Add one edge between the cliques (0 and 12 are in different
+        // cliques; they may already be bridged — use fresh node ids).
+        let d = tmp("d_upd.txt");
+        std::fs::write(&d, "2 1 0\n+ 24 25\n").unwrap();
+        let r = run(&raw(&[
+            "update",
+            "--graph",
+            &g,
+            "--beta",
+            "0.5",
+            "--rounds",
+            "30",
+            "--delta",
+            &d,
+            "--policy",
+            "invalidate",
+        ]))
+        .unwrap();
+        assert!(r.contains("+2 nodes, +1 edges, -0 edges"), "{r}");
+        assert!(r.contains("0 refreshed, 1 invalidated"), "{r}");
+        assert!(!r.contains("warm rounds to recovery"), "{r}");
+    }
+
+    #[test]
+    fn update_flag_errors() {
+        // Delta source is required and exclusive.
+        assert!(run(&raw(&["update", "--family", "ring"])).is_err());
+        assert!(run(&raw(&[
+            "update",
+            "--family",
+            "ring",
+            "--flips",
+            "2",
+            "--delta",
+            "/nonexistent",
+        ]))
+        .is_err());
+        // Unknown policy.
+        assert!(run(&raw(&[
+            "update", "--family", "ring", "--flips", "2", "--policy", "lukewarm",
+        ]))
+        .is_err());
+        // Out-of-range warm-start knobs are usage errors, not panics.
+        for (flag, bad) in [
+            ("--patience", "0"),
+            ("--min-decay", "1.0"),
+            ("--max-warm-rounds", "0"),
+            ("--tolerance", "-0.5"),
+        ] {
+            let e = run(&raw(&[
+                "update", "--family", "ring", "--flips", "2", flag, bad,
+            ]))
+            .unwrap_err();
+            assert!(e.contains("must"), "{flag}: {e}");
+        }
+        // A delta referencing nodes outside the graph surfaces the
+        // graph error through the registry.
+        let d = tmp("d_bad.txt");
+        std::fs::write(&d, "0 1 0\n+ 900 901\n").unwrap();
+        let e = run(&raw(&[
+            "update", "--family", "ring", "--k", "2", "--size", "10", "--rounds", "20", "--delta",
+            &d,
+        ]))
+        .unwrap_err();
+        assert!(e.contains("out of range"), "{e}");
     }
 
     #[test]

@@ -14,6 +14,9 @@
 //! * `lbc spectrum --graph g.txt --top 5` — top eigenvalues, gaps, and
 //!   the paper's suggested round counts.
 //! * `lbc stats --graph g.txt` — structural summary.
+//! * `lbc update --graph g.txt (--delta d.txt | --flips K)` — apply a
+//!   dynamic-graph delta through the serving registry and warm-start
+//!   re-cluster from the resident states.
 //!
 //! Everything returns its report as a `String` (so tests drive the CLI
 //! end-to-end without spawning processes); `main` just prints it.
@@ -49,12 +52,26 @@ USAGE:
   lbc serve-bench [--graph g.txt | --family ring|planted --k 4 --size 64]
                   [--beta B] [--rounds T] [--seed S] [--threads 4]
                   [--clients N] [--ops 200000] [--batch 64] [--cache 8]
+                  [--zipf S]
       Cluster on a worker pool, keep the output resident, then drive a
       closed-loop query load (same-cluster / cluster-of / cluster-size)
-      and print throughput + p50/p95/p99 batch latency.
+      and print throughput + p50/p95/p99 batch latency. --zipf S skews
+      query node popularity (Zipf exponent S; 0 = uniform).
 
   lbc jobs [--graph g.txt | --family ring|planted --k 4 --size 64]
            [--beta B] [--rounds T] [--seed S0] [--jobs 8] [--threads 4]
       Shard a seed sweep of independent clustering jobs across the pool
       and print the job table (worker, state, per-job wall time).
+
+  lbc update [--graph g.txt | --family ring|planted …] [--beta B]
+             [--rounds T] [--seed S]
+             (--delta d.txt | --flips K [--flip-seed S])
+             [--policy warm|invalidate] [--tolerance X] [--min-decay X]
+             [--patience N] [--max-warm-rounds N] [--no-cold]
+      Cluster, mutate the graph by a batched delta (from a file, or K
+      random edge flips against the resident labelling), and refresh
+      the cached clustering: warm policy re-clusters incrementally from
+      the resident load states until the load-movement criterion fires;
+      prints warm rounds-to-recovery vs the cold T and, unless
+      --no-cold, a cold re-cluster reference with warm/cold agreement.
 ";

@@ -326,6 +326,66 @@ impl StateArena {
         }
     }
 
+    /// L1 distance `Σ_i |x_u(i) − x_v(i)|` between two nodes' states
+    /// over the union of their supports (absent entries count as 0).
+    ///
+    /// This is exactly the total load the averaging rule moves when the
+    /// pair is merged: each endpoint shifts every coordinate by
+    /// `|a − b| / 2`, so the pair's movement is `|a − b|` per
+    /// coordinate. The warm-start driver sums it per round as its
+    /// convergence signal. Read-only, allocation-free.
+    pub fn l1_distance(&self, u: usize, v: usize) -> f64 {
+        let (iu, lu) = self.entries(u);
+        let (iv, lv) = self.entries(v);
+        let (mut i, mut j, mut d) = (0usize, 0usize, 0.0f64);
+        while i < iu.len() && j < iv.len() {
+            if iu[i] == iv[j] {
+                d += (lu[i] - lv[j]).abs();
+                i += 1;
+                j += 1;
+            } else if iu[i] < iv[j] {
+                d += lu[i];
+                i += 1;
+            } else {
+                d += lv[j];
+                j += 1;
+            }
+        }
+        d += lu[i..].iter().sum::<f64>();
+        d += lv[j..].iter().sum::<f64>();
+        d
+    }
+
+    /// [`StateArena::average_matched`] plus movement tracking: returns
+    /// the total load moved this round, `Σ_{(u,v) ∈ M} ‖x_u − x_v‖₁`
+    /// (see [`StateArena::l1_distance`]). Same merges, same order, same
+    /// floats as the untracked loop — the distance pass is read-only —
+    /// and still allocation-free (the warm-start steady state is covered
+    /// by `tests/zero_alloc.rs`).
+    pub fn average_matched_tracked(&mut self, m: &MatchingScratch) -> f64 {
+        const LOOKAHEAD: usize = 8;
+        let pairs = m.matched();
+        let mut moved = 0.0f64;
+        for (i, &(u, v)) in pairs.iter().enumerate() {
+            if let Some(&(pu, pv)) = pairs.get(i + LOOKAHEAD) {
+                self.prefetch_node(pu as usize);
+                self.prefetch_node(pv as usize);
+            }
+            moved += self.l1_distance(u as usize, v as usize);
+            self.average_into(u as usize, v as usize);
+        }
+        moved
+    }
+
+    /// Total load across all nodes (`Σ_v Σ_i x_v(i)`); conserved by
+    /// averaging, so one seed contributes exactly 1 forever. The warm
+    /// start normalises per-round movement by this.
+    pub fn total_load(&self) -> f64 {
+        (0..self.n())
+            .map(|v| self.entries(v).1.iter().sum::<f64>())
+            .sum()
+    }
+
     /// Materialise node `v` as a [`LoadState`] (raw ids restored).
     pub fn to_load_state(&self, v: usize) -> LoadState {
         let (idx, load) = self.entries(v);
@@ -434,6 +494,22 @@ mod tests {
         assert_eq!(a.seed_count(), 1);
         assert_eq!(a.load_of(0, 5), 1.0);
         assert_eq!(a.load_of(1, 5), 1.0);
+    }
+
+    #[test]
+    fn l1_distance_over_union_support() {
+        let sa = LoadState::from_entries(vec![(7, 0.3), (42, 0.5)]);
+        let sb = LoadState::from_entries(vec![(42, 0.1), (99, 0.25)]);
+        let mut a = StateArena::from_states(&[sa, sb]);
+        // |0.3 − 0| + |0.5 − 0.1| + |0 − 0.25| = 0.95.
+        assert!((a.l1_distance(0, 1) - 0.95).abs() < 1e-15);
+        assert_eq!(a.l1_distance(0, 1).to_bits(), a.l1_distance(1, 0).to_bits());
+        assert!((a.total_load() - 1.15).abs() < 1e-15);
+        // Averaging the pair collapses the distance to zero and
+        // conserves the total.
+        a.average_into(0, 1);
+        assert_eq!(a.l1_distance(0, 1), 0.0);
+        assert!((a.total_load() - 1.15).abs() < 1e-15);
     }
 
     #[test]

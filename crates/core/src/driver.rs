@@ -54,6 +54,9 @@ pub enum ClusterError {
     NoSeeds,
     /// The graph has no nodes.
     EmptyGraph,
+    /// A warm start's prior output does not line up with the graph:
+    /// `prior_n + added` nodes were expected, the graph has `n`.
+    PriorMismatch { prior_n: usize, n: usize },
 }
 
 impl std::fmt::Display for ClusterError {
@@ -61,6 +64,11 @@ impl std::fmt::Display for ClusterError {
         match self {
             ClusterError::NoSeeds => write!(f, "seeding produced no seeds"),
             ClusterError::EmptyGraph => write!(f, "graph has no nodes"),
+            ClusterError::PriorMismatch { prior_n, n } => write!(
+                f,
+                "warm-start prior covers {prior_n} nodes but the graph has {n} \
+                 (delta node additions included)"
+            ),
         }
     }
 }

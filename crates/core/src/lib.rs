@@ -32,6 +32,9 @@
 //! * [`query`] — the query procedure and its threshold variants.
 //! * [`config`] — [`LbConfig`]: `β`, rounds, query rule, degree mode.
 //! * [`driver`] — [`cluster`] (centralised) end-to-end pipeline.
+//! * [`incremental`] — [`warm_start`]: dynamic-graph re-clustering from
+//!   resident states, with a load-movement convergence criterion in
+//!   place of the fixed `T`.
 //! * [`matrix`] — dense multi-dimensional load-balancing process.
 //! * [`protocol`] — the distributed node program and
 //!   [`cluster_distributed`].
@@ -46,6 +49,7 @@ pub mod discrete;
 pub mod driver;
 pub mod estimation;
 pub mod gossip;
+pub mod incremental;
 pub mod matching;
 pub mod matrix;
 pub mod protocol;
@@ -60,6 +64,7 @@ pub use discrete::{cluster_discrete, DiscreteOutput, TokenState};
 pub use driver::{cluster, cluster_adaptive, ClusterOutput};
 pub use estimation::{estimate_size, SizeEstimate};
 pub use gossip::{gossip_average, rumour_spread, AveragingTrajectory, RumourTrajectory};
+pub use incremental::{warm_start, WarmStartConfig, WarmStartOutput};
 pub use matching::{
     d_bar, sample_matching, sample_matching_into, MatchingOutcome, MatchingScratch,
 };

@@ -1,0 +1,113 @@
+//! Acceptance test for the incremental subsystem's identity guarantee:
+//! a warm start with an **empty** [`GraphDelta`] must reproduce the
+//! cached [`ClusterOutput`] **bit-for-bit** — every `f64` compared by
+//! bit pattern, not tolerance. This pins the whole no-op path:
+//! `StateArena::from_states` → `assign_labels_arena` →
+//! `to_load_states` is a lossless round trip, so a registry
+//! warm-refresh can never perturb a served clustering it didn't need
+//! to touch.
+
+use lbc_core::{cluster, warm_start, ClusterOutput, LbConfig, QueryRule, WarmStartConfig};
+use lbc_graph::{generators, GraphDelta};
+
+fn assert_bit_identical(a: &ClusterOutput, b: &ClusterOutput) {
+    assert_eq!(a.partition, b.partition, "partition differs");
+    assert_eq!(a.raw_labels, b.raw_labels, "raw labels differ");
+    assert_eq!(a.seeds, b.seeds, "seeds differ");
+    assert_eq!(a.rounds, b.rounds, "round counts differ");
+    assert_eq!(a.states.len(), b.states.len(), "state counts differ");
+    for (v, (sa, sb)) in a.states.iter().zip(&b.states).enumerate() {
+        assert_eq!(
+            sa.entries().len(),
+            sb.entries().len(),
+            "node {v}: support size differs"
+        );
+        for (&(ida, xa), &(idb, xb)) in sa.entries().iter().zip(sb.entries()) {
+            assert_eq!(ida, idb, "node {v}: seed id differs");
+            assert_eq!(
+                xa.to_bits(),
+                xb.to_bits(),
+                "node {v}, seed {ida}: load {xa} vs {xb} (bit patterns differ)"
+            );
+        }
+    }
+}
+
+#[test]
+fn empty_delta_reproduces_output_bit_for_bit() {
+    let (g, _) = generators::planted_partition(3, 40, 0.4, 0.01, 5).unwrap();
+    let cfg = LbConfig::new(1.0 / 3.0, 80).with_seed(2);
+    let cold = cluster(&g, &cfg).unwrap();
+    let warm = warm_start(
+        &g,
+        &cfg,
+        &cold,
+        &GraphDelta::new(),
+        &WarmStartConfig::default(),
+    )
+    .unwrap();
+    assert_eq!(warm.rounds_run, 0);
+    assert!(warm.converged);
+    assert_bit_identical(&cold, &warm.output);
+}
+
+#[test]
+fn identity_holds_across_query_rules_and_graph_families() {
+    let cases: Vec<(lbc_graph::Graph, LbConfig)> = vec![
+        {
+            let (g, _) = generators::ring_of_cliques(4, 20, 0).unwrap();
+            (g, LbConfig::new(0.25, 60).with_seed(3))
+        },
+        {
+            let (g, _) = generators::ring_of_cliques(3, 16, 0).unwrap();
+            (
+                g,
+                LbConfig::new(1.0 / 3.0, 50)
+                    .with_seed(8)
+                    .with_query(QueryRule::ArgMax),
+            )
+        },
+        {
+            // Irregular graph exercises the almost-regular degree mode.
+            let (g0, t) = generators::planted_partition(2, 40, 0.5, 0.01, 13).unwrap();
+            let g = generators::perturb_degrees(&g0, &t, 0.1, 0.1, 14).unwrap();
+            (g, LbConfig::new(0.5, 70).with_seed(4))
+        },
+    ];
+    for (i, (g, cfg)) in cases.into_iter().enumerate() {
+        let cold = cluster(&g, &cfg).unwrap();
+        let warm = warm_start(
+            &g,
+            &cfg,
+            &cold,
+            &GraphDelta::new(),
+            &WarmStartConfig::default(),
+        )
+        .unwrap_or_else(|e| panic!("case {i}: {e}"));
+        assert_bit_identical(&cold, &warm.output);
+    }
+}
+
+#[test]
+fn warm_refresh_then_empty_delta_is_also_an_identity() {
+    // The identity must hold for *any* resident output, including one a
+    // warm start itself produced (a chain of deltas ends with quiet
+    // periods; each quiet refresh must be free).
+    let (g, truth) = generators::planted_partition(3, 40, 0.4, 0.01, 5).unwrap();
+    let cfg = LbConfig::new(1.0 / 3.0, 80).with_seed(2);
+    let cold = cluster(&g, &cfg).unwrap();
+    let delta = generators::k_edge_flip_delta(&g, &truth, 3, 41).unwrap();
+    let g2 = g.apply_delta(&delta).unwrap();
+    let w1 = warm_start(&g2, &cfg, &cold, &delta, &WarmStartConfig::default()).unwrap();
+    assert!(w1.rounds_run > 0);
+    let w2 = warm_start(
+        &g2,
+        &cfg,
+        &w1.output,
+        &GraphDelta::new(),
+        &WarmStartConfig::default(),
+    )
+    .unwrap();
+    assert_eq!(w2.rounds_run, 0);
+    assert_bit_identical(&w1.output, &w2.output);
+}

@@ -78,3 +78,53 @@ fn steady_state_round_loop_is_allocation_free() {
     let total: f64 = (0..n).map(|v| arena.to_load_state(v).total()).sum();
     assert!((total - seeds.len() as f64).abs() < 1e-9);
 }
+
+#[test]
+fn warm_start_steady_state_rounds_are_allocation_free() {
+    // The incremental subsystem's round loop — `sample_matching_into`
+    // plus the movement-tracked merge `average_matched_tracked` (the
+    // extra L1-distance pass is read-only) — must be as allocation-free
+    // as the cold loop. Set up exactly what `lbc_core::warm_start` sets
+    // up: a prior clustering, a mutated graph, an arena rebuilt from the
+    // resident states.
+    use lbc_core::{cluster, warm_start, WarmStartConfig};
+    use lbc_graph::generators::k_edge_flip_delta;
+
+    let (g, truth) = generators::planted_partition(2, 50, 0.4, 0.01, 3).unwrap();
+    let cfg = LbConfig::new(0.5, 60).with_seed(5);
+    let prior = cluster(&g, &cfg).unwrap();
+    let delta = k_edge_flip_delta(&g, &truth, 4, 9).unwrap();
+    let g2 = g.apply_delta(&delta).unwrap();
+
+    let n = g2.n();
+    let mut arena = StateArena::from_states(&prior.states);
+    let mut scratch = MatchingScratch::new(n);
+    let mut rngs: Vec<NodeRng> = (0..n as u32)
+        .map(|v| NodeRng::for_node(cfg.seed, v))
+        .collect();
+    let rule = cfg.proposal_rule(&g2);
+
+    // Warm-up, then count across 50 steady-state warm rounds.
+    let mut moved = 0.0f64;
+    for _ in 0..5 {
+        sample_matching_into(&g2, rule, &mut rngs, &mut scratch);
+        moved += arena.average_matched_tracked(&scratch);
+    }
+    let before = ALLOCS.load(Ordering::SeqCst);
+    for _ in 0..50 {
+        sample_matching_into(&g2, rule, &mut rngs, &mut scratch);
+        moved += arena.average_matched_tracked(&scratch);
+    }
+    let after = ALLOCS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "warm round loop allocated {} times in 50 steady-state rounds",
+        after - before
+    );
+    assert!(moved > 0.0, "tracked movement should be positive");
+
+    // And the public driver agrees end-to-end on the same inputs.
+    let warm = warm_start(&g2, &cfg, &prior, &delta, &WarmStartConfig::default()).unwrap();
+    assert!(warm.rounds_run > 0);
+}

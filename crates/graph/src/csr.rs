@@ -92,6 +92,31 @@ impl Graph {
         })
     }
 
+    /// Assemble a graph from already-validated CSR arrays (the
+    /// [`crate::delta`] patch path, which maintains the invariants
+    /// incrementally instead of re-deriving them from an edge list).
+    pub(crate) fn from_parts(offsets: Vec<usize>, neighbours: Vec<NodeId>) -> Self {
+        debug_assert!(!offsets.is_empty() && *offsets.last().unwrap() == neighbours.len());
+        Graph {
+            offsets,
+            neighbours,
+        }
+    }
+
+    /// Start of node `v`'s slice in the flat neighbour array (the CSR
+    /// offset; `v` may be `n`, giving the end sentinel).
+    #[inline]
+    pub(crate) fn neighbour_offset(&self, v: NodeId) -> usize {
+        self.offsets[v as usize]
+    }
+
+    /// Raw slice `lo..hi` of the flat neighbour array — the bulk-copy
+    /// seam for the delta patch's untouched runs.
+    #[inline]
+    pub(crate) fn neighbour_range(&self, lo: usize, hi: usize) -> &[NodeId] {
+        &self.neighbours[lo..hi]
+    }
+
     /// Number of nodes.
     #[inline]
     pub fn n(&self) -> usize {

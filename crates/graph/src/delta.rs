@@ -1,0 +1,361 @@
+//! Batched graph mutations and the CSR patch that applies them.
+//!
+//! Served graphs mutate: edges appear and disappear, nodes join. The
+//! [`Graph`] representation is deliberately immutable CSR, so updates go
+//! through a [`GraphDelta`] — a batch of edge insertions/deletions plus
+//! node additions — and [`Graph::apply_delta`], which produces the
+//! patched graph while rebuilding **only the touched adjacency regions**:
+//! untouched nodes' neighbour slices are copied wholesale (one `memcpy`
+//! per maximal untouched run), and only nodes incident to a mutated edge
+//! pay a sorted merge of their old list against the delta's per-node
+//! operations. For a delta touching `t` nodes this is
+//! `O(m + Σ_{v touched} deg(v) + |δ| log |δ|)` with the `O(m)` part pure
+//! copying — the patch that the incremental re-clustering subsystem
+//! (`lbc_core::warm_start`, `lbc_runtime`'s `apply_delta`) rides on.
+
+use crate::csr::Graph;
+use crate::error::GraphError;
+use crate::NodeId;
+
+/// A batch of mutations to apply to a [`Graph`].
+///
+/// Semantics (all applied atomically by [`Graph::apply_delta`]):
+///
+/// * **Removals** refer to edges of the *pre-delta* graph; removing an
+///   edge that is not present is an error ([`GraphError::MissingEdge`]),
+///   which catches a delta drifting out of sync with its graph.
+/// * **Additions** apply after removals, so a delta that removes and
+///   re-adds the same pair round-trips to an identical graph. Adding an
+///   edge that is already present is deduplicated silently, matching
+///   [`Graph::from_edges`].
+/// * **Node additions** extend the id space by `count` isolated nodes
+///   (`old_n..old_n+count`); added edges may reference them.
+///
+/// ```
+/// use lbc_graph::{Graph, GraphDelta};
+/// let g = Graph::from_edges(3, &[(0, 1), (1, 2)]).unwrap();
+/// let mut d = GraphDelta::new();
+/// d.remove_edge(1, 2);
+/// d.add_nodes(1);
+/// d.add_edge(2, 3);
+/// let h = g.apply_delta(&d).unwrap();
+/// assert_eq!(h.n(), 4);
+/// assert!(!h.has_edge(1, 2));
+/// assert!(h.has_edge(2, 3));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GraphDelta {
+    add_nodes: usize,
+    add_edges: Vec<(NodeId, NodeId)>,
+    remove_edges: Vec<(NodeId, NodeId)>,
+}
+
+impl GraphDelta {
+    /// Empty delta (applying it is the identity).
+    pub fn new() -> Self {
+        GraphDelta::default()
+    }
+
+    /// Extend the graph by `count` isolated nodes.
+    pub fn add_nodes(&mut self, count: usize) -> &mut Self {
+        self.add_nodes += count;
+        self
+    }
+
+    /// Queue insertion of edge `{u, v}` (validated at apply time).
+    pub fn add_edge(&mut self, u: NodeId, v: NodeId) -> &mut Self {
+        self.add_edges.push(if u < v { (u, v) } else { (v, u) });
+        self
+    }
+
+    /// Queue removal of edge `{u, v}` (must exist at apply time).
+    pub fn remove_edge(&mut self, u: NodeId, v: NodeId) -> &mut Self {
+        self.remove_edges.push(if u < v { (u, v) } else { (v, u) });
+        self
+    }
+
+    /// Number of nodes this delta appends.
+    pub fn added_nodes(&self) -> usize {
+        self.add_nodes
+    }
+
+    /// Queued edge insertions, normalised `u < v`, in insertion order.
+    pub fn added_edges(&self) -> &[(NodeId, NodeId)] {
+        &self.add_edges
+    }
+
+    /// Queued edge removals, normalised `u < v`, in insertion order.
+    pub fn removed_edges(&self) -> &[(NodeId, NodeId)] {
+        &self.remove_edges
+    }
+
+    /// Whether applying this delta is the identity.
+    pub fn is_empty(&self) -> bool {
+        self.add_nodes == 0 && self.add_edges.is_empty() && self.remove_edges.is_empty()
+    }
+
+    /// Number of distinct nodes incident to a queued edge mutation.
+    pub fn touched_nodes(&self) -> usize {
+        let mut nodes: Vec<NodeId> = self
+            .add_edges
+            .iter()
+            .chain(&self.remove_edges)
+            .flat_map(|&(u, v)| [u, v])
+            .collect();
+        nodes.sort_unstable();
+        nodes.dedup();
+        nodes.len()
+    }
+}
+
+impl Graph {
+    /// Apply a [`GraphDelta`], producing the patched graph.
+    ///
+    /// Only the adjacency regions of touched nodes are rebuilt (sorted
+    /// merge of the old list against the node's delta operations);
+    /// untouched regions are copied verbatim in maximal runs. See the
+    /// [`GraphDelta`] docs for the mutation semantics and error cases.
+    pub fn apply_delta(&self, delta: &GraphDelta) -> Result<Graph, GraphError> {
+        let old_n = self.n();
+        let n = old_n + delta.added_nodes();
+
+        for &(u, v) in delta.added_edges().iter().chain(delta.removed_edges()) {
+            if u as usize >= n {
+                return Err(GraphError::NodeOutOfRange { node: u, n });
+            }
+            if v as usize >= n {
+                return Err(GraphError::NodeOutOfRange { node: v, n });
+            }
+            if u == v {
+                return Err(GraphError::SelfLoop { node: u });
+            }
+        }
+        for &(u, v) in delta.removed_edges() {
+            if u as usize >= old_n || v as usize >= old_n || !self.has_edge(u, v) {
+                return Err(GraphError::MissingEdge { u, v });
+            }
+        }
+
+        // Per-node operation list, both directions, sorted by
+        // (node, partner); same-pair duplicates collapse below.
+        let mut ops: Vec<(NodeId, NodeId, bool)> =
+            Vec::with_capacity(2 * (delta.added_edges().len() + delta.removed_edges().len()));
+        for &(u, v) in delta.removed_edges() {
+            ops.push((u, v, false));
+            ops.push((v, u, false));
+        }
+        for &(u, v) in delta.added_edges() {
+            ops.push((u, v, true));
+            ops.push((v, u, true));
+        }
+        ops.sort_unstable();
+        ops.dedup();
+
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0usize);
+        let mut neighbours: Vec<NodeId> =
+            Vec::with_capacity(self.total_volume() + 2 * delta.added_edges().len());
+        let mut op_i = 0usize;
+        let mut v = 0usize;
+        while v < n {
+            // Maximal run of untouched old nodes: one bulk copy.
+            let run_start = v;
+            while v < old_n && (op_i >= ops.len() || ops[op_i].0 as usize != v) {
+                offsets.push(0); // placeholder, fixed after the copy
+                v += 1;
+            }
+            if v > run_start {
+                let lo = self.neighbour_offset(run_start as NodeId);
+                let hi = self.neighbour_offset(v as NodeId);
+                let base = neighbours.len();
+                neighbours.extend_from_slice(self.neighbour_range(lo, hi));
+                for u in run_start..v {
+                    let end = base + (self.neighbour_offset((u + 1) as NodeId) - lo);
+                    offsets[u + 1] = end;
+                }
+                debug_assert_eq!(neighbours.len(), base + (hi - lo));
+            }
+            if v >= n {
+                break;
+            }
+            // Touched (or brand-new) node: merge old list with its ops.
+            let old: &[NodeId] = if v < old_n {
+                self.neighbours(v as NodeId)
+            } else {
+                &[]
+            };
+            let op_lo = op_i;
+            while op_i < ops.len() && ops[op_i].0 as usize == v {
+                op_i += 1;
+            }
+            let vops = &ops[op_lo..op_i];
+            let mut i = 0usize;
+            let mut j = 0usize;
+            while j < vops.len() {
+                let w = vops[j].1;
+                while i < old.len() && old[i] < w {
+                    neighbours.push(old[i]);
+                    i += 1;
+                }
+                let mut removed = false;
+                let mut added = false;
+                while j < vops.len() && vops[j].1 == w {
+                    if vops[j].2 {
+                        added = true;
+                    } else {
+                        removed = true;
+                    }
+                    j += 1;
+                }
+                let present = i < old.len() && old[i] == w;
+                if present {
+                    i += 1;
+                }
+                if added || (present && !removed) {
+                    neighbours.push(w);
+                }
+            }
+            neighbours.extend_from_slice(&old[i..]);
+            offsets.push(neighbours.len());
+            v += 1;
+        }
+        debug_assert_eq!(offsets.len(), n + 1);
+        Ok(Graph::from_parts(offsets, neighbours))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle_plus_pendant() -> Graph {
+        Graph::from_edges(4, &[(0, 1), (1, 2), (2, 0), (0, 3)]).unwrap()
+    }
+
+    #[test]
+    fn empty_delta_is_identity() {
+        let g = triangle_plus_pendant();
+        let d = GraphDelta::new();
+        assert!(d.is_empty());
+        assert_eq!(g.apply_delta(&d).unwrap(), g);
+    }
+
+    #[test]
+    fn add_and_remove_edges() {
+        let g = triangle_plus_pendant();
+        let mut d = GraphDelta::new();
+        d.remove_edge(0, 1).add_edge(1, 3);
+        assert_eq!(d.touched_nodes(), 3);
+        let h = g.apply_delta(&d).unwrap();
+        assert_eq!(h.n(), 4);
+        assert_eq!(h.m(), 4);
+        assert!(!h.has_edge(0, 1));
+        assert!(h.has_edge(1, 3));
+        // Untouched node 2's list is unchanged.
+        assert_eq!(h.neighbours(2), g.neighbours(2));
+        // Patched graph equals a cold rebuild from the same edge set.
+        let mut edges: Vec<_> = h.edges().collect();
+        edges.sort_unstable();
+        assert_eq!(h, Graph::from_edges(4, &edges).unwrap());
+    }
+
+    #[test]
+    fn node_additions_extend_the_id_space() {
+        let g = triangle_plus_pendant();
+        let mut d = GraphDelta::new();
+        d.add_nodes(2).add_edge(3, 4).add_edge(4, 5);
+        let h = g.apply_delta(&d).unwrap();
+        assert_eq!(h.n(), 6);
+        assert_eq!(h.neighbours(4), &[3, 5]);
+        assert_eq!(h.degree(5), 1);
+        // Without the node additions the same edges are out of range.
+        let mut bad = GraphDelta::new();
+        bad.add_edge(3, 4);
+        assert!(matches!(
+            g.apply_delta(&bad),
+            Err(GraphError::NodeOutOfRange { node: 4, n: 4 })
+        ));
+    }
+
+    #[test]
+    fn removing_a_missing_edge_is_an_error() {
+        let g = triangle_plus_pendant();
+        let mut d = GraphDelta::new();
+        d.remove_edge(1, 3);
+        assert_eq!(
+            g.apply_delta(&d),
+            Err(GraphError::MissingEdge { u: 1, v: 3 })
+        );
+        // Removing an edge into the appended-node range cannot exist.
+        let mut d2 = GraphDelta::new();
+        d2.add_nodes(1).remove_edge(0, 4);
+        assert_eq!(
+            g.apply_delta(&d2),
+            Err(GraphError::MissingEdge { u: 0, v: 4 })
+        );
+    }
+
+    #[test]
+    fn self_loops_and_duplicates_rejected_or_deduped() {
+        let g = triangle_plus_pendant();
+        let mut d = GraphDelta::new();
+        d.add_edge(2, 2);
+        assert_eq!(g.apply_delta(&d), Err(GraphError::SelfLoop { node: 2 }));
+        // Adding a present edge (or the same edge twice) dedups.
+        let mut d2 = GraphDelta::new();
+        d2.add_edge(0, 1)
+            .add_edge(1, 0)
+            .add_edge(1, 3)
+            .add_edge(1, 3);
+        let h = g.apply_delta(&d2).unwrap();
+        assert_eq!(h.m(), 5);
+        assert_eq!(h.neighbours(1), &[0, 2, 3]);
+    }
+
+    #[test]
+    fn remove_then_add_same_pair_round_trips() {
+        let g = triangle_plus_pendant();
+        let mut d = GraphDelta::new();
+        d.remove_edge(0, 2).add_edge(2, 0);
+        assert_eq!(g.apply_delta(&d).unwrap(), g);
+    }
+
+    #[test]
+    fn patch_matches_cold_rebuild_on_a_bigger_graph() {
+        // Deterministic pseudo-random graph + delta, cross-checked
+        // against Graph::from_edges of the mutated edge set.
+        let n = 60u32;
+        let mut edges = Vec::new();
+        for u in 0..n {
+            for v in (u + 1)..n {
+                if (u
+                    .wrapping_mul(2654435761)
+                    .wrapping_add(v.wrapping_mul(40503)))
+                    % 7
+                    == 0
+                {
+                    edges.push((u, v));
+                }
+            }
+        }
+        let g = Graph::from_edges(n as usize, &edges).unwrap();
+        let mut d = GraphDelta::new();
+        d.add_nodes(3);
+        let mut expect: Vec<(u32, u32)> = edges.clone();
+        // Remove every 5th edge, add a fan from the new nodes.
+        for (i, &(u, v)) in edges.iter().enumerate() {
+            if i % 5 == 0 {
+                d.remove_edge(u, v);
+                expect.retain(|&e| e != (u, v));
+            }
+        }
+        for t in 0..3u32 {
+            for u in (t * 7..n).step_by(11) {
+                d.add_edge(u, n + t);
+                expect.push((u, n + t));
+            }
+        }
+        let h = g.apply_delta(&d).unwrap();
+        assert_eq!(h, Graph::from_edges(n as usize + 3, &expect).unwrap());
+    }
+}

@@ -9,6 +9,8 @@ pub enum GraphError {
     NodeOutOfRange { node: u32, n: usize },
     /// A self-loop `{v, v}` was inserted where none are allowed.
     SelfLoop { node: u32 },
+    /// A delta removed edge `{u, v}`, but the graph does not have it.
+    MissingEdge { u: u32, v: u32 },
     /// Generator parameters are inconsistent (message explains why).
     InvalidParameter(String),
     /// Parse or I/O failure while reading a graph file.
@@ -22,6 +24,9 @@ impl fmt::Display for GraphError {
                 write!(f, "node {node} out of range for graph with {n} nodes")
             }
             GraphError::SelfLoop { node } => write!(f, "self-loop at node {node} not allowed"),
+            GraphError::MissingEdge { u, v } => {
+                write!(f, "cannot remove edge {{{u}, {v}}}: not in the graph")
+            }
             GraphError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
             GraphError::Io(msg) => write!(f, "graph i/o error: {msg}"),
         }

@@ -27,6 +27,7 @@ use rand::{Rng, SeedableRng};
 
 use crate::builder::GraphBuilder;
 use crate::csr::Graph;
+use crate::delta::GraphDelta;
 use crate::error::GraphError;
 use crate::partition::Partition;
 use crate::NodeId;
@@ -513,6 +514,76 @@ pub fn perturb_degrees(
     Ok(b.build())
 }
 
+/// `k`-edge-flip perturbation of a clustered graph, as a [`GraphDelta`]:
+/// remove `k` uniformly random intra-cluster edges and add `k` uniformly
+/// random inter-cluster non-edges. Each flip weakens the planted
+/// structure from both sides (thins a cluster, thickens a cut), which
+/// makes sweeping `k` the canonical dynamic-graph workload for measuring
+/// how many warm-start rounds re-clustering actually needs.
+///
+/// Deterministic in `seed`. Fails when the graph has fewer than `k`
+/// intra-cluster edges or (after bounded rejection sampling) fewer than
+/// `k` available inter-cluster non-edges.
+pub fn k_edge_flip_delta(
+    g: &Graph,
+    part: &Partition,
+    k: usize,
+    seed: u64,
+) -> Result<GraphDelta, GraphError> {
+    if part.n() != g.n() {
+        return Err(GraphError::InvalidParameter(format!(
+            "partition covers {} nodes, graph has {}",
+            part.n(),
+            g.n()
+        )));
+    }
+    let mut delta = GraphDelta::new();
+    if k == 0 {
+        return Ok(delta);
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut intra: Vec<(NodeId, NodeId)> = g
+        .edges()
+        .filter(|&(u, v)| part.label(u) == part.label(v))
+        .collect();
+    if intra.len() < k {
+        return Err(GraphError::InvalidParameter(format!(
+            "cannot flip {k} edges: only {} intra-cluster edges",
+            intra.len()
+        )));
+    }
+    // Partial Fisher–Yates: the first k slots become the removals.
+    for i in 0..k {
+        let j = i + rng.random_range(0..intra.len() - i);
+        intra.swap(i, j);
+        let (u, v) = intra[i];
+        delta.remove_edge(u, v);
+    }
+    let n = g.n();
+    let mut added = std::collections::BTreeSet::new();
+    let mut attempts = 0usize;
+    let max_attempts = 100 * k + 1000;
+    while added.len() < k {
+        attempts += 1;
+        if attempts > max_attempts {
+            return Err(GraphError::InvalidParameter(format!(
+                "could not find {k} inter-cluster non-edges (placed {})",
+                added.len()
+            )));
+        }
+        let u = rng.random_range(0..n) as NodeId;
+        let v = rng.random_range(0..n) as NodeId;
+        if u == v || part.label(u) == part.label(v) || g.has_edge(u, v) {
+            continue;
+        }
+        let key = (u.min(v), u.max(v));
+        if added.insert(key) {
+            delta.add_edge(key.0, key.1);
+        }
+    }
+    Ok(delta)
+}
+
 /// Preferential-attachment (Barabási–Albert-style) graph: start from a
 /// clique on `m0 = m_edges + 1` nodes; each new node attaches to
 /// `m_edges` distinct existing nodes chosen proportionally to degree.
@@ -943,5 +1014,30 @@ mod tests {
         assert!(max > min + 50, "sizes {sizes:?}");
         assert!(lfr_like(100, 4, 1.5, 50, 0.2, 0.01, 1).is_err());
         assert!(lfr_like(600, 4, -1.0, 10, 0.2, 0.01, 1).is_err());
+    }
+
+    #[test]
+    fn k_edge_flips_swap_intra_for_inter() {
+        let (g, truth) = planted_partition(3, 30, 0.4, 0.01, 7).unwrap();
+        let k = 5;
+        let d = k_edge_flip_delta(&g, &truth, k, 11).unwrap();
+        assert_eq!(d.removed_edges().len(), k);
+        assert_eq!(d.added_edges().len(), k);
+        for &(u, v) in d.removed_edges() {
+            assert_eq!(truth.label(u), truth.label(v), "removal must be intra");
+            assert!(g.has_edge(u, v));
+        }
+        for &(u, v) in d.added_edges() {
+            assert_ne!(truth.label(u), truth.label(v), "addition must be inter");
+            assert!(!g.has_edge(u, v));
+        }
+        let h = g.apply_delta(&d).unwrap();
+        assert_eq!(h.m(), g.m());
+        // Deterministic in seed.
+        assert_eq!(d, k_edge_flip_delta(&g, &truth, k, 11).unwrap());
+        assert_ne!(d, k_edge_flip_delta(&g, &truth, k, 12).unwrap());
+        // Degenerate requests fail loudly.
+        assert!(k_edge_flip_delta(&g, &truth, 100_000, 1).is_err());
+        assert!(k_edge_flip_delta(&g, &truth, 0, 1).unwrap().is_empty());
     }
 }

@@ -7,6 +7,7 @@
 use std::io::{BufRead, BufReader, Read, Write};
 
 use crate::csr::Graph;
+use crate::delta::GraphDelta;
 use crate::error::GraphError;
 use crate::partition::Partition;
 use crate::NodeId;
@@ -131,6 +132,92 @@ pub fn read_partition<R: Read>(r: R) -> Result<Partition, GraphError> {
     Partition::with_k(labels, k)
 }
 
+/// Serialise a [`GraphDelta`]: header `add_nodes added removed`, then
+/// one `+ u v` line per added edge and one `- u v` line per removal.
+pub fn write_delta<W: Write>(d: &GraphDelta, mut w: W) -> Result<(), GraphError> {
+    writeln!(
+        w,
+        "{} {} {}",
+        d.added_nodes(),
+        d.added_edges().len(),
+        d.removed_edges().len()
+    )?;
+    for &(u, v) in d.added_edges() {
+        writeln!(w, "+ {u} {v}")?;
+    }
+    for &(u, v) in d.removed_edges() {
+        writeln!(w, "- {u} {v}")?;
+    }
+    Ok(())
+}
+
+/// Parse a delta produced by [`write_delta`].
+pub fn read_delta<R: Read>(r: R) -> Result<GraphDelta, GraphError> {
+    let reader = BufReader::new(r);
+    let mut delta = GraphDelta::new();
+    let mut header: Option<(usize, usize)> = None;
+    let mut seen = (0usize, 0usize);
+    for line in reader.lines() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('#') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        match header {
+            None => {
+                let mut field = |what: &str| -> Result<usize, GraphError> {
+                    it.next()
+                        .ok_or_else(|| GraphError::Io(format!("delta header missing {what}")))?
+                        .parse()
+                        .map_err(|e| GraphError::Io(format!("bad {what}: {e}")))
+                };
+                let add_nodes = field("add_nodes")?;
+                let added = field("added")?;
+                let removed = field("removed")?;
+                delta.add_nodes(add_nodes);
+                header = Some((added, removed));
+            }
+            Some(_) => {
+                let op = it
+                    .next()
+                    .ok_or_else(|| GraphError::Io("delta line missing op".into()))?;
+                let mut endpoint = |what: &str| -> Result<NodeId, GraphError> {
+                    it.next()
+                        .ok_or_else(|| GraphError::Io(format!("delta line missing {what}")))?
+                        .parse()
+                        .map_err(|e| GraphError::Io(format!("bad {what}: {e}")))
+                };
+                let u = endpoint("u")?;
+                let v = endpoint("v")?;
+                match op {
+                    "+" => {
+                        delta.add_edge(u, v);
+                        seen.0 += 1;
+                    }
+                    "-" => {
+                        delta.remove_edge(u, v);
+                        seen.1 += 1;
+                    }
+                    other => {
+                        return Err(GraphError::Io(format!(
+                            "delta op must be + or -, got '{other}'"
+                        )))
+                    }
+                }
+            }
+        }
+    }
+    let (added, removed) = header.ok_or_else(|| GraphError::Io("missing header line".into()))?;
+    if seen != (added, removed) {
+        return Err(GraphError::Io(format!(
+            "header declared {added}+/{removed}- edges, found {}+/{}-",
+            seen.0, seen.1
+        )));
+    }
+    Ok(delta)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -152,6 +239,32 @@ mod tests {
         write_partition(&p, &mut buf).unwrap();
         let p2 = read_partition(&buf[..]).unwrap();
         assert_eq!(p, p2);
+    }
+
+    #[test]
+    fn delta_roundtrip() {
+        let mut d = GraphDelta::new();
+        d.add_nodes(2)
+            .add_edge(0, 5)
+            .add_edge(3, 4)
+            .remove_edge(1, 2);
+        let mut buf = Vec::new();
+        write_delta(&d, &mut buf).unwrap();
+        let d2 = read_delta(&buf[..]).unwrap();
+        assert_eq!(d, d2);
+        // Empty delta also round-trips.
+        let mut buf = Vec::new();
+        write_delta(&GraphDelta::new(), &mut buf).unwrap();
+        assert!(read_delta(&buf[..]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn delta_malformed_inputs_are_errors() {
+        assert!(read_delta("".as_bytes()).is_err());
+        assert!(read_delta("0 1 0\n* 0 1\n".as_bytes()).is_err());
+        assert!(read_delta("0 1 0\n+ 0\n".as_bytes()).is_err());
+        assert!(read_delta("0 2 0\n+ 0 1\n".as_bytes()).is_err());
+        assert!(read_delta("0 0 0\n+ 0 1\n".as_bytes()).is_err());
     }
 
     #[test]

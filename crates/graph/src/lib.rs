@@ -6,6 +6,10 @@
 //!   row) form with `O(1)` degree queries and cache-friendly neighbour
 //!   iteration.
 //! * [`GraphBuilder`] — incremental, deduplicating construction.
+//! * [`GraphDelta`] — batched edge insertions/deletions + node
+//!   additions, applied by [`Graph::apply_delta`] as a CSR patch that
+//!   rebuilds only the touched adjacency regions (the dynamic-graph
+//!   seam the incremental re-clustering subsystem rides on).
 //! * [`Partition`] — ground-truth and output `k`-way partitions, plus the
 //!   conductance machinery of the paper (`ϕ_G(S)`, `ρ(k)`; §1.1 of
 //!   Sun & Zanetti, SPAA'17).
@@ -20,6 +24,7 @@
 
 pub mod builder;
 pub mod csr;
+pub mod delta;
 pub mod error;
 pub mod generators;
 pub mod io;
@@ -28,6 +33,7 @@ pub mod stats;
 
 pub use builder::GraphBuilder;
 pub use csr::Graph;
+pub use delta::GraphDelta;
 pub use error::GraphError;
 pub use partition::{exact_rho_k, Partition};
 

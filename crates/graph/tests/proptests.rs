@@ -103,4 +103,132 @@ proptest! {
         let g2 = generators::perturb_degrees(&g, &p, add_p, 0.1, seed + 1).unwrap();
         prop_assert_eq!(p.cut_edges(&g2), p.cut_edges(&g));
     }
+
+    /// The dense and sparse (skip-sampling) planted-partition generators
+    /// realise the same edge law: identical node count and ground truth,
+    /// no self-loops or duplicate edges, and intra/inter edge counts
+    /// within a 5σ binomial envelope of the common expectation.
+    #[test]
+    fn sparse_and_dense_planted_partition_agree(
+        k in 2usize..5,
+        block in 8usize..24,
+        p_in in 0.2f64..0.7,
+        p_out in 0.0f64..0.15,
+        seed in 0u64..1000,
+    ) {
+        let (gd, pd) = generators::planted_partition(k, block, p_in, p_out, seed).unwrap();
+        let (gs, ps) = generators::planted_partition_sparse(k, block, p_in, p_out, seed).unwrap();
+        prop_assert_eq!(gd.n(), k * block);
+        prop_assert_eq!(gs.n(), k * block);
+        prop_assert_eq!(&pd, &ps, "ground truths differ");
+
+        // CSR invariants: sorted, duplicate-free, loop-free adjacency.
+        for g in [&gd, &gs] {
+            for v in 0..g.n() as u32 {
+                let neigh = g.neighbours(v);
+                prop_assert!(neigh.windows(2).all(|w| w[0] < w[1]), "dup/unsorted at {v}");
+                prop_assert!(!neigh.contains(&v), "self-loop at {v}");
+            }
+        }
+
+        // Edge-probability statistics: both generators' intra- and
+        // inter-block edge counts sit in the same binomial envelope.
+        let intra_slots = (k * block * (block - 1) / 2) as f64;
+        let inter_slots = (k * (k - 1) / 2 * block * block) as f64;
+        let count = |g: &Graph, intra: bool| {
+            g.edges()
+                .filter(|&(u, v)| {
+                    (pd.label(u) == pd.label(v)) == intra
+                })
+                .count() as f64
+        };
+        for (what, slots, p) in [("intra", intra_slots, p_in), ("inter", inter_slots, p_out)] {
+            let sigma = (slots * p * (1.0 - p)).sqrt();
+            let want = slots * p;
+            for (name, g) in [("dense", &gd), ("sparse", &gs)] {
+                let got = count(g, what == "intra");
+                prop_assert!(
+                    (got - want).abs() <= 5.0 * sigma + 3.0,
+                    "{name} {what}: {got} edges vs expected {want:.1} (sigma {sigma:.1})"
+                );
+            }
+        }
+    }
+
+    /// `GraphBuilder::remove_edge` + `add_edge` of the same pair is an
+    /// identity on the built CSR graph — byte-identical adjacency
+    /// ordering — and the `GraphDelta` patch path agrees (this guards
+    /// the touched-region CSR rebuild).
+    #[test]
+    fn remove_add_roundtrip_preserves_adjacency_order(
+        n in 4usize..24,
+        pairs in proptest::collection::vec((0u32..24, 0u32..24), 1..80),
+        pick in 0usize..80,
+    ) {
+        let mut b = lbc_graph::GraphBuilder::new(n);
+        for (a0, b0) in pairs {
+            let (u, v) = (a0 % n as u32, b0 % n as u32);
+            if u != v {
+                b.add_edge(u, v).unwrap();
+            }
+        }
+        prop_assume!(b.m() > 0);
+        let baseline = b.clone().build();
+        // Pick one existing edge, remove it, re-add it flipped.
+        let edges: Vec<(u32, u32)> = baseline.edges().collect();
+        let (u, v) = edges[pick % edges.len()];
+        prop_assert!(b.remove_edge(u, v));
+        prop_assert!(!b.has_edge(u, v));
+        prop_assert!(b.add_edge(v, u).unwrap());
+        let rebuilt = b.build();
+        prop_assert_eq!(&rebuilt, &baseline, "builder round-trip changed the CSR");
+
+        // Same round-trip through the CSR patch.
+        let mut d = lbc_graph::GraphDelta::new();
+        d.remove_edge(u, v).add_edge(v, u);
+        prop_assert_eq!(&baseline.apply_delta(&d).unwrap(), &baseline);
+    }
+
+    /// `Graph::apply_delta` equals a cold `from_edges` rebuild of the
+    /// mutated edge set, for arbitrary graphs and arbitrary deltas.
+    #[test]
+    fn apply_delta_matches_cold_rebuild(
+        n in 2usize..20,
+        pairs in proptest::collection::vec((0u32..20, 0u32..20), 0..60),
+        removals in proptest::collection::vec(0usize..60, 0..8),
+        additions in proptest::collection::vec((0u32..26, 0u32..26), 0..8),
+        extra_nodes in 0usize..3,
+    ) {
+        let edges: Vec<(u32, u32)> = pairs
+            .into_iter()
+            .map(|(a, b)| (a % n as u32, b % n as u32))
+            .filter(|(a, b)| a != b)
+            .collect();
+        let g = Graph::from_edges(n, &edges).unwrap();
+        let new_n = n + extra_nodes;
+        let mut d = lbc_graph::GraphDelta::new();
+        d.add_nodes(extra_nodes);
+        let mut expect: std::collections::BTreeSet<(u32, u32)> =
+            g.edges().collect();
+        let current: Vec<(u32, u32)> = g.edges().collect();
+        for r in removals {
+            if current.is_empty() { break; }
+            let (u, v) = current[r % current.len()];
+            if expect.remove(&(u, v)) {
+                d.remove_edge(u, v);
+            }
+        }
+        for (a, b) in additions {
+            let (u, v) = (a % new_n as u32, b % new_n as u32);
+            if u != v {
+                let key = (u.min(v), u.max(v));
+                d.add_edge(key.0, key.1);
+                expect.insert(key);
+            }
+        }
+        let patched = g.apply_delta(&d).unwrap();
+        let expect_edges: Vec<(u32, u32)> = expect.into_iter().collect();
+        let rebuilt = Graph::from_edges(new_n, &expect_edges).unwrap();
+        prop_assert_eq!(&patched, &rebuilt);
+    }
 }

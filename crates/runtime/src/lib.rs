@@ -9,7 +9,12 @@
 //!
 //! * [`registry`] — named dataset store (graphs loaded via
 //!   [`lbc_graph::io`] or inserted from generators) plus an LRU cache of
-//!   [`lbc_core::ClusterOutput`]s keyed by `(dataset, config)`.
+//!   [`lbc_core::ClusterOutput`]s keyed by `(dataset, config)`. Datasets
+//!   mutate through [`Registry::apply_delta`]: a [`lbc_graph::GraphDelta`]
+//!   patches the graph in place and cached clusterings are either
+//!   invalidated or warm-refreshed from their resident states
+//!   ([`lbc_core::warm_start`]), per [`DeltaPolicy`] — the serving story
+//!   for dynamic graphs (`lbc update`).
 //! * [`scheduler`] — a `std::thread` worker pool sharding independent
 //!   `(graph, config)` clustering jobs across cores. Jobs replay the
 //!   same per-node RNG streams as the single-threaded path, so pool
@@ -43,7 +48,7 @@
 //!
 //! let report = lbc_runtime::run_loadgen(
 //!     &handle,
-//!     &LoadgenConfig { clients: 2, total_ops: 1000, batch: 16, seed: 0 },
+//!     &LoadgenConfig { clients: 2, total_ops: 1000, batch: 16, seed: 0, ..Default::default() },
 //! )
 //! .unwrap();
 //! assert!(report.ops >= 1000);
@@ -57,6 +62,6 @@ pub mod scheduler;
 
 pub use engine::{Answer, ClusterHandle, Query, QueryEngine};
 pub use error::RuntimeError;
-pub use loadgen::{loadgen_on_output, run_loadgen, LoadReport, LoadgenConfig};
-pub use registry::{config_fingerprint, CacheStats, Registry};
+pub use loadgen::{loadgen_on_output, run_loadgen, LoadReport, LoadgenConfig, Popularity};
+pub use registry::{config_fingerprint, CacheStats, DeltaPolicy, DeltaReport, Registry};
 pub use scheduler::{JobHandle, JobRecord, JobState, WorkerPool};

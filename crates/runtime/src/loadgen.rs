@@ -12,6 +12,10 @@
 //! checksum, so two runs with the same configuration against the same
 //! clustering produce the same checksum (asserted by the integration
 //! tests) while still touching a representative spread of nodes.
+//!
+//! Node popularity is pluggable ([`Popularity`]): uniform, or
+//! Zipf-skewed so a hot set of nodes dominates the stream the way real
+//! membership traffic does — the `serve-bench --zipf S` knob.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -20,6 +24,20 @@ use lbc_graph::NodeId;
 
 use crate::engine::{ClusterHandle, Query};
 use crate::error::RuntimeError;
+
+/// How query node ids are drawn.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Popularity {
+    /// Every node equally likely (the original behaviour).
+    Uniform,
+    /// Zipf-skewed: popularity rank `r` (0-based) is drawn with
+    /// probability ∝ `1/(r+1)^s`, then mapped to a node through a fixed
+    /// multiplicative-hash permutation so the hot set is spread across
+    /// the id space (and thus across clusters) instead of clumping at
+    /// node 0. `s = 0` degenerates to uniform; realistic web/social
+    /// traffic sits around `s ≈ 0.8–1.2`.
+    Zipf(f64),
+}
 
 /// Load-generator configuration.
 #[derive(Debug, Clone)]
@@ -32,6 +50,8 @@ pub struct LoadgenConfig {
     pub batch: usize,
     /// Seed for the per-client query streams.
     pub seed: u64,
+    /// Node-popularity model for generated queries.
+    pub popularity: Popularity,
 }
 
 impl Default for LoadgenConfig {
@@ -41,6 +61,7 @@ impl Default for LoadgenConfig {
             total_ops: 100_000,
             batch: 64,
             seed: 0,
+            popularity: Popularity::Uniform,
         }
     }
 }
@@ -112,12 +133,56 @@ impl QueryRng {
     }
 }
 
-fn random_query(rng: &mut QueryRng, n: usize) -> Query {
+/// Node sampler realising a [`Popularity`] model. Built once per client
+/// (the Zipf CDF is `O(n)` to set up, `O(log n)` per draw).
+enum NodeSampler {
+    Uniform,
+    Zipf { cdf: Vec<f64> },
+}
+
+impl NodeSampler {
+    fn new(popularity: Popularity, n: usize) -> Self {
+        match popularity {
+            Popularity::Uniform => NodeSampler::Uniform,
+            Popularity::Zipf(s) => {
+                let mut cdf: Vec<f64> = Vec::with_capacity(n);
+                let mut acc = 0.0f64;
+                for r in 0..n {
+                    acc += 1.0 / ((r + 1) as f64).powf(s);
+                    cdf.push(acc);
+                }
+                let total = acc;
+                for c in &mut cdf {
+                    *c /= total;
+                }
+                NodeSampler::Zipf { cdf }
+            }
+        }
+    }
+
+    fn node(&self, rng: &mut QueryRng, n: usize) -> NodeId {
+        match self {
+            NodeSampler::Uniform => rng.node(n),
+            NodeSampler::Zipf { cdf } => {
+                // 53-bit uniform in [0, 1), rank by CDF inversion, then
+                // the multiplicative spread (Knuth's prime keeps the
+                // map a permutation whenever n is not a multiple of it,
+                // i.e. always for u32-sized graphs).
+                let u = (rng.next() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                let rank = cdf.partition_point(|&c| c <= u).min(n - 1);
+                // rank + 1 so the hottest rank does not pin node 0.
+                (((rank as u64 + 1) * 2_654_435_761) % n as u64) as NodeId
+            }
+        }
+    }
+}
+
+fn random_query(rng: &mut QueryRng, sampler: &NodeSampler, n: usize) -> Query {
     match rng.next() % 4 {
         // Same-cluster is the headline operation; weight it double.
-        0 | 1 => Query::SameCluster(rng.node(n), rng.node(n)),
-        2 => Query::ClusterOf(rng.node(n)),
-        _ => Query::ClusterSize(rng.node(n)),
+        0 | 1 => Query::SameCluster(sampler.node(rng, n), sampler.node(rng, n)),
+        2 => Query::ClusterOf(sampler.node(rng, n)),
+        _ => Query::ClusterSize(sampler.node(rng, n)),
     }
 }
 
@@ -135,6 +200,13 @@ pub fn run_loadgen(
         return Err(RuntimeError::InvalidConfig(
             "loadgen clients, batch, and total_ops must all be positive".into(),
         ));
+    }
+    if let Popularity::Zipf(s) = cfg.popularity {
+        if !s.is_finite() || s < 0.0 {
+            return Err(RuntimeError::InvalidConfig(format!(
+                "zipf exponent must be finite and non-negative, got {s}"
+            )));
+        }
     }
     let n = handle.n();
     if n == 0 {
@@ -159,13 +231,14 @@ pub fn run_loadgen(
                 let handle: ClusterHandle = handle.clone();
                 scope.spawn(move || {
                     let mut rng = QueryRng::new(cfg.seed, client as u64);
+                    let sampler = NodeSampler::new(cfg.popularity, n);
                     let mut latencies = Vec::with_capacity(per_client_batches as usize);
                     let mut checksum = 0u64;
                     let mut ops = 0u64;
                     let mut queries = Vec::with_capacity(cfg.batch);
                     for _ in 0..per_client_batches {
                         queries.clear();
-                        queries.extend((0..cfg.batch).map(|_| random_query(&mut rng, n)));
+                        queries.extend((0..cfg.batch).map(|_| random_query(&mut rng, &sampler, n)));
                         let b0 = Instant::now();
                         let answers = handle.execute_batch(&queries)?;
                         latencies.push(b0.elapsed());
@@ -251,6 +324,7 @@ mod tests {
             total_ops: 20_000,
             batch: 32,
             seed: 5,
+            ..Default::default()
         };
         let r = run_loadgen(&h, &cfg).unwrap();
         assert!(r.ops >= 20_000);
@@ -269,6 +343,7 @@ mod tests {
             total_ops: 9_000,
             batch: 16,
             seed: 42,
+            ..Default::default()
         };
         let a = run_loadgen(&h, &cfg).unwrap();
         let b = run_loadgen(&h, &cfg).unwrap();
@@ -311,9 +386,78 @@ mod tests {
             total_ops: 1,
             batch: 1,
             seed: 0,
+            ..Default::default()
         };
         let r = run_loadgen(&h, &cfg).unwrap();
         assert_eq!(r.batches, 1);
         assert_eq!(r.ops, 1);
+    }
+
+    #[test]
+    fn zipf_sampler_is_skewed_but_spread() {
+        let n = 500usize;
+        let sampler = NodeSampler::new(Popularity::Zipf(1.2), n);
+        let mut rng = QueryRng::new(9, 0);
+        let mut counts = vec![0u32; n];
+        let draws = 50_000;
+        for _ in 0..draws {
+            counts[sampler.node(&mut rng, n) as usize] += 1;
+        }
+        let max = *counts.iter().max().unwrap() as f64;
+        // Rank 0 carries ~1/H ≈ 18% of the mass at s = 1.2, n = 500 —
+        // vastly more than the uniform 0.2%.
+        assert!(
+            max / draws as f64 > 0.05,
+            "hottest node got only {max} of {draws}"
+        );
+        // The multiplicative spread must not leave the hot mass at the
+        // low ids: the hottest node is not node 0..9.
+        let hottest = counts
+            .iter()
+            .enumerate()
+            .max_by_key(|&(_, &c)| c)
+            .unwrap()
+            .0;
+        assert!(hottest >= 10, "hot set clumped at node {hottest}");
+        // Still touches a broad support.
+        let touched = counts.iter().filter(|&&c| c > 0).count();
+        assert!(touched > n / 4, "only {touched} nodes touched");
+    }
+
+    #[test]
+    fn zipf_loadgen_is_deterministic_and_differs_from_uniform() {
+        let h = ring_handle();
+        let cfg = LoadgenConfig {
+            clients: 2,
+            total_ops: 6_000,
+            batch: 16,
+            seed: 11,
+            popularity: Popularity::Zipf(1.0),
+        };
+        let a = run_loadgen(&h, &cfg).unwrap();
+        let b = run_loadgen(&h, &cfg).unwrap();
+        assert_eq!(a.checksum, b.checksum);
+        let u = run_loadgen(
+            &h,
+            &LoadgenConfig {
+                popularity: Popularity::Uniform,
+                ..cfg
+            },
+        )
+        .unwrap();
+        assert_ne!(a.checksum, u.checksum, "skew must change the stream");
+        // Bad exponents are errors, not panics.
+        for s in [-1.0, f64::NAN, f64::INFINITY] {
+            assert!(matches!(
+                run_loadgen(
+                    &h,
+                    &LoadgenConfig {
+                        popularity: Popularity::Zipf(s),
+                        ..cfg
+                    }
+                ),
+                Err(RuntimeError::InvalidConfig(_))
+            ));
+        }
     }
 }

@@ -5,6 +5,11 @@
 //! * **Datasets** — named, immutable graphs behind `Arc`, loaded once
 //!   (from an edge-list file via [`lbc_graph::io`] or inserted directly,
 //!   e.g. from a generator) and shared by every worker and client.
+//!   Mutation happens by *replacement*: [`Registry::apply_delta`] patches
+//!   the graph with a [`GraphDelta`] and swaps it in atomically, then
+//!   (per [`DeltaPolicy`]) warm-refreshes or invalidates the cached
+//!   clusterings, so a live server absorbs graph updates without cold
+//!   re-clustering and without ever serving a stale output.
 //! * **Clustering cache** — finished [`ClusterOutput`]s keyed by
 //!   `(dataset, config fingerprint)` with LRU eviction, so a stream of
 //!   queries against the same `(graph, LbConfig)` pays for clustering
@@ -17,8 +22,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
 use lbc_core::driver::ClusterError;
-use lbc_core::{cluster, ClusterOutput, LbConfig, Rounds};
-use lbc_graph::{io, Graph};
+use lbc_core::{cluster, warm_start, ClusterOutput, LbConfig, Rounds, WarmStartConfig};
+use lbc_graph::{io, Graph, GraphDelta};
 
 use crate::error::RuntimeError;
 
@@ -57,14 +62,53 @@ pub struct CacheStats {
     pub misses: u64,
     pub inserts: u64,
     pub evictions: u64,
+    /// Cached outputs warm-refreshed in place by [`Registry::apply_delta`]
+    /// (each also counts as an insert).
+    pub refreshes: u64,
 }
 
 type CacheKey = (String, String);
 
 struct CacheEntry {
     output: Arc<ClusterOutput>,
+    /// The config that produced `output` — kept alongside the
+    /// fingerprint so [`Registry::apply_delta`] can re-cluster the
+    /// entry without the original caller.
+    cfg: LbConfig,
     /// Last-touch tick for LRU eviction.
     tick: u64,
+}
+
+/// What [`Registry::apply_delta`] does with the mutated dataset's
+/// cached clusterings.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DeltaPolicy {
+    /// Drop them; the next query pays a cold re-clustering.
+    Invalidate,
+    /// Re-cluster each from its resident states via
+    /// [`lbc_core::warm_start`], so the cache stays hot across the
+    /// mutation. Entries whose warm start fails fall back to
+    /// invalidation.
+    WarmRefresh(WarmStartConfig),
+}
+
+/// Outcome of one [`Registry::apply_delta`] call.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DeltaReport {
+    /// Nodes / undirected edges of the patched graph.
+    pub n: usize,
+    pub m: usize,
+    /// Cached outputs refreshed in place (warm policy only).
+    pub refreshed: usize,
+    /// Cached outputs dropped (invalidate policy, warm-start failure,
+    /// or a racing second mutation).
+    pub invalidated: usize,
+    /// Total warm rounds across all refreshed entries — the
+    /// "rounds to recovery" the serving layer actually paid.
+    pub warm_rounds: usize,
+    /// Refreshed entries that hit the warm-start round cap without the
+    /// movement criterion firing.
+    pub unconverged: usize,
 }
 
 struct Inner {
@@ -86,6 +130,7 @@ pub struct Registry {
     misses: AtomicU64,
     inserts: AtomicU64,
     evictions: AtomicU64,
+    refreshes: AtomicU64,
 }
 
 impl Registry {
@@ -108,6 +153,7 @@ impl Registry {
             misses: AtomicU64::new(0),
             inserts: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
+            refreshes: AtomicU64::new(0),
         }
     }
 
@@ -181,11 +227,31 @@ impl Registry {
     /// Insert a finished clustering output, evicting the least-recently
     /// used entry if the cache is full.
     pub fn insert_output(&self, name: &str, cfg: &LbConfig, output: Arc<ClusterOutput>) {
-        let key = (name.to_string(), config_fingerprint(cfg));
         let mut inner = self.inner.lock().unwrap();
+        self.insert_locked(&mut inner, name, cfg, output);
+    }
+
+    /// The insert + LRU-evict body, run under an already-held lock so
+    /// callers can make it atomic with other checks (see
+    /// [`Registry::publish_if_current`]).
+    fn insert_locked(
+        &self,
+        inner: &mut Inner,
+        name: &str,
+        cfg: &LbConfig,
+        output: Arc<ClusterOutput>,
+    ) {
+        let key = (name.to_string(), config_fingerprint(cfg));
         inner.tick += 1;
         let tick = inner.tick;
-        inner.cache.insert(key, CacheEntry { output, tick });
+        inner.cache.insert(
+            key,
+            CacheEntry {
+                output,
+                cfg: cfg.clone(),
+                tick,
+            },
+        );
         self.inserts.fetch_add(1, Ordering::Relaxed);
         while inner.cache.len() > self.capacity {
             let lru = inner
@@ -197,6 +263,30 @@ impl Registry {
             inner.cache.remove(&lru);
             self.evictions.fetch_add(1, Ordering::Relaxed);
         }
+    }
+
+    /// Atomically publish `output` for `(name, cfg)` **iff** `graph` is
+    /// still the graph registered under `name` — the check and the
+    /// insert share one lock scope, so a concurrent dataset replacement
+    /// (re-registration or a racing [`Registry::apply_delta`]) can
+    /// never interleave between them and leave a stale output cached.
+    /// Returns whether the output was published.
+    fn publish_if_current(
+        &self,
+        name: &str,
+        graph: &Arc<Graph>,
+        cfg: &LbConfig,
+        output: Arc<ClusterOutput>,
+    ) -> bool {
+        let mut inner = self.inner.lock().unwrap();
+        let still_current = inner
+            .datasets
+            .get(name)
+            .is_some_and(|g| Arc::ptr_eq(g, graph));
+        if still_current {
+            self.insert_locked(&mut inner, name, cfg, output);
+        }
+        still_current
     }
 
     /// Cached output for `(name, cfg)`, clustering inline on a miss.
@@ -284,16 +374,7 @@ impl Registry {
             key,
         };
         let out = Arc::new(cluster(graph.as_ref(), cfg)?);
-        let still_current = self
-            .inner
-            .lock()
-            .unwrap()
-            .datasets
-            .get(name)
-            .is_some_and(|g| Arc::ptr_eq(g, graph));
-        if still_current {
-            self.insert_output(name, cfg, Arc::clone(&out));
-        }
+        self.publish_if_current(name, graph, cfg, Arc::clone(&out));
         drop(guard);
         Ok(out)
     }
@@ -323,7 +404,91 @@ impl Registry {
             misses: self.misses.load(Ordering::Relaxed),
             inserts: self.inserts.load(Ordering::Relaxed),
             evictions: self.evictions.load(Ordering::Relaxed),
+            refreshes: self.refreshes.load(Ordering::Relaxed),
         }
+    }
+
+    /// Mutate the dataset `name` by `delta` and deal with its cached
+    /// clusterings per `policy` — the serving path for dynamic graphs:
+    /// a live registry absorbs edge/node updates without ever serving a
+    /// stale output, and (under [`DeltaPolicy::WarmRefresh`]) without
+    /// paying a cold `T`-round re-clustering either, because each
+    /// entry's resident states seed an incremental
+    /// [`lbc_core::warm_start`].
+    ///
+    /// The graph swap and cache take-out are atomic (one lock scope);
+    /// warm refreshes then run unlocked, so concurrent readers keep
+    /// being served — they see either a (valid) pre-delta output
+    /// before the swap or a miss afterwards, never a stale entry. A
+    /// refreshed output is published only if the patched graph is
+    /// still the registered one, mirroring the mid-flight replacement
+    /// guard of [`Registry::get_or_cluster_on`].
+    pub fn apply_delta(
+        &self,
+        name: &str,
+        delta: &GraphDelta,
+        policy: &DeltaPolicy,
+    ) -> Result<DeltaReport, RuntimeError> {
+        // Phase 1, locked: patch, swap, take this dataset's entries out.
+        let (patched, taken) = {
+            let mut inner = self.inner.lock().unwrap();
+            let old = inner
+                .datasets
+                .get(name)
+                .cloned()
+                .ok_or_else(|| RuntimeError::UnknownDataset(name.to_string()))?;
+            let patched = Arc::new(old.apply_delta(delta)?);
+            inner
+                .datasets
+                .insert(name.to_string(), Arc::clone(&patched));
+            let keys: Vec<CacheKey> = inner
+                .cache
+                .keys()
+                .filter(|(ds, _)| ds == name)
+                .cloned()
+                .collect();
+            let taken: Vec<CacheEntry> = keys
+                .into_iter()
+                .filter_map(|k| inner.cache.remove(&k))
+                .collect();
+            (patched, taken)
+        };
+        let mut report = DeltaReport {
+            n: patched.n(),
+            m: patched.m(),
+            ..DeltaReport::default()
+        };
+        // Phase 2, unlocked: refresh (or drop) each taken entry.
+        match policy {
+            DeltaPolicy::Invalidate => report.invalidated = taken.len(),
+            DeltaPolicy::WarmRefresh(wcfg) => {
+                for entry in taken {
+                    match warm_start(&patched, &entry.cfg, &entry.output, delta, wcfg) {
+                        Ok(w) => {
+                            // Check-and-insert in one lock scope: a
+                            // racing second apply_delta that swapped
+                            // the graph again must invalidate, never
+                            // let this older refresh land.
+                            if self.publish_if_current(
+                                name,
+                                &patched,
+                                &entry.cfg,
+                                Arc::new(w.output),
+                            ) {
+                                self.refreshes.fetch_add(1, Ordering::Relaxed);
+                                report.refreshed += 1;
+                                report.warm_rounds += w.rounds_run;
+                                report.unconverged += usize::from(!w.converged);
+                            } else {
+                                report.invalidated += 1;
+                            }
+                        }
+                        Err(_) => report.invalidated += 1,
+                    }
+                }
+            }
+        }
+        Ok(report)
     }
 }
 
@@ -448,6 +613,95 @@ mod tests {
         for out in &outputs[1..] {
             assert!(Arc::ptr_eq(&outputs[0], out));
         }
+    }
+
+    #[test]
+    fn apply_delta_invalidate_drops_cached_outputs() {
+        let r = registry_with_ring("ring");
+        let cfg = LbConfig::new(0.5, 20).with_seed(3);
+        let _ = r.get_or_cluster("ring", &cfg).unwrap();
+        let mut d = GraphDelta::new();
+        d.remove_edge(0, 1).add_edge(0, 11);
+        let rep = r.apply_delta("ring", &d, &DeltaPolicy::Invalidate).unwrap();
+        assert_eq!(rep.invalidated, 1);
+        assert_eq!(rep.refreshed, 0);
+        assert_eq!(rep.n, 20);
+        assert!(r.cached("ring", &cfg).is_none(), "stale output survived");
+        // Graph actually mutated.
+        let g = r.graph("ring").unwrap();
+        assert!(!g.has_edge(0, 1));
+        assert!(g.has_edge(0, 11));
+    }
+
+    #[test]
+    fn apply_delta_warm_refresh_keeps_cache_hot_and_matches_direct_warm_start() {
+        use lbc_core::warm_start;
+        let r = Registry::with_capacity(4);
+        let (g, truth) = generators::planted_partition(3, 40, 0.4, 0.01, 5).unwrap();
+        r.insert_graph("pp", g.clone());
+        let cfg = LbConfig::new(1.0 / 3.0, 80).with_seed(2);
+        let cold = r.get_or_cluster("pp", &cfg).unwrap();
+        let delta = lbc_graph::generators::k_edge_flip_delta(&g, &truth, 3, 7).unwrap();
+        let wcfg = WarmStartConfig::default();
+        let rep = r
+            .apply_delta("pp", &delta, &DeltaPolicy::WarmRefresh(wcfg.clone()))
+            .unwrap();
+        assert_eq!(rep.refreshed, 1);
+        assert_eq!(rep.invalidated, 0);
+        assert_eq!(rep.unconverged, 0);
+        assert!(rep.warm_rounds > 0 && rep.warm_rounds < 80);
+        assert_eq!(r.stats().refreshes, 1);
+        // Cache stayed hot: a fetch is a hit, not a re-clustering.
+        let inserts_before = r.stats().inserts;
+        let refreshed = r.get_or_cluster("pp", &cfg).unwrap();
+        assert_eq!(r.stats().inserts, inserts_before);
+        // And the refreshed output is exactly the direct warm start.
+        let g2 = g.apply_delta(&delta).unwrap();
+        let direct = warm_start(&g2, &cfg, &cold, &delta, &wcfg).unwrap();
+        assert_eq!(refreshed.partition, direct.output.partition);
+        assert_eq!(refreshed.states, direct.output.states);
+        assert_eq!(refreshed.rounds, direct.output.rounds);
+    }
+
+    #[test]
+    fn apply_delta_empty_refresh_is_free_and_identical() {
+        let r = registry_with_ring("ring");
+        let cfg = LbConfig::new(0.5, 20).with_seed(3);
+        let before = r.get_or_cluster("ring", &cfg).unwrap();
+        let rep = r
+            .apply_delta(
+                "ring",
+                &GraphDelta::new(),
+                &DeltaPolicy::WarmRefresh(WarmStartConfig::default()),
+            )
+            .unwrap();
+        assert_eq!(rep.refreshed, 1);
+        assert_eq!(rep.warm_rounds, 0);
+        let after = r.get_or_cluster("ring", &cfg).unwrap();
+        assert_eq!(before.partition, after.partition);
+        assert_eq!(before.states, after.states);
+    }
+
+    #[test]
+    fn apply_delta_errors_leave_everything_untouched() {
+        let r = registry_with_ring("ring");
+        let cfg = LbConfig::new(0.5, 20).with_seed(3);
+        let _ = r.get_or_cluster("ring", &cfg).unwrap();
+        let before = r.graph("ring").unwrap();
+        // Unknown dataset.
+        assert!(matches!(
+            r.apply_delta("nope", &GraphDelta::new(), &DeltaPolicy::Invalidate),
+            Err(RuntimeError::UnknownDataset(_))
+        ));
+        // Bad delta (removing a non-edge) fails and changes nothing.
+        let mut bad = GraphDelta::new();
+        bad.remove_edge(0, 19);
+        assert!(matches!(
+            r.apply_delta("ring", &bad, &DeltaPolicy::Invalidate),
+            Err(RuntimeError::Graph(_))
+        ));
+        assert!(Arc::ptr_eq(&before, &r.graph("ring").unwrap()));
+        assert!(r.cached("ring", &cfg).is_some(), "cache was dropped");
     }
 
     #[test]
