@@ -1,0 +1,90 @@
+//! Persistence workload: snapshot write/read throughput, and warm boot
+//! from the store vs a cold re-cluster — the acceptance numbers for the
+//! `lbc-store` subsystem at n = 10 000 (the `incremental` bench's
+//! planted-partition workload, `T = 120`).
+//!
+//! Arms:
+//!
+//! * `snapshot_write` — serialise graph CSR + one cached output to disk
+//!   (write-to-temp + rename, checksummed);
+//! * `snapshot_read` — parse the snapshot back (no replay);
+//! * `warm_boot` — [`lbc_store::Store::load`] with an empty WAL: the
+//!   full restart path a server pays before serving, zero warm rounds;
+//! * `wal_replay_boot` — the crash path: snapshot + an 8-flip delta
+//!   record, replayed through the deterministic warm start;
+//! * `cold_recluster` — [`lbc_core::cluster`] from scratch, what a
+//!   store-less restart pays per `(graph, config)` pair.
+//!
+//! An untimed probe prints snapshot size, write/read MB/s, and the
+//! warm-boot vs cold wall-clock ratio (the ISSUE acceptance bar is
+//! warm boot ≥ 3× faster than cold).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lbc_core::{cluster, LbConfig, WarmStartConfig};
+use lbc_graph::generators::{k_edge_flip_delta, planted_partition_sparse};
+use lbc_store::{ReplayPolicy, Store};
+
+/// n = 10 000 in 4 blocks; ~24 intra / ~3 inter expected degree (same
+/// workload as the `incremental` bench).
+fn workload() -> (lbc_graph::Graph, lbc_graph::Partition) {
+    let block = 2500usize;
+    let n = 4 * block;
+    planted_partition_sparse(4, block, 24.0 / block as f64, 3.0 / n as f64, 7).unwrap()
+}
+
+fn bench_persistence(c: &mut Criterion) {
+    let (g, truth) = workload();
+    let cfg = LbConfig::new(0.25, 120).with_seed(3);
+    let resident = cluster(&g, &cfg).unwrap();
+
+    let dir = std::env::temp_dir().join(format!("lbc-persistence-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = Store::open(&dir).unwrap();
+    store.save("pp", &g, [(&cfg, &resident)], 0).unwrap();
+
+    // A crash-shaped sibling: same snapshot plus one 8-flip WAL record.
+    store.save("pp-wal", &g, [(&cfg, &resident)], 0).unwrap();
+    let delta = k_edge_flip_delta(&g, &truth, 8, 11).unwrap();
+    store
+        .append_delta(
+            "pp-wal",
+            &ReplayPolicy::WarmRefresh(WarmStartConfig::default()),
+            &delta,
+        )
+        .unwrap();
+
+    // Untimed probe: sizes, throughput, and the warm-vs-cold ratio.
+    let snap_bytes = store.snapshot_bytes("pp");
+    let t0 = std::time::Instant::now();
+    let (_state, report) = store.load("pp").unwrap();
+    let warm_ms = t0.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(report.warm_rounds, 0, "clean snapshot must boot cold-free");
+    let t1 = std::time::Instant::now();
+    let _ = cluster(&g, &cfg).unwrap();
+    let cold_ms = t1.elapsed().as_secs_f64() * 1e3;
+    eprintln!(
+        "persistence: snapshot = {snap_bytes} bytes ({:.1} MB); \
+         warm boot {warm_ms:.1} ms vs cold re-cluster {cold_ms:.1} ms ({:.1}x)",
+        snap_bytes as f64 / 1e6,
+        cold_ms / warm_ms.max(1e-9),
+    );
+
+    let mut group = c.benchmark_group("persistence/n10000");
+    group.bench_function("snapshot_write", |b| {
+        b.iter(|| store.save("pp", &g, [(&cfg, &resident)], 0).unwrap())
+    });
+    group.bench_function("snapshot_read", |b| {
+        b.iter(|| store.load_raw("pp").unwrap())
+    });
+    group.bench_function("warm_boot", |b| b.iter(|| store.load("pp").unwrap()));
+    group.bench_function("wal_replay_boot", |b| {
+        b.iter(|| store.load("pp-wal").unwrap())
+    });
+    group.bench_function("cold_recluster", |b| b.iter(|| cluster(&g, &cfg).unwrap()));
+    group.finish();
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+criterion_group!(benches, bench_persistence);
+criterion_main!(benches);

@@ -11,7 +11,8 @@ use lbc_graph::stats::GraphStats;
 use lbc_graph::{generators, io, Graph, Partition};
 use lbc_linalg::spectral::SpectralOracle;
 use lbc_runtime::{
-    CacheStats, DeltaPolicy, LoadgenConfig, Popularity, QueryEngine, Registry, WorkerPool,
+    CacheStats, DeltaPolicy, LoadgenConfig, Popularity, QueryEngine, Registry, SpillPolicy,
+    WorkerPool,
 };
 
 use crate::args::Args;
@@ -32,6 +33,8 @@ pub fn run(argv: &[String]) -> Result<String, String> {
         "serve-bench" => cmd_serve_bench(rest),
         "jobs" => cmd_jobs(rest),
         "update" => cmd_update(rest),
+        "save" => cmd_save(rest),
+        "load" => cmd_load(rest),
         "help" | "--help" | "-h" => Ok(USAGE.to_string()),
         other => Err(format!("unknown subcommand '{other}'\n\n{USAGE}")),
     }
@@ -350,6 +353,7 @@ fn cmd_serve_bench(rest: &[String]) -> Result<String, String> {
     let batch: usize = a.get_or("batch", 64)?;
     let cache: usize = a.get_or("cache", 8)?;
     let zipf: f64 = a.get_or("zipf", 0.0)?;
+    let store_dir = a.get("store");
     a.reject_unknown()?;
     if !(zipf.is_finite() && zipf >= 0.0) {
         return Err(format!("--zipf must be finite and >= 0, got {zipf}"));
@@ -372,16 +376,48 @@ fn cmd_serve_bench(rest: &[String]) -> Result<String, String> {
     }
 
     let registry = Arc::new(Registry::with_capacity(cache));
-    registry.insert_graph(&name, g);
+    let mut report = String::new();
+    let mut booted = false;
+    if let Some(dir) = &store_dir {
+        registry
+            .attach_store(dir, SpillPolicy::OnInsert)
+            .map_err(|e| e.to_string())?;
+        if registry.has_store_dataset(&name) {
+            let t0 = std::time::Instant::now();
+            let boot = registry.boot_from_store(&name).map_err(|e| e.to_string())?;
+            report.push_str(&format!(
+                "warm boot from store '{dir}' in {:.1} ms: {} cached outputs, \
+                 {} wal records replayed ({} warm rounds)\n",
+                t0.elapsed().as_secs_f64() * 1e3,
+                boot.entries,
+                boot.wal_records,
+                boot.warm_rounds,
+            ));
+            booted = true;
+        }
+    }
+    if booted {
+        // The stored snapshot wins over the --graph/--family input;
+        // surface any divergence instead of silently serving stale data.
+        let stored = registry.graph(&name).map_err(|e| e.to_string())?;
+        if *stored != g {
+            report.push_str(
+                "note: stored snapshot differs from the --graph/--family input; \
+                 serving the stored graph (use a fresh --store dir to re-cluster)\n",
+            );
+        }
+    } else {
+        registry.insert_graph(&name, g);
+    }
     let graph = registry.graph(&name).map_err(|e| e.to_string())?;
-    let mut report = format!(
+    report.push_str(&format!(
         "dataset '{name}': n = {}, m = {}; beta = {}, T = {}, seed = {}\n",
         graph.n(),
         graph.m(),
         cfg.beta,
         cfg.rounds.count(),
         cfg.seed
-    );
+    ));
 
     let pool = WorkerPool::new(threads);
     let engine = QueryEngine::new(Arc::clone(&registry));
@@ -415,18 +451,28 @@ fn cmd_serve_bench(rest: &[String]) -> Result<String, String> {
 
 /// The registry's cache counters + resident footprint, one line —
 /// shared by `serve-bench`, `jobs`, and `update` so warm-refresh
-/// effectiveness is visible wherever the cache is in play.
+/// effectiveness is visible wherever the cache is in play. When a
+/// store is attached a second line reports its spill/load counters and
+/// on-disk footprint.
 fn render_cache_line(registry: &Registry) -> String {
     let s: CacheStats = registry.stats();
-    format!(
-        "cache: {} hits, {} misses, {} evictions, {} warm refreshes ({} resident, {} words pinned)\n",
+    let mut line = format!(
+        "cache: {} hits, {} misses ({:.1}% hit ratio), {} evictions, {} warm refreshes ({} resident, {} words pinned)\n",
         s.hits,
         s.misses,
+        s.hit_ratio_percent(),
         s.evictions,
         s.refreshes,
         registry.cached_len(),
         registry.resident_words()
-    )
+    );
+    if registry.store_attached() {
+        line.push_str(&format!(
+            "store: {} spills, {} loads, {} bytes on disk\n",
+            s.spills, s.loads, s.store_bytes
+        ));
+    }
+    line
 }
 
 fn cmd_jobs(rest: &[String]) -> Result<String, String> {
@@ -617,6 +663,136 @@ fn cmd_update(rest: &[String]) -> Result<String, String> {
     }
     report.push_str(&render_cache_line(&registry));
     Ok(report)
+}
+
+/// Split the leading non-`--` arguments off as positionals.
+fn split_positionals(rest: &[String]) -> (Vec<String>, &[String]) {
+    let cut = rest
+        .iter()
+        .position(|a| a.starts_with("--"))
+        .unwrap_or(rest.len());
+    (rest[..cut].to_vec(), &rest[cut..])
+}
+
+/// `lbc save <graph-file> <dir>`: cluster the graph and persist the
+/// dataset (graph CSR + cached output, bit-for-bit) as a binary
+/// snapshot in `<dir>`, ready for `lbc load` / `serve-bench --store`.
+fn cmd_save(rest: &[String]) -> Result<String, String> {
+    let (pos, flags) = split_positionals(rest);
+    let [graph_path, dir] = pos.as_slice() else {
+        return Err("usage: lbc save <graph-file> <store-dir> [--name N] [--beta B] …".into());
+    };
+    let a = Args::parse(flags, &[])?;
+    let name = a.get("name").unwrap_or_else(|| graph_path.clone());
+    let k_hint: usize = a.get_or("k", 4)?;
+    let g = load_graph(graph_path)?;
+    let cfg = serving_config(&a, &g, k_hint)?;
+    a.reject_unknown()?;
+
+    let registry = Registry::with_capacity(4);
+    registry
+        .attach_store(dir, SpillPolicy::OnInsert)
+        .map_err(|e| e.to_string())?;
+    registry.insert_graph(&name, g);
+    let t0 = std::time::Instant::now();
+    let out = registry
+        .get_or_cluster(&name, &cfg)
+        .map_err(|e| e.to_string())?;
+    let cluster_ms = t0.elapsed().as_secs_f64() * 1e3;
+    // The insert already spilled (write-through policy); spill again
+    // explicitly so any I/O error surfaces here rather than being
+    // swallowed by the best-effort hook.
+    let bytes = registry.spill_to_store(&name).map_err(|e| e.to_string())?;
+    Ok(format!(
+        "dataset '{name}': n = {}, m = {}; clustered in {cluster_ms:.1} ms \
+         ({} seeds, {} clusters, T = {})\n\
+         snapshot -> {dir} ({bytes} bytes, checksummed binary, empty wal)\n",
+        out.partition.n(),
+        registry.graph(&name).map_err(|e| e.to_string())?.m(),
+        out.seeds.len(),
+        out.partition.k(),
+        cfg.rounds.count(),
+    ))
+}
+
+/// `lbc load <dir>`: boot every dataset in the store (snapshot + WAL
+/// replay through the deterministic warm start) into a fresh registry.
+/// `--verify` re-clusters each recovered `(graph, config)` pair cold
+/// and asserts the recovered output is **bit-for-bit** identical —
+/// valid only for clean (empty-WAL) stores, where the snapshot holds
+/// cold outputs.
+fn cmd_load(rest: &[String]) -> Result<String, String> {
+    let (pos, flags) = split_positionals(rest);
+    let [dir] = pos.as_slice() else {
+        return Err("usage: lbc load <store-dir> [--verify]".into());
+    };
+    let a = Args::parse(flags, &["verify"])?;
+    let verify = a.has("verify");
+    a.reject_unknown()?;
+
+    // Effectively unbounded: the boot must never LRU-evict recovered
+    // outputs, or --verify would report a healthy store as drifted.
+    let registry = Registry::with_capacity(usize::MAX);
+    registry
+        .attach_store(dir, SpillPolicy::OnEvict)
+        .map_err(|e| e.to_string())?;
+    let t0 = std::time::Instant::now();
+    let boots = registry.boot_all_from_store().map_err(|e| e.to_string())?;
+    let boot_ms = t0.elapsed().as_secs_f64() * 1e3;
+    if boots.is_empty() {
+        return Err(format!("store '{dir}' holds no datasets"));
+    }
+    let mut report = format!(
+        "booted {} dataset(s) from '{dir}' in {boot_ms:.1} ms\n",
+        boots.len()
+    );
+    for b in &boots {
+        report.push_str(&format!(
+            "dataset '{}': n = {}, m = {}; {} cached outputs, \
+             {} wal records replayed, warm rounds = {}\n",
+            b.dataset, b.n, b.m, b.entries, b.wal_records, b.warm_rounds,
+        ));
+        if verify {
+            if b.wal_records > 0 {
+                return Err(format!(
+                    "--verify requires an empty wal (dataset '{}' replayed {} records; \
+                     warm-started outputs differ from cold runs by design)",
+                    b.dataset, b.wal_records
+                ));
+            }
+            let graph = registry.graph(&b.dataset).map_err(|e| e.to_string())?;
+            for cfg in &b.configs {
+                let recovered = registry
+                    .cached(&b.dataset, cfg)
+                    .ok_or_else(|| format!("recovered output missing for '{}'", b.dataset))?;
+                let cold = cluster(&graph, cfg).map_err(|e| e.to_string())?;
+                verify_bit_identical(&cold, &recovered)
+                    .map_err(|e| format!("dataset '{}': {e}", b.dataset))?;
+            }
+            report.push_str(&format!(
+                "verified bit-for-bit: {} output(s) identical to a cold re-cluster, \
+                 zero warm rounds\n",
+                b.configs.len()
+            ));
+        }
+    }
+    report.push_str(&render_cache_line(&registry));
+    Ok(report)
+}
+
+/// Compare a recovered output against a reference with every `f64`
+/// checked by bit pattern (the shared [`lbc_core::ClusterOutput::bit_diff`]
+/// standard, same as the warm-start identity tests).
+fn verify_bit_identical(
+    reference: &lbc_core::ClusterOutput,
+    recovered: &lbc_core::ClusterOutput,
+) -> Result<(), String> {
+    match reference.bit_diff(recovered) {
+        None => Ok(()),
+        Some(diff) => Err(format!(
+            "recovered output drifted from cold re-cluster: {diff}"
+        )),
+    }
 }
 
 #[cfg(test)]
@@ -1032,6 +1208,109 @@ mod tests {
         ]))
         .unwrap_err();
         assert!(e.contains("out of range"), "{e}");
+    }
+
+    fn tmp_store_dir(tag: &str) -> String {
+        let dir = std::env::temp_dir()
+            .join("lbc-cli-store-tests")
+            .join(format!("{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir.to_string_lossy().into_owned()
+    }
+
+    #[test]
+    fn save_then_load_round_trips_bit_for_bit() {
+        let g = tmp("g_save.txt");
+        run(&raw(&[
+            "gen", "--family", "planted", "--k", "3", "--block", "20", "--p-in", "0.4", "--p-out",
+            "0.02", "--out", &g,
+        ]))
+        .unwrap();
+        let dir = tmp_store_dir("save-load");
+        let r = run(&raw(&[
+            "save", &g, &dir, "--name", "pp", "--beta", "0.33", "--rounds", "60", "--seed", "4",
+        ]))
+        .unwrap();
+        assert!(r.contains("dataset 'pp'"), "{r}");
+        assert!(r.contains("snapshot ->"), "{r}");
+        assert!(r.contains("bytes"), "{r}");
+        // Fresh "process": a new registry boots from disk and verifies
+        // against a cold re-cluster, every f64 by bit pattern.
+        let r = run(&raw(&["load", &dir, "--verify"])).unwrap();
+        assert!(r.contains("dataset 'pp'"), "{r}");
+        assert!(r.contains("0 wal records replayed, warm rounds = 0"), "{r}");
+        assert!(r.contains("verified bit-for-bit"), "{r}");
+        assert!(r.contains("store: "), "{r}");
+    }
+
+    #[test]
+    fn serve_bench_warm_boots_from_a_store() {
+        let g = tmp("g_store_serve.txt");
+        run(&raw(&[
+            "gen", "--family", "ring", "--k", "2", "--size", "16", "--out", &g,
+        ]))
+        .unwrap();
+        let dir = tmp_store_dir("serve");
+        // First run: nothing in the store, clusters and spills.
+        let r = run(&raw(&[
+            "serve-bench",
+            "--graph",
+            &g,
+            "--beta",
+            "0.5",
+            "--rounds",
+            "40",
+            "--threads",
+            "2",
+            "--ops",
+            "4000",
+            "--store",
+            &dir,
+        ]))
+        .unwrap();
+        assert!(!r.contains("warm boot"), "{r}");
+        assert!(r.contains("store: "), "{r}");
+        assert!(r.contains("hit ratio"), "{r}");
+        // Second run: warm boot, the clustering is a cache hit.
+        let r = run(&raw(&[
+            "serve-bench",
+            "--graph",
+            &g,
+            "--beta",
+            "0.5",
+            "--rounds",
+            "40",
+            "--threads",
+            "2",
+            "--ops",
+            "4000",
+            "--store",
+            &dir,
+        ]))
+        .unwrap();
+        assert!(r.contains("warm boot from store"), "{r}");
+        assert!(r.contains("0 wal records replayed"), "{r}");
+        assert!(r.contains("throughput ="), "{r}");
+    }
+
+    #[test]
+    fn save_load_flag_errors() {
+        // Missing positionals.
+        assert!(run(&raw(&["save"])).is_err());
+        assert!(run(&raw(&["save", "/nonexistent"])).is_err());
+        assert!(run(&raw(&["load"])).is_err());
+        // Nonexistent graph file.
+        let dir = tmp_store_dir("errors");
+        assert!(run(&raw(&["save", "/nonexistent", &dir])).is_err());
+        // Empty store.
+        assert!(run(&raw(&["load", &dir])).is_err());
+        // Unknown flag.
+        let g = tmp("g_save_err.txt");
+        run(&raw(&[
+            "gen", "--family", "ring", "--k", "2", "--size", "10", "--out", &g,
+        ]))
+        .unwrap();
+        assert!(run(&raw(&["save", &g, &dir, "--wat", "1"])).is_err());
     }
 
     #[test]

@@ -17,6 +17,9 @@
 //! * `lbc update --graph g.txt (--delta d.txt | --flips K)` — apply a
 //!   dynamic-graph delta through the serving registry and warm-start
 //!   re-cluster from the resident states.
+//! * `lbc save g.txt dir/` / `lbc load dir/` — persist a clustered
+//!   dataset as a checksummed binary snapshot (+ delta write-ahead log)
+//!   and warm-boot it back, bit-for-bit.
 //!
 //! Everything returns its report as a `String` (so tests drive the CLI
 //! end-to-end without spawning processes); `main` just prints it.
@@ -52,11 +55,13 @@ USAGE:
   lbc serve-bench [--graph g.txt | --family ring|planted --k 4 --size 64]
                   [--beta B] [--rounds T] [--seed S] [--threads 4]
                   [--clients N] [--ops 200000] [--batch 64] [--cache 8]
-                  [--zipf S]
+                  [--zipf S] [--store DIR]
       Cluster on a worker pool, keep the output resident, then drive a
       closed-loop query load (same-cluster / cluster-of / cluster-size)
       and print throughput + p50/p95/p99 batch latency. --zipf S skews
-      query node popularity (Zipf exponent S; 0 = uniform).
+      query node popularity (Zipf exponent S; 0 = uniform). --store DIR
+      attaches crash-safe persistence: the dataset warm-boots from its
+      snapshot when present and spills to it otherwise.
 
   lbc jobs [--graph g.txt | --family ring|planted --k 4 --size 64]
            [--beta B] [--rounds T] [--seed S0] [--jobs 8] [--threads 4]
@@ -74,4 +79,16 @@ USAGE:
       the resident load states until the load-movement criterion fires;
       prints warm rounds-to-recovery vs the cold T and, unless
       --no-cold, a cold re-cluster reference with warm/cold agreement.
+
+  lbc save <graph-file> <store-dir> [--name N] [--beta B] [--rounds T]
+           [--seed S] [--query paper|argmax|scaled:C] [--k K]
+      Cluster the graph and persist graph + output (config, partition,
+      load states bit-for-bit) as a checksummed binary snapshot.
+
+  lbc load <store-dir> [--verify]
+      Boot every dataset in the store: read its snapshot and replay the
+      delta write-ahead log through the deterministic warm start,
+      recovering the exact pre-shutdown labellings. --verify cold
+      re-clusters each (graph, config) pair and asserts the recovered
+      output is bit-for-bit identical (clean, empty-wal stores only).
 ";

@@ -44,6 +44,58 @@ impl ClusterOutput {
         let n = self.partition.n();
         states + 2 * n + n.div_ceil(2)
     }
+
+    /// First difference from `other` at the **bit level** — every `f64`
+    /// state word compared by bit pattern (so NaN payloads, negative
+    /// zero and subnormals all count), everything else by `==`; `None`
+    /// when the outputs are identical. The single source of truth for
+    /// the "bit-for-bit" standard the warm-start identity and the
+    /// persistence round trip are held to.
+    pub fn bit_diff(&self, other: &ClusterOutput) -> Option<String> {
+        if self.partition != other.partition {
+            return Some("partitions differ".into());
+        }
+        if self.raw_labels != other.raw_labels {
+            return Some("raw labels differ".into());
+        }
+        if self.seeds != other.seeds {
+            return Some("seeds differ".into());
+        }
+        if self.rounds != other.rounds {
+            return Some(format!(
+                "round counts differ: {} vs {}",
+                self.rounds, other.rounds
+            ));
+        }
+        if self.states.len() != other.states.len() {
+            return Some(format!(
+                "state counts differ: {} vs {}",
+                self.states.len(),
+                other.states.len()
+            ));
+        }
+        for (v, (a, b)) in self.states.iter().zip(&other.states).enumerate() {
+            if a.entries().len() != b.entries().len() {
+                return Some(format!(
+                    "node {v}: state sizes differ: {} vs {}",
+                    a.entries().len(),
+                    b.entries().len()
+                ));
+            }
+            for (&(ia, xa), &(ib, xb)) in a.entries().iter().zip(b.entries()) {
+                if ia != ib {
+                    return Some(format!("node {v}: seed ids differ: {ia} vs {ib}"));
+                }
+                if xa.to_bits() != xb.to_bits() {
+                    return Some(format!(
+                        "node {v}, seed {ia}: state word differs at the bit level \
+                         ({xa} vs {xb})"
+                    ));
+                }
+            }
+        }
+        None
+    }
 }
 
 /// Errors a clustering run can report.

@@ -103,6 +103,85 @@ impl Graph {
         }
     }
 
+    /// Assemble a graph from raw CSR arrays, **checking every invariant**
+    /// (offsets monotone and anchored, neighbour lists sorted and
+    /// duplicate-free, no self-loops, adjacency symmetric). This is the
+    /// deserialisation entry point for binary formats that persist the
+    /// CSR arrays directly (`lbc-store` snapshots): a corrupted or
+    /// hand-forged file comes back as a [`GraphError`], never a graph
+    /// that violates the invariants the algorithm layer relies on.
+    pub fn from_csr(offsets: Vec<usize>, neighbours: Vec<NodeId>) -> Result<Self, GraphError> {
+        let invalid = |msg: String| GraphError::InvalidParameter(format!("csr: {msg}"));
+        if offsets.is_empty() {
+            return Err(invalid("offsets array is empty".into()));
+        }
+        if offsets[0] != 0 {
+            return Err(invalid(format!("offsets[0] = {}, expected 0", offsets[0])));
+        }
+        if *offsets.last().unwrap() != neighbours.len() {
+            return Err(invalid(format!(
+                "final offset {} does not match {} neighbours",
+                offsets.last().unwrap(),
+                neighbours.len()
+            )));
+        }
+        let n = offsets.len() - 1;
+        for w in offsets.windows(2) {
+            if w[0] > w[1] {
+                return Err(invalid(format!("offsets decrease: {} > {}", w[0], w[1])));
+            }
+        }
+        for v in 0..n {
+            let list = &neighbours[offsets[v]..offsets[v + 1]];
+            for pair in list.windows(2) {
+                if pair[0] >= pair[1] {
+                    return Err(invalid(format!(
+                        "node {v}: neighbour list unsorted or duplicated at {}",
+                        pair[1]
+                    )));
+                }
+            }
+            for &w in list {
+                if w as usize >= n {
+                    return Err(GraphError::NodeOutOfRange { node: w, n });
+                }
+                if w as usize == v {
+                    return Err(GraphError::SelfLoop { node: w });
+                }
+            }
+        }
+        // Symmetry in O(n + m): build the transpose with a counting
+        // sort (iterating sources ascending fills each head's region in
+        // ascending order) — the adjacency is symmetric iff the
+        // transpose equals the original arrays.
+        let mut cursor: Vec<usize> = offsets[..n].to_vec();
+        let mut transpose: Vec<NodeId> = vec![0; neighbours.len()];
+        for v in 0..n {
+            for &w in &neighbours[offsets[v]..offsets[v + 1]] {
+                let c = cursor[w as usize];
+                if c >= offsets[w as usize + 1] {
+                    return Err(invalid(format!("asymmetric adjacency around node {w}")));
+                }
+                transpose[c] = v as NodeId;
+                cursor[w as usize] = c + 1;
+            }
+        }
+        if transpose != neighbours {
+            return Err(invalid("asymmetric adjacency".into()));
+        }
+        Ok(Graph {
+            offsets,
+            neighbours,
+        })
+    }
+
+    /// The raw CSR arrays `(offsets, neighbours)` — the serialisation
+    /// seam for binary formats; [`Graph::from_csr`] is the validated
+    /// inverse.
+    pub fn csr_parts(&self) -> (&[usize], &[NodeId]) {
+        (&self.offsets, &self.neighbours)
+    }
+
     /// Start of node `v`'s slice in the flat neighbour array (the CSR
     /// offset; `v` may be `n`, giving the end sentinel).
     #[inline]
@@ -406,5 +485,49 @@ mod tests {
     fn isolated_node_degree_ratio_infinite() {
         let g = Graph::from_edges(3, &[(0, 1)]).unwrap();
         assert!(g.degree_ratio().is_infinite());
+    }
+
+    #[test]
+    fn from_csr_round_trips_and_validates() {
+        let g = triangle_plus_pendant();
+        let (offsets, neighbours) = g.csr_parts();
+        let h = Graph::from_csr(offsets.to_vec(), neighbours.to_vec()).unwrap();
+        assert_eq!(g, h);
+        // Empty graph round-trips too.
+        assert_eq!(
+            Graph::from_csr(vec![0], vec![]).unwrap(),
+            Graph::from_edges(0, &[]).unwrap()
+        );
+    }
+
+    #[test]
+    fn from_csr_rejects_structural_corruption() {
+        // Empty offsets.
+        assert!(Graph::from_csr(vec![], vec![]).is_err());
+        // Bad anchor.
+        assert!(Graph::from_csr(vec![1, 2], vec![1, 0]).is_err());
+        // Final offset / neighbour count mismatch.
+        assert!(Graph::from_csr(vec![0, 1, 3], vec![1, 0]).is_err());
+        // Decreasing offsets.
+        assert!(Graph::from_csr(vec![0, 2, 1, 3], vec![1, 2, 0]).is_err());
+        // Unsorted neighbour list.
+        assert!(Graph::from_csr(vec![0, 2, 3, 4], vec![2, 1, 0, 0]).is_err());
+        // Duplicate neighbour.
+        assert!(matches!(
+            Graph::from_csr(vec![0, 2, 4], vec![1, 1, 0, 0]),
+            Err(GraphError::InvalidParameter(_))
+        ));
+        // Out-of-range endpoint.
+        assert!(matches!(
+            Graph::from_csr(vec![0, 1, 2], vec![1, 5]),
+            Err(GraphError::NodeOutOfRange { node: 5, n: 2 })
+        ));
+        // Self-loop.
+        assert!(matches!(
+            Graph::from_csr(vec![0, 1], vec![0]),
+            Err(GraphError::SelfLoop { node: 0 })
+        ));
+        // Asymmetric adjacency: 0 -> 1 without 1 -> 0.
+        assert!(Graph::from_csr(vec![0, 1, 1], vec![1]).is_err());
     }
 }

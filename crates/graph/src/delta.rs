@@ -94,6 +94,85 @@ impl GraphDelta {
         self.add_nodes == 0 && self.add_edges.is_empty() && self.remove_edges.is_empty()
     }
 
+    /// Coalesce an ordered stream of deltas into one delta whose
+    /// application to `base` yields the same graph as applying the
+    /// stream one by one — the substrate of
+    /// `Registry::apply_delta_stream`, which pays a single CSR patch
+    /// and a single warm-start pass for a whole batch of small updates.
+    ///
+    /// Per edge pair only the *net* effect survives: add-then-remove
+    /// cancels to nothing, remove-then-add of a pre-existing edge
+    /// cancels to nothing, repeated additions dedup. Node additions
+    /// accumulate. Validation matches sequential application: removing
+    /// an edge that is absent *at that point in the stream* is
+    /// [`GraphError::MissingEdge`], and endpoints must be in range for
+    /// the node count *at that point* — but unlike sequential
+    /// application the coalesced delta is all-or-nothing (an error
+    /// leaves `base` untouched rather than half the stream applied).
+    pub fn coalesce(base: &Graph, deltas: &[GraphDelta]) -> Result<GraphDelta, GraphError> {
+        use std::collections::BTreeMap;
+        let base_n = base.n();
+        let base_has = |&(u, v): &(NodeId, NodeId)| {
+            (u as usize) < base_n && (v as usize) < base_n && base.has_edge(u, v)
+        };
+        let mut n = base_n;
+        let mut added_nodes = 0usize;
+        // Touched pairs (normalised u < v) -> present after the stream
+        // so far. Untouched pairs keep their base presence.
+        let mut present: BTreeMap<(NodeId, NodeId), bool> = BTreeMap::new();
+        for d in deltas {
+            n += d.added_nodes();
+            added_nodes += d.added_nodes();
+            // Repeated removals of one pair *within* a single delta
+            // collapse (as `apply_delta`'s op dedup does); only a
+            // removal in a *later* delta re-validates.
+            let removals: std::collections::BTreeSet<(NodeId, NodeId)> =
+                d.removed_edges().iter().copied().collect();
+            for &(u, v) in &removals {
+                if u as usize >= n {
+                    return Err(GraphError::NodeOutOfRange { node: u, n });
+                }
+                if v as usize >= n {
+                    return Err(GraphError::NodeOutOfRange { node: v, n });
+                }
+                if u == v {
+                    return Err(GraphError::SelfLoop { node: u });
+                }
+                let p = present.entry((u, v)).or_insert_with(|| base_has(&(u, v)));
+                if !*p {
+                    return Err(GraphError::MissingEdge { u, v });
+                }
+                *p = false;
+            }
+            for &(u, v) in d.added_edges() {
+                if u as usize >= n {
+                    return Err(GraphError::NodeOutOfRange { node: u, n });
+                }
+                if v as usize >= n {
+                    return Err(GraphError::NodeOutOfRange { node: v, n });
+                }
+                if u == v {
+                    return Err(GraphError::SelfLoop { node: u });
+                }
+                present.insert((u, v), true);
+            }
+        }
+        let mut out = GraphDelta::new();
+        out.add_nodes(added_nodes);
+        for (&(u, v), &p) in &present {
+            match (base_has(&(u, v)), p) {
+                (false, true) => {
+                    out.add_edge(u, v);
+                }
+                (true, false) => {
+                    out.remove_edge(u, v);
+                }
+                _ => {} // net no-op
+            }
+        }
+        Ok(out)
+    }
+
     /// Number of distinct nodes incident to a queued edge mutation.
     pub fn touched_nodes(&self) -> usize {
         let mut nodes: Vec<NodeId> = self
@@ -318,6 +397,82 @@ mod tests {
         let mut d = GraphDelta::new();
         d.remove_edge(0, 2).add_edge(2, 0);
         assert_eq!(g.apply_delta(&d).unwrap(), g);
+    }
+
+    #[test]
+    fn coalesce_matches_sequential_application() {
+        let g = triangle_plus_pendant();
+        let mut d1 = GraphDelta::new();
+        d1.remove_edge(0, 1).add_nodes(1).add_edge(3, 4);
+        let mut d2 = GraphDelta::new();
+        d2.add_edge(0, 1).remove_edge(3, 4).add_edge(2, 4);
+        let mut d3 = GraphDelta::new();
+        d3.add_nodes(1)
+            .add_edge(4, 5)
+            .remove_edge(2, 4)
+            .add_edge(2, 4);
+        let deltas = [d1, d2, d3];
+        let sequential = deltas
+            .iter()
+            .fold(g.clone(), |acc, d| acc.apply_delta(d).unwrap());
+        let coalesced = GraphDelta::coalesce(&g, &deltas).unwrap();
+        assert_eq!(g.apply_delta(&coalesced).unwrap(), sequential);
+        // Net no-ops vanished: 0-1 was removed then re-added, 3-4 added
+        // then removed, 2-4 removed and re-added after its addition.
+        assert_eq!(coalesced.added_nodes(), 2);
+        assert_eq!(coalesced.added_edges(), &[(2, 4), (4, 5)]);
+        assert!(coalesced.removed_edges().is_empty());
+    }
+
+    #[test]
+    fn coalesce_validates_like_sequential_application() {
+        let g = triangle_plus_pendant();
+        // Removing an edge twice without re-adding it errors, exactly
+        // as the second sequential apply_delta would.
+        let mut d1 = GraphDelta::new();
+        d1.remove_edge(0, 1);
+        let mut d2 = GraphDelta::new();
+        d2.remove_edge(0, 1);
+        assert_eq!(
+            GraphDelta::coalesce(&g, &[d1.clone(), d2]),
+            Err(GraphError::MissingEdge { u: 0, v: 1 })
+        );
+        // Removing an edge added earlier in the stream is fine.
+        let mut d3 = GraphDelta::new();
+        d3.add_edge(1, 3);
+        let mut d4 = GraphDelta::new();
+        d4.remove_edge(1, 3);
+        let net = GraphDelta::coalesce(&g, &[d3, d4]).unwrap();
+        assert!(net.is_empty());
+        // Endpoints must be in range for the node count at that point
+        // in the stream: referencing node 4 before any add_nodes errors
+        // even if a later delta would have added it.
+        let mut early = GraphDelta::new();
+        early.add_edge(0, 4);
+        let mut late = GraphDelta::new();
+        late.add_nodes(1);
+        assert_eq!(
+            GraphDelta::coalesce(&g, &[early, late]),
+            Err(GraphError::NodeOutOfRange { node: 4, n: 4 })
+        );
+        // Self-loops rejected.
+        let mut looped = GraphDelta::new();
+        looped.add_edge(2, 2);
+        assert_eq!(
+            GraphDelta::coalesce(&g, &[looped]),
+            Err(GraphError::SelfLoop { node: 2 })
+        );
+        // Empty stream coalesces to the empty delta.
+        assert!(GraphDelta::coalesce(&g, &[]).unwrap().is_empty());
+        // A duplicated removal *within one* delta collapses, exactly as
+        // apply_delta's op dedup does…
+        let mut dup = GraphDelta::new();
+        dup.remove_edge(0, 1).remove_edge(0, 1);
+        assert_eq!(g.apply_delta(&dup).unwrap().m(), g.m() - 1);
+        let net = GraphDelta::coalesce(&g, &[dup]).unwrap();
+        assert_eq!(net.removed_edges(), &[(0, 1)]);
+        // …while the same duplication across two deltas stays an error
+        // (the second sequential apply would fail too).
     }
 
     #[test]

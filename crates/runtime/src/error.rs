@@ -18,6 +18,8 @@ pub enum RuntimeError {
     NodeOutOfRange { node: u32, n: usize },
     /// A configuration value is out of its admissible range.
     InvalidConfig(String),
+    /// The attached persistence store failed (see [`lbc_store::StoreError`]).
+    Store(String),
 }
 
 impl std::fmt::Display for RuntimeError {
@@ -31,6 +33,7 @@ impl std::fmt::Display for RuntimeError {
                 write!(f, "node {node} out of range for graph with {n} nodes")
             }
             RuntimeError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            RuntimeError::Store(msg) => write!(f, "store error: {msg}"),
         }
     }
 }
@@ -46,5 +49,11 @@ impl From<GraphError> for RuntimeError {
 impl From<ClusterError> for RuntimeError {
     fn from(e: ClusterError) -> Self {
         RuntimeError::Cluster(e)
+    }
+}
+
+impl From<lbc_store::StoreError> for RuntimeError {
+    fn from(e: lbc_store::StoreError) -> Self {
+        RuntimeError::Store(e.to_string())
     }
 }

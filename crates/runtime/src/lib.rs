@@ -27,6 +27,13 @@
 //! * [`loadgen`] — a closed-loop load generator reporting throughput and
 //!   p50/p95/p99 batch latency; the engine behind `lbc serve-bench`.
 //!
+//! Attaching an on-disk [`lbc_store::Store`] ([`Registry::attach_store`])
+//! makes the resident state crash-safe: cached outputs spill to binary
+//! snapshots, deltas are write-ahead logged, and
+//! [`Registry::boot_from_store`] replays snapshot + WAL into the exact
+//! pre-shutdown labellings (`lbc save` / `lbc load` /
+//! `serve-bench --store`).
+//!
 //! # Quickstart
 //!
 //! ```
@@ -63,5 +70,8 @@ pub mod scheduler;
 pub use engine::{Answer, ClusterHandle, Query, QueryEngine};
 pub use error::RuntimeError;
 pub use loadgen::{loadgen_on_output, run_loadgen, LoadReport, LoadgenConfig, Popularity};
-pub use registry::{config_fingerprint, CacheStats, DeltaPolicy, DeltaReport, Registry};
+pub use registry::{
+    config_fingerprint, CacheStats, DeltaPolicy, DeltaReport, Registry, SpillPolicy,
+    StoreBootReport,
+};
 pub use scheduler::{JobHandle, JobRecord, JobState, WorkerPool};

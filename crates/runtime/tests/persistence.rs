@@ -1,0 +1,368 @@
+//! Crash-safe persistence acceptance tests.
+//!
+//! The round-trip invariant (ISSUE 4): snapshot + WAL replay reproduces
+//! the pre-shutdown cached [`ClusterOutput`] **bit-for-bit** — every
+//! `f64` compared by bit pattern, the same standard as
+//! `crates/core/tests/warm_start.rs`. "Crash" here is simulated by
+//! dropping one registry and booting a fresh one from the same store
+//! directory, which exercises exactly what a killed process leaves on
+//! disk (appends are flushed before the graph swap).
+
+use lbc_core::{ClusterOutput, LbConfig, WarmStartConfig};
+use lbc_graph::{generators, GraphDelta};
+use lbc_runtime::{DeltaPolicy, Registry, SpillPolicy};
+
+fn store_dir(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir()
+        .join("lbc-runtime-persistence")
+        .join(format!("{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Every `f64` compared by bit pattern (via the shared
+/// [`ClusterOutput::bit_diff`] standard); everything else by `==`.
+fn assert_bit_identical(a: &ClusterOutput, b: &ClusterOutput) {
+    if let Some(diff) = a.bit_diff(b) {
+        panic!("outputs not bit-identical: {diff}");
+    }
+}
+
+#[test]
+fn snapshot_boot_is_bit_identical_with_zero_warm_rounds() {
+    let dir = store_dir("snapshot-boot");
+    let cfg = LbConfig::new(0.25, 60).with_seed(7);
+    let (g, _) = generators::planted_partition(4, 30, 0.4, 0.01, 11).unwrap();
+
+    let saved = {
+        let r = Registry::with_capacity(4);
+        r.attach_store(&dir, SpillPolicy::OnInsert).unwrap();
+        r.insert_graph("pp", g.clone());
+        let out = r.get_or_cluster("pp", &cfg).unwrap();
+        assert!(r.stats().spills >= 1, "insert did not spill");
+        assert!(r.stats().store_bytes > 0);
+        out
+        // registry dropped = process "killed"
+    };
+
+    let fresh = Registry::with_capacity(4);
+    fresh.attach_store(&dir, SpillPolicy::OnInsert).unwrap();
+    assert!(fresh.has_store_dataset("pp"));
+    let report = fresh.boot_from_store("pp").unwrap();
+    assert_eq!(report.wal_records, 0, "clean shutdown must have no WAL");
+    assert_eq!(report.warm_rounds, 0, "empty WAL must replay zero rounds");
+    assert_eq!(report.entries, 1);
+    assert_eq!((report.n, report.m), (g.n(), g.m()));
+    assert_eq!(fresh.stats().loads, 1);
+
+    // The recovered output is the saved one, bit for bit, and it is a
+    // cache *hit* — no re-clustering.
+    let inserts_before = fresh.stats().inserts;
+    let recovered = fresh.get_or_cluster("pp", &cfg).unwrap();
+    assert_eq!(fresh.stats().inserts, inserts_before);
+    assert_bit_identical(&saved, &recovered);
+}
+
+#[test]
+fn wal_replay_recovers_the_exact_pre_crash_labelling() {
+    let dir = store_dir("wal-replay");
+    let cfg = LbConfig::new(1.0 / 3.0, 80).with_seed(2);
+    let (g, truth) = generators::planted_partition(3, 40, 0.4, 0.01, 5).unwrap();
+    let wcfg = WarmStartConfig::default();
+
+    let (pre_crash, total_warm_rounds) = {
+        // Spill-on-evict + huge compaction threshold: the snapshot is
+        // written once (explicitly), every subsequent delta lives only
+        // in the WAL — recovery must replay it.
+        let r = Registry::with_capacity(4);
+        r.attach_store_with(&dir, SpillPolicy::OnEvict, u64::MAX)
+            .unwrap();
+        r.insert_graph("pp", g.clone());
+        let _ = r.get_or_cluster("pp", &cfg).unwrap();
+        r.spill_to_store("pp").unwrap();
+
+        let mut warm = 0usize;
+        let mut current = g.clone();
+        for flip_seed in [7u64, 9, 13] {
+            let delta = generators::k_edge_flip_delta(&current, &truth, 2, flip_seed).unwrap();
+            current = current.apply_delta(&delta).unwrap();
+            let rep = r
+                .apply_delta("pp", &delta, &DeltaPolicy::WarmRefresh(wcfg.clone()))
+                .unwrap();
+            assert_eq!(rep.refreshed, 1);
+            warm += rep.warm_rounds;
+        }
+        let out = r.cached("pp", &cfg).expect("refreshed entry resident");
+        (out, warm)
+    };
+
+    let fresh = Registry::with_capacity(4);
+    fresh
+        .attach_store_with(&dir, SpillPolicy::OnEvict, u64::MAX)
+        .unwrap();
+    let report = fresh.boot_from_store("pp").unwrap();
+    assert_eq!(report.wal_records, 3, "all three deltas must replay");
+    assert_eq!(
+        report.warm_rounds, total_warm_rounds,
+        "replay must pay exactly the warm rounds the live side paid"
+    );
+    let recovered = fresh.cached("pp", &cfg).expect("booted entry resident");
+    assert_bit_identical(&pre_crash, &recovered);
+    // Boot compacted the replayed WAL into a fresh snapshot: a second
+    // boot is pure snapshot, zero warm rounds, same bits.
+    let again = Registry::with_capacity(4);
+    again
+        .attach_store_with(&dir, SpillPolicy::OnEvict, u64::MAX)
+        .unwrap();
+    let report2 = again.boot_from_store("pp").unwrap();
+    assert_eq!(report2.wal_records, 0);
+    assert_eq!(report2.warm_rounds, 0);
+    let recovered2 = again.cached("pp", &cfg).expect("booted entry resident");
+    assert_bit_identical(&pre_crash, &recovered2);
+}
+
+#[test]
+fn spill_on_evict_saves_the_displaced_entry() {
+    let dir = store_dir("spill-evict");
+    let (g, _) = generators::ring_of_cliques(3, 12, 0).unwrap();
+    let cfg1 = LbConfig::new(1.0 / 3.0, 40).with_seed(1);
+    let cfg2 = LbConfig::new(1.0 / 3.0, 40).with_seed(2);
+
+    let (out1, out2) = {
+        let r = Registry::with_capacity(1); // second insert evicts the first
+        r.attach_store(&dir, SpillPolicy::OnEvict).unwrap();
+        r.insert_graph("ring", g.clone());
+        let out1 = r.get_or_cluster("ring", &cfg1).unwrap();
+        assert_eq!(r.stats().spills, 0, "no eviction yet, no spill");
+        let out2 = r.get_or_cluster("ring", &cfg2).unwrap();
+        assert_eq!(r.stats().evictions, 1);
+        assert!(r.stats().spills >= 1, "eviction must spill");
+        (out1, out2)
+    };
+
+    // Both outputs survive: the resident one and the evicted one.
+    let fresh = Registry::with_capacity(4);
+    fresh.attach_store(&dir, SpillPolicy::OnEvict).unwrap();
+    let report = fresh.boot_from_store("ring").unwrap();
+    assert_eq!(report.entries, 2);
+    assert_bit_identical(&out1, &fresh.cached("ring", &cfg1).unwrap());
+    assert_bit_identical(&out2, &fresh.cached("ring", &cfg2).unwrap());
+}
+
+#[test]
+fn successive_evictions_keep_every_spilled_output() {
+    // Spill-on-evict must not let a later eviction's snapshot rewrite
+    // destroy outputs persisted by earlier evictions.
+    let dir = store_dir("spill-evict-chain");
+    let (g, _) = generators::ring_of_cliques(3, 12, 0).unwrap();
+    let cfgs: Vec<LbConfig> = (1..=3)
+        .map(|s| LbConfig::new(1.0 / 3.0, 40).with_seed(s))
+        .collect();
+
+    let outs: Vec<_> = {
+        let r = Registry::with_capacity(1); // every insert evicts the prior entry
+        r.attach_store(&dir, SpillPolicy::OnEvict).unwrap();
+        r.insert_graph("ring", g.clone());
+        cfgs.iter()
+            .map(|cfg| r.get_or_cluster("ring", cfg).unwrap())
+            .collect()
+    };
+
+    let fresh = Registry::with_capacity(4);
+    fresh.attach_store(&dir, SpillPolicy::OnEvict).unwrap();
+    let report = fresh.boot_from_store("ring").unwrap();
+    assert_eq!(report.entries, 3, "an earlier eviction's output was lost");
+    for (cfg, out) in cfgs.iter().zip(&outs) {
+        assert_bit_identical(out, &fresh.cached("ring", cfg).unwrap());
+    }
+}
+
+#[test]
+fn boot_folds_a_crash_torn_wal_tail() {
+    let dir = store_dir("torn-boot");
+    let (g, _) = generators::ring_of_cliques(2, 10, 0).unwrap();
+    let cfg = LbConfig::new(0.5, 30).with_seed(3);
+    {
+        let r = Registry::with_capacity(2);
+        r.attach_store_with(&dir, SpillPolicy::OnEvict, u64::MAX)
+            .unwrap();
+        r.insert_graph("ring", g.clone());
+        let _ = r.get_or_cluster("ring", &cfg).unwrap();
+        r.spill_to_store("ring").unwrap();
+        let mut d = GraphDelta::new();
+        d.remove_edge(0, 1);
+        r.apply_delta(
+            "ring",
+            &d,
+            &DeltaPolicy::WarmRefresh(WarmStartConfig::default()),
+        )
+        .unwrap();
+    }
+    // Crash mid-append of a second record: half a record after the
+    // first complete one.
+    let wal = std::path::Path::new(&dir).join("ring.wal");
+    let mut bytes = std::fs::read(&wal).unwrap();
+    let clone = bytes.clone();
+    bytes.extend_from_slice(&clone[..clone.len() / 2]);
+    std::fs::write(&wal, &bytes).unwrap();
+
+    let fresh = Registry::with_capacity(4);
+    fresh
+        .attach_store_with(&dir, SpillPolicy::OnEvict, u64::MAX)
+        .unwrap();
+    let report = fresh.boot_from_store("ring").unwrap();
+    assert_eq!(report.wal_records, 1);
+    assert!(report.torn_tail_bytes > 0);
+    // The boot folded record + torn tail away: the next boot is clean.
+    let again = Registry::with_capacity(4);
+    again
+        .attach_store_with(&dir, SpillPolicy::OnEvict, u64::MAX)
+        .unwrap();
+    let report2 = again.boot_from_store("ring").unwrap();
+    assert_eq!(report2.wal_records, 0);
+    assert_eq!(report2.torn_tail_bytes, 0);
+    assert_bit_identical(
+        &fresh.cached("ring", &cfg).unwrap(),
+        &again.cached("ring", &cfg).unwrap(),
+    );
+}
+
+#[test]
+fn oversized_wal_auto_compacts_into_a_fresh_snapshot() {
+    let dir = store_dir("compact");
+    let (g, truth) = generators::planted_partition(3, 40, 0.4, 0.01, 5).unwrap();
+    let cfg = LbConfig::new(1.0 / 3.0, 80).with_seed(2);
+    let r = Registry::with_capacity(4);
+    // Threshold of 1 byte: every apply_delta leaves an oversized WAL
+    // and must fold it.
+    r.attach_store_with(&dir, SpillPolicy::OnEvict, 1).unwrap();
+    r.insert_graph("pp", g.clone());
+    let _ = r.get_or_cluster("pp", &cfg).unwrap();
+    r.spill_to_store("pp").unwrap();
+    let spills_before = r.stats().spills;
+
+    let delta = generators::k_edge_flip_delta(&g, &truth, 2, 7).unwrap();
+    let rep = r
+        .apply_delta(
+            "pp",
+            &delta,
+            &DeltaPolicy::WarmRefresh(WarmStartConfig::default()),
+        )
+        .unwrap();
+    assert_eq!(rep.refreshed, 1);
+    assert!(r.stats().spills > spills_before, "compaction must spill");
+
+    // The fold left a snapshot that boots clean — no WAL replay.
+    let live = r.cached("pp", &cfg).unwrap();
+    let fresh = Registry::with_capacity(4);
+    fresh.attach_store(&dir, SpillPolicy::OnEvict).unwrap();
+    let report = fresh.boot_from_store("pp").unwrap();
+    assert_eq!(report.wal_records, 0, "WAL must be folded away");
+    assert_bit_identical(&live, &fresh.cached("pp", &cfg).unwrap());
+}
+
+#[test]
+fn delta_stream_coalesces_to_one_patch_and_one_warm_pass() {
+    let (g, truth) = generators::planted_partition(3, 40, 0.4, 0.01, 5).unwrap();
+    let cfg = LbConfig::new(1.0 / 3.0, 80).with_seed(2);
+    let wcfg = WarmStartConfig::default();
+
+    // A stream of small deltas, including a net no-op pair.
+    let d1 = generators::k_edge_flip_delta(&g, &truth, 2, 7).unwrap();
+    let g1 = g.apply_delta(&d1).unwrap();
+    let d2 = generators::k_edge_flip_delta(&g1, &truth, 1, 9).unwrap();
+    let mut d3 = GraphDelta::new();
+    d3.add_nodes(1);
+    let new_node = g.n() as u32;
+    for u in 0..10 {
+        d3.add_edge(u, new_node);
+    }
+    let deltas = vec![d1, d2, d3];
+
+    // Reference: the stream applied one delta at a time.
+    let seq = Registry::with_capacity(4);
+    seq.insert_graph("pp", g.clone());
+    let _ = seq.get_or_cluster("pp", &cfg).unwrap();
+    for d in &deltas {
+        seq.apply_delta("pp", d, &DeltaPolicy::WarmRefresh(wcfg.clone()))
+            .unwrap();
+    }
+
+    // One coalesced pass.
+    let stream = Registry::with_capacity(4);
+    stream.insert_graph("pp", g.clone());
+    let resident = stream.get_or_cluster("pp", &cfg).unwrap();
+    let refreshes_before = stream.stats().refreshes;
+    let rep = stream
+        .apply_delta_stream("pp", &deltas, &DeltaPolicy::WarmRefresh(wcfg.clone()))
+        .unwrap();
+    assert_eq!(rep.refreshed, 1);
+    assert_eq!(
+        stream.stats().refreshes,
+        refreshes_before + 1,
+        "the whole stream must cost one warm-start pass"
+    );
+
+    // The patched graph matches the one-by-one application exactly.
+    let g_seq = seq.graph("pp").unwrap();
+    let g_stream = stream.graph("pp").unwrap();
+    assert_eq!(*g_seq, *g_stream, "coalesced patch diverged");
+    assert_eq!((rep.n, rep.m), (g_seq.n(), g_seq.m()));
+
+    // The coalesced refresh is bit-for-bit the direct warm start with
+    // the coalesced delta (determinism), and both routes label the
+    // mutated graph accurately.
+    let coalesced = GraphDelta::coalesce(&g, &deltas).unwrap();
+    let direct = lbc_core::warm_start(&g_stream, &cfg, &resident, &coalesced, &wcfg).unwrap();
+    let stream_out = stream.cached("pp", &cfg).unwrap();
+    assert_bit_identical(&direct.output, &stream_out);
+    let seq_out = seq.cached("pp", &cfg).unwrap();
+    for out in [&stream_out, &seq_out] {
+        let acc = lbc_eval::accuracy(truth.labels(), &out.partition.labels()[..truth.n()]);
+        assert!(acc > 0.9, "post-stream accuracy {acc}");
+    }
+    // And the new node joined the block it was wired into.
+    assert_eq!(
+        stream_out.partition.labels()[new_node as usize],
+        stream_out.partition.labels()[0]
+    );
+}
+
+#[test]
+fn store_errors_are_typed_not_panics() {
+    let r = Registry::with_capacity(2);
+    // No store attached.
+    assert!(r.boot_from_store("x").is_err());
+    assert!(r.store_dataset_names().is_err());
+    assert!(r.spill_to_store("x").is_err());
+    assert!(!r.store_attached());
+    assert!(!r.has_store_dataset("x"));
+    // Attached, but unknown dataset.
+    let dir = store_dir("errors");
+    r.attach_store(&dir, SpillPolicy::OnEvict).unwrap();
+    assert!(r.store_attached());
+    assert!(r.boot_from_store("nope").is_err());
+    assert!(r.spill_to_store("nope").is_err());
+    assert!(r.boot_all_from_store().unwrap().is_empty());
+}
+
+#[test]
+fn stats_surface_store_counters() {
+    let dir = store_dir("stats");
+    let (g, _) = generators::ring_of_cliques(2, 10, 0).unwrap();
+    let cfg = LbConfig::new(0.5, 30).with_seed(3);
+    let r = Registry::with_capacity(2);
+    r.attach_store(&dir, SpillPolicy::OnInsert).unwrap();
+    r.insert_graph("ring", g);
+    let _ = r.get_or_cluster("ring", &cfg).unwrap();
+    let s = r.stats();
+    assert!(s.spills >= 1);
+    assert!(s.store_bytes > 0);
+    assert_eq!(s.loads, 0);
+    let ratio = s.hit_ratio_percent();
+    assert!((0.0..=100.0).contains(&ratio));
+    // A dependent arm with hits: ratio strictly positive.
+    let _ = r.get_or_cluster("ring", &cfg).unwrap();
+    assert!(r.stats().hit_ratio_percent() > 0.0);
+    assert_eq!(lbc_runtime::CacheStats::default().hit_ratio_percent(), 0.0);
+}

@@ -1,0 +1,142 @@
+//! Typed errors for the on-disk store.
+//!
+//! Corruption is a first-class outcome, not a panic: every way a
+//! snapshot or WAL file can be wrong — short file, foreign file, bit
+//! rot, newer format — maps to its own variant so callers (and tests)
+//! can tell them apart.
+
+use std::fmt;
+
+use lbc_core::driver::ClusterError;
+use lbc_graph::GraphError;
+
+/// Everything reading or writing the store can report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// The file does not start with the snapshot magic — it is not a
+    /// snapshot at all (or the first bytes were destroyed).
+    BadMagic { found: [u8; 8] },
+    /// The snapshot was written by a newer (or unknown) format version.
+    UnsupportedVersion { found: u32, supported: u32 },
+    /// The file ends before the declared data does.
+    Truncated {
+        needed: usize,
+        available: usize,
+        context: &'static str,
+    },
+    /// The stored checksum does not match the bytes — the payload was
+    /// corrupted after it was written.
+    ChecksumMismatch {
+        expected: u64,
+        found: u64,
+        context: &'static str,
+    },
+    /// The bytes decode but violate a structural invariant (section out
+    /// of bounds, unsorted state entries, labels out of range, …).
+    Corrupt(String),
+    /// Filesystem-level failure (open/read/write/rename).
+    Io(String),
+    /// Replaying the WAL produced a graph error (a delta drifted out of
+    /// sync with its snapshot).
+    Graph(String),
+    /// Replaying the WAL produced a clustering error (warm start could
+    /// not be seeded from the snapshot's states).
+    Cluster(String),
+    /// No snapshot for this dataset in the store directory.
+    UnknownDataset(String),
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::BadMagic { found } => {
+                write!(f, "bad snapshot magic {found:02x?}: not an lbc snapshot")
+            }
+            StoreError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "snapshot format version {found} not supported (this build reads {supported})"
+            ),
+            StoreError::Truncated {
+                needed,
+                available,
+                context,
+            } => write!(
+                f,
+                "truncated {context}: needed {needed} bytes, only {available} available"
+            ),
+            StoreError::ChecksumMismatch {
+                expected,
+                found,
+                context,
+            } => write!(
+                f,
+                "checksum mismatch in {context}: stored {expected:016x}, computed {found:016x}"
+            ),
+            StoreError::Corrupt(msg) => write!(f, "corrupt store data: {msg}"),
+            StoreError::Io(msg) => write!(f, "store i/o error: {msg}"),
+            StoreError::Graph(msg) => write!(f, "store replay graph error: {msg}"),
+            StoreError::Cluster(msg) => write!(f, "store replay clustering error: {msg}"),
+            StoreError::UnknownDataset(name) => {
+                write!(f, "no snapshot for dataset '{name}' in the store")
+            }
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e.to_string())
+    }
+}
+
+impl From<GraphError> for StoreError {
+    fn from(e: GraphError) -> Self {
+        StoreError::Graph(e.to_string())
+    }
+}
+
+impl From<ClusterError> for StoreError {
+    fn from(e: ClusterError) -> Self {
+        StoreError::Cluster(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_offender() {
+        let e = StoreError::UnsupportedVersion {
+            found: 9,
+            supported: 1,
+        };
+        assert!(e.to_string().contains('9'));
+        let e = StoreError::Truncated {
+            needed: 16,
+            available: 3,
+            context: "snapshot header",
+        };
+        assert!(e.to_string().contains("snapshot header"));
+        let e = StoreError::ChecksumMismatch {
+            expected: 0xdead,
+            found: 0xbeef,
+            context: "wal record",
+        };
+        assert!(e.to_string().contains("dead"));
+        let e = StoreError::UnknownDataset("ring".into());
+        assert!(e.to_string().contains("ring"));
+    }
+
+    #[test]
+    fn conversions() {
+        let ioe = std::io::Error::new(std::io::ErrorKind::NotFound, "gone");
+        assert!(matches!(StoreError::from(ioe), StoreError::Io(_)));
+        let ge = GraphError::SelfLoop { node: 3 };
+        assert!(matches!(StoreError::from(ge), StoreError::Graph(_)));
+        let ce = ClusterError::EmptyGraph;
+        assert!(matches!(StoreError::from(ce), StoreError::Cluster(_)));
+    }
+}

@@ -1,0 +1,657 @@
+//! `lbc-store` — crash-safe persistence for the serving engine.
+//!
+//! The registry cache is resident state: graphs plus every cached
+//! [`ClusterOutput`] (states, partition, seeds). Losing it to a restart
+//! means re-clustering every `(graph, config)` pair cold, even though
+//! the incremental subsystem can rebuild a labelling from resident
+//! states in a handful of warm rounds. This crate persists that state
+//! with the classic snapshot + write-ahead-log split:
+//!
+//! * **Snapshots** ([`snapshot`]) — one checksummed binary file per
+//!   dataset holding the graph's CSR arrays and every cached output,
+//!   `f64`s stored by bit pattern so reloads are bit-exact.
+//! * **Delta WAL** ([`wal`]) — mutations are appended (policy + the
+//!   [`GraphDelta`] in binary framing, with a strictly increasing
+//!   sequence number) and fsynced *before* the in-memory graph swaps,
+//!   so the on-disk pair `(snapshot, wal)` always replays to the live
+//!   state: [`Store::load`] applies each logged delta with
+//!   [`lbc_graph::Graph::apply_delta`] and re-runs the identical
+//!   (deterministic) [`lbc_core::warm_start`] per logged policy,
+//!   recovering the exact pre-crash labelling.
+//! * **Compaction** — a snapshot records the highest WAL seq it folds
+//!   ([`Store::save`] takes that watermark explicitly) and replay skips
+//!   covered records, so snapshot-write and WAL-truncate need no
+//!   atomicity between them: a crash at any point between the two just
+//!   leaves covered records that the next load ignores, and concurrent
+//!   appends racing a snapshot write are never lost.
+//!
+//! Files are fsynced before they count (write-to-temp + rename for
+//! rewrites, `sync_data` after appends, best-effort directory syncs
+//! after renames), so the guarantees are meant to hold across power
+//! loss, not just process kills. The serving registry wires this up
+//! behind `attach_store` with spill-on-insert / spill-on-evict
+//! policies; the `lbc save` / `lbc load` commands expose it directly.
+
+pub mod error;
+pub mod format;
+pub mod snapshot;
+pub mod wal;
+
+use std::fs;
+use std::io::{BufReader, BufWriter, Read};
+use std::path::{Path, PathBuf};
+
+use lbc_core::{warm_start, ClusterOutput, LbConfig};
+use lbc_graph::{Graph, GraphDelta};
+
+pub use error::StoreError;
+pub use snapshot::{parse_snapshot, read_snapshot, write_snapshot, DatasetState, MAGIC, VERSION};
+pub use wal::{append_record, read_wal, scan_wal, ReplayPolicy, WalReadout, WalRecord, WalScan};
+
+/// What replaying a dataset's WAL over its snapshot did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BootReport {
+    /// Complete WAL records replayed (0 = pure snapshot boot).
+    pub wal_records: usize,
+    /// Total warm rounds executed across all replayed refreshes.
+    pub warm_rounds: usize,
+    /// Cached outputs dropped during replay (invalidate-policy records
+    /// or warm starts that failed).
+    pub invalidated: usize,
+    /// Bytes of a torn (crash-interrupted) final WAL record, ignored.
+    pub torn_tail_bytes: usize,
+}
+
+/// A directory of dataset snapshots and their write-ahead logs.
+///
+/// File layout: `<dir>/<encoded-name>.snap` + `<dir>/<encoded-name>.wal`
+/// where the encoding percent-escapes anything outside `[A-Za-z0-9._-]`
+/// (dataset names are often file paths).
+#[derive(Debug)]
+pub struct Store {
+    dir: PathBuf,
+}
+
+const SNAP_EXT: &str = "snap";
+const WAL_EXT: &str = "wal";
+
+fn encode_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for b in name.bytes() {
+        match b {
+            b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'.' | b'_' | b'-' => out.push(b as char),
+            other => out.push_str(&format!("%{other:02X}")),
+        }
+    }
+    out
+}
+
+fn decode_name(enc: &str) -> Option<String> {
+    let mut out = Vec::with_capacity(enc.len());
+    let bytes = enc.as_bytes();
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' {
+            let hex = enc.get(i + 1..i + 3)?;
+            out.push(u8::from_str_radix(hex, 16).ok()?);
+            i += 3;
+        } else {
+            out.push(bytes[i]);
+            i += 1;
+        }
+    }
+    String::from_utf8(out).ok()
+}
+
+impl Store {
+    /// Open (creating if needed) a store directory.
+    pub fn open(dir: impl AsRef<Path>) -> Result<Store, StoreError> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+        Ok(Store { dir })
+    }
+
+    /// The backing directory.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    fn snap_path(&self, name: &str) -> PathBuf {
+        self.dir.join(format!("{}.{SNAP_EXT}", encode_name(name)))
+    }
+
+    fn wal_path(&self, name: &str) -> PathBuf {
+        self.dir.join(format!("{}.{WAL_EXT}", encode_name(name)))
+    }
+
+    /// Names of every dataset with a snapshot in the store, sorted.
+    pub fn dataset_names(&self) -> Result<Vec<String>, StoreError> {
+        let mut names = Vec::new();
+        for entry in fs::read_dir(&self.dir)? {
+            let path = entry?.path();
+            if path.extension().and_then(|e| e.to_str()) != Some(SNAP_EXT) {
+                continue;
+            }
+            if let Some(stem) = path.file_stem().and_then(|s| s.to_str()) {
+                if let Some(name) = decode_name(stem) {
+                    names.push(name);
+                }
+            }
+        }
+        names.sort();
+        Ok(names)
+    }
+
+    /// Whether a snapshot exists for `name`.
+    pub fn contains(&self, name: &str) -> bool {
+        self.snap_path(name).exists()
+    }
+
+    /// Size of `name`'s WAL in bytes (0 when absent).
+    pub fn wal_bytes(&self, name: &str) -> u64 {
+        fs::metadata(self.wal_path(name)).map_or(0, |m| m.len())
+    }
+
+    /// Size of `name`'s snapshot in bytes (0 when absent).
+    pub fn snapshot_bytes(&self, name: &str) -> u64 {
+        fs::metadata(self.snap_path(name)).map_or(0, |m| m.len())
+    }
+
+    /// Total on-disk footprint of the store (all snapshots + WALs).
+    pub fn total_bytes(&self) -> u64 {
+        let Ok(entries) = fs::read_dir(&self.dir) else {
+            return 0;
+        };
+        entries
+            .flatten()
+            .filter(|e| {
+                let p = e.path();
+                matches!(
+                    p.extension().and_then(|x| x.to_str()),
+                    Some(SNAP_EXT) | Some(WAL_EXT)
+                )
+            })
+            .filter_map(|e| e.metadata().ok())
+            .map(|m| m.len())
+            .sum()
+    }
+
+    /// Best-effort fsync of the store directory itself, so renames,
+    /// creations and removals survive power loss. Failures are ignored
+    /// (not every platform/filesystem supports directory fsync).
+    fn sync_dir(&self) {
+        if let Ok(d) = fs::File::open(&self.dir) {
+            let _ = d.sync_all();
+        }
+    }
+
+    /// The highest WAL record seq ever issued for `name`: the maximum
+    /// of the snapshot's `applied_seq` watermark and the last record in
+    /// the WAL (0 for a fresh dataset). Capture this under the same
+    /// lock as the state it describes and pass it to [`Store::save`].
+    pub fn last_seq(&self, name: &str) -> Result<u64, StoreError> {
+        let snap_seq = match fs::File::open(self.snap_path(name)) {
+            Ok(mut f) => {
+                let mut header = [0u8; 28];
+                f.read_exact(&mut header)
+                    .map_err(|_| StoreError::Truncated {
+                        needed: 28,
+                        available: 0,
+                        context: "snapshot header",
+                    })?;
+                if header[..8] != MAGIC {
+                    return Err(StoreError::BadMagic {
+                        found: header[..8].try_into().unwrap(),
+                    });
+                }
+                u64::from_le_bytes(header[20..28].try_into().unwrap())
+            }
+            Err(_) => 0,
+        };
+        let wal_seq = match fs::read(self.wal_path(name)) {
+            Ok(buf) => scan_wal(&buf).last_seq,
+            Err(_) => 0,
+        };
+        Ok(snap_seq.max(wal_seq))
+    }
+
+    /// Write a fresh snapshot of `name` recording `applied_seq` — the
+    /// highest WAL record seq already folded into `graph`/`entries`
+    /// (use [`Store::last_seq`] captured under the same lock as the
+    /// state; 0 for a fresh dataset) — then drop the covered WAL
+    /// records.
+    ///
+    /// Crash-safety does **not** depend on the drop: replay skips
+    /// records at or below the snapshot's watermark, so a crash
+    /// between the snapshot rename and the WAL truncation merely
+    /// leaves covered records that the next load ignores; records
+    /// appended by a racing mutation (seq above the watermark) are
+    /// preserved and replayed. The snapshot lands via write-to-temp +
+    /// fsync + rename, so readers never observe a half-written file.
+    /// Returns the snapshot size in bytes.
+    pub fn save<'a, I>(
+        &self,
+        name: &str,
+        graph: &Graph,
+        entries: I,
+        applied_seq: u64,
+    ) -> Result<u64, StoreError>
+    where
+        I: IntoIterator<Item = (&'a LbConfig, &'a ClusterOutput)>,
+    {
+        let entries: Vec<(&LbConfig, &ClusterOutput)> = entries.into_iter().collect();
+        let snap = self.snap_path(name);
+        let tmp = snap.with_extension("snap.tmp");
+        let bytes = {
+            let f = fs::File::create(&tmp)?;
+            let mut w = BufWriter::new(f);
+            let n = write_snapshot(graph, &entries, applied_seq, &mut w)?;
+            let f = w.into_inner().map_err(|e| StoreError::Io(e.to_string()))?;
+            // Durable before the rename publishes it: a power cut must
+            // never leave the published name pointing at a hole.
+            f.sync_all()?;
+            n
+        };
+        fs::rename(&tmp, &snap)?;
+        self.sync_dir();
+        self.drop_covered_wal(name, applied_seq)?;
+        Ok(bytes)
+    }
+
+    /// Drop WAL records with seq ≤ `applied_seq` (pure space
+    /// reclamation; replay already skips them).
+    fn drop_covered_wal(&self, name: &str, applied_seq: u64) -> Result<(), StoreError> {
+        let path = self.wal_path(name);
+        if applied_seq == 0 || !path.exists() {
+            return Ok(());
+        }
+        let buf = fs::read(&path)?;
+        // A log this store cannot parse is not worth preserving bytes
+        // from — the snapshot just written supersedes it.
+        let readout = read_wal(&buf).unwrap_or_default();
+        let kept: Vec<&WalRecord> = readout
+            .records
+            .iter()
+            .filter(|r| r.seq > applied_seq)
+            .collect();
+        if kept.is_empty() {
+            fs::remove_file(&path)?;
+            self.sync_dir();
+            return Ok(());
+        }
+        if kept.len() == readout.records.len() && readout.torn_tail_bytes == 0 {
+            return Ok(()); // nothing to drop
+        }
+        let tmp = path.with_extension("wal.tmp");
+        {
+            let mut f = fs::File::create(&tmp)?;
+            for rec in kept {
+                append_record(&mut f, rec)?;
+            }
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, &path)?;
+        self.sync_dir();
+        Ok(())
+    }
+
+    /// Append one delta record to `name`'s WAL (creating it if absent)
+    /// and fsync it. Call this *before* mutating the in-memory graph,
+    /// so the log write-ahead invariant holds. The record's seq is one
+    /// above [`Store::last_seq`]. A crash-torn tail left by a previous
+    /// process is truncated away first — otherwise the new record
+    /// would land after unreadable garbage and poison the whole log.
+    /// Returns the new WAL size.
+    pub fn append_delta(
+        &self,
+        name: &str,
+        policy: &ReplayPolicy,
+        delta: &GraphDelta,
+    ) -> Result<u64, StoreError> {
+        if !self.contains(name) {
+            return Err(StoreError::UnknownDataset(name.to_string()));
+        }
+        let path = self.wal_path(name);
+        let existed = path.exists();
+        let mut wal_seq = 0u64;
+        if existed {
+            let buf = fs::read(&path)?;
+            let scan = wal::scan_wal(&buf);
+            wal_seq = scan.last_seq;
+            if scan.complete_len < buf.len() {
+                fs::OpenOptions::new()
+                    .write(true)
+                    .open(&path)?
+                    .set_len(scan.complete_len as u64)?;
+            }
+        }
+        let seq = self.last_seq(name)?.max(wal_seq) + 1;
+        let f = fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)?;
+        let mut w = BufWriter::new(f);
+        append_record(
+            &mut w,
+            &WalRecord {
+                seq,
+                policy: policy.clone(),
+                delta: delta.clone(),
+            },
+        )?;
+        let f = w.into_inner().map_err(|e| StoreError::Io(e.to_string()))?;
+        f.sync_data()?;
+        if !existed {
+            self.sync_dir();
+        }
+        Ok(self.wal_bytes(name))
+    }
+
+    /// Read `name`'s snapshot and WAL without replaying anything.
+    pub fn load_raw(&self, name: &str) -> Result<(DatasetState, WalReadout), StoreError> {
+        let snap_path = self.snap_path(name);
+        if !snap_path.exists() {
+            return Err(StoreError::UnknownDataset(name.to_string()));
+        }
+        let f = fs::File::open(&snap_path)?;
+        let state = read_snapshot(BufReader::new(f))?;
+        let wal_path = self.wal_path(name);
+        let readout = if wal_path.exists() {
+            let mut buf = Vec::new();
+            BufReader::new(fs::File::open(&wal_path)?).read_to_end(&mut buf)?;
+            read_wal(&buf)?
+        } else {
+            WalReadout::default()
+        };
+        Ok((state, readout))
+    }
+
+    /// Load `name`: read its snapshot, then replay the WAL tail —
+    /// each record patches the graph ([`Graph::apply_delta`]) and
+    /// either drops the cached outputs (invalidate policy) or re-runs
+    /// the identical deterministic [`warm_start`] per entry, so the
+    /// returned state is **exactly** the pre-shutdown resident state,
+    /// every `f64` bit included.
+    pub fn load(&self, name: &str) -> Result<(DatasetState, BootReport), StoreError> {
+        let (mut state, readout) = self.load_raw(name)?;
+        // Records at or below the snapshot's watermark are already
+        // folded into it (a compaction crashed before truncating the
+        // WAL); replaying them would double-apply the mutation.
+        let pending: Vec<&WalRecord> = readout
+            .records
+            .iter()
+            .filter(|r| r.seq > state.applied_seq)
+            .collect();
+        let mut report = BootReport {
+            wal_records: pending.len(),
+            torn_tail_bytes: readout.torn_tail_bytes,
+            ..BootReport::default()
+        };
+        for rec in pending {
+            let patched = state.graph.apply_delta(&rec.delta)?;
+            match &rec.policy {
+                ReplayPolicy::Invalidate => {
+                    report.invalidated += state.entries.len();
+                    state.entries.clear();
+                }
+                ReplayPolicy::WarmRefresh(wcfg) => {
+                    let mut refreshed = Vec::with_capacity(state.entries.len());
+                    for (cfg, out) in state.entries.drain(..) {
+                        match warm_start(&patched, &cfg, &out, &rec.delta, wcfg) {
+                            Ok(w) => {
+                                report.warm_rounds += w.rounds_run;
+                                refreshed.push((cfg, w.output));
+                            }
+                            Err(_) => report.invalidated += 1,
+                        }
+                    }
+                    state.entries = refreshed;
+                }
+            }
+            state.graph = patched;
+            state.applied_seq = rec.seq;
+        }
+        Ok((state, report))
+    }
+
+    /// Delete `name`'s snapshot and WAL (no-op when absent).
+    pub fn remove(&self, name: &str) -> Result<(), StoreError> {
+        for path in [self.snap_path(name), self.wal_path(name)] {
+            if path.exists() {
+                fs::remove_file(path)?;
+            }
+        }
+        self.sync_dir();
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbc_core::{cluster, WarmStartConfig};
+    use lbc_graph::generators;
+
+    fn tmp_store(tag: &str) -> Store {
+        let dir = std::env::temp_dir()
+            .join("lbc-store-unit")
+            .join(format!("{tag}-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        Store::open(dir).unwrap()
+    }
+
+    fn assert_entries_bit_identical(
+        a: &[(LbConfig, ClusterOutput)],
+        b: &[(LbConfig, ClusterOutput)],
+    ) {
+        assert_eq!(a.len(), b.len());
+        for ((ca, oa), (cb, ob)) in a.iter().zip(b) {
+            assert_eq!(ca, cb);
+            assert_eq!(oa.bit_diff(ob), None);
+        }
+    }
+
+    #[test]
+    fn name_encoding_round_trips() {
+        for name in ["ring", "/tmp/g raphs/x.txt", "a%b", "планета", "a/b\\c"] {
+            let enc = encode_name(name);
+            assert!(enc
+                .bytes()
+                .all(|b| b.is_ascii_alphanumeric() || b"._-%".contains(&b)));
+            assert_eq!(decode_name(&enc).as_deref(), Some(name));
+        }
+    }
+
+    #[test]
+    fn save_load_round_trip_no_wal() {
+        let store = tmp_store("roundtrip");
+        let (g, _) = generators::ring_of_cliques(2, 10, 0).unwrap();
+        let cfg = LbConfig::new(0.5, 25).with_seed(5);
+        let out = cluster(&g, &cfg).unwrap();
+        let bytes = store.save("ring", &g, [(&cfg, &out)], 0).unwrap();
+        assert!(bytes > 0);
+        assert_eq!(store.snapshot_bytes("ring"), bytes);
+        assert_eq!(store.wal_bytes("ring"), 0);
+        assert_eq!(store.dataset_names().unwrap(), vec!["ring".to_string()]);
+        assert!(store.contains("ring"));
+        let (state, report) = store.load("ring").unwrap();
+        assert_eq!(report, BootReport::default());
+        assert_eq!(state.graph, g);
+        assert_entries_bit_identical(&state.entries, &[(cfg, out)]);
+    }
+
+    #[test]
+    fn wal_replay_recovers_the_post_delta_state() {
+        let store = tmp_store("replay");
+        let (g, truth) = generators::planted_partition(3, 40, 0.4, 0.01, 5).unwrap();
+        let cfg = LbConfig::new(1.0 / 3.0, 80).with_seed(2);
+        let out = cluster(&g, &cfg).unwrap();
+        store.save("pp", &g, [(&cfg, &out)], 0).unwrap();
+
+        // Mutate twice, logging each delta — the live side would hold
+        // the warm-started outputs; the store only has the log.
+        let wcfg = WarmStartConfig::default();
+        let d1 = generators::k_edge_flip_delta(&g, &truth, 3, 7).unwrap();
+        let g1 = g.apply_delta(&d1).unwrap();
+        let w1 = warm_start(&g1, &cfg, &out, &d1, &wcfg).unwrap();
+        store
+            .append_delta("pp", &ReplayPolicy::WarmRefresh(wcfg.clone()), &d1)
+            .unwrap();
+        let d2 = generators::k_edge_flip_delta(&g1, &truth, 2, 9).unwrap();
+        let g2 = g1.apply_delta(&d2).unwrap();
+        let w2 = warm_start(&g2, &cfg, &w1.output, &d2, &wcfg).unwrap();
+        store
+            .append_delta("pp", &ReplayPolicy::WarmRefresh(wcfg), &d2)
+            .unwrap();
+        assert!(store.wal_bytes("pp") > 0);
+
+        let (state, report) = store.load("pp").unwrap();
+        assert_eq!(report.wal_records, 2);
+        assert_eq!(report.warm_rounds, w1.rounds_run + w2.rounds_run);
+        assert_eq!(state.graph, g2);
+        assert_entries_bit_identical(&state.entries, &[(cfg, w2.output)]);
+    }
+
+    #[test]
+    fn invalidate_records_drop_entries_on_replay() {
+        let store = tmp_store("invalidate");
+        let (g, _) = generators::ring_of_cliques(2, 10, 0).unwrap();
+        let cfg = LbConfig::new(0.5, 25).with_seed(5);
+        let out = cluster(&g, &cfg).unwrap();
+        store.save("ring", &g, [(&cfg, &out)], 0).unwrap();
+        let mut d = GraphDelta::new();
+        d.remove_edge(0, 1).add_edge(0, 11);
+        store
+            .append_delta("ring", &ReplayPolicy::Invalidate, &d)
+            .unwrap();
+        let (state, report) = store.load("ring").unwrap();
+        assert_eq!(report.invalidated, 1);
+        assert!(state.entries.is_empty());
+        assert_eq!(state.graph, g.apply_delta(&d).unwrap());
+    }
+
+    #[test]
+    fn save_folds_only_the_covered_wal_records() {
+        let store = tmp_store("fold");
+        let (g, _) = generators::ring_of_cliques(2, 10, 0).unwrap();
+        let cfg = LbConfig::new(0.5, 25).with_seed(5);
+        let out = cluster(&g, &cfg).unwrap();
+        store.save("ring", &g, [(&cfg, &out)], 0).unwrap();
+        assert_eq!(store.last_seq("ring").unwrap(), 0);
+        let mut d1 = GraphDelta::new();
+        d1.remove_edge(0, 1);
+        store
+            .append_delta("ring", &ReplayPolicy::Invalidate, &d1)
+            .unwrap();
+        let mark = store.last_seq("ring").unwrap();
+        assert_eq!(mark, 1);
+        let mut d2 = GraphDelta::new();
+        d2.add_edge(0, 1);
+        store
+            .append_delta("ring", &ReplayPolicy::Invalidate, &d2)
+            .unwrap();
+        assert_eq!(store.last_seq("ring").unwrap(), 2);
+        // Fold only the first record (captured state covered seq 1).
+        let g1 = g.apply_delta(&d1).unwrap();
+        store.save("ring", &g1, [], mark).unwrap();
+        let (state, report) = store.load("ring").unwrap();
+        assert_eq!(report.wal_records, 1, "suffix survived the fold");
+        assert_eq!(state.graph, g, "d2 re-added the edge");
+        assert_eq!(state.applied_seq, 2, "replay advances the watermark");
+        // Folding everything empties the WAL; seqs keep rising after.
+        store
+            .save("ring", &state.graph, [], state.applied_seq)
+            .unwrap();
+        assert_eq!(store.wal_bytes("ring"), 0);
+        assert_eq!(store.last_seq("ring").unwrap(), 2);
+        store
+            .append_delta("ring", &ReplayPolicy::Invalidate, &d1)
+            .unwrap();
+        let (_, report) = store.load("ring").unwrap();
+        assert_eq!(report.wal_records, 1, "post-fold append must replay");
+    }
+
+    #[test]
+    fn crash_between_snapshot_and_truncation_does_not_double_apply() {
+        // Simulate the compaction crash window: the snapshot already
+        // folds a record, but the WAL still contains it. Replay must
+        // skip the covered record instead of double-applying it.
+        let store = tmp_store("crashfold");
+        let (g, _) = generators::ring_of_cliques(2, 10, 0).unwrap();
+        store.save("ring", &g, [], 0).unwrap();
+        let mut d = GraphDelta::new();
+        d.remove_edge(0, 1);
+        store
+            .append_delta("ring", &ReplayPolicy::Invalidate, &d)
+            .unwrap();
+        let g1 = g.apply_delta(&d).unwrap();
+        // "Crash": write the folded snapshot but keep the WAL intact by
+        // restoring it after save truncates.
+        let wal_path = store.wal_path("ring");
+        let wal_bytes = fs::read(&wal_path).unwrap();
+        store.save("ring", &g1, [], 1).unwrap();
+        fs::write(&wal_path, &wal_bytes).unwrap();
+        // Without seq filtering this replay would remove edge {0,1}
+        // from g1 (where it no longer exists) and error out.
+        let (state, report) = store.load("ring").unwrap();
+        assert_eq!(report.wal_records, 0, "covered record replayed");
+        assert_eq!(state.graph, g1);
+    }
+
+    #[test]
+    fn torn_wal_tail_is_ignored() {
+        let store = tmp_store("torn");
+        let (g, _) = generators::ring_of_cliques(2, 10, 0).unwrap();
+        store.save("ring", &g, [], 0).unwrap();
+        let mut d = GraphDelta::new();
+        d.remove_edge(0, 1);
+        store
+            .append_delta("ring", &ReplayPolicy::Invalidate, &d)
+            .unwrap();
+        // Simulate a crash mid-append of a second record.
+        let wal = store.wal_path("ring");
+        let mut bytes = fs::read(&wal).unwrap();
+        let full = bytes.clone();
+        bytes.extend_from_slice(&full[..full.len() / 2]);
+        fs::write(&wal, &bytes).unwrap();
+        let (state, report) = store.load("ring").unwrap();
+        assert_eq!(report.wal_records, 1);
+        assert!(report.torn_tail_bytes > 0);
+        assert_eq!(state.graph, g.apply_delta(&d).unwrap());
+    }
+
+    #[test]
+    fn missing_dataset_and_append_without_snapshot_are_typed() {
+        let store = tmp_store("missing");
+        assert!(matches!(
+            store.load("nope"),
+            Err(StoreError::UnknownDataset(_))
+        ));
+        assert!(matches!(
+            store.append_delta("nope", &ReplayPolicy::Invalidate, &GraphDelta::new()),
+            Err(StoreError::UnknownDataset(_))
+        ));
+        assert_eq!(store.total_bytes(), 0);
+        assert!(store.dataset_names().unwrap().is_empty());
+        store.remove("nope").unwrap(); // no-op
+    }
+
+    #[test]
+    fn total_bytes_counts_snapshots_and_wals() {
+        let store = tmp_store("bytes");
+        let (g, _) = generators::ring_of_cliques(2, 10, 0).unwrap();
+        store.save("a", &g, [], 0).unwrap();
+        store.save("b", &g, [], 0).unwrap();
+        let mut d = GraphDelta::new();
+        d.remove_edge(0, 1);
+        store
+            .append_delta("a", &ReplayPolicy::Invalidate, &d)
+            .unwrap();
+        assert_eq!(
+            store.total_bytes(),
+            store.snapshot_bytes("a") + store.snapshot_bytes("b") + store.wal_bytes("a")
+        );
+        store.remove("a").unwrap();
+        assert_eq!(store.dataset_names().unwrap(), vec!["b".to_string()]);
+    }
+}

@@ -1,0 +1,639 @@
+//! The binary snapshot format.
+//!
+//! One snapshot file persists one dataset: its graph's raw CSR arrays
+//! plus every cached [`ClusterOutput`] (config, partition, raw labels,
+//! seeds, and the resident load states **bit-for-bit** — `f64`s are
+//! stored by bit pattern, so a loaded output is exactly the output that
+//! was saved, to the last ULP). Layout (all little-endian):
+//!
+//! ```text
+//! offset 0   magic          b"LBCSNAP1"                (8 bytes)
+//!        8   version        u32 = 1
+//!       12   total_len      u64  (whole file, incl. trailer)
+//!       20   applied_seq    u64  (highest WAL record seq folded in)
+//!       28   section_count  u32
+//!       32   section table  (kind u32, offset u64, len u64) × count
+//!        …   section payloads
+//! total-8   crc64           u64 over bytes [0, total_len − 8)
+//! ```
+//!
+//! `applied_seq` is the crash-consistency hinge: WAL records carry
+//! strictly increasing sequence numbers, and replay skips records at or
+//! below the snapshot's watermark — so compaction's "write snapshot,
+//! then truncate WAL" pair needs no atomicity (a crash between the two
+//! merely leaves covered records that replay ignores).
+//!
+//! Section kinds: `1` = graph (exactly one), `2` = cached output (any
+//! number). Readers are **buffered, not mmap'd**: the file is read
+//! once into memory and decoded with bounds-checked cursors, so a 10k
+//! node dataset loads in milliseconds and corruption anywhere —
+//! truncation, foreign bytes, bit rot, a newer version — surfaces as a
+//! typed [`StoreError`], never a panic or an out-of-bounds read.
+
+use std::io::{Read, Write};
+
+use lbc_core::{ClusterOutput, DegreeMode, LbConfig, LoadState, QueryRule, Rounds, Seed};
+use lbc_graph::{Graph, NodeId};
+
+use crate::error::StoreError;
+use crate::format::{crc64, Dec, Enc};
+
+/// First 8 bytes of every snapshot file.
+pub const MAGIC: [u8; 8] = *b"LBCSNAP1";
+/// The format version this build reads and writes.
+pub const VERSION: u32 = 1;
+
+const SECTION_GRAPH: u32 = 1;
+const SECTION_OUTPUT: u32 = 2;
+/// Fixed header bytes before the section table.
+const HEADER_LEN: usize = 8 + 4 + 8 + 8 + 4;
+/// Bytes per section-table row.
+const TABLE_ROW: usize = 4 + 8 + 8;
+
+/// Everything a snapshot holds: the graph, its cached clusterings, and
+/// the WAL watermark the state is current to.
+#[derive(Debug, Clone)]
+pub struct DatasetState {
+    pub graph: Graph,
+    pub entries: Vec<(LbConfig, ClusterOutput)>,
+    /// Highest WAL record seq already folded into this state; replay
+    /// skips records at or below it.
+    pub applied_seq: u64,
+}
+
+fn encode_graph(g: &Graph) -> Vec<u8> {
+    let (offsets, neighbours) = g.csr_parts();
+    let offsets64: Vec<u64> = offsets.iter().map(|&o| o as u64).collect();
+    let mut e = Enc::new();
+    e.u64(g.n() as u64);
+    e.u64(offsets64.len() as u64);
+    e.u64_slice(&offsets64);
+    e.u64(neighbours.len() as u64);
+    e.u32_slice(neighbours);
+    e.into_bytes()
+}
+
+fn decode_graph(bytes: &[u8]) -> Result<Graph, StoreError> {
+    let mut d = Dec::new(bytes, "graph section");
+    let n = d.u64()? as usize;
+    let offsets_len = d.len_prefix(8)?;
+    if n.checked_add(1) != Some(offsets_len) {
+        return Err(StoreError::Corrupt(format!(
+            "graph section: {offsets_len} offsets for {n} nodes"
+        )));
+    }
+    let offsets: Vec<usize> = d
+        .u64_vec(offsets_len)?
+        .into_iter()
+        .map(|o| o as usize)
+        .collect();
+    let neighbours_len = d.len_prefix(4)?;
+    let neighbours: Vec<NodeId> = d.u32_vec(neighbours_len)?;
+    if !d.is_empty() {
+        return Err(StoreError::Corrupt(
+            "graph section has trailing bytes".into(),
+        ));
+    }
+    Graph::from_csr(offsets, neighbours).map_err(|e| StoreError::Corrupt(e.to_string()))
+}
+
+fn encode_config(e: &mut Enc, cfg: &LbConfig) {
+    e.f64(cfg.beta);
+    match cfg.rounds {
+        Rounds::Explicit(t) => {
+            e.u8(0);
+            e.u64(t as u64);
+        }
+        Rounds::Resolved(t) => {
+            e.u8(1);
+            e.u64(t as u64);
+        }
+    }
+    e.u64(cfg.seed);
+    match cfg.query {
+        QueryRule::PaperThreshold => {
+            e.u8(0);
+            e.u64(0);
+        }
+        QueryRule::ScaledThreshold(c) => {
+            e.u8(1);
+            e.u64(c.to_bits());
+        }
+        QueryRule::ArgMax => {
+            e.u8(2);
+            e.u64(0);
+        }
+    }
+    match cfg.degree_mode {
+        DegreeMode::Regular => {
+            e.u8(0);
+            e.u64(0);
+        }
+        DegreeMode::Capped(d) => {
+            e.u8(1);
+            e.u64(d as u64);
+        }
+        DegreeMode::Auto => {
+            e.u8(2);
+            e.u64(0);
+        }
+    }
+    match cfg.seeding_trials {
+        None => {
+            e.u8(0);
+            e.u64(0);
+        }
+        Some(t) => {
+            e.u8(1);
+            e.u64(t as u64);
+        }
+    }
+}
+
+fn decode_config(d: &mut Dec<'_>) -> Result<LbConfig, StoreError> {
+    let beta = d.f64()?;
+    if !(beta > 0.0 && beta <= 1.0) {
+        return Err(StoreError::Corrupt(format!(
+            "config beta {beta} out of (0, 1]"
+        )));
+    }
+    let rounds_tag = d.u8()?;
+    let t = d.u64()? as usize;
+    if t == 0 {
+        return Err(StoreError::Corrupt("config has zero rounds".into()));
+    }
+    let rounds = match rounds_tag {
+        0 => Rounds::Explicit(t),
+        1 => Rounds::Resolved(t),
+        other => {
+            return Err(StoreError::Corrupt(format!("unknown rounds tag {other}")));
+        }
+    };
+    let seed = d.u64()?;
+    let query_tag = d.u8()?;
+    let query_arg = d.u64()?;
+    let query = match query_tag {
+        0 => QueryRule::PaperThreshold,
+        1 => QueryRule::ScaledThreshold(f64::from_bits(query_arg)),
+        2 => QueryRule::ArgMax,
+        other => {
+            return Err(StoreError::Corrupt(format!("unknown query tag {other}")));
+        }
+    };
+    let degree_tag = d.u8()?;
+    let degree_arg = d.u64()? as usize;
+    let degree_mode = match degree_tag {
+        0 => DegreeMode::Regular,
+        1 => DegreeMode::Capped(degree_arg),
+        2 => DegreeMode::Auto,
+        other => {
+            return Err(StoreError::Corrupt(format!("unknown degree tag {other}")));
+        }
+    };
+    let trials_tag = d.u8()?;
+    let trials_arg = d.u64()? as usize;
+    let seeding_trials = match trials_tag {
+        0 => None,
+        1 => Some(trials_arg),
+        other => {
+            return Err(StoreError::Corrupt(format!("unknown trials tag {other}")));
+        }
+    };
+    Ok(LbConfig {
+        beta,
+        rounds,
+        seed,
+        query,
+        degree_mode,
+        seeding_trials,
+    })
+}
+
+fn encode_output(cfg: &LbConfig, out: &ClusterOutput) -> Vec<u8> {
+    let mut e = Enc::new();
+    encode_config(&mut e, cfg);
+    e.u64(out.rounds as u64);
+    e.u64(out.seeds.len() as u64);
+    for s in &out.seeds {
+        e.u32(s.node);
+        e.u64(s.id);
+    }
+    e.u64(out.raw_labels.len() as u64);
+    for l in &out.raw_labels {
+        match l {
+            None => {
+                e.u8(0);
+                e.u64(0);
+            }
+            Some(id) => {
+                e.u8(1);
+                e.u64(*id);
+            }
+        }
+    }
+    e.u64(out.partition.n() as u64);
+    e.u64(out.partition.k() as u64);
+    e.u32_slice(out.partition.labels());
+    e.u64(out.states.len() as u64);
+    // States are the bulk of an output: flatten each state's sorted
+    // `(id, load)` entries to interleaved u64 words (loads by bit
+    // pattern) and bulk-encode.
+    let mut words: Vec<u64> = Vec::new();
+    for st in &out.states {
+        e.u64(st.entries().len() as u64);
+        words.clear();
+        for &(id, load) in st.entries() {
+            words.push(id);
+            words.push(load.to_bits());
+        }
+        e.u64_slice(&words);
+    }
+    e.into_bytes()
+}
+
+fn decode_output(bytes: &[u8], graph_n: usize) -> Result<(LbConfig, ClusterOutput), StoreError> {
+    let mut d = Dec::new(bytes, "output section");
+    let cfg = decode_config(&mut d)?;
+    let rounds = d.u64()? as usize;
+    let seed_count = d.len_prefix(12)?;
+    let mut seeds = Vec::with_capacity(seed_count);
+    for _ in 0..seed_count {
+        let node = d.u32()?;
+        let id = d.u64()?;
+        seeds.push(Seed { node, id });
+    }
+    let raw_count = d.len_prefix(9)?;
+    let mut raw_labels = Vec::with_capacity(raw_count);
+    for _ in 0..raw_count {
+        let tag = d.u8()?;
+        let id = d.u64()?;
+        raw_labels.push(match tag {
+            0 => None,
+            1 => Some(id),
+            other => {
+                return Err(StoreError::Corrupt(format!(
+                    "unknown raw-label tag {other}"
+                )));
+            }
+        });
+    }
+    let part_n = d.u64()? as usize;
+    let k = d.u64()? as usize;
+    if part_n != graph_n {
+        return Err(StoreError::Corrupt(format!(
+            "output covers {part_n} nodes but the graph has {graph_n}"
+        )));
+    }
+    if raw_labels.len() != part_n {
+        return Err(StoreError::Corrupt(format!(
+            "{} raw labels for {part_n} nodes",
+            raw_labels.len()
+        )));
+    }
+    let labels = d.u32_vec(part_n)?;
+    let partition =
+        lbc_graph::Partition::with_k(labels, k).map_err(|e| StoreError::Corrupt(e.to_string()))?;
+    let state_count = d.len_prefix(8)?;
+    if state_count != part_n {
+        return Err(StoreError::Corrupt(format!(
+            "{state_count} states for {part_n} nodes"
+        )));
+    }
+    let mut states = Vec::with_capacity(state_count);
+    for v in 0..state_count {
+        let entry_count = d.len_prefix(16)?;
+        let words = d.u64_vec(2 * entry_count)?;
+        let mut entries = Vec::with_capacity(entry_count);
+        let mut prev: Option<u64> = None;
+        for pair in words.chunks_exact(2) {
+            let (id, load) = (pair[0], f64::from_bits(pair[1]));
+            if prev.is_some_and(|p| p >= id) {
+                return Err(StoreError::Corrupt(format!(
+                    "node {v}: state entries unsorted or duplicated at seed id {id}"
+                )));
+            }
+            prev = Some(id);
+            entries.push((id, load));
+        }
+        states.push(LoadState::from_sorted_entries(entries));
+    }
+    if !d.is_empty() {
+        return Err(StoreError::Corrupt(
+            "output section has trailing bytes".into(),
+        ));
+    }
+    Ok((
+        cfg,
+        ClusterOutput {
+            partition,
+            raw_labels,
+            seeds,
+            rounds,
+            states,
+        },
+    ))
+}
+
+/// Serialise a dataset snapshot, returning the bytes written.
+/// `applied_seq` is the highest WAL record seq this state already
+/// folds in (0 for a fresh dataset); replay skips records at or
+/// below it.
+pub fn write_snapshot<W: Write>(
+    graph: &Graph,
+    entries: &[(&LbConfig, &ClusterOutput)],
+    applied_seq: u64,
+    mut w: W,
+) -> Result<u64, StoreError> {
+    let mut payloads: Vec<(u32, Vec<u8>)> = Vec::with_capacity(1 + entries.len());
+    payloads.push((SECTION_GRAPH, encode_graph(graph)));
+    for (cfg, out) in entries {
+        payloads.push((SECTION_OUTPUT, encode_output(cfg, out)));
+    }
+    let table_len = payloads.len() * TABLE_ROW;
+    let body_len: usize = payloads.iter().map(|(_, p)| p.len()).sum();
+    let total_len = HEADER_LEN + table_len + body_len + 8;
+
+    let mut e = Enc::new();
+    e.bytes(&MAGIC);
+    e.u32(VERSION);
+    e.u64(total_len as u64);
+    e.u64(applied_seq);
+    e.u32(payloads.len() as u32);
+    let mut offset = HEADER_LEN + table_len;
+    for (kind, p) in &payloads {
+        e.u32(*kind);
+        e.u64(offset as u64);
+        e.u64(p.len() as u64);
+        offset += p.len();
+    }
+    for (_, p) in &payloads {
+        e.bytes(p);
+    }
+    debug_assert_eq!(e.len() + 8, total_len);
+    let body = e.into_bytes();
+    let crc = crc64(&body);
+    w.write_all(&body)?;
+    w.write_all(&crc.to_le_bytes())?;
+    w.flush()?;
+    Ok(total_len as u64)
+}
+
+/// Parse a snapshot produced by [`write_snapshot`].
+///
+/// The reader is buffered (one `read_to_end`), checks magic, version,
+/// declared length and checksum before touching any payload, and
+/// validates every structural invariant while decoding.
+pub fn read_snapshot<R: Read>(mut r: R) -> Result<DatasetState, StoreError> {
+    let mut buf = Vec::new();
+    r.read_to_end(&mut buf)?;
+    parse_snapshot(&buf)
+}
+
+/// [`read_snapshot`] over an in-memory byte slice.
+pub fn parse_snapshot(buf: &[u8]) -> Result<DatasetState, StoreError> {
+    if buf.len() < 8 {
+        return Err(StoreError::Truncated {
+            needed: 8,
+            available: buf.len(),
+            context: "snapshot magic",
+        });
+    }
+    if buf[..8] != MAGIC {
+        return Err(StoreError::BadMagic {
+            found: buf[..8].try_into().unwrap(),
+        });
+    }
+    if buf.len() < HEADER_LEN {
+        return Err(StoreError::Truncated {
+            needed: HEADER_LEN,
+            available: buf.len(),
+            context: "snapshot header",
+        });
+    }
+    let version = u32::from_le_bytes(buf[8..12].try_into().unwrap());
+    if version != VERSION {
+        return Err(StoreError::UnsupportedVersion {
+            found: version,
+            supported: VERSION,
+        });
+    }
+    let total_len = u64::from_le_bytes(buf[12..20].try_into().unwrap());
+    let total_len = usize::try_from(total_len)
+        .map_err(|_| StoreError::Corrupt(format!("declared length {total_len} overflows")))?;
+    if buf.len() < total_len {
+        return Err(StoreError::Truncated {
+            needed: total_len,
+            available: buf.len(),
+            context: "snapshot body",
+        });
+    }
+    if buf.len() > total_len {
+        return Err(StoreError::Corrupt(format!(
+            "{} trailing bytes after declared snapshot end",
+            buf.len() - total_len
+        )));
+    }
+    if total_len < HEADER_LEN + 8 {
+        return Err(StoreError::Corrupt(format!(
+            "declared length {total_len} smaller than header + trailer"
+        )));
+    }
+    let stored_crc = u64::from_le_bytes(buf[total_len - 8..].try_into().unwrap());
+    let computed = crc64(&buf[..total_len - 8]);
+    if stored_crc != computed {
+        return Err(StoreError::ChecksumMismatch {
+            expected: stored_crc,
+            found: computed,
+            context: "snapshot",
+        });
+    }
+
+    let applied_seq = u64::from_le_bytes(buf[20..28].try_into().unwrap());
+    let section_count = u32::from_le_bytes(buf[28..32].try_into().unwrap()) as usize;
+    let table_end = HEADER_LEN + section_count * TABLE_ROW;
+    if table_end > total_len - 8 {
+        return Err(StoreError::Corrupt(format!(
+            "section table ({section_count} rows) exceeds the file"
+        )));
+    }
+    let mut table = Dec::new(&buf[HEADER_LEN..table_end], "section table");
+    let mut graph: Option<Graph> = None;
+    let mut outputs: Vec<&[u8]> = Vec::new();
+    for _ in 0..section_count {
+        let kind = table.u32()?;
+        let offset = table.u64()? as usize;
+        let len = table.u64()? as usize;
+        let end = offset.checked_add(len).filter(|&e| e <= total_len - 8);
+        let Some(end) = end else {
+            return Err(StoreError::Corrupt(format!(
+                "section [{offset}, +{len}) out of bounds"
+            )));
+        };
+        if offset < table_end {
+            return Err(StoreError::Corrupt(format!(
+                "section offset {offset} overlaps the header"
+            )));
+        }
+        let payload = &buf[offset..end];
+        match kind {
+            SECTION_GRAPH => {
+                if graph.is_some() {
+                    return Err(StoreError::Corrupt("duplicate graph section".into()));
+                }
+                graph = Some(decode_graph(payload)?);
+            }
+            SECTION_OUTPUT => outputs.push(payload),
+            other => {
+                return Err(StoreError::Corrupt(format!("unknown section kind {other}")));
+            }
+        }
+    }
+    let graph = graph.ok_or_else(|| StoreError::Corrupt("snapshot has no graph section".into()))?;
+    let mut entries = Vec::with_capacity(outputs.len());
+    for payload in outputs {
+        entries.push(decode_output(payload, graph.n())?);
+    }
+    Ok(DatasetState {
+        graph,
+        entries,
+        applied_seq,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbc_core::cluster;
+    use lbc_graph::generators;
+
+    fn sample_state() -> DatasetState {
+        let (g, _) = generators::ring_of_cliques(2, 8, 0).unwrap();
+        let cfg = LbConfig::new(0.5, 20).with_seed(3);
+        let out = cluster(&g, &cfg).unwrap();
+        let cfg2 = cfg.clone().with_seed(4).with_query(QueryRule::ArgMax);
+        let out2 = cluster(&g, &cfg2).unwrap();
+        DatasetState {
+            graph: g,
+            entries: vec![(cfg, out), (cfg2, out2)],
+            applied_seq: 42,
+        }
+    }
+
+    fn snapshot_bytes(state: &DatasetState) -> Vec<u8> {
+        let entries: Vec<(&LbConfig, &ClusterOutput)> =
+            state.entries.iter().map(|(c, o)| (c, o)).collect();
+        let mut buf = Vec::new();
+        let n = write_snapshot(&state.graph, &entries, state.applied_seq, &mut buf).unwrap();
+        assert_eq!(n as usize, buf.len());
+        buf
+    }
+
+    fn assert_bit_identical(a: &ClusterOutput, b: &ClusterOutput) {
+        assert_eq!(a.bit_diff(b), None);
+    }
+
+    #[test]
+    fn round_trip_is_bit_exact() {
+        let state = sample_state();
+        let buf = snapshot_bytes(&state);
+        let loaded = parse_snapshot(&buf).unwrap();
+        assert_eq!(loaded.graph, state.graph);
+        assert_eq!(loaded.entries.len(), 2);
+        for ((cfg_a, out_a), (cfg_b, out_b)) in state.entries.iter().zip(&loaded.entries) {
+            assert_eq!(cfg_a, cfg_b);
+            assert_bit_identical(out_a, out_b);
+        }
+    }
+
+    #[test]
+    fn graph_only_snapshot_round_trips() {
+        let (g, _) = generators::ring_of_cliques(3, 5, 1).unwrap();
+        let mut buf = Vec::new();
+        write_snapshot(&g, &[], 0, &mut buf).unwrap();
+        let loaded = parse_snapshot(&buf).unwrap();
+        assert_eq!(loaded.graph, g);
+        assert!(loaded.entries.is_empty());
+    }
+
+    #[test]
+    fn config_variants_round_trip() {
+        let (g, _) = generators::ring_of_cliques(2, 6, 0).unwrap();
+        for cfg in [
+            LbConfig::new(0.25, 10)
+                .with_query(QueryRule::ScaledThreshold(1.5))
+                .with_degree_mode(DegreeMode::Capped(7))
+                .with_seeding_trials(9),
+            LbConfig {
+                rounds: Rounds::Resolved(33),
+                ..LbConfig::new(1.0, 33)
+            },
+        ] {
+            let out = match cluster(&g, &cfg) {
+                Ok(o) => o,
+                Err(_) => continue, // seedless config; encoding is what matters
+            };
+            let mut buf = Vec::new();
+            write_snapshot(&g, &[(&cfg, &out)], 0, &mut buf).unwrap();
+            let loaded = parse_snapshot(&buf).unwrap();
+            assert_eq!(loaded.entries[0].0, cfg);
+        }
+    }
+
+    #[test]
+    fn truncation_anywhere_is_typed() {
+        let buf = snapshot_bytes(&sample_state());
+        for cut in [0, 3, 8, 15, HEADER_LEN + 5, buf.len() / 2, buf.len() - 1] {
+            let e = parse_snapshot(&buf[..cut]).unwrap_err();
+            assert!(
+                matches!(
+                    e,
+                    StoreError::Truncated { .. } | StoreError::BadMagic { .. }
+                ),
+                "cut at {cut}: {e}"
+            );
+        }
+    }
+
+    #[test]
+    fn bad_magic_and_version_are_typed() {
+        let mut buf = snapshot_bytes(&sample_state());
+        let mut wrong = buf.clone();
+        wrong[0] ^= 0xff;
+        assert!(matches!(
+            parse_snapshot(&wrong),
+            Err(StoreError::BadMagic { .. })
+        ));
+        buf[8] = 99; // version
+        assert!(matches!(
+            parse_snapshot(&buf),
+            Err(StoreError::UnsupportedVersion {
+                found: 99,
+                supported: VERSION
+            })
+        ));
+    }
+
+    #[test]
+    fn payload_corruption_is_a_checksum_mismatch() {
+        let buf = snapshot_bytes(&sample_state());
+        // Flip one bit in every byte position past the header; each
+        // must fail closed (checksum, or a typed structural error —
+        // never a panic, never silent acceptance).
+        for pos in [HEADER_LEN + 1, buf.len() / 2, buf.len() - 9] {
+            let mut bad = buf.clone();
+            bad[pos] ^= 0x01;
+            let e = parse_snapshot(&bad).unwrap_err();
+            assert!(
+                matches!(e, StoreError::ChecksumMismatch { .. }),
+                "pos {pos}: {e}"
+            );
+        }
+    }
+
+    #[test]
+    fn trailing_junk_is_corrupt() {
+        let mut buf = snapshot_bytes(&sample_state());
+        buf.extend_from_slice(b"junk");
+        assert!(matches!(parse_snapshot(&buf), Err(StoreError::Corrupt(_))));
+    }
+}

@@ -1,0 +1,392 @@
+//! The delta write-ahead log.
+//!
+//! One WAL file per dataset, sitting next to its snapshot. Each record
+//! is the binary serialisation of one [`GraphDelta`] (the same
+//! header-then-edge-ops framing as the text `lbc_graph::io::write_delta`,
+//! in fixed-width little-endian) plus the replay policy the serving
+//! layer used, framed as:
+//!
+//! ```text
+//! magic        u32 = "LWAL"
+//! payload_len  u32
+//! seq          u64   (strictly increasing per dataset)
+//! crc64        u64   (over the payload)
+//! payload      policy byte [+ warm-start config], delta
+//! ```
+//!
+//! Records are appended (and fsynced) *before* the in-memory graph is
+//! swapped, so the log is always a superset of the applied mutations.
+//! The **sequence number** is what makes compaction crash-safe: a
+//! snapshot records the highest seq it has folded (`applied_seq` in its
+//! header), and replay skips records at or below it — so a crash
+//! between "snapshot renamed" and "WAL truncated" can never double-
+//! apply a delta; truncation is a pure space optimisation. A crash
+//! mid-append leaves a **torn tail** — an incomplete final record —
+//! which readers tolerate and report (and appenders truncate away); a
+//! complete record whose checksum fails is real corruption and a typed
+//! error.
+
+use std::io::Write;
+
+use lbc_core::WarmStartConfig;
+use lbc_graph::GraphDelta;
+
+use crate::error::StoreError;
+use crate::format::{crc64, Dec, Enc};
+
+/// First 4 bytes of every WAL record.
+pub const RECORD_MAGIC: u32 = u32::from_le_bytes(*b"LWAL");
+
+/// How a logged delta's cached outputs were (and on replay, will be)
+/// handled — mirrors the serving layer's `DeltaPolicy`, recorded in the
+/// WAL so recovery re-runs *exactly* the same warm starts.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ReplayPolicy {
+    /// Cached outputs were dropped; replay drops them too.
+    Invalidate,
+    /// Cached outputs were warm-refreshed with this config; replay
+    /// re-runs the identical (deterministic) warm starts.
+    WarmRefresh(WarmStartConfig),
+}
+
+/// One WAL record: a delta and the policy it was applied under.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WalRecord {
+    /// Strictly increasing per dataset; snapshots record the highest
+    /// seq they cover, and replay skips records at or below it.
+    pub seq: u64,
+    pub policy: ReplayPolicy,
+    pub delta: GraphDelta,
+}
+
+/// Bytes of a record frame before the payload.
+pub(crate) const FRAME_HEADER: usize = 4 + 4 + 8 + 8;
+
+/// Serialise a [`GraphDelta`] in the binary framing (header counts,
+/// then added pairs, then removed pairs).
+pub(crate) fn encode_delta(e: &mut Enc, d: &GraphDelta) {
+    e.u64(d.added_nodes() as u64);
+    e.u64(d.added_edges().len() as u64);
+    e.u64(d.removed_edges().len() as u64);
+    for &(u, v) in d.added_edges() {
+        e.u32(u);
+        e.u32(v);
+    }
+    for &(u, v) in d.removed_edges() {
+        e.u32(u);
+        e.u32(v);
+    }
+}
+
+/// Parse a delta written by [`encode_delta`].
+pub(crate) fn decode_delta(d: &mut Dec<'_>) -> Result<GraphDelta, StoreError> {
+    let add_nodes = d.u64()? as usize;
+    let added = d.len_prefix(8)?;
+    let removed = {
+        // The removed count shares the remaining bytes with the added
+        // pairs; bound it by what can still fit.
+        let raw = d.u64()? as usize;
+        let cap = d.remaining().saturating_sub(added * 8) / 8;
+        if raw > cap {
+            return Err(StoreError::Truncated {
+                needed: (added + raw) * 8,
+                available: d.remaining(),
+                context: "wal delta",
+            });
+        }
+        raw
+    };
+    let mut delta = GraphDelta::new();
+    delta.add_nodes(add_nodes);
+    for _ in 0..added {
+        let u = d.u32()?;
+        let v = d.u32()?;
+        delta.add_edge(u, v);
+    }
+    for _ in 0..removed {
+        let u = d.u32()?;
+        let v = d.u32()?;
+        delta.remove_edge(u, v);
+    }
+    Ok(delta)
+}
+
+fn encode_payload(rec: &WalRecord) -> Vec<u8> {
+    let mut e = Enc::new();
+    match &rec.policy {
+        ReplayPolicy::Invalidate => e.u8(0),
+        ReplayPolicy::WarmRefresh(w) => {
+            e.u8(1);
+            e.f64(w.tolerance);
+            e.f64(w.min_decay);
+            e.u64(w.patience as u64);
+            e.u64(w.max_rounds as u64);
+        }
+    }
+    encode_delta(&mut e, &rec.delta);
+    e.into_bytes()
+}
+
+fn decode_payload(seq: u64, bytes: &[u8]) -> Result<WalRecord, StoreError> {
+    let mut d = Dec::new(bytes, "wal record");
+    let policy = match d.u8()? {
+        0 => ReplayPolicy::Invalidate,
+        1 => {
+            let tolerance = d.f64()?;
+            let min_decay = d.f64()?;
+            let patience = d.u64()? as usize;
+            let max_rounds = d.u64()? as usize;
+            if tolerance.is_nan()
+                || tolerance < 0.0
+                || !(0.0..1.0).contains(&min_decay)
+                || patience == 0
+                || max_rounds == 0
+            {
+                return Err(StoreError::Corrupt(
+                    "wal record: warm-start config out of range".into(),
+                ));
+            }
+            ReplayPolicy::WarmRefresh(WarmStartConfig {
+                tolerance,
+                min_decay,
+                patience,
+                max_rounds,
+            })
+        }
+        other => {
+            return Err(StoreError::Corrupt(format!(
+                "wal record: unknown policy tag {other}"
+            )));
+        }
+    };
+    let delta = decode_delta(&mut d)?;
+    if !d.is_empty() {
+        return Err(StoreError::Corrupt("wal record has trailing bytes".into()));
+    }
+    Ok(WalRecord { seq, policy, delta })
+}
+
+/// Serialise one framed record (magic + length + seq + checksum +
+/// payload).
+pub fn encode_record(rec: &WalRecord) -> Vec<u8> {
+    let payload = encode_payload(rec);
+    let mut e = Enc::new();
+    e.u32(RECORD_MAGIC);
+    e.u32(payload.len() as u32);
+    e.u64(rec.seq);
+    e.u64(crc64(&payload));
+    e.bytes(&payload);
+    e.into_bytes()
+}
+
+/// Append one record to `w` and flush it.
+pub fn append_record<W: Write>(mut w: W, rec: &WalRecord) -> Result<(), StoreError> {
+    w.write_all(&encode_record(rec))?;
+    w.flush()?;
+    Ok(())
+}
+
+/// A parsed WAL: complete records plus any torn tail left by a crash.
+#[derive(Debug, Clone, Default)]
+pub struct WalReadout {
+    pub records: Vec<WalRecord>,
+    /// Bytes of an incomplete final record (0 on a clean log). Torn
+    /// tails are tolerated — the record never took effect before the
+    /// crash, because appends are flushed before the graph swap.
+    pub torn_tail_bytes: usize,
+}
+
+/// A cheap frame walk (magic + length + seq only, no payload decode).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WalScan {
+    /// Byte length of the complete-record prefix (the whole stream on
+    /// a clean log; torn tails end before this).
+    pub complete_len: usize,
+    /// Highest record seq in the complete prefix (0 when empty).
+    pub last_seq: u64,
+}
+
+/// Walk a WAL stream's frames, stopping at an incomplete final frame.
+/// Appenders truncate to `complete_len` first, so a crash-torn tail can
+/// never end up *between* valid records. A mid-stream bad magic returns
+/// the full length — genuinely corrupt logs are surfaced by
+/// [`read_wal`], not silently truncated.
+pub fn scan_wal(buf: &[u8]) -> WalScan {
+    let mut scan = WalScan::default();
+    let mut pos = 0usize;
+    while pos < buf.len() {
+        let remaining = buf.len() - pos;
+        if remaining < FRAME_HEADER {
+            break;
+        }
+        let magic = u32::from_le_bytes(buf[pos..pos + 4].try_into().unwrap());
+        if magic != RECORD_MAGIC {
+            scan.complete_len = buf.len();
+            return scan;
+        }
+        let payload_len = u32::from_le_bytes(buf[pos + 4..pos + 8].try_into().unwrap()) as usize;
+        if remaining - FRAME_HEADER < payload_len {
+            break;
+        }
+        scan.last_seq = u64::from_le_bytes(buf[pos + 8..pos + 16].try_into().unwrap());
+        pos += FRAME_HEADER + payload_len;
+    }
+    scan.complete_len = pos;
+    scan
+}
+
+/// Parse a WAL byte stream, tolerating a torn tail. Sequence numbers
+/// must be strictly increasing (an integrity check on the appenders).
+pub fn read_wal(buf: &[u8]) -> Result<WalReadout, StoreError> {
+    let mut out = WalReadout::default();
+    let mut pos = 0usize;
+    let mut prev_seq = 0u64;
+    while pos < buf.len() {
+        let remaining = buf.len() - pos;
+        if remaining < FRAME_HEADER {
+            out.torn_tail_bytes = remaining;
+            break;
+        }
+        let magic = u32::from_le_bytes(buf[pos..pos + 4].try_into().unwrap());
+        if magic != RECORD_MAGIC {
+            return Err(StoreError::Corrupt(format!(
+                "wal record at byte {pos}: bad magic {magic:08x}"
+            )));
+        }
+        let payload_len = u32::from_le_bytes(buf[pos + 4..pos + 8].try_into().unwrap()) as usize;
+        let seq = u64::from_le_bytes(buf[pos + 8..pos + 16].try_into().unwrap());
+        let stored_crc = u64::from_le_bytes(buf[pos + 16..pos + 24].try_into().unwrap());
+        if remaining - FRAME_HEADER < payload_len {
+            out.torn_tail_bytes = remaining;
+            break;
+        }
+        let payload = &buf[pos + FRAME_HEADER..pos + FRAME_HEADER + payload_len];
+        let computed = crc64(payload);
+        if stored_crc != computed {
+            return Err(StoreError::ChecksumMismatch {
+                expected: stored_crc,
+                found: computed,
+                context: "wal record",
+            });
+        }
+        if seq <= prev_seq {
+            return Err(StoreError::Corrupt(format!(
+                "wal record at byte {pos}: seq {seq} not above predecessor {prev_seq}"
+            )));
+        }
+        prev_seq = seq;
+        out.records.push(decode_payload(seq, payload)?);
+        pos += FRAME_HEADER + payload_len;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_records() -> Vec<WalRecord> {
+        let mut d1 = GraphDelta::new();
+        d1.add_nodes(2).add_edge(0, 5).remove_edge(1, 2);
+        let mut d2 = GraphDelta::new();
+        d2.add_edge(3, 4);
+        vec![
+            WalRecord {
+                seq: 1,
+                policy: ReplayPolicy::WarmRefresh(WarmStartConfig::default()),
+                delta: d1,
+            },
+            WalRecord {
+                seq: 2,
+                policy: ReplayPolicy::Invalidate,
+                delta: d2,
+            },
+            WalRecord {
+                seq: 7, // gaps are fine; only monotonicity is required
+                policy: ReplayPolicy::Invalidate,
+                delta: GraphDelta::new(),
+            },
+        ]
+    }
+
+    fn wal_bytes(records: &[WalRecord]) -> Vec<u8> {
+        let mut buf = Vec::new();
+        for r in records {
+            append_record(&mut buf, r).unwrap();
+        }
+        buf
+    }
+
+    #[test]
+    fn records_round_trip() {
+        let records = sample_records();
+        let buf = wal_bytes(&records);
+        let readout = read_wal(&buf).unwrap();
+        assert_eq!(readout.records, records);
+        assert_eq!(readout.torn_tail_bytes, 0);
+        let scan = scan_wal(&buf);
+        assert_eq!(scan.complete_len, buf.len());
+        assert_eq!(scan.last_seq, 7);
+        // Empty log is fine.
+        let empty = read_wal(&[]).unwrap();
+        assert!(empty.records.is_empty());
+        assert_eq!(scan_wal(&[]).last_seq, 0);
+    }
+
+    #[test]
+    fn non_increasing_seqs_are_corrupt() {
+        let mut records = sample_records();
+        records[2].seq = 2; // duplicates records[1].seq
+        let buf = wal_bytes(&records);
+        assert!(matches!(read_wal(&buf), Err(StoreError::Corrupt(_))));
+    }
+
+    #[test]
+    fn torn_tail_is_tolerated_and_reported() {
+        let records = sample_records();
+        let buf = wal_bytes(&records);
+        let second_end = buf.len() - encode_record(&records[2]).len();
+        // Cut mid-way through the final record, at several depths.
+        for cut in [second_end + 1, second_end + 8, buf.len() - 1] {
+            let readout = read_wal(&buf[..cut]).unwrap();
+            assert_eq!(readout.records, records[..2], "cut at {cut}");
+            assert_eq!(readout.torn_tail_bytes, cut - second_end);
+            let scan = scan_wal(&buf[..cut]);
+            assert_eq!(scan.complete_len, second_end);
+            assert_eq!(scan.last_seq, 2);
+        }
+    }
+
+    #[test]
+    fn mid_log_corruption_is_typed() {
+        let records = sample_records();
+        let buf = wal_bytes(&records);
+        // Flip a payload byte of the first record.
+        let mut bad = buf.clone();
+        bad[20] ^= 0x40;
+        assert!(matches!(
+            read_wal(&bad),
+            Err(StoreError::ChecksumMismatch { .. })
+        ));
+        // Destroy a record magic.
+        let mut bad = buf;
+        bad[0] ^= 0xff;
+        assert!(matches!(read_wal(&bad), Err(StoreError::Corrupt(_))));
+    }
+
+    #[test]
+    fn delta_framing_matches_builder_accessors() {
+        let mut d = GraphDelta::new();
+        d.add_nodes(3)
+            .add_edge(9, 2)
+            .add_edge(1, 7)
+            .remove_edge(4, 4 + 1);
+        let mut e = Enc::new();
+        encode_delta(&mut e, &d);
+        let bytes = e.into_bytes();
+        let mut dec = Dec::new(&bytes, "test");
+        let back = decode_delta(&mut dec).unwrap();
+        assert_eq!(back, d);
+        assert!(dec.is_empty());
+    }
+}
