@@ -1,0 +1,122 @@
+//! Wire-protocol throughput: frame encode, incremental decode (whole
+//! buffer and pathological 1-byte chunks), and a full loopback
+//! round-trip through the reactor — the cost floor under every
+//! `lbc serve` deployment.
+
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lbc_core::LbConfig;
+use lbc_graph::generators;
+use lbc_net::{FrameDecoder, NetClient, NetServer, Request, ServeContext, ServerConfig};
+use lbc_runtime::{Query, Registry, WorkerPool};
+
+fn query_mix(n: u32, count: usize) -> Vec<Query> {
+    (0..count)
+        .map(|i| {
+            let u = ((i * 7919) % n as usize) as u32;
+            let v = ((i * 104_729 + 13) % n as usize) as u32;
+            match i % 4 {
+                0 | 1 => Query::SameCluster(u, v),
+                2 => Query::ClusterOf(u),
+                _ => Query::ClusterSize(v),
+            }
+        })
+        .collect()
+}
+
+fn bench_encode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("net_encode");
+    for &batch in &[16usize, 256, 4096] {
+        let req = Request::QueryBatch(query_mix(10_000, batch));
+        let mut probe = Vec::new();
+        req.encode(&mut probe, 0).unwrap();
+        group.throughput(Throughput::Bytes(probe.len() as u64));
+        group.bench_with_input(BenchmarkId::new("query_batch", batch), &req, |b, req| {
+            let mut out = Vec::with_capacity(probe.len());
+            b.iter(|| {
+                out.clear();
+                req.encode(&mut out, 7).unwrap();
+                black_box(out.len())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_decode(c: &mut Criterion) {
+    let mut group = c.benchmark_group("net_decode");
+    for &batch in &[16usize, 256, 4096] {
+        let req = Request::QueryBatch(query_mix(10_000, batch));
+        let mut bytes = Vec::new();
+        // A stream of 8 frames so buffer management is exercised.
+        for id in 0..8 {
+            req.encode(&mut bytes, id).unwrap();
+        }
+        group.throughput(Throughput::Bytes(bytes.len() as u64));
+        group.bench_with_input(
+            BenchmarkId::new("whole_buffer", batch),
+            &bytes,
+            |b, bytes| {
+                b.iter(|| {
+                    let mut dec = FrameDecoder::new();
+                    dec.push(bytes);
+                    let mut frames = 0usize;
+                    while let Some(f) = dec.next_frame().unwrap() {
+                        frames += 1;
+                        black_box(Request::from_frame(&f).unwrap());
+                    }
+                    assert_eq!(frames, 8);
+                });
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("one_byte_chunks", batch),
+            &bytes,
+            |b, bytes| {
+                b.iter(|| {
+                    let mut dec = FrameDecoder::new();
+                    let mut frames = 0usize;
+                    for &byte in bytes.iter() {
+                        dec.push(std::slice::from_ref(&byte));
+                        while let Some(f) = dec.next_frame().unwrap() {
+                            frames += 1;
+                            black_box(&f);
+                        }
+                    }
+                    assert_eq!(frames, 8);
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_loopback(c: &mut Criterion) {
+    let registry = Arc::new(Registry::with_capacity(4));
+    let (g, _) = generators::regular_cluster_graph(4, 250, 12, 4, 5).unwrap();
+    registry.insert_graph("bench", g);
+    let ctx = ServeContext {
+        registry,
+        pool: Arc::new(WorkerPool::new(2)),
+        dataset: "bench".to_string(),
+        cfg: LbConfig::new(0.25, 120).with_seed(3),
+    };
+    let server = NetServer::bind("127.0.0.1:0", ctx, ServerConfig::default()).unwrap();
+    let mut client = NetClient::connect(server.addr()).unwrap();
+
+    let mut group = c.benchmark_group("net_loopback");
+    for &batch in &[16usize, 256, 4096] {
+        let qs = query_mix(1000, batch);
+        group.throughput(Throughput::Elements(batch as u64));
+        group.bench_with_input(BenchmarkId::new("round_trip", batch), &qs, |b, qs| {
+            b.iter(|| black_box(client.query_batch(qs).unwrap().len()));
+        });
+    }
+    group.finish();
+    drop(client);
+    server.shutdown();
+}
+
+criterion_group!(benches, bench_encode, bench_decode, bench_loopback);
+criterion_main!(benches);

@@ -31,6 +31,8 @@ pub fn run(argv: &[String]) -> Result<String, String> {
         "spectrum" => cmd_spectrum(rest),
         "stats" => cmd_stats(rest),
         "serve-bench" => cmd_serve_bench(rest),
+        "serve" => cmd_serve(rest),
+        "net-bench" => cmd_net_bench(rest),
         "jobs" => cmd_jobs(rest),
         "update" => cmd_update(rest),
         "save" => cmd_save(rest),
@@ -353,11 +355,20 @@ fn cmd_serve_bench(rest: &[String]) -> Result<String, String> {
     let batch: usize = a.get_or("batch", 64)?;
     let cache: usize = a.get_or("cache", 8)?;
     let zipf: f64 = a.get_or("zipf", 0.0)?;
+    let rate: f64 = a.get_or("rate", 0.0)?;
     let store_dir = a.get("store");
     a.reject_unknown()?;
     if !(zipf.is_finite() && zipf >= 0.0) {
         return Err(format!("--zipf must be finite and >= 0, got {zipf}"));
     }
+    if !(rate.is_finite() && rate >= 0.0) {
+        return Err(format!("--rate must be finite and >= 0, got {rate}"));
+    }
+    let mode = if rate > 0.0 {
+        lbc_runtime::LoadMode::Open { rate }
+    } else {
+        lbc_runtime::LoadMode::Closed
+    };
     let popularity = if zipf > 0.0 {
         Popularity::Zipf(zipf)
     } else {
@@ -439,14 +450,111 @@ fn cmd_serve_bench(rest: &[String]) -> Result<String, String> {
         batch,
         seed: cfg.seed,
         popularity,
+        mode,
     };
     if let Popularity::Zipf(s) = popularity {
         report.push_str(&format!("query popularity: zipf(s = {s})\n"));
+    }
+    if let lbc_runtime::LoadMode::Open { rate } = mode {
+        report.push_str(&format!(
+            "open loop: {rate} batch arrivals/s, latency from intended send time\n"
+        ));
     }
     let load = lbc_runtime::run_loadgen(&handle, &lg).map_err(|e| e.to_string())?;
     report.push_str(&load.render());
     report.push_str(&render_cache_line(&registry));
     Ok(report)
+}
+
+/// `lbc serve --listen ADDR`: cluster the dataset up front, then serve
+/// the framed wire protocol from one epoll reactor thread until the
+/// process is killed. Prints the listening line (and optionally writes
+/// the resolved address to `--addr-file`, which is how scripts and the
+/// e2e tests find a `--listen 127.0.0.1:0` server) *before* parking, so
+/// callers can synchronise on it.
+fn cmd_serve(rest: &[String]) -> Result<String, String> {
+    let a = Args::parse(rest, &[])?;
+    let listen = a.require("listen")?;
+    let (name, g) = serving_dataset(&a)?;
+    let k_hint: usize = a.get_or("k", 4)?;
+    let cfg = serving_config(&a, &g, k_hint)?;
+    let threads: usize = a.get_or("threads", 4)?;
+    let cache: usize = a.get_or("cache", 8)?;
+    let outbox_cap: usize = a.get_or("outbox-cap", 256 * 1024)?;
+    let max_conns: usize = a.get_or("max-conns", 1024)?;
+    let addr_file = a.get("addr-file");
+    a.reject_unknown()?;
+    for (flag, v) in [
+        ("threads", threads),
+        ("cache", cache),
+        ("outbox-cap", outbox_cap),
+        ("max-conns", max_conns),
+    ] {
+        if v == 0 {
+            return Err(format!("--{flag} must be positive"));
+        }
+    }
+
+    let registry = Arc::new(Registry::with_capacity(cache));
+    registry.insert_graph(&name, g);
+    let pool = Arc::new(WorkerPool::new(threads));
+    let ctx = lbc_net::ServeContext {
+        registry: Arc::clone(&registry),
+        pool,
+        dataset: name.clone(),
+        cfg: cfg.clone(),
+    };
+    let server_cfg = lbc_net::ServerConfig {
+        outbox_cap,
+        max_conns,
+        ..Default::default()
+    };
+    let t0 = std::time::Instant::now();
+    let handle = lbc_net::NetServer::bind(&listen, ctx, server_cfg).map_err(|e| e.to_string())?;
+    let addr = handle.addr();
+    println!(
+        "dataset '{name}': clustered in {:.1} ms (beta = {}, T = {}, seed = {})",
+        t0.elapsed().as_secs_f64() * 1e3,
+        cfg.beta,
+        cfg.rounds.count(),
+        cfg.seed,
+    );
+    println!("listening on {addr} ({threads}-thread pool behind one reactor thread)");
+    use std::io::Write as _;
+    std::io::stdout().flush().ok();
+    if let Some(path) = addr_file {
+        // Write-then-rename so watchers never read a half-written file.
+        let tmp = format!("{path}.tmp");
+        std::fs::write(&tmp, addr.to_string()).map_err(|e| format!("cannot write {tmp}: {e}"))?;
+        std::fs::rename(&tmp, &path).map_err(|e| format!("cannot rename to {path}: {e}"))?;
+    }
+    // Park until killed; the reactor thread does all the work.
+    handle.join();
+    Ok(String::new())
+}
+
+/// `lbc net-bench --connect ADDR`: drive a running `lbc serve` with the
+/// open-loop (arrival-rate-driven) network load generator.
+fn cmd_net_bench(rest: &[String]) -> Result<String, String> {
+    let a = Args::parse(rest, &[])?;
+    let connect = a.require("connect")?;
+    let cfg = lbc_net::NetBenchConfig {
+        conns: a.get_or("conns", 64)?,
+        rate: a.get_or("rate", 5_000.0)?,
+        batches: a.get_or("batches", 10_000)?,
+        batch: a.get_or("batch", 32)?,
+        seed: a.get_or("seed", 0)?,
+        deadline: std::time::Duration::from_secs_f64(a.get_or("deadline-secs", 60.0)?),
+    };
+    a.reject_unknown()?;
+    let addrs: Vec<std::net::SocketAddr> = std::net::ToSocketAddrs::to_socket_addrs(&connect)
+        .map_err(|e| format!("cannot resolve {connect}: {e}"))?
+        .collect();
+    let addr = *addrs
+        .first()
+        .ok_or_else(|| format!("{connect} resolves to nothing"))?;
+    let r = lbc_net::net_bench(addr, &cfg).map_err(|e| e.to_string())?;
+    Ok(format!("target {connect} ({addr})\n{}", r.render()))
 }
 
 /// The registry's cache counters + resident footprint, one line —

@@ -17,6 +17,10 @@
 //! * `lbc update --graph g.txt (--delta d.txt | --flips K)` — apply a
 //!   dynamic-graph delta through the serving registry and warm-start
 //!   re-cluster from the resident states.
+//! * `lbc serve --listen ADDR` / `lbc net-bench --connect ADDR` — put
+//!   the query engine on a socket (one epoll reactor thread, framed
+//!   checksummed protocol) and drive it with an open-loop,
+//!   coordinated-omission-safe network load generator.
 //! * `lbc save g.txt dir/` / `lbc load dir/` — persist a clustered
 //!   dataset as a checksummed binary snapshot (+ delta write-ahead log)
 //!   and warm-boot it back, bit-for-bit.
@@ -55,13 +59,35 @@ USAGE:
   lbc serve-bench [--graph g.txt | --family ring|planted --k 4 --size 64]
                   [--beta B] [--rounds T] [--seed S] [--threads 4]
                   [--clients N] [--ops 200000] [--batch 64] [--cache 8]
-                  [--zipf S] [--store DIR]
+                  [--zipf S] [--store DIR] [--rate R]
       Cluster on a worker pool, keep the output resident, then drive a
       closed-loop query load (same-cluster / cluster-of / cluster-size)
       and print throughput + p50/p95/p99 batch latency. --zipf S skews
       query node popularity (Zipf exponent S; 0 = uniform). --store DIR
       attaches crash-safe persistence: the dataset warm-boots from its
-      snapshot when present and spills to it otherwise.
+      snapshot when present and spills to it otherwise. --rate R drives
+      the loop open (R batch arrivals/s, latency from intended send
+      time; 0 = closed loop).
+
+  lbc serve --listen 127.0.0.1:4100
+            [--graph g.txt | --family ring|planted --k 4 --size 64]
+            [--beta B] [--rounds T] [--seed S] [--threads 4] [--cache 8]
+            [--outbox-cap BYTES] [--max-conns N] [--addr-file PATH]
+      Cluster the dataset, then serve the framed wire protocol (batched
+      same-cluster / cluster-of / cluster-size queries, delta
+      submission, cache stats) from ONE epoll reactor thread with
+      per-connection backpressure, until the process is killed.
+      --addr-file writes the resolved listen address (for --listen
+      127.0.0.1:0 scripting).
+
+  lbc net-bench --connect HOST:PORT [--conns 64] [--rate 5000]
+                [--batches 10000] [--batch 32] [--seed S]
+                [--deadline-secs 60]
+      Open-loop network load generator: batch arrivals follow the fixed
+      --rate schedule across --conns connections and latency is
+      measured from each batch's INTENDED send time, so queueing delay
+      under overload shows up in p50/p95/p99 instead of being
+      coordinated-omission'd away.
 
   lbc jobs [--graph g.txt | --family ring|planted --k 4 --size 64]
            [--beta B] [--rounds T] [--seed S0] [--jobs 8] [--threads 4]

@@ -1,0 +1,266 @@
+//! End-to-end: a real `lbc serve` child process, real TCP clients.
+//!
+//! 1. Spawn the `lbc` binary serving a deterministic generated dataset
+//!    and discover its port through `--addr-file`.
+//! 2. Connect several clients; verify batched query answers
+//!    **bit-for-bit** against an in-process `QueryEngine` over the same
+//!    `(dataset, config)` — the network layer must be a transparent
+//!    window onto the same clustering.
+//! 3. `kill -9` the server; every client must surface a clean, typed
+//!    disconnect error (no panic, no hang), and reconnecting must fail
+//!    with a typed error too.
+
+use std::process::{Child, Command, Stdio};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use lbc_core::LbConfig;
+use lbc_graph::generators;
+use lbc_net::{NetClient, NetError};
+use lbc_runtime::{ClusterHandle, Query, Registry};
+
+/// Matches `lbc serve --family ring --k 3 --size 16` name/shape/config
+/// derivation in `serving_dataset` / `serving_config` (gen-seed
+/// defaults to 42, beta to 1/k).
+const K: usize = 3;
+const SIZE: usize = 16;
+const ROUNDS: usize = 60;
+const SEED: u64 = 5;
+
+fn expected_handle() -> ClusterHandle {
+    let registry = Registry::with_capacity(4);
+    let (g, _) = generators::ring_of_cliques(K, SIZE, 42).unwrap();
+    registry.insert_graph("ring", g);
+    let cfg = LbConfig::new(1.0 / K as f64, ROUNDS).with_seed(SEED);
+    ClusterHandle::new(registry.get_or_cluster("ring", &cfg).unwrap())
+}
+
+struct ServerProc {
+    child: Child,
+    addr: std::net::SocketAddr,
+    addr_file: std::path::PathBuf,
+}
+
+impl Drop for ServerProc {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+        let _ = std::fs::remove_file(&self.addr_file);
+    }
+}
+
+fn spawn_server(tag: &str) -> ServerProc {
+    let addr_file =
+        std::env::temp_dir().join(format!("lbc-serve-e2e-{tag}-{}.addr", std::process::id()));
+    let _ = std::fs::remove_file(&addr_file);
+    let child = Command::new(env!("CARGO_BIN_EXE_lbc"))
+        .args([
+            "serve",
+            "--listen",
+            "127.0.0.1:0",
+            "--family",
+            "ring",
+            "--k",
+            &K.to_string(),
+            "--size",
+            &SIZE.to_string(),
+            "--rounds",
+            &ROUNDS.to_string(),
+            "--seed",
+            &SEED.to_string(),
+            "--threads",
+            "2",
+            "--addr-file",
+            addr_file.to_str().unwrap(),
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn lbc serve");
+    // Wait for the resolved address to appear (clustering runs first).
+    let deadline = Instant::now() + Duration::from_secs(60);
+    let addr = loop {
+        if let Ok(text) = std::fs::read_to_string(&addr_file) {
+            if let Ok(addr) = text.trim().parse() {
+                break addr;
+            }
+        }
+        assert!(
+            Instant::now() < deadline,
+            "server never wrote its address file"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    };
+    ServerProc {
+        child,
+        addr,
+        addr_file,
+    }
+}
+
+/// A deterministic spread of queries, including the interesting shapes
+/// (same-clique pairs, cross-clique pairs, boundary ids).
+fn query_battery(n: u32) -> Vec<Vec<Query>> {
+    let mut batches = Vec::new();
+    for round in 0..8u32 {
+        let mut qs = Vec::new();
+        for i in 0..32u32 {
+            let a = (i * 7 + round * 13) % n;
+            let b = (i * 11 + round * 3) % n;
+            qs.push(match i % 4 {
+                0 => Query::SameCluster(a, b),
+                1 => Query::SameCluster(a, a),
+                2 => Query::ClusterOf(b),
+                _ => Query::ClusterSize(a),
+            });
+        }
+        // Boundary nodes exactly at the edges of the id space.
+        qs.push(Query::ClusterOf(0));
+        qs.push(Query::ClusterOf(n - 1));
+        qs.push(Query::SameCluster(0, n - 1));
+        batches.push(qs);
+    }
+    batches
+}
+
+#[test]
+fn child_process_serves_bit_identical_answers_then_dies_cleanly() {
+    let server = spawn_server("main");
+    let expected = expected_handle();
+    let n = expected.n() as u32;
+
+    // N real TCP clients against the child process.
+    const CLIENTS: usize = 4;
+    let mut clients: Vec<NetClient> = (0..CLIENTS)
+        .map(|_| {
+            NetClient::connect_timeout(&server.addr, Duration::from_secs(10))
+                .expect("connect to child server")
+        })
+        .collect();
+
+    // Info must describe the very same dataset.
+    let info = clients[0].info().unwrap();
+    assert_eq!(info.dataset, format!("ring-{K}x{SIZE}"));
+    assert_eq!(info.n, expected.n() as u64);
+    assert_eq!(info.k, expected.k() as u32);
+
+    // Every batch from every client: answers bit-for-bit equal to the
+    // in-process engine's (Answer is a plain enum of u32/bool, so ==
+    // is exactly bitwise agreement).
+    let battery = query_battery(n);
+    for (ci, client) in clients.iter_mut().enumerate() {
+        for (bi, qs) in battery.iter().enumerate() {
+            let got = client.query_batch(qs).unwrap();
+            let want = expected.execute_batch(qs).unwrap();
+            assert_eq!(
+                got, want,
+                "client {ci} batch {bi} diverged from in-process engine"
+            );
+        }
+    }
+
+    // Concurrent load from all clients in parallel threads, still
+    // through one reactor.
+    std::thread::scope(|scope| {
+        let addr = server.addr;
+        let expected = &expected;
+        for _ in 0..CLIENTS {
+            scope.spawn(move || {
+                let mut c = NetClient::connect_timeout(&addr, Duration::from_secs(10)).unwrap();
+                for qs in query_battery(n) {
+                    assert_eq!(
+                        c.query_batch(&qs).unwrap(),
+                        expected.execute_batch(&qs).unwrap()
+                    );
+                }
+            });
+        }
+    });
+
+    // kill -9: Child::kill is SIGKILL on unix — no shutdown handler
+    // runs, the sockets just die.
+    let mut server = server;
+    server.child.kill().expect("SIGKILL the server");
+    server.child.wait().expect("reap the server");
+
+    // Every client surfaces a clean typed disconnect — not a panic,
+    // not a hang, not garbage data.
+    for (ci, client) in clients.iter_mut().enumerate() {
+        let t0 = Instant::now();
+        let mut saw_disconnect = false;
+        // The first call after SIGKILL may still succeed if its answer
+        // was in flight before the kill; a couple of retries must hit
+        // the wall.
+        for _ in 0..3 {
+            match client.query_batch(&[Query::ClusterOf(0)]) {
+                Ok(_) => continue,
+                Err(NetError::Disconnected) => {
+                    saw_disconnect = true;
+                    break;
+                }
+                Err(other) => panic!("client {ci}: expected Disconnected, got {other:?}"),
+            }
+        }
+        assert!(
+            saw_disconnect,
+            "client {ci} never observed the server dying"
+        );
+        assert!(
+            t0.elapsed() < Duration::from_secs(10),
+            "client {ci} hung on a dead server"
+        );
+    }
+
+    // Fresh connections are refused with a typed error.
+    match NetClient::connect_timeout(&server.addr, Duration::from_secs(5)) {
+        Err(NetError::Io(_)) | Err(NetError::Disconnected) => {}
+        Ok(_) => panic!("connected to a SIGKILLed server"),
+        Err(other) => panic!("unexpected connect error: {other:?}"),
+    }
+}
+
+#[test]
+fn delta_submission_over_the_wire_matches_in_process_recluster() {
+    let server = spawn_server("delta");
+    let mut client = NetClient::connect_timeout(&server.addr, Duration::from_secs(10)).unwrap();
+    let n0 = client.info().unwrap().n;
+
+    // Grow the graph by one node tied into clique 0, over the wire.
+    let mut delta = lbc_graph::GraphDelta::new();
+    delta.add_nodes(1);
+    delta.add_edge(0, n0 as u32);
+    delta.add_edge(1, n0 as u32);
+    let summary = client.submit_delta(&delta).unwrap();
+    assert_eq!(summary.n, n0 + 1);
+    assert_eq!(summary.refreshed, 1);
+
+    // The server now answers for the patched graph.
+    let info = client.info().unwrap();
+    assert_eq!(info.n, n0 + 1);
+    let a = client
+        .query_batch(&[Query::SameCluster(0, n0 as u32)])
+        .unwrap();
+
+    // In-process reference: the same delta through the same registry
+    // machinery produces the same labelling, hence the same answer.
+    let registry = Arc::new(Registry::with_capacity(4));
+    let (g, _) = generators::ring_of_cliques(K, SIZE, 42).unwrap();
+    registry.insert_graph("ring", g);
+    let cfg = LbConfig::new(1.0 / K as f64, ROUNDS).with_seed(SEED);
+    registry.get_or_cluster("ring", &cfg).unwrap();
+    registry
+        .apply_delta(
+            "ring",
+            &delta,
+            &lbc_runtime::DeltaPolicy::WarmRefresh(Default::default()),
+        )
+        .unwrap();
+    let expected = ClusterHandle::new(registry.cached("ring", &cfg).unwrap());
+    let want = expected
+        .execute_batch(&[Query::SameCluster(0, n0 as u32)])
+        .unwrap();
+    assert_eq!(
+        a, want,
+        "post-delta answer diverged from in-process warm refresh"
+    );
+}

@@ -1,0 +1,450 @@
+//! Open-loop network load generator (`lbc net-bench`).
+//!
+//! A closed-loop generator stops sending while the server is slow, so
+//! exactly the moments worth measuring are the ones it under-samples —
+//! coordinated omission. This one is **open-loop**: batch arrivals
+//! follow a fixed global schedule, `intended_j = t0 + j/rate`, dealt
+//! round-robin over `conns` connections, and batches are *encoded into
+//! the connection's outbox the moment they are due* whether or not the
+//! socket (or the server) is keeping up. Latency for batch `j` is
+//! measured from `intended_j` to response receipt, so every microsecond
+//! of queueing — in our outbox, in the kernel, in the server — lands in
+//! the percentiles.
+//!
+//! One driver thread multiplexes all connections through the same
+//! [`Poller`] the server reactor uses; pipelining depth per connection
+//! is bounded only by the schedule, which is the open-loop contract.
+
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::os::unix::io::AsRawFd;
+use std::time::{Duration, Instant};
+
+use lbc_runtime::loadgen::{uniform_random_query, QueryRng};
+use lbc_runtime::Query;
+
+use crate::client::NetClient;
+use crate::error::NetError;
+use crate::poll::{Event, Interest, Poller, Token};
+use crate::wire::{FrameDecoder, Request, Response, WriteBuf};
+
+/// Open-loop bench configuration.
+#[derive(Debug, Clone)]
+pub struct NetBenchConfig {
+    /// Concurrent connections (the acceptance floor is 64).
+    pub conns: usize,
+    /// Global batch arrival rate per second.
+    pub rate: f64,
+    /// Total batches across all connections.
+    pub batches: u64,
+    /// Queries per batch.
+    pub batch: usize,
+    /// Seed for deterministic query streams.
+    pub seed: u64,
+    /// Hard deadline for the whole run (guards CI against a wedged
+    /// server; generously above `batches / rate`).
+    pub deadline: Duration,
+}
+
+impl Default for NetBenchConfig {
+    fn default() -> Self {
+        NetBenchConfig {
+            conns: 64,
+            rate: 5_000.0,
+            batches: 10_000,
+            batch: 32,
+            seed: 0,
+            deadline: Duration::from_secs(60),
+        }
+    }
+}
+
+/// Aggregated open-loop results.
+#[derive(Debug, Clone)]
+pub struct NetBenchReport {
+    pub conns: usize,
+    /// Batches encoded onto sockets (== configured batches unless the
+    /// deadline fired).
+    pub sent: u64,
+    /// Batches answered.
+    pub completed: u64,
+    /// Batches answered with a server error frame.
+    pub errors: u64,
+    pub wall: Duration,
+    /// Configured arrival rate.
+    pub target_rate: f64,
+    /// Completions per second actually observed.
+    pub achieved_rate: f64,
+    /// Queries per second actually observed.
+    pub query_throughput: f64,
+    /// Batch latency percentiles **from intended send time**.
+    pub p50: Duration,
+    pub p95: Duration,
+    pub p99: Duration,
+    pub max: Duration,
+    /// Order-independent fold of every answer (stable across runs of
+    /// the same config against the same clustering).
+    pub checksum: u64,
+}
+
+impl NetBenchReport {
+    /// Human-readable rendering (used by `lbc net-bench`).
+    pub fn render(&self) -> String {
+        format!(
+            "open-loop: {} of {} batches answered over {} connections in {:.3} s ({} errors)\n\
+             rate: target = {:.0} batches/s, achieved = {:.0} batches/s ({:.0} queries/s)\n\
+             latency from intended send: p50 = {:.1} µs, p95 = {:.1} µs, p99 = {:.1} µs, max = {:.1} µs\n\
+             checksum = {:016x}\n",
+            self.completed,
+            self.sent,
+            self.conns,
+            self.wall.as_secs_f64(),
+            self.errors,
+            self.target_rate,
+            self.achieved_rate,
+            self.query_throughput,
+            self.p50.as_secs_f64() * 1e6,
+            self.p95.as_secs_f64() * 1e6,
+            self.p99.as_secs_f64() * 1e6,
+            self.max.as_secs_f64() * 1e6,
+            self.checksum,
+        )
+    }
+}
+
+/// The same query mix the in-process loadgen uses (its shared
+/// [`QueryRng`] stream family + mix), keyed by `(seed, batch index)`
+/// so the stream does not depend on which connection carries it.
+fn generate_batch(seed: u64, batch_idx: u64, len: usize, n: u64, out: &mut Vec<Query>) {
+    out.clear();
+    let mut rng = QueryRng::new(seed, batch_idx);
+    for _ in 0..len {
+        out.push(uniform_random_query(&mut rng, n as usize));
+    }
+}
+
+struct BenchConn {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    outbox: WriteBuf,
+    interest: Interest,
+}
+
+/// Run the open-loop bench against a serving `lbc serve` process.
+pub fn net_bench(
+    addr: impl ToSocketAddrs + Copy,
+    cfg: &NetBenchConfig,
+) -> Result<NetBenchReport, NetError> {
+    if cfg.conns == 0 || cfg.batches == 0 || cfg.batch == 0 {
+        return Err(NetError::InvalidConfig(
+            "conns, batches, and batch must all be positive".into(),
+        ));
+    }
+    if !cfg.rate.is_finite() || cfg.rate <= 0.0 {
+        return Err(NetError::InvalidConfig(format!(
+            "rate must be finite and positive, got {}",
+            cfg.rate
+        )));
+    }
+
+    // Shape probe first: query node ids must be in range.
+    let info = NetClient::connect(addr)?.info()?;
+    if info.n == 0 {
+        return Err(NetError::InvalidConfig(
+            "server reports an empty dataset".into(),
+        ));
+    }
+
+    let mut poller = Poller::new().map_err(NetError::Io)?;
+    let mut conns: Vec<BenchConn> = Vec::with_capacity(cfg.conns);
+    for i in 0..cfg.conns {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        stream.set_nonblocking(true)?;
+        poller
+            .register(stream.as_raw_fd(), Token(i as u64), Interest::READ)
+            .map_err(NetError::Io)?;
+        conns.push(BenchConn {
+            stream,
+            decoder: FrameDecoder::new(),
+            outbox: WriteBuf::new(),
+            interest: Interest::READ,
+        });
+    }
+
+    let interval = Duration::from_secs_f64(1.0 / cfg.rate);
+    let mut pending: HashMap<u64, Instant> = HashMap::with_capacity(1024);
+    let mut latencies: Vec<Duration> = Vec::with_capacity(cfg.batches as usize);
+    let mut queries: Vec<Query> = Vec::with_capacity(cfg.batch);
+    let mut scratch = vec![0u8; 64 * 1024];
+    let mut events: Vec<Event> = Vec::new();
+
+    let mut sent: u64 = 0;
+    let mut completed: u64 = 0;
+    let mut errors: u64 = 0;
+    let mut checksum: u64 = 0;
+
+    let t0 = Instant::now();
+    let deadline = t0 + cfg.deadline;
+
+    while completed + errors < sent || sent < cfg.batches {
+        let now = Instant::now();
+        if now >= deadline {
+            break;
+        }
+
+        // Encode every batch that is due, on schedule, regardless of
+        // drain state — the open-loop contract.
+        while sent < cfg.batches {
+            let intended = t0 + interval.mul_f64(sent as f64);
+            if intended > now {
+                break;
+            }
+            let ci = (sent % cfg.conns as u64) as usize;
+            generate_batch(cfg.seed, sent, cfg.batch, info.n, &mut queries);
+            let req = Request::QueryBatch(queries.clone());
+            req.encode(conns[ci].outbox.encode_mut(), sent)?;
+            pending.insert(sent, intended);
+            sent += 1;
+            flush(&mut conns[ci])?;
+            reconcile_interest(&mut poller, ci, &mut conns[ci]).map_err(NetError::Io)?;
+        }
+
+        // Sleep until the next arrival or the next readiness event.
+        let timeout = if sent < cfg.batches {
+            let next = t0 + interval.mul_f64(sent as f64);
+            next.saturating_duration_since(Instant::now())
+                .min(Duration::from_millis(100))
+        } else {
+            Duration::from_millis(100)
+        };
+        events.clear();
+        poller
+            .wait(&mut events, Some(timeout))
+            .map_err(NetError::Io)?;
+
+        for &ev in &events {
+            let ci = ev.token.0 as usize;
+            if ci >= conns.len() {
+                continue;
+            }
+            if ev.writable {
+                flush(&mut conns[ci])?;
+            }
+            if ev.readable {
+                read_responses(
+                    &mut conns[ci],
+                    &mut scratch,
+                    &mut pending,
+                    &mut latencies,
+                    &mut completed,
+                    &mut errors,
+                    &mut checksum,
+                )?;
+            }
+            reconcile_interest(&mut poller, ci, &mut conns[ci]).map_err(NetError::Io)?;
+        }
+    }
+    let wall = t0.elapsed();
+
+    if latencies.is_empty() {
+        return Err(NetError::InvalidConfig(
+            "no batches completed before the deadline".into(),
+        ));
+    }
+    latencies.sort_unstable();
+    let pct = |q: f64| -> Duration {
+        let idx = ((latencies.len() - 1) as f64 * q).round() as usize;
+        latencies[idx]
+    };
+    Ok(NetBenchReport {
+        conns: cfg.conns,
+        sent,
+        completed,
+        errors,
+        wall,
+        target_rate: cfg.rate,
+        achieved_rate: completed as f64 / wall.as_secs_f64().max(1e-12),
+        query_throughput: (completed * cfg.batch as u64) as f64 / wall.as_secs_f64().max(1e-12),
+        p50: pct(0.50),
+        p95: pct(0.95),
+        p99: pct(0.99),
+        max: *latencies.last().expect("non-empty"),
+        checksum,
+    })
+}
+
+fn flush(conn: &mut BenchConn) -> Result<(), NetError> {
+    loop {
+        if conn.outbox.is_empty() {
+            return Ok(());
+        }
+        match conn.stream.write(conn.outbox.as_slice()) {
+            Ok(0) => return Err(NetError::Disconnected),
+            Ok(n) => conn.outbox.advance(n),
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn read_responses(
+    conn: &mut BenchConn,
+    scratch: &mut [u8],
+    pending: &mut HashMap<u64, Instant>,
+    latencies: &mut Vec<Duration>,
+    completed: &mut u64,
+    errors: &mut u64,
+    checksum: &mut u64,
+) -> Result<(), NetError> {
+    loop {
+        match conn.stream.read(scratch) {
+            Ok(0) => return Err(NetError::Disconnected),
+            Ok(n) => {
+                conn.decoder.push(&scratch[..n]);
+                while let Some(frame) = conn.decoder.next_frame()? {
+                    let resp = Response::from_frame(&frame)?;
+                    let Some(intended) = pending.remove(&frame.request_id) else {
+                        continue; // unsolicited id; ignore
+                    };
+                    // Latency from the *intended* send instant.
+                    latencies.push(intended.elapsed());
+                    match resp {
+                        Response::Answers(answers) => {
+                            *completed += 1;
+                            let mut fold = 0u64;
+                            for a in answers {
+                                fold = fold.rotate_left(7).wrapping_add(a.checksum_word());
+                            }
+                            // Completion order varies run to run; an
+                            // id-keyed XOR keeps the fold deterministic.
+                            *checksum ^= fold.rotate_left((frame.request_id % 63) as u32);
+                        }
+                        _ => *errors += 1,
+                    }
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(e.into()),
+        }
+    }
+}
+
+fn reconcile_interest(
+    poller: &mut Poller,
+    token: usize,
+    conn: &mut BenchConn,
+) -> std::io::Result<()> {
+    let want = Interest {
+        readable: true,
+        writable: !conn.outbox.is_empty(),
+    };
+    if want != conn.interest {
+        poller.reregister(conn.stream.as_raw_fd(), Token(token as u64), want)?;
+        conn.interest = want;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{NetServer, ServeContext, ServerConfig};
+    use lbc_core::LbConfig;
+    use lbc_graph::generators;
+    use lbc_runtime::{Registry, WorkerPool};
+    use std::sync::Arc;
+
+    fn spawn_server() -> crate::server::ServerHandle {
+        let registry = Arc::new(Registry::with_capacity(4));
+        let (g, _) = generators::ring_of_cliques(4, 16, 0).unwrap();
+        registry.insert_graph("ring", g);
+        let ctx = ServeContext {
+            registry,
+            pool: Arc::new(WorkerPool::new(2)),
+            dataset: "ring".to_string(),
+            cfg: LbConfig::new(0.25, 60).with_seed(1),
+        };
+        NetServer::bind("127.0.0.1:0", ctx, ServerConfig::default()).unwrap()
+    }
+
+    #[test]
+    fn sixty_four_connections_through_one_reactor() {
+        // The acceptance shape: ≥ 64 concurrent connections, one
+        // reactor thread, open-loop latencies from intended send times.
+        let server = spawn_server();
+        let cfg = NetBenchConfig {
+            conns: 64,
+            rate: 2_000.0,
+            batches: 1_000,
+            batch: 16,
+            seed: 9,
+            deadline: Duration::from_secs(30),
+        };
+        let r = net_bench(server.addr(), &cfg).unwrap();
+        assert_eq!(r.sent, 1_000);
+        assert_eq!(r.completed, 1_000);
+        assert_eq!(r.errors, 0);
+        assert!(r.p50 <= r.p99 && r.p99 <= r.max);
+        let text = r.render();
+        assert!(text.contains("64 connections"), "{text}");
+        assert!(text.contains("p99"), "{text}");
+        server.shutdown();
+    }
+
+    #[test]
+    fn checksum_is_deterministic_across_runs() {
+        let server = spawn_server();
+        let cfg = NetBenchConfig {
+            conns: 8,
+            rate: 5_000.0,
+            batches: 400,
+            batch: 8,
+            seed: 3,
+            deadline: Duration::from_secs(30),
+        };
+        let a = net_bench(server.addr(), &cfg).unwrap();
+        let b = net_bench(server.addr(), &cfg).unwrap();
+        assert_eq!(a.checksum, b.checksum);
+        let c = net_bench(server.addr(), &NetBenchConfig { seed: 4, ..cfg }).unwrap();
+        assert_ne!(a.checksum, c.checksum);
+        server.shutdown();
+    }
+
+    #[test]
+    fn bad_configs_are_errors() {
+        let server = spawn_server();
+        for cfg in [
+            NetBenchConfig {
+                conns: 0,
+                ..Default::default()
+            },
+            NetBenchConfig {
+                batches: 0,
+                ..Default::default()
+            },
+            NetBenchConfig {
+                batch: 0,
+                ..Default::default()
+            },
+            NetBenchConfig {
+                rate: 0.0,
+                ..Default::default()
+            },
+            NetBenchConfig {
+                rate: f64::NAN,
+                ..Default::default()
+            },
+        ] {
+            assert!(matches!(
+                net_bench(server.addr(), &cfg),
+                Err(NetError::InvalidConfig(_))
+            ));
+        }
+        server.shutdown();
+    }
+}

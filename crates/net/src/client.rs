@@ -1,0 +1,132 @@
+//! Blocking client for the `lbc-net` protocol.
+//!
+//! One request in flight at a time (send, then read frames until the
+//! matching request id arrives). The reactor-side machinery is not
+//! needed here: a client that wants an answer before asking the next
+//! question is exactly a blocking socket. The open-loop load
+//! generator, which *does* pipeline, drives raw nonblocking sockets
+//! through the [`crate::poll::Poller`] instead (see [`crate::bench`]).
+
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+use lbc_graph::GraphDelta;
+use lbc_runtime::{Answer, CacheStats, Query};
+
+use crate::error::NetError;
+use crate::wire::{DeltaSummary, FrameDecoder, Request, Response, ServerInfo};
+
+/// Blocking protocol client.
+pub struct NetClient {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    next_id: u64,
+    buf: Vec<u8>,
+}
+
+impl NetClient {
+    /// Connect to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<NetClient, NetError> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(NetClient::from_stream(stream))
+    }
+
+    /// Connect with a timeout (also applied as the read timeout, so a
+    /// hung server surfaces as an error instead of a hang).
+    pub fn connect_timeout(addr: &SocketAddr, timeout: Duration) -> Result<NetClient, NetError> {
+        let stream = TcpStream::connect_timeout(addr, timeout)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(timeout))?;
+        Ok(NetClient::from_stream(stream))
+    }
+
+    fn from_stream(stream: TcpStream) -> NetClient {
+        NetClient {
+            stream,
+            decoder: FrameDecoder::new(),
+            next_id: 0,
+            buf: vec![0u8; 64 * 1024],
+        }
+    }
+
+    /// Round-trip one request.
+    pub fn call(&mut self, req: &Request) -> Result<Response, NetError> {
+        use std::io::{Read, Write};
+        let id = self.next_id;
+        self.next_id += 1;
+        let mut out = Vec::new();
+        req.encode(&mut out, id)?;
+        self.stream.write_all(&out)?;
+        loop {
+            if let Some(frame) = self.decoder.next_frame()? {
+                let resp = Response::from_frame(&frame)?;
+                if frame.request_id != id {
+                    // Stale response from an abandoned earlier call;
+                    // skip (request ids are strictly increasing).
+                    continue;
+                }
+                if let Response::Error { code, message } = resp {
+                    return Err(NetError::Server { code, message });
+                }
+                return Ok(resp);
+            }
+            let n = self.stream.read(&mut self.buf)?;
+            if n == 0 {
+                return Err(NetError::Disconnected);
+            }
+            self.decoder.push(&self.buf[..n]);
+        }
+    }
+
+    /// Execute a batch of membership queries (answers in order).
+    pub fn query_batch(&mut self, qs: &[Query]) -> Result<Vec<Answer>, NetError> {
+        match self.call(&Request::QueryBatch(qs.to_vec()))? {
+            Response::Answers(a) => Ok(a),
+            other => Err(NetError::UnexpectedResponse {
+                opcode: other.opcode(),
+            }),
+        }
+    }
+
+    /// Submit a graph delta; the server re-clusters warm and answers
+    /// with the patched shape + warm-round count.
+    pub fn submit_delta(&mut self, delta: &GraphDelta) -> Result<DeltaSummary, NetError> {
+        match self.call(&Request::SubmitDelta(delta.clone()))? {
+            Response::DeltaDone(s) => Ok(s),
+            other => Err(NetError::UnexpectedResponse {
+                opcode: other.opcode(),
+            }),
+        }
+    }
+
+    /// Fetch the registry's cache counters.
+    pub fn cache_stats(&mut self) -> Result<CacheStats, NetError> {
+        match self.call(&Request::CacheStats)? {
+            Response::CacheStats(s) => Ok(s),
+            other => Err(NetError::UnexpectedResponse {
+                opcode: other.opcode(),
+            }),
+        }
+    }
+
+    /// Fetch the served dataset's shape.
+    pub fn info(&mut self) -> Result<ServerInfo, NetError> {
+        match self.call(&Request::Info)? {
+            Response::Info(i) => Ok(i),
+            other => Err(NetError::UnexpectedResponse {
+                opcode: other.opcode(),
+            }),
+        }
+    }
+
+    /// Liveness probe.
+    pub fn ping(&mut self) -> Result<(), NetError> {
+        match self.call(&Request::Ping)? {
+            Response::Pong => Ok(()),
+            other => Err(NetError::UnexpectedResponse {
+                opcode: other.opcode(),
+            }),
+        }
+    }
+}

@@ -1,0 +1,154 @@
+//! Typed errors for the wire protocol and the serving layer.
+//!
+//! The hard rule, enforced by the protocol proptests: adversarial
+//! bytes — corrupt, truncated, oversized, or simply garbage — surface
+//! as [`WireError`]s, **never** as panics. A wire error is fatal for
+//! its connection (once framing is lost the stream cannot be
+//! re-synchronised), but never for the server.
+
+use std::fmt;
+
+/// Protocol-level decode failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The 4 magic bytes at a frame boundary were wrong — the peer is
+    /// not speaking this protocol (or the stream lost sync).
+    BadMagic { got: [u8; 4] },
+    /// Frame version this build does not understand.
+    UnsupportedVersion { got: u8 },
+    /// Reserved flag bits were set.
+    NonZeroFlags { got: u16 },
+    /// Declared payload length exceeds the negotiated maximum
+    /// (protects the decoder from attacker-controlled allocations).
+    Oversized { len: u32, max: u32 },
+    /// CRC-32 over header + payload did not match.
+    ChecksumMismatch { expected: u32, got: u32 },
+    /// Opcode byte names no known message.
+    BadOpcode { got: u8 },
+    /// A typed payload ended before its declared contents.
+    Truncated { opcode: u8 },
+    /// A typed payload had bytes left over after its declared contents.
+    TrailingBytes { opcode: u8, extra: usize },
+    /// A payload field held an invalid value (tag byte, count, …).
+    BadField { opcode: u8, what: &'static str },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::BadMagic { got } => write!(f, "bad frame magic {got:02x?}"),
+            WireError::UnsupportedVersion { got } => write!(f, "unsupported frame version {got}"),
+            WireError::NonZeroFlags { got } => write!(f, "reserved flag bits set: {got:#06x}"),
+            WireError::Oversized { len, max } => {
+                write!(f, "declared payload length {len} exceeds maximum {max}")
+            }
+            WireError::ChecksumMismatch { expected, got } => {
+                write!(
+                    f,
+                    "frame checksum mismatch: expected {expected:08x}, got {got:08x}"
+                )
+            }
+            WireError::BadOpcode { got } => write!(f, "unknown opcode {got:#04x}"),
+            WireError::Truncated { opcode } => {
+                write!(f, "payload truncated (opcode {opcode:#04x})")
+            }
+            WireError::TrailingBytes { opcode, extra } => {
+                write!(f, "{extra} trailing payload bytes (opcode {opcode:#04x})")
+            }
+            WireError::BadField { opcode, what } => {
+                write!(f, "invalid {what} field (opcode {opcode:#04x})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Error code carried by a `Response::Error` frame.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u16)]
+pub enum ErrorCode {
+    /// Request payload decoded but made no semantic sense.
+    BadRequest = 1,
+    /// A query addressed a node outside the served graph.
+    QueryFailed = 2,
+    /// A delta submission was rejected (validation or apply failure).
+    DeltaFailed = 3,
+    /// The server is shutting down.
+    ShuttingDown = 4,
+    /// The server's pending-delta queue is full; retry after earlier
+    /// submissions complete.
+    Busy = 5,
+}
+
+impl ErrorCode {
+    /// Decode from the wire (unknown codes are preserved as raw).
+    pub fn from_u16(v: u16) -> Option<ErrorCode> {
+        match v {
+            1 => Some(ErrorCode::BadRequest),
+            2 => Some(ErrorCode::QueryFailed),
+            3 => Some(ErrorCode::DeltaFailed),
+            4 => Some(ErrorCode::ShuttingDown),
+            5 => Some(ErrorCode::Busy),
+            _ => None,
+        }
+    }
+}
+
+/// Client- and server-side failure.
+#[derive(Debug)]
+pub enum NetError {
+    /// Socket-level failure.
+    Io(std::io::Error),
+    /// The peer closed the connection (EOF or reset) — the clean
+    /// "server died" signal the kill-9 e2e asserts on.
+    Disconnected,
+    /// Stream-level protocol violation.
+    Wire(WireError),
+    /// The server answered with an error frame.
+    Server { code: u16, message: String },
+    /// The server answered with a frame we did not ask for.
+    UnexpectedResponse { opcode: u8 },
+    /// Local configuration problem (bad rate, zero connections, …).
+    InvalidConfig(String),
+}
+
+impl fmt::Display for NetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetError::Io(e) => write!(f, "i/o error: {e}"),
+            NetError::Disconnected => write!(f, "peer disconnected"),
+            NetError::Wire(e) => write!(f, "wire protocol error: {e}"),
+            NetError::Server { code, message } => {
+                write!(f, "server error {code}: {message}")
+            }
+            NetError::UnexpectedResponse { opcode } => {
+                write!(f, "unexpected response opcode {opcode:#04x}")
+            }
+            NetError::InvalidConfig(msg) => write!(f, "invalid config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for NetError {}
+
+impl From<std::io::Error> for NetError {
+    fn from(e: std::io::Error) -> Self {
+        use std::io::ErrorKind;
+        // A peer that vanished (kill -9, RST) is a disconnect, not a
+        // generic i/o failure — clients match on this.
+        match e.kind() {
+            ErrorKind::ConnectionReset
+            | ErrorKind::ConnectionAborted
+            | ErrorKind::BrokenPipe
+            | ErrorKind::UnexpectedEof => NetError::Disconnected,
+            _ => NetError::Io(e),
+        }
+    }
+}
+
+impl From<WireError> for NetError {
+    fn from(e: WireError) -> Self {
+        NetError::Wire(e)
+    }
+}

@@ -1,0 +1,44 @@
+//! `lbc-net` — epoll-driven network serving layer for the cluster
+//! query engine, with a framed, checksummed binary wire protocol.
+//!
+//! The rest of the workspace answers queries in-process; this crate
+//! puts the engine on a socket so **one reactor thread serves many
+//! slow network clients** — the missing piece between `serve-bench`'s
+//! in-process numbers and a process real clients can talk to.
+//!
+//! * [`wire`] — the protocol: `magic + version + request-id + opcode +
+//!   len + crc32` frames carrying batched `SameCluster` / `ClusterOf` /
+//!   `ClusterSize` queries, delta submissions, cache stats, and info,
+//!   with incremental (partial-read tolerant) decode. Adversarial
+//!   bytes are typed [`WireError`]s, never panics — a property the
+//!   protocol proptests enforce byte by byte.
+//! * [`poll`] — readiness: raw-syscall `epoll` on Linux (no external
+//!   crates, matching the workspace's vendored-shim policy) plus a
+//!   documented degraded fallback elsewhere, and a pipe-based
+//!   [`poll::Waker`] so worker threads can interrupt a blocked wait.
+//! * [`server`] — the single-threaded reactor: nonblocking accept,
+//!   per-connection read/write buffers, bounded outboxes with
+//!   read-pause backpressure (a client that never reads stalls only
+//!   itself), query batches answered inline from the lock-free
+//!   [`lbc_runtime::ClusterHandle`], and delta re-clustering offloaded
+//!   to the [`lbc_runtime::WorkerPool`] via its completion-hook seam.
+//! * [`client`] — a small blocking client ([`NetClient`]) used by the
+//!   CLI, tests, and anyone who wants to talk to `lbc serve`.
+//! * [`bench`] — an **open-loop** network load generator
+//!   ([`net_bench`]): arrivals follow a fixed rate schedule and every
+//!   latency is measured from the *intended* send time, so queueing
+//!   delay under overload lands in the percentiles instead of being
+//!   coordinated-omission'd away.
+
+pub mod bench;
+pub mod client;
+pub mod error;
+pub mod poll;
+pub mod server;
+pub mod wire;
+
+pub use bench::{net_bench, NetBenchConfig, NetBenchReport};
+pub use client::NetClient;
+pub use error::{ErrorCode, NetError, WireError};
+pub use server::{NetServer, ServeContext, ServerConfig, ServerHandle, ServerStats};
+pub use wire::{encode_frame, DeltaSummary, Frame, FrameDecoder, Request, Response, ServerInfo};

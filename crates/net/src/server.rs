@@ -1,0 +1,950 @@
+//! Single-threaded reactor serving many connections over one epoll.
+//!
+//! One thread owns every connection. Each connection carries a
+//! [`FrameDecoder`] inbox and a cursor-tracked outbox; the reactor
+//! multiplexes them through [`Poller`] readiness events:
+//!
+//! * **Reads** drain the socket into the decoder and process complete
+//!   frames. Query batches are answered inline — they are lock-free
+//!   microsecond reads against the resident [`ClusterHandle`], so
+//!   bouncing them through a thread pool would only add latency.
+//! * **Writes** drain the outbox; write interest is registered only
+//!   while bytes are pending (interest re-registration keeps the hot
+//!   path to one `epoll_ctl` per transition, not per event).
+//! * **Backpressure**: when a connection's outbox exceeds
+//!   [`ServerConfig::outbox_cap`], the reactor *stops reading from
+//!   that connection* (drops its read interest). New requests stay in
+//!   the kernel's receive buffer, TCP flow control pushes back on the
+//!   client, and — crucially — the outbox never grows past
+//!   `cap + one response`, so a client that never reads cannot balloon
+//!   server memory or stall anyone else. Reading resumes once the
+//!   outbox drains below half the cap.
+//! * **Deltas** are the expensive operation (warm re-clustering), so
+//!   they run on the [`WorkerPool`] via
+//!   [`lbc_runtime::WorkerPool::submit_task`]: the reactor keeps
+//!   serving queries against the old clustering, the pool closure
+//!   pushes its result onto a completion queue and rings the
+//!   [`Waker`], and the reactor swaps in the refreshed handle when it
+//!   drains completions. Submissions are applied strictly in arrival
+//!   order (one in flight, the rest queued).
+
+use std::collections::{HashMap, VecDeque};
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::os::unix::io::AsRawFd;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+use lbc_core::LbConfig;
+use lbc_graph::GraphDelta;
+use lbc_runtime::{ClusterHandle, DeltaPolicy, QueryEngine, Registry, WorkerPool};
+
+use crate::error::{ErrorCode, NetError, WireError};
+use crate::poll::{waker_pair, Event, Interest, Poller, Token, WakeReceiver, Waker};
+use crate::wire::{DeltaSummary, FrameDecoder, Request, Response, ServerInfo, WriteBuf};
+
+const TOKEN_LISTENER: Token = Token(0);
+const TOKEN_WAKER: Token = Token(1);
+const FIRST_CONN_TOKEN: u64 = 2;
+
+/// Reactor tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Soft bound on a connection's pending response bytes; crossing
+    /// it pauses reads from that connection until the outbox drains
+    /// below half. Hard memory bound per connection is
+    /// `outbox_cap + one maximal response frame`.
+    pub outbox_cap: usize,
+    /// Connections beyond this are accepted and immediately closed.
+    pub max_conns: usize,
+    /// Read syscall granularity.
+    pub read_chunk: usize,
+    /// Per-frame payload cap handed to each connection's decoder.
+    pub max_payload: u32,
+    /// Largest node count a single delta may add. Edge counts are
+    /// naturally payload-proportional (8 bytes each), but the node
+    /// count is a bare integer — without this cap a 40-byte frame
+    /// could demand a multi-GB allocation in `Graph::apply_delta`.
+    pub max_delta_nodes: usize,
+    /// Deltas queued behind the in-flight one before further
+    /// submissions are answered with a typed `Busy` error. Delta
+    /// requests produce no outbox bytes until they complete, so the
+    /// outbox-based backpressure alone would not bound this queue.
+    pub max_pending_deltas: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            outbox_cap: 256 * 1024,
+            max_conns: 1024,
+            read_chunk: 64 * 1024,
+            max_payload: crate::wire::DEFAULT_MAX_PAYLOAD,
+            max_delta_nodes: 1 << 20,
+            max_pending_deltas: 64,
+        }
+    }
+}
+
+/// What the reactor serves: a registry, the pool for expensive work,
+/// and the dataset/config to serve.
+#[derive(Clone)]
+pub struct ServeContext {
+    pub registry: Arc<Registry>,
+    pub pool: Arc<WorkerPool>,
+    pub dataset: String,
+    pub cfg: LbConfig,
+}
+
+/// Monotonic counters shared between the reactor and [`ServerHandle`].
+#[derive(Default)]
+struct StatsInner {
+    accepted: AtomicU64,
+    rejected: AtomicU64,
+    disconnected: AtomicU64,
+    active: AtomicUsize,
+    frames_in: AtomicU64,
+    frames_out: AtomicU64,
+    bytes_in: AtomicU64,
+    bytes_out: AtomicU64,
+    protocol_errors: AtomicU64,
+    deltas_applied: AtomicU64,
+    backpressure_pauses: AtomicU64,
+    /// High-water mark of any single connection's outbox, in bytes —
+    /// the backpressure test's bounded-memory witness.
+    outbox_hwm: AtomicU64,
+}
+
+/// Snapshot of the reactor's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    pub accepted: u64,
+    pub rejected: u64,
+    pub disconnected: u64,
+    pub active: usize,
+    pub frames_in: u64,
+    pub frames_out: u64,
+    pub bytes_in: u64,
+    pub bytes_out: u64,
+    pub protocol_errors: u64,
+    pub deltas_applied: u64,
+    pub backpressure_pauses: u64,
+    pub outbox_hwm: u64,
+}
+
+impl StatsInner {
+    fn snapshot(&self) -> ServerStats {
+        ServerStats {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            disconnected: self.disconnected.load(Ordering::Relaxed),
+            active: self.active.load(Ordering::Relaxed),
+            frames_in: self.frames_in.load(Ordering::Relaxed),
+            frames_out: self.frames_out.load(Ordering::Relaxed),
+            bytes_in: self.bytes_in.load(Ordering::Relaxed),
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
+            deltas_applied: self.deltas_applied.load(Ordering::Relaxed),
+            backpressure_pauses: self.backpressure_pauses.load(Ordering::Relaxed),
+            outbox_hwm: self.outbox_hwm.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Result of one offloaded delta, delivered through the completion
+/// queue + waker (the pool→reactor half of the completion-hook seam).
+struct DeltaDone {
+    token: u64,
+    request_id: u64,
+    result: Result<(DeltaSummary, ClusterHandle), String>,
+}
+
+struct Conn {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    outbox: WriteBuf,
+    interest: Interest,
+    /// Read interest withheld because the outbox crossed the cap.
+    paused: bool,
+}
+
+/// Running server: address, stats, and shutdown control. Dropping the
+/// handle shuts the reactor down.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    stats: Arc<StatsInner>,
+    stop: Arc<AtomicBool>,
+    waker: Waker,
+    join: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// Actual bound address (resolves `--listen 127.0.0.1:0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> ServerStats {
+        self.stats.snapshot()
+    }
+
+    /// Ask the reactor to exit and wait for it.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    /// Block until the reactor exits on its own (it doesn't, absent
+    /// shutdown — this is how `lbc serve` parks its main thread).
+    pub fn join(mut self) {
+        if let Some(j) = self.join.take() {
+            let _ = j.join();
+        }
+    }
+
+    fn stop_and_join(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        self.waker.wake();
+        if let Some(j) = self.join.take() {
+            let _ = j.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+/// The serving reactor. Construct with [`NetServer::bind`], which
+/// clusters the dataset (on the pool), binds the listener, and spawns
+/// the reactor thread.
+pub struct NetServer;
+
+impl NetServer {
+    /// Cluster `ctx.dataset` (cache hit if already resident), bind
+    /// `addr`, and spawn the reactor thread.
+    pub fn bind(
+        addr: &str,
+        ctx: ServeContext,
+        config: ServerConfig,
+    ) -> Result<ServerHandle, NetError> {
+        let engine = QueryEngine::new(Arc::clone(&ctx.registry));
+        let handle = engine
+            .handle_via_pool(&ctx.pool, &ctx.dataset, &ctx.cfg)
+            .map_err(|e| NetError::InvalidConfig(format!("clustering failed: {e}")))?;
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+
+        let stats = Arc::new(StatsInner::default());
+        let stop = Arc::new(AtomicBool::new(false));
+        let (waker, wake_rx) = waker_pair()?;
+
+        let mut reactor = Reactor {
+            listener,
+            wake_rx,
+            waker: waker.clone(),
+            poller: Poller::new()?,
+            conns: HashMap::new(),
+            next_token: FIRST_CONN_TOKEN,
+            handle,
+            ctx,
+            config,
+            stats: Arc::clone(&stats),
+            stop: Arc::clone(&stop),
+            completions: Arc::new(Mutex::new(VecDeque::new())),
+            pending_deltas: VecDeque::new(),
+            delta_inflight: false,
+            scratch: Vec::new(),
+        };
+        reactor.scratch.resize(reactor.config.read_chunk, 0);
+
+        let join = std::thread::Builder::new()
+            .name("lbc-net-reactor".to_string())
+            .spawn(move || reactor.run())
+            .map_err(NetError::Io)?;
+
+        Ok(ServerHandle {
+            addr: local,
+            stats,
+            stop,
+            waker,
+            join: Some(join),
+        })
+    }
+}
+
+struct Reactor {
+    listener: TcpListener,
+    wake_rx: WakeReceiver,
+    waker: Waker,
+    poller: Poller,
+    conns: HashMap<u64, Conn>,
+    next_token: u64,
+    /// The clustering being served; swapped on delta completion.
+    handle: ClusterHandle,
+    ctx: ServeContext,
+    config: ServerConfig,
+    stats: Arc<StatsInner>,
+    stop: Arc<AtomicBool>,
+    completions: Arc<Mutex<VecDeque<DeltaDone>>>,
+    pending_deltas: VecDeque<(u64, u64, GraphDelta)>,
+    delta_inflight: bool,
+    scratch: Vec<u8>,
+}
+
+impl Reactor {
+    fn run(&mut self) {
+        if let Err(e) = self.event_loop() {
+            eprintln!("lbc-net reactor exiting on error: {e}");
+        }
+    }
+
+    fn event_loop(&mut self) -> io::Result<()> {
+        self.poller
+            .register(self.listener.as_raw_fd(), TOKEN_LISTENER, Interest::READ)?;
+        self.poller
+            .register(self.wake_rx.fd(), TOKEN_WAKER, Interest::READ)?;
+        let mut events: Vec<Event> = Vec::new();
+        while !self.stop.load(Ordering::SeqCst) {
+            events.clear();
+            self.poller
+                .wait(&mut events, Some(Duration::from_millis(500)))?;
+            for &ev in &events {
+                match ev.token {
+                    TOKEN_LISTENER => self.accept_ready()?,
+                    TOKEN_WAKER => {
+                        self.wake_rx.drain();
+                        self.drain_completions();
+                    }
+                    Token(t) => self.conn_ready(t, ev),
+                }
+            }
+            // A completion can land between drains; the waker makes the
+            // next wait return immediately in that case, so nothing is
+            // lost — but drain opportunistically to cut latency.
+            self.drain_completions();
+        }
+        Ok(())
+    }
+
+    fn accept_ready(&mut self) -> io::Result<()> {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    if self.conns.len() >= self.config.max_conns {
+                        self.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                        drop(stream);
+                        continue;
+                    }
+                    if stream.set_nonblocking(true).is_err() || stream.set_nodelay(true).is_err() {
+                        continue;
+                    }
+                    let token = self.next_token;
+                    self.next_token += 1;
+                    if self
+                        .poller
+                        .register(stream.as_raw_fd(), Token(token), Interest::READ)
+                        .is_err()
+                    {
+                        continue;
+                    }
+                    self.conns.insert(
+                        token,
+                        Conn {
+                            stream,
+                            decoder: FrameDecoder::with_max_payload(self.config.max_payload),
+                            outbox: WriteBuf::new(),
+                            interest: Interest::READ,
+                            paused: false,
+                        },
+                    );
+                    self.stats.accepted.fetch_add(1, Ordering::Relaxed);
+                    self.stats.active.store(self.conns.len(), Ordering::Relaxed);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(()),
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    fn conn_ready(&mut self, token: u64, ev: Event) {
+        if !self.conns.contains_key(&token) {
+            return; // already closed this tick
+        }
+        let mut close = false;
+        if ev.writable {
+            close |= !self.flush_conn(token);
+        }
+        if !close && ev.readable {
+            close |= !self.read_conn(token);
+        }
+        if close {
+            self.close_conn(token);
+        } else {
+            self.update_interest(token);
+        }
+    }
+
+    /// Read until `WouldBlock`, feeding the decoder and processing
+    /// frames (which may pause further reads). Returns false when the
+    /// connection must close.
+    fn read_conn(&mut self, token: u64) -> bool {
+        // Detach the scratch buffer so the connection and the buffer
+        // can be borrowed simultaneously.
+        let mut scratch = std::mem::take(&mut self.scratch);
+        let ok = self.read_conn_inner(token, &mut scratch);
+        self.scratch = scratch;
+        ok
+    }
+
+    fn read_conn_inner(&mut self, token: u64, scratch: &mut [u8]) -> bool {
+        loop {
+            let conn = match self.conns.get_mut(&token) {
+                Some(c) => c,
+                None => return true,
+            };
+            if conn.paused {
+                // Backpressured: leave bytes in the kernel buffer.
+                return true;
+            }
+            match conn.stream.read(scratch) {
+                Ok(0) => return false, // clean EOF
+                Ok(n) => {
+                    self.stats.bytes_in.fetch_add(n as u64, Ordering::Relaxed);
+                    conn.decoder.push(&scratch[..n]);
+                    if !self.process_frames(token) {
+                        return false;
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return true,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return false,
+            }
+        }
+    }
+
+    /// Decode and serve complete frames until the inbox runs dry or the
+    /// outbox crosses the cap (→ pause). Returns false on a protocol
+    /// error (fatal for the connection).
+    fn process_frames(&mut self, token: u64) -> bool {
+        loop {
+            // Backpressure gate: stop *processing* (and reading) while
+            // the client is not draining responses.
+            let outbox_len = match self.conns.get(&token) {
+                Some(c) => c.outbox.pending(),
+                None => return true,
+            };
+            if outbox_len >= self.config.outbox_cap {
+                let conn = self.conns.get_mut(&token).unwrap();
+                if !conn.paused {
+                    conn.paused = true;
+                    self.stats
+                        .backpressure_pauses
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                return true;
+            }
+            let frame = match self.conns.get_mut(&token).unwrap().decoder.next_frame() {
+                Ok(Some(f)) => f,
+                Ok(None) => return true,
+                Err(_) => {
+                    self.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                    return false;
+                }
+            };
+            self.stats.frames_in.fetch_add(1, Ordering::Relaxed);
+            let request_id = frame.request_id;
+            match Request::from_frame(&frame) {
+                Ok(req) => {
+                    if !self.handle_request(token, request_id, req) {
+                        return false;
+                    }
+                }
+                Err(WireError::BadOpcode { .. })
+                | Err(WireError::Truncated { .. })
+                | Err(WireError::TrailingBytes { .. })
+                | Err(WireError::BadField { .. }) => {
+                    // The frame itself was sound (checksum passed), so
+                    // framing is intact: answer with a typed error and
+                    // keep the connection.
+                    self.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                    self.enqueue_response(
+                        token,
+                        request_id,
+                        &Response::Error {
+                            code: ErrorCode::BadRequest as u16,
+                            message: "malformed request payload".to_string(),
+                        },
+                    );
+                }
+                Err(_) => {
+                    self.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                    return false;
+                }
+            }
+        }
+    }
+
+    /// Serve one request. Returns false only when the connection must
+    /// close.
+    fn handle_request(&mut self, token: u64, request_id: u64, req: Request) -> bool {
+        let resp = match req {
+            Request::QueryBatch(qs) => match self.handle.execute_batch(&qs) {
+                Ok(answers) => Response::Answers(answers),
+                Err(e) => Response::Error {
+                    code: ErrorCode::QueryFailed as u16,
+                    message: e.to_string(),
+                },
+            },
+            Request::SubmitDelta(delta) => {
+                if delta.added_nodes() > self.config.max_delta_nodes {
+                    // The wire format bounds edge lists by payload
+                    // size, but the node count is a bare integer: cap
+                    // it here before it reaches Graph::apply_delta's
+                    // allocations.
+                    let resp = Response::Error {
+                        code: ErrorCode::BadRequest as u16,
+                        message: format!(
+                            "delta adds {} nodes, limit is {}",
+                            delta.added_nodes(),
+                            self.config.max_delta_nodes
+                        ),
+                    };
+                    self.enqueue_response(token, request_id, &resp);
+                    return true;
+                }
+                if self.delta_inflight
+                    && self.pending_deltas.len() >= self.config.max_pending_deltas
+                {
+                    let resp = Response::Error {
+                        code: ErrorCode::Busy as u16,
+                        message: format!(
+                            "{} deltas already queued; retry later",
+                            self.pending_deltas.len()
+                        ),
+                    };
+                    self.enqueue_response(token, request_id, &resp);
+                    return true;
+                }
+                self.pending_deltas.push_back((token, request_id, delta));
+                self.submit_next_delta();
+                return true; // response arrives via completion
+            }
+            Request::CacheStats => Response::CacheStats(self.ctx.registry.stats()),
+            Request::Info => {
+                let (n, m) = match self.ctx.registry.graph(&self.ctx.dataset) {
+                    Ok(g) => (g.n() as u64, g.m() as u64),
+                    Err(_) => (self.handle.n() as u64, 0),
+                };
+                Response::Info(ServerInfo {
+                    dataset: self.ctx.dataset.clone(),
+                    n,
+                    m,
+                    k: self.handle.k() as u32,
+                })
+            }
+            Request::Ping => Response::Pong,
+        };
+        self.enqueue_response(token, request_id, &resp);
+        true
+    }
+
+    /// Launch the oldest queued delta on the pool, if none is in
+    /// flight. Strictly serialised: deltas apply in arrival order.
+    fn submit_next_delta(&mut self) {
+        if self.delta_inflight {
+            return;
+        }
+        let Some((token, request_id, delta)) = self.pending_deltas.pop_front() else {
+            return;
+        };
+        self.delta_inflight = true;
+        let registry = Arc::clone(&self.ctx.registry);
+        let dataset = self.ctx.dataset.clone();
+        let cfg = self.ctx.cfg.clone();
+        let completions = Arc::clone(&self.completions);
+        let waker = self.waker.clone();
+        self.ctx.pool.submit_task("net-delta", move || {
+            // The completion push + wake MUST happen even if the delta
+            // machinery panics: the reactor's `delta_inflight` flag is
+            // reset only by a completion, so a lost one would wedge
+            // every future submission. The pool contains the panic for
+            // the worker; this contains it for the protocol.
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                registry
+                    .apply_delta(
+                        &dataset,
+                        &delta,
+                        &DeltaPolicy::WarmRefresh(Default::default()),
+                    )
+                    .map_err(|e| e.to_string())
+                    .and_then(|rep| {
+                        // WarmRefresh keeps the entry resident; a fallback
+                        // invalidation re-clusters here so the reactor
+                        // always swaps to a handle for the *patched* graph.
+                        let out = match registry.cached(&dataset, &cfg) {
+                            Some(out) => out,
+                            None => registry
+                                .get_or_cluster(&dataset, &cfg)
+                                .map_err(|e| e.to_string())?,
+                        };
+                        Ok((
+                            DeltaSummary {
+                                n: rep.n as u64,
+                                m: rep.m as u64,
+                                refreshed: rep.refreshed as u64,
+                                invalidated: rep.invalidated as u64,
+                                warm_rounds: rep.warm_rounds as u64,
+                                unconverged: rep.unconverged as u64,
+                            },
+                            ClusterHandle::new(out),
+                        ))
+                    })
+            }));
+            let result = match outcome {
+                Ok(r) => r,
+                Err(_) => Err("delta application panicked".to_string()),
+            };
+            completions.lock().unwrap().push_back(DeltaDone {
+                token,
+                request_id,
+                result,
+            });
+            waker.wake();
+        });
+    }
+
+    /// Apply finished deltas: swap the served handle, answer the
+    /// submitter, start the next queued delta.
+    fn drain_completions(&mut self) {
+        loop {
+            let done = match self.completions.lock().unwrap().pop_front() {
+                Some(d) => d,
+                None => break,
+            };
+            self.delta_inflight = false;
+            let resp = match done.result {
+                Ok((summary, new_handle)) => {
+                    self.handle = new_handle;
+                    self.stats.deltas_applied.fetch_add(1, Ordering::Relaxed);
+                    Response::DeltaDone(summary)
+                }
+                Err(msg) => Response::Error {
+                    code: ErrorCode::DeltaFailed as u16,
+                    message: msg,
+                },
+            };
+            // The submitter may have disconnected meanwhile; fine.
+            if self.conns.contains_key(&done.token) {
+                self.enqueue_response(done.token, done.request_id, &resp);
+                self.update_interest(done.token);
+            }
+            self.submit_next_delta();
+        }
+    }
+
+    /// Encode a response into the connection's outbox and try to flush
+    /// it immediately (saves an epoll round trip for the common case).
+    fn enqueue_response(&mut self, token: u64, request_id: u64, resp: &Response) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        if resp.encode(conn.outbox.encode_mut(), request_id).is_err() {
+            // Response larger than a frame allows — only conceivable
+            // for absurd batch sizes; drop the connection rather than
+            // send garbage.
+            self.close_conn(token);
+            return;
+        }
+        self.stats.frames_out.fetch_add(1, Ordering::Relaxed);
+        let hwm = self
+            .conns
+            .get(&token)
+            .map(|c| c.outbox.pending())
+            .unwrap_or(0) as u64;
+        self.stats.outbox_hwm.fetch_max(hwm, Ordering::Relaxed);
+        if !self.flush_conn(token) {
+            self.close_conn(token);
+        }
+    }
+
+    /// Drain the outbox as far as the socket allows; resume reading if
+    /// the backlog fell below the low-water mark. Returns false when
+    /// the connection must close.
+    fn flush_conn(&mut self, token: u64) -> bool {
+        loop {
+            let conn = match self.conns.get_mut(&token) {
+                Some(c) => c,
+                None => return true,
+            };
+            if conn.outbox.is_empty() {
+                break;
+            }
+            match conn.stream.write(conn.outbox.as_slice()) {
+                Ok(0) => return false,
+                Ok(n) => {
+                    conn.outbox.advance(n);
+                    self.stats.bytes_out.fetch_add(n as u64, Ordering::Relaxed);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return false,
+            }
+        }
+        // Low-water resume: the client started draining again, so
+        // process whatever piled up in its decoder and re-open reads.
+        let resume = {
+            let conn = self.conns.get_mut(&token).unwrap();
+            if conn.paused && conn.outbox.pending() < self.config.outbox_cap / 2 {
+                conn.paused = false;
+                true
+            } else {
+                false
+            }
+        };
+        if resume && !self.process_frames(token) {
+            return false;
+        }
+        true
+    }
+
+    /// Reconcile the poller's interest set with the connection state:
+    /// read iff not paused, write iff the outbox has bytes.
+    fn update_interest(&mut self, token: u64) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        let want = Interest {
+            readable: !conn.paused,
+            writable: !conn.outbox.is_empty(),
+        };
+        if want != conn.interest {
+            let fd = conn.stream.as_raw_fd();
+            if self.poller.reregister(fd, Token(token), want).is_ok() {
+                conn.interest = want;
+            }
+        }
+    }
+
+    fn close_conn(&mut self, token: u64) {
+        if let Some(conn) = self.conns.remove(&token) {
+            let _ = self
+                .poller
+                .deregister(conn.stream.as_raw_fd(), Token(token));
+            self.stats.disconnected.fetch_add(1, Ordering::Relaxed);
+            self.stats.active.store(self.conns.len(), Ordering::Relaxed);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::NetClient;
+    use lbc_graph::generators;
+    use lbc_runtime::{Answer, Query};
+
+    fn serve_ring() -> (ServerHandle, ClusterHandle, Arc<Registry>) {
+        let registry = Arc::new(Registry::with_capacity(4));
+        let (g, _) = generators::ring_of_cliques(3, 8, 0).unwrap();
+        registry.insert_graph("ring", g);
+        let cfg = LbConfig::new(1.0 / 3.0, 60).with_seed(2);
+        let pool = Arc::new(WorkerPool::new(2));
+        let ctx = ServeContext {
+            registry: Arc::clone(&registry),
+            pool,
+            dataset: "ring".to_string(),
+            cfg: cfg.clone(),
+        };
+        let handle = NetServer::bind("127.0.0.1:0", ctx, ServerConfig::default()).unwrap();
+        let expected = ClusterHandle::new(registry.get_or_cluster("ring", &cfg).unwrap());
+        (handle, expected, registry)
+    }
+
+    #[test]
+    fn serves_query_batches_identical_to_in_process() {
+        let (server, expected, _registry) = serve_ring();
+        let mut client = NetClient::connect(server.addr()).unwrap();
+        let qs = vec![
+            Query::SameCluster(0, 1),
+            Query::SameCluster(0, 20),
+            Query::ClusterOf(5),
+            Query::ClusterSize(17),
+        ];
+        let got = client.query_batch(&qs).unwrap();
+        let want = expected.execute_batch(&qs).unwrap();
+        assert_eq!(got, want);
+        client.ping().unwrap();
+        let info = client.info().unwrap();
+        assert_eq!(info.dataset, "ring");
+        assert_eq!(info.n, expected.n() as u64);
+        server.shutdown();
+    }
+
+    #[test]
+    fn out_of_range_query_is_typed_server_error_not_drop() {
+        let (server, expected, _registry) = serve_ring();
+        let mut client = NetClient::connect(server.addr()).unwrap();
+        let bad = vec![Query::ClusterOf(expected.n() as u32 + 7)];
+        match client.query_batch(&bad) {
+            Err(NetError::Server { code, .. }) => {
+                assert_eq!(code, ErrorCode::QueryFailed as u16)
+            }
+            other => panic!("expected typed server error, got {other:?}"),
+        }
+        // The connection survives the error.
+        let ok = client.query_batch(&[Query::ClusterOf(0)]).unwrap();
+        assert_eq!(ok.len(), 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn delta_submission_recluster_and_swap() {
+        let (server, expected, _registry) = serve_ring();
+        let mut client = NetClient::connect(server.addr()).unwrap();
+        let n0 = client.info().unwrap().n;
+        let mut d = GraphDelta::new();
+        d.add_nodes(1);
+        d.add_edge(0, n0 as u32);
+        let summary = client.submit_delta(&d).unwrap();
+        assert_eq!(summary.n, n0 + 1);
+        assert_eq!(summary.refreshed, 1);
+        assert!(summary.warm_rounds > 0);
+        // The swapped handle serves the grown graph: the new node is
+        // queryable now.
+        let a = client.query_batch(&[Query::ClusterOf(n0 as u32)]).unwrap();
+        assert!(matches!(a[0], Answer::Label(_)));
+        assert_eq!(server.stats().deltas_applied, 1);
+        drop(expected);
+        server.shutdown();
+    }
+
+    #[test]
+    fn oversized_delta_node_count_is_rejected_before_allocation() {
+        // A ~40-byte frame claiming u32::MAX new nodes must come back
+        // as a typed error (not a multi-GB allocation on a worker).
+        let (server, _expected, _registry) = serve_ring();
+        let mut client = NetClient::connect(server.addr()).unwrap();
+        let mut d = GraphDelta::new();
+        d.add_nodes(u32::MAX as usize);
+        match client.submit_delta(&d) {
+            Err(NetError::Server { code, message }) => {
+                assert_eq!(code, ErrorCode::BadRequest as u16);
+                assert!(message.contains("limit"), "{message}");
+            }
+            other => panic!("expected typed rejection, got {other:?}"),
+        }
+        // The connection and server both survive.
+        client.ping().unwrap();
+        assert_eq!(server.stats().deltas_applied, 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn delta_queue_is_bounded_with_typed_busy_errors() {
+        let registry = Arc::new(Registry::with_capacity(4));
+        let (g, _) = lbc_graph::generators::ring_of_cliques(3, 8, 0).unwrap();
+        registry.insert_graph("ring", g);
+        let cfg = LbConfig::new(1.0 / 3.0, 60).with_seed(2);
+        let ctx = ServeContext {
+            registry: Arc::clone(&registry),
+            pool: Arc::new(WorkerPool::new(2)),
+            dataset: "ring".to_string(),
+            cfg,
+        };
+        let server = NetServer::bind(
+            "127.0.0.1:0",
+            ctx,
+            ServerConfig {
+                max_pending_deltas: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+
+        // Pipeline 32 delta submissions in one write burst: with one in
+        // flight (each takes ~ms) and a queue of 1, most must bounce
+        // with Busy — and every single one must get *some* response.
+        let mut stream = TcpStream::connect(server.addr()).unwrap();
+        let mut burst = Vec::new();
+        let total = 32u64;
+        for id in 0..total {
+            // The empty delta: always valid (identity warm refresh),
+            // so every non-bounced submission completes as DeltaDone.
+            crate::wire::Request::SubmitDelta(GraphDelta::new())
+                .encode(&mut burst, id)
+                .unwrap();
+        }
+        stream.write_all(&burst).unwrap();
+
+        let mut dec = FrameDecoder::new();
+        let mut buf = [0u8; 4096];
+        let mut done = 0u64;
+        let mut busy = 0u64;
+        stream
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        while done + busy < total {
+            let n = stream.read(&mut buf).unwrap();
+            assert!(n > 0, "server hung up mid-burst");
+            dec.push(&buf[..n]);
+            while let Some(f) = dec.next_frame().unwrap() {
+                match Response::from_frame(&f).unwrap() {
+                    Response::DeltaDone(_) => done += 1,
+                    Response::Error { code, .. } => {
+                        assert_eq!(code, ErrorCode::Busy as u16);
+                        busy += 1;
+                    }
+                    other => panic!("unexpected response {other:?}"),
+                }
+            }
+        }
+        assert!(done >= 1, "no delta ever ran");
+        assert!(busy >= 1, "queue never bounced: done = {done}");
+        assert_eq!(done + busy, total);
+        server.shutdown();
+    }
+
+    #[test]
+    fn garbage_bytes_close_the_connection_but_not_the_server() {
+        let (server, _expected, _registry) = serve_ring();
+        {
+            let mut s = TcpStream::connect(server.addr()).unwrap();
+            s.write_all(b"GET / HTTP/1.1\r\nHost: nope\r\n\r\n")
+                .unwrap();
+            // Server closes on us (EOF or reset) rather than dying.
+            let mut buf = [0u8; 64];
+            match s.read(&mut buf) {
+                Ok(0) | Err(_) => {}
+                Ok(n) => panic!("server answered {n} bytes to garbage"),
+            }
+        }
+        // And keeps serving others.
+        let mut client = NetClient::connect(server.addr()).unwrap();
+        client.ping().unwrap();
+        assert!(server.stats().protocol_errors >= 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn many_connections_one_reactor() {
+        let (server, expected, _registry) = serve_ring();
+        let qs = vec![Query::SameCluster(1, 2), Query::ClusterSize(0)];
+        let want = expected.execute_batch(&qs).unwrap();
+        let mut clients: Vec<NetClient> = (0..64)
+            .map(|_| NetClient::connect(server.addr()).unwrap())
+            .collect();
+        for c in &mut clients {
+            assert_eq!(c.query_batch(&qs).unwrap(), want);
+        }
+        assert_eq!(server.stats().accepted, 64);
+        assert_eq!(server.stats().active, 64);
+        drop(clients);
+        server.shutdown();
+    }
+}

@@ -1,0 +1,921 @@
+//! Framed, checksummed binary wire protocol.
+//!
+//! Every message travels as one frame:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic "LBCN"
+//! 4       1     version (currently 1)
+//! 5       1     opcode
+//! 6       2     flags, reserved, must be zero   (u16 LE)
+//! 8       8     request id                      (u64 LE)
+//! 16      4     payload length                  (u32 LE)
+//! 20      4     CRC-32/IEEE over bytes 0..20 ++ payload
+//! 24      len   payload
+//! ```
+//!
+//! The checksum covers the header fields *and* the payload, so a
+//! flipped bit anywhere in a frame — opcode, request id, length,
+//! payload — is caught (CRC-32 detects every burst error up to 32
+//! bits). Integers are little-endian; node ids are `u32`
+//! ([`lbc_graph::NodeId`]), matching the CSR the server reads from.
+//!
+//! Decoding is **incremental**: [`FrameDecoder`] accepts bytes in
+//! arbitrary chunks (the proptests feed it one byte at a time) and
+//! yields complete frames as they materialise. Encoding is a plain
+//! byte append; partial *writes* are the transport's concern — the
+//! reactor's per-connection outbox tracks a cursor and resumes
+//! mid-frame wherever the socket stopped accepting bytes.
+
+use lbc_graph::{GraphDelta, NodeId};
+use lbc_runtime::{Answer, CacheStats, Query};
+
+use crate::error::WireError;
+
+/// First four bytes of every frame.
+pub const MAGIC: [u8; 4] = *b"LBCN";
+/// Protocol version this build speaks.
+pub const VERSION: u8 = 1;
+/// Fixed frame-header size in bytes (payload follows).
+pub const HEADER_LEN: usize = 24;
+/// Default cap on a single frame's payload. Large enough for a 64k
+/// query batch (~9 bytes/query), small enough that a hostile declared
+/// length cannot balloon the decoder.
+pub const DEFAULT_MAX_PAYLOAD: u32 = 4 << 20;
+
+/// Request opcodes (high bit clear).
+pub mod opcode {
+    pub const QUERY_BATCH: u8 = 0x01;
+    pub const SUBMIT_DELTA: u8 = 0x02;
+    pub const CACHE_STATS: u8 = 0x03;
+    pub const INFO: u8 = 0x04;
+    pub const PING: u8 = 0x05;
+    /// Response opcodes (high bit set).
+    pub const ANSWERS: u8 = 0x81;
+    pub const DELTA_DONE: u8 = 0x82;
+    pub const STATS: u8 = 0x83;
+    pub const INFO_RESP: u8 = 0x84;
+    pub const PONG: u8 = 0x85;
+    pub const ERROR: u8 = 0xFF;
+}
+
+// ---------------------------------------------------------------------
+// CRC-32 (IEEE 802.3, reflected 0xEDB88320) — table built at compile
+// time, same shape as the store's CRC-64 but the 4-byte flavour the
+// frame header has room for.
+
+const CRC32_POLY: u32 = 0xEDB8_8320;
+
+const fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut r = i as u32;
+        let mut bit = 0;
+        while bit < 8 {
+            r = if r & 1 == 1 {
+                CRC32_POLY ^ (r >> 1)
+            } else {
+                r >> 1
+            };
+            bit += 1;
+        }
+        table[i] = r;
+        i += 1;
+    }
+    table
+}
+
+static CRC32_TABLE: [u32; 256] = crc32_table();
+
+/// Streaming CRC-32/IEEE: `crc32_update(crc32_update(!0, a), b)` equals
+/// `crc32_update(!0, a ++ b)`; finalise by inverting.
+fn crc32_update(mut c: u32, bytes: &[u8]) -> u32 {
+    for &b in bytes {
+        c = CRC32_TABLE[((c ^ b as u32) & 0xff) as usize] ^ (c >> 8);
+    }
+    c
+}
+
+/// CRC-32/IEEE of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    !crc32_update(!0, bytes)
+}
+
+// ---------------------------------------------------------------------
+// Frame encode
+
+/// One decoded frame: validated header + raw payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    pub opcode: u8,
+    pub request_id: u64,
+    pub payload: Vec<u8>,
+}
+
+/// Encode one frame into `out` (appended; the caller owns framing
+/// order). The only failure mode is an oversized payload.
+pub fn encode_frame(
+    out: &mut Vec<u8>,
+    op: u8,
+    request_id: u64,
+    payload: &[u8],
+) -> Result<(), WireError> {
+    if payload.len() as u64 > DEFAULT_MAX_PAYLOAD as u64 {
+        return Err(WireError::Oversized {
+            len: payload.len() as u32,
+            max: DEFAULT_MAX_PAYLOAD,
+        });
+    }
+    let start = out.len();
+    out.extend_from_slice(&MAGIC);
+    out.push(VERSION);
+    out.push(op);
+    out.extend_from_slice(&0u16.to_le_bytes());
+    out.extend_from_slice(&request_id.to_le_bytes());
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    let crc = !crc32_update(crc32_update(!0, &out[start..start + 20]), payload);
+    out.extend_from_slice(&crc.to_le_bytes());
+    out.extend_from_slice(payload);
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Incremental frame decode
+
+/// Incremental (partial-read tolerant) frame decoder.
+///
+/// Feed arbitrary chunks with [`FrameDecoder::push`], then drain
+/// complete frames with [`FrameDecoder::next_frame`]. `Ok(None)` means
+/// "need more bytes"; any `Err` is fatal for the stream (framing can
+/// no longer be trusted).
+#[derive(Debug)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    /// Bytes of `buf` already consumed by yielded frames. Compacted
+    /// lazily so 1-byte pushes do not O(n²) the buffer.
+    pos: usize,
+    max_payload: u32,
+}
+
+impl Default for FrameDecoder {
+    fn default() -> Self {
+        FrameDecoder::new()
+    }
+}
+
+impl FrameDecoder {
+    /// Decoder with the default payload cap.
+    pub fn new() -> Self {
+        FrameDecoder::with_max_payload(DEFAULT_MAX_PAYLOAD)
+    }
+
+    /// Decoder with an explicit payload cap (tests use tiny caps).
+    pub fn with_max_payload(max_payload: u32) -> Self {
+        FrameDecoder {
+            buf: Vec::new(),
+            pos: 0,
+            max_payload,
+        }
+    }
+
+    /// Append raw bytes from the transport.
+    pub fn push(&mut self, bytes: &[u8]) {
+        // Compact before growing, once the dead prefix dominates.
+        if self.pos > 4096 && self.pos * 2 > self.buf.len() {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet consumed by a yielded frame.
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Try to yield the next complete frame.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, WireError> {
+        let avail = &self.buf[self.pos..];
+        if avail.len() < HEADER_LEN {
+            return Ok(None);
+        }
+        let header = &avail[..HEADER_LEN];
+        if header[0..4] != MAGIC {
+            return Err(WireError::BadMagic {
+                got: [header[0], header[1], header[2], header[3]],
+            });
+        }
+        if header[4] != VERSION {
+            return Err(WireError::UnsupportedVersion { got: header[4] });
+        }
+        let flags = u16::from_le_bytes([header[6], header[7]]);
+        if flags != 0 {
+            return Err(WireError::NonZeroFlags { got: flags });
+        }
+        let len = u32::from_le_bytes([header[16], header[17], header[18], header[19]]);
+        if len > self.max_payload {
+            return Err(WireError::Oversized {
+                len,
+                max: self.max_payload,
+            });
+        }
+        let total = HEADER_LEN + len as usize;
+        if avail.len() < total {
+            return Ok(None);
+        }
+        let declared = u32::from_le_bytes([header[20], header[21], header[22], header[23]]);
+        let actual = !crc32_update(crc32_update(!0, &avail[..20]), &avail[HEADER_LEN..total]);
+        if actual != declared {
+            return Err(WireError::ChecksumMismatch {
+                expected: declared,
+                got: actual,
+            });
+        }
+        let frame = Frame {
+            opcode: header[5],
+            request_id: u64::from_le_bytes(header[8..16].try_into().expect("8 bytes")),
+            payload: avail[HEADER_LEN..total].to_vec(),
+        };
+        self.pos += total;
+        Ok(Some(frame))
+    }
+}
+
+/// Cursor-tracked write buffer — the partial-write half of the
+/// protocol's incremental state machines. Encoders append whole
+/// frames; the transport drains from the cursor with however many
+/// bytes the socket accepts and resumes mid-frame; the dead prefix is
+/// compacted once it dominates.
+#[derive(Debug, Default)]
+pub struct WriteBuf {
+    buf: Vec<u8>,
+    pos: usize,
+}
+
+impl WriteBuf {
+    /// Empty buffer.
+    pub fn new() -> WriteBuf {
+        WriteBuf::default()
+    }
+
+    /// Bytes not yet drained.
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    /// Whether everything queued has been drained.
+    pub fn is_empty(&self) -> bool {
+        self.pending() == 0
+    }
+
+    /// The undrained bytes (pass to `write`).
+    pub fn as_slice(&self) -> &[u8] {
+        &self.buf[self.pos..]
+    }
+
+    /// Append-access to the underlying buffer for frame encoders.
+    pub fn encode_mut(&mut self) -> &mut Vec<u8> {
+        &mut self.buf
+    }
+
+    /// Mark `n` bytes as written to the transport.
+    pub fn advance(&mut self, n: usize) {
+        self.pos += n;
+        debug_assert!(self.pos <= self.buf.len());
+        if self.pos == self.buf.len() {
+            self.buf.clear();
+            self.pos = 0;
+        } else if self.pos > 64 * 1024 && self.pos * 2 > self.buf.len() {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Payload cursor helpers (strict: every read is bounds-checked and the
+// typed decoders demand exact consumption).
+
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    at: usize,
+    opcode: u8,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(bytes: &'a [u8], opcode: u8) -> Self {
+        Cursor {
+            bytes,
+            at: 0,
+            opcode,
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], WireError> {
+        let end = self
+            .at
+            .checked_add(n)
+            .filter(|&e| e <= self.bytes.len())
+            .ok_or(WireError::Truncated {
+                opcode: self.opcode,
+            })?;
+        let s = &self.bytes[self.at..end];
+        self.at = end;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u16(&mut self) -> Result<u16, WireError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("2")))
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4")))
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
+    }
+
+    fn finish(self) -> Result<(), WireError> {
+        if self.at != self.bytes.len() {
+            return Err(WireError::TrailingBytes {
+                opcode: self.opcode,
+                extra: self.bytes.len() - self.at,
+            });
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Typed messages
+
+/// A client → server message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Batched membership queries against the served clustering.
+    QueryBatch(Vec<Query>),
+    /// Mutate the served graph; the server re-clusters warm.
+    SubmitDelta(GraphDelta),
+    /// Registry cache counters.
+    CacheStats,
+    /// Served dataset shape (name, n, m, k) — what a load generator
+    /// needs before it can draw in-range queries.
+    Info,
+    /// Liveness probe.
+    Ping,
+}
+
+/// Served dataset description ([`Response::Info`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServerInfo {
+    pub dataset: String,
+    pub n: u64,
+    pub m: u64,
+    pub k: u32,
+}
+
+/// Outcome of a delta submission ([`Response::DeltaDone`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeltaSummary {
+    pub n: u64,
+    pub m: u64,
+    pub refreshed: u64,
+    pub invalidated: u64,
+    pub warm_rounds: u64,
+    pub unconverged: u64,
+}
+
+/// A server → client message.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Answers, one per query, in request order.
+    Answers(Vec<Answer>),
+    DeltaDone(DeltaSummary),
+    CacheStats(CacheStats),
+    Info(ServerInfo),
+    Pong,
+    /// Typed failure (the request id still echoes the request).
+    Error {
+        code: u16,
+        message: String,
+    },
+}
+
+const QUERY_SAME: u8 = 0;
+const QUERY_OF: u8 = 1;
+const QUERY_SIZE: u8 = 2;
+const ANSWER_BOOL: u8 = 0;
+const ANSWER_LABEL: u8 = 1;
+const ANSWER_SIZE: u8 = 2;
+
+impl Request {
+    /// Opcode this request travels under.
+    pub fn opcode(&self) -> u8 {
+        match self {
+            Request::QueryBatch(_) => opcode::QUERY_BATCH,
+            Request::SubmitDelta(_) => opcode::SUBMIT_DELTA,
+            Request::CacheStats => opcode::CACHE_STATS,
+            Request::Info => opcode::INFO,
+            Request::Ping => opcode::PING,
+        }
+    }
+
+    /// Serialise the payload (no frame header).
+    pub fn payload(&self) -> Vec<u8> {
+        let mut p = Vec::new();
+        match self {
+            Request::QueryBatch(qs) => {
+                p.extend_from_slice(&(qs.len() as u32).to_le_bytes());
+                for q in qs {
+                    match *q {
+                        Query::SameCluster(u, v) => {
+                            p.push(QUERY_SAME);
+                            p.extend_from_slice(&u.to_le_bytes());
+                            p.extend_from_slice(&v.to_le_bytes());
+                        }
+                        Query::ClusterOf(v) => {
+                            p.push(QUERY_OF);
+                            p.extend_from_slice(&v.to_le_bytes());
+                        }
+                        Query::ClusterSize(v) => {
+                            p.push(QUERY_SIZE);
+                            p.extend_from_slice(&v.to_le_bytes());
+                        }
+                    }
+                }
+            }
+            Request::SubmitDelta(d) => {
+                p.extend_from_slice(&(d.added_nodes() as u64).to_le_bytes());
+                for edges in [d.added_edges(), d.removed_edges()] {
+                    p.extend_from_slice(&(edges.len() as u32).to_le_bytes());
+                    for &(u, v) in edges {
+                        p.extend_from_slice(&u.to_le_bytes());
+                        p.extend_from_slice(&v.to_le_bytes());
+                    }
+                }
+            }
+            Request::CacheStats | Request::Info | Request::Ping => {}
+        }
+        p
+    }
+
+    /// Frame-encode into `out`.
+    pub fn encode(&self, out: &mut Vec<u8>, request_id: u64) -> Result<(), WireError> {
+        encode_frame(out, self.opcode(), request_id, &self.payload())
+    }
+
+    /// Parse a decoded frame back into a typed request.
+    pub fn from_frame(frame: &Frame) -> Result<Request, WireError> {
+        let op = frame.opcode;
+        let mut c = Cursor::new(&frame.payload, op);
+        let req = match op {
+            opcode::QUERY_BATCH => {
+                let count = c.u32()? as usize;
+                // Cheapest well-formed query is 5 bytes; a hostile
+                // count cannot force an allocation beyond the payload.
+                if count > frame.payload.len() / 5 + 1 {
+                    return Err(WireError::BadField {
+                        opcode: op,
+                        what: "query count",
+                    });
+                }
+                let mut qs = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let q = match c.u8()? {
+                        QUERY_SAME => {
+                            let u = c.u32()? as NodeId;
+                            let v = c.u32()? as NodeId;
+                            Query::SameCluster(u, v)
+                        }
+                        QUERY_OF => Query::ClusterOf(c.u32()? as NodeId),
+                        QUERY_SIZE => Query::ClusterSize(c.u32()? as NodeId),
+                        _ => {
+                            return Err(WireError::BadField {
+                                opcode: op,
+                                what: "query tag",
+                            })
+                        }
+                    };
+                    qs.push(q);
+                }
+                Request::QueryBatch(qs)
+            }
+            opcode::SUBMIT_DELTA => {
+                let added_nodes = c.u64()?;
+                if added_nodes > u32::MAX as u64 {
+                    return Err(WireError::BadField {
+                        opcode: op,
+                        what: "added node count",
+                    });
+                }
+                let mut d = GraphDelta::new();
+                d.add_nodes(added_nodes as usize);
+                for add in [true, false] {
+                    let count = c.u32()? as usize;
+                    if count > frame.payload.len() / 8 + 1 {
+                        return Err(WireError::BadField {
+                            opcode: op,
+                            what: "edge count",
+                        });
+                    }
+                    for _ in 0..count {
+                        let u = c.u32()? as NodeId;
+                        let v = c.u32()? as NodeId;
+                        if add {
+                            d.add_edge(u, v);
+                        } else {
+                            d.remove_edge(u, v);
+                        }
+                    }
+                }
+                Request::SubmitDelta(d)
+            }
+            opcode::CACHE_STATS => Request::CacheStats,
+            opcode::INFO => Request::Info,
+            opcode::PING => Request::Ping,
+            other => return Err(WireError::BadOpcode { got: other }),
+        };
+        c.finish()?;
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Opcode this response travels under.
+    pub fn opcode(&self) -> u8 {
+        match self {
+            Response::Answers(_) => opcode::ANSWERS,
+            Response::DeltaDone(_) => opcode::DELTA_DONE,
+            Response::CacheStats(_) => opcode::STATS,
+            Response::Info(_) => opcode::INFO_RESP,
+            Response::Pong => opcode::PONG,
+            Response::Error { .. } => opcode::ERROR,
+        }
+    }
+
+    /// Serialise the payload (no frame header).
+    pub fn payload(&self) -> Vec<u8> {
+        let mut p = Vec::new();
+        match self {
+            Response::Answers(answers) => {
+                p.extend_from_slice(&(answers.len() as u32).to_le_bytes());
+                for a in answers {
+                    match *a {
+                        Answer::Bool(b) => {
+                            p.push(ANSWER_BOOL);
+                            p.extend_from_slice(&u32::from(b).to_le_bytes());
+                        }
+                        Answer::Label(l) => {
+                            p.push(ANSWER_LABEL);
+                            p.extend_from_slice(&l.to_le_bytes());
+                        }
+                        Answer::Size(s) => {
+                            p.push(ANSWER_SIZE);
+                            p.extend_from_slice(&s.to_le_bytes());
+                        }
+                    }
+                }
+            }
+            Response::DeltaDone(d) => {
+                for v in [
+                    d.n,
+                    d.m,
+                    d.refreshed,
+                    d.invalidated,
+                    d.warm_rounds,
+                    d.unconverged,
+                ] {
+                    p.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+            Response::CacheStats(s) => {
+                for v in [
+                    s.hits,
+                    s.misses,
+                    s.inserts,
+                    s.evictions,
+                    s.refreshes,
+                    s.spills,
+                    s.loads,
+                    s.store_bytes,
+                ] {
+                    p.extend_from_slice(&v.to_le_bytes());
+                }
+            }
+            Response::Info(info) => {
+                p.extend_from_slice(&info.n.to_le_bytes());
+                p.extend_from_slice(&info.m.to_le_bytes());
+                p.extend_from_slice(&info.k.to_le_bytes());
+                let name = info.dataset.as_bytes();
+                let len = name.len().min(u16::MAX as usize);
+                p.extend_from_slice(&(len as u16).to_le_bytes());
+                p.extend_from_slice(&name[..len]);
+            }
+            Response::Pong => {}
+            Response::Error { code, message } => {
+                p.extend_from_slice(&code.to_le_bytes());
+                let msg = message.as_bytes();
+                let len = msg.len().min(u16::MAX as usize);
+                p.extend_from_slice(&(len as u16).to_le_bytes());
+                p.extend_from_slice(&msg[..len]);
+            }
+        }
+        p
+    }
+
+    /// Frame-encode into `out`.
+    pub fn encode(&self, out: &mut Vec<u8>, request_id: u64) -> Result<(), WireError> {
+        encode_frame(out, self.opcode(), request_id, &self.payload())
+    }
+
+    /// Parse a decoded frame back into a typed response.
+    pub fn from_frame(frame: &Frame) -> Result<Response, WireError> {
+        let op = frame.opcode;
+        let mut c = Cursor::new(&frame.payload, op);
+        let resp = match op {
+            opcode::ANSWERS => {
+                let count = c.u32()? as usize;
+                if count > frame.payload.len() / 5 + 1 {
+                    return Err(WireError::BadField {
+                        opcode: op,
+                        what: "answer count",
+                    });
+                }
+                let mut answers = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let tag = c.u8()?;
+                    let v = c.u32()?;
+                    let a = match tag {
+                        ANSWER_BOOL => match v {
+                            0 => Answer::Bool(false),
+                            1 => Answer::Bool(true),
+                            _ => {
+                                return Err(WireError::BadField {
+                                    opcode: op,
+                                    what: "bool answer",
+                                })
+                            }
+                        },
+                        ANSWER_LABEL => Answer::Label(v),
+                        ANSWER_SIZE => Answer::Size(v),
+                        _ => {
+                            return Err(WireError::BadField {
+                                opcode: op,
+                                what: "answer tag",
+                            })
+                        }
+                    };
+                    answers.push(a);
+                }
+                Response::Answers(answers)
+            }
+            opcode::DELTA_DONE => Response::DeltaDone(DeltaSummary {
+                n: c.u64()?,
+                m: c.u64()?,
+                refreshed: c.u64()?,
+                invalidated: c.u64()?,
+                warm_rounds: c.u64()?,
+                unconverged: c.u64()?,
+            }),
+            opcode::STATS => Response::CacheStats(CacheStats {
+                hits: c.u64()?,
+                misses: c.u64()?,
+                inserts: c.u64()?,
+                evictions: c.u64()?,
+                refreshes: c.u64()?,
+                spills: c.u64()?,
+                loads: c.u64()?,
+                store_bytes: c.u64()?,
+            }),
+            opcode::INFO_RESP => {
+                let n = c.u64()?;
+                let m = c.u64()?;
+                let k = c.u32()?;
+                let len = c.u16()? as usize;
+                let name = c.take(len)?;
+                let dataset =
+                    String::from_utf8(name.to_vec()).map_err(|_| WireError::BadField {
+                        opcode: op,
+                        what: "dataset name",
+                    })?;
+                Response::Info(ServerInfo { dataset, n, m, k })
+            }
+            opcode::PONG => Response::Pong,
+            opcode::ERROR => {
+                let code = c.u16()?;
+                let len = c.u16()? as usize;
+                let msg = c.take(len)?;
+                let message = String::from_utf8_lossy(msg).into_owned();
+                Response::Error { code, message }
+            }
+            other => return Err(WireError::BadOpcode { got: other }),
+        };
+        c.finish()?;
+        Ok(resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip_request(req: Request) {
+        let mut bytes = Vec::new();
+        req.encode(&mut bytes, 7).unwrap();
+        let mut dec = FrameDecoder::new();
+        dec.push(&bytes);
+        let frame = dec.next_frame().unwrap().expect("one frame");
+        assert_eq!(frame.request_id, 7);
+        assert_eq!(Request::from_frame(&frame).unwrap(), req);
+        assert!(dec.next_frame().unwrap().is_none());
+    }
+
+    fn roundtrip_response(resp: Response) {
+        let mut bytes = Vec::new();
+        resp.encode(&mut bytes, 99).unwrap();
+        let mut dec = FrameDecoder::new();
+        dec.push(&bytes);
+        let frame = dec.next_frame().unwrap().expect("one frame");
+        assert_eq!(frame.request_id, 99);
+        assert_eq!(Response::from_frame(&frame).unwrap(), resp);
+    }
+
+    #[test]
+    fn crc32_known_vector() {
+        // The canonical IEEE check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn request_roundtrips() {
+        roundtrip_request(Request::QueryBatch(vec![
+            Query::SameCluster(0, u32::MAX),
+            Query::ClusterOf(17),
+            Query::ClusterSize(3),
+        ]));
+        roundtrip_request(Request::QueryBatch(Vec::new()));
+        let mut d = GraphDelta::new();
+        d.add_nodes(2).add_edge(0, 9).remove_edge(4, 5);
+        roundtrip_request(Request::SubmitDelta(d));
+        roundtrip_request(Request::CacheStats);
+        roundtrip_request(Request::Info);
+        roundtrip_request(Request::Ping);
+    }
+
+    #[test]
+    fn response_roundtrips() {
+        roundtrip_response(Response::Answers(vec![
+            Answer::Bool(true),
+            Answer::Bool(false),
+            Answer::Label(42),
+            Answer::Size(1000),
+        ]));
+        roundtrip_response(Response::DeltaDone(DeltaSummary {
+            n: 1,
+            m: 2,
+            refreshed: 3,
+            invalidated: 4,
+            warm_rounds: 5,
+            unconverged: 0,
+        }));
+        roundtrip_response(Response::CacheStats(CacheStats {
+            hits: 10,
+            misses: 2,
+            ..Default::default()
+        }));
+        roundtrip_response(Response::Info(ServerInfo {
+            dataset: "ring-3x8".to_string(),
+            n: 24,
+            m: 87,
+            k: 3,
+        }));
+        roundtrip_response(Response::Pong);
+        roundtrip_response(Response::Error {
+            code: 2,
+            message: "node 99 out of range".to_string(),
+        });
+    }
+
+    #[test]
+    fn one_byte_chunks_decode_identically() {
+        let reqs = vec![
+            Request::Ping,
+            Request::QueryBatch(vec![Query::ClusterOf(5), Query::SameCluster(1, 2)]),
+            Request::CacheStats,
+        ];
+        let mut bytes = Vec::new();
+        for (i, r) in reqs.iter().enumerate() {
+            r.encode(&mut bytes, i as u64).unwrap();
+        }
+        let mut dec = FrameDecoder::new();
+        let mut seen = Vec::new();
+        for &b in &bytes {
+            dec.push(&[b]);
+            while let Some(f) = dec.next_frame().unwrap() {
+                seen.push(Request::from_frame(&f).unwrap());
+            }
+        }
+        assert_eq!(seen, reqs);
+        assert_eq!(dec.buffered(), 0);
+    }
+
+    #[test]
+    fn corrupt_magic_is_typed() {
+        let mut bytes = Vec::new();
+        Request::Ping.encode(&mut bytes, 0).unwrap();
+        bytes[0] ^= 0xFF;
+        let mut dec = FrameDecoder::new();
+        dec.push(&bytes);
+        assert!(matches!(dec.next_frame(), Err(WireError::BadMagic { .. })));
+    }
+
+    #[test]
+    fn corrupt_payload_is_checksum_mismatch() {
+        let mut bytes = Vec::new();
+        Request::QueryBatch(vec![Query::ClusterOf(5)])
+            .encode(&mut bytes, 0)
+            .unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01;
+        let mut dec = FrameDecoder::new();
+        dec.push(&bytes);
+        assert!(matches!(
+            dec.next_frame(),
+            Err(WireError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn oversized_length_is_rejected_before_allocation() {
+        let mut bytes = Vec::new();
+        Request::Ping.encode(&mut bytes, 0).unwrap();
+        bytes[16..20].copy_from_slice(&u32::MAX.to_le_bytes());
+        let mut dec = FrameDecoder::new();
+        dec.push(&bytes);
+        assert!(matches!(dec.next_frame(), Err(WireError::Oversized { .. })));
+    }
+
+    #[test]
+    fn truncated_stream_waits_rather_than_errors() {
+        let mut bytes = Vec::new();
+        Request::QueryBatch(vec![Query::ClusterOf(1)])
+            .encode(&mut bytes, 0)
+            .unwrap();
+        let mut dec = FrameDecoder::new();
+        dec.push(&bytes[..bytes.len() - 1]);
+        assert!(dec.next_frame().unwrap().is_none());
+        dec.push(&bytes[bytes.len() - 1..]);
+        assert!(dec.next_frame().unwrap().is_some());
+    }
+
+    #[test]
+    fn trailing_bytes_in_typed_payload_are_rejected() {
+        let mut payload = Request::Ping.payload();
+        payload.push(0);
+        let mut bytes = Vec::new();
+        encode_frame(&mut bytes, opcode::PING, 0, &payload).unwrap();
+        let mut dec = FrameDecoder::new();
+        dec.push(&bytes);
+        let f = dec.next_frame().unwrap().unwrap();
+        assert!(matches!(
+            Request::from_frame(&f),
+            Err(WireError::TrailingBytes { .. })
+        ));
+    }
+
+    #[test]
+    fn hostile_count_does_not_overallocate() {
+        // count = u32::MAX with a 4-byte payload: must error, not OOM.
+        let mut bytes = Vec::new();
+        encode_frame(&mut bytes, opcode::QUERY_BATCH, 0, &u32::MAX.to_le_bytes()).unwrap();
+        let mut dec = FrameDecoder::new();
+        dec.push(&bytes);
+        let f = dec.next_frame().unwrap().unwrap();
+        assert!(matches!(
+            Request::from_frame(&f),
+            Err(WireError::BadField { .. })
+        ));
+    }
+
+    #[test]
+    fn decoder_compacts_consumed_prefix() {
+        let mut bytes = Vec::new();
+        Request::Ping.encode(&mut bytes, 0).unwrap();
+        let mut dec = FrameDecoder::new();
+        for _ in 0..2000 {
+            dec.push(&bytes);
+            dec.next_frame().unwrap().unwrap();
+        }
+        // The dead prefix is reclaimed (at the 4 KiB compaction
+        // threshold), not grown without bound: 2000 frames is ~48 KiB
+        // of traffic through a buffer that stays under two thresholds.
+        assert!(dec.buf.len() <= 8192, "buf grew to {}", dec.buf.len());
+    }
+}

@@ -1,0 +1,154 @@
+//! Slow-client backpressure: a client that floods requests and never
+//! reads responses must (a) not stall other connections and (b) not
+//! grow the server's per-connection outbox past its bound.
+//!
+//! Mechanism under test: when a connection's outbox crosses
+//! `outbox_cap`, the reactor drops that connection's read interest, so
+//! unprocessed requests back up in kernel buffers and TCP flow control
+//! throttles the sender — while every other connection keeps its
+//! microsecond round trips.
+
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use lbc_core::LbConfig;
+use lbc_graph::generators;
+use lbc_net::{NetClient, NetServer, Request, ServeContext, ServerConfig};
+use lbc_runtime::{Query, Registry, WorkerPool};
+
+const OUTBOX_CAP: usize = 8 * 1024;
+
+fn spawn_small_outbox_server() -> lbc_net::ServerHandle {
+    let registry = Arc::new(Registry::with_capacity(4));
+    let (g, _) = generators::ring_of_cliques(3, 10, 0).unwrap();
+    registry.insert_graph("ring", g);
+    let ctx = ServeContext {
+        registry,
+        pool: Arc::new(WorkerPool::new(2)),
+        dataset: "ring".to_string(),
+        cfg: LbConfig::new(1.0 / 3.0, 60).with_seed(2),
+    };
+    NetServer::bind(
+        "127.0.0.1:0",
+        ctx,
+        ServerConfig {
+            outbox_cap: OUTBOX_CAP,
+            ..Default::default()
+        },
+    )
+    .unwrap()
+}
+
+/// The largest response a flood request can provoke, on the wire:
+/// header + count + 32 answers at 5 bytes. The server's hard memory
+/// bound per connection is `outbox_cap + one response`.
+const BATCH: usize = 32;
+const MAX_RESPONSE_FRAME: usize = 24 + 4 + BATCH * 5;
+
+#[test]
+fn dead_client_cannot_stall_others_or_balloon_the_outbox() {
+    let server = spawn_small_outbox_server();
+    let addr = server.addr();
+
+    // The dead client: nonblocking socket, writes query batches until
+    // both its own send buffer and the server's receive buffer are
+    // full, never reads a byte of response.
+    let dead = TcpStream::connect(addr).unwrap();
+    dead.set_nonblocking(true).unwrap();
+    let mut flood = Vec::new();
+    let qs: Vec<Query> = (0..BATCH as u32).map(Query::ClusterOf).collect();
+    Request::QueryBatch(qs.clone())
+        .encode(&mut flood, 0)
+        .unwrap();
+    let mut flooded: usize = 0;
+    // Partial writes must resume mid-frame, or the stream desyncs.
+    let mut off = 0usize;
+    let flood_deadline = Instant::now() + Duration::from_secs(10);
+    // Keep pushing until the kernel refuses more twice in a row with a
+    // settle pause between — the server has by then paused reads.
+    let mut consecutive_blocks = 0;
+    while consecutive_blocks < 2 && Instant::now() < flood_deadline {
+        match (&dead).write(&flood[off..]) {
+            Ok(n) => {
+                flooded += n;
+                off = (off + n) % flood.len();
+                consecutive_blocks = 0;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                consecutive_blocks += 1;
+                std::thread::sleep(Duration::from_millis(100));
+            }
+            Err(e) => panic!("flood write failed: {e}"),
+        }
+    }
+    assert!(
+        flooded > 4 * OUTBOX_CAP,
+        "flood too small to prove anything: {flooded} bytes"
+    );
+
+    // While the dead client is wedged, other connections make steady
+    // progress with sane latency.
+    let mut live = NetClient::connect(addr).unwrap();
+    let t0 = Instant::now();
+    let rounds = 200;
+    for i in 0..rounds {
+        let got = live
+            .query_batch(&[Query::ClusterOf(i % 30), Query::SameCluster(0, 1)])
+            .unwrap();
+        assert_eq!(got.len(), 2);
+    }
+    let elapsed = t0.elapsed();
+    assert!(
+        elapsed < Duration::from_secs(5),
+        "live client starved behind the dead one: {rounds} round trips took {elapsed:?}"
+    );
+
+    // Bounded memory: the outbox high-water mark never exceeded
+    // cap + one response frame, despite megabytes of flooded requests.
+    let stats = server.stats();
+    assert!(
+        stats.backpressure_pauses >= 1,
+        "server never paused the dead client: {stats:?}"
+    );
+    assert!(
+        stats.outbox_hwm as usize <= OUTBOX_CAP + MAX_RESPONSE_FRAME,
+        "outbox grew past its bound: hwm = {} > {} + {}",
+        stats.outbox_hwm,
+        OUTBOX_CAP,
+        MAX_RESPONSE_FRAME
+    );
+
+    // The dead client is stalled but not dropped: still an active conn.
+    assert!(stats.active >= 2, "dead client was evicted: {stats:?}");
+
+    // Recovery: once the dead client finally drains its responses, the
+    // server resumes reading and serves the backlog.
+    dead.set_nonblocking(false).unwrap();
+    dead.set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let mut sink = vec![0u8; 64 * 1024];
+    let mut drained = 0usize;
+    use std::io::Read;
+    let drain_deadline = Instant::now() + Duration::from_secs(20);
+    while drained < OUTBOX_CAP && Instant::now() < drain_deadline {
+        match (&dead).read(&mut sink) {
+            Ok(0) => break,
+            Ok(n) => drained += n,
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                break
+            }
+            Err(e) => panic!("drain read failed: {e}"),
+        }
+    }
+    assert!(
+        drained > 0,
+        "no responses ever reached the formerly-dead client"
+    );
+
+    server.shutdown();
+}

@@ -1,0 +1,333 @@
+//! Protocol property tests: `encode ∘ decode == id` over arbitrary
+//! request/response batches, robust to every split point (the decoder
+//! is fed one byte at a time), and adversarial corruption/truncation
+//! surfaces as typed [`WireError`]s — **never** a panic, and never a
+//! silently wrong message.
+
+use lbc_graph::GraphDelta;
+use lbc_net::wire::opcode;
+use lbc_net::{Frame, FrameDecoder, Request, Response, WireError};
+use lbc_runtime::{Answer, CacheStats, Query};
+use proptest::prelude::*;
+
+/// Build a query from three drawn words.
+fn query_from(tag: u8, a: u32, b: u32) -> Query {
+    match tag % 3 {
+        0 => Query::SameCluster(a, b),
+        1 => Query::ClusterOf(a),
+        _ => Query::ClusterSize(a),
+    }
+}
+
+fn answer_from(tag: u8, v: u32) -> Answer {
+    match tag % 3 {
+        0 => Answer::Bool(v % 2 == 1),
+        1 => Answer::Label(v),
+        _ => Answer::Size(v),
+    }
+}
+
+/// Decode a full byte stream through N-byte chunks, collecting frames.
+fn decode_chunked(bytes: &[u8], chunk: usize) -> Result<Vec<Frame>, WireError> {
+    let mut dec = FrameDecoder::new();
+    let mut frames = Vec::new();
+    for piece in bytes.chunks(chunk.max(1)) {
+        dec.push(piece);
+        while let Some(f) = dec.next_frame()? {
+            frames.push(f);
+        }
+    }
+    Ok(frames)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Request batches round-trip bit-for-bit through the frame layer,
+    /// regardless of how the stream is sliced: whole-buffer, 1-byte
+    /// chunks (every possible split boundary), and a drawn chunk size.
+    #[test]
+    fn request_encode_decode_is_identity(
+        queries in proptest::collection::vec((0u8..3, 0u32..u32::MAX, 0u32..u32::MAX), 0..48),
+        request_id in 0u64..u64::MAX,
+        chunk in 1usize..64,
+    ) {
+        let req = Request::QueryBatch(
+            queries.iter().map(|&(t, a, b)| query_from(t, a, b)).collect(),
+        );
+        let mut bytes = Vec::new();
+        req.encode(&mut bytes, request_id).unwrap();
+
+        for chunk in [bytes.len().max(1), 1, chunk] {
+            let frames = decode_chunked(&bytes, chunk).unwrap();
+            prop_assert_eq!(frames.len(), 1);
+            prop_assert_eq!(frames[0].request_id, request_id);
+            let back = Request::from_frame(&frames[0]).unwrap();
+            prop_assert_eq!(&back, &req);
+        }
+    }
+
+    /// Multi-message streams survive 1-byte feeding with order and
+    /// content intact — requests and responses interleaved the way a
+    /// duplex socket would see them.
+    #[test]
+    fn mixed_stream_one_byte_chunks(
+        tags in proptest::collection::vec((0u8..5, 0u32..1000, 0u64..u64::MAX), 1..12),
+    ) {
+        let mut bytes = Vec::new();
+        let mut want: Vec<Request> = Vec::new();
+        for (i, &(tag, v, id)) in tags.iter().enumerate() {
+            let req = match tag {
+                0 => Request::Ping,
+                1 => Request::CacheStats,
+                2 => Request::Info,
+                3 => {
+                    let mut d = GraphDelta::new();
+                    d.add_nodes((v % 7) as usize);
+                    d.add_edge(v, v.wrapping_add(1));
+                    if i % 2 == 0 {
+                        d.remove_edge(v / 2, v / 2 + 3);
+                    }
+                    Request::SubmitDelta(d)
+                }
+                _ => Request::QueryBatch(vec![Query::ClusterOf(v), Query::SameCluster(v, v + 1)]),
+            };
+            req.encode(&mut bytes, id).unwrap();
+            want.push(req);
+        }
+        let frames = decode_chunked(&bytes, 1).unwrap();
+        prop_assert_eq!(frames.len(), want.len());
+        for (f, w) in frames.iter().zip(&want) {
+            prop_assert_eq!(&Request::from_frame(f).unwrap(), w);
+        }
+    }
+
+    /// Response batches round-trip identically (the server→client
+    /// direction), including every answer variant and error frames.
+    #[test]
+    fn response_encode_decode_is_identity(
+        answers in proptest::collection::vec((0u8..3, 0u32..u32::MAX), 0..48),
+        stats in (0u64..1_000_000, 0u64..1_000_000, 0u64..1_000_000),
+        msg_len in 0usize..64,
+        request_id in 0u64..u64::MAX,
+    ) {
+        let responses = vec![
+            Response::Answers(answers.iter().map(|&(t, v)| answer_from(t, v)).collect()),
+            Response::CacheStats(CacheStats {
+                hits: stats.0,
+                misses: stats.1,
+                evictions: stats.2,
+                ..Default::default()
+            }),
+            Response::Error {
+                code: (stats.0 % 5) as u16,
+                message: "e".repeat(msg_len),
+            },
+            Response::Pong,
+        ];
+        let mut bytes = Vec::new();
+        for r in &responses {
+            r.encode(&mut bytes, request_id).unwrap();
+        }
+        for chunk in [1usize, 7, bytes.len().max(1)] {
+            let frames = decode_chunked(&bytes, chunk).unwrap();
+            prop_assert_eq!(frames.len(), responses.len());
+            for (f, w) in frames.iter().zip(&responses) {
+                prop_assert_eq!(&Response::from_frame(f).unwrap(), w);
+            }
+        }
+    }
+
+    /// Flipping any single byte of a valid stream can never produce the
+    /// original message sequence: it is caught as a typed error (frame
+    /// layer or typed-parse layer) or leaves the decoder waiting for
+    /// more bytes — and it never panics.
+    #[test]
+    fn single_byte_corruption_is_typed_never_panics(
+        queries in proptest::collection::vec((0u8..3, 0u32..500, 0u32..500), 1..8),
+        flip_pos_seed in 0usize..10_000,
+        flip_bits in 1u8..=255,
+    ) {
+        let req = Request::QueryBatch(
+            queries.iter().map(|&(t, a, b)| query_from(t, a, b)).collect(),
+        );
+        let mut bytes = Vec::new();
+        req.encode(&mut bytes, 42).unwrap();
+        let pos = flip_pos_seed % bytes.len();
+        bytes[pos] ^= flip_bits;
+
+        // Whole-stream and byte-at-a-time feeding must agree that the
+        // corruption never yields the original request back.
+        for chunk in [bytes.len(), 1] {
+            match decode_chunked(&bytes, chunk) {
+                Err(_) => {} // typed error: good
+                Ok(frames) => {
+                    // No error: the flip must have landed such that the
+                    // decoder is still waiting (e.g. a grown length
+                    // field) — it cannot have produced the original.
+                    if let Some(f) = frames.first() {
+                        // A typed parse error is fine too; only the
+                        // original coming back would be a lie.
+                        if let Ok(back) = Request::from_frame(f) {
+                            prop_assert!(
+                                back != req,
+                                "corrupted stream decoded to the original request"
+                            );
+                        }
+                    } else {
+                        prop_assert!(frames.is_empty());
+                    }
+                }
+            }
+        }
+    }
+
+    /// Every strict prefix of a valid stream decodes only complete
+    /// frames and then waits — truncation never fabricates a frame and
+    /// never errors (the bytes seen so far are all valid).
+    #[test]
+    fn truncation_yields_prefix_frames_then_waits(
+        count in 1usize..6,
+        cut_seed in 0usize..10_000,
+    ) {
+        let mut bytes = Vec::new();
+        let mut boundaries = Vec::new();
+        for i in 0..count {
+            Request::QueryBatch(vec![Query::ClusterOf(i as u32)])
+                .encode(&mut bytes, i as u64)
+                .unwrap();
+            boundaries.push(bytes.len());
+        }
+        let cut = cut_seed % bytes.len();
+        let frames = decode_chunked(&bytes[..cut], 1).unwrap();
+        let complete = boundaries.iter().filter(|&&b| b <= cut).count();
+        prop_assert_eq!(frames.len(), complete);
+        for (i, f) in frames.iter().enumerate() {
+            prop_assert_eq!(f.request_id, i as u64);
+        }
+    }
+
+    /// Arbitrary garbage bytes never panic the decoder: they produce a
+    /// typed error or (if they happen to look like an incomplete
+    /// header) leave it waiting.
+    #[test]
+    fn arbitrary_garbage_never_panics(
+        garbage in proptest::collection::vec(0u8..=255, 0..256),
+    ) {
+        let mut dec = FrameDecoder::new();
+        dec.push(&garbage);
+        loop {
+            match dec.next_frame() {
+                Ok(Some(f)) => {
+                    // Absurdly unlikely (needs a valid CRC) but legal;
+                    // the typed parse must still never panic.
+                    let _ = Request::from_frame(&f);
+                    let _ = Response::from_frame(&f);
+                }
+                Ok(None) => break,
+                Err(_) => break,
+            }
+        }
+    }
+
+    /// Deltas round-trip exactly: node additions, edge adds, edge
+    /// removals, in order.
+    #[test]
+    fn delta_round_trip(
+        added_nodes in 0usize..1000,
+        adds in proptest::collection::vec((0u32..10_000, 0u32..10_000), 0..32),
+        removes in proptest::collection::vec((0u32..10_000, 0u32..10_000), 0..32),
+    ) {
+        let mut d = GraphDelta::new();
+        d.add_nodes(added_nodes);
+        for &(u, v) in &adds {
+            d.add_edge(u, v);
+        }
+        for &(u, v) in &removes {
+            d.remove_edge(u, v);
+        }
+        let req = Request::SubmitDelta(d.clone());
+        let mut bytes = Vec::new();
+        req.encode(&mut bytes, 5).unwrap();
+        let frames = decode_chunked(&bytes, 3).unwrap();
+        prop_assert_eq!(frames.len(), 1);
+        match Request::from_frame(&frames[0]).unwrap() {
+            Request::SubmitDelta(back) => {
+                prop_assert_eq!(back.added_nodes(), d.added_nodes());
+                prop_assert_eq!(back.added_edges(), d.added_edges());
+                prop_assert_eq!(back.removed_edges(), d.removed_edges());
+            }
+            other => prop_assert!(false, "wrong request decoded: {:?}", other),
+        }
+    }
+}
+
+/// Deterministic (non-property) adversarial cases worth pinning by name.
+#[test]
+fn every_split_point_of_one_frame() {
+    let req = Request::QueryBatch(vec![
+        Query::SameCluster(3, 9),
+        Query::ClusterSize(1_000_000),
+    ]);
+    let mut bytes = Vec::new();
+    req.encode(&mut bytes, 123).unwrap();
+    // Exhaustive: split the frame at EVERY byte boundary.
+    for cut in 0..=bytes.len() {
+        let mut dec = FrameDecoder::new();
+        dec.push(&bytes[..cut]);
+        let frame = match dec.next_frame().unwrap() {
+            Some(f) => {
+                assert_eq!(cut, bytes.len(), "frame fabricated at cut {cut}");
+                f
+            }
+            None => {
+                assert!(cut < bytes.len());
+                dec.push(&bytes[cut..]);
+                dec.next_frame()
+                    .unwrap()
+                    .expect("complete after both halves")
+            }
+        };
+        assert_eq!(Request::from_frame(&frame).unwrap(), req);
+    }
+}
+
+#[test]
+fn bad_opcode_in_valid_frame_is_typed() {
+    let mut bytes = Vec::new();
+    lbc_net::encode_frame(&mut bytes, 0x7E, 1, &[]).unwrap();
+    let mut dec = FrameDecoder::new();
+    dec.push(&bytes);
+    let f = dec.next_frame().unwrap().unwrap();
+    assert!(matches!(
+        Request::from_frame(&f),
+        Err(WireError::BadOpcode { got: 0x7E })
+    ));
+    assert!(matches!(
+        Response::from_frame(&f),
+        Err(WireError::BadOpcode { got: 0x7E })
+    ));
+}
+
+#[test]
+fn response_opcode_constants_have_high_bit() {
+    for op in [
+        opcode::ANSWERS,
+        opcode::DELTA_DONE,
+        opcode::STATS,
+        opcode::INFO_RESP,
+        opcode::PONG,
+        opcode::ERROR,
+    ] {
+        assert!(op & 0x80 != 0, "response opcode {op:#04x} missing high bit");
+    }
+    for op in [
+        opcode::QUERY_BATCH,
+        opcode::SUBMIT_DELTA,
+        opcode::CACHE_STATS,
+        opcode::INFO,
+        opcode::PING,
+    ] {
+        assert!(op & 0x80 == 0, "request opcode {op:#04x} has high bit");
+    }
+}

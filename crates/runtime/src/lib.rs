@@ -69,7 +69,9 @@ pub mod scheduler;
 
 pub use engine::{Answer, ClusterHandle, Query, QueryEngine};
 pub use error::RuntimeError;
-pub use loadgen::{loadgen_on_output, run_loadgen, LoadReport, LoadgenConfig, Popularity};
+pub use loadgen::{
+    loadgen_on_output, run_loadgen, LoadMode, LoadReport, LoadgenConfig, Popularity,
+};
 pub use registry::{
     config_fingerprint, CacheStats, DeltaPolicy, DeltaReport, Registry, SpillPolicy,
     StoreBootReport,

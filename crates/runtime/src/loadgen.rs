@@ -39,6 +39,29 @@ pub enum Popularity {
     Zipf(f64),
 }
 
+/// How batches are timed.
+///
+/// The **closed** loop issues the next batch as soon as the previous
+/// answer returns — throughput-chasing, but its latency samples suffer
+/// coordinated omission: while the server is slow, the generator sends
+/// *less*, so the slow period is under-sampled and percentiles lie.
+///
+/// The **open** loop fixes that: batch arrivals follow a fixed global
+/// schedule (`intended_i = t0 + i/rate`, dealt round-robin across
+/// clients), and every latency is measured **from the intended send
+/// time** — so when the system falls behind, the queueing delay the
+/// schedule accumulated is charged to the samples instead of being
+/// silently dropped.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LoadMode {
+    /// Back-to-back batches, latency = service time only.
+    Closed,
+    /// Arrival-rate-driven, latency from intended send time.
+    /// `rate` is the global batch arrival rate per second across all
+    /// clients.
+    Open { rate: f64 },
+}
+
 /// Load-generator configuration.
 #[derive(Debug, Clone)]
 pub struct LoadgenConfig {
@@ -52,6 +75,8 @@ pub struct LoadgenConfig {
     pub seed: u64,
     /// Node-popularity model for generated queries.
     pub popularity: Popularity,
+    /// Closed (default) or open-loop batch timing.
+    pub mode: LoadMode,
 }
 
 impl Default for LoadgenConfig {
@@ -62,6 +87,7 @@ impl Default for LoadgenConfig {
             batch: 64,
             seed: 0,
             popularity: Popularity::Uniform,
+            mode: LoadMode::Closed,
         }
     }
 }
@@ -112,15 +138,21 @@ impl LoadReport {
 
 /// Minimal deterministic stream for query generation (SplitMix64 — the
 /// same generator family `lbc_distsim::NodeRng` uses for node streams).
-struct QueryRng(u64);
+/// Public because it is the workspace's one query-stream generator:
+/// the network load generator (`lbc-net`) keys it by batch index
+/// instead of by client, but draws from the same stream family.
+pub struct QueryRng(u64);
 
 impl QueryRng {
-    fn new(seed: u64, client: u64) -> Self {
-        // Distinct odd offset per client keeps streams disjoint.
-        QueryRng(seed ^ client.wrapping_mul(0xa076_1d64_78bd_642f) ^ 0x632b_e59b_d9b4_e019)
+    /// Stream `stream` of the family seeded by `seed` (the in-process
+    /// loadgen uses the client index, `lbc net-bench` the batch index).
+    pub fn new(seed: u64, stream: u64) -> Self {
+        // Distinct odd offset per stream keeps streams disjoint.
+        QueryRng(seed ^ stream.wrapping_mul(0xa076_1d64_78bd_642f) ^ 0x632b_e59b_d9b4_e019)
     }
 
-    fn next(&mut self) -> u64 {
+    /// Next raw word (named to avoid colliding with `Iterator::next`).
+    pub fn next_u64(&mut self) -> u64 {
         self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
         let mut z = self.0;
         z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
@@ -128,9 +160,17 @@ impl QueryRng {
         z ^ (z >> 31)
     }
 
-    fn node(&mut self, n: usize) -> NodeId {
-        (((self.next() as u128 * n as u128) >> 64) as u64) as NodeId
+    /// Uniform node id in `0..n` (multiplicative range reduction).
+    pub fn node(&mut self, n: usize) -> NodeId {
+        (((self.next_u64() as u128 * n as u128) >> 64) as u64) as NodeId
     }
+}
+
+/// One uniform-popularity query with the standard serving mix
+/// (same-cluster weighted double) — shared with `lbc net-bench` so
+/// in-process and over-the-wire load have the same shape.
+pub fn uniform_random_query(rng: &mut QueryRng, n: usize) -> Query {
+    random_query(rng, &NodeSampler::Uniform, n)
 }
 
 /// Node sampler realising a [`Popularity`] model. Built once per client
@@ -168,7 +208,7 @@ impl NodeSampler {
                 // the multiplicative spread (Knuth's prime keeps the
                 // map a permutation whenever n is not a multiple of it,
                 // i.e. always for u32-sized graphs).
-                let u = (rng.next() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+                let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
                 let rank = cdf.partition_point(|&c| c <= u).min(n - 1);
                 // rank + 1 so the hottest rank does not pin node 0.
                 (((rank as u64 + 1) * 2_654_435_761) % n as u64) as NodeId
@@ -178,7 +218,7 @@ impl NodeSampler {
 }
 
 fn random_query(rng: &mut QueryRng, sampler: &NodeSampler, n: usize) -> Query {
-    match rng.next() % 4 {
+    match rng.next_u64() % 4 {
         // Same-cluster is the headline operation; weight it double.
         0 | 1 => Query::SameCluster(sampler.node(rng, n), sampler.node(rng, n)),
         2 => Query::ClusterOf(sampler.node(rng, n)),
@@ -205,6 +245,13 @@ pub fn run_loadgen(
         if !s.is_finite() || s < 0.0 {
             return Err(RuntimeError::InvalidConfig(format!(
                 "zipf exponent must be finite and non-negative, got {s}"
+            )));
+        }
+    }
+    if let LoadMode::Open { rate } = cfg.mode {
+        if !rate.is_finite() || rate <= 0.0 {
+            return Err(RuntimeError::InvalidConfig(format!(
+                "open-loop rate must be finite and positive, got {rate}"
             )));
         }
     }
@@ -236,10 +283,31 @@ pub fn run_loadgen(
                     let mut checksum = 0u64;
                     let mut ops = 0u64;
                     let mut queries = Vec::with_capacity(cfg.batch);
-                    for _ in 0..per_client_batches {
+                    // Open loop: this client owns every `clients`-th
+                    // slot of the global arrival schedule.
+                    let interval = match cfg.mode {
+                        LoadMode::Closed => None,
+                        LoadMode::Open { rate } => Some(Duration::from_secs_f64(1.0 / rate)),
+                    };
+                    for b in 0..per_client_batches {
                         queries.clear();
                         queries.extend((0..cfg.batch).map(|_| random_query(&mut rng, &sampler, n)));
-                        let b0 = Instant::now();
+                        let b0 = match interval {
+                            None => Instant::now(),
+                            Some(iv) => {
+                                let slot = b * cfg.clients as u64 + client as u64;
+                                let intended = t0 + iv.mul_f64(slot as f64);
+                                // On schedule: wait for the arrival.
+                                // Behind schedule: send immediately —
+                                // the elapsed backlog stays charged to
+                                // this sample (the whole point).
+                                if let Some(wait) = intended.checked_duration_since(Instant::now())
+                                {
+                                    std::thread::sleep(wait);
+                                }
+                                intended
+                            }
+                        };
                         let answers = handle.execute_batch(&queries)?;
                         latencies.push(b0.elapsed());
                         for a in answers {
@@ -394,6 +462,95 @@ mod tests {
     }
 
     #[test]
+    fn open_loop_latency_includes_queue_wait_from_intended_send_time() {
+        // Coordinated-omission guard. Arrival interval ≈ 0 (absurd
+        // rate) with a fat batch: every batch is "due" at t0, so batch
+        // i cannot start until its i-1 predecessors finish and its
+        // recorded latency must include that queue wait. A closed-loop
+        // run of the same work records only per-batch service time.
+        let h = ring_handle();
+        let base = LoadgenConfig {
+            clients: 1,
+            total_ops: 64 * 2048,
+            batch: 2048,
+            seed: 7,
+            ..Default::default()
+        };
+        let closed = run_loadgen(&h, &base).unwrap();
+        let open = run_loadgen(
+            &h,
+            &LoadgenConfig {
+                mode: LoadMode::Open { rate: 1e9 },
+                ..base.clone()
+            },
+        )
+        .unwrap();
+        // Same queries, same answers — the mode changes timing only.
+        assert_eq!(open.checksum, closed.checksum);
+        assert_eq!(open.batches, closed.batches);
+        // The last batch waited for (nearly) the whole run: its
+        // recorded latency is on the order of the wall time, far above
+        // any closed-loop sample.
+        assert!(
+            open.max.as_secs_f64() >= open.wall.as_secs_f64() * 0.5,
+            "open-loop max {:?} lost the queue wait (wall {:?})",
+            open.max,
+            open.wall
+        );
+        assert!(
+            open.max > closed.p50 * 4,
+            "open max {:?} vs closed p50 {:?}: queue wait not charged",
+            open.max,
+            closed.p50
+        );
+    }
+
+    #[test]
+    fn open_loop_paces_arrivals_when_capacity_suffices() {
+        // Arrival interval ≫ service time: the generator must actually
+        // wait for each intended send (wall ≥ schedule span) and the
+        // recorded latencies stay at service scale, not interval scale.
+        let h = ring_handle();
+        let cfg = LoadgenConfig {
+            clients: 2,
+            total_ops: 8 * 16,
+            batch: 16,
+            seed: 3,
+            mode: LoadMode::Open { rate: 200.0 },
+            ..Default::default()
+        };
+        let r = run_loadgen(&h, &cfg).unwrap();
+        // 8 batches at 200/s globally: last slot is due at 35 ms.
+        assert!(
+            r.wall >= Duration::from_millis(30),
+            "open loop did not pace: wall {:?}",
+            r.wall
+        );
+        assert!(
+            r.p50 < Duration::from_millis(5),
+            "uncontended open-loop latency inflated: p50 {:?}",
+            r.p50
+        );
+    }
+
+    #[test]
+    fn open_loop_bad_rates_are_errors() {
+        let h = ring_handle();
+        for rate in [0.0, -3.0, f64::NAN, f64::INFINITY] {
+            assert!(matches!(
+                run_loadgen(
+                    &h,
+                    &LoadgenConfig {
+                        mode: LoadMode::Open { rate },
+                        ..Default::default()
+                    }
+                ),
+                Err(RuntimeError::InvalidConfig(_))
+            ));
+        }
+    }
+
+    #[test]
     fn zipf_sampler_is_skewed_but_spread() {
         let n = 500usize;
         let sampler = NodeSampler::new(Popularity::Zipf(1.2), n);
@@ -433,6 +590,7 @@ mod tests {
             batch: 16,
             seed: 11,
             popularity: Popularity::Zipf(1.0),
+            mode: LoadMode::Closed,
         };
         let a = run_loadgen(&h, &cfg).unwrap();
         let b = run_loadgen(&h, &cfg).unwrap();

@@ -33,6 +33,9 @@ pub enum JobState {
     Running,
     Done,
     Failed(ClusterError),
+    /// A [`WorkerPool::submit_task`] closure panicked; the panic was
+    /// contained to the job (the worker thread survives).
+    TaskPanicked(String),
 }
 
 impl std::fmt::Display for JobState {
@@ -42,6 +45,7 @@ impl std::fmt::Display for JobState {
             JobState::Running => write!(f, "running"),
             JobState::Done => write!(f, "done"),
             JobState::Failed(e) => write!(f, "failed: {e}"),
+            JobState::TaskPanicked(msg) => write!(f, "task panicked: {msg}"),
         }
     }
 }
@@ -63,14 +67,35 @@ pub struct JobRecord {
 
 struct Job {
     id: u64,
-    graph: Arc<Graph>,
-    cfg: LbConfig,
-    /// Cache destination for the finished output, if any.
-    publish: Option<(Arc<Registry>, String)>,
-    result_tx: mpsc::Sender<Result<Arc<ClusterOutput>, ClusterError>>,
+    kind: JobKind,
+}
+
+enum JobKind {
+    Cluster {
+        graph: Arc<Graph>,
+        cfg: LbConfig,
+        /// Cache destination for the finished output, if any.
+        publish: Option<(Arc<Registry>, String)>,
+        result_tx: mpsc::Sender<Result<Arc<ClusterOutput>, ClusterError>>,
+    },
+    /// An arbitrary completion hook: the closure runs on a worker and
+    /// signals whoever cares however it likes (the network reactor
+    /// pushes onto its completion queue and writes its wake pipe).
+    Task(Box<dyn FnOnce() + Send + 'static>),
 }
 
 type JobTable = Arc<Mutex<BTreeMap<u64, JobRecord>>>;
+
+/// Best-effort text from a contained panic payload.
+fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = p.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = p.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// Waitable handle to a submitted job.
 pub struct JobHandle {
@@ -130,30 +155,57 @@ impl WorkerPool {
                             }
                         }
                         let t0 = Instant::now();
-                        // Publishing jobs go through the registry's
-                        // in-flight dedup (racing jobs for the same key
-                        // wait for one run instead of repeating it);
-                        // unpublished jobs cluster directly.
-                        let result = match &job.publish {
-                            Some((registry, name)) => {
-                                registry.get_or_cluster_on(name, &job.graph, &job.cfg)
-                            }
-                            None => cluster(&job.graph, &job.cfg).map(Arc::new),
-                        };
-                        let took = t0.elapsed();
-                        {
-                            let mut t = table.lock().unwrap();
-                            if let Some(rec) = t.get_mut(&job.id) {
-                                rec.state = match &result {
-                                    Ok(_) => JobState::Done,
-                                    Err(e) => JobState::Failed(e.clone()),
+                        match job.kind {
+                            JobKind::Cluster {
+                                graph,
+                                cfg,
+                                publish,
+                                result_tx,
+                            } => {
+                                // Publishing jobs go through the registry's
+                                // in-flight dedup (racing jobs for the same key
+                                // wait for one run instead of repeating it);
+                                // unpublished jobs cluster directly.
+                                let result = match &publish {
+                                    Some((registry, name)) => {
+                                        registry.get_or_cluster_on(name, &graph, &cfg)
+                                    }
+                                    None => cluster(&graph, &cfg).map(Arc::new),
                                 };
-                                rec.duration = Some(took);
+                                let took = t0.elapsed();
+                                {
+                                    let mut t = table.lock().unwrap();
+                                    if let Some(rec) = t.get_mut(&job.id) {
+                                        rec.state = match &result {
+                                            Ok(_) => JobState::Done,
+                                            Err(e) => JobState::Failed(e.clone()),
+                                        };
+                                        rec.duration = Some(took);
+                                    }
+                                }
+                                // A dropped handle is fine; the job table
+                                // keeps the outcome.
+                                let _ = result_tx.send(result);
+                            }
+                            JobKind::Task(f) => {
+                                // Contain panics to the job: a hook that
+                                // blows up must not take a worker (and
+                                // every queued job behind it) with it.
+                                let outcome =
+                                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
+                                let took = t0.elapsed();
+                                let mut t = table.lock().unwrap();
+                                if let Some(rec) = t.get_mut(&job.id) {
+                                    rec.state = match &outcome {
+                                        Ok(()) => JobState::Done,
+                                        // `&**p`: inspect the payload, not
+                                        // the Box unsized into `dyn Any`.
+                                        Err(p) => JobState::TaskPanicked(panic_message(&**p)),
+                                    };
+                                    rec.duration = Some(took);
+                                }
                             }
                         }
-                        // A dropped handle is fine; the job table keeps
-                        // the outcome.
-                        let _ = job.result_tx.send(result);
                     })
                     .expect("spawn worker thread")
             })
@@ -233,10 +285,12 @@ impl WorkerPool {
         );
         let job = Job {
             id,
-            graph,
-            cfg,
-            publish,
-            result_tx,
+            kind: JobKind::Cluster {
+                graph,
+                cfg,
+                publish,
+                result_tx,
+            },
         };
         self.tx
             .as_ref()
@@ -244,6 +298,41 @@ impl WorkerPool {
             .send(job)
             .expect("workers alive until drop");
         JobHandle { id, rx }
+    }
+
+    /// Run an arbitrary closure on the pool, tracked in the job table
+    /// under `label`. This is the completion-hook seam the network
+    /// reactor uses: expensive work (delta re-clustering) runs here
+    /// while the reactor keeps serving, and the closure's final act is
+    /// to push its result onto the reactor's completion queue and wake
+    /// it. Panics are contained to the job ([`JobState::TaskPanicked`]).
+    ///
+    /// Returns the job id (key into [`WorkerPool::job_table`]).
+    pub fn submit_task<F>(&self, label: &str, f: F) -> u64
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.table.lock().unwrap().insert(
+            id,
+            JobRecord {
+                id,
+                dataset: label.to_string(),
+                seed: 0,
+                state: JobState::Queued,
+                worker: None,
+                duration: None,
+            },
+        );
+        self.tx
+            .as_ref()
+            .expect("sender alive until drop")
+            .send(Job {
+                id,
+                kind: JobKind::Task(Box::new(f)),
+            })
+            .expect("workers alive until drop");
+        id
     }
 
     /// Snapshot of all job records, ordered by id.
@@ -355,6 +444,47 @@ mod tests {
         let out2 = h2.wait().unwrap();
         assert!(Arc::ptr_eq(&out1, &out2));
         assert_eq!(registry.stats().inserts, 1);
+    }
+
+    #[test]
+    fn tasks_run_and_complete_in_the_job_table() {
+        let pool = WorkerPool::new(2);
+        let (tx, rx) = mpsc::channel();
+        let id = pool.submit_task("hook", move || {
+            tx.send(41 + 1).unwrap();
+        });
+        assert_eq!(rx.recv().unwrap(), 42);
+        // The table entry reaches Done (the send happens inside the
+        // closure, just before the state flip — poll briefly).
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let rec = pool.job_table().into_iter().find(|r| r.id == id).unwrap();
+            if rec.state == JobState::Done {
+                assert_eq!(rec.dataset, "hook");
+                assert!(rec.duration.is_some());
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "task never reached Done: {rec:?}"
+            );
+            std::thread::yield_now();
+        }
+    }
+
+    #[test]
+    fn panicking_task_is_contained() {
+        let pool = WorkerPool::new(1);
+        let id = pool.submit_task("boom", || panic!("intentional test panic"));
+        // The pool survives: a later task on the SAME worker still runs.
+        let (tx, rx) = mpsc::channel();
+        pool.submit_task("after", move || tx.send(()).unwrap());
+        rx.recv_timeout(Duration::from_secs(5)).unwrap();
+        let rec = pool.job_table().into_iter().find(|r| r.id == id).unwrap();
+        match rec.state {
+            JobState::TaskPanicked(msg) => assert!(msg.contains("intentional"), "{msg}"),
+            other => panic!("expected TaskPanicked, got {other:?}"),
+        }
     }
 
     #[test]
