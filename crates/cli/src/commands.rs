@@ -33,6 +33,7 @@ pub fn run(argv: &[String]) -> Result<String, String> {
         "serve-bench" => cmd_serve_bench(rest),
         "serve" => cmd_serve(rest),
         "net-bench" => cmd_net_bench(rest),
+        "repl-status" => cmd_repl_status(rest),
         "jobs" => cmd_jobs(rest),
         "update" => cmd_update(rest),
         "save" => cmd_save(rest),
@@ -477,13 +478,23 @@ fn cmd_serve(rest: &[String]) -> Result<String, String> {
     let listen = a.require("listen")?;
     let (name, g) = serving_dataset(&a)?;
     let k_hint: usize = a.get_or("k", 4)?;
-    let cfg = serving_config(&a, &g, k_hint)?;
+    let mut cfg = serving_config(&a, &g, k_hint)?;
     let threads: usize = a.get_or("threads", 4)?;
     let cache: usize = a.get_or("cache", 8)?;
     let outbox_cap: usize = a.get_or("outbox-cap", 256 * 1024)?;
     let max_conns: usize = a.get_or("max-conns", 1024)?;
     let addr_file = a.get("addr-file");
+    let repl_listen = a.get("repl-listen");
+    let repl_addr_file = a.get("repl-addr-file");
+    let follow = a.get("follow");
+    let follower_id: u64 = a.get_or("follower-id", 1)?;
     a.reject_unknown()?;
+    if follow.is_some() && repl_listen.is_some() {
+        return Err("--follow and --repl-listen are mutually exclusive (a node is either a primary or a follower)".into());
+    }
+    if repl_addr_file.is_some() && repl_listen.is_none() {
+        return Err("--repl-addr-file needs --repl-listen".into());
+    }
     for (flag, v) in [
         ("threads", threads),
         ("cache", cache),
@@ -496,7 +507,40 @@ fn cmd_serve(rest: &[String]) -> Result<String, String> {
     }
 
     let registry = Arc::new(Registry::with_capacity(cache));
-    registry.insert_graph(&name, g);
+    // A follower syncs BEFORE binding its reactor: the handshake adopts
+    // the primary's graph and cached clustering bit-for-bit, so the
+    // reactor's initial `handle_via_pool` is a cache hit on replicated
+    // state rather than an independent (divergent) local clustering.
+    let follower_conn = if let Some(follow) = &follow {
+        let t0 = std::time::Instant::now();
+        let (conn, report) = lbc_repl::FollowerConn::sync(
+            follow.as_str(),
+            Arc::clone(&registry),
+            &name,
+            follower_id,
+            lbc_repl::HAVE_NOTHING,
+            lbc_repl::ReplConfig::default(),
+        )
+        .map_err(|e| format!("cannot sync from {follow}: {e}"))?;
+        println!(
+            "follower {follower_id}: adopted dataset '{name}' from {follow} in {:.1} ms ({} snapshot bytes, {} cached entries, applied_seq {})",
+            t0.elapsed().as_secs_f64() * 1e3,
+            report.snapshot_bytes,
+            report.entries,
+            report.applied_seq,
+        );
+        // Serve the configuration the primary replicated, not whatever
+        // the local flags happened to default to.
+        if let Ok((_, entries, _)) = registry.replication_state(&name) {
+            if let Some((adopted_cfg, _)) = entries.first() {
+                cfg = adopted_cfg.clone();
+            }
+        }
+        Some(conn)
+    } else {
+        registry.insert_graph(&name, g);
+        None
+    };
     let pool = Arc::new(WorkerPool::new(threads));
     let ctx = lbc_net::ServeContext {
         registry: Arc::clone(&registry),
@@ -509,28 +553,110 @@ fn cmd_serve(rest: &[String]) -> Result<String, String> {
         max_conns,
         ..Default::default()
     };
+    let role = if follower_conn.is_some() {
+        lbc_net::Role::Follower
+    } else {
+        lbc_net::Role::Primary
+    };
+    let gate = Arc::new(lbc_net::ReplGate::new(role));
     let t0 = std::time::Instant::now();
-    let handle = lbc_net::NetServer::bind(&listen, ctx, server_cfg).map_err(|e| e.to_string())?;
+    let handle = lbc_net::NetServer::bind_with_repl(&listen, ctx, server_cfg, Arc::clone(&gate))
+        .map_err(|e| e.to_string())?;
     let addr = handle.addr();
-    println!(
-        "dataset '{name}': clustered in {:.1} ms (beta = {}, T = {}, seed = {})",
-        t0.elapsed().as_secs_f64() * 1e3,
-        cfg.beta,
-        cfg.rounds.count(),
-        cfg.seed,
-    );
+    if follower_conn.is_none() {
+        println!(
+            "dataset '{name}': clustered in {:.1} ms (beta = {}, T = {}, seed = {})",
+            t0.elapsed().as_secs_f64() * 1e3,
+            cfg.beta,
+            cfg.rounds.count(),
+            cfg.seed,
+        );
+    }
     println!("listening on {addr} ({threads}-thread pool behind one reactor thread)");
+    let _repl_server = if let Some(repl_listen) = &repl_listen {
+        let srv = lbc_repl::ReplServer::bind(
+            repl_listen,
+            Arc::clone(&registry),
+            &name,
+            lbc_repl::ReplConfig::default(),
+        )
+        .map_err(|e| e.to_string())?;
+        println!(
+            "replicating on {} (snapshot handshake + live WAL stream)",
+            srv.addr()
+        );
+        if let Some(path) = &repl_addr_file {
+            write_addr_file(path, &srv.addr().to_string())?;
+        }
+        Some(srv)
+    } else {
+        None
+    };
     use std::io::Write as _;
     std::io::stdout().flush().ok();
     if let Some(path) = addr_file {
-        // Write-then-rename so watchers never read a half-written file.
-        let tmp = format!("{path}.tmp");
-        std::fs::write(&tmp, addr.to_string()).map_err(|e| format!("cannot write {tmp}: {e}"))?;
-        std::fs::rename(&tmp, &path).map_err(|e| format!("cannot rename to {path}: {e}"))?;
+        write_addr_file(&path, &addr.to_string())?;
     }
-    // Park until killed; the reactor thread does all the work.
-    handle.join();
+    match follower_conn {
+        None => {
+            // Park until killed; the reactor thread does all the work.
+            handle.join();
+        }
+        Some(conn) => {
+            // The repl thread applies each streamed record through the
+            // registry, then swaps the refreshed handle into the
+            // reactor so the next batch reads the new state.
+            let handle = Arc::new(handle);
+            let swap_handle = Arc::clone(&handle);
+            let swap_registry = Arc::clone(&registry);
+            let swap_name = name.clone();
+            let swap_cfg = cfg.clone();
+            let fh = conn.run(Arc::clone(&gate), move |_seq| {
+                if let Some(out) = swap_registry.cached(&swap_name, &swap_cfg) {
+                    swap_handle.install_handle(lbc_runtime::ClusterHandle::new(out));
+                }
+            });
+            let outcome = loop {
+                if let Some(o) = fh.wait_outcome(std::time::Duration::from_secs(3600)) {
+                    break o;
+                }
+            };
+            match outcome {
+                lbc_repl::FailoverOutcome::Promoted { applied_seq } => {
+                    println!(
+                        "primary lost: promoted to primary at applied_seq {applied_seq}; accepting writes"
+                    );
+                }
+                lbc_repl::FailoverOutcome::NotPromoted {
+                    winner,
+                    applied_seq,
+                } => {
+                    println!(
+                        "primary lost: follower {winner} won promotion; still read-only at applied_seq {applied_seq}"
+                    );
+                }
+                lbc_repl::FailoverOutcome::Stopped { applied_seq } => {
+                    println!("replication stream stopped at applied_seq {applied_seq}");
+                }
+                lbc_repl::FailoverOutcome::Error(e) => {
+                    println!("replication stream failed: {e}");
+                }
+            }
+            std::io::stdout().flush().ok();
+            // Keep serving whatever state we hold until killed.
+            loop {
+                std::thread::park();
+            }
+        }
+    }
     Ok(String::new())
+}
+
+/// Write-then-rename so watchers never read a half-written file.
+fn write_addr_file(path: &str, addr: &str) -> Result<(), String> {
+    let tmp = format!("{path}.tmp");
+    std::fs::write(&tmp, addr).map_err(|e| format!("cannot write {tmp}: {e}"))?;
+    std::fs::rename(&tmp, path).map_err(|e| format!("cannot rename to {path}: {e}"))
 }
 
 /// `lbc net-bench --connect ADDR`: drive a running `lbc serve` with the
@@ -538,6 +664,7 @@ fn cmd_serve(rest: &[String]) -> Result<String, String> {
 fn cmd_net_bench(rest: &[String]) -> Result<String, String> {
     let a = Args::parse(rest, &[])?;
     let connect = a.require("connect")?;
+    let zipf: f64 = a.get_or("zipf", 0.0)?;
     let cfg = lbc_net::NetBenchConfig {
         conns: a.get_or("conns", 64)?,
         rate: a.get_or("rate", 5_000.0)?,
@@ -545,8 +672,16 @@ fn cmd_net_bench(rest: &[String]) -> Result<String, String> {
         batch: a.get_or("batch", 32)?,
         seed: a.get_or("seed", 0)?,
         deadline: std::time::Duration::from_secs_f64(a.get_or("deadline-secs", 60.0)?),
+        popularity: if zipf > 0.0 {
+            Popularity::Zipf(zipf)
+        } else {
+            Popularity::Uniform
+        },
     };
     a.reject_unknown()?;
+    if !(zipf.is_finite() && zipf >= 0.0) {
+        return Err(format!("--zipf must be finite and >= 0, got {zipf}"));
+    }
     let addrs: Vec<std::net::SocketAddr> = std::net::ToSocketAddrs::to_socket_addrs(&connect)
         .map_err(|e| format!("cannot resolve {connect}: {e}"))?
         .collect();
@@ -554,7 +689,68 @@ fn cmd_net_bench(rest: &[String]) -> Result<String, String> {
         .first()
         .ok_or_else(|| format!("{connect} resolves to nothing"))?;
     let r = lbc_net::net_bench(addr, &cfg).map_err(|e| e.to_string())?;
-    Ok(format!("target {connect} ({addr})\n{}", r.render()))
+    let mut out = format!("target {connect} ({addr})\n");
+    if let Popularity::Zipf(s) = cfg.popularity {
+        out.push_str(&format!("query popularity: zipf(s = {s})\n"));
+    }
+    out.push_str(&r.render());
+    Ok(out)
+}
+
+/// `lbc repl-status --connect ADDR`: probe a replication port for the
+/// node's role, applied watermark, and follower roster.
+fn cmd_repl_status(rest: &[String]) -> Result<String, String> {
+    let a = Args::parse(rest, &[])?;
+    let connect = a.require("connect")?;
+    a.reject_unknown()?;
+    use std::io::{Read as _, Write as _};
+    let mut stream = std::net::TcpStream::connect(&connect)
+        .map_err(|e| format!("cannot connect to {connect}: {e}"))?;
+    stream
+        .set_read_timeout(Some(std::time::Duration::from_secs(10)))
+        .ok();
+    let mut buf = Vec::new();
+    lbc_net::ReplMsg::Status
+        .encode(&mut buf, 1)
+        .map_err(|e| e.to_string())?;
+    stream.write_all(&buf).map_err(|e| e.to_string())?;
+    let mut dec = lbc_net::FrameDecoder::new();
+    let mut scratch = [0u8; 4096];
+    let status = loop {
+        if let Some(frame) = dec.next_frame().map_err(|e| e.to_string())? {
+            match lbc_net::ReplMsg::from_frame(&frame).map_err(|e| e.to_string())? {
+                lbc_net::ReplMsg::StatusResp(s) => break s,
+                other => return Err(format!("unexpected reply to status probe: {other:?}")),
+            }
+        }
+        let n = stream.read(&mut scratch).map_err(|e| e.to_string())?;
+        if n == 0 {
+            return Err(format!("{connect} closed the connection mid-status"));
+        }
+        dec.push(&scratch[..n]);
+    };
+    let role = match status.role {
+        lbc_net::Role::Primary => "primary",
+        lbc_net::Role::Follower => "follower",
+        lbc_net::Role::Promoted => "promoted",
+    };
+    let mut out = format!(
+        "{connect}: role {role}, applied_seq {}\n",
+        status.applied_seq
+    );
+    if status.peers.is_empty() {
+        out.push_str("followers: none\n");
+    } else {
+        for p in &status.peers {
+            out.push_str(&format!(
+                "follower {}: acked_seq {} (lag {})\n",
+                p.follower_id,
+                p.applied_seq,
+                status.applied_seq.saturating_sub(p.applied_seq)
+            ));
+        }
+    }
+    Ok(out)
 }
 
 /// The registry's cache counters + resident footprint, one line —
@@ -1197,6 +1393,61 @@ mod tests {
         assert!(r.contains("zipf(s = 1.1)"), "{r}");
         assert!(r.contains("throughput ="), "{r}");
         assert!(run(&raw(&["serve-bench", "--zipf", "-1"])).is_err());
+    }
+
+    #[test]
+    fn serve_and_repl_flag_validation() {
+        // A node is a primary xor a follower.
+        let e = run(&raw(&[
+            "serve",
+            "--listen",
+            "127.0.0.1:0",
+            "--repl-listen",
+            "127.0.0.1:0",
+            "--follow",
+            "127.0.0.1:1",
+        ]))
+        .unwrap_err();
+        assert!(e.contains("mutually exclusive"), "{e}");
+        let e = run(&raw(&[
+            "serve",
+            "--listen",
+            "127.0.0.1:0",
+            "--repl-addr-file",
+            "/tmp/x",
+        ]))
+        .unwrap_err();
+        assert!(e.contains("needs --repl-listen"), "{e}");
+        // A follower needs a live primary to sync from.
+        let e = run(&raw(&[
+            "serve",
+            "--listen",
+            "127.0.0.1:0",
+            "--follow",
+            "127.0.0.1:1",
+        ]))
+        .unwrap_err();
+        assert!(e.contains("cannot sync from"), "{e}");
+    }
+
+    #[test]
+    fn net_bench_rejects_bad_zipf() {
+        let e = run(&raw(&[
+            "net-bench",
+            "--connect",
+            "127.0.0.1:1",
+            "--zipf",
+            "-0.5",
+        ]))
+        .unwrap_err();
+        assert!(e.contains("--zipf must be finite"), "{e}");
+    }
+
+    #[test]
+    fn repl_status_requires_connect_and_a_listener() {
+        assert!(run(&raw(&["repl-status"])).is_err());
+        let e = run(&raw(&["repl-status", "--connect", "127.0.0.1:1"])).unwrap_err();
+        assert!(e.contains("cannot connect"), "{e}");
     }
 
     #[test]

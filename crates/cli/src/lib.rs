@@ -21,6 +21,10 @@
 //!   the query engine on a socket (one epoll reactor thread, framed
 //!   checksummed protocol) and drive it with an open-loop,
 //!   coordinated-omission-safe network load generator.
+//! * `lbc serve --repl-listen B` / `lbc serve --follow B` /
+//!   `lbc repl-status --connect B` — primary/follower replication:
+//!   snapshot handshake, live WAL streaming, deterministic promotion
+//!   when the primary dies.
 //! * `lbc save g.txt dir/` / `lbc load dir/` — persist a clustered
 //!   dataset as a checksummed binary snapshot (+ delta write-ahead log)
 //!   and warm-boot it back, bit-for-bit.
@@ -73,21 +77,36 @@ USAGE:
             [--graph g.txt | --family ring|planted --k 4 --size 64]
             [--beta B] [--rounds T] [--seed S] [--threads 4] [--cache 8]
             [--outbox-cap BYTES] [--max-conns N] [--addr-file PATH]
+            [--repl-listen ADDR [--repl-addr-file PATH]]
+            [--follow ADDR [--follower-id N]]
       Cluster the dataset, then serve the framed wire protocol (batched
       same-cluster / cluster-of / cluster-size queries, delta
       submission, cache stats) from ONE epoll reactor thread with
       per-connection backpressure, until the process is killed.
       --addr-file writes the resolved listen address (for --listen
-      127.0.0.1:0 scripting).
+      127.0.0.1:0 scripting). --repl-listen makes the node a
+      replication primary: followers sync a snapshot of the resident
+      state over ADDR, then tail the delta WAL live. --follow makes it
+      a follower of the primary's repl port: it adopts the primary's
+      state bit-for-bit, serves reads from its own reactor (deltas
+      bounce with a typed read-only error), and on primary death runs
+      the deterministic promotion rule (max applied_seq, ties to the
+      lowest --follower-id).
 
   lbc net-bench --connect HOST:PORT [--conns 64] [--rate 5000]
-                [--batches 10000] [--batch 32] [--seed S]
+                [--batches 10000] [--batch 32] [--seed S] [--zipf S]
                 [--deadline-secs 60]
       Open-loop network load generator: batch arrivals follow the fixed
       --rate schedule across --conns connections and latency is
       measured from each batch's INTENDED send time, so queueing delay
       under overload shows up in p50/p95/p99 instead of being
-      coordinated-omission'd away.
+      coordinated-omission'd away. --zipf S skews query node popularity
+      (Zipf exponent S; 0 = uniform).
+
+  lbc repl-status --connect HOST:PORT
+      Probe a replication port: prints the node's role
+      (primary/follower/promoted), its applied_seq watermark, and the
+      acked progress + lag of every connected follower.
 
   lbc jobs [--graph g.txt | --family ring|planted --k 4 --size 64]
            [--beta B] [--rounds T] [--seed S0] [--jobs 8] [--threads 4]

@@ -1,0 +1,268 @@
+//! Two-node replication end-to-end: real `lbc serve` child processes,
+//! real TCP, a real `kill -9`.
+//!
+//! 1. Spawn a primary (`--repl-listen`) and a follower (`--follow`)
+//!    as separate processes; both serve the query protocol.
+//! 2. Stream deltas through the primary; wait for the follower's
+//!    `applied_seq` to catch up and assert its answers are bit-for-bit
+//!    identical to the primary's.
+//! 3. `kill -9` the primary. Clients of the primary surface typed
+//!    disconnects; the follower detects the death, promotes itself
+//!    (deterministic rule), flips to writable, and keeps answering
+//!    exactly what the pre-crash primary answered.
+
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use lbc_net::{ErrorCode, NetClient, NetError, Role};
+use lbc_runtime::Query;
+
+const K: usize = 3;
+const SIZE: usize = 16;
+const ROUNDS: usize = 60;
+const SEED: u64 = 5;
+
+struct Proc {
+    child: Child,
+    files: Vec<std::path::PathBuf>,
+}
+
+impl Drop for Proc {
+    fn drop(&mut self) {
+        let _ = self.child.kill();
+        let _ = self.child.wait();
+        for f in &self.files {
+            let _ = std::fs::remove_file(f);
+        }
+    }
+}
+
+fn addr_path(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("lbc-repl-e2e-{tag}-{}.addr", std::process::id()))
+}
+
+fn read_addr(path: &std::path::Path) -> std::net::SocketAddr {
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        if let Ok(text) = std::fs::read_to_string(path) {
+            if let Ok(addr) = text.trim().parse() {
+                return addr;
+            }
+        }
+        assert!(
+            Instant::now() < deadline,
+            "no address file at {}",
+            path.display()
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+fn dataset_args() -> Vec<String> {
+    [
+        "--family",
+        "ring",
+        "--k",
+        &K.to_string(),
+        "--size",
+        &SIZE.to_string(),
+        "--rounds",
+        &ROUNDS.to_string(),
+        "--seed",
+        &SEED.to_string(),
+        "--threads",
+        "2",
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect()
+}
+
+fn spawn_primary() -> (Proc, std::net::SocketAddr, std::net::SocketAddr) {
+    let addr_file = addr_path("primary");
+    let repl_file = addr_path("primary-repl");
+    let _ = std::fs::remove_file(&addr_file);
+    let _ = std::fs::remove_file(&repl_file);
+    let child = Command::new(env!("CARGO_BIN_EXE_lbc"))
+        .args(["serve", "--listen", "127.0.0.1:0"])
+        .args(dataset_args())
+        .args([
+            "--repl-listen",
+            "127.0.0.1:0",
+            "--addr-file",
+            addr_file.to_str().unwrap(),
+            "--repl-addr-file",
+            repl_file.to_str().unwrap(),
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn primary");
+    let addr = read_addr(&addr_file);
+    let repl = read_addr(&repl_file);
+    (
+        Proc {
+            child,
+            files: vec![addr_file, repl_file],
+        },
+        addr,
+        repl,
+    )
+}
+
+fn spawn_follower(repl: std::net::SocketAddr, id: u64) -> (Proc, std::net::SocketAddr) {
+    let addr_file = addr_path(&format!("follower-{id}"));
+    let _ = std::fs::remove_file(&addr_file);
+    let child = Command::new(env!("CARGO_BIN_EXE_lbc"))
+        .args(["serve", "--listen", "127.0.0.1:0"])
+        .args(dataset_args())
+        .args([
+            "--follow",
+            &repl.to_string(),
+            "--follower-id",
+            &id.to_string(),
+            "--addr-file",
+            addr_file.to_str().unwrap(),
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn follower");
+    let addr = read_addr(&addr_file);
+    (
+        Proc {
+            child,
+            files: vec![addr_file],
+        },
+        addr,
+    )
+}
+
+fn wait_info(
+    addr: &std::net::SocketAddr,
+    deadline: Duration,
+    mut cond: impl FnMut(&lbc_net::ServerInfo) -> bool,
+) -> lbc_net::ServerInfo {
+    let start = Instant::now();
+    let mut last = None;
+    while start.elapsed() < deadline {
+        if let Ok(mut c) = NetClient::connect_timeout(addr, Duration::from_secs(5)) {
+            if let Ok(info) = c.info() {
+                if cond(&info) {
+                    return info;
+                }
+                last = Some(info);
+            }
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    }
+    panic!("condition never met; last info: {last:?}");
+}
+
+fn battery(n: u32) -> Vec<Query> {
+    let mut qs = Vec::new();
+    for i in 0..64u32 {
+        let a = (i * 7) % n;
+        let b = (i * 11 + 3) % n;
+        qs.push(match i % 4 {
+            0 => Query::SameCluster(a, b),
+            1 => Query::ClusterOf(a),
+            2 => Query::ClusterOf(b),
+            _ => Query::ClusterSize(a),
+        });
+    }
+    qs
+}
+
+#[test]
+fn follower_mirrors_primary_and_promotes_on_kill9() {
+    let (mut primary, paddr, prepl) = spawn_primary();
+    let (_follower, faddr) = spawn_follower(prepl, 7);
+
+    // The follower came up read-only, serving the adopted dataset.
+    let finfo = wait_info(&faddr, Duration::from_secs(60), |i| {
+        i.role == Role::Follower
+    });
+    assert_eq!(finfo.dataset, format!("ring-{K}x{SIZE}"));
+    let n0 = finfo.n;
+
+    // Writes bounce off the follower with the typed read-only error.
+    let mut fclient = NetClient::connect_timeout(&faddr, Duration::from_secs(10)).unwrap();
+    let mut delta = lbc_graph::GraphDelta::new();
+    delta.add_edge(0, (n0 - 1) as u32);
+    match fclient.submit_delta(&delta) {
+        Err(NetError::Server { code, .. }) => {
+            assert_eq!(code, ErrorCode::ReadOnly as u16, "wrong error code");
+        }
+        other => panic!("follower accepted a delta: {other:?}"),
+    }
+
+    // Stream three deltas through the primary.
+    let mut pclient = NetClient::connect_timeout(&paddr, Duration::from_secs(10)).unwrap();
+    for i in 0..3u32 {
+        let mut d = lbc_graph::GraphDelta::new();
+        d.add_edge(i % 5, (SIZE as u32) + (i % 7));
+        pclient.submit_delta(&d).unwrap();
+    }
+    assert_eq!(pclient.info().unwrap().applied_seq, 3);
+
+    // The follower catches up and answers bit-for-bit what the primary
+    // answers.
+    wait_info(&faddr, Duration::from_secs(60), |i| i.applied_seq == 3);
+    let qs = battery(n0 as u32);
+    let pre_crash = pclient.query_batch(&qs).unwrap();
+    assert_eq!(
+        fclient.query_batch(&qs).unwrap(),
+        pre_crash,
+        "follower answers diverged from primary"
+    );
+
+    // The repl-status probe sees the follower's acked progress.
+    let status = Command::new(env!("CARGO_BIN_EXE_lbc"))
+        .args(["repl-status", "--connect", &prepl.to_string()])
+        .output()
+        .expect("run repl-status");
+    let status = String::from_utf8_lossy(&status.stdout).to_string();
+    assert!(status.contains("role primary"), "{status}");
+    assert!(status.contains("follower 7"), "{status}");
+
+    // kill -9 the primary: no shutdown handler runs, sockets just die.
+    primary.child.kill().expect("SIGKILL the primary");
+    primary.child.wait().expect("reap the primary");
+
+    // Primary clients surface a clean typed disconnect.
+    let mut saw_disconnect = false;
+    for _ in 0..3 {
+        match pclient.query_batch(&[Query::ClusterOf(0)]) {
+            Ok(_) => continue,
+            Err(NetError::Disconnected) | Err(NetError::Io(_)) => {
+                saw_disconnect = true;
+                break;
+            }
+            Err(other) => panic!("expected a disconnect, got {other:?}"),
+        }
+    }
+    assert!(saw_disconnect, "primary death never surfaced to its client");
+
+    // Clients re-resolve to the follower, which promotes itself (sole
+    // follower at max applied_seq) and flips to writable.
+    let info = wait_info(&faddr, Duration::from_secs(60), |i| {
+        i.role == Role::Promoted
+    });
+    assert_eq!(info.applied_seq, 3);
+
+    // The promoted labelling is exactly the pre-crash primary's.
+    let mut c = NetClient::connect_timeout(&faddr, Duration::from_secs(10)).unwrap();
+    assert_eq!(
+        c.query_batch(&qs).unwrap(),
+        pre_crash,
+        "promotion changed the served labelling"
+    );
+
+    // And the promoted node now accepts writes, continuing the lineage.
+    let mut d = lbc_graph::GraphDelta::new();
+    d.add_edge(1, (SIZE as u32) + 2);
+    let summary = c.submit_delta(&d).unwrap();
+    assert_eq!(summary.n, n0);
+    assert_eq!(c.info().unwrap().applied_seq, 4);
+}

@@ -21,8 +21,8 @@ use std::net::{TcpStream, ToSocketAddrs};
 use std::os::unix::io::AsRawFd;
 use std::time::{Duration, Instant};
 
-use lbc_runtime::loadgen::{uniform_random_query, QueryRng};
-use lbc_runtime::Query;
+use lbc_runtime::loadgen::{popular_random_query, NodeSampler, QueryRng};
+use lbc_runtime::{Popularity, Query};
 
 use crate::client::NetClient;
 use crate::error::NetError;
@@ -42,6 +42,10 @@ pub struct NetBenchConfig {
     pub batch: usize,
     /// Seed for deterministic query streams.
     pub seed: u64,
+    /// Node-popularity model for generated queries — `Zipf(s)` skews
+    /// traffic onto a hot set the way real membership workloads do
+    /// (the `lbc net-bench --zipf S` knob).
+    pub popularity: Popularity,
     /// Hard deadline for the whole run (guards CI against a wedged
     /// server; generously above `batches / rate`).
     pub deadline: Duration,
@@ -55,6 +59,7 @@ impl Default for NetBenchConfig {
             batches: 10_000,
             batch: 32,
             seed: 0,
+            popularity: Popularity::Uniform,
             deadline: Duration::from_secs(60),
         }
     }
@@ -114,13 +119,21 @@ impl NetBenchReport {
 }
 
 /// The same query mix the in-process loadgen uses (its shared
-/// [`QueryRng`] stream family + mix), keyed by `(seed, batch index)`
-/// so the stream does not depend on which connection carries it.
-fn generate_batch(seed: u64, batch_idx: u64, len: usize, n: u64, out: &mut Vec<Query>) {
+/// [`QueryRng`] stream family + mix + [`NodeSampler`] popularity),
+/// keyed by `(seed, batch index)` so the stream does not depend on
+/// which connection carries it.
+fn generate_batch(
+    seed: u64,
+    batch_idx: u64,
+    len: usize,
+    n: u64,
+    sampler: &NodeSampler,
+    out: &mut Vec<Query>,
+) {
     out.clear();
     let mut rng = QueryRng::new(seed, batch_idx);
     for _ in 0..len {
-        out.push(uniform_random_query(&mut rng, n as usize));
+        out.push(popular_random_query(&mut rng, sampler, n as usize));
     }
 }
 
@@ -146,6 +159,13 @@ pub fn net_bench(
             "rate must be finite and positive, got {}",
             cfg.rate
         )));
+    }
+    if let Popularity::Zipf(s) = cfg.popularity {
+        if !s.is_finite() || s < 0.0 {
+            return Err(NetError::InvalidConfig(format!(
+                "zipf exponent must be finite and non-negative, got {s}"
+            )));
+        }
     }
 
     // Shape probe first: query node ids must be in range.
@@ -174,6 +194,7 @@ pub fn net_bench(
     }
 
     let interval = Duration::from_secs_f64(1.0 / cfg.rate);
+    let sampler = NodeSampler::new(cfg.popularity, info.n as usize);
     let mut pending: HashMap<u64, Instant> = HashMap::with_capacity(1024);
     let mut latencies: Vec<Duration> = Vec::with_capacity(cfg.batches as usize);
     let mut queries: Vec<Query> = Vec::with_capacity(cfg.batch);
@@ -202,7 +223,7 @@ pub fn net_bench(
                 break;
             }
             let ci = (sent % cfg.conns as u64) as usize;
-            generate_batch(cfg.seed, sent, cfg.batch, info.n, &mut queries);
+            generate_batch(cfg.seed, sent, cfg.batch, info.n, &sampler, &mut queries);
             let req = Request::QueryBatch(queries.clone());
             req.encode(conns[ci].outbox.encode_mut(), sent)?;
             pending.insert(sent, intended);
@@ -383,6 +404,7 @@ mod tests {
             batches: 1_000,
             batch: 16,
             seed: 9,
+            popularity: Popularity::Uniform,
             deadline: Duration::from_secs(30),
         };
         let r = net_bench(server.addr(), &cfg).unwrap();
@@ -405,6 +427,7 @@ mod tests {
             batches: 400,
             batch: 8,
             seed: 3,
+            popularity: Popularity::Uniform,
             deadline: Duration::from_secs(30),
         };
         let a = net_bench(server.addr(), &cfg).unwrap();
@@ -412,6 +435,49 @@ mod tests {
         assert_eq!(a.checksum, b.checksum);
         let c = net_bench(server.addr(), &NetBenchConfig { seed: 4, ..cfg }).unwrap();
         assert_ne!(a.checksum, c.checksum);
+        server.shutdown();
+    }
+
+    #[test]
+    fn zipf_popularity_is_deterministic_and_distinct_from_uniform() {
+        let server = spawn_server();
+        let cfg = NetBenchConfig {
+            conns: 4,
+            rate: 5_000.0,
+            batches: 200,
+            batch: 8,
+            seed: 3,
+            popularity: Popularity::Zipf(1.1),
+            deadline: Duration::from_secs(30),
+        };
+        let a = net_bench(server.addr(), &cfg).unwrap();
+        let b = net_bench(server.addr(), &cfg).unwrap();
+        assert_eq!(a.checksum, b.checksum, "zipf stream must be deterministic");
+        let uniform = net_bench(
+            server.addr(),
+            &NetBenchConfig {
+                popularity: Popularity::Uniform,
+                ..cfg.clone()
+            },
+        )
+        .unwrap();
+        assert_ne!(
+            a.checksum, uniform.checksum,
+            "skewed node draws must change the query stream"
+        );
+        // Bad exponents are typed config errors.
+        for s in [-1.0, f64::NAN, f64::INFINITY] {
+            assert!(matches!(
+                net_bench(
+                    server.addr(),
+                    &NetBenchConfig {
+                        popularity: Popularity::Zipf(s),
+                        ..cfg.clone()
+                    }
+                ),
+                Err(NetError::InvalidConfig(_))
+            ));
+        }
         server.shutdown();
     }
 

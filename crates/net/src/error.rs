@@ -79,6 +79,9 @@ pub enum ErrorCode {
     /// The server's pending-delta queue is full; retry after earlier
     /// submissions complete.
     Busy = 5,
+    /// The server is a read-only replication follower; submit deltas
+    /// to the primary (or wait for this node to be promoted).
+    ReadOnly = 6,
 }
 
 impl ErrorCode {
@@ -90,6 +93,7 @@ impl ErrorCode {
             3 => Some(ErrorCode::DeltaFailed),
             4 => Some(ErrorCode::ShuttingDown),
             5 => Some(ErrorCode::Busy),
+            6 => Some(ErrorCode::ReadOnly),
             _ => None,
         }
     }

@@ -40,5 +40,8 @@ pub mod wire;
 pub use bench::{net_bench, NetBenchConfig, NetBenchReport};
 pub use client::NetClient;
 pub use error::{ErrorCode, NetError, WireError};
-pub use server::{NetServer, ServeContext, ServerConfig, ServerHandle, ServerStats};
-pub use wire::{encode_frame, DeltaSummary, Frame, FrameDecoder, Request, Response, ServerInfo};
+pub use server::{NetServer, ReplGate, ServeContext, ServerConfig, ServerHandle, ServerStats};
+pub use wire::{
+    encode_frame, DeltaSummary, Frame, FrameDecoder, PeerLag, ReplMsg, ReplStatus, Request,
+    Response, Role, ServerInfo,
+};

@@ -32,7 +32,7 @@ use std::collections::{HashMap, VecDeque};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::unix::io::AsRawFd;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
@@ -42,7 +42,7 @@ use lbc_runtime::{ClusterHandle, DeltaPolicy, QueryEngine, Registry, WorkerPool}
 
 use crate::error::{ErrorCode, NetError, WireError};
 use crate::poll::{waker_pair, Event, Interest, Poller, Token, WakeReceiver, Waker};
-use crate::wire::{DeltaSummary, FrameDecoder, Request, Response, ServerInfo, WriteBuf};
+use crate::wire::{DeltaSummary, FrameDecoder, Request, Response, Role, ServerInfo, WriteBuf};
 
 const TOKEN_LISTENER: Token = Token(0);
 const TOKEN_WAKER: Token = Token(1);
@@ -95,6 +95,36 @@ pub struct ServeContext {
     pub pool: Arc<WorkerPool>,
     pub dataset: String,
     pub cfg: LbConfig,
+}
+
+/// Replication role shared between the reactor and the replication
+/// subsystem. A follower's repl thread flips this to [`Role::Promoted`]
+/// on failover; the reactor reads it per request, so the very next
+/// `SubmitDelta` after promotion is accepted without any restart.
+#[derive(Debug)]
+pub struct ReplGate {
+    role: AtomicU8,
+}
+
+impl ReplGate {
+    pub fn new(role: Role) -> Self {
+        ReplGate {
+            role: AtomicU8::new(role as u8),
+        }
+    }
+
+    pub fn role(&self) -> Role {
+        Role::from_u8(self.role.load(Ordering::Acquire)).expect("gate stores valid roles")
+    }
+
+    pub fn set_role(&self, role: Role) {
+        self.role.store(role as u8, Ordering::Release);
+    }
+
+    /// Whether this node currently accepts deltas.
+    pub fn writable(&self) -> bool {
+        self.role() != Role::Follower
+    }
 }
 
 /// Monotonic counters shared between the reactor and [`ServerHandle`].
@@ -160,6 +190,14 @@ struct DeltaDone {
     result: Result<(DeltaSummary, ClusterHandle), String>,
 }
 
+/// Work delivered to the reactor through the completion queue: its own
+/// delta completions, plus handle swaps injected from outside (a
+/// replication follower's apply thread after each streamed record).
+enum Completion {
+    Delta(DeltaDone),
+    Swap(ClusterHandle),
+}
+
 struct Conn {
     stream: TcpStream,
     decoder: FrameDecoder,
@@ -176,6 +214,7 @@ pub struct ServerHandle {
     stats: Arc<StatsInner>,
     stop: Arc<AtomicBool>,
     waker: Waker,
+    completions: Arc<Mutex<VecDeque<Completion>>>,
     join: Option<std::thread::JoinHandle<()>>,
 }
 
@@ -188,6 +227,19 @@ impl ServerHandle {
     /// Counter snapshot.
     pub fn stats(&self) -> ServerStats {
         self.stats.snapshot()
+    }
+
+    /// Swap the clustering the reactor serves. Used by a replication
+    /// follower: its repl thread applies each streamed WAL record
+    /// through the registry, then installs the refreshed handle here so
+    /// in-flight reads keep the old state and the next batch sees the
+    /// new one — the same swap discipline delta completions use.
+    pub fn install_handle(&self, handle: ClusterHandle) {
+        self.completions
+            .lock()
+            .unwrap()
+            .push_back(Completion::Swap(handle));
+        self.waker.wake();
     }
 
     /// Ask the reactor to exit and wait for it.
@@ -225,11 +277,23 @@ pub struct NetServer;
 
 impl NetServer {
     /// Cluster `ctx.dataset` (cache hit if already resident), bind
-    /// `addr`, and spawn the reactor thread.
+    /// `addr`, and spawn the reactor thread as a standalone primary.
     pub fn bind(
         addr: &str,
         ctx: ServeContext,
         config: ServerConfig,
+    ) -> Result<ServerHandle, NetError> {
+        NetServer::bind_with_repl(addr, ctx, config, Arc::new(ReplGate::new(Role::Primary)))
+    }
+
+    /// Like [`NetServer::bind`], with an explicit replication gate —
+    /// a follower passes `Role::Follower` so deltas bounce with a typed
+    /// `ReadOnly` error until its repl thread promotes the gate.
+    pub fn bind_with_repl(
+        addr: &str,
+        ctx: ServeContext,
+        config: ServerConfig,
+        repl: Arc<ReplGate>,
     ) -> Result<ServerHandle, NetError> {
         let engine = QueryEngine::new(Arc::clone(&ctx.registry));
         let handle = engine
@@ -242,6 +306,7 @@ impl NetServer {
         let stats = Arc::new(StatsInner::default());
         let stop = Arc::new(AtomicBool::new(false));
         let (waker, wake_rx) = waker_pair()?;
+        let completions = Arc::new(Mutex::new(VecDeque::new()));
 
         let mut reactor = Reactor {
             listener,
@@ -253,9 +318,10 @@ impl NetServer {
             handle,
             ctx,
             config,
+            repl,
             stats: Arc::clone(&stats),
             stop: Arc::clone(&stop),
-            completions: Arc::new(Mutex::new(VecDeque::new())),
+            completions: Arc::clone(&completions),
             pending_deltas: VecDeque::new(),
             delta_inflight: false,
             scratch: Vec::new(),
@@ -272,6 +338,7 @@ impl NetServer {
             stats,
             stop,
             waker,
+            completions,
             join: Some(join),
         })
     }
@@ -288,9 +355,10 @@ struct Reactor {
     handle: ClusterHandle,
     ctx: ServeContext,
     config: ServerConfig,
+    repl: Arc<ReplGate>,
     stats: Arc<StatsInner>,
     stop: Arc<AtomicBool>,
-    completions: Arc<Mutex<VecDeque<DeltaDone>>>,
+    completions: Arc<Mutex<VecDeque<Completion>>>,
     pending_deltas: VecDeque<(u64, u64, GraphDelta)>,
     delta_inflight: bool,
     scratch: Vec<u8>,
@@ -502,6 +570,15 @@ impl Reactor {
                 },
             },
             Request::SubmitDelta(delta) => {
+                if !self.repl.writable() {
+                    let resp = Response::Error {
+                        code: ErrorCode::ReadOnly as u16,
+                        message: "read-only replication follower; submit deltas to the primary"
+                            .to_string(),
+                    };
+                    self.enqueue_response(token, request_id, &resp);
+                    return true;
+                }
                 if delta.added_nodes() > self.config.max_delta_nodes {
                     // The wire format bounds edge lists by payload
                     // size, but the node count is a bare integer: cap
@@ -546,6 +623,8 @@ impl Reactor {
                     n,
                     m,
                     k: self.handle.k() as u32,
+                    applied_seq: self.ctx.registry.applied_seq(&self.ctx.dataset),
+                    role: self.repl.role(),
                 })
             }
             Request::Ping => Response::Pong,
@@ -610,22 +689,33 @@ impl Reactor {
                 Ok(r) => r,
                 Err(_) => Err("delta application panicked".to_string()),
             };
-            completions.lock().unwrap().push_back(DeltaDone {
-                token,
-                request_id,
-                result,
-            });
+            completions
+                .lock()
+                .unwrap()
+                .push_back(Completion::Delta(DeltaDone {
+                    token,
+                    request_id,
+                    result,
+                }));
             waker.wake();
         });
     }
 
     /// Apply finished deltas: swap the served handle, answer the
-    /// submitter, start the next queued delta.
+    /// submitter, start the next queued delta. Injected handle swaps
+    /// (replication apply) just replace the served clustering.
     fn drain_completions(&mut self) {
         loop {
-            let done = match self.completions.lock().unwrap().pop_front() {
+            let completion = match self.completions.lock().unwrap().pop_front() {
                 Some(d) => d,
                 None => break,
+            };
+            let done = match completion {
+                Completion::Swap(handle) => {
+                    self.handle = handle;
+                    continue;
+                }
+                Completion::Delta(done) => done,
             };
             self.delta_inflight = false;
             let resp = match done.result {
@@ -907,6 +997,48 @@ mod tests {
         assert!(done >= 1, "no delta ever ran");
         assert!(busy >= 1, "queue never bounced: done = {done}");
         assert_eq!(done + busy, total);
+        server.shutdown();
+    }
+
+    #[test]
+    fn follower_gate_bounces_deltas_until_promoted() {
+        let registry = Arc::new(Registry::with_capacity(4));
+        let (g, _) = generators::ring_of_cliques(3, 8, 0).unwrap();
+        registry.insert_graph("ring", g);
+        let cfg = LbConfig::new(1.0 / 3.0, 60).with_seed(2);
+        let ctx = ServeContext {
+            registry,
+            pool: Arc::new(WorkerPool::new(2)),
+            dataset: "ring".to_string(),
+            cfg,
+        };
+        let gate = Arc::new(ReplGate::new(Role::Follower));
+        let server = NetServer::bind_with_repl(
+            "127.0.0.1:0",
+            ctx,
+            ServerConfig::default(),
+            Arc::clone(&gate),
+        )
+        .unwrap();
+        let mut client = NetClient::connect(server.addr()).unwrap();
+
+        // Reads work; writes bounce typed, and the connection survives.
+        assert_eq!(client.info().unwrap().role, Role::Follower);
+        let mut d = GraphDelta::new();
+        d.add_edge(0, 1);
+        match client.submit_delta(&d) {
+            Err(NetError::Server { code, .. }) => {
+                assert_eq!(code, ErrorCode::ReadOnly as u16)
+            }
+            other => panic!("expected typed ReadOnly error, got {other:?}"),
+        }
+        client.ping().unwrap();
+
+        // Promotion opens the gate without any reconnect or restart.
+        gate.set_role(Role::Promoted);
+        let summary = client.submit_delta(&GraphDelta::new()).unwrap();
+        assert_eq!(summary.refreshed, 1);
+        assert_eq!(client.info().unwrap().role, Role::Promoted);
         server.shutdown();
     }
 

@@ -50,12 +50,23 @@ pub mod opcode {
     pub const CACHE_STATS: u8 = 0x03;
     pub const INFO: u8 = 0x04;
     pub const PING: u8 = 0x05;
+    /// Replication follower → primary opcodes (0x10 block).
+    pub const REPL_HELLO: u8 = 0x10;
+    pub const REPL_ACK: u8 = 0x11;
+    pub const REPL_STATUS: u8 = 0x12;
     /// Response opcodes (high bit set).
     pub const ANSWERS: u8 = 0x81;
     pub const DELTA_DONE: u8 = 0x82;
     pub const STATS: u8 = 0x83;
     pub const INFO_RESP: u8 = 0x84;
     pub const PONG: u8 = 0x85;
+    /// Replication primary → follower opcodes (0x90 block).
+    pub const SNAP_BEGIN: u8 = 0x90;
+    pub const SNAP_CHUNK: u8 = 0x91;
+    pub const SNAP_END: u8 = 0x92;
+    pub const WAL_REC: u8 = 0x93;
+    pub const HEARTBEAT: u8 = 0x94;
+    pub const STATUS_RESP: u8 = 0x95;
     pub const ERROR: u8 = 0xFF;
 }
 
@@ -341,6 +352,11 @@ impl<'a> Cursor<'a> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
     }
 
+    /// Bytes still unread.
+    fn remaining(&self) -> usize {
+        self.bytes.len() - self.at
+    }
+
     fn finish(self) -> Result<(), WireError> {
         if self.at != self.bytes.len() {
             return Err(WireError::TrailingBytes {
@@ -371,6 +387,30 @@ pub enum Request {
     Ping,
 }
 
+/// Replication role a serving process reports in [`ServerInfo`] and
+/// [`ReplStatus`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Role {
+    /// Accepts deltas and streams them to followers.
+    Primary = 0,
+    /// Read-only replica applying the primary's stream.
+    Follower = 1,
+    /// A follower promoted after primary death; accepts deltas again.
+    Promoted = 2,
+}
+
+impl Role {
+    /// Decode a wire byte; `None` for unknown roles.
+    pub fn from_u8(v: u8) -> Option<Role> {
+        match v {
+            0 => Some(Role::Primary),
+            1 => Some(Role::Follower),
+            2 => Some(Role::Promoted),
+            _ => None,
+        }
+    }
+}
+
 /// Served dataset description ([`Response::Info`]).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ServerInfo {
@@ -378,6 +418,12 @@ pub struct ServerInfo {
     pub n: u64,
     pub m: u64,
     pub k: u32,
+    /// Highest delta sequence number applied to the served state
+    /// (0 when no delta has ever committed) — the replication-lag
+    /// observable: `primary.applied_seq - follower.applied_seq`.
+    pub applied_seq: u64,
+    /// Replication role of the answering process.
+    pub role: Role,
 }
 
 /// Outcome of a delta submission ([`Response::DeltaDone`]).
@@ -612,6 +658,8 @@ impl Response {
                 p.extend_from_slice(&info.n.to_le_bytes());
                 p.extend_from_slice(&info.m.to_le_bytes());
                 p.extend_from_slice(&info.k.to_le_bytes());
+                p.extend_from_slice(&info.applied_seq.to_le_bytes());
+                p.push(info.role as u8);
                 let name = info.dataset.as_bytes();
                 let len = name.len().min(u16::MAX as usize);
                 p.extend_from_slice(&(len as u16).to_le_bytes());
@@ -697,6 +745,11 @@ impl Response {
                 let n = c.u64()?;
                 let m = c.u64()?;
                 let k = c.u32()?;
+                let applied_seq = c.u64()?;
+                let role = Role::from_u8(c.u8()?).ok_or(WireError::BadField {
+                    opcode: op,
+                    what: "role",
+                })?;
                 let len = c.u16()? as usize;
                 let name = c.take(len)?;
                 let dataset =
@@ -704,7 +757,14 @@ impl Response {
                         opcode: op,
                         what: "dataset name",
                     })?;
-                Response::Info(ServerInfo { dataset, n, m, k })
+                Response::Info(ServerInfo {
+                    dataset,
+                    n,
+                    m,
+                    k,
+                    applied_seq,
+                    role,
+                })
             }
             opcode::PONG => Response::Pong,
             opcode::ERROR => {
@@ -718,6 +778,211 @@ impl Response {
         };
         c.finish()?;
         Ok(resp)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Replication messages (primary ↔ follower stream)
+
+/// One follower's replication progress as the primary sees it —
+/// carried in every [`ReplMsg::Heartbeat`] so all followers share the
+/// roster the deterministic promotion rule needs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PeerLag {
+    pub follower_id: u64,
+    /// Highest sequence number this follower has acknowledged.
+    pub applied_seq: u64,
+}
+
+/// Payload of [`ReplMsg::StatusResp`] — what `lbc repl-status` prints.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplStatus {
+    pub role: Role,
+    pub applied_seq: u64,
+    /// Connected followers (empty on a follower).
+    pub peers: Vec<PeerLag>,
+}
+
+/// A message on the replication channel. Follower → primary messages
+/// use request-space opcodes (high bit clear), primary → follower
+/// stream messages use response-space opcodes — the same invariant the
+/// query protocol keeps, so one decoder serves both ports.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplMsg {
+    /// Follower introduces itself: its id and the highest sequence
+    /// number it already holds (0 for an empty start).
+    Hello { follower_id: u64, have_seq: u64 },
+    /// Follower acknowledges having applied up to `applied_seq`.
+    Ack { applied_seq: u64 },
+    /// Ask the node for its replication status (any client may send).
+    Status,
+    /// Snapshot stream starts: the snapshot's applied_seq, its total
+    /// byte length, and how many chunks will follow.
+    SnapBegin {
+        applied_seq: u64,
+        total_len: u64,
+        chunk_count: u32,
+    },
+    /// One snapshot chunk at `offset` in the snapshot byte stream.
+    SnapChunk { offset: u64, bytes: Vec<u8> },
+    /// Snapshot stream ends; `crc64` covers the whole snapshot byte
+    /// stream (defence in depth on top of per-frame CRC-32).
+    SnapEnd { crc64: u64 },
+    /// One WAL record, exactly as `lbc_store::wal::encode_record` laid
+    /// it out (magic + len + seq + crc64 + payload) — followers feed it
+    /// straight to the store codec.
+    WalRec { bytes: Vec<u8> },
+    /// Primary liveness + replication roster, sequenced so a follower
+    /// can detect a stalled stream.
+    Heartbeat { seq: u64, roster: Vec<PeerLag> },
+    /// Answer to [`ReplMsg::Status`].
+    StatusResp(ReplStatus),
+}
+
+impl ReplMsg {
+    /// Opcode this message travels under.
+    pub fn opcode(&self) -> u8 {
+        match self {
+            ReplMsg::Hello { .. } => opcode::REPL_HELLO,
+            ReplMsg::Ack { .. } => opcode::REPL_ACK,
+            ReplMsg::Status => opcode::REPL_STATUS,
+            ReplMsg::SnapBegin { .. } => opcode::SNAP_BEGIN,
+            ReplMsg::SnapChunk { .. } => opcode::SNAP_CHUNK,
+            ReplMsg::SnapEnd { .. } => opcode::SNAP_END,
+            ReplMsg::WalRec { .. } => opcode::WAL_REC,
+            ReplMsg::Heartbeat { .. } => opcode::HEARTBEAT,
+            ReplMsg::StatusResp(_) => opcode::STATUS_RESP,
+        }
+    }
+
+    /// Serialise the payload (no frame header).
+    pub fn payload(&self) -> Vec<u8> {
+        let mut p = Vec::new();
+        match self {
+            ReplMsg::Hello {
+                follower_id,
+                have_seq,
+            } => {
+                p.extend_from_slice(&follower_id.to_le_bytes());
+                p.extend_from_slice(&have_seq.to_le_bytes());
+            }
+            ReplMsg::Ack { applied_seq } => {
+                p.extend_from_slice(&applied_seq.to_le_bytes());
+            }
+            ReplMsg::Status => {}
+            ReplMsg::SnapBegin {
+                applied_seq,
+                total_len,
+                chunk_count,
+            } => {
+                p.extend_from_slice(&applied_seq.to_le_bytes());
+                p.extend_from_slice(&total_len.to_le_bytes());
+                p.extend_from_slice(&chunk_count.to_le_bytes());
+            }
+            ReplMsg::SnapChunk { offset, bytes } => {
+                p.extend_from_slice(&offset.to_le_bytes());
+                p.extend_from_slice(bytes);
+            }
+            ReplMsg::SnapEnd { crc64 } => {
+                p.extend_from_slice(&crc64.to_le_bytes());
+            }
+            ReplMsg::WalRec { bytes } => {
+                p.extend_from_slice(bytes);
+            }
+            ReplMsg::Heartbeat { seq, roster } => {
+                p.extend_from_slice(&seq.to_le_bytes());
+                p.extend_from_slice(&(roster.len() as u32).to_le_bytes());
+                for peer in roster {
+                    p.extend_from_slice(&peer.follower_id.to_le_bytes());
+                    p.extend_from_slice(&peer.applied_seq.to_le_bytes());
+                }
+            }
+            ReplMsg::StatusResp(s) => {
+                p.push(s.role as u8);
+                p.extend_from_slice(&s.applied_seq.to_le_bytes());
+                p.extend_from_slice(&(s.peers.len() as u32).to_le_bytes());
+                for peer in &s.peers {
+                    p.extend_from_slice(&peer.follower_id.to_le_bytes());
+                    p.extend_from_slice(&peer.applied_seq.to_le_bytes());
+                }
+            }
+        }
+        p
+    }
+
+    /// Frame-encode into `out`.
+    pub fn encode(&self, out: &mut Vec<u8>, request_id: u64) -> Result<(), WireError> {
+        encode_frame(out, self.opcode(), request_id, &self.payload())
+    }
+
+    /// Parse a decoded frame back into a typed replication message.
+    pub fn from_frame(frame: &Frame) -> Result<ReplMsg, WireError> {
+        let op = frame.opcode;
+        let mut c = Cursor::new(&frame.payload, op);
+        // A hostile count cannot force an allocation beyond the
+        // payload: each roster entry is 16 bytes on the wire.
+        let roster = |c: &mut Cursor, payload_len: usize| -> Result<Vec<PeerLag>, WireError> {
+            let count = c.u32()? as usize;
+            if count > payload_len / 16 + 1 {
+                return Err(WireError::BadField {
+                    opcode: op,
+                    what: "roster count",
+                });
+            }
+            let mut peers = Vec::with_capacity(count);
+            for _ in 0..count {
+                peers.push(PeerLag {
+                    follower_id: c.u64()?,
+                    applied_seq: c.u64()?,
+                });
+            }
+            Ok(peers)
+        };
+        let msg = match op {
+            opcode::REPL_HELLO => ReplMsg::Hello {
+                follower_id: c.u64()?,
+                have_seq: c.u64()?,
+            },
+            opcode::REPL_ACK => ReplMsg::Ack {
+                applied_seq: c.u64()?,
+            },
+            opcode::REPL_STATUS => ReplMsg::Status,
+            opcode::SNAP_BEGIN => ReplMsg::SnapBegin {
+                applied_seq: c.u64()?,
+                total_len: c.u64()?,
+                chunk_count: c.u32()?,
+            },
+            opcode::SNAP_CHUNK => {
+                let offset = c.u64()?;
+                let bytes = c.take(c.remaining())?.to_vec();
+                ReplMsg::SnapChunk { offset, bytes }
+            }
+            opcode::SNAP_END => ReplMsg::SnapEnd { crc64: c.u64()? },
+            opcode::WAL_REC => ReplMsg::WalRec {
+                bytes: c.take(c.remaining())?.to_vec(),
+            },
+            opcode::HEARTBEAT => {
+                let seq = c.u64()?;
+                let peers = roster(&mut c, frame.payload.len())?;
+                ReplMsg::Heartbeat { seq, roster: peers }
+            }
+            opcode::STATUS_RESP => {
+                let role = Role::from_u8(c.u8()?).ok_or(WireError::BadField {
+                    opcode: op,
+                    what: "role",
+                })?;
+                let applied_seq = c.u64()?;
+                let peers = roster(&mut c, frame.payload.len())?;
+                ReplMsg::StatusResp(ReplStatus {
+                    role,
+                    applied_seq,
+                    peers,
+                })
+            }
+            other => return Err(WireError::BadOpcode { got: other }),
+        };
+        c.finish()?;
+        Ok(msg)
     }
 }
 
@@ -795,12 +1060,103 @@ mod tests {
             n: 24,
             m: 87,
             k: 3,
+            applied_seq: 12,
+            role: Role::Follower,
         }));
         roundtrip_response(Response::Pong);
         roundtrip_response(Response::Error {
             code: 2,
             message: "node 99 out of range".to_string(),
         });
+    }
+
+    fn roundtrip_repl(msg: ReplMsg) {
+        let mut bytes = Vec::new();
+        msg.encode(&mut bytes, 11).unwrap();
+        let mut dec = FrameDecoder::new();
+        dec.push(&bytes);
+        let frame = dec.next_frame().unwrap().expect("one frame");
+        assert_eq!(frame.request_id, 11);
+        assert_eq!(ReplMsg::from_frame(&frame).unwrap(), msg);
+    }
+
+    #[test]
+    fn repl_roundtrips() {
+        roundtrip_repl(ReplMsg::Hello {
+            follower_id: 3,
+            have_seq: 17,
+        });
+        roundtrip_repl(ReplMsg::Ack { applied_seq: 42 });
+        roundtrip_repl(ReplMsg::Status);
+        roundtrip_repl(ReplMsg::SnapBegin {
+            applied_seq: 9,
+            total_len: 1 << 20,
+            chunk_count: 4,
+        });
+        roundtrip_repl(ReplMsg::SnapChunk {
+            offset: 256 * 1024,
+            bytes: vec![0xAB; 1000],
+        });
+        roundtrip_repl(ReplMsg::SnapChunk {
+            offset: 0,
+            bytes: Vec::new(),
+        });
+        roundtrip_repl(ReplMsg::SnapEnd { crc64: u64::MAX });
+        roundtrip_repl(ReplMsg::WalRec {
+            bytes: b"LWAL....record bytes".to_vec(),
+        });
+        roundtrip_repl(ReplMsg::Heartbeat {
+            seq: 5,
+            roster: vec![
+                PeerLag {
+                    follower_id: 1,
+                    applied_seq: 40,
+                },
+                PeerLag {
+                    follower_id: 2,
+                    applied_seq: 42,
+                },
+            ],
+        });
+        roundtrip_repl(ReplMsg::StatusResp(ReplStatus {
+            role: Role::Promoted,
+            applied_seq: 42,
+            peers: Vec::new(),
+        }));
+    }
+
+    #[test]
+    fn repl_hostile_roster_count_does_not_overallocate() {
+        // seq + count = u32::MAX with no entries: must error, not OOM.
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&7u64.to_le_bytes());
+        payload.extend_from_slice(&u32::MAX.to_le_bytes());
+        let mut bytes = Vec::new();
+        encode_frame(&mut bytes, opcode::HEARTBEAT, 0, &payload).unwrap();
+        let mut dec = FrameDecoder::new();
+        dec.push(&bytes);
+        let f = dec.next_frame().unwrap().unwrap();
+        assert!(matches!(
+            ReplMsg::from_frame(&f),
+            Err(WireError::BadField { .. })
+        ));
+    }
+
+    #[test]
+    fn repl_bad_role_is_typed() {
+        let mut payload = Vec::new();
+        payload.push(9); // no such role
+        payload.extend_from_slice(&0u64.to_le_bytes());
+        payload.extend_from_slice(&0u32.to_le_bytes());
+        let mut bytes = Vec::new();
+        encode_frame(&mut bytes, opcode::STATUS_RESP, 0, &payload).unwrap();
+        let mut dec = FrameDecoder::new();
+        dec.push(&bytes);
+        let f = dec.next_frame().unwrap().unwrap();
+        assert!(matches!(
+            ReplMsg::from_frame(&f),
+            Err(WireError::BadField { .. })
+        ));
     }
 
     #[test]

@@ -6,7 +6,9 @@
 
 use lbc_graph::GraphDelta;
 use lbc_net::wire::opcode;
-use lbc_net::{Frame, FrameDecoder, Request, Response, WireError};
+use lbc_net::{
+    Frame, FrameDecoder, PeerLag, ReplMsg, ReplStatus, Request, Response, Role, WireError,
+};
 use lbc_runtime::{Answer, CacheStats, Query};
 use proptest::prelude::*;
 
@@ -230,6 +232,124 @@ proptest! {
         }
     }
 
+    /// Every replication message round-trips bit-for-bit through the
+    /// frame layer at every feeding granularity — whole-buffer, 1-byte
+    /// chunks, and a drawn chunk size — in stream order.
+    #[test]
+    fn repl_msg_encode_decode_is_identity(
+        ids in (0u64..u64::MAX, 0u64..u64::MAX, 0u64..u64::MAX),
+        chunk_count in 0u32..10_000,
+        blob in proptest::collection::vec(0u8..=255, 0..256),
+        roster in proptest::collection::vec((0u64..1000, 0u64..u64::MAX), 0..8),
+        role_tag in 0u8..3,
+        request_id in 0u64..u64::MAX,
+        chunk in 1usize..64,
+    ) {
+        let peers: Vec<PeerLag> = roster
+            .iter()
+            .map(|&(follower_id, applied_seq)| PeerLag { follower_id, applied_seq })
+            .collect();
+        let role = match role_tag {
+            0 => Role::Primary,
+            1 => Role::Follower,
+            _ => Role::Promoted,
+        };
+        let msgs = vec![
+            ReplMsg::Hello { follower_id: ids.0, have_seq: ids.1 },
+            ReplMsg::Ack { applied_seq: ids.2 },
+            ReplMsg::Status,
+            ReplMsg::SnapBegin { applied_seq: ids.0, total_len: ids.1, chunk_count },
+            ReplMsg::SnapChunk { offset: ids.2, bytes: blob.clone() },
+            ReplMsg::SnapEnd { crc64: ids.0 },
+            ReplMsg::WalRec { bytes: blob },
+            ReplMsg::Heartbeat { seq: ids.1, roster: peers.clone() },
+            ReplMsg::StatusResp(ReplStatus { role, applied_seq: ids.2, peers }),
+        ];
+        let mut bytes = Vec::new();
+        for m in &msgs {
+            m.encode(&mut bytes, request_id).unwrap();
+        }
+        for chunk in [bytes.len().max(1), 1, chunk] {
+            let frames = decode_chunked(&bytes, chunk).unwrap();
+            prop_assert_eq!(frames.len(), msgs.len());
+            for (f, w) in frames.iter().zip(&msgs) {
+                prop_assert_eq!(f.request_id, request_id);
+                prop_assert_eq!(&ReplMsg::from_frame(f).unwrap(), w);
+            }
+        }
+    }
+
+    /// Flipping any single byte of a valid replication stream never
+    /// yields the original message back: typed error, a decoder left
+    /// waiting, or a provably different message — and never a panic.
+    #[test]
+    fn repl_single_byte_corruption_is_typed_never_panics(
+        seq in 0u64..u64::MAX,
+        roster in proptest::collection::vec((0u64..1000, 0u64..u64::MAX), 1..6),
+        flip_pos_seed in 0usize..10_000,
+        flip_bits in 1u8..=255,
+    ) {
+        let msg = ReplMsg::Heartbeat {
+            seq,
+            roster: roster
+                .iter()
+                .map(|&(follower_id, applied_seq)| PeerLag { follower_id, applied_seq })
+                .collect(),
+        };
+        let mut bytes = Vec::new();
+        msg.encode(&mut bytes, 7).unwrap();
+        let pos = flip_pos_seed % bytes.len();
+        bytes[pos] ^= flip_bits;
+
+        for chunk in [bytes.len(), 1] {
+            match decode_chunked(&bytes, chunk) {
+                Err(_) => {} // typed error: good
+                Ok(frames) => {
+                    if let Some(f) = frames.first() {
+                        if let Ok(back) = ReplMsg::from_frame(f) {
+                            prop_assert!(
+                                back != msg,
+                                "corrupted stream decoded to the original repl message"
+                            );
+                        }
+                    } else {
+                        prop_assert!(frames.is_empty());
+                    }
+                }
+            }
+        }
+    }
+
+    /// Garbage fed to the typed repl parser (valid frame, arbitrary
+    /// repl opcode + payload) is a typed error or a message that
+    /// re-encodes to the same payload — never a panic.
+    #[test]
+    fn repl_parse_of_arbitrary_payload_never_panics(
+        op_seed in 0usize..9,
+        payload in proptest::collection::vec(0u8..=255, 0..128),
+    ) {
+        let op = [
+            opcode::REPL_HELLO,
+            opcode::REPL_ACK,
+            opcode::REPL_STATUS,
+            opcode::SNAP_BEGIN,
+            opcode::SNAP_CHUNK,
+            opcode::SNAP_END,
+            opcode::WAL_REC,
+            opcode::HEARTBEAT,
+            opcode::STATUS_RESP,
+        ][op_seed];
+        let mut bytes = Vec::new();
+        lbc_net::encode_frame(&mut bytes, op, 3, &payload).unwrap();
+        let mut dec = FrameDecoder::new();
+        dec.push(&bytes);
+        let f = dec.next_frame().unwrap().unwrap();
+        if let Ok(msg) = ReplMsg::from_frame(&f) {
+            // Strict parse: anything accepted must round-trip exactly.
+            prop_assert_eq!(msg.payload(), payload);
+        }
+    }
+
     /// Deltas round-trip exactly: node additions, edge adds, edge
     /// removals, in order.
     #[test]
@@ -318,6 +438,13 @@ fn response_opcode_constants_have_high_bit() {
         opcode::INFO_RESP,
         opcode::PONG,
         opcode::ERROR,
+        // Primary → follower stream messages live in response space.
+        opcode::SNAP_BEGIN,
+        opcode::SNAP_CHUNK,
+        opcode::SNAP_END,
+        opcode::WAL_REC,
+        opcode::HEARTBEAT,
+        opcode::STATUS_RESP,
     ] {
         assert!(op & 0x80 != 0, "response opcode {op:#04x} missing high bit");
     }
@@ -327,7 +454,49 @@ fn response_opcode_constants_have_high_bit() {
         opcode::CACHE_STATS,
         opcode::INFO,
         opcode::PING,
+        // Follower → primary messages live in request space.
+        opcode::REPL_HELLO,
+        opcode::REPL_ACK,
+        opcode::REPL_STATUS,
     ] {
         assert!(op & 0x80 == 0, "request opcode {op:#04x} has high bit");
+    }
+}
+
+#[test]
+fn repl_every_split_point_of_one_frame() {
+    // The densest repl message (nested roster) split at EVERY byte.
+    let msg = ReplMsg::Heartbeat {
+        seq: 41,
+        roster: vec![
+            PeerLag {
+                follower_id: 1,
+                applied_seq: 40,
+            },
+            PeerLag {
+                follower_id: 2,
+                applied_seq: 41,
+            },
+        ],
+    };
+    let mut bytes = Vec::new();
+    msg.encode(&mut bytes, 9).unwrap();
+    for cut in 0..=bytes.len() {
+        let mut dec = FrameDecoder::new();
+        dec.push(&bytes[..cut]);
+        let frame = match dec.next_frame().unwrap() {
+            Some(f) => {
+                assert_eq!(cut, bytes.len(), "frame fabricated at cut {cut}");
+                f
+            }
+            None => {
+                assert!(cut < bytes.len());
+                dec.push(&bytes[cut..]);
+                dec.next_frame()
+                    .unwrap()
+                    .expect("complete after both halves")
+            }
+        };
+        assert_eq!(ReplMsg::from_frame(&frame).unwrap(), msg);
     }
 }

@@ -1,0 +1,430 @@
+//! The replication follower: adopt the primary's streamed state, apply
+//! its WAL records through the identical deterministic warm-start
+//! path, and run the promotion rule when the stream goes silent.
+
+use std::collections::VecDeque;
+use std::net::{TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use lbc_net::{FrameDecoder, PeerLag, ReplGate, ReplMsg, Role};
+use lbc_runtime::Registry;
+use lbc_store::{decode_record, format, parse_snapshot};
+
+use crate::{choose_promoted, recv_msg, send_msg, ReplConfig, ReplError, HAVE_NOTHING};
+
+/// What the initial catch-up did.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SyncReport {
+    /// Whether a full snapshot was shipped (vs. a WAL-tail-only or
+    /// already-current catch-up).
+    pub adopted_snapshot: bool,
+    /// Snapshot bytes received over the wire (0 without a snapshot).
+    pub snapshot_bytes: u64,
+    /// Cached outputs adopted from the snapshot.
+    pub entries: usize,
+    /// Watermark after the synchronous catch-up phase. Tail records
+    /// arrive through the streaming loop, not here.
+    pub applied_seq: u64,
+}
+
+/// How a follower's streaming loop ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FailoverOutcome {
+    /// Primary died and this follower won the promotion rule; its
+    /// [`ReplGate`] now reads `Promoted`.
+    Promoted { applied_seq: u64 },
+    /// Primary died and another follower won.
+    NotPromoted { winner: u64, applied_seq: u64 },
+    /// [`FollowerHandle::stop`] was called; no failover happened.
+    Stopped { applied_seq: u64 },
+    /// The loop died on a non-failover error (bad payload, registry
+    /// apply failure, …).
+    Error(String),
+}
+
+/// A synced follower connection, ready to stream. Produced by
+/// [`FollowerConn::sync`], consumed by [`FollowerConn::run`].
+pub struct FollowerConn {
+    stream: TcpStream,
+    dec: FrameDecoder,
+    scratch: Vec<u8>,
+    /// Messages read during sync that belong to the streaming phase.
+    pending: VecDeque<ReplMsg>,
+    registry: Arc<Registry>,
+    dataset: String,
+    cfg: ReplConfig,
+    follower_id: u64,
+    applied_seq: u64,
+    next_id: u64,
+}
+
+struct FollowerShared {
+    stop: AtomicBool,
+    applied_seq: AtomicU64,
+    outcome: Mutex<Option<FailoverOutcome>>,
+    done: Condvar,
+}
+
+/// Handle to a running follower streaming loop.
+pub struct FollowerHandle {
+    shared: Arc<FollowerShared>,
+    join: Option<std::thread::JoinHandle<()>>,
+}
+
+impl FollowerHandle {
+    /// Highest sequence number applied so far.
+    pub fn applied_seq(&self) -> u64 {
+        self.shared.applied_seq.load(Ordering::Acquire)
+    }
+
+    /// How the loop ended, if it has.
+    pub fn outcome(&self) -> Option<FailoverOutcome> {
+        self.shared.outcome.lock().unwrap().clone()
+    }
+
+    /// Block until the loop ends (or `timeout` elapses).
+    pub fn wait_outcome(&self, timeout: Duration) -> Option<FailoverOutcome> {
+        let deadline = Instant::now() + timeout;
+        let mut guard = self.shared.outcome.lock().unwrap();
+        while guard.is_none() {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return None;
+            }
+            let (g, _) = self.shared.done.wait_timeout(guard, left).unwrap();
+            guard = g;
+        }
+        guard.clone()
+    }
+
+    /// Ask the loop to exit without treating it as primary death.
+    pub fn stop(&self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+    }
+
+    /// Wait for the loop thread to finish.
+    pub fn join(mut self) -> Option<FailoverOutcome> {
+        if let Some(j) = self.join.take() {
+            let _ = j.join();
+        }
+        self.outcome()
+    }
+}
+
+impl Drop for FollowerHandle {
+    fn drop(&mut self) {
+        self.stop();
+        if let Some(j) = self.join.take() {
+            let _ = j.join();
+        }
+    }
+}
+
+impl FollowerConn {
+    /// Connect to a primary's replication port and catch up: send
+    /// `Hello {follower_id, have_seq}` (use [`HAVE_NOTHING`] when this
+    /// node holds no state) and adopt whatever the primary ships — a
+    /// full snapshot through [`Registry::adopt_state`], or nothing but
+    /// a queued WAL tail when the local lineage suffices.
+    pub fn sync(
+        addr: impl ToSocketAddrs,
+        registry: Arc<Registry>,
+        dataset: &str,
+        follower_id: u64,
+        have_seq: u64,
+        cfg: ReplConfig,
+    ) -> Result<(FollowerConn, SyncReport), ReplError> {
+        let stream = TcpStream::connect(addr).map_err(ReplError::Io)?;
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(Some(cfg.heartbeat_timeout))?;
+        let mut conn = FollowerConn {
+            stream,
+            dec: FrameDecoder::with_max_payload(cfg.max_payload),
+            scratch: vec![0u8; 64 * 1024],
+            pending: VecDeque::new(),
+            registry,
+            dataset: dataset.to_string(),
+            cfg,
+            follower_id,
+            applied_seq: if have_seq == HAVE_NOTHING {
+                0
+            } else {
+                have_seq
+            },
+            next_id: 0,
+        };
+        conn.send(&ReplMsg::Hello {
+            follower_id,
+            have_seq,
+        })?;
+
+        let first = conn.recv()?;
+        let report = match first {
+            ReplMsg::SnapBegin {
+                applied_seq,
+                total_len,
+                chunk_count,
+            } => {
+                let (bytes, entries) =
+                    conn.receive_snapshot(applied_seq, total_len, chunk_count)?;
+                SyncReport {
+                    adopted_snapshot: true,
+                    snapshot_bytes: bytes,
+                    entries,
+                    applied_seq,
+                }
+            }
+            msg @ (ReplMsg::WalRec { .. } | ReplMsg::Heartbeat { .. }) => {
+                // Tail-only (or already-current) catch-up: the state we
+                // hold is the base; hand the message to the stream loop.
+                conn.pending.push_back(msg);
+                SyncReport {
+                    adopted_snapshot: false,
+                    snapshot_bytes: 0,
+                    entries: 0,
+                    applied_seq: conn.applied_seq,
+                }
+            }
+            other => {
+                return Err(ReplError::Protocol(format!(
+                    "expected snapshot or stream after Hello, got opcode {:#04x}",
+                    other.opcode()
+                )))
+            }
+        };
+        conn.send(&ReplMsg::Ack {
+            applied_seq: conn.applied_seq,
+        })?;
+        Ok((conn, report))
+    }
+
+    /// Watermark after the catch-up phase.
+    pub fn applied_seq(&self) -> u64 {
+        self.applied_seq
+    }
+
+    /// Spawn the streaming loop: apply records, ack progress, install
+    /// refreshed serving state via `on_apply(seq)`, and on primary
+    /// death run the promotion rule — flipping `gate` to
+    /// [`Role::Promoted`] iff this follower wins.
+    pub fn run<F>(self, gate: Arc<ReplGate>, on_apply: F) -> FollowerHandle
+    where
+        F: Fn(u64) + Send + 'static,
+    {
+        let shared = Arc::new(FollowerShared {
+            stop: AtomicBool::new(false),
+            applied_seq: AtomicU64::new(self.applied_seq),
+            outcome: Mutex::new(None),
+            done: Condvar::new(),
+        });
+        let thread_shared = Arc::clone(&shared);
+        let join = std::thread::Builder::new()
+            .name("lbc-repl-follow".to_string())
+            .spawn(move || {
+                let outcome = stream_loop(self, gate, on_apply, &thread_shared);
+                *thread_shared.outcome.lock().unwrap() = Some(outcome);
+                thread_shared.done.notify_all();
+            })
+            .expect("spawn follower thread");
+        FollowerHandle {
+            shared,
+            join: Some(join),
+        }
+    }
+
+    fn send(&mut self, msg: &ReplMsg) -> Result<(), ReplError> {
+        let id = self.next_id;
+        self.next_id += 1;
+        send_msg(&mut self.stream, msg, id)
+    }
+
+    fn recv(&mut self) -> Result<ReplMsg, ReplError> {
+        if let Some(msg) = self.pending.pop_front() {
+            return Ok(msg);
+        }
+        recv_msg(&mut self.stream, &mut self.dec, &mut self.scratch)
+    }
+
+    /// Receive `chunk_count` chunks + `SnapEnd`, verify length and
+    /// stream CRC, parse, and adopt into the registry. Returns the
+    /// byte count and adopted entry count.
+    fn receive_snapshot(
+        &mut self,
+        applied_seq: u64,
+        total_len: u64,
+        chunk_count: u32,
+    ) -> Result<(u64, usize), ReplError> {
+        if total_len > 1 << 40 {
+            return Err(ReplError::Protocol(format!(
+                "implausible snapshot length {total_len}"
+            )));
+        }
+        let mut bytes = Vec::with_capacity(total_len as usize);
+        for _ in 0..chunk_count {
+            match self.recv()? {
+                ReplMsg::SnapChunk { offset, bytes: b } => {
+                    if offset != bytes.len() as u64 {
+                        return Err(ReplError::Protocol(format!(
+                            "snapshot chunk at offset {offset}, expected {}",
+                            bytes.len()
+                        )));
+                    }
+                    bytes.extend_from_slice(&b);
+                }
+                other => {
+                    return Err(ReplError::Protocol(format!(
+                        "expected snapshot chunk, got opcode {:#04x}",
+                        other.opcode()
+                    )))
+                }
+            }
+        }
+        let crc = match self.recv()? {
+            ReplMsg::SnapEnd { crc64 } => crc64,
+            other => {
+                return Err(ReplError::Protocol(format!(
+                    "expected snapshot end, got opcode {:#04x}",
+                    other.opcode()
+                )))
+            }
+        };
+        if bytes.len() as u64 != total_len {
+            return Err(ReplError::Protocol(format!(
+                "snapshot length mismatch: announced {total_len}, received {}",
+                bytes.len()
+            )));
+        }
+        if format::crc64(&bytes) != crc {
+            return Err(ReplError::Protocol(
+                "snapshot stream checksum mismatch".to_string(),
+            ));
+        }
+        let state = parse_snapshot(&bytes)?;
+        if state.applied_seq != applied_seq {
+            return Err(ReplError::Protocol(format!(
+                "snapshot watermark {} disagrees with SnapBegin {applied_seq}",
+                state.applied_seq
+            )));
+        }
+        let entry_count = state.entries.len();
+        self.registry
+            .adopt_state(&self.dataset, state.graph, state.entries, applied_seq);
+        self.applied_seq = applied_seq;
+        Ok((total_len, entry_count))
+    }
+}
+
+/// The follower's streaming loop body (runs on its own thread).
+fn stream_loop<F>(
+    mut conn: FollowerConn,
+    gate: Arc<ReplGate>,
+    on_apply: F,
+    shared: &FollowerShared,
+) -> FailoverOutcome
+where
+    F: Fn(u64),
+{
+    // Poll in short slices so `stop` is honoured promptly; actual
+    // death is declared only after `heartbeat_timeout` of silence.
+    let poll = conn
+        .cfg
+        .heartbeat_interval
+        .min(Duration::from_millis(100))
+        .max(Duration::from_millis(1));
+    let _ = conn.stream.set_read_timeout(Some(poll));
+    let timeout = conn.cfg.heartbeat_timeout;
+    let mut last_msg = Instant::now();
+    let mut last_roster: Vec<PeerLag> = Vec::new();
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            return FailoverOutcome::Stopped {
+                applied_seq: conn.applied_seq,
+            };
+        }
+        let msg = match conn.recv() {
+            Ok(m) => m,
+            Err(ReplError::Timeout) => {
+                if last_msg.elapsed() >= timeout {
+                    return failover(&mut conn, &gate, &last_roster);
+                }
+                continue;
+            }
+            Err(ReplError::Disconnected) | Err(ReplError::Io(_)) => {
+                // A kill -9 lands here: EOF or reset, no timeout wait.
+                return failover(&mut conn, &gate, &last_roster);
+            }
+            Err(e) => return FailoverOutcome::Error(e.to_string()),
+        };
+        last_msg = Instant::now();
+        match msg {
+            ReplMsg::WalRec { bytes } => {
+                let rec = match decode_record(&bytes) {
+                    Ok(r) => r,
+                    Err(e) => return FailoverOutcome::Error(e.to_string()),
+                };
+                if rec.seq <= conn.applied_seq {
+                    continue; // catch-up overlap duplicate
+                }
+                if rec.seq != conn.applied_seq + 1 {
+                    return FailoverOutcome::Error(format!(
+                        "sequence gap: at {}, received {}",
+                        conn.applied_seq, rec.seq
+                    ));
+                }
+                if let Err(e) = conn.registry.apply_replicated(&conn.dataset, &rec) {
+                    return FailoverOutcome::Error(e.to_string());
+                }
+                conn.applied_seq = rec.seq;
+                shared.applied_seq.store(rec.seq, Ordering::Release);
+                on_apply(rec.seq);
+                if conn
+                    .send(&ReplMsg::Ack {
+                        applied_seq: rec.seq,
+                    })
+                    .is_err()
+                {
+                    return failover(&mut conn, &gate, &last_roster);
+                }
+            }
+            ReplMsg::Heartbeat { roster, .. } => {
+                last_roster = roster;
+            }
+            other => {
+                return FailoverOutcome::Error(format!(
+                    "unexpected opcode {:#04x} on the replication stream",
+                    other.opcode()
+                ))
+            }
+        }
+    }
+}
+
+/// Primary is dead: run the promotion rule over the last shared
+/// roster. All followers evaluate the same heartbeat payload, so they
+/// agree on the winner without coordination; a follower that never saw
+/// a heartbeat (primary died mid-handshake) promotes itself iff it is
+/// alone in never having seen one — in practice, the single-follower
+/// bootstrap case.
+fn failover(conn: &mut FollowerConn, gate: &ReplGate, roster: &[PeerLag]) -> FailoverOutcome {
+    let mut roster = roster.to_vec();
+    if !roster.iter().any(|p| p.follower_id == conn.follower_id) {
+        roster.push(PeerLag {
+            follower_id: conn.follower_id,
+            applied_seq: conn.applied_seq,
+        });
+    }
+    let winner = choose_promoted(&roster).expect("roster contains at least self");
+    if winner == conn.follower_id {
+        gate.set_role(Role::Promoted);
+        FailoverOutcome::Promoted {
+            applied_seq: conn.applied_seq,
+        }
+    } else {
+        FailoverOutcome::NotPromoted {
+            winner,
+            applied_seq: conn.applied_seq,
+        }
+    }
+}

@@ -1,0 +1,224 @@
+//! `lbc-repl` — primary/follower replication for the serving stack.
+//!
+//! A primary (`lbc serve --repl-listen`) accepts follower connections
+//! on a dedicated replication port. Each follower introduces itself
+//! with [`ReplMsg::Hello`]; the primary catches it up — a chunked,
+//! CRC-guarded copy of the current in-memory snapshot
+//! ([`lbc_store::write_snapshot`] over the wire), or just the WAL tail
+//! when the follower already holds a prefix of the lineage — and then
+//! tails every committed mutation to it as verbatim
+//! [`lbc_store::encode_record`] bytes, fed synchronously from
+//! [`lbc_runtime::Registry`]'s commit hook so records arrive strictly
+//! in sequence order.
+//!
+//! A follower (`lbc serve --follow`) adopts the streamed state via
+//! [`lbc_runtime::Registry::adopt_state`] and applies each record
+//! through [`lbc_runtime::Registry::apply_replicated`] — the identical
+//! deterministic warm-start path the primary ran — so its served
+//! labellings are **bit-for-bit** the primary's at every sequence
+//! number. Its own reactor serves reads the whole time; writes bounce
+//! with a typed `ReadOnly` error through [`lbc_net::ReplGate`].
+//!
+//! # Failover
+//!
+//! The primary heartbeats every [`ReplConfig::heartbeat_interval`],
+//! carrying the acknowledged-progress roster of all connected
+//! followers. When the stream goes silent past
+//! [`ReplConfig::heartbeat_timeout`] (or the socket drops — a `kill
+//! -9` produces an EOF/reset immediately), each follower runs the same
+//! pure rule over the last shared roster: the follower with the
+//! highest acknowledged `applied_seq` wins, ties broken by **lowest
+//! follower id** ([`choose_promoted`]). Every follower evaluates the
+//! identical roster, so they agree without coordination; the winner
+//! flips its [`lbc_net::ReplGate`] to `Promoted` and starts accepting
+//! deltas on its existing query port — no restart, no reconnect.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+use lbc_net::{FrameDecoder, NetError, ReplMsg};
+
+mod follower;
+mod primary;
+
+pub use follower::{FailoverOutcome, FollowerConn, FollowerHandle, SyncReport};
+pub use primary::ReplServer;
+
+/// `Hello.have_seq` sentinel: "I hold no state at all, ship me the
+/// full snapshot" — distinct from `0`, which means "I hold the state
+/// as of sequence number 0" (a legitimate reconnect watermark).
+pub const HAVE_NOTHING: u64 = u64::MAX;
+
+/// Replication tuning knobs, shared by both ends.
+#[derive(Debug, Clone)]
+pub struct ReplConfig {
+    /// Primary → follower heartbeat period.
+    pub heartbeat_interval: Duration,
+    /// Silence on the stream past this declares the primary dead and
+    /// triggers the promotion rule. Keep it several heartbeats wide.
+    pub heartbeat_timeout: Duration,
+    /// Snapshot chunk size on the wire (must fit in a frame payload
+    /// alongside the 8-byte chunk offset).
+    pub chunk_len: usize,
+    /// Per-frame payload cap for the replication decoder.
+    pub max_payload: u32,
+}
+
+impl Default for ReplConfig {
+    fn default() -> Self {
+        ReplConfig {
+            heartbeat_interval: Duration::from_millis(100),
+            heartbeat_timeout: Duration::from_millis(1500),
+            chunk_len: 256 * 1024,
+            max_payload: lbc_net::wire::DEFAULT_MAX_PAYLOAD,
+        }
+    }
+}
+
+/// Anything that can go wrong on the replication channel.
+#[derive(Debug)]
+pub enum ReplError {
+    Io(std::io::Error),
+    /// Frame- or message-level wire violation.
+    Net(NetError),
+    /// The peer closed the connection.
+    Disconnected,
+    /// No bytes within the configured deadline.
+    Timeout,
+    /// Structurally sound frames in an order or shape the protocol
+    /// forbids (e.g. a snapshot chunk before `SnapBegin`).
+    Protocol(String),
+    /// Snapshot or WAL payloads that fail the store codecs.
+    Store(lbc_store::StoreError),
+    /// Registry-side adoption/apply failure.
+    Runtime(lbc_runtime::RuntimeError),
+}
+
+impl std::fmt::Display for ReplError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReplError::Io(e) => write!(f, "replication i/o error: {e}"),
+            ReplError::Net(e) => write!(f, "replication wire error: {e}"),
+            ReplError::Disconnected => write!(f, "replication peer disconnected"),
+            ReplError::Timeout => write!(f, "replication stream timed out"),
+            ReplError::Protocol(msg) => write!(f, "replication protocol violation: {msg}"),
+            ReplError::Store(e) => write!(f, "replication payload error: {e}"),
+            ReplError::Runtime(e) => write!(f, "replication apply error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReplError {}
+
+impl From<std::io::Error> for ReplError {
+    fn from(e: std::io::Error) -> Self {
+        match e.kind() {
+            std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut => ReplError::Timeout,
+            std::io::ErrorKind::ConnectionReset
+            | std::io::ErrorKind::ConnectionAborted
+            | std::io::ErrorKind::BrokenPipe
+            | std::io::ErrorKind::UnexpectedEof => ReplError::Disconnected,
+            _ => ReplError::Io(e),
+        }
+    }
+}
+
+impl From<NetError> for ReplError {
+    fn from(e: NetError) -> Self {
+        ReplError::Net(e)
+    }
+}
+
+impl From<lbc_net::WireError> for ReplError {
+    fn from(e: lbc_net::WireError) -> Self {
+        ReplError::Net(NetError::Wire(e))
+    }
+}
+
+impl From<lbc_store::StoreError> for ReplError {
+    fn from(e: lbc_store::StoreError) -> Self {
+        ReplError::Store(e)
+    }
+}
+
+impl From<lbc_runtime::RuntimeError> for ReplError {
+    fn from(e: lbc_runtime::RuntimeError) -> Self {
+        ReplError::Runtime(e)
+    }
+}
+
+/// The deterministic promotion rule: among the roster, the follower
+/// with the highest acknowledged `applied_seq` wins; ties break to the
+/// **lowest** follower id. Every follower evaluates the same
+/// heartbeat-shared roster, so all of them name the same winner
+/// without any coordination. `None` only for an empty roster.
+pub fn choose_promoted(roster: &[lbc_net::PeerLag]) -> Option<u64> {
+    let best = roster.iter().map(|p| p.applied_seq).max()?;
+    roster
+        .iter()
+        .filter(|p| p.applied_seq == best)
+        .map(|p| p.follower_id)
+        .min()
+}
+
+/// Frame-encode and send one replication message.
+fn send_msg(stream: &mut TcpStream, msg: &ReplMsg, request_id: u64) -> Result<(), ReplError> {
+    let mut buf = Vec::new();
+    msg.encode(&mut buf, request_id)?;
+    stream.write_all(&buf)?;
+    Ok(())
+}
+
+/// Blockingly read the next replication message, honouring the
+/// stream's read timeout (surfaced as [`ReplError::Timeout`]).
+fn recv_msg(
+    stream: &mut TcpStream,
+    dec: &mut FrameDecoder,
+    scratch: &mut [u8],
+) -> Result<ReplMsg, ReplError> {
+    loop {
+        if let Some(frame) = dec.next_frame()? {
+            return Ok(ReplMsg::from_frame(&frame)?);
+        }
+        let n = stream.read(scratch)?;
+        if n == 0 {
+            return Err(ReplError::Disconnected);
+        }
+        dec.push(&scratch[..n]);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lbc_net::PeerLag;
+
+    fn peer(id: u64, seq: u64) -> PeerLag {
+        PeerLag {
+            follower_id: id,
+            applied_seq: seq,
+        }
+    }
+
+    #[test]
+    fn promotion_picks_max_seq_then_lowest_id() {
+        assert_eq!(choose_promoted(&[]), None);
+        assert_eq!(choose_promoted(&[peer(7, 0)]), Some(7));
+        // Highest applied_seq wins outright.
+        assert_eq!(
+            choose_promoted(&[peer(1, 3), peer(2, 9), peer(3, 5)]),
+            Some(2)
+        );
+        // Ties break to the lowest follower id.
+        assert_eq!(
+            choose_promoted(&[peer(9, 4), peer(2, 4), peer(5, 4), peer(3, 1)]),
+            Some(2)
+        );
+        // Order of the roster never matters.
+        assert_eq!(
+            choose_promoted(&[peer(5, 4), peer(9, 4), peer(3, 1), peer(2, 4)]),
+            Some(2)
+        );
+    }
+}

@@ -1,0 +1,396 @@
+//! The replication primary: a dedicated listener that catches
+//! followers up (snapshot or WAL tail) and then streams every
+//! committed mutation to them, with sequenced roster heartbeats.
+
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use lbc_net::{FrameDecoder, PeerLag, ReplMsg, ReplStatus, Role};
+use lbc_runtime::Registry;
+use lbc_store::{format, write_snapshot};
+
+use crate::{recv_msg, send_msg, ReplConfig, ReplError, HAVE_NOTHING};
+
+/// One connected follower, as the broadcast fan-out sees it.
+struct FollowerSlot {
+    follower_id: u64,
+    /// Highest seq this follower has acknowledged applying.
+    acked_seq: Arc<AtomicU64>,
+    /// Commit-hook feed: `(seq, encoded WAL record)`.
+    tx: mpsc::Sender<(u64, Vec<u8>)>,
+}
+
+struct PrimaryShared {
+    registry: Arc<Registry>,
+    dataset: String,
+    cfg: ReplConfig,
+    stop: AtomicBool,
+    next_slot: AtomicU64,
+    followers: Mutex<HashMap<u64, FollowerSlot>>,
+}
+
+impl PrimaryShared {
+    /// Acknowledged-progress roster, ordered by follower id so every
+    /// heartbeat (and hence every follower's promotion input) lists
+    /// peers identically.
+    fn roster(&self) -> Vec<PeerLag> {
+        let mut peers: Vec<PeerLag> = self
+            .followers
+            .lock()
+            .unwrap()
+            .values()
+            .map(|slot| PeerLag {
+                follower_id: slot.follower_id,
+                applied_seq: slot.acked_seq.load(Ordering::Acquire),
+            })
+            .collect();
+        peers.sort_by_key(|p| (p.follower_id, p.applied_seq));
+        peers
+    }
+
+    fn status(&self) -> ReplStatus {
+        ReplStatus {
+            role: Role::Primary,
+            applied_seq: self.registry.applied_seq(&self.dataset),
+            peers: self.roster(),
+        }
+    }
+}
+
+/// The primary's replication endpoint. Binding installs the registry's
+/// commit hook (the streaming feed) and spawns an acceptor; each
+/// follower connection gets its own catch-up + streaming thread.
+/// Dropping the handle stops the acceptor and removes the hook.
+pub struct ReplServer {
+    addr: SocketAddr,
+    shared: Arc<PrimaryShared>,
+    accept_join: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ReplServer {
+    /// Bind the replication listener for `dataset` and start feeding
+    /// connected followers from `registry`'s commit stream.
+    pub fn bind(
+        addr: &str,
+        registry: Arc<Registry>,
+        dataset: &str,
+        cfg: ReplConfig,
+    ) -> Result<ReplServer, ReplError> {
+        if cfg.chunk_len == 0 || cfg.chunk_len + 8 > cfg.max_payload as usize {
+            return Err(ReplError::Protocol(format!(
+                "chunk_len {} does not fit the {}-byte payload cap",
+                cfg.chunk_len, cfg.max_payload
+            )));
+        }
+        let listener = TcpListener::bind(addr).map_err(ReplError::Io)?;
+        listener.set_nonblocking(true).map_err(ReplError::Io)?;
+        let local = listener.local_addr().map_err(ReplError::Io)?;
+
+        let shared = Arc::new(PrimaryShared {
+            registry: Arc::clone(&registry),
+            dataset: dataset.to_string(),
+            cfg,
+            stop: AtomicBool::new(false),
+            next_slot: AtomicU64::new(0),
+            followers: Mutex::new(HashMap::new()),
+        });
+
+        // The streaming feed: fires under the registry's mutation lock,
+        // strictly in seq order, for local *and* replicated commits.
+        // Dead receivers are skipped here and reaped by their own
+        // threads; the hook itself never blocks.
+        let hook_shared = Arc::clone(&shared);
+        registry.set_commit_hook(Box::new(move |ds, seq, bytes| {
+            if ds != hook_shared.dataset {
+                return;
+            }
+            let followers = hook_shared.followers.lock().unwrap();
+            for slot in followers.values() {
+                let _ = slot.tx.send((seq, bytes.to_vec()));
+            }
+        }));
+
+        let accept_shared = Arc::clone(&shared);
+        let accept_join = std::thread::Builder::new()
+            .name("lbc-repl-accept".to_string())
+            .spawn(move || accept_loop(listener, accept_shared))
+            .map_err(ReplError::Io)?;
+
+        Ok(ReplServer {
+            addr: local,
+            shared,
+            accept_join: Some(accept_join),
+        })
+    }
+
+    /// Actual bound address (resolves `--repl-listen 127.0.0.1:0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Role, watermark, and per-follower acknowledged progress.
+    pub fn status(&self) -> ReplStatus {
+        self.shared.status()
+    }
+
+    /// Number of currently connected followers.
+    pub fn follower_count(&self) -> usize {
+        self.shared.followers.lock().unwrap().len()
+    }
+}
+
+impl Drop for ReplServer {
+    fn drop(&mut self) {
+        self.shared.stop.store(true, Ordering::SeqCst);
+        self.shared.registry.clear_commit_hook();
+        if let Some(j) = self.accept_join.take() {
+            let _ = j.join();
+        }
+    }
+}
+
+fn accept_loop(listener: TcpListener, shared: Arc<PrimaryShared>) {
+    while !shared.stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let conn_shared = Arc::clone(&shared);
+                let _ = std::thread::Builder::new()
+                    .name("lbc-repl-conn".to_string())
+                    .spawn(move || {
+                        let _ = handle_conn(stream, conn_shared);
+                    });
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(20));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => std::thread::sleep(Duration::from_millis(100)),
+        }
+    }
+}
+
+fn handle_conn(mut stream: TcpStream, shared: Arc<PrimaryShared>) -> Result<(), ReplError> {
+    stream.set_nodelay(true)?;
+    stream.set_read_timeout(Some(shared.cfg.heartbeat_timeout))?;
+    let mut dec = FrameDecoder::with_max_payload(shared.cfg.max_payload);
+    let mut scratch = vec![0u8; 64 * 1024];
+    match recv_msg(&mut stream, &mut dec, &mut scratch)? {
+        ReplMsg::Hello {
+            follower_id,
+            have_seq,
+        } => stream_to_follower(stream, shared, follower_id, have_seq),
+        ReplMsg::Status => {
+            // A status probe (`lbc repl-status`), not a follower: keep
+            // answering until the client hangs up.
+            let mut id = 0u64;
+            loop {
+                send_msg(&mut stream, &ReplMsg::StatusResp(shared.status()), id)?;
+                id += 1;
+                match recv_msg(&mut stream, &mut dec, &mut scratch) {
+                    Ok(ReplMsg::Status) => {}
+                    Ok(other) => {
+                        return Err(ReplError::Protocol(format!(
+                            "unexpected {:#04x} on a status connection",
+                            other.opcode()
+                        )))
+                    }
+                    Err(_) => return Ok(()),
+                }
+            }
+        }
+        other => Err(ReplError::Protocol(format!(
+            "expected Hello or Status first, got opcode {:#04x}",
+            other.opcode()
+        ))),
+    }
+}
+
+/// Catch one follower up, then stream records and heartbeats to it
+/// until either side dies. The slot is registered in the broadcast
+/// fan-out *before* the state capture, so the commit hook queues every
+/// record past the captured watermark — the join race is closed by
+/// construction, with duplicates dropped by the watermark filter.
+fn stream_to_follower(
+    mut stream: TcpStream,
+    shared: Arc<PrimaryShared>,
+    follower_id: u64,
+    have_seq: u64,
+) -> Result<(), ReplError> {
+    let slot_id = shared.next_slot.fetch_add(1, Ordering::Relaxed);
+    let (tx, rx) = mpsc::channel::<(u64, Vec<u8>)>();
+    let acked = Arc::new(AtomicU64::new(if have_seq == HAVE_NOTHING {
+        0
+    } else {
+        have_seq
+    }));
+    shared.followers.lock().unwrap().insert(
+        slot_id,
+        FollowerSlot {
+            follower_id,
+            acked_seq: Arc::clone(&acked),
+            tx,
+        },
+    );
+    // Whatever happens below, leave the roster clean on the way out.
+    let result = feed_follower(&mut stream, &shared, follower_id, have_seq, rx, &acked);
+    shared.followers.lock().unwrap().remove(&slot_id);
+    result
+}
+
+fn feed_follower(
+    stream: &mut TcpStream,
+    shared: &Arc<PrimaryShared>,
+    _follower_id: u64,
+    have_seq: u64,
+    rx: mpsc::Receiver<(u64, Vec<u8>)>,
+    acked: &Arc<AtomicU64>,
+) -> Result<(), ReplError> {
+    let cfg = &shared.cfg;
+    let mut next_id = 0u64;
+    let mut send = |stream: &mut TcpStream, msg: &ReplMsg| -> Result<(), ReplError> {
+        let id = next_id;
+        next_id += 1;
+        send_msg(stream, msg, id)
+    };
+
+    // Catch-up. The state capture and the watermark come from one lock
+    // scope, after slot registration (see `stream_to_follower`).
+    let (graph, entries, seq) = shared.registry.replication_state(&shared.dataset)?;
+    let mut watermark = seq;
+    let tail = if have_seq == seq {
+        // Already current (e.g. an instant reconnect): nothing to ship.
+        Some(Vec::new())
+    } else if have_seq == HAVE_NOTHING || have_seq > seq {
+        None
+    } else {
+        // The follower holds the lineage up to `have_seq`; if the
+        // attached WAL still covers every record in (have_seq, seq],
+        // ship just the tail instead of a full snapshot.
+        let records = shared.registry.wal_tail_after(&shared.dataset, have_seq);
+        let contiguous = records.first().map(|r| r.seq) == Some(have_seq + 1)
+            && records.last().map(|r| r.seq) == Some(seq)
+            && records.len() as u64 == seq - have_seq;
+        contiguous.then_some(records)
+    };
+
+    match tail {
+        Some(records) => {
+            for rec in &records {
+                send(
+                    stream,
+                    &ReplMsg::WalRec {
+                        bytes: lbc_store::encode_record(rec),
+                    },
+                )?;
+            }
+        }
+        None => {
+            // Full resync: a self-contained (inline-graph) snapshot of
+            // the captured state, chunked and CRC-guarded end to end.
+            let refs: Vec<_> = entries.iter().map(|(c, o)| (c, o.as_ref())).collect();
+            let mut bytes = Vec::new();
+            write_snapshot(&graph, &refs, seq, &mut bytes)?;
+            let chunk_count = bytes.len().div_ceil(cfg.chunk_len) as u32;
+            send(
+                stream,
+                &ReplMsg::SnapBegin {
+                    applied_seq: seq,
+                    total_len: bytes.len() as u64,
+                    chunk_count,
+                },
+            )?;
+            for (i, chunk) in bytes.chunks(cfg.chunk_len).enumerate() {
+                send(
+                    stream,
+                    &ReplMsg::SnapChunk {
+                        offset: (i * cfg.chunk_len) as u64,
+                        bytes: chunk.to_vec(),
+                    },
+                )?;
+            }
+            send(
+                stream,
+                &ReplMsg::SnapEnd {
+                    crc64: format::crc64(&bytes),
+                },
+            )?;
+        }
+    }
+    drop((graph, entries));
+
+    // Ack reader: its own thread on a cloned handle (it only ever
+    // reads, the feed loop only ever writes — no frame interleaving).
+    let conn_dead = Arc::new(AtomicBool::new(false));
+    let reader_stream = stream.try_clone()?;
+    let reader_dead = Arc::clone(&conn_dead);
+    let reader_acked = Arc::clone(acked);
+    let reader_stop = Arc::clone(shared);
+    let reader = std::thread::Builder::new()
+        .name("lbc-repl-acks".to_string())
+        .spawn(move || ack_loop(reader_stream, reader_acked, reader_dead, reader_stop))
+        .map_err(ReplError::Io)?;
+
+    // The stream proper: drain the commit feed, heartbeat on schedule.
+    let mut hb_seq = 0u64;
+    let mut last_hb = Instant::now();
+    let result = loop {
+        if shared.stop.load(Ordering::SeqCst) || conn_dead.load(Ordering::SeqCst) {
+            break Ok(());
+        }
+        let wait = cfg
+            .heartbeat_interval
+            .saturating_sub(last_hb.elapsed())
+            .max(Duration::from_millis(1));
+        match rx.recv_timeout(wait) {
+            Ok((seq, bytes)) if seq > watermark => {
+                watermark = seq;
+                if let Err(e) = send(stream, &ReplMsg::WalRec { bytes }) {
+                    break Err(e);
+                }
+            }
+            Ok(_) => {} // already covered by the catch-up
+            Err(mpsc::RecvTimeoutError::Timeout) => {}
+            Err(mpsc::RecvTimeoutError::Disconnected) => break Ok(()),
+        }
+        if last_hb.elapsed() >= cfg.heartbeat_interval {
+            last_hb = Instant::now();
+            let msg = ReplMsg::Heartbeat {
+                seq: hb_seq,
+                roster: shared.roster(),
+            };
+            hb_seq += 1;
+            if let Err(e) = send(stream, &msg) {
+                break Err(e);
+            }
+        }
+    };
+    conn_dead.store(true, Ordering::SeqCst);
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+    let _ = reader.join();
+    result
+}
+
+/// Read Acks off the follower's half of the stream until it dies.
+fn ack_loop(
+    mut stream: TcpStream,
+    acked: Arc<AtomicU64>,
+    dead: Arc<AtomicBool>,
+    shared: Arc<PrimaryShared>,
+) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(100)));
+    let mut dec = FrameDecoder::with_max_payload(shared.cfg.max_payload);
+    let mut scratch = vec![0u8; 16 * 1024];
+    while !dead.load(Ordering::SeqCst) && !shared.stop.load(Ordering::SeqCst) {
+        match recv_msg(&mut stream, &mut dec, &mut scratch) {
+            Ok(ReplMsg::Ack { applied_seq }) => {
+                acked.fetch_max(applied_seq, Ordering::AcqRel);
+            }
+            Ok(_) | Err(ReplError::Timeout) => {}
+            Err(_) => break,
+        }
+    }
+    dead.store(true, Ordering::SeqCst);
+}

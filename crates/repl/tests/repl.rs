@@ -1,0 +1,273 @@
+//! In-process primary/follower integration: catch-up, streaming,
+//! bit-for-bit identity, WAL-tail reconnect, and promotion.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use lbc_core::LbConfig;
+use lbc_graph::{generators, GraphDelta};
+use lbc_net::{ReplGate, ReplMsg, Role};
+use lbc_repl::{FailoverOutcome, FollowerConn, ReplConfig, ReplServer, HAVE_NOTHING};
+use lbc_runtime::{DeltaPolicy, Registry};
+
+const DATASET: &str = "ring";
+
+fn test_cfg() -> ReplConfig {
+    ReplConfig {
+        heartbeat_interval: Duration::from_millis(20),
+        heartbeat_timeout: Duration::from_millis(400),
+        chunk_len: 512, // small chunks so every snapshot exercises reassembly
+        ..Default::default()
+    }
+}
+
+fn primary_registry() -> (Arc<Registry>, LbConfig) {
+    let registry = Arc::new(Registry::with_capacity(8));
+    let (g, _) = generators::ring_of_cliques(3, 12, 0).unwrap();
+    registry.insert_graph(DATASET, g);
+    let cfg = LbConfig::new(1.0 / 3.0, 60).with_seed(7);
+    registry.get_or_cluster(DATASET, &cfg).unwrap();
+    (registry, cfg)
+}
+
+fn flip_delta(i: u32) -> GraphDelta {
+    let mut d = GraphDelta::new();
+    d.add_edge(i % 5, 12 + (i % 7));
+    d
+}
+
+fn wait_until(deadline: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let start = Instant::now();
+    while start.elapsed() < deadline {
+        if cond() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    cond()
+}
+
+fn assert_mirrored(primary: &Registry, follower: &Registry, cfg: &LbConfig) {
+    let pg = primary.graph(DATASET).unwrap();
+    let fg = follower.graph(DATASET).unwrap();
+    assert_eq!(pg.n(), fg.n());
+    assert_eq!(pg.m(), fg.m());
+    let po = primary.cached(DATASET, cfg).expect("primary cached");
+    let fo = follower.cached(DATASET, cfg).expect("follower cached");
+    assert_eq!(po.bit_diff(&fo), None, "follower output diverged");
+}
+
+#[test]
+fn follower_adopts_snapshot_and_mirrors_stream_bit_for_bit() {
+    let (primary, cfg) = primary_registry();
+    let server =
+        ReplServer::bind("127.0.0.1:0", Arc::clone(&primary), DATASET, test_cfg()).unwrap();
+
+    let follower = Arc::new(Registry::with_capacity(8));
+    let (conn, report) = FollowerConn::sync(
+        server.addr(),
+        Arc::clone(&follower),
+        DATASET,
+        1,
+        HAVE_NOTHING,
+        test_cfg(),
+    )
+    .unwrap();
+    assert!(report.adopted_snapshot);
+    assert!(report.snapshot_bytes > 0);
+    assert_eq!(report.entries, 1);
+    assert_eq!(report.applied_seq, 0);
+    // The adopted state is already bit-identical before any streaming.
+    assert_mirrored(&primary, &follower, &cfg);
+
+    let gate = Arc::new(ReplGate::new(Role::Follower));
+    let handle = conn.run(Arc::clone(&gate), |_seq| {});
+
+    for i in 0..4 {
+        primary
+            .apply_delta(
+                DATASET,
+                &flip_delta(i),
+                &DeltaPolicy::WarmRefresh(Default::default()),
+            )
+            .unwrap();
+    }
+    assert!(
+        wait_until(Duration::from_secs(10), || handle.applied_seq() == 4),
+        "follower stuck at seq {}",
+        handle.applied_seq()
+    );
+    assert_eq!(follower.applied_seq(DATASET), 4);
+    assert_mirrored(&primary, &follower, &cfg);
+    assert_eq!(gate.role(), Role::Follower);
+
+    // The primary's roster sees the follower's acked progress.
+    assert!(wait_until(Duration::from_secs(10), || {
+        server
+            .status()
+            .peers
+            .iter()
+            .any(|p| p.follower_id == 1 && p.applied_seq == 4)
+    }));
+    handle.stop();
+    assert!(matches!(
+        handle.join(),
+        Some(FailoverOutcome::Stopped { applied_seq: 4 })
+    ));
+}
+
+#[test]
+fn reconnect_with_live_lineage_skips_the_snapshot() {
+    let (primary, cfg) = primary_registry();
+    // Attach a store so the primary keeps a WAL tail to resend.
+    let dir = std::env::temp_dir().join(format!("lbc-repl-tail-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    primary
+        .attach_store(dir.to_str().unwrap(), lbc_runtime::SpillPolicy::OnEvict)
+        .unwrap();
+    primary.spill_to_store(DATASET).unwrap();
+    let server =
+        ReplServer::bind("127.0.0.1:0", Arc::clone(&primary), DATASET, test_cfg()).unwrap();
+
+    // First sync + a couple of streamed records.
+    let follower = Arc::new(Registry::with_capacity(8));
+    let (conn, report) = FollowerConn::sync(
+        server.addr(),
+        Arc::clone(&follower),
+        DATASET,
+        2,
+        HAVE_NOTHING,
+        test_cfg(),
+    )
+    .unwrap();
+    assert!(report.adopted_snapshot);
+    let gate = Arc::new(ReplGate::new(Role::Follower));
+    let handle = conn.run(Arc::clone(&gate), |_| {});
+    for i in 0..2 {
+        primary
+            .apply_delta(
+                DATASET,
+                &flip_delta(i),
+                &DeltaPolicy::WarmRefresh(Default::default()),
+            )
+            .unwrap();
+    }
+    assert!(wait_until(Duration::from_secs(10), || handle.applied_seq() == 2));
+    handle.stop();
+    handle.join();
+
+    // Two more commits while the follower is away...
+    for i in 2..4 {
+        primary
+            .apply_delta(
+                DATASET,
+                &flip_delta(i),
+                &DeltaPolicy::WarmRefresh(Default::default()),
+            )
+            .unwrap();
+    }
+    // ...and the reconnect ships just the WAL tail, no snapshot.
+    let (conn, report) = FollowerConn::sync(
+        server.addr(),
+        Arc::clone(&follower),
+        DATASET,
+        2,
+        2,
+        test_cfg(),
+    )
+    .unwrap();
+    assert!(!report.adopted_snapshot);
+    assert_eq!(report.snapshot_bytes, 0);
+    let handle = conn.run(Arc::clone(&gate), |_| {});
+    assert!(
+        wait_until(Duration::from_secs(10), || handle.applied_seq() == 4),
+        "tail catch-up stuck at {}",
+        handle.applied_seq()
+    );
+    assert_mirrored(&primary, &follower, &cfg);
+    handle.stop();
+    handle.join();
+    drop(server);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sole_follower_promotes_on_primary_death() {
+    let (primary, cfg) = primary_registry();
+    let server =
+        ReplServer::bind("127.0.0.1:0", Arc::clone(&primary), DATASET, test_cfg()).unwrap();
+
+    let follower = Arc::new(Registry::with_capacity(8));
+    let (conn, _) = FollowerConn::sync(
+        server.addr(),
+        Arc::clone(&follower),
+        DATASET,
+        3,
+        HAVE_NOTHING,
+        test_cfg(),
+    )
+    .unwrap();
+    let gate = Arc::new(ReplGate::new(Role::Follower));
+    let handle = conn.run(Arc::clone(&gate), |_| {});
+    primary
+        .apply_delta(
+            DATASET,
+            &flip_delta(0),
+            &DeltaPolicy::WarmRefresh(Default::default()),
+        )
+        .unwrap();
+    assert!(wait_until(Duration::from_secs(10), || handle.applied_seq() == 1));
+
+    // Primary dies (drop closes the listener and every stream).
+    drop(server);
+    let outcome = handle
+        .wait_outcome(Duration::from_secs(10))
+        .expect("follower never noticed primary death");
+    assert_eq!(outcome, FailoverOutcome::Promoted { applied_seq: 1 });
+    assert_eq!(gate.role(), Role::Promoted);
+
+    // The promoted state is exactly the pre-crash primary's, and it
+    // accepts local mutations continuing the lineage.
+    assert_mirrored(&primary, &follower, &cfg);
+    follower
+        .apply_delta(
+            DATASET,
+            &flip_delta(9),
+            &DeltaPolicy::WarmRefresh(Default::default()),
+        )
+        .unwrap();
+    assert_eq!(follower.applied_seq(DATASET), 2);
+}
+
+#[test]
+fn status_probe_reports_role_and_roster() {
+    let (primary, _cfg) = primary_registry();
+    let server =
+        ReplServer::bind("127.0.0.1:0", Arc::clone(&primary), DATASET, test_cfg()).unwrap();
+
+    // Raw status probe against the replication port.
+    use std::io::{Read, Write};
+    let mut stream = std::net::TcpStream::connect(server.addr()).unwrap();
+    let mut buf = Vec::new();
+    ReplMsg::Status.encode(&mut buf, 1).unwrap();
+    stream.write_all(&buf).unwrap();
+    let mut dec = lbc_net::FrameDecoder::new();
+    let mut scratch = [0u8; 4096];
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .unwrap();
+    let status = loop {
+        if let Some(frame) = dec.next_frame().unwrap() {
+            match ReplMsg::from_frame(&frame).unwrap() {
+                ReplMsg::StatusResp(s) => break s,
+                other => panic!("expected StatusResp, got {other:?}"),
+            }
+        }
+        let n = stream.read(&mut scratch).unwrap();
+        assert!(n > 0);
+        dec.push(&scratch[..n]);
+    };
+    assert_eq!(status.role, Role::Primary);
+    assert_eq!(status.applied_seq, 0);
+    assert!(status.peers.is_empty());
+}

@@ -73,7 +73,7 @@ pub use loadgen::{
     loadgen_on_output, run_loadgen, LoadMode, LoadReport, LoadgenConfig, Popularity,
 };
 pub use registry::{
-    config_fingerprint, CacheStats, DeltaPolicy, DeltaReport, Registry, SpillPolicy,
-    StoreBootReport,
+    config_fingerprint, CacheStats, CommitHook, DeltaPolicy, DeltaReport, Registry,
+    ReplicationState, SpillPolicy, StoreBootReport,
 };
 pub use scheduler::{JobHandle, JobRecord, JobState, WorkerPool};

@@ -173,15 +173,25 @@ pub fn uniform_random_query(rng: &mut QueryRng, n: usize) -> Query {
     random_query(rng, &NodeSampler::Uniform, n)
 }
 
+/// One query drawn under an arbitrary [`Popularity`] model — the
+/// popularity-aware generalisation of [`uniform_random_query`], shared
+/// with `lbc net-bench --zipf` so in-process and over-the-wire load
+/// skew the same way. Build the sampler once and reuse it: the Zipf
+/// CDF costs `O(n)` to set up.
+pub fn popular_random_query(rng: &mut QueryRng, sampler: &NodeSampler, n: usize) -> Query {
+    random_query(rng, sampler, n)
+}
+
 /// Node sampler realising a [`Popularity`] model. Built once per client
 /// (the Zipf CDF is `O(n)` to set up, `O(log n)` per draw).
-enum NodeSampler {
+pub enum NodeSampler {
     Uniform,
     Zipf { cdf: Vec<f64> },
 }
 
 impl NodeSampler {
-    fn new(popularity: Popularity, n: usize) -> Self {
+    /// Sampler for `popularity` over a graph of `n` nodes.
+    pub fn new(popularity: Popularity, n: usize) -> Self {
         match popularity {
             Popularity::Uniform => NodeSampler::Uniform,
             Popularity::Zipf(s) => {
@@ -200,7 +210,8 @@ impl NodeSampler {
         }
     }
 
-    fn node(&self, rng: &mut QueryRng, n: usize) -> NodeId {
+    /// Draw one node id.
+    pub fn node(&self, rng: &mut QueryRng, n: usize) -> NodeId {
         match self {
             NodeSampler::Uniform => rng.node(n),
             NodeSampler::Zipf { cdf } => {

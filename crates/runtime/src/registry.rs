@@ -35,7 +35,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use lbc_core::driver::ClusterError;
 use lbc_core::{cluster, warm_start, ClusterOutput, LbConfig, Rounds, WarmStartConfig};
 use lbc_graph::{io, Graph, GraphDelta};
-use lbc_store::{ReplayPolicy, Store};
+use lbc_store::{encode_record, ReplayPolicy, Store, WalRecord};
 
 use crate::error::RuntimeError;
 
@@ -207,7 +207,23 @@ struct Inner {
     /// on the same key wait instead of duplicating the work.
     in_flight: BTreeSet<CacheKey>,
     tick: u64,
+    /// Highest mutation sequence number applied per dataset — the WAL
+    /// lineage mirrored in memory so it is observable (and streamable)
+    /// even with no store attached. With a store attached the store's
+    /// own seq assignment is authoritative and mirrored here.
+    seqs: BTreeMap<String, u64>,
 }
+
+/// Called under the registry's mutation lock after each committed
+/// delta, in sequence order, with `(dataset, seq, encoded WAL record)`
+/// — the replication primary's feed. Must not call back into the
+/// registry; push the bytes somewhere and return.
+pub type CommitHook = Box<dyn Fn(&str, u64, &[u8]) + Send + Sync>;
+
+/// What [`Registry::replication_state`] captures atomically: the
+/// dataset's graph, every cached `(config, output)` entry, and the
+/// applied-seq watermark they correspond to.
+pub type ReplicationState = (Arc<Graph>, Vec<(LbConfig, Arc<ClusterOutput>)>, u64);
 
 /// Thread-safe dataset store + clustering LRU cache.
 pub struct Registry {
@@ -218,6 +234,8 @@ pub struct Registry {
     /// Attached persistence backend. Lock order: `inner` before
     /// `store`, everywhere — file I/O happens with only `store` held.
     store: Mutex<Option<StoreAttachment>>,
+    /// Commit-notification hook (lock order: after `inner`/`store`).
+    commit_hook: Mutex<Option<CommitHook>>,
     hits: AtomicU64,
     misses: AtomicU64,
     inserts: AtomicU64,
@@ -240,10 +258,12 @@ impl Registry {
                 cache: BTreeMap::new(),
                 in_flight: BTreeSet::new(),
                 tick: 0,
+                seqs: BTreeMap::new(),
             }),
             in_flight_done: Condvar::new(),
             capacity,
             store: Mutex::new(None),
+            commit_hook: Mutex::new(None),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             inserts: AtomicU64::new(0),
@@ -300,6 +320,99 @@ impl Registry {
             .keys()
             .cloned()
             .collect()
+    }
+
+    /// Highest mutation sequence number applied to `name` (0 for a
+    /// fresh or unknown dataset) — the replication watermark a client
+    /// compares across nodes to observe lag.
+    pub fn applied_seq(&self, name: &str) -> u64 {
+        self.inner
+            .lock()
+            .unwrap()
+            .seqs
+            .get(name)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Install the commit-notification hook: after every committed
+    /// mutation (local or replicated), it is called under the mutation
+    /// lock — so strictly in seq order — with the dataset name, the
+    /// assigned seq, and the encoded WAL record. The replication
+    /// primary uses this as its streaming feed. The hook must not call
+    /// back into the registry.
+    pub fn set_commit_hook(&self, hook: CommitHook) {
+        *self.commit_hook.lock().unwrap() = Some(hook);
+    }
+
+    /// Remove the commit-notification hook.
+    pub fn clear_commit_hook(&self) {
+        *self.commit_hook.lock().unwrap() = None;
+    }
+
+    /// Adopt a complete dataset state received from a replication
+    /// primary: register the graph, quietly insert every cached output
+    /// (no spill hooks — this state is the primary's, not ours to
+    /// persist), and pin the seq lineage at `applied_seq` so
+    /// subsequently streamed records land on the exact watermark the
+    /// snapshot was cut at.
+    pub fn adopt_state(
+        &self,
+        name: &str,
+        graph: Graph,
+        entries: Vec<(LbConfig, ClusterOutput)>,
+        applied_seq: u64,
+    ) -> Arc<Graph> {
+        let shared = Arc::new(graph);
+        let mut inner = self.inner.lock().unwrap();
+        inner.cache.retain(|(ds, _), _| ds != name);
+        inner.datasets.insert(name.to_string(), Arc::clone(&shared));
+        inner.seqs.insert(name.to_string(), applied_seq);
+        for (cfg, out) in entries {
+            let evicted = self.insert_locked(&mut inner, name, &cfg, Arc::new(out));
+            drop(evicted);
+        }
+        shared
+    }
+
+    /// Atomically capture `name`'s complete resident state — graph,
+    /// every cached output, applied seq — under the mutation lock, so
+    /// the watermark and the state agree exactly. The replication
+    /// primary cuts its streamed snapshot from this: a commit hook
+    /// registered *before* the call is guaranteed to have queued every
+    /// record with seq past the returned watermark. Entries come out in
+    /// cache-key order (deterministic across calls).
+    pub fn replication_state(&self, name: &str) -> Result<ReplicationState, RuntimeError> {
+        let inner = self.inner.lock().unwrap();
+        let graph = inner
+            .datasets
+            .get(name)
+            .cloned()
+            .ok_or_else(|| RuntimeError::UnknownDataset(name.to_string()))?;
+        let entries = inner
+            .cache
+            .iter()
+            .filter(|((ds, _), _)| ds == name)
+            .map(|(_, e)| (e.cfg.clone(), Arc::clone(&e.output)))
+            .collect();
+        let seq = inner.seqs.get(name).copied().unwrap_or(0);
+        Ok((graph, entries, seq))
+    }
+
+    /// WAL records with seq > `after` for `name` from the attached
+    /// store, in seq order — empty when no store is attached, the
+    /// dataset is not persisted, or the log has been compacted past
+    /// `after`. The replication primary's reconnect catch-up: a
+    /// follower that already holds a prefix of the lineage gets just
+    /// the tail instead of a full snapshot (when the tail is whole).
+    pub fn wal_tail_after(&self, name: &str, after: u64) -> Vec<WalRecord> {
+        let guard = self.store.lock().unwrap();
+        match guard.as_ref() {
+            Some(att) if att.store.contains(name) => {
+                att.store.wal_records_after(name, after).unwrap_or_default()
+            }
+            _ => Vec::new(),
+        }
     }
 
     /// Cached output for `(name, cfg)`, touching its LRU slot.
@@ -732,6 +845,13 @@ impl Registry {
         let graph_for_fold =
             (replay.wal_records > 0 || replay.torn_tail_bytes > 0).then(|| state.graph.clone());
         self.insert_graph(name, state.graph);
+        // The recovered state is current to the replayed watermark;
+        // future mutations (and replication streams) continue from it.
+        self.inner
+            .lock()
+            .unwrap()
+            .seqs
+            .insert(name.to_string(), wal_mark);
         let mut configs = Vec::with_capacity(entries.len());
         let entry_count = entries.len();
         for (cfg, out) in &entries {
@@ -808,6 +928,32 @@ impl Registry {
         delta: &GraphDelta,
         policy: &DeltaPolicy,
     ) -> Result<DeltaReport, RuntimeError> {
+        self.apply_delta_at(name, delta, policy, None)
+    }
+
+    /// Apply a replicated WAL record exactly as the primary committed
+    /// it: same delta, same policy, same seq — through the identical
+    /// deterministic warm-start path, so a follower's refreshed
+    /// outputs match the primary's bit for bit.
+    pub fn apply_replicated(
+        &self,
+        name: &str,
+        record: &WalRecord,
+    ) -> Result<DeltaReport, RuntimeError> {
+        let policy = match &record.policy {
+            ReplayPolicy::Invalidate => DeltaPolicy::Invalidate,
+            ReplayPolicy::WarmRefresh(wcfg) => DeltaPolicy::WarmRefresh(wcfg.clone()),
+        };
+        self.apply_delta_at(name, &record.delta, &policy, Some(record.seq))
+    }
+
+    fn apply_delta_at(
+        &self,
+        name: &str,
+        delta: &GraphDelta,
+        policy: &DeltaPolicy,
+        forced_seq: Option<u64>,
+    ) -> Result<DeltaReport, RuntimeError> {
         // Phase 1, locked: patch, log, swap, take this dataset's
         // entries out.
         let (patched, taken) = {
@@ -818,6 +964,17 @@ impl Registry {
                 .cloned()
                 .ok_or_else(|| RuntimeError::UnknownDataset(name.to_string()))?;
             let patched = Arc::new(old.apply_delta(delta)?);
+            let replay = match policy {
+                DeltaPolicy::Invalidate => ReplayPolicy::Invalidate,
+                DeltaPolicy::WarmRefresh(wcfg) => ReplayPolicy::WarmRefresh(wcfg.clone()),
+            };
+            // A replicated record carries the primary's seq; local
+            // mutations continue the in-memory lineage. Either way the
+            // durable log's own assignment, when one happens, is
+            // authoritative (it agrees by construction except after
+            // out-of-band tampering with the store directory).
+            let mut seq =
+                forced_seq.unwrap_or_else(|| inner.seqs.get(name).copied().unwrap_or(0) + 1);
             {
                 // Write-ahead: the delta reaches the WAL after it has
                 // validated against the old graph but *before* the swap
@@ -828,21 +985,32 @@ impl Registry {
                 let store_guard = self.store.lock().unwrap();
                 if let Some(att) = store_guard.as_ref() {
                     if att.store.contains(name) {
-                        let replay = match policy {
-                            DeltaPolicy::Invalidate => ReplayPolicy::Invalidate,
-                            DeltaPolicy::WarmRefresh(wcfg) => {
-                                ReplayPolicy::WarmRefresh(wcfg.clone())
-                            }
-                        };
-                        att.store
-                            .append_delta(name, &replay, delta)
+                        let (s, _) = att
+                            .store
+                            .append_delta_seq(name, &replay, delta)
                             .map_err(RuntimeError::from)?;
+                        seq = s;
                     }
                 }
             }
             inner
                 .datasets
                 .insert(name.to_string(), Arc::clone(&patched));
+            inner.seqs.insert(name.to_string(), seq);
+            {
+                // Commit notification, still under the mutation lock so
+                // hooks observe records strictly in seq order — the
+                // replication primary's streaming feed.
+                let hook_guard = self.commit_hook.lock().unwrap();
+                if let Some(hook) = hook_guard.as_ref() {
+                    let record = WalRecord {
+                        seq,
+                        policy: replay,
+                        delta: delta.clone(),
+                    };
+                    hook(name, seq, &encode_record(&record));
+                }
+            }
             let keys: Vec<CacheKey> = inner
                 .cache
                 .keys()
@@ -1135,6 +1303,119 @@ mod tests {
         ));
         assert!(Arc::ptr_eq(&before, &r.graph("ring").unwrap()));
         assert!(r.cached("ring", &cfg).is_some(), "cache was dropped");
+    }
+
+    #[test]
+    fn applied_seq_advances_with_storeless_mutations() {
+        let r = registry_with_ring("ring");
+        assert_eq!(r.applied_seq("ring"), 0);
+        assert_eq!(r.applied_seq("nope"), 0);
+        let mut d = GraphDelta::new();
+        d.remove_edge(0, 1);
+        r.apply_delta("ring", &d, &DeltaPolicy::Invalidate).unwrap();
+        assert_eq!(r.applied_seq("ring"), 1);
+        let mut d2 = GraphDelta::new();
+        d2.add_edge(0, 1);
+        r.apply_delta("ring", &d2, &DeltaPolicy::Invalidate)
+            .unwrap();
+        assert_eq!(r.applied_seq("ring"), 2);
+        // A failed mutation must not advance the lineage.
+        let mut bad = GraphDelta::new();
+        bad.remove_edge(0, 19);
+        assert!(r
+            .apply_delta("ring", &bad, &DeltaPolicy::Invalidate)
+            .is_err());
+        assert_eq!(r.applied_seq("ring"), 2);
+    }
+
+    #[test]
+    fn commit_hook_streams_decodable_records_in_seq_order() {
+        let r = registry_with_ring("ring");
+        type SeenRecords = Vec<(String, u64, Vec<u8>)>;
+        let seen: Arc<Mutex<SeenRecords>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&seen);
+        r.set_commit_hook(Box::new(move |name, seq, bytes| {
+            sink.lock()
+                .unwrap()
+                .push((name.to_string(), seq, bytes.to_vec()));
+        }));
+        let mut d1 = GraphDelta::new();
+        d1.remove_edge(0, 1);
+        let mut d2 = GraphDelta::new();
+        d2.add_edge(0, 1);
+        r.apply_delta("ring", &d1, &DeltaPolicy::Invalidate)
+            .unwrap();
+        r.apply_delta(
+            "ring",
+            &d2,
+            &DeltaPolicy::WarmRefresh(WarmStartConfig::default()),
+        )
+        .unwrap();
+        let seen = seen.lock().unwrap();
+        assert_eq!(seen.len(), 2);
+        for (i, (name, seq, bytes)) in seen.iter().enumerate() {
+            assert_eq!(name, "ring");
+            assert_eq!(*seq, i as u64 + 1);
+            let rec = lbc_store::decode_record(bytes).unwrap();
+            assert_eq!(rec.seq, *seq);
+        }
+        assert_eq!(seen[0].2.len(), {
+            let rec = lbc_store::decode_record(&seen[0].2).unwrap();
+            lbc_store::encode_record(&rec).len()
+        });
+        drop(seen);
+        r.clear_commit_hook();
+        let mut d3 = GraphDelta::new();
+        d3.remove_edge(2, 3);
+        r.apply_delta("ring", &d3, &DeltaPolicy::Invalidate)
+            .unwrap();
+    }
+
+    #[test]
+    fn adopt_then_apply_replicated_matches_the_primary_bit_for_bit() {
+        // Primary: cluster, then mutate twice under warm refresh.
+        let primary = Registry::with_capacity(4);
+        let (g, truth) = generators::planted_partition(3, 40, 0.4, 0.01, 5).unwrap();
+        primary.insert_graph("pp", g.clone());
+        let cfg = LbConfig::new(1.0 / 3.0, 80).with_seed(2);
+        let out = primary.get_or_cluster("pp", &cfg).unwrap();
+        let records: Arc<Mutex<Vec<Vec<u8>>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = Arc::clone(&records);
+        primary.set_commit_hook(Box::new(move |_, _, bytes| {
+            sink.lock().unwrap().push(bytes.to_vec());
+        }));
+        // Follower adopts the pre-delta state (as if snapshot-streamed).
+        let follower = Registry::with_capacity(4);
+        follower.adopt_state(
+            "pp",
+            g.clone(),
+            vec![(cfg.clone(), out.as_ref().clone())],
+            primary.applied_seq("pp"),
+        );
+        // Primary commits two deltas; follower applies the streamed
+        // records through the identical deterministic path.
+        let wcfg = WarmStartConfig::default();
+        let d1 = generators::k_edge_flip_delta(&g, &truth, 3, 7).unwrap();
+        primary
+            .apply_delta("pp", &d1, &DeltaPolicy::WarmRefresh(wcfg.clone()))
+            .unwrap();
+        let g1 = g.apply_delta(&d1).unwrap();
+        let d2 = generators::k_edge_flip_delta(&g1, &truth, 2, 9).unwrap();
+        primary
+            .apply_delta("pp", &d2, &DeltaPolicy::WarmRefresh(wcfg))
+            .unwrap();
+        for bytes in records.lock().unwrap().iter() {
+            let rec = lbc_store::decode_record(bytes).unwrap();
+            follower.apply_replicated("pp", &rec).unwrap();
+        }
+        assert_eq!(follower.applied_seq("pp"), primary.applied_seq("pp"));
+        assert_eq!(
+            *follower.graph("pp").unwrap(),
+            *primary.graph("pp").unwrap()
+        );
+        let a = primary.cached("pp", &cfg).unwrap();
+        let b = follower.cached("pp", &cfg).unwrap();
+        assert_eq!(a.bit_diff(&b), None, "replica diverged from primary");
     }
 
     #[test]

@@ -37,16 +37,24 @@ pub mod format;
 pub mod snapshot;
 pub mod wal;
 
+use std::collections::BTreeSet;
 use std::fs;
-use std::io::{BufReader, BufWriter, Read};
+use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::{Path, PathBuf};
 
 use lbc_core::{warm_start, ClusterOutput, LbConfig};
 use lbc_graph::{Graph, GraphDelta};
 
 pub use error::StoreError;
-pub use snapshot::{parse_snapshot, read_snapshot, write_snapshot, DatasetState, MAGIC, VERSION};
-pub use wal::{append_record, read_wal, scan_wal, ReplayPolicy, WalReadout, WalRecord, WalScan};
+pub use snapshot::{
+    decode_graph_payload, encode_graph_payload, parse_snapshot, parse_snapshot_contents,
+    read_snapshot, write_snapshot, write_snapshot_ref, DatasetState, GraphRef, GraphSource,
+    SnapshotContents, MAGIC, VERSION,
+};
+pub use wal::{
+    append_record, decode_record, encode_record, read_wal, scan_wal, ReplayPolicy, WalReadout,
+    WalRecord, WalScan,
+};
 
 /// What replaying a dataset's WAL over its snapshot did.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -74,6 +82,12 @@ pub struct Store {
 
 const SNAP_EXT: &str = "snap";
 const WAL_EXT: &str = "wal";
+/// Subdirectory holding content-addressed graph blobs (`<crc64>.g`).
+/// Snapshots written by [`Store::save`] reference a blob instead of
+/// embedding the CSR, so every rewrite of a dataset — and every
+/// dataset sharing the same graph — stores the encoding once.
+const GRAPHS_DIR: &str = "graphs";
+const GRAPH_EXT: &str = "g";
 
 fn encode_name(name: &str) -> String {
     let mut out = String::with_capacity(name.len());
@@ -124,6 +138,14 @@ impl Store {
         self.dir.join(format!("{}.{WAL_EXT}", encode_name(name)))
     }
 
+    fn graphs_dir(&self) -> PathBuf {
+        self.dir.join(GRAPHS_DIR)
+    }
+
+    fn graph_path(&self, hash: u64) -> PathBuf {
+        self.graphs_dir().join(format!("{hash:016x}.{GRAPH_EXT}"))
+    }
+
     /// Names of every dataset with a snapshot in the store, sorted.
     pub fn dataset_names(&self) -> Result<Vec<String>, StoreError> {
         let mut names = Vec::new();
@@ -157,12 +179,26 @@ impl Store {
         fs::metadata(self.snap_path(name)).map_or(0, |m| m.len())
     }
 
-    /// Total on-disk footprint of the store (all snapshots + WALs).
+    /// Total bytes of shared graph blobs in the store.
+    pub fn graph_blob_bytes(&self) -> u64 {
+        let Ok(entries) = fs::read_dir(self.graphs_dir()) else {
+            return 0;
+        };
+        entries
+            .flatten()
+            .filter(|e| e.path().extension().and_then(|x| x.to_str()) == Some(GRAPH_EXT))
+            .filter_map(|e| e.metadata().ok())
+            .map(|m| m.len())
+            .sum()
+    }
+
+    /// Total on-disk footprint of the store (snapshots + WALs + shared
+    /// graph blobs).
     pub fn total_bytes(&self) -> u64 {
         let Ok(entries) = fs::read_dir(&self.dir) else {
             return 0;
         };
-        entries
+        let flat: u64 = entries
             .flatten()
             .filter(|e| {
                 let p = e.path();
@@ -173,7 +209,8 @@ impl Store {
             })
             .filter_map(|e| e.metadata().ok())
             .map(|m| m.len())
-            .sum()
+            .sum();
+        flat + self.graph_blob_bytes()
     }
 
     /// Best-effort fsync of the store directory itself, so renames,
@@ -240,12 +277,24 @@ impl Store {
         I: IntoIterator<Item = (&'a LbConfig, &'a ClusterOutput)>,
     {
         let entries: Vec<(&LbConfig, &ClusterOutput)> = entries.into_iter().collect();
+        // Publish the graph as a content-addressed blob first, then a
+        // snapshot that references it: identical graphs (across
+        // rewrites of one dataset or across datasets) store one CSR
+        // encoding. A crash after the blob lands leaves at worst an
+        // unreferenced blob, which [`Store::remove`]'s sweep collects.
+        let payload = encode_graph_payload(graph);
+        let graph_ref = GraphRef {
+            hash: format::crc64(&payload),
+            n: graph.n() as u64,
+            m: graph.m() as u64,
+        };
+        self.write_graph_blob(graph_ref.hash, &payload)?;
         let snap = self.snap_path(name);
         let tmp = snap.with_extension("snap.tmp");
         let bytes = {
             let f = fs::File::create(&tmp)?;
             let mut w = BufWriter::new(f);
-            let n = write_snapshot(graph, &entries, applied_seq, &mut w)?;
+            let n = write_snapshot_ref(graph_ref, &entries, applied_seq, &mut w)?;
             let f = w.into_inner().map_err(|e| StoreError::Io(e.to_string()))?;
             // Durable before the rename publishes it: a power cut must
             // never leave the published name pointing at a hole.
@@ -256,6 +305,55 @@ impl Store {
         self.sync_dir();
         self.drop_covered_wal(name, applied_seq)?;
         Ok(bytes)
+    }
+
+    /// Write a graph blob if its hash is not already present
+    /// (content-addressed: same hash ⇒ same bytes, nothing to do).
+    fn write_graph_blob(&self, hash: u64, payload: &[u8]) -> Result<(), StoreError> {
+        let path = self.graph_path(hash);
+        if path.exists() {
+            return Ok(());
+        }
+        fs::create_dir_all(self.graphs_dir())?;
+        let tmp = path.with_extension("g.tmp");
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(payload)?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, &path)?;
+        if let Ok(d) = fs::File::open(self.graphs_dir()) {
+            let _ = d.sync_all();
+        }
+        Ok(())
+    }
+
+    /// Resolve a snapshot's graph reference against the blob
+    /// directory, verifying the content hash and declared dimensions.
+    fn resolve_graph_ref(&self, r: &GraphRef) -> Result<Graph, StoreError> {
+        let path = self.graph_path(r.hash);
+        let payload = fs::read(&path)
+            .map_err(|_| StoreError::Corrupt(format!("missing graph blob {:016x}", r.hash)))?;
+        let found = format::crc64(&payload);
+        if found != r.hash {
+            return Err(StoreError::ChecksumMismatch {
+                expected: r.hash,
+                found,
+                context: "graph blob",
+            });
+        }
+        let g = decode_graph_payload(&payload)?;
+        if g.n() as u64 != r.n || g.m() as u64 != r.m {
+            return Err(StoreError::Corrupt(format!(
+                "graph blob {:016x} is {}n/{}m but the snapshot expects {}n/{}m",
+                r.hash,
+                g.n(),
+                g.m(),
+                r.n,
+                r.m
+            )));
+        }
+        Ok(g)
     }
 
     /// Drop WAL records with seq ≤ `applied_seq` (pure space
@@ -308,6 +406,19 @@ impl Store {
         policy: &ReplayPolicy,
         delta: &GraphDelta,
     ) -> Result<u64, StoreError> {
+        self.append_delta_seq(name, policy, delta).map(|(_, b)| b)
+    }
+
+    /// [`Store::append_delta`], also returning the sequence number the
+    /// record was assigned — the replication layer needs it to label
+    /// the streamed record, and the registry mirrors it so in-memory
+    /// and on-disk lineages can never drift.
+    pub fn append_delta_seq(
+        &self,
+        name: &str,
+        policy: &ReplayPolicy,
+        delta: &GraphDelta,
+    ) -> Result<(u64, u64), StoreError> {
         if !self.contains(name) {
             return Err(StoreError::UnknownDataset(name.to_string()));
         }
@@ -344,17 +455,28 @@ impl Store {
         if !existed {
             self.sync_dir();
         }
-        Ok(self.wal_bytes(name))
+        Ok((seq, self.wal_bytes(name)))
     }
 
     /// Read `name`'s snapshot and WAL without replaying anything.
+    /// Graph references are resolved against the store's blob
+    /// directory (legacy inline-graph snapshots still load).
     pub fn load_raw(&self, name: &str) -> Result<(DatasetState, WalReadout), StoreError> {
         let snap_path = self.snap_path(name);
         if !snap_path.exists() {
             return Err(StoreError::UnknownDataset(name.to_string()));
         }
-        let f = fs::File::open(&snap_path)?;
-        let state = read_snapshot(BufReader::new(f))?;
+        let buf = fs::read(&snap_path)?;
+        let contents = parse_snapshot_contents(&buf)?;
+        let graph = match contents.graph {
+            GraphSource::Inline(g) => g,
+            GraphSource::Ref(r) => self.resolve_graph_ref(&r)?,
+        };
+        let state = DatasetState {
+            graph,
+            entries: contents.entries,
+            applied_seq: contents.applied_seq,
+        };
         let wal_path = self.wal_path(name);
         let readout = if wal_path.exists() {
             let mut buf = Vec::new();
@@ -414,7 +536,28 @@ impl Store {
         Ok((state, report))
     }
 
-    /// Delete `name`'s snapshot and WAL (no-op when absent).
+    /// Complete WAL records with seq strictly above `seq` — the
+    /// replication catch-up read: a follower holding state current to
+    /// watermark `seq` needs exactly these records to converge.
+    pub fn wal_records_after(&self, name: &str, seq: u64) -> Result<Vec<WalRecord>, StoreError> {
+        if !self.contains(name) {
+            return Err(StoreError::UnknownDataset(name.to_string()));
+        }
+        let path = self.wal_path(name);
+        if !path.exists() {
+            return Ok(Vec::new());
+        }
+        let buf = fs::read(&path)?;
+        let readout = read_wal(&buf)?;
+        Ok(readout
+            .records
+            .into_iter()
+            .filter(|r| r.seq > seq)
+            .collect())
+    }
+
+    /// Delete `name`'s snapshot and WAL (no-op when absent), then
+    /// sweep graph blobs no longer referenced by any snapshot.
     pub fn remove(&self, name: &str) -> Result<(), StoreError> {
         for path in [self.snap_path(name), self.wal_path(name)] {
             if path.exists() {
@@ -422,7 +565,46 @@ impl Store {
             }
         }
         self.sync_dir();
+        self.gc_graph_blobs();
         Ok(())
+    }
+
+    /// Best-effort collection of unreferenced graph blobs. An
+    /// unreadable snapshot aborts the sweep (its references are
+    /// unknown) and individual failures are ignored: an orphaned blob
+    /// costs bytes, deleting a live one would cost data.
+    fn gc_graph_blobs(&self) {
+        let Ok(names) = self.dataset_names() else {
+            return;
+        };
+        let mut live: BTreeSet<u64> = BTreeSet::new();
+        for name in names {
+            let Ok(buf) = fs::read(self.snap_path(&name)) else {
+                return;
+            };
+            let Ok(contents) = parse_snapshot_contents(&buf) else {
+                return;
+            };
+            if let GraphSource::Ref(r) = contents.graph {
+                live.insert(r.hash);
+            }
+        }
+        let Ok(entries) = fs::read_dir(self.graphs_dir()) else {
+            return;
+        };
+        for e in entries.flatten() {
+            let p = e.path();
+            if p.extension().and_then(|x| x.to_str()) != Some(GRAPH_EXT) {
+                continue;
+            }
+            let hash = p
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .and_then(|s| u64::from_str_radix(s, 16).ok());
+            if !matches!(hash, Some(h) if live.contains(&h)) {
+                let _ = fs::remove_file(&p);
+            }
+        }
     }
 }
 
@@ -637,7 +819,7 @@ mod tests {
     }
 
     #[test]
-    fn total_bytes_counts_snapshots_and_wals() {
+    fn total_bytes_counts_snapshots_wals_and_graph_blobs() {
         let store = tmp_store("bytes");
         let (g, _) = generators::ring_of_cliques(2, 10, 0).unwrap();
         store.save("a", &g, [], 0).unwrap();
@@ -647,11 +829,115 @@ mod tests {
         store
             .append_delta("a", &ReplayPolicy::Invalidate, &d)
             .unwrap();
+        assert!(store.graph_blob_bytes() > 0);
         assert_eq!(
             store.total_bytes(),
-            store.snapshot_bytes("a") + store.snapshot_bytes("b") + store.wal_bytes("a")
+            store.snapshot_bytes("a")
+                + store.snapshot_bytes("b")
+                + store.wal_bytes("a")
+                + store.graph_blob_bytes()
         );
         store.remove("a").unwrap();
         assert_eq!(store.dataset_names().unwrap(), vec!["b".to_string()]);
+    }
+
+    #[test]
+    fn same_graph_datasets_share_one_blob() {
+        let store = tmp_store("shareblob");
+        let (g, _) = generators::ring_of_cliques(2, 10, 0).unwrap();
+        store.save("a", &g, [], 0).unwrap();
+        let one = store.graph_blob_bytes();
+        assert!(one > 0);
+        // Second dataset, identical graph: the blob is reused, so the
+        // footprint grows only by the (CSR-free) snapshot file.
+        store.save("b", &g, [], 0).unwrap();
+        assert_eq!(store.graph_blob_bytes(), one);
+        // Rewriting a snapshot doesn't re-store the graph either.
+        store.save("a", &g, [], 0).unwrap();
+        assert_eq!(store.graph_blob_bytes(), one);
+        // A genuinely different graph gets its own blob.
+        let (g2, _) = generators::ring_of_cliques(3, 7, 1).unwrap();
+        store.save("c", &g2, [], 0).unwrap();
+        assert!(store.graph_blob_bytes() > one);
+        // Removing one sharer keeps the blob; removing the last
+        // reference collects it.
+        store.remove("a").unwrap();
+        let (state, _) = store.load("b").unwrap();
+        assert_eq!(state.graph, g);
+        store.remove("b").unwrap();
+        store.remove("c").unwrap();
+        assert_eq!(store.graph_blob_bytes(), 0);
+    }
+
+    #[test]
+    fn missing_or_corrupt_graph_blob_is_typed() {
+        let store = tmp_store("badblob");
+        let (g, _) = generators::ring_of_cliques(2, 10, 0).unwrap();
+        store.save("ring", &g, [], 0).unwrap();
+        let blob = {
+            let dir = store.dir().join(GRAPHS_DIR);
+            fs::read_dir(&dir).unwrap().next().unwrap().unwrap().path()
+        };
+        let good = fs::read(&blob).unwrap();
+        // Corrupt one byte: the content hash no longer matches.
+        let mut bad = good.clone();
+        bad[good.len() / 2] ^= 0x01;
+        fs::write(&blob, &bad).unwrap();
+        assert!(matches!(
+            store.load("ring"),
+            Err(StoreError::ChecksumMismatch { .. })
+        ));
+        // Remove it entirely: typed corruption, not a panic.
+        fs::remove_file(&blob).unwrap();
+        assert!(matches!(store.load("ring"), Err(StoreError::Corrupt(_))));
+    }
+
+    #[test]
+    fn legacy_inline_graph_snapshot_still_loads() {
+        let store = tmp_store("legacy");
+        let (g, _) = generators::ring_of_cliques(2, 10, 0).unwrap();
+        let cfg = LbConfig::new(0.5, 25).with_seed(5);
+        let out = cluster(&g, &cfg).unwrap();
+        // Write the pre-blob format by hand: graph embedded inline.
+        let entries = [(&cfg, &out)];
+        let mut buf = Vec::new();
+        snapshot::write_snapshot(&g, &entries, 0, &mut buf).unwrap();
+        fs::write(store.dir().join("old.snap"), &buf).unwrap();
+        let (state, _) = store.load("old").unwrap();
+        assert_eq!(state.graph, g);
+        assert_entries_bit_identical(&state.entries, &[(cfg, out)]);
+    }
+
+    #[test]
+    fn wal_records_after_filters_by_watermark() {
+        let store = tmp_store("after");
+        let (g, _) = generators::ring_of_cliques(2, 10, 0).unwrap();
+        store.save("ring", &g, [], 0).unwrap();
+        assert!(store.wal_records_after("ring", 0).unwrap().is_empty());
+        let mut d1 = GraphDelta::new();
+        d1.remove_edge(0, 1);
+        let mut d2 = GraphDelta::new();
+        d2.add_edge(0, 1);
+        store
+            .append_delta("ring", &ReplayPolicy::Invalidate, &d1)
+            .unwrap();
+        store
+            .append_delta("ring", &ReplayPolicy::Invalidate, &d2)
+            .unwrap();
+        let all = store.wal_records_after("ring", 0).unwrap();
+        assert_eq!(
+            all.iter().map(|r| r.seq).collect::<Vec<_>>(),
+            vec![1, 2],
+            "records come back in seq order"
+        );
+        let tail = store.wal_records_after("ring", 1).unwrap();
+        assert_eq!(tail.len(), 1);
+        assert_eq!(tail[0].seq, 2);
+        assert_eq!(tail[0].delta, d2);
+        assert!(store.wal_records_after("ring", 2).unwrap().is_empty());
+        assert!(matches!(
+            store.wal_records_after("nope", 0),
+            Err(StoreError::UnknownDataset(_))
+        ));
     }
 }

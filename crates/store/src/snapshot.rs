@@ -45,6 +45,11 @@ pub const VERSION: u32 = 1;
 
 const SECTION_GRAPH: u32 = 1;
 const SECTION_OUTPUT: u32 = 2;
+/// Content-addressed reference to a graph stored outside the snapshot
+/// (a `graphs/<hash>.g` blob in the store directory). Lets every
+/// snapshot rewrite — and every dataset sharing the same graph — reuse
+/// one CSR encoding instead of embedding it again.
+const SECTION_GRAPH_REF: u32 = 3;
 /// Fixed header bytes before the section table.
 const HEADER_LEN: usize = 8 + 4 + 8 + 8 + 4;
 /// Bytes per section-table row.
@@ -59,6 +64,60 @@ pub struct DatasetState {
     /// Highest WAL record seq already folded into this state; replay
     /// skips records at or below it.
     pub applied_seq: u64,
+}
+
+/// A content-addressed pointer to a graph payload stored outside the
+/// snapshot file. `hash` is the crc64 of the encoded CSR payload (the
+/// exact bytes [`encode_graph_payload`] produces), so the blob is
+/// self-validating; `n`/`m` are recorded so output sections can be
+/// validated — and sized — without resolving the blob first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GraphRef {
+    pub hash: u64,
+    pub n: u64,
+    pub m: u64,
+}
+
+impl GraphRef {
+    /// The reference for `g` (hashes the encoded payload).
+    pub fn of(g: &Graph) -> GraphRef {
+        GraphRef {
+            hash: crc64(&encode_graph(g)),
+            n: g.n() as u64,
+            m: g.m() as u64,
+        }
+    }
+}
+
+/// Where a parsed snapshot's graph lives: embedded in the file, or in
+/// a shared content-addressed blob the caller must resolve.
+#[derive(Debug, Clone)]
+pub enum GraphSource {
+    Inline(Graph),
+    Ref(GraphRef),
+}
+
+/// A parsed snapshot whose graph may still be an unresolved reference.
+/// [`Store::load_raw`](crate::Store::load_raw) resolves refs against
+/// the store's blob directory; self-contained consumers (the
+/// replication stream) use [`parse_snapshot`], which requires inline.
+#[derive(Debug, Clone)]
+pub struct SnapshotContents {
+    pub graph: GraphSource,
+    pub entries: Vec<(LbConfig, ClusterOutput)>,
+    pub applied_seq: u64,
+}
+
+/// The graph-section payload for `g` — also the exact byte content of
+/// a `graphs/<hash>.g` blob (so blobs and inline sections share one
+/// codec and one hash space).
+pub fn encode_graph_payload(g: &Graph) -> Vec<u8> {
+    encode_graph(g)
+}
+
+/// Decode a graph-section payload (inline section or blob file).
+pub fn decode_graph_payload(bytes: &[u8]) -> Result<Graph, StoreError> {
+    decode_graph(bytes)
 }
 
 fn encode_graph(g: &Graph) -> Vec<u8> {
@@ -334,18 +393,50 @@ fn decode_output(bytes: &[u8], graph_n: usize) -> Result<(LbConfig, ClusterOutpu
     ))
 }
 
-/// Serialise a dataset snapshot, returning the bytes written.
-/// `applied_seq` is the highest WAL record seq this state already
-/// folds in (0 for a fresh dataset); replay skips records at or
-/// below it.
+/// Serialise a **self-contained** dataset snapshot (graph embedded),
+/// returning the bytes written. `applied_seq` is the highest WAL
+/// record seq this state already folds in (0 for a fresh dataset);
+/// replay skips records at or below it. This is the format the
+/// replication layer streams to joining followers, which have no blob
+/// directory to resolve references against.
 pub fn write_snapshot<W: Write>(
     graph: &Graph,
+    entries: &[(&LbConfig, &ClusterOutput)],
+    applied_seq: u64,
+    w: W,
+) -> Result<u64, StoreError> {
+    write_sections(
+        (SECTION_GRAPH, encode_graph(graph)),
+        entries,
+        applied_seq,
+        w,
+    )
+}
+
+/// Serialise a snapshot whose graph section is a content-addressed
+/// reference — the CSR lives once in a shared blob, so rewrites and
+/// same-graph datasets stop re-encoding it.
+pub fn write_snapshot_ref<W: Write>(
+    graph_ref: GraphRef,
+    entries: &[(&LbConfig, &ClusterOutput)],
+    applied_seq: u64,
+    w: W,
+) -> Result<u64, StoreError> {
+    let mut e = Enc::new();
+    e.u64(graph_ref.hash);
+    e.u64(graph_ref.n);
+    e.u64(graph_ref.m);
+    write_sections((SECTION_GRAPH_REF, e.into_bytes()), entries, applied_seq, w)
+}
+
+fn write_sections<W: Write>(
+    graph_section: (u32, Vec<u8>),
     entries: &[(&LbConfig, &ClusterOutput)],
     applied_seq: u64,
     mut w: W,
 ) -> Result<u64, StoreError> {
     let mut payloads: Vec<(u32, Vec<u8>)> = Vec::with_capacity(1 + entries.len());
-    payloads.push((SECTION_GRAPH, encode_graph(graph)));
+    payloads.push(graph_section);
     for (cfg, out) in entries {
         payloads.push((SECTION_OUTPUT, encode_output(cfg, out)));
     }
@@ -389,8 +480,29 @@ pub fn read_snapshot<R: Read>(mut r: R) -> Result<DatasetState, StoreError> {
     parse_snapshot(&buf)
 }
 
-/// [`read_snapshot`] over an in-memory byte slice.
+/// [`read_snapshot`] over an in-memory byte slice. Requires a
+/// self-contained snapshot: a graph-*reference* section is an error
+/// here, because there is no blob directory to resolve it against —
+/// use [`parse_snapshot_contents`] and resolve the ref yourself.
 pub fn parse_snapshot(buf: &[u8]) -> Result<DatasetState, StoreError> {
+    let contents = parse_snapshot_contents(buf)?;
+    match contents.graph {
+        GraphSource::Inline(graph) => Ok(DatasetState {
+            graph,
+            entries: contents.entries,
+            applied_seq: contents.applied_seq,
+        }),
+        GraphSource::Ref(r) => Err(StoreError::Corrupt(format!(
+            "snapshot references external graph blob {:016x}; resolve it through a Store",
+            r.hash
+        ))),
+    }
+}
+
+/// Parse a snapshot without resolving its graph: the graph comes back
+/// either inline or as a [`GraphRef`] the caller resolves against the
+/// store's `graphs/` blob directory.
+pub fn parse_snapshot_contents(buf: &[u8]) -> Result<SnapshotContents, StoreError> {
     if buf.len() < 8 {
         return Err(StoreError::Truncated {
             needed: 8,
@@ -457,7 +569,7 @@ pub fn parse_snapshot(buf: &[u8]) -> Result<DatasetState, StoreError> {
         )));
     }
     let mut table = Dec::new(&buf[HEADER_LEN..table_end], "section table");
-    let mut graph: Option<Graph> = None;
+    let mut graph: Option<GraphSource> = None;
     let mut outputs: Vec<&[u8]> = Vec::new();
     for _ in 0..section_count {
         let kind = table.u32()?;
@@ -480,7 +592,24 @@ pub fn parse_snapshot(buf: &[u8]) -> Result<DatasetState, StoreError> {
                 if graph.is_some() {
                     return Err(StoreError::Corrupt("duplicate graph section".into()));
                 }
-                graph = Some(decode_graph(payload)?);
+                graph = Some(GraphSource::Inline(decode_graph(payload)?));
+            }
+            SECTION_GRAPH_REF => {
+                if graph.is_some() {
+                    return Err(StoreError::Corrupt("duplicate graph section".into()));
+                }
+                let mut d = Dec::new(payload, "graph-ref section");
+                let r = GraphRef {
+                    hash: d.u64()?,
+                    n: d.u64()?,
+                    m: d.u64()?,
+                };
+                if !d.is_empty() {
+                    return Err(StoreError::Corrupt(
+                        "graph-ref section has trailing bytes".into(),
+                    ));
+                }
+                graph = Some(GraphSource::Ref(r));
             }
             SECTION_OUTPUT => outputs.push(payload),
             other => {
@@ -489,11 +618,16 @@ pub fn parse_snapshot(buf: &[u8]) -> Result<DatasetState, StoreError> {
         }
     }
     let graph = graph.ok_or_else(|| StoreError::Corrupt("snapshot has no graph section".into()))?;
+    let graph_n = match &graph {
+        GraphSource::Inline(g) => g.n(),
+        GraphSource::Ref(r) => usize::try_from(r.n)
+            .map_err(|_| StoreError::Corrupt(format!("graph ref node count {} overflows", r.n)))?,
+    };
     let mut entries = Vec::with_capacity(outputs.len());
     for payload in outputs {
-        entries.push(decode_output(payload, graph.n())?);
+        entries.push(decode_output(payload, graph_n)?);
     }
-    Ok(DatasetState {
+    Ok(SnapshotContents {
         graph,
         entries,
         applied_seq,
@@ -628,6 +762,43 @@ mod tests {
                 "pos {pos}: {e}"
             );
         }
+    }
+
+    #[test]
+    fn graph_ref_snapshot_round_trips_without_resolving() {
+        let state = sample_state();
+        let entries: Vec<(&LbConfig, &ClusterOutput)> =
+            state.entries.iter().map(|(c, o)| (c, o)).collect();
+        let r = GraphRef::of(&state.graph);
+        assert_eq!(r.n, state.graph.n() as u64);
+        assert_eq!(r.m, state.graph.m() as u64);
+        let mut buf = Vec::new();
+        let n = write_snapshot_ref(r, &entries, 7, &mut buf).unwrap();
+        assert_eq!(n as usize, buf.len());
+        // Ref snapshots are strictly smaller: no embedded CSR.
+        assert!(buf.len() < snapshot_bytes(&state).len());
+        let contents = parse_snapshot_contents(&buf).unwrap();
+        let GraphSource::Ref(got) = contents.graph else {
+            panic!("expected a graph ref");
+        };
+        assert_eq!(got, r);
+        assert_eq!(contents.applied_seq, 7);
+        assert_eq!(contents.entries.len(), state.entries.len());
+        for ((cfg_a, out_a), (cfg_b, out_b)) in state.entries.iter().zip(&contents.entries) {
+            assert_eq!(cfg_a, cfg_b);
+            assert_bit_identical(out_a, out_b);
+        }
+        // The self-contained parser refuses refs with a typed error.
+        assert!(matches!(parse_snapshot(&buf), Err(StoreError::Corrupt(_))));
+    }
+
+    #[test]
+    fn graph_payload_codec_matches_ref_hash() {
+        let (g, _) = generators::ring_of_cliques(2, 8, 0).unwrap();
+        let payload = encode_graph_payload(&g);
+        assert_eq!(crc64(&payload), GraphRef::of(&g).hash);
+        assert_eq!(decode_graph_payload(&payload).unwrap(), g);
+        assert!(decode_graph_payload(&payload[..payload.len() - 1]).is_err());
     }
 
     #[test]

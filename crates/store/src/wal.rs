@@ -186,6 +186,21 @@ pub fn append_record<W: Write>(mut w: W, rec: &WalRecord) -> Result<(), StoreErr
     Ok(())
 }
 
+/// Parse exactly one framed record — the replication receive path: a
+/// `WAL_REC` wire frame carries precisely the bytes [`encode_record`]
+/// wrote, so anything other than one complete record is corruption.
+pub fn decode_record(buf: &[u8]) -> Result<WalRecord, StoreError> {
+    let readout = read_wal(buf)?;
+    if readout.torn_tail_bytes != 0 || readout.records.len() != 1 {
+        return Err(StoreError::Corrupt(format!(
+            "expected exactly one complete wal record, got {} (+{} torn tail bytes)",
+            readout.records.len(),
+            readout.torn_tail_bytes
+        )));
+    }
+    Ok(readout.records.into_iter().next().expect("one record"))
+}
+
 /// A parsed WAL: complete records plus any torn tail left by a crash.
 #[derive(Debug, Clone, Default)]
 pub struct WalReadout {
@@ -307,6 +322,20 @@ mod tests {
                 delta: GraphDelta::new(),
             },
         ]
+    }
+
+    #[test]
+    fn decode_record_is_the_single_record_inverse() {
+        for rec in sample_records() {
+            let bytes = encode_record(&rec);
+            assert_eq!(decode_record(&bytes).unwrap(), rec);
+            // A truncated or padded buffer is not "exactly one record".
+            assert!(decode_record(&bytes[..bytes.len() - 1]).is_err());
+            let mut two = bytes.clone();
+            two.extend_from_slice(&bytes);
+            assert!(decode_record(&two).is_err(), "two records rejected");
+        }
+        assert!(decode_record(&[]).is_err(), "empty buffer rejected");
     }
 
     fn wal_bytes(records: &[WalRecord]) -> Vec<u8> {
