@@ -487,11 +487,11 @@ fn cmd_serve(rest: &[String]) -> Result<String, String> {
     let repl_listen = a.get("repl-listen");
     let repl_addr_file = a.get("repl-addr-file");
     let follow = a.get("follow");
-    let follower_id: u64 = a.get_or("follower-id", 1)?;
+    // Default to the pid, not a constant: two followers launched with
+    // bare flags must not collide on the id that is their election
+    // identity (the primary rejects duplicates outright).
+    let follower_id: u64 = a.get_or("follower-id", std::process::id() as u64)?;
     a.reject_unknown()?;
-    if follow.is_some() && repl_listen.is_some() {
-        return Err("--follow and --repl-listen are mutually exclusive (a node is either a primary or a follower)".into());
-    }
     if repl_addr_file.is_some() && repl_listen.is_none() {
         return Err("--repl-addr-file needs --repl-listen".into());
     }
@@ -507,19 +507,48 @@ fn cmd_serve(rest: &[String]) -> Result<String, String> {
     }
 
     let registry = Arc::new(Registry::with_capacity(cache));
-    // A follower syncs BEFORE binding its reactor: the handshake adopts
-    // the primary's graph and cached clustering bit-for-bit, so the
-    // reactor's initial `handle_via_pool` is a cache hit on replicated
-    // state rather than an independent (divergent) local clustering.
+    let repl_cfg = lbc_repl::ReplConfig::default();
+
+    // Bind the query (and optional replication) listeners up front, so
+    // a follower's `Hello` advertises the addresses it really serves
+    // from — peers poll the query port during failover elections and
+    // re-follow the replication port after losing one.
+    let query_listener =
+        std::net::TcpListener::bind(&listen).map_err(|e| format!("cannot bind {listen}: {e}"))?;
+    let addr = query_listener
+        .local_addr()
+        .map_err(|e| e.to_string())?
+        .to_string();
+    let mut repl_listener = match &repl_listen {
+        Some(rl) => {
+            Some(std::net::TcpListener::bind(rl).map_err(|e| format!("cannot bind {rl}: {e}"))?)
+        }
+        None => None,
+    };
+    let identity = lbc_repl::FollowerIdentity {
+        id: follower_id,
+        addr: addr.clone(),
+        repl_addr: repl_listener
+            .as_ref()
+            .and_then(|l| l.local_addr().ok())
+            .map(|a| a.to_string())
+            .unwrap_or_default(),
+    };
+
+    // A follower syncs BEFORE starting its reactor: the handshake
+    // adopts the primary's graph and cached clustering bit-for-bit, so
+    // the reactor's initial `handle_via_pool` is a cache hit on
+    // replicated state rather than an independent (divergent) local
+    // clustering.
     let follower_conn = if let Some(follow) = &follow {
         let t0 = std::time::Instant::now();
         let (conn, report) = lbc_repl::FollowerConn::sync(
             follow.as_str(),
             Arc::clone(&registry),
             &name,
-            follower_id,
+            identity.clone(),
             lbc_repl::HAVE_NOTHING,
-            lbc_repl::ReplConfig::default(),
+            repl_cfg.clone(),
         )
         .map_err(|e| format!("cannot sync from {follow}: {e}"))?;
         println!(
@@ -558,10 +587,11 @@ fn cmd_serve(rest: &[String]) -> Result<String, String> {
     } else {
         lbc_net::Role::Primary
     };
-    let gate = Arc::new(lbc_net::ReplGate::new(role));
+    let gate = Arc::new(lbc_net::ReplGate::with_id(role, follower_id));
     let t0 = std::time::Instant::now();
-    let handle = lbc_net::NetServer::bind_with_repl(&listen, ctx, server_cfg, Arc::clone(&gate))
-        .map_err(|e| e.to_string())?;
+    let handle =
+        lbc_net::NetServer::serve_listener(query_listener, ctx, server_cfg, Arc::clone(&gate))
+            .map_err(|e| e.to_string())?;
     let addr = handle.addr();
     if follower_conn.is_none() {
         println!(
@@ -573,24 +603,30 @@ fn cmd_serve(rest: &[String]) -> Result<String, String> {
         );
     }
     println!("listening on {addr} ({threads}-thread pool behind one reactor thread)");
-    let _repl_server = if let Some(repl_listen) = &repl_listen {
-        let srv = lbc_repl::ReplServer::bind(
-            repl_listen,
-            Arc::clone(&registry),
-            &name,
-            lbc_repl::ReplConfig::default(),
-        )
-        .map_err(|e| e.to_string())?;
-        println!(
-            "replicating on {} (snapshot handshake + live WAL stream)",
-            srv.addr()
-        );
-        if let Some(path) = &repl_addr_file {
-            write_addr_file(path, &srv.addr().to_string())?;
+    // A primary starts replicating now; a follower keeps its pre-bound
+    // listener idle until (if ever) it wins a failover election.
+    let _repl_server = match repl_listener.take() {
+        Some(listener) if follower_conn.is_none() => {
+            let srv = lbc_repl::ReplServer::from_listener(
+                listener,
+                Arc::clone(&registry),
+                &name,
+                repl_cfg.clone(),
+            )
+            .map_err(|e| e.to_string())?;
+            println!(
+                "replicating on {} (snapshot handshake + live WAL stream)",
+                srv.addr()
+            );
+            if let Some(path) = &repl_addr_file {
+                write_addr_file(path, &srv.addr().to_string())?;
+            }
+            Some(srv)
         }
-        Some(srv)
-    } else {
-        None
+        other => {
+            repl_listener = other;
+            None
+        }
     };
     use std::io::Write as _;
     std::io::stdout().flush().ok();
@@ -605,43 +641,153 @@ fn cmd_serve(rest: &[String]) -> Result<String, String> {
         Some(conn) => {
             // The repl thread applies each streamed record through the
             // registry, then swaps the refreshed handle into the
-            // reactor so the next batch reads the new state.
+            // reactor so the next batch reads the new state. The
+            // factory is re-invoked on every re-follow generation.
             let handle = Arc::new(handle);
             let swap_handle = Arc::clone(&handle);
             let swap_registry = Arc::clone(&registry);
             let swap_name = name.clone();
             let swap_cfg = cfg.clone();
-            let fh = conn.run(Arc::clone(&gate), move |_seq| {
-                if let Some(out) = swap_registry.cached(&swap_name, &swap_cfg) {
-                    swap_handle.install_handle(lbc_runtime::ClusterHandle::new(out));
-                }
-            });
-            let outcome = loop {
-                if let Some(o) = fh.wait_outcome(std::time::Duration::from_secs(3600)) {
-                    break o;
+            let make_on_apply = move || {
+                let handle = Arc::clone(&swap_handle);
+                let registry = Arc::clone(&swap_registry);
+                let name = swap_name.clone();
+                let cfg = swap_cfg.clone();
+                move |_seq: u64| {
+                    if let Some(out) = registry.cached(&name, &cfg) {
+                        handle.install_handle(lbc_runtime::ClusterHandle::new(out));
+                    }
                 }
             };
-            match outcome {
-                lbc_repl::FailoverOutcome::Promoted { applied_seq } => {
-                    println!(
-                        "primary lost: promoted to primary at applied_seq {applied_seq}; accepting writes"
-                    );
+            let mut fh = conn.run(Arc::clone(&gate), make_on_apply());
+            // Follower generations: stream until the primary dies, then
+            // either promote (and start replicating to the others) or
+            // re-follow the winner — never park read-only forever on a
+            // lost election, which would freeze this node's lineage
+            // while the cluster moves on.
+            let _promoted_repl: Option<lbc_repl::ReplServer> = 'generations: loop {
+                let outcome = loop {
+                    if let Some(o) = fh.wait_outcome(std::time::Duration::from_secs(3600)) {
+                        break o;
+                    }
+                };
+                let (mut target_repl, members) = match outcome {
+                    lbc_repl::FailoverOutcome::Promoted { applied_seq } => {
+                        println!(
+                            "primary lost: promoted to primary at applied_seq {applied_seq}; accepting writes"
+                        );
+                        break 'generations start_promotion_listener(
+                            repl_listener.take(),
+                            &registry,
+                            &name,
+                            &repl_cfg,
+                            repl_addr_file.as_ref(),
+                        );
+                    }
+                    lbc_repl::FailoverOutcome::Stopped { applied_seq } => {
+                        println!("replication stream stopped at applied_seq {applied_seq}");
+                        break 'generations None;
+                    }
+                    lbc_repl::FailoverOutcome::Error(e) => {
+                        println!("replication stream failed: {e}");
+                        break 'generations None;
+                    }
+                    lbc_repl::FailoverOutcome::NotPromoted {
+                        winner,
+                        applied_seq,
+                        winner_repl,
+                        members,
+                        ..
+                    } => {
+                        println!(
+                            "primary lost: follower {winner} won promotion; re-following at applied_seq {applied_seq}"
+                        );
+                        (winner_repl, members)
+                    }
+                    lbc_repl::FailoverOutcome::Undecided {
+                        applied_seq,
+                        members,
+                    } => {
+                        println!(
+                            "primary lost: election inconclusive at applied_seq {applied_seq}; serving read-only and retrying"
+                        );
+                        (String::new(), members)
+                    }
+                };
+                std::io::stdout().flush().ok();
+                // Recovery: re-follow the winner when it advertises a
+                // replication port, falling back to re-election when it
+                // does not (or never comes up).
+                loop {
+                    if !target_repl.is_empty() {
+                        // The winner needs a beat to open its listener.
+                        let deadline = std::time::Instant::now() + repl_cfg.heartbeat_timeout * 4;
+                        loop {
+                            match lbc_repl::FollowerConn::sync(
+                                target_repl.as_str(),
+                                Arc::clone(&registry),
+                                &name,
+                                identity.clone(),
+                                registry.applied_seq(&name),
+                                repl_cfg.clone(),
+                            ) {
+                                Ok((conn, report)) => {
+                                    println!(
+                                        "re-following {target_repl} from applied_seq {}",
+                                        report.applied_seq
+                                    );
+                                    std::io::stdout().flush().ok();
+                                    fh = conn.run(Arc::clone(&gate), make_on_apply());
+                                    continue 'generations;
+                                }
+                                Err(e) => {
+                                    if std::time::Instant::now() >= deadline {
+                                        println!(
+                                            "cannot re-follow {target_repl}: {e}; re-electing"
+                                        );
+                                        break;
+                                    }
+                                    std::thread::sleep(repl_cfg.heartbeat_interval);
+                                }
+                            }
+                        }
+                    }
+                    std::thread::sleep(repl_cfg.heartbeat_timeout);
+                    match lbc_repl::run_election(
+                        follower_id,
+                        registry.applied_seq(&name),
+                        &members,
+                        &repl_cfg,
+                    ) {
+                        lbc_repl::ElectionOutcome::Won => {
+                            gate.set_role(lbc_net::Role::Promoted);
+                            println!(
+                                "re-election won: promoted to primary at applied_seq {}; accepting writes",
+                                registry.applied_seq(&name)
+                            );
+                            break 'generations start_promotion_listener(
+                                repl_listener.take(),
+                                &registry,
+                                &name,
+                                &repl_cfg,
+                                repl_addr_file.as_ref(),
+                            );
+                        }
+                        lbc_repl::ElectionOutcome::Lost {
+                            winner,
+                            winner_repl,
+                            ..
+                        } => {
+                            println!("re-election: follower {winner} wins; deferring");
+                            target_repl = winner_repl;
+                        }
+                        lbc_repl::ElectionOutcome::Inconclusive => {
+                            target_repl.clear();
+                        }
+                    }
+                    std::io::stdout().flush().ok();
                 }
-                lbc_repl::FailoverOutcome::NotPromoted {
-                    winner,
-                    applied_seq,
-                } => {
-                    println!(
-                        "primary lost: follower {winner} won promotion; still read-only at applied_seq {applied_seq}"
-                    );
-                }
-                lbc_repl::FailoverOutcome::Stopped { applied_seq } => {
-                    println!("replication stream stopped at applied_seq {applied_seq}");
-                }
-                lbc_repl::FailoverOutcome::Error(e) => {
-                    println!("replication stream failed: {e}");
-                }
-            }
+            };
             std::io::stdout().flush().ok();
             // Keep serving whatever state we hold until killed.
             loop {
@@ -650,6 +796,43 @@ fn cmd_serve(rest: &[String]) -> Result<String, String> {
         }
     }
     Ok(String::new())
+}
+
+/// A freshly promoted follower starts serving replication from the
+/// listener it pre-bound (and advertised) at startup, so the losers can
+/// re-follow the address the roster already names. Failure is reported
+/// but non-fatal: the node still serves queries and accepts writes.
+fn start_promotion_listener(
+    listener: Option<std::net::TcpListener>,
+    registry: &Arc<Registry>,
+    name: &str,
+    repl_cfg: &lbc_repl::ReplConfig,
+    repl_addr_file: Option<&String>,
+) -> Option<lbc_repl::ReplServer> {
+    let listener = listener?;
+    match lbc_repl::ReplServer::from_listener(
+        listener,
+        Arc::clone(registry),
+        name,
+        repl_cfg.clone(),
+    ) {
+        Ok(srv) => {
+            println!(
+                "replicating on {} (snapshot handshake + live WAL stream)",
+                srv.addr()
+            );
+            if let Some(path) = repl_addr_file {
+                if let Err(e) = write_addr_file(path, &srv.addr().to_string()) {
+                    eprintln!("{e}");
+                }
+            }
+            Some(srv)
+        }
+        Err(e) => {
+            eprintln!("cannot start replicating after promotion: {e}");
+            None
+        }
+    }
 }
 
 /// Write-then-rename so watchers never read a half-written file.
@@ -743,11 +926,15 @@ fn cmd_repl_status(rest: &[String]) -> Result<String, String> {
     } else {
         for p in &status.peers {
             out.push_str(&format!(
-                "follower {}: acked_seq {} (lag {})\n",
+                "follower {}: acked_seq {} (lag {})",
                 p.follower_id,
                 p.applied_seq,
                 status.applied_seq.saturating_sub(p.applied_seq)
             ));
+            if !p.addr.is_empty() {
+                out.push_str(&format!(" at {}", p.addr));
+            }
+            out.push('\n');
         }
     }
     Ok(out)
@@ -1397,7 +1584,9 @@ mod tests {
 
     #[test]
     fn serve_and_repl_flag_validation() {
-        // A node is a primary xor a follower.
+        // --follow plus --repl-listen is a follower that can serve
+        // replication after winning a failover; it still needs a live
+        // primary to sync from first.
         let e = run(&raw(&[
             "serve",
             "--listen",
@@ -1408,7 +1597,7 @@ mod tests {
             "127.0.0.1:1",
         ]))
         .unwrap_err();
-        assert!(e.contains("mutually exclusive"), "{e}");
+        assert!(e.contains("cannot sync from"), "{e}");
         let e = run(&raw(&[
             "serve",
             "--listen",

@@ -90,8 +90,13 @@ USAGE:
       a follower of the primary's repl port: it adopts the primary's
       state bit-for-bit, serves reads from its own reactor (deltas
       bounce with a typed read-only error), and on primary death runs
-      the deterministic promotion rule (max applied_seq, ties to the
-      lowest --follower-id).
+      a failover election — live-polling the roster, deterministic
+      order (max applied_seq, ties to the lowest --follower-id), plus
+      confirmation votes from every live peer before promoting; losers
+      re-follow the winner. --follower-id defaults to the pid; the
+      primary rejects duplicate ids. A follower may also pass
+      --repl-listen: it pre-binds and advertises that port, and starts
+      replicating from it if it ever wins promotion.
 
   lbc net-bench --connect HOST:PORT [--conns 64] [--rate 5000]
                 [--batches 10000] [--batch 32] [--seed S] [--zipf S]

@@ -14,7 +14,7 @@ use lbc_graph::GraphDelta;
 use lbc_runtime::{Answer, CacheStats, Query};
 
 use crate::error::NetError;
-use crate::wire::{DeltaSummary, FrameDecoder, Request, Response, ServerInfo};
+use crate::wire::{DeltaSummary, FrameDecoder, Request, Response, ServerInfo, VoteResp};
 
 /// Blocking protocol client.
 pub struct NetClient {
@@ -114,6 +114,24 @@ impl NetClient {
     pub fn info(&mut self) -> Result<ServerInfo, NetError> {
         match self.call(&Request::Info)? {
             Response::Info(i) => Ok(i),
+            other => Err(NetError::UnexpectedResponse {
+                opcode: other.opcode(),
+            }),
+        }
+    }
+
+    /// Ask this node to confirm a promotion candidate (failover
+    /// election round; see [`Request::ReplVote`]).
+    pub fn repl_vote(
+        &mut self,
+        candidate_id: u64,
+        candidate_seq: u64,
+    ) -> Result<VoteResp, NetError> {
+        match self.call(&Request::ReplVote {
+            candidate_id,
+            candidate_seq,
+        })? {
+            Response::Vote(v) => Ok(v),
             other => Err(NetError::UnexpectedResponse {
                 opcode: other.opcode(),
             }),

@@ -43,5 +43,5 @@ pub use error::{ErrorCode, NetError, WireError};
 pub use server::{NetServer, ReplGate, ServeContext, ServerConfig, ServerHandle, ServerStats};
 pub use wire::{
     encode_frame, DeltaSummary, Frame, FrameDecoder, PeerLag, ReplMsg, ReplStatus, Request,
-    Response, Role, ServerInfo,
+    Response, Role, ServerInfo, VoteResp,
 };

@@ -34,7 +34,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::unix::io::AsRawFd;
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use lbc_core::LbConfig;
 use lbc_graph::GraphDelta;
@@ -101,15 +101,34 @@ pub struct ServeContext {
 /// subsystem. A follower's repl thread flips this to [`Role::Promoted`]
 /// on failover; the reactor reads it per request, so the very next
 /// `SubmitDelta` after promotion is accepted without any restart.
+///
+/// The gate also carries the node's failover identity: its id and how
+/// recently its primary link delivered a message. Both feed the
+/// reactor's [`Request::ReplVote`] handler — a follower only concedes
+/// an election once its own primary has been silent past the liveness
+/// window, so a candidate that merely lost *its* link cannot steal
+/// promotion from a cluster whose primary is alive.
 #[derive(Debug)]
 pub struct ReplGate {
     role: AtomicU8,
+    node_id: u64,
+    last_primary_contact: Mutex<Option<Instant>>,
+    liveness_window: Mutex<Duration>,
 }
 
 impl ReplGate {
     pub fn new(role: Role) -> Self {
+        ReplGate::with_id(role, 0)
+    }
+
+    /// Gate for a node participating in failover elections under
+    /// `node_id` (a follower's `--follower-id`).
+    pub fn with_id(role: Role, node_id: u64) -> Self {
         ReplGate {
             role: AtomicU8::new(role as u8),
+            node_id,
+            last_primary_contact: Mutex::new(None),
+            liveness_window: Mutex::new(Duration::from_millis(1500)),
         }
     }
 
@@ -124,6 +143,40 @@ impl ReplGate {
     /// Whether this node currently accepts deltas.
     pub fn writable(&self) -> bool {
         self.role() != Role::Follower
+    }
+
+    /// This node's failover identity (0 when not participating).
+    pub fn node_id(&self) -> u64 {
+        self.node_id
+    }
+
+    /// Record that the primary link just delivered a message. Called by
+    /// the follower's stream loop for every frame received.
+    pub fn note_primary_contact(&self) {
+        *self.last_primary_contact.lock().unwrap() = Some(Instant::now());
+    }
+
+    /// Record that the primary link is known dead (EOF/reset), so vote
+    /// requests need not wait out the liveness window.
+    pub fn note_primary_lost(&self) {
+        *self.last_primary_contact.lock().unwrap() = None;
+    }
+
+    /// How long votes are refused after primary contact; usually the
+    /// replication `heartbeat_timeout`.
+    pub fn set_liveness_window(&self, window: Duration) {
+        *self.liveness_window.lock().unwrap() = window;
+    }
+
+    /// Whether the primary link delivered anything within the liveness
+    /// window. `false` when no primary was ever heard from.
+    pub fn primary_recently_alive(&self) -> bool {
+        let window = *self.liveness_window.lock().unwrap();
+        self.last_primary_contact
+            .lock()
+            .unwrap()
+            .map(|t| t.elapsed() < window)
+            .unwrap_or(false)
     }
 }
 
@@ -295,11 +348,24 @@ impl NetServer {
         config: ServerConfig,
         repl: Arc<ReplGate>,
     ) -> Result<ServerHandle, NetError> {
+        NetServer::serve_listener(TcpListener::bind(addr)?, ctx, config, repl)
+    }
+
+    /// Like [`NetServer::bind_with_repl`] but adopting a listener the
+    /// caller already bound — a follower binds its query port before
+    /// the replication handshake so the address it advertises in
+    /// `Hello` (where peers poll and vote during failover) is live
+    /// from the first heartbeat.
+    pub fn serve_listener(
+        listener: TcpListener,
+        ctx: ServeContext,
+        config: ServerConfig,
+        repl: Arc<ReplGate>,
+    ) -> Result<ServerHandle, NetError> {
         let engine = QueryEngine::new(Arc::clone(&ctx.registry));
         let handle = engine
             .handle_via_pool(&ctx.pool, &ctx.dataset, &ctx.cfg)
             .map_err(|e| NetError::InvalidConfig(format!("clustering failed: {e}")))?;
-        let listener = TcpListener::bind(addr)?;
         listener.set_nonblocking(true)?;
         let local = listener.local_addr()?;
 
@@ -628,6 +694,33 @@ impl Reactor {
                 })
             }
             Request::Ping => Response::Pong,
+            Request::ReplVote {
+                candidate_id,
+                candidate_seq,
+            } => {
+                let voter_id = self.repl.node_id();
+                let voter_seq = self.ctx.registry.applied_seq(&self.ctx.dataset);
+                let voter_role = self.repl.role();
+                // Grant iff: we are still a follower (a primary or an
+                // already-promoted node never concedes), our own
+                // primary link has been silent past the liveness
+                // window (else the primary is alive and nobody should
+                // promote), and the candidate beats us under the same
+                // deterministic (seq desc, id asc) order we would
+                // elect by — so of two mutual candidates exactly one
+                // can ever collect the other's vote.
+                let candidate_beats_us = candidate_seq > voter_seq
+                    || (candidate_seq == voter_seq && candidate_id <= voter_id);
+                let granted = voter_role == Role::Follower
+                    && !self.repl.primary_recently_alive()
+                    && candidate_beats_us;
+                Response::Vote(crate::wire::VoteResp {
+                    granted,
+                    voter_id,
+                    voter_seq,
+                    voter_role,
+                })
+            }
         };
         self.enqueue_response(token, request_id, &resp);
         true

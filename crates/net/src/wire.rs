@@ -50,6 +50,7 @@ pub mod opcode {
     pub const CACHE_STATS: u8 = 0x03;
     pub const INFO: u8 = 0x04;
     pub const PING: u8 = 0x05;
+    pub const REPL_VOTE: u8 = 0x06;
     /// Replication follower → primary opcodes (0x10 block).
     pub const REPL_HELLO: u8 = 0x10;
     pub const REPL_ACK: u8 = 0x11;
@@ -60,6 +61,7 @@ pub mod opcode {
     pub const STATS: u8 = 0x83;
     pub const INFO_RESP: u8 = 0x84;
     pub const PONG: u8 = 0x85;
+    pub const VOTE_RESP: u8 = 0x86;
     /// Replication primary → follower opcodes (0x90 block).
     pub const SNAP_BEGIN: u8 = 0x90;
     pub const SNAP_CHUNK: u8 = 0x91;
@@ -67,6 +69,7 @@ pub mod opcode {
     pub const WAL_REC: u8 = 0x93;
     pub const HEARTBEAT: u8 = 0x94;
     pub const STATUS_RESP: u8 = 0x95;
+    pub const REPL_DENY: u8 = 0x96;
     pub const ERROR: u8 = 0xFF;
 }
 
@@ -352,6 +355,16 @@ impl<'a> Cursor<'a> {
         Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8")))
     }
 
+    /// A `u16`-length-prefixed UTF-8 string.
+    fn str(&mut self, what: &'static str) -> Result<String, WireError> {
+        let len = self.u16()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| WireError::BadField {
+            opcode: self.opcode,
+            what,
+        })
+    }
+
     /// Bytes still unread.
     fn remaining(&self) -> usize {
         self.bytes.len() - self.at
@@ -385,6 +398,14 @@ pub enum Request {
     Info,
     /// Liveness probe.
     Ping,
+    /// Failover election: a follower asks this node to confirm that
+    /// `candidate_id` (at `candidate_seq`) may promote. Answered with
+    /// [`Response::Vote`]; served inline by the reactor so elections
+    /// work over the ordinary query port.
+    ReplVote {
+        candidate_id: u64,
+        candidate_seq: u64,
+    },
 }
 
 /// Replication role a serving process reports in [`ServerInfo`] and
@@ -421,9 +442,25 @@ pub struct ServerInfo {
     /// Highest delta sequence number applied to the served state
     /// (0 when no delta has ever committed) — the replication-lag
     /// observable: `primary.applied_seq - follower.applied_seq`.
+    ///
+    /// Travels in the extensible payload tail; decodes as 0 from
+    /// servers that predate replication.
     pub applied_seq: u64,
-    /// Replication role of the answering process.
+    /// Replication role of the answering process. Also in the tail;
+    /// pre-replication servers decode as [`Role::Primary`].
     pub role: Role,
+}
+
+/// One node's answer to a promotion-confirmation poll
+/// ([`Response::Vote`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VoteResp {
+    /// Whether this node agrees the candidate may promote.
+    pub granted: bool,
+    pub voter_id: u64,
+    /// The voter's own applied sequence at answer time.
+    pub voter_seq: u64,
+    pub voter_role: Role,
 }
 
 /// Outcome of a delta submission ([`Response::DeltaDone`]).
@@ -446,11 +483,32 @@ pub enum Response {
     CacheStats(CacheStats),
     Info(ServerInfo),
     Pong,
+    /// Answer to [`Request::ReplVote`].
+    Vote(VoteResp),
     /// Typed failure (the request id still echoes the request).
     Error {
         code: u16,
         message: String,
     },
+}
+
+/// Append a `u16`-length-prefixed UTF-8 string (truncated at 64 KiB).
+fn put_str(p: &mut Vec<u8>, s: &str) {
+    let b = s.as_bytes();
+    let len = b.len().min(u16::MAX as usize);
+    p.extend_from_slice(&(len as u16).to_le_bytes());
+    p.extend_from_slice(&b[..len]);
+}
+
+/// Append a `u32`-count-prefixed roster of [`PeerLag`] entries.
+fn put_roster(p: &mut Vec<u8>, roster: &[PeerLag]) {
+    p.extend_from_slice(&(roster.len() as u32).to_le_bytes());
+    for peer in roster {
+        p.extend_from_slice(&peer.follower_id.to_le_bytes());
+        p.extend_from_slice(&peer.applied_seq.to_le_bytes());
+        put_str(p, &peer.addr);
+        put_str(p, &peer.repl_addr);
+    }
 }
 
 const QUERY_SAME: u8 = 0;
@@ -469,6 +527,7 @@ impl Request {
             Request::CacheStats => opcode::CACHE_STATS,
             Request::Info => opcode::INFO,
             Request::Ping => opcode::PING,
+            Request::ReplVote { .. } => opcode::REPL_VOTE,
         }
     }
 
@@ -505,6 +564,13 @@ impl Request {
                         p.extend_from_slice(&v.to_le_bytes());
                     }
                 }
+            }
+            Request::ReplVote {
+                candidate_id,
+                candidate_seq,
+            } => {
+                p.extend_from_slice(&candidate_id.to_le_bytes());
+                p.extend_from_slice(&candidate_seq.to_le_bytes());
             }
             Request::CacheStats | Request::Info | Request::Ping => {}
         }
@@ -585,6 +651,10 @@ impl Request {
             opcode::CACHE_STATS => Request::CacheStats,
             opcode::INFO => Request::Info,
             opcode::PING => Request::Ping,
+            opcode::REPL_VOTE => Request::ReplVote {
+                candidate_id: c.u64()?,
+                candidate_seq: c.u64()?,
+            },
             other => return Err(WireError::BadOpcode { got: other }),
         };
         c.finish()?;
@@ -601,6 +671,7 @@ impl Response {
             Response::CacheStats(_) => opcode::STATS,
             Response::Info(_) => opcode::INFO_RESP,
             Response::Pong => opcode::PONG,
+            Response::Vote(_) => opcode::VOTE_RESP,
             Response::Error { .. } => opcode::ERROR,
         }
     }
@@ -655,17 +726,30 @@ impl Response {
                 }
             }
             Response::Info(info) => {
+                // v1 layout (n, m, k, name) first, then a length-
+                // prefixed tail for everything added since. Old
+                // decoders that stop at the name never see the tail;
+                // new decoders skip tail bytes they don't know —
+                // mixed-version nodes (exactly what a rolling,
+                // replication-driven upgrade produces) stay
+                // interoperable in both directions.
                 p.extend_from_slice(&info.n.to_le_bytes());
                 p.extend_from_slice(&info.m.to_le_bytes());
                 p.extend_from_slice(&info.k.to_le_bytes());
-                p.extend_from_slice(&info.applied_seq.to_le_bytes());
-                p.push(info.role as u8);
-                let name = info.dataset.as_bytes();
-                let len = name.len().min(u16::MAX as usize);
-                p.extend_from_slice(&(len as u16).to_le_bytes());
-                p.extend_from_slice(&name[..len]);
+                put_str(&mut p, &info.dataset);
+                let mut tail = Vec::with_capacity(9);
+                tail.extend_from_slice(&info.applied_seq.to_le_bytes());
+                tail.push(info.role as u8);
+                p.extend_from_slice(&(tail.len() as u16).to_le_bytes());
+                p.extend_from_slice(&tail);
             }
             Response::Pong => {}
+            Response::Vote(v) => {
+                p.push(v.granted as u8);
+                p.extend_from_slice(&v.voter_id.to_le_bytes());
+                p.extend_from_slice(&v.voter_seq.to_le_bytes());
+                p.push(v.voter_role as u8);
+            }
             Response::Error { code, message } => {
                 p.extend_from_slice(&code.to_le_bytes());
                 let msg = message.as_bytes();
@@ -745,18 +829,28 @@ impl Response {
                 let n = c.u64()?;
                 let m = c.u64()?;
                 let k = c.u32()?;
-                let applied_seq = c.u64()?;
-                let role = Role::from_u8(c.u8()?).ok_or(WireError::BadField {
-                    opcode: op,
-                    what: "role",
-                })?;
-                let len = c.u16()? as usize;
-                let name = c.take(len)?;
-                let dataset =
-                    String::from_utf8(name.to_vec()).map_err(|_| WireError::BadField {
+                let dataset = c.str("dataset name")?;
+                // Extensible tail: absent on pre-replication servers
+                // (defaults below), and longer on future servers (the
+                // unknown suffix is skipped, not rejected).
+                let (applied_seq, role) = if c.remaining() == 0 {
+                    (0, Role::Primary)
+                } else {
+                    let len = c.u16()? as usize;
+                    let tail = c.take(len)?;
+                    if tail.len() < 9 {
+                        return Err(WireError::BadField {
+                            opcode: op,
+                            what: "info tail",
+                        });
+                    }
+                    let seq = u64::from_le_bytes(tail[..8].try_into().expect("8"));
+                    let role = Role::from_u8(tail[8]).ok_or(WireError::BadField {
                         opcode: op,
-                        what: "dataset name",
+                        what: "role",
                     })?;
+                    (seq, role)
+                };
                 Response::Info(ServerInfo {
                     dataset,
                     n,
@@ -767,6 +861,27 @@ impl Response {
                 })
             }
             opcode::PONG => Response::Pong,
+            opcode::VOTE_RESP => {
+                let granted = match c.u8()? {
+                    0 => false,
+                    1 => true,
+                    _ => {
+                        return Err(WireError::BadField {
+                            opcode: op,
+                            what: "vote grant",
+                        })
+                    }
+                };
+                Response::Vote(VoteResp {
+                    granted,
+                    voter_id: c.u64()?,
+                    voter_seq: c.u64()?,
+                    voter_role: Role::from_u8(c.u8()?).ok_or(WireError::BadField {
+                        opcode: op,
+                        what: "voter role",
+                    })?,
+                })
+            }
             opcode::ERROR => {
                 let code = c.u16()?;
                 let len = c.u16()? as usize;
@@ -786,12 +901,21 @@ impl Response {
 
 /// One follower's replication progress as the primary sees it —
 /// carried in every [`ReplMsg::Heartbeat`] so all followers share the
-/// roster the deterministic promotion rule needs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// roster (ids, progress, *and addresses*) the failover election
+/// needs: the seq is only a hint (each heartbeat snapshot is already
+/// stale when sent); the addresses are what let survivors poll each
+/// other live and re-follow the winner after promotion.
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct PeerLag {
     pub follower_id: u64,
     /// Highest sequence number this follower has acknowledged.
     pub applied_seq: u64,
+    /// The follower's query-port address (`lbc serve --listen`), where
+    /// election polls and votes are answered. Empty if unknown.
+    pub addr: String,
+    /// Where this follower will serve replication if promoted
+    /// (`--repl-listen`). Empty if it cannot become a primary.
+    pub repl_addr: String,
 }
 
 /// Payload of [`ReplMsg::StatusResp`] — what `lbc repl-status` prints.
@@ -809,9 +933,17 @@ pub struct ReplStatus {
 /// query protocol keeps, so one decoder serves both ports.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ReplMsg {
-    /// Follower introduces itself: its id and the highest sequence
-    /// number it already holds (0 for an empty start).
-    Hello { follower_id: u64, have_seq: u64 },
+    /// Follower introduces itself: its id, the highest sequence number
+    /// it already holds ([`crate::wire::opcode::REPL_HELLO`]), and the
+    /// addresses peers reach it at (query port for election polls,
+    /// replication port it would serve from if promoted; either may be
+    /// empty).
+    Hello {
+        follower_id: u64,
+        have_seq: u64,
+        addr: String,
+        repl_addr: String,
+    },
     /// Follower acknowledges having applied up to `applied_seq`.
     Ack { applied_seq: u64 },
     /// Ask the node for its replication status (any client may send).
@@ -832,11 +964,16 @@ pub enum ReplMsg {
     /// it out (magic + len + seq + crc64 + payload) — followers feed it
     /// straight to the store codec.
     WalRec { bytes: Vec<u8> },
-    /// Primary liveness + replication roster, sequenced so a follower
-    /// can detect a stalled stream.
-    Heartbeat { seq: u64, roster: Vec<PeerLag> },
+    /// Primary liveness + replication roster. `epoch` is **global**:
+    /// one roster snapshot is taken per tick and fanned out to every
+    /// follower with the same epoch number, so two followers holding
+    /// the same epoch hold byte-identical rosters.
+    Heartbeat { epoch: u64, roster: Vec<PeerLag> },
     /// Answer to [`ReplMsg::Status`].
     StatusResp(ReplStatus),
+    /// Primary refuses the handshake (duplicate follower id, unknown
+    /// dataset, …) and will close the connection.
+    Deny { reason: String },
 }
 
 impl ReplMsg {
@@ -852,6 +989,7 @@ impl ReplMsg {
             ReplMsg::WalRec { .. } => opcode::WAL_REC,
             ReplMsg::Heartbeat { .. } => opcode::HEARTBEAT,
             ReplMsg::StatusResp(_) => opcode::STATUS_RESP,
+            ReplMsg::Deny { .. } => opcode::REPL_DENY,
         }
     }
 
@@ -862,9 +1000,13 @@ impl ReplMsg {
             ReplMsg::Hello {
                 follower_id,
                 have_seq,
+                addr,
+                repl_addr,
             } => {
                 p.extend_from_slice(&follower_id.to_le_bytes());
                 p.extend_from_slice(&have_seq.to_le_bytes());
+                put_str(&mut p, addr);
+                put_str(&mut p, repl_addr);
             }
             ReplMsg::Ack { applied_seq } => {
                 p.extend_from_slice(&applied_seq.to_le_bytes());
@@ -889,22 +1031,17 @@ impl ReplMsg {
             ReplMsg::WalRec { bytes } => {
                 p.extend_from_slice(bytes);
             }
-            ReplMsg::Heartbeat { seq, roster } => {
-                p.extend_from_slice(&seq.to_le_bytes());
-                p.extend_from_slice(&(roster.len() as u32).to_le_bytes());
-                for peer in roster {
-                    p.extend_from_slice(&peer.follower_id.to_le_bytes());
-                    p.extend_from_slice(&peer.applied_seq.to_le_bytes());
-                }
+            ReplMsg::Heartbeat { epoch, roster } => {
+                p.extend_from_slice(&epoch.to_le_bytes());
+                put_roster(&mut p, roster);
             }
             ReplMsg::StatusResp(s) => {
                 p.push(s.role as u8);
                 p.extend_from_slice(&s.applied_seq.to_le_bytes());
-                p.extend_from_slice(&(s.peers.len() as u32).to_le_bytes());
-                for peer in &s.peers {
-                    p.extend_from_slice(&peer.follower_id.to_le_bytes());
-                    p.extend_from_slice(&peer.applied_seq.to_le_bytes());
-                }
+                put_roster(&mut p, &s.peers);
+            }
+            ReplMsg::Deny { reason } => {
+                put_str(&mut p, reason);
             }
         }
         p
@@ -920,10 +1057,11 @@ impl ReplMsg {
         let op = frame.opcode;
         let mut c = Cursor::new(&frame.payload, op);
         // A hostile count cannot force an allocation beyond the
-        // payload: each roster entry is 16 bytes on the wire.
+        // payload: each roster entry is at least 20 bytes on the wire
+        // (two u64s + two empty length-prefixed addresses).
         let roster = |c: &mut Cursor, payload_len: usize| -> Result<Vec<PeerLag>, WireError> {
             let count = c.u32()? as usize;
-            if count > payload_len / 16 + 1 {
+            if count > payload_len / 20 + 1 {
                 return Err(WireError::BadField {
                     opcode: op,
                     what: "roster count",
@@ -934,6 +1072,8 @@ impl ReplMsg {
                 peers.push(PeerLag {
                     follower_id: c.u64()?,
                     applied_seq: c.u64()?,
+                    addr: c.str("peer addr")?,
+                    repl_addr: c.str("peer repl addr")?,
                 });
             }
             Ok(peers)
@@ -942,6 +1082,8 @@ impl ReplMsg {
             opcode::REPL_HELLO => ReplMsg::Hello {
                 follower_id: c.u64()?,
                 have_seq: c.u64()?,
+                addr: c.str("hello addr")?,
+                repl_addr: c.str("hello repl addr")?,
             },
             opcode::REPL_ACK => ReplMsg::Ack {
                 applied_seq: c.u64()?,
@@ -962,9 +1104,12 @@ impl ReplMsg {
                 bytes: c.take(c.remaining())?.to_vec(),
             },
             opcode::HEARTBEAT => {
-                let seq = c.u64()?;
+                let epoch = c.u64()?;
                 let peers = roster(&mut c, frame.payload.len())?;
-                ReplMsg::Heartbeat { seq, roster: peers }
+                ReplMsg::Heartbeat {
+                    epoch,
+                    roster: peers,
+                }
             }
             opcode::STATUS_RESP => {
                 let role = Role::from_u8(c.u8()?).ok_or(WireError::BadField {
@@ -979,6 +1124,9 @@ impl ReplMsg {
                     peers,
                 })
             }
+            opcode::REPL_DENY => ReplMsg::Deny {
+                reason: c.str("deny reason")?,
+            },
             other => return Err(WireError::BadOpcode { got: other }),
         };
         c.finish()?;
@@ -1032,6 +1180,10 @@ mod tests {
         roundtrip_request(Request::CacheStats);
         roundtrip_request(Request::Info);
         roundtrip_request(Request::Ping);
+        roundtrip_request(Request::ReplVote {
+            candidate_id: 9,
+            candidate_seq: u64::MAX,
+        });
     }
 
     #[test]
@@ -1064,10 +1216,69 @@ mod tests {
             role: Role::Follower,
         }));
         roundtrip_response(Response::Pong);
+        roundtrip_response(Response::Vote(VoteResp {
+            granted: true,
+            voter_id: 3,
+            voter_seq: 17,
+            voter_role: Role::Follower,
+        }));
         roundtrip_response(Response::Error {
             code: 2,
             message: "node 99 out of range".to_string(),
         });
+    }
+
+    #[test]
+    fn info_without_tail_decodes_with_defaults() {
+        // A pre-replication server's Info payload stops at the dataset
+        // name. New clients must decode it, not reject it.
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&24u64.to_le_bytes());
+        payload.extend_from_slice(&87u64.to_le_bytes());
+        payload.extend_from_slice(&3u32.to_le_bytes());
+        payload.extend_from_slice(&4u16.to_le_bytes());
+        payload.extend_from_slice(b"ring");
+        let mut bytes = Vec::new();
+        encode_frame(&mut bytes, opcode::INFO_RESP, 0, &payload).unwrap();
+        let mut dec = FrameDecoder::new();
+        dec.push(&bytes);
+        let f = dec.next_frame().unwrap().unwrap();
+        let info = match Response::from_frame(&f).unwrap() {
+            Response::Info(i) => i,
+            other => panic!("expected Info, got {other:?}"),
+        };
+        assert_eq!(info.dataset, "ring");
+        assert_eq!(info.applied_seq, 0);
+        assert_eq!(info.role, Role::Primary);
+    }
+
+    #[test]
+    fn info_with_longer_future_tail_still_decodes() {
+        // A future server appends fields after role inside the tail;
+        // this build must skip them, not error.
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&1u64.to_le_bytes());
+        payload.extend_from_slice(&2u64.to_le_bytes());
+        payload.extend_from_slice(&3u32.to_le_bytes());
+        payload.extend_from_slice(&1u16.to_le_bytes());
+        payload.push(b'x');
+        let mut tail = Vec::new();
+        tail.extend_from_slice(&42u64.to_le_bytes());
+        tail.push(Role::Promoted as u8);
+        tail.extend_from_slice(b"future fields");
+        payload.extend_from_slice(&(tail.len() as u16).to_le_bytes());
+        payload.extend_from_slice(&tail);
+        let mut bytes = Vec::new();
+        encode_frame(&mut bytes, opcode::INFO_RESP, 0, &payload).unwrap();
+        let mut dec = FrameDecoder::new();
+        dec.push(&bytes);
+        let f = dec.next_frame().unwrap().unwrap();
+        let info = match Response::from_frame(&f).unwrap() {
+            Response::Info(i) => i,
+            other => panic!("expected Info, got {other:?}"),
+        };
+        assert_eq!(info.applied_seq, 42);
+        assert_eq!(info.role, Role::Promoted);
     }
 
     fn roundtrip_repl(msg: ReplMsg) {
@@ -1085,6 +1296,8 @@ mod tests {
         roundtrip_repl(ReplMsg::Hello {
             follower_id: 3,
             have_seq: 17,
+            addr: "10.0.0.7:7070".to_string(),
+            repl_addr: String::new(),
         });
         roundtrip_repl(ReplMsg::Ack { applied_seq: 42 });
         roundtrip_repl(ReplMsg::Status);
@@ -1106,15 +1319,19 @@ mod tests {
             bytes: b"LWAL....record bytes".to_vec(),
         });
         roundtrip_repl(ReplMsg::Heartbeat {
-            seq: 5,
+            epoch: 5,
             roster: vec![
                 PeerLag {
                     follower_id: 1,
                     applied_seq: 40,
+                    addr: "127.0.0.1:9001".to_string(),
+                    repl_addr: "127.0.0.1:9101".to_string(),
                 },
                 PeerLag {
                     follower_id: 2,
                     applied_seq: 42,
+                    addr: String::new(),
+                    repl_addr: String::new(),
                 },
             ],
         });
@@ -1123,6 +1340,9 @@ mod tests {
             applied_seq: 42,
             peers: Vec::new(),
         }));
+        roundtrip_repl(ReplMsg::Deny {
+            reason: "follower id 7 already connected".to_string(),
+        });
     }
 
     #[test]

@@ -7,7 +7,7 @@
 use lbc_graph::GraphDelta;
 use lbc_net::wire::opcode;
 use lbc_net::{
-    Frame, FrameDecoder, PeerLag, ReplMsg, ReplStatus, Request, Response, Role, WireError,
+    Frame, FrameDecoder, PeerLag, ReplMsg, ReplStatus, Request, Response, Role, VoteResp, WireError,
 };
 use lbc_runtime::{Answer, CacheStats, Query};
 use proptest::prelude::*;
@@ -74,7 +74,7 @@ proptest! {
     /// duplex socket would see them.
     #[test]
     fn mixed_stream_one_byte_chunks(
-        tags in proptest::collection::vec((0u8..5, 0u32..1000, 0u64..u64::MAX), 1..12),
+        tags in proptest::collection::vec((0u8..6, 0u32..1000, 0u64..u64::MAX), 1..12),
     ) {
         let mut bytes = Vec::new();
         let mut want: Vec<Request> = Vec::new();
@@ -92,6 +92,7 @@ proptest! {
                     }
                     Request::SubmitDelta(d)
                 }
+                5 => Request::ReplVote { candidate_id: v as u64, candidate_seq: (v as u64) << 3 },
                 _ => Request::QueryBatch(vec![Query::ClusterOf(v), Query::SameCluster(v, v + 1)]),
             };
             req.encode(&mut bytes, id).unwrap();
@@ -125,6 +126,12 @@ proptest! {
                 code: (stats.0 % 5) as u16,
                 message: "e".repeat(msg_len),
             },
+            Response::Vote(VoteResp {
+                granted: stats.0 % 2 == 0,
+                voter_id: stats.1,
+                voter_seq: stats.2,
+                voter_role: if stats.1 % 2 == 0 { Role::Follower } else { Role::Promoted },
+            }),
             Response::Pong,
         ];
         let mut bytes = Vec::new();
@@ -240,30 +247,44 @@ proptest! {
         ids in (0u64..u64::MAX, 0u64..u64::MAX, 0u64..u64::MAX),
         chunk_count in 0u32..10_000,
         blob in proptest::collection::vec(0u8..=255, 0..256),
-        roster in proptest::collection::vec((0u64..1000, 0u64..u64::MAX), 0..8),
+        roster in proptest::collection::vec((0u64..1000, 0u64..u64::MAX, 0u8..=255), 0..8),
         role_tag in 0u8..3,
         request_id in 0u64..u64::MAX,
         chunk in 1usize..64,
+        reason_len in 0usize..64,
     ) {
         let peers: Vec<PeerLag> = roster
             .iter()
-            .map(|&(follower_id, applied_seq)| PeerLag { follower_id, applied_seq })
+            .map(|&(follower_id, applied_seq, addr_seed)| PeerLag {
+                follower_id,
+                applied_seq,
+                // Addresses of every length class, empty included.
+                addr: "a:".repeat(addr_seed as usize % 5),
+                repl_addr: format!("10.0.0.{addr_seed}:7200"),
+            })
             .collect();
         let role = match role_tag {
             0 => Role::Primary,
             1 => Role::Follower,
             _ => Role::Promoted,
         };
+        let hello_addr = peers.first().map(|p| p.addr.clone()).unwrap_or_default();
         let msgs = vec![
-            ReplMsg::Hello { follower_id: ids.0, have_seq: ids.1 },
+            ReplMsg::Hello {
+                follower_id: ids.0,
+                have_seq: ids.1,
+                addr: hello_addr.clone(),
+                repl_addr: hello_addr,
+            },
             ReplMsg::Ack { applied_seq: ids.2 },
             ReplMsg::Status,
             ReplMsg::SnapBegin { applied_seq: ids.0, total_len: ids.1, chunk_count },
             ReplMsg::SnapChunk { offset: ids.2, bytes: blob.clone() },
             ReplMsg::SnapEnd { crc64: ids.0 },
             ReplMsg::WalRec { bytes: blob },
-            ReplMsg::Heartbeat { seq: ids.1, roster: peers.clone() },
+            ReplMsg::Heartbeat { epoch: ids.1, roster: peers.clone() },
             ReplMsg::StatusResp(ReplStatus { role, applied_seq: ids.2, peers }),
+            ReplMsg::Deny { reason: "d".repeat(reason_len) },
         ];
         let mut bytes = Vec::new();
         for m in &msgs {
@@ -290,10 +311,15 @@ proptest! {
         flip_bits in 1u8..=255,
     ) {
         let msg = ReplMsg::Heartbeat {
-            seq,
+            epoch: seq,
             roster: roster
                 .iter()
-                .map(|&(follower_id, applied_seq)| PeerLag { follower_id, applied_seq })
+                .map(|&(follower_id, applied_seq)| PeerLag {
+                    follower_id,
+                    applied_seq,
+                    addr: format!("10.0.0.{}:7000", follower_id % 250),
+                    repl_addr: String::new(),
+                })
                 .collect(),
         };
         let mut bytes = Vec::new();
@@ -445,6 +471,8 @@ fn response_opcode_constants_have_high_bit() {
         opcode::WAL_REC,
         opcode::HEARTBEAT,
         opcode::STATUS_RESP,
+        opcode::VOTE_RESP,
+        opcode::REPL_DENY,
     ] {
         assert!(op & 0x80 != 0, "response opcode {op:#04x} missing high bit");
     }
@@ -454,6 +482,7 @@ fn response_opcode_constants_have_high_bit() {
         opcode::CACHE_STATS,
         opcode::INFO,
         opcode::PING,
+        opcode::REPL_VOTE,
         // Follower → primary messages live in request space.
         opcode::REPL_HELLO,
         opcode::REPL_ACK,
@@ -467,15 +496,19 @@ fn response_opcode_constants_have_high_bit() {
 fn repl_every_split_point_of_one_frame() {
     // The densest repl message (nested roster) split at EVERY byte.
     let msg = ReplMsg::Heartbeat {
-        seq: 41,
+        epoch: 41,
         roster: vec![
             PeerLag {
                 follower_id: 1,
                 applied_seq: 40,
+                addr: "127.0.0.1:7101".to_string(),
+                repl_addr: "127.0.0.1:7201".to_string(),
             },
             PeerLag {
                 follower_id: 2,
                 applied_seq: 41,
+                addr: "127.0.0.1:7102".to_string(),
+                repl_addr: String::new(),
             },
         ],
     };

@@ -1,0 +1,232 @@
+//! Failover election: live polls + confirmation votes.
+//!
+//! A heartbeat roster is only a hint — each snapshot is already stale
+//! by the time a follower holds it, and two followers may hold
+//! *different* snapshots (one connected between ticks). Electing on
+//! rosters alone is therefore a split-brain generator. This module
+//! replaces roster-trusting promotion with a two-phase check run by
+//! every survivor when its primary link dies:
+//!
+//! 1. **Live poll.** Ask every rostered peer's query port (plain
+//!    `Info`) for its *current* `applied_seq` and role. Once the
+//!    primary is dead no follower's seq can advance, so every pollster
+//!    observes the same frozen values — the consistency the stale
+//!    rosters lacked. Unreachable peers drop out (they cannot promote
+//!    either, absent a partition); a peer already `Primary`/`Promoted`
+//!    ends the election immediately in its favour.
+//! 2. **Vote round.** If the deterministic order (highest seq, ties to
+//!    lowest id — [`crate::choose_promoted`]) names *this* node over
+//!    the live set, it still must collect a confirmation vote from
+//!    every live peer before promoting. A peer grants only while it is
+//!    itself an orphaned follower (its own primary link silent past
+//!    the liveness window) and only to a candidate that beats it under
+//!    the same order — so of two racing candidates at most one can
+//!    ever collect the other's vote, and a follower that merely lost
+//!    its own link cannot steal promotion from a cluster whose primary
+//!    is alive.
+//!
+//! Denied votes mean "not yet" (typically: the voter has not noticed
+//! primary death); the election backs off one heartbeat interval and
+//! re-runs, long enough to outlast every peer's liveness window. What
+//! this deliberately does **not** solve: a full follower-to-follower
+//! partition makes peers indistinguishable from dead ones, and no
+//! quorum-free protocol can promote safely there — that residual
+//! window is documented at the crate root.
+
+use std::net::SocketAddr;
+use std::time::Duration;
+
+use lbc_net::{NetClient, PeerLag, Role};
+
+use crate::ReplConfig;
+
+/// How an election over the member set concluded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ElectionOutcome {
+    /// This node won the deterministic order over the live peers and
+    /// every one of them confirmed; the caller may flip to `Promoted`.
+    Won,
+    /// Another node wins (or already promoted); re-follow it.
+    Lost {
+        winner: u64,
+        /// The winner's query-port address (may be empty).
+        winner_addr: String,
+        /// The winner's replication listener to re-follow (may be
+        /// empty, in which case the caller must re-elect later).
+        winner_repl: String,
+    },
+    /// The round budget expired without unanimous confirmation — some
+    /// peer kept denying (its primary looks alive to it, or seqs moved
+    /// under us). The caller should keep serving read-only and retry.
+    Inconclusive,
+}
+
+/// `(seq, id)` promotion order: higher seq wins, ties to lower id.
+fn beats(a: (u64, u64), b: (u64, u64)) -> bool {
+    a.0 > b.0 || (a.0 == b.0 && a.1 < b.1)
+}
+
+/// One live-polled peer, with the client kept open for the vote round.
+struct LivePeer {
+    id: u64,
+    seq: u64,
+    addr: String,
+    repl_addr: String,
+    client: NetClient,
+}
+
+/// Run the failover election for `self_id` (currently at `self_seq`)
+/// over `members` — the last heartbeat roster, self included or not.
+/// Blocks up to roughly `2 × heartbeat_timeout` in the contended case;
+/// returns immediately when alone or clearly beaten.
+pub fn run_election(
+    self_id: u64,
+    self_seq: u64,
+    members: &[PeerLag],
+    cfg: &ReplConfig,
+) -> ElectionOutcome {
+    let interval = cfg.heartbeat_interval.max(Duration::from_millis(1));
+    let probe = cfg.heartbeat_timeout.max(Duration::from_millis(50));
+    // Enough back-off rounds to outlast every peer's liveness window
+    // (a peer that has not yet noticed primary death denies votes for
+    // up to one heartbeat_timeout), plus slack for scheduling.
+    let rounds = (cfg.heartbeat_timeout.as_millis() / interval.as_millis()).max(1) as u32 * 2 + 5;
+
+    for round in 0..rounds {
+        if round > 0 {
+            std::thread::sleep(interval);
+        }
+
+        // Phase 1: live-poll every other pollable member.
+        let mut live: Vec<LivePeer> = Vec::new();
+        for p in members {
+            if p.follower_id == self_id || p.addr.is_empty() {
+                continue;
+            }
+            let Ok(sa) = p.addr.parse::<SocketAddr>() else {
+                continue;
+            };
+            let Ok(mut client) = NetClient::connect_timeout(&sa, probe) else {
+                continue; // unreachable ⇒ treated as dead
+            };
+            let Ok(info) = client.info() else { continue };
+            if matches!(info.role, Role::Primary | Role::Promoted) {
+                // Someone is already serving writes; defer, done.
+                return ElectionOutcome::Lost {
+                    winner: p.follower_id,
+                    winner_addr: p.addr.clone(),
+                    winner_repl: p.repl_addr.clone(),
+                };
+            }
+            live.push(LivePeer {
+                id: p.follower_id,
+                seq: info.applied_seq,
+                addr: p.addr.clone(),
+                repl_addr: p.repl_addr.clone(),
+                client,
+            });
+        }
+
+        // Phase 2: deterministic order over the live set ∪ self.
+        let mut best: Option<&LivePeer> = None;
+        let mut best_key = (self_seq, self_id);
+        for peer in &live {
+            if beats((peer.seq, peer.id), best_key) {
+                best_key = (peer.seq, peer.id);
+                best = Some(peer);
+            }
+        }
+        if let Some(winner) = best {
+            return ElectionOutcome::Lost {
+                winner: winner.id,
+                winner_addr: winner.addr.clone(),
+                winner_repl: winner.repl_addr.clone(),
+            };
+        }
+
+        // Phase 3: we are the candidate — collect confirmation votes.
+        let mut denied = false;
+        let mut deferred: Option<ElectionOutcome> = None;
+        for peer in &mut live {
+            match peer.client.repl_vote(self_id, self_seq) {
+                Ok(v) if v.granted => {}
+                Ok(v) => {
+                    if matches!(v.voter_role, Role::Primary | Role::Promoted) {
+                        deferred = Some(ElectionOutcome::Lost {
+                            winner: peer.id,
+                            winner_addr: peer.addr.clone(),
+                            winner_repl: peer.repl_addr.clone(),
+                        });
+                        break;
+                    }
+                    denied = true;
+                }
+                // A peer that answered the poll but not the vote just
+                // died mid-round; it no longer constrains us.
+                Err(_) => {}
+            }
+        }
+        if let Some(outcome) = deferred {
+            return outcome;
+        }
+        if !denied {
+            return ElectionOutcome::Won;
+        }
+        // Denied: a voter still considers its primary alive (or sees a
+        // better candidate). Back off a beat and re-poll fresh.
+    }
+    ElectionOutcome::Inconclusive
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn member(id: u64, seq: u64, addr: &str) -> PeerLag {
+        PeerLag {
+            follower_id: id,
+            applied_seq: seq,
+            addr: addr.to_string(),
+            repl_addr: String::new(),
+        }
+    }
+
+    fn quick_cfg() -> ReplConfig {
+        ReplConfig {
+            heartbeat_interval: Duration::from_millis(5),
+            heartbeat_timeout: Duration::from_millis(50),
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn beats_orders_by_seq_then_id() {
+        assert!(beats((5, 9), (4, 1)));
+        assert!(beats((5, 1), (5, 2)));
+        assert!(!beats((5, 2), (5, 1)));
+        assert!(!beats((5, 1), (5, 1))); // never beats itself
+        assert!(!beats((4, 1), (5, 9)));
+    }
+
+    #[test]
+    fn alone_in_the_roster_wins_immediately() {
+        let members = [member(3, 7, "")];
+        assert_eq!(
+            run_election(3, 7, &members, &quick_cfg()),
+            ElectionOutcome::Won
+        );
+        // An empty roster (primary died before the first heartbeat).
+        assert_eq!(run_election(3, 7, &[], &quick_cfg()), ElectionOutcome::Won);
+    }
+
+    #[test]
+    fn unreachable_peers_are_treated_as_dead() {
+        // A rostered peer nobody answers for: reserved port 9 on
+        // localhost refuses/timeouts; the candidate must still win.
+        let members = [member(1, 100, "127.0.0.1:9"), member(2, 0, "")];
+        assert_eq!(
+            run_election(2, 0, &members, &quick_cfg()),
+            ElectionOutcome::Won
+        );
+    }
+}

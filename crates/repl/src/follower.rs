@@ -1,6 +1,6 @@
 //! The replication follower: adopt the primary's streamed state, apply
 //! its WAL records through the identical deterministic warm-start
-//! path, and run the promotion rule when the stream goes silent.
+//! path, and run the failover election when the stream goes silent.
 
 use std::collections::VecDeque;
 use std::net::{TcpStream, ToSocketAddrs};
@@ -12,7 +12,10 @@ use lbc_net::{FrameDecoder, PeerLag, ReplGate, ReplMsg, Role};
 use lbc_runtime::Registry;
 use lbc_store::{decode_record, format, parse_snapshot};
 
-use crate::{choose_promoted, recv_msg, send_msg, ReplConfig, ReplError, HAVE_NOTHING};
+use crate::{
+    recv_msg, run_election, send_msg, ElectionOutcome, FollowerIdentity, ReplConfig, ReplError,
+    HAVE_NOTHING,
+};
 
 /// What the initial catch-up did.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -32,11 +35,33 @@ pub struct SyncReport {
 /// How a follower's streaming loop ended.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum FailoverOutcome {
-    /// Primary died and this follower won the promotion rule; its
-    /// [`ReplGate`] now reads `Promoted`.
+    /// Primary died, this follower won the election, and every live
+    /// peer confirmed; its [`ReplGate`] now reads `Promoted`.
     Promoted { applied_seq: u64 },
-    /// Primary died and another follower won.
-    NotPromoted { winner: u64, applied_seq: u64 },
+    /// Primary died and another follower won the election. The caller
+    /// should re-follow `winner_repl` (when non-empty) from
+    /// `applied_seq`, or re-elect over `members` if the winner never
+    /// starts serving replication.
+    NotPromoted {
+        winner: u64,
+        applied_seq: u64,
+        /// The winner's query-port address (may be empty).
+        winner_addr: String,
+        /// The winner's replication listener to re-follow (may be
+        /// empty).
+        winner_repl: String,
+        /// The membership the election ran over — the re-election
+        /// input if the winner dies before serving.
+        members: Vec<PeerLag>,
+    },
+    /// Primary died but the election's round budget expired without a
+    /// unanimous confirmation (a peer still sees its primary as alive,
+    /// or a partition). The caller should keep serving read-only and
+    /// re-elect over `members` after a back-off.
+    Undecided {
+        applied_seq: u64,
+        members: Vec<PeerLag>,
+    },
     /// [`FollowerHandle::stop`] was called; no failover happened.
     Stopped { applied_seq: u64 },
     /// The loop died on a non-failover error (bad payload, registry
@@ -55,7 +80,7 @@ pub struct FollowerConn {
     registry: Arc<Registry>,
     dataset: String,
     cfg: ReplConfig,
-    follower_id: u64,
+    identity: FollowerIdentity,
     applied_seq: u64,
     next_id: u64,
 }
@@ -124,15 +149,18 @@ impl Drop for FollowerHandle {
 
 impl FollowerConn {
     /// Connect to a primary's replication port and catch up: send
-    /// `Hello {follower_id, have_seq}` (use [`HAVE_NOTHING`] when this
-    /// node holds no state) and adopt whatever the primary ships — a
-    /// full snapshot through [`Registry::adopt_state`], or nothing but
-    /// a queued WAL tail when the local lineage suffices.
+    /// `Hello` with this node's [`FollowerIdentity`] and the highest
+    /// sequence number it already holds (use [`HAVE_NOTHING`] when it
+    /// holds no state), then adopt whatever the primary ships — a full
+    /// snapshot through [`Registry::adopt_state`], or nothing but a
+    /// queued WAL tail when the local lineage suffices. A primary that
+    /// already has a follower under the same id refuses with
+    /// [`ReplError::Denied`].
     pub fn sync(
         addr: impl ToSocketAddrs,
         registry: Arc<Registry>,
         dataset: &str,
-        follower_id: u64,
+        identity: FollowerIdentity,
         have_seq: u64,
         cfg: ReplConfig,
     ) -> Result<(FollowerConn, SyncReport), ReplError> {
@@ -147,17 +175,19 @@ impl FollowerConn {
             registry,
             dataset: dataset.to_string(),
             cfg,
-            follower_id,
             applied_seq: if have_seq == HAVE_NOTHING {
                 0
             } else {
                 have_seq
             },
             next_id: 0,
+            identity,
         };
         conn.send(&ReplMsg::Hello {
-            follower_id,
+            follower_id: conn.identity.id,
             have_seq,
+            addr: conn.identity.addr.clone(),
+            repl_addr: conn.identity.repl_addr.clone(),
         })?;
 
         let first = conn.recv()?;
@@ -187,6 +217,7 @@ impl FollowerConn {
                     applied_seq: conn.applied_seq,
                 }
             }
+            ReplMsg::Deny { reason } => return Err(ReplError::Denied(reason)),
             other => {
                 return Err(ReplError::Protocol(format!(
                     "expected snapshot or stream after Hello, got opcode {:#04x}",
@@ -205,10 +236,12 @@ impl FollowerConn {
         self.applied_seq
     }
 
-    /// Spawn the streaming loop: apply records, ack progress, install
-    /// refreshed serving state via `on_apply(seq)`, and on primary
-    /// death run the promotion rule — flipping `gate` to
-    /// [`Role::Promoted`] iff this follower wins.
+    /// Spawn the streaming loop: apply records, ack progress (records
+    /// *and* heartbeats, so the primary's liveness eviction sees an
+    /// idle-but-healthy follower as alive), install refreshed serving
+    /// state via `on_apply(seq)`, and on primary death run the
+    /// failover election — flipping `gate` to [`Role::Promoted`] iff
+    /// this follower wins it and every live peer confirms.
     pub fn run<F>(self, gate: Arc<ReplGate>, on_apply: F) -> FollowerHandle
     where
         F: Fn(u64) + Send + 'static,
@@ -335,6 +368,8 @@ where
         .max(Duration::from_millis(1));
     let _ = conn.stream.set_read_timeout(Some(poll));
     let timeout = conn.cfg.heartbeat_timeout;
+    gate.set_liveness_window(timeout);
+    gate.note_primary_contact();
     let mut last_msg = Instant::now();
     let mut last_roster: Vec<PeerLag> = Vec::new();
     loop {
@@ -347,17 +382,18 @@ where
             Ok(m) => m,
             Err(ReplError::Timeout) => {
                 if last_msg.elapsed() >= timeout {
-                    return failover(&mut conn, &gate, &last_roster);
+                    return failover(&conn, &gate, &last_roster);
                 }
                 continue;
             }
             Err(ReplError::Disconnected) | Err(ReplError::Io(_)) => {
                 // A kill -9 lands here: EOF or reset, no timeout wait.
-                return failover(&mut conn, &gate, &last_roster);
+                return failover(&conn, &gate, &last_roster);
             }
             Err(e) => return FailoverOutcome::Error(e.to_string()),
         };
         last_msg = Instant::now();
+        gate.note_primary_contact();
         match msg {
             ReplMsg::WalRec { bytes } => {
                 let rec = match decode_record(&bytes) {
@@ -385,11 +421,18 @@ where
                     })
                     .is_err()
                 {
-                    return failover(&mut conn, &gate, &last_roster);
+                    return failover(&conn, &gate, &last_roster);
                 }
             }
             ReplMsg::Heartbeat { roster, .. } => {
                 last_roster = roster;
+                // Ack the heartbeat too: the primary evicts followers
+                // whose acks stall, and an idle stream carries no
+                // records to ack.
+                let seq = conn.applied_seq;
+                if conn.send(&ReplMsg::Ack { applied_seq: seq }).is_err() {
+                    return failover(&conn, &gate, &last_roster);
+                }
             }
             other => {
                 return FailoverOutcome::Error(format!(
@@ -401,30 +444,56 @@ where
     }
 }
 
-/// Primary is dead: run the promotion rule over the last shared
-/// roster. All followers evaluate the same heartbeat payload, so they
-/// agree on the winner without coordination; a follower that never saw
-/// a heartbeat (primary died mid-handshake) promotes itself iff it is
-/// alone in never having seen one — in practice, the single-follower
+/// Primary is dead: run the failover election over the membership the
+/// last heartbeat named. The roster's sequence numbers are only hints
+/// — [`run_election`] re-polls every peer live (and this node's own
+/// entry is overridden with its true `applied_seq`, which the stale
+/// roster may undercount) — what the roster contributes is *who to
+/// ask and where*. A follower that never saw a heartbeat (primary
+/// died mid-handshake) elects over itself alone — the single-follower
 /// bootstrap case.
-fn failover(conn: &mut FollowerConn, gate: &ReplGate, roster: &[PeerLag]) -> FailoverOutcome {
-    let mut roster = roster.to_vec();
-    if !roster.iter().any(|p| p.follower_id == conn.follower_id) {
-        roster.push(PeerLag {
-            follower_id: conn.follower_id,
-            applied_seq: conn.applied_seq,
-        });
-    }
-    let winner = choose_promoted(&roster).expect("roster contains at least self");
-    if winner == conn.follower_id {
-        gate.set_role(Role::Promoted);
-        FailoverOutcome::Promoted {
-            applied_seq: conn.applied_seq,
+fn failover(conn: &FollowerConn, gate: &ReplGate, roster: &[PeerLag]) -> FailoverOutcome {
+    // The primary link is known dead; stop refusing votes for it.
+    gate.note_primary_lost();
+    let mut members = roster.to_vec();
+    match members
+        .iter_mut()
+        .find(|p| p.follower_id == conn.identity.id)
+    {
+        Some(me) => {
+            // Trust local truth over the roster's last-acked view.
+            me.applied_seq = conn.applied_seq;
+            me.addr = conn.identity.addr.clone();
+            me.repl_addr = conn.identity.repl_addr.clone();
         }
-    } else {
-        FailoverOutcome::NotPromoted {
+        None => members.push(PeerLag {
+            follower_id: conn.identity.id,
+            applied_seq: conn.applied_seq,
+            addr: conn.identity.addr.clone(),
+            repl_addr: conn.identity.repl_addr.clone(),
+        }),
+    }
+    match run_election(conn.identity.id, conn.applied_seq, &members, &conn.cfg) {
+        ElectionOutcome::Won => {
+            gate.set_role(Role::Promoted);
+            FailoverOutcome::Promoted {
+                applied_seq: conn.applied_seq,
+            }
+        }
+        ElectionOutcome::Lost {
+            winner,
+            winner_addr,
+            winner_repl,
+        } => FailoverOutcome::NotPromoted {
             winner,
             applied_seq: conn.applied_seq,
-        }
+            winner_addr,
+            winner_repl,
+            members,
+        },
+        ElectionOutcome::Inconclusive => FailoverOutcome::Undecided {
+            applied_seq: conn.applied_seq,
+            members,
+        },
     }
 }

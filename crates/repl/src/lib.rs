@@ -22,16 +22,32 @@
 //! # Failover
 //!
 //! The primary heartbeats every [`ReplConfig::heartbeat_interval`],
-//! carrying the acknowledged-progress roster of all connected
-//! followers. When the stream goes silent past
+//! fanning out one **globally epoch-stamped** roster snapshot of all
+//! connected followers (ids, acknowledged progress, and the addresses
+//! each advertised in its `Hello`). When the stream goes silent past
 //! [`ReplConfig::heartbeat_timeout`] (or the socket drops — a `kill
-//! -9` produces an EOF/reset immediately), each follower runs the same
-//! pure rule over the last shared roster: the follower with the
-//! highest acknowledged `applied_seq` wins, ties broken by **lowest
-//! follower id** ([`choose_promoted`]). Every follower evaluates the
-//! identical roster, so they agree without coordination; the winner
-//! flips its [`lbc_net::ReplGate`] to `Promoted` and starts accepting
-//! deltas on its existing query port — no restart, no reconnect.
+//! -9` produces an EOF/reset immediately), each follower runs an
+//! election ([`run_election`]) instead of trusting its possibly-stale
+//! roster: it **live-polls** every rostered peer's query port for its
+//! current `applied_seq` and role (post-mortem those seqs are frozen,
+//! so every pollster sees a consistent view), computes the winner by
+//! the deterministic rule — highest `applied_seq`, ties to **lowest**
+//! follower id ([`choose_promoted`]) — and, if it names itself,
+//! collects a confirmation **vote** from each live peer before
+//! flipping its [`lbc_net::ReplGate`] to `Promoted`. Peers grant only
+//! once their own primary link has been silent past the liveness
+//! window, and only to a candidate that beats them under the same
+//! rule, so two mutually-reachable followers can never both promote.
+//! Losers re-follow the winner's replication port, carrying their
+//! lineage watermark. Duplicate follower ids are rejected at `Hello`
+//! ([`lbc_net::ReplMsg::Deny`]).
+//!
+//! Residual windows, by design and documented: a full
+//! follower-to-follower network partition (peers unreachable for
+//! polls and votes are treated as dead) can still dual-promote, and
+//! records the dead primary acked to clients but had not yet shipped
+//! to any follower are lost (asynchronous replication's usual
+//! acked-data-loss window).
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -39,11 +55,39 @@ use std::time::Duration;
 
 use lbc_net::{FrameDecoder, NetError, ReplMsg};
 
+mod election;
 mod follower;
 mod primary;
 
+pub use election::{run_election, ElectionOutcome};
 pub use follower::{FailoverOutcome, FollowerConn, FollowerHandle, SyncReport};
 pub use primary::ReplServer;
+
+/// How a follower introduces itself to the primary: its unique id plus
+/// the addresses peers use during failover — the query port where this
+/// node answers election polls and votes, and the replication port it
+/// would serve from if promoted. Either address may be empty (the node
+/// then cannot be polled / cannot be followed after winning).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FollowerIdentity {
+    pub id: u64,
+    /// Query-port address (`lbc serve --listen`), as peers reach it.
+    pub addr: String,
+    /// Replication listener this node would serve from when promoted.
+    pub repl_addr: String,
+}
+
+impl FollowerIdentity {
+    /// An identity with no advertised addresses (in-process tests,
+    /// single-follower deployments).
+    pub fn bare(id: u64) -> FollowerIdentity {
+        FollowerIdentity {
+            id,
+            addr: String::new(),
+            repl_addr: String::new(),
+        }
+    }
+}
 
 /// `Hello.have_seq` sentinel: "I hold no state at all, ship me the
 /// full snapshot" — distinct from `0`, which means "I hold the state
@@ -89,6 +133,9 @@ pub enum ReplError {
     /// Structurally sound frames in an order or shape the protocol
     /// forbids (e.g. a snapshot chunk before `SnapBegin`).
     Protocol(String),
+    /// The primary refused the handshake ([`ReplMsg::Deny`]) — e.g. a
+    /// duplicate follower id. Not retryable without reconfiguration.
+    Denied(String),
     /// Snapshot or WAL payloads that fail the store codecs.
     Store(lbc_store::StoreError),
     /// Registry-side adoption/apply failure.
@@ -103,6 +150,7 @@ impl std::fmt::Display for ReplError {
             ReplError::Disconnected => write!(f, "replication peer disconnected"),
             ReplError::Timeout => write!(f, "replication stream timed out"),
             ReplError::Protocol(msg) => write!(f, "replication protocol violation: {msg}"),
+            ReplError::Denied(reason) => write!(f, "replication handshake denied: {reason}"),
             ReplError::Store(e) => write!(f, "replication payload error: {e}"),
             ReplError::Runtime(e) => write!(f, "replication apply error: {e}"),
         }
@@ -148,11 +196,12 @@ impl From<lbc_runtime::RuntimeError> for ReplError {
     }
 }
 
-/// The deterministic promotion rule: among the roster, the follower
-/// with the highest acknowledged `applied_seq` wins; ties break to the
-/// **lowest** follower id. Every follower evaluates the same
-/// heartbeat-shared roster, so all of them name the same winner
-/// without any coordination. `None` only for an empty roster.
+/// The deterministic promotion order: among the roster, the follower
+/// with the highest `applied_seq` wins; ties break to the **lowest**
+/// follower id. During failover this rule runs over *live-polled*
+/// sequence numbers (see [`run_election`]) — post-mortem they are
+/// frozen, so every pollster computes the same winner — and doubles as
+/// the vote-granting criterion. `None` only for an empty roster.
 pub fn choose_promoted(roster: &[lbc_net::PeerLag]) -> Option<u64> {
     let best = roster.iter().map(|p| p.applied_seq).max()?;
     roster
@@ -198,6 +247,8 @@ mod tests {
         PeerLag {
             follower_id: id,
             applied_seq: seq,
+            addr: String::new(),
+            repl_addr: String::new(),
         }
     }
 

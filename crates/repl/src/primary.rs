@@ -17,6 +17,10 @@ use crate::{recv_msg, send_msg, ReplConfig, ReplError, HAVE_NOTHING};
 /// One connected follower, as the broadcast fan-out sees it.
 struct FollowerSlot {
     follower_id: u64,
+    /// Addresses the follower advertised in its `Hello`, echoed into
+    /// the roster so peers can poll, vote, and re-follow at failover.
+    addr: String,
+    repl_addr: String,
     /// Highest seq this follower has acknowledged applying.
     acked_seq: Arc<AtomicU64>,
     /// Commit-hook feed: `(seq, encoded WAL record)`.
@@ -30,11 +34,17 @@ struct PrimaryShared {
     stop: AtomicBool,
     next_slot: AtomicU64,
     followers: Mutex<HashMap<u64, FollowerSlot>>,
+    /// The current heartbeat: one `(epoch, roster)` snapshot taken per
+    /// tick by the ticker thread and fanned out verbatim by every feed
+    /// loop — so any two followers holding the same epoch hold
+    /// byte-identical rosters (per-connection snapshots at different
+    /// instants were the split-brain seed).
+    heartbeat: Mutex<(u64, Vec<PeerLag>)>,
 }
 
 impl PrimaryShared {
     /// Acknowledged-progress roster, ordered by follower id so every
-    /// heartbeat (and hence every follower's promotion input) lists
+    /// heartbeat (and hence every follower's election input) lists
     /// peers identically.
     fn roster(&self) -> Vec<PeerLag> {
         let mut peers: Vec<PeerLag> = self
@@ -45,6 +55,8 @@ impl PrimaryShared {
             .map(|slot| PeerLag {
                 follower_id: slot.follower_id,
                 applied_seq: slot.acked_seq.load(Ordering::Acquire),
+                addr: slot.addr.clone(),
+                repl_addr: slot.repl_addr.clone(),
             })
             .collect();
         peers.sort_by_key(|p| (p.follower_id, p.applied_seq));
@@ -68,6 +80,7 @@ pub struct ReplServer {
     addr: SocketAddr,
     shared: Arc<PrimaryShared>,
     accept_join: Option<std::thread::JoinHandle<()>>,
+    ticker_join: Option<std::thread::JoinHandle<()>>,
 }
 
 impl ReplServer {
@@ -79,13 +92,30 @@ impl ReplServer {
         dataset: &str,
         cfg: ReplConfig,
     ) -> Result<ReplServer, ReplError> {
+        ReplServer::from_listener(
+            TcpListener::bind(addr).map_err(ReplError::Io)?,
+            registry,
+            dataset,
+            cfg,
+        )
+    }
+
+    /// Like [`ReplServer::bind`] but adopting a listener the caller
+    /// already bound — a follower binds its promotion listener up
+    /// front so the address it advertises in `Hello` is the one it
+    /// really serves from after winning a failover election.
+    pub fn from_listener(
+        listener: TcpListener,
+        registry: Arc<Registry>,
+        dataset: &str,
+        cfg: ReplConfig,
+    ) -> Result<ReplServer, ReplError> {
         if cfg.chunk_len == 0 || cfg.chunk_len + 8 > cfg.max_payload as usize {
             return Err(ReplError::Protocol(format!(
                 "chunk_len {} does not fit the {}-byte payload cap",
                 cfg.chunk_len, cfg.max_payload
             )));
         }
-        let listener = TcpListener::bind(addr).map_err(ReplError::Io)?;
         listener.set_nonblocking(true).map_err(ReplError::Io)?;
         let local = listener.local_addr().map_err(ReplError::Io)?;
 
@@ -96,6 +126,7 @@ impl ReplServer {
             stop: AtomicBool::new(false),
             next_slot: AtomicU64::new(0),
             followers: Mutex::new(HashMap::new()),
+            heartbeat: Mutex::new((0, Vec::new())),
         });
 
         // The streaming feed: fires under the registry's mutation lock,
@@ -119,10 +150,31 @@ impl ReplServer {
             .spawn(move || accept_loop(listener, accept_shared))
             .map_err(ReplError::Io)?;
 
+        // The heartbeat ticker: one global (epoch, roster) snapshot
+        // per interval, consumed by every feed loop.
+        let tick_shared = Arc::clone(&shared);
+        let ticker_join = std::thread::Builder::new()
+            .name("lbc-repl-tick".to_string())
+            .spawn(move || {
+                let interval = tick_shared
+                    .cfg
+                    .heartbeat_interval
+                    .max(Duration::from_millis(1));
+                let mut epoch = 0u64;
+                while !tick_shared.stop.load(Ordering::SeqCst) {
+                    epoch += 1;
+                    let roster = tick_shared.roster();
+                    *tick_shared.heartbeat.lock().unwrap() = (epoch, roster);
+                    std::thread::sleep(interval);
+                }
+            })
+            .map_err(ReplError::Io)?;
+
         Ok(ReplServer {
             addr: local,
             shared,
             accept_join: Some(accept_join),
+            ticker_join: Some(ticker_join),
         })
     }
 
@@ -147,6 +199,9 @@ impl Drop for ReplServer {
         self.shared.stop.store(true, Ordering::SeqCst);
         self.shared.registry.clear_commit_hook();
         if let Some(j) = self.accept_join.take() {
+            let _ = j.join();
+        }
+        if let Some(j) = self.ticker_join.take() {
             let _ = j.join();
         }
     }
@@ -175,13 +230,19 @@ fn accept_loop(listener: TcpListener, shared: Arc<PrimaryShared>) {
 fn handle_conn(mut stream: TcpStream, shared: Arc<PrimaryShared>) -> Result<(), ReplError> {
     stream.set_nodelay(true)?;
     stream.set_read_timeout(Some(shared.cfg.heartbeat_timeout))?;
+    // A follower that stops draining its socket must wedge only its
+    // own feed thread, and only briefly: blocked writes time out, the
+    // feed errors out, and the slot leaves the roster.
+    stream.set_write_timeout(Some(shared.cfg.heartbeat_timeout))?;
     let mut dec = FrameDecoder::with_max_payload(shared.cfg.max_payload);
     let mut scratch = vec![0u8; 64 * 1024];
     match recv_msg(&mut stream, &mut dec, &mut scratch)? {
         ReplMsg::Hello {
             follower_id,
             have_seq,
-        } => stream_to_follower(stream, shared, follower_id, have_seq),
+            addr,
+            repl_addr,
+        } => stream_to_follower(stream, shared, follower_id, have_seq, addr, repl_addr),
         ReplMsg::Status => {
             // A status probe (`lbc repl-status`), not a follower: keep
             // answering until the client hangs up.
@@ -218,6 +279,8 @@ fn stream_to_follower(
     shared: Arc<PrimaryShared>,
     follower_id: u64,
     have_seq: u64,
+    addr: String,
+    repl_addr: String,
 ) -> Result<(), ReplError> {
     let slot_id = shared.next_slot.fetch_add(1, Ordering::Relaxed);
     let (tx, rx) = mpsc::channel::<(u64, Vec<u8>)>();
@@ -226,16 +289,38 @@ fn stream_to_follower(
     } else {
         have_seq
     }));
-    shared.followers.lock().unwrap().insert(
-        slot_id,
-        FollowerSlot {
-            follower_id,
-            acked_seq: Arc::clone(&acked),
-            tx,
-        },
-    );
+    let last_ack = Arc::new(Mutex::new(Instant::now()));
+    {
+        // Uniqueness check and registration under one lock scope, so
+        // two racing Hellos with the same id cannot both pass. Ids are
+        // the election's identity — two "follower 1"s would satisfy
+        // `winner == self` on both nodes and dual-promote.
+        let mut followers = shared.followers.lock().unwrap();
+        if followers.values().any(|s| s.follower_id == follower_id) {
+            drop(followers);
+            let reason = format!("follower id {follower_id} already connected");
+            let _ = send_msg(
+                &mut stream,
+                &ReplMsg::Deny {
+                    reason: reason.clone(),
+                },
+                0,
+            );
+            return Err(ReplError::Protocol(reason));
+        }
+        followers.insert(
+            slot_id,
+            FollowerSlot {
+                follower_id,
+                addr,
+                repl_addr,
+                acked_seq: Arc::clone(&acked),
+                tx,
+            },
+        );
+    }
     // Whatever happens below, leave the roster clean on the way out.
-    let result = feed_follower(&mut stream, &shared, follower_id, have_seq, rx, &acked);
+    let result = feed_follower(&mut stream, &shared, have_seq, rx, &acked, &last_ack);
     shared.followers.lock().unwrap().remove(&slot_id);
     result
 }
@@ -243,10 +328,10 @@ fn stream_to_follower(
 fn feed_follower(
     stream: &mut TcpStream,
     shared: &Arc<PrimaryShared>,
-    _follower_id: u64,
     have_seq: u64,
     rx: mpsc::Receiver<(u64, Vec<u8>)>,
     acked: &Arc<AtomicU64>,
+    last_ack: &Arc<Mutex<Instant>>,
 ) -> Result<(), ReplError> {
     let cfg = &shared.cfg;
     let mut next_id = 0u64;
@@ -321,30 +406,47 @@ fn feed_follower(
     }
     drop((graph, entries));
 
+    // The catch-up can legitimately take a while (full snapshot); only
+    // count liveness from the moment the follower is expected to ack.
+    *last_ack.lock().unwrap() = Instant::now();
+
     // Ack reader: its own thread on a cloned handle (it only ever
     // reads, the feed loop only ever writes — no frame interleaving).
     let conn_dead = Arc::new(AtomicBool::new(false));
     let reader_stream = stream.try_clone()?;
     let reader_dead = Arc::clone(&conn_dead);
     let reader_acked = Arc::clone(acked);
+    let reader_last_ack = Arc::clone(last_ack);
     let reader_stop = Arc::clone(shared);
     let reader = std::thread::Builder::new()
         .name("lbc-repl-acks".to_string())
-        .spawn(move || ack_loop(reader_stream, reader_acked, reader_dead, reader_stop))
+        .spawn(move || {
+            ack_loop(
+                reader_stream,
+                reader_acked,
+                reader_last_ack,
+                reader_dead,
+                reader_stop,
+            )
+        })
         .map_err(ReplError::Io)?;
 
-    // The stream proper: drain the commit feed, heartbeat on schedule.
-    let mut hb_seq = 0u64;
-    let mut last_hb = Instant::now();
+    // The stream proper: drain the commit feed; fan out the ticker's
+    // shared (epoch, roster) heartbeat whenever the epoch advances, so
+    // every follower sees byte-identical rosters per epoch; evict the
+    // follower once its acks go silent past the heartbeat timeout.
+    let mut last_sent_epoch = 0u64;
     let result = loop {
         if shared.stop.load(Ordering::SeqCst) || conn_dead.load(Ordering::SeqCst) {
             break Ok(());
         }
-        let wait = cfg
-            .heartbeat_interval
-            .saturating_sub(last_hb.elapsed())
-            .max(Duration::from_millis(1));
-        match rx.recv_timeout(wait) {
+        if last_ack.lock().unwrap().elapsed() >= cfg.heartbeat_timeout {
+            // Stalled follower: writes may still succeed (its socket
+            // buffer drains slowly) but it is not applying or acking —
+            // drop it from the roster so elections stop counting it.
+            break Err(ReplError::Timeout);
+        }
+        match rx.recv_timeout(cfg.heartbeat_interval.max(Duration::from_millis(1))) {
             Ok((seq, bytes)) if seq > watermark => {
                 watermark = seq;
                 if let Err(e) = send(stream, &ReplMsg::WalRec { bytes }) {
@@ -355,14 +457,10 @@ fn feed_follower(
             Err(mpsc::RecvTimeoutError::Timeout) => {}
             Err(mpsc::RecvTimeoutError::Disconnected) => break Ok(()),
         }
-        if last_hb.elapsed() >= cfg.heartbeat_interval {
-            last_hb = Instant::now();
-            let msg = ReplMsg::Heartbeat {
-                seq: hb_seq,
-                roster: shared.roster(),
-            };
-            hb_seq += 1;
-            if let Err(e) = send(stream, &msg) {
+        let (epoch, roster) = shared.heartbeat.lock().unwrap().clone();
+        if epoch != last_sent_epoch {
+            last_sent_epoch = epoch;
+            if let Err(e) = send(stream, &ReplMsg::Heartbeat { epoch, roster }) {
                 break Err(e);
             }
         }
@@ -377,6 +475,7 @@ fn feed_follower(
 fn ack_loop(
     mut stream: TcpStream,
     acked: Arc<AtomicU64>,
+    last_ack: Arc<Mutex<Instant>>,
     dead: Arc<AtomicBool>,
     shared: Arc<PrimaryShared>,
 ) {
@@ -387,6 +486,7 @@ fn ack_loop(
         match recv_msg(&mut stream, &mut dec, &mut scratch) {
             Ok(ReplMsg::Ack { applied_seq }) => {
                 acked.fetch_max(applied_seq, Ordering::AcqRel);
+                *last_ack.lock().unwrap() = Instant::now();
             }
             Ok(_) | Err(ReplError::Timeout) => {}
             Err(_) => break,

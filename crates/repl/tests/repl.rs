@@ -7,7 +7,9 @@ use std::time::{Duration, Instant};
 use lbc_core::LbConfig;
 use lbc_graph::{generators, GraphDelta};
 use lbc_net::{ReplGate, ReplMsg, Role};
-use lbc_repl::{FailoverOutcome, FollowerConn, ReplConfig, ReplServer, HAVE_NOTHING};
+use lbc_repl::{
+    FailoverOutcome, FollowerConn, FollowerIdentity, ReplConfig, ReplServer, HAVE_NOTHING,
+};
 use lbc_runtime::{DeltaPolicy, Registry};
 
 const DATASET: &str = "ring";
@@ -68,7 +70,7 @@ fn follower_adopts_snapshot_and_mirrors_stream_bit_for_bit() {
         server.addr(),
         Arc::clone(&follower),
         DATASET,
-        1,
+        FollowerIdentity::bare(1),
         HAVE_NOTHING,
         test_cfg(),
     )
@@ -135,7 +137,7 @@ fn reconnect_with_live_lineage_skips_the_snapshot() {
         server.addr(),
         Arc::clone(&follower),
         DATASET,
-        2,
+        FollowerIdentity::bare(2),
         HAVE_NOTHING,
         test_cfg(),
     )
@@ -171,7 +173,7 @@ fn reconnect_with_live_lineage_skips_the_snapshot() {
         server.addr(),
         Arc::clone(&follower),
         DATASET,
-        2,
+        FollowerIdentity::bare(2),
         2,
         test_cfg(),
     )
@@ -202,7 +204,7 @@ fn sole_follower_promotes_on_primary_death() {
         server.addr(),
         Arc::clone(&follower),
         DATASET,
-        3,
+        FollowerIdentity::bare(3),
         HAVE_NOTHING,
         test_cfg(),
     )
@@ -270,4 +272,133 @@ fn status_probe_reports_role_and_roster() {
     assert_eq!(status.role, Role::Primary);
     assert_eq!(status.applied_seq, 0);
     assert!(status.peers.is_empty());
+}
+
+#[test]
+fn duplicate_follower_id_is_denied() {
+    let (primary, _cfg) = primary_registry();
+    let server =
+        ReplServer::bind("127.0.0.1:0", Arc::clone(&primary), DATASET, test_cfg()).unwrap();
+
+    let follower = Arc::new(Registry::with_capacity(8));
+    let (conn, _) = FollowerConn::sync(
+        server.addr(),
+        Arc::clone(&follower),
+        DATASET,
+        FollowerIdentity::bare(7),
+        HAVE_NOTHING,
+        test_cfg(),
+    )
+    .unwrap();
+    let gate = Arc::new(ReplGate::new(Role::Follower));
+    let _handle = conn.run(Arc::clone(&gate), |_| {});
+
+    // A second Hello under the same id must be refused: duplicate ids
+    // are the election's identity and would license dual promotion.
+    let imposter = Arc::new(Registry::with_capacity(8));
+    match FollowerConn::sync(
+        server.addr(),
+        imposter,
+        DATASET,
+        FollowerIdentity::bare(7),
+        HAVE_NOTHING,
+        test_cfg(),
+    ) {
+        Err(lbc_repl::ReplError::Denied(_)) => {}
+        Err(other) => panic!("expected Denied, got {other:?}"),
+        Ok(_) => panic!("duplicate follower id must be denied"),
+    }
+}
+
+/// The split-brain regression: two followers with live query ports,
+/// primary dies, and exactly one of them may promote — the other must
+/// concede to it by name.
+#[test]
+fn two_followers_elect_exactly_one_winner() {
+    use lbc_net::{NetServer, ServeContext, ServerConfig};
+    use lbc_runtime::WorkerPool;
+
+    let (primary, cfg) = primary_registry();
+    let server =
+        ReplServer::bind("127.0.0.1:0", Arc::clone(&primary), DATASET, test_cfg()).unwrap();
+
+    // Each follower pre-binds its query listener so the address it
+    // advertises in Hello answers election polls and votes.
+    let mut nodes = Vec::new();
+    for id in [1u64, 2] {
+        let registry = Arc::new(Registry::with_capacity(8));
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let query_addr = listener.local_addr().unwrap().to_string();
+        let (conn, _) = FollowerConn::sync(
+            server.addr(),
+            Arc::clone(&registry),
+            DATASET,
+            FollowerIdentity {
+                id,
+                addr: query_addr,
+                repl_addr: String::new(),
+            },
+            HAVE_NOTHING,
+            test_cfg(),
+        )
+        .unwrap();
+        let gate = Arc::new(ReplGate::with_id(Role::Follower, id));
+        let ctx = ServeContext {
+            registry: Arc::clone(&registry),
+            pool: Arc::new(WorkerPool::new(2)),
+            dataset: DATASET.to_string(),
+            cfg: cfg.clone(),
+        };
+        let net =
+            NetServer::serve_listener(listener, ctx, ServerConfig::default(), Arc::clone(&gate))
+                .unwrap();
+        let handle = conn.run(Arc::clone(&gate), |_| {});
+        nodes.push((id, gate, net, handle));
+    }
+
+    primary
+        .apply_delta(
+            DATASET,
+            &flip_delta(0),
+            &DeltaPolicy::WarmRefresh(Default::default()),
+        )
+        .unwrap();
+    for (_, _, _, handle) in &nodes {
+        assert!(wait_until(Duration::from_secs(10), || {
+            handle.applied_seq() == 1
+        }));
+    }
+    // Let heartbeats carry the two-peer roster to both followers.
+    assert!(wait_until(Duration::from_secs(10), || {
+        let peers = server.status().peers;
+        peers.len() == 2 && peers.iter().all(|p| p.applied_seq == 1)
+    }));
+    std::thread::sleep(test_cfg().heartbeat_interval * 5);
+
+    // Primary dies; both followers run the election concurrently.
+    drop(server);
+    let mut promoted = Vec::new();
+    let mut conceded = Vec::new();
+    for (id, gate, _net, handle) in &nodes {
+        match handle
+            .wait_outcome(Duration::from_secs(20))
+            .expect("follower never concluded its election")
+        {
+            FailoverOutcome::Promoted { applied_seq } => {
+                assert_eq!(applied_seq, 1);
+                assert_eq!(gate.role(), Role::Promoted);
+                promoted.push(*id);
+            }
+            FailoverOutcome::NotPromoted { winner, .. } => {
+                assert_eq!(gate.role(), Role::Follower);
+                conceded.push((*id, winner));
+            }
+            other => panic!("follower {id} ended with {other:?}"),
+        }
+    }
+    assert_eq!(promoted.len(), 1, "exactly one follower may promote");
+    // Same seq on both: the deterministic order breaks the tie to the
+    // lowest id, and the loser names the winner.
+    assert_eq!(promoted, [1]);
+    assert_eq!(conceded, [(2, 1)]);
 }

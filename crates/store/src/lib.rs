@@ -41,6 +41,7 @@ use std::collections::BTreeSet;
 use std::fs;
 use std::io::{BufReader, BufWriter, Read, Write};
 use std::path::{Path, PathBuf};
+use std::time::Duration;
 
 use lbc_core::{warm_start, ClusterOutput, LbConfig};
 use lbc_graph::{Graph, GraphDelta};
@@ -304,6 +305,10 @@ impl Store {
         fs::rename(&tmp, &snap)?;
         self.sync_dir();
         self.drop_covered_wal(name, applied_seq)?;
+        // Re-saving a dataset whose graph changed just unreferenced its
+        // previous blob; collect it now rather than only on `remove`
+        // (a long-lived server re-saves many times, never removes).
+        self.gc_graph_blobs();
         Ok(bytes)
     }
 
@@ -572,8 +577,14 @@ impl Store {
     /// Best-effort collection of unreferenced graph blobs. An
     /// unreadable snapshot aborts the sweep (its references are
     /// unknown) and individual failures are ignored: an orphaned blob
-    /// costs bytes, deleting a live one would cost data.
+    /// costs bytes, deleting a live one would cost data. Also sweeps
+    /// `*.g.tmp` leftovers from blob writes that crashed before their
+    /// rename, once they are old enough to not be a write in flight.
     fn gc_graph_blobs(&self) {
+        self.gc_graph_blobs_with(Duration::from_secs(60));
+    }
+
+    fn gc_graph_blobs_with(&self, tmp_max_age: Duration) {
         let Ok(names) = self.dataset_names() else {
             return;
         };
@@ -594,15 +605,32 @@ impl Store {
         };
         for e in entries.flatten() {
             let p = e.path();
-            if p.extension().and_then(|x| x.to_str()) != Some(GRAPH_EXT) {
-                continue;
-            }
-            let hash = p
-                .file_stem()
-                .and_then(|s| s.to_str())
-                .and_then(|s| u64::from_str_radix(s, 16).ok());
-            if !matches!(hash, Some(h) if live.contains(&h)) {
-                let _ = fs::remove_file(&p);
+            match p.extension().and_then(|x| x.to_str()) {
+                Some(ext) if ext == GRAPH_EXT => {
+                    let hash = p
+                        .file_stem()
+                        .and_then(|s| s.to_str())
+                        .and_then(|s| u64::from_str_radix(s, 16).ok());
+                    if !matches!(hash, Some(h) if live.contains(&h)) {
+                        let _ = fs::remove_file(&p);
+                    }
+                }
+                Some("tmp") => {
+                    // A crash between `File::create(tmp)` and the
+                    // rename strands the temp file forever; age-gate
+                    // the sweep so a concurrent in-flight write (young
+                    // mtime) is never yanked out from under its owner.
+                    let aged = e
+                        .metadata()
+                        .and_then(|m| m.modified())
+                        .ok()
+                        .and_then(|t| t.elapsed().ok())
+                        .is_some_and(|age| age >= tmp_max_age);
+                    if aged {
+                        let _ = fs::remove_file(&p);
+                    }
+                }
+                _ => {}
             }
         }
     }
@@ -867,6 +895,49 @@ mod tests {
         store.remove("b").unwrap();
         store.remove("c").unwrap();
         assert_eq!(store.graph_blob_bytes(), 0);
+    }
+
+    #[test]
+    fn resave_with_changed_graph_collects_the_replaced_blob() {
+        let store = tmp_store("resavegc");
+        let (g, _) = generators::ring_of_cliques(2, 10, 0).unwrap();
+        store.save("ring", &g, [], 0).unwrap();
+        let first = store.graph_blob_bytes();
+        assert!(first > 0);
+        // Re-save the same dataset with a different graph: the old
+        // blob is unreferenced and must be swept by the save itself —
+        // a serving node re-saves for its whole lifetime and may never
+        // call `remove`.
+        let (g2, _) = generators::ring_of_cliques(3, 7, 1).unwrap();
+        store.save("ring", &g2, [], 1).unwrap();
+        let blobs = fs::read_dir(store.dir().join(GRAPHS_DIR))
+            .unwrap()
+            .flatten()
+            .filter(|e| e.path().extension().and_then(|x| x.to_str()) == Some(GRAPH_EXT))
+            .count();
+        assert_eq!(blobs, 1, "replaced graph blob was not collected");
+        // The surviving blob is the live one: the dataset still loads.
+        let (state, _) = store.load("ring").unwrap();
+        assert_eq!(state.graph, g2);
+    }
+
+    #[test]
+    fn stale_tmp_blobs_are_swept_young_ones_kept() {
+        let store = tmp_store("tmpsweep");
+        let (g, _) = generators::ring_of_cliques(2, 10, 0).unwrap();
+        store.save("ring", &g, [], 0).unwrap();
+        // A crash between blob create and rename strands a tmp file.
+        let stranded = store.dir().join(GRAPHS_DIR).join("deadbeef.g.tmp");
+        fs::write(&stranded, b"half-written").unwrap();
+        // Young tmp files survive (they may be a write in flight)...
+        store.gc_graph_blobs_with(Duration::from_secs(60));
+        assert!(stranded.exists(), "in-flight tmp file was yanked");
+        // ...aged ones are swept.
+        store.gc_graph_blobs_with(Duration::ZERO);
+        assert!(!stranded.exists(), "stale tmp file survived the sweep");
+        // The live blob is untouched either way.
+        let (state, _) = store.load("ring").unwrap();
+        assert_eq!(state.graph, g);
     }
 
     #[test]
