@@ -487,6 +487,8 @@ fn cmd_serve(rest: &[String]) -> Result<String, String> {
     let repl_listen = a.get("repl-listen");
     let repl_addr_file = a.get("repl-addr-file");
     let follow = a.get("follow");
+    let members_spec = a.get("members");
+    let store_dir = a.get("store");
     // Default to the pid, not a constant: two followers launched with
     // bare flags must not collide on the id that is their election
     // identity (the primary rejects duplicates outright).
@@ -507,7 +509,40 @@ fn cmd_serve(rest: &[String]) -> Result<String, String> {
     }
 
     let registry = Arc::new(Registry::with_capacity(cache));
-    let repl_cfg = lbc_repl::ReplConfig::default();
+    let mut repl_cfg = lbc_repl::ReplConfig::default();
+    // Quorum membership: an explicit `--members id@addr,...` wins and
+    // is persisted to `--store` (so a restarted node rejoins the same
+    // electorate without re-flagging); without the flag a previously
+    // persisted membership is loaded. `--store` here holds replication
+    // configuration only — dataset spill/boot stays with `serve-bench`.
+    let membership_store = match &store_dir {
+        Some(dir) => {
+            Some(lbc_store::Store::open(dir).map_err(|e| format!("cannot open store {dir}: {e}"))?)
+        }
+        None => None,
+    };
+    if let Some(spec) = &members_spec {
+        repl_cfg.members = lbc_repl::Membership::parse(spec)?;
+        if let Some(store) = &membership_store {
+            store
+                .save_membership(&repl_cfg.members.to_spec())
+                .map_err(|e| format!("cannot persist membership: {e}"))?;
+        }
+    } else if let Some(store) = &membership_store {
+        if let Some(spec) = store
+            .load_membership()
+            .map_err(|e| format!("cannot load persisted membership: {e}"))?
+        {
+            repl_cfg.members = lbc_repl::Membership::parse(&spec)?;
+            println!("membership loaded from store: {spec}");
+        }
+    }
+    if !repl_cfg.members.is_empty() && !repl_cfg.members.contains(follower_id) {
+        return Err(format!(
+            "--members {} does not include this node's id {follower_id} (set --follower-id to one of the member ids)",
+            repl_cfg.members.to_spec()
+        ));
+    }
 
     // Bind the query (and optional replication) listeners up front, so
     // a follower's `Hello` advertises the addresses it really serves
@@ -588,6 +623,12 @@ fn cmd_serve(rest: &[String]) -> Result<String, String> {
         lbc_net::Role::Primary
     };
     let gate = Arc::new(lbc_net::ReplGate::with_id(role, follower_id));
+    // A node without a pre-bound replication listener can never serve
+    // as primary; advertising that in votes lets a higher-seq but
+    // unpromotable node concede instead of deadlocking an election.
+    gate.set_promotable(!identity.repl_addr.is_empty());
+    gate.set_member_count(repl_cfg.members.len());
+    gate.set_repl_addr(&identity.repl_addr);
     let t0 = std::time::Instant::now();
     let handle =
         lbc_net::NetServer::serve_listener(query_listener, ctx, server_cfg, Arc::clone(&gate))
@@ -605,7 +646,7 @@ fn cmd_serve(rest: &[String]) -> Result<String, String> {
     println!("listening on {addr} ({threads}-thread pool behind one reactor thread)");
     // A primary starts replicating now; a follower keeps its pre-bound
     // listener idle until (if ever) it wins a failover election.
-    let _repl_server = match repl_listener.take() {
+    let mut repl_server = match repl_listener.take() {
         Some(listener) if follower_conn.is_none() => {
             let srv = lbc_repl::ReplServer::from_listener(
                 listener,
@@ -614,6 +655,9 @@ fn cmd_serve(rest: &[String]) -> Result<String, String> {
                 repl_cfg.clone(),
             )
             .map_err(|e| e.to_string())?;
+            // The server flips this gate to read-only if quorum-mode
+            // step-down ever fires.
+            srv.set_gate(Arc::clone(&gate));
             println!(
                 "replicating on {} (snapshot handshake + live WAL stream)",
                 srv.addr()
@@ -633,169 +677,282 @@ fn cmd_serve(rest: &[String]) -> Result<String, String> {
     if let Some(path) = addr_file {
         write_addr_file(&path, &addr.to_string())?;
     }
-    match follower_conn {
-        None => {
-            // Park until killed; the reactor thread does all the work.
-            handle.join();
+    // The repl thread applies each streamed record through the
+    // registry, then swaps the refreshed handle into the reactor so
+    // the next batch reads the new state. The factory is re-invoked on
+    // every re-follow generation.
+    let handle = Arc::new(handle);
+    let swap_handle = Arc::clone(&handle);
+    let swap_registry = Arc::clone(&registry);
+    let swap_name = name.clone();
+    let swap_cfg = cfg.clone();
+    let make_on_apply = move || {
+        let handle = Arc::clone(&swap_handle);
+        let registry = Arc::clone(&swap_registry);
+        let name = swap_name.clone();
+        let cfg = swap_cfg.clone();
+        move |_seq: u64| {
+            if let Some(out) = registry.cached(&name, &cfg) {
+                handle.install_handle(lbc_runtime::ClusterHandle::new(out));
+            }
         }
-        Some(conn) => {
-            // The repl thread applies each streamed record through the
-            // registry, then swaps the refreshed handle into the
-            // reactor so the next batch reads the new state. The
-            // factory is re-invoked on every re-follow generation.
-            let handle = Arc::new(handle);
-            let swap_handle = Arc::clone(&handle);
-            let swap_registry = Arc::clone(&registry);
-            let swap_name = name.clone();
-            let swap_cfg = cfg.clone();
-            let make_on_apply = move || {
-                let handle = Arc::clone(&swap_handle);
-                let registry = Arc::clone(&swap_registry);
-                let name = swap_name.clone();
-                let cfg = swap_cfg.clone();
-                move |_seq: u64| {
-                    if let Some(out) = registry.cached(&name, &cfg) {
-                        handle.install_handle(lbc_runtime::ClusterHandle::new(out));
-                    }
+    };
+    let mut fh_opt = follower_conn.map(|conn| conn.run(Arc::clone(&gate), make_on_apply()));
+    // Re-follow from scratch (HAVE_NOTHING) whenever this node may
+    // hold a diverged suffix: after serving as a primary that stepped
+    // down, or after sitting out a partition without quorum. An
+    // incremental re-follow would splice two lineages.
+    let mut from_scratch = false;
+    // Node lifecycle: stream as a follower until the primary dies,
+    // then either promote (and start replicating to the others) or
+    // re-follow the winner; serve as a primary until quorum loss steps
+    // us down, then rejoin as a follower. Never park read-only forever
+    // on a lost election — that would freeze this node's lineage while
+    // the cluster moves on.
+    let _repl_server: Option<lbc_repl::ReplServer> = 'generations: loop {
+        let (mut target_repl, members) = if let Some(fh) = &fh_opt {
+            let outcome = loop {
+                if let Some(o) = fh.wait_outcome(std::time::Duration::from_secs(3600)) {
+                    break o;
                 }
             };
-            let mut fh = conn.run(Arc::clone(&gate), make_on_apply());
-            // Follower generations: stream until the primary dies, then
-            // either promote (and start replicating to the others) or
-            // re-follow the winner — never park read-only forever on a
-            // lost election, which would freeze this node's lineage
-            // while the cluster moves on.
-            let _promoted_repl: Option<lbc_repl::ReplServer> = 'generations: loop {
-                let outcome = loop {
-                    if let Some(o) = fh.wait_outcome(std::time::Duration::from_secs(3600)) {
-                        break o;
-                    }
-                };
-                let (mut target_repl, members) = match outcome {
-                    lbc_repl::FailoverOutcome::Promoted { applied_seq } => {
-                        println!(
-                            "primary lost: promoted to primary at applied_seq {applied_seq}; accepting writes"
-                        );
-                        break 'generations start_promotion_listener(
-                            repl_listener.take(),
-                            &registry,
-                            &name,
-                            &repl_cfg,
-                            repl_addr_file.as_ref(),
-                        );
-                    }
-                    lbc_repl::FailoverOutcome::Stopped { applied_seq } => {
-                        println!("replication stream stopped at applied_seq {applied_seq}");
-                        break 'generations None;
-                    }
-                    lbc_repl::FailoverOutcome::Error(e) => {
-                        println!("replication stream failed: {e}");
-                        break 'generations None;
-                    }
-                    lbc_repl::FailoverOutcome::NotPromoted {
-                        winner,
-                        applied_seq,
-                        winner_repl,
-                        members,
-                        ..
-                    } => {
-                        println!(
-                            "primary lost: follower {winner} won promotion; re-following at applied_seq {applied_seq}"
-                        );
-                        (winner_repl, members)
-                    }
-                    lbc_repl::FailoverOutcome::Undecided {
-                        applied_seq,
-                        members,
-                    } => {
-                        println!(
-                            "primary lost: election inconclusive at applied_seq {applied_seq}; serving read-only and retrying"
-                        );
-                        (String::new(), members)
-                    }
-                };
-                std::io::stdout().flush().ok();
-                // Recovery: re-follow the winner when it advertises a
-                // replication port, falling back to re-election when it
-                // does not (or never comes up).
+            match outcome {
+                lbc_repl::FailoverOutcome::Promoted { applied_seq } => {
+                    println!(
+                        "primary lost: promoted to primary at applied_seq {applied_seq}; accepting writes"
+                    );
+                    repl_server = start_promotion_listener(
+                        repl_listener.take(),
+                        &registry,
+                        &name,
+                        &repl_cfg,
+                        repl_addr_file.as_ref(),
+                        &gate,
+                    );
+                    fh_opt = None;
+                    std::io::stdout().flush().ok();
+                    continue 'generations;
+                }
+                lbc_repl::FailoverOutcome::Stopped { applied_seq } => {
+                    println!("replication stream stopped at applied_seq {applied_seq}");
+                    break 'generations None;
+                }
+                lbc_repl::FailoverOutcome::Error(e) => {
+                    println!("replication stream failed: {e}");
+                    break 'generations None;
+                }
+                lbc_repl::FailoverOutcome::NotPromoted {
+                    winner,
+                    applied_seq,
+                    winner_repl,
+                    members,
+                    ..
+                } => {
+                    println!(
+                        "primary lost: follower {winner} won promotion; re-following at applied_seq {applied_seq}"
+                    );
+                    (winner_repl, members)
+                }
+                lbc_repl::FailoverOutcome::Undecided {
+                    applied_seq,
+                    members,
+                } => {
+                    println!(
+                        "primary lost: election inconclusive at applied_seq {applied_seq}; serving read-only and retrying"
+                    );
+                    (String::new(), members)
+                }
+                lbc_repl::FailoverOutcome::NoQuorum {
+                    applied_seq,
+                    members,
+                    votes_seen,
+                    votes_needed,
+                } => {
+                    println!(
+                        "primary lost: no quorum ({votes_seen} of {votes_needed} needed votes reachable) at applied_seq {applied_seq}; serving read-only until the partition heals"
+                    );
+                    // Our suffix may be minority lineage — resync from
+                    // scratch once a quorum-elected primary reappears.
+                    from_scratch = true;
+                    (String::new(), members)
+                }
+            }
+        } else if repl_server.is_some() && !repl_cfg.members.is_empty() {
+            // Serving as a quorum-mode primary: watch for the lease
+            // ticker stepping us down after losing contact with the
+            // majority. Jittered so a chaos run's nodes don't poll in
+            // lockstep; no growth (this is a monitor, not a retry).
+            {
+                let srv = repl_server.as_ref().unwrap();
+                let mut pause = lbc_repl::Backoff::new(
+                    repl_cfg.heartbeat_interval,
+                    repl_cfg.heartbeat_interval,
+                    follower_id,
+                );
+                while !srv.stepped_down() {
+                    pause.sleep();
+                }
+            }
+            println!(
+                "quorum lost: stepped down from primary at applied_seq {}; rejoining as a follower",
+                registry.applied_seq(&name)
+            );
+            // Dropping the server closes its listener and stops the
+            // fan-out threads; re-bind the advertised address so a
+            // future re-election can still promote this node.
+            repl_server = None;
+            if !identity.repl_addr.is_empty() {
+                let mut bind_retry = lbc_repl::Backoff::new(
+                    repl_cfg.heartbeat_interval,
+                    repl_cfg.heartbeat_timeout,
+                    follower_id ^ 0xb1bd,
+                )
+                .with_deadline(std::time::Instant::now() + repl_cfg.heartbeat_timeout * 2);
                 loop {
-                    if !target_repl.is_empty() {
-                        // The winner needs a beat to open its listener.
-                        let deadline = std::time::Instant::now() + repl_cfg.heartbeat_timeout * 4;
-                        loop {
-                            match lbc_repl::FollowerConn::sync(
-                                target_repl.as_str(),
-                                Arc::clone(&registry),
-                                &name,
-                                identity.clone(),
-                                registry.applied_seq(&name),
-                                repl_cfg.clone(),
-                            ) {
-                                Ok((conn, report)) => {
-                                    println!(
-                                        "re-following {target_repl} from applied_seq {}",
-                                        report.applied_seq
-                                    );
-                                    std::io::stdout().flush().ok();
-                                    fh = conn.run(Arc::clone(&gate), make_on_apply());
-                                    continue 'generations;
-                                }
-                                Err(e) => {
-                                    if std::time::Instant::now() >= deadline {
-                                        println!(
-                                            "cannot re-follow {target_repl}: {e}; re-electing"
-                                        );
-                                        break;
-                                    }
-                                    std::thread::sleep(repl_cfg.heartbeat_interval);
-                                }
+                    match std::net::TcpListener::bind(&identity.repl_addr) {
+                        Ok(l) => {
+                            repl_listener = Some(l);
+                            break;
+                        }
+                        Err(e) => {
+                            if !bind_retry.sleep() {
+                                eprintln!(
+                                    "cannot re-bind {}: {e}; this node can no longer be promoted",
+                                    identity.repl_addr
+                                );
+                                gate.set_promotable(false);
+                                break;
                             }
                         }
                     }
-                    std::thread::sleep(repl_cfg.heartbeat_timeout);
-                    match lbc_repl::run_election(
+                }
+            }
+            from_scratch = true;
+            (String::new(), Vec::new())
+        } else {
+            // Plain primary (no quorum membership): nothing left to
+            // supervise — the reactor and replication threads carry
+            // the process until it is killed.
+            break 'generations repl_server.take();
+        };
+        std::io::stdout().flush().ok();
+        // Recovery: re-follow the winner when it advertises a
+        // replication port, falling back to re-election when it does
+        // not (or never comes up).
+        let mut election_pause = lbc_repl::Backoff::new(
+            repl_cfg.heartbeat_timeout,
+            repl_cfg.heartbeat_timeout * 4,
+            follower_id ^ 0xe1ec7,
+        );
+        loop {
+            if !target_repl.is_empty() {
+                // The winner needs a beat to open its listener.
+                let mut retry = lbc_repl::Backoff::new(
+                    repl_cfg.heartbeat_interval,
+                    repl_cfg.heartbeat_timeout,
+                    follower_id ^ 0x5eed,
+                )
+                .with_deadline(std::time::Instant::now() + repl_cfg.heartbeat_timeout * 4);
+                loop {
+                    let resume_seq = if from_scratch {
+                        lbc_repl::HAVE_NOTHING
+                    } else {
+                        registry.applied_seq(&name)
+                    };
+                    match lbc_repl::FollowerConn::sync(
+                        target_repl.as_str(),
+                        Arc::clone(&registry),
+                        &name,
+                        identity.clone(),
+                        resume_seq,
+                        repl_cfg.clone(),
+                    ) {
+                        Ok((conn, report)) => {
+                            println!(
+                                "re-following {target_repl} from applied_seq {}",
+                                report.applied_seq
+                            );
+                            std::io::stdout().flush().ok();
+                            from_scratch = false;
+                            fh_opt = Some(conn.run(Arc::clone(&gate), make_on_apply()));
+                            continue 'generations;
+                        }
+                        Err(e) => {
+                            if !retry.sleep() {
+                                println!("cannot re-follow {target_repl}: {e}; re-electing");
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+            election_pause.sleep();
+            match lbc_repl::run_election(
+                follower_id,
+                registry.applied_seq(&name),
+                &members,
+                &repl_cfg,
+            ) {
+                lbc_repl::ElectionOutcome::Won => {
+                    // Pull any WAL suffix a live loser holds beyond us
+                    // *before* opening the gate for writes, so records
+                    // the dead primary fanned elsewhere survive.
+                    let seq = lbc_repl::reconcile(
+                        &registry,
+                        &name,
                         follower_id,
                         registry.applied_seq(&name),
                         &members,
                         &repl_cfg,
-                    ) {
-                        lbc_repl::ElectionOutcome::Won => {
-                            gate.set_role(lbc_net::Role::Promoted);
-                            println!(
-                                "re-election won: promoted to primary at applied_seq {}; accepting writes",
-                                registry.applied_seq(&name)
-                            );
-                            break 'generations start_promotion_listener(
-                                repl_listener.take(),
-                                &registry,
-                                &name,
-                                &repl_cfg,
-                                repl_addr_file.as_ref(),
-                            );
-                        }
-                        lbc_repl::ElectionOutcome::Lost {
-                            winner,
-                            winner_repl,
-                            ..
-                        } => {
-                            println!("re-election: follower {winner} wins; deferring");
-                            target_repl = winner_repl;
-                        }
-                        lbc_repl::ElectionOutcome::Inconclusive => {
-                            target_repl.clear();
-                        }
-                    }
+                    );
+                    gate.set_quorum_status(0, 0, false);
+                    gate.set_role(lbc_net::Role::Promoted);
+                    println!(
+                        "re-election won: promoted to primary at applied_seq {seq}; accepting writes"
+                    );
+                    repl_server = start_promotion_listener(
+                        repl_listener.take(),
+                        &registry,
+                        &name,
+                        &repl_cfg,
+                        repl_addr_file.as_ref(),
+                        &gate,
+                    );
+                    fh_opt = None;
                     std::io::stdout().flush().ok();
+                    continue 'generations;
                 }
-            };
-            std::io::stdout().flush().ok();
-            // Keep serving whatever state we hold until killed.
-            loop {
-                std::thread::park();
+                lbc_repl::ElectionOutcome::Lost {
+                    winner,
+                    winner_repl,
+                    ..
+                } => {
+                    println!("re-election: follower {winner} wins; deferring");
+                    target_repl = winner_repl;
+                }
+                lbc_repl::ElectionOutcome::Inconclusive => {
+                    target_repl.clear();
+                }
+                lbc_repl::ElectionOutcome::NoQuorum {
+                    votes_seen,
+                    votes_needed,
+                } => {
+                    gate.set_quorum_status(votes_seen, votes_needed, true);
+                    println!(
+                        "re-election: no quorum ({votes_seen} of {votes_needed} needed votes reachable); serving read-only and retrying"
+                    );
+                    from_scratch = true;
+                    target_repl.clear();
+                }
             }
+            std::io::stdout().flush().ok();
         }
+    };
+    std::io::stdout().flush().ok();
+    // Keep serving whatever state we hold until killed.
+    loop {
+        std::thread::park();
     }
-    Ok(String::new())
 }
 
 /// A freshly promoted follower starts serving replication from the
@@ -808,6 +965,7 @@ fn start_promotion_listener(
     name: &str,
     repl_cfg: &lbc_repl::ReplConfig,
     repl_addr_file: Option<&String>,
+    gate: &Arc<lbc_net::ReplGate>,
 ) -> Option<lbc_repl::ReplServer> {
     let listener = listener?;
     match lbc_repl::ReplServer::from_listener(
@@ -817,6 +975,7 @@ fn start_promotion_listener(
         repl_cfg.clone(),
     ) {
         Ok(srv) => {
+            srv.set_gate(Arc::clone(gate));
             println!(
                 "replicating on {} (snapshot handshake + live WAL stream)",
                 srv.addr()
@@ -921,6 +1080,30 @@ fn cmd_repl_status(rest: &[String]) -> Result<String, String> {
         "{connect}: role {role}, applied_seq {}\n",
         status.applied_seq
     );
+    if !status.members.is_empty() {
+        let spec = status
+            .members
+            .iter()
+            .map(|m| format!("{}@{}", m.id, m.addr))
+            .collect::<Vec<_>>()
+            .join(",");
+        out.push_str(&format!(
+            "membership: {} nodes, quorum {}: {spec}\n",
+            status.members.len(),
+            status.members.len() / 2 + 1
+        ));
+    }
+    if status.no_quorum {
+        out.push_str(&format!(
+            "quorum: LOST — {} of {} needed votes reachable (read-only)\n",
+            status.votes_seen, status.votes_needed
+        ));
+    } else if status.votes_needed > 0 {
+        out.push_str(&format!(
+            "quorum: held — {} of {} needed votes reachable\n",
+            status.votes_seen, status.votes_needed
+        ));
+    }
     if status.peers.is_empty() {
         out.push_str("followers: none\n");
     } else {

@@ -266,3 +266,149 @@ fn follower_mirrors_primary_and_promotes_on_kill9() {
     assert_eq!(summary.n, n0);
     assert_eq!(c.info().unwrap().applied_seq, 4);
 }
+
+/// Reserve `n` distinct loopback addresses by binding and immediately
+/// releasing them — a quorum membership spec needs every node's query
+/// address pinned before any process starts.
+fn free_addrs(n: usize) -> Vec<std::net::SocketAddr> {
+    let listeners: Vec<_> = (0..n)
+        .map(|_| std::net::TcpListener::bind("127.0.0.1:0").expect("reserve port"))
+        .collect();
+    listeners.iter().map(|l| l.local_addr().unwrap()).collect()
+}
+
+fn spawn_member(
+    id: u64,
+    listen: &std::net::SocketAddr,
+    members: &str,
+    follow: Option<&std::net::SocketAddr>,
+) -> (Proc, std::path::PathBuf) {
+    // Every member pre-binds a replication listener: the file only
+    // appears once the node actually replicates (at boot for the
+    // primary, at promotion for a follower that wins an election).
+    let repl_file = addr_path(&format!("member-{id}-repl"));
+    let _ = std::fs::remove_file(&repl_file);
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_lbc"));
+    cmd.args(["serve", "--listen", &listen.to_string()])
+        .args(dataset_args())
+        .args([
+            "--repl-listen",
+            "127.0.0.1:0",
+            "--repl-addr-file",
+            repl_file.to_str().unwrap(),
+            "--members",
+            members,
+            "--follower-id",
+            &id.to_string(),
+        ]);
+    if let Some(f) = follow {
+        cmd.args(["--follow", &f.to_string()]);
+    }
+    let child = cmd
+        .stdout(Stdio::null())
+        .stderr(Stdio::inherit())
+        .spawn()
+        .expect("spawn member");
+    (
+        Proc {
+            child,
+            files: vec![repl_file.clone()],
+        },
+        repl_file,
+    )
+}
+
+#[test]
+fn three_node_quorum_elects_exactly_one_writer_on_kill9() {
+    let addrs = free_addrs(3);
+    let members = format!("1@{},2@{},3@{}", addrs[0], addrs[1], addrs[2]);
+
+    let (mut primary, prepl_file) = spawn_member(1, &addrs[0], &members, None);
+    let prepl = read_addr(&prepl_file);
+    let (_f2, repl_file_2) = spawn_member(2, &addrs[1], &members, Some(&prepl));
+    let (_f3, repl_file_3) = spawn_member(3, &addrs[2], &members, Some(&prepl));
+
+    // Both followers adopt the dataset and report the fixed electorate.
+    for addr in [&addrs[1], &addrs[2]] {
+        let info = wait_info(addr, Duration::from_secs(60), |i| i.role == Role::Follower);
+        assert_eq!(info.member_count, 3, "membership not carried to {addr}");
+    }
+
+    // Stream three deltas; both followers converge bit-for-bit.
+    let mut pclient = NetClient::connect_timeout(&addrs[0], Duration::from_secs(10)).unwrap();
+    let n0 = pclient.info().unwrap().n;
+    for i in 0..3u32 {
+        let mut d = lbc_graph::GraphDelta::new();
+        d.add_edge(i % 5, (SIZE as u32) + (i % 7));
+        pclient.submit_delta(&d).unwrap();
+    }
+    let qs = battery(n0 as u32);
+    let pre_crash = pclient.query_batch(&qs).unwrap();
+    for addr in [&addrs[1], &addrs[2]] {
+        wait_info(addr, Duration::from_secs(60), |i| i.applied_seq == 3);
+        let mut c = NetClient::connect_timeout(addr, Duration::from_secs(10)).unwrap();
+        assert_eq!(c.query_batch(&qs).unwrap(), pre_crash, "{addr} diverged");
+    }
+
+    // kill -9 the primary. Two of three members survive — a strict
+    // majority — so exactly one of them must win promotion and the
+    // other must re-follow the winner.
+    primary.child.kill().expect("SIGKILL the primary");
+    primary.child.wait().expect("reap the primary");
+
+    let deadline = Instant::now() + Duration::from_secs(120);
+    let (winner, loser) = 'found: loop {
+        assert!(Instant::now() < deadline, "no survivor promoted");
+        for (w, l) in [(&addrs[1], &addrs[2]), (&addrs[2], &addrs[1])] {
+            if let Ok(mut c) = NetClient::connect_timeout(w, Duration::from_secs(5)) {
+                if let Ok(info) = c.info() {
+                    if info.role == Role::Promoted {
+                        break 'found (*w, *l);
+                    }
+                }
+            }
+        }
+        std::thread::sleep(Duration::from_millis(50));
+    };
+
+    // The loser re-follows the winner and drops back to read-only;
+    // the winner serves the pre-crash answers unchanged.
+    wait_info(&loser, Duration::from_secs(60), |i| {
+        i.role == Role::Follower && i.applied_seq == 3
+    });
+    let mut wc = NetClient::connect_timeout(&winner, Duration::from_secs(10)).unwrap();
+    let mut lc = NetClient::connect_timeout(&loser, Duration::from_secs(10)).unwrap();
+    assert_eq!(wc.query_batch(&qs).unwrap(), pre_crash, "winner diverged");
+    assert_eq!(lc.query_batch(&qs).unwrap(), pre_crash, "loser diverged");
+
+    // Exactly one writer: the loser refuses, the winner extends the
+    // lineage, and the loser's re-follow stream carries the new record.
+    let mut d = lbc_graph::GraphDelta::new();
+    d.add_edge(1, (SIZE as u32) + 2);
+    match lc.submit_delta(&d) {
+        Err(NetError::Server { code, .. }) => {
+            assert_eq!(code, ErrorCode::ReadOnly as u16, "wrong error code");
+        }
+        other => panic!("election loser accepted a delta: {other:?}"),
+    }
+    wc.submit_delta(&d).unwrap();
+    assert_eq!(wc.info().unwrap().applied_seq, 4);
+    wait_info(&loser, Duration::from_secs(60), |i| i.applied_seq == 4);
+
+    // The winner's promotion listener went live and reports the
+    // quorum-mode status, membership included.
+    let wrepl_file = if winner == addrs[1] {
+        repl_file_2
+    } else {
+        repl_file_3
+    };
+    let wrepl = read_addr(&wrepl_file);
+    let status = Command::new(env!("CARGO_BIN_EXE_lbc"))
+        .args(["repl-status", "--connect", &wrepl.to_string()])
+        .output()
+        .expect("run repl-status");
+    let status = String::from_utf8_lossy(&status.stdout).to_string();
+    assert!(status.contains("role primary"), "{status}");
+    assert!(status.contains("quorum 2"), "{status}");
+    assert!(status.contains("quorum: held"), "{status}");
+}

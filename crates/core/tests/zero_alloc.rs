@@ -38,8 +38,14 @@ unsafe impl GlobalAlloc for CountingAlloc {
 #[global_allocator]
 static GLOBAL: CountingAlloc = CountingAlloc;
 
+/// The counter is process-global, so the two tests in this binary must
+/// not run concurrently: one test's setup allocations would land inside
+/// the other's measured window and flip the assertion spuriously.
+static SERIAL: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
 #[test]
 fn steady_state_round_loop_is_allocation_free() {
+    let _serial = SERIAL.lock().unwrap();
     let (g, _) = generators::ring_of_cliques(4, 25, 0).unwrap();
     let n = g.n();
     let cfg = LbConfig::new(0.25, 10).with_seed(7);
@@ -90,6 +96,7 @@ fn warm_start_steady_state_rounds_are_allocation_free() {
     use lbc_core::{cluster, warm_start, WarmStartConfig};
     use lbc_graph::generators::k_edge_flip_delta;
 
+    let _serial = SERIAL.lock().unwrap();
     let (g, truth) = generators::planted_partition(2, 50, 0.4, 0.01, 3).unwrap();
     let cfg = LbConfig::new(0.5, 60).with_seed(5);
     let prior = cluster(&g, &cfg).unwrap();

@@ -1,0 +1,276 @@
+//! `lbc-faults` — deterministic fault injection for the replication
+//! stack and the store's WAL.
+//!
+//! The chaos harness needs faults that are **injected, not raced**: a
+//! seeded schedule must produce the same partitions, the same torn
+//! writes, and the same failed fsyncs on every run, so a failing seed
+//! is a reproducer rather than a flake. Everything here is plain
+//! synchronous plumbing the production code consults at its existing
+//! seams:
+//!
+//! * [`FaultHook`] — consulted by *initiators* (a follower dialing or
+//!   reading its primary, an election probe, a reconciliation pull)
+//!   before touching a peer. Acceptors never check: a TCP acceptor
+//!   cannot name its peer (ephemeral ports), and cutting the dialing
+//!   side is sufficient — the initiator drops the link and the
+//!   acceptor observes EOF or ack silence, exactly like a real
+//!   partition.
+//! * [`PartitionMatrix`] — mutable addr → group map; a link is cut iff
+//!   the two endpoints sit in different groups. Chaos schedules flip
+//!   whole groups at once and heal by collapsing back to one group.
+//! * [`IoFaultHook`] — consulted by the store's WAL append; yields
+//!   torn (prefix-only) writes and failed fsyncs on a seeded schedule
+//!   so crash-recovery paths run under test instead of in production.
+//! * [`SplitMix64`] — the tiny deterministic RNG every schedule draws
+//!   from. No global state, no `rand` dependency: the crate is a leaf
+//!   so `lbc-store` and `lbc-repl` can both hook it without cycles.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// What an initiator should do with one prospective link use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkFault {
+    /// Link is healthy: proceed.
+    Pass,
+    /// Link is severed: fail the dial/read as if the peer were
+    /// unreachable.
+    Cut,
+    /// Link is degraded: sleep this long, then proceed.
+    Delay(Duration),
+}
+
+/// Link-level fault oracle, keyed by the peer's *listen* address (the
+/// address the initiator dials — the one stable name both sides know).
+pub trait FaultHook: Send + Sync + fmt::Debug {
+    /// Consulted immediately before dialing `peer_addr`, and
+    /// periodically while a long-lived stream to it is open.
+    fn link(&self, peer_addr: &str) -> LinkFault;
+}
+
+/// Addr → partition-group map. Two addresses can talk iff they map to
+/// the same group; an address never registered maps to group 0 (the
+/// "world" group), so an empty matrix passes everything.
+///
+/// Schedules mutate the matrix live (`assign`, `heal`) while node
+/// threads consult it through [`NodeFaults`]; a single mutex is fine —
+/// lookups are off the hot path (one per dial, one per stream poll).
+#[derive(Debug, Default)]
+pub struct PartitionMatrix {
+    groups: Mutex<HashMap<String, u32>>,
+}
+
+impl PartitionMatrix {
+    pub fn new() -> PartitionMatrix {
+        PartitionMatrix::default()
+    }
+
+    /// Put `addr` in `group`. Group ids are arbitrary labels; only
+    /// equality matters.
+    pub fn assign(&self, addr: &str, group: u32) {
+        self.groups.lock().unwrap().insert(addr.to_string(), group);
+    }
+
+    /// Collapse every address back into group 0 — the healed network.
+    pub fn heal(&self) {
+        self.groups.lock().unwrap().clear();
+    }
+
+    fn group_of(&self, addr: &str) -> u32 {
+        *self.groups.lock().unwrap().get(addr).unwrap_or(&0)
+    }
+
+    /// True iff the two endpoints currently sit in different groups.
+    pub fn blocked(&self, a: &str, b: &str) -> bool {
+        let groups = self.groups.lock().unwrap();
+        groups.get(a).unwrap_or(&0) != groups.get(b).unwrap_or(&0)
+    }
+}
+
+/// One node's view of a shared [`PartitionMatrix`]: the node knows its
+/// own listen address, so `link(peer)` is just a blocked-pair lookup.
+#[derive(Debug)]
+pub struct NodeFaults {
+    matrix: std::sync::Arc<PartitionMatrix>,
+    self_addr: String,
+}
+
+impl NodeFaults {
+    pub fn new(matrix: std::sync::Arc<PartitionMatrix>, self_addr: &str) -> NodeFaults {
+        NodeFaults {
+            matrix,
+            self_addr: self_addr.to_string(),
+        }
+    }
+
+    /// The group this node currently sits in.
+    pub fn group(&self) -> u32 {
+        self.matrix.group_of(&self.self_addr)
+    }
+}
+
+impl FaultHook for NodeFaults {
+    fn link(&self, peer_addr: &str) -> LinkFault {
+        if self.matrix.blocked(&self.self_addr, peer_addr) {
+            LinkFault::Cut
+        } else {
+            LinkFault::Pass
+        }
+    }
+}
+
+/// What the store should do with one prospective WAL append.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IoFault {
+    /// Append normally.
+    Pass,
+    /// Write only the first `n` bytes of the encoded record, then
+    /// report success — a torn tail the next open must heal.
+    Torn(usize),
+    /// Fail the write outright with an I/O error.
+    FailWrite,
+    /// Write fully but fail the `fsync`, as a dying disk would.
+    FailFsync,
+}
+
+/// I/O fault oracle for the store's WAL append path.
+pub trait IoFaultHook: Send + Sync + fmt::Debug {
+    /// Consulted once per appended record, *before* the write.
+    fn next_append(&self, dataset: &str) -> IoFault;
+}
+
+/// A fixed, pre-drawn sequence of [`IoFault`]s, consumed in order and
+/// passing everything once exhausted. Build one from a seed with
+/// [`ScriptedIoFaults::seeded`] or pin an exact script with
+/// [`ScriptedIoFaults::new`].
+#[derive(Debug)]
+pub struct ScriptedIoFaults {
+    script: Vec<IoFault>,
+    next: AtomicUsize,
+}
+
+impl ScriptedIoFaults {
+    pub fn new(script: Vec<IoFault>) -> ScriptedIoFaults {
+        ScriptedIoFaults {
+            script,
+            next: AtomicUsize::new(0),
+        }
+    }
+
+    /// `len` draws from a seeded RNG: mostly passes, with occasional
+    /// torn writes (short prefixes) and failed fsyncs. `fault_per_mille`
+    /// is the per-record fault probability in tenths of a percent.
+    pub fn seeded(seed: u64, len: usize, fault_per_mille: u32) -> ScriptedIoFaults {
+        let mut rng = SplitMix64::new(seed);
+        let script = (0..len)
+            .map(|_| {
+                if rng.below(1000) >= fault_per_mille as u64 {
+                    IoFault::Pass
+                } else {
+                    match rng.below(3) {
+                        0 => IoFault::Torn(rng.below(24) as usize),
+                        1 => IoFault::FailWrite,
+                        _ => IoFault::FailFsync,
+                    }
+                }
+            })
+            .collect();
+        ScriptedIoFaults::new(script)
+    }
+
+    /// How many faults have been consumed so far.
+    pub fn consumed(&self) -> usize {
+        self.next.load(Ordering::Relaxed).min(self.script.len())
+    }
+}
+
+impl IoFaultHook for ScriptedIoFaults {
+    fn next_append(&self, _dataset: &str) -> IoFault {
+        let i = self.next.fetch_add(1, Ordering::Relaxed);
+        self.script.get(i).copied().unwrap_or(IoFault::Pass)
+    }
+}
+
+/// SplitMix64 — the standard 64-bit mixer (Steele et al.), chosen for
+/// the same reason the rest of the workspace uses deterministic seeds:
+/// two runs from one seed must take identical branches.
+#[derive(Debug, Clone)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    pub fn new(seed: u64) -> SplitMix64 {
+        SplitMix64 { state: seed }
+    }
+
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform draw in `[0, bound)`; `bound` must be nonzero.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        self.next_u64() % bound
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn empty_matrix_passes_everything() {
+        let m = Arc::new(PartitionMatrix::new());
+        let node = NodeFaults::new(Arc::clone(&m), "a:1");
+        assert_eq!(node.link("b:2"), LinkFault::Pass);
+        assert!(!m.blocked("a:1", "b:2"));
+    }
+
+    #[test]
+    fn split_groups_cut_cross_links_and_heal_restores() {
+        let m = Arc::new(PartitionMatrix::new());
+        m.assign("a:1", 1);
+        m.assign("b:2", 1);
+        m.assign("c:3", 2);
+        let a = NodeFaults::new(Arc::clone(&m), "a:1");
+        let c = NodeFaults::new(Arc::clone(&m), "c:3");
+        assert_eq!(a.link("b:2"), LinkFault::Pass);
+        assert_eq!(a.link("c:3"), LinkFault::Cut);
+        assert_eq!(c.link("a:1"), LinkFault::Cut);
+        // Unregistered addresses sit in group 0: cut off from group 1.
+        assert_eq!(a.link("d:4"), LinkFault::Cut);
+        m.heal();
+        assert_eq!(a.link("c:3"), LinkFault::Pass);
+        assert_eq!(a.link("d:4"), LinkFault::Pass);
+    }
+
+    #[test]
+    fn seeded_io_script_is_reproducible_and_exhausts_to_pass() {
+        let a = ScriptedIoFaults::seeded(42, 200, 100);
+        let b = ScriptedIoFaults::seeded(42, 200, 100);
+        let draws_a: Vec<IoFault> = (0..250).map(|_| a.next_append("ds")).collect();
+        let draws_b: Vec<IoFault> = (0..250).map(|_| b.next_append("ds")).collect();
+        assert_eq!(draws_a, draws_b);
+        assert!(draws_a[200..].iter().all(|f| *f == IoFault::Pass));
+        // ~10% fault rate: expect at least a few faults in 200 draws.
+        assert!(draws_a.iter().any(|f| *f != IoFault::Pass));
+    }
+
+    #[test]
+    fn splitmix_differs_by_seed() {
+        let mut a = SplitMix64::new(1);
+        let mut b = SplitMix64::new(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+}

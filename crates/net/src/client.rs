@@ -138,6 +138,19 @@ impl NetClient {
         }
     }
 
+    /// Pull every WAL record with seq > `after_seq` this node retains
+    /// (promotion-time reconciliation; see [`Request::WalPull`]).
+    /// Returns encoded records in seq order; empty when the node holds
+    /// nothing newer or cannot serve the suffix contiguously.
+    pub fn wal_pull(&mut self, after_seq: u64) -> Result<Vec<Vec<u8>>, NetError> {
+        match self.call(&Request::WalPull { after_seq })? {
+            Response::WalSuffix { records } => Ok(records),
+            other => Err(NetError::UnexpectedResponse {
+                opcode: other.opcode(),
+            }),
+        }
+    }
+
     /// Liveness probe.
     pub fn ping(&mut self) -> Result<(), NetError> {
         match self.call(&Request::Ping)? {

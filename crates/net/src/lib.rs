@@ -42,6 +42,6 @@ pub use client::NetClient;
 pub use error::{ErrorCode, NetError, WireError};
 pub use server::{NetServer, ReplGate, ServeContext, ServerConfig, ServerHandle, ServerStats};
 pub use wire::{
-    encode_frame, DeltaSummary, Frame, FrameDecoder, PeerLag, ReplMsg, ReplStatus, Request,
+    encode_frame, DeltaSummary, Frame, FrameDecoder, Member, PeerLag, ReplMsg, ReplStatus, Request,
     Response, Role, ServerInfo, VoteResp,
 };

@@ -114,6 +114,24 @@ pub struct ReplGate {
     node_id: u64,
     last_primary_contact: Mutex<Option<Instant>>,
     liveness_window: Mutex<Duration>,
+    /// Whether this node is configured to serve replication if it wins
+    /// an election (`--repl-listen`). A voter that cannot itself
+    /// promote concedes to any eligible candidate — otherwise a
+    /// higher-seq but unpromotable node would veto every election.
+    promotable: AtomicU8,
+    /// Quorum-election observability: votes seen / votes needed in the
+    /// most recent round, and whether the node is parked read-only for
+    /// lack of a membership majority. Packed for the Info tail and
+    /// `lbc repl-status`.
+    votes_seen: AtomicU64,
+    votes_needed: AtomicU64,
+    no_quorum: AtomicU8,
+    member_count: AtomicU64,
+    /// The replication listener this node advertises (empty when it
+    /// cannot be promoted). Served in the Info tail so peers that hold
+    /// no roster naming us — a healed minority node, a stepped-down
+    /// primary — can still discover where to re-follow.
+    repl_addr: Mutex<String>,
 }
 
 impl ReplGate {
@@ -129,7 +147,23 @@ impl ReplGate {
             node_id,
             last_primary_contact: Mutex::new(None),
             liveness_window: Mutex::new(Duration::from_millis(1500)),
+            promotable: AtomicU8::new(1),
+            votes_seen: AtomicU64::new(0),
+            votes_needed: AtomicU64::new(0),
+            no_quorum: AtomicU8::new(0),
+            member_count: AtomicU64::new(0),
+            repl_addr: Mutex::new(String::new()),
         }
+    }
+
+    /// Advertise the replication listener this node would serve from
+    /// once promoted (carried in the Info tail).
+    pub fn set_repl_addr(&self, addr: &str) {
+        *self.repl_addr.lock().unwrap() = addr.to_string();
+    }
+
+    pub fn repl_addr(&self) -> String {
+        self.repl_addr.lock().unwrap().clone()
     }
 
     pub fn role(&self) -> Role {
@@ -140,9 +174,12 @@ impl ReplGate {
         self.role.store(role as u8, Ordering::Release);
     }
 
-    /// Whether this node currently accepts deltas.
+    /// Whether this node currently accepts deltas. Quorum loss
+    /// (`no_quorum`) forces read-only even if a stale role flip has
+    /// not landed yet — the two stores are updated by different
+    /// threads, and refusing writes is the safe order.
     pub fn writable(&self) -> bool {
-        self.role() != Role::Follower
+        self.role() != Role::Follower && self.no_quorum.load(Ordering::Acquire) == 0
     }
 
     /// This node's failover identity (0 when not participating).
@@ -177,6 +214,44 @@ impl ReplGate {
             .unwrap()
             .map(|t| t.elapsed() < window)
             .unwrap_or(false)
+    }
+
+    /// Declare whether this node could serve replication if promoted.
+    /// Defaults to `true`; a `serve` without `--repl-listen` sets it
+    /// false so the node's vote never blocks an eligible candidate.
+    pub fn set_promotable(&self, promotable: bool) {
+        self.promotable.store(promotable as u8, Ordering::Release);
+    }
+
+    pub fn promotable(&self) -> bool {
+        self.promotable.load(Ordering::Acquire) != 0
+    }
+
+    /// Record the outcome of the most recent quorum-mode election
+    /// round so operators (Info tail, `lbc repl-status`) can see why a
+    /// minority partition is read-only.
+    pub fn set_quorum_status(&self, votes_seen: u32, votes_needed: u32, no_quorum: bool) {
+        self.votes_seen.store(votes_seen as u64, Ordering::Release);
+        self.votes_needed
+            .store(votes_needed as u64, Ordering::Release);
+        self.no_quorum.store(no_quorum as u8, Ordering::Release);
+    }
+
+    /// Record the size of the fixed membership list this node was
+    /// configured with (0 = quorum mode off).
+    pub fn set_member_count(&self, count: usize) {
+        self.member_count.store(count as u64, Ordering::Release);
+    }
+
+    /// `(votes_seen, votes_needed, no_quorum, member_count)` as last
+    /// recorded — all zeros/false outside quorum mode.
+    pub fn quorum_status(&self) -> (u32, u32, bool, usize) {
+        (
+            self.votes_seen.load(Ordering::Acquire) as u32,
+            self.votes_needed.load(Ordering::Acquire) as u32,
+            self.no_quorum.load(Ordering::Acquire) != 0,
+            self.member_count.load(Ordering::Acquire) as usize,
+        )
     }
 }
 
@@ -684,6 +759,7 @@ impl Reactor {
                     Ok(g) => (g.n() as u64, g.m() as u64),
                     Err(_) => (self.handle.n() as u64, 0),
                 };
+                let (votes_seen, votes_needed, no_quorum, member_count) = self.repl.quorum_status();
                 Response::Info(ServerInfo {
                     dataset: self.ctx.dataset.clone(),
                     n,
@@ -691,9 +767,20 @@ impl Reactor {
                     k: self.handle.k() as u32,
                     applied_seq: self.ctx.registry.applied_seq(&self.ctx.dataset),
                     role: self.repl.role(),
+                    no_quorum,
+                    votes_seen: votes_seen.min(u16::MAX as u32) as u16,
+                    votes_needed: votes_needed.min(u16::MAX as u32) as u16,
+                    member_count: member_count.min(u16::MAX as usize) as u16,
+                    repl_addr: self.repl.repl_addr(),
                 })
             }
             Request::Ping => Response::Pong,
+            Request::WalPull { after_seq } => Response::WalSuffix {
+                records: self
+                    .ctx
+                    .registry
+                    .wal_suffix_after(&self.ctx.dataset, after_seq),
+            },
             Request::ReplVote {
                 candidate_id,
                 candidate_seq,
@@ -709,8 +796,13 @@ impl Reactor {
                 // deterministic (seq desc, id asc) order we would
                 // elect by — so of two mutual candidates exactly one
                 // can ever collect the other's vote.
+                // A voter that cannot itself promote (no --repl-listen)
+                // concedes to any eligible candidate: its seq may be
+                // ahead — promotion-time reconciliation pulls that
+                // suffix — but its vote must never veto the election.
                 let candidate_beats_us = candidate_seq > voter_seq
-                    || (candidate_seq == voter_seq && candidate_id <= voter_id);
+                    || (candidate_seq == voter_seq && candidate_id <= voter_id)
+                    || !self.repl.promotable();
                 let granted = voter_role == Role::Follower
                     && !self.repl.primary_recently_alive()
                     && candidate_beats_us;

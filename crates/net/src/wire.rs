@@ -51,6 +51,11 @@ pub mod opcode {
     pub const INFO: u8 = 0x04;
     pub const PING: u8 = 0x05;
     pub const REPL_VOTE: u8 = 0x06;
+    /// Promotion-time reconciliation: ask a peer for the WAL records
+    /// after a sequence number. Served over the ordinary query port
+    /// (like [`REPL_VOTE`]) so a follower whose replication port is
+    /// still closed can answer an election winner's pull.
+    pub const WAL_PULL: u8 = 0x07;
     /// Replication follower → primary opcodes (0x10 block).
     pub const REPL_HELLO: u8 = 0x10;
     pub const REPL_ACK: u8 = 0x11;
@@ -62,6 +67,9 @@ pub mod opcode {
     pub const INFO_RESP: u8 = 0x84;
     pub const PONG: u8 = 0x85;
     pub const VOTE_RESP: u8 = 0x86;
+    /// Answer to [`WAL_PULL`]: a contiguous suffix of encoded WAL
+    /// records.
+    pub const WAL_SUFFIX: u8 = 0x87;
     /// Replication primary → follower opcodes (0x90 block).
     pub const SNAP_BEGIN: u8 = 0x90;
     pub const SNAP_CHUNK: u8 = 0x91;
@@ -406,6 +414,12 @@ pub enum Request {
         candidate_id: u64,
         candidate_seq: u64,
     },
+    /// Promotion-time reconciliation: ask this node for every WAL
+    /// record with sequence number strictly greater than `after_seq`.
+    /// Answered with [`Response::WalSuffix`]. Served inline by the
+    /// reactor (like votes) so an election winner can pull a missing
+    /// suffix from a loser whose replication port is closed.
+    WalPull { after_seq: u64 },
 }
 
 /// Replication role a serving process reports in [`ServerInfo`] and
@@ -449,6 +463,25 @@ pub struct ServerInfo {
     /// Replication role of the answering process. Also in the tail;
     /// pre-replication servers decode as [`Role::Primary`].
     pub role: Role,
+    /// True when this node ran a failover election but could not reach
+    /// a strict majority of its fixed membership — it stays a
+    /// read-only follower. In the tail; pre-quorum servers decode as
+    /// `false`.
+    pub no_quorum: bool,
+    /// Grants seen (including the node's own vote) in the most recent
+    /// election round, and the strict-majority threshold it needed.
+    /// Both 0 when no quorum-mode election has run. In the tail.
+    pub votes_seen: u16,
+    pub votes_needed: u16,
+    /// Size of the fixed membership list this node was configured
+    /// with; 0 when replication runs without quorum mode. In the tail.
+    pub member_count: u16,
+    /// Where this node serves (or would serve, once promoted) the
+    /// replication stream — how an election loser or a healed minority
+    /// node learns the address to re-follow when it has no roster
+    /// naming the winner. Empty when the node cannot be promoted. In
+    /// the tail; older servers decode as empty.
+    pub repl_addr: String,
 }
 
 /// One node's answer to a promotion-confirmation poll
@@ -485,6 +518,15 @@ pub enum Response {
     Pong,
     /// Answer to [`Request::ReplVote`].
     Vote(VoteResp),
+    /// Answer to [`Request::WalPull`]: every retained WAL record with
+    /// sequence number strictly greater than the requested `after_seq`,
+    /// each exactly as `lbc_store::wal::encode_record` laid it out, in
+    /// increasing-seq order. Empty when the node holds nothing newer
+    /// (or its retention window no longer covers the request — the
+    /// puller must validate contiguity before applying).
+    WalSuffix {
+        records: Vec<Vec<u8>>,
+    },
     /// Typed failure (the request id still echoes the request).
     Error {
         code: u16,
@@ -511,6 +553,18 @@ fn put_roster(p: &mut Vec<u8>, roster: &[PeerLag]) {
     }
 }
 
+/// Append a `u32`-count-prefixed membership list. Only emitted when
+/// non-empty (callers gate on that), so messages from nodes running
+/// without quorum mode stay byte-identical to the pre-quorum wire
+/// layout.
+fn put_members(p: &mut Vec<u8>, members: &[Member]) {
+    p.extend_from_slice(&(members.len() as u32).to_le_bytes());
+    for m in members {
+        p.extend_from_slice(&m.id.to_le_bytes());
+        put_str(p, &m.addr);
+    }
+}
+
 const QUERY_SAME: u8 = 0;
 const QUERY_OF: u8 = 1;
 const QUERY_SIZE: u8 = 2;
@@ -528,6 +582,7 @@ impl Request {
             Request::Info => opcode::INFO,
             Request::Ping => opcode::PING,
             Request::ReplVote { .. } => opcode::REPL_VOTE,
+            Request::WalPull { .. } => opcode::WAL_PULL,
         }
     }
 
@@ -571,6 +626,9 @@ impl Request {
             } => {
                 p.extend_from_slice(&candidate_id.to_le_bytes());
                 p.extend_from_slice(&candidate_seq.to_le_bytes());
+            }
+            Request::WalPull { after_seq } => {
+                p.extend_from_slice(&after_seq.to_le_bytes());
             }
             Request::CacheStats | Request::Info | Request::Ping => {}
         }
@@ -655,6 +713,9 @@ impl Request {
                 candidate_id: c.u64()?,
                 candidate_seq: c.u64()?,
             },
+            opcode::WAL_PULL => Request::WalPull {
+                after_seq: c.u64()?,
+            },
             other => return Err(WireError::BadOpcode { got: other }),
         };
         c.finish()?;
@@ -672,6 +733,7 @@ impl Response {
             Response::Info(_) => opcode::INFO_RESP,
             Response::Pong => opcode::PONG,
             Response::Vote(_) => opcode::VOTE_RESP,
+            Response::WalSuffix { .. } => opcode::WAL_SUFFIX,
             Response::Error { .. } => opcode::ERROR,
         }
     }
@@ -737,9 +799,19 @@ impl Response {
                 p.extend_from_slice(&info.m.to_le_bytes());
                 p.extend_from_slice(&info.k.to_le_bytes());
                 put_str(&mut p, &info.dataset);
-                let mut tail = Vec::with_capacity(9);
+                let mut tail = Vec::with_capacity(16);
                 tail.extend_from_slice(&info.applied_seq.to_le_bytes());
                 tail.push(info.role as u8);
+                // Quorum extension (this build's additions): decoders
+                // that stop at the role skip these bytes.
+                tail.push(info.no_quorum as u8);
+                tail.extend_from_slice(&info.votes_seen.to_le_bytes());
+                tail.extend_from_slice(&info.votes_needed.to_le_bytes());
+                tail.extend_from_slice(&info.member_count.to_le_bytes());
+                let ra = info.repl_addr.as_bytes();
+                let ra_len = ra.len().min(u16::MAX as usize);
+                tail.extend_from_slice(&(ra_len as u16).to_le_bytes());
+                tail.extend_from_slice(&ra[..ra_len]);
                 p.extend_from_slice(&(tail.len() as u16).to_le_bytes());
                 p.extend_from_slice(&tail);
             }
@@ -749,6 +821,13 @@ impl Response {
                 p.extend_from_slice(&v.voter_id.to_le_bytes());
                 p.extend_from_slice(&v.voter_seq.to_le_bytes());
                 p.push(v.voter_role as u8);
+            }
+            Response::WalSuffix { records } => {
+                p.extend_from_slice(&(records.len() as u32).to_le_bytes());
+                for rec in records {
+                    p.extend_from_slice(&(rec.len() as u32).to_le_bytes());
+                    p.extend_from_slice(rec);
+                }
             }
             Response::Error { code, message } => {
                 p.extend_from_slice(&code.to_le_bytes());
@@ -832,10 +911,24 @@ impl Response {
                 let dataset = c.str("dataset name")?;
                 // Extensible tail: absent on pre-replication servers
                 // (defaults below), and longer on future servers (the
-                // unknown suffix is skipped, not rejected).
-                let (applied_seq, role) = if c.remaining() == 0 {
-                    (0, Role::Primary)
-                } else {
+                // unknown suffix is skipped, not rejected). The quorum
+                // fields are themselves a tail extension: a 9-byte
+                // tail from a pre-quorum server decodes with quorum
+                // defaults.
+                let mut info = ServerInfo {
+                    dataset,
+                    n,
+                    m,
+                    k,
+                    applied_seq: 0,
+                    role: Role::Primary,
+                    no_quorum: false,
+                    votes_seen: 0,
+                    votes_needed: 0,
+                    member_count: 0,
+                    repl_addr: String::new(),
+                };
+                if c.remaining() > 0 {
                     let len = c.u16()? as usize;
                     let tail = c.take(len)?;
                     if tail.len() < 9 {
@@ -844,21 +937,34 @@ impl Response {
                             what: "info tail",
                         });
                     }
-                    let seq = u64::from_le_bytes(tail[..8].try_into().expect("8"));
-                    let role = Role::from_u8(tail[8]).ok_or(WireError::BadField {
+                    info.applied_seq = u64::from_le_bytes(tail[..8].try_into().expect("8"));
+                    info.role = Role::from_u8(tail[8]).ok_or(WireError::BadField {
                         opcode: op,
                         what: "role",
                     })?;
-                    (seq, role)
-                };
-                Response::Info(ServerInfo {
-                    dataset,
-                    n,
-                    m,
-                    k,
-                    applied_seq,
-                    role,
-                })
+                    if tail.len() >= 16 {
+                        info.no_quorum = tail[9] != 0;
+                        info.votes_seen = u16::from_le_bytes(tail[10..12].try_into().expect("2"));
+                        info.votes_needed = u16::from_le_bytes(tail[12..14].try_into().expect("2"));
+                        info.member_count = u16::from_le_bytes(tail[14..16].try_into().expect("2"));
+                    }
+                    // Second tail extension: the node's advertised
+                    // replication listener, length-prefixed. The tail
+                    // contract is skip-tolerant, so anything that does
+                    // not parse as this extension (a short tail, a
+                    // length that overruns, non-UTF-8 bytes) is treated
+                    // as unknown future data and left empty — never an
+                    // error.
+                    if tail.len() >= 18 {
+                        let alen = u16::from_le_bytes(tail[16..18].try_into().expect("2")) as usize;
+                        if tail.len() >= 18 + alen {
+                            if let Ok(addr) = std::str::from_utf8(&tail[18..18 + alen]) {
+                                info.repl_addr = addr.to_string();
+                            }
+                        }
+                    }
+                }
+                Response::Info(info)
             }
             opcode::PONG => Response::Pong,
             opcode::VOTE_RESP => {
@@ -881,6 +987,30 @@ impl Response {
                         what: "voter role",
                     })?,
                 })
+            }
+            opcode::WAL_SUFFIX => {
+                let count = c.u32()? as usize;
+                // Cheapest well-formed record entry is 4 bytes (an
+                // empty length prefix); a hostile count cannot force
+                // an allocation beyond the payload.
+                if count > frame.payload.len() / 4 + 1 {
+                    return Err(WireError::BadField {
+                        opcode: op,
+                        what: "wal record count",
+                    });
+                }
+                let mut records = Vec::with_capacity(count);
+                for _ in 0..count {
+                    let len = c.u32()? as usize;
+                    if len > c.remaining() {
+                        return Err(WireError::BadField {
+                            opcode: op,
+                            what: "wal record length",
+                        });
+                    }
+                    records.push(c.take(len)?.to_vec());
+                }
+                Response::WalSuffix { records }
             }
             opcode::ERROR => {
                 let code = c.u16()?;
@@ -918,6 +1048,17 @@ pub struct PeerLag {
     pub repl_addr: String,
 }
 
+/// One entry of the fixed replication membership list (`--members
+/// id@addr,...`): a node id and the query-port address where its
+/// votes, info polls, and WAL pulls are answered. Unlike the dynamic
+/// [`PeerLag`] roster this list is configuration — every node carries
+/// the same one, and a strict majority of it is the election quorum.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Member {
+    pub id: u64,
+    pub addr: String,
+}
+
 /// Payload of [`ReplMsg::StatusResp`] — what `lbc repl-status` prints.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ReplStatus {
@@ -925,6 +1066,17 @@ pub struct ReplStatus {
     pub applied_seq: u64,
     /// Connected followers (empty on a follower).
     pub peers: Vec<PeerLag>,
+    /// Fixed membership this node runs quorum elections over (empty
+    /// when replication runs without quorum mode). Wire-optional: a
+    /// pre-quorum peer's StatusResp decodes with the defaults below.
+    pub members: Vec<Member>,
+    /// Grants seen / strict-majority threshold of the most recent
+    /// election round (0/0 when none has run).
+    pub votes_seen: u32,
+    pub votes_needed: u32,
+    /// True when the last election failed for lack of a membership
+    /// majority and the node degraded to read-only.
+    pub no_quorum: bool,
 }
 
 /// A message on the replication channel. Follower → primary messages
@@ -943,6 +1095,11 @@ pub enum ReplMsg {
         have_seq: u64,
         addr: String,
         repl_addr: String,
+        /// The fixed membership list the follower was configured with
+        /// (empty when it runs without quorum mode). The primary
+        /// rejects a follower whose list disagrees with its own —
+        /// split-brain protection starts at the handshake.
+        members: Vec<Member>,
     },
     /// Follower acknowledges having applied up to `applied_seq`.
     Ack { applied_seq: u64 },
@@ -968,7 +1125,15 @@ pub enum ReplMsg {
     /// one roster snapshot is taken per tick and fanned out to every
     /// follower with the same epoch number, so two followers holding
     /// the same epoch hold byte-identical rosters.
-    Heartbeat { epoch: u64, roster: Vec<PeerLag> },
+    Heartbeat {
+        epoch: u64,
+        roster: Vec<PeerLag>,
+        /// The primary's fixed membership list, re-fanned on every
+        /// tick so a follower that joined with an empty list (or a
+        /// stale one) adopts the cluster's — and persists it, so a
+        /// restart agrees.
+        members: Vec<Member>,
+    },
     /// Answer to [`ReplMsg::Status`].
     StatusResp(ReplStatus),
     /// Primary refuses the handshake (duplicate follower id, unknown
@@ -1002,11 +1167,15 @@ impl ReplMsg {
                 have_seq,
                 addr,
                 repl_addr,
+                members,
             } => {
                 p.extend_from_slice(&follower_id.to_le_bytes());
                 p.extend_from_slice(&have_seq.to_le_bytes());
                 put_str(&mut p, addr);
                 put_str(&mut p, repl_addr);
+                if !members.is_empty() {
+                    put_members(&mut p, members);
+                }
             }
             ReplMsg::Ack { applied_seq } => {
                 p.extend_from_slice(&applied_seq.to_le_bytes());
@@ -1031,14 +1200,27 @@ impl ReplMsg {
             ReplMsg::WalRec { bytes } => {
                 p.extend_from_slice(bytes);
             }
-            ReplMsg::Heartbeat { epoch, roster } => {
+            ReplMsg::Heartbeat {
+                epoch,
+                roster,
+                members,
+            } => {
                 p.extend_from_slice(&epoch.to_le_bytes());
                 put_roster(&mut p, roster);
+                if !members.is_empty() {
+                    put_members(&mut p, members);
+                }
             }
             ReplMsg::StatusResp(s) => {
                 p.push(s.role as u8);
                 p.extend_from_slice(&s.applied_seq.to_le_bytes());
                 put_roster(&mut p, &s.peers);
+                if !s.members.is_empty() || s.no_quorum || s.votes_needed > 0 || s.votes_seen > 0 {
+                    put_members(&mut p, &s.members);
+                    p.extend_from_slice(&s.votes_seen.to_le_bytes());
+                    p.extend_from_slice(&s.votes_needed.to_le_bytes());
+                    p.push(s.no_quorum as u8);
+                }
             }
             ReplMsg::Deny { reason } => {
                 put_str(&mut p, reason);
@@ -1078,13 +1260,55 @@ impl ReplMsg {
             }
             Ok(peers)
         };
+        // Optional membership tail: absent on pre-quorum peers (the
+        // payload simply ends), decoded when present. Each entry is at
+        // least 10 bytes on the wire (u64 id + empty length-prefixed
+        // addr), bounding hostile counts.
+        let members = |c: &mut Cursor, payload_len: usize| -> Result<Vec<Member>, WireError> {
+            if c.remaining() == 0 {
+                return Ok(Vec::new());
+            }
+            let count = c.u32()? as usize;
+            if count > payload_len / 10 + 1 {
+                return Err(WireError::BadField {
+                    opcode: op,
+                    what: "member count",
+                });
+            }
+            let mut out = Vec::with_capacity(count);
+            for _ in 0..count {
+                out.push(Member {
+                    id: c.u64()?,
+                    addr: c.str("member addr")?,
+                });
+            }
+            Ok(out)
+        };
         let msg = match op {
-            opcode::REPL_HELLO => ReplMsg::Hello {
-                follower_id: c.u64()?,
-                have_seq: c.u64()?,
-                addr: c.str("hello addr")?,
-                repl_addr: c.str("hello repl addr")?,
-            },
+            opcode::REPL_HELLO => {
+                let follower_id = c.u64()?;
+                let have_seq = c.u64()?;
+                let addr = c.str("hello addr")?;
+                let repl_addr = c.str("hello repl addr")?;
+                let tail = c.remaining() > 0;
+                let ms = members(&mut c, frame.payload.len())?;
+                if tail && ms.is_empty() {
+                    // Canonical encoders omit an empty list entirely;
+                    // accepting `count = 0` here would make the parse
+                    // lossy (re-encoding drops the tail).
+                    return Err(WireError::BadField {
+                        opcode: op,
+                        what: "empty membership tail",
+                    });
+                }
+                ReplMsg::Hello {
+                    follower_id,
+                    have_seq,
+                    addr,
+                    repl_addr,
+                    members: ms,
+                }
+            }
             opcode::REPL_ACK => ReplMsg::Ack {
                 applied_seq: c.u64()?,
             },
@@ -1106,9 +1330,18 @@ impl ReplMsg {
             opcode::HEARTBEAT => {
                 let epoch = c.u64()?;
                 let peers = roster(&mut c, frame.payload.len())?;
+                let tail = c.remaining() > 0;
+                let ms = members(&mut c, frame.payload.len())?;
+                if tail && ms.is_empty() {
+                    return Err(WireError::BadField {
+                        opcode: op,
+                        what: "empty membership tail",
+                    });
+                }
                 ReplMsg::Heartbeat {
                     epoch,
                     roster: peers,
+                    members: ms,
                 }
             }
             opcode::STATUS_RESP => {
@@ -1118,10 +1351,34 @@ impl ReplMsg {
                 })?;
                 let applied_seq = c.u64()?;
                 let peers = roster(&mut c, frame.payload.len())?;
+                let tail = c.remaining() > 0;
+                let ms = members(&mut c, frame.payload.len())?;
+                // The quorum tail is all-or-nothing: membership count
+                // plus the three vote fields. A tail that decodes to
+                // every default would not survive a re-encode (the
+                // canonical form omits it), so reject it as hostile.
+                let (votes_seen, votes_needed, no_quorum) = if tail {
+                    let seen = c.u32()?;
+                    let needed = c.u32()?;
+                    let nq = c.u8()? != 0;
+                    (seen, needed, nq)
+                } else {
+                    (0, 0, false)
+                };
+                if tail && ms.is_empty() && votes_seen == 0 && votes_needed == 0 && !no_quorum {
+                    return Err(WireError::BadField {
+                        opcode: op,
+                        what: "redundant quorum tail",
+                    });
+                }
                 ReplMsg::StatusResp(ReplStatus {
                     role,
                     applied_seq,
                     peers,
+                    members: ms,
+                    votes_seen,
+                    votes_needed,
+                    no_quorum,
                 })
             }
             opcode::REPL_DENY => ReplMsg::Deny {
@@ -1184,6 +1441,7 @@ mod tests {
             candidate_id: 9,
             candidate_seq: u64::MAX,
         });
+        roundtrip_request(Request::WalPull { after_seq: 41 });
     }
 
     #[test]
@@ -1214,6 +1472,11 @@ mod tests {
             k: 3,
             applied_seq: 12,
             role: Role::Follower,
+            no_quorum: true,
+            votes_seen: 1,
+            votes_needed: 2,
+            member_count: 3,
+            repl_addr: "127.0.0.1:7311".to_string(),
         }));
         roundtrip_response(Response::Pong);
         roundtrip_response(Response::Vote(VoteResp {
@@ -1222,6 +1485,12 @@ mod tests {
             voter_seq: 17,
             voter_role: Role::Follower,
         }));
+        roundtrip_response(Response::WalSuffix {
+            records: vec![b"LWAL....rec one".to_vec(), Vec::new(), vec![0xFF; 300]],
+        });
+        roundtrip_response(Response::WalSuffix {
+            records: Vec::new(),
+        });
         roundtrip_response(Response::Error {
             code: 2,
             message: "node 99 out of range".to_string(),
@@ -1265,6 +1534,10 @@ mod tests {
         let mut tail = Vec::new();
         tail.extend_from_slice(&42u64.to_le_bytes());
         tail.push(Role::Promoted as u8);
+        tail.push(1); // no_quorum
+        tail.extend_from_slice(&3u16.to_le_bytes()); // votes_seen
+        tail.extend_from_slice(&4u16.to_le_bytes()); // votes_needed
+        tail.extend_from_slice(&5u16.to_le_bytes()); // member_count
         tail.extend_from_slice(b"future fields");
         payload.extend_from_slice(&(tail.len() as u16).to_le_bytes());
         payload.extend_from_slice(&tail);
@@ -1279,6 +1552,110 @@ mod tests {
         };
         assert_eq!(info.applied_seq, 42);
         assert_eq!(info.role, Role::Promoted);
+        assert!(info.no_quorum);
+        assert_eq!(info.votes_seen, 3);
+        assert_eq!(info.votes_needed, 4);
+        assert_eq!(info.member_count, 5);
+    }
+
+    #[test]
+    fn info_with_pre_quorum_9_byte_tail_decodes_with_quorum_defaults() {
+        // A PR-6 era server sends only applied_seq + role in the tail;
+        // the quorum fields must default, not error.
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&1u64.to_le_bytes());
+        payload.extend_from_slice(&2u64.to_le_bytes());
+        payload.extend_from_slice(&3u32.to_le_bytes());
+        payload.extend_from_slice(&1u16.to_le_bytes());
+        payload.push(b'x');
+        let mut tail = Vec::new();
+        tail.extend_from_slice(&7u64.to_le_bytes());
+        tail.push(Role::Follower as u8);
+        payload.extend_from_slice(&(tail.len() as u16).to_le_bytes());
+        payload.extend_from_slice(&tail);
+        let mut bytes = Vec::new();
+        encode_frame(&mut bytes, opcode::INFO_RESP, 0, &payload).unwrap();
+        let mut dec = FrameDecoder::new();
+        dec.push(&bytes);
+        let f = dec.next_frame().unwrap().unwrap();
+        let info = match Response::from_frame(&f).unwrap() {
+            Response::Info(i) => i,
+            other => panic!("expected Info, got {other:?}"),
+        };
+        assert_eq!(info.applied_seq, 7);
+        assert_eq!(info.role, Role::Follower);
+        assert!(!info.no_quorum);
+        assert_eq!(
+            (info.votes_seen, info.votes_needed, info.member_count),
+            (0, 0, 0)
+        );
+    }
+
+    #[test]
+    fn pre_quorum_hello_and_heartbeat_decode_with_empty_members() {
+        // A PR-6 era peer's Hello/Heartbeat payloads end before the
+        // membership block; decode must yield an empty list.
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&3u64.to_le_bytes());
+        payload.extend_from_slice(&17u64.to_le_bytes());
+        put_str(&mut payload, "10.0.0.7:7070");
+        put_str(&mut payload, "");
+        let mut bytes = Vec::new();
+        encode_frame(&mut bytes, opcode::REPL_HELLO, 0, &payload).unwrap();
+        let mut dec = FrameDecoder::new();
+        dec.push(&bytes);
+        let f = dec.next_frame().unwrap().unwrap();
+        match ReplMsg::from_frame(&f).unwrap() {
+            ReplMsg::Hello { members, .. } => assert!(members.is_empty()),
+            other => panic!("expected Hello, got {other:?}"),
+        }
+
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&5u64.to_le_bytes());
+        payload.extend_from_slice(&0u32.to_le_bytes()); // empty roster
+        let mut bytes = Vec::new();
+        encode_frame(&mut bytes, opcode::HEARTBEAT, 0, &payload).unwrap();
+        let mut dec = FrameDecoder::new();
+        dec.push(&bytes);
+        let f = dec.next_frame().unwrap().unwrap();
+        match ReplMsg::from_frame(&f).unwrap() {
+            ReplMsg::Heartbeat { members, .. } => assert!(members.is_empty()),
+            other => panic!("expected Heartbeat, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hostile_member_count_does_not_overallocate() {
+        // Hello with a membership block claiming u32::MAX entries but
+        // no bytes behind it: must error, not OOM.
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&3u64.to_le_bytes());
+        payload.extend_from_slice(&17u64.to_le_bytes());
+        put_str(&mut payload, "a:1");
+        put_str(&mut payload, "");
+        payload.extend_from_slice(&u32::MAX.to_le_bytes());
+        let mut bytes = Vec::new();
+        encode_frame(&mut bytes, opcode::REPL_HELLO, 0, &payload).unwrap();
+        let mut dec = FrameDecoder::new();
+        dec.push(&bytes);
+        let f = dec.next_frame().unwrap().unwrap();
+        assert!(matches!(
+            ReplMsg::from_frame(&f),
+            Err(WireError::BadField { .. })
+        ));
+    }
+
+    #[test]
+    fn hostile_wal_suffix_count_does_not_overallocate() {
+        let mut bytes = Vec::new();
+        encode_frame(&mut bytes, opcode::WAL_SUFFIX, 0, &u32::MAX.to_le_bytes()).unwrap();
+        let mut dec = FrameDecoder::new();
+        dec.push(&bytes);
+        let f = dec.next_frame().unwrap().unwrap();
+        assert!(matches!(
+            Response::from_frame(&f),
+            Err(WireError::BadField { .. })
+        ));
     }
 
     fn roundtrip_repl(msg: ReplMsg) {
@@ -1298,6 +1675,23 @@ mod tests {
             have_seq: 17,
             addr: "10.0.0.7:7070".to_string(),
             repl_addr: String::new(),
+            members: Vec::new(),
+        });
+        roundtrip_repl(ReplMsg::Hello {
+            follower_id: 3,
+            have_seq: 17,
+            addr: "10.0.0.7:7070".to_string(),
+            repl_addr: "10.0.0.7:7071".to_string(),
+            members: vec![
+                Member {
+                    id: 1,
+                    addr: "10.0.0.5:7070".to_string(),
+                },
+                Member {
+                    id: 3,
+                    addr: "10.0.0.7:7070".to_string(),
+                },
+            ],
         });
         roundtrip_repl(ReplMsg::Ack { applied_seq: 42 });
         roundtrip_repl(ReplMsg::Status);
@@ -1334,11 +1728,41 @@ mod tests {
                     repl_addr: String::new(),
                 },
             ],
+            members: vec![Member {
+                id: 2,
+                addr: "127.0.0.1:9002".to_string(),
+            }],
         });
         roundtrip_repl(ReplMsg::StatusResp(ReplStatus {
             role: Role::Promoted,
             applied_seq: 42,
             peers: Vec::new(),
+            members: Vec::new(),
+            votes_seen: 0,
+            votes_needed: 0,
+            no_quorum: false,
+        }));
+        roundtrip_repl(ReplMsg::StatusResp(ReplStatus {
+            role: Role::Follower,
+            applied_seq: 42,
+            peers: Vec::new(),
+            members: vec![
+                Member {
+                    id: 1,
+                    addr: "a:1".to_string(),
+                },
+                Member {
+                    id: 2,
+                    addr: "b:2".to_string(),
+                },
+                Member {
+                    id: 3,
+                    addr: "c:3".to_string(),
+                },
+            ],
+            votes_seen: 1,
+            votes_needed: 2,
+            no_quorum: true,
         }));
         roundtrip_repl(ReplMsg::Deny {
             reason: "follower id 7 already connected".to_string(),

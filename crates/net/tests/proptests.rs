@@ -7,7 +7,8 @@
 use lbc_graph::GraphDelta;
 use lbc_net::wire::opcode;
 use lbc_net::{
-    Frame, FrameDecoder, PeerLag, ReplMsg, ReplStatus, Request, Response, Role, VoteResp, WireError,
+    Frame, FrameDecoder, Member, PeerLag, ReplMsg, ReplStatus, Request, Response, Role, VoteResp,
+    WireError,
 };
 use lbc_runtime::{Answer, CacheStats, Query};
 use proptest::prelude::*;
@@ -248,11 +249,21 @@ proptest! {
         chunk_count in 0u32..10_000,
         blob in proptest::collection::vec(0u8..=255, 0..256),
         roster in proptest::collection::vec((0u64..1000, 0u64..u64::MAX, 0u8..=255), 0..8),
+        member_seeds in proptest::collection::vec((0u64..1000, 0u8..=255), 0..6),
+        quorum in (0u32..64, 0u32..64, 0u8..2),
         role_tag in 0u8..3,
         request_id in 0u64..u64::MAX,
         chunk in 1usize..64,
         reason_len in 0usize..64,
     ) {
+        let members: Vec<Member> = member_seeds
+            .iter()
+            .map(|&(id, addr_seed)| Member {
+                id,
+                // Addresses of every length class, empty included.
+                addr: "m:".repeat(addr_seed as usize % 5),
+            })
+            .collect();
         let peers: Vec<PeerLag> = roster
             .iter()
             .map(|&(follower_id, applied_seq, addr_seed)| PeerLag {
@@ -275,6 +286,7 @@ proptest! {
                 have_seq: ids.1,
                 addr: hello_addr.clone(),
                 repl_addr: hello_addr,
+                members: members.clone(),
             },
             ReplMsg::Ack { applied_seq: ids.2 },
             ReplMsg::Status,
@@ -282,8 +294,16 @@ proptest! {
             ReplMsg::SnapChunk { offset: ids.2, bytes: blob.clone() },
             ReplMsg::SnapEnd { crc64: ids.0 },
             ReplMsg::WalRec { bytes: blob },
-            ReplMsg::Heartbeat { epoch: ids.1, roster: peers.clone() },
-            ReplMsg::StatusResp(ReplStatus { role, applied_seq: ids.2, peers }),
+            ReplMsg::Heartbeat { epoch: ids.1, roster: peers.clone(), members: members.clone() },
+            ReplMsg::StatusResp(ReplStatus {
+                role,
+                applied_seq: ids.2,
+                peers,
+                members,
+                votes_seen: quorum.0,
+                votes_needed: quorum.1,
+                no_quorum: quorum.2 == 1,
+            }),
             ReplMsg::Deny { reason: "d".repeat(reason_len) },
         ];
         let mut bytes = Vec::new();
@@ -319,6 +339,13 @@ proptest! {
                     applied_seq,
                     addr: format!("10.0.0.{}:7000", follower_id % 250),
                     repl_addr: String::new(),
+                })
+                .collect(),
+            members: roster
+                .iter()
+                .map(|&(id, _)| Member {
+                    id,
+                    addr: format!("10.0.0.{}:7000", id % 250),
                 })
                 .collect(),
         };
@@ -373,6 +400,123 @@ proptest! {
         if let Ok(msg) = ReplMsg::from_frame(&f) {
             // Strict parse: anything accepted must round-trip exactly.
             prop_assert_eq!(msg.payload(), payload);
+        }
+    }
+
+    /// The promotion-time reconciliation frames (`WAL_PULL` request,
+    /// `WAL_SUFFIX` response) round-trip bit-for-bit at every feeding
+    /// granularity, and a flipped byte never yields the originals back.
+    #[test]
+    fn wal_pull_and_suffix_round_trip_and_survive_corruption(
+        after_seq in 0u64..u64::MAX,
+        records in proptest::collection::vec(
+            proptest::collection::vec(0u8..=255, 0..64),
+            0..12,
+        ),
+        chunk in 1usize..64,
+        flip_pos_seed in 0usize..10_000,
+        flip_bits in 1u8..=255,
+    ) {
+        let req = Request::WalPull { after_seq };
+        let resp = Response::WalSuffix { records };
+        let mut bytes = Vec::new();
+        req.encode(&mut bytes, 11).unwrap();
+        resp.encode(&mut bytes, 12).unwrap();
+        for chunk in [bytes.len(), 1, chunk] {
+            let frames = decode_chunked(&bytes, chunk).unwrap();
+            prop_assert_eq!(frames.len(), 2);
+            prop_assert_eq!(&Request::from_frame(&frames[0]).unwrap(), &req);
+            prop_assert_eq!(&Response::from_frame(&frames[1]).unwrap(), &resp);
+        }
+        // Single-byte corruption: a typed error, a decoder left
+        // waiting, or provably different messages — never a panic and
+        // never the original pair.
+        let pos = flip_pos_seed % bytes.len();
+        bytes[pos] ^= flip_bits;
+        match decode_chunked(&bytes, 1) {
+            Err(_) => {}
+            Ok(frames) => {
+                let got_req = frames.first().map(Request::from_frame);
+                let got_resp = frames.get(1).map(Response::from_frame);
+                if let (Some(Ok(r0)), Some(Ok(r1))) = (got_req, got_resp) {
+                    prop_assert!(
+                        r0 != req || r1 != resp,
+                        "corrupted stream decoded to the original reconciliation pair"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Arbitrary payloads under the reconciliation opcodes (whose
+    /// length fields are attacker-controlled) parse to a typed error
+    /// or a valid message — never a panic, never an over-allocation.
+    #[test]
+    fn wal_pull_and_suffix_arbitrary_payload_never_panics(
+        payload in proptest::collection::vec(0u8..=255, 0..128),
+        pull_tag in 0u8..2,
+    ) {
+        let as_pull = pull_tag == 1;
+        let op = if as_pull { opcode::WAL_PULL } else { opcode::WAL_SUFFIX };
+        let mut bytes = Vec::new();
+        lbc_net::encode_frame(&mut bytes, op, 3, &payload).unwrap();
+        let mut dec = FrameDecoder::new();
+        dec.push(&bytes);
+        let f = dec.next_frame().unwrap().unwrap();
+        if as_pull {
+            if let Ok(back) = Request::from_frame(&f) {
+                prop_assert!(matches!(back, Request::WalPull { .. }));
+            }
+        } else if let Ok(back) = Response::from_frame(&f) {
+            prop_assert!(matches!(back, Response::WalSuffix { .. }));
+        }
+    }
+
+    /// Quorum-vote frames round-trip with the full vote field set and
+    /// survive single-byte corruption as typed errors, not panics.
+    #[test]
+    fn vote_frames_round_trip_and_survive_corruption(
+        candidate in (0u64..u64::MAX, 0u64..u64::MAX),
+        voter in (0u64..u64::MAX, 0u64..u64::MAX, 0u8..3, 0u8..2),
+        flip_pos_seed in 0usize..10_000,
+        flip_bits in 1u8..=255,
+    ) {
+        let req = Request::ReplVote {
+            candidate_id: candidate.0,
+            candidate_seq: candidate.1,
+        };
+        let resp = Response::Vote(VoteResp {
+            granted: voter.3 == 1,
+            voter_id: voter.0,
+            voter_seq: voter.1,
+            voter_role: match voter.2 {
+                0 => Role::Primary,
+                1 => Role::Follower,
+                _ => Role::Promoted,
+            },
+        });
+        let mut bytes = Vec::new();
+        req.encode(&mut bytes, 21).unwrap();
+        resp.encode(&mut bytes, 22).unwrap();
+        let frames = decode_chunked(&bytes, 1).unwrap();
+        prop_assert_eq!(frames.len(), 2);
+        prop_assert_eq!(&Request::from_frame(&frames[0]).unwrap(), &req);
+        prop_assert_eq!(&Response::from_frame(&frames[1]).unwrap(), &resp);
+
+        let pos = flip_pos_seed % bytes.len();
+        bytes[pos] ^= flip_bits;
+        match decode_chunked(&bytes, 1) {
+            Err(_) => {}
+            Ok(frames) => {
+                let got_req = frames.first().map(Request::from_frame);
+                let got_resp = frames.get(1).map(Response::from_frame);
+                if let (Some(Ok(r0)), Some(Ok(r1))) = (got_req, got_resp) {
+                    prop_assert!(
+                        r0 != req || r1 != resp,
+                        "corrupted stream decoded to the original vote pair"
+                    );
+                }
+            }
         }
     }
 
@@ -473,6 +617,7 @@ fn response_opcode_constants_have_high_bit() {
         opcode::STATUS_RESP,
         opcode::VOTE_RESP,
         opcode::REPL_DENY,
+        opcode::WAL_SUFFIX,
     ] {
         assert!(op & 0x80 != 0, "response opcode {op:#04x} missing high bit");
     }
@@ -483,6 +628,7 @@ fn response_opcode_constants_have_high_bit() {
         opcode::INFO,
         opcode::PING,
         opcode::REPL_VOTE,
+        opcode::WAL_PULL,
         // Follower → primary messages live in request space.
         opcode::REPL_HELLO,
         opcode::REPL_ACK,
@@ -509,6 +655,20 @@ fn repl_every_split_point_of_one_frame() {
                 applied_seq: 41,
                 addr: "127.0.0.1:7102".to_string(),
                 repl_addr: String::new(),
+            },
+        ],
+        members: vec![
+            Member {
+                id: 1,
+                addr: "127.0.0.1:7101".to_string(),
+            },
+            Member {
+                id: 2,
+                addr: "127.0.0.1:7102".to_string(),
+            },
+            Member {
+                id: 3,
+                addr: "127.0.0.1:7103".to_string(),
             },
         ],
     };

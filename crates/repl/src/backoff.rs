@@ -1,0 +1,152 @@
+//! Jittered exponential backoff with an optional deadline.
+//!
+//! Every retry loop in the replication stack used to sleep a fixed
+//! interval — which synchronises competing candidates (two followers
+//! that noticed primary death in the same heartbeat re-poll in
+//! lockstep forever) and polls exactly as hard under sustained failure
+//! as on the first miss. This helper replaces those loops with the
+//! standard *equal jitter* scheme: each delay is `cur/2 + uniform(0,
+//! cur/2)` with `cur` doubling up to a cap, deterministic per seed
+//! (the chaos harness replays schedules byte-for-byte). The expected
+//! first delay equals `base × ¾`, so swapping a `sleep(base)` loop for
+//! `Backoff::new(base, ..)` leaves happy-path latency unchanged to
+//! within a tick.
+
+use std::time::{Duration, Instant};
+
+use lbc_faults::SplitMix64;
+
+/// Jittered exponential retry timer. Not `Clone` on purpose: sharing
+/// one across loops would correlate their jitter.
+#[derive(Debug)]
+pub struct Backoff {
+    base: Duration,
+    cap: Duration,
+    cur: Duration,
+    deadline: Option<Instant>,
+    rng: SplitMix64,
+}
+
+impl Backoff {
+    /// `base` is the first (pre-jitter) delay, `cap` the growth limit;
+    /// `seed` makes the jitter sequence reproducible — seed it with
+    /// something node-unique (the follower id) so competing nodes
+    /// desynchronise.
+    pub fn new(base: Duration, cap: Duration, seed: u64) -> Backoff {
+        let base = base.max(Duration::from_millis(1));
+        Backoff {
+            base,
+            cap: cap.max(base),
+            cur: base,
+            deadline: None,
+            rng: SplitMix64::new(seed),
+        }
+    }
+
+    /// Refuse to sleep past `deadline`: once it passes, [`sleep`]
+    /// returns `false` and the caller's loop should give up.
+    ///
+    /// [`sleep`]: Backoff::sleep
+    pub fn with_deadline(mut self, deadline: Instant) -> Backoff {
+        self.deadline = Some(deadline);
+        self
+    }
+
+    /// Drop back to the initial delay — call after a success so the
+    /// next failure starts the ramp from scratch.
+    pub fn reset(&mut self) {
+        self.cur = self.base;
+    }
+
+    /// The next delay: equal jitter over the current stage, then
+    /// double the stage (up to the cap). `None` once the deadline has
+    /// passed; a delay that would overshoot the deadline is truncated
+    /// to land exactly on it.
+    pub fn next_delay(&mut self) -> Option<Duration> {
+        let half = self.cur / 2;
+        let jitter_ns = if half.is_zero() {
+            0
+        } else {
+            self.rng.below(half.as_nanos() as u64 + 1)
+        };
+        let mut delay = half + Duration::from_nanos(jitter_ns);
+        self.cur = (self.cur * 2).min(self.cap);
+        if let Some(deadline) = self.deadline {
+            let left = deadline.checked_duration_since(Instant::now())?;
+            delay = delay.min(left);
+        }
+        Some(delay)
+    }
+
+    /// Sleep the next delay. `false` (without sleeping) once the
+    /// deadline has passed.
+    pub fn sleep(&mut self) -> bool {
+        match self.next_delay() {
+            Some(d) => {
+                std::thread::sleep(d);
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn delays_grow_to_the_cap_and_stay_jittered_in_range() {
+        let base = Duration::from_millis(10);
+        let cap = Duration::from_millis(80);
+        let mut b = Backoff::new(base, cap, 7);
+        let mut prev_stage = base;
+        for _ in 0..10 {
+            let stage = prev_stage; // the stage this draw samples from
+            let d = b.next_delay().unwrap();
+            assert!(d >= stage / 2, "delay {d:?} below half-stage {stage:?}");
+            assert!(d <= stage, "delay {d:?} above stage {stage:?}");
+            prev_stage = (stage * 2).min(cap);
+        }
+        // After enough doublings every draw samples the cap's range.
+        let d = b.next_delay().unwrap();
+        assert!(d >= cap / 2 && d <= cap);
+    }
+
+    #[test]
+    fn same_seed_same_schedule_different_seed_differs() {
+        let mk = |seed| {
+            let mut b = Backoff::new(Duration::from_millis(10), Duration::from_millis(100), seed);
+            (0..12).map(|_| b.next_delay().unwrap()).collect::<Vec<_>>()
+        };
+        assert_eq!(mk(3), mk(3));
+        assert_ne!(mk(3), mk(4));
+    }
+
+    #[test]
+    fn reset_restarts_the_ramp() {
+        let mut b = Backoff::new(Duration::from_millis(8), Duration::from_millis(64), 1);
+        for _ in 0..6 {
+            b.next_delay().unwrap();
+        }
+        b.reset();
+        let d = b.next_delay().unwrap();
+        assert!(d <= Duration::from_millis(8));
+    }
+
+    #[test]
+    fn expired_deadline_refuses_to_sleep() {
+        let mut b = Backoff::new(Duration::from_millis(5), Duration::from_millis(5), 9)
+            .with_deadline(Instant::now() - Duration::from_millis(1));
+        assert_eq!(b.next_delay(), None);
+        assert!(!b.sleep());
+    }
+
+    #[test]
+    fn delay_truncates_to_the_deadline() {
+        let mut b = Backoff::new(Duration::from_secs(10), Duration::from_secs(10), 2)
+            .with_deadline(Instant::now() + Duration::from_millis(20));
+        let d = b.next_delay().unwrap();
+        assert!(d <= Duration::from_millis(20));
+    }
+}

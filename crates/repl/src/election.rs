@@ -1,50 +1,59 @@
-//! Failover election: live polls + confirmation votes.
+//! Failover election: live polls + confirmation votes, with an
+//! optional fixed-membership quorum rule.
 //!
 //! A heartbeat roster is only a hint — each snapshot is already stale
 //! by the time a follower holds it, and two followers may hold
 //! *different* snapshots (one connected between ticks). Electing on
 //! rosters alone is therefore a split-brain generator. This module
-//! replaces roster-trusting promotion with a two-phase check run by
+//! replaces roster-trusting promotion with a multi-phase check run by
 //! every survivor when its primary link dies:
 //!
-//! 1. **Live poll.** Ask every rostered peer's query port (plain
-//!    `Info`) for its *current* `applied_seq` and role. Once the
-//!    primary is dead no follower's seq can advance, so every pollster
-//!    observes the same frozen values — the consistency the stale
-//!    rosters lacked. Unreachable peers drop out (they cannot promote
-//!    either, absent a partition); a peer already `Primary`/`Promoted`
-//!    ends the election immediately in its favour.
-//! 2. **Vote round.** If the deterministic order (highest seq, ties to
-//!    lowest id — [`crate::choose_promoted`]) names *this* node over
-//!    the live set, it still must collect a confirmation vote from
-//!    every live peer before promoting. A peer grants only while it is
-//!    itself an orphaned follower (its own primary link silent past
-//!    the liveness window) and only to a candidate that beats it under
-//!    the same order — so of two racing candidates at most one can
-//!    ever collect the other's vote, and a follower that merely lost
-//!    its own link cannot steal promotion from a cluster whose primary
-//!    is alive.
+//! 1. **Live poll.** Ask each peer's query port (plain `Info`) for its
+//!    *current* `applied_seq` and role. Once the primary is dead no
+//!    follower's seq can advance, so every pollster observes the same
+//!    frozen values — the consistency the stale rosters lacked. A peer
+//!    already `Primary`/`Promoted` ends the election immediately in
+//!    its favour. In **quorum mode** (a [`Membership`] is configured)
+//!    the polled set is the fixed membership; a round that cannot even
+//!    reach a strict majority of it is not allowed to proceed to
+//!    votes.
+//! 2. **Candidate check.** The deterministic order (highest seq, ties
+//!    to lowest id — [`crate::choose_promoted`]) runs over the live
+//!    set ∪ self, skipping peers that advertise no replication
+//!    listener (they cannot serve if named winner; their higher seq is
+//!    recovered by the winner's reconciliation pull instead).
+//! 3. **Vote round.** A self-named candidate collects confirmation
+//!    votes: *every* live peer in roster-only mode, a **strict
+//!    majority of the membership** (self included) in quorum mode. A
+//!    peer grants only while it is itself an orphaned follower and
+//!    only to a candidate that beats it under the same order — or
+//!    unconditionally when it cannot promote itself, so an
+//!    unpromotable straggler with a higher seq concedes rather than
+//!    deadlocking the group.
 //!
 //! Denied votes mean "not yet" (typically: the voter has not noticed
-//! primary death); the election backs off one heartbeat interval and
-//! re-runs, long enough to outlast every peer's liveness window. What
-//! this deliberately does **not** solve: a full follower-to-follower
-//! partition makes peers indistinguishable from dead ones, and no
-//! quorum-free protocol can promote safely there — that residual
-//! window is documented at the crate root.
+//! primary death); the election backs off — jittered, so competing
+//! candidates desynchronise — and re-runs, long enough to outlast
+//! every peer's liveness window. A quorum-mode election that never
+//! reaches a majority ends in [`ElectionOutcome::NoQuorum`]: the
+//! caller keeps serving reads and reports the typed status instead of
+//! promoting into a minority partition.
 
+use std::collections::BTreeSet;
 use std::net::SocketAddr;
 use std::time::Duration;
 
 use lbc_net::{NetClient, PeerLag, Role};
 
-use crate::ReplConfig;
+use crate::{link_up, Backoff, ReplConfig};
 
 /// How an election over the member set concluded.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ElectionOutcome {
     /// This node won the deterministic order over the live peers and
-    /// every one of them confirmed; the caller may flip to `Promoted`.
+    /// collected the required votes; the caller may flip to
+    /// `Promoted` (after reconciling — see
+    /// [`crate::FollowerConn::run`]'s failover path).
     Won,
     /// Another node wins (or already promoted); re-follow it.
     Lost {
@@ -55,10 +64,22 @@ pub enum ElectionOutcome {
         /// empty, in which case the caller must re-elect later).
         winner_repl: String,
     },
-    /// The round budget expired without unanimous confirmation — some
-    /// peer kept denying (its primary looks alive to it, or seqs moved
-    /// under us). The caller should keep serving read-only and retry.
+    /// The round budget expired without the required confirmation —
+    /// some peer kept denying (its primary looks alive to it, or seqs
+    /// moved under us). The caller should keep serving read-only and
+    /// retry.
     Inconclusive,
+    /// Quorum mode only: a strict majority of the configured
+    /// membership was never reachable. Promotion is forbidden — this
+    /// node is (as far as it can tell) in a minority partition. Keep
+    /// serving reads, report the counts, retry after the partition
+    /// heals.
+    NoQuorum {
+        /// Members reachable in the final round, self included.
+        votes_seen: u32,
+        /// The strict majority the membership demands.
+        votes_needed: u32,
+    },
 }
 
 /// `(seq, id)` promotion order: higher seq wins, ties to lower id.
@@ -75,62 +96,125 @@ struct LivePeer {
     client: NetClient,
 }
 
-/// Run the failover election for `self_id` (currently at `self_seq`)
-/// over `members` — the last heartbeat roster, self included or not.
-/// Blocks up to roughly `2 × heartbeat_timeout` in the contended case;
-/// returns immediately when alone or clearly beaten.
+/// A peer this election should poll: identity from the membership (or
+/// roster), repl listener from whichever of the two knows it.
+struct Target {
+    id: u64,
+    addr: String,
+    repl_addr: String,
+}
+
+/// Run the failover election for `self_id` (currently at `self_seq`).
+/// `roster` is the last heartbeat roster (self included or not); with
+/// [`ReplConfig::members`] configured the electorate is that fixed
+/// membership instead, the roster only enriching it with replication
+/// addresses. Blocks up to roughly `2 × heartbeat_timeout` in the
+/// contended case; returns immediately when alone or clearly beaten.
 pub fn run_election(
     self_id: u64,
     self_seq: u64,
-    members: &[PeerLag],
+    roster: &[PeerLag],
     cfg: &ReplConfig,
 ) -> ElectionOutcome {
     let interval = cfg.heartbeat_interval.max(Duration::from_millis(1));
     let probe = cfg.heartbeat_timeout.max(Duration::from_millis(50));
+    let quorum_mode = !cfg.members.is_empty();
+    let votes_needed = cfg.members.quorum() as u32;
+
+    let targets: Vec<Target> = if quorum_mode {
+        cfg.members
+            .members
+            .iter()
+            .filter(|m| m.id != self_id)
+            .map(|m| Target {
+                id: m.id,
+                addr: m.addr.clone(),
+                repl_addr: roster
+                    .iter()
+                    .find(|p| p.follower_id == m.id)
+                    .map(|p| p.repl_addr.clone())
+                    .unwrap_or_default(),
+            })
+            .collect()
+    } else {
+        roster
+            .iter()
+            .filter(|p| p.follower_id != self_id)
+            .map(|p| Target {
+                id: p.follower_id,
+                addr: p.addr.clone(),
+                repl_addr: p.repl_addr.clone(),
+            })
+            .collect()
+    };
+
     // Enough back-off rounds to outlast every peer's liveness window
     // (a peer that has not yet noticed primary death denies votes for
-    // up to one heartbeat_timeout), plus slack for scheduling.
+    // up to one heartbeat_timeout), plus slack for scheduling. The
+    // per-round delay is jittered around the heartbeat interval so two
+    // candidates that noticed the death in the same beat stop
+    // re-polling in lockstep.
     let rounds = (cfg.heartbeat_timeout.as_millis() / interval.as_millis()).max(1) as u32 * 2 + 5;
+    let mut backoff = Backoff::new(interval, interval * 4, self_id ^ self_seq.rotate_left(32));
+    let mut reachable = 1u32; // self, updated per round
 
     for round in 0..rounds {
         if round > 0 {
-            std::thread::sleep(interval);
+            backoff.sleep();
         }
 
-        // Phase 1: live-poll every other pollable member.
+        // Phase 1: live-poll every other pollable target.
         let mut live: Vec<LivePeer> = Vec::new();
-        for p in members {
-            if p.follower_id == self_id || p.addr.is_empty() {
+        for t in &targets {
+            if t.addr.is_empty() || !link_up(&cfg.faults, &t.addr) {
                 continue;
             }
-            let Ok(sa) = p.addr.parse::<SocketAddr>() else {
+            let Ok(sa) = t.addr.parse::<SocketAddr>() else {
                 continue;
             };
             let Ok(mut client) = NetClient::connect_timeout(&sa, probe) else {
                 continue; // unreachable ⇒ treated as dead
             };
             let Ok(info) = client.info() else { continue };
+            // The roster may not name this peer's replication listener
+            // (membership-only targets never do); the live poll fills
+            // the gap so a winner found this way can be re-followed.
+            let repl_addr = if t.repl_addr.is_empty() {
+                info.repl_addr.clone()
+            } else {
+                t.repl_addr.clone()
+            };
             if matches!(info.role, Role::Primary | Role::Promoted) {
                 // Someone is already serving writes; defer, done.
                 return ElectionOutcome::Lost {
-                    winner: p.follower_id,
-                    winner_addr: p.addr.clone(),
-                    winner_repl: p.repl_addr.clone(),
+                    winner: t.id,
+                    winner_addr: t.addr.clone(),
+                    winner_repl: repl_addr,
                 };
             }
             live.push(LivePeer {
-                id: p.follower_id,
+                id: t.id,
                 seq: info.applied_seq,
-                addr: p.addr.clone(),
-                repl_addr: p.repl_addr.clone(),
+                addr: t.addr.clone(),
+                repl_addr,
                 client,
             });
         }
+        reachable = live.len() as u32 + 1;
+        if quorum_mode && reachable < votes_needed {
+            // Cannot possibly collect a majority this round; spin on
+            // the backoff in case the partition heals within budget.
+            continue;
+        }
 
         // Phase 2: deterministic order over the live set ∪ self.
+        // Peers without a replication listener are skipped as
+        // candidates — naming one winner would leave the group with a
+        // primary nobody can follow; its higher seq (the reason it
+        // would have won) is recovered by the reconciliation pull.
         let mut best: Option<&LivePeer> = None;
         let mut best_key = (self_seq, self_id);
-        for peer in &live {
+        for peer in live.iter().filter(|p| !p.repl_addr.is_empty()) {
             if beats((peer.seq, peer.id), best_key) {
                 best_key = (peer.seq, peer.id);
                 best = Some(peer);
@@ -145,11 +229,14 @@ pub fn run_election(
         }
 
         // Phase 3: we are the candidate — collect confirmation votes.
+        let mut granted: BTreeSet<u64> = BTreeSet::new();
         let mut denied = false;
         let mut deferred: Option<ElectionOutcome> = None;
         for peer in &mut live {
             match peer.client.repl_vote(self_id, self_seq) {
-                Ok(v) if v.granted => {}
+                Ok(v) if v.granted => {
+                    granted.insert(peer.id);
+                }
                 Ok(v) => {
                     if matches!(v.voter_role, Role::Primary | Role::Promoted) {
                         deferred = Some(ElectionOutcome::Lost {
@@ -169,11 +256,25 @@ pub fn run_election(
         if let Some(outcome) = deferred {
             return outcome;
         }
-        if !denied {
+        let won = if quorum_mode {
+            // Strict majority of the *membership*, self-vote included
+            // — mid-round deaths shrink the grant set, never the bar.
+            granted.len() as u32 + 1 >= votes_needed
+        } else {
+            !denied
+        };
+        if won {
             return ElectionOutcome::Won;
         }
-        // Denied: a voter still considers its primary alive (or sees a
-        // better candidate). Back off a beat and re-poll fresh.
+        // Denied or short of quorum: a voter still considers its
+        // primary alive (or sees a better candidate), or enough peers
+        // died mid-round. Back off a jittered beat and re-poll fresh.
+    }
+    if quorum_mode && reachable < votes_needed {
+        return ElectionOutcome::NoQuorum {
+            votes_seen: reachable,
+            votes_needed,
+        };
     }
     ElectionOutcome::Inconclusive
 }
@@ -181,6 +282,7 @@ pub fn run_election(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Membership;
 
     fn member(id: u64, seq: u64, addr: &str) -> PeerLag {
         PeerLag {
@@ -228,5 +330,31 @@ mod tests {
             run_election(2, 0, &members, &quick_cfg()),
             ElectionOutcome::Won
         );
+    }
+
+    #[test]
+    fn quorum_mode_alone_in_a_three_group_is_no_quorum() {
+        // Same dead-peer setup, but with a fixed 3-member group: the
+        // lone survivor must refuse to promote, reporting 1 of 2.
+        let cfg = ReplConfig {
+            members: Membership::parse("1@127.0.0.1:9,2@127.0.0.1:9,3@127.0.0.1:9").unwrap(),
+            ..quick_cfg()
+        };
+        assert_eq!(
+            run_election(2, 0, &[], &cfg),
+            ElectionOutcome::NoQuorum {
+                votes_seen: 1,
+                votes_needed: 2,
+            }
+        );
+    }
+
+    #[test]
+    fn quorum_of_a_singleton_membership_is_itself() {
+        let cfg = ReplConfig {
+            members: Membership::parse("4@127.0.0.1:9").unwrap(),
+            ..quick_cfg()
+        };
+        assert_eq!(run_election(4, 0, &[], &cfg), ElectionOutcome::Won);
     }
 }

@@ -8,13 +8,13 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use lbc_net::{FrameDecoder, PeerLag, ReplGate, ReplMsg, Role};
+use lbc_net::{FrameDecoder, NetClient, PeerLag, ReplGate, ReplMsg, Role};
 use lbc_runtime::Registry;
 use lbc_store::{decode_record, format, parse_snapshot};
 
 use crate::{
-    recv_msg, run_election, send_msg, ElectionOutcome, FollowerIdentity, ReplConfig, ReplError,
-    HAVE_NOTHING,
+    link_up, recv_msg, run_election, send_msg, ElectionOutcome, FollowerIdentity, Membership,
+    ReplConfig, ReplError, HAVE_NOTHING,
 };
 
 /// What the initial catch-up did.
@@ -62,6 +62,19 @@ pub enum FailoverOutcome {
         applied_seq: u64,
         members: Vec<PeerLag>,
     },
+    /// Quorum mode: primary died but a strict majority of the fixed
+    /// membership was unreachable — this node is in a minority
+    /// partition and must not promote. The caller should keep serving
+    /// read-only (the gate's quorum status is already set) and, once
+    /// connectivity returns, re-follow whoever the majority elected
+    /// **from scratch** ([`HAVE_NOTHING`]): a minority node may hold a
+    /// diverged suffix the winner's lineage never contained.
+    NoQuorum {
+        applied_seq: u64,
+        members: Vec<PeerLag>,
+        votes_seen: u32,
+        votes_needed: u32,
+    },
     /// [`FollowerHandle::stop`] was called; no failover happened.
     Stopped { applied_seq: u64 },
     /// The loop died on a non-failover error (bad payload, registry
@@ -83,6 +96,9 @@ pub struct FollowerConn {
     identity: FollowerIdentity,
     applied_seq: u64,
     next_id: u64,
+    /// The primary's address as dialled — the key the fault oracle
+    /// knows this link by.
+    primary_addr: String,
 }
 
 struct FollowerShared {
@@ -167,6 +183,18 @@ impl FollowerConn {
         let stream = TcpStream::connect(addr).map_err(ReplError::Io)?;
         stream.set_nodelay(true)?;
         stream.set_read_timeout(Some(cfg.heartbeat_timeout))?;
+        let primary_addr = stream
+            .peer_addr()
+            .map(|a| a.to_string())
+            .unwrap_or_default();
+        if !link_up(&cfg.faults, &primary_addr) {
+            // The fault plan has this link severed: fail exactly like
+            // an unreachable primary would.
+            return Err(ReplError::Io(std::io::Error::new(
+                std::io::ErrorKind::ConnectionRefused,
+                "link cut by fault plan",
+            )));
+        }
         let mut conn = FollowerConn {
             stream,
             dec: FrameDecoder::with_max_payload(cfg.max_payload),
@@ -182,12 +210,14 @@ impl FollowerConn {
             },
             next_id: 0,
             identity,
+            primary_addr,
         };
         conn.send(&ReplMsg::Hello {
             follower_id: conn.identity.id,
             have_seq,
             addr: conn.identity.addr.clone(),
             repl_addr: conn.identity.repl_addr.clone(),
+            members: conn.cfg.members.members.clone(),
         })?;
 
         let first = conn.recv()?;
@@ -246,6 +276,10 @@ impl FollowerConn {
     where
         F: Fn(u64) + Send + 'static,
     {
+        // A successful (re-)attach to a live primary ends any earlier
+        // no-quorum episode: this node is back inside the partition
+        // that holds the writer.
+        gate.set_quorum_status(0, 0, false);
         let shared = Arc::new(FollowerShared {
             stop: AtomicBool::new(false),
             applied_seq: AtomicU64::new(self.applied_seq),
@@ -368,7 +402,14 @@ where
         .max(Duration::from_millis(1));
     let _ = conn.stream.set_read_timeout(Some(poll));
     let timeout = conn.cfg.heartbeat_timeout;
-    gate.set_liveness_window(timeout);
+    // Vote-grace window: deny promotion votes while the primary was
+    // heard from this recently. Two heartbeats longer than the
+    // primary's own step-down lease (`heartbeat_timeout` of missing
+    // acks), because the primary's last-ack clock can lag our
+    // last-contact clock by an in-flight ack: a partitioned primary
+    // must provably turn read-only before any vote we grant can
+    // produce a second writer.
+    gate.set_liveness_window(timeout + conn.cfg.heartbeat_interval * 2);
     gate.note_primary_contact();
     let mut last_msg = Instant::now();
     let mut last_roster: Vec<PeerLag> = Vec::new();
@@ -378,17 +419,25 @@ where
                 applied_seq: conn.applied_seq,
             };
         }
+        if !link_up(&conn.cfg.faults, &conn.primary_addr) {
+            // The fault plan just severed this link: behave exactly
+            // like a partitioned follower — drop the stream and start
+            // failover (a real partition would get here one heartbeat
+            // timeout later; cutting now keeps chaos schedules tight).
+            let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+            return failover(&mut conn, &gate, &last_roster);
+        }
         let msg = match conn.recv() {
             Ok(m) => m,
             Err(ReplError::Timeout) => {
                 if last_msg.elapsed() >= timeout {
-                    return failover(&conn, &gate, &last_roster);
+                    return failover(&mut conn, &gate, &last_roster);
                 }
                 continue;
             }
             Err(ReplError::Disconnected) | Err(ReplError::Io(_)) => {
                 // A kill -9 lands here: EOF or reset, no timeout wait.
-                return failover(&conn, &gate, &last_roster);
+                return failover(&mut conn, &gate, &last_roster);
             }
             Err(e) => return FailoverOutcome::Error(e.to_string()),
         };
@@ -421,17 +470,26 @@ where
                     })
                     .is_err()
                 {
-                    return failover(&conn, &gate, &last_roster);
+                    return failover(&mut conn, &gate, &last_roster);
                 }
             }
-            ReplMsg::Heartbeat { roster, .. } => {
+            ReplMsg::Heartbeat {
+                roster, members, ..
+            } => {
                 last_roster = roster;
+                if conn.cfg.members.is_empty() && !members.is_empty() {
+                    // Adopt the primary's configured membership so a
+                    // follower started without `--members` still runs
+                    // quorum-mode elections. A locally configured
+                    // membership is never overridden.
+                    conn.cfg.members = Membership::from_members(members);
+                }
                 // Ack the heartbeat too: the primary evicts followers
                 // whose acks stall, and an idle stream carries no
                 // records to ack.
                 let seq = conn.applied_seq;
                 if conn.send(&ReplMsg::Ack { applied_seq: seq }).is_err() {
-                    return failover(&conn, &gate, &last_roster);
+                    return failover(&mut conn, &gate, &last_roster);
                 }
             }
             other => {
@@ -452,9 +510,14 @@ where
 /// ask and where*. A follower that never saw a heartbeat (primary
 /// died mid-handshake) elects over itself alone — the single-follower
 /// bootstrap case.
-fn failover(conn: &FollowerConn, gate: &ReplGate, roster: &[PeerLag]) -> FailoverOutcome {
-    // The primary link is known dead; stop refusing votes for it.
-    gate.note_primary_lost();
+fn failover(conn: &mut FollowerConn, gate: &ReplGate, roster: &[PeerLag]) -> FailoverOutcome {
+    // Deliberately NOT `gate.note_primary_lost()` here: an EOF or a
+    // severed link proves only that *this stream* died, not that the
+    // primary stopped serving — a partitioned primary keeps accepting
+    // writes until its own lease expires, and a primary that evicted
+    // us for slow acks is entirely healthy. Votes this node grants
+    // must keep waiting out the grace window measured from the last
+    // frame actually received, or two writers can overlap.
     let mut members = roster.to_vec();
     match members
         .iter_mut()
@@ -475,6 +538,20 @@ fn failover(conn: &FollowerConn, gate: &ReplGate, roster: &[PeerLag]) -> Failove
     }
     match run_election(conn.identity.id, conn.applied_seq, &members, &conn.cfg) {
         ElectionOutcome::Won => {
+            // Reconciliation *before* the role flip: pull any WAL
+            // suffix a live loser holds beyond us and apply it through
+            // the deterministic replicated path, so a record the dead
+            // primary fanned to someone else survives the failover.
+            // Only after that may the gate open for writes.
+            conn.applied_seq = reconcile(
+                &conn.registry,
+                &conn.dataset,
+                conn.identity.id,
+                conn.applied_seq,
+                &members,
+                &conn.cfg,
+            );
+            gate.set_quorum_status(0, 0, false);
             gate.set_role(Role::Promoted);
             FailoverOutcome::Promoted {
                 applied_seq: conn.applied_seq,
@@ -495,5 +572,104 @@ fn failover(conn: &FollowerConn, gate: &ReplGate, roster: &[PeerLag]) -> Failove
             applied_seq: conn.applied_seq,
             members,
         },
+        ElectionOutcome::NoQuorum {
+            votes_seen,
+            votes_needed,
+        } => {
+            gate.set_quorum_status(votes_seen, votes_needed, true);
+            FailoverOutcome::NoQuorum {
+                applied_seq: conn.applied_seq,
+                members,
+                votes_seen,
+                votes_needed,
+            }
+        }
     }
+}
+
+/// Promotion-time WAL reconciliation: live-poll every reachable peer
+/// (roster ∪ membership), and from the one with the highest
+/// `applied_seq` beyond `applied_seq` pull the missing suffix
+/// ([`NetClient::wal_pull`]) and apply it record by record through
+/// [`Registry::apply_replicated`] — the same deterministic path the
+/// stream uses, so the adopted records are bit-for-bit what the donor
+/// holds. Falls back to the next-best donor on any failure; a donor
+/// that cannot serve the suffix contiguously returns nothing and is
+/// skipped. Best-effort by design: if every donor is gone the winner
+/// proceeds with what it has (the pre-reconciliation status quo).
+/// Returns the post-reconciliation watermark.
+///
+/// Every election winner must run this **before** opening its gate for
+/// writes; [`FollowerConn::run`]'s failover path does, and the CLI's
+/// re-election loop calls it directly.
+pub fn reconcile(
+    registry: &Registry,
+    dataset: &str,
+    self_id: u64,
+    mut applied_seq: u64,
+    roster: &[PeerLag],
+    cfg: &ReplConfig,
+) -> u64 {
+    let probe = cfg.heartbeat_timeout.max(Duration::from_millis(50));
+    // Donor addresses: the roster first, then membership entries for
+    // ids the roster never named (a peer that joined after our last
+    // heartbeat, or a roster-less bootstrap).
+    let mut targets: Vec<(u64, String)> = roster
+        .iter()
+        .filter(|p| p.follower_id != self_id && !p.addr.is_empty())
+        .map(|p| (p.follower_id, p.addr.clone()))
+        .collect();
+    for m in &cfg.members.members {
+        if m.id != self_id && !targets.iter().any(|(id, _)| *id == m.id) {
+            targets.push((m.id, m.addr.clone()));
+        }
+    }
+
+    let mut donors: Vec<(u64, u64, NetClient)> = Vec::new();
+    for (id, addr) in targets {
+        if !link_up(&cfg.faults, &addr) {
+            continue;
+        }
+        let Ok(sa) = addr.parse::<std::net::SocketAddr>() else {
+            continue;
+        };
+        let Ok(mut client) = NetClient::connect_timeout(&sa, probe) else {
+            continue;
+        };
+        let Ok(info) = client.info() else { continue };
+        if info.applied_seq > applied_seq {
+            donors.push((info.applied_seq, id, client));
+        }
+    }
+    // Highest watermark first; ties to the lowest id, matching the
+    // promotion order's determinism.
+    donors.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+
+    for (donor_seq, _id, mut client) in donors {
+        if donor_seq <= applied_seq {
+            break; // an earlier donor already covered everything
+        }
+        let Ok(records) = client.wal_pull(applied_seq) else {
+            continue;
+        };
+        for bytes in &records {
+            let Ok(rec) = decode_record(bytes) else { break };
+            if rec.seq <= applied_seq {
+                continue; // overlap with what we already hold
+            }
+            if rec.seq != applied_seq + 1 {
+                break; // gap: donor could not serve contiguously
+            }
+            if registry.apply_replicated(dataset, &rec).is_err() {
+                break;
+            }
+            applied_seq = rec.seq;
+        }
+        if applied_seq >= donor_seq {
+            break; // fully caught up to the best live watermark
+        }
+        // Partial progress is kept — the applied prefix is valid
+        // lineage — and the next donor may hold the rest.
+    }
+    applied_seq
 }

@@ -28,39 +28,72 @@
 //! [`ReplConfig::heartbeat_timeout`] (or the socket drops — a `kill
 //! -9` produces an EOF/reset immediately), each follower runs an
 //! election ([`run_election`]) instead of trusting its possibly-stale
-//! roster: it **live-polls** every rostered peer's query port for its
-//! current `applied_seq` and role (post-mortem those seqs are frozen,
-//! so every pollster sees a consistent view), computes the winner by
-//! the deterministic rule — highest `applied_seq`, ties to **lowest**
+//! roster: it **live-polls** peers' query ports for their current
+//! `applied_seq` and role (post-mortem those seqs are frozen, so every
+//! pollster sees a consistent view), computes the winner by the
+//! deterministic rule — highest `applied_seq`, ties to **lowest**
 //! follower id ([`choose_promoted`]) — and, if it names itself,
-//! collects a confirmation **vote** from each live peer before
-//! flipping its [`lbc_net::ReplGate`] to `Promoted`. Peers grant only
-//! once their own primary link has been silent past the liveness
-//! window, and only to a candidate that beats them under the same
-//! rule, so two mutually-reachable followers can never both promote.
-//! Losers re-follow the winner's replication port, carrying their
-//! lineage watermark. Duplicate follower ids are rejected at `Hello`
-//! ([`lbc_net::ReplMsg::Deny`]).
+//! collects confirmation **votes** before flipping its
+//! [`lbc_net::ReplGate`] to `Promoted`. Peers grant only once their
+//! own primary link has been silent past the liveness window, and only
+//! to a candidate that beats them under the same rule (or when they
+//! cannot promote themselves), so two mutually-reachable followers can
+//! never both promote. Losers re-follow the winner's replication port,
+//! carrying their lineage watermark. Duplicate follower ids are
+//! rejected at `Hello` ([`lbc_net::ReplMsg::Deny`]).
 //!
-//! Residual windows, by design and documented: a full
-//! follower-to-follower network partition (peers unreachable for
-//! polls and votes are treated as dead) can still dual-promote, and
-//! records the dead primary acked to clients but had not yet shipped
-//! to any follower are lost (asynchronous replication's usual
-//! acked-data-loss window).
+//! # Quorum mode
+//!
+//! With a fixed [`Membership`] configured (`--members id@addr,...` on
+//! every node, carried in `Hello`/`Heartbeat` and persisted in the
+//! store), elections additionally require grants from a **strict
+//! majority of the membership** — not merely of whoever answered the
+//! poll. A follower cut off with a minority cannot reach quorum, gets
+//! [`ElectionOutcome::NoQuorum`], and keeps serving reads with a typed
+//! no-quorum status instead of promoting — the follower-to-follower
+//! partition that could dual-promote in roster-only mode. The primary
+//! holds the mirror-image lease: once it has seen a quorum of members,
+//! losing contact with a majority for a heartbeat timeout steps it
+//! down to read-only *before* the survivors' election can conclude
+//! (their own liveness window plus vote rounds strictly outlasts the
+//! primary's lease, measured from the same partition instant).
+//!
+//! # Promotion-time reconciliation
+//!
+//! Before an election winner opens its port for writes it pulls any
+//! missing WAL suffix ([`lbc_net::Request::WalPull`]) from the live
+//! loser with the highest `applied_seq` and applies it through the
+//! same deterministic replicated-apply path — so a record the dead
+//! primary fanned to *some* follower survives failover even when the
+//! winner itself never received it.
+//!
+//! Residual windows, by design and documented: records the dead
+//! primary acked to clients but had shipped to **no** follower are
+//! still lost (asynchronous replication's acked-data-loss window
+//! shrinks to fan-out-to-nobody, it does not close); without a
+//! configured membership the roster-only election remains partitionable
+//! as before; and a minority-side primary keeps accepting writes for
+//! up to one lease (heartbeat timeout) after the partition starts —
+//! bounded, and strictly shorter than the majority's election, but not
+//! zero. Each is exercised deliberately by the chaos suite
+//! (`crates/repl/tests/chaos.rs`).
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
+use std::sync::Arc;
 use std::time::Duration;
 
-use lbc_net::{FrameDecoder, NetError, ReplMsg};
+use lbc_faults::{FaultHook, LinkFault};
+use lbc_net::{FrameDecoder, Member, NetError, ReplMsg};
 
+mod backoff;
 mod election;
 mod follower;
 mod primary;
 
+pub use backoff::Backoff;
 pub use election::{run_election, ElectionOutcome};
-pub use follower::{FailoverOutcome, FollowerConn, FollowerHandle, SyncReport};
+pub use follower::{reconcile, FailoverOutcome, FollowerConn, FollowerHandle, SyncReport};
 pub use primary::ReplServer;
 
 /// How a follower introduces itself to the primary: its unique id plus
@@ -94,6 +127,84 @@ impl FollowerIdentity {
 /// as of sequence number 0" (a legitimate reconnect watermark).
 pub const HAVE_NOTHING: u64 = u64::MAX;
 
+/// The fixed replication group for quorum-mode failover: every node is
+/// configured with the same `id@addr` list (query-port addresses), and
+/// a strict majority of it — [`Membership::quorum`] — is what an
+/// election must collect to promote. Empty means quorum mode is off
+/// and elections fall back to the roster-only (unanimous-live) rule.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Membership {
+    /// Sorted by id, deduplicated.
+    pub members: Vec<Member>,
+}
+
+impl Membership {
+    /// Normalise an arbitrary member list: sort by id, drop duplicate
+    /// ids (first address wins).
+    pub fn from_members(mut members: Vec<Member>) -> Membership {
+        members.sort_by_key(|a| a.id);
+        members.dedup_by(|b, a| a.id == b.id);
+        Membership { members }
+    }
+
+    /// Parse the `--members` syntax: `id@addr,id@addr,...` (e.g.
+    /// `1@10.0.0.1:7070,2@10.0.0.2:7070,3@10.0.0.3:7070`). Addresses
+    /// are the nodes' *query* ports — where election polls and votes
+    /// are answered.
+    pub fn parse(spec: &str) -> Result<Membership, String> {
+        let mut members = Vec::new();
+        for part in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            let (id, addr) = part
+                .split_once('@')
+                .ok_or_else(|| format!("member '{part}' is not id@addr"))?;
+            let id: u64 = id
+                .parse()
+                .map_err(|_| format!("member id '{id}' is not an integer"))?;
+            if addr.is_empty() {
+                return Err(format!("member {id} has an empty address"));
+            }
+            members.push(Member {
+                id,
+                addr: addr.to_string(),
+            });
+        }
+        let n = members.len();
+        let normalised = Membership::from_members(members);
+        if normalised.members.len() != n {
+            return Err("duplicate member ids in --members".to_string());
+        }
+        Ok(normalised)
+    }
+
+    /// The canonical `id@addr,...` spelling (what `parse` accepts),
+    /// used for persistence and status output.
+    pub fn to_spec(&self) -> String {
+        self.members
+            .iter()
+            .map(|m| format!("{}@{}", m.id, m.addr))
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// Votes (self included) an election must gather: a strict
+    /// majority of the configured group.
+    pub fn quorum(&self) -> usize {
+        self.members.len() / 2 + 1
+    }
+
+    pub fn contains(&self, id: u64) -> bool {
+        self.members.iter().any(|m| m.id == id)
+    }
+}
+
 /// Replication tuning knobs, shared by both ends.
 #[derive(Debug, Clone)]
 pub struct ReplConfig {
@@ -107,6 +218,13 @@ pub struct ReplConfig {
     pub chunk_len: usize,
     /// Per-frame payload cap for the replication decoder.
     pub max_payload: u32,
+    /// Fixed replication group for quorum-mode elections and the
+    /// primary's step-down lease. Empty = roster-only failover.
+    pub members: Membership,
+    /// Fault-injection oracle consulted before every outbound link use
+    /// (dials, stream reads) — `None` in production, a seeded
+    /// [`lbc_faults::PartitionMatrix`] view under the chaos harness.
+    pub faults: Option<Arc<dyn FaultHook>>,
 }
 
 impl Default for ReplConfig {
@@ -116,7 +234,23 @@ impl Default for ReplConfig {
             heartbeat_timeout: Duration::from_millis(1500),
             chunk_len: 256 * 1024,
             max_payload: lbc_net::wire::DEFAULT_MAX_PAYLOAD,
+            members: Membership::default(),
+            faults: None,
         }
+    }
+}
+
+/// Consult the fault oracle for one prospective use of the link to
+/// `peer`. `false` means the link is cut and the caller must treat the
+/// peer as unreachable; a delay fault sleeps here and then passes.
+pub(crate) fn link_up(faults: &Option<Arc<dyn FaultHook>>, peer: &str) -> bool {
+    match faults.as_deref().map(|f| f.link(peer)) {
+        Some(LinkFault::Cut) => false,
+        Some(LinkFault::Delay(d)) => {
+            std::thread::sleep(d);
+            true
+        }
+        Some(LinkFault::Pass) | None => true,
     }
 }
 

@@ -8,11 +8,11 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use lbc_net::{FrameDecoder, PeerLag, ReplMsg, ReplStatus, Role};
+use lbc_net::{FrameDecoder, PeerLag, ReplGate, ReplMsg, ReplStatus, Role};
 use lbc_runtime::Registry;
 use lbc_store::{format, write_snapshot};
 
-use crate::{recv_msg, send_msg, ReplConfig, ReplError, HAVE_NOTHING};
+use crate::{recv_msg, send_msg, Backoff, ReplConfig, ReplError, HAVE_NOTHING};
 
 /// One connected follower, as the broadcast fan-out sees it.
 struct FollowerSlot {
@@ -23,6 +23,9 @@ struct FollowerSlot {
     repl_addr: String,
     /// Highest seq this follower has acknowledged applying.
     acked_seq: Arc<AtomicU64>,
+    /// When the last ack arrived — the step-down lease's evidence that
+    /// this follower can still hear us.
+    last_ack: Arc<Mutex<Instant>>,
     /// Commit-hook feed: `(seq, encoded WAL record)`.
     tx: mpsc::Sender<(u64, Vec<u8>)>,
 }
@@ -40,6 +43,15 @@ struct PrimaryShared {
     /// byte-identical rosters (per-connection snapshots at different
     /// instants were the split-brain seed).
     heartbeat: Mutex<(u64, Vec<PeerLag>)>,
+    /// Quorum-mode step-down lease (see [`ReplServer::stepped_down`]).
+    /// Armed only once a quorum of members has been seen alive — a
+    /// primary booting alone must be allowed to wait for its group.
+    quorum_armed: AtomicBool,
+    stepped_down: AtomicBool,
+    /// The serving gate, when the caller wired one in: stepping down
+    /// flips it to `Follower` so the reactor bounces writes from the
+    /// same instant the lease expires.
+    gate: Mutex<Option<Arc<ReplGate>>>,
 }
 
 impl PrimaryShared {
@@ -64,10 +76,73 @@ impl PrimaryShared {
     }
 
     fn status(&self) -> ReplStatus {
+        let quorum_mode = !self.cfg.members.is_empty();
         ReplStatus {
-            role: Role::Primary,
+            role: if self.stepped_down.load(Ordering::SeqCst) {
+                Role::Follower
+            } else {
+                Role::Primary
+            },
             applied_seq: self.registry.applied_seq(&self.dataset),
             peers: self.roster(),
+            members: self.cfg.members.members.clone(),
+            votes_seen: if quorum_mode { self.live_members() } else { 0 },
+            votes_needed: if quorum_mode {
+                self.cfg.members.quorum() as u32
+            } else {
+                0
+            },
+            no_quorum: self.stepped_down.load(Ordering::SeqCst),
+        }
+    }
+
+    /// Members currently in contact, self included: distinct follower
+    /// ids that are in the membership and acked within one heartbeat
+    /// timeout, plus this primary. Followers outside the membership
+    /// replicate fine but carry no quorum weight.
+    fn live_members(&self) -> u32 {
+        let lease = self.cfg.heartbeat_timeout;
+        let followers = self.followers.lock().unwrap();
+        let mut seen = std::collections::BTreeSet::new();
+        for slot in followers.values() {
+            if self.cfg.members.contains(slot.follower_id)
+                && slot.last_ack.lock().unwrap().elapsed() < lease
+            {
+                seen.insert(slot.follower_id);
+            }
+        }
+        seen.len() as u32 + 1
+    }
+
+    /// The quorum-mode step-down lease, evaluated once per tick: a
+    /// primary that cannot hear a strict majority of its membership
+    /// for a heartbeat timeout must stop taking writes *before* the
+    /// disconnected majority can finish electing a replacement (their
+    /// election starts after the same timeout and then spends vote
+    /// rounds — strictly later than this lease, both clocks starting
+    /// at the partition instant). Armed only after a quorum has been
+    /// seen at least once, so a group booting one node at a time is
+    /// not stepped down while it assembles.
+    fn check_step_down(&self) {
+        if self.cfg.members.is_empty() || self.stepped_down.load(Ordering::SeqCst) {
+            return;
+        }
+        let quorum = self.cfg.members.quorum() as u32;
+        let live = self.live_members();
+        if live >= quorum {
+            self.quorum_armed.store(true, Ordering::SeqCst);
+            return;
+        }
+        if self.quorum_armed.load(Ordering::SeqCst) {
+            self.stepped_down.store(true, Ordering::SeqCst);
+            if let Some(gate) = self.gate.lock().unwrap().as_ref() {
+                gate.set_quorum_status(live, quorum, true);
+                gate.set_role(Role::Follower);
+            }
+            // Stop the acceptor/ticker/feeds: a stepped-down primary
+            // streams to nobody. The caller observes `stepped_down()`
+            // and re-enters follower mode from scratch.
+            self.stop.store(true, Ordering::SeqCst);
         }
     }
 }
@@ -127,6 +202,9 @@ impl ReplServer {
             next_slot: AtomicU64::new(0),
             followers: Mutex::new(HashMap::new()),
             heartbeat: Mutex::new((0, Vec::new())),
+            quorum_armed: AtomicBool::new(false),
+            stepped_down: AtomicBool::new(false),
+            gate: Mutex::new(None),
         });
 
         // The streaming feed: fires under the registry's mutation lock,
@@ -165,6 +243,7 @@ impl ReplServer {
                     epoch += 1;
                     let roster = tick_shared.roster();
                     *tick_shared.heartbeat.lock().unwrap() = (epoch, roster);
+                    tick_shared.check_step_down();
                     std::thread::sleep(interval);
                 }
             })
@@ -192,6 +271,23 @@ impl ReplServer {
     pub fn follower_count(&self) -> usize {
         self.shared.followers.lock().unwrap().len()
     }
+
+    /// Wire in the serving gate so a quorum-mode step-down flips it to
+    /// read-only at the instant the lease expires, not when the caller
+    /// next polls.
+    pub fn set_gate(&self, gate: Arc<ReplGate>) {
+        *self.shared.gate.lock().unwrap() = Some(gate);
+    }
+
+    /// True once the quorum-mode lease has fired: this primary lost
+    /// contact with a strict majority of its membership for a full
+    /// heartbeat timeout and has stopped serving. The caller should
+    /// drop the server and re-follow whoever the majority elected,
+    /// resyncing from scratch ([`HAVE_NOTHING`]) — a deposed primary
+    /// may hold acked records the new lineage never saw.
+    pub fn stepped_down(&self) -> bool {
+        self.shared.stepped_down.load(Ordering::SeqCst)
+    }
 }
 
 impl Drop for ReplServer {
@@ -208,9 +304,19 @@ impl Drop for ReplServer {
 }
 
 fn accept_loop(listener: TcpListener, shared: Arc<PrimaryShared>) {
+    // Jittered idle poll in place of the old fixed 20 ms sleep: the
+    // expected first delay matches it, sustained idleness ramps to the
+    // cap, and a successful accept resets the ramp — so a burst of
+    // followers joining (every failover) is accepted back-to-back.
+    let mut idle = Backoff::new(
+        Duration::from_millis(20),
+        Duration::from_millis(60),
+        listener.local_addr().map(|a| a.port() as u64).unwrap_or(1),
+    );
     while !shared.stop.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((stream, _peer)) => {
+                idle.reset();
                 let conn_shared = Arc::clone(&shared);
                 let _ = std::thread::Builder::new()
                     .name("lbc-repl-conn".to_string())
@@ -219,10 +325,15 @@ fn accept_loop(listener: TcpListener, shared: Arc<PrimaryShared>) {
                     });
             }
             Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(20));
+                idle.sleep();
             }
             Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
-            Err(_) => std::thread::sleep(Duration::from_millis(100)),
+            Err(_) => {
+                // Accept errors (fd pressure, transient resets) share
+                // the same ramp but never spin faster than the old
+                // fixed 100 ms retry's floor.
+                idle.sleep();
+            }
         }
     }
 }
@@ -242,7 +353,30 @@ fn handle_conn(mut stream: TcpStream, shared: Arc<PrimaryShared>) -> Result<(), 
             have_seq,
             addr,
             repl_addr,
-        } => stream_to_follower(stream, shared, follower_id, have_seq, addr, repl_addr),
+            members,
+        } => {
+            // A follower configured with a *different* fixed group
+            // must not replicate here — split configurations are how
+            // two disjoint quorums arise. Same-or-unset is fine (an
+            // unset follower adopts ours from the heartbeat).
+            if !members.is_empty()
+                && !shared.cfg.members.is_empty()
+                && members != shared.cfg.members.members
+            {
+                let reason = format!(
+                    "membership mismatch: follower {follower_id} is configured with a different member set"
+                );
+                let _ = send_msg(
+                    &mut stream,
+                    &ReplMsg::Deny {
+                        reason: reason.clone(),
+                    },
+                    0,
+                );
+                return Err(ReplError::Protocol(reason));
+            }
+            stream_to_follower(stream, shared, follower_id, have_seq, addr, repl_addr)
+        }
         ReplMsg::Status => {
             // A status probe (`lbc repl-status`), not a follower: keep
             // answering until the client hangs up.
@@ -315,6 +449,7 @@ fn stream_to_follower(
                 addr,
                 repl_addr,
                 acked_seq: Arc::clone(&acked),
+                last_ack: Arc::clone(&last_ack),
                 tx,
             },
         );
@@ -460,7 +595,15 @@ fn feed_follower(
         let (epoch, roster) = shared.heartbeat.lock().unwrap().clone();
         if epoch != last_sent_epoch {
             last_sent_epoch = epoch;
-            if let Err(e) = send(stream, &ReplMsg::Heartbeat { epoch, roster }) {
+            let members = shared.cfg.members.members.clone();
+            if let Err(e) = send(
+                stream,
+                &ReplMsg::Heartbeat {
+                    epoch,
+                    roster,
+                    members,
+                },
+            ) {
                 break Err(e);
             }
         }

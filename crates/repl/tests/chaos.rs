@@ -1,0 +1,914 @@
+//! Deterministic fault-injection (chaos) matrix for the replication
+//! stack: seeded partition/heal/kill schedules over in-process 3- and
+//! 5-node clusters, asserting the two safety properties the quorum
+//! design promises —
+//!
+//!   1. **at most one writer at every instant** (a monitor thread
+//!      samples every gate throughout the schedule), and
+//!   2. **bit-for-bit convergence after heal** (every node's cached
+//!      clustering output is byte-identical once the partition lifts).
+//!
+//! Faults are injected, not raced: every schedule is drawn from a
+//! [`SplitMix64`] seed through a shared [`PartitionMatrix`], so a
+//! failing seed is a reproducer. "Kill -9 of the writer" is modelled
+//! as an isolation partition of the writer alone — from every other
+//! node's perspective the two are indistinguishable (silence), and the
+//! real-process kill is covered by the CLI e2e suite.
+//!
+//! The default run keeps a few seeds per matrix so tier-1 stays fast;
+//! set `LBC_CHAOS_FULL=1` (the CI chaos job does) for the full 20-seed
+//! matrix.
+
+use std::net::TcpListener;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use lbc_core::LbConfig;
+use lbc_faults::{NodeFaults, PartitionMatrix, SplitMix64};
+use lbc_graph::{generators, GraphDelta};
+use lbc_net::{NetClient, NetServer, PeerLag, ReplGate, Role, ServeContext, ServerConfig};
+use lbc_repl::{
+    reconcile, run_election, Backoff, ElectionOutcome, FailoverOutcome, FollowerConn,
+    FollowerHandle, FollowerIdentity, Membership, ReplConfig, ReplServer, HAVE_NOTHING,
+};
+use lbc_runtime::{DeltaPolicy, Registry, WorkerPool};
+
+const DATASET: &str = "chaos";
+
+/// Replication timing for the matrix. The vote-grace window a follower
+/// enforces is `timeout + 2 × interval`, the primary's step-down lease
+/// is `timeout` checked every `interval` — so an isolated writer stops
+/// serving at least ~2 intervals before any vote it cannot see can
+/// elect a successor.
+const INTERVAL: Duration = Duration::from_millis(30);
+const TIMEOUT: Duration = Duration::from_millis(300);
+
+fn lb_config() -> LbConfig {
+    LbConfig::new(1.0 / 3.0, 60).with_seed(7)
+}
+
+fn seeded_registry() -> Arc<Registry> {
+    let registry = Arc::new(Registry::with_capacity(8));
+    let (g, _) = generators::ring_of_cliques(3, 12, 0).unwrap();
+    registry.insert_graph(DATASET, g);
+    registry.get_or_cluster(DATASET, &lb_config()).unwrap();
+    registry
+}
+
+fn flip_delta(i: u32) -> GraphDelta {
+    let mut d = GraphDelta::new();
+    d.add_edge(i % 5, 12 + (i % 7));
+    d
+}
+
+fn wait_until(deadline: Duration, mut cond: impl FnMut() -> bool) -> bool {
+    let start = Instant::now();
+    while start.elapsed() < deadline {
+        if cond() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    cond()
+}
+
+/// What a node is doing right now, from its driver's point of view.
+/// Mirrors the CLI's `serve` supervision loop: a primary watches for
+/// step-down, a follower waits out its stream, an idle node re-follows
+/// or runs an election.
+enum Seat {
+    Primary(ReplServer),
+    Follower(FollowerHandle),
+    Idle {
+        target_repl: String,
+        from_scratch: bool,
+        attempts: u32,
+    },
+}
+
+struct Node {
+    id: u64,
+    query_addr: String,
+    repl_addr: String,
+    registry: Arc<Registry>,
+    gate: Arc<ReplGate>,
+    /// The promotion listener, parked here while the node is not the
+    /// primary; taken by `promote`, re-bound after a step-down.
+    repl_listener: Mutex<Option<TcpListener>>,
+    cfg: ReplConfig,
+    stop: Arc<AtomicBool>,
+    errors: Mutex<Vec<String>>,
+    /// Driver state transitions, for failure diagnostics.
+    trail: Mutex<Vec<String>>,
+}
+
+impl Node {
+    fn identity(&self) -> FollowerIdentity {
+        FollowerIdentity {
+            id: self.id,
+            addr: self.query_addr.clone(),
+            repl_addr: self.repl_addr.clone(),
+        }
+    }
+
+    /// Convert the parked promotion listener into a live replication
+    /// endpoint. The gate is already `Promoted` (flipped by the
+    /// failover path or the election arm below) — connects that raced
+    /// the conversion queued in the listener backlog and are served as
+    /// soon as the acceptor starts.
+    fn promote(self: &Arc<Node>) -> Seat {
+        let listener = self
+            .repl_listener
+            .lock()
+            .unwrap()
+            .take()
+            .expect("promotion listener parked");
+        let srv = ReplServer::from_listener(
+            listener,
+            Arc::clone(&self.registry),
+            DATASET,
+            self.cfg.clone(),
+        )
+        .expect("promotion repl server");
+        srv.set_gate(Arc::clone(&self.gate));
+        Seat::Primary(srv)
+    }
+
+    /// Re-bind the advertised replication address after a step-down
+    /// released it, so a later re-election can promote this node again.
+    fn rebind_repl_listener(&self) {
+        let mut backoff = Backoff::new(INTERVAL, TIMEOUT, self.id ^ 0xb1bd);
+        while !self.stop.load(Ordering::SeqCst) {
+            match TcpListener::bind(&self.repl_addr) {
+                Ok(l) => {
+                    *self.repl_listener.lock().unwrap() = Some(l);
+                    return;
+                }
+                Err(_) => {
+                    backoff.sleep();
+                }
+            }
+        }
+    }
+}
+
+/// Per-node supervision loop — the in-process equivalent of what
+/// `lbc serve` does around its replication threads.
+fn drive(node: Arc<Node>, mut seat: Seat) {
+    let mut election_pause = Backoff::new(TIMEOUT, TIMEOUT * 4, node.id ^ 0xe1ec);
+    let mut refollow = Backoff::new(INTERVAL, TIMEOUT, node.id ^ 0x5eed);
+    loop {
+        if node.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        seat = match seat {
+            Seat::Primary(srv) => {
+                if srv.stepped_down() {
+                    // The lease fired: the gate is already read-only.
+                    // Release the port, re-bind it for a future
+                    // election, and re-follow from scratch — a deposed
+                    // primary may hold acked records the majority's
+                    // lineage never saw.
+                    drop(srv);
+                    node.rebind_repl_listener();
+                    Seat::Idle {
+                        target_repl: String::new(),
+                        from_scratch: true,
+                        attempts: 0,
+                    }
+                } else {
+                    std::thread::sleep(INTERVAL);
+                    Seat::Primary(srv)
+                }
+            }
+            Seat::Follower(fh) => match fh.wait_outcome(INTERVAL) {
+                None => Seat::Follower(fh),
+                Some(outcome) => {
+                    drop(fh);
+                    node.trail
+                        .lock()
+                        .unwrap()
+                        .push(format!("outcome {outcome:?}"));
+                    match outcome {
+                        FailoverOutcome::Promoted { .. } => node.promote(),
+                        FailoverOutcome::NotPromoted { winner_repl, .. } => {
+                            refollow.reset();
+                            Seat::Idle {
+                                target_repl: winner_repl,
+                                from_scratch: false,
+                                attempts: 0,
+                            }
+                        }
+                        FailoverOutcome::Undecided { .. } => {
+                            election_pause.sleep();
+                            Seat::Idle {
+                                target_repl: String::new(),
+                                from_scratch: false,
+                                attempts: 0,
+                            }
+                        }
+                        FailoverOutcome::NoQuorum { .. } => {
+                            // Gate already parked read-only by the
+                            // failover path; once the partition heals,
+                            // re-sync from scratch — the majority may
+                            // have moved to a new lineage meanwhile.
+                            election_pause.sleep();
+                            Seat::Idle {
+                                target_repl: String::new(),
+                                from_scratch: true,
+                                attempts: 0,
+                            }
+                        }
+                        FailoverOutcome::Stopped { .. } => break,
+                        FailoverOutcome::Error(e) => {
+                            node.errors.lock().unwrap().push(e);
+                            Seat::Idle {
+                                target_repl: String::new(),
+                                from_scratch: true,
+                                attempts: 0,
+                            }
+                        }
+                    }
+                }
+            },
+            Seat::Idle {
+                target_repl,
+                from_scratch,
+                attempts,
+            } => {
+                if !target_repl.is_empty() {
+                    let resume = if from_scratch {
+                        HAVE_NOTHING
+                    } else {
+                        node.registry.applied_seq(DATASET)
+                    };
+                    match FollowerConn::sync(
+                        target_repl.as_str(),
+                        Arc::clone(&node.registry),
+                        DATASET,
+                        node.identity(),
+                        resume,
+                        node.cfg.clone(),
+                    ) {
+                        Ok((conn, _)) => {
+                            election_pause.reset();
+                            Seat::Follower(conn.run(Arc::clone(&node.gate), |_| {}))
+                        }
+                        Err(_) => {
+                            refollow.sleep();
+                            // A target that stays unreachable is stale
+                            // (its owner died or was deposed): fall
+                            // back to a fresh election.
+                            if attempts >= 8 {
+                                Seat::Idle {
+                                    target_repl: String::new(),
+                                    from_scratch,
+                                    attempts: 0,
+                                }
+                            } else {
+                                Seat::Idle {
+                                    target_repl,
+                                    from_scratch,
+                                    attempts: attempts + 1,
+                                }
+                            }
+                        }
+                    }
+                } else {
+                    let roster: Vec<PeerLag> = Vec::new();
+                    let elected = run_election(
+                        node.id,
+                        node.registry.applied_seq(DATASET),
+                        &roster,
+                        &node.cfg,
+                    );
+                    node.trail
+                        .lock()
+                        .unwrap()
+                        .push(format!("election {elected:?}"));
+                    match elected {
+                        ElectionOutcome::Won => {
+                            // Reconcile before serving: pull any acked
+                            // suffix a higher-seq loser holds, then
+                            // open the gate.
+                            let _ = reconcile(
+                                &node.registry,
+                                DATASET,
+                                node.id,
+                                node.registry.applied_seq(DATASET),
+                                &roster,
+                                &node.cfg,
+                            );
+                            node.gate.set_quorum_status(0, 0, false);
+                            node.gate.set_role(Role::Promoted);
+                            node.promote()
+                        }
+                        ElectionOutcome::Lost { winner_repl, .. } => {
+                            refollow.reset();
+                            Seat::Idle {
+                                target_repl: winner_repl,
+                                from_scratch,
+                                attempts: 0,
+                            }
+                        }
+                        ElectionOutcome::Inconclusive => {
+                            election_pause.sleep();
+                            Seat::Idle {
+                                target_repl: String::new(),
+                                from_scratch,
+                                attempts: 0,
+                            }
+                        }
+                        ElectionOutcome::NoQuorum {
+                            votes_seen,
+                            votes_needed,
+                        } => {
+                            node.gate.set_quorum_status(votes_seen, votes_needed, true);
+                            election_pause.sleep();
+                            Seat::Idle {
+                                target_repl: String::new(),
+                                from_scratch: true,
+                                attempts: 0,
+                            }
+                        }
+                    }
+                }
+            }
+        };
+    }
+}
+
+struct Cluster {
+    nodes: Vec<Arc<Node>>,
+    matrix: Arc<PartitionMatrix>,
+    stop: Arc<AtomicBool>,
+    drivers: Vec<std::thread::JoinHandle<()>>,
+    monitor: Option<std::thread::JoinHandle<()>>,
+    max_writers: Arc<AtomicUsize>,
+    _nets: Vec<lbc_net::ServerHandle>,
+    delta_no: u32,
+}
+
+impl Cluster {
+    /// Bring up `n` nodes — node 0 the seeded primary, the rest synced
+    /// followers — all sharing one fixed membership and one partition
+    /// matrix.
+    fn start(n: usize) -> Cluster {
+        assert!(n >= 3);
+        let matrix = Arc::new(PartitionMatrix::new());
+        let stop = Arc::new(AtomicBool::new(false));
+
+        // Bind every listener first so the membership spec (query
+        // addresses) and each advertised repl address are final.
+        let mut query_listeners = Vec::new();
+        let mut repl_listeners = Vec::new();
+        for _ in 0..n {
+            let q = TcpListener::bind("127.0.0.1:0").unwrap();
+            let r = TcpListener::bind("127.0.0.1:0").unwrap();
+            query_listeners.push(q);
+            repl_listeners.push(r);
+        }
+        let spec = query_listeners
+            .iter()
+            .enumerate()
+            .map(|(i, l)| format!("{}@{}", i as u64 + 1, l.local_addr().unwrap()))
+            .collect::<Vec<_>>()
+            .join(",");
+        let members = Membership::parse(&spec).unwrap();
+
+        let mut nodes = Vec::new();
+        for (i, (q, r)) in query_listeners
+            .iter()
+            .zip(repl_listeners.iter())
+            .enumerate()
+        {
+            let id = i as u64 + 1;
+            let query_addr = q.local_addr().unwrap().to_string();
+            let repl_addr = r.local_addr().unwrap().to_string();
+            let registry = if i == 0 {
+                seeded_registry()
+            } else {
+                Arc::new(Registry::with_capacity(8))
+            };
+            let gate = Arc::new(ReplGate::with_id(
+                if i == 0 {
+                    Role::Primary
+                } else {
+                    Role::Follower
+                },
+                id,
+            ));
+            gate.set_promotable(true);
+            gate.set_member_count(n);
+            gate.set_repl_addr(&repl_addr);
+            let cfg = ReplConfig {
+                heartbeat_interval: INTERVAL,
+                heartbeat_timeout: TIMEOUT,
+                chunk_len: 512,
+                members: members.clone(),
+                faults: Some(Arc::new(NodeFaults::new(Arc::clone(&matrix), &query_addr))),
+                ..Default::default()
+            };
+            nodes.push(Arc::new(Node {
+                id,
+                query_addr,
+                repl_addr,
+                registry,
+                gate,
+                repl_listener: Mutex::new(None),
+                cfg,
+                stop: Arc::clone(&stop),
+                errors: Mutex::new(Vec::new()),
+                trail: Mutex::new(Vec::new()),
+            }));
+        }
+
+        // Node 0 serves replication from its pre-bound listener; every
+        // other node syncs a snapshot before any fault is scheduled.
+        let mut seats = Vec::new();
+        let primary_repl = {
+            let mut it = repl_listeners.into_iter();
+            let l0 = it.next().unwrap();
+            for (node, l) in nodes.iter().skip(1).zip(it) {
+                *node.repl_listener.lock().unwrap() = Some(l);
+            }
+            let srv = ReplServer::from_listener(
+                l0,
+                Arc::clone(&nodes[0].registry),
+                DATASET,
+                nodes[0].cfg.clone(),
+            )
+            .unwrap();
+            srv.set_gate(Arc::clone(&nodes[0].gate));
+            srv
+        };
+        seats.push(Seat::Primary(primary_repl));
+        for node in nodes.iter().skip(1) {
+            let (conn, _) = FollowerConn::sync(
+                nodes[0].repl_addr.as_str(),
+                Arc::clone(&node.registry),
+                DATASET,
+                node.identity(),
+                HAVE_NOTHING,
+                node.cfg.clone(),
+            )
+            .expect("initial follower sync");
+            seats.push(Seat::Follower(conn.run(Arc::clone(&node.gate), |_| {})));
+        }
+
+        // Query-port servers (election polls, votes, wal_pull, and the
+        // harness's own write probes all go through these). Brought up
+        // after the snapshot syncs: the query engine wants the dataset
+        // present in its registry.
+        let mut nets = Vec::new();
+        for (node, q) in nodes.iter().zip(query_listeners) {
+            let ctx = ServeContext {
+                registry: Arc::clone(&node.registry),
+                pool: Arc::new(WorkerPool::new(2)),
+                dataset: DATASET.to_string(),
+                cfg: lb_config(),
+            };
+            nets.push(
+                NetServer::serve_listener(q, ctx, ServerConfig::default(), Arc::clone(&node.gate))
+                    .unwrap(),
+            );
+        }
+
+        let drivers = nodes
+            .iter()
+            .zip(seats)
+            .map(|(node, seat)| {
+                let node = Arc::clone(node);
+                std::thread::Builder::new()
+                    .name(format!("chaos-node-{}", node.id))
+                    .spawn(move || drive(node, seat))
+                    .unwrap()
+            })
+            .collect();
+
+        // The exactly-one-writer monitor: sample every gate for the
+        // whole schedule and record the high-water mark of concurrent
+        // writable nodes.
+        let max_writers = Arc::new(AtomicUsize::new(0));
+        let monitor = {
+            let gates: Vec<Arc<ReplGate>> = nodes.iter().map(|n| Arc::clone(&n.gate)).collect();
+            let stop = Arc::clone(&stop);
+            let max = Arc::clone(&max_writers);
+            std::thread::Builder::new()
+                .name("chaos-monitor".to_string())
+                .spawn(move || {
+                    while !stop.load(Ordering::SeqCst) {
+                        let w = gates.iter().filter(|g| g.writable()).count();
+                        max.fetch_max(w, Ordering::SeqCst);
+                        std::thread::sleep(Duration::from_millis(1));
+                    }
+                })
+                .unwrap()
+        };
+
+        Cluster {
+            nodes,
+            matrix,
+            stop,
+            drivers,
+            monitor: Some(monitor),
+            max_writers,
+            _nets: nets,
+            delta_no: 0,
+        }
+    }
+
+    /// Sever `minority` (node indices) from everyone else. Both of a
+    /// node's listen addresses move together — the matrix is keyed by
+    /// the address an initiator dials.
+    fn partition(&self, minority: &[usize]) {
+        for &i in minority {
+            self.matrix.assign(&self.nodes[i].query_addr, 1);
+            self.matrix.assign(&self.nodes[i].repl_addr, 1);
+        }
+    }
+
+    fn heal(&self) {
+        self.matrix.heal();
+    }
+
+    /// Offer one fresh delta to every node over its query port and
+    /// return which nodes accepted it. The harness client is
+    /// omniscient (not subject to the partition matrix), so a minority
+    /// node's refusal is the read-only gate, not an unreachable port.
+    fn probe_write(&mut self) -> Vec<usize> {
+        let delta = flip_delta(self.delta_no);
+        self.delta_no += 1;
+        let mut accepted = Vec::new();
+        for (i, node) in self.nodes.iter().enumerate() {
+            let addr = node.query_addr.parse().unwrap();
+            if let Ok(mut c) = NetClient::connect_timeout(&addr, TIMEOUT) {
+                if c.submit_delta(&delta).is_ok() {
+                    accepted.push(i);
+                }
+            }
+        }
+        if accepted.len() > 1 {
+            let roles: Vec<(u64, Role, bool)> = self
+                .nodes
+                .iter()
+                .map(|n| (n.id, n.gate.role(), n.gate.writable()))
+                .collect();
+            let trails: Vec<(u64, Vec<String>)> = self
+                .nodes
+                .iter()
+                .map(|n| (n.id, n.trail.lock().unwrap().clone()))
+                .collect();
+            panic!(
+                "two nodes accepted the same write: {accepted:?}; gates {roles:?}; trails {trails:?}"
+            );
+        }
+        accepted
+    }
+
+    /// Wait until exactly one node accepts writes, and return it.
+    fn wait_writer(&mut self, deadline: Duration) -> usize {
+        let start = Instant::now();
+        loop {
+            let accepted = self.probe_write();
+            if let [w] = accepted[..] {
+                return w;
+            }
+            assert!(
+                start.elapsed() < deadline,
+                "no writer emerged within {deadline:?}"
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        }
+    }
+
+    /// After a heal: wait until one writer exists and every node holds
+    /// its watermark, then push one more write through and check every
+    /// node converges to a byte-identical clustering output.
+    fn assert_converged(&mut self, deadline: Duration) {
+        // A probe whose reply times out under load can still commit
+        // server-side and land *after* we sample the watermark, so
+        // chase the writer's current watermark on every poll instead
+        // of pinning the first sample — stragglers drain into a stable
+        // all-equal level.
+        let writer = self.wait_writer(deadline);
+        let levelled = |nodes: &[Arc<Node>], w: usize| {
+            let target = nodes[w].registry.applied_seq(DATASET);
+            nodes
+                .iter()
+                .all(|n| n.registry.applied_seq(DATASET) == target)
+        };
+        assert!(
+            wait_until(deadline, || levelled(&self.nodes, writer)),
+            "watermarks never converged: {:?}",
+            self.watermarks()
+        );
+        // One more write proves the healed topology still replicates.
+        let writer = self.wait_writer(deadline);
+        assert!(
+            wait_until(deadline, || levelled(&self.nodes, writer)),
+            "post-heal write never propagated: {:?}",
+            self.watermarks()
+        );
+        // Bit-for-bit convergence, re-read until stable: the watermark
+        // bumps under the registry lock but the warm-refreshed entry
+        // is reinserted after it releases (briefly absent), and a
+        // late-landing straggler shifts every node deterministically
+        // to the same new output — equal watermarks imply equal bits.
+        let lb = lb_config();
+        assert!(
+            wait_until(deadline, || {
+                let Some(reference) = self.nodes[writer].registry.cached(DATASET, &lb) else {
+                    return false;
+                };
+                levelled(&self.nodes, writer)
+                    && self.nodes.iter().all(|n| {
+                        n.registry
+                            .cached(DATASET, &lb)
+                            .is_some_and(|out| reference.bit_diff(&out).is_none())
+                    })
+            }),
+            "nodes never converged bit-for-bit at watermarks {:?}",
+            self.watermarks()
+        );
+    }
+
+    fn watermarks(&self) -> Vec<u64> {
+        self.nodes
+            .iter()
+            .map(|n| n.registry.applied_seq(DATASET))
+            .collect()
+    }
+
+    fn shutdown(mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        for d in self.drivers.drain(..) {
+            d.join().unwrap();
+        }
+        if let Some(m) = self.monitor.take() {
+            m.join().unwrap();
+        }
+        let max = self.max_writers.load(Ordering::SeqCst);
+        assert!(
+            max <= 1,
+            "monitor observed {max} concurrent writers — split brain"
+        );
+        for node in &self.nodes {
+            let errors = node.errors.lock().unwrap();
+            assert!(
+                errors.is_empty(),
+                "node {} stream errors: {errors:?}",
+                node.id
+            );
+        }
+    }
+}
+
+/// One seeded schedule: `rounds` partition/heal episodes. A third of
+/// the draws isolate the current writer alone (the in-process stand-in
+/// for `kill -9` of the primary); the rest cut a random strict
+/// minority. After every episode the cluster must converge back to one
+/// writer and byte-identical replicas.
+fn run_schedule(n: usize, seed: u64, rounds: usize) {
+    let mut rng = SplitMix64::new(seed);
+    let mut cluster = Cluster::start(n);
+    let settle = Duration::from_secs(30);
+
+    // Pre-fault sanity: node 0 is the sole writer and a write lands
+    // everywhere.
+    let w = cluster.wait_writer(settle);
+    assert_eq!(w, 0, "node 0 starts as the writer");
+    cluster.assert_converged(settle);
+
+    for _ in 0..rounds {
+        let writer = cluster.wait_writer(settle);
+        let minority: Vec<usize> = if rng.below(3) == 0 {
+            // "Kill" the writer: isolate it alone.
+            vec![writer]
+        } else {
+            let size = 1 + rng.below(((n - 1) / 2) as u64) as usize;
+            let mut picks: Vec<usize> = (0..n).collect();
+            // Seeded partial shuffle.
+            for i in 0..size {
+                let j = i + rng.below((n - i) as u64) as usize;
+                picks.swap(i, j);
+            }
+            picks.truncate(size);
+            picks
+        };
+        cluster.partition(&minority);
+
+        if minority.contains(&writer) {
+            // The old writer may keep serving through its grace lease;
+            // it must then step down and a majority node take over.
+            // Every probe along the way asserts no instant ever shows
+            // two acceptors.
+            let start = Instant::now();
+            loop {
+                let accepted = cluster.probe_write();
+                if let [w] = accepted[..] {
+                    if !minority.contains(&w) {
+                        break;
+                    }
+                }
+                assert!(
+                    start.elapsed() < settle,
+                    "majority never elected a writer; last acceptors {accepted:?}"
+                );
+                std::thread::sleep(Duration::from_millis(20));
+            }
+        } else {
+            // The writer kept its quorum: it must still be the one
+            // acceptor, and stay so across a full lease.
+            std::thread::sleep(TIMEOUT + INTERVAL * 4);
+            assert_eq!(cluster.wait_writer(settle), writer);
+        }
+
+        // Every minority node must be read-only: role Follower (never
+        // promoted) and refusing writes.
+        assert!(
+            wait_until(settle, || {
+                minority.iter().all(|&i| {
+                    let g = &cluster.nodes[i].gate;
+                    g.role() == Role::Follower && !g.writable()
+                })
+            }),
+            "minority nodes never degraded read-only"
+        );
+        for &i in &minority {
+            let addr = cluster.nodes[i].query_addr.parse().unwrap();
+            let delta = flip_delta(9999);
+            let refused = match NetClient::connect_timeout(&addr, TIMEOUT) {
+                Ok(mut c) => c.submit_delta(&delta).is_err(),
+                Err(_) => true,
+            };
+            assert!(refused, "minority node {} accepted a write", i + 1);
+        }
+
+        cluster.heal();
+        cluster.assert_converged(settle);
+    }
+
+    cluster.shutdown();
+}
+
+fn seeds(default_n: u64, full_n: u64, base: u64) -> Vec<u64> {
+    let full = std::env::var("LBC_CHAOS_FULL").is_ok();
+    let count = if full { full_n } else { default_n };
+    (0..count).map(|i| base.wrapping_add(i)).collect()
+}
+
+#[test]
+fn chaos_three_node_matrix() {
+    for seed in seeds(2, 12, 0x00C0_FFEE) {
+        run_schedule(3, seed, 2);
+    }
+}
+
+#[test]
+fn chaos_five_node_matrix() {
+    for seed in seeds(1, 8, 0x00FA_CADE) {
+        run_schedule(5, seed, 2);
+    }
+}
+
+/// Promotion-time WAL reconciliation, pinned deterministically: a
+/// record acked to the primary by follower A but never fanned out to
+/// follower B must survive a failover that B wins — B pulls the
+/// missing suffix from A before serving, bit-for-bit.
+#[test]
+fn winner_pulls_missing_suffix_before_serving() {
+    // Membership: A=1 (no repl listener — can vote and donate, cannot
+    // be elected), B=2 (promotable). The primary is not a member; it
+    // carries the same membership so Hello checks agree.
+    let qa = TcpListener::bind("127.0.0.1:0").unwrap();
+    let qb = TcpListener::bind("127.0.0.1:0").unwrap();
+    let qa_addr = qa.local_addr().unwrap().to_string();
+    let qb_addr = qb.local_addr().unwrap().to_string();
+    let members = Membership::parse(&format!("1@{qa_addr},2@{qb_addr}")).unwrap();
+    let cfg = ReplConfig {
+        heartbeat_interval: Duration::from_millis(20),
+        heartbeat_timeout: Duration::from_millis(300),
+        chunk_len: 512,
+        members,
+        ..Default::default()
+    };
+
+    let primary = seeded_registry();
+    let server =
+        ReplServer::bind("127.0.0.1:0", Arc::clone(&primary), DATASET, cfg.clone()).unwrap();
+
+    let apply = |i: u32| {
+        primary
+            .apply_delta(
+                DATASET,
+                &flip_delta(i),
+                &DeltaPolicy::WarmRefresh(Default::default()),
+            )
+            .unwrap();
+    };
+    let serve = |listener: TcpListener, registry: &Arc<Registry>, gate: &Arc<ReplGate>| {
+        let ctx = ServeContext {
+            registry: Arc::clone(registry),
+            pool: Arc::new(WorkerPool::new(2)),
+            dataset: DATASET.to_string(),
+            cfg: lb_config(),
+        };
+        NetServer::serve_listener(listener, ctx, ServerConfig::default(), Arc::clone(gate)).unwrap()
+    };
+
+    // Follower A: higher seq at crash time, not promotable.
+    let reg_a = Arc::new(Registry::with_capacity(8));
+    let gate_a = Arc::new(ReplGate::with_id(Role::Follower, 1));
+    gate_a.set_promotable(false);
+    let (conn_a, _) = FollowerConn::sync(
+        server.addr(),
+        Arc::clone(&reg_a),
+        DATASET,
+        FollowerIdentity {
+            id: 1,
+            addr: qa_addr.clone(),
+            repl_addr: String::new(),
+        },
+        HAVE_NOTHING,
+        cfg.clone(),
+    )
+    .unwrap();
+    let _net_a = serve(qa, &reg_a, &gate_a);
+    let fh_a = conn_a.run(Arc::clone(&gate_a), |_| {});
+
+    // Follower B: promotable (advertises a repl listener it could
+    // serve from), detaches early so it misses the tail.
+    let rb = TcpListener::bind("127.0.0.1:0").unwrap();
+    let rb_addr = rb.local_addr().unwrap().to_string();
+    let reg_b = Arc::new(Registry::with_capacity(8));
+    let gate_b = Arc::new(ReplGate::with_id(Role::Follower, 2));
+    let (conn_b, _) = FollowerConn::sync(
+        server.addr(),
+        Arc::clone(&reg_b),
+        DATASET,
+        FollowerIdentity {
+            id: 2,
+            addr: qb_addr.clone(),
+            repl_addr: rb_addr,
+        },
+        HAVE_NOTHING,
+        cfg.clone(),
+    )
+    .unwrap();
+    let _net_b = serve(qb, &reg_b, &gate_b);
+    let fh_b = conn_b.run(Arc::clone(&gate_b), |_| {});
+
+    // Both at seq 1, then B detaches cleanly.
+    apply(0);
+    assert!(wait_until(Duration::from_secs(10), || {
+        fh_a.applied_seq() == 1 && fh_b.applied_seq() == 1
+    }));
+    fh_b.stop();
+    fh_b.join();
+
+    // Three more records acked by A alone — the suffix B never saw.
+    for i in 1..4 {
+        apply(i);
+    }
+    assert!(wait_until(Duration::from_secs(10), || {
+        fh_a.applied_seq() == 4
+    }));
+    fh_a.stop();
+    fh_a.join();
+
+    // Primary dies. B runs the quorum election: A's vote arrives once
+    // its own liveness window lapses, and it concedes despite its
+    // higher seq because it cannot itself promote.
+    drop(server);
+    match run_election(2, reg_b.applied_seq(DATASET), &[], &cfg) {
+        ElectionOutcome::Won => {}
+        other => panic!("B should win the election, got {other:?}"),
+    }
+
+    // Reconciliation: B pulls records 2..=4 from A before serving.
+    let seq = reconcile(&reg_b, DATASET, 2, reg_b.applied_seq(DATASET), &[], &cfg);
+    assert_eq!(seq, 4, "winner must reach the highest acked watermark");
+    assert_eq!(reg_b.applied_seq(DATASET), 4);
+
+    // Bit-for-bit: B now matches both A and the pre-crash primary.
+    let lb = lb_config();
+    let pb = reg_b.cached(DATASET, &lb).expect("B cached");
+    let pa = reg_a.cached(DATASET, &lb).expect("A cached");
+    let pp = primary.cached(DATASET, &lb).expect("primary cached");
+    assert_eq!(pb.bit_diff(&pa), None, "B diverged from donor A");
+    assert_eq!(pb.bit_diff(&pp), None, "B diverged from the dead primary");
+
+    // And the lineage continues: B serves writes from the reconciled
+    // watermark.
+    gate_b.set_role(Role::Promoted);
+    reg_b
+        .apply_delta(
+            DATASET,
+            &flip_delta(7),
+            &DeltaPolicy::WarmRefresh(Default::default()),
+        )
+        .unwrap();
+    assert_eq!(reg_b.applied_seq(DATASET), 5);
+}

@@ -27,7 +27,7 @@
 //!   cold. Oversized WALs fold into a fresh snapshot
 //!   ([`Registry::wal_compact`], auto-triggered past a size threshold).
 
-use std::collections::{BTreeMap, BTreeSet};
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -212,7 +212,21 @@ struct Inner {
     /// even with no store attached. With a store attached the store's
     /// own seq assignment is authoritative and mirrored here.
     seqs: BTreeMap<String, u64>,
+    /// Recent encoded WAL records per dataset, `(seq, bytes)` in seq
+    /// order, bounded at [`WAL_RETAIN`] — the in-memory tail a node
+    /// serves to an election winner's promotion-time `WAL_PULL` even
+    /// when no store is attached. Only populated on nodes that
+    /// replicate (a commit hook is installed, or records arrive via
+    /// [`Registry::apply_replicated`]); a standalone registry pays
+    /// nothing.
+    wal_tails: BTreeMap<String, VecDeque<(u64, Vec<u8>)>>,
 }
+
+/// How many encoded WAL records [`Inner::wal_tails`] retains per
+/// dataset. Reconciliation pulls span the gap between two replicas of
+/// the same lineage — a few heartbeats' worth of records — so a few
+/// thousand covers any realistic divergence while bounding memory.
+const WAL_RETAIN: usize = 4096;
 
 /// Called under the registry's mutation lock after each committed
 /// delta, in sequence order, with `(dataset, seq, encoded WAL record)`
@@ -259,6 +273,7 @@ impl Registry {
                 in_flight: BTreeSet::new(),
                 tick: 0,
                 seqs: BTreeMap::new(),
+                wal_tails: BTreeMap::new(),
             }),
             in_flight_done: Condvar::new(),
             capacity,
@@ -368,6 +383,9 @@ impl Registry {
         inner.cache.retain(|(ds, _), _| ds != name);
         inner.datasets.insert(name.to_string(), Arc::clone(&shared));
         inner.seqs.insert(name.to_string(), applied_seq);
+        // The adopted snapshot supersedes any retained tail: records
+        // from the old lineage must not answer pulls against the new.
+        inner.wal_tails.remove(name);
         for (cfg, out) in entries {
             let evicted = self.insert_locked(&mut inner, name, &cfg, Arc::new(out));
             drop(evicted);
@@ -412,6 +430,39 @@ impl Registry {
                 att.store.wal_records_after(name, after).unwrap_or_default()
             }
             _ => Vec::new(),
+        }
+    }
+
+    /// Encoded WAL records with seq > `after` for `name`, in seq
+    /// order, contiguous from `after + 1` — what a node answers an
+    /// election winner's promotion-time `WAL_PULL` with. Prefers the
+    /// bounded in-memory tail (present on every replicating node, even
+    /// storeless ones); falls back to the attached store's log.
+    /// Returns empty when the suffix cannot be served contiguously —
+    /// the puller treats that as "nothing usable here", never applies
+    /// a gapped suffix.
+    pub fn wal_suffix_after(&self, name: &str, after: u64) -> Vec<Vec<u8>> {
+        {
+            let inner = self.inner.lock().unwrap();
+            if let Some(tail) = inner.wal_tails.get(name) {
+                if let Some(&(front_seq, _)) = tail.front() {
+                    if front_seq <= after + 1 {
+                        return tail
+                            .iter()
+                            .filter(|(seq, _)| *seq > after)
+                            .map(|(_, bytes)| bytes.clone())
+                            .collect();
+                    }
+                }
+            }
+        }
+        let records = self.wal_tail_after(name, after);
+        let contiguous = records.first().map(|r| r.seq == after + 1).unwrap_or(false)
+            && records.windows(2).all(|w| w[1].seq == w[0].seq + 1);
+        if contiguous {
+            records.iter().map(encode_record).collect()
+        } else {
+            Vec::new()
         }
     }
 
@@ -1000,15 +1051,26 @@ impl Registry {
             {
                 // Commit notification, still under the mutation lock so
                 // hooks observe records strictly in seq order — the
-                // replication primary's streaming feed.
+                // replication primary's streaming feed. Replicating
+                // nodes (hook installed, or record arrived replicated)
+                // also retain the encoded record in the bounded
+                // in-memory tail that answers promotion-time WAL pulls.
                 let hook_guard = self.commit_hook.lock().unwrap();
-                if let Some(hook) = hook_guard.as_ref() {
+                if hook_guard.is_some() || forced_seq.is_some() {
                     let record = WalRecord {
                         seq,
                         policy: replay,
                         delta: delta.clone(),
                     };
-                    hook(name, seq, &encode_record(&record));
+                    let bytes = encode_record(&record);
+                    if let Some(hook) = hook_guard.as_ref() {
+                        hook(name, seq, &bytes);
+                    }
+                    let tail = inner.wal_tails.entry(name.to_string()).or_default();
+                    tail.push_back((seq, bytes));
+                    while tail.len() > WAL_RETAIN {
+                        tail.pop_front();
+                    }
                 }
             }
             let keys: Vec<CacheKey> = inner

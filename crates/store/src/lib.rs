@@ -79,10 +79,18 @@ pub struct BootReport {
 #[derive(Debug)]
 pub struct Store {
     dir: PathBuf,
+    /// Fault-injection oracle for WAL appends — `None` in production,
+    /// a seeded script under the chaos harness (torn writes, failed
+    /// fsyncs) so crash-recovery paths run under test.
+    io_faults: Option<std::sync::Arc<dyn lbc_faults::IoFaultHook>>,
 }
 
 const SNAP_EXT: &str = "snap";
 const WAL_EXT: &str = "wal";
+/// Replication membership file (see [`Store::save_membership`]).
+const MEMBERSHIP_FILE: &str = "membership";
+/// Its tiny framing: magic + u32 length + bytes + crc64 of the bytes.
+const MEMBERSHIP_MAGIC: [u8; 4] = *b"LBCM";
 /// Subdirectory holding content-addressed graph blobs (`<crc64>.g`).
 /// Snapshots written by [`Store::save`] reference a blob instead of
 /// embedding the CSR, so every rewrite of a dataset — and every
@@ -123,7 +131,15 @@ impl Store {
     pub fn open(dir: impl AsRef<Path>) -> Result<Store, StoreError> {
         let dir = dir.as_ref().to_path_buf();
         fs::create_dir_all(&dir)?;
-        Ok(Store { dir })
+        Ok(Store {
+            dir,
+            io_faults: None,
+        })
+    }
+
+    /// Install a WAL-append fault oracle (chaos harness only).
+    pub fn set_io_faults(&mut self, hook: std::sync::Arc<dyn lbc_faults::IoFaultHook>) {
+        self.io_faults = Some(hook);
     }
 
     /// The backing directory.
@@ -442,25 +458,101 @@ impl Store {
             }
         }
         let seq = self.last_seq(name)?.max(wal_seq) + 1;
-        let f = fs::OpenOptions::new()
+        let fault = self
+            .io_faults
+            .as_ref()
+            .map(|h| h.next_append(name))
+            .unwrap_or(lbc_faults::IoFault::Pass);
+        if fault == lbc_faults::IoFault::FailWrite {
+            return Err(StoreError::Io("injected WAL write failure".to_string()));
+        }
+        let record = WalRecord {
+            seq,
+            policy: policy.clone(),
+            delta: delta.clone(),
+        };
+        let mut f = fs::OpenOptions::new()
             .create(true)
             .append(true)
             .open(path)?;
+        if let lbc_faults::IoFault::Torn(keep) = fault {
+            // A crash mid-append: only a prefix of the record reaches
+            // the disk. The caller sees a failure (the record did NOT
+            // commit); the next append's torn-tail scan truncates the
+            // garbage away — the exact path this fault exists to test.
+            let bytes = encode_record(&record);
+            let keep = keep.min(bytes.len().saturating_sub(1));
+            f.write_all(&bytes[..keep])?;
+            let _ = f.sync_data();
+            return Err(StoreError::Io("injected torn WAL append".to_string()));
+        }
         let mut w = BufWriter::new(f);
-        append_record(
-            &mut w,
-            &WalRecord {
-                seq,
-                policy: policy.clone(),
-                delta: delta.clone(),
-            },
-        )?;
-        let f = w.into_inner().map_err(|e| StoreError::Io(e.to_string()))?;
+        append_record(&mut w, &record)?;
+        f = w.into_inner().map_err(|e| StoreError::Io(e.to_string()))?;
+        if fault == lbc_faults::IoFault::FailFsync {
+            // The bytes went down but durability is unknown — report
+            // failure, exactly like a dying disk's fsync would.
+            return Err(StoreError::Io("injected WAL fsync failure".to_string()));
+        }
         f.sync_data()?;
         if !existed {
             self.sync_dir();
         }
         Ok((seq, self.wal_bytes(name)))
+    }
+
+    /// Persist the replication membership spec (`id@addr,...`) so a
+    /// restarted node rejoins the same fixed group its peers still
+    /// carry — quorum arithmetic must never disagree across restarts.
+    /// Write-to-temp + fsync + rename, checksummed like everything
+    /// else in the store.
+    pub fn save_membership(&self, spec: &str) -> Result<(), StoreError> {
+        let path = self.dir.join(MEMBERSHIP_FILE);
+        let tmp = path.with_extension("tmp");
+        let mut buf = Vec::with_capacity(spec.len() + 16);
+        buf.extend_from_slice(&MEMBERSHIP_MAGIC);
+        buf.extend_from_slice(&(spec.len() as u32).to_le_bytes());
+        buf.extend_from_slice(spec.as_bytes());
+        buf.extend_from_slice(&format::crc64(spec.as_bytes()).to_le_bytes());
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(&buf)?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, &path)?;
+        self.sync_dir();
+        Ok(())
+    }
+
+    /// Load the persisted membership spec, if one is present and
+    /// intact. Corruption is an error (a node must not silently run
+    /// quorumless when its group config rots), absence is `Ok(None)`.
+    pub fn load_membership(&self) -> Result<Option<String>, StoreError> {
+        let path = self.dir.join(MEMBERSHIP_FILE);
+        let buf = match fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e.into()),
+        };
+        if buf.len() < 16 || buf[..4] != MEMBERSHIP_MAGIC {
+            return Err(StoreError::Corrupt("membership file framing".to_string()));
+        }
+        let len = u32::from_le_bytes(buf[4..8].try_into().unwrap()) as usize;
+        if buf.len() != 8 + len + 8 {
+            return Err(StoreError::Corrupt("membership file length".to_string()));
+        }
+        let spec = &buf[8..8 + len];
+        let crc = u64::from_le_bytes(buf[8 + len..].try_into().unwrap());
+        if format::crc64(spec) != crc {
+            return Err(StoreError::ChecksumMismatch {
+                expected: crc,
+                found: format::crc64(spec),
+                context: "membership file",
+            });
+        }
+        String::from_utf8(spec.to_vec())
+            .map(Some)
+            .map_err(|_| StoreError::Corrupt("membership file utf-8".to_string()))
     }
 
     /// Read `name`'s snapshot and WAL without replaying anything.

@@ -162,3 +162,80 @@ fn foreign_file_is_not_a_snapshot() {
         Err(StoreError::BadMagic { .. })
     ));
 }
+
+#[test]
+fn injected_io_faults_surface_and_torn_tail_heals() {
+    // The same torn-tail recovery, but driven through the seeded
+    // fault-injection seam the chaos harness uses: a scripted oracle
+    // tears one append, fails one write, fails one fsync — every
+    // failure comes back typed, the sequence lineage never skips, and
+    // the next clean append truncates the garbage away.
+    let f = fixture("iofaults");
+    let mut store = Store::open(&f.dir).unwrap();
+    store.set_io_faults(std::sync::Arc::new(lbc_faults::ScriptedIoFaults::new(
+        vec![
+            lbc_faults::IoFault::Torn(9),
+            lbc_faults::IoFault::Pass,
+            lbc_faults::IoFault::FailWrite,
+            lbc_faults::IoFault::Pass,
+            lbc_faults::IoFault::FailFsync,
+        ],
+    )));
+    let mut d = GraphDelta::new();
+    d.add_edge(0, 11);
+
+    // Torn append: a prefix reaches the disk, the caller sees an
+    // error, and the record did NOT commit.
+    let clean_len = std::fs::metadata(&f.wal).unwrap().len();
+    let e = store
+        .append_delta("ring", &ReplayPolicy::Invalidate, &d)
+        .unwrap_err();
+    assert!(matches!(e, StoreError::Io(_)), "{e}");
+    assert!(std::fs::metadata(&f.wal).unwrap().len() > clean_len);
+    assert_eq!(store.last_seq("ring").unwrap(), 1);
+    let (state, report) = store.load("ring").unwrap();
+    assert_eq!(state.applied_seq, 1);
+    assert!(report.torn_tail_bytes > 0, "torn prefix should be visible");
+
+    // The next append heals the tail and commits at seq 2.
+    let (seq, _) = store
+        .append_delta_seq("ring", &ReplayPolicy::Invalidate, &d)
+        .unwrap();
+    assert_eq!(seq, 2);
+    let (state, report) = store.load("ring").unwrap();
+    assert_eq!(state.applied_seq, 2);
+    assert_eq!(report.torn_tail_bytes, 0, "garbage survived the heal");
+    assert!(state.graph.has_edge(0, 11));
+
+    // FailWrite: nothing reaches the disk at all.
+    let len_before = std::fs::metadata(&f.wal).unwrap().len();
+    let e = store
+        .append_delta("ring", &ReplayPolicy::Invalidate, &d)
+        .unwrap_err();
+    assert!(matches!(e, StoreError::Io(_)), "{e}");
+    assert_eq!(std::fs::metadata(&f.wal).unwrap().len(), len_before);
+    assert_eq!(store.last_seq("ring").unwrap(), 2);
+
+    let (seq, _) = store
+        .append_delta_seq("ring", &ReplayPolicy::Invalidate, &d)
+        .unwrap();
+    assert_eq!(seq, 3);
+
+    // FailFsync: the bytes went down but durability is unknown — the
+    // caller must see a failure, and whether or not the record
+    // survives, the log stays replayable.
+    let e = store
+        .append_delta("ring", &ReplayPolicy::Invalidate, &d)
+        .unwrap_err();
+    assert!(matches!(e, StoreError::Io(_)), "{e}");
+    let (state, _) = store.load("ring").unwrap();
+    assert!(state.applied_seq >= 3);
+
+    // A store without the oracle picks the lineage back up.
+    let (seq, _) = f
+        .store
+        .append_delta_seq("ring", &ReplayPolicy::Invalidate, &d)
+        .unwrap();
+    assert!(seq >= 4);
+    f.store.load("ring").unwrap();
+}
