@@ -712,10 +712,19 @@ fn cmd_serve(rest: &[String]) -> Result<String, String> {
     let _repl_server: Option<lbc_repl::ReplServer> = 'generations: loop {
         let (mut target_repl, members) = if let Some(fh) = &fh_opt {
             let outcome = loop {
-                if let Some(o) = fh.wait_outcome(std::time::Duration::from_secs(3600)) {
+                if let Some(o) = fh.wait_outcome(std::time::Duration::from_secs(1)) {
                     break o;
                 }
+                // While streaming, fold any membership the follower
+                // thread adopted from heartbeats into this loop's
+                // election config and persist it, so a node booted
+                // without --members re-elects under the quorum rule
+                // and a restart rejoins the same electorate.
+                adopt_membership(&mut repl_cfg, &gate, membership_store.as_ref());
             };
+            // Once more: the adoption may have landed in the final
+            // beat before the stream died.
+            adopt_membership(&mut repl_cfg, &gate, membership_store.as_ref());
             match outcome {
                 lbc_repl::FailoverOutcome::Promoted { applied_seq } => {
                     println!(
@@ -952,6 +961,39 @@ fn cmd_serve(rest: &[String]) -> Result<String, String> {
     // Keep serving whatever state we hold until killed.
     loop {
         std::thread::park();
+    }
+}
+
+/// Fold a membership the follower thread adopted from the primary's
+/// heartbeats (surfaced via the gate) into the serve loop's election
+/// config, and persist it when a store is configured — so the CLI's
+/// re-election path enforces the same quorum rule as the stream's
+/// failover path, and a restarted node rejoins the same electorate. A
+/// locally configured membership is never overridden.
+fn adopt_membership(
+    repl_cfg: &mut lbc_repl::ReplConfig,
+    gate: &lbc_net::ReplGate,
+    store: Option<&lbc_store::Store>,
+) {
+    if !repl_cfg.members.is_empty() {
+        return;
+    }
+    let adopted = gate.adopted_members();
+    if adopted.is_empty() {
+        return;
+    }
+    repl_cfg.members = lbc_repl::Membership::from_members(adopted);
+    gate.set_member_count(repl_cfg.members.len());
+    println!(
+        "membership adopted from primary: {}",
+        repl_cfg.members.to_spec()
+    );
+    use std::io::Write as _;
+    std::io::stdout().flush().ok();
+    if let Some(store) = store {
+        if let Err(e) = store.save_membership(&repl_cfg.members.to_spec()) {
+            eprintln!("cannot persist adopted membership: {e}");
+        }
     }
 }
 

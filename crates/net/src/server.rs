@@ -132,6 +132,19 @@ pub struct ReplGate {
     /// no roster naming us — a healed minority node, a stepped-down
     /// primary — can still discover where to re-follow.
     repl_addr: Mutex<String>,
+    /// Vote memory: the candidate granted the most recent
+    /// confirmation vote, and when. A voter grants at most **one
+    /// candidate per liveness window** (re-grants to the same
+    /// candidate refresh it) — without this, two concurrent candidates
+    /// partitioned from each other could each collect this node's vote
+    /// and both assemble a quorum majority. Cleared whenever the
+    /// primary link delivers a frame: a live primary voids whatever
+    /// election the vote belonged to.
+    last_vote: Mutex<Option<(u64, Instant)>>,
+    /// Membership adopted from a primary's heartbeat when this node
+    /// was started without one — surfaced so the serve loop can adopt
+    /// it into its election config and persist it.
+    adopted_members: Mutex<Vec<crate::wire::Member>>,
 }
 
 impl ReplGate {
@@ -141,11 +154,23 @@ impl ReplGate {
 
     /// Gate for a node participating in failover elections under
     /// `node_id` (a follower's `--follower-id`).
+    ///
+    /// A gate constructed as [`Role::Follower`] starts with its
+    /// primary contact clock at *boot* rather than "never": the node
+    /// was configured to follow a primary that is presumably alive,
+    /// and until the stream loop records the first real frame it must
+    /// not grant election-confirming votes — otherwise an evicted or
+    /// partially partitioned peer could use a just-booted follower's
+    /// vote to reach quorum against a living primary.
     pub fn with_id(role: Role, node_id: u64) -> Self {
         ReplGate {
             role: AtomicU8::new(role as u8),
             node_id,
-            last_primary_contact: Mutex::new(None),
+            last_primary_contact: Mutex::new(if role == Role::Follower {
+                Some(Instant::now())
+            } else {
+                None
+            }),
             liveness_window: Mutex::new(Duration::from_millis(1500)),
             promotable: AtomicU8::new(1),
             votes_seen: AtomicU64::new(0),
@@ -153,6 +178,8 @@ impl ReplGate {
             no_quorum: AtomicU8::new(0),
             member_count: AtomicU64::new(0),
             repl_addr: Mutex::new(String::new()),
+            last_vote: Mutex::new(None),
+            adopted_members: Mutex::new(Vec::new()),
         }
     }
 
@@ -188,9 +215,12 @@ impl ReplGate {
     }
 
     /// Record that the primary link just delivered a message. Called by
-    /// the follower's stream loop for every frame received.
+    /// the follower's stream loop for every frame received. Also
+    /// clears the vote memory: a frame from a live primary voids the
+    /// election any earlier grant belonged to.
     pub fn note_primary_contact(&self) {
         *self.last_primary_contact.lock().unwrap() = Some(Instant::now());
+        *self.last_vote.lock().unwrap() = None;
     }
 
     /// Record that the primary link is known dead (EOF/reset), so vote
@@ -206,7 +236,10 @@ impl ReplGate {
     }
 
     /// Whether the primary link delivered anything within the liveness
-    /// window. `false` when no primary was ever heard from.
+    /// window. `false` when no primary was ever heard from — except
+    /// that a gate constructed as a follower counts its boot as
+    /// contact (see [`ReplGate::with_id`]), so a node mid-handshake
+    /// with a live primary does not hand out votes.
     pub fn primary_recently_alive(&self) -> bool {
         let window = *self.liveness_window.lock().unwrap();
         self.last_primary_contact
@@ -225,6 +258,44 @@ impl ReplGate {
 
     pub fn promotable(&self) -> bool {
         self.promotable.load(Ordering::Acquire) != 0
+    }
+
+    /// Atomically record a confirmation-vote grant to `candidate_id`,
+    /// refusing if a *different* candidate was granted within the last
+    /// liveness window. Single-vote-per-window semantics: of two
+    /// candidates racing for this node's vote, at most one can count
+    /// it toward a majority — the overlap that would otherwise let two
+    /// partitioned candidates both assemble a quorum through shared
+    /// voters. Re-asking candidates refresh their hold (each election
+    /// round re-votes), and any primary frame clears it. Call only
+    /// after every other grant condition has passed: a refused
+    /// *eligibility* check must not burn the window on a candidate
+    /// that was never going to be granted.
+    pub fn try_grant_vote(&self, candidate_id: u64) -> bool {
+        let window = *self.liveness_window.lock().unwrap();
+        let mut vote = self.last_vote.lock().unwrap();
+        if let Some((granted_to, at)) = *vote {
+            if granted_to != candidate_id && at.elapsed() < window {
+                return false;
+            }
+        }
+        *vote = Some((candidate_id, Instant::now()));
+        true
+    }
+
+    /// Publish a membership list adopted from the primary's heartbeat
+    /// (a follower started without `--members`). The serve loop reads
+    /// it back via [`ReplGate::adopted_members`] to run re-elections
+    /// under the quorum rule and persist the list for restarts.
+    pub fn set_adopted_members(&self, members: &[crate::wire::Member]) {
+        *self.adopted_members.lock().unwrap() = members.to_vec();
+    }
+
+    /// The membership adopted from heartbeats, if any (empty when none
+    /// was adopted — locally configured memberships are never
+    /// published here).
+    pub fn adopted_members(&self) -> Vec<crate::wire::Member> {
+        self.adopted_members.lock().unwrap().clone()
     }
 
     /// Record the outcome of the most recent quorum-mode election
@@ -792,20 +863,28 @@ impl Reactor {
                 // already-promoted node never concedes), our own
                 // primary link has been silent past the liveness
                 // window (else the primary is alive and nobody should
-                // promote), and the candidate beats us under the same
+                // promote), the candidate beats us under the same
                 // deterministic (seq desc, id asc) order we would
                 // elect by — so of two mutual candidates exactly one
-                // can ever collect the other's vote.
+                // can ever collect the other's vote — and we have not
+                // granted a *different* candidate within the liveness
+                // window ([`ReplGate::try_grant_vote`]): candidates
+                // partitioned from each other reach shared voters, and
+                // a voter that granted both would let both assemble a
+                // majority.
                 // A voter that cannot itself promote (no --repl-listen)
-                // concedes to any eligible candidate: its seq may be
-                // ahead — promotion-time reconciliation pulls that
-                // suffix — but its vote must never veto the election.
+                // concedes the order check to any eligible candidate:
+                // its seq may be ahead — promotion-time reconciliation
+                // pulls that suffix — but its vote must never veto the
+                // election. The single-vote window still applies, so
+                // an unpromotable voter is not a free double-vote.
                 let candidate_beats_us = candidate_seq > voter_seq
                     || (candidate_seq == voter_seq && candidate_id <= voter_id)
                     || !self.repl.promotable();
                 let granted = voter_role == Role::Follower
                     && !self.repl.primary_recently_alive()
-                    && candidate_beats_us;
+                    && candidate_beats_us
+                    && self.repl.try_grant_vote(candidate_id);
                 Response::Vote(crate::wire::VoteResp {
                     granted,
                     voter_id,
@@ -1224,6 +1303,71 @@ mod tests {
         let summary = client.submit_delta(&GraphDelta::new()).unwrap();
         assert_eq!(summary.refreshed, 1);
         assert_eq!(client.info().unwrap().role, Role::Promoted);
+        server.shutdown();
+    }
+
+    #[test]
+    fn gate_vote_memory_is_one_candidate_per_window() {
+        let gate = ReplGate::with_id(Role::Primary, 3);
+        // The first candidate takes the window; a different concurrent
+        // candidate is refused; the first refreshes its hold by
+        // re-asking (every election round re-votes).
+        assert!(gate.try_grant_vote(5));
+        assert!(!gate.try_grant_vote(7));
+        assert!(gate.try_grant_vote(5));
+        // A frame from a live primary voids the held vote.
+        gate.note_primary_contact();
+        assert!(gate.try_grant_vote(7));
+        // The hold expires after the liveness window.
+        gate.set_liveness_window(Duration::from_millis(10));
+        std::thread::sleep(Duration::from_millis(20));
+        assert!(gate.try_grant_vote(9));
+    }
+
+    #[test]
+    fn follower_gate_counts_boot_as_primary_contact() {
+        // A gate constructed to follow denies votes while its node is
+        // still mid-handshake: the primary it was configured to follow
+        // is presumed alive until a liveness window lapses with no
+        // frame. A primary's gate never followed anyone.
+        assert!(ReplGate::with_id(Role::Follower, 1).primary_recently_alive());
+        assert!(!ReplGate::with_id(Role::Primary, 1).primary_recently_alive());
+        let aged = ReplGate::with_id(Role::Follower, 1);
+        aged.set_liveness_window(Duration::ZERO);
+        assert!(!aged.primary_recently_alive());
+    }
+
+    #[test]
+    fn vote_handler_grants_one_candidate_per_window() {
+        let registry = Arc::new(Registry::with_capacity(4));
+        let (g, _) = generators::ring_of_cliques(3, 8, 0).unwrap();
+        registry.insert_graph("ring", g);
+        let cfg = LbConfig::new(1.0 / 3.0, 60).with_seed(2);
+        let ctx = ServeContext {
+            registry,
+            pool: Arc::new(WorkerPool::new(2)),
+            dataset: "ring".to_string(),
+            cfg,
+        };
+        // Constructed as Primary (no boot contact) then stepped to
+        // Follower: an orphaned voter free to grant immediately.
+        let gate = Arc::new(ReplGate::with_id(Role::Primary, 9));
+        gate.set_role(Role::Follower);
+        let server = NetServer::bind_with_repl(
+            "127.0.0.1:0",
+            ctx,
+            ServerConfig::default(),
+            Arc::clone(&gate),
+        )
+        .unwrap();
+        let mut a = NetClient::connect(server.addr()).unwrap();
+        let mut b = NetClient::connect(server.addr()).unwrap();
+        // Both candidates beat the voter (seq 5 > 0), but the voter
+        // must never count toward two concurrent majorities: the
+        // second ask is refused while the first holds the window.
+        assert!(a.repl_vote(1, 5).unwrap().granted);
+        assert!(!b.repl_vote(2, 5).unwrap().granted);
+        assert!(a.repl_vote(1, 5).unwrap().granted);
         server.shutdown();
     }
 

@@ -1129,9 +1129,11 @@ pub enum ReplMsg {
         epoch: u64,
         roster: Vec<PeerLag>,
         /// The primary's fixed membership list, re-fanned on every
-        /// tick so a follower that joined with an empty list (or a
-        /// stale one) adopts the cluster's — and persists it, so a
-        /// restart agrees.
+        /// tick so a follower that joined with an empty list adopts
+        /// the cluster's. The adoption is surfaced through
+        /// [`crate::ReplGate::adopted_members`]; the serve loop folds
+        /// it into its own election config and — when a store is
+        /// configured — persists it, so a restart agrees.
         members: Vec<Member>,
     },
     /// Answer to [`ReplMsg::Status`].

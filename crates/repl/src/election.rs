@@ -25,11 +25,15 @@
 //! 3. **Vote round.** A self-named candidate collects confirmation
 //!    votes: *every* live peer in roster-only mode, a **strict
 //!    majority of the membership** (self included) in quorum mode. A
-//!    peer grants only while it is itself an orphaned follower and
-//!    only to a candidate that beats it under the same order — or
-//!    unconditionally when it cannot promote itself, so an
+//!    peer grants only while it is itself an orphaned follower, only
+//!    to a candidate that beats it under the same order — or, when it
+//!    cannot promote itself, to any eligible candidate, so an
 //!    unpromotable straggler with a higher seq concedes rather than
-//!    deadlocking the group.
+//!    deadlocking the group — and to at most **one candidate per
+//!    liveness window** ([`lbc_net::ReplGate::try_grant_vote`]):
+//!    without that memory, two candidates partitioned from each other
+//!    could each collect a shared voter's grant and both assemble a
+//!    strict majority.
 //!
 //! Denied votes mean "not yet" (typically: the voter has not noticed
 //! primary death); the election backs off — jittered, so competing

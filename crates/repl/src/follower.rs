@@ -481,8 +481,14 @@ where
                     // Adopt the primary's configured membership so a
                     // follower started without `--members` still runs
                     // quorum-mode elections. A locally configured
-                    // membership is never overridden.
+                    // membership is never overridden. Published
+                    // through the gate so the serve loop re-elects
+                    // under the same quorum rule and persists the
+                    // list for restarts (and so `repl-status` shows
+                    // the member count immediately).
                     conn.cfg.members = Membership::from_members(members);
+                    gate.set_adopted_members(&conn.cfg.members.members);
+                    gate.set_member_count(conn.cfg.members.len());
                 }
                 // Ack the heartbeat too: the primary evicts followers
                 // whose acks stall, and an idle stream carries no

@@ -35,10 +35,12 @@
 //! follower id ([`choose_promoted`]) — and, if it names itself,
 //! collects confirmation **votes** before flipping its
 //! [`lbc_net::ReplGate`] to `Promoted`. Peers grant only once their
-//! own primary link has been silent past the liveness window, and only
+//! own primary link has been silent past the liveness window, only
 //! to a candidate that beats them under the same rule (or when they
-//! cannot promote themselves), so two mutually-reachable followers can
-//! never both promote. Losers re-follow the winner's replication port,
+//! cannot promote themselves), and to **at most one candidate per
+//! liveness window** — so two mutually-reachable followers can never
+//! both promote, and two candidates that cannot see each other cannot
+//! both assemble a majority through the voters they share. Losers re-follow the winner's replication port,
 //! carrying their lineage watermark. Duplicate follower ids are
 //! rejected at `Hello` ([`lbc_net::ReplMsg::Deny`]).
 //!
@@ -72,11 +74,17 @@
 //! still lost (asynchronous replication's acked-data-loss window
 //! shrinks to fan-out-to-nobody, it does not close); without a
 //! configured membership the roster-only election remains partitionable
-//! as before; and a minority-side primary keeps accepting writes for
+//! as before; a minority-side primary keeps accepting writes for
 //! up to one lease (heartbeat timeout) after the partition starts —
 //! bounded, and strictly shorter than the majority's election, but not
-//! zero. Each is exercised deliberately by the chaos suite
-//! (`crates/repl/tests/chaos.rs`).
+//! zero; and a voter's single-vote hold is a *window*, not a term: it
+//! expires after one liveness window, relying on the voter's own
+//! failover (poll the winner, see `Promoted`, re-follow — whereupon
+//! fresh primary contact keeps denying) to bridge the gap before a
+//! losing candidate can re-ask. A voter whose re-follow outlasts its
+//! own hold re-opens the race; term-numbered single-vote-per-term
+//! semantics would close this for good. Each residual is exercised
+//! deliberately by the chaos suite (`crates/repl/tests/chaos.rs`).
 
 use std::io::{Read, Write};
 use std::net::TcpStream;

@@ -912,3 +912,99 @@ fn winner_pulls_missing_suffix_before_serving() {
         .unwrap();
     assert_eq!(reg_b.applied_seq(DATASET), 5);
 }
+
+/// Two candidates partitioned from *each other* but both reaching a
+/// shared third voter must not both assemble a strict majority.
+/// Membership {1,2,3}, the 1↔2 link cut, node 3 an orphaned follower:
+/// with stateless vote grants, 3 would grant both candidates and each
+/// would count 2/2 — the exact split brain quorum mode exists to
+/// prevent. The voter's single-vote window must pin its grant to one
+/// candidate for the whole race.
+#[test]
+fn partitioned_candidates_cannot_both_quorum_through_shared_voter() {
+    /// One node's view of the non-transitive partition (A↔B cut, both
+    /// reach C) — a shape the group-based [`PartitionMatrix`] cannot
+    /// express, so the cut list is spelled out per node.
+    #[derive(Debug)]
+    struct CutPeers(Vec<String>);
+    impl lbc_faults::FaultHook for CutPeers {
+        fn link(&self, peer: &str) -> lbc_faults::LinkFault {
+            if self.0.iter().any(|p| p == peer) {
+                lbc_faults::LinkFault::Cut
+            } else {
+                lbc_faults::LinkFault::Pass
+            }
+        }
+    }
+
+    let listeners: Vec<TcpListener> = (0..3)
+        .map(|_| TcpListener::bind("127.0.0.1:0").unwrap())
+        .collect();
+    let addrs: Vec<String> = listeners
+        .iter()
+        .map(|l| l.local_addr().unwrap().to_string())
+        .collect();
+    let spec = addrs
+        .iter()
+        .enumerate()
+        .map(|(i, a)| format!("{}@{a}", i as u64 + 1))
+        .collect::<Vec<_>>()
+        .join(",");
+    let base = ReplConfig {
+        heartbeat_interval: INTERVAL,
+        heartbeat_timeout: TIMEOUT,
+        members: Membership::parse(&spec).unwrap(),
+        ..Default::default()
+    };
+
+    let mut nets = Vec::new();
+    let mut gates = Vec::new();
+    for (i, listener) in listeners.into_iter().enumerate() {
+        let registry = seeded_registry();
+        // Constructed as Primary (no boot contact) then stepped to
+        // Follower: an orphaned voter, free to grant immediately.
+        let gate = Arc::new(ReplGate::with_id(Role::Primary, i as u64 + 1));
+        gate.set_role(Role::Follower);
+        let ctx = ServeContext {
+            registry: Arc::clone(&registry),
+            pool: Arc::new(lbc_runtime::WorkerPool::new(2)),
+            dataset: DATASET.to_string(),
+            cfg: lb_config(),
+        };
+        nets.push(
+            NetServer::serve_listener(listener, ctx, ServerConfig::default(), Arc::clone(&gate))
+                .unwrap(),
+        );
+        gates.push(gate);
+    }
+    // Hold the voter's single-vote window open past the whole election
+    // budget: in production the window is bridged by the voter
+    // re-following the winner (fresh primary contact keeps denying),
+    // which this fixture deliberately does not run.
+    gates[2].set_liveness_window(Duration::from_secs(30));
+
+    let cfg_a = ReplConfig {
+        faults: Some(Arc::new(CutPeers(vec![addrs[1].clone()]))),
+        ..base.clone()
+    };
+    let cfg_b = ReplConfig {
+        faults: Some(Arc::new(CutPeers(vec![addrs[0].clone()]))),
+        ..base
+    };
+    let ta = std::thread::spawn(move || run_election(1, 0, &[], &cfg_a));
+    let tb = std::thread::spawn(move || run_election(2, 0, &[], &cfg_b));
+    let ra = ta.join().unwrap();
+    let rb = tb.join().unwrap();
+    let wins = [&ra, &rb]
+        .into_iter()
+        .filter(|o| **o == ElectionOutcome::Won)
+        .count();
+    assert!(
+        wins <= 1,
+        "split brain: both candidates won a majority (A: {ra:?}, B: {rb:?})"
+    );
+    assert_eq!(
+        wins, 1,
+        "exactly one candidate should win (A: {ra:?}, B: {rb:?})"
+    );
+}

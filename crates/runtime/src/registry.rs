@@ -212,21 +212,51 @@ struct Inner {
     /// even with no store attached. With a store attached the store's
     /// own seq assignment is authoritative and mirrored here.
     seqs: BTreeMap<String, u64>,
-    /// Recent encoded WAL records per dataset, `(seq, bytes)` in seq
-    /// order, bounded at [`WAL_RETAIN`] — the in-memory tail a node
-    /// serves to an election winner's promotion-time `WAL_PULL` even
-    /// when no store is attached. Only populated on nodes that
+    /// Recent encoded WAL records per dataset — the in-memory tail a
+    /// node serves to an election winner's promotion-time `WAL_PULL`
+    /// even when no store is attached. Only populated on nodes that
     /// replicate (a commit hook is installed, or records arrive via
     /// [`Registry::apply_replicated`]); a standalone registry pays
     /// nothing.
-    wal_tails: BTreeMap<String, VecDeque<(u64, Vec<u8>)>>,
+    wal_tails: BTreeMap<String, WalTail>,
 }
 
-/// How many encoded WAL records [`Inner::wal_tails`] retains per
-/// dataset. Reconciliation pulls span the gap between two replicas of
-/// the same lineage — a few heartbeats' worth of records — so a few
-/// thousand covers any realistic divergence while bounding memory.
+/// How many encoded WAL records a [`WalTail`] retains per dataset.
+/// Reconciliation pulls span the gap between two replicas of the same
+/// lineage — a few heartbeats' worth of records — so a few thousand
+/// covers any realistic divergence while bounding memory.
 const WAL_RETAIN: usize = 4096;
+
+/// Total encoded bytes a [`WalTail`] retains per dataset. Record
+/// count alone is no bound when deltas are large — 4096 records of a
+/// few MiB each would pin gigabytes on every replicating node — so the
+/// tail is trimmed by whichever limit bites first.
+const WAL_RETAIN_BYTES: usize = 32 << 20;
+
+/// One dataset's bounded in-memory WAL suffix: `(seq, encoded record)`
+/// in seq order, trimmed from the front to respect both the record
+/// and the byte cap (the newest record is always kept, even alone
+/// over the byte cap — a tail that cannot hold its own latest record
+/// would serve nothing).
+#[derive(Default)]
+struct WalTail {
+    records: VecDeque<(u64, Vec<u8>)>,
+    /// Sum of the encoded lengths in `records`.
+    bytes: usize,
+}
+
+impl WalTail {
+    fn push(&mut self, seq: u64, bytes: Vec<u8>, max_records: usize, max_bytes: usize) {
+        self.bytes += bytes.len();
+        self.records.push_back((seq, bytes));
+        while self.records.len() > 1 && (self.records.len() > max_records || self.bytes > max_bytes)
+        {
+            if let Some((_, old)) = self.records.pop_front() {
+                self.bytes -= old.len();
+            }
+        }
+    }
+}
 
 /// Called under the registry's mutation lock after each committed
 /// delta, in sequence order, with `(dataset, seq, encoded WAL record)`
@@ -445,9 +475,10 @@ impl Registry {
         {
             let inner = self.inner.lock().unwrap();
             if let Some(tail) = inner.wal_tails.get(name) {
-                if let Some(&(front_seq, _)) = tail.front() {
+                if let Some(&(front_seq, _)) = tail.records.front() {
                     if front_seq <= after + 1 {
                         return tail
+                            .records
                             .iter()
                             .filter(|(seq, _)| *seq > after)
                             .map(|(_, bytes)| bytes.clone())
@@ -1066,11 +1097,12 @@ impl Registry {
                     if let Some(hook) = hook_guard.as_ref() {
                         hook(name, seq, &bytes);
                     }
-                    let tail = inner.wal_tails.entry(name.to_string()).or_default();
-                    tail.push_back((seq, bytes));
-                    while tail.len() > WAL_RETAIN {
-                        tail.pop_front();
-                    }
+                    inner.wal_tails.entry(name.to_string()).or_default().push(
+                        seq,
+                        bytes,
+                        WAL_RETAIN,
+                        WAL_RETAIN_BYTES,
+                    );
                 }
             }
             let keys: Vec<CacheKey> = inner
@@ -1499,5 +1531,39 @@ mod tests {
         assert_eq!(cached.partition, direct.partition);
         assert_eq!(cached.states, direct.states);
         assert_eq!(cached.seeds, direct.seeds);
+    }
+
+    #[test]
+    fn wal_tail_is_bounded_by_records_and_bytes() {
+        // Record cap: the oldest records fall off.
+        let mut tail = WalTail::default();
+        for seq in 1..=5 {
+            tail.push(seq, vec![0u8; 8], 3, usize::MAX);
+        }
+        let seqs: Vec<u64> = tail.records.iter().map(|(s, _)| *s).collect();
+        assert_eq!(seqs, [3, 4, 5]);
+        assert_eq!(tail.bytes, 24);
+
+        // Byte cap: large deltas trim the tail long before the record
+        // cap would, so the always-on in-memory tail cannot pin
+        // arbitrarily many megabytes.
+        let mut tail = WalTail::default();
+        for seq in 1..=10 {
+            tail.push(seq, vec![0u8; 100], usize::MAX, 250);
+        }
+        let seqs: Vec<u64> = tail.records.iter().map(|(s, _)| *s).collect();
+        assert_eq!(seqs, [9, 10]);
+        assert_eq!(tail.bytes, 200);
+
+        // A single record over the byte cap is still retained — a tail
+        // that cannot hold its own newest record would serve nothing.
+        let mut tail = WalTail::default();
+        tail.push(1, vec![0u8; 1000], usize::MAX, 250);
+        assert_eq!(tail.records.len(), 1);
+        assert_eq!(tail.bytes, 1000);
+        tail.push(2, vec![0u8; 1000], usize::MAX, 250);
+        let seqs: Vec<u64> = tail.records.iter().map(|(s, _)| *s).collect();
+        assert_eq!(seqs, [2]);
+        assert_eq!(tail.bytes, 1000);
     }
 }
