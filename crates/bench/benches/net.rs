@@ -96,12 +96,12 @@ fn bench_loopback(c: &mut Criterion) {
     let registry = Arc::new(Registry::with_capacity(4));
     let (g, _) = generators::regular_cluster_graph(4, 250, 12, 4, 5).unwrap();
     registry.insert_graph("bench", g);
-    let ctx = ServeContext {
+    let ctx = ServeContext::new(
         registry,
-        pool: Arc::new(WorkerPool::new(2)),
-        dataset: "bench".to_string(),
-        cfg: LbConfig::new(0.25, 120).with_seed(3),
-    };
+        Arc::new(WorkerPool::new(2)),
+        "bench",
+        LbConfig::new(0.25, 120).with_seed(3),
+    );
     let server = NetServer::bind("127.0.0.1:0", ctx, ServerConfig::default()).unwrap();
     let mut client = NetClient::connect(server.addr()).unwrap();
 

@@ -1,0 +1,109 @@
+//! Observability hot-path costs: histogram record (the per-request tax
+//! every instrumented loop pays), contended multi-thread record,
+//! counter increment, snapshot + quantile extraction, and the event
+//! ring — the numbers behind the "metrics stay out of the fast path"
+//! claim.
+
+use std::sync::Arc;
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use lbc_obs::{EventKind, EventRing, Histogram, Obs};
+
+fn bench_record(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_record");
+    group.throughput(Throughput::Elements(1));
+
+    let hist = Histogram::new();
+    let mut x = 0x9E37_79B9_7F4A_7C15u64;
+    group.bench_function(BenchmarkId::new("histogram", "1thread"), |b| {
+        b.iter(|| {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+            hist.record(black_box((x >> 33) % 50_000_000));
+        })
+    });
+
+    let obs = Obs::new();
+    let ctr = obs.counter("bench_ops_total");
+    group.bench_function(BenchmarkId::new("counter", "inc"), |b| b.iter(|| ctr.inc()));
+
+    // Handle lookup by name is the cold path; measured so a caller who
+    // mistakenly looks up per-record sees what that costs vs. `inc`.
+    group.bench_function(BenchmarkId::new("counter", "lookup_and_inc"), |b| {
+        b.iter(|| obs.counter("bench_ops_total").inc())
+    });
+    group.finish();
+}
+
+fn bench_contended(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_contended");
+    for &threads in &[2usize, 8] {
+        let per_thread = 200_000u64;
+        group.throughput(Throughput::Elements(per_thread * threads as u64));
+        group.bench_with_input(
+            BenchmarkId::new("histogram_record", threads),
+            &threads,
+            |b, &threads| {
+                b.iter(|| {
+                    let hist = Arc::new(Histogram::new());
+                    std::thread::scope(|s| {
+                        for t in 0..threads {
+                            let hist = Arc::clone(&hist);
+                            s.spawn(move || {
+                                let mut x = 0xDEAD_BEEFu64 ^ (t as u64) << 32;
+                                for _ in 0..per_thread {
+                                    x = x
+                                        .wrapping_mul(6364136223846793005)
+                                        .wrapping_add(1442695040888963407);
+                                    hist.record((x >> 33) % 50_000_000);
+                                }
+                            });
+                        }
+                    });
+                    black_box(hist.snapshot().count)
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_snapshot(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_snapshot");
+    let hist = Histogram::new();
+    let mut x = 7u64;
+    for _ in 0..1_000_000 {
+        x = x.wrapping_mul(6364136223846793005).wrapping_add(1);
+        hist.record((x >> 33) % 50_000_000);
+    }
+    group.bench_function(BenchmarkId::new("histogram", "snapshot"), |b| {
+        b.iter(|| black_box(hist.snapshot().count))
+    });
+    let snap = hist.snapshot();
+    group.bench_function(BenchmarkId::new("histogram", "quantiles"), |b| {
+        b.iter(|| {
+            black_box(snap.quantile(0.50));
+            black_box(snap.quantile(0.95));
+            black_box(snap.quantile(0.99))
+        })
+    });
+    group.finish();
+}
+
+fn bench_events(c: &mut Criterion) {
+    let mut group = c.benchmark_group("obs_events");
+    group.throughput(Throughput::Elements(1));
+    let ring = EventRing::new(256);
+    group.bench_function(BenchmarkId::new("ring", "record"), |b| {
+        b.iter(|| ring.record(EventKind::Eviction, "dataset bench seed 7"))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_record,
+    bench_contended,
+    bench_snapshot,
+    bench_events
+);
+criterion_main!(benches);

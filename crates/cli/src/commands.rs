@@ -284,15 +284,95 @@ fn cmd_spectrum(rest: &[String]) -> Result<String, String> {
     Ok(report)
 }
 
+/// `lbc stats`: with `--graph`, static graph statistics; with
+/// `--connect`, the live metrics snapshot a serving node answers the
+/// STATS opcode with — counters, gauges, and latency percentiles,
+/// plus the structured event ring under `--events`. `--watch SECS`
+/// re-polls forever (one snapshot per interval); `--metrics-text`
+/// switches to Prometheus text exposition for scrapers.
 fn cmd_stats(rest: &[String]) -> Result<String, String> {
-    let a = Args::parse(rest, &[])?;
-    let g = load_graph(&a.require("graph")?)?;
+    let a = Args::parse(rest, &["events", "metrics-text"])?;
+    let Some(connect) = a.get("connect") else {
+        let g = load_graph(&a.require("graph")?)?;
+        a.reject_unknown()?;
+        let s = GraphStats::compute(&g);
+        return Ok(format!(
+            "n = {}\nm = {}\ndegrees: min {}, max {}, mean {:.3}\ntriangles = {}\nglobal clustering = {:.4}\nconnected = {}\n",
+            s.n, s.m, s.min_degree, s.max_degree, s.mean_degree, s.triangles, s.global_clustering, s.connected
+        ));
+    };
+    let watch: u64 = a.get_or("watch", 0)?;
+    let events = a.has("events");
+    let text = a.has("metrics-text");
     a.reject_unknown()?;
-    let s = GraphStats::compute(&g);
-    Ok(format!(
-        "n = {}\nm = {}\ndegrees: min {}, max {}, mean {:.3}\ntriangles = {}\nglobal clustering = {:.4}\nconnected = {}\n",
-        s.n, s.m, s.min_degree, s.max_degree, s.mean_degree, s.triangles, s.global_clustering, s.connected
-    ))
+    let max_events: u32 = if events { 256 } else { 0 };
+    let fetch = || -> Result<lbc_obs::ObsSnapshot, String> {
+        let mut client = lbc_net::NetClient::connect(connect.as_str())
+            .map_err(|e| format!("cannot connect to {connect}: {e}"))?;
+        client
+            .stats(max_events)
+            .map_err(|e| format!("{connect}: {e}"))
+    };
+    let render = |snap: &lbc_obs::ObsSnapshot| -> String {
+        if text {
+            lbc_obs::render_text(snap)
+        } else {
+            render_stats(&connect, snap, events)
+        }
+    };
+    if watch > 0 {
+        loop {
+            println!("{}", render(&fetch()?));
+            use std::io::Write as _;
+            std::io::stdout().flush().ok();
+            std::thread::sleep(std::time::Duration::from_secs(watch));
+        }
+    }
+    Ok(render(&fetch()?))
+}
+
+/// Human layout for a [`lbc_obs::ObsSnapshot`]: counters and gauges
+/// one per line, histograms as count/p50/p95/p99/max, events (when
+/// requested) oldest first with ring seq and relative timestamp.
+fn render_stats(connect: &str, snap: &lbc_obs::ObsSnapshot, events: bool) -> String {
+    let mut out = format!("{connect}:\n");
+    if snap.counters.is_empty() && snap.gauges.is_empty() && snap.hists.is_empty() {
+        out.push_str("  (no metrics registered)\n");
+    }
+    for (name, v) in &snap.counters {
+        out.push_str(&format!("  {name} {v}\n"));
+    }
+    for (name, v) in &snap.gauges {
+        out.push_str(&format!("  {name} {v}\n"));
+    }
+    for (name, h) in &snap.hists {
+        if h.is_empty() {
+            out.push_str(&format!("  {name}: empty\n"));
+        } else {
+            out.push_str(&format!(
+                "  {name}: count {}, p50 {}, p95 {}, p99 {}, max {}\n",
+                h.count,
+                h.quantile(0.50),
+                h.quantile(0.95),
+                h.quantile(0.99),
+                h.max,
+            ));
+        }
+    }
+    if events {
+        if snap.events.is_empty() {
+            out.push_str("events: none\n");
+        } else {
+            out.push_str("events:\n");
+            for e in &snap.events {
+                out.push_str(&format!(
+                    "  [{}] +{}ms {:?}: {}\n",
+                    e.seq, e.at_ms, e.kind, e.detail
+                ));
+            }
+        }
+    }
+    out
 }
 
 /// Resolve the serving dataset: an edge-list file (`--graph`) or an
@@ -606,11 +686,22 @@ fn cmd_serve(rest: &[String]) -> Result<String, String> {
         None
     };
     let pool = Arc::new(WorkerPool::new(threads));
+    // One Obs per node, threaded through every layer: the reactor
+    // answers STATS from it, the registry/store/pool adopt their
+    // counters into it, and serve_listener hands it to the ReplGate so
+    // the replication plane records elections against the same ring.
+    let obs = Arc::new(lbc_obs::Obs::new());
+    registry.attach_obs(Arc::clone(&obs));
+    pool.register_obs(&obs);
+    if let Some(store) = &membership_store {
+        store.register_obs(Arc::clone(&obs));
+    }
     let ctx = lbc_net::ServeContext {
         registry: Arc::clone(&registry),
         pool,
         dataset: name.clone(),
         cfg: cfg.clone(),
+        obs,
     };
     let server_cfg = lbc_net::ServerConfig {
         outbox_cap,
@@ -1151,11 +1242,15 @@ fn cmd_repl_status(rest: &[String]) -> Result<String, String> {
     } else {
         for p in &status.peers {
             out.push_str(&format!(
-                "follower {}: acked_seq {} (lag {})",
+                "follower {}: acked_seq {} ({} records behind",
                 p.follower_id,
                 p.applied_seq,
                 status.applied_seq.saturating_sub(p.applied_seq)
             ));
+            if let Some(&(_, ms)) = status.ack_ages.iter().find(|(id, _)| *id == p.follower_id) {
+                out.push_str(&format!(", {ms} ms since last ack"));
+            }
+            out.push(')');
             if !p.addr.is_empty() {
                 out.push_str(&format!(" at {}", p.addr));
             }
@@ -1862,6 +1957,42 @@ mod tests {
         assert!(run(&raw(&["repl-status"])).is_err());
         let e = run(&raw(&["repl-status", "--connect", "127.0.0.1:1"])).unwrap_err();
         assert!(e.contains("cannot connect"), "{e}");
+    }
+
+    #[test]
+    fn stats_connect_mode_flags() {
+        // Dead port: typed connection error, not a hang or panic.
+        let e = run(&raw(&["stats", "--connect", "127.0.0.1:1"])).unwrap_err();
+        assert!(e.contains("cannot connect"), "{e}");
+        // The snapshot switches belong to --connect mode only; in
+        // --graph mode they are unknown flags.
+        assert!(run(&raw(&["stats", "--graph", "g.txt", "--events"])).is_err());
+        // Neither --graph nor --connect: the usual missing-flag error.
+        assert!(run(&raw(&["stats"])).is_err());
+    }
+
+    #[test]
+    fn stats_snapshot_renders_counters_hists_and_events() {
+        let obs = lbc_obs::Obs::new();
+        obs.counter("cache_hits_total").add(41);
+        obs.gauge("worker_queue_depth").set(3);
+        let h = obs.histogram("batch_ns");
+        for v in [100, 200, 400, 800] {
+            h.record(v);
+        }
+        obs.events
+            .record(lbc_obs::EventKind::RoleChange, "follower->promoted");
+        let snap = obs.snapshot(16);
+        let r = render_stats("127.0.0.1:9", &snap, true);
+        assert!(r.contains("cache_hits_total 41"), "{r}");
+        assert!(r.contains("worker_queue_depth 3"), "{r}");
+        assert!(r.contains("batch_ns: count 4"), "{r}");
+        assert!(r.contains("max 800"), "{r}");
+        assert!(r.contains("RoleChange: follower->promoted"), "{r}");
+        // Empty snapshot says so instead of printing a bare header.
+        let empty = lbc_obs::Obs::new().snapshot(0);
+        let r = render_stats("x", &empty, false);
+        assert!(r.contains("no metrics registered"), "{r}");
     }
 
     #[test]

@@ -13,7 +13,10 @@
 //!   the graph is given).
 //! * `lbc spectrum --graph g.txt --top 5` — top eigenvalues, gaps, and
 //!   the paper's suggested round counts.
-//! * `lbc stats --graph g.txt` — structural summary.
+//! * `lbc stats --graph g.txt` — structural summary; `lbc stats
+//!   --connect ADDR` — live node metrics over the STATS wire opcode
+//!   (counters, gauges, latency histograms, event ring; optionally
+//!   Prometheus text exposition).
 //! * `lbc update --graph g.txt (--delta d.txt | --flips K)` — apply a
 //!   dynamic-graph delta through the serving registry and warm-start
 //!   re-cluster from the resident states.
@@ -59,6 +62,15 @@ USAGE:
   lbc eval --truth truth.txt --found labels.txt [--graph g.txt]
   lbc spectrum --graph g.txt [--top 5] [--seed S]
   lbc stats --graph g.txt
+  lbc stats --connect HOST:PORT [--watch SECS] [--events] [--metrics-text]
+      With --graph: structural summary of an edge list. With --connect:
+      fetch a serving node's metrics snapshot over the STATS opcode —
+      counters (cache, WAL, replication), gauges (queue depth, follower
+      lag), and latency histograms (count/p50/p95/p99/max, bucket error
+      <= 3.125%). --events appends the structured event ring (role
+      transitions, elections, evictions, backpressure). --watch SECS
+      re-polls every SECS forever. --metrics-text emits Prometheus text
+      exposition for scrapers.
 
   lbc serve-bench [--graph g.txt | --family ring|planted --k 4 --size 64]
                   [--beta B] [--rounds T] [--seed S] [--threads 4]
@@ -110,8 +122,9 @@ USAGE:
 
   lbc repl-status --connect HOST:PORT
       Probe a replication port: prints the node's role
-      (primary/follower/promoted), its applied_seq watermark, and the
-      acked progress + lag of every connected follower.
+      (primary/follower/promoted), its applied_seq watermark, and per
+      connected follower its acked progress, records behind, and ms
+      since its last ack.
 
   lbc jobs [--graph g.txt | --family ring|planted --k 4 --size 64]
            [--beta B] [--rounds T] [--seed S0] [--jobs 8] [--threads 4]

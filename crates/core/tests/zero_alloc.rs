@@ -135,3 +135,54 @@ fn warm_start_steady_state_rounds_are_allocation_free() {
     let warm = warm_start(&g2, &cfg, &prior, &delta, &WarmStartConfig::default()).unwrap();
     assert!(warm.rounds_run > 0);
 }
+
+#[test]
+fn histogram_record_in_round_loop_is_allocation_free() {
+    // The observability claim: timing each round into an
+    // `lbc_obs::Histogram` adds **zero** allocations to the loop it
+    // instruments — `record` is a fixed handful of relaxed atomic RMWs
+    // into preallocated buckets. Same harness as above, with the
+    // instrumented loop measured under the counting allocator.
+    let _serial = SERIAL.lock().unwrap();
+    let (g, _) = generators::ring_of_cliques(4, 25, 0).unwrap();
+    let n = g.n();
+    let cfg = LbConfig::new(0.25, 10).with_seed(7);
+    let mut rngs: Vec<NodeRng> = (0..n as u32)
+        .map(|v| NodeRng::for_node(cfg.seed, v))
+        .collect();
+    let seeds = run_seeding(n, cfg.trials(), &mut rngs);
+    let rule = cfg.proposal_rule(&g);
+    let mut arena = StateArena::new(n, &seeds);
+    let mut scratch = MatchingScratch::new(n);
+
+    // Histogram construction is the cold path and may allocate; it
+    // happens before the measured window, like every real handle.
+    let hist = lbc_obs::Histogram::new();
+    for _ in 0..5 {
+        let t0 = std::time::Instant::now();
+        sample_matching_into(&g, rule, &mut rngs, &mut scratch);
+        arena.average_matched(&scratch);
+        hist.record(t0.elapsed().as_nanos() as u64);
+    }
+
+    let before = ALLOCS.load(Ordering::SeqCst);
+    for _ in 0..50 {
+        let t0 = std::time::Instant::now();
+        sample_matching_into(&g, rule, &mut rngs, &mut scratch);
+        arena.average_matched(&scratch);
+        hist.record(t0.elapsed().as_nanos() as u64);
+    }
+    let after = ALLOCS.load(Ordering::SeqCst);
+    assert_eq!(
+        after - before,
+        0,
+        "instrumented round loop allocated {} times in 50 rounds",
+        after - before
+    );
+
+    // The histogram really saw every round (snapshotting may allocate;
+    // it is outside the measured window by design).
+    let snap = hist.snapshot();
+    assert_eq!(snap.count, 55);
+    assert!(snap.max >= snap.quantile(0.5));
+}

@@ -120,6 +120,18 @@ impl NetClient {
         }
     }
 
+    /// Fetch the node's full metrics registry plus up to `max_events`
+    /// recent ring events (the `STATS` opcode, answered inline by the
+    /// reactor).
+    pub fn stats(&mut self, max_events: u32) -> Result<lbc_obs::ObsSnapshot, NetError> {
+        match self.call(&Request::Stats { max_events })? {
+            Response::Stats(s) => Ok(s),
+            other => Err(NetError::UnexpectedResponse {
+                opcode: other.opcode(),
+            }),
+        }
+    }
+
     /// Ask this node to confirm a promotion candidate (failover
     /// election round; see [`Request::ReplVote`]).
     pub fn repl_vote(

@@ -32,12 +32,13 @@ use std::collections::{HashMap, VecDeque};
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::os::unix::io::AsRawFd;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, Ordering};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use lbc_core::LbConfig;
 use lbc_graph::GraphDelta;
+use lbc_obs::{Counter, EventKind, Gauge, Histogram, Obs};
 use lbc_runtime::{ClusterHandle, DeltaPolicy, QueryEngine, Registry, WorkerPool};
 
 use crate::error::{ErrorCode, NetError, WireError};
@@ -88,13 +89,36 @@ impl Default for ServerConfig {
 }
 
 /// What the reactor serves: a registry, the pool for expensive work,
-/// and the dataset/config to serve.
+/// the dataset/config to serve, and the node's observability registry
+/// (metrics + event ring — one per serving node, shared with the repl
+/// plane and store so a single `STATS` answer covers everything).
 #[derive(Clone)]
 pub struct ServeContext {
     pub registry: Arc<Registry>,
     pub pool: Arc<WorkerPool>,
     pub dataset: String,
     pub cfg: LbConfig,
+    pub obs: Arc<Obs>,
+}
+
+impl ServeContext {
+    /// Context with a fresh per-node [`Obs`]. Callers that thread one
+    /// `Obs` through several components (registry, store, repl) build
+    /// the struct directly instead.
+    pub fn new(
+        registry: Arc<Registry>,
+        pool: Arc<WorkerPool>,
+        dataset: impl Into<String>,
+        cfg: LbConfig,
+    ) -> ServeContext {
+        ServeContext {
+            registry,
+            pool,
+            dataset: dataset.into(),
+            cfg,
+            obs: Arc::new(Obs::new()),
+        }
+    }
 }
 
 /// Replication role shared between the reactor and the replication
@@ -145,6 +169,11 @@ pub struct ReplGate {
     /// was started without one — surfaced so the serve loop can adopt
     /// it into its election config and persist it.
     adopted_members: Mutex<Vec<crate::wire::Member>>,
+    /// Where role/quorum/membership transitions are recorded as
+    /// metrics and ring events. Attached by the reactor (and by the
+    /// serve loop for gates built before the context); transitions
+    /// before attachment are simply unrecorded.
+    obs: Mutex<Option<Arc<Obs>>>,
 }
 
 impl ReplGate {
@@ -180,6 +209,26 @@ impl ReplGate {
             repl_addr: Mutex::new(String::new()),
             last_vote: Mutex::new(None),
             adopted_members: Mutex::new(Vec::new()),
+            obs: Mutex::new(None),
+        }
+    }
+
+    /// Attach the node's observability registry so gate transitions
+    /// land in its counters and event ring.
+    pub fn attach_obs(&self, obs: Arc<Obs>) {
+        *self.obs.lock().unwrap() = Some(obs);
+    }
+
+    /// The node metrics registry attached via [`ReplGate::attach_obs`],
+    /// if any — the seam the replication plane reaches the node's
+    /// counters and event ring through.
+    pub fn obs(&self) -> Option<Arc<Obs>> {
+        self.obs.lock().unwrap().clone()
+    }
+
+    fn with_obs(&self, f: impl FnOnce(&Obs)) {
+        if let Some(obs) = self.obs.lock().unwrap().as_ref() {
+            f(obs);
         }
     }
 
@@ -198,7 +247,15 @@ impl ReplGate {
     }
 
     pub fn set_role(&self, role: Role) {
-        self.role.store(role as u8, Ordering::Release);
+        let old = self.role.swap(role as u8, Ordering::AcqRel);
+        if old != role as u8 {
+            self.with_obs(|obs| {
+                obs.counter("repl_role_transitions_total").inc();
+                let from = Role::from_u8(old).map(|r| r.as_str()).unwrap_or("?");
+                obs.events
+                    .record(EventKind::RoleChange, format!("{from}->{}", role.as_str()));
+            });
+        }
     }
 
     /// Whether this node currently accepts deltas. Quorum loss
@@ -288,7 +345,19 @@ impl ReplGate {
     /// it back via [`ReplGate::adopted_members`] to run re-elections
     /// under the quorum rule and persist the list for restarts.
     pub fn set_adopted_members(&self, members: &[crate::wire::Member]) {
-        *self.adopted_members.lock().unwrap() = members.to_vec();
+        let mut cur = self.adopted_members.lock().unwrap();
+        if *cur == members {
+            return;
+        }
+        if !members.is_empty() {
+            self.with_obs(|obs| {
+                obs.events.record(
+                    EventKind::MembershipAdopted,
+                    format!("{} members", members.len()),
+                );
+            });
+        }
+        *cur = members.to_vec();
     }
 
     /// The membership adopted from heartbeats, if any (empty when none
@@ -305,7 +374,16 @@ impl ReplGate {
         self.votes_seen.store(votes_seen as u64, Ordering::Release);
         self.votes_needed
             .store(votes_needed as u64, Ordering::Release);
-        self.no_quorum.store(no_quorum as u8, Ordering::Release);
+        let was = self.no_quorum.swap(no_quorum as u8, Ordering::AcqRel);
+        if no_quorum && was == 0 {
+            self.with_obs(|obs| {
+                obs.counter("repl_no_quorum_total").inc();
+                obs.events.record(
+                    EventKind::NoQuorum,
+                    format!("votes {votes_seen}/{votes_needed}"),
+                );
+            });
+        }
     }
 
     /// Record the size of the fixed membership list this node was
@@ -326,23 +404,24 @@ impl ReplGate {
     }
 }
 
-/// Monotonic counters shared between the reactor and [`ServerHandle`].
-#[derive(Default)]
+/// The reactor's counters, registered in the node's [`Obs`] under
+/// `net_*` names and shared with [`ServerHandle`] — one set of atomics
+/// serves both `ServerHandle::stats()` and the `STATS` opcode.
 struct StatsInner {
-    accepted: AtomicU64,
-    rejected: AtomicU64,
-    disconnected: AtomicU64,
-    active: AtomicUsize,
-    frames_in: AtomicU64,
-    frames_out: AtomicU64,
-    bytes_in: AtomicU64,
-    bytes_out: AtomicU64,
-    protocol_errors: AtomicU64,
-    deltas_applied: AtomicU64,
-    backpressure_pauses: AtomicU64,
+    accepted: Arc<Counter>,
+    rejected: Arc<Counter>,
+    disconnected: Arc<Counter>,
+    active: Arc<Gauge>,
+    frames_in: Arc<Counter>,
+    frames_out: Arc<Counter>,
+    bytes_in: Arc<Counter>,
+    bytes_out: Arc<Counter>,
+    protocol_errors: Arc<Counter>,
+    deltas_applied: Arc<Counter>,
+    backpressure_pauses: Arc<Counter>,
     /// High-water mark of any single connection's outbox, in bytes —
     /// the backpressure test's bounded-memory witness.
-    outbox_hwm: AtomicU64,
+    outbox_hwm: Arc<Gauge>,
 }
 
 /// Snapshot of the reactor's counters.
@@ -363,20 +442,101 @@ pub struct ServerStats {
 }
 
 impl StatsInner {
+    fn new(obs: &Obs) -> StatsInner {
+        StatsInner {
+            accepted: obs.counter("net_accepted_total"),
+            rejected: obs.counter("net_rejected_total"),
+            disconnected: obs.counter("net_disconnected_total"),
+            active: obs.gauge("net_active_conns"),
+            frames_in: obs.counter("net_frames_in_total"),
+            frames_out: obs.counter("net_frames_out_total"),
+            bytes_in: obs.counter("net_bytes_in_total"),
+            bytes_out: obs.counter("net_bytes_out_total"),
+            protocol_errors: obs.counter("net_protocol_errors_total"),
+            deltas_applied: obs.counter("net_deltas_applied_total"),
+            backpressure_pauses: obs.counter("net_backpressure_pauses_total"),
+            outbox_hwm: obs.gauge("net_outbox_hwm_bytes"),
+        }
+    }
+
     fn snapshot(&self) -> ServerStats {
         ServerStats {
-            accepted: self.accepted.load(Ordering::Relaxed),
-            rejected: self.rejected.load(Ordering::Relaxed),
-            disconnected: self.disconnected.load(Ordering::Relaxed),
-            active: self.active.load(Ordering::Relaxed),
-            frames_in: self.frames_in.load(Ordering::Relaxed),
-            frames_out: self.frames_out.load(Ordering::Relaxed),
-            bytes_in: self.bytes_in.load(Ordering::Relaxed),
-            bytes_out: self.bytes_out.load(Ordering::Relaxed),
-            protocol_errors: self.protocol_errors.load(Ordering::Relaxed),
-            deltas_applied: self.deltas_applied.load(Ordering::Relaxed),
-            backpressure_pauses: self.backpressure_pauses.load(Ordering::Relaxed),
-            outbox_hwm: self.outbox_hwm.load(Ordering::Relaxed),
+            accepted: self.accepted.get(),
+            rejected: self.rejected.get(),
+            disconnected: self.disconnected.get(),
+            active: self.active.get().max(0) as usize,
+            frames_in: self.frames_in.get(),
+            frames_out: self.frames_out.get(),
+            bytes_in: self.bytes_in.get(),
+            bytes_out: self.bytes_out.get(),
+            protocol_errors: self.protocol_errors.get(),
+            deltas_applied: self.deltas_applied.get(),
+            backpressure_pauses: self.backpressure_pauses.get(),
+            outbox_hwm: self.outbox_hwm.get().max(0) as u64,
+        }
+    }
+}
+
+/// Per-request-opcode count + service-time histogram, pre-created so
+/// the hot path touches only `Arc`ed atomics (no name lookups).
+struct OpMetrics {
+    count: Arc<Counter>,
+    service_ns: Arc<Histogram>,
+}
+
+const OP_NAMES: [&str; 8] = [
+    "query_batch",
+    "submit_delta",
+    "cache_stats",
+    "info",
+    "ping",
+    "repl_vote",
+    "wal_pull",
+    "stats",
+];
+
+fn op_index(req: &Request) -> usize {
+    match req {
+        Request::QueryBatch(_) => 0,
+        Request::SubmitDelta(_) => 1,
+        Request::CacheStats => 2,
+        Request::Info => 3,
+        Request::Ping => 4,
+        Request::ReplVote { .. } => 5,
+        Request::WalPull { .. } => 6,
+        Request::Stats { .. } => 7,
+    }
+}
+
+/// Reactor-owned metric handles beyond the [`ServerStats`] set:
+/// per-opcode service metrics, close-cause counters, and the
+/// applied-seq gauge sampled into each `STATS` answer.
+struct ReactorObs {
+    ops: Vec<OpMetrics>,
+    closed_eof: Arc<Counter>,
+    closed_reset: Arc<Counter>,
+    closed_protocol: Arc<Counter>,
+    closed_write: Arc<Counter>,
+    closed_oversized: Arc<Counter>,
+    applied_seq: Arc<Gauge>,
+}
+
+impl ReactorObs {
+    fn new(obs: &Obs) -> ReactorObs {
+        ReactorObs {
+            ops: OP_NAMES
+                .iter()
+                .map(|n| OpMetrics {
+                    count: obs.counter(&format!("rpc_{n}_requests_total")),
+                    service_ns: obs.histogram(&format!("rpc_{n}_service_ns")),
+                })
+                .collect(),
+            closed_eof: obs.counter("net_closed_eof_total"),
+            closed_reset: obs.counter("net_closed_reset_total"),
+            closed_protocol: obs.counter("net_closed_protocol_total"),
+            closed_write: obs.counter("net_closed_write_total"),
+            closed_oversized: obs.counter("net_closed_oversized_total"),
+            applied_seq: obs.gauge("repl_applied_seq"),
         }
     }
 }
@@ -515,7 +675,11 @@ impl NetServer {
         listener.set_nonblocking(true)?;
         let local = listener.local_addr()?;
 
-        let stats = Arc::new(StatsInner::default());
+        let stats = Arc::new(StatsInner::new(&ctx.obs));
+        let robs = ReactorObs::new(&ctx.obs);
+        // Gate transitions (promotion, quorum loss, adoption) land in
+        // the same per-node registry the reactor snapshots for STATS.
+        repl.attach_obs(Arc::clone(&ctx.obs));
         let stop = Arc::new(AtomicBool::new(false));
         let (waker, wake_rx) = waker_pair()?;
         let completions = Arc::new(Mutex::new(VecDeque::new()));
@@ -532,6 +696,7 @@ impl NetServer {
             config,
             repl,
             stats: Arc::clone(&stats),
+            robs,
             stop: Arc::clone(&stop),
             completions: Arc::clone(&completions),
             pending_deltas: VecDeque::new(),
@@ -569,6 +734,7 @@ struct Reactor {
     config: ServerConfig,
     repl: Arc<ReplGate>,
     stats: Arc<StatsInner>,
+    robs: ReactorObs,
     stop: Arc<AtomicBool>,
     completions: Arc<Mutex<VecDeque<Completion>>>,
     pending_deltas: VecDeque<(u64, u64, GraphDelta)>,
@@ -616,7 +782,7 @@ impl Reactor {
             match self.listener.accept() {
                 Ok((stream, _peer)) => {
                     if self.conns.len() >= self.config.max_conns {
-                        self.stats.rejected.fetch_add(1, Ordering::Relaxed);
+                        self.stats.rejected.inc();
                         drop(stream);
                         continue;
                     }
@@ -642,8 +808,8 @@ impl Reactor {
                             paused: false,
                         },
                     );
-                    self.stats.accepted.fetch_add(1, Ordering::Relaxed);
-                    self.stats.active.store(self.conns.len(), Ordering::Relaxed);
+                    self.stats.accepted.inc();
+                    self.stats.active.set(self.conns.len() as i64);
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => return Ok(()),
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
@@ -693,9 +859,13 @@ impl Reactor {
                 return true;
             }
             match conn.stream.read(scratch) {
-                Ok(0) => return false, // clean EOF
+                Ok(0) => {
+                    // Clean EOF.
+                    self.robs.closed_eof.inc();
+                    return false;
+                }
                 Ok(n) => {
-                    self.stats.bytes_in.fetch_add(n as u64, Ordering::Relaxed);
+                    self.stats.bytes_in.add(n as u64);
                     conn.decoder.push(&scratch[..n]);
                     if !self.process_frames(token) {
                         return false;
@@ -703,7 +873,10 @@ impl Reactor {
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => return true,
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-                Err(_) => return false,
+                Err(_) => {
+                    self.robs.closed_reset.inc();
+                    return false;
+                }
             }
         }
     }
@@ -723,9 +896,11 @@ impl Reactor {
                 let conn = self.conns.get_mut(&token).unwrap();
                 if !conn.paused {
                     conn.paused = true;
-                    self.stats
-                        .backpressure_pauses
-                        .fetch_add(1, Ordering::Relaxed);
+                    self.stats.backpressure_pauses.inc();
+                    self.ctx.obs.events.record(
+                        EventKind::BackpressureOn,
+                        format!("conn {token} outbox {outbox_len}B"),
+                    );
                 }
                 return true;
             }
@@ -733,15 +908,26 @@ impl Reactor {
                 Ok(Some(f)) => f,
                 Ok(None) => return true,
                 Err(_) => {
-                    self.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                    self.stats.protocol_errors.inc();
+                    self.robs.closed_protocol.inc();
                     return false;
                 }
             };
-            self.stats.frames_in.fetch_add(1, Ordering::Relaxed);
+            self.stats.frames_in.inc();
             let request_id = frame.request_id;
             match Request::from_frame(&frame) {
                 Ok(req) => {
-                    if !self.handle_request(token, request_id, req) {
+                    let op = op_index(&req);
+                    self.robs.ops[op].count.inc();
+                    let started = Instant::now();
+                    let ok = self.handle_request(token, request_id, req);
+                    // Deltas offload to the pool, so their entry here is
+                    // enqueue time; the pool's job histogram carries the
+                    // apply cost.
+                    self.robs.ops[op]
+                        .service_ns
+                        .record(started.elapsed().as_nanos() as u64);
+                    if !ok {
                         return false;
                     }
                 }
@@ -752,7 +938,7 @@ impl Reactor {
                     // The frame itself was sound (checksum passed), so
                     // framing is intact: answer with a typed error and
                     // keep the connection.
-                    self.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                    self.stats.protocol_errors.inc();
                     self.enqueue_response(
                         token,
                         request_id,
@@ -763,7 +949,8 @@ impl Reactor {
                     );
                 }
                 Err(_) => {
-                    self.stats.protocol_errors.fetch_add(1, Ordering::Relaxed);
+                    self.stats.protocol_errors.inc();
+                    self.robs.closed_protocol.inc();
                     return false;
                 }
             }
@@ -892,6 +1079,15 @@ impl Reactor {
                     voter_role,
                 })
             }
+            Request::Stats { max_events } => {
+                // Pull-time gauges are sampled here so a snapshot is
+                // self-contained (the registry owns applied_seq; the
+                // reactor only reads it per answer).
+                self.robs
+                    .applied_seq
+                    .set(self.ctx.registry.applied_seq(&self.ctx.dataset) as i64);
+                Response::Stats(self.ctx.obs.snapshot(max_events as usize))
+            }
         };
         self.enqueue_response(token, request_id, &resp);
         true
@@ -985,7 +1181,7 @@ impl Reactor {
             let resp = match done.result {
                 Ok((summary, new_handle)) => {
                     self.handle = new_handle;
-                    self.stats.deltas_applied.fetch_add(1, Ordering::Relaxed);
+                    self.stats.deltas_applied.inc();
                     Response::DeltaDone(summary)
                 }
                 Err(msg) => Response::Error {
@@ -1012,16 +1208,17 @@ impl Reactor {
             // Response larger than a frame allows — only conceivable
             // for absurd batch sizes; drop the connection rather than
             // send garbage.
+            self.robs.closed_oversized.inc();
             self.close_conn(token);
             return;
         }
-        self.stats.frames_out.fetch_add(1, Ordering::Relaxed);
+        self.stats.frames_out.inc();
         let hwm = self
             .conns
             .get(&token)
             .map(|c| c.outbox.pending())
-            .unwrap_or(0) as u64;
-        self.stats.outbox_hwm.fetch_max(hwm, Ordering::Relaxed);
+            .unwrap_or(0) as i64;
+        self.stats.outbox_hwm.fetch_max(hwm);
         if !self.flush_conn(token) {
             self.close_conn(token);
         }
@@ -1040,14 +1237,20 @@ impl Reactor {
                 break;
             }
             match conn.stream.write(conn.outbox.as_slice()) {
-                Ok(0) => return false,
+                Ok(0) => {
+                    self.robs.closed_write.inc();
+                    return false;
+                }
                 Ok(n) => {
                     conn.outbox.advance(n);
-                    self.stats.bytes_out.fetch_add(n as u64, Ordering::Relaxed);
+                    self.stats.bytes_out.add(n as u64);
                 }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
-                Err(_) => return false,
+                Err(_) => {
+                    self.robs.closed_write.inc();
+                    return false;
+                }
             }
         }
         // Low-water resume: the client started draining again, so
@@ -1061,8 +1264,14 @@ impl Reactor {
                 false
             }
         };
-        if resume && !self.process_frames(token) {
-            return false;
+        if resume {
+            self.ctx
+                .obs
+                .events
+                .record(EventKind::BackpressureOff, format!("conn {token}"));
+            if !self.process_frames(token) {
+                return false;
+            }
         }
         true
     }
@@ -1090,8 +1299,8 @@ impl Reactor {
             let _ = self
                 .poller
                 .deregister(conn.stream.as_raw_fd(), Token(token));
-            self.stats.disconnected.fetch_add(1, Ordering::Relaxed);
-            self.stats.active.store(self.conns.len(), Ordering::Relaxed);
+            self.stats.disconnected.inc();
+            self.stats.active.set(self.conns.len() as i64);
         }
     }
 }
@@ -1109,12 +1318,7 @@ mod tests {
         registry.insert_graph("ring", g);
         let cfg = LbConfig::new(1.0 / 3.0, 60).with_seed(2);
         let pool = Arc::new(WorkerPool::new(2));
-        let ctx = ServeContext {
-            registry: Arc::clone(&registry),
-            pool,
-            dataset: "ring".to_string(),
-            cfg: cfg.clone(),
-        };
+        let ctx = ServeContext::new(Arc::clone(&registry), pool, "ring", cfg.clone());
         let handle = NetServer::bind("127.0.0.1:0", ctx, ServerConfig::default()).unwrap();
         let expected = ClusterHandle::new(registry.get_or_cluster("ring", &cfg).unwrap());
         (handle, expected, registry)
@@ -1205,12 +1409,12 @@ mod tests {
         let (g, _) = lbc_graph::generators::ring_of_cliques(3, 8, 0).unwrap();
         registry.insert_graph("ring", g);
         let cfg = LbConfig::new(1.0 / 3.0, 60).with_seed(2);
-        let ctx = ServeContext {
-            registry: Arc::clone(&registry),
-            pool: Arc::new(WorkerPool::new(2)),
-            dataset: "ring".to_string(),
+        let ctx = ServeContext::new(
+            Arc::clone(&registry),
+            Arc::new(WorkerPool::new(2)),
+            "ring",
             cfg,
-        };
+        );
         let server = NetServer::bind(
             "127.0.0.1:0",
             ctx,
@@ -1270,12 +1474,7 @@ mod tests {
         let (g, _) = generators::ring_of_cliques(3, 8, 0).unwrap();
         registry.insert_graph("ring", g);
         let cfg = LbConfig::new(1.0 / 3.0, 60).with_seed(2);
-        let ctx = ServeContext {
-            registry,
-            pool: Arc::new(WorkerPool::new(2)),
-            dataset: "ring".to_string(),
-            cfg,
-        };
+        let ctx = ServeContext::new(registry, Arc::new(WorkerPool::new(2)), "ring", cfg);
         let gate = Arc::new(ReplGate::new(Role::Follower));
         let server = NetServer::bind_with_repl(
             "127.0.0.1:0",
@@ -1343,12 +1542,7 @@ mod tests {
         let (g, _) = generators::ring_of_cliques(3, 8, 0).unwrap();
         registry.insert_graph("ring", g);
         let cfg = LbConfig::new(1.0 / 3.0, 60).with_seed(2);
-        let ctx = ServeContext {
-            registry,
-            pool: Arc::new(WorkerPool::new(2)),
-            dataset: "ring".to_string(),
-            cfg,
-        };
+        let ctx = ServeContext::new(registry, Arc::new(WorkerPool::new(2)), "ring", cfg);
         // Constructed as Primary (no boot contact) then stepped to
         // Follower: an orphaned voter free to grant immediately.
         let gate = Arc::new(ReplGate::with_id(Role::Primary, 9));

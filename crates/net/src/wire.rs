@@ -28,6 +28,7 @@
 //! mid-frame wherever the socket stopped accepting bytes.
 
 use lbc_graph::{GraphDelta, NodeId};
+use lbc_obs::{Event, EventKind, HistSnapshot, ObsSnapshot, HIST_BUCKETS};
 use lbc_runtime::{Answer, CacheStats, Query};
 
 use crate::error::WireError;
@@ -56,6 +57,10 @@ pub mod opcode {
     /// (like [`REPL_VOTE`]) so a follower whose replication port is
     /// still closed can answer an election winner's pull.
     pub const WAL_PULL: u8 = 0x07;
+    /// Observability snapshot: every registered metric (counters,
+    /// gauges, histograms) plus recent structured events. Answered
+    /// inline by the reactor ([`STATS_RESP`]).
+    pub const STATS: u8 = 0x08;
     /// Replication follower → primary opcodes (0x10 block).
     pub const REPL_HELLO: u8 = 0x10;
     pub const REPL_ACK: u8 = 0x11;
@@ -63,13 +68,15 @@ pub mod opcode {
     /// Response opcodes (high bit set).
     pub const ANSWERS: u8 = 0x81;
     pub const DELTA_DONE: u8 = 0x82;
-    pub const STATS: u8 = 0x83;
+    pub const CACHE_STATS_RESP: u8 = 0x83;
     pub const INFO_RESP: u8 = 0x84;
     pub const PONG: u8 = 0x85;
     pub const VOTE_RESP: u8 = 0x86;
     /// Answer to [`WAL_PULL`]: a contiguous suffix of encoded WAL
     /// records.
     pub const WAL_SUFFIX: u8 = 0x87;
+    /// Answer to [`STATS`]: the serialised metrics + events snapshot.
+    pub const STATS_RESP: u8 = 0x88;
     /// Replication primary → follower opcodes (0x90 block).
     pub const SNAP_BEGIN: u8 = 0x90;
     pub const SNAP_CHUNK: u8 = 0x91;
@@ -420,6 +427,10 @@ pub enum Request {
     /// reactor (like votes) so an election winner can pull a missing
     /// suffix from a loser whose replication port is closed.
     WalPull { after_seq: u64 },
+    /// Observability snapshot: every registered metric plus up to
+    /// `max_events` recent ring events. Answered inline by the reactor
+    /// with [`Response::Stats`].
+    Stats { max_events: u32 },
 }
 
 /// Replication role a serving process reports in [`ServerInfo`] and
@@ -442,6 +453,15 @@ impl Role {
             1 => Some(Role::Follower),
             2 => Some(Role::Promoted),
             _ => None,
+        }
+    }
+
+    /// Lowercase display name, as event-ring details spell it.
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            Role::Primary => "primary",
+            Role::Follower => "follower",
+            Role::Promoted => "promoted",
         }
     }
 }
@@ -527,6 +547,9 @@ pub enum Response {
     WalSuffix {
         records: Vec<Vec<u8>>,
     },
+    /// Answer to [`Request::Stats`]: the node's full metrics + events
+    /// snapshot.
+    Stats(ObsSnapshot),
     /// Typed failure (the request id still echoes the request).
     Error {
         code: u16,
@@ -565,6 +588,110 @@ fn put_members(p: &mut Vec<u8>, members: &[Member]) {
     }
 }
 
+/// Serialise an [`ObsSnapshot`] as four `u32`-count-prefixed sections
+/// (counters, gauges, histograms, events). Histogram buckets travel
+/// sparse, `(index, count)` ascending — the same shape
+/// [`lbc_obs::Histogram::snapshot`] produces.
+fn put_snapshot(p: &mut Vec<u8>, s: &ObsSnapshot) {
+    p.extend_from_slice(&(s.counters.len() as u32).to_le_bytes());
+    for (name, v) in &s.counters {
+        put_str(p, name);
+        p.extend_from_slice(&v.to_le_bytes());
+    }
+    p.extend_from_slice(&(s.gauges.len() as u32).to_le_bytes());
+    for (name, v) in &s.gauges {
+        put_str(p, name);
+        p.extend_from_slice(&v.to_le_bytes());
+    }
+    p.extend_from_slice(&(s.hists.len() as u32).to_le_bytes());
+    for (name, h) in &s.hists {
+        put_str(p, name);
+        for v in [h.count, h.sum, h.min, h.max] {
+            p.extend_from_slice(&v.to_le_bytes());
+        }
+        p.extend_from_slice(&(h.buckets.len() as u32).to_le_bytes());
+        for &(idx, cnt) in &h.buckets {
+            p.extend_from_slice(&idx.to_le_bytes());
+            p.extend_from_slice(&cnt.to_le_bytes());
+        }
+    }
+    p.extend_from_slice(&(s.events.len() as u32).to_le_bytes());
+    for e in &s.events {
+        p.extend_from_slice(&e.seq.to_le_bytes());
+        p.extend_from_slice(&e.at_ms.to_le_bytes());
+        p.push(e.kind as u8);
+        put_str(p, &e.detail);
+    }
+}
+
+/// Decode the [`put_snapshot`] layout. Every section count is bounded
+/// by the payload size over its minimum entry width, so a hostile
+/// count cannot force an allocation beyond the payload; bucket indices
+/// must be in-range and strictly ascending so a hostile snapshot can
+/// never drive `HistSnapshot::quantile` out of the bucket table.
+fn take_snapshot(c: &mut Cursor, payload_len: usize) -> Result<ObsSnapshot, WireError> {
+    let op = c.opcode;
+    let bad = |what: &'static str| WireError::BadField { opcode: op, what };
+    let bounded = |count: usize, min_entry: usize, what: &'static str| {
+        if count > payload_len / min_entry + 1 {
+            Err(bad(what))
+        } else {
+            Ok(count)
+        }
+    };
+    let mut snap = ObsSnapshot::default();
+    // Counter entry: empty name prefix (2) + u64 value (8).
+    let n = bounded(c.u32()? as usize, 10, "counter count")?;
+    for _ in 0..n {
+        let name = c.str("counter name")?;
+        snap.counters.push((name, c.u64()?));
+    }
+    let n = bounded(c.u32()? as usize, 10, "gauge count")?;
+    for _ in 0..n {
+        let name = c.str("gauge name")?;
+        snap.gauges.push((name, c.u64()? as i64));
+    }
+    // Histogram entry: name (2) + count/sum/min/max (32) + bucket
+    // count (4); each bucket is (u32, u64) = 12 more.
+    let n = bounded(c.u32()? as usize, 38, "histogram count")?;
+    for _ in 0..n {
+        let name = c.str("histogram name")?;
+        let mut h = HistSnapshot {
+            count: c.u64()?,
+            sum: c.u64()?,
+            min: c.u64()?,
+            max: c.u64()?,
+            buckets: Vec::new(),
+        };
+        let nb = bounded(c.u32()? as usize, 12, "bucket count")?;
+        h.buckets.reserve(nb);
+        let mut prev: Option<u32> = None;
+        for _ in 0..nb {
+            let idx = c.u32()?;
+            if idx as usize >= HIST_BUCKETS || prev.is_some_and(|p| idx <= p) {
+                return Err(bad("bucket index"));
+            }
+            prev = Some(idx);
+            h.buckets.push((idx, c.u64()?));
+        }
+        snap.hists.push((name, h));
+    }
+    // Event entry: seq (8) + at_ms (8) + kind (1) + empty detail (2).
+    let n = bounded(c.u32()? as usize, 19, "event count")?;
+    for _ in 0..n {
+        let seq = c.u64()?;
+        let at_ms = c.u64()?;
+        let kind = EventKind::from_u8(c.u8()?).ok_or_else(|| bad("event kind"))?;
+        snap.events.push(Event {
+            seq,
+            at_ms,
+            kind,
+            detail: c.str("event detail")?,
+        });
+    }
+    Ok(snap)
+}
+
 const QUERY_SAME: u8 = 0;
 const QUERY_OF: u8 = 1;
 const QUERY_SIZE: u8 = 2;
@@ -583,6 +710,7 @@ impl Request {
             Request::Ping => opcode::PING,
             Request::ReplVote { .. } => opcode::REPL_VOTE,
             Request::WalPull { .. } => opcode::WAL_PULL,
+            Request::Stats { .. } => opcode::STATS,
         }
     }
 
@@ -629,6 +757,9 @@ impl Request {
             }
             Request::WalPull { after_seq } => {
                 p.extend_from_slice(&after_seq.to_le_bytes());
+            }
+            Request::Stats { max_events } => {
+                p.extend_from_slice(&max_events.to_le_bytes());
             }
             Request::CacheStats | Request::Info | Request::Ping => {}
         }
@@ -716,6 +847,9 @@ impl Request {
             opcode::WAL_PULL => Request::WalPull {
                 after_seq: c.u64()?,
             },
+            opcode::STATS => Request::Stats {
+                max_events: c.u32()?,
+            },
             other => return Err(WireError::BadOpcode { got: other }),
         };
         c.finish()?;
@@ -729,11 +863,12 @@ impl Response {
         match self {
             Response::Answers(_) => opcode::ANSWERS,
             Response::DeltaDone(_) => opcode::DELTA_DONE,
-            Response::CacheStats(_) => opcode::STATS,
+            Response::CacheStats(_) => opcode::CACHE_STATS_RESP,
             Response::Info(_) => opcode::INFO_RESP,
             Response::Pong => opcode::PONG,
             Response::Vote(_) => opcode::VOTE_RESP,
             Response::WalSuffix { .. } => opcode::WAL_SUFFIX,
+            Response::Stats(_) => opcode::STATS_RESP,
             Response::Error { .. } => opcode::ERROR,
         }
     }
@@ -829,6 +964,9 @@ impl Response {
                     p.extend_from_slice(rec);
                 }
             }
+            Response::Stats(snap) => {
+                put_snapshot(&mut p, snap);
+            }
             Response::Error { code, message } => {
                 p.extend_from_slice(&code.to_le_bytes());
                 let msg = message.as_bytes();
@@ -894,7 +1032,7 @@ impl Response {
                 warm_rounds: c.u64()?,
                 unconverged: c.u64()?,
             }),
-            opcode::STATS => Response::CacheStats(CacheStats {
+            opcode::CACHE_STATS_RESP => Response::CacheStats(CacheStats {
                 hits: c.u64()?,
                 misses: c.u64()?,
                 inserts: c.u64()?,
@@ -1012,6 +1150,7 @@ impl Response {
                 }
                 Response::WalSuffix { records }
             }
+            opcode::STATS_RESP => Response::Stats(take_snapshot(&mut c, frame.payload.len())?),
             opcode::ERROR => {
                 let code = c.u16()?;
                 let len = c.u16()? as usize;
@@ -1077,6 +1216,12 @@ pub struct ReplStatus {
     /// True when the last election failed for lack of a membership
     /// majority and the node degraded to read-only.
     pub no_quorum: bool,
+    /// Per-follower ack freshness, `(follower_id, ms_since_last_ack)`
+    /// — the time axis [`PeerLag`]'s sequence numbers lack (a follower
+    /// 0 records behind but silent for 30 s is the one about to be
+    /// evicted). Empty on a follower and on pre-observability peers;
+    /// wire-optional like the quorum fields.
+    pub ack_ages: Vec<(u64, u64)>,
 }
 
 /// A message on the replication channel. Follower → primary messages
@@ -1217,11 +1362,25 @@ impl ReplMsg {
                 p.push(s.role as u8);
                 p.extend_from_slice(&s.applied_seq.to_le_bytes());
                 put_roster(&mut p, &s.peers);
-                if !s.members.is_empty() || s.no_quorum || s.votes_needed > 0 || s.votes_seen > 0 {
+                // The ack-age tail sits after the quorum tail, so any
+                // ack ages force the quorum tail too (with defaults).
+                let quorum_tail = !s.members.is_empty()
+                    || s.no_quorum
+                    || s.votes_needed > 0
+                    || s.votes_seen > 0
+                    || !s.ack_ages.is_empty();
+                if quorum_tail {
                     put_members(&mut p, &s.members);
                     p.extend_from_slice(&s.votes_seen.to_le_bytes());
                     p.extend_from_slice(&s.votes_needed.to_le_bytes());
                     p.push(s.no_quorum as u8);
+                    if !s.ack_ages.is_empty() {
+                        p.extend_from_slice(&(s.ack_ages.len() as u32).to_le_bytes());
+                        for &(id, ms) in &s.ack_ages {
+                            p.extend_from_slice(&id.to_le_bytes());
+                            p.extend_from_slice(&ms.to_le_bytes());
+                        }
+                    }
                 }
             }
             ReplMsg::Deny { reason } => {
@@ -1367,7 +1526,33 @@ impl ReplMsg {
                 } else {
                     (0, 0, false)
                 };
-                if tail && ms.is_empty() && votes_seen == 0 && votes_needed == 0 && !no_quorum {
+                // Optional ack-age tail after the quorum fields; each
+                // entry is 16 bytes, bounding hostile counts. Like the
+                // membership tail, canonical encoders omit it when
+                // empty.
+                let ack_ages = if tail && c.remaining() > 0 {
+                    let count = c.u32()? as usize;
+                    if count == 0 || count > frame.payload.len() / 16 + 1 {
+                        return Err(WireError::BadField {
+                            opcode: op,
+                            what: "ack age count",
+                        });
+                    }
+                    let mut ages = Vec::with_capacity(count);
+                    for _ in 0..count {
+                        ages.push((c.u64()?, c.u64()?));
+                    }
+                    ages
+                } else {
+                    Vec::new()
+                };
+                if tail
+                    && ms.is_empty()
+                    && votes_seen == 0
+                    && votes_needed == 0
+                    && !no_quorum
+                    && ack_ages.is_empty()
+                {
                     return Err(WireError::BadField {
                         opcode: op,
                         what: "redundant quorum tail",
@@ -1381,6 +1566,7 @@ impl ReplMsg {
                     votes_seen,
                     votes_needed,
                     no_quorum,
+                    ack_ages,
                 })
             }
             opcode::REPL_DENY => ReplMsg::Deny {
@@ -1444,6 +1630,8 @@ mod tests {
             candidate_seq: u64::MAX,
         });
         roundtrip_request(Request::WalPull { after_seq: 41 });
+        roundtrip_request(Request::Stats { max_events: 64 });
+        roundtrip_request(Request::Stats { max_events: 0 });
     }
 
     #[test]
@@ -1743,6 +1931,7 @@ mod tests {
             votes_seen: 0,
             votes_needed: 0,
             no_quorum: false,
+            ack_ages: Vec::new(),
         }));
         roundtrip_repl(ReplMsg::StatusResp(ReplStatus {
             role: Role::Follower,
@@ -1765,10 +1954,223 @@ mod tests {
             votes_seen: 1,
             votes_needed: 2,
             no_quorum: true,
+            ack_ages: Vec::new(),
+        }));
+        // Ack ages alone force the quorum tail (with defaults) and
+        // still round-trip.
+        roundtrip_repl(ReplMsg::StatusResp(ReplStatus {
+            role: Role::Primary,
+            applied_seq: 99,
+            peers: vec![PeerLag {
+                follower_id: 2,
+                applied_seq: 97,
+                addr: "127.0.0.1:9002".to_string(),
+                repl_addr: String::new(),
+            }],
+            members: Vec::new(),
+            votes_seen: 0,
+            votes_needed: 0,
+            no_quorum: false,
+            ack_ages: vec![(2, 1375), (5, 0)],
         }));
         roundtrip_repl(ReplMsg::Deny {
             reason: "follower id 7 already connected".to_string(),
         });
+    }
+
+    #[test]
+    fn stats_snapshot_roundtrips() {
+        roundtrip_response(Response::Stats(ObsSnapshot::default()));
+        let obs = lbc_obs::Obs::new();
+        obs.counter("net_frames_in_total").add(12345);
+        obs.counter("net_accepts_total").inc();
+        obs.gauge("worker_queue_depth").set(-3);
+        let h = obs.histogram("rpc_service_ns");
+        for v in [1u64, 31, 32, 1000, 1_000_000, u64::MAX] {
+            h.record(v);
+        }
+        obs.events
+            .record(EventKind::RoleChange, "follower->promoted");
+        obs.events.record(EventKind::BackpressureOn, "");
+        let snap = obs.snapshot(16);
+        roundtrip_response(Response::Stats(snap));
+    }
+
+    #[test]
+    fn hostile_stats_counts_do_not_overallocate() {
+        // Each section count is independently hostile-guarded: a
+        // u32::MAX count with no bytes behind it must error, not OOM.
+        for sections_before in 0..4usize {
+            let mut payload = Vec::new();
+            for _ in 0..sections_before {
+                payload.extend_from_slice(&0u32.to_le_bytes());
+            }
+            payload.extend_from_slice(&u32::MAX.to_le_bytes());
+            let mut bytes = Vec::new();
+            encode_frame(&mut bytes, opcode::STATS_RESP, 0, &payload).unwrap();
+            let mut dec = FrameDecoder::new();
+            dec.push(&bytes);
+            let f = dec.next_frame().unwrap().unwrap();
+            assert!(matches!(
+                Response::from_frame(&f),
+                Err(WireError::BadField { .. })
+            ));
+        }
+    }
+
+    fn stats_payload_with_bucket(idx: u32) -> Vec<u8> {
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&0u32.to_le_bytes()); // counters
+        payload.extend_from_slice(&0u32.to_le_bytes()); // gauges
+        payload.extend_from_slice(&1u32.to_le_bytes()); // one histogram
+        put_str(&mut payload, "h");
+        for v in [1u64, 5, 5, 5] {
+            payload.extend_from_slice(&v.to_le_bytes());
+        }
+        payload.extend_from_slice(&1u32.to_le_bytes()); // one bucket
+        payload.extend_from_slice(&idx.to_le_bytes());
+        payload.extend_from_slice(&1u64.to_le_bytes());
+        payload.extend_from_slice(&0u32.to_le_bytes()); // events
+        payload
+    }
+
+    #[test]
+    fn hostile_bucket_index_is_typed_not_a_panic() {
+        // An out-of-table bucket index would shift-overflow inside
+        // `HistSnapshot::quantile`; the decoder must refuse it.
+        for idx in [HIST_BUCKETS as u32, u32::MAX] {
+            let mut bytes = Vec::new();
+            encode_frame(
+                &mut bytes,
+                opcode::STATS_RESP,
+                0,
+                &stats_payload_with_bucket(idx),
+            )
+            .unwrap();
+            let mut dec = FrameDecoder::new();
+            dec.push(&bytes);
+            let f = dec.next_frame().unwrap().unwrap();
+            assert!(matches!(
+                Response::from_frame(&f),
+                Err(WireError::BadField { .. })
+            ));
+        }
+        // The last valid index still decodes.
+        let mut bytes = Vec::new();
+        encode_frame(
+            &mut bytes,
+            opcode::STATS_RESP,
+            0,
+            &stats_payload_with_bucket(HIST_BUCKETS as u32 - 1),
+        )
+        .unwrap();
+        let mut dec = FrameDecoder::new();
+        dec.push(&bytes);
+        let f = dec.next_frame().unwrap().unwrap();
+        assert!(Response::from_frame(&f).is_ok());
+    }
+
+    #[test]
+    fn non_ascending_bucket_indices_are_rejected() {
+        let mut payload = Vec::new();
+        payload.extend_from_slice(&0u32.to_le_bytes());
+        payload.extend_from_slice(&0u32.to_le_bytes());
+        payload.extend_from_slice(&1u32.to_le_bytes());
+        put_str(&mut payload, "h");
+        for v in [2u64, 10, 5, 5] {
+            payload.extend_from_slice(&v.to_le_bytes());
+        }
+        payload.extend_from_slice(&2u32.to_le_bytes());
+        for (idx, cnt) in [(7u32, 1u64), (7u32, 1u64)] {
+            payload.extend_from_slice(&idx.to_le_bytes());
+            payload.extend_from_slice(&cnt.to_le_bytes());
+        }
+        payload.extend_from_slice(&0u32.to_le_bytes());
+        let mut bytes = Vec::new();
+        encode_frame(&mut bytes, opcode::STATS_RESP, 0, &payload).unwrap();
+        let mut dec = FrameDecoder::new();
+        dec.push(&bytes);
+        let f = dec.next_frame().unwrap().unwrap();
+        assert!(matches!(
+            Response::from_frame(&f),
+            Err(WireError::BadField { .. })
+        ));
+    }
+
+    #[test]
+    fn unknown_event_kind_is_typed() {
+        let mut payload = Vec::new();
+        for _ in 0..3 {
+            payload.extend_from_slice(&0u32.to_le_bytes());
+        }
+        payload.extend_from_slice(&1u32.to_le_bytes()); // one event
+        payload.extend_from_slice(&0u64.to_le_bytes()); // seq
+        payload.extend_from_slice(&0u64.to_le_bytes()); // at_ms
+        payload.push(0); // no such kind
+        put_str(&mut payload, "x");
+        let mut bytes = Vec::new();
+        encode_frame(&mut bytes, opcode::STATS_RESP, 0, &payload).unwrap();
+        let mut dec = FrameDecoder::new();
+        dec.push(&bytes);
+        let f = dec.next_frame().unwrap().unwrap();
+        assert!(matches!(
+            Response::from_frame(&f),
+            Err(WireError::BadField { .. })
+        ));
+    }
+
+    #[test]
+    fn status_resp_quorum_tail_without_ack_tail_decodes_empty_ages() {
+        // A pre-observability peer's StatusResp ends at the quorum
+        // fields; ack_ages must default to empty, not error.
+        let mut payload = Vec::new();
+        payload.push(Role::Follower as u8);
+        payload.extend_from_slice(&42u64.to_le_bytes());
+        payload.extend_from_slice(&0u32.to_le_bytes()); // empty roster
+        put_members(
+            &mut payload,
+            &[Member {
+                id: 1,
+                addr: "a:1".to_string(),
+            }],
+        );
+        payload.extend_from_slice(&1u32.to_le_bytes()); // votes_seen
+        payload.extend_from_slice(&2u32.to_le_bytes()); // votes_needed
+        payload.push(0); // no_quorum
+        let mut bytes = Vec::new();
+        encode_frame(&mut bytes, opcode::STATUS_RESP, 0, &payload).unwrap();
+        let mut dec = FrameDecoder::new();
+        dec.push(&bytes);
+        let f = dec.next_frame().unwrap().unwrap();
+        match ReplMsg::from_frame(&f).unwrap() {
+            ReplMsg::StatusResp(s) => {
+                assert!(s.ack_ages.is_empty());
+                assert_eq!(s.votes_needed, 2);
+            }
+            other => panic!("expected StatusResp, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn hostile_ack_age_count_does_not_overallocate() {
+        let mut payload = Vec::new();
+        payload.push(Role::Primary as u8);
+        payload.extend_from_slice(&42u64.to_le_bytes());
+        payload.extend_from_slice(&0u32.to_le_bytes()); // empty roster
+        payload.extend_from_slice(&0u32.to_le_bytes()); // empty members
+        payload.extend_from_slice(&0u32.to_le_bytes()); // votes_seen
+        payload.extend_from_slice(&0u32.to_le_bytes()); // votes_needed
+        payload.push(0); // no_quorum
+        payload.extend_from_slice(&u32::MAX.to_le_bytes());
+        let mut bytes = Vec::new();
+        encode_frame(&mut bytes, opcode::STATUS_RESP, 0, &payload).unwrap();
+        let mut dec = FrameDecoder::new();
+        dec.push(&bytes);
+        let f = dec.next_frame().unwrap().unwrap();
+        assert!(matches!(
+            ReplMsg::from_frame(&f),
+            Err(WireError::BadField { .. })
+        ));
     }
 
     #[test]

@@ -24,12 +24,12 @@ fn spawn_small_outbox_server() -> lbc_net::ServerHandle {
     let registry = Arc::new(Registry::with_capacity(4));
     let (g, _) = generators::ring_of_cliques(3, 10, 0).unwrap();
     registry.insert_graph("ring", g);
-    let ctx = ServeContext {
+    let ctx = ServeContext::new(
         registry,
-        pool: Arc::new(WorkerPool::new(2)),
-        dataset: "ring".to_string(),
-        cfg: LbConfig::new(1.0 / 3.0, 60).with_seed(2),
-    };
+        Arc::new(WorkerPool::new(2)),
+        "ring",
+        LbConfig::new(1.0 / 3.0, 60).with_seed(2),
+    );
     NetServer::bind(
         "127.0.0.1:0",
         ctx,

@@ -10,6 +10,7 @@ use lbc_net::{
     Frame, FrameDecoder, Member, PeerLag, ReplMsg, ReplStatus, Request, Response, Role, VoteResp,
     WireError,
 };
+use lbc_obs::{Event, EventKind, HistSnapshot, ObsSnapshot, HIST_BUCKETS};
 use lbc_runtime::{Answer, CacheStats, Query};
 use proptest::prelude::*;
 
@@ -298,6 +299,12 @@ proptest! {
             ReplMsg::StatusResp(ReplStatus {
                 role,
                 applied_seq: ids.2,
+                // Ack ages mirror the roster (empty rosters exercise
+                // the omitted-tail encoding).
+                ack_ages: peers
+                    .iter()
+                    .map(|p| (p.follower_id, p.applied_seq % 60_000))
+                    .collect(),
                 peers,
                 members,
                 votes_seen: quorum.0,
@@ -520,6 +527,148 @@ proptest! {
         }
     }
 
+    /// STATS request/response pairs round-trip bit-for-bit at every
+    /// feeding granularity: drawn counters, gauges, sparse histogram
+    /// buckets (ascending, in range), and ring events of every kind.
+    #[test]
+    fn stats_frames_round_trip_at_every_granularity(
+        max_events in 0u32..1024,
+        counters in proptest::collection::vec((0u8..=255, 0u64..u64::MAX), 0..8),
+        gauges in proptest::collection::vec((0u8..=255, i64::MIN..i64::MAX), 0..6),
+        bucket_seeds in proptest::collection::vec((0u32..64, 1u64..1_000_000), 0..12),
+        events in proptest::collection::vec(
+            (0u64..u64::MAX, 0u64..u64::MAX, 0u8..11, 0usize..32),
+            0..6,
+        ),
+        chunk in 1usize..64,
+        request_id in 0u64..u64::MAX,
+    ) {
+        // Bucket indices must be strictly ascending and < HIST_BUCKETS:
+        // turn drawn gaps into a cumulative, deduplicated index walk.
+        let mut idx = 0u32;
+        let mut buckets = Vec::new();
+        for &(gap, count) in &bucket_seeds {
+            idx = (idx + 1 + gap).min(HIST_BUCKETS as u32 - 1);
+            if buckets.last().is_some_and(|&(i, _)| i >= idx) {
+                break; // walk saturated at the top bucket
+            }
+            buckets.push((idx, count));
+        }
+        let hist_count: u64 = buckets.iter().map(|&(_, c)| c).sum();
+        let snap = ObsSnapshot {
+            counters: counters
+                .iter()
+                .enumerate()
+                .map(|(i, &(seed, v))| (format!("c{i}_{}", "x".repeat(seed as usize % 5)), v))
+                .collect(),
+            gauges: gauges
+                .iter()
+                .enumerate()
+                .map(|(i, &(seed, v))| (format!("g{i}_{}", "y".repeat(seed as usize % 5)), v))
+                .collect(),
+            hists: vec![(
+                "rpc_query_batch_service_ns".to_string(),
+                HistSnapshot {
+                    count: hist_count,
+                    sum: hist_count.saturating_mul(7),
+                    min: if hist_count == 0 { u64::MAX } else { 3 },
+                    max: hist_count.saturating_mul(9),
+                    buckets,
+                },
+            )],
+            events: events
+                .iter()
+                .map(|&(seq, at_ms, kind_seed, detail_len)| Event {
+                    seq,
+                    at_ms,
+                    kind: EventKind::from_u8(kind_seed + 1).unwrap(),
+                    detail: "e".repeat(detail_len),
+                })
+                .collect(),
+        };
+        let req = Request::Stats { max_events };
+        let resp = Response::Stats(snap);
+        let mut bytes = Vec::new();
+        req.encode(&mut bytes, request_id).unwrap();
+        resp.encode(&mut bytes, request_id).unwrap();
+        for chunk in [bytes.len().max(1), 1, chunk] {
+            let frames = decode_chunked(&bytes, chunk).unwrap();
+            prop_assert_eq!(frames.len(), 2);
+            prop_assert_eq!(&Request::from_frame(&frames[0]).unwrap(), &req);
+            prop_assert_eq!(&Response::from_frame(&frames[1]).unwrap(), &resp);
+        }
+    }
+
+    /// Flipping any single byte of a valid STATS exchange never yields
+    /// the original messages back — typed error, waiting decoder, or a
+    /// provably different message, never a panic.
+    #[test]
+    fn stats_single_byte_corruption_is_typed_never_panics(
+        max_events in 0u32..1024,
+        counter_val in 0u64..u64::MAX,
+        flip_pos_seed in 0usize..10_000,
+        flip_bits in 1u8..=255,
+    ) {
+        let req = Request::Stats { max_events };
+        let resp = Response::Stats(ObsSnapshot {
+            counters: vec![("net_frames_in_total".to_string(), counter_val)],
+            gauges: vec![("net_active_conns".to_string(), 3)],
+            hists: vec![(
+                "rpc_ping_service_ns".to_string(),
+                HistSnapshot { count: 2, sum: 30, min: 10, max: 20, buckets: vec![(5, 2)] },
+            )],
+            events: vec![Event {
+                seq: 1,
+                at_ms: 42,
+                kind: EventKind::RoleChange,
+                detail: "follower->promoted".to_string(),
+            }],
+        });
+        let mut bytes = Vec::new();
+        req.encode(&mut bytes, 31).unwrap();
+        resp.encode(&mut bytes, 32).unwrap();
+        let pos = flip_pos_seed % bytes.len();
+        bytes[pos] ^= flip_bits;
+        for chunk in [bytes.len(), 1] {
+            match decode_chunked(&bytes, chunk) {
+                Err(_) => {} // typed error: good
+                Ok(frames) => {
+                    let got_req = frames.first().map(Request::from_frame);
+                    let got_resp = frames.get(1).map(Response::from_frame);
+                    if let (Some(Ok(r0)), Some(Ok(r1))) = (got_req, got_resp) {
+                        prop_assert!(
+                            r0 != req || r1 != resp,
+                            "corrupted stream decoded to the original stats pair"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Arbitrary payloads under the STATS opcodes (whose count fields
+    /// are attacker-controlled) parse to a typed error or a valid
+    /// message — never a panic, never an over-allocation.
+    #[test]
+    fn stats_arbitrary_payload_never_panics(
+        payload in proptest::collection::vec(0u8..=255, 0..160),
+        as_req in 0u8..2,
+    ) {
+        let op = if as_req == 1 { opcode::STATS } else { opcode::STATS_RESP };
+        let mut bytes = Vec::new();
+        lbc_net::encode_frame(&mut bytes, op, 3, &payload).unwrap();
+        let mut dec = FrameDecoder::new();
+        dec.push(&bytes);
+        let f = dec.next_frame().unwrap().unwrap();
+        if as_req == 1 {
+            if let Ok(back) = Request::from_frame(&f) {
+                prop_assert!(matches!(back, Request::Stats { .. }));
+            }
+        } else if let Ok(back) = Response::from_frame(&f) {
+            prop_assert!(matches!(back, Response::Stats(_)));
+        }
+    }
+
     /// Deltas round-trip exactly: node additions, edge adds, edge
     /// removals, in order.
     #[test]
@@ -604,7 +753,8 @@ fn response_opcode_constants_have_high_bit() {
     for op in [
         opcode::ANSWERS,
         opcode::DELTA_DONE,
-        opcode::STATS,
+        opcode::CACHE_STATS_RESP,
+        opcode::STATS_RESP,
         opcode::INFO_RESP,
         opcode::PONG,
         opcode::ERROR,
@@ -629,6 +779,7 @@ fn response_opcode_constants_have_high_bit() {
         opcode::PING,
         opcode::REPL_VOTE,
         opcode::WAL_PULL,
+        opcode::STATS,
         // Follower → primary messages live in request space.
         opcode::REPL_HELLO,
         opcode::REPL_ACK,

@@ -1,0 +1,178 @@
+//! Fixed-capacity, seq-stamped structured event ring.
+//!
+//! Each node keeps one ring; components push [`Event`]s on state changes
+//! (role transitions, elections, evictions, membership adoptions,
+//! backpressure engage/release). The ring holds the last `cap` events;
+//! `seq` is monotone per ring so a reader can tell how many were dropped.
+//! Recording takes a mutex — these are rare control-plane transitions,
+//! not data-plane records — and timestamps are milliseconds since ring
+//! creation (monotonic, wire-safe).
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// What happened. Stable `u8` codes cross the wire; keep values append-only.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u8)]
+pub enum EventKind {
+    /// A node changed role; detail is `"<from>-><to>"`, e.g.
+    /// `"follower->promoted"`.
+    RoleChange = 1,
+    ElectionStarted = 2,
+    ElectionWon = 3,
+    ElectionLost = 4,
+    /// An election or write was refused for lack of quorum.
+    NoQuorum = 5,
+    /// A cache entry was evicted (detail names the dataset/key).
+    Eviction = 6,
+    MembershipAdopted = 7,
+    BackpressureOn = 8,
+    BackpressureOff = 9,
+    /// A quorum primary stepped down after losing its majority lease.
+    StepDown = 10,
+    /// A torn WAL tail was detected and healed on open.
+    WalTornHealed = 11,
+}
+
+impl EventKind {
+    pub fn from_u8(v: u8) -> Option<EventKind> {
+        Some(match v {
+            1 => EventKind::RoleChange,
+            2 => EventKind::ElectionStarted,
+            3 => EventKind::ElectionWon,
+            4 => EventKind::ElectionLost,
+            5 => EventKind::NoQuorum,
+            6 => EventKind::Eviction,
+            7 => EventKind::MembershipAdopted,
+            8 => EventKind::BackpressureOn,
+            9 => EventKind::BackpressureOff,
+            10 => EventKind::StepDown,
+            11 => EventKind::WalTornHealed,
+            _ => return None,
+        })
+    }
+
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            EventKind::RoleChange => "role_change",
+            EventKind::ElectionStarted => "election_started",
+            EventKind::ElectionWon => "election_won",
+            EventKind::ElectionLost => "election_lost",
+            EventKind::NoQuorum => "no_quorum",
+            EventKind::Eviction => "eviction",
+            EventKind::MembershipAdopted => "membership_adopted",
+            EventKind::BackpressureOn => "backpressure_on",
+            EventKind::BackpressureOff => "backpressure_off",
+            EventKind::StepDown => "step_down",
+            EventKind::WalTornHealed => "wal_torn_healed",
+        }
+    }
+}
+
+/// One recorded transition.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Monotone per-ring sequence number, starting at 0.
+    pub seq: u64,
+    /// Milliseconds since the ring was created (monotonic clock).
+    pub at_ms: u64,
+    pub kind: EventKind,
+    pub detail: String,
+}
+
+struct RingInner {
+    next_seq: u64,
+    buf: VecDeque<Event>,
+}
+
+/// Fixed-capacity ring of [`Event`]s. Oldest entries are dropped once
+/// `cap` is exceeded; `seq` keeps counting so drops are visible.
+pub struct EventRing {
+    cap: usize,
+    epoch: Instant,
+    inner: Mutex<RingInner>,
+}
+
+impl EventRing {
+    pub fn new(cap: usize) -> EventRing {
+        EventRing {
+            cap: cap.max(1),
+            epoch: Instant::now(),
+            inner: Mutex::new(RingInner {
+                next_seq: 0,
+                buf: VecDeque::new(),
+            }),
+        }
+    }
+
+    /// Append an event, evicting the oldest if the ring is full.
+    pub fn record(&self, kind: EventKind, detail: impl Into<String>) {
+        let at_ms = self.epoch.elapsed().as_millis() as u64;
+        let mut inner = self.inner.lock().unwrap();
+        let seq = inner.next_seq;
+        inner.next_seq += 1;
+        if inner.buf.len() == self.cap {
+            inner.buf.pop_front();
+        }
+        inner.buf.push_back(Event {
+            seq,
+            at_ms,
+            kind,
+            detail: detail.into(),
+        });
+    }
+
+    /// The most recent `n` events, oldest first.
+    pub fn recent(&self, n: usize) -> Vec<Event> {
+        let inner = self.inner.lock().unwrap();
+        let skip = inner.buf.len().saturating_sub(n);
+        inner.buf.iter().skip(skip).cloned().collect()
+    }
+
+    /// Total events ever recorded (including dropped ones).
+    pub fn total(&self) -> u64 {
+        self.inner.lock().unwrap().next_seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_drops_oldest_and_keeps_seq() {
+        let r = EventRing::new(3);
+        for i in 0..5 {
+            r.record(EventKind::Eviction, format!("k{i}"));
+        }
+        let ev = r.recent(10);
+        assert_eq!(ev.len(), 3);
+        assert_eq!(ev[0].seq, 2);
+        assert_eq!(ev[2].seq, 4);
+        assert_eq!(ev[2].detail, "k4");
+        assert_eq!(r.total(), 5);
+    }
+
+    #[test]
+    fn recent_limits_count() {
+        let r = EventRing::new(8);
+        for _ in 0..6 {
+            r.record(EventKind::BackpressureOn, "");
+        }
+        assert_eq!(r.recent(2).len(), 2);
+        assert_eq!(r.recent(2)[0].seq, 4);
+    }
+
+    #[test]
+    fn kind_codes_round_trip() {
+        for code in 0..=u8::MAX {
+            if let Some(k) = EventKind::from_u8(code) {
+                assert_eq!(k as u8, code);
+                assert!(!k.as_str().is_empty());
+            }
+        }
+        assert_eq!(EventKind::from_u8(0), None);
+        assert_eq!(EventKind::from_u8(12), None);
+    }
+}

@@ -1,0 +1,351 @@
+//! Log-bucketed HDR-style histogram with atomic buckets.
+//!
+//! Layout: values below `2^SUB_BITS` (= 32) land in exact unit-width
+//! buckets. Above that, each power-of-two octave is split into 32
+//! sub-buckets, so a bucket's width is at most `value / 32` — quantile
+//! estimates are within a relative error of `2^-5` = 3.125% of the true
+//! sample (exact below 32). With `SUB_BITS = 5` the whole `u64` range
+//! needs `(64 - 5) * 32 + 32 = 1920` buckets: a fixed ~15 KiB footprint,
+//! no resizing, no allocation after construction.
+//!
+//! `record` is wait-free: one relaxed `fetch_add` on the bucket, plus
+//! relaxed RMWs for count/sum/min/max. Relaxed ordering is fine — the
+//! counters are statistics, not synchronization edges; a snapshot taken
+//! concurrently with records sees some consistent-enough prefix, and a
+//! snapshot taken after the recording thread is quiescent (joined or
+//! otherwise synchronized-with) sees everything.
+
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+/// Sub-bucket resolution: each octave is split into `2^HIST_SUB_BITS`
+/// buckets, bounding relative quantile error at `2^-HIST_SUB_BITS`.
+pub const HIST_SUB_BITS: u32 = 5;
+const SUB: u64 = 1 << HIST_SUB_BITS; // 32 sub-buckets per octave
+
+/// Total bucket count covering the full `u64` value range.
+pub const HIST_BUCKETS: usize =
+    ((64 - HIST_SUB_BITS as usize) << HIST_SUB_BITS as usize) + (1 << HIST_SUB_BITS as usize); // 1920
+
+/// Index of the bucket holding `v`. Total order: bucket(i) holds values
+/// strictly below everything in bucket(i+1).
+#[inline]
+fn bucket_index(v: u64) -> usize {
+    if v < SUB {
+        v as usize
+    } else {
+        let msb = 63 - v.leading_zeros(); // >= HIST_SUB_BITS
+        let shift = msb - HIST_SUB_BITS;
+        let sub = ((v >> shift) & (SUB - 1)) as usize;
+        ((((msb - HIST_SUB_BITS) as usize) + 1) << HIST_SUB_BITS as usize) + sub
+    }
+}
+
+/// Midpoint representative of bucket `idx` (inverse of [`bucket_index`]).
+#[inline]
+fn bucket_mid(idx: usize) -> u64 {
+    let octave = idx >> HIST_SUB_BITS as usize;
+    if octave == 0 {
+        idx as u64 // exact unit buckets
+    } else {
+        let shift = (octave - 1) as u32;
+        let lower = (SUB + (idx as u64 & (SUB - 1))) << shift;
+        lower + ((1u64 << shift) >> 1)
+    }
+}
+
+/// A fixed-footprint concurrent latency histogram. All methods take
+/// `&self`; share via `Arc` and record from any thread.
+pub struct Histogram {
+    buckets: Box<[AtomicU64; HIST_BUCKETS]>,
+    count: AtomicU64,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    pub fn new() -> Self {
+        let buckets: Vec<AtomicU64> = (0..HIST_BUCKETS).map(|_| AtomicU64::new(0)).collect();
+        let buckets: Box<[AtomicU64; HIST_BUCKETS]> = match buckets.into_boxed_slice().try_into() {
+            Ok(b) => b,
+            Err(_) => unreachable!("length is HIST_BUCKETS by construction"),
+        };
+        Histogram {
+            buckets,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    /// Record one observation. Wait-free: five relaxed atomic RMWs, no
+    /// allocation, no locks.
+    #[inline]
+    pub fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Relaxed);
+        self.count.fetch_add(1, Relaxed);
+        self.sum.fetch_add(v, Relaxed);
+        self.min.fetch_min(v, Relaxed);
+        self.max.fetch_max(v, Relaxed);
+    }
+
+    /// Number of recorded observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Relaxed)
+    }
+
+    /// Capture a point-in-time copy (sparse: only non-zero buckets).
+    pub fn snapshot(&self) -> HistSnapshot {
+        let mut buckets = Vec::new();
+        for (i, b) in self.buckets.iter().enumerate() {
+            let c = b.load(Relaxed);
+            if c != 0 {
+                buckets.push((i as u32, c));
+            }
+        }
+        HistSnapshot {
+            count: self.count.load(Relaxed),
+            sum: self.sum.load(Relaxed),
+            min: self.min.load(Relaxed),
+            max: self.max.load(Relaxed),
+            buckets,
+        }
+    }
+
+    /// Reset all buckets and summary stats to empty.
+    pub fn reset(&self) {
+        for b in self.buckets.iter() {
+            b.store(0, Relaxed);
+        }
+        self.count.store(0, Relaxed);
+        self.sum.store(0, Relaxed);
+        self.min.store(u64::MAX, Relaxed);
+        self.max.store(0, Relaxed);
+    }
+}
+
+/// Point-in-time copy of a [`Histogram`]: summary stats plus the sparse
+/// list of `(bucket index, count)` pairs. This is the unit that crosses
+/// the wire and the unit of merging.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistSnapshot {
+    pub count: u64,
+    pub sum: u64,
+    /// Exact smallest recorded value; `u64::MAX` when empty.
+    pub min: u64,
+    /// Exact largest recorded value; 0 when empty.
+    pub max: u64,
+    /// Sparse `(bucket index, count)` pairs, ascending by index.
+    pub buckets: Vec<(u32, u64)>,
+}
+
+impl HistSnapshot {
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Exact mean of recorded values (0 when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Estimate the `q`-quantile (`0.0 ..= 1.0`) using the same rank rule
+    /// as the sorted-vector path it replaces: the sample at index
+    /// `round((count - 1) * q)` of the sorted samples. The returned value
+    /// is the midpoint of the bucket containing that rank, clamped to the
+    /// exact observed `[min, max]`, so the relative error versus the true
+    /// sample is at most `2^-HIST_SUB_BITS` (3.125%).
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((self.count - 1) as f64 * q.clamp(0.0, 1.0)).round() as u64;
+        let mut seen = 0u64;
+        for &(idx, c) in &self.buckets {
+            seen += c;
+            if seen > rank {
+                return bucket_mid(idx as usize).clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Merge another snapshot into this one (loss-free on buckets; min and
+    /// max stay exact).
+    pub fn merge(&mut self, other: &HistSnapshot) {
+        self.count += other.count;
+        self.sum += other.sum;
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        let mut merged: Vec<(u32, u64)> =
+            Vec::with_capacity(self.buckets.len() + other.buckets.len());
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.buckets.len() || j < other.buckets.len() {
+            let take_left = j >= other.buckets.len()
+                || (i < self.buckets.len() && self.buckets[i].0 <= other.buckets[j].0);
+            if take_left {
+                let (idx, mut c) = self.buckets[i];
+                i += 1;
+                if j < other.buckets.len() && other.buckets[j].0 == idx {
+                    c += other.buckets[j].1;
+                    j += 1;
+                }
+                merged.push((idx, c));
+            } else {
+                merged.push(other.buckets[j]);
+                j += 1;
+            }
+        }
+        self.buckets = merged;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_index_is_monotone_and_in_range() {
+        let mut last = 0usize;
+        let mut probes: Vec<u64> = (0..2048).collect();
+        for p in 1..63 {
+            let v = 1u64 << p;
+            probes.extend([v - 1, v, v + 1, v + (v >> 1)]);
+        }
+        probes.push(u64::MAX);
+        probes.sort_unstable();
+        for v in probes {
+            let idx = bucket_index(v);
+            assert!(idx < HIST_BUCKETS, "idx {idx} out of range for {v}");
+            assert!(idx >= last, "bucket index not monotone at {v}");
+            last = idx;
+        }
+        assert_eq!(bucket_index(u64::MAX), HIST_BUCKETS - 1);
+    }
+
+    #[test]
+    fn bucket_mid_lands_in_own_bucket() {
+        for idx in 0..HIST_BUCKETS {
+            let mid = bucket_mid(idx);
+            assert_eq!(
+                bucket_index(mid),
+                idx,
+                "mid {mid} of bucket {idx} maps elsewhere"
+            );
+        }
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        let h = Histogram::new();
+        for v in 0..SUB {
+            h.record(v);
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, SUB);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, SUB - 1);
+        assert_eq!(s.quantile(0.0), 0);
+        assert_eq!(s.quantile(1.0), SUB - 1);
+        // Exact unit buckets below 32: every quantile is the true sample.
+        for rank in 0..SUB {
+            let q = rank as f64 / (SUB - 1) as f64;
+            assert_eq!(s.quantile(q), rank);
+        }
+    }
+
+    #[test]
+    fn quantiles_match_sorted_vector_within_bucket_error() {
+        // Deterministic LCG so the test needs no external RNG.
+        let mut x = 0x2545F4914F6CDD1Du64;
+        let mut samples: Vec<u64> = Vec::new();
+        let h = Histogram::new();
+        for _ in 0..100_000 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            // Spread across ~6 orders of magnitude like real latencies.
+            let v = (x >> 33) % 3_000_000_000 + 50;
+            samples.push(v);
+            h.record(v);
+        }
+        samples.sort_unstable();
+        let s = h.snapshot();
+        assert_eq!(s.count, samples.len() as u64);
+        assert_eq!(s.min, samples[0]);
+        assert_eq!(s.max, *samples.last().unwrap());
+        for q in [0.0, 0.1, 0.25, 0.5, 0.9, 0.95, 0.99, 0.999, 1.0] {
+            let exact = samples[((samples.len() - 1) as f64 * q).round() as usize];
+            let approx = s.quantile(q);
+            let err = (approx as f64 - exact as f64).abs() / exact as f64;
+            assert!(
+                err <= 1.0 / SUB as f64,
+                "q={q}: approx {approx} vs exact {exact} (err {err})"
+            );
+        }
+    }
+
+    #[test]
+    fn merge_equals_recording_into_one() {
+        let a = Histogram::new();
+        let b = Histogram::new();
+        let all = Histogram::new();
+        for v in 0..10_000u64 {
+            let v = v * 37 + 11;
+            if v % 2 == 0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            all.record(v);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        assert_eq!(merged, all.snapshot());
+    }
+
+    #[test]
+    fn concurrent_records_all_land() {
+        let h = std::sync::Arc::new(Histogram::new());
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let h = h.clone();
+                std::thread::spawn(move || {
+                    for i in 0..50_000u64 {
+                        h.record(t * 1_000_000 + i);
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().unwrap();
+        }
+        let s = h.snapshot();
+        assert_eq!(s.count, 200_000);
+        assert_eq!(s.buckets.iter().map(|&(_, c)| c).sum::<u64>(), 200_000);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 3 * 1_000_000 + 49_999);
+    }
+
+    #[test]
+    fn empty_and_reset() {
+        let h = Histogram::new();
+        assert!(h.snapshot().is_empty());
+        assert_eq!(h.snapshot().quantile(0.5), 0);
+        h.record(42);
+        assert_eq!(h.count(), 1);
+        h.reset();
+        let s = h.snapshot();
+        assert!(s.is_empty());
+        assert!(s.buckets.is_empty());
+        assert_eq!(s.min, u64::MAX);
+        assert_eq!(s.max, 0);
+    }
+}

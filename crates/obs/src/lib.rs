@@ -1,0 +1,38 @@
+//! `lbc-obs` — dependency-free observability primitives for the serving
+//! stack.
+//!
+//! Three building blocks, all safe to share across threads via `Arc` and
+//! all wait-free on their hot paths:
+//!
+//! * [`Histogram`] — a fixed-footprint, log-bucketed, HDR-style latency
+//!   histogram. Buckets are plain `AtomicU64`s; [`Histogram::record`] is a
+//!   handful of relaxed atomic RMWs — no locks, no allocation, no
+//!   branches that can park a thread. Quantiles come from a
+//!   [`HistSnapshot`] and carry a documented relative bucket error of at
+//!   most `2^-5` (3.125%); the true observed min and max are tracked
+//!   exactly. Snapshots are mergeable, so per-thread or per-node
+//!   histograms can be combined loss-free.
+//! * [`Obs`] — a per-node metrics registry mapping names to atomic
+//!   [`Counter`]s, [`Gauge`]s, and [`Histogram`]s. Components create
+//!   their handles up front (cold path, may allocate) and record through
+//!   the `Arc` afterwards (hot path, never allocates). The registry is
+//!   instance-based rather than process-global so multi-node tests (the
+//!   chaos harness runs 3–5 nodes in one process) each get their own.
+//! * [`EventRing`] — a fixed-capacity, seq-stamped ring of structured
+//!   [`Event`]s (role transitions, elections, evictions, membership
+//!   adoptions, backpressure engage/release). Post-mortems of chaos-run
+//!   failures read from the node itself.
+//!
+//! Export paths live elsewhere: `lbc-net` serialises [`ObsSnapshot`] over
+//! the `STATS` wire opcode, and [`render_text`] emits Prometheus text
+//! exposition for scraping.
+
+mod events;
+mod hist;
+mod metrics;
+mod text;
+
+pub use events::{Event, EventKind, EventRing};
+pub use hist::{HistSnapshot, Histogram, HIST_BUCKETS, HIST_SUB_BITS};
+pub use metrics::{Counter, Gauge, Obs, ObsSnapshot};
+pub use text::render_text;

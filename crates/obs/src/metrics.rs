@@ -1,0 +1,291 @@
+//! The per-node metrics registry: named counters, gauges, and histograms.
+//!
+//! Handles are `Arc`-shared atomics. Components either ask the registry
+//! for a handle by name (`counter`/`gauge`/`histogram`, get-or-create) or
+//! construct a handle standalone and adopt it into a node's registry
+//! later (`register_*`) — the latter supports components that are built
+//! before the node's `Obs` exists. Lookup/registration is the cold path
+//! (a mutexed `BTreeMap` keyed by `String`); every record afterwards goes
+//! straight through the `Arc` without touching the registry.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering::Relaxed};
+use std::sync::{Arc, Mutex};
+
+use crate::events::{Event, EventRing};
+use crate::hist::{HistSnapshot, Histogram};
+
+/// Monotonically increasing `u64` counter.
+#[derive(Default)]
+pub struct Counter(AtomicU64);
+
+impl Counter {
+    pub fn new() -> Counter {
+        Counter(AtomicU64::new(0))
+    }
+
+    #[inline]
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Relaxed);
+    }
+
+    #[inline]
+    pub fn add(&self, v: u64) {
+        self.0.fetch_add(v, Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Relaxed)
+    }
+}
+
+/// Settable signed gauge (queue depths, lags, high-water marks).
+#[derive(Default)]
+pub struct Gauge(AtomicI64);
+
+impl Gauge {
+    pub fn new() -> Gauge {
+        Gauge(AtomicI64::new(0))
+    }
+
+    #[inline]
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Relaxed);
+    }
+
+    #[inline]
+    pub fn add(&self, v: i64) {
+        self.0.fetch_add(v, Relaxed);
+    }
+
+    /// Raise the gauge to `v` if it is below it (high-water marks).
+    #[inline]
+    pub fn fetch_max(&self, v: i64) {
+        self.0.fetch_max(v, Relaxed);
+    }
+
+    pub fn get(&self) -> i64 {
+        self.0.load(Relaxed)
+    }
+}
+
+enum Metric {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+/// A node's metric registry plus its event ring. Create once per serving
+/// node (`Obs::new()`), share via `Arc`.
+pub struct Obs {
+    metrics: Mutex<BTreeMap<String, Metric>>,
+    /// Structured transition log; record with `obs.events.record(..)`.
+    pub events: EventRing,
+}
+
+/// Default event-ring capacity per node.
+pub const DEFAULT_EVENT_CAP: usize = 256;
+
+impl std::fmt::Debug for Obs {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let n = self.metrics.lock().map(|m| m.len()).unwrap_or(0);
+        f.debug_struct("Obs")
+            .field("metrics", &n)
+            .field("events", &self.events.total())
+            .finish()
+    }
+}
+
+impl Default for Obs {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Obs {
+    pub fn new() -> Obs {
+        Obs::with_event_cap(DEFAULT_EVENT_CAP)
+    }
+
+    pub fn with_event_cap(cap: usize) -> Obs {
+        Obs {
+            metrics: Mutex::new(BTreeMap::new()),
+            events: EventRing::new(cap),
+        }
+    }
+
+    /// Get-or-create the named counter. A name already registered as a
+    /// different kind is replaced (last writer wins; names are
+    /// per-component and collisions indicate a bug, not a runtime case
+    /// worth panicking over).
+    pub fn counter(&self, name: &str) -> Arc<Counter> {
+        let mut m = self.metrics.lock().unwrap();
+        if let Some(Metric::Counter(c)) = m.get(name) {
+            return c.clone();
+        }
+        let c = Arc::new(Counter::new());
+        m.insert(name.to_string(), Metric::Counter(c.clone()));
+        c
+    }
+
+    /// Get-or-create the named gauge.
+    pub fn gauge(&self, name: &str) -> Arc<Gauge> {
+        let mut m = self.metrics.lock().unwrap();
+        if let Some(Metric::Gauge(g)) = m.get(name) {
+            return g.clone();
+        }
+        let g = Arc::new(Gauge::new());
+        m.insert(name.to_string(), Metric::Gauge(g.clone()));
+        g
+    }
+
+    /// Get-or-create the named histogram.
+    pub fn histogram(&self, name: &str) -> Arc<Histogram> {
+        let mut m = self.metrics.lock().unwrap();
+        if let Some(Metric::Histogram(h)) = m.get(name) {
+            return h.clone();
+        }
+        let h = Arc::new(Histogram::new());
+        m.insert(name.to_string(), Metric::Histogram(h.clone()));
+        h
+    }
+
+    /// Adopt an existing counter handle under `name`.
+    pub fn register_counter(&self, name: &str, c: Arc<Counter>) {
+        self.metrics
+            .lock()
+            .unwrap()
+            .insert(name.to_string(), Metric::Counter(c));
+    }
+
+    /// Adopt an existing gauge handle under `name`.
+    pub fn register_gauge(&self, name: &str, g: Arc<Gauge>) {
+        self.metrics
+            .lock()
+            .unwrap()
+            .insert(name.to_string(), Metric::Gauge(g));
+    }
+
+    /// Adopt an existing histogram handle under `name`.
+    pub fn register_histogram(&self, name: &str, h: Arc<Histogram>) {
+        self.metrics
+            .lock()
+            .unwrap()
+            .insert(name.to_string(), Metric::Histogram(h));
+    }
+
+    /// Capture every registered metric plus the most recent `max_events`
+    /// ring events, name-sorted (the map is a `BTreeMap`, so iteration is
+    /// already deterministic).
+    pub fn snapshot(&self, max_events: usize) -> ObsSnapshot {
+        let m = self.metrics.lock().unwrap();
+        let mut snap = ObsSnapshot::default();
+        for (name, metric) in m.iter() {
+            match metric {
+                Metric::Counter(c) => snap.counters.push((name.clone(), c.get())),
+                Metric::Gauge(g) => snap.gauges.push((name.clone(), g.get())),
+                Metric::Histogram(h) => snap.hists.push((name.clone(), h.snapshot())),
+            }
+        }
+        drop(m);
+        snap.events = self.events.recent(max_events);
+        snap
+    }
+}
+
+/// A serialisable point-in-time view of one node's metrics and recent
+/// events. `lbc-net` carries this over the `STATS` opcode; the CLI and
+/// the Prometheus text renderer consume it.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ObsSnapshot {
+    /// `(name, value)`, ascending by name.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, value)`, ascending by name.
+    pub gauges: Vec<(String, i64)>,
+    /// `(name, snapshot)`, ascending by name.
+    pub hists: Vec<(String, HistSnapshot)>,
+    /// Most recent events, oldest first.
+    pub events: Vec<Event>,
+}
+
+impl ObsSnapshot {
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    pub fn hist(&self, name: &str) -> Option<&HistSnapshot> {
+        self.hists.iter().find(|(n, _)| n == name).map(|(_, h)| h)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::events::EventKind;
+
+    #[test]
+    fn get_or_create_returns_same_handle() {
+        let obs = Obs::new();
+        let a = obs.counter("net_accepts_total");
+        let b = obs.counter("net_accepts_total");
+        a.inc();
+        b.add(2);
+        assert_eq!(a.get(), 3);
+        let snap = obs.snapshot(0);
+        assert_eq!(snap.counter("net_accepts_total"), Some(3));
+    }
+
+    #[test]
+    fn register_existing_handle() {
+        let h = Arc::new(Histogram::new());
+        h.record(100);
+        let obs = Obs::new();
+        obs.register_histogram("rpc_service_ns", h.clone());
+        h.record(200);
+        let snap = obs.snapshot(0);
+        let hs = snap.hist("rpc_service_ns").unwrap();
+        assert_eq!(hs.count, 2);
+        assert_eq!(hs.max, 200);
+    }
+
+    #[test]
+    fn snapshot_is_name_sorted_and_carries_events() {
+        let obs = Obs::new();
+        obs.counter("zz");
+        obs.counter("aa");
+        obs.gauge("mid");
+        obs.events
+            .record(EventKind::RoleChange, "follower->primary");
+        obs.events.record(EventKind::ElectionWon, "epoch 3");
+        let snap = obs.snapshot(10);
+        assert_eq!(
+            snap.counters
+                .iter()
+                .map(|(n, _)| n.as_str())
+                .collect::<Vec<_>>(),
+            vec!["aa", "zz"]
+        );
+        assert_eq!(snap.gauge("mid"), Some(0));
+        assert_eq!(snap.events.len(), 2);
+        assert_eq!(snap.events[0].kind, EventKind::RoleChange);
+        assert_eq!(snap.events[1].detail, "epoch 3");
+    }
+
+    #[test]
+    fn gauge_ops() {
+        let g = Gauge::new();
+        g.set(5);
+        g.add(-2);
+        assert_eq!(g.get(), 3);
+        g.fetch_max(10);
+        g.fetch_max(7);
+        assert_eq!(g.get(), 10);
+    }
+}

@@ -1,0 +1,81 @@
+//! Prometheus text exposition rendering of an [`ObsSnapshot`].
+//!
+//! Counters and gauges render as plain samples; histograms render as
+//! summaries (`{quantile="..."}` samples plus `_sum`/`_count`/`_min`/
+//! `_max`), which scrape cleanly and avoid shipping 1920 cumulative
+//! buckets per series. Metric names are sanitised to the Prometheus
+//! charset (`[a-zA-Z0-9_:]`, non-digit first char).
+
+use crate::metrics::ObsSnapshot;
+
+fn sanitise(name: &str) -> String {
+    let mut out = String::with_capacity(name.len());
+    for (i, ch) in name.chars().enumerate() {
+        let ok =
+            ch.is_ascii_alphabetic() || ch == '_' || ch == ':' || (i > 0 && ch.is_ascii_digit());
+        out.push(if ok { ch } else { '_' });
+    }
+    out
+}
+
+/// Render the snapshot in Prometheus text exposition format.
+pub fn render_text(snap: &ObsSnapshot) -> String {
+    let mut out = String::new();
+    for (name, v) in &snap.counters {
+        let name = sanitise(name);
+        out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
+    }
+    for (name, v) in &snap.gauges {
+        let name = sanitise(name);
+        out.push_str(&format!("# TYPE {name} gauge\n{name} {v}\n"));
+    }
+    for (name, h) in &snap.hists {
+        let name = sanitise(name);
+        out.push_str(&format!("# TYPE {name} summary\n"));
+        for (label, q) in [("0.5", 0.5), ("0.95", 0.95), ("0.99", 0.99)] {
+            out.push_str(&format!(
+                "{name}{{quantile=\"{label}\"}} {}\n",
+                h.quantile(q)
+            ));
+        }
+        out.push_str(&format!("{name}_sum {}\n", h.sum));
+        out.push_str(&format!("{name}_count {}\n", h.count));
+        if !h.is_empty() {
+            out.push_str(&format!("{name}_min {}\n", h.min));
+            out.push_str(&format!("{name}_max {}\n", h.max));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::Histogram;
+    use crate::metrics::Obs;
+
+    #[test]
+    fn renders_all_kinds() {
+        let obs = Obs::new();
+        obs.counter("net_frames_in_total").add(7);
+        obs.gauge("worker_queue_depth").set(3);
+        let h = Histogram::new();
+        for v in 1..=100u64 {
+            h.record(v * 1000);
+        }
+        obs.register_histogram("rpc_service_ns", std::sync::Arc::new(h));
+        let text = render_text(&obs.snapshot(0));
+        assert!(text.contains("# TYPE net_frames_in_total counter\nnet_frames_in_total 7\n"));
+        assert!(text.contains("# TYPE worker_queue_depth gauge\nworker_queue_depth 3\n"));
+        assert!(text.contains("# TYPE rpc_service_ns summary\n"));
+        assert!(text.contains("rpc_service_ns{quantile=\"0.99\"}"));
+        assert!(text.contains("rpc_service_ns_count 100\n"));
+        assert!(text.contains("rpc_service_ns_max 100000\n"));
+    }
+
+    #[test]
+    fn sanitises_names() {
+        assert_eq!(sanitise("repl.peer-5/lag ms"), "repl_peer_5_lag_ms");
+        assert_eq!(sanitise("9lives"), "_lives");
+    }
+}

@@ -9,6 +9,7 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
 use lbc_net::{FrameDecoder, NetClient, PeerLag, ReplGate, ReplMsg, Role};
+use lbc_obs::EventKind;
 use lbc_runtime::Registry;
 use lbc_store::{decode_record, format, parse_snapshot};
 
@@ -431,6 +432,9 @@ where
             Ok(m) => m,
             Err(ReplError::Timeout) => {
                 if last_msg.elapsed() >= timeout {
+                    if let Some(obs) = gate.obs() {
+                        obs.counter("repl_heartbeats_missed_total").inc();
+                    }
                     return failover(&mut conn, &gate, &last_roster);
                 }
                 continue;
@@ -542,6 +546,18 @@ fn failover(conn: &mut FollowerConn, gate: &ReplGate, roster: &[PeerLag]) -> Fai
             repl_addr: conn.identity.repl_addr.clone(),
         }),
     }
+    if let Some(obs) = gate.obs() {
+        obs.counter("repl_elections_started_total").inc();
+        obs.events.record(
+            EventKind::ElectionStarted,
+            format!(
+                "node {} at seq {} over {} peers",
+                conn.identity.id,
+                conn.applied_seq,
+                members.len()
+            ),
+        );
+    }
     match run_election(conn.identity.id, conn.applied_seq, &members, &conn.cfg) {
         ElectionOutcome::Won => {
             // Reconciliation *before* the role flip: pull any WAL
@@ -558,6 +574,13 @@ fn failover(conn: &mut FollowerConn, gate: &ReplGate, roster: &[PeerLag]) -> Fai
                 &conn.cfg,
             );
             gate.set_quorum_status(0, 0, false);
+            if let Some(obs) = gate.obs() {
+                obs.counter("repl_elections_won_total").inc();
+                obs.events.record(
+                    EventKind::ElectionWon,
+                    format!("node {} at seq {}", conn.identity.id, conn.applied_seq),
+                );
+            }
             gate.set_role(Role::Promoted);
             FailoverOutcome::Promoted {
                 applied_seq: conn.applied_seq,
@@ -567,13 +590,22 @@ fn failover(conn: &mut FollowerConn, gate: &ReplGate, roster: &[PeerLag]) -> Fai
             winner,
             winner_addr,
             winner_repl,
-        } => FailoverOutcome::NotPromoted {
-            winner,
-            applied_seq: conn.applied_seq,
-            winner_addr,
-            winner_repl,
-            members,
-        },
+        } => {
+            if let Some(obs) = gate.obs() {
+                obs.counter("repl_elections_lost_total").inc();
+                obs.events.record(
+                    EventKind::ElectionLost,
+                    format!("node {} lost to {winner}", conn.identity.id),
+                );
+            }
+            FailoverOutcome::NotPromoted {
+                winner,
+                applied_seq: conn.applied_seq,
+                winner_addr,
+                winner_repl,
+                members,
+            }
+        }
         ElectionOutcome::Inconclusive => FailoverOutcome::Undecided {
             applied_seq: conn.applied_seq,
             members,

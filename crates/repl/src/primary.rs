@@ -75,6 +75,24 @@ impl PrimaryShared {
         peers
     }
 
+    /// Per-follower milliseconds since the last ack, ordered by
+    /// follower id — the freshness half of `lbc repl-status`'s
+    /// `(records behind, ms since last ack)` pair.
+    fn ack_ages(&self) -> Vec<(u64, u64)> {
+        let followers = self.followers.lock().unwrap();
+        let mut ages: Vec<(u64, u64)> = followers
+            .values()
+            .map(|slot| {
+                (
+                    slot.follower_id,
+                    slot.last_ack.lock().unwrap().elapsed().as_millis() as u64,
+                )
+            })
+            .collect();
+        ages.sort_by_key(|&(id, _)| id);
+        ages
+    }
+
     fn status(&self) -> ReplStatus {
         let quorum_mode = !self.cfg.members.is_empty();
         ReplStatus {
@@ -84,6 +102,7 @@ impl PrimaryShared {
                 Role::Primary
             },
             applied_seq: self.registry.applied_seq(&self.dataset),
+            ack_ages: self.ack_ages(),
             peers: self.roster(),
             members: self.cfg.members.members.clone(),
             votes_seen: if quorum_mode { self.live_members() } else { 0 },
@@ -144,6 +163,34 @@ impl PrimaryShared {
             // and re-enters follower mode from scratch.
             self.stop.store(true, Ordering::SeqCst);
         }
+    }
+
+    /// Per-tick metrics, recorded against the node registry the gate
+    /// carries (if any): heartbeats fanned out, and the worst follower
+    /// lag in both records and ack-age milliseconds.
+    fn observe_tick(&self, roster: &[PeerLag]) {
+        let gate = self.gate.lock().unwrap().clone();
+        let Some(obs) = gate.and_then(|g| g.obs()) else {
+            return;
+        };
+        obs.counter("repl_heartbeats_sent_total").inc();
+        let head = self.registry.applied_seq(&self.dataset);
+        let lag_records = roster
+            .iter()
+            .map(|p| head.saturating_sub(p.applied_seq))
+            .max()
+            .unwrap_or(0);
+        let lag_ms = self
+            .ack_ages()
+            .into_iter()
+            .map(|(_, ms)| ms)
+            .max()
+            .unwrap_or(0);
+        obs.gauge("repl_max_follower_lag_records")
+            .set(lag_records as i64);
+        obs.gauge("repl_max_follower_ack_age_ms").set(lag_ms as i64);
+        obs.gauge("repl_followers_connected")
+            .set(roster.len() as i64);
     }
 }
 
@@ -242,6 +289,7 @@ impl ReplServer {
                 while !tick_shared.stop.load(Ordering::SeqCst) {
                     epoch += 1;
                     let roster = tick_shared.roster();
+                    tick_shared.observe_tick(&roster);
                     *tick_shared.heartbeat.lock().unwrap() = (epoch, roster);
                     tick_shared.check_step_down();
                     std::thread::sleep(interval);

@@ -28,6 +28,7 @@ use lbc_core::LbConfig;
 use lbc_faults::{NodeFaults, PartitionMatrix, SplitMix64};
 use lbc_graph::{generators, GraphDelta};
 use lbc_net::{NetClient, NetServer, PeerLag, ReplGate, Role, ServeContext, ServerConfig};
+use lbc_obs::{EventKind, Obs};
 use lbc_repl::{
     reconcile, run_election, Backoff, ElectionOutcome, FailoverOutcome, FollowerConn,
     FollowerHandle, FollowerIdentity, Membership, ReplConfig, ReplServer, HAVE_NOTHING,
@@ -93,6 +94,10 @@ struct Node {
     repl_addr: String,
     registry: Arc<Registry>,
     gate: Arc<ReplGate>,
+    /// Per-node metrics + structured event ring; attached to the gate
+    /// so the replication plane's elections and role flips land here,
+    /// and dumped ring-by-ring when a schedule assertion fails.
+    obs: Arc<Obs>,
     /// The promotion listener, parked here while the node is not the
     /// primary; taken by `promote`, re-bound after a step-down.
     repl_listener: Mutex<Option<TcpListener>>,
@@ -287,6 +292,11 @@ fn drive(node: Arc<Node>, mut seat: Seat) {
                         .lock()
                         .unwrap()
                         .push(format!("election {elected:?}"));
+                    node.obs.counter("repl_elections_started_total").inc();
+                    node.obs.events.record(
+                        EventKind::ElectionStarted,
+                        format!("node {} re-election", node.id),
+                    );
                     match elected {
                         ElectionOutcome::Won => {
                             // Reconcile before serving: pull any acked
@@ -301,11 +311,17 @@ fn drive(node: Arc<Node>, mut seat: Seat) {
                                 &node.cfg,
                             );
                             node.gate.set_quorum_status(0, 0, false);
+                            node.obs.counter("repl_elections_won_total").inc();
+                            node.obs.events.record(
+                                EventKind::ElectionWon,
+                                format!("node {} re-election", node.id),
+                            );
                             node.gate.set_role(Role::Promoted);
                             node.promote()
                         }
                         ElectionOutcome::Lost { winner_repl, .. } => {
                             refollow.reset();
+                            node.obs.counter("repl_elections_lost_total").inc();
                             Seat::Idle {
                                 target_repl: winner_repl,
                                 from_scratch,
@@ -402,6 +418,8 @@ impl Cluster {
             gate.set_promotable(true);
             gate.set_member_count(n);
             gate.set_repl_addr(&repl_addr);
+            let obs = Arc::new(Obs::new());
+            gate.attach_obs(Arc::clone(&obs));
             let cfg = ReplConfig {
                 heartbeat_interval: INTERVAL,
                 heartbeat_timeout: TIMEOUT,
@@ -416,6 +434,7 @@ impl Cluster {
                 repl_addr,
                 registry,
                 gate,
+                obs,
                 repl_listener: Mutex::new(None),
                 cfg,
                 stop: Arc::clone(&stop),
@@ -468,6 +487,7 @@ impl Cluster {
                 pool: Arc::new(WorkerPool::new(2)),
                 dataset: DATASET.to_string(),
                 cfg: lb_config(),
+                obs: Arc::clone(&node.obs),
             };
             nets.push(
                 NetServer::serve_listener(q, ctx, ServerConfig::default(), Arc::clone(&node.gate))
@@ -561,7 +581,8 @@ impl Cluster {
                 .map(|n| (n.id, n.trail.lock().unwrap().clone()))
                 .collect();
             panic!(
-                "two nodes accepted the same write: {accepted:?}; gates {roles:?}; trails {trails:?}"
+                "two nodes accepted the same write: {accepted:?}; gates {roles:?}; trails {trails:?}\n{}",
+                self.dump_events()
             );
         }
         accepted
@@ -577,7 +598,8 @@ impl Cluster {
             }
             assert!(
                 start.elapsed() < deadline,
-                "no writer emerged within {deadline:?}"
+                "no writer emerged within {deadline:?}\n{}",
+                self.dump_events()
             );
             std::thread::sleep(Duration::from_millis(20));
         }
@@ -601,15 +623,17 @@ impl Cluster {
         };
         assert!(
             wait_until(deadline, || levelled(&self.nodes, writer)),
-            "watermarks never converged: {:?}",
-            self.watermarks()
+            "watermarks never converged: {:?}\n{}",
+            self.watermarks(),
+            self.dump_events()
         );
         // One more write proves the healed topology still replicates.
         let writer = self.wait_writer(deadline);
         assert!(
             wait_until(deadline, || levelled(&self.nodes, writer)),
-            "post-heal write never propagated: {:?}",
-            self.watermarks()
+            "post-heal write never propagated: {:?}\n{}",
+            self.watermarks(),
+            self.dump_events()
         );
         // Bit-for-bit convergence, re-read until stable: the watermark
         // bumps under the registry lock but the warm-refreshed entry
@@ -629,8 +653,9 @@ impl Cluster {
                             .is_some_and(|out| reference.bit_diff(&out).is_none())
                     })
             }),
-            "nodes never converged bit-for-bit at watermarks {:?}",
-            self.watermarks()
+            "nodes never converged bit-for-bit at watermarks {:?}\n{}",
+            self.watermarks(),
+            self.dump_events()
         );
     }
 
@@ -639,6 +664,30 @@ impl Cluster {
             .iter()
             .map(|n| n.registry.applied_seq(DATASET))
             .collect()
+    }
+
+    /// Every node's structured event ring, rendered for the post-mortem
+    /// that accompanies each harness failure: who started elections,
+    /// who won, every role flip, in ring order with relative times.
+    fn dump_events(&self) -> String {
+        let mut out = String::from("event rings at failure:\n");
+        for node in &self.nodes {
+            out.push_str(&format!("node {}:\n", node.id));
+            let events = node.obs.events.recent(64);
+            if events.is_empty() {
+                out.push_str("  (empty)\n");
+            }
+            for e in events {
+                out.push_str(&format!(
+                    "  [{}] +{}ms {}: {}\n",
+                    e.seq,
+                    e.at_ms,
+                    e.kind.as_str(),
+                    e.detail
+                ));
+            }
+        }
+        out
     }
 
     fn shutdown(mut self) {
@@ -652,14 +701,16 @@ impl Cluster {
         let max = self.max_writers.load(Ordering::SeqCst);
         assert!(
             max <= 1,
-            "monitor observed {max} concurrent writers — split brain"
+            "monitor observed {max} concurrent writers — split brain\n{}",
+            self.dump_events()
         );
         for node in &self.nodes {
             let errors = node.errors.lock().unwrap();
             assert!(
                 errors.is_empty(),
-                "node {} stream errors: {errors:?}",
-                node.id
+                "node {} stream errors: {errors:?}\n{}",
+                node.id,
+                self.dump_events()
             );
         }
     }
@@ -714,7 +765,8 @@ fn run_schedule(n: usize, seed: u64, rounds: usize) {
                 }
                 assert!(
                     start.elapsed() < settle,
-                    "majority never elected a writer; last acceptors {accepted:?}"
+                    "majority never elected a writer; last acceptors {accepted:?}\n{}",
+                    cluster.dump_events()
                 );
                 std::thread::sleep(Duration::from_millis(20));
             }
@@ -734,7 +786,8 @@ fn run_schedule(n: usize, seed: u64, rounds: usize) {
                     g.role() == Role::Follower && !g.writable()
                 })
             }),
-            "minority nodes never degraded read-only"
+            "minority nodes never degraded read-only\n{}",
+            cluster.dump_events()
         );
         for &i in &minority {
             let addr = cluster.nodes[i].query_addr.parse().unwrap();
@@ -773,6 +826,64 @@ fn chaos_five_node_matrix() {
     }
 }
 
+/// The observability pin for the harness: kill the seeded primary (an
+/// isolation partition), let the majority elect, and assert the event
+/// rings captured the story — an `ElectionStarted`, an `ElectionWon`,
+/// and across *all* nodes exactly one `RoleChange` into `promoted`.
+#[test]
+fn event_ring_records_election_and_exactly_one_promotion() {
+    let mut cluster = Cluster::start(3);
+    let settle = Duration::from_secs(30);
+    assert_eq!(cluster.wait_writer(settle), 0, "node 0 starts as writer");
+    cluster.assert_converged(settle);
+
+    // The in-process kill -9: isolate the writer alone.
+    cluster.partition(&[0]);
+    let start = Instant::now();
+    loop {
+        let accepted = cluster.probe_write();
+        if let [w] = accepted[..] {
+            if w != 0 {
+                break;
+            }
+        }
+        assert!(
+            start.elapsed() < settle,
+            "majority never elected a writer\n{}",
+            cluster.dump_events()
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    cluster.heal();
+    cluster.assert_converged(settle);
+
+    let rings: Vec<Vec<lbc_obs::Event>> = cluster
+        .nodes
+        .iter()
+        .map(|n| n.obs.events.recent(256))
+        .collect();
+    let dump = cluster.dump_events();
+    cluster.shutdown();
+
+    let all: Vec<&lbc_obs::Event> = rings.iter().flatten().collect();
+    assert!(
+        all.iter().any(|e| e.kind == EventKind::ElectionStarted),
+        "no ElectionStarted event recorded\n{dump}"
+    );
+    assert!(
+        all.iter().any(|e| e.kind == EventKind::ElectionWon),
+        "no ElectionWon event recorded\n{dump}"
+    );
+    let promotions = all
+        .iter()
+        .filter(|e| e.kind == EventKind::RoleChange && e.detail.ends_with("->promoted"))
+        .count();
+    assert_eq!(
+        promotions, 1,
+        "expected exactly one promotion role change\n{dump}"
+    );
+}
+
 /// Promotion-time WAL reconciliation, pinned deterministically: a
 /// record acked to the primary by follower A but never fanned out to
 /// follower B must survive a failover that B wins — B pulls the
@@ -809,12 +920,12 @@ fn winner_pulls_missing_suffix_before_serving() {
             .unwrap();
     };
     let serve = |listener: TcpListener, registry: &Arc<Registry>, gate: &Arc<ReplGate>| {
-        let ctx = ServeContext {
-            registry: Arc::clone(registry),
-            pool: Arc::new(WorkerPool::new(2)),
-            dataset: DATASET.to_string(),
-            cfg: lb_config(),
-        };
+        let ctx = ServeContext::new(
+            Arc::clone(registry),
+            Arc::new(WorkerPool::new(2)),
+            DATASET,
+            lb_config(),
+        );
         NetServer::serve_listener(listener, ctx, ServerConfig::default(), Arc::clone(gate)).unwrap()
     };
 
@@ -965,12 +1076,12 @@ fn partitioned_candidates_cannot_both_quorum_through_shared_voter() {
         // Follower: an orphaned voter, free to grant immediately.
         let gate = Arc::new(ReplGate::with_id(Role::Primary, i as u64 + 1));
         gate.set_role(Role::Follower);
-        let ctx = ServeContext {
-            registry: Arc::clone(&registry),
-            pool: Arc::new(lbc_runtime::WorkerPool::new(2)),
-            dataset: DATASET.to_string(),
-            cfg: lb_config(),
-        };
+        let ctx = ServeContext::new(
+            Arc::clone(&registry),
+            Arc::new(lbc_runtime::WorkerPool::new(2)),
+            DATASET,
+            lb_config(),
+        );
         nets.push(
             NetServer::serve_listener(listener, ctx, ServerConfig::default(), Arc::clone(&gate))
                 .unwrap(),

@@ -343,12 +343,12 @@ fn two_followers_elect_exactly_one_winner() {
         )
         .unwrap();
         let gate = Arc::new(ReplGate::with_id(Role::Follower, id));
-        let ctx = ServeContext {
-            registry: Arc::clone(&registry),
-            pool: Arc::new(WorkerPool::new(2)),
-            dataset: DATASET.to_string(),
-            cfg: cfg.clone(),
-        };
+        let ctx = ServeContext::new(
+            Arc::clone(&registry),
+            Arc::new(WorkerPool::new(2)),
+            DATASET,
+            cfg.clone(),
+        );
         let net =
             NetServer::serve_listener(listener, ctx, ServerConfig::default(), Arc::clone(&gate))
                 .unwrap();

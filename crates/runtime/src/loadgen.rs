@@ -21,6 +21,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use lbc_graph::NodeId;
+use lbc_obs::Histogram;
 
 use crate::engine::{ClusterHandle, Query};
 use crate::error::RuntimeError;
@@ -277,20 +278,24 @@ pub fn run_loadgen(
         .div_ceil(cfg.clients) as u64;
 
     struct ClientResult {
-        latencies: Vec<Duration>,
         checksum: u64,
         ops: u64,
     }
+
+    // One wait-free histogram shared by every client thread: recording a
+    // latency is five relaxed atomic RMWs — no per-client sample vectors
+    // to allocate, grow, or merge-sort afterwards.
+    let latencies = Histogram::new();
 
     let t0 = Instant::now();
     let results: Vec<Result<ClientResult, RuntimeError>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..cfg.clients)
             .map(|client| {
                 let handle: ClusterHandle = handle.clone();
+                let latencies = &latencies;
                 scope.spawn(move || {
                     let mut rng = QueryRng::new(cfg.seed, client as u64);
                     let sampler = NodeSampler::new(cfg.popularity, n);
-                    let mut latencies = Vec::with_capacity(per_client_batches as usize);
                     let mut checksum = 0u64;
                     let mut ops = 0u64;
                     let mut queries = Vec::with_capacity(cfg.batch);
@@ -320,17 +325,13 @@ pub fn run_loadgen(
                             }
                         };
                         let answers = handle.execute_batch(&queries)?;
-                        latencies.push(b0.elapsed());
+                        latencies.record(b0.elapsed().as_nanos() as u64);
                         for a in answers {
                             checksum = checksum.rotate_left(7).wrapping_add(a.checksum_word());
                         }
                         ops += cfg.batch as u64;
                     }
-                    Ok(ClientResult {
-                        latencies,
-                        checksum,
-                        ops,
-                    })
+                    Ok(ClientResult { checksum, ops })
                 })
             })
             .collect();
@@ -341,31 +342,28 @@ pub fn run_loadgen(
     });
     let wall = t0.elapsed();
 
-    let mut latencies: Vec<Duration> = Vec::new();
     let mut checksum = 0u64;
     let mut ops = 0u64;
     // Merge in client order so the combined checksum is deterministic.
     for r in results {
         let r = r?;
-        latencies.extend(r.latencies);
         checksum = checksum.rotate_left(13) ^ r.checksum;
         ops += r.ops;
     }
-    latencies.sort_unstable();
-    let pct = |q: f64| -> Duration {
-        let idx = ((latencies.len() - 1) as f64 * q).round() as usize;
-        latencies[idx]
-    };
+    // Every client has been joined, so the snapshot sees all records.
+    let lat = latencies.snapshot();
+    assert!(!lat.is_empty(), "at least one batch");
+    let pct = |q: f64| -> Duration { Duration::from_nanos(lat.quantile(q)) };
     Ok(LoadReport {
         ops,
-        batches: latencies.len() as u64,
+        batches: lat.count,
         clients: cfg.clients,
         wall,
         throughput: ops as f64 / wall.as_secs_f64().max(1e-12),
         p50: pct(0.50),
         p95: pct(0.95),
         p99: pct(0.99),
-        max: *latencies.last().expect("at least one batch"),
+        max: Duration::from_nanos(lat.max),
         checksum,
     })
 }
@@ -431,6 +429,39 @@ mod tests {
         // A different seed exercises different nodes.
         let c = run_loadgen(&h, &LoadgenConfig { seed: 43, ..cfg }).unwrap();
         assert_ne!(a.checksum, c.checksum);
+    }
+
+    /// Parity pin for the sorted-vector → histogram swap in
+    /// `run_loadgen`: on a latency-shaped sample the histogram's
+    /// p50/p95/p99 track the old `sort + round((n-1)q)` rule within the
+    /// documented bucket error (1/32), and max stays bit-exact.
+    #[test]
+    fn histogram_percentiles_match_sorted_vector_path() {
+        let h = Histogram::new();
+        let mut sorted: Vec<Duration> = Vec::new();
+        let mut x = 0xDEADBEEFCAFEF00Du64;
+        for _ in 0..50_000 {
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            // Hundreds of ns to ~5 ms, like closed-loop batch latencies.
+            let ns = (x >> 34) % 5_000_000 + 300;
+            h.record(ns);
+            sorted.push(Duration::from_nanos(ns));
+        }
+        sorted.sort_unstable();
+        let exact = |q: f64| -> Duration {
+            let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+            sorted[idx]
+        };
+        let snap = h.snapshot();
+        for q in [0.50, 0.95, 0.99] {
+            let want = exact(q).as_nanos() as f64;
+            let got = snap.quantile(q) as f64;
+            let err = (got - want).abs() / want;
+            assert!(err <= 1.0 / 32.0, "q={q}: got {got} want {want} err {err}");
+        }
+        assert_eq!(Duration::from_nanos(snap.max), *sorted.last().unwrap());
     }
 
     #[test]

@@ -29,12 +29,12 @@
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::path::Path;
-use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
 use lbc_core::driver::ClusterError;
 use lbc_core::{cluster, warm_start, ClusterOutput, LbConfig, Rounds, WarmStartConfig};
 use lbc_graph::{io, Graph, GraphDelta};
+use lbc_obs::{Counter, EventKind, Obs};
 use lbc_store::{encode_record, ReplayPolicy, Store, WalRecord};
 
 use crate::error::RuntimeError;
@@ -280,13 +280,16 @@ pub struct Registry {
     store: Mutex<Option<StoreAttachment>>,
     /// Commit-notification hook (lock order: after `inner`/`store`).
     commit_hook: Mutex<Option<CommitHook>>,
-    hits: AtomicU64,
-    misses: AtomicU64,
-    inserts: AtomicU64,
-    evictions: AtomicU64,
-    refreshes: AtomicU64,
-    spills: AtomicU64,
-    store_loads: AtomicU64,
+    /// Node metrics registry these counters are adopted into (and the
+    /// ring eviction events land in) once [`Registry::attach_obs`] runs.
+    obs: Mutex<Option<Arc<Obs>>>,
+    hits: Arc<Counter>,
+    misses: Arc<Counter>,
+    inserts: Arc<Counter>,
+    evictions: Arc<Counter>,
+    refreshes: Arc<Counter>,
+    spills: Arc<Counter>,
+    store_loads: Arc<Counter>,
 }
 
 impl Registry {
@@ -309,14 +312,33 @@ impl Registry {
             capacity,
             store: Mutex::new(None),
             commit_hook: Mutex::new(None),
-            hits: AtomicU64::new(0),
-            misses: AtomicU64::new(0),
-            inserts: AtomicU64::new(0),
-            evictions: AtomicU64::new(0),
-            refreshes: AtomicU64::new(0),
-            spills: AtomicU64::new(0),
-            store_loads: AtomicU64::new(0),
+            obs: Mutex::new(None),
+            hits: Arc::new(Counter::new()),
+            misses: Arc::new(Counter::new()),
+            inserts: Arc::new(Counter::new()),
+            evictions: Arc::new(Counter::new()),
+            refreshes: Arc::new(Counter::new()),
+            spills: Arc::new(Counter::new()),
+            store_loads: Arc::new(Counter::new()),
         }
+    }
+
+    /// Adopt this registry's cache counters into a node's metrics
+    /// registry (under `cache_*` names) and route eviction events to
+    /// its ring. The counters are the same atomics [`Registry::stats`]
+    /// reads — one source of truth for both surfaces.
+    pub fn attach_obs(&self, obs: Arc<Obs>) {
+        obs.register_counter("cache_hits_total", Arc::clone(&self.hits));
+        obs.register_counter("cache_misses_total", Arc::clone(&self.misses));
+        obs.register_counter("cache_inserts_total", Arc::clone(&self.inserts));
+        obs.register_counter("cache_evictions_total", Arc::clone(&self.evictions));
+        obs.register_counter("cache_refreshes_total", Arc::clone(&self.refreshes));
+        obs.register_counter("cache_spills_total", Arc::clone(&self.spills));
+        obs.register_counter("cache_store_loads_total", Arc::clone(&self.store_loads));
+        if let Some(att) = self.store.lock().unwrap().as_ref() {
+            att.store.register_obs(Arc::clone(&obs));
+        }
+        *self.obs.lock().unwrap() = Some(obs);
     }
 
     /// Maximum number of cached clustering outputs.
@@ -506,11 +528,11 @@ impl Registry {
         match inner.cache.get_mut(&key) {
             Some(entry) => {
                 entry.tick = tick;
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.hits.inc();
                 Some(Arc::clone(&entry.output))
             }
             None => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.misses.inc();
                 None
             }
         }
@@ -549,7 +571,7 @@ impl Registry {
                 tick,
             },
         );
-        self.inserts.fetch_add(1, Ordering::Relaxed);
+        self.inserts.inc();
         let mut evicted = Vec::new();
         while inner.cache.len() > self.capacity {
             let lru = inner
@@ -559,7 +581,7 @@ impl Registry {
                 .map(|(k, _)| k.clone())
                 .expect("cache over capacity implies non-empty");
             let entry = inner.cache.remove(&lru).expect("lru key just observed");
-            self.evictions.fetch_add(1, Ordering::Relaxed);
+            self.evictions.inc();
             if let Some(graph) = inner.datasets.get(&lru.0) {
                 evicted.push(Evicted {
                     dataset: lru.0,
@@ -609,6 +631,17 @@ impl Registry {
     /// failures are swallowed — persistence is a cache of the cache;
     /// use [`Registry::spill_to_store`] to surface errors explicitly.
     fn post_cache_change(&self, inserted: &str, evicted: Vec<Evicted>) {
+        if !evicted.is_empty() {
+            let obs = self.obs.lock().unwrap().clone();
+            if let Some(obs) = obs {
+                for ev in &evicted {
+                    obs.events.record(
+                        EventKind::Eviction,
+                        format!("{} seed {}", ev.dataset, ev.cfg.seed),
+                    );
+                }
+            }
+        }
         let policy = {
             let guard = self.store.lock().unwrap();
             guard.as_ref().map(|a| a.spill)
@@ -699,7 +732,7 @@ impl Registry {
                 wal_mark,
             )
             .map_err(RuntimeError::from)?;
-        self.spills.fetch_add(1, Ordering::Relaxed);
+        self.spills.inc();
         Ok(bytes)
     }
 
@@ -754,7 +787,7 @@ impl Registry {
                 let tick = inner.tick;
                 if let Some(entry) = inner.cache.get_mut(&key) {
                     entry.tick = tick;
-                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    self.hits.inc();
                     return Ok(Arc::clone(&entry.output));
                 }
                 if inner.in_flight.contains(&key) {
@@ -762,7 +795,7 @@ impl Registry {
                     continue; // recheck: result cached, or the run failed
                 }
                 inner.in_flight.insert(key.clone());
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.misses.inc();
                 break;
             }
         }
@@ -820,13 +853,13 @@ impl Registry {
             .as_ref()
             .map_or(0, |a| a.store.total_bytes());
         CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            inserts: self.inserts.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
-            refreshes: self.refreshes.load(Ordering::Relaxed),
-            spills: self.spills.load(Ordering::Relaxed),
-            loads: self.store_loads.load(Ordering::Relaxed),
+            hits: self.hits.get(),
+            misses: self.misses.get(),
+            inserts: self.inserts.get(),
+            evictions: self.evictions.get(),
+            refreshes: self.refreshes.get(),
+            spills: self.spills.get(),
+            loads: self.store_loads.get(),
             store_bytes,
         }
     }
@@ -851,6 +884,11 @@ impl Registry {
         compact_bytes: u64,
     ) -> Result<(), RuntimeError> {
         let store = Store::open(dir).map_err(RuntimeError::from)?;
+        // An already-attached node registry flows through to the store's
+        // own metric handles (and vice versa in `attach_obs`).
+        if let Some(obs) = self.obs.lock().unwrap().clone() {
+            store.register_obs(obs);
+        }
         *self.store.lock().unwrap() = Some(StoreAttachment {
             store,
             spill,
@@ -946,7 +984,7 @@ impl Registry {
                 self.insert_locked(&mut inner, name, cfg, Arc::clone(out))
             };
             drop(evicted);
-            self.store_loads.fetch_add(1, Ordering::Relaxed);
+            self.store_loads.inc();
             configs.push(cfg.clone());
         }
         if let Some(graph) = graph_for_fold {
@@ -964,7 +1002,7 @@ impl Registry {
                     wal_mark,
                 );
                 if saved.is_ok() {
-                    self.spills.fetch_add(1, Ordering::Relaxed);
+                    self.spills.inc();
                 }
             }
         }
@@ -1139,7 +1177,7 @@ impl Registry {
                                 &entry.cfg,
                                 Arc::new(w.output),
                             ) {
-                                self.refreshes.fetch_add(1, Ordering::Relaxed);
+                                self.refreshes.inc();
                                 report.refreshed += 1;
                                 report.warm_rounds += w.rounds_run;
                                 report.unconverged += usize::from(!w.converged);

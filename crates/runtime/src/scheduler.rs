@@ -22,6 +22,7 @@ use std::time::{Duration, Instant};
 use lbc_core::driver::ClusterError;
 use lbc_core::{cluster, ClusterOutput, LbConfig};
 use lbc_graph::Graph;
+use lbc_obs::{Counter, Gauge, Histogram, Obs};
 
 use crate::error::RuntimeError;
 use crate::registry::Registry;
@@ -86,6 +87,32 @@ enum JobKind {
 
 type JobTable = Arc<Mutex<BTreeMap<u64, JobRecord>>>;
 
+/// Pool-level metric handles, shared by submitters and every worker.
+/// Constructed standalone so the pool instruments itself from birth;
+/// [`WorkerPool::register_obs`] adopts them into a node's registry.
+#[derive(Clone)]
+struct PoolMetrics {
+    /// Jobs submitted but not yet popped by a worker.
+    queue_depth: Arc<Gauge>,
+    /// Jobs that ran to an outcome (done or failed) without panicking.
+    jobs_completed: Arc<Counter>,
+    /// Contained [`JobState::TaskPanicked`] outcomes.
+    jobs_panicked: Arc<Counter>,
+    /// Wall-clock execution time per job, in nanoseconds.
+    job_service_ns: Arc<Histogram>,
+}
+
+impl PoolMetrics {
+    fn new() -> PoolMetrics {
+        PoolMetrics {
+            queue_depth: Arc::new(Gauge::new()),
+            jobs_completed: Arc::new(Counter::new()),
+            jobs_panicked: Arc::new(Counter::new()),
+            job_service_ns: Arc::new(Histogram::new()),
+        }
+    }
+}
+
 /// Best-effort text from a contained panic payload.
 fn panic_message(p: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = p.downcast_ref::<&str>() {
@@ -125,6 +152,7 @@ pub struct WorkerPool {
     workers: Vec<std::thread::JoinHandle<()>>,
     table: JobTable,
     next_id: AtomicU64,
+    metrics: PoolMetrics,
 }
 
 impl WorkerPool {
@@ -134,10 +162,12 @@ impl WorkerPool {
         let (tx, rx) = mpsc::channel::<Job>();
         let rx = Arc::new(Mutex::new(rx));
         let table: JobTable = Arc::new(Mutex::new(BTreeMap::new()));
+        let metrics = PoolMetrics::new();
         let workers = (0..threads)
             .map(|worker_idx| {
                 let rx = Arc::clone(&rx);
                 let table = Arc::clone(&table);
+                let metrics = metrics.clone();
                 std::thread::Builder::new()
                     .name(format!("lbc-worker-{worker_idx}"))
                     .spawn(move || loop {
@@ -147,6 +177,7 @@ impl WorkerPool {
                             Ok(job) => job,
                             Err(_) => return, // pool dropped, drain done
                         };
+                        metrics.queue_depth.add(-1);
                         {
                             let mut t = table.lock().unwrap();
                             if let Some(rec) = t.get_mut(&job.id) {
@@ -173,6 +204,8 @@ impl WorkerPool {
                                     None => cluster(&graph, &cfg).map(Arc::new),
                                 };
                                 let took = t0.elapsed();
+                                metrics.job_service_ns.record(took.as_nanos() as u64);
+                                metrics.jobs_completed.inc();
                                 {
                                     let mut t = table.lock().unwrap();
                                     if let Some(rec) = t.get_mut(&job.id) {
@@ -194,6 +227,11 @@ impl WorkerPool {
                                 let outcome =
                                     std::panic::catch_unwind(std::panic::AssertUnwindSafe(f));
                                 let took = t0.elapsed();
+                                metrics.job_service_ns.record(took.as_nanos() as u64);
+                                match &outcome {
+                                    Ok(()) => metrics.jobs_completed.inc(),
+                                    Err(_) => metrics.jobs_panicked.inc(),
+                                }
                                 let mut t = table.lock().unwrap();
                                 if let Some(rec) = t.get_mut(&job.id) {
                                     rec.state = match &outcome {
@@ -215,12 +253,32 @@ impl WorkerPool {
             workers,
             table,
             next_id: AtomicU64::new(0),
+            metrics,
         }
     }
 
     /// Number of worker threads.
     pub fn threads(&self) -> usize {
         self.workers.len()
+    }
+
+    /// Adopt the pool's metric handles into a node's metrics registry
+    /// (`worker_*` names). The handles have been live since the pool was
+    /// built, so counts accrued before registration are not lost.
+    pub fn register_obs(&self, obs: &Obs) {
+        obs.register_gauge("worker_queue_depth", Arc::clone(&self.metrics.queue_depth));
+        obs.register_counter(
+            "worker_jobs_completed_total",
+            Arc::clone(&self.metrics.jobs_completed),
+        );
+        obs.register_counter(
+            "worker_jobs_panicked_total",
+            Arc::clone(&self.metrics.jobs_panicked),
+        );
+        obs.register_histogram(
+            "worker_job_service_ns",
+            Arc::clone(&self.metrics.job_service_ns),
+        );
     }
 
     /// Submit a clustering job on an explicit graph.
@@ -292,6 +350,7 @@ impl WorkerPool {
                 result_tx,
             },
         };
+        self.metrics.queue_depth.add(1);
         self.tx
             .as_ref()
             .expect("sender alive until drop")
@@ -324,6 +383,7 @@ impl WorkerPool {
                 duration: None,
             },
         );
+        self.metrics.queue_depth.add(1);
         self.tx
             .as_ref()
             .expect("sender alive until drop")

@@ -45,6 +45,7 @@ use std::time::Duration;
 
 use lbc_core::{warm_start, ClusterOutput, LbConfig};
 use lbc_graph::{Graph, GraphDelta};
+use lbc_obs::{Counter, EventKind, Histogram, Obs};
 
 pub use error::StoreError;
 pub use snapshot::{
@@ -83,6 +84,49 @@ pub struct Store {
     /// a seeded script under the chaos harness (torn writes, failed
     /// fsyncs) so crash-recovery paths run under test.
     io_faults: Option<std::sync::Arc<dyn lbc_faults::IoFaultHook>>,
+    metrics: StoreMetrics,
+}
+
+/// Persistence-plane metric handles, live from [`Store::open`];
+/// [`Store::register_obs`] adopts them into a node's metrics registry
+/// under `store_*` names.
+struct StoreMetrics {
+    /// Committed WAL appends (fault-injected failures don't count).
+    wal_appends: std::sync::Arc<Counter>,
+    /// Encoded bytes those appends added to logs.
+    wal_bytes: std::sync::Arc<Counter>,
+    /// `sync_data`/`sync_all` latency on the append and snapshot paths.
+    fsync_ns: std::sync::Arc<Histogram>,
+    /// Snapshot folds ([`Store::save`] completions).
+    compactions: std::sync::Arc<Counter>,
+    /// Crash-torn WAL tails truncated away before an append.
+    torn_tails_healed: std::sync::Arc<Counter>,
+    /// Ring for `WalTornHealed` events once an `Obs` is attached.
+    obs: std::sync::Mutex<Option<std::sync::Arc<Obs>>>,
+}
+
+impl StoreMetrics {
+    fn new() -> StoreMetrics {
+        StoreMetrics {
+            wal_appends: std::sync::Arc::new(Counter::new()),
+            wal_bytes: std::sync::Arc::new(Counter::new()),
+            fsync_ns: std::sync::Arc::new(Histogram::new()),
+            compactions: std::sync::Arc::new(Counter::new()),
+            torn_tails_healed: std::sync::Arc::new(Counter::new()),
+            obs: std::sync::Mutex::new(None),
+        }
+    }
+}
+
+impl std::fmt::Debug for StoreMetrics {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StoreMetrics")
+            .field("wal_appends", &self.wal_appends.get())
+            .field("wal_bytes", &self.wal_bytes.get())
+            .field("compactions", &self.compactions.get())
+            .field("torn_tails_healed", &self.torn_tails_healed.get())
+            .finish()
+    }
 }
 
 const SNAP_EXT: &str = "snap";
@@ -134,12 +178,41 @@ impl Store {
         Ok(Store {
             dir,
             io_faults: None,
+            metrics: StoreMetrics::new(),
         })
     }
 
     /// Install a WAL-append fault oracle (chaos harness only).
     pub fn set_io_faults(&mut self, hook: std::sync::Arc<dyn lbc_faults::IoFaultHook>) {
         self.io_faults = Some(hook);
+    }
+
+    /// Adopt the store's metric handles into a node's metrics registry
+    /// (`store_*` names) and route `WalTornHealed` events to its ring.
+    /// The handles have been live since [`Store::open`], so nothing
+    /// recorded before attachment is lost.
+    pub fn register_obs(&self, obs: std::sync::Arc<Obs>) {
+        obs.register_counter(
+            "store_wal_appends_total",
+            std::sync::Arc::clone(&self.metrics.wal_appends),
+        );
+        obs.register_counter(
+            "store_wal_bytes_total",
+            std::sync::Arc::clone(&self.metrics.wal_bytes),
+        );
+        obs.register_histogram(
+            "store_fsync_ns",
+            std::sync::Arc::clone(&self.metrics.fsync_ns),
+        );
+        obs.register_counter(
+            "store_compactions_total",
+            std::sync::Arc::clone(&self.metrics.compactions),
+        );
+        obs.register_counter(
+            "store_torn_tails_healed_total",
+            std::sync::Arc::clone(&self.metrics.torn_tails_healed),
+        );
+        *self.metrics.obs.lock().unwrap() = Some(obs);
     }
 
     /// The backing directory.
@@ -315,12 +388,17 @@ impl Store {
             let f = w.into_inner().map_err(|e| StoreError::Io(e.to_string()))?;
             // Durable before the rename publishes it: a power cut must
             // never leave the published name pointing at a hole.
+            let fsync0 = std::time::Instant::now();
             f.sync_all()?;
+            self.metrics
+                .fsync_ns
+                .record(fsync0.elapsed().as_nanos() as u64);
             n
         };
         fs::rename(&tmp, &snap)?;
         self.sync_dir();
         self.drop_covered_wal(name, applied_seq)?;
+        self.metrics.compactions.inc();
         // Re-saving a dataset whose graph changed just unreferenced its
         // previous blob; collect it now rather than only on `remove`
         // (a long-lived server re-saves many times, never removes).
@@ -455,6 +533,14 @@ impl Store {
                     .write(true)
                     .open(&path)?
                     .set_len(scan.complete_len as u64)?;
+                self.metrics.torn_tails_healed.inc();
+                let obs = self.metrics.obs.lock().unwrap().clone();
+                if let Some(obs) = obs {
+                    obs.events.record(
+                        EventKind::WalTornHealed,
+                        format!("{name}: {} bytes truncated", buf.len() - scan.complete_len),
+                    );
+                }
             }
         }
         let seq = self.last_seq(name)?.max(wal_seq) + 1;
@@ -486,15 +572,23 @@ impl Store {
             let _ = f.sync_data();
             return Err(StoreError::Io("injected torn WAL append".to_string()));
         }
+        let encoded = encode_record(&record);
         let mut w = BufWriter::new(f);
-        append_record(&mut w, &record)?;
+        w.write_all(&encoded)?;
+        w.flush()?;
         f = w.into_inner().map_err(|e| StoreError::Io(e.to_string()))?;
         if fault == lbc_faults::IoFault::FailFsync {
             // The bytes went down but durability is unknown — report
             // failure, exactly like a dying disk's fsync would.
             return Err(StoreError::Io("injected WAL fsync failure".to_string()));
         }
+        let fsync0 = std::time::Instant::now();
         f.sync_data()?;
+        self.metrics
+            .fsync_ns
+            .record(fsync0.elapsed().as_nanos() as u64);
+        self.metrics.wal_appends.inc();
+        self.metrics.wal_bytes.add(encoded.len() as u64);
         if !existed {
             self.sync_dir();
         }
