@@ -554,7 +554,7 @@ fn cmd_serve_bench(rest: &[String]) -> Result<String, String> {
 /// e2e tests find a `--listen 127.0.0.1:0` server) *before* parking, so
 /// callers can synchronise on it.
 fn cmd_serve(rest: &[String]) -> Result<String, String> {
-    let a = Args::parse(rest, &[])?;
+    let a = Args::parse(rest, &["ack-quorum"])?;
     let listen = a.require("listen")?;
     let (name, g) = serving_dataset(&a)?;
     let k_hint: usize = a.get_or("k", 4)?;
@@ -569,6 +569,7 @@ fn cmd_serve(rest: &[String]) -> Result<String, String> {
     let follow = a.get("follow");
     let members_spec = a.get("members");
     let store_dir = a.get("store");
+    let ack_quorum = a.has("ack-quorum");
     // Default to the pid, not a constant: two followers launched with
     // bare flags must not collide on the id that is their election
     // identity (the primary rejects duplicates outright).
@@ -596,9 +597,9 @@ fn cmd_serve(rest: &[String]) -> Result<String, String> {
     // persisted membership is loaded. `--store` here holds replication
     // configuration only — dataset spill/boot stays with `serve-bench`.
     let membership_store = match &store_dir {
-        Some(dir) => {
-            Some(lbc_store::Store::open(dir).map_err(|e| format!("cannot open store {dir}: {e}"))?)
-        }
+        Some(dir) => Some(Arc::new(
+            lbc_store::Store::open(dir).map_err(|e| format!("cannot open store {dir}: {e}"))?,
+        )),
         None => None,
     };
     if let Some(spec) = &members_spec {
@@ -623,6 +624,13 @@ fn cmd_serve(rest: &[String]) -> Result<String, String> {
             repl_cfg.members.to_spec()
         ));
     }
+    if ack_quorum && repl_cfg.members.is_empty() {
+        return Err(
+            "--ack-quorum needs a fixed electorate: pass --members (or a --store holding one)"
+                .into(),
+        );
+    }
+    repl_cfg.ack_quorum = ack_quorum;
 
     // Bind the query (and optional replication) listeners up front, so
     // a follower's `Hello` advertises the addresses it really serves
@@ -650,6 +658,34 @@ fn cmd_serve(rest: &[String]) -> Result<String, String> {
             .unwrap_or_default(),
     };
 
+    // The gate exists before any socket does: the persisted term/vote
+    // pair must be reloaded (and the durability hook installed) before
+    // this node can answer a single vote request or stamp a Hello —
+    // otherwise a kill -9 between grant and persist re-opens the
+    // double-vote window this ordering closes.
+    let role = if follow.is_some() {
+        lbc_net::Role::Follower
+    } else {
+        lbc_net::Role::Primary
+    };
+    let gate = Arc::new(lbc_net::ReplGate::with_id(role, follower_id));
+    if let Some(store) = &membership_store {
+        match store.load_vote() {
+            Ok(Some((term, voted_for))) => {
+                gate.seed_term_vote(term, voted_for);
+                println!("replication term {term} restored from store");
+            }
+            Ok(None) => {}
+            Err(e) => return Err(format!("cannot load persisted term/vote: {e}")),
+        }
+        let vote_store = Arc::clone(store);
+        gate.set_vote_persist(Box::new(move |term, voted_for| {
+            if let Err(e) = vote_store.save_vote(term, voted_for) {
+                eprintln!("cannot persist term/vote ({term}, {voted_for}): {e}");
+            }
+        }));
+    }
+
     // A follower syncs BEFORE starting its reactor: the handshake
     // adopts the primary's graph and cached clustering bit-for-bit, so
     // the reactor's initial `handle_via_pool` is a cache hit on
@@ -663,6 +699,7 @@ fn cmd_serve(rest: &[String]) -> Result<String, String> {
             &name,
             identity.clone(),
             lbc_repl::HAVE_NOTHING,
+            gate.term(),
             repl_cfg.clone(),
         )
         .map_err(|e| format!("cannot sync from {follow}: {e}"))?;
@@ -708,12 +745,6 @@ fn cmd_serve(rest: &[String]) -> Result<String, String> {
         max_conns,
         ..Default::default()
     };
-    let role = if follower_conn.is_some() {
-        lbc_net::Role::Follower
-    } else {
-        lbc_net::Role::Primary
-    };
-    let gate = Arc::new(lbc_net::ReplGate::with_id(role, follower_id));
     // A node without a pre-bound replication listener can never serve
     // as primary; advertising that in votes lets a higher-seq but
     // unpromotable node concede instead of deadlocking an election.
@@ -811,11 +842,11 @@ fn cmd_serve(rest: &[String]) -> Result<String, String> {
                 // election config and persist it, so a node booted
                 // without --members re-elects under the quorum rule
                 // and a restart rejoins the same electorate.
-                adopt_membership(&mut repl_cfg, &gate, membership_store.as_ref());
+                adopt_membership(&mut repl_cfg, &gate, membership_store.as_deref());
             };
             // Once more: the adoption may have landed in the final
             // beat before the stream died.
-            adopt_membership(&mut repl_cfg, &gate, membership_store.as_ref());
+            adopt_membership(&mut repl_cfg, &gate, membership_store.as_deref());
             match outcome {
                 lbc_repl::FailoverOutcome::Promoted { applied_seq } => {
                     println!(
@@ -965,6 +996,7 @@ fn cmd_serve(rest: &[String]) -> Result<String, String> {
                         &name,
                         identity.clone(),
                         resume_seq,
+                        gate.term(),
                         repl_cfg.clone(),
                     ) {
                         Ok((conn, report)) => {
@@ -990,10 +1022,11 @@ fn cmd_serve(rest: &[String]) -> Result<String, String> {
             match lbc_repl::run_election(
                 follower_id,
                 registry.applied_seq(&name),
+                Some(&gate),
                 &members,
                 &repl_cfg,
             ) {
-                lbc_repl::ElectionOutcome::Won => {
+                lbc_repl::ElectionOutcome::Won { term } => {
                     // Pull any WAL suffix a live loser holds beyond us
                     // *before* opening the gate for writes, so records
                     // the dead primary fanned elsewhere survive.
@@ -1008,7 +1041,7 @@ fn cmd_serve(rest: &[String]) -> Result<String, String> {
                     gate.set_quorum_status(0, 0, false);
                     gate.set_role(lbc_net::Role::Promoted);
                     println!(
-                        "re-election won: promoted to primary at applied_seq {seq}; accepting writes"
+                        "re-election won: promoted to primary at applied_seq {seq} (term {term}); accepting writes"
                     );
                     repl_server = start_promotion_listener(
                         repl_listener.take(),
@@ -1069,7 +1102,7 @@ fn adopt_membership(
     if !repl_cfg.members.is_empty() {
         return;
     }
-    let adopted = gate.adopted_members();
+    let (adopted_term, adopted) = gate.adopted_members_at();
     if adopted.is_empty() {
         return;
     }
@@ -1082,6 +1115,19 @@ fn adopt_membership(
     use std::io::Write as _;
     std::io::stdout().flush().ok();
     if let Some(store) = store {
+        // This poll loop lags the stream by up to a second; an
+        // election can land in that gap. Persist only a roster whose
+        // source generation is still current — a heartbeat term below
+        // the gate's means the roster came from a now-deposed primary,
+        // and writing it would resurrect the pre-election membership
+        // on the next restart.
+        if adopted_term < gate.term() {
+            println!(
+                "adopted membership from term {adopted_term} is stale (gate at term {}); not persisting",
+                gate.term()
+            );
+            return;
+        }
         if let Err(e) = store.save_membership(&repl_cfg.members.to_spec()) {
             eprintln!("cannot persist adopted membership: {e}");
         }
@@ -1210,8 +1256,8 @@ fn cmd_repl_status(rest: &[String]) -> Result<String, String> {
         lbc_net::Role::Promoted => "promoted",
     };
     let mut out = format!(
-        "{connect}: role {role}, applied_seq {}\n",
-        status.applied_seq
+        "{connect}: role {role}, applied_seq {}\nterm: {}\n",
+        status.applied_seq, status.term
     );
     if !status.members.is_empty() {
         let spec = status

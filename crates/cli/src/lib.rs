@@ -91,6 +91,7 @@ USAGE:
             [--outbox-cap BYTES] [--max-conns N] [--addr-file PATH]
             [--repl-listen ADDR [--repl-addr-file PATH]]
             [--follow ADDR [--follower-id N]]
+            [--members id@addr,... [--ack-quorum]] [--store DIR]
       Cluster the dataset, then serve the framed wire protocol (batched
       same-cluster / cluster-of / cluster-size queries, delta
       submission, cache stats) from ONE epoll reactor thread with
@@ -108,7 +109,13 @@ USAGE:
       re-follow the winner. --follower-id defaults to the pid; the
       primary rejects duplicate ids. A follower may also pass
       --repl-listen: it pre-binds and advertises that port, and starts
-      replicating from it if it ever wins promotion.
+      replicating from it if it ever wins promotion. Elections are
+      term-numbered: every grant is one-candidate-per-term, persisted
+      to --store across kill -9, and every replication frame carries
+      the term so a deposed primary fences on first contact with the
+      successor generation. --ack-quorum (needs --members) holds each
+      delta's response until a majority of the electorate acks the WAL
+      record, so no acked write can be lost to a failover.
 
   lbc net-bench --connect HOST:PORT [--conns 64] [--rate 5000]
                 [--batches 10000] [--batch 32] [--seed S] [--zipf S]
@@ -122,9 +129,9 @@ USAGE:
 
   lbc repl-status --connect HOST:PORT
       Probe a replication port: prints the node's role
-      (primary/follower/promoted), its applied_seq watermark, and per
-      connected follower its acked progress, records behind, and ms
-      since its last ack.
+      (primary/follower/promoted), its applied_seq watermark, its
+      replication term, and per connected follower its acked progress,
+      records behind, and ms since its last ack.
 
   lbc jobs [--graph g.txt | --family ring|planted --k 4 --size 64]
            [--beta B] [--rounds T] [--seed S0] [--jobs 8] [--threads 4]

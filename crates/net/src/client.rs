@@ -22,6 +22,12 @@ pub struct NetClient {
     decoder: FrameDecoder,
     next_id: u64,
     buf: Vec<u8>,
+    /// Highest replication term any `Info` answer on this connection
+    /// has carried. The server's term is monotonic, so a later answer
+    /// reporting a *lower* one means the reply came from a node that
+    /// has not seen the current generation — [`NetClient::info`]
+    /// rejects it rather than hand a deposed view to the caller.
+    seen_term: u64,
 }
 
 impl NetClient {
@@ -47,6 +53,7 @@ impl NetClient {
             decoder: FrameDecoder::new(),
             next_id: 0,
             buf: vec![0u8; 64 * 1024],
+            seen_term: 0,
         }
     }
 
@@ -110,10 +117,23 @@ impl NetClient {
         }
     }
 
-    /// Fetch the served dataset's shape.
+    /// Fetch the served dataset's shape. Term-fenced: an answer from a
+    /// replication term *below* one already seen on this connection is
+    /// a stale view (the node's term is monotonic; only a deposed or
+    /// lagging generation reports lower) and is refused as a
+    /// [`NetError::StaleTerm`].
     pub fn info(&mut self) -> Result<ServerInfo, NetError> {
         match self.call(&Request::Info)? {
-            Response::Info(i) => Ok(i),
+            Response::Info(i) => {
+                if i.term < self.seen_term {
+                    return Err(NetError::StaleTerm {
+                        got: i.term,
+                        seen: self.seen_term,
+                    });
+                }
+                self.seen_term = i.term;
+                Ok(i)
+            }
             other => Err(NetError::UnexpectedResponse {
                 opcode: other.opcode(),
             }),
@@ -138,10 +158,12 @@ impl NetClient {
         &mut self,
         candidate_id: u64,
         candidate_seq: u64,
+        term: u64,
     ) -> Result<VoteResp, NetError> {
         match self.call(&Request::ReplVote {
             candidate_id,
             candidate_seq,
+            term,
         })? {
             Response::Vote(v) => Ok(v),
             other => Err(NetError::UnexpectedResponse {

@@ -82,6 +82,11 @@ pub enum ErrorCode {
     /// The server is a read-only replication follower; submit deltas
     /// to the primary (or wait for this node to be promoted).
     ReadOnly = 6,
+    /// `--ack-quorum` mode: the delta applied locally but a majority
+    /// of the electorate did not acknowledge the WAL record within
+    /// the heartbeat timeout. The write may still survive a failover
+    /// (it is on disk here); the client must treat it as unconfirmed.
+    AckTimeout = 7,
 }
 
 impl ErrorCode {
@@ -94,6 +99,7 @@ impl ErrorCode {
             4 => Some(ErrorCode::ShuttingDown),
             5 => Some(ErrorCode::Busy),
             6 => Some(ErrorCode::ReadOnly),
+            7 => Some(ErrorCode::AckTimeout),
             _ => None,
         }
     }
@@ -113,6 +119,10 @@ pub enum NetError {
     Server { code: u16, message: String },
     /// The server answered with a frame we did not ask for.
     UnexpectedResponse { opcode: u8 },
+    /// The answer carried a replication term below one this connection
+    /// already observed — a deposed or lagging node's view, refused so
+    /// a fenced generation can never satisfy a read.
+    StaleTerm { got: u64, seen: u64 },
     /// Local configuration problem (bad rate, zero connections, …).
     InvalidConfig(String),
 }
@@ -128,6 +138,9 @@ impl fmt::Display for NetError {
             }
             NetError::UnexpectedResponse { opcode } => {
                 write!(f, "unexpected response opcode {opcode:#04x}")
+            }
+            NetError::StaleTerm { got, seen } => {
+                write!(f, "stale replication term {got} (connection saw {seen})")
             }
             NetError::InvalidConfig(msg) => write!(f, "invalid config: {msg}"),
         }

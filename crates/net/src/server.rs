@@ -121,6 +121,15 @@ impl ServeContext {
     }
 }
 
+/// Durability hook for a granted `(term, voted_for)` pair — see
+/// [`ReplGate::set_vote_persist`].
+pub type VotePersistFn = Box<dyn Fn(u64, u64) + Send + Sync>;
+
+/// `--ack-quorum` write-path hook: blocks until the WAL record carrying
+/// the given seq is acked by a majority, returning false on timeout —
+/// see [`ReplGate::set_ack_waiter`].
+pub type AckWaiterFn = Arc<dyn Fn(u64) -> bool + Send + Sync>;
+
 /// Replication role shared between the reactor and the replication
 /// subsystem. A follower's repl thread flips this to [`Role::Promoted`]
 /// on failover; the reactor reads it per request, so the very next
@@ -132,7 +141,6 @@ impl ServeContext {
 /// an election once its own primary has been silent past the liveness
 /// window, so a candidate that merely lost *its* link cannot steal
 /// promotion from a cluster whose primary is alive.
-#[derive(Debug)]
 pub struct ReplGate {
     role: AtomicU8,
     node_id: u64,
@@ -156,24 +164,76 @@ pub struct ReplGate {
     /// no roster naming us — a healed minority node, a stepped-down
     /// primary — can still discover where to re-follow.
     repl_addr: Mutex<String>,
-    /// Vote memory: the candidate granted the most recent
-    /// confirmation vote, and when. A voter grants at most **one
-    /// candidate per liveness window** (re-grants to the same
-    /// candidate refresh it) — without this, two concurrent candidates
+    /// The highest replication term this node has observed. The term
+    /// is the generation number of the replication plane: every
+    /// election proposes one, every Heartbeat/WalRec/Hello/vote frame
+    /// carries one, and a frame from a lower term is refused. A
+    /// primary that sees a higher term anywhere steps down *before*
+    /// the term is recorded, so there is never an instant where this
+    /// node is writable under a term it has already seen superseded.
+    term: AtomicU64,
+    /// Vote memory, keyed by term: the most recent grant. A voter
+    /// grants at most **one candidate per term** (re-grants to the
+    /// same candidate are idempotent) — without this, two candidates
     /// partitioned from each other could each collect this node's vote
-    /// and both assemble a quorum majority. Cleared whenever the
-    /// primary link delivers a frame: a live primary voids whatever
-    /// election the vote belonged to.
-    last_vote: Mutex<Option<(u64, Instant)>>,
+    /// and both assemble a quorum majority. Unlike the time-windowed
+    /// memory it replaced, this hold is structural: it never decays
+    /// with the clock, and it is persisted through
+    /// [`ReplGate::set_vote_persist`] so a voter that crashes and
+    /// restarts cannot re-vote in the same term. The one exception to
+    /// "one candidate forever" is an *unsealed self-grant* — see
+    /// [`VoteMemory::sealed`].
+    voted: Mutex<Option<VoteMemory>>,
+    /// Durability hook for `(term, voted_for)` — `u64::MAX` as the
+    /// candidate means "term observed, no vote cast". Wired by the
+    /// serve loop to `lbc-store` (this crate cannot depend on it);
+    /// called under the `voted` lock so persisted state can never
+    /// reorder against grants.
+    vote_persist: Mutex<Option<VotePersistFn>>,
+    /// `--ack-quorum` write-path hook: blocks until a majority of the
+    /// electorate has acked the WAL record carrying `seq`, returning
+    /// false on timeout. Installed by the primary's replication server
+    /// while it holds the write role; absent (always "true") on plain
+    /// nodes. Called from pool worker threads, never the reactor.
+    ack_waiter: Mutex<Option<AckWaiterFn>>,
     /// Membership adopted from a primary's heartbeat when this node
     /// was started without one — surfaced so the serve loop can adopt
     /// it into its election config and persist it.
-    adopted_members: Mutex<Vec<crate::wire::Member>>,
+    adopted_members: Mutex<(u64, Vec<crate::wire::Member>)>,
     /// Where role/quorum/membership transitions are recorded as
     /// metrics and ring events. Attached by the reactor (and by the
     /// serve loop for gates built before the context); transitions
     /// before attachment are simply unrecorded.
     obs: Mutex<Option<Arc<Obs>>>,
+}
+
+/// One recorded vote grant.
+#[derive(Debug, Clone, Copy)]
+struct VoteMemory {
+    term: u64,
+    granted_to: u64,
+    /// Only meaningful for self-grants (`granted_to == node_id`). A
+    /// candidate records its own vote *before* asking anyone, so that
+    /// grant is provisional: a rival that beats this node under the
+    /// election order may supersede it and take the term — otherwise
+    /// two mutual candidates would each self-grant the same term and
+    /// wedge it forever, neither able to collect the other's vote. A
+    /// won election **seals** the self-grant
+    /// ([`ReplGate::seal_self_vote`]); sealing and supersession
+    /// exclude each other under the `voted` lock, so at most one
+    /// candidate ever commits a win at a given term.
+    sealed: bool,
+}
+
+impl std::fmt::Debug for ReplGate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ReplGate")
+            .field("role", &self.role())
+            .field("node_id", &self.node_id)
+            .field("term", &self.term.load(Ordering::Acquire))
+            .field("voted", &*self.voted.lock().unwrap())
+            .finish_non_exhaustive()
+    }
 }
 
 impl ReplGate {
@@ -207,8 +267,11 @@ impl ReplGate {
             no_quorum: AtomicU8::new(0),
             member_count: AtomicU64::new(0),
             repl_addr: Mutex::new(String::new()),
-            last_vote: Mutex::new(None),
-            adopted_members: Mutex::new(Vec::new()),
+            term: AtomicU64::new(0),
+            voted: Mutex::new(None),
+            vote_persist: Mutex::new(None),
+            ack_waiter: Mutex::new(None),
+            adopted_members: Mutex::new((0, Vec::new())),
             obs: Mutex::new(None),
         }
     }
@@ -216,6 +279,12 @@ impl ReplGate {
     /// Attach the node's observability registry so gate transitions
     /// land in its counters and event ring.
     pub fn attach_obs(&self, obs: Arc<Obs>) {
+        // Pre-register the replication-plane series so an exposition
+        // scrape sees them (at their resting values) before the first
+        // election or quorum-acked write.
+        obs.gauge("repl_term")
+            .set(self.term.load(Ordering::Acquire) as i64);
+        obs.counter("acks_awaited");
         *self.obs.lock().unwrap() = Some(obs);
     }
 
@@ -272,12 +341,13 @@ impl ReplGate {
     }
 
     /// Record that the primary link just delivered a message. Called by
-    /// the follower's stream loop for every frame received. Also
-    /// clears the vote memory: a frame from a live primary voids the
-    /// election any earlier grant belonged to.
+    /// the follower's stream loop for every frame received. Vote
+    /// memory is deliberately *not* cleared here: grants are keyed by
+    /// term, and a live primary's frames carry the current term — a
+    /// vote for a higher term must survive primary contact, and a vote
+    /// for the current term is voided only by a still-higher proposal.
     pub fn note_primary_contact(&self) {
         *self.last_primary_contact.lock().unwrap() = Some(Instant::now());
-        *self.last_vote.lock().unwrap() = None;
     }
 
     /// Record that the primary link is known dead (EOF/reset), so vote
@@ -317,54 +387,238 @@ impl ReplGate {
         self.promotable.load(Ordering::Acquire) != 0
     }
 
-    /// Atomically record a confirmation-vote grant to `candidate_id`,
-    /// refusing if a *different* candidate was granted within the last
-    /// liveness window. Single-vote-per-window semantics: of two
-    /// candidates racing for this node's vote, at most one can count
-    /// it toward a majority — the overlap that would otherwise let two
-    /// partitioned candidates both assemble a quorum through shared
-    /// voters. Re-asking candidates refresh their hold (each election
-    /// round re-votes), and any primary frame clears it. Call only
-    /// after every other grant condition has passed: a refused
-    /// *eligibility* check must not burn the window on a candidate
-    /// that was never going to be granted.
-    pub fn try_grant_vote(&self, candidate_id: u64) -> bool {
-        let window = *self.liveness_window.lock().unwrap();
-        let mut vote = self.last_vote.lock().unwrap();
-        if let Some((granted_to, at)) = *vote {
-            if granted_to != candidate_id && at.elapsed() < window {
-                return false;
-            }
+    /// The highest replication term this node has observed.
+    pub fn term(&self) -> u64 {
+        self.term.load(Ordering::Acquire)
+    }
+
+    /// Fold a term seen on any frame into this node's view. When it is
+    /// higher than the current term, the node is *fenced*: a Primary or
+    /// Promoted gate steps down to Follower **before** the new term is
+    /// recorded, so no sampler can ever catch this node writable under
+    /// a term it already knows is superseded. Returns `true` when the
+    /// term advanced. Lower or equal terms are a cheap no-op.
+    pub fn observe_term(&self, term: u64) -> bool {
+        // Lock-free fast path for the per-frame call sites.
+        if term <= self.term.load(Ordering::Acquire) {
+            return false;
         }
-        *vote = Some((candidate_id, Instant::now()));
+        // The voted lock doubles as the term-transition lock: persist
+        // and gauge updates must not interleave across two racing
+        // observers.
+        let mut voted = self.voted.lock().unwrap();
+        let cur = self.term.load(Ordering::Acquire);
+        if term <= cur {
+            return false;
+        }
+        if self.role() != Role::Follower {
+            self.set_role(Role::Follower);
+            self.with_obs(|obs| {
+                obs.events.record(
+                    EventKind::RoleChange,
+                    format!("fenced: term {cur} superseded by {term}"),
+                );
+            });
+        }
+        self.term.store(term, Ordering::Release);
+        self.with_obs(|obs| obs.gauge("repl_term").set(term as i64));
+        // Record the raise durably even without a vote: a voter that
+        // restarts must not fall back to an older term and re-vote in
+        // one it already moved past.
+        let voted_for = match *voted {
+            Some(v) if v.term == term => v.granted_to,
+            _ => u64::MAX,
+        };
+        if let Some(persist) = self.vote_persist.lock().unwrap().as_ref() {
+            persist(term, voted_for);
+        }
+        // Stale self-vote entries are unreachable (grants require
+        // term >= current), but clearing keeps the invariant obvious.
+        if matches!(*voted, Some(v) if v.term < term) {
+            *voted = None;
+        }
         true
     }
 
+    /// Atomically record a confirmation-vote grant to `candidate_id`
+    /// for `term`. Single-vote-per-**term** semantics: a term below
+    /// ours is refused outright, a grant pins `(term, candidate)` and
+    /// refuses every other candidate at that term forever (re-grants
+    /// to the same candidate are idempotent — each election round
+    /// re-asks). Of two candidates racing at the same term, at most
+    /// one can count this node's vote toward a majority; a candidate
+    /// refused here must re-propose at a *higher* term, where it
+    /// competes fresh. The grant is persisted before it is confirmed,
+    /// so a voter that crashes and restarts cannot double-vote. Call
+    /// only after every other grant condition has passed: a refused
+    /// *eligibility* check must not burn the term on a candidate that
+    /// was never going to be granted — and because the one exception
+    /// below leans on it: an **unsealed self-grant** yields to any
+    /// candidate that reached this call, since the caller has already
+    /// established the candidate beats this node under the election
+    /// order. Without that supersession two mutual candidates would
+    /// each self-grant the same term and wedge it forever. A sealed
+    /// self-grant ([`ReplGate::seal_self_vote`]) is a *won* term and
+    /// immovable.
+    pub fn try_grant_vote(&self, term: u64, candidate_id: u64) -> bool {
+        if term < self.term.load(Ordering::Acquire) {
+            return false;
+        }
+        // Adopt the candidate's term first (fences us if we were
+        // writable under an older one).
+        self.observe_term(term);
+        let mut voted = self.voted.lock().unwrap();
+        if term < self.term.load(Ordering::Acquire) {
+            return false; // a higher term raced in
+        }
+        match voted.as_mut() {
+            Some(v) if v.term == term => {
+                if v.granted_to == candidate_id {
+                    return true;
+                }
+                let provisional_self =
+                    v.granted_to == self.node_id && candidate_id != self.node_id && !v.sealed;
+                if !provisional_self {
+                    return false;
+                }
+                v.granted_to = candidate_id;
+            }
+            _ => {
+                *voted = Some(VoteMemory {
+                    term,
+                    granted_to: candidate_id,
+                    sealed: false,
+                });
+            }
+        }
+        if let Some(persist) = self.vote_persist.lock().unwrap().as_ref() {
+            persist(term, candidate_id);
+        }
+        true
+    }
+
+    /// Commit a won election: atomically verify this gate still holds
+    /// the winner's **own** grant at `term` (`self_id` is the id the
+    /// election self-voted under, which may differ from the gate's
+    /// `node_id` on bare gates) and seal it against supersession.
+    /// Returns `false` when a rival superseded the provisional
+    /// self-vote mid-round — the caller's win is void (the rival may
+    /// have counted this very grant toward its majority) and it must
+    /// re-propose at a higher term. Sealing is what makes
+    /// one-writer-per-term structural in the presence of supersession:
+    /// steal-then-seal and seal-then-steal both leave exactly one
+    /// candidate able to commit.
+    pub fn seal_self_vote(&self, term: u64, self_id: u64) -> bool {
+        let mut voted = self.voted.lock().unwrap();
+        match voted.as_mut() {
+            Some(v) if v.term == term && v.granted_to == self_id => {
+                v.sealed = true;
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// Install the durability hook for `(term, voted_for)` pairs —
+    /// `u64::MAX` as `voted_for` means "term observed, no vote". The
+    /// serve loop points this at `Store::save_vote`.
+    pub fn set_vote_persist(&self, persist: VotePersistFn) {
+        *self.vote_persist.lock().unwrap() = Some(persist);
+    }
+
+    /// Reload persisted term/vote state at boot, before any listener
+    /// is live. `voted_for == u64::MAX` seeds the term alone.
+    pub fn seed_term_vote(&self, term: u64, voted_for: u64) {
+        let mut voted = self.voted.lock().unwrap();
+        self.term.fetch_max(term, Ordering::AcqRel);
+        if voted_for != u64::MAX {
+            // A reloaded self-vote is conservatively sealed: whether
+            // the pre-crash process committed a win on it is unknown,
+            // and a superseded won term would hand two writers the
+            // same generation. Rivals simply propose the next term.
+            *voted = Some(VoteMemory {
+                term,
+                granted_to: voted_for,
+                sealed: voted_for == self.node_id,
+            });
+        }
+    }
+
+    /// Install the `--ack-quorum` write-path waiter (primary side).
+    pub fn set_ack_waiter(&self, waiter: AckWaiterFn) {
+        *self.ack_waiter.lock().unwrap() = Some(waiter);
+    }
+
+    /// Remove the ack waiter (primary stepping down or shutting down);
+    /// writes stop blocking on the electorate immediately.
+    pub fn clear_ack_waiter(&self) {
+        *self.ack_waiter.lock().unwrap() = None;
+    }
+
+    /// Block until a majority of the electorate acked the WAL record
+    /// carrying `seq` (true), or the wait timed out / was aborted
+    /// (false). Trivially true when no waiter is installed — plain
+    /// nodes and async-replication primaries never block. Runs on pool
+    /// worker threads; the waiter is cloned out so the gate lock is
+    /// not held across the wait.
+    pub fn await_acks(&self, seq: u64) -> bool {
+        let waiter = self.ack_waiter.lock().unwrap().clone();
+        match waiter {
+            Some(w) => {
+                self.with_obs(|obs| obs.counter("acks_awaited").inc());
+                let start = Instant::now();
+                let ok = w(seq);
+                self.with_obs(|obs| {
+                    obs.histogram("repl_ack_wait_ns")
+                        .record(start.elapsed().as_nanos() as u64);
+                    if !ok {
+                        obs.counter("repl_ack_timeouts_total").inc();
+                    }
+                });
+                ok
+            }
+            None => true,
+        }
+    }
+
     /// Publish a membership list adopted from the primary's heartbeat
-    /// (a follower started without `--members`). The serve loop reads
-    /// it back via [`ReplGate::adopted_members`] to run re-elections
-    /// under the quorum rule and persist the list for restarts.
-    pub fn set_adopted_members(&self, members: &[crate::wire::Member]) {
+    /// (a follower started without `--members`), stamped with the
+    /// `term` of the heartbeat that carried it. The serve loop reads
+    /// it back via [`ReplGate::adopted_members_at`] to run
+    /// re-elections under the quorum rule and persist the list for
+    /// restarts — and uses the stamp to refuse persisting a roster
+    /// whose source generation has since been deposed.
+    pub fn set_adopted_members(&self, members: &[crate::wire::Member], term: u64) {
         let mut cur = self.adopted_members.lock().unwrap();
-        if *cur == members {
+        if cur.1 == members {
+            // Same roster from a newer generation: refresh the stamp
+            // so the serve loop keeps treating it as current.
+            cur.0 = cur.0.max(term);
             return;
         }
         if !members.is_empty() {
             self.with_obs(|obs| {
                 obs.events.record(
                     EventKind::MembershipAdopted,
-                    format!("{} members", members.len()),
+                    format!("{} members at term {term}", members.len()),
                 );
             });
         }
-        *cur = members.to_vec();
+        *cur = (term, members.to_vec());
     }
 
     /// The membership adopted from heartbeats, if any (empty when none
     /// was adopted — locally configured memberships are never
-    /// published here).
-    pub fn adopted_members(&self) -> Vec<crate::wire::Member> {
+    /// published here), plus the term of the heartbeat that carried
+    /// it. A stamp below the gate's current term means the roster came
+    /// from a deposed generation and must not be persisted.
+    pub fn adopted_members_at(&self) -> (u64, Vec<crate::wire::Member>) {
         self.adopted_members.lock().unwrap().clone()
+    }
+
+    /// The adopted membership without its term stamp.
+    pub fn adopted_members(&self) -> Vec<crate::wire::Member> {
+        self.adopted_members.lock().unwrap().1.clone()
     }
 
     /// Record the outcome of the most recent quorum-mode election
@@ -546,7 +800,12 @@ impl ReactorObs {
 struct DeltaDone {
     token: u64,
     request_id: u64,
-    result: Result<(DeltaSummary, ClusterHandle), String>,
+    result: Result<(DeltaSummary, ClusterHandle), (u16, String)>,
+    /// Clustering to swap in even when the response is an error. Set
+    /// when the delta applied locally but the `--ack-quorum` wait
+    /// timed out: the write exists on this node — only its
+    /// confirmation failed — so reads must still see it.
+    swap_anyway: Option<ClusterHandle>,
 }
 
 /// Work delivered to the reactor through the completion queue: its own
@@ -1030,6 +1289,7 @@ impl Reactor {
                     votes_needed: votes_needed.min(u16::MAX as u32) as u16,
                     member_count: member_count.min(u16::MAX as usize) as u16,
                     repl_addr: self.repl.repl_addr(),
+                    term: self.repl.term(),
                 })
             }
             Request::Ping => Response::Pong,
@@ -1042,41 +1302,55 @@ impl Reactor {
             Request::ReplVote {
                 candidate_id,
                 candidate_seq,
+                term,
             } => {
                 let voter_id = self.repl.node_id();
                 let voter_seq = self.ctx.registry.applied_seq(&self.ctx.dataset);
+                // A vote request proposing a term above ours fences
+                // this node even when the vote is denied: if we are a
+                // deposed primary the candidate just reached, we step
+                // down here, the instant the higher term arrives —
+                // not at lease expiry. (A *lower*-term request leaves
+                // our state untouched; the response's term tells the
+                // candidate to re-propose higher.)
+                // Followers fold the proposal into their view only via
+                // try_grant_vote below — observing it here would
+                // persist terms for candidates that fail eligibility.
                 let voter_role = self.repl.role();
+                if voter_role != Role::Follower {
+                    self.repl.observe_term(term);
+                }
                 // Grant iff: we are still a follower (a primary or an
-                // already-promoted node never concedes), our own
-                // primary link has been silent past the liveness
+                // already-promoted node never concedes — though the
+                // proposal's term may have just deposed us above), our
+                // own primary link has been silent past the liveness
                 // window (else the primary is alive and nobody should
                 // promote), the candidate beats us under the same
                 // deterministic (seq desc, id asc) order we would
                 // elect by — so of two mutual candidates exactly one
-                // can ever collect the other's vote — and we have not
-                // granted a *different* candidate within the liveness
-                // window ([`ReplGate::try_grant_vote`]): candidates
-                // partitioned from each other reach shared voters, and
-                // a voter that granted both would let both assemble a
-                // majority.
+                // can ever collect the other's vote — and no *other*
+                // candidate holds our vote for this term
+                // ([`ReplGate::try_grant_vote`]): one grant per term,
+                // persisted, structural.
                 // A voter that cannot itself promote (no --repl-listen)
                 // concedes the order check to any eligible candidate:
                 // its seq may be ahead — promotion-time reconciliation
                 // pulls that suffix — but its vote must never veto the
-                // election. The single-vote window still applies, so
-                // an unpromotable voter is not a free double-vote.
+                // election. The per-term vote still applies, so an
+                // unpromotable voter is not a free double-vote.
                 let candidate_beats_us = candidate_seq > voter_seq
                     || (candidate_seq == voter_seq && candidate_id <= voter_id)
                     || !self.repl.promotable();
                 let granted = voter_role == Role::Follower
                     && !self.repl.primary_recently_alive()
                     && candidate_beats_us
-                    && self.repl.try_grant_vote(candidate_id);
+                    && self.repl.try_grant_vote(term, candidate_id);
                 Response::Vote(crate::wire::VoteResp {
                     granted,
                     voter_id,
                     voter_seq,
                     voter_role,
+                    term: self.repl.term(),
                 })
             }
             Request::Stats { max_events } => {
@@ -1108,6 +1382,7 @@ impl Reactor {
         let cfg = self.ctx.cfg.clone();
         let completions = Arc::clone(&self.completions);
         let waker = self.waker.clone();
+        let repl = Arc::clone(&self.repl);
         self.ctx.pool.submit_task("net-delta", move || {
             // The completion push + wake MUST happen even if the delta
             // machinery panics: the reactor's `delta_inflight` flag is
@@ -1145,9 +1420,32 @@ impl Reactor {
                         ))
                     })
             }));
+            let mut swap_anyway = None;
             let result = match outcome {
-                Ok(r) => r,
-                Err(_) => Err("delta application panicked".to_string()),
+                Ok(Ok((summary, handle))) => {
+                    // `--ack-quorum`: hold the client's confirmation
+                    // until a majority of the electorate acked the WAL
+                    // record (trivially true without a waiter). This
+                    // blocks a pool worker, never the reactor.
+                    let seq = registry.applied_seq(&dataset);
+                    if repl.await_acks(seq) {
+                        Ok((summary, handle))
+                    } else {
+                        swap_anyway = Some(handle);
+                        Err((
+                            ErrorCode::AckTimeout as u16,
+                            format!(
+                                "delta applied locally at seq {seq} but a majority of the \
+                                 electorate did not ack in time; treat it as unconfirmed"
+                            ),
+                        ))
+                    }
+                }
+                Ok(Err(msg)) => Err((ErrorCode::DeltaFailed as u16, msg)),
+                Err(_) => Err((
+                    ErrorCode::DeltaFailed as u16,
+                    "delta application panicked".to_string(),
+                )),
             };
             completions
                 .lock()
@@ -1156,6 +1454,7 @@ impl Reactor {
                     token,
                     request_id,
                     result,
+                    swap_anyway,
                 }));
             waker.wake();
         });
@@ -1178,16 +1477,20 @@ impl Reactor {
                 Completion::Delta(done) => done,
             };
             self.delta_inflight = false;
+            if let Some(handle) = done.swap_anyway {
+                // Ack-quorum timeout: the write applied here, so reads
+                // must serve it even though the submitter gets an
+                // error.
+                self.handle = handle;
+                self.stats.deltas_applied.inc();
+            }
             let resp = match done.result {
                 Ok((summary, new_handle)) => {
                     self.handle = new_handle;
                     self.stats.deltas_applied.inc();
                     Response::DeltaDone(summary)
                 }
-                Err(msg) => Response::Error {
-                    code: ErrorCode::DeltaFailed as u16,
-                    message: msg,
-                },
+                Err((code, message)) => Response::Error { code, message },
             };
             // The submitter may have disconnected meanwhile; fine.
             if self.conns.contains_key(&done.token) {
@@ -1506,21 +1809,90 @@ mod tests {
     }
 
     #[test]
-    fn gate_vote_memory_is_one_candidate_per_window() {
-        let gate = ReplGate::with_id(Role::Primary, 3);
-        // The first candidate takes the window; a different concurrent
-        // candidate is refused; the first refreshes its hold by
-        // re-asking (every election round re-votes).
-        assert!(gate.try_grant_vote(5));
-        assert!(!gate.try_grant_vote(7));
-        assert!(gate.try_grant_vote(5));
-        // A frame from a live primary voids the held vote.
+    fn gate_vote_memory_is_one_candidate_per_term() {
+        let gate = ReplGate::with_id(Role::Follower, 3);
+        // The first candidate takes term 1; a different candidate at
+        // the same term is refused; the first re-asks idempotently
+        // (every election round re-votes).
+        assert!(gate.try_grant_vote(1, 5));
+        assert!(!gate.try_grant_vote(1, 7));
+        assert!(gate.try_grant_vote(1, 5));
+        // Unlike the window-based memory this replaced, the hold is
+        // structural: neither primary contact nor the clock voids it.
         gate.note_primary_contact();
-        assert!(gate.try_grant_vote(7));
-        // The hold expires after the liveness window.
-        gate.set_liveness_window(Duration::from_millis(10));
         std::thread::sleep(Duration::from_millis(20));
-        assert!(gate.try_grant_vote(9));
+        assert!(!gate.try_grant_vote(1, 7));
+        // A refused candidate re-proposes at a higher term and
+        // competes fresh; a lower term is dead on arrival.
+        assert!(gate.try_grant_vote(2, 7));
+        assert_eq!(gate.term(), 2);
+        assert!(!gate.try_grant_vote(1, 5));
+    }
+
+    #[test]
+    fn provisional_self_vote_yields_once_and_seals_forever() {
+        // A candidate's own grant is provisional: a rival (the caller
+        // has already checked it beats us) takes the term; after that
+        // the grant is a normal one and a third candidate is refused.
+        let gate = ReplGate::with_id(Role::Follower, 3);
+        assert!(gate.try_grant_vote(5, 3));
+        assert!(gate.try_grant_vote(5, 1));
+        assert!(!gate.try_grant_vote(5, 2));
+        assert!(gate.try_grant_vote(5, 1));
+        // The superseded owner cannot commit the win it lost.
+        assert!(!gate.seal_self_vote(5, 3));
+
+        // A sealed self-vote is a won term: immovable.
+        let winner = ReplGate::with_id(Role::Follower, 3);
+        assert!(winner.try_grant_vote(5, 3));
+        assert!(winner.seal_self_vote(5, 3));
+        assert!(!winner.try_grant_vote(5, 1));
+        assert!(winner.try_grant_vote(5, 3));
+
+        // A reloaded self-vote is conservatively sealed too — the
+        // crash may have eaten the commit.
+        let reborn = ReplGate::with_id(Role::Follower, 3);
+        reborn.seed_term_vote(5, 3);
+        assert!(!reborn.try_grant_vote(5, 1));
+        // A reloaded *remote* grant was never a self-vote: still just
+        // one candidate per term, no seal involved.
+        let voter = ReplGate::with_id(Role::Follower, 3);
+        voter.seed_term_vote(5, 9);
+        assert!(!voter.try_grant_vote(5, 1));
+        assert!(!voter.seal_self_vote(5, 3));
+    }
+
+    #[test]
+    fn observing_a_higher_term_fences_a_writable_gate() {
+        let gate = ReplGate::with_id(Role::Primary, 1);
+        assert!(gate.writable());
+        // Terms at or below ours leave the role alone.
+        assert!(!gate.observe_term(0));
+        assert_eq!(gate.role(), Role::Primary);
+        // A higher term deposes instantly — no lease, no window.
+        assert!(gate.observe_term(3));
+        assert_eq!(gate.role(), Role::Follower);
+        assert!(!gate.writable());
+        assert_eq!(gate.term(), 3);
+        // Re-observing the same term is a no-op.
+        assert!(!gate.observe_term(3));
+    }
+
+    #[test]
+    fn seeded_vote_memory_survives_a_simulated_restart() {
+        // Boot-time reload of a persisted (term, voted_for) pair: the
+        // reborn voter must refuse every other candidate at that term.
+        let gate = ReplGate::with_id(Role::Follower, 3);
+        gate.seed_term_vote(4, 9);
+        assert_eq!(gate.term(), 4);
+        assert!(!gate.try_grant_vote(4, 5));
+        assert!(gate.try_grant_vote(4, 9));
+        // A seeded term with no vote (u64::MAX) still fences lower
+        // terms but leaves term 5 open.
+        let bare = ReplGate::with_id(Role::Follower, 3);
+        bare.seed_term_vote(4, u64::MAX);
+        assert!(!bare.try_grant_vote(3, 5));
+        assert!(bare.try_grant_vote(4, 5));
     }
 
     #[test]
@@ -1537,7 +1909,7 @@ mod tests {
     }
 
     #[test]
-    fn vote_handler_grants_one_candidate_per_window() {
+    fn vote_handler_grants_one_candidate_per_term() {
         let registry = Arc::new(Registry::with_capacity(4));
         let (g, _) = generators::ring_of_cliques(3, 8, 0).unwrap();
         registry.insert_graph("ring", g);
@@ -1558,10 +1930,15 @@ mod tests {
         let mut b = NetClient::connect(server.addr()).unwrap();
         // Both candidates beat the voter (seq 5 > 0), but the voter
         // must never count toward two concurrent majorities: the
-        // second ask is refused while the first holds the window.
-        assert!(a.repl_vote(1, 5).unwrap().granted);
-        assert!(!b.repl_vote(2, 5).unwrap().granted);
-        assert!(a.repl_vote(1, 5).unwrap().granted);
+        // second ask is refused while the first holds the term.
+        assert!(a.repl_vote(1, 5, 1).unwrap().granted);
+        assert!(!b.repl_vote(2, 5, 1).unwrap().granted);
+        assert!(a.repl_vote(1, 5, 1).unwrap().granted);
+        // The refusal tells the loser the voter's term; re-proposing
+        // one higher competes fresh.
+        let v = b.repl_vote(2, 5, 2).unwrap();
+        assert!(v.granted);
+        assert_eq!(v.term, 2);
         server.shutdown();
     }
 

@@ -420,6 +420,14 @@ pub enum Request {
     ReplVote {
         candidate_id: u64,
         candidate_seq: u64,
+        /// The term the candidate proposes to lead. Voters grant at
+        /// most one candidate per term, remember the grant by term
+        /// (persisted when a store is attached), and refuse proposals
+        /// below their own current term. Receiving a proposal above a
+        /// node's current term also *fences* it: a still-serving
+        /// primary steps down the instant the successor election
+        /// reaches it.
+        term: u64,
     },
     /// Promotion-time reconciliation: ask this node for every WAL
     /// record with sequence number strictly greater than `after_seq`.
@@ -502,6 +510,12 @@ pub struct ServerInfo {
     /// naming the winner. Empty when the node cannot be promoted. In
     /// the tail; older servers decode as empty.
     pub repl_addr: String,
+    /// The node's current replication term (generation number) — the
+    /// fence clients and election polls compare against: any frame
+    /// claiming a lower term than a term the observer has already seen
+    /// is from a deposed lineage. In the tail; pre-term servers decode
+    /// as 0.
+    pub term: u64,
 }
 
 /// One node's answer to a promotion-confirmation poll
@@ -514,6 +528,11 @@ pub struct VoteResp {
     /// The voter's own applied sequence at answer time.
     pub voter_seq: u64,
     pub voter_role: Role,
+    /// The voter's current term after processing the request. A term
+    /// above the candidate's proposal means the proposal is stale —
+    /// some election already moved past it — and the candidate must
+    /// re-propose higher, never retry the same number.
+    pub term: u64,
 }
 
 /// Outcome of a delta submission ([`Response::DeltaDone`]).
@@ -751,9 +770,11 @@ impl Request {
             Request::ReplVote {
                 candidate_id,
                 candidate_seq,
+                term,
             } => {
                 p.extend_from_slice(&candidate_id.to_le_bytes());
                 p.extend_from_slice(&candidate_seq.to_le_bytes());
+                p.extend_from_slice(&term.to_le_bytes());
             }
             Request::WalPull { after_seq } => {
                 p.extend_from_slice(&after_seq.to_le_bytes());
@@ -843,6 +864,7 @@ impl Request {
             opcode::REPL_VOTE => Request::ReplVote {
                 candidate_id: c.u64()?,
                 candidate_seq: c.u64()?,
+                term: c.u64()?,
             },
             opcode::WAL_PULL => Request::WalPull {
                 after_seq: c.u64()?,
@@ -947,6 +969,9 @@ impl Response {
                 let ra_len = ra.len().min(u16::MAX as usize);
                 tail.extend_from_slice(&(ra_len as u16).to_le_bytes());
                 tail.extend_from_slice(&ra[..ra_len]);
+                // Third tail extension: the node's replication term.
+                // Decoders that stop at the repl addr skip these bytes.
+                tail.extend_from_slice(&info.term.to_le_bytes());
                 p.extend_from_slice(&(tail.len() as u16).to_le_bytes());
                 p.extend_from_slice(&tail);
             }
@@ -956,6 +981,7 @@ impl Response {
                 p.extend_from_slice(&v.voter_id.to_le_bytes());
                 p.extend_from_slice(&v.voter_seq.to_le_bytes());
                 p.push(v.voter_role as u8);
+                p.extend_from_slice(&v.term.to_le_bytes());
             }
             Response::WalSuffix { records } => {
                 p.extend_from_slice(&(records.len() as u32).to_le_bytes());
@@ -1065,6 +1091,7 @@ impl Response {
                     votes_needed: 0,
                     member_count: 0,
                     repl_addr: String::new(),
+                    term: 0,
                 };
                 if c.remaining() > 0 {
                     let len = c.u16()? as usize;
@@ -1099,6 +1126,15 @@ impl Response {
                             if let Ok(addr) = std::str::from_utf8(&tail[18..18 + alen]) {
                                 info.repl_addr = addr.to_string();
                             }
+                            // Third tail extension: the replication
+                            // term. Absent on pre-term servers (stays
+                            // 0); same skip-tolerant contract as the
+                            // repl-addr extension.
+                            if tail.len() >= 18 + alen + 8 {
+                                info.term = u64::from_le_bytes(
+                                    tail[18 + alen..18 + alen + 8].try_into().expect("8"),
+                                );
+                            }
                         }
                     }
                 }
@@ -1124,6 +1160,7 @@ impl Response {
                         opcode: op,
                         what: "voter role",
                     })?,
+                    term: c.u64()?,
                 })
             }
             opcode::WAL_SUFFIX => {
@@ -1203,6 +1240,8 @@ pub struct Member {
 pub struct ReplStatus {
     pub role: Role,
     pub applied_seq: u64,
+    /// The node's current replication term (0 before any election).
+    pub term: u64,
     /// Connected followers (empty on a follower).
     pub peers: Vec<PeerLag>,
     /// Fixed membership this node runs quorum elections over (empty
@@ -1238,6 +1277,11 @@ pub enum ReplMsg {
     Hello {
         follower_id: u64,
         have_seq: u64,
+        /// The highest term the follower has observed. A primary that
+        /// receives a Hello above its own term has been deposed — it
+        /// fences (steps read-only) and denies the handshake rather
+        /// than feeding a stale lineage to a newer follower.
+        term: u64,
         addr: String,
         repl_addr: String,
         /// The fixed membership list the follower was configured with
@@ -1264,14 +1308,20 @@ pub enum ReplMsg {
     SnapEnd { crc64: u64 },
     /// One WAL record, exactly as `lbc_store::wal::encode_record` laid
     /// it out (magic + len + seq + crc64 + payload) — followers feed it
-    /// straight to the store codec.
-    WalRec { bytes: Vec<u8> },
+    /// straight to the store codec. `term` is the generation the
+    /// serving primary writes under; a follower that has observed a
+    /// higher term severs the stream instead of applying a deposed
+    /// lineage's record.
+    WalRec { term: u64, bytes: Vec<u8> },
     /// Primary liveness + replication roster. `epoch` is **global**:
     /// one roster snapshot is taken per tick and fanned out to every
     /// follower with the same epoch number, so two followers holding
-    /// the same epoch hold byte-identical rosters.
+    /// the same epoch hold byte-identical rosters. `term` fences like
+    /// [`ReplMsg::WalRec`]: a heartbeat below the follower's observed
+    /// term is a deposed primary still ticking.
     Heartbeat {
         epoch: u64,
+        term: u64,
         roster: Vec<PeerLag>,
         /// The primary's fixed membership list, re-fanned on every
         /// tick so a follower that joined with an empty list adopts
@@ -1312,12 +1362,14 @@ impl ReplMsg {
             ReplMsg::Hello {
                 follower_id,
                 have_seq,
+                term,
                 addr,
                 repl_addr,
                 members,
             } => {
                 p.extend_from_slice(&follower_id.to_le_bytes());
                 p.extend_from_slice(&have_seq.to_le_bytes());
+                p.extend_from_slice(&term.to_le_bytes());
                 put_str(&mut p, addr);
                 put_str(&mut p, repl_addr);
                 if !members.is_empty() {
@@ -1344,15 +1396,18 @@ impl ReplMsg {
             ReplMsg::SnapEnd { crc64 } => {
                 p.extend_from_slice(&crc64.to_le_bytes());
             }
-            ReplMsg::WalRec { bytes } => {
+            ReplMsg::WalRec { term, bytes } => {
+                p.extend_from_slice(&term.to_le_bytes());
                 p.extend_from_slice(bytes);
             }
             ReplMsg::Heartbeat {
                 epoch,
+                term,
                 roster,
                 members,
             } => {
                 p.extend_from_slice(&epoch.to_le_bytes());
+                p.extend_from_slice(&term.to_le_bytes());
                 put_roster(&mut p, roster);
                 if !members.is_empty() {
                     put_members(&mut p, members);
@@ -1361,6 +1416,7 @@ impl ReplMsg {
             ReplMsg::StatusResp(s) => {
                 p.push(s.role as u8);
                 p.extend_from_slice(&s.applied_seq.to_le_bytes());
+                p.extend_from_slice(&s.term.to_le_bytes());
                 put_roster(&mut p, &s.peers);
                 // The ack-age tail sits after the quorum tail, so any
                 // ack ages force the quorum tail too (with defaults).
@@ -1449,6 +1505,7 @@ impl ReplMsg {
             opcode::REPL_HELLO => {
                 let follower_id = c.u64()?;
                 let have_seq = c.u64()?;
+                let term = c.u64()?;
                 let addr = c.str("hello addr")?;
                 let repl_addr = c.str("hello repl addr")?;
                 let tail = c.remaining() > 0;
@@ -1465,6 +1522,7 @@ impl ReplMsg {
                 ReplMsg::Hello {
                     follower_id,
                     have_seq,
+                    term,
                     addr,
                     repl_addr,
                     members: ms,
@@ -1486,10 +1544,12 @@ impl ReplMsg {
             }
             opcode::SNAP_END => ReplMsg::SnapEnd { crc64: c.u64()? },
             opcode::WAL_REC => ReplMsg::WalRec {
+                term: c.u64()?,
                 bytes: c.take(c.remaining())?.to_vec(),
             },
             opcode::HEARTBEAT => {
                 let epoch = c.u64()?;
+                let term = c.u64()?;
                 let peers = roster(&mut c, frame.payload.len())?;
                 let tail = c.remaining() > 0;
                 let ms = members(&mut c, frame.payload.len())?;
@@ -1501,6 +1561,7 @@ impl ReplMsg {
                 }
                 ReplMsg::Heartbeat {
                     epoch,
+                    term,
                     roster: peers,
                     members: ms,
                 }
@@ -1511,6 +1572,7 @@ impl ReplMsg {
                     what: "role",
                 })?;
                 let applied_seq = c.u64()?;
+                let term = c.u64()?;
                 let peers = roster(&mut c, frame.payload.len())?;
                 let tail = c.remaining() > 0;
                 let ms = members(&mut c, frame.payload.len())?;
@@ -1561,6 +1623,7 @@ impl ReplMsg {
                 ReplMsg::StatusResp(ReplStatus {
                     role,
                     applied_seq,
+                    term,
                     peers,
                     members: ms,
                     votes_seen,
@@ -1628,6 +1691,7 @@ mod tests {
         roundtrip_request(Request::ReplVote {
             candidate_id: 9,
             candidate_seq: u64::MAX,
+            term: 3,
         });
         roundtrip_request(Request::WalPull { after_seq: 41 });
         roundtrip_request(Request::Stats { max_events: 64 });
@@ -1667,6 +1731,7 @@ mod tests {
             votes_needed: 2,
             member_count: 3,
             repl_addr: "127.0.0.1:7311".to_string(),
+            term: 2,
         }));
         roundtrip_response(Response::Pong);
         roundtrip_response(Response::Vote(VoteResp {
@@ -1674,6 +1739,7 @@ mod tests {
             voter_id: 3,
             voter_seq: 17,
             voter_role: Role::Follower,
+            term: 4,
         }));
         roundtrip_response(Response::WalSuffix {
             records: vec![b"LWAL....rec one".to_vec(), Vec::new(), vec![0xFF; 300]],
@@ -1783,11 +1849,12 @@ mod tests {
 
     #[test]
     fn pre_quorum_hello_and_heartbeat_decode_with_empty_members() {
-        // A PR-6 era peer's Hello/Heartbeat payloads end before the
-        // membership block; decode must yield an empty list.
+        // Hello/Heartbeat payloads that end before the membership
+        // block decode with an empty list rather than erroring.
         let mut payload = Vec::new();
         payload.extend_from_slice(&3u64.to_le_bytes());
         payload.extend_from_slice(&17u64.to_le_bytes());
+        payload.extend_from_slice(&1u64.to_le_bytes()); // term
         put_str(&mut payload, "10.0.0.7:7070");
         put_str(&mut payload, "");
         let mut bytes = Vec::new();
@@ -1802,6 +1869,7 @@ mod tests {
 
         let mut payload = Vec::new();
         payload.extend_from_slice(&5u64.to_le_bytes());
+        payload.extend_from_slice(&1u64.to_le_bytes()); // term
         payload.extend_from_slice(&0u32.to_le_bytes()); // empty roster
         let mut bytes = Vec::new();
         encode_frame(&mut bytes, opcode::HEARTBEAT, 0, &payload).unwrap();
@@ -1821,6 +1889,7 @@ mod tests {
         let mut payload = Vec::new();
         payload.extend_from_slice(&3u64.to_le_bytes());
         payload.extend_from_slice(&17u64.to_le_bytes());
+        payload.extend_from_slice(&1u64.to_le_bytes()); // term
         put_str(&mut payload, "a:1");
         put_str(&mut payload, "");
         payload.extend_from_slice(&u32::MAX.to_le_bytes());
@@ -1863,6 +1932,7 @@ mod tests {
         roundtrip_repl(ReplMsg::Hello {
             follower_id: 3,
             have_seq: 17,
+            term: 0,
             addr: "10.0.0.7:7070".to_string(),
             repl_addr: String::new(),
             members: Vec::new(),
@@ -1870,6 +1940,7 @@ mod tests {
         roundtrip_repl(ReplMsg::Hello {
             follower_id: 3,
             have_seq: 17,
+            term: 6,
             addr: "10.0.0.7:7070".to_string(),
             repl_addr: "10.0.0.7:7071".to_string(),
             members: vec![
@@ -1900,10 +1971,12 @@ mod tests {
         });
         roundtrip_repl(ReplMsg::SnapEnd { crc64: u64::MAX });
         roundtrip_repl(ReplMsg::WalRec {
+            term: 9,
             bytes: b"LWAL....record bytes".to_vec(),
         });
         roundtrip_repl(ReplMsg::Heartbeat {
             epoch: 5,
+            term: 2,
             roster: vec![
                 PeerLag {
                     follower_id: 1,
@@ -1926,6 +1999,7 @@ mod tests {
         roundtrip_repl(ReplMsg::StatusResp(ReplStatus {
             role: Role::Promoted,
             applied_seq: 42,
+            term: 3,
             peers: Vec::new(),
             members: Vec::new(),
             votes_seen: 0,
@@ -1936,6 +2010,7 @@ mod tests {
         roundtrip_repl(ReplMsg::StatusResp(ReplStatus {
             role: Role::Follower,
             applied_seq: 42,
+            term: 0,
             peers: Vec::new(),
             members: vec![
                 Member {
@@ -1961,6 +2036,7 @@ mod tests {
         roundtrip_repl(ReplMsg::StatusResp(ReplStatus {
             role: Role::Primary,
             applied_seq: 99,
+            term: 7,
             peers: vec![PeerLag {
                 follower_id: 2,
                 applied_seq: 97,
@@ -2126,6 +2202,7 @@ mod tests {
         let mut payload = Vec::new();
         payload.push(Role::Follower as u8);
         payload.extend_from_slice(&42u64.to_le_bytes());
+        payload.extend_from_slice(&3u64.to_le_bytes()); // term
         payload.extend_from_slice(&0u32.to_le_bytes()); // empty roster
         put_members(
             &mut payload,
@@ -2156,6 +2233,7 @@ mod tests {
         let mut payload = Vec::new();
         payload.push(Role::Primary as u8);
         payload.extend_from_slice(&42u64.to_le_bytes());
+        payload.extend_from_slice(&0u64.to_le_bytes()); // term
         payload.extend_from_slice(&0u32.to_le_bytes()); // empty roster
         payload.extend_from_slice(&0u32.to_le_bytes()); // empty members
         payload.extend_from_slice(&0u32.to_le_bytes()); // votes_seen
@@ -2175,9 +2253,11 @@ mod tests {
 
     #[test]
     fn repl_hostile_roster_count_does_not_overallocate() {
-        // seq + count = u32::MAX with no entries: must error, not OOM.
+        // seq + term + count = u32::MAX with no entries: must error,
+        // not OOM.
         let mut payload = Vec::new();
         payload.extend_from_slice(&7u64.to_le_bytes());
+        payload.extend_from_slice(&1u64.to_le_bytes()); // term
         payload.extend_from_slice(&u32::MAX.to_le_bytes());
         let mut bytes = Vec::new();
         encode_frame(&mut bytes, opcode::HEARTBEAT, 0, &payload).unwrap();

@@ -7,8 +7,8 @@
 use lbc_graph::GraphDelta;
 use lbc_net::wire::opcode;
 use lbc_net::{
-    Frame, FrameDecoder, Member, PeerLag, ReplMsg, ReplStatus, Request, Response, Role, VoteResp,
-    WireError,
+    Frame, FrameDecoder, Member, PeerLag, ReplMsg, ReplStatus, Request, Response, Role, ServerInfo,
+    VoteResp, WireError,
 };
 use lbc_obs::{Event, EventKind, HistSnapshot, ObsSnapshot, HIST_BUCKETS};
 use lbc_runtime::{Answer, CacheStats, Query};
@@ -94,7 +94,11 @@ proptest! {
                     }
                     Request::SubmitDelta(d)
                 }
-                5 => Request::ReplVote { candidate_id: v as u64, candidate_seq: (v as u64) << 3 },
+                5 => Request::ReplVote {
+                    candidate_id: v as u64,
+                    candidate_seq: (v as u64) << 3,
+                    term: (v as u64) << 1,
+                },
                 _ => Request::QueryBatch(vec![Query::ClusterOf(v), Query::SameCluster(v, v + 1)]),
             };
             req.encode(&mut bytes, id).unwrap();
@@ -133,6 +137,7 @@ proptest! {
                 voter_id: stats.1,
                 voter_seq: stats.2,
                 voter_role: if stats.1 % 2 == 0 { Role::Follower } else { Role::Promoted },
+                term: stats.0 ^ stats.2,
             }),
             Response::Pong,
         ];
@@ -285,6 +290,7 @@ proptest! {
             ReplMsg::Hello {
                 follower_id: ids.0,
                 have_seq: ids.1,
+                term: ids.2,
                 addr: hello_addr.clone(),
                 repl_addr: hello_addr,
                 members: members.clone(),
@@ -294,11 +300,17 @@ proptest! {
             ReplMsg::SnapBegin { applied_seq: ids.0, total_len: ids.1, chunk_count },
             ReplMsg::SnapChunk { offset: ids.2, bytes: blob.clone() },
             ReplMsg::SnapEnd { crc64: ids.0 },
-            ReplMsg::WalRec { bytes: blob },
-            ReplMsg::Heartbeat { epoch: ids.1, roster: peers.clone(), members: members.clone() },
+            ReplMsg::WalRec { term: ids.1, bytes: blob },
+            ReplMsg::Heartbeat {
+                epoch: ids.1,
+                term: ids.0,
+                roster: peers.clone(),
+                members: members.clone(),
+            },
             ReplMsg::StatusResp(ReplStatus {
                 role,
                 applied_seq: ids.2,
+                term: ids.0 ^ ids.1,
                 // Ack ages mirror the roster (empty rosters exercise
                 // the omitted-tail encoding).
                 ack_ages: peers
@@ -339,6 +351,7 @@ proptest! {
     ) {
         let msg = ReplMsg::Heartbeat {
             epoch: seq,
+            term: seq ^ 0x5a5a,
             roster: roster
                 .iter()
                 .map(|&(follower_id, applied_seq)| PeerLag {
@@ -483,14 +496,16 @@ proptest! {
     /// survive single-byte corruption as typed errors, not panics.
     #[test]
     fn vote_frames_round_trip_and_survive_corruption(
-        candidate in (0u64..u64::MAX, 0u64..u64::MAX),
+        candidate in (0u64..u64::MAX, 0u64..u64::MAX, 0u64..u64::MAX),
         voter in (0u64..u64::MAX, 0u64..u64::MAX, 0u8..3, 0u8..2),
+        voter_term in 0u64..u64::MAX,
         flip_pos_seed in 0usize..10_000,
         flip_bits in 1u8..=255,
     ) {
         let req = Request::ReplVote {
             candidate_id: candidate.0,
             candidate_seq: candidate.1,
+            term: candidate.2,
         };
         let resp = Response::Vote(VoteResp {
             granted: voter.3 == 1,
@@ -501,6 +516,7 @@ proptest! {
                 1 => Role::Follower,
                 _ => Role::Promoted,
             },
+            term: voter_term,
         });
         let mut bytes = Vec::new();
         req.encode(&mut bytes, 21).unwrap();
@@ -521,6 +537,60 @@ proptest! {
                     prop_assert!(
                         r0 != req || r1 != resp,
                         "corrupted stream decoded to the original vote pair"
+                    );
+                }
+            }
+        }
+    }
+
+    /// The client-facing `Info` response — whose replication term (the
+    /// fence clients compare against) travels in the skip-tolerant
+    /// payload tail — round-trips bit-for-bit at every feeding
+    /// granularity, and a flipped byte never yields the original back.
+    #[test]
+    fn info_frames_round_trip_and_survive_corruption(
+        dims in (0u64..u64::MAX, 0u64..u64::MAX, 0u32..u32::MAX),
+        repl in (0u64..u64::MAX, 0u8..3, 0u8..2, 0u16..512),
+        term in 0u64..u64::MAX,
+        addr_len in 0usize..24,
+        chunk in 1usize..64,
+        flip_pos_seed in 0usize..10_000,
+        flip_bits in 1u8..=255,
+    ) {
+        let resp = Response::Info(ServerInfo {
+            dataset: "ds".to_string(),
+            n: dims.0,
+            m: dims.1,
+            k: dims.2,
+            applied_seq: repl.0,
+            role: match repl.1 {
+                0 => Role::Primary,
+                1 => Role::Follower,
+                _ => Role::Promoted,
+            },
+            no_quorum: repl.2 == 1,
+            votes_seen: repl.3,
+            votes_needed: repl.3 / 2 + 1,
+            member_count: repl.3 % 7,
+            repl_addr: "r".repeat(addr_len),
+            term,
+        });
+        let mut bytes = Vec::new();
+        resp.encode(&mut bytes, 17).unwrap();
+        for chunk in [bytes.len().max(1), 1, chunk] {
+            let frames = decode_chunked(&bytes, chunk).unwrap();
+            prop_assert_eq!(frames.len(), 1);
+            prop_assert_eq!(&Response::from_frame(&frames[0]).unwrap(), &resp);
+        }
+        let pos = flip_pos_seed % bytes.len();
+        bytes[pos] ^= flip_bits;
+        match decode_chunked(&bytes, 1) {
+            Err(_) => {} // typed error: good
+            Ok(frames) => {
+                if let Some(Ok(back)) = frames.first().map(Response::from_frame) {
+                    prop_assert!(
+                        back != resp,
+                        "corrupted stream decoded to the original info response"
                     );
                 }
             }
@@ -794,6 +864,7 @@ fn repl_every_split_point_of_one_frame() {
     // The densest repl message (nested roster) split at EVERY byte.
     let msg = ReplMsg::Heartbeat {
         epoch: 41,
+        term: 6,
         roster: vec![
             PeerLag {
                 follower_id: 1,

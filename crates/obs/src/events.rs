@@ -33,6 +33,9 @@ pub enum EventKind {
     StepDown = 10,
     /// A torn WAL tail was detected and healed on open.
     WalTornHealed = 11,
+    /// A node refused or severed traffic from a replication term below
+    /// one it has already observed (deposed-primary fencing).
+    TermFenced = 12,
 }
 
 impl EventKind {
@@ -49,6 +52,7 @@ impl EventKind {
             9 => EventKind::BackpressureOff,
             10 => EventKind::StepDown,
             11 => EventKind::WalTornHealed,
+            12 => EventKind::TermFenced,
             _ => return None,
         })
     }
@@ -66,6 +70,7 @@ impl EventKind {
             EventKind::BackpressureOff => "backpressure_off",
             EventKind::StepDown => "step_down",
             EventKind::WalTornHealed => "wal_torn_healed",
+            EventKind::TermFenced => "term_fenced",
         }
     }
 }
@@ -173,6 +178,6 @@ mod tests {
             }
         }
         assert_eq!(EventKind::from_u8(0), None);
-        assert_eq!(EventKind::from_u8(12), None);
+        assert_eq!(EventKind::from_u8(13), None);
     }
 }

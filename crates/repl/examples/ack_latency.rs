@@ -1,0 +1,174 @@
+//! Measure the client-visible write-latency cost of `--ack-quorum`.
+//!
+//! Brings up an in-process 3-node replication group twice — once with
+//! fire-and-forget writes (the default), once with majority-ack writes
+//! (`--ack-quorum`) — and times `N` sequential `submit_delta`
+//! round-trips against the primary's query port in each mode. The
+//! loopback numbers bound the *mechanism* cost (one extra
+//! follower-ack round on the WAL stream plus the primary-side wait);
+//! on a real network the ack round inherits the follower RTT, so the
+//! gap grows with the slower of the two fastest followers.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release -p lbc-repl --example ack_latency
+//! ```
+
+use std::net::TcpListener;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use lbc_core::LbConfig;
+use lbc_graph::{generators, GraphDelta};
+use lbc_net::{NetClient, NetServer, ReplGate, Role, ServeContext, ServerConfig};
+use lbc_obs::Obs;
+use lbc_repl::{FollowerConn, FollowerIdentity, Membership, ReplConfig, ReplServer, HAVE_NOTHING};
+use lbc_runtime::{Registry, WorkerPool};
+
+const DATASET: &str = "ack-latency";
+const WARMUP: u32 = 50;
+const SAMPLES: u32 = 500;
+
+fn seeded_registry() -> Arc<Registry> {
+    let registry = Arc::new(Registry::with_capacity(8));
+    let (g, _) = generators::ring_of_cliques(3, 12, 0).unwrap();
+    registry.insert_graph(DATASET, g);
+    registry
+        .get_or_cluster(DATASET, &LbConfig::new(1.0 / 3.0, 60).with_seed(7))
+        .unwrap();
+    registry
+}
+
+fn flip_delta(i: u32) -> GraphDelta {
+    let mut d = GraphDelta::new();
+    d.add_edge(i % 5, 12 + (i % 7));
+    d
+}
+
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx]
+}
+
+/// One trial: seeded primary + two snapshot-synced followers, all in
+/// one fixed membership (quorum = 2), then `SAMPLES` sequential write
+/// round-trips timed from a plain [`NetClient`].
+fn run_trial(ack_quorum: bool) -> Vec<Duration> {
+    // Bind everything first so the membership spec is final.
+    let query_listeners: Vec<TcpListener> = (0..3)
+        .map(|_| TcpListener::bind("127.0.0.1:0").unwrap())
+        .collect();
+    let repl_listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let repl_addr = repl_listener.local_addr().unwrap().to_string();
+    let spec = query_listeners
+        .iter()
+        .enumerate()
+        .map(|(i, l)| format!("{}@{}", i as u64 + 1, l.local_addr().unwrap()))
+        .collect::<Vec<_>>()
+        .join(",");
+    let members = Membership::parse(&spec).unwrap();
+    let cfg = ReplConfig {
+        heartbeat_interval: Duration::from_millis(30),
+        heartbeat_timeout: Duration::from_millis(300),
+        members,
+        ack_quorum,
+        ..Default::default()
+    };
+
+    // Primary: node 1, serving replication and the query port.
+    let registry = seeded_registry();
+    let gate = Arc::new(ReplGate::with_id(Role::Primary, 1));
+    gate.set_member_count(3);
+    gate.set_repl_addr(&repl_addr);
+    let obs = Arc::new(Obs::new());
+    gate.attach_obs(Arc::clone(&obs));
+    let srv = ReplServer::from_listener(repl_listener, Arc::clone(&registry), DATASET, cfg.clone())
+        .unwrap();
+    srv.set_gate(Arc::clone(&gate));
+    let query_addr = query_listeners[0].local_addr().unwrap();
+    let mut listeners = query_listeners.into_iter();
+    let _net = NetServer::serve_listener(
+        listeners.next().unwrap(),
+        ServeContext {
+            registry: Arc::clone(&registry),
+            pool: Arc::new(WorkerPool::new(2)),
+            dataset: DATASET.to_string(),
+            cfg: LbConfig::new(1.0 / 3.0, 60).with_seed(7),
+            obs,
+        },
+        ServerConfig::default(),
+        Arc::clone(&gate),
+    )
+    .unwrap();
+
+    // Followers 2 and 3: snapshot-sync then stream. Acks ride the
+    // replication connection, so no query servers are needed here —
+    // the bound listeners only pin the membership addresses.
+    let mut followers = Vec::new();
+    for (node, q) in listeners.enumerate() {
+        let id = node as u64 + 2;
+        let f_registry = Arc::new(Registry::with_capacity(8));
+        let f_gate = Arc::new(ReplGate::with_id(Role::Follower, id));
+        f_gate.set_member_count(3);
+        let identity = FollowerIdentity {
+            id,
+            addr: q.local_addr().unwrap().to_string(),
+            repl_addr: String::new(),
+        };
+        let (conn, _) = FollowerConn::sync(
+            repl_addr.as_str(),
+            Arc::clone(&f_registry),
+            DATASET,
+            identity,
+            HAVE_NOTHING,
+            f_gate.term(),
+            cfg.clone(),
+        )
+        .expect("follower sync");
+        followers.push((conn.run(Arc::clone(&f_gate), |_| {}), f_registry, q));
+    }
+
+    let mut client = NetClient::connect_timeout(&query_addr, Duration::from_secs(5)).unwrap();
+    for i in 0..WARMUP {
+        client.submit_delta(&flip_delta(i)).unwrap();
+    }
+    let mut samples = Vec::with_capacity(SAMPLES as usize);
+    for i in 0..SAMPLES {
+        let t = Instant::now();
+        client.submit_delta(&flip_delta(WARMUP + i)).unwrap();
+        samples.push(t.elapsed());
+    }
+
+    for (handle, _, _) in &followers {
+        handle.stop();
+    }
+    drop(srv);
+    samples.sort();
+    samples
+}
+
+fn report(label: &str, sorted: &[Duration]) {
+    println!(
+        "{label:>14}  p50 {:>8.1?}  p95 {:>8.1?}  p99 {:>8.1?}  max {:>8.1?}",
+        percentile(sorted, 0.50),
+        percentile(sorted, 0.95),
+        percentile(sorted, 0.99),
+        sorted[sorted.len() - 1],
+    );
+}
+
+fn main() {
+    println!(
+        "ack-quorum write latency, 3-node loopback group, {SAMPLES} sequential \
+         submit_delta round-trips after {WARMUP} warm-up writes\n"
+    );
+    let plain = run_trial(false);
+    report("fire-and-forget", &plain);
+    let quorum = run_trial(true);
+    report("ack-quorum", &quorum);
+    println!(
+        "\nquorum/plain p50 ratio: {:.2}x",
+        percentile(&quorum, 0.50).as_secs_f64() / percentile(&plain, 0.50).as_secs_f64().max(1e-9)
+    );
+}

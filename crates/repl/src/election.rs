@@ -22,26 +22,44 @@
 //!    set ∪ self, skipping peers that advertise no replication
 //!    listener (they cannot serve if named winner; their higher seq is
 //!    recovered by the winner's reconciliation pull instead).
-//! 3. **Vote round.** A self-named candidate collects confirmation
-//!    votes: *every* live peer in roster-only mode, a **strict
-//!    majority of the membership** (self included) in quorum mode. A
-//!    peer grants only while it is itself an orphaned follower, only
-//!    to a candidate that beats it under the same order — or, when it
+//! 3. **Vote round.** A self-named candidate proposes a **term** (its
+//!    gate's current term + 1) and collects confirmation votes for
+//!    it: *every* live peer in roster-only mode, a **strict majority
+//!    of the membership** (self included) in quorum mode. A peer
+//!    grants only while it is itself an orphaned follower, only to a
+//!    candidate that beats it under the same order — or, when it
 //!    cannot promote itself, to any eligible candidate, so an
 //!    unpromotable straggler with a higher seq concedes rather than
 //!    deadlocking the group — and to at most **one candidate per
-//!    liveness window** ([`lbc_net::ReplGate::try_grant_vote`]):
-//!    without that memory, two candidates partitioned from each other
-//!    could each collect a shared voter's grant and both assemble a
-//!    strict majority.
+//!    term** ([`lbc_net::ReplGate::try_grant_vote`], persisted across
+//!    voter restarts): without that memory, two candidates
+//!    partitioned from each other could each collect a shared voter's
+//!    grant and both assemble a strict majority. A voter whose term
+//!    is already *above* the proposal refuses it outright and reports
+//!    its term; the candidate re-proposes one higher next round —
+//!    never the same number, which some voter has already bound to a
+//!    grant. The candidate binds its *own* grant only at this stage,
+//!    never in a round that failed the reachability or candidate
+//!    checks — the pre-vote discipline that keeps a hopeless minority
+//!    candidate from ratcheting its term and, on heal, deposing the
+//!    legitimate winner with a higher-term `Hello`. The self-grant is
+//!    *provisional* until the win commits: a rival that beats this
+//!    node under the order may supersede it (else two mutual
+//!    candidates would wedge the term forever), and the win itself
+//!    commits only by **sealing** the self-vote
+//!    ([`lbc_net::ReplGate::seal_self_vote`]) — seal and supersession
+//!    exclude each other, so one term still has at most one winner.
 //!
 //! Denied votes mean "not yet" (typically: the voter has not noticed
-//! primary death); the election backs off — jittered, so competing
-//! candidates desynchronise — and re-runs, long enough to outlast
-//! every peer's liveness window. A quorum-mode election that never
-//! reaches a majority ends in [`ElectionOutcome::NoQuorum`]: the
-//! caller keeps serving reads and reports the typed status instead of
-//! promoting into a minority partition.
+//! primary death, or another candidate holds the proposed term); the
+//! election backs off — jittered, so competing candidates
+//! desynchronise — and re-runs, long enough to outlast every peer's
+//! liveness window. A quorum-mode election that never reaches a
+//! majority ends in [`ElectionOutcome::NoQuorum`]: the caller keeps
+//! serving reads and reports the typed status instead of promoting
+//! into a minority partition. A win returns the term it was won at;
+//! the caller folds it into its gate **before** flipping to
+//! `Promoted`, so a writable node always already carries its term.
 
 use std::collections::BTreeSet;
 use std::net::SocketAddr;
@@ -55,10 +73,15 @@ use crate::{link_up, Backoff, ReplConfig};
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ElectionOutcome {
     /// This node won the deterministic order over the live peers and
-    /// collected the required votes; the caller may flip to
-    /// `Promoted` (after reconciling — see
-    /// [`crate::FollowerConn::run`]'s failover path).
-    Won,
+    /// collected the required votes at `term`; the caller observes the
+    /// term on its gate, then may flip to `Promoted` (after
+    /// reconciling — see [`crate::FollowerConn::run`]'s failover
+    /// path).
+    Won {
+        /// The term the votes were collected under — the new
+        /// generation of the replication plane.
+        term: u64,
+    },
     /// Another node wins (or already promoted); re-follow it.
     Lost {
         winner: u64,
@@ -108,18 +131,29 @@ struct Target {
     repl_addr: String,
 }
 
-/// Run the failover election for `self_id` (currently at `self_seq`).
+/// Run the failover election for `self_id` (currently at `self_seq`),
+/// proposing term `gate.term() + 1`. The candidate's own vote at each
+/// proposed term goes through `gate` (recorded **and persisted**
+/// before any peer is asked to grant), so a candidate that crashes
+/// mid-election cannot reboot and vote for a rival at a term it
+/// already bound to itself — the crash edge that would let two
+/// writers share one term. `gate = None` (gateless tests, bare
+/// reconciliation probes) proposes term 1 with no self-vote memory.
 /// `roster` is the last heartbeat roster (self included or not); with
 /// [`ReplConfig::members`] configured the electorate is that fixed
 /// membership instead, the roster only enriching it with replication
-/// addresses. Blocks up to roughly `2 × heartbeat_timeout` in the
-/// contended case; returns immediately when alone or clearly beaten.
+/// addresses. When a voter reports a term above the proposal, the
+/// next round re-proposes one higher. Blocks up to roughly `2 ×
+/// heartbeat_timeout` in the contended case; returns immediately when
+/// alone or clearly beaten.
 pub fn run_election(
     self_id: u64,
     self_seq: u64,
+    gate: Option<&lbc_net::ReplGate>,
     roster: &[PeerLag],
     cfg: &ReplConfig,
 ) -> ElectionOutcome {
+    let mut term = gate.map(|g| g.term()).unwrap_or(0) + 1;
     let interval = cfg.heartbeat_interval.max(Duration::from_millis(1));
     let probe = cfg.heartbeat_timeout.max(Duration::from_millis(50));
     let quorum_mode = !cfg.members.is_empty();
@@ -232,12 +266,33 @@ pub fn run_election(
             };
         }
 
-        // Phase 3: we are the candidate — collect confirmation votes.
+        // Phase 3: we are the candidate — bind the proposal to our own
+        // (persisted) vote, then collect confirmation votes for it.
+        //
+        // The self-grant sits *here*, after the poll and the candidate
+        // check, deliberately: a round that cannot reach a quorum (or
+        // that concedes to a better peer) must not burn a term. A
+        // minority-partitioned node that ratcheted its term on every
+        // hopeless retry would, on heal, re-follow the legitimate
+        // winner with a higher-term `Hello` and depose it — the
+        // classic disruptive-server churn. Polls are not votes, so
+        // deferring the grant past them costs nothing: the vote-side
+        // binding (persisted before any peer's grant is counted, so a
+        // candidate crash cannot free its term for a rival) is intact.
+        // A refusal means the term is below the gate's or already
+        // granted to a rival — propose above both and retry; this
+        // converges in at most two steps.
+        if let Some(g) = gate {
+            while !g.try_grant_vote(term, self_id) {
+                term = term.max(g.term()) + 1;
+            }
+        }
         let mut granted: BTreeSet<u64> = BTreeSet::new();
         let mut denied = false;
         let mut deferred: Option<ElectionOutcome> = None;
+        let mut next_term = term;
         for peer in &mut live {
-            match peer.client.repl_vote(self_id, self_seq) {
+            match peer.client.repl_vote(self_id, self_seq, term) {
                 Ok(v) if v.granted => {
                     granted.insert(peer.id);
                 }
@@ -251,6 +306,17 @@ pub fn run_election(
                         break;
                     }
                     denied = true;
+                    // A voter already past our proposal: the number is
+                    // burned (someone holds a grant there, or a won
+                    // election moved the group on). Re-propose above
+                    // it next round. A denial *at* our term keeps the
+                    // proposal — the voter's grant memory, not the
+                    // term, is what refused us, and competing at a
+                    // fresh term would let two candidates split one
+                    // voter across terms.
+                    if v.term > term {
+                        next_term = next_term.max(v.term + 1);
+                    }
                 }
                 // A peer that answered the poll but not the vote just
                 // died mid-round; it no longer constrains us.
@@ -268,8 +334,23 @@ pub fn run_election(
             !denied
         };
         if won {
-            return ElectionOutcome::Won;
+            // The win commits only if our provisional self-grant is
+            // still ours: a better mutual candidate may have
+            // superseded it mid-round and counted it toward *its*
+            // majority. Sealing and supersession exclude each other
+            // under the gate's vote lock, so of two candidates who
+            // both assemble a majority at one term, exactly one can
+            // ever commit it.
+            match gate {
+                Some(g) if !g.seal_self_vote(term, self_id) => {
+                    // Superseded: fall through to the next round,
+                    // where the self-grant loop proposes past the
+                    // stolen term.
+                }
+                _ => return ElectionOutcome::Won { term },
+            }
         }
+        term = next_term;
         // Denied or short of quorum: a voter still considers its
         // primary alive (or sees a better candidate), or enough peers
         // died mid-round. Back off a jittered beat and re-poll fresh.
@@ -318,11 +399,41 @@ mod tests {
     fn alone_in_the_roster_wins_immediately() {
         let members = [member(3, 7, "")];
         assert_eq!(
-            run_election(3, 7, &members, &quick_cfg()),
-            ElectionOutcome::Won
+            run_election(3, 7, None, &members, &quick_cfg()),
+            ElectionOutcome::Won { term: 1 }
         );
         // An empty roster (primary died before the first heartbeat).
-        assert_eq!(run_election(3, 7, &[], &quick_cfg()), ElectionOutcome::Won);
+        assert_eq!(
+            run_election(3, 7, None, &[], &quick_cfg()),
+            ElectionOutcome::Won { term: 1 }
+        );
+    }
+
+    #[test]
+    fn election_proposes_one_above_the_gate_term_and_self_votes() {
+        let gate = lbc_net::ReplGate::with_id(Role::Follower, 3);
+        gate.seed_term_vote(6, u64::MAX);
+        assert_eq!(
+            run_election(3, 7, Some(&gate), &[], &quick_cfg()),
+            ElectionOutcome::Won { term: 7 }
+        );
+        // The self-vote is bound: no rival can take term 7 here.
+        assert_eq!(gate.term(), 7);
+        assert!(!gate.try_grant_vote(7, 9));
+        assert!(gate.try_grant_vote(7, 3));
+    }
+
+    #[test]
+    fn election_skips_terms_already_granted_to_a_rival() {
+        // The voter granted term 1 to candidate 9 (and was fenced to
+        // term 1 by it); a later local election must not try to
+        // self-vote at 1 — it proposes 2.
+        let gate = lbc_net::ReplGate::with_id(Role::Follower, 3);
+        assert!(gate.try_grant_vote(1, 9));
+        assert_eq!(
+            run_election(3, 7, Some(&gate), &[], &quick_cfg()),
+            ElectionOutcome::Won { term: 2 }
+        );
     }
 
     #[test]
@@ -331,8 +442,8 @@ mod tests {
         // localhost refuses/timeouts; the candidate must still win.
         let members = [member(1, 100, "127.0.0.1:9"), member(2, 0, "")];
         assert_eq!(
-            run_election(2, 0, &members, &quick_cfg()),
-            ElectionOutcome::Won
+            run_election(2, 0, None, &members, &quick_cfg()),
+            ElectionOutcome::Won { term: 1 }
         );
     }
 
@@ -345,7 +456,7 @@ mod tests {
             ..quick_cfg()
         };
         assert_eq!(
-            run_election(2, 0, &[], &cfg),
+            run_election(2, 0, None, &[], &cfg),
             ElectionOutcome::NoQuorum {
                 votes_seen: 1,
                 votes_needed: 2,
@@ -359,6 +470,9 @@ mod tests {
             members: Membership::parse("4@127.0.0.1:9").unwrap(),
             ..quick_cfg()
         };
-        assert_eq!(run_election(4, 0, &[], &cfg), ElectionOutcome::Won);
+        assert_eq!(
+            run_election(4, 0, None, &[], &cfg),
+            ElectionOutcome::Won { term: 1 }
+        );
     }
 }

@@ -100,6 +100,11 @@ pub struct FollowerConn {
     /// The primary's address as dialled — the key the fault oracle
     /// knows this link by.
     primary_addr: String,
+    /// Snapshot chunk accumulation buffer. Taken empty at the start of
+    /// every reception and left empty on any failure, so a resync
+    /// after an EOF mid-snapshot can never see a dead attempt's
+    /// partial prefix glued onto the fresh stream's chunks.
+    snap_buf: Vec<u8>,
 }
 
 struct FollowerShared {
@@ -173,12 +178,20 @@ impl FollowerConn {
     /// queued WAL tail when the local lineage suffices. A primary that
     /// already has a follower under the same id refuses with
     /// [`ReplError::Denied`].
+    ///
+    /// `term` is the highest replication term this node has observed
+    /// (its gate's [`ReplGate::term`]); the primary fences itself if
+    /// the Hello outranks it. Every call builds the connection from
+    /// scratch — decoder, pending queue, snapshot buffer — so a retry
+    /// after a mid-snapshot failure starts with no adoption state
+    /// left over from the dead attempt.
     pub fn sync(
         addr: impl ToSocketAddrs,
         registry: Arc<Registry>,
         dataset: &str,
         identity: FollowerIdentity,
         have_seq: u64,
+        term: u64,
         cfg: ReplConfig,
     ) -> Result<(FollowerConn, SyncReport), ReplError> {
         let stream = TcpStream::connect(addr).map_err(ReplError::Io)?;
@@ -212,10 +225,12 @@ impl FollowerConn {
             next_id: 0,
             identity,
             primary_addr,
+            snap_buf: Vec::new(),
         };
         conn.send(&ReplMsg::Hello {
             follower_id: conn.identity.id,
             have_seq,
+            term,
             addr: conn.identity.addr.clone(),
             repl_addr: conn.identity.repl_addr.clone(),
             members: conn.cfg.members.members.clone(),
@@ -329,7 +344,13 @@ impl FollowerConn {
                 "implausible snapshot length {total_len}"
             )));
         }
-        let mut bytes = Vec::with_capacity(total_len as usize);
+        // Take the buffer empty. On any error below it is simply
+        // dropped, so a retry's reception never starts with a dead
+        // attempt's partial prefix. Reserve modestly: `total_len` is
+        // peer-controlled until the stream CRC verifies.
+        self.snap_buf.clear();
+        let mut bytes = std::mem::take(&mut self.snap_buf);
+        bytes.reserve((total_len as usize).min(4 << 20));
         for _ in 0..chunk_count {
             match self.recv()? {
                 ReplMsg::SnapChunk { offset, bytes: b } => {
@@ -380,6 +401,8 @@ impl FollowerConn {
         self.registry
             .adopt_state(&self.dataset, state.graph, state.entries, applied_seq);
         self.applied_seq = applied_seq;
+        bytes.clear();
+        self.snap_buf = bytes; // keep the capacity for a later resync
         Ok((total_len, entry_count))
     }
 }
@@ -446,9 +469,32 @@ where
             Err(e) => return FailoverOutcome::Error(e.to_string()),
         };
         last_msg = Instant::now();
+        // Term fencing, before anything else the frame says is
+        // believed: a frame below this node's observed term is a
+        // deposed primary still streaming — sever the link and fail
+        // over (the election poll will find the real winner to
+        // re-follow). A frame *above* folds our view forward first,
+        // so reads served from this gate are never attributed to a
+        // term older than the stream feeding them.
+        if let ReplMsg::WalRec { term, .. } | ReplMsg::Heartbeat { term, .. } = &msg {
+            let term = *term;
+            let seen = gate.term();
+            if term < seen {
+                if let Some(obs) = gate.obs() {
+                    obs.counter("repl_stale_term_frames_total").inc();
+                    obs.events.record(
+                        EventKind::TermFenced,
+                        format!("severed stream at term {term}, node has seen {seen}"),
+                    );
+                }
+                let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+                return failover(&mut conn, &gate, &last_roster);
+            }
+            gate.observe_term(term);
+        }
         gate.note_primary_contact();
         match msg {
-            ReplMsg::WalRec { bytes } => {
+            ReplMsg::WalRec { term: _, bytes } => {
                 let rec = match decode_record(&bytes) {
                     Ok(r) => r,
                     Err(e) => return FailoverOutcome::Error(e.to_string()),
@@ -478,7 +524,10 @@ where
                 }
             }
             ReplMsg::Heartbeat {
-                roster, members, ..
+                term,
+                roster,
+                members,
+                ..
             } => {
                 last_roster = roster;
                 if conn.cfg.members.is_empty() && !members.is_empty() {
@@ -491,7 +540,7 @@ where
                     // list for restarts (and so `repl-status` shows
                     // the member count immediately).
                     conn.cfg.members = Membership::from_members(members);
-                    gate.set_adopted_members(&conn.cfg.members.members);
+                    gate.set_adopted_members(&conn.cfg.members.members, term);
                     gate.set_member_count(conn.cfg.members.len());
                 }
                 // Ack the heartbeat too: the primary evicts followers
@@ -558,8 +607,14 @@ fn failover(conn: &mut FollowerConn, gate: &ReplGate, roster: &[PeerLag]) -> Fai
             ),
         );
     }
-    match run_election(conn.identity.id, conn.applied_seq, &members, &conn.cfg) {
-        ElectionOutcome::Won => {
+    match run_election(
+        conn.identity.id,
+        conn.applied_seq,
+        Some(gate),
+        &members,
+        &conn.cfg,
+    ) {
+        ElectionOutcome::Won { term } => {
             // Reconciliation *before* the role flip: pull any WAL
             // suffix a live loser holds beyond us and apply it through
             // the deterministic replicated path, so a record the dead
@@ -578,9 +633,16 @@ fn failover(conn: &mut FollowerConn, gate: &ReplGate, roster: &[PeerLag]) -> Fai
                 obs.counter("repl_elections_won_total").inc();
                 obs.events.record(
                     EventKind::ElectionWon,
-                    format!("node {} at seq {}", conn.identity.id, conn.applied_seq),
+                    format!(
+                        "node {} at seq {} term {term}",
+                        conn.identity.id, conn.applied_seq
+                    ),
                 );
             }
+            // The election's self-grants already folded `term` into
+            // the gate, so by the time the role flips to writable the
+            // gate's term *is* the won term — a monitor can never
+            // sample (writable, stale term) on this node.
             gate.set_role(Role::Promoted);
             FailoverOutcome::Promoted {
                 applied_seq: conn.applied_seq,

@@ -38,11 +38,28 @@
 //! own primary link has been silent past the liveness window, only
 //! to a candidate that beats them under the same rule (or when they
 //! cannot promote themselves), and to **at most one candidate per
-//! liveness window** — so two mutually-reachable followers can never
-//! both promote, and two candidates that cannot see each other cannot
-//! both assemble a majority through the voters they share. Losers re-follow the winner's replication port,
-//! carrying their lineage watermark. Duplicate follower ids are
-//! rejected at `Hello` ([`lbc_net::ReplMsg::Deny`]).
+//! term** — every election proposes a fresh term one above the highest
+//! the candidate has observed, and a voter's grant is remembered (and,
+//! with a store, persisted across kill -9) keyed by that term — so two
+//! mutually-reachable followers can never both promote, and two
+//! candidates that cannot see each other cannot both assemble a
+//! majority through the voters they share. Losers re-follow the
+//! winner's replication port, carrying their lineage watermark.
+//! Duplicate follower ids are rejected at `Hello`
+//! ([`lbc_net::ReplMsg::Deny`]).
+//!
+//! # Terms
+//!
+//! A monotonically increasing **term** is the generation spine of the
+//! plane. Every `Hello`, `WalRec`, `Heartbeat`, vote frame, and the
+//! client-facing `Info` tail carries the sender's term; every receiver
+//! folds higher terms forward ([`lbc_net::ReplGate::observe_term`]) and
+//! refuses lower ones. A deposed primary is therefore fenced the
+//! instant *any* frame from the successor generation reaches it — a
+//! vote request, a follower's `Hello`, anything — rather than after a
+//! lease expires, and a client that has seen the new term on one
+//! connection rejects answers from the old one
+//! ([`lbc_net::NetError::StaleTerm`]).
 //!
 //! # Quorum mode
 //!
@@ -69,22 +86,25 @@
 //! primary fanned to *some* follower survives failover even when the
 //! winner itself never received it.
 //!
-//! Residual windows, by design and documented: records the dead
-//! primary acked to clients but had shipped to **no** follower are
-//! still lost (asynchronous replication's acked-data-loss window
-//! shrinks to fan-out-to-nobody, it does not close); without a
-//! configured membership the roster-only election remains partitionable
-//! as before; a minority-side primary keeps accepting writes for
-//! up to one lease (heartbeat timeout) after the partition starts —
-//! bounded, and strictly shorter than the majority's election, but not
-//! zero; and a voter's single-vote hold is a *window*, not a term: it
-//! expires after one liveness window, relying on the voter's own
-//! failover (poll the winner, see `Promoted`, re-follow — whereupon
-//! fresh primary contact keeps denying) to bridge the gap before a
-//! losing candidate can re-ask. A voter whose re-follow outlasts its
-//! own hold re-opens the race; term-numbered single-vote-per-term
-//! semantics would close this for good. Each residual is exercised
-//! deliberately by the chaos suite (`crates/repl/tests/chaos.rs`).
+//! The three correctness residuals PRs 6–8 recorded here are now
+//! closed: acked-record loss by the opt-in `--ack-quorum` write mode
+//! ([`ReplConfig::ack_quorum`] — a delta's client response is held
+//! until a majority of the electorate acks the WAL record, so every
+//! acked write survives any single failover); the deposed-primary
+//! stale-read lease by term fencing (the old primary turns read-only
+//! on the first successor-term frame it sees, and term-stamped `Info`
+//! answers let clients refuse the window in between); and the
+//! time-windowed vote hold by persisted single-vote-per-term grant
+//! memory. What remains is inherent: without a configured membership
+//! the roster-only election is partitionable as before, and a deposed
+//! primary that no successor-generation frame can reach (total
+//! isolation) still serves stale reads until its own lease steps it
+//! down — clients holding the new term refuse those answers. The
+//! chaos suite (`crates/repl/tests/chaos.rs`) asserts the closures
+//! structurally: at most one writer per term at every sampled
+//! instant, no read served from a deposed term after any peer
+//! observes the successor, and no acked record lost across any
+//! failover in the `--ack-quorum` matrix.
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
@@ -233,6 +253,13 @@ pub struct ReplConfig {
     /// (dials, stream reads) — `None` in production, a seeded
     /// [`lbc_faults::PartitionMatrix`] view under the chaos harness.
     pub faults: Option<Arc<dyn FaultHook>>,
+    /// `--ack-quorum`: hold each delta's client response until a
+    /// strict majority of the fixed membership has acknowledged the
+    /// WAL record. Requires a non-empty [`Membership`]; closes the
+    /// acked-but-fanned-to-nobody loss window at the cost of one
+    /// replication round-trip of write latency (measured via the
+    /// `repl_ack_wait_ns` histogram).
+    pub ack_quorum: bool,
 }
 
 impl Default for ReplConfig {
@@ -244,6 +271,7 @@ impl Default for ReplConfig {
             max_payload: lbc_net::wire::DEFAULT_MAX_PAYLOAD,
             members: Membership::default(),
             faults: None,
+            ack_quorum: false,
         }
     }
 }

@@ -26,6 +26,13 @@ struct FollowerSlot {
     /// When the last ack arrived — the step-down lease's evidence that
     /// this follower can still hear us.
     last_ack: Arc<Mutex<Instant>>,
+    /// Whether any `Ack` has arrived over the wire at all. A slot is
+    /// born with a fresh `last_ack` stamp (catch-up grace), but that
+    /// stamp proves nothing about the peer: a connection abandoned in
+    /// the accept backlog delivers its buffered `Hello` and then
+    /// nothing — such a ghost must never count toward the quorum
+    /// lease, or it arms it on registration and trips it on eviction.
+    ack_seen: Arc<AtomicBool>,
     /// Commit-hook feed: `(seq, encoded WAL record)`.
     tx: mpsc::Sender<(u64, Vec<u8>)>,
 }
@@ -43,6 +50,14 @@ struct PrimaryShared {
     /// byte-identical rosters (per-connection snapshots at different
     /// instants were the split-brain seed).
     heartbeat: Mutex<(u64, Vec<PeerLag>)>,
+    /// The replication term this primary serves under, captured once
+    /// from the gate at [`ReplServer::set_gate`] (0 for a gateless
+    /// server). One `ReplServer` never changes its term: a new
+    /// generation means a new election and a new server — which is
+    /// what makes "one writer per term" structural. Stamped into every
+    /// WalRec and Heartbeat; a `Hello` proposing a higher term fences
+    /// this primary on the spot.
+    term: AtomicU64,
     /// Quorum-mode step-down lease (see [`ReplServer::stepped_down`]).
     /// Armed only once a quorum of members has been seen alive — a
     /// primary booting alone must be allowed to wait for its group.
@@ -102,6 +117,7 @@ impl PrimaryShared {
                 Role::Primary
             },
             applied_seq: self.registry.applied_seq(&self.dataset),
+            term: self.term.load(Ordering::Acquire),
             ack_ages: self.ack_ages(),
             peers: self.roster(),
             members: self.cfg.members.members.clone(),
@@ -125,6 +141,7 @@ impl PrimaryShared {
         let mut seen = std::collections::BTreeSet::new();
         for slot in followers.values() {
             if self.cfg.members.contains(slot.follower_id)
+                && slot.ack_seen.load(Ordering::Acquire)
                 && slot.last_ack.lock().unwrap().elapsed() < lease
             {
                 seen.insert(slot.follower_id);
@@ -143,7 +160,24 @@ impl PrimaryShared {
     /// seen at least once, so a group booting one node at a time is
     /// not stepped down while it assembles.
     fn check_step_down(&self) {
-        if self.cfg.members.is_empty() || self.stepped_down.load(Ordering::SeqCst) {
+        if self.stepped_down.load(Ordering::SeqCst) {
+            return;
+        }
+        // Term fence, checked every tick: the gate can observe a higher
+        // term out-of-band — a vote request on the query port, a stale-
+        // term rejection from a client — and fences itself (read-only)
+        // on the spot. This server's frozen term is then deposed; stop
+        // serving so the supervisor re-enters follower mode instead of
+        // streaming a dead generation forever.
+        if let Some(gate) = self.gate.lock().unwrap().as_ref() {
+            if gate.term() > self.term.load(Ordering::Acquire) {
+                gate.clear_ack_waiter();
+                self.stepped_down.store(true, Ordering::SeqCst);
+                self.stop.store(true, Ordering::SeqCst);
+                return;
+            }
+        }
+        if self.cfg.members.is_empty() {
             return;
         }
         let quorum = self.cfg.members.quorum() as u32;
@@ -162,6 +196,43 @@ impl PrimaryShared {
             // streams to nobody. The caller observes `stepped_down()`
             // and re-enters follower mode from scratch.
             self.stop.store(true, Ordering::SeqCst);
+        }
+    }
+
+    /// `--ack-quorum` write hold: true once a strict majority of the
+    /// membership (self included when a member) has acked `seq`, false
+    /// on timeout (one heartbeat timeout — the same budget after which
+    /// a follower is evicted as dead) or step-down. Runs on the
+    /// reactor's pool worker, polling the same per-slot ack atomics
+    /// the ticker reads; 1 ms granularity is far below the fsync+RTT
+    /// floor of a real ack.
+    fn await_quorum_ack(&self, seq: u64) -> bool {
+        let quorum = self.cfg.members.quorum();
+        let deadline = Instant::now() + self.cfg.heartbeat_timeout;
+        loop {
+            if self.stop.load(Ordering::SeqCst) || self.stepped_down.load(Ordering::SeqCst) {
+                return false;
+            }
+            let mut acked_members = std::collections::BTreeSet::new();
+            if let Some(gate) = self.gate.lock().unwrap().as_ref() {
+                if self.cfg.members.contains(gate.node_id()) {
+                    acked_members.insert(gate.node_id());
+                }
+            }
+            for slot in self.followers.lock().unwrap().values() {
+                if self.cfg.members.contains(slot.follower_id)
+                    && slot.acked_seq.load(Ordering::Acquire) >= seq
+                {
+                    acked_members.insert(slot.follower_id);
+                }
+            }
+            if acked_members.len() >= quorum {
+                return true;
+            }
+            if Instant::now() >= deadline {
+                return false;
+            }
+            std::thread::sleep(Duration::from_millis(1));
         }
     }
 
@@ -249,6 +320,7 @@ impl ReplServer {
             next_slot: AtomicU64::new(0),
             followers: Mutex::new(HashMap::new()),
             heartbeat: Mutex::new((0, Vec::new())),
+            term: AtomicU64::new(0),
             quorum_armed: AtomicBool::new(false),
             stepped_down: AtomicBool::new(false),
             gate: Mutex::new(None),
@@ -322,8 +394,22 @@ impl ReplServer {
 
     /// Wire in the serving gate so a quorum-mode step-down flips it to
     /// read-only at the instant the lease expires, not when the caller
-    /// next polls.
+    /// next polls. Also freezes this server's replication term to the
+    /// gate's current one (a promoted winner observes its won term
+    /// *before* calling this), and — in `--ack-quorum` mode with a
+    /// membership — installs the write-path waiter that holds each
+    /// delta's client response until a majority of the electorate has
+    /// acked the WAL record.
     pub fn set_gate(&self, gate: Arc<ReplGate>) {
+        self.shared.term.store(gate.term(), Ordering::Release);
+        if self.shared.cfg.ack_quorum && !self.shared.cfg.members.is_empty() {
+            let weak = Arc::downgrade(&self.shared);
+            gate.set_ack_waiter(Arc::new(move |seq| match weak.upgrade() {
+                Some(shared) => shared.await_quorum_ack(seq),
+                // The server is gone (step-down race): unconfirmable.
+                None => false,
+            }));
+        }
         *self.shared.gate.lock().unwrap() = Some(gate);
     }
 
@@ -341,6 +427,11 @@ impl ReplServer {
 impl Drop for ReplServer {
     fn drop(&mut self) {
         self.shared.stop.store(true, Ordering::SeqCst);
+        // Release any write held on the electorate: a dying primary
+        // must fail those waits, not leave them to the full timeout.
+        if let Some(gate) = self.shared.gate.lock().unwrap().as_ref() {
+            gate.clear_ack_waiter();
+        }
         self.shared.registry.clear_commit_hook();
         if let Some(j) = self.accept_join.take() {
             let _ = j.join();
@@ -399,10 +490,37 @@ fn handle_conn(mut stream: TcpStream, shared: Arc<PrimaryShared>) -> Result<(), 
         ReplMsg::Hello {
             follower_id,
             have_seq,
+            term,
             addr,
             repl_addr,
             members,
         } => {
+            // A Hello from a higher term means an election this
+            // primary never heard concluded: it is deposed. Fence the
+            // gate (reads/writes bounce from this instant — no lease)
+            // and stop serving so the supervisor re-enters follower
+            // mode; the follower is denied rather than fed a stale
+            // lineage.
+            if term > shared.term.load(Ordering::Acquire) {
+                if let Some(gate) = shared.gate.lock().unwrap().as_ref() {
+                    gate.observe_term(term);
+                    gate.clear_ack_waiter();
+                }
+                shared.stepped_down.store(true, Ordering::SeqCst);
+                shared.stop.store(true, Ordering::SeqCst);
+                let reason = format!(
+                    "primary term {} superseded by follower {follower_id} at term {term}",
+                    shared.term.load(Ordering::Acquire)
+                );
+                let _ = send_msg(
+                    &mut stream,
+                    &ReplMsg::Deny {
+                        reason: reason.clone(),
+                    },
+                    0,
+                );
+                return Err(ReplError::Protocol(reason));
+            }
             // A follower configured with a *different* fixed group
             // must not replicate here — split configurations are how
             // two disjoint quorums arise. Same-or-unset is fine (an
@@ -472,6 +590,7 @@ fn stream_to_follower(
         have_seq
     }));
     let last_ack = Arc::new(Mutex::new(Instant::now()));
+    let ack_seen = Arc::new(AtomicBool::new(false));
     {
         // Uniqueness check and registration under one lock scope, so
         // two racing Hellos with the same id cannot both pass. Ids are
@@ -498,12 +617,21 @@ fn stream_to_follower(
                 repl_addr,
                 acked_seq: Arc::clone(&acked),
                 last_ack: Arc::clone(&last_ack),
+                ack_seen: Arc::clone(&ack_seen),
                 tx,
             },
         );
     }
     // Whatever happens below, leave the roster clean on the way out.
-    let result = feed_follower(&mut stream, &shared, have_seq, rx, &acked, &last_ack);
+    let result = feed_follower(
+        &mut stream,
+        &shared,
+        have_seq,
+        rx,
+        &acked,
+        &last_ack,
+        &ack_seen,
+    );
     shared.followers.lock().unwrap().remove(&slot_id);
     result
 }
@@ -515,6 +643,7 @@ fn feed_follower(
     rx: mpsc::Receiver<(u64, Vec<u8>)>,
     acked: &Arc<AtomicU64>,
     last_ack: &Arc<Mutex<Instant>>,
+    ack_seen: &Arc<AtomicBool>,
 ) -> Result<(), ReplError> {
     let cfg = &shared.cfg;
     let mut next_id = 0u64;
@@ -544,12 +673,14 @@ fn feed_follower(
         contiguous.then_some(records)
     };
 
+    let term = shared.term.load(Ordering::Acquire);
     match tail {
         Some(records) => {
             for rec in &records {
                 send(
                     stream,
                     &ReplMsg::WalRec {
+                        term,
                         bytes: lbc_store::encode_record(rec),
                     },
                 )?;
@@ -600,6 +731,7 @@ fn feed_follower(
     let reader_dead = Arc::clone(&conn_dead);
     let reader_acked = Arc::clone(acked);
     let reader_last_ack = Arc::clone(last_ack);
+    let reader_ack_seen = Arc::clone(ack_seen);
     let reader_stop = Arc::clone(shared);
     let reader = std::thread::Builder::new()
         .name("lbc-repl-acks".to_string())
@@ -608,6 +740,7 @@ fn feed_follower(
                 reader_stream,
                 reader_acked,
                 reader_last_ack,
+                reader_ack_seen,
                 reader_dead,
                 reader_stop,
             )
@@ -632,7 +765,11 @@ fn feed_follower(
         match rx.recv_timeout(cfg.heartbeat_interval.max(Duration::from_millis(1))) {
             Ok((seq, bytes)) if seq > watermark => {
                 watermark = seq;
-                if let Err(e) = send(stream, &ReplMsg::WalRec { bytes }) {
+                // Re-read per record: a follower that connected in the
+                // window before `set_gate` froze the term must still
+                // see the real one on everything after.
+                let term = shared.term.load(Ordering::Acquire);
+                if let Err(e) = send(stream, &ReplMsg::WalRec { term, bytes }) {
                     break Err(e);
                 }
             }
@@ -644,10 +781,12 @@ fn feed_follower(
         if epoch != last_sent_epoch {
             last_sent_epoch = epoch;
             let members = shared.cfg.members.members.clone();
+            let term = shared.term.load(Ordering::Acquire);
             if let Err(e) = send(
                 stream,
                 &ReplMsg::Heartbeat {
                     epoch,
+                    term,
                     roster,
                     members,
                 },
@@ -667,6 +806,7 @@ fn ack_loop(
     mut stream: TcpStream,
     acked: Arc<AtomicU64>,
     last_ack: Arc<Mutex<Instant>>,
+    ack_seen: Arc<AtomicBool>,
     dead: Arc<AtomicBool>,
     shared: Arc<PrimaryShared>,
 ) {
@@ -678,6 +818,7 @@ fn ack_loop(
             Ok(ReplMsg::Ack { applied_seq }) => {
                 acked.fetch_max(applied_seq, Ordering::AcqRel);
                 *last_ack.lock().unwrap() = Instant::now();
+                ack_seen.store(true, Ordering::Release);
             }
             Ok(_) | Err(ReplError::Timeout) => {}
             Err(_) => break,

@@ -1,12 +1,24 @@
 //! Deterministic fault-injection (chaos) matrix for the replication
 //! stack: seeded partition/heal/kill schedules over in-process 3- and
-//! 5-node clusters, asserting the two safety properties the quorum
-//! design promises —
+//! 5-node clusters, asserting the safety properties the term-numbered
+//! quorum design promises —
 //!
 //!   1. **at most one writer at every instant** (a monitor thread
-//!      samples every gate throughout the schedule), and
-//!   2. **bit-for-bit convergence after heal** (every node's cached
+//!      samples every gate throughout the schedule),
+//!   2. **at most one writer per term, ever** — two nodes observed
+//!      writable under the same term at any two instants of the run is
+//!      a split lineage even if they never overlapped,
+//!   3. **no stale-term service**: once any write has been served
+//!      under term T, no gate may be writable under a term < T (the
+//!      deposed generation is fenced the moment its successor serves —
+//!      a read accepted there would be a stale read), and
+//!   4. **bit-for-bit convergence after heal** (every node's cached
 //!      clustering output is byte-identical once the partition lifts).
+//!
+//! With `--ack-quorum` (see [`ack_quorum_survives_writer_failover`])
+//! the matrix additionally pins durability: a delta the client got an
+//! OK for is never lost to a failover, because the OK was held until a
+//! majority of the electorate acked the WAL record.
 //!
 //! Faults are injected, not raced: every schedule is drawn from a
 //! [`SplitMix64`] seed through a shared [`PartitionMatrix`], so a
@@ -254,6 +266,7 @@ fn drive(node: Arc<Node>, mut seat: Seat) {
                         DATASET,
                         node.identity(),
                         resume,
+                        node.gate.term(),
                         node.cfg.clone(),
                     ) {
                         Ok((conn, _)) => {
@@ -285,6 +298,7 @@ fn drive(node: Arc<Node>, mut seat: Seat) {
                     let elected = run_election(
                         node.id,
                         node.registry.applied_seq(DATASET),
+                        Some(&node.gate),
                         &roster,
                         &node.cfg,
                     );
@@ -298,7 +312,10 @@ fn drive(node: Arc<Node>, mut seat: Seat) {
                         format!("node {} re-election", node.id),
                     );
                     match elected {
-                        ElectionOutcome::Won => {
+                        ElectionOutcome::Won { .. } => {
+                            // The won term is already observed on the
+                            // gate (the election's self-grant did it),
+                            // so `promote` freezes the right term.
                             // Reconcile before serving: pull any acked
                             // suffix a higher-seq loser holds, then
                             // open the gate.
@@ -362,6 +379,10 @@ struct Cluster {
     drivers: Vec<std::thread::JoinHandle<()>>,
     monitor: Option<std::thread::JoinHandle<()>>,
     max_writers: Arc<AtomicUsize>,
+    /// Term-fencing violations the monitor observed: two writers under
+    /// one term, or a writer under a term already superseded by a
+    /// serving successor. Asserted empty at shutdown.
+    term_violations: Arc<Mutex<Vec<String>>>,
     _nets: Vec<lbc_net::ServerHandle>,
     delta_no: u32,
 }
@@ -371,6 +392,13 @@ impl Cluster {
     /// followers — all sharing one fixed membership and one partition
     /// matrix.
     fn start(n: usize) -> Cluster {
+        Cluster::start_opts(n, false)
+    }
+
+    /// Like [`Cluster::start`] but with `--ack-quorum` semantics: the
+    /// writer holds each delta's reply until a majority of the
+    /// electorate has acked the WAL record.
+    fn start_opts(n: usize, ack_quorum: bool) -> Cluster {
         assert!(n >= 3);
         let matrix = Arc::new(PartitionMatrix::new());
         let stop = Arc::new(AtomicBool::new(false));
@@ -425,6 +453,7 @@ impl Cluster {
                 heartbeat_timeout: TIMEOUT,
                 chunk_len: 512,
                 members: members.clone(),
+                ack_quorum,
                 faults: Some(Arc::new(NodeFaults::new(Arc::clone(&matrix), &query_addr))),
                 ..Default::default()
             };
@@ -470,6 +499,7 @@ impl Cluster {
                 DATASET,
                 node.identity(),
                 HAVE_NOTHING,
+                node.gate.term(),
                 node.cfg.clone(),
             )
             .expect("initial follower sync");
@@ -507,20 +537,69 @@ impl Cluster {
             })
             .collect();
 
-        // The exactly-one-writer monitor: sample every gate for the
-        // whole schedule and record the high-water mark of concurrent
-        // writable nodes.
+        // The safety monitor: sample every gate for the whole schedule
+        // and record (a) the high-water mark of concurrent writable
+        // nodes, (b) which node served under each term — ever seeing a
+        // second node under a term some other node already served is a
+        // split lineage even if the two never overlapped in time — and
+        // (c) stale-term service: once any node has served under term
+        // T, a gate writable under a term < T is a deposed generation
+        // still accepting traffic (the stale-read hole).
         let max_writers = Arc::new(AtomicUsize::new(0));
+        let term_violations = Arc::new(Mutex::new(Vec::<String>::new()));
         let monitor = {
             let gates: Vec<Arc<ReplGate>> = nodes.iter().map(|n| Arc::clone(&n.gate)).collect();
             let stop = Arc::clone(&stop);
             let max = Arc::clone(&max_writers);
+            let violations = Arc::clone(&term_violations);
             std::thread::Builder::new()
                 .name("chaos-monitor".to_string())
                 .spawn(move || {
+                    let mut writer_by_term: std::collections::HashMap<u64, usize> =
+                        std::collections::HashMap::new();
+                    let mut max_served_term = 0u64;
                     while !stop.load(Ordering::SeqCst) {
-                        let w = gates.iter().filter(|g| g.writable()).count();
-                        max.fetch_max(w, Ordering::SeqCst);
+                        // Per-gate sample: term is read on both sides
+                        // of `writable` and the sample dropped unless
+                        // they agree, so a fence racing the probe can
+                        // never pair an old `writable` with a new term
+                        // (the gate flips read-only *before* it stores
+                        // an observed term — the other pairing cannot
+                        // happen).
+                        let mut writers = 0usize;
+                        for (i, g) in gates.iter().enumerate() {
+                            let before = g.term();
+                            let writable = g.writable();
+                            if g.term() != before {
+                                continue;
+                            }
+                            if !writable {
+                                continue;
+                            }
+                            writers += 1;
+                            match writer_by_term.get(&before) {
+                                Some(&first) if first != i => {
+                                    violations.lock().unwrap().push(format!(
+                                        "two writers under term {before}: node {} and node {}",
+                                        first + 1,
+                                        i + 1
+                                    ));
+                                }
+                                None => {
+                                    writer_by_term.insert(before, i);
+                                }
+                                _ => {}
+                            }
+                            if before < max_served_term {
+                                violations.lock().unwrap().push(format!(
+                                    "node {} writable under deposed term {before} after term \
+                                     {max_served_term} already served",
+                                    i + 1
+                                ));
+                            }
+                            max_served_term = max_served_term.max(before);
+                        }
+                        max.fetch_max(writers, Ordering::SeqCst);
                         std::thread::sleep(Duration::from_millis(1));
                     }
                 })
@@ -534,6 +613,7 @@ impl Cluster {
             drivers,
             monitor: Some(monitor),
             max_writers,
+            term_violations,
             _nets: nets,
             delta_no: 0,
         }
@@ -702,6 +782,12 @@ impl Cluster {
         assert!(
             max <= 1,
             "monitor observed {max} concurrent writers — split brain\n{}",
+            self.dump_events()
+        );
+        let violations = self.term_violations.lock().unwrap().clone();
+        assert!(
+            violations.is_empty(),
+            "monitor observed term-fencing violations: {violations:#?}\n{}",
             self.dump_events()
         );
         for node in &self.nodes {
@@ -943,6 +1029,7 @@ fn winner_pulls_missing_suffix_before_serving() {
             repl_addr: String::new(),
         },
         HAVE_NOTHING,
+        gate_a.term(),
         cfg.clone(),
     )
     .unwrap();
@@ -965,6 +1052,7 @@ fn winner_pulls_missing_suffix_before_serving() {
             repl_addr: rb_addr,
         },
         HAVE_NOTHING,
+        gate_b.term(),
         cfg.clone(),
     )
     .unwrap();
@@ -993,8 +1081,8 @@ fn winner_pulls_missing_suffix_before_serving() {
     // its own liveness window lapses, and it concedes despite its
     // higher seq because it cannot itself promote.
     drop(server);
-    match run_election(2, reg_b.applied_seq(DATASET), &[], &cfg) {
-        ElectionOutcome::Won => {}
+    match run_election(2, reg_b.applied_seq(DATASET), Some(&gate_b), &[], &cfg) {
+        ElectionOutcome::Won { term } => assert!(term > 0, "a won election carries its term"),
         other => panic!("B should win the election, got {other:?}"),
     }
 
@@ -1102,13 +1190,13 @@ fn partitioned_candidates_cannot_both_quorum_through_shared_voter() {
         faults: Some(Arc::new(CutPeers(vec![addrs[0].clone()]))),
         ..base
     };
-    let ta = std::thread::spawn(move || run_election(1, 0, &[], &cfg_a));
-    let tb = std::thread::spawn(move || run_election(2, 0, &[], &cfg_b));
+    let ta = std::thread::spawn(move || run_election(1, 0, None, &[], &cfg_a));
+    let tb = std::thread::spawn(move || run_election(2, 0, None, &[], &cfg_b));
     let ra = ta.join().unwrap();
     let rb = tb.join().unwrap();
     let wins = [&ra, &rb]
         .into_iter()
-        .filter(|o| **o == ElectionOutcome::Won)
+        .filter(|o| matches!(o, ElectionOutcome::Won { .. }))
         .count();
     assert!(
         wins <= 1,
@@ -1118,4 +1206,67 @@ fn partitioned_candidates_cannot_both_quorum_through_shared_voter() {
         wins, 1,
         "exactly one candidate should win (A: {ra:?}, B: {rb:?})"
     );
+}
+
+/// The `--ack-quorum` durability pin: every delta the harness client
+/// got an OK for was held until a majority of the electorate acked the
+/// WAL record — so after the writer is killed (isolated) and the
+/// majority elects a successor, every one of those records must still
+/// be in the lineage, on every node. Without the hold, a record the
+/// primary applied and confirmed an instant before the partition could
+/// exist on no surviving majority node.
+#[test]
+fn ack_quorum_survives_writer_failover() {
+    let mut cluster = Cluster::start_opts(3, true);
+    let settle = Duration::from_secs(30);
+    assert_eq!(cluster.wait_writer(settle), 0, "node 0 starts as writer");
+    cluster.assert_converged(settle);
+
+    // A burst of writes; count only the OKs. An errored submit (e.g.
+    // an ack-wait timeout) may or may not have applied — it makes no
+    // durability promise, so it is excluded from the floor.
+    let base = cluster.nodes[0].registry.applied_seq(DATASET);
+    let mut oks = 0u64;
+    for _ in 0..6 {
+        if cluster.probe_write() == vec![0] {
+            oks += 1;
+        }
+    }
+    assert!(oks > 0, "no acked write landed before the kill");
+    // Writes apply in submission order, so the last OK'd record sits
+    // at seq >= base + oks: the durability floor the failover must
+    // carry over.
+    let floor = base + oks;
+
+    // Kill the writer (isolate it alone) and wait the majority out.
+    cluster.partition(&[0]);
+    let start = Instant::now();
+    loop {
+        let accepted = cluster.probe_write();
+        if let [w] = accepted[..] {
+            if w != 0 {
+                break;
+            }
+        }
+        assert!(
+            start.elapsed() < settle,
+            "majority never elected a writer\n{}",
+            cluster.dump_events()
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    cluster.heal();
+    cluster.assert_converged(settle);
+
+    for node in &cluster.nodes {
+        let seq = node.registry.applied_seq(DATASET);
+        assert!(
+            seq >= floor,
+            "node {} lost client-acked writes across the failover: at seq {seq}, \
+             acked floor {floor}\n{}",
+            node.id,
+            cluster.dump_events()
+        );
+    }
+    cluster.shutdown();
 }

@@ -72,6 +72,7 @@ fn follower_adopts_snapshot_and_mirrors_stream_bit_for_bit() {
         DATASET,
         FollowerIdentity::bare(1),
         HAVE_NOTHING,
+        0,
         test_cfg(),
     )
     .unwrap();
@@ -139,6 +140,7 @@ fn reconnect_with_live_lineage_skips_the_snapshot() {
         DATASET,
         FollowerIdentity::bare(2),
         HAVE_NOTHING,
+        0,
         test_cfg(),
     )
     .unwrap();
@@ -175,6 +177,7 @@ fn reconnect_with_live_lineage_skips_the_snapshot() {
         DATASET,
         FollowerIdentity::bare(2),
         2,
+        0,
         test_cfg(),
     )
     .unwrap();
@@ -206,6 +209,7 @@ fn sole_follower_promotes_on_primary_death() {
         DATASET,
         FollowerIdentity::bare(3),
         HAVE_NOTHING,
+        0,
         test_cfg(),
     )
     .unwrap();
@@ -287,6 +291,7 @@ fn duplicate_follower_id_is_denied() {
         DATASET,
         FollowerIdentity::bare(7),
         HAVE_NOTHING,
+        0,
         test_cfg(),
     )
     .unwrap();
@@ -302,6 +307,7 @@ fn duplicate_follower_id_is_denied() {
         DATASET,
         FollowerIdentity::bare(7),
         HAVE_NOTHING,
+        0,
         test_cfg(),
     ) {
         Err(lbc_repl::ReplError::Denied(_)) => {}
@@ -339,6 +345,7 @@ fn two_followers_elect_exactly_one_winner() {
                 repl_addr: String::new(),
             },
             HAVE_NOTHING,
+            0,
             test_cfg(),
         )
         .unwrap();
@@ -401,4 +408,147 @@ fn two_followers_elect_exactly_one_winner() {
     // lowest id, and the loser names the winner.
     assert_eq!(promoted, [1]);
     assert_eq!(conceded, [(2, 1)]);
+}
+
+/// The mid-snapshot EOF regression, with the tear injected rather than
+/// raced: a primary that dies partway through the snapshot transfer
+/// must leave the follower with NO partial state — `sync` fails typed
+/// and the registry stays empty — and the next attempt, rebuilt from
+/// scratch, adopts the full snapshot bit-for-bit. Each connection's
+/// fate is drawn from a [`ScriptedIoFaults`] script (`Torn(1)` then
+/// `Pass`), served by a scripted primary speaking the real wire
+/// protocol, so a failing run is a reproducer.
+#[test]
+fn torn_snapshot_resync_adopts_clean_state() {
+    use lbc_faults::{IoFault, IoFaultHook, ScriptedIoFaults};
+    use lbc_net::FrameDecoder;
+    use std::io::{Read, Write};
+
+    let (primary, cfg) = primary_registry();
+    let faults = Arc::new(ScriptedIoFaults::new(vec![IoFault::Torn(1), IoFault::Pass]));
+
+    // One self-contained snapshot of the seeded state, chunked exactly
+    // the way the real primary would ship it.
+    let (graph, entries, seq) = primary.replication_state(DATASET).unwrap();
+    let refs: Vec<_> = entries.iter().map(|(c, o)| (c, o.as_ref())).collect();
+    let mut snap = Vec::new();
+    lbc_store::write_snapshot(&graph, &refs, seq, &mut snap).unwrap();
+    drop(refs);
+    drop((entries, graph));
+    let snap_len = snap.len();
+    let snap_crc = lbc_store::format::crc64(&snap);
+    const CHUNK: usize = 512;
+
+    let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap().to_string();
+    let script = Arc::clone(&faults);
+    let server = std::thread::spawn(move || {
+        for _ in 0..2 {
+            let (mut stream, _) = listener.accept().unwrap();
+            let mut dec = FrameDecoder::with_max_payload(8 * 1024 * 1024);
+            let mut scratch = [0u8; 4096];
+            let hello = loop {
+                if let Some(f) = dec.next_frame().unwrap() {
+                    break ReplMsg::from_frame(&f).unwrap();
+                }
+                let n = stream.read(&mut scratch).unwrap();
+                assert!(n > 0, "EOF before Hello");
+                dec.push(&scratch[..n]);
+            };
+            let ReplMsg::Hello { have_seq, .. } = hello else {
+                panic!("expected Hello first, got opcode {:#04x}", hello.opcode())
+            };
+            // The invariant under test: a retry after a torn transfer
+            // carries no residue — it restarts the sync from nothing.
+            assert_eq!(have_seq, HAVE_NOTHING, "resync must restart from scratch");
+
+            let send = |stream: &mut std::net::TcpStream, msg: &ReplMsg| {
+                let mut buf = Vec::new();
+                msg.encode(&mut buf, 0).unwrap();
+                stream.write_all(&buf).unwrap();
+            };
+            let chunk_count = snap.len().div_ceil(CHUNK) as u32;
+            send(
+                &mut stream,
+                &ReplMsg::SnapBegin {
+                    applied_seq: seq,
+                    total_len: snap.len() as u64,
+                    chunk_count,
+                },
+            );
+            let keep = match script.next_append("snapshot") {
+                IoFault::Pass => usize::MAX,
+                IoFault::Torn(k) => k,
+                other => panic!("unexpected scripted fault {other:?}"),
+            };
+            for (i, chunk) in snap.chunks(CHUNK).enumerate() {
+                if i >= keep {
+                    break;
+                }
+                send(
+                    &mut stream,
+                    &ReplMsg::SnapChunk {
+                        offset: (i * CHUNK) as u64,
+                        bytes: chunk.to_vec(),
+                    },
+                );
+            }
+            if keep >= chunk_count as usize {
+                send(&mut stream, &ReplMsg::SnapEnd { crc64: snap_crc });
+                // Drain whatever the follower writes (its first ack)
+                // until it hangs up, so closing our side never RSTs
+                // away bytes it has not read yet.
+                let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+                let mut sink = [0u8; 1024];
+                while let Ok(n) = stream.read(&mut sink) {
+                    if n == 0 {
+                        break;
+                    }
+                }
+            }
+            // Dropping the stream here is attempt 1's tear: EOF with
+            // `chunk_count - keep` chunks outstanding.
+        }
+    });
+
+    let follower = Arc::new(Registry::with_capacity(8));
+
+    // Attempt 1: torn after one chunk. The sync must fail typed and
+    // leave nothing behind — no dataset, no watermark, no partial
+    // buffer a later attempt could adopt.
+    let torn = FollowerConn::sync(
+        addr.as_str(),
+        Arc::clone(&follower),
+        DATASET,
+        FollowerIdentity::bare(1),
+        HAVE_NOTHING,
+        0,
+        test_cfg(),
+    );
+    assert!(torn.is_err(), "a torn snapshot must fail the sync");
+    assert_eq!(follower.applied_seq(DATASET), 0);
+    assert!(
+        follower.cached(DATASET, &cfg).is_none(),
+        "partial snapshot must never surface as adopted state"
+    );
+
+    // Attempt 2: the scripted primary serves the whole snapshot; the
+    // from-scratch retry adopts it bit-for-bit.
+    let (conn, report) = FollowerConn::sync(
+        addr.as_str(),
+        Arc::clone(&follower),
+        DATASET,
+        FollowerIdentity::bare(1),
+        HAVE_NOTHING,
+        0,
+        test_cfg(),
+    )
+    .unwrap();
+    assert!(report.adopted_snapshot);
+    assert_eq!(report.snapshot_bytes, snap_len as u64);
+    assert_mirrored(&primary, &follower, &cfg);
+    assert_eq!(faults.consumed(), 2, "both scripted faults consumed");
+
+    drop(conn);
+    server.join().unwrap();
 }

@@ -133,6 +133,11 @@ const SNAP_EXT: &str = "snap";
 const WAL_EXT: &str = "wal";
 /// Replication membership file (see [`Store::save_membership`]).
 const MEMBERSHIP_FILE: &str = "membership";
+
+/// Replication term/vote file (see [`Store::save_vote`]).
+const VOTE_FILE: &str = "term-vote";
+
+const VOTE_MAGIC: [u8; 4] = *b"LBCV";
 /// Its tiny framing: magic + u32 length + bytes + crc64 of the bytes.
 const MEMBERSHIP_MAGIC: [u8; 4] = *b"LBCM";
 /// Subdirectory holding content-addressed graph blobs (`<crc64>.g`).
@@ -647,6 +652,61 @@ impl Store {
         String::from_utf8(spec.to_vec())
             .map(Some)
             .map_err(|_| StoreError::Corrupt("membership file utf-8".to_string()))
+    }
+
+    /// Persist the replication term and the candidate granted this
+    /// node's vote in it (`u64::MAX` = term observed, no vote cast).
+    /// This is the single-vote-per-term guarantee's crash edge: a
+    /// voter that grants, dies, and reboots inside the same election
+    /// must refuse every other candidate at that term, so the pair
+    /// goes to disk *before* the grant is confirmed to the candidate.
+    /// Write-to-temp + fsync + rename, checksummed.
+    pub fn save_vote(&self, term: u64, voted_for: u64) -> Result<(), StoreError> {
+        let path = self.dir.join(VOTE_FILE);
+        let tmp = path.with_extension("tmp");
+        let mut body = [0u8; 16];
+        body[..8].copy_from_slice(&term.to_le_bytes());
+        body[8..].copy_from_slice(&voted_for.to_le_bytes());
+        let mut buf = Vec::with_capacity(28);
+        buf.extend_from_slice(&VOTE_MAGIC);
+        buf.extend_from_slice(&body);
+        buf.extend_from_slice(&format::crc64(&body).to_le_bytes());
+        {
+            let mut f = fs::File::create(&tmp)?;
+            f.write_all(&buf)?;
+            f.sync_all()?;
+        }
+        fs::rename(&tmp, &path)?;
+        self.sync_dir();
+        Ok(())
+    }
+
+    /// Load the persisted `(term, voted_for)` pair, if present and
+    /// intact. Corruption is an error (a voter with rotted vote memory
+    /// must not pretend it never voted), absence is `Ok(None)`.
+    pub fn load_vote(&self) -> Result<Option<(u64, u64)>, StoreError> {
+        let path = self.dir.join(VOTE_FILE);
+        let buf = match fs::read(&path) {
+            Ok(b) => b,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e.into()),
+        };
+        if buf.len() != 28 || buf[..4] != VOTE_MAGIC {
+            return Err(StoreError::Corrupt("term-vote file framing".to_string()));
+        }
+        let body = &buf[4..20];
+        let crc = u64::from_le_bytes(buf[20..].try_into().unwrap());
+        if format::crc64(body) != crc {
+            return Err(StoreError::ChecksumMismatch {
+                expected: crc,
+                found: format::crc64(body),
+                context: "term-vote file",
+            });
+        }
+        Ok(Some((
+            u64::from_le_bytes(body[..8].try_into().unwrap()),
+            u64::from_le_bytes(body[8..].try_into().unwrap()),
+        )))
     }
 
     /// Read `name`'s snapshot and WAL without replaying anything.

@@ -239,3 +239,32 @@ fn injected_io_faults_surface_and_torn_tail_heals() {
     assert!(seq >= 4);
     f.store.load("ring").unwrap();
 }
+
+#[test]
+fn term_vote_survives_reopen_and_rejects_rot() {
+    // The kill-9 edge of single-vote-per-term: the persisted
+    // (term, voted_for) pair must come back bit-for-bit from a fresh
+    // Store handle over the same directory — the moral equivalent of
+    // a voter that granted, died, and rebooted mid-election.
+    let f = fixture("term-vote");
+    assert_eq!(f.store.load_vote().unwrap(), None);
+    f.store.save_vote(3, 7).unwrap();
+    assert_eq!(f.store.load_vote().unwrap(), Some((3, 7)));
+    f.store.save_vote(4, u64::MAX).unwrap(); // term raise, no vote
+    let reopened = Store::open(&f.dir).unwrap();
+    assert_eq!(reopened.load_vote().unwrap(), Some((4, u64::MAX)));
+
+    // Bit rot is a typed checksum error, never a silently forgotten
+    // vote.
+    let path = f.dir.join("term-vote");
+    let mut bytes = std::fs::read(&path).unwrap();
+    bytes[9] ^= 0x40;
+    std::fs::write(&path, &bytes).unwrap();
+    let e = reopened.load_vote().unwrap_err();
+    assert!(matches!(e, StoreError::ChecksumMismatch { .. }), "{e}");
+
+    // Wrong shape is framing corruption.
+    std::fs::write(&path, b"LBCVshort").unwrap();
+    let e = reopened.load_vote().unwrap_err();
+    assert!(matches!(e, StoreError::Corrupt(_)), "{e}");
+}
